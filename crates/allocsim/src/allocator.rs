@@ -1,0 +1,167 @@
+//! Greedy round-robin allocation of hosts to applications
+//! (paper Section VII: "assigns resources to applications in a greedy
+//! round-robin fashion").
+
+use crate::profile::{utility, AppProfile};
+use resmodel_core::GeneratedHost;
+use serde::Serialize;
+
+/// Result of one allocation round: which hosts each application got and
+/// the total utility it extracts from them.
+#[derive(Debug, Clone, Serialize)]
+pub struct Allocation {
+    /// Application names, in the round-robin order used.
+    pub apps: Vec<&'static str>,
+    /// `assigned[i]` — indices into the host slice owned by app `i`.
+    pub assigned: Vec<Vec<usize>>,
+    /// `total_utility[i]` — Σ utility of app `i` over its hosts.
+    pub total_utility: Vec<f64>,
+}
+
+impl Allocation {
+    /// Total utility of the application at `app_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `app_index` is out of range.
+    pub fn utility_of(&self, app_index: usize) -> f64 {
+        self.total_utility[app_index]
+    }
+
+    /// Number of hosts assigned overall.
+    pub fn assigned_count(&self) -> usize {
+        self.assigned.iter().map(|a| a.len()).sum()
+    }
+}
+
+/// Greedy round-robin allocation: applications take turns; on its turn
+/// each application claims the unassigned host with the highest utility
+/// *for it*. Every host is assigned exactly once.
+///
+/// Implemented with one pre-sorted preference list per application, so
+/// the whole allocation is `O(A·N log N)`.
+pub fn allocate_round_robin(apps: &[AppProfile], hosts: &[GeneratedHost]) -> Allocation {
+    let a = apps.len();
+    // Per-app preference order (host indices, best utility first).
+    let mut prefs: Vec<std::vec::IntoIter<usize>> = apps
+        .iter()
+        .map(|app| {
+            let mut order: Vec<usize> = (0..hosts.len()).collect();
+            let us: Vec<f64> = hosts.iter().map(|h| utility(app, h)).collect();
+            order.sort_by(|&x, &y| {
+                us[y].partial_cmp(&us[x]).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            order.into_iter()
+        })
+        .collect();
+
+    let mut taken = vec![false; hosts.len()];
+    let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); a];
+    let mut total_utility = vec![0.0; a];
+    let mut remaining = hosts.len();
+    while remaining > 0 {
+        for (i, pref) in prefs.iter_mut().enumerate() {
+            // Claim this app's best still-free host.
+            let choice = pref.find(|&idx| !taken[idx]);
+            if let Some(idx) = choice {
+                taken[idx] = true;
+                remaining -= 1;
+                total_utility[i] += utility(&apps[i], &hosts[idx]);
+                assigned[i].push(idx);
+            }
+            if remaining == 0 {
+                break;
+            }
+        }
+    }
+
+    Allocation {
+        apps: apps.iter().map(|p| p.name).collect(),
+        assigned,
+        total_utility,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(cores: u32, mem: f64, dhry: f64, whet: f64, disk: f64) -> GeneratedHost {
+        GeneratedHost {
+            cores,
+            memory_mb: mem,
+            whetstone_mips: whet,
+            dhrystone_mips: dhry,
+            avail_disk_gb: disk,
+        }
+    }
+
+    #[test]
+    fn every_host_assigned_once() {
+        let hosts: Vec<GeneratedHost> = (0..103)
+            .map(|i| host(1 + (i % 8) as u32, 1024.0 + i as f64, 2000.0, 1000.0, 10.0 + i as f64))
+            .collect();
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        assert_eq!(alloc.assigned_count(), hosts.len());
+        let mut seen = vec![false; hosts.len()];
+        for app_hosts in &alloc.assigned {
+            for &i in app_hosts {
+                assert!(!seen[i], "host {i} assigned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn round_robin_is_fair_in_count() {
+        let hosts: Vec<GeneratedHost> =
+            (0..100).map(|i| host(2, 2048.0, 3000.0, 1500.0, 50.0 + i as f64)).collect();
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        for a in &alloc.assigned {
+            assert_eq!(a.len(), 25);
+        }
+    }
+
+    #[test]
+    fn greedy_gives_specialists_their_preference() {
+        // A disk monster that is weak on every other resource: only P2P
+        // prefers it, so the greedy round-robin should route it there
+        // even though P2P picks last.
+        let hosts = vec![
+            host(1, 64.0, 50.0, 25.0, 10_000.0),    // disk monster
+            host(8, 8192.0, 20_000.0, 9000.0, 1.0), // CPU monster
+            host(1, 512.0, 800.0, 400.0, 5.0),
+            host(1, 512.0, 800.0, 400.0, 5.0),
+            host(1, 512.0, 800.0, 400.0, 5.0),
+        ];
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        let p2p_idx = alloc.apps.iter().position(|&n| n == "P2P").unwrap();
+        assert!(
+            alloc.assigned[p2p_idx].contains(&0),
+            "P2P should claim the disk monster: {:?}",
+            alloc.assigned
+        );
+    }
+
+    #[test]
+    fn utility_totals_are_consistent() {
+        let hosts: Vec<GeneratedHost> =
+            (0..40).map(|i| host(2, 2048.0, 3000.0, 1500.0, 20.0 + i as f64)).collect();
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        for (i, app) in AppProfile::ALL.iter().enumerate() {
+            let expect: f64 = alloc.assigned[i]
+                .iter()
+                .map(|&idx| utility(app, &hosts[idx]))
+                .sum();
+            assert!((alloc.utility_of(i) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_hosts_allocation() {
+        let alloc = allocate_round_robin(&AppProfile::ALL, &[]);
+        assert_eq!(alloc.assigned_count(), 0);
+        assert!(alloc.total_utility.iter().all(|&u| u == 0.0));
+    }
+}

@@ -1,0 +1,254 @@
+//! The Fig 15 experiment: per-month, per-application % difference
+//! between the total utility predicted by each host model and the
+//! utility computed from the actual host population.
+
+use crate::allocator::allocate_round_robin;
+use crate::profile::AppProfile;
+use resmodel_core::{GeneratedHost, HostGenerator};
+use resmodel_trace::{SimDate, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the utility experiment.
+#[derive(Debug, Clone, Serialize)]
+pub struct UtilityExperimentConfig {
+    /// Evaluation dates (the paper uses monthly January–September
+    /// 2010).
+    pub dates: Vec<SimDate>,
+    /// Applications competing for hosts (paper: Table IX's four).
+    pub apps: Vec<AppProfile>,
+    /// Seed for the generated populations.
+    pub seed: u64,
+}
+
+impl Default for UtilityExperimentConfig {
+    fn default() -> Self {
+        Self {
+            dates: (0..9)
+                .map(|m| SimDate::from_year(2010.0 + m as f64 / 12.0))
+                .collect(),
+            apps: AppProfile::ALL.to_vec(),
+            seed: 1,
+        }
+    }
+}
+
+/// One cell of the Fig 15 result: a model's error for one application
+/// at one date.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct UtilityDiff {
+    /// Evaluation date.
+    pub date: SimDate,
+    /// Utility of the application on the model-generated hosts.
+    pub model_utility: f64,
+    /// Utility on the actual hosts.
+    pub actual_utility: f64,
+    /// `|model − actual| / actual × 100`.
+    pub pct_diff: f64,
+}
+
+/// A model's full Fig 15 series.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelSeries {
+    /// Model label (from [`HostGenerator::label`]).
+    pub model: &'static str,
+    /// `diffs[a]` — the per-date series of application `a` (in
+    /// [`UtilityExperimentConfig::apps`] order).
+    pub diffs: Vec<Vec<UtilityDiff>>,
+}
+
+impl ModelSeries {
+    /// `(min, max)` % difference across the series of application `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the application index is out of range or its series
+    /// is empty.
+    pub fn range_of(&self, app_index: usize) -> (f64, f64) {
+        let series = &self.diffs[app_index];
+        assert!(!series.is_empty(), "empty series");
+        let min = series.iter().map(|d| d.pct_diff).fold(f64::INFINITY, f64::min);
+        let max = series.iter().map(|d| d.pct_diff).fold(0.0, f64::max);
+        (min, max)
+    }
+
+    /// Mean % difference across dates for application `a`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the application index is out of range or its series
+    /// is empty.
+    pub fn mean_of(&self, app_index: usize) -> f64 {
+        let series = &self.diffs[app_index];
+        assert!(!series.is_empty(), "empty series");
+        series.iter().map(|d| d.pct_diff).sum::<f64>() / series.len() as f64
+    }
+}
+
+/// Run the Fig 15 experiment: at each date, allocate the actual trace
+/// population and each model's generated population (same size) to the
+/// applications, then report the % utility differences.
+///
+/// # Errors
+///
+/// Returns a descriptive message when a date has an empty actual
+/// population (the comparison would be undefined).
+pub fn run_utility_experiment(
+    trace: &Trace,
+    generators: &[&dyn HostGenerator],
+    config: &UtilityExperimentConfig,
+) -> Result<Vec<ModelSeries>, String> {
+    let mut out: Vec<ModelSeries> = generators
+        .iter()
+        .map(|g| ModelSeries {
+            model: g.label(),
+            diffs: vec![Vec::new(); config.apps.len()],
+        })
+        .collect();
+
+    for &date in &config.dates {
+        let actual_hosts: Vec<GeneratedHost> = trace
+            .population_at(date)
+            .iter()
+            .map(GeneratedHost::from)
+            .collect();
+        if actual_hosts.is_empty() {
+            return Err(format!("no active hosts at {date}"));
+        }
+        let actual_alloc = allocate_round_robin(&config.apps, &actual_hosts);
+
+        for (g, series) in generators.iter().zip(&mut out) {
+            let generated = g.generate_population(date, actual_hosts.len(), config.seed);
+            let alloc = allocate_round_robin(&config.apps, &generated);
+            for a in 0..config.apps.len() {
+                let actual = actual_alloc.utility_of(a);
+                let model = alloc.utility_of(a);
+                series.diffs[a].push(UtilityDiff {
+                    date,
+                    model_utility: model,
+                    actual_utility: actual,
+                    pct_diff: (model - actual).abs() / actual.max(f64::MIN_POSITIVE) * 100.0,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    /// A fake generator that replays the actual population (perfect
+    /// model) or a scaled version of it.
+    struct Replay {
+        hosts: Vec<GeneratedHost>,
+        disk_scale: f64,
+        label: &'static str,
+    }
+
+    impl HostGenerator for Replay {
+        fn label(&self) -> &'static str {
+            self.label
+        }
+
+        fn generate_host(&self, _date: SimDate, rng: &mut dyn Rng) -> GeneratedHost {
+            let idx = rand::RngExt::random_range(rng, 0..self.hosts.len());
+            let mut h = self.hosts[idx];
+            h.avail_disk_gb *= self.disk_scale;
+            h
+        }
+    }
+
+    fn toy_trace() -> Trace {
+        use resmodel_trace::{HostRecord, ResourceSnapshot};
+        let mut trace = Trace::new();
+        for i in 0..400u64 {
+            let start = SimDate::from_year(2009.5);
+            let mut rec = HostRecord::new(i.into(), start);
+            for &t in &[2009.6, 2010.9] {
+                rec.record(ResourceSnapshot {
+                    t: SimDate::from_year(t),
+                    cores: 1 + (i % 4) as u32,
+                    memory_mb: 1024.0 * (1 + (i % 4)) as f64,
+                    whetstone_mips: 1500.0 + (i % 100) as f64 * 10.0,
+                    dhrystone_mips: 3000.0 + (i % 100) as f64 * 20.0,
+                    avail_disk_gb: 20.0 + (i % 50) as f64 * 4.0,
+                    total_disk_gb: 500.0,
+                });
+            }
+            trace.push(rec);
+        }
+        trace
+    }
+
+    #[test]
+    fn perfect_model_has_small_error() {
+        let trace = toy_trace();
+        let date = SimDate::from_year(2010.0);
+        let hosts: Vec<GeneratedHost> =
+            trace.population_at(date).iter().map(GeneratedHost::from).collect();
+        let perfect = Replay { hosts: hosts.clone(), disk_scale: 1.0, label: "perfect" };
+        let config = UtilityExperimentConfig {
+            dates: vec![date],
+            apps: AppProfile::ALL.to_vec(),
+            seed: 3,
+        };
+        let out = run_utility_experiment(&trace, &[&perfect], &config).unwrap();
+        for a in 0..4 {
+            assert!(out[0].mean_of(a) < 10.0, "app {a}: {}", out[0].mean_of(a));
+        }
+    }
+
+    #[test]
+    fn disk_inflation_hurts_p2p_most() {
+        let trace = toy_trace();
+        let date = SimDate::from_year(2010.0);
+        let hosts: Vec<GeneratedHost> =
+            trace.population_at(date).iter().map(GeneratedHost::from).collect();
+        let inflated = Replay { hosts, disk_scale: 2.0, label: "inflated" };
+        let config = UtilityExperimentConfig {
+            dates: vec![date],
+            apps: AppProfile::ALL.to_vec(),
+            seed: 4,
+        };
+        let out = run_utility_experiment(&trace, &[&inflated], &config).unwrap();
+        let p2p = out[0].mean_of(3);
+        let seti = out[0].mean_of(0);
+        // 2× disk → P2P utility inflated by ≈ 2^0.7 ≈ 62%, SETI by 2^0.05 ≈ 3.5%.
+        assert!(p2p > 40.0, "p2p {p2p}");
+        assert!(seti < 15.0, "seti {seti}");
+        assert!(p2p > 3.0 * seti);
+    }
+
+    #[test]
+    fn errors_on_empty_population() {
+        let trace = Trace::new();
+        let config = UtilityExperimentConfig::default();
+        let gens: [&dyn HostGenerator; 0] = [];
+        assert!(run_utility_experiment(&trace, &gens, &config).is_err());
+    }
+
+    #[test]
+    fn series_statistics() {
+        let s = ModelSeries {
+            model: "x",
+            diffs: vec![vec![
+                UtilityDiff {
+                    date: SimDate::from_year(2010.0),
+                    model_utility: 110.0,
+                    actual_utility: 100.0,
+                    pct_diff: 10.0,
+                },
+                UtilityDiff {
+                    date: SimDate::from_year(2010.1),
+                    model_utility: 80.0,
+                    actual_utility: 100.0,
+                    pct_diff: 20.0,
+                },
+            ]],
+        };
+        assert_eq!(s.range_of(0), (10.0, 20.0));
+        assert_eq!(s.mean_of(0), 15.0);
+    }
+}

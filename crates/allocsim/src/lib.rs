@@ -1,0 +1,32 @@
+//! # resmodel-allocsim
+//!
+//! The paper's Section VII simulation-based validation: a Cobb–Douglas
+//! utility model of Internet-distributed applications, a greedy
+//! round-robin resource allocator, and the Fig 15 experiment comparing
+//! how well each host model predicts the utility an application would
+//! extract from the real host population.
+//!
+//! ```
+//! use resmodel_allocsim::{AppProfile, utility};
+//! use resmodel_core::GeneratedHost;
+//!
+//! let host = GeneratedHost {
+//!     cores: 4,
+//!     memory_mb: 4096.0,
+//!     whetstone_mips: 2000.0,
+//!     dhrystone_mips: 4000.0,
+//!     avail_disk_gb: 100.0,
+//! };
+//! let u = utility(&AppProfile::SETI_AT_HOME, &host);
+//! assert!(u > 0.0);
+//! ```
+
+pub mod allocator;
+pub mod experiment;
+pub mod policy;
+pub mod profile;
+
+pub use allocator::{allocate_round_robin, Allocation};
+pub use experiment::{run_utility_experiment, ModelSeries, UtilityExperimentConfig};
+pub use policy::{allocate, Policy};
+pub use profile::{utility, AppProfile};

@@ -1,0 +1,181 @@
+//! Alternative allocation policies, for sensitivity analysis of the
+//! Fig 15 experiment (the paper fixes greedy round-robin; these let a
+//! user check that model rankings are not an artifact of that choice).
+
+use crate::allocator::{allocate_round_robin, Allocation};
+use crate::profile::{utility, AppProfile};
+use rand::seq::SliceRandom;
+use resmodel_core::GeneratedHost;
+use resmodel_stats::rng::seeded;
+use serde::Serialize;
+
+/// An allocation policy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub enum Policy {
+    /// The paper's greedy round-robin: apps take turns picking their
+    /// best remaining host.
+    GreedyRoundRobin,
+    /// Hosts are shuffled (by the given seed) and dealt to apps in
+    /// turn — the no-information baseline.
+    RandomRoundRobin {
+        /// Shuffle seed.
+        seed: u64,
+    },
+    /// Every host goes to the application that values it most relative
+    /// to that application's average valuation (normalisation prevents
+    /// the large-magnitude P2P utilities from absorbing everything).
+    /// No fairness constraint: counts per app may be very uneven.
+    BestRelativeFit,
+}
+
+impl Policy {
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Policy::GreedyRoundRobin => "greedy-rr",
+            Policy::RandomRoundRobin { .. } => "random-rr",
+            Policy::BestRelativeFit => "best-fit",
+        }
+    }
+}
+
+/// Allocate `hosts` to `apps` under `policy`.
+pub fn allocate(policy: Policy, apps: &[AppProfile], hosts: &[GeneratedHost]) -> Allocation {
+    match policy {
+        Policy::GreedyRoundRobin => allocate_round_robin(apps, hosts),
+        Policy::RandomRoundRobin { seed } => {
+            let mut order: Vec<usize> = (0..hosts.len()).collect();
+            let mut rng = seeded(seed);
+            order.shuffle(&mut rng);
+            let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); apps.len()];
+            let mut total_utility = vec![0.0; apps.len()];
+            for (k, &idx) in order.iter().enumerate() {
+                let a = k % apps.len();
+                assigned[a].push(idx);
+                total_utility[a] += utility(&apps[a], &hosts[idx]);
+            }
+            Allocation {
+                apps: apps.iter().map(|p| p.name).collect(),
+                assigned,
+                total_utility,
+            }
+        }
+        Policy::BestRelativeFit => {
+            // Per-app mean valuation as the normaliser.
+            let means: Vec<f64> = apps
+                .iter()
+                .map(|app| {
+                    let total: f64 = hosts.iter().map(|h| utility(app, h)).sum();
+                    (total / hosts.len().max(1) as f64).max(f64::MIN_POSITIVE)
+                })
+                .collect();
+            let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); apps.len()];
+            let mut total_utility = vec![0.0; apps.len()];
+            for (idx, h) in hosts.iter().enumerate() {
+                let best = (0..apps.len())
+                    .max_by(|&a, &b| {
+                        let ra = utility(&apps[a], h) / means[a];
+                        let rb = utility(&apps[b], h) / means[b];
+                        ra.partial_cmp(&rb).expect("finite utilities")
+                    })
+                    .expect("at least one app");
+                assigned[best].push(idx);
+                total_utility[best] += utility(&apps[best], h);
+            }
+            Allocation {
+                apps: apps.iter().map(|p| p.name).collect(),
+                assigned,
+                total_utility,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_core::{HostGenerator, HostModel};
+    use resmodel_trace::SimDate;
+
+    fn hosts(n: usize) -> Vec<GeneratedHost> {
+        HostModel::paper().generate_population(SimDate::from_year(2010.0), n, 3)
+    }
+
+    #[test]
+    fn all_policies_partition_hosts() {
+        let hs = hosts(101);
+        for policy in [
+            Policy::GreedyRoundRobin,
+            Policy::RandomRoundRobin { seed: 5 },
+            Policy::BestRelativeFit,
+        ] {
+            let alloc = allocate(policy, &AppProfile::ALL, &hs);
+            assert_eq!(alloc.assigned_count(), hs.len(), "{}", policy.label());
+            let mut seen = vec![false; hs.len()];
+            for app_hosts in &alloc.assigned {
+                for &i in app_hosts {
+                    assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_dominates_random_per_app() {
+        let hs = hosts(2000);
+        let greedy = allocate(Policy::GreedyRoundRobin, &AppProfile::ALL, &hs);
+        let random = allocate(Policy::RandomRoundRobin { seed: 7 }, &AppProfile::ALL, &hs);
+        // Greedy must extract at least as much utility as random
+        // dealing for every application (generous tolerance: the last
+        // apps in the round-robin order pick from a depleted pool).
+        for a in 0..AppProfile::ALL.len() {
+            assert!(
+                greedy.utility_of(a) > 0.95 * random.utility_of(a),
+                "app {a}: greedy {} vs random {}",
+                greedy.utility_of(a),
+                random.utility_of(a)
+            );
+        }
+        // And strictly more in total.
+        let g: f64 = (0..4).map(|a| greedy.utility_of(a)).sum();
+        let r: f64 = (0..4).map(|a| random.utility_of(a)).sum();
+        assert!(g > r, "greedy total {g} vs random {r}");
+    }
+
+    #[test]
+    fn best_fit_routes_disk_hosts_to_p2p() {
+        let mut hs = hosts(400);
+        // One extreme disk host.
+        hs.push(GeneratedHost {
+            cores: 1,
+            memory_mb: 512.0,
+            whetstone_mips: 500.0,
+            dhrystone_mips: 1000.0,
+            avail_disk_gb: 50_000.0,
+        });
+        let alloc = allocate(Policy::BestRelativeFit, &AppProfile::ALL, &hs);
+        let p2p = alloc.apps.iter().position(|&n| n == "P2P").unwrap();
+        assert!(
+            alloc.assigned[p2p].contains(&(hs.len() - 1)),
+            "best-fit should route the disk monster to P2P"
+        );
+    }
+
+    #[test]
+    fn random_policy_is_seed_deterministic() {
+        let hs = hosts(100);
+        let a = allocate(Policy::RandomRoundRobin { seed: 9 }, &AppProfile::ALL, &hs);
+        let b = allocate(Policy::RandomRoundRobin { seed: 9 }, &AppProfile::ALL, &hs);
+        assert_eq!(a.assigned, b.assigned);
+        let c = allocate(Policy::RandomRoundRobin { seed: 10 }, &AppProfile::ALL, &hs);
+        assert_ne!(a.assigned, c.assigned);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Policy::GreedyRoundRobin.label(), "greedy-rr");
+        assert_eq!(Policy::RandomRoundRobin { seed: 1 }.label(), "random-rr");
+        assert_eq!(Policy::BestRelativeFit.label(), "best-fit");
+    }
+}

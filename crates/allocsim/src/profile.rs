@@ -1,0 +1,166 @@
+//! Application utility profiles (paper Table IX) and the Cobb–Douglas
+//! utility function (Equation 1).
+
+use resmodel_core::GeneratedHost;
+use serde::Serialize;
+
+/// Cobb–Douglas returns-to-scale exponents of one application class
+/// over the five host resources (paper Table IX).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: &'static str,
+    /// Exponent α on core count.
+    pub cores: f64,
+    /// Exponent β on memory.
+    pub memory: f64,
+    /// Exponent γ on Dhrystone (integer) speed.
+    pub dhrystone: f64,
+    /// Exponent δ on Whetstone (floating-point) speed.
+    pub whetstone: f64,
+    /// Exponent ε on available disk.
+    pub disk: f64,
+}
+
+impl AppProfile {
+    /// Radio-signal analysis: fast floating point, little memory/disk,
+    /// single-core.
+    pub const SETI_AT_HOME: AppProfile = AppProfile {
+        name: "SETI@home",
+        cores: 0.05,
+        memory: 0.1,
+        dhrystone: 0.2,
+        whetstone: 0.4,
+        disk: 0.05,
+    };
+
+    /// Parallel molecular dynamics: multicore, medium memory,
+    /// little disk.
+    pub const FOLDING_AT_HOME: AppProfile = AppProfile {
+        name: "Folding@home",
+        cores: 0.4,
+        memory: 0.05,
+        dhrystone: 0.2,
+        whetstone: 0.3,
+        disk: 0.05,
+    };
+
+    /// Climate prediction: a mix of all resources, emphasis on floating
+    /// point.
+    pub const CLIMATE_PREDICTION: AppProfile = AppProfile {
+        name: "Climate Prediction",
+        cores: 0.2,
+        memory: 0.2,
+        dhrystone: 0.1,
+        whetstone: 0.35,
+        disk: 0.15,
+    };
+
+    /// Distributed file sharing: disk-dominated.
+    pub const P2P: AppProfile = AppProfile {
+        name: "P2P",
+        cores: 0.05,
+        memory: 0.1,
+        dhrystone: 0.1,
+        whetstone: 0.05,
+        disk: 0.7,
+    };
+
+    /// The paper's four sample applications, in Table IX order.
+    pub const ALL: [AppProfile; 4] = [
+        AppProfile::SETI_AT_HOME,
+        AppProfile::FOLDING_AT_HOME,
+        AppProfile::CLIMATE_PREDICTION,
+        AppProfile::P2P,
+    ];
+}
+
+/// Cobb–Douglas utility of running `app` on `host` (Equation 1):
+/// `Y = C^α · M^β · I^γ · F^δ · D^ε`.
+///
+/// Resources are used in their native units (cores, MB, MIPS, MIPS,
+/// GB); values are floored at tiny positives so a zero-disk host yields
+/// near-zero rather than NaN utility.
+pub fn utility(app: &AppProfile, host: &GeneratedHost) -> f64 {
+    let c = (host.cores as f64).max(1e-9);
+    let m = host.memory_mb.max(1e-9);
+    let i = host.dhrystone_mips.max(1e-9);
+    let f = host.whetstone_mips.max(1e-9);
+    let d = host.avail_disk_gb.max(1e-9);
+    c.powf(app.cores)
+        * m.powf(app.memory)
+        * i.powf(app.dhrystone)
+        * f.powf(app.whetstone)
+        * d.powf(app.disk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(cores: u32, mem: f64, dhry: f64, whet: f64, disk: f64) -> GeneratedHost {
+        GeneratedHost {
+            cores,
+            memory_mb: mem,
+            whetstone_mips: whet,
+            dhrystone_mips: dhry,
+            avail_disk_gb: disk,
+        }
+    }
+
+    #[test]
+    fn table_ix_constants() {
+        assert_eq!(AppProfile::ALL.len(), 4);
+        let seti = AppProfile::SETI_AT_HOME;
+        assert_eq!(
+            (seti.cores, seti.memory, seti.dhrystone, seti.whetstone, seti.disk),
+            (0.05, 0.1, 0.2, 0.4, 0.05)
+        );
+        let p2p = AppProfile::P2P;
+        assert_eq!(p2p.disk, 0.7);
+    }
+
+    #[test]
+    fn utility_monotone_in_each_resource() {
+        let base = host(2, 2048.0, 3000.0, 1500.0, 80.0);
+        for app in AppProfile::ALL {
+            let u0 = utility(&app, &base);
+            assert!(utility(&app, &host(4, 2048.0, 3000.0, 1500.0, 80.0)) > u0);
+            assert!(utility(&app, &host(2, 4096.0, 3000.0, 1500.0, 80.0)) > u0);
+            assert!(utility(&app, &host(2, 2048.0, 6000.0, 1500.0, 80.0)) > u0);
+            assert!(utility(&app, &host(2, 2048.0, 3000.0, 3000.0, 80.0)) > u0);
+            assert!(utility(&app, &host(2, 2048.0, 3000.0, 1500.0, 160.0)) > u0);
+        }
+    }
+
+    #[test]
+    fn exponents_weight_preferences() {
+        let big_disk = host(1, 1024.0, 2000.0, 1000.0, 1000.0);
+        let fast_cpu = host(1, 1024.0, 8000.0, 4000.0, 10.0);
+        // P2P prefers the disk box, SETI prefers the fast box.
+        assert!(
+            utility(&AppProfile::P2P, &big_disk) > utility(&AppProfile::P2P, &fast_cpu)
+        );
+        assert!(
+            utility(&AppProfile::SETI_AT_HOME, &fast_cpu)
+                > utility(&AppProfile::SETI_AT_HOME, &big_disk)
+        );
+    }
+
+    #[test]
+    fn doubling_disk_scales_p2p_by_2_to_eps() {
+        let a = host(2, 2048.0, 3000.0, 1500.0, 50.0);
+        let b = host(2, 2048.0, 3000.0, 1500.0, 100.0);
+        let ratio = utility(&AppProfile::P2P, &b) / utility(&AppProfile::P2P, &a);
+        assert!((ratio - 2f64.powf(0.7)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_host_yields_finite_utility() {
+        let zero = host(0, 0.0, 0.0, 0.0, 0.0);
+        for app in AppProfile::ALL {
+            let u = utility(&app, &zero);
+            assert!(u.is_finite() && u >= 0.0);
+        }
+    }
+}

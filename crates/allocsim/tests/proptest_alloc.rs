@@ -1,0 +1,100 @@
+//! Property-based tests of the allocation simulator: partition
+//! invariants and utility algebra under arbitrary host populations.
+
+use proptest::prelude::*;
+use resmodel_allocsim::{allocate_round_robin, utility, AppProfile};
+use resmodel_core::GeneratedHost;
+
+fn host_strategy() -> impl Strategy<Value = GeneratedHost> {
+    (1u32..9, 128.0..16384.0f64, 100.0..5000.0f64, 200.0..10000.0f64, 0.1..2000.0f64).prop_map(
+        |(cores, mem, whet, dhry, disk)| GeneratedHost {
+            cores,
+            memory_mb: mem,
+            whetstone_mips: whet,
+            dhrystone_mips: dhry,
+            avail_disk_gb: disk,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn allocation_partitions_hosts(hosts in prop::collection::vec(host_strategy(), 0..80)) {
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        prop_assert_eq!(alloc.assigned_count(), hosts.len());
+        let mut seen = vec![false; hosts.len()];
+        for app_hosts in &alloc.assigned {
+            for &i in app_hosts {
+                prop_assert!(!seen[i]);
+                seen[i] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+        // Round robin never leaves one app more than 1 host ahead.
+        let counts: Vec<usize> = alloc.assigned.iter().map(|a| a.len()).collect();
+        let max = counts.iter().max().copied().unwrap_or(0);
+        let min = counts.iter().min().copied().unwrap_or(0);
+        prop_assert!(max - min <= 1, "unfair counts {counts:?}");
+    }
+
+    #[test]
+    fn total_utility_is_sum_of_assigned(hosts in prop::collection::vec(host_strategy(), 1..40)) {
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        for (i, app) in AppProfile::ALL.iter().enumerate() {
+            let expect: f64 = alloc.assigned[i].iter().map(|&idx| utility(app, &hosts[idx])).sum();
+            prop_assert!((alloc.utility_of(i) - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn utility_positive_and_finite(h in host_strategy()) {
+        for app in AppProfile::ALL {
+            let u = utility(&app, &h);
+            prop_assert!(u.is_finite() && u > 0.0);
+        }
+    }
+
+    #[test]
+    fn utility_scales_multiplicatively_in_disk(h in host_strategy(), k in 1.0..10.0f64) {
+        let mut scaled = h;
+        scaled.avail_disk_gb *= k;
+        for app in AppProfile::ALL {
+            let ratio = utility(&app, &scaled) / utility(&app, &h);
+            prop_assert!((ratio - k.powf(app.disk)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn dominant_host_dominates_utility(h in host_strategy()) {
+        let mut better = h;
+        better.cores = (h.cores * 2).min(64);
+        better.memory_mb *= 2.0;
+        better.whetstone_mips *= 2.0;
+        better.dhrystone_mips *= 2.0;
+        better.avail_disk_gb *= 2.0;
+        for app in AppProfile::ALL {
+            prop_assert!(utility(&app, &better) > utility(&app, &h));
+        }
+    }
+
+    #[test]
+    fn first_pick_is_argmax(hosts in prop::collection::vec(host_strategy(), 4..40)) {
+        // The first application's first pick must be its best host.
+        let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
+        let first_app = &AppProfile::ALL[0];
+        let best = (0..hosts.len())
+            .max_by(|&a, &b| {
+                utility(first_app, &hosts[a])
+                    .partial_cmp(&utility(first_app, &hosts[b]))
+                    .unwrap()
+            })
+            .unwrap();
+        let first_pick = alloc.assigned[0][0];
+        prop_assert!(
+            (utility(first_app, &hosts[first_pick]) - utility(first_app, &hosts[best])).abs()
+                < 1e-12
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Fitting availability-interval distributions from measured data,
+//! using the paper's KS methodology (Section V-F) on ON/OFF durations.
+
+use rand::Rng;
+use resmodel_stats::ks::{select_family, FamilyScore, SubsampleConfig};
+use resmodel_stats::{DistributionFamily, StatsError};
+
+/// Rank the seven candidate families for a set of measured interval
+/// durations (hours), exactly as the paper ranks benchmark and disk
+/// distributions.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input.
+pub fn fit_interval_family(
+    durations_hours: &[f64],
+    config: SubsampleConfig,
+    rng: &mut dyn Rng,
+) -> Result<Vec<FamilyScore>, StatsError> {
+    select_family(durations_hours, &DistributionFamily::ALL, config, rng)
+}
+
+/// Extract ON durations (hours) from a schedule.
+pub fn on_durations(schedule: &crate::Schedule) -> Vec<f64> {
+    schedule.intervals().iter().map(|(a, b)| b - a).collect()
+}
+
+/// Extract OFF durations (hours) from a schedule (gaps between ON
+/// intervals; leading/trailing gaps are excluded since they are
+/// censored by the horizon).
+pub fn off_durations(schedule: &crate::Schedule) -> Vec<f64> {
+    schedule
+        .intervals()
+        .windows(2)
+        .map(|w| w[1].0 - w[0].1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{AvailabilityModel, HostClass};
+    use resmodel_stats::rng::seeded;
+
+    #[test]
+    fn durations_extraction() {
+        let s = crate::Schedule::new(vec![(0.0, 10.0), (20.0, 25.0), (40.0, 41.0)], 100.0)
+            .unwrap();
+        assert_eq!(on_durations(&s), vec![10.0, 5.0, 1.0]);
+        assert_eq!(off_durations(&s), vec![10.0, 15.0]);
+    }
+
+    #[test]
+    fn weibull_recovered_for_on_durations() {
+        // Pool many Daily-class schedules and let the KS selection find
+        // the generating family of the ON durations.
+        let m = AvailabilityModel::default_volunteer_mix();
+        let p = *m.class(HostClass::Daily).unwrap();
+        let mut rng = seeded(12);
+        let mut ons = Vec::new();
+        while ons.len() < 3000 {
+            let s = m.schedule_for(&p, 24.0 * 200.0, &mut rng);
+            // Drop the final (horizon-censored) interval.
+            let durs = on_durations(&s);
+            ons.extend(durs.iter().take(durs.len().saturating_sub(1)));
+        }
+        let ranked =
+            fit_interval_family(&ons, SubsampleConfig::default(), &mut rng).unwrap();
+        // Weibull with shape 1.6 — gamma is a close cousin, accept both
+        // at the top, but weibull must rank in the top two.
+        let top2: Vec<_> = ranked.iter().take(2).map(|s| s.family).collect();
+        assert!(
+            top2.contains(&DistributionFamily::Weibull),
+            "expected weibull in top two, got {top2:?}"
+        );
+    }
+
+    #[test]
+    fn lognormal_recovered_for_off_durations() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let p = *m.class(HostClass::Daily).unwrap();
+        let mut rng = seeded(13);
+        let mut offs = Vec::new();
+        while offs.len() < 3000 {
+            let s = m.schedule_for(&p, 24.0 * 200.0, &mut rng);
+            offs.extend(off_durations(&s));
+        }
+        let ranked =
+            fit_interval_family(&offs, SubsampleConfig::default(), &mut rng).unwrap();
+        assert_eq!(ranked[0].family, DistributionFamily::LogNormal);
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let mut rng = seeded(1);
+        assert!(fit_interval_family(&[], SubsampleConfig::default(), &mut rng).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! # resmodel-avail
+//!
+//! Host **availability** extension to the resource model — the first
+//! item of future work the paper proposes ("the model of resources
+//! could be tied to models of network topology and traffic, or models
+//! of host availability"), built on the empirical findings of the
+//! paper's companion studies (Javadi, Kondo, Vincent & Anderson,
+//! MASCOTS'09; Nurmi, Brevik & Wolski).
+//!
+//! A volunteer host is not continuously usable: the client runs in
+//! ON/OFF sessions. This crate models per-host availability as an
+//! **alternating renewal process** — Weibull ON durations (heavy-tailed
+//! with decreasing hazard, like host lifetimes) and log-normal OFF
+//! durations — drawn from a small mixture of behaviour classes
+//! (always-on boxes, daily-use desktops, sporadic laptops). It
+//! provides:
+//!
+//! * [`AvailabilityModel`] — class mixture + per-class interval laws;
+//! * [`Schedule`] — a sampled ON/OFF timeline with queries
+//!   (availability fraction, longest ON interval, point availability);
+//! * [`completion_time`] — how long a workload takes when progress is
+//!   only made while ON, with or without checkpointing (the classic
+//!   volunteer-computing analysis);
+//! * [`fit`](fit::fit_interval_family) — KS-based family selection on
+//!   measured interval data, reusing the paper's methodology;
+//! * [`effective_utility`] — availability-discounted Cobb–Douglas
+//!   utility, linking this extension back to the Section VII
+//!   simulation.
+//!
+//! ```
+//! use resmodel_avail::{AvailabilityModel, HostClass};
+//!
+//! let model = AvailabilityModel::default_volunteer_mix();
+//! let mut rng = resmodel_stats::rng::seeded(9);
+//! let (class, schedule) = model.sample_schedule(24.0 * 30.0, &mut rng); // 30 days
+//! assert!(schedule.availability_fraction() > 0.0);
+//! assert!(schedule.availability_fraction() <= 1.0);
+//! let _ = matches!(class, HostClass::AlwaysOn | HostClass::Daily | HostClass::Sporadic);
+//! ```
+
+pub mod fit;
+pub mod model;
+pub mod schedule;
+pub mod utility;
+
+pub use model::{AvailabilityModel, ClassParams, HostClass};
+pub use schedule::{completion_time, Schedule};
+pub use utility::effective_utility;

@@ -1,0 +1,318 @@
+//! The availability model: a mixture of host behaviour classes, each an
+//! alternating renewal process with Weibull ON and log-normal OFF
+//! interval durations.
+
+use crate::schedule::Schedule;
+use rand::{Rng, RngExt};
+use resmodel_stats::distributions::{LogNormal, Weibull};
+use resmodel_stats::Distribution;
+use serde::{Deserialize, Serialize};
+
+/// Host availability behaviour class (the MASCOTS'09 companion study
+/// found volunteer hosts cluster into a handful of such regimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum HostClass {
+    /// Machines that are almost always on (office/server boxes).
+    AlwaysOn,
+    /// Daily-use desktops: multi-hour sessions with overnight gaps.
+    Daily,
+    /// Sporadically used machines: short, infrequent sessions.
+    Sporadic,
+}
+
+impl HostClass {
+    /// All classes.
+    pub const ALL: [HostClass; 3] = [HostClass::AlwaysOn, HostClass::Daily, HostClass::Sporadic];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            HostClass::AlwaysOn => "always-on",
+            HostClass::Daily => "daily",
+            HostClass::Sporadic => "sporadic",
+        }
+    }
+}
+
+impl std::fmt::Display for HostClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Interval laws of one behaviour class.
+///
+/// ON durations are Weibull (decreasing hazard: the longer a session
+/// has run, the longer it is likely to continue — same phenomenon the
+/// paper found for whole-host lifetimes); OFF durations are log-normal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassParams {
+    /// Mixture weight (relative).
+    pub weight: f64,
+    /// Weibull shape of ON durations.
+    pub on_shape: f64,
+    /// Weibull scale of ON durations, hours.
+    pub on_scale_hours: f64,
+    /// Log-normal μ of OFF durations (of ln hours).
+    pub off_mu: f64,
+    /// Log-normal σ of OFF durations.
+    pub off_sigma: f64,
+}
+
+impl ClassParams {
+    /// Expected ON duration, hours.
+    pub fn mean_on_hours(&self) -> f64 {
+        Weibull::new(self.on_shape, self.on_scale_hours)
+            .expect("validated parameters")
+            .mean()
+    }
+
+    /// Expected OFF duration, hours.
+    pub fn mean_off_hours(&self) -> f64 {
+        LogNormal::new(self.off_mu, self.off_sigma)
+            .expect("validated parameters")
+            .mean()
+    }
+
+    /// Long-run availability of this class (renewal-reward theorem:
+    /// `E[on] / (E[on] + E[off])`).
+    pub fn steady_state_availability(&self) -> f64 {
+        let on = self.mean_on_hours();
+        let off = self.mean_off_hours();
+        on / (on + off)
+    }
+}
+
+/// A mixture-of-classes availability model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilityModel {
+    classes: Vec<(HostClass, ClassParams)>,
+}
+
+impl AvailabilityModel {
+    /// Build from explicit class parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the list is empty, a weight is
+    /// non-positive, or any interval parameter is invalid.
+    pub fn new(classes: Vec<(HostClass, ClassParams)>) -> Result<Self, String> {
+        if classes.is_empty() {
+            return Err("availability model needs at least one class".into());
+        }
+        for (c, p) in &classes {
+            if !(p.weight > 0.0) {
+                return Err(format!("class {c}: weight must be > 0"));
+            }
+            Weibull::new(p.on_shape, p.on_scale_hours)
+                .map_err(|e| format!("class {c}: bad ON law: {e}"))?;
+            LogNormal::new(p.off_mu, p.off_sigma)
+                .map_err(|e| format!("class {c}: bad OFF law: {e}"))?;
+        }
+        Ok(Self { classes })
+    }
+
+    /// The default volunteer-pool mixture, calibrated to the companion
+    /// availability study's headline statistics: roughly a quarter of
+    /// hosts effectively always on, half daily-use desktops with ~40%
+    /// availability, and a quarter sporadic laptops below 20%; pool
+    /// average availability ≈ 0.5.
+    pub fn default_volunteer_mix() -> Self {
+        Self::new(vec![
+            (
+                HostClass::AlwaysOn,
+                ClassParams {
+                    weight: 0.25,
+                    on_shape: 0.9,
+                    on_scale_hours: 500.0,
+                    off_mu: 0.3, // ~1.6 h reboots
+                    off_sigma: 0.8,
+                },
+            ),
+            (
+                HostClass::Daily,
+                ClassParams {
+                    weight: 0.50,
+                    on_shape: 1.6,
+                    on_scale_hours: 9.0, // ~8 h sessions
+                    off_mu: 2.6,         // ~15 h overnight
+                    off_sigma: 0.35,
+                },
+            ),
+            (
+                HostClass::Sporadic,
+                ClassParams {
+                    weight: 0.25,
+                    on_shape: 0.7,
+                    on_scale_hours: 2.0,
+                    off_mu: 2.9, // ~20+ h gaps
+                    off_sigma: 0.9,
+                },
+            ),
+        ])
+        .expect("default mixture is valid")
+    }
+
+    /// The class parameter table.
+    pub fn classes(&self) -> &[(HostClass, ClassParams)] {
+        &self.classes
+    }
+
+    /// Parameters of one class, if present.
+    pub fn class(&self, class: HostClass) -> Option<&ClassParams> {
+        self.classes.iter().find(|(c, _)| *c == class).map(|(_, p)| p)
+    }
+
+    /// Pool-level steady-state availability (weight-averaged).
+    pub fn pool_availability(&self) -> f64 {
+        let total: f64 = self.classes.iter().map(|(_, p)| p.weight).sum();
+        self.classes
+            .iter()
+            .map(|(_, p)| p.weight * p.steady_state_availability())
+            .sum::<f64>()
+            / total
+    }
+
+    /// Sample a behaviour class.
+    pub fn sample_class(&self, rng: &mut dyn Rng) -> HostClass {
+        let total: f64 = self.classes.iter().map(|(_, p)| p.weight).sum();
+        let mut u = rng.random::<f64>() * total;
+        for (c, p) in &self.classes {
+            if u < p.weight {
+                return *c;
+            }
+            u -= p.weight;
+        }
+        self.classes.last().expect("non-empty").0
+    }
+
+    /// Sample a host's class and its ON/OFF schedule over
+    /// `horizon_hours`.
+    pub fn sample_schedule(&self, horizon_hours: f64, rng: &mut dyn Rng) -> (HostClass, Schedule) {
+        let class = self.sample_class(rng);
+        let p = self.class(class).expect("sampled class exists");
+        (class, self.schedule_for(p, horizon_hours, rng))
+    }
+
+    /// Sample a schedule from explicit class parameters.
+    pub fn schedule_for(
+        &self,
+        p: &ClassParams,
+        horizon_hours: f64,
+        rng: &mut dyn Rng,
+    ) -> Schedule {
+        let on = Weibull::new(p.on_shape, p.on_scale_hours).expect("validated");
+        let off = LogNormal::new(p.off_mu, p.off_sigma).expect("validated");
+        let mut intervals = Vec::new();
+        // Random phase: start OFF with probability 1 − availability.
+        let mut t = if rng.random::<f64>() < p.steady_state_availability() {
+            0.0
+        } else {
+            off.sample(rng).min(horizon_hours)
+        };
+        while t < horizon_hours {
+            let dur = on.sample(rng).max(1e-3);
+            let end = (t + dur).min(horizon_hours);
+            intervals.push((t, end));
+            t = end + off.sample(rng).max(1e-3);
+        }
+        Schedule::new(intervals, horizon_hours).expect("constructed intervals are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::rng::seeded;
+
+    #[test]
+    fn default_mix_is_valid() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        assert_eq!(m.classes().len(), 3);
+        let pool = m.pool_availability();
+        assert!(pool > 0.35 && pool < 0.65, "pool availability {pool}");
+    }
+
+    #[test]
+    fn class_availability_ordering() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let a = m.class(HostClass::AlwaysOn).unwrap().steady_state_availability();
+        let d = m.class(HostClass::Daily).unwrap().steady_state_availability();
+        let s = m.class(HostClass::Sporadic).unwrap().steady_state_availability();
+        assert!(a > 0.9, "always-on {a}");
+        assert!(d > 0.25 && d < 0.6, "daily {d}");
+        assert!(s < 0.2, "sporadic {s}");
+        assert!(a > d && d > s);
+    }
+
+    #[test]
+    fn validation_rejects_bad_params() {
+        assert!(AvailabilityModel::new(vec![]).is_err());
+        let bad_weight = ClassParams {
+            weight: 0.0,
+            on_shape: 1.0,
+            on_scale_hours: 1.0,
+            off_mu: 0.0,
+            off_sigma: 1.0,
+        };
+        assert!(AvailabilityModel::new(vec![(HostClass::Daily, bad_weight)]).is_err());
+        let bad_shape = ClassParams {
+            weight: 1.0,
+            on_shape: -1.0,
+            on_scale_hours: 1.0,
+            off_mu: 0.0,
+            off_sigma: 1.0,
+        };
+        assert!(AvailabilityModel::new(vec![(HostClass::Daily, bad_shape)]).is_err());
+    }
+
+    #[test]
+    fn sampled_schedules_match_steady_state() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let p = *m.class(HostClass::Daily).unwrap();
+        let mut rng = seeded(4);
+        let horizon = 24.0 * 365.0;
+        let mut fracs = Vec::new();
+        for _ in 0..200 {
+            let s = m.schedule_for(&p, horizon, &mut rng);
+            fracs.push(s.availability_fraction());
+        }
+        let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
+        let expect = p.steady_state_availability();
+        assert!((mean - expect).abs() < 0.05, "mean {mean} vs steady {expect}");
+    }
+
+    #[test]
+    fn class_mixture_sampling_respects_weights() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let mut rng = seeded(5);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..4000 {
+            *counts.entry(m.sample_class(&mut rng)).or_insert(0usize) += 1;
+        }
+        let frac = |c: HostClass| counts[&c] as f64 / 4000.0;
+        assert!((frac(HostClass::AlwaysOn) - 0.25).abs() < 0.04);
+        assert!((frac(HostClass::Daily) - 0.50).abs() < 0.04);
+        assert!((frac(HostClass::Sporadic) - 0.25).abs() < 0.04);
+    }
+
+    #[test]
+    fn schedule_horizon_respected() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let mut rng = seeded(6);
+        for _ in 0..50 {
+            let (_, s) = m.sample_schedule(100.0, &mut rng);
+            for &(a, b) in s.intervals() {
+                assert!(a >= 0.0 && b <= 100.0 && a <= b);
+            }
+        }
+    }
+
+    #[test]
+    fn class_names_unique() {
+        let names: std::collections::HashSet<_> =
+            HostClass::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 3);
+        assert_eq!(HostClass::Daily.to_string(), "daily");
+    }
+}

@@ -1,0 +1,192 @@
+//! ON/OFF schedules and workload-completion analysis.
+
+use serde::{Deserialize, Serialize};
+
+/// A host's ON intervals over a finite horizon (hours), sorted and
+/// non-overlapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schedule {
+    intervals: Vec<(f64, f64)>,
+    horizon_hours: f64,
+}
+
+impl Schedule {
+    /// Build a schedule from ON intervals.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when intervals are out of order, overlapping,
+    /// inverted, or outside `[0, horizon]`.
+    pub fn new(intervals: Vec<(f64, f64)>, horizon_hours: f64) -> Result<Self, String> {
+        if !(horizon_hours > 0.0) {
+            return Err("horizon must be positive".into());
+        }
+        let mut prev_end = 0.0;
+        for &(a, b) in &intervals {
+            if a < prev_end - 1e-12 {
+                return Err(format!("interval ({a}, {b}) overlaps or is out of order"));
+            }
+            if b < a {
+                return Err(format!("interval ({a}, {b}) is inverted"));
+            }
+            if a < 0.0 || b > horizon_hours + 1e-9 {
+                return Err(format!("interval ({a}, {b}) outside [0, {horizon_hours}]"));
+            }
+            prev_end = b;
+        }
+        Ok(Self {
+            intervals,
+            horizon_hours,
+        })
+    }
+
+    /// The ON intervals.
+    pub fn intervals(&self) -> &[(f64, f64)] {
+        &self.intervals
+    }
+
+    /// The horizon, hours.
+    pub fn horizon_hours(&self) -> f64 {
+        self.horizon_hours
+    }
+
+    /// Total ON time, hours.
+    pub fn total_on_hours(&self) -> f64 {
+        self.intervals.iter().map(|(a, b)| b - a).sum()
+    }
+
+    /// Fraction of the horizon the host is available.
+    pub fn availability_fraction(&self) -> f64 {
+        self.total_on_hours() / self.horizon_hours
+    }
+
+    /// Length of the longest uninterrupted ON interval, hours.
+    pub fn longest_on_hours(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|(a, b)| b - a)
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether the host is ON at time `t` (hours).
+    pub fn available_at(&self, t: f64) -> bool {
+        self.intervals.iter().any(|&(a, b)| a <= t && t < b)
+    }
+
+    /// Number of ON sessions.
+    pub fn session_count(&self) -> usize {
+        self.intervals.len()
+    }
+}
+
+/// Wall-clock time (hours) to finish `work_hours` of computation on a
+/// host with this schedule, starting at time 0.
+///
+/// * With `checkpointing`, progress accumulates across sessions; the
+///   task finishes once total ON time reaches `work_hours`.
+/// * Without it, the task must fit inside a single ON interval — any
+///   interruption restarts it from scratch (classic volunteer-computing
+///   failure model).
+///
+/// Returns `None` when the work cannot complete within the horizon.
+pub fn completion_time(schedule: &Schedule, work_hours: f64, checkpointing: bool) -> Option<f64> {
+    assert!(work_hours >= 0.0, "work must be non-negative");
+    if work_hours == 0.0 {
+        return Some(0.0);
+    }
+    if checkpointing {
+        let mut done = 0.0;
+        for &(a, b) in schedule.intervals() {
+            let len = b - a;
+            if done + len >= work_hours {
+                return Some(a + (work_hours - done));
+            }
+            done += len;
+        }
+        None
+    } else {
+        schedule
+            .intervals()
+            .iter()
+            .find(|&&(a, b)| b - a >= work_hours)
+            .map(|&(a, _)| a + work_hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched(intervals: &[(f64, f64)]) -> Schedule {
+        Schedule::new(intervals.to_vec(), 100.0).unwrap()
+    }
+
+    #[test]
+    fn validation() {
+        assert!(Schedule::new(vec![(0.0, 10.0)], 0.0).is_err());
+        assert!(Schedule::new(vec![(5.0, 3.0)], 100.0).is_err());
+        assert!(Schedule::new(vec![(0.0, 10.0), (5.0, 20.0)], 100.0).is_err());
+        assert!(Schedule::new(vec![(0.0, 200.0)], 100.0).is_err());
+        assert!(Schedule::new(vec![], 100.0).is_ok());
+    }
+
+    #[test]
+    fn basic_statistics() {
+        let s = sched(&[(0.0, 10.0), (20.0, 25.0), (50.0, 80.0)]);
+        assert_eq!(s.total_on_hours(), 45.0);
+        assert_eq!(s.availability_fraction(), 0.45);
+        assert_eq!(s.longest_on_hours(), 30.0);
+        assert_eq!(s.session_count(), 3);
+    }
+
+    #[test]
+    fn point_availability() {
+        let s = sched(&[(10.0, 20.0)]);
+        assert!(!s.available_at(5.0));
+        assert!(s.available_at(10.0));
+        assert!(s.available_at(19.999));
+        assert!(!s.available_at(20.0));
+    }
+
+    #[test]
+    fn completion_with_checkpointing_spans_sessions() {
+        let s = sched(&[(0.0, 10.0), (20.0, 25.0), (50.0, 80.0)]);
+        // 12h of work: 10h in session 1, 2h into session 2 → t = 22.
+        assert_eq!(completion_time(&s, 12.0, true), Some(22.0));
+        // 45h of work uses every ON hour: finishes exactly at 80.
+        assert_eq!(completion_time(&s, 45.0, true), Some(80.0));
+        // More than the total ON time cannot finish.
+        assert_eq!(completion_time(&s, 45.1, true), None);
+    }
+
+    #[test]
+    fn completion_without_checkpointing_needs_one_session() {
+        let s = sched(&[(0.0, 10.0), (20.0, 25.0), (50.0, 80.0)]);
+        // 12h of work does not fit in the first (10h) session; it fits
+        // the 30h session starting at 50.
+        assert_eq!(completion_time(&s, 12.0, false), Some(62.0));
+        assert_eq!(completion_time(&s, 31.0, false), None);
+        // 8h fits immediately.
+        assert_eq!(completion_time(&s, 8.0, false), Some(8.0));
+    }
+
+    #[test]
+    fn checkpointing_never_slower() {
+        let s = sched(&[(0.0, 4.0), (10.0, 15.0), (30.0, 60.0)]);
+        for &w in &[1.0, 4.5, 10.0, 20.0] {
+            match (completion_time(&s, w, true), completion_time(&s, w, false)) {
+                (Some(c), Some(n)) => assert!(c <= n, "work {w}: checkpoint {c} > none {n}"),
+                (Some(_), None) => {}
+                (None, Some(_)) => panic!("checkpointing must dominate"),
+                (None, None) => {}
+            }
+        }
+    }
+
+    #[test]
+    fn zero_work_is_instant() {
+        let s = sched(&[]);
+        assert_eq!(completion_time(&s, 0.0, true), Some(0.0));
+        assert_eq!(completion_time(&s, 1.0, true), None);
+    }
+}

@@ -1,0 +1,73 @@
+//! Availability-aware utility: tying the availability extension back
+//! to the paper's Section VII simulation.
+
+use crate::schedule::Schedule;
+use resmodel_allocsim::{utility, AppProfile};
+use resmodel_core::GeneratedHost;
+
+/// Availability-discounted Cobb–Douglas utility.
+///
+/// A throughput-oriented application only benefits from a host while it
+/// is ON, so its effective utility is the raw utility scaled by the
+/// host's availability fraction. Applications that cannot checkpoint
+/// additionally need sessions long enough for their work unit; pass
+/// `min_session_hours` to zero out hosts whose longest session is too
+/// short.
+pub fn effective_utility(
+    app: &AppProfile,
+    host: &GeneratedHost,
+    schedule: &Schedule,
+    min_session_hours: Option<f64>,
+) -> f64 {
+    if let Some(min) = min_session_hours {
+        if schedule.longest_on_hours() < min {
+            return 0.0;
+        }
+    }
+    utility(app, host) * schedule.availability_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::AvailabilityModel;
+    use resmodel_stats::rng::seeded;
+
+    fn host() -> GeneratedHost {
+        GeneratedHost {
+            cores: 2,
+            memory_mb: 2048.0,
+            whetstone_mips: 1500.0,
+            dhrystone_mips: 3000.0,
+            avail_disk_gb: 80.0,
+        }
+    }
+
+    #[test]
+    fn discounts_by_availability() {
+        let s = Schedule::new(vec![(0.0, 50.0)], 100.0).unwrap();
+        let raw = utility(&AppProfile::SETI_AT_HOME, &host());
+        let eff = effective_utility(&AppProfile::SETI_AT_HOME, &host(), &s, None);
+        assert!((eff - raw * 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_session_gates_utility() {
+        let s = Schedule::new(vec![(0.0, 3.0), (10.0, 14.0)], 100.0).unwrap();
+        let eff_ok = effective_utility(&AppProfile::P2P, &host(), &s, Some(4.0));
+        assert!(eff_ok > 0.0); // longest session is 4 h
+        let eff_no = effective_utility(&AppProfile::P2P, &host(), &s, Some(4.1));
+        assert_eq!(eff_no, 0.0);
+    }
+
+    #[test]
+    fn always_on_hosts_keep_full_utility() {
+        let m = AvailabilityModel::default_volunteer_mix();
+        let p = *m.class(crate::HostClass::AlwaysOn).unwrap();
+        let mut rng = seeded(3);
+        let s = m.schedule_for(&p, 24.0 * 30.0, &mut rng);
+        let raw = utility(&AppProfile::CLIMATE_PREDICTION, &host());
+        let eff = effective_utility(&AppProfile::CLIMATE_PREDICTION, &host(), &s, None);
+        assert!(eff > 0.85 * raw, "always-on host lost too much: {eff} vs {raw}");
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests of the availability extension: schedule
+//! invariants and completion-time algebra under random class
+//! parameters.
+
+use proptest::prelude::*;
+use resmodel_avail::model::ClassParams;
+use resmodel_avail::schedule::completion_time;
+use resmodel_avail::{AvailabilityModel, Schedule};
+use resmodel_stats::rng::seeded;
+
+fn params_strategy() -> impl Strategy<Value = ClassParams> {
+    (0.3..3.0f64, 0.5..200.0f64, -1.0..3.5f64, 0.1..1.2f64).prop_map(
+        |(on_shape, on_scale, off_mu, off_sigma)| ClassParams {
+            weight: 1.0,
+            on_shape,
+            on_scale_hours: on_scale,
+            off_mu,
+            off_sigma,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn schedules_are_well_formed(p in params_strategy(), seed in 0u64..500) {
+        let model = AvailabilityModel::new(vec![(resmodel_avail::HostClass::Daily, p)]).unwrap();
+        let mut rng = seeded(seed);
+        let horizon = 24.0 * 60.0;
+        let s = model.schedule_for(&p, horizon, &mut rng);
+        let mut prev_end = 0.0;
+        for &(a, b) in s.intervals() {
+            prop_assert!(a >= prev_end - 1e-9, "intervals must not overlap");
+            prop_assert!(b >= a);
+            prop_assert!(b <= horizon + 1e-9);
+            prev_end = b;
+        }
+        let f = s.availability_fraction();
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+        prop_assert!(s.longest_on_hours() <= s.total_on_hours() + 1e-9);
+    }
+
+    #[test]
+    fn steady_state_availability_in_unit_interval(p in params_strategy()) {
+        let a = p.steady_state_availability();
+        prop_assert!(a > 0.0 && a < 1.0, "availability {a}");
+    }
+
+    #[test]
+    fn completion_monotone_in_work(
+        p in params_strategy(),
+        seed in 0u64..200,
+        w1 in 0.1..50.0f64,
+        extra in 0.0..50.0f64,
+    ) {
+        let model = AvailabilityModel::new(vec![(resmodel_avail::HostClass::Daily, p)]).unwrap();
+        let mut rng = seeded(seed);
+        let s = model.schedule_for(&p, 24.0 * 90.0, &mut rng);
+        let w2 = w1 + extra;
+        for check in [true, false] {
+            match (completion_time(&s, w1, check), completion_time(&s, w2, check)) {
+                (Some(t1), Some(t2)) => prop_assert!(t2 >= t1 - 1e-9,
+                    "more work cannot finish earlier ({t1} vs {t2})"),
+                (None, Some(_)) => prop_assert!(false, "more work finished when less did not"),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn checkpointing_dominates(p in params_strategy(), seed in 0u64..200, w in 0.1..40.0f64) {
+        let model = AvailabilityModel::new(vec![(resmodel_avail::HostClass::Daily, p)]).unwrap();
+        let mut rng = seeded(seed);
+        let s = model.schedule_for(&p, 24.0 * 90.0, &mut rng);
+        match (completion_time(&s, w, true), completion_time(&s, w, false)) {
+            (Some(c), Some(n)) => prop_assert!(c <= n + 1e-9),
+            (None, Some(_)) => prop_assert!(false, "checkpointing must dominate"),
+            _ => {}
+        }
+    }
+
+    #[test]
+    fn completion_bounded_by_on_time(seed in 0u64..200, w in 0.1..100.0f64) {
+        let model = AvailabilityModel::default_volunteer_mix();
+        let mut rng = seeded(seed);
+        let (_, s) = model.sample_schedule(24.0 * 60.0, &mut rng);
+        match completion_time(&s, w, true) {
+            Some(t) => {
+                prop_assert!(t <= s.horizon_hours() + 1e-9);
+                prop_assert!(s.total_on_hours() >= w - 1e-9);
+            }
+            None => prop_assert!(s.total_on_hours() < w + 1e-9),
+        }
+    }
+
+    #[test]
+    fn schedule_validation_catches_bad_input(a in 0.0..50.0f64, len in 0.0..50.0f64) {
+        // Inverted interval must be rejected.
+        prop_assert!(Schedule::new(vec![(a + len + 1.0, a)], 200.0).is_err());
+        // Valid single interval accepted.
+        prop_assert!(Schedule::new(vec![(a, a + len)], 200.0).is_ok());
+    }
+}

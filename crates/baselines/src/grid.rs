@@ -1,0 +1,202 @@
+//! The Kee et al. Grid resource model, as described in the paper's
+//! Section VII.
+//!
+//! "This model uses a log-normal distribution for processors, a time
+//! and processor dependent model of memory and an exponential growth
+//! model for disk space. […] To make the comparison fair, we also
+//! update this model with more recent values from our analysis and
+//! generate a mix of older/newer hosts based on average host lifetime."
+//!
+//! The model's characteristic failure in Fig 15 is disk: Grid resource
+//! synthesis models the growth of **total** disk capacity, not the
+//! *available* space a volunteer host actually exposes, so the P2P
+//! workload's utility is overestimated by ~46–57%.
+
+use crate::moments::ResourceMomentLaws;
+use rand::{Rng, RngExt};
+use resmodel_core::{GeneratedHost, HostGenerator};
+use resmodel_stats::distributions::LogNormal;
+use resmodel_stats::{Distribution, StatsError};
+use resmodel_trace::{SimDate, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Kee-style Grid resource generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridModel {
+    laws: ResourceMomentLaws,
+    /// Mean host age (days) used for the old/new hardware mixture.
+    mean_host_age_days: f64,
+    /// Total-disk inflation over available disk (the model tracks
+    /// capacity, not free space).
+    total_disk_factor: f64,
+}
+
+impl GridModel {
+    /// Build from moment laws with the paper's mixture settings (mean
+    /// host lifetime 192 days, total ≈ 2× available disk).
+    pub fn new(laws: ResourceMomentLaws) -> Self {
+        Self {
+            laws,
+            mean_host_age_days: 192.4,
+            total_disk_factor: 2.0,
+        }
+    }
+
+    /// Fit the underlying moment laws from a trace.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResourceMomentLaws::fit`] failures.
+    pub fn fit(trace: &Trace, dates: &[SimDate]) -> Result<Self, StatsError> {
+        Ok(Self::new(ResourceMomentLaws::fit(trace, dates)?))
+    }
+
+    /// Paper-published laws variant.
+    pub fn paper_like() -> Self {
+        Self::new(ResourceMomentLaws::paper_like())
+    }
+
+    /// The underlying moment laws.
+    pub fn laws(&self) -> &ResourceMomentLaws {
+        &self.laws
+    }
+
+    /// Override the mean host age of the hardware mixture.
+    pub fn with_mean_host_age(mut self, days: f64) -> Self {
+        self.mean_host_age_days = days;
+        self
+    }
+
+    /// Sample a log-normal with the given `(mean, variance)`, falling
+    /// back to the mean for degenerate inputs.
+    fn lognormal_draw(pair: (f64, f64), rng: &mut dyn Rng) -> f64 {
+        let (mean, var) = pair;
+        LogNormal::from_mean_variance(mean.max(1e-6), var.max(1e-12))
+            .map(|d| d.sample(rng))
+            .unwrap_or(mean)
+    }
+}
+
+impl HostGenerator for GridModel {
+    fn label(&self) -> &'static str {
+        "grid"
+    }
+
+    fn generate_host(&self, date: SimDate, rng: &mut dyn Rng) -> GeneratedHost {
+        // Old/new mixture: hardware is as old as the host is.
+        let u: f64 = rng.random::<f64>();
+        let age_days = -(1.0 - u).ln() * self.mean_host_age_days;
+        let eff = SimDate::from_days((date.days() - age_days).max(0.0));
+
+        // Processor count: log-normal rounded to a power of two (grid
+        // nodes come in 1/2/4/8-way configurations).
+        let raw_cores = Self::lognormal_draw(self.laws.cores.at(eff), rng).max(1.0);
+        let cores = (raw_cores.log2().round().exp2() as u32).clamp(1, 16);
+
+        // Memory: time- and processor-dependent — per-processor memory
+        // base times processor count, with log-normal dispersion.
+        let (mem_mean, mem_var) = self.laws.memory_mb.at(eff);
+        let (core_mean, _) = self.laws.cores.at(eff);
+        let per_proc = mem_mean / core_mean.max(0.5);
+        let rel_sigma = (mem_var.sqrt() / mem_mean).clamp(0.1, 1.0);
+        let noise = LogNormal::from_mean_variance(1.0, rel_sigma * rel_sigma)
+            .map(|d| d.sample(rng))
+            .unwrap_or(1.0);
+        let memory_mb = (per_proc * cores as f64 * noise).max(64.0);
+
+        // Processor speeds: log-normal as Kee prescribes, with this
+        // paper's estimated moments.
+        let whetstone = Self::lognormal_draw(self.laws.whetstone.at(eff), rng).max(1.0);
+        let dhrystone = Self::lognormal_draw(self.laws.dhrystone.at(eff), rng).max(1.0);
+
+        // Disk: exponential growth of *capacity* — systematically larger
+        // than the available space the other models target.
+        let (am, av) = self.laws.disk_gb.at(eff);
+        let disk = Self::lognormal_draw(
+            (
+                am * self.total_disk_factor,
+                av * self.total_disk_factor * self.total_disk_factor,
+            ),
+            rng,
+        );
+
+        GeneratedHost {
+            cores,
+            memory_mb,
+            whetstone_mips: whetstone,
+            dhrystone_mips: dhrystone,
+            avail_disk_gb: disk.max(0.01),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hosts_are_valid_powers_of_two() {
+        let m = GridModel::paper_like();
+        let pop = m.generate_population(SimDate::from_year(2010.0), 3000, 3);
+        for h in &pop {
+            assert!(h.cores.is_power_of_two() && h.cores <= 16);
+            assert!(h.memory_mb >= 64.0);
+            assert!(h.avail_disk_gb > 0.0);
+        }
+    }
+
+    #[test]
+    fn disk_overestimates_available_space() {
+        let m = GridModel::paper_like();
+        let date = SimDate::from_year(2010.0);
+        let pop = m.generate_population(date, 20_000, 4);
+        let mean_disk = pop.iter().map(|h| h.avail_disk_gb).sum::<f64>() / pop.len() as f64;
+        // Actual available mean at 2010 per Table VI ≈ 92.6 GB; the grid
+        // model's capacity law should land far above it (its age mixture
+        // pulls it down somewhat from the full 2×).
+        let actual = 31.59 * (0.2691f64 * 4.0).exp();
+        assert!(
+            mean_disk > 1.4 * actual,
+            "grid disk {mean_disk} vs actual available {actual}"
+        );
+    }
+
+    #[test]
+    fn age_mixture_lags_fresh_hardware() {
+        // With a large mean age, generated speeds should lag the
+        // current-date law noticeably.
+        let m = GridModel::paper_like().with_mean_host_age(730.0);
+        let date = SimDate::from_year(2010.0);
+        let pop = m.generate_population(date, 20_000, 5);
+        let mean_dhry = pop.iter().map(|h| h.dhrystone_mips).sum::<f64>() / pop.len() as f64;
+        let fresh = 2064.0 * (0.1709f64 * 4.0).exp();
+        assert!(mean_dhry < 0.9 * fresh, "dhry {mean_dhry} vs fresh {fresh}");
+    }
+
+    #[test]
+    fn memory_scales_with_cores() {
+        let m = GridModel::paper_like();
+        let pop = m.generate_population(SimDate::from_year(2009.0), 20_000, 6);
+        let mean_pcm_of = |c: u32| {
+            let xs: Vec<f64> = pop
+                .iter()
+                .filter(|h| h.cores == c)
+                .map(|h| h.memory_mb)
+                .collect();
+            if xs.is_empty() {
+                return f64::NAN;
+            }
+            xs.iter().sum::<f64>() / xs.len() as f64
+        };
+        let m1 = mean_pcm_of(1);
+        let m4 = mean_pcm_of(4);
+        if m1.is_finite() && m4.is_finite() {
+            assert!(m4 > 2.0 * m1, "memory must scale with cores: {m1} vs {m4}");
+        }
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(GridModel::paper_like().label(), "grid");
+    }
+}

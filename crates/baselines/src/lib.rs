@@ -1,0 +1,36 @@
+//! # resmodel-baselines
+//!
+//! The two comparator host models of the paper's Section VII utility
+//! simulation:
+//!
+//! * [`NormalModel`] — "a simple model which uses extrapolation of the
+//!   values in Figure 2 and samples resource values from uncorrelated
+//!   normal distributions (log-normal for disk space)".
+//! * [`GridModel`] — "based on the Grid resource model by Kee et al.
+//!   \[SC'04\]": log-normal processor speeds, a time- and
+//!   processor-dependent memory model, an **exponential growth model
+//!   for (total) disk space**, and a mix of older/newer hosts based on
+//!   the average host lifetime. Modelling *total* instead of
+//!   *available* disk is what makes it overestimate P2P utility by
+//!   ~50% in Fig 15.
+//!
+//! Both implement [`resmodel_core::HostGenerator`], so the allocation
+//! simulator treats them interchangeably with the correlated model.
+//!
+//! ```
+//! use resmodel_baselines::NormalModel;
+//! use resmodel_core::HostGenerator;
+//! use resmodel_trace::SimDate;
+//!
+//! let model = NormalModel::paper_like();
+//! let hosts = model.generate_population(SimDate::from_year(2010.0), 100, 1);
+//! assert_eq!(hosts.len(), 100);
+//! ```
+
+pub mod grid;
+pub mod moments;
+pub mod normal;
+
+pub use grid::GridModel;
+pub use moments::ResourceMomentLaws;
+pub use normal::NormalModel;

@@ -1,0 +1,129 @@
+//! The uncorrelated normal-distribution baseline model.
+//!
+//! "A simple model which uses extrapolation of the values in Figure 2
+//! and samples resource values from uncorrelated normal distributions
+//! (log-normal for disk space)" — paper, Section VII.
+
+use crate::moments::ResourceMomentLaws;
+use rand::Rng;
+use resmodel_core::{GeneratedHost, HostGenerator};
+use resmodel_stats::distributions::{LogNormal, Normal};
+use resmodel_stats::{Distribution, StatsError};
+use resmodel_trace::{SimDate, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Uncorrelated normal baseline: every resource drawn independently
+/// from a normal (log-normal for disk) whose moments extrapolate the
+/// Fig 2 series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NormalModel {
+    laws: ResourceMomentLaws,
+}
+
+impl NormalModel {
+    /// Build from pre-computed moment laws.
+    pub fn new(laws: ResourceMomentLaws) -> Self {
+        Self { laws }
+    }
+
+    /// Fit the moment laws from a trace (the honest way to build the
+    /// baseline for an experiment).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ResourceMomentLaws::fit`] failures.
+    pub fn fit(trace: &Trace, dates: &[SimDate]) -> Result<Self, StatsError> {
+        Ok(Self::new(ResourceMomentLaws::fit(trace, dates)?))
+    }
+
+    /// The paper-published moment laws (for doc examples and quick
+    /// starts without a trace).
+    pub fn paper_like() -> Self {
+        Self::new(ResourceMomentLaws::paper_like())
+    }
+
+    /// The underlying moment laws.
+    pub fn laws(&self) -> &ResourceMomentLaws {
+        &self.laws
+    }
+}
+
+impl HostGenerator for NormalModel {
+    fn label(&self) -> &'static str {
+        "normal"
+    }
+
+    fn generate_host(&self, date: SimDate, rng: &mut dyn Rng) -> GeneratedHost {
+        let draw = |pair: (f64, f64), rng: &mut dyn Rng| -> f64 {
+            let (mean, var) = pair;
+            match Normal::from_mean_variance(mean, var.max(1e-12)) {
+                Ok(d) => d.sample(rng),
+                Err(_) => mean,
+            }
+        };
+        let cores = draw(self.laws.cores.at(date), rng).round().max(1.0) as u32;
+        let memory_mb = draw(self.laws.memory_mb.at(date), rng).max(64.0);
+        let whetstone = draw(self.laws.whetstone.at(date), rng).max(1.0);
+        let dhrystone = draw(self.laws.dhrystone.at(date), rng).max(1.0);
+        let (dm, dv) = self.laws.disk_gb.at(date);
+        let disk = LogNormal::from_mean_variance(dm.max(1e-6), dv.max(1e-12))
+            .map(|d| d.sample(rng))
+            .unwrap_or(dm);
+        GeneratedHost {
+            cores,
+            memory_mb,
+            whetstone_mips: whetstone,
+            dhrystone_mips: dhrystone,
+            avail_disk_gb: disk.max(0.01),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::correlation::pearson;
+
+    #[test]
+    fn population_moments_track_laws() {
+        let m = NormalModel::paper_like();
+        let date = SimDate::from_year(2010.0);
+        let pop = m.generate_population(date, 20_000, 5);
+        let mean_mem = pop.iter().map(|h| h.memory_mb).sum::<f64>() / pop.len() as f64;
+        assert!((mean_mem - 2376.0).abs() / 2376.0 < 0.05, "mem {mean_mem}");
+        let mean_dhry = pop.iter().map(|h| h.dhrystone_mips).sum::<f64>() / pop.len() as f64;
+        let expect = 2064.0 * (0.1709f64 * 4.0).exp();
+        assert!((mean_dhry - expect).abs() / expect < 0.05, "dhry {mean_dhry}");
+    }
+
+    #[test]
+    fn resources_are_uncorrelated() {
+        let m = NormalModel::paper_like();
+        let pop = m.generate_population(SimDate::from_year(2009.0), 20_000, 6);
+        let cores: Vec<f64> = pop.iter().map(|h| h.cores as f64).collect();
+        let mem: Vec<f64> = pop.iter().map(|h| h.memory_mb).collect();
+        let whet: Vec<f64> = pop.iter().map(|h| h.whetstone_mips).collect();
+        let dhry: Vec<f64> = pop.iter().map(|h| h.dhrystone_mips).collect();
+        // The defining weakness of this baseline: no correlations.
+        assert!(pearson(&cores, &mem).unwrap().abs() < 0.05);
+        assert!(pearson(&whet, &dhry).unwrap().abs() < 0.05);
+        assert!(pearson(&mem, &whet).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn hosts_are_valid() {
+        let m = NormalModel::paper_like();
+        let pop = m.generate_population(SimDate::from_year(2006.0), 2000, 7);
+        for h in pop {
+            assert!(h.cores >= 1);
+            assert!(h.memory_mb >= 64.0);
+            assert!(h.whetstone_mips >= 1.0 && h.dhrystone_mips >= 1.0);
+            assert!(h.avail_disk_gb > 0.0);
+        }
+    }
+
+    #[test]
+    fn label() {
+        assert_eq!(NormalModel::paper_like().label(), "normal");
+    }
+}

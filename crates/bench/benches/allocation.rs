@@ -1,0 +1,35 @@
+//! Allocation-simulator benchmarks: utility evaluation and the greedy
+//! round-robin allocator at Fig 15 population sizes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_allocsim::{allocate_round_robin, utility, AppProfile};
+use resmodel_core::{HostGenerator, HostModel};
+use resmodel_trace::SimDate;
+use std::hint::black_box;
+
+fn bench_allocation(c: &mut Criterion) {
+    let model = HostModel::paper();
+    let hosts = model.generate_population(SimDate::from_year(2010.0), 5_000, 21);
+
+    c.bench_function("utility_eval_5k_hosts", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for h in &hosts {
+                acc += utility(&AppProfile::CLIMATE_PREDICTION, h);
+            }
+            black_box(acc)
+        })
+    });
+
+    c.bench_function("allocate_round_robin_5k", |b| {
+        b.iter(|| black_box(allocate_round_robin(&AppProfile::ALL, &hosts)))
+    });
+
+    let small = &hosts[..500];
+    c.bench_function("allocate_round_robin_500", |b| {
+        b.iter(|| black_box(allocate_round_robin(&AppProfile::ALL, small)))
+    });
+}
+
+criterion_group!(benches, bench_allocation);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Fitting-pipeline cost: full model fit, ratio-law fits and the
+//! per-date correlation matrix on a fixed synthetic world.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_bench::{build_world, fit_dates};
+use resmodel_core::fit::{
+    average_correlation, fit_core_laws, fit_host_model, fit_moment_laws, FitConfig,
+};
+use resmodel_trace::SimDate;
+use std::hint::black_box;
+
+fn bench_fitting(c: &mut Criterion) {
+    let trace = build_world(0.001, 3);
+    let dates = fit_dates();
+
+    c.bench_function("fit_host_model_full", |b| {
+        b.iter(|| black_box(fit_host_model(&trace, &FitConfig::default()).expect("fit")))
+    });
+    c.bench_function("fit_core_laws", |b| {
+        b.iter(|| black_box(fit_core_laws(&trace, &dates).expect("fit")))
+    });
+    c.bench_function("fit_moment_laws", |b| {
+        b.iter(|| black_box(fit_moment_laws(&trace, &dates).expect("fit")))
+    });
+    c.bench_function("average_correlation", |b| {
+        b.iter(|| black_box(average_correlation(&trace, &dates).expect("fit")))
+    });
+    c.bench_function("lifetime_weibull", |b| {
+        b.iter(|| {
+            black_box(
+                resmodel_core::fit::lifetime_weibull(&trace, SimDate::from_year(2010.4))
+                    .expect("fit"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_fitting);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Host-generation throughput: the paper's tool claim is "automatically
+//! generating realistic Internet end hosts"; measure how fast each
+//! model emits hosts.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use resmodel_baselines::{GridModel, NormalModel};
+use resmodel_core::{HostGenerator, HostModel};
+use resmodel_stats::rng::seeded;
+use resmodel_trace::SimDate;
+use std::hint::black_box;
+
+fn bench_generation(c: &mut Criterion) {
+    let date = SimDate::from_year(2010.67);
+    let correlated = HostModel::paper();
+    let normal = NormalModel::paper_like();
+    let grid = GridModel::paper_like();
+
+    let mut group = c.benchmark_group("generate_host");
+    group.bench_function("correlated", |b| {
+        b.iter_batched_ref(
+            || seeded(1),
+            |rng| black_box(correlated.generate_host(date, rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("normal", |b| {
+        b.iter_batched_ref(
+            || seeded(1),
+            |rng| black_box(normal.generate_host(date, rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("grid", |b| {
+        b.iter_batched_ref(
+            || seeded(1),
+            |rng| black_box(grid.generate_host(date, rng)),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    c.bench_function("generate_population_10k", |b| {
+        b.iter(|| black_box(correlated.generate_population(date, 10_000, 7)))
+    });
+}
+
+criterion_group!(benches, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Statistical-substrate microbenchmarks: KS testing (full-sample and
+//! the paper's subsampled procedure), family selection, Cholesky and
+//! MLE fits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_stats::distributions::{LogNormal, Normal, Weibull};
+use resmodel_stats::ks::{ks_test, select_family, subsampled_ks_pvalue, SubsampleConfig};
+use resmodel_stats::rng::seeded;
+use resmodel_stats::sampling::CorrelatedNormals;
+use resmodel_stats::{Distribution, DistributionFamily, Matrix};
+use std::hint::black_box;
+
+fn bench_stats(c: &mut Criterion) {
+    let mut rng = seeded(9);
+    let normal = Normal::new(2056.0, 1046.0).expect("valid");
+    let data = normal.sample_n(&mut rng, 10_000);
+
+    c.bench_function("ks_test_n10k", |b| {
+        b.iter(|| black_box(ks_test(&data, &normal).expect("test")))
+    });
+    c.bench_function("subsampled_ks_100x50", |b| {
+        b.iter(|| {
+            let mut r = seeded(10);
+            black_box(
+                subsampled_ks_pvalue(&data, &normal, SubsampleConfig::default(), &mut r)
+                    .expect("test"),
+            )
+        })
+    });
+    c.bench_function("select_family_7_candidates", |b| {
+        b.iter(|| {
+            let mut r = seeded(11);
+            black_box(
+                select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
+                    .expect("selection"),
+            )
+        })
+    });
+
+    let r = Matrix::from_rows(&[
+        &[1.0, 0.250, 0.306],
+        &[0.250, 1.0, 0.639],
+        &[0.306, 0.639, 1.0],
+    ])
+    .expect("well-formed");
+    c.bench_function("cholesky_3x3", |b| b.iter(|| black_box(r.cholesky().expect("spd"))));
+    let sampler = CorrelatedNormals::new(&r).expect("spd");
+    c.bench_function("correlated_normal_sample", |b| {
+        b.iter_batched_ref(
+            || seeded(12),
+            |rng| black_box(sampler.sample(rng)),
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    let mut rng2 = seeded(13);
+    let weib_data = Weibull::new(0.58, 135.0).expect("valid").sample_n(&mut rng2, 10_000);
+    c.bench_function("weibull_mle_n10k", |b| {
+        b.iter(|| black_box(Weibull::fit_mle(&weib_data).expect("fit")))
+    });
+    let ln_data = LogNormal::new(3.0, 1.0).expect("valid").sample_n(&mut rng2, 10_000);
+    c.bench_function("lognormal_mle_n10k", |b| {
+        b.iter(|| black_box(LogNormal::fit_mle(&ln_data).expect("fit")))
+    });
+}
+
+criterion_group!(benches, bench_stats);
+criterion_main!(benches);

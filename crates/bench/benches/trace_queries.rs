@@ -1,0 +1,29 @@
+//! Trace-store query benchmarks: activity counting, population
+//! snapshots and column extraction over a realistic trace.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_bench::build_world;
+use resmodel_trace::store::ResourceColumn;
+use resmodel_trace::SimDate;
+use std::hint::black_box;
+
+fn bench_trace_queries(c: &mut Criterion) {
+    let trace = build_world(0.001, 17);
+    let date = SimDate::from_year(2009.0);
+
+    c.bench_function("active_count", |b| {
+        b.iter(|| black_box(trace.active_count(date)))
+    });
+    c.bench_function("population_at", |b| {
+        b.iter(|| black_box(trace.population_at(date)))
+    });
+    c.bench_function("column_at_dhrystone", |b| {
+        b.iter(|| black_box(trace.column_at(date, ResourceColumn::Dhrystone)))
+    });
+    c.bench_function("lifetimes_censored", |b| {
+        b.iter(|| black_box(trace.lifetimes(SimDate::from_year(2010.4))))
+    });
+}
+
+criterion_group!(benches, bench_trace_queries);
+criterion_main!(benches);

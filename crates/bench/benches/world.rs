@@ -1,0 +1,21 @@
+//! World-simulation benchmarks: how fast the BOINC substrate produces
+//! traces at various scales.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_boinc::{simulate, WorldParams};
+use std::hint::black_box;
+
+fn bench_world(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_world");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(12));
+    for &scale in &[0.0002] {
+        group.bench_function(format!("scale_{scale}"), |b| {
+            b.iter(|| black_box(simulate(&WorldParams::with_scale(scale, 5))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_world);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! `worldsim` — run the synthetic volunteer-computing world and write
+//! the recorded measurement trace as CSV (the format of
+//! `resmodel_trace::csv`).
+//!
+//! ```text
+//! worldsim [--scale S] [--seed N] [--raw] [--out FILE]
+//! ```
+//!
+//! Without `--out` the trace is written to stdout. `--raw` skips
+//! sanitization (keeps corrupt hosts).
+
+use resmodel_bench::{build_raw_world, build_world};
+use std::io::Write;
+
+fn main() {
+    let mut scale = resmodel_bench::DEFAULT_SCALE;
+    let mut seed = resmodel_bench::DEFAULT_SEED;
+    let mut raw = false;
+    let mut out: Option<String> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--scale needs a number"));
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| bail("--seed needs an integer"));
+            }
+            "--raw" => raw = true,
+            "--out" => {
+                i += 1;
+                out = Some(args.get(i).cloned().unwrap_or_else(|| bail("--out needs a path")));
+            }
+            other => bail(&format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!("simulating world (scale {scale}, seed {seed})...");
+    let trace = if raw {
+        build_raw_world(scale, seed)
+    } else {
+        build_world(scale, seed)
+    };
+    eprintln!("writing {} hosts...", trace.len());
+
+    let result = match out {
+        Some(path) => {
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| bail(&format!("cannot create {path}: {e}")));
+            resmodel_trace::csv::write_trace(&trace, std::io::BufWriter::new(file))
+        }
+        None => {
+            let stdout = std::io::stdout();
+            let mut lock = stdout.lock();
+            let r = resmodel_trace::csv::write_trace(&trace, &mut lock);
+            let _ = lock.flush();
+            r
+        }
+    };
+    if let Err(e) = result {
+        bail(&format!("write failed: {e}"));
+    }
+    eprintln!("done.");
+}
+
+fn bail(msg: &str) -> ! {
+    eprintln!("worldsim: {msg}");
+    eprintln!("usage: worldsim [--scale S] [--seed N] [--raw] [--out FILE]");
+    std::process::exit(2);
+}

@@ -1,0 +1,77 @@
+//! Shared helpers for the `repro` experiment harness and the Criterion
+//! benchmarks: world construction, table formatting and small utilities
+//! used when regenerating the paper's tables and figures.
+
+use resmodel_boinc::{simulate, WorldParams};
+use resmodel_trace::sanitize::{sanitize, SanitizeRules};
+use resmodel_trace::{SimDate, Trace};
+
+/// Default world scale used by the experiment harness (≈15k hosts over
+/// 2005–2010; the paper's full scale is 1.0 ≈ 3M hosts).
+pub const DEFAULT_SCALE: f64 = 0.004;
+
+/// Default world seed.
+pub const DEFAULT_SEED: u64 = 20110620; // ICDCS 2011 opening day
+
+/// Build the measured world: simulate and sanitize.
+pub fn build_world(scale: f64, seed: u64) -> Trace {
+    let params = WorldParams::with_scale(scale, seed);
+    let raw = simulate(&params);
+    sanitize(&raw, SanitizeRules::default()).trace
+}
+
+/// Build the raw (unsanitized) world, for the sanitization report.
+pub fn build_raw_world(scale: f64, seed: u64) -> Trace {
+    simulate(&WorldParams::with_scale(scale, seed))
+}
+
+/// Yearly January sample dates 2006–2010 (the paper's fitting window).
+pub fn fit_dates() -> Vec<SimDate> {
+    (2006..=2010).map(|y| SimDate::from_year(y as f64)).collect()
+}
+
+/// Monthly dates January–September 2010 (the Fig 15 window).
+pub fn fig15_dates() -> Vec<SimDate> {
+    (0..9).map(|m| SimDate::from_year(2010.0 + m as f64 / 12.0)).collect()
+}
+
+/// Render a row of fixed-width cells.
+pub fn row(cells: &[String], widths: &[usize]) -> String {
+    cells
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:>w$}", w = w))
+        .collect::<Vec<_>>()
+        .join("  ")
+}
+
+/// Print a named section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builders_work() {
+        let t = build_world(0.0003, 1);
+        assert!(t.len() > 50);
+        let raw = build_raw_world(0.0003, 1);
+        assert!(raw.len() >= t.len());
+    }
+
+    #[test]
+    fn date_helpers() {
+        assert_eq!(fit_dates().len(), 5);
+        assert_eq!(fig15_dates().len(), 9);
+        assert!((fig15_dates()[8].year() - (2010.0 + 8.0 / 12.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_formatting() {
+        let r = row(&["a".into(), "bb".into()], &[3, 4]);
+        assert_eq!(r, "  a    bb");
+    }
+}

@@ -1,0 +1,107 @@
+//! Synthetic Dhrystone/Whetstone execution.
+//!
+//! BOINC runs the benchmarks "on all available cores simultaneously and
+//! the average speed is taken. Therefore, shared resources on multicore
+//! machines may adversely affect processor performance results"
+//! (Section V-A). This module models exactly that: a contention penalty
+//! growing with log₂(cores) plus multiplicative measurement noise.
+
+use crate::hardware::Hardware;
+use crate::params::WorldParams;
+use rand::Rng;
+use resmodel_stats::sampling::standard_normal;
+
+/// Measured benchmark speeds of one RPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkResult {
+    /// Measured per-core Whetstone MIPS.
+    pub whetstone_mips: f64,
+    /// Measured per-core Dhrystone MIPS.
+    pub dhrystone_mips: f64,
+}
+
+/// Multicore contention multiplier: running on all cores at once slows
+/// each core by `contention · log₂(cores)`.
+pub fn contention_factor(params: &WorldParams, cores: u32) -> f64 {
+    let log2 = (cores.max(1) as f64).log2();
+    (1.0 - params.contention_per_log2_cores * log2).max(0.5)
+}
+
+/// Execute the benchmark pair on `hw`, with contention and noise.
+pub fn run_benchmarks(
+    params: &WorldParams,
+    hw: &Hardware,
+    rng: &mut dyn Rng,
+) -> BenchmarkResult {
+    let contention = contention_factor(params, hw.cores);
+    let noise = |rng: &mut dyn Rng| 1.0 + params.benchmark_noise * standard_normal(rng);
+    BenchmarkResult {
+        whetstone_mips: (hw.whetstone_mips * contention * noise(rng)).max(1.0),
+        dhrystone_mips: (hw.dhrystone_mips * contention * noise(rng)).max(1.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::rng::seeded;
+    use resmodel_trace::{CpuFamily, OsFamily};
+
+    fn hw(cores: u32) -> Hardware {
+        Hardware {
+            cores,
+            per_core_memory_mb: 1024.0,
+            whetstone_mips: 1500.0,
+            dhrystone_mips: 3000.0,
+            avail_disk_gb: 50.0,
+            total_disk_gb: 100.0,
+            os: OsFamily::WindowsXp,
+            cpu: CpuFamily::IntelCore2,
+            quality_z: 0.0,
+        }
+    }
+
+    #[test]
+    fn contention_monotone_in_cores() {
+        let p = WorldParams::with_scale(0.01, 1);
+        assert_eq!(contention_factor(&p, 1), 1.0);
+        assert!(contention_factor(&p, 2) < 1.0);
+        assert!(contention_factor(&p, 8) < contention_factor(&p, 2));
+        assert!(contention_factor(&p, 1 << 30) >= 0.5);
+    }
+
+    #[test]
+    fn measurements_center_on_truth() {
+        let p = WorldParams::with_scale(0.01, 1);
+        let mut rng = seeded(11);
+        let h = hw(1);
+        let n = 5000;
+        let mean: f64 = (0..n)
+            .map(|_| run_benchmarks(&p, &h, &mut rng).whetstone_mips)
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 1500.0).abs() / 1500.0 < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn multicore_measures_slower() {
+        let p = WorldParams::with_scale(0.01, 1);
+        let mut rng = seeded(12);
+        let single = run_benchmarks(&p, &hw(1), &mut rng);
+        let mut rng2 = seeded(12);
+        let octo = run_benchmarks(&p, &hw(8), &mut rng2);
+        assert!(octo.whetstone_mips < single.whetstone_mips);
+        assert!(octo.dhrystone_mips < single.dhrystone_mips);
+    }
+
+    #[test]
+    fn measurements_stay_positive() {
+        let mut p = WorldParams::with_scale(0.01, 1);
+        p.benchmark_noise = 5.0; // absurd noise must still not go negative
+        let mut rng = seeded(13);
+        for _ in 0..200 {
+            let r = run_benchmarks(&p, &hw(4), &mut rng);
+            assert!(r.whetstone_mips >= 1.0 && r.dhrystone_mips >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,229 @@
+//! Ground-truth hardware assignment for newly created hosts.
+//!
+//! The "true" hardware of a synthetic host is drawn from the paper's
+//! own published laws (via [`resmodel_core::HostModel::paper`]) at the
+//! host's *creation* date, then perturbed with the artifacts the real
+//! trace carries: intermediate per-core-memory values, non-power-of-two
+//! core counts and a mid-distribution benchmark spike. Mixing creation
+//! dates inside a living population is what produces the paper's
+//! cross-sectional Table III correlations (hosts created recently have
+//! more cores *and* faster processors).
+
+use crate::params::WorldParams;
+use rand::{Rng, RngExt};
+use resmodel_core::{HostGenerator, HostModel};
+use resmodel_stats::sampling::standard_normal;
+use resmodel_trace::{CpuFamily, OsFamily, SimDate};
+use serde::{Deserialize, Serialize};
+
+/// The immutable "true" hardware of one host, fixed at creation (until
+/// an upgrade event mutates memory).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Hardware {
+    /// Core count (almost always a power of two ≤ 8).
+    pub cores: u32,
+    /// Per-core memory, MB.
+    pub per_core_memory_mb: f64,
+    /// True single-run Whetstone speed, MIPS.
+    pub whetstone_mips: f64,
+    /// True single-run Dhrystone speed, MIPS.
+    pub dhrystone_mips: f64,
+    /// Available disk at creation, GB.
+    pub avail_disk_gb: f64,
+    /// Total disk, GB.
+    pub total_disk_gb: f64,
+    /// Operating system family.
+    pub os: OsFamily,
+    /// Processor family.
+    pub cpu: CpuFamily,
+    /// Hardware quality z-score (used for the lifetime penalty).
+    pub quality_z: f64,
+}
+
+impl Hardware {
+    /// Total memory, MB.
+    pub fn memory_mb(&self) -> f64 {
+        self.per_core_memory_mb * self.cores as f64
+    }
+}
+
+/// Intermediate per-core-memory values that real hosts report but the
+/// paper's model discards.
+const INTERMEDIATE_PCM_MB: [f64; 4] = [384.0, 1280.0, 1792.0, 3072.0];
+
+/// Sample a host's true hardware at its creation date.
+pub fn sample_hardware(
+    params: &WorldParams,
+    truth: &HostModel,
+    created: SimDate,
+    rng: &mut dyn Rng,
+) -> Hardware {
+    // Cohort hardware reflects the market at purchase time, which leads
+    // the (age-mixed) population laws; see `WorldParams::hardware_lead_years`.
+    let market = created + params.hardware_lead_years * 365.25;
+    let base = truth.generate_host(market, rng);
+    let mut cores = base.cores;
+    let mut pcm = base.memory_per_core_mb();
+    let mut whet = base.whetstone_mips;
+    let mut dhry = base.dhrystone_mips;
+
+    // Non-power-of-two cores: a tri-core console-style or hexa-core box.
+    if rng.random::<f64>() < params.non_pow2_core_fraction {
+        cores = if rng.random::<f64>() < 0.5 { 3 } else { 6 };
+    }
+
+    // Some users report intermediate memory configurations.
+    if rng.random::<f64>() < params.intermediate_pcm_fraction {
+        let idx = rng.random_range(0..INTERMEDIATE_PCM_MB.len());
+        pcm = INTERMEDIATE_PCM_MB[idx];
+    }
+
+    // The benchmark "spike": a popular commodity part whose speed sits
+    // near the centre of the distribution, narrowing the histogram
+    // around the median (the paper's reason the normal fit is not
+    // perfect).
+    if rng.random::<f64>() < params.benchmark_spike_fraction {
+        let (wm, _) = truth.whetstone_moments(market);
+        let (dm, _) = truth.dhrystone_moments(market);
+        whet = wm * 0.95 * (1.0 + 0.03 * standard_normal(rng));
+        dhry = dm * 0.95 * (1.0 + 0.03 * standard_normal(rng));
+    }
+
+    // Available disk is a uniform fraction of total (Section V-C), so
+    // total = available / U with U away from 0 to avoid absurd totals.
+    let frac: f64 = 0.05 + 0.90 * rng.random::<f64>();
+    let total_disk = base.avail_disk_gb / frac;
+
+    // Quality z-score relative to the cohort's expected speeds.
+    let (wm, wv) = truth.whetstone_moments(market);
+    let (dm, dv) = truth.dhrystone_moments(market);
+    let quality_z = 0.5 * ((whet - wm) / wv.sqrt() + (dhry - dm) / dv.sqrt());
+
+    Hardware {
+        cores,
+        per_core_memory_mb: pcm,
+        whetstone_mips: whet,
+        dhrystone_mips: dhry,
+        avail_disk_gb: base.avail_disk_gb,
+        total_disk_gb: total_disk,
+        os: OsFamily::sample_at(market.year(), rng.random::<f64>()),
+        cpu: CpuFamily::sample_at(market.year(), rng.random::<f64>()),
+        quality_z,
+    }
+}
+
+/// Corrupt-host hardware: absurd values that must trip the paper's
+/// sanitization thresholds.
+pub fn corrupt_hardware(rng: &mut dyn Rng) -> Hardware {
+    let which = rng.random_range(0..4u32);
+    let mut hw = Hardware {
+        cores: 2,
+        per_core_memory_mb: 1024.0,
+        whetstone_mips: 1500.0,
+        dhrystone_mips: 3000.0,
+        avail_disk_gb: 50.0,
+        total_disk_gb: 100.0,
+        os: OsFamily::WindowsXp,
+        cpu: CpuFamily::Pentium4,
+        quality_z: 0.0,
+    };
+    match which {
+        0 => hw.cores = 256 + rng.random_range(0..1024u32),
+        1 => hw.whetstone_mips = 1e6 * (1.0 + rng.random::<f64>()),
+        2 => hw.per_core_memory_mb = 1e6,
+        _ => hw.avail_disk_gb = 1e5 * (1.0 + rng.random::<f64>()),
+    }
+    hw
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::rng::seeded;
+    use resmodel_trace::sanitize::SanitizeRules;
+
+    fn sample_many(n: usize, year: f64) -> Vec<Hardware> {
+        let params = WorldParams::with_scale(0.01, 1);
+        let truth = HostModel::paper();
+        let mut rng = seeded(17);
+        (0..n)
+            .map(|_| sample_hardware(&params, &truth, SimDate::from_year(year), &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn hardware_is_sane() {
+        for hw in sample_many(500, 2008.0) {
+            assert!(hw.cores >= 1 && hw.cores <= 8);
+            assert!(hw.per_core_memory_mb >= 256.0 && hw.per_core_memory_mb <= 4096.0);
+            assert!(hw.whetstone_mips > 0.0 && hw.dhrystone_mips > 0.0);
+            assert!(hw.avail_disk_gb > 0.0);
+            assert!(hw.total_disk_gb >= hw.avail_disk_gb);
+            assert!(hw.quality_z.is_finite());
+        }
+    }
+
+    #[test]
+    fn intermediate_pcm_appears_at_configured_rate() {
+        let hws = sample_many(4000, 2008.0);
+        let inter = hws
+            .iter()
+            .filter(|h| INTERMEDIATE_PCM_MB.contains(&h.per_core_memory_mb))
+            .count();
+        let frac = inter as f64 / hws.len() as f64;
+        assert!((frac - 0.15).abs() < 0.03, "intermediate fraction {frac}");
+    }
+
+    #[test]
+    fn non_pow2_cores_are_rare() {
+        let hws = sample_many(8000, 2009.0);
+        let odd = hws.iter().filter(|h| !h.cores.is_power_of_two()).count();
+        let frac = odd as f64 / hws.len() as f64;
+        assert!(frac < 0.01, "non-pow2 fraction {frac}");
+    }
+
+    #[test]
+    fn memory_total_consistent() {
+        let hw = sample_many(1, 2007.0)[0];
+        assert!((hw.memory_mb() - hw.per_core_memory_mb * hw.cores as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn os_cpu_follow_market_trends() {
+        let early = sample_many(3000, 2006.0);
+        let late = sample_many(3000, 2010.0);
+        let frac = |hws: &[Hardware], f: fn(&Hardware) -> bool| {
+            hws.iter().filter(|h| f(h)).count() as f64 / hws.len() as f64
+        };
+        assert!(
+            frac(&early, |h| h.cpu == CpuFamily::Pentium4)
+                > frac(&late, |h| h.cpu == CpuFamily::Pentium4)
+        );
+        assert!(
+            frac(&late, |h| h.cpu == CpuFamily::IntelCore2)
+                > frac(&early, |h| h.cpu == CpuFamily::IntelCore2)
+        );
+        assert!(frac(&early, |h| h.os == OsFamily::WindowsXp) > 0.5);
+    }
+
+    #[test]
+    fn corrupt_hardware_trips_sanitizer() {
+        use resmodel_trace::{HostRecord, ResourceSnapshot};
+        let mut rng = seeded(3);
+        let rules = SanitizeRules::default();
+        for i in 0..100u64 {
+            let hw = corrupt_hardware(&mut rng);
+            let mut rec = HostRecord::new(i.into(), SimDate::from_year(2007.0));
+            rec.record(ResourceSnapshot {
+                t: SimDate::from_year(2007.1),
+                cores: hw.cores,
+                memory_mb: hw.memory_mb(),
+                whetstone_mips: hw.whetstone_mips,
+                dhrystone_mips: hw.dhrystone_mips,
+                avail_disk_gb: hw.avail_disk_gb,
+                total_disk_gb: hw.total_disk_gb,
+            });
+            assert!(rules.is_corrupt(&rec), "corrupt hardware {i} passed sanitizer");
+        }
+    }
+}

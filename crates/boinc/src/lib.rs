@@ -1,0 +1,48 @@
+//! # resmodel-boinc
+//!
+//! A synthetic volunteer-computing world and BOINC-style measurement
+//! loop. This crate plays the role of the SETI@home infrastructure in
+//! *"Correlated Resource Models of Internet End Hosts"* (Heien, Kondo &
+//! Anderson, ICDCS 2011): it simulates a population of Internet end
+//! hosts arriving, computing, contacting a project server and leaving,
+//! while the server records hardware measurements into a
+//! [`resmodel_trace::Trace`].
+//!
+//! The ground-truth population laws are seeded from every number the
+//! paper publishes (Tables I–X, Figs 1–10) and then roughed up with the
+//! artifacts real measurements carry:
+//!
+//! * per-RPC benchmark noise and a multicore shared-memory contention
+//!   penalty (Section V-A),
+//! * a mid-distribution "spike" in benchmark histograms (the paper
+//!   notes the normal fit is imperfect for exactly this reason),
+//! * intermediate per-core-memory values (1280 MB, 1792 MB, …) that the
+//!   paper's model deliberately discards,
+//! * non-power-of-two core counts (≈0.3% of hosts),
+//! * corrupt reports (≈0.12% of hosts, the paper's discard fraction),
+//! * available-disk drift and occasional memory upgrades over a host's
+//!   life,
+//! * host lifetimes that shorten with creation date (Fig 3) and with
+//!   hardware quality,
+//! * OS/CPU market composition from Tables I/II and GPUs (recorded only
+//!   after September 2009) from Table VII/Fig 10.
+//!
+//! ## Example
+//!
+//! ```
+//! use resmodel_boinc::{simulate, WorldParams};
+//!
+//! let params = WorldParams::with_scale(0.0005, 42); // tiny world
+//! let trace = simulate(&params);
+//! assert!(trace.len() > 100);
+//! let t = resmodel_trace::SimDate::from_year(2008.0);
+//! assert!(trace.active_count(t) > 10);
+//! ```
+
+pub mod bench_exec;
+pub mod hardware;
+pub mod params;
+pub mod sim;
+
+pub use params::WorldParams;
+pub use sim::simulate;

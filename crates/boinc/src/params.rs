@@ -1,0 +1,213 @@
+//! Parameters of the synthetic volunteer-computing world.
+
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// All knobs of the world simulation.
+///
+/// Defaults reproduce the paper's population at `scale = 1.0` (≈3-4
+/// million hosts over 2005–2010, 300–350k active); experiments normally
+/// run at `scale` 0.003–0.03 for speed. Every run is fully determined
+/// by `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldParams {
+    /// RNG seed; same seed → bitwise-identical trace.
+    pub seed: u64,
+    /// First day hosts may arrive.
+    pub start: SimDate,
+    /// End of the measurement period (the paper's data ends
+    /// September 1, 2010).
+    pub end: SimDate,
+    /// Host arrivals per day at the start of 2006, before `scale`.
+    pub base_arrivals_per_day: f64,
+    /// Exponential growth rate of the arrival rate per year (matches
+    /// the shortening lifetimes so the active count stays in the
+    /// 300–350k band as in Fig 2).
+    pub arrival_growth_per_year: f64,
+    /// Global population scale factor.
+    pub scale: f64,
+    /// Weibull shape of host lifetimes (paper Fig 1: 0.58).
+    pub lifetime_shape: f64,
+    /// Weibull scale (days) of lifetimes for hosts created at the start
+    /// of 2006.
+    pub lifetime_scale_2006: f64,
+    /// Exponential trend of the lifetime scale per year (negative:
+    /// newer hosts stay for less time, Fig 3).
+    pub lifetime_trend_per_year: f64,
+    /// Extra lifetime shortening per z-score of hardware quality (the
+    /// paper found better-resourced hosts leave sooner).
+    pub lifetime_quality_penalty: f64,
+    /// How far (in years) the hardware *market* leads the measured
+    /// *population*. The paper's laws describe the active population,
+    /// which is an age mixture of past purchase cohorts; sampling each
+    /// cohort from the law evaluated `lead` years ahead makes the
+    /// recorded population reproduce the published laws. Roughly the
+    /// mean age of an active host (~1.1 years under the default
+    /// lifetime mixture).
+    pub hardware_lead_years: f64,
+    /// Mean days between server contacts (measurements).
+    pub contact_interval_days: f64,
+    /// Relative per-measurement benchmark noise (σ of a multiplicative
+    /// normal).
+    pub benchmark_noise: f64,
+    /// Per-core slowdown of measured benchmarks per log₂(cores) —
+    /// shared memory/bus contention when running on all cores at once.
+    pub contention_per_log2_cores: f64,
+    /// Probability that a host's benchmark speeds sit in the
+    /// mid-distribution "spike" instead of the smooth normal body.
+    pub benchmark_spike_fraction: f64,
+    /// Probability that a host reports an intermediate per-core-memory
+    /// value (e.g. 1280 MB) instead of a canonical tier.
+    pub intermediate_pcm_fraction: f64,
+    /// Probability of a non-power-of-two core count (paper: <0.3%).
+    pub non_pow2_core_fraction: f64,
+    /// Probability that a host's reports are corrupt (paper discards
+    /// 0.12%).
+    pub corrupt_fraction: f64,
+    /// σ of the multiplicative random walk applied to available disk at
+    /// each contact.
+    pub disk_drift_sigma: f64,
+    /// Per-contact probability of a memory upgrade (per-core memory
+    /// moves up one tier).
+    pub memory_upgrade_prob: f64,
+}
+
+impl WorldParams {
+    /// Parameters at a given population scale.
+    pub fn with_scale(scale: f64, seed: u64) -> Self {
+        Self {
+            seed,
+            // Start early enough that the population age mixture is in
+            // steady state by 2006, and run slightly past September
+            // 2010 so the paper's final Sep-1-2010 snapshot has full
+            // activity coverage (a host is only "active" at T if some
+            // later contact exists).
+            start: SimDate::from_year(2004.0),
+            end: SimDate::from_year(2010.8),
+            base_arrivals_per_day: 1120.0,
+            arrival_growth_per_year: 0.18,
+            scale,
+            lifetime_shape: 0.58,
+            lifetime_scale_2006: 185.0,
+            lifetime_trend_per_year: -0.23,
+            lifetime_quality_penalty: 0.08,
+            hardware_lead_years: 1.1,
+            contact_interval_days: 20.0,
+            benchmark_noise: 0.02,
+            contention_per_log2_cores: 0.015,
+            benchmark_spike_fraction: 0.12,
+            intermediate_pcm_fraction: 0.15,
+            non_pow2_core_fraction: 0.003,
+            corrupt_fraction: 0.0012,
+            disk_drift_sigma: 0.04,
+            memory_upgrade_prob: 0.0015,
+        }
+    }
+
+    /// Arrival rate (hosts/day) at `date`, after scaling.
+    pub fn arrival_rate(&self, date: SimDate) -> f64 {
+        self.scale
+            * self.base_arrivals_per_day
+            * (self.arrival_growth_per_year * date.years_since_2006()).exp()
+    }
+
+    /// Weibull scale (days) for a host created at `date`, before the
+    /// quality penalty.
+    pub fn lifetime_scale(&self, created: SimDate) -> f64 {
+        self.lifetime_scale_2006
+            * (self.lifetime_trend_per_year * created.years_since_2006()).exp()
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.scale > 0.0) {
+            return Err(format!("scale must be > 0, got {}", self.scale));
+        }
+        if self.end <= self.start {
+            return Err("end must be after start".into());
+        }
+        if !(self.lifetime_shape > 0.0) {
+            return Err("lifetime_shape must be > 0".into());
+        }
+        if !(self.contact_interval_days > 0.0) {
+            return Err("contact_interval_days must be > 0".into());
+        }
+        for (name, v) in [
+            ("benchmark_spike_fraction", self.benchmark_spike_fraction),
+            ("intermediate_pcm_fraction", self.intermediate_pcm_fraction),
+            ("non_pow2_core_fraction", self.non_pow2_core_fraction),
+            ("corrupt_fraction", self.corrupt_fraction),
+            ("memory_upgrade_prob", self.memory_upgrade_prob),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(format!("{name} must be a probability, got {v}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for WorldParams {
+    /// Full SETI@home scale (use [`WorldParams::with_scale`] with a
+    /// small factor for experiments).
+    fn default() -> Self {
+        Self::with_scale(1.0, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(WorldParams::default().validate().is_ok());
+        assert!(WorldParams::with_scale(0.01, 5).validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_params_detected() {
+        let mut p = WorldParams::with_scale(0.01, 1);
+        p.scale = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = WorldParams::with_scale(0.01, 1);
+        p.end = p.start;
+        assert!(p.validate().is_err());
+        let mut p = WorldParams::with_scale(0.01, 1);
+        p.corrupt_fraction = 1.5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn arrival_rate_grows() {
+        let p = WorldParams::with_scale(1.0, 1);
+        let r2006 = p.arrival_rate(SimDate::from_year(2006.0));
+        let r2010 = p.arrival_rate(SimDate::from_year(2010.0));
+        assert!((r2006 - 1120.0).abs() < 1e-9);
+        assert!(r2010 > r2006 * 1.8 && r2010 < r2006 * 2.5);
+    }
+
+    #[test]
+    fn lifetime_scale_shrinks_for_newer_hosts() {
+        let p = WorldParams::with_scale(1.0, 1);
+        let l2005 = p.lifetime_scale(SimDate::from_year(2005.0));
+        let l2009 = p.lifetime_scale(SimDate::from_year(2009.0));
+        assert!(l2005 > l2009 * 2.0, "2005 {l2005} vs 2009 {l2009}");
+    }
+
+    #[test]
+    fn steady_state_active_count_in_paper_band() {
+        // Little's law: active ≈ arrival rate × mean lifetime. At scale
+        // 1 and 2006 rates: 1120/day × (185·Γ(1+1/0.58) ≈ 290 d) ≈ 325k.
+        let p = WorldParams::default();
+        let rate = p.arrival_rate(SimDate::from_year(2006.0));
+        let mean_life = 185.0 * resmodel_stats::special::gamma(1.0 + 1.0 / 0.58);
+        let active = rate * mean_life;
+        assert!(active > 280_000.0 && active < 380_000.0, "active {active}");
+    }
+}

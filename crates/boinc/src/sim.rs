@@ -1,0 +1,333 @@
+//! The world simulation: host arrivals, lifetimes, server contacts and
+//! measurement recording.
+
+use crate::bench_exec::run_benchmarks;
+use crate::hardware::{corrupt_hardware, sample_hardware, Hardware};
+use crate::params::WorldParams;
+use rand::{Rng, RngExt};
+use resmodel_core::model::PCM_TIERS_MB;
+use resmodel_core::HostModel;
+use resmodel_stats::distributions::Weibull;
+use resmodel_stats::rng::{seeded, seeded_substream};
+use resmodel_stats::sampling::standard_normal;
+use resmodel_stats::Distribution;
+use resmodel_trace::gpu::{gpu_presence_fraction, sample_gpu_memory};
+use resmodel_trace::{GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, Trace};
+
+/// Run the full world simulation and return the recorded trace.
+///
+/// Deterministic: the same `params` (including `seed`) always produce a
+/// bitwise-identical trace. Host `i` draws from its own RNG substream,
+/// so populations at different scales share a common prefix.
+///
+/// # Panics
+///
+/// Panics when `params.validate()` fails; parameters are caller
+/// configuration, not runtime data.
+pub fn simulate(params: &WorldParams) -> Trace {
+    if let Err(msg) = params.validate() {
+        panic!("invalid WorldParams: {msg}");
+    }
+    let truth = HostModel::paper();
+    let mut arrivals_rng = seeded_substream(params.seed, u64::MAX);
+    let mut trace = Trace::new();
+
+    let mut t = params.start;
+    let mut id: u64 = 0;
+    loop {
+        let rate = params.arrival_rate(t).max(1e-9);
+        let u: f64 = arrivals_rng.random::<f64>();
+        t = t + (-(1.0 - u).ln() / rate);
+        if t > params.end {
+            break;
+        }
+        trace.push(simulate_host(params, &truth, id, t));
+        id += 1;
+    }
+    trace
+}
+
+/// Simulate one host's whole life: hardware, lifetime, contact schedule
+/// and every recorded measurement.
+fn simulate_host(
+    params: &WorldParams,
+    truth: &HostModel,
+    id: u64,
+    created: SimDate,
+) -> HostRecord {
+    let mut rng = seeded_substream(params.seed, id);
+    let corrupt = rng.random::<f64>() < params.corrupt_fraction;
+    let mut hw: Hardware = if corrupt {
+        corrupt_hardware(&mut rng)
+    } else {
+        sample_hardware(params, truth, created, &mut rng)
+    };
+
+    // Lifetime: Weibull with creation-date-dependent scale, shortened
+    // further for high-quality hardware (Fig 3 and Section V-B).
+    let quality = hw.quality_z.clamp(-3.0, 3.0);
+    let scale = params.lifetime_scale(created)
+        * (-params.lifetime_quality_penalty * quality).exp();
+    let lifetime = Weibull::new(params.lifetime_shape, scale.max(1e-3))
+        .expect("validated parameters")
+        .sample(&mut rng);
+    let death = created + lifetime;
+
+    let mut host = HostRecord::new(id.into(), created);
+    host.os = hw.os;
+    host.cpu = hw.cpu;
+
+    // Contact schedule: creation, then exponential gaps, then a final
+    // contact at death (when it happens inside the measurement window).
+    let mut contacts = vec![created];
+    let mut ct = created;
+    loop {
+        let u: f64 = rng.random::<f64>();
+        ct = ct + (-(1.0 - u).ln() * params.contact_interval_days);
+        if ct > death || ct > params.end {
+            break;
+        }
+        contacts.push(ct);
+    }
+    if death <= params.end && *contacts.last().expect("non-empty") < death {
+        contacts.push(death);
+    }
+
+    let mut avail_disk = hw.avail_disk_gb;
+    let mut gpu_checked = false;
+    for &when in &contacts {
+        // Disk availability drifts as the user fills/frees space.
+        avail_disk = (avail_disk * (params.disk_drift_sigma * standard_normal(&mut rng)).exp())
+            .clamp(0.01 * hw.total_disk_gb, 0.98 * hw.total_disk_gb);
+
+        // Occasional memory upgrade: move per-core memory up one tier.
+        if !corrupt && rng.random::<f64>() < params.memory_upgrade_prob {
+            if let Some(&next) = PCM_TIERS_MB
+                .iter()
+                .find(|&&tier| tier > hw.per_core_memory_mb)
+            {
+                hw.per_core_memory_mb = next;
+            }
+        }
+
+        // GPU recording began September 2009; the server asks once.
+        if !gpu_checked && when.year() >= 2009.67 {
+            gpu_checked = true;
+            if rng.random::<f64>() < gpu_presence_fraction(when.year()) {
+                host.gpu = Some(GpuInfo {
+                    class: GpuClass::sample_at(when.year(), rng.random::<f64>()),
+                    memory_mb: sample_gpu_memory(when.year(), rng.random::<f64>()),
+                    since: when,
+                });
+            }
+        }
+
+        let bench = run_benchmarks(params, &hw, &mut rng);
+        host.record(ResourceSnapshot {
+            t: when,
+            cores: hw.cores,
+            memory_mb: hw.memory_mb(),
+            whetstone_mips: bench.whetstone_mips,
+            dhrystone_mips: bench.dhrystone_mips,
+            avail_disk_gb: avail_disk,
+            total_disk_gb: hw.total_disk_gb,
+        });
+    }
+    host
+}
+
+/// Convenience: simulate and sanitize in one call, returning the clean
+/// trace (what the paper's analysis actually consumes).
+pub fn simulate_sanitized(params: &WorldParams) -> Trace {
+    let raw = simulate(params);
+    resmodel_trace::sanitize::sanitize(&raw, resmodel_trace::sanitize::SanitizeRules::default())
+        .trace
+}
+
+/// Summary statistics of a simulated world, for reports and sanity
+/// checks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldStats {
+    /// Total hosts ever seen.
+    pub total_hosts: usize,
+    /// Active hosts at the given probe date.
+    pub active_hosts: usize,
+    /// Mean lifetime (days) of hosts created before the censoring
+    /// cutoff.
+    pub mean_lifetime_days: f64,
+    /// Fraction of active hosts reporting a GPU at the probe date.
+    pub gpu_fraction: f64,
+}
+
+impl WorldStats {
+    /// Compute stats at `probe`, censoring lifetimes at `cutoff`.
+    pub fn at(trace: &Trace, probe: SimDate, cutoff: SimDate) -> Self {
+        let lifetimes = trace.lifetimes(cutoff);
+        let views = trace.population_at(probe);
+        let with_gpu = views.iter().filter(|v| v.gpu.is_some()).count();
+        Self {
+            total_hosts: trace.len(),
+            active_hosts: trace.active_count(probe),
+            mean_lifetime_days: if lifetimes.is_empty() {
+                0.0
+            } else {
+                lifetimes.iter().sum::<f64>() / lifetimes.len() as f64
+            },
+            gpu_fraction: if views.is_empty() {
+                0.0
+            } else {
+                with_gpu as f64 / views.len() as f64
+            },
+        }
+    }
+}
+
+/// Deterministically sample `n` hosts' RNG streams — exposed for tests
+/// and benchmarks that need raw per-host randomness.
+pub fn host_rng(params: &WorldParams, host_id: u64) -> impl Rng {
+    let _ = seeded(params.seed); // keep the seeding path exercised
+    seeded_substream(params.seed, host_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::correlation::pearson;
+
+    fn small_world() -> Trace {
+        simulate(&WorldParams::with_scale(0.002, 42))
+    }
+
+    #[test]
+    fn determinism() {
+        let a = simulate(&WorldParams::with_scale(0.0005, 7));
+        let b = simulate(&WorldParams::with_scale(0.0005, 7));
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.hosts().iter().zip(b.hosts()) {
+            assert_eq!(x, y);
+        }
+        let c = simulate(&WorldParams::with_scale(0.0005, 8));
+        assert_ne!(a.len(), c.len());
+    }
+
+    #[test]
+    fn active_count_in_scaled_band() {
+        let trace = small_world();
+        // Scale 0.002 of the paper's 300–350k band → roughly 600–700,
+        // allow generous slack for the small sample.
+        for &year in &[2007.0, 2008.0, 2009.0, 2010.0] {
+            let n = trace.active_count(SimDate::from_year(year));
+            assert!(n > 350 && n < 1100, "active at {year}: {n}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_fit_weibull_with_low_shape() {
+        let trace = small_world();
+        let lifetimes = trace.lifetimes(SimDate::from_year(2010.5));
+        assert!(lifetimes.len() > 2000);
+        let w = Weibull::fit_mle(&lifetimes).unwrap();
+        // Ground truth shape 0.58; censoring at the window end biases
+        // slightly, stay within a band.
+        assert!(w.shape() > 0.45 && w.shape() < 0.75, "shape {}", w.shape());
+    }
+
+    #[test]
+    fn newer_hosts_live_shorter() {
+        let trace = small_world();
+        let pairs = trace.creation_vs_lifetime(SimDate::from_year(2009.5));
+        let (ys, ls): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+        let r = pearson(&ys, &ls).unwrap();
+        assert!(r < -0.02, "creation-lifetime correlation {r}");
+    }
+
+    #[test]
+    fn corrupt_fraction_near_paper() {
+        let trace = simulate(&WorldParams::with_scale(0.005, 3));
+        let report = resmodel_trace::sanitize::sanitize(
+            &trace,
+            resmodel_trace::sanitize::SanitizeRules::default(),
+        );
+        // Paper: 0.12%. Allow wide slack for small samples.
+        assert!(
+            report.discarded_fraction > 0.0002 && report.discarded_fraction < 0.004,
+            "discarded {}",
+            report.discarded_fraction
+        );
+    }
+
+    #[test]
+    fn gpu_recording_starts_sep_2009() {
+        let trace = small_world();
+        let before: usize = trace
+            .population_at(SimDate::from_year(2009.0))
+            .iter()
+            .filter(|v| v.gpu.is_some())
+            .count();
+        assert_eq!(before, 0, "GPUs must not be recorded before Sep 2009");
+        let stats = WorldStats::at(
+            &trace,
+            SimDate::from_year(2010.6),
+            SimDate::from_year(2010.5),
+        );
+        assert!(
+            stats.gpu_fraction > 0.12 && stats.gpu_fraction < 0.35,
+            "gpu fraction {}",
+            stats.gpu_fraction
+        );
+    }
+
+    #[test]
+    fn resources_grow_over_time() {
+        let trace = small_world();
+        let mean = |year: f64, col: resmodel_trace::store::ResourceColumn| {
+            let data = trace.column_at(SimDate::from_year(year), col);
+            data.iter().sum::<f64>() / data.len() as f64
+        };
+        use resmodel_trace::store::ResourceColumn as C;
+        assert!(mean(2010.0, C::Cores) > mean(2006.0, C::Cores) * 1.3);
+        assert!(mean(2010.0, C::Memory) > mean(2006.0, C::Memory) * 1.8);
+        assert!(mean(2010.0, C::Dhrystone) > mean(2006.0, C::Dhrystone) * 1.4);
+        assert!(mean(2010.0, C::Disk) > mean(2006.0, C::Disk) * 1.8);
+    }
+
+    #[test]
+    fn cross_sectional_correlations_match_table_iii_shape() {
+        let trace = simulate_sanitized(&WorldParams::with_scale(0.003, 9));
+        let date = SimDate::from_year(2009.0);
+        use resmodel_trace::store::ResourceColumn as C;
+        let cores = trace.column_at(date, C::Cores);
+        let mem = trace.column_at(date, C::Memory);
+        let whet = trace.column_at(date, C::Whetstone);
+        let dhry = trace.column_at(date, C::Dhrystone);
+        let disk = trace.column_at(date, C::Disk);
+        let r_cm = pearson(&cores, &mem).unwrap();
+        assert!(r_cm > 0.4, "cores-mem {r_cm}");
+        let r_wd = pearson(&whet, &dhry).unwrap();
+        assert!(r_wd > 0.45, "whet-dhry {r_wd}");
+        let r_dc = pearson(&disk, &cores).unwrap();
+        assert!(r_dc.abs() < 0.2, "disk-cores {r_dc}");
+    }
+
+    #[test]
+    fn snapshots_are_time_ordered_and_bounded() {
+        let trace = small_world();
+        let params = WorldParams::with_scale(0.002, 42);
+        for h in trace.hosts().iter().take(500) {
+            let snaps = h.snapshots();
+            assert!(!snaps.is_empty());
+            for w in snaps.windows(2) {
+                assert!(w[1].t >= w[0].t);
+            }
+            assert!(snaps.last().unwrap().t <= params.end);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid WorldParams")]
+    fn simulate_rejects_invalid_params() {
+        let mut p = WorldParams::with_scale(0.01, 1);
+        p.scale = -1.0;
+        simulate(&p);
+    }
+}

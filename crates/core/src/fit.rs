@@ -1,0 +1,571 @@
+//! The model-fitting pipeline: re-derive every law of the paper's model
+//! from a measurement trace (Sections V-C through V-G).
+//!
+//! Given a [`Trace`] and a set of sample dates (the paper uses yearly
+//! January snapshots 2006–2010), this module computes:
+//!
+//! * core-count tier fractions and the adjacent-tier ratio laws
+//!   (Fig 4/5, Table IV),
+//! * per-core-memory tier fractions and ratio laws (Fig 6/7, Table V),
+//! * exponential laws for the mean and variance of Whetstone, Dhrystone
+//!   and available disk (Fig 8/9, Table VI),
+//! * the 6×6 resource correlation matrix (Table III),
+//! * the Weibull lifetime fit (Fig 1),
+//! * KS-based distribution-family selection for any resource column
+//!   (the Section V-F methodology),
+//!
+//! and assembles them into a ready-to-generate [`HostModel`].
+
+use crate::model::{HostModel, MomentLaw, CORE_TIERS, PCM_TIERS_MB};
+use crate::ratio_law::{DiscreteRatioModel, RatioLaw};
+use rand::Rng;
+use resmodel_stats::describe::Summary;
+use resmodel_stats::distributions::Weibull;
+use resmodel_stats::ks::{select_family, FamilyScore, SubsampleConfig};
+use resmodel_stats::regression::{exp_law_fit, ExpLawFit};
+use resmodel_stats::{DistributionFamily, Matrix, StatsError};
+use resmodel_trace::store::ResourceColumn;
+use resmodel_trace::{HostView, SimDate, Trace};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the fitting pipeline.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitConfig {
+    /// Dates at which population snapshots are taken (paper: January 1
+    /// of 2006–2010).
+    pub sample_dates: Vec<SimDate>,
+    /// Relative tolerance for snapping per-core memory onto a canonical
+    /// tier; hosts outside every tier are ignored (the paper discards
+    /// intermediate values such as 1280 MB).
+    pub pcm_tolerance: f64,
+}
+
+impl Default for FitConfig {
+    fn default() -> Self {
+        Self {
+            sample_dates: (2006..=2010)
+                .map(|y| SimDate::from_year(y as f64))
+                .collect(),
+            pcm_tolerance: 0.15,
+        }
+    }
+}
+
+/// One fitted law with its printable label — a row of Tables IV, V
+/// or VI.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LawRow {
+    /// Row label, e.g. `"1:2 Core Ratio"`.
+    pub label: String,
+    /// The fitted `(a, b, r)`.
+    pub fit: ExpLawFit,
+}
+
+/// Everything the pipeline produced: the model plus the printable
+/// diagnostic tables.
+#[derive(Debug, Clone)]
+pub struct FitReport {
+    /// The assembled generative model.
+    pub model: HostModel,
+    /// Table IV rows (core ratios).
+    pub core_laws: Vec<LawRow>,
+    /// Table V rows (per-core-memory ratios).
+    pub pcm_laws: Vec<LawRow>,
+    /// Table VI rows (benchmark and disk moment laws).
+    pub moment_laws: Vec<LawRow>,
+    /// Table III: the 6×6 resource correlation matrix, averaged over
+    /// the sample dates (column order [`ResourceColumn::ALL`]).
+    pub correlation: Matrix,
+}
+
+/// Snap a core count onto the paper's power-of-two tiers
+/// (1, 2–3, 4–7, 8–15); `None` for 0 or ≥16.
+pub fn core_tier(cores: u32) -> Option<f64> {
+    match cores {
+        1 => Some(1.0),
+        2..=3 => Some(2.0),
+        4..=7 => Some(4.0),
+        8..=15 => Some(8.0),
+        _ => None,
+    }
+}
+
+/// Snap a per-core-memory value onto a canonical tier within `tol`
+/// relative distance; `None` when no tier is close enough.
+pub fn pcm_tier(pcm_mb: f64, tol: f64) -> Option<f64> {
+    PCM_TIERS_MB
+        .iter()
+        .find(|&&t| (pcm_mb - t).abs() / t <= tol)
+        .copied()
+}
+
+/// Count hosts per core tier in a population snapshot.
+pub fn core_tier_counts(population: &[HostView]) -> [usize; 4] {
+    let mut counts = [0usize; 4];
+    for v in population {
+        if let Some(tier) = core_tier(v.cores) {
+            let idx = CORE_TIERS.iter().position(|&t| t == tier).expect("tier in table");
+            counts[idx] += 1;
+        }
+    }
+    counts
+}
+
+/// Count hosts per per-core-memory tier in a population snapshot.
+pub fn pcm_tier_counts(population: &[HostView], tol: f64) -> [usize; 7] {
+    let mut counts = [0usize; 7];
+    for v in population {
+        if let Some(tier) = pcm_tier(v.memory_per_core_mb(), tol) {
+            let idx = PCM_TIERS_MB.iter().position(|&t| t == tier).expect("tier in table");
+            counts[idx] += 1;
+        }
+    }
+    counts
+}
+
+/// Fraction of hosts per core tier at `date` (Fig 4 series).
+pub fn core_fractions(trace: &Trace, date: SimDate) -> [f64; 4] {
+    let counts = core_tier_counts(&trace.population_at(date));
+    let total: usize = counts.iter().sum();
+    let mut out = [0.0; 4];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(&counts) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Fraction of hosts per per-core-memory tier at `date` (Fig 7 series).
+pub fn pcm_fractions(trace: &Trace, date: SimDate, tol: f64) -> [f64; 7] {
+    let counts = pcm_tier_counts(&trace.population_at(date), tol);
+    let total: usize = counts.iter().sum();
+    let mut out = [0.0; 7];
+    if total > 0 {
+        for (o, &c) in out.iter_mut().zip(&counts) {
+            *o = c as f64 / total as f64;
+        }
+    }
+    out
+}
+
+/// Fit the ratio series `counts[i]/counts[i+1]` over `dates` to an
+/// exponential law, for each adjacent pair of a tier chain.
+fn fit_ratio_chain<const N: usize>(
+    per_date_counts: &[[usize; N]],
+    dates: &[SimDate],
+    label_of: impl Fn(usize) -> String,
+) -> crate::Result<Vec<LawRow>> {
+    let mut rows = Vec::with_capacity(N - 1);
+    for i in 0..N - 1 {
+        let mut ts = Vec::new();
+        let mut ratios = Vec::new();
+        for (date, counts) in dates.iter().zip(per_date_counts) {
+            if counts[i] > 0 && counts[i + 1] > 0 {
+                ts.push(date.years_since_2006());
+                ratios.push(counts[i] as f64 / counts[i + 1] as f64);
+            }
+        }
+        if ts.len() < 2 {
+            return Err(StatsError::EmptyData {
+                what: "ratio-law fit (too few dates with both tiers populated)",
+                needed: 2,
+                got: ts.len(),
+            });
+        }
+        rows.push(LawRow {
+            label: label_of(i),
+            fit: exp_law_fit(&ts, &ratios)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Fit the paper's Table IV core-ratio laws from a trace.
+///
+/// # Errors
+///
+/// Fails when fewer than two sample dates have both tiers of some pair
+/// populated.
+pub fn fit_core_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawRow>> {
+    let counts: Vec<[usize; 4]> = dates
+        .iter()
+        .map(|&d| core_tier_counts(&trace.population_at(d)))
+        .collect();
+    fit_ratio_chain(&counts, dates, |i| {
+        format!("{}:{} Core Ratio", CORE_TIERS[i], CORE_TIERS[i + 1])
+    })
+}
+
+/// Fit the paper's Table V per-core-memory ratio laws from a trace.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_core_laws`].
+pub fn fit_pcm_laws(trace: &Trace, dates: &[SimDate], tol: f64) -> crate::Result<Vec<LawRow>> {
+    let counts: Vec<[usize; 7]> = dates
+        .iter()
+        .map(|&d| pcm_tier_counts(&trace.population_at(d), tol))
+        .collect();
+    fit_ratio_chain(&counts, dates, |i| {
+        format!(
+            "{}MB:{}MB Ratio",
+            PCM_TIERS_MB[i] as u32,
+            PCM_TIERS_MB[i + 1] as u32
+        )
+    })
+}
+
+/// Fit the paper's Table VI moment laws (Whetstone/Dhrystone/disk mean
+/// and variance) from a trace.
+///
+/// # Errors
+///
+/// Fails when any sample date has an empty population.
+pub fn fit_moment_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawRow>> {
+    let columns = [
+        (ResourceColumn::Dhrystone, "Dhrystone"),
+        (ResourceColumn::Whetstone, "Whetstone"),
+        (ResourceColumn::Disk, "Disk Space"),
+    ];
+    let mut rows = Vec::with_capacity(6);
+    for (col, name) in columns {
+        let mut ts = Vec::new();
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        for &d in dates {
+            let data = trace.column_at(d, col);
+            if data.is_empty() {
+                return Err(StatsError::EmptyData {
+                    what: "moment-law fit (empty population at a sample date)",
+                    needed: 1,
+                    got: 0,
+                });
+            }
+            let s = Summary::of(&data)?;
+            ts.push(d.years_since_2006());
+            means.push(s.mean);
+            vars.push(s.variance);
+        }
+        rows.push(LawRow {
+            label: format!("{name} Mean"),
+            fit: exp_law_fit(&ts, &means)?,
+        });
+        rows.push(LawRow {
+            label: format!("{name} Variance"),
+            fit: exp_law_fit(&ts, &vars)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// The 6×6 resource correlation matrix at one date (Table III, column
+/// order [`ResourceColumn::ALL`]).
+///
+/// # Errors
+///
+/// Fails when the population is too small or a column is constant.
+pub fn correlation_at(trace: &Trace, date: SimDate) -> crate::Result<Matrix> {
+    let pop = trace.population_at(date);
+    let cols: Vec<Vec<f64>> = ResourceColumn::ALL
+        .iter()
+        .map(|c| pop.iter().map(|v| c.extract(v)).collect())
+        .collect();
+    let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    resmodel_stats::correlation::correlation_matrix(&refs)
+}
+
+/// Average of the per-date correlation matrices over `dates` — the
+/// pipeline's Table III estimate (avoids trend-induced inflation that
+/// pooling across years would introduce).
+///
+/// # Errors
+///
+/// Propagates [`correlation_at`] failures.
+pub fn average_correlation(trace: &Trace, dates: &[SimDate]) -> crate::Result<Matrix> {
+    if dates.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "average_correlation",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut acc = Matrix::new(6, 6);
+    for &d in dates {
+        let m = correlation_at(trace, d)?;
+        for i in 0..6 {
+            for j in 0..6 {
+                acc.set(i, j, acc.get(i, j) + m.get(i, j) / dates.len() as f64);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Indices of (Mem/Core, Whet, Dhry) within [`ResourceColumn::ALL`].
+const MODEL_CORR_IDX: [usize; 3] = [2, 3, 4];
+
+/// Extract the 3×3 (mem/core, whet, dhry) submatrix the generator
+/// correlates (Section V-F).
+pub fn model_correlation(full: &Matrix) -> Matrix {
+    let mut m = Matrix::new(3, 3);
+    for (i, &a) in MODEL_CORR_IDX.iter().enumerate() {
+        for (j, &b) in MODEL_CORR_IDX.iter().enumerate() {
+            m.set(i, j, full.get(a, b));
+        }
+    }
+    m
+}
+
+/// Run the complete pipeline: fit every law and assemble a
+/// [`HostModel`].
+///
+/// # Errors
+///
+/// Propagates any individual fit failure (empty populations, degenerate
+/// ratio series, non-positive-definite correlations).
+pub fn fit_host_model(trace: &Trace, config: &FitConfig) -> crate::Result<FitReport> {
+    let dates = &config.sample_dates;
+    let core_laws = fit_core_laws(trace, dates)?;
+    let pcm_laws = fit_pcm_laws(trace, dates, config.pcm_tolerance)?;
+    let moment_laws = fit_moment_laws(trace, dates)?;
+    let correlation = average_correlation(trace, dates)?;
+
+    let cores = DiscreteRatioModel::new(
+        CORE_TIERS.to_vec(),
+        core_laws.iter().map(|r| RatioLaw::from(r.fit)).collect(),
+    )?;
+    let pcm = DiscreteRatioModel::new(
+        PCM_TIERS_MB.to_vec(),
+        pcm_laws.iter().map(|r| RatioLaw::from(r.fit)).collect(),
+    )?;
+
+    let law = |label: &str| -> MomentLaw {
+        let row = moment_laws
+            .iter()
+            .find(|r| r.label == label)
+            .expect("all six moment rows are generated above");
+        MomentLaw::new(row.fit.a, row.fit.b)
+    };
+
+    let model = HostModel::new(
+        cores,
+        pcm,
+        &model_correlation(&correlation),
+        law("Whetstone Mean"),
+        law("Whetstone Variance"),
+        law("Dhrystone Mean"),
+        law("Dhrystone Variance"),
+        law("Disk Space Mean"),
+        law("Disk Space Variance"),
+    )?;
+
+    Ok(FitReport {
+        model,
+        core_laws,
+        pcm_laws,
+        moment_laws,
+        correlation,
+    })
+}
+
+/// Fit the host-lifetime Weibull (Fig 1), applying the paper's
+/// censoring rule at `created_cutoff`.
+///
+/// # Errors
+///
+/// Fails when the censored lifetime sample is too small or degenerate.
+pub fn lifetime_weibull(trace: &Trace, created_cutoff: SimDate) -> crate::Result<Weibull> {
+    Weibull::fit_mle(&trace.lifetimes(created_cutoff))
+}
+
+/// Rank the seven candidate distribution families for one resource
+/// column at one date using the paper's subsampled KS procedure.
+///
+/// # Errors
+///
+/// Fails when the population at `date` is empty.
+pub fn select_resource_family(
+    trace: &Trace,
+    date: SimDate,
+    column: ResourceColumn,
+    config: SubsampleConfig,
+    rng: &mut dyn Rng,
+) -> crate::Result<Vec<FamilyScore>> {
+    let data = trace.column_at(date, column);
+    select_family(&data, &DistributionFamily::ALL, config, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::HostGenerator;
+    use resmodel_trace::{HostRecord, ResourceSnapshot};
+
+    /// Build a synthetic trace by sampling the paper model itself at a
+    /// range of dates — the fitting pipeline should then approximately
+    /// recover the paper's constants (closed loop).
+    fn model_trace(hosts_per_year: usize) -> Trace {
+        let model = HostModel::paper();
+        let mut trace = Trace::new();
+        let mut id = 0u64;
+        for year in 2006..=2010 {
+            let date = SimDate::from_year(year as f64);
+            for h in model.generate_population(date, hosts_per_year, year as u64) {
+                let mut rec = HostRecord::new(id.into(), date + -30.0);
+                // Active exactly around the sample date.
+                for dt in [-10.0, 10.0] {
+                    rec.record(ResourceSnapshot {
+                        t: date + dt,
+                        cores: h.cores,
+                        memory_mb: h.memory_mb,
+                        whetstone_mips: h.whetstone_mips,
+                        dhrystone_mips: h.dhrystone_mips,
+                        avail_disk_gb: h.avail_disk_gb,
+                        total_disk_gb: h.avail_disk_gb * 2.0,
+                    });
+                }
+                trace.push(rec);
+                id += 1;
+            }
+        }
+        trace
+    }
+
+    #[test]
+    fn tier_snapping() {
+        assert_eq!(core_tier(1), Some(1.0));
+        assert_eq!(core_tier(3), Some(2.0));
+        assert_eq!(core_tier(6), Some(4.0));
+        assert_eq!(core_tier(12), Some(8.0));
+        assert_eq!(core_tier(16), None);
+        assert_eq!(core_tier(0), None);
+
+        assert_eq!(pcm_tier(512.0, 0.15), Some(512.0));
+        assert_eq!(pcm_tier(540.0, 0.15), Some(512.0));
+        assert_eq!(pcm_tier(1280.0, 0.15), None);
+        assert_eq!(pcm_tier(4000.0, 0.15), Some(4096.0));
+    }
+
+    #[test]
+    fn fractions_sum_to_one_on_model_trace() {
+        let trace = model_trace(400);
+        let f = core_fractions(&trace, SimDate::from_year(2008.0));
+        assert!((f.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        let pf = pcm_fractions(&trace, SimDate::from_year(2008.0), 0.15);
+        assert!((pf.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pipeline_recovers_paper_core_laws() {
+        let trace = model_trace(3000);
+        let rows = fit_core_laws(&trace, &FitConfig::default().sample_dates).unwrap();
+        assert_eq!(rows.len(), 3);
+        // 1:2 core ratio: a = 3.369, b = −0.5004.
+        let r12 = &rows[0];
+        assert!((r12.fit.a - 3.369).abs() / 3.369 < 0.15, "a {}", r12.fit.a);
+        assert!((r12.fit.b + 0.5004).abs() < 0.12, "b {}", r12.fit.b);
+        assert!(r12.fit.r < -0.9, "r {}", r12.fit.r);
+    }
+
+    #[test]
+    fn pipeline_recovers_moment_laws() {
+        let trace = model_trace(2000);
+        let rows = fit_moment_laws(&trace, &FitConfig::default().sample_dates).unwrap();
+        assert_eq!(rows.len(), 6);
+        let dmean = rows.iter().find(|r| r.label == "Dhrystone Mean").unwrap();
+        assert!((dmean.fit.a - 2064.0).abs() / 2064.0 < 0.05, "a {}", dmean.fit.a);
+        assert!((dmean.fit.b - 0.1709).abs() < 0.03, "b {}", dmean.fit.b);
+        let kmean = rows.iter().find(|r| r.label == "Disk Space Mean").unwrap();
+        assert!((kmean.fit.a - 31.59).abs() / 31.59 < 0.1, "a {}", kmean.fit.a);
+        assert!((kmean.fit.b - 0.2691).abs() < 0.05, "b {}", kmean.fit.b);
+    }
+
+    #[test]
+    fn full_pipeline_produces_generating_model() {
+        let trace = model_trace(1500);
+        let report = fit_host_model(&trace, &FitConfig::default()).unwrap();
+        assert_eq!(report.core_laws.len(), 3);
+        assert_eq!(report.pcm_laws.len(), 6);
+        assert_eq!(report.moment_laws.len(), 6);
+        // The refitted model must generate valid hosts.
+        let mut rng = resmodel_stats::rng::seeded(4);
+        let h = report.model.generate_host(SimDate::from_year(2010.0), &mut rng);
+        assert!(h.cores >= 1 && h.memory_mb > 0.0);
+        // Correlations should echo the paper's structure.
+        let c = &report.correlation;
+        assert!(c.get(0, 1) > 0.4, "cores-mem r {}", c.get(0, 1));
+        assert!(c.get(3, 4) > 0.4, "whet-dhry r {}", c.get(3, 4));
+        assert!(c.get(5, 0).abs() < 0.1, "disk-cores r {}", c.get(5, 0));
+    }
+
+    #[test]
+    fn correlation_matrix_structure() {
+        let trace = model_trace(800);
+        let m = correlation_at(&trace, SimDate::from_year(2009.0)).unwrap();
+        assert_eq!(m.rows(), 6);
+        for i in 0..6 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-9);
+        }
+        let sub = model_correlation(&m);
+        assert_eq!(sub.rows(), 3);
+        assert!((sub.get(1, 2) - m.get(3, 4)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn errors_on_empty_trace() {
+        let empty = Trace::new();
+        assert!(fit_core_laws(&empty, &FitConfig::default().sample_dates).is_err());
+        assert!(fit_host_model(&empty, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn lifetime_fit_on_weibull_data() {
+        use resmodel_stats::Distribution;
+        let w = Weibull::new(0.58, 135.0).unwrap();
+        let mut rng = resmodel_stats::rng::seeded(8);
+        let mut trace = Trace::new();
+        for i in 0..4000u64 {
+            let start = SimDate::from_year(2006.0) + (i as f64 % 1000.0);
+            let life = w.sample(&mut rng);
+            let mut rec = HostRecord::new(i.into(), start);
+            rec.record(ResourceSnapshot {
+                t: start,
+                cores: 1,
+                memory_mb: 512.0,
+                whetstone_mips: 1000.0,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 30.0,
+                total_disk_gb: 60.0,
+            });
+            rec.record(ResourceSnapshot {
+                t: start + life,
+                cores: 1,
+                memory_mb: 512.0,
+                whetstone_mips: 1000.0,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 30.0,
+                total_disk_gb: 60.0,
+            });
+            trace.push(rec);
+        }
+        let fit = lifetime_weibull(&trace, SimDate::from_year(2012.0)).unwrap();
+        assert!((fit.shape() - 0.58).abs() < 0.05, "k {}", fit.shape());
+        assert!((fit.scale() - 135.0).abs() / 135.0 < 0.1, "λ {}", fit.scale());
+    }
+
+    #[test]
+    fn family_selection_on_model_trace() {
+        let trace = model_trace(1200);
+        let mut rng = resmodel_stats::rng::seeded(9);
+        let ranked = select_resource_family(
+            &trace,
+            SimDate::from_year(2008.0),
+            ResourceColumn::Disk,
+            SubsampleConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+        assert_eq!(ranked[0].family, DistributionFamily::LogNormal);
+    }
+}

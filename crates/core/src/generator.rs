@@ -1,0 +1,124 @@
+//! The [`HostGenerator`] trait shared by the correlated model and the
+//! baseline models, plus the [`GeneratedHost`] output record.
+
+use rand::Rng;
+use resmodel_stats::rng::seeded_substream;
+use resmodel_trace::{HostView, SimDate};
+use serde::{Deserialize, Serialize};
+
+/// A synthetic host produced by a generative model — the five resources
+/// of the paper's host model (Section V-A).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedHost {
+    /// Number of primary processing cores.
+    pub cores: u32,
+    /// Total memory, MB.
+    pub memory_mb: f64,
+    /// Whetstone (floating-point) speed per core, MIPS.
+    pub whetstone_mips: f64,
+    /// Dhrystone (integer) speed per core, MIPS.
+    pub dhrystone_mips: f64,
+    /// Available disk, GB.
+    pub avail_disk_gb: f64,
+}
+
+impl GeneratedHost {
+    /// Memory per core, MB.
+    pub fn memory_per_core_mb(&self) -> f64 {
+        self.memory_mb / self.cores.max(1) as f64
+    }
+}
+
+impl From<&HostView> for GeneratedHost {
+    /// Project a trace host view onto the five modelled resources.
+    fn from(v: &HostView) -> Self {
+        Self {
+            cores: v.cores,
+            memory_mb: v.memory_mb,
+            whetstone_mips: v.whetstone_mips,
+            dhrystone_mips: v.dhrystone_mips,
+            avail_disk_gb: v.avail_disk_gb,
+        }
+    }
+}
+
+/// A generative model of host resources at a chosen date.
+///
+/// Implemented by the paper's correlated [`HostModel`](crate::HostModel)
+/// and by the baseline models in `resmodel-baselines`; the utility
+/// simulation treats all three uniformly through this trait.
+pub trait HostGenerator {
+    /// Short label for reports (e.g. `"correlated"`).
+    fn label(&self) -> &'static str;
+
+    /// Generate one host as of `date`.
+    fn generate_host(&self, date: SimDate, rng: &mut dyn Rng) -> GeneratedHost;
+
+    /// Generate a population of `n` hosts as of `date`, deterministically
+    /// derived from `seed`.
+    fn generate_population(&self, date: SimDate, n: usize, seed: u64) -> Vec<GeneratedHost> {
+        let mut rng = seeded_substream(seed, date.days().to_bits());
+        (0..n).map(|_| self.generate_host(date, &mut rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct ConstGen;
+
+    impl HostGenerator for ConstGen {
+        fn label(&self) -> &'static str {
+            "const"
+        }
+
+        fn generate_host(&self, _date: SimDate, _rng: &mut dyn Rng) -> GeneratedHost {
+            GeneratedHost {
+                cores: 2,
+                memory_mb: 2048.0,
+                whetstone_mips: 1000.0,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 50.0,
+            }
+        }
+    }
+
+    #[test]
+    fn memory_per_core() {
+        let h = GeneratedHost {
+            cores: 4,
+            memory_mb: 4096.0,
+            whetstone_mips: 1.0,
+            dhrystone_mips: 1.0,
+            avail_disk_gb: 1.0,
+        };
+        assert_eq!(h.memory_per_core_mb(), 1024.0);
+    }
+
+    #[test]
+    fn population_has_requested_size() {
+        let pop = ConstGen.generate_population(SimDate::from_year(2010.0), 17, 1);
+        assert_eq!(pop.len(), 17);
+        assert_eq!(pop[0].cores, 2);
+    }
+
+    #[test]
+    fn from_host_view_projects_resources() {
+        let v = HostView {
+            id: 1.into(),
+            cores: 8,
+            memory_mb: 8192.0,
+            whetstone_mips: 1500.0,
+            dhrystone_mips: 3000.0,
+            avail_disk_gb: 120.0,
+            total_disk_gb: 500.0,
+            os: resmodel_trace::OsFamily::Linux,
+            cpu: resmodel_trace::CpuFamily::IntelXeon,
+            gpu: None,
+        };
+        let g = GeneratedHost::from(&v);
+        assert_eq!(g.cores, 8);
+        assert_eq!(g.avail_disk_gb, 120.0);
+    }
+}

@@ -1,0 +1,354 @@
+//! A generative GPU model — the paper's third future-work item ("the
+//! use of GPUs for high performance computing is becoming common, so
+//! with more data a GPU model could be developed as well").
+//!
+//! The paper had only one year of GPU records (Sep 2009 – Sep 2010,
+//! Section V-H) and therefore excluded GPUs from its model. This module
+//! builds the model the paper sketches: an exponential presence-growth
+//! law, time-interpolated class shares, and a discrete GPU-memory tier
+//! distribution governed by the same ratio-law machinery as host memory
+//! — fittable from any trace with GPU records, and honest about the
+//! short observation window (the `r` values of the fitted laws are
+//! reported so users can judge the extrapolation risk).
+
+use crate::ratio_law::RatioLaw;
+use rand::{Rng, RngExt};
+use resmodel_stats::regression::exp_law_fit;
+use resmodel_stats::StatsError;
+use resmodel_trace::{GpuClass, SimDate, Trace};
+use serde::{Deserialize, Serialize};
+
+/// GPU memory tiers (MB) observed in the paper's Fig 10.
+pub const GPU_MEMORY_TIERS_MB: [f64; 7] =
+    [128.0, 256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0];
+
+/// A generated GPU: class and on-board memory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GeneratedGpu {
+    /// Vendor/class.
+    pub class: GpuClass,
+    /// Memory, MB.
+    pub memory_mb: f64,
+}
+
+/// The generative GPU model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuModel {
+    /// Presence law `p(t) = min(1, a·e^{b(year−2006)})` — fraction of
+    /// hosts reporting a GPU.
+    pub presence: RatioLaw,
+    /// Per-class share laws (same exponential form, renormalised at
+    /// evaluation).
+    pub class_shares: Vec<(GpuClass, RatioLaw)>,
+    /// Adjacent-tier memory ratio laws (tier i : tier i+1).
+    pub memory_ratios: Vec<RatioLaw>,
+    /// Goodness-of-fit `r` of the presence law (users should treat
+    /// |r| far below 1 as a warning that the window was too short).
+    pub presence_r: f64,
+}
+
+impl GpuModel {
+    /// Fit from the GPU-bearing population snapshots of `trace` at
+    /// `dates` (which must fall after GPU recording began, Sep 2009).
+    ///
+    /// # Errors
+    ///
+    /// Fails when fewer than two dates have any GPU-bearing hosts, or a
+    /// law fit degenerates.
+    pub fn fit(trace: &Trace, dates: &[SimDate]) -> Result<Self, StatsError> {
+        let mut ts = Vec::new();
+        let mut presence = Vec::new();
+        let mut class_counts: Vec<[f64; 4]> = Vec::new();
+        let mut tier_counts: Vec<[f64; 7]> = Vec::new();
+
+        for &d in dates {
+            let pop = trace.population_at(d);
+            if pop.is_empty() {
+                continue;
+            }
+            let gpus: Vec<_> = pop.iter().filter_map(|v| v.gpu).collect();
+            if gpus.is_empty() {
+                continue;
+            }
+            ts.push(d.years_since_2006());
+            presence.push(gpus.len() as f64 / pop.len() as f64);
+            let mut cc = [0.0; 4];
+            for g in &gpus {
+                let idx = GpuClass::ALL.iter().position(|&c| c == g.class).expect("known class");
+                cc[idx] += 1.0;
+            }
+            class_counts.push(cc);
+            let mut tc = [0.0; 7];
+            for g in &gpus {
+                if let Some(idx) = GPU_MEMORY_TIERS_MB
+                    .iter()
+                    .position(|&t| (g.memory_mb - t).abs() / t < 0.15)
+                {
+                    tc[idx] += 1.0;
+                }
+            }
+            tier_counts.push(tc);
+        }
+
+        if ts.len() < 2 {
+            return Err(StatsError::EmptyData {
+                what: "GpuModel::fit (needs ≥2 dates with GPU records)",
+                needed: 2,
+                got: ts.len(),
+            });
+        }
+
+        let presence_fit = exp_law_fit(&ts, &presence)?;
+
+        // Class-share laws: fit each class's share series; classes that
+        // vanish at some date get a tiny floor so the log fit stays
+        // defined.
+        let mut class_shares = Vec::new();
+        for (i, &class) in GpuClass::ALL.iter().enumerate() {
+            let series: Vec<f64> = class_counts
+                .iter()
+                .map(|cc| {
+                    let total: f64 = cc.iter().sum();
+                    (cc[i] / total.max(1.0)).max(1e-4)
+                })
+                .collect();
+            class_shares.push((class, RatioLaw::from(exp_law_fit(&ts, &series)?)));
+        }
+
+        // Memory ratio chain: pool sparse tiers with a floor of one
+        // host so ratios stay finite at small scales.
+        let mut memory_ratios = Vec::new();
+        for i in 0..GPU_MEMORY_TIERS_MB.len() - 1 {
+            let ratios: Vec<f64> = tier_counts
+                .iter()
+                .map(|tc| tc[i].max(0.5) / tc[i + 1].max(0.5))
+                .collect();
+            memory_ratios.push(RatioLaw::from(exp_law_fit(&ts, &ratios)?));
+        }
+
+        Ok(Self {
+            presence: RatioLaw::new(presence_fit.a, presence_fit.b),
+            class_shares,
+            memory_ratios,
+            presence_r: presence_fit.r,
+        })
+    }
+
+    /// Fraction of hosts with a GPU at `date` (clamped to `[0, 1]`).
+    pub fn presence_at(&self, date: SimDate) -> f64 {
+        self.presence.ratio_at(date).clamp(0.0, 1.0)
+    }
+
+    /// Normalised class shares at `date`.
+    pub fn class_shares_at(&self, date: SimDate) -> Vec<(GpuClass, f64)> {
+        let raw: Vec<f64> = self
+            .class_shares
+            .iter()
+            .map(|(_, law)| law.ratio_at(date).max(0.0))
+            .collect();
+        let total: f64 = raw.iter().sum();
+        self.class_shares
+            .iter()
+            .zip(raw)
+            .map(|((c, _), w)| (*c, if total > 0.0 { w / total } else { 0.0 }))
+            .collect()
+    }
+
+    /// GPU-memory tier probabilities at `date`.
+    pub fn memory_probabilities(&self, date: SimDate) -> Vec<f64> {
+        let n = GPU_MEMORY_TIERS_MB.len();
+        let mut w = vec![0.0; n];
+        w[n - 1] = 1.0;
+        for i in (0..n - 1).rev() {
+            w[i] = w[i + 1] * self.memory_ratios[i].ratio_at(date).max(0.0);
+        }
+        let total: f64 = w.iter().sum();
+        if total > 0.0 {
+            for x in &mut w {
+                *x /= total;
+            }
+        }
+        w
+    }
+
+    /// Expected GPU memory at `date`, MB.
+    pub fn mean_memory_mb(&self, date: SimDate) -> f64 {
+        self.memory_probabilities(date)
+            .iter()
+            .zip(&GPU_MEMORY_TIERS_MB)
+            .map(|(p, v)| p * v)
+            .sum()
+    }
+
+    /// Sample a host's GPU at `date`: `None` when the host has no GPU.
+    pub fn sample(&self, date: SimDate, rng: &mut dyn Rng) -> Option<GeneratedGpu> {
+        if rng.random::<f64>() >= self.presence_at(date) {
+            return None;
+        }
+        // Class.
+        let shares = self.class_shares_at(date);
+        let mut u = rng.random::<f64>();
+        let mut class = shares.last().map(|(c, _)| *c).unwrap_or(GpuClass::GeForce);
+        for (c, w) in &shares {
+            if u < *w {
+                class = *c;
+                break;
+            }
+            u -= w;
+        }
+        // Memory tier.
+        let probs = self.memory_probabilities(date);
+        let mut v = rng.random::<f64>();
+        let mut memory_mb = *GPU_MEMORY_TIERS_MB.last().expect("non-empty tier table");
+        for (p, &tier) in probs.iter().zip(&GPU_MEMORY_TIERS_MB) {
+            if v < *p {
+                memory_mb = tier;
+                break;
+            }
+            v -= p;
+        }
+        Some(GeneratedGpu { class, memory_mb })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::rng::seeded;
+    use resmodel_trace::{GpuInfo, HostRecord, ResourceSnapshot};
+
+    /// Build a toy trace with GPU penetration growing 10% → 30% over
+    /// 2009.75–2010.6, GeForce share shrinking, memory growing.
+    fn gpu_trace() -> Trace {
+        let mut trace = Trace::new();
+        let mut rng = seeded(100);
+        let mut id = 0u64;
+        for q in 0..4 {
+            let year = 2009.75 + q as f64 * 0.3;
+            let date = SimDate::from_year(year);
+            let presence = 0.10 + 0.07 * q as f64;
+            for i in 0..800u64 {
+                let mut h = HostRecord::new(id.into(), date + -20.0);
+                id += 1;
+                for dt in [-10.0, 10.0] {
+                    h.record(ResourceSnapshot {
+                        t: date + dt,
+                        cores: 2,
+                        memory_mb: 2048.0,
+                        whetstone_mips: 1500.0,
+                        dhrystone_mips: 3000.0,
+                        avail_disk_gb: 60.0,
+                        total_disk_gb: 120.0,
+                    });
+                }
+                use rand::RngExt;
+                if (i as f64 / 800.0) < presence {
+                    let class = if rng.random::<f64>() < 0.8 - 0.05 * q as f64 {
+                        GpuClass::GeForce
+                    } else {
+                        GpuClass::Radeon
+                    };
+                    let memory_mb = if rng.random::<f64>() < 0.2 + 0.1 * q as f64 {
+                        1024.0
+                    } else {
+                        512.0
+                    };
+                    h.gpu = Some(GpuInfo {
+                        class,
+                        memory_mb,
+                        since: date + -10.0,
+                    });
+                }
+                trace.push(h);
+            }
+        }
+        trace
+    }
+
+    fn quarterly_dates() -> Vec<SimDate> {
+        (0..4).map(|q| SimDate::from_year(2009.75 + q as f64 * 0.3)).collect()
+    }
+
+    #[test]
+    fn fit_recovers_presence_growth() {
+        let model = GpuModel::fit(&gpu_trace(), &quarterly_dates()).unwrap();
+        let p_start = model.presence_at(SimDate::from_year(2009.75));
+        let p_end = model.presence_at(SimDate::from_year(2010.65));
+        assert!((p_start - 0.10).abs() < 0.03, "start {p_start}");
+        assert!((p_end - 0.31).abs() < 0.06, "end {p_end}");
+        assert!(model.presence_r > 0.9, "presence fit r {}", model.presence_r);
+    }
+
+    #[test]
+    fn class_shares_shift() {
+        let model = GpuModel::fit(&gpu_trace(), &quarterly_dates()).unwrap();
+        let share = |y: f64, c: GpuClass| {
+            model
+                .class_shares_at(SimDate::from_year(y))
+                .into_iter()
+                .find(|(k, _)| *k == c)
+                .unwrap()
+                .1
+        };
+        assert!(share(2009.75, GpuClass::GeForce) > share(2010.65, GpuClass::GeForce));
+        assert!(share(2010.65, GpuClass::Radeon) > share(2009.75, GpuClass::Radeon));
+        let total: f64 = model
+            .class_shares_at(SimDate::from_year(2010.2))
+            .iter()
+            .map(|(_, w)| w)
+            .sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn memory_distribution_grows() {
+        let model = GpuModel::fit(&gpu_trace(), &quarterly_dates()).unwrap();
+        let m_start = model.mean_memory_mb(SimDate::from_year(2009.75));
+        let m_end = model.mean_memory_mb(SimDate::from_year(2010.65));
+        assert!(m_end > m_start, "memory should grow: {m_start} → {m_end}");
+        let probs = model.memory_probabilities(SimDate::from_year(2010.0));
+        assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_respects_presence() {
+        let model = GpuModel::fit(&gpu_trace(), &quarterly_dates()).unwrap();
+        let mut rng = seeded(7);
+        let date = SimDate::from_year(2010.5);
+        let n = 20_000;
+        let with_gpu = (0..n).filter(|_| model.sample(date, &mut rng).is_some()).count();
+        let frac = with_gpu as f64 / n as f64;
+        let expect = model.presence_at(date);
+        assert!((frac - expect).abs() < 0.02, "sampled {frac} vs law {expect}");
+    }
+
+    #[test]
+    fn sampled_gpus_use_known_tiers() {
+        let model = GpuModel::fit(&gpu_trace(), &quarterly_dates()).unwrap();
+        let mut rng = seeded(8);
+        let date = SimDate::from_year(2010.3);
+        for _ in 0..2000 {
+            if let Some(g) = model.sample(date, &mut rng) {
+                assert!(GPU_MEMORY_TIERS_MB.contains(&g.memory_mb));
+                assert!(GpuClass::ALL.contains(&g.class));
+            }
+        }
+    }
+
+    #[test]
+    fn fit_rejects_gpu_free_trace() {
+        let mut trace = Trace::new();
+        let mut h = HostRecord::new(1.into(), SimDate::from_year(2008.0));
+        h.record(ResourceSnapshot {
+            t: SimDate::from_year(2008.1),
+            cores: 1,
+            memory_mb: 512.0,
+            whetstone_mips: 1000.0,
+            dhrystone_mips: 2000.0,
+            avail_disk_gb: 30.0,
+            total_disk_gb: 60.0,
+        });
+        trace.push(h);
+        assert!(GpuModel::fit(&trace, &[SimDate::from_year(2008.1)]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! # resmodel-core
+//!
+//! The generative, correlated, time-evolving model of Internet end-host
+//! resources from *"Correlated Resource Models of Internet End Hosts"*
+//! (Heien, Kondo & Anderson, ICDCS 2011) — this crate is the paper's
+//! primary contribution.
+//!
+//! ## The model in one paragraph
+//!
+//! A host has five resources: core count, memory, integer speed
+//! (Dhrystone), floating-point speed (Whetstone) and available disk.
+//! Core counts and per-core memory are discrete, governed by chains of
+//! exponential *ratio laws* `a·e^{b(year−2006)}` between adjacent tiers
+//! ([`ratio_law`]). Benchmark speeds are correlated normals — correlated
+//! with each other and with per-core memory through a Cholesky factor of
+//! the empirical correlation matrix — whose mean and variance follow
+//! exponential growth laws. Available disk is an independent log-normal,
+//! also with exponentially growing moments. [`HostModel`] packages all
+//! of this; [`HostModel::paper`] ships the published Table X constants
+//! and [`fit::fit_host_model`] re-derives them from any measurement
+//! trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use resmodel_core::{HostGenerator, HostModel};
+//! use resmodel_trace::SimDate;
+//!
+//! let model = HostModel::paper();
+//! let mut rng = resmodel_stats::rng::seeded(7);
+//! let host = model.generate_host(SimDate::from_year(2010.67), &mut rng);
+//! assert!(host.cores.is_power_of_two());
+//! assert!(host.memory_mb > 0.0 && host.avail_disk_gb > 0.0);
+//! ```
+
+pub mod fit;
+pub mod generator;
+pub mod gpu_model;
+pub mod model;
+pub mod persist;
+pub mod predict;
+pub mod ratio_law;
+pub mod validate;
+
+pub use generator::{GeneratedHost, HostGenerator};
+pub use model::{HostModel, ModelSummaryRow};
+pub use ratio_law::{DiscreteRatioModel, RatioLaw};
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, resmodel_stats::StatsError>;

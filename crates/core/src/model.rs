@@ -1,0 +1,480 @@
+//! The [`HostModel`]: the paper's complete generative model (Fig 11)
+//! with the published Table X parameterisation.
+
+use crate::generator::{GeneratedHost, HostGenerator};
+use crate::ratio_law::{DiscreteRatioModel, RatioLaw};
+use rand::Rng;
+use resmodel_stats::distributions::LogNormal;
+use resmodel_stats::regression::ExpLawFit;
+use resmodel_stats::sampling::CorrelatedNormals;
+use resmodel_stats::special::norm_cdf;
+use resmodel_stats::{Distribution, Matrix};
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// An exponential evolution law for a distribution moment
+/// (`value(t) = a·e^{b·t}`, `t` years since 2006).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MomentLaw {
+    /// Value at the start of 2006.
+    pub a: f64,
+    /// Exponential rate per year.
+    pub b: f64,
+}
+
+impl MomentLaw {
+    /// Create a law with the given constants.
+    pub fn new(a: f64, b: f64) -> Self {
+        Self { a, b }
+    }
+
+    /// Evaluate at `date`.
+    pub fn at(&self, date: SimDate) -> f64 {
+        self.a * (self.b * date.years_since_2006()).exp()
+    }
+}
+
+impl From<ExpLawFit> for MomentLaw {
+    fn from(f: ExpLawFit) -> Self {
+        Self { a: f.a, b: f.b }
+    }
+}
+
+/// The paper's full generative host model.
+///
+/// Construction paths:
+///
+/// * [`HostModel::paper`] — the published constants (Table X).
+/// * [`crate::fit::fit_host_model`] — refit from a measurement trace.
+/// * [`HostModel::new`] — assemble from parts.
+///
+/// Generation (Fig 11): select a date → sample a core count from the
+/// ratio-law distribution → draw three correlated standard normals →
+/// map the first through `Φ` to a uniform that selects the per-core
+/// memory tier → renormalise the other two to the predicted
+/// Whetstone/Dhrystone mean and variance → total memory = cores ×
+/// per-core memory → sample disk from the predicted log-normal.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HostModel {
+    cores: DiscreteRatioModel,
+    per_core_memory: DiscreteRatioModel,
+    correlated: CorrelatedNormals,
+    whetstone_mean: MomentLaw,
+    whetstone_variance: MomentLaw,
+    dhrystone_mean: MomentLaw,
+    dhrystone_variance: MomentLaw,
+    disk_mean: MomentLaw,
+    disk_variance: MomentLaw,
+}
+
+/// Canonical per-core-memory tiers in MB (paper Section V-E; the 4096
+/// tier closes the Table V `2GB:4GB` ratio chain).
+pub const PCM_TIERS_MB: [f64; 7] = [256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0, 4096.0];
+
+/// Canonical core-count tiers (powers of two up to 8, per Section V-D).
+pub const CORE_TIERS: [f64; 4] = [1.0, 2.0, 4.0, 8.0];
+
+impl HostModel {
+    /// Assemble a model from its parts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the correlation matrix is not 3×3 positive
+    /// definite (order: per-core memory, Whetstone, Dhrystone).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        cores: DiscreteRatioModel,
+        per_core_memory: DiscreteRatioModel,
+        correlation: &Matrix,
+        whetstone_mean: MomentLaw,
+        whetstone_variance: MomentLaw,
+        dhrystone_mean: MomentLaw,
+        dhrystone_variance: MomentLaw,
+        disk_mean: MomentLaw,
+        disk_variance: MomentLaw,
+    ) -> crate::Result<Self> {
+        if correlation.rows() != 3 || correlation.cols() != 3 {
+            return Err(resmodel_stats::StatsError::DimensionMismatch {
+                expected: "3x3 correlation matrix (mem/core, whet, dhry)".into(),
+            });
+        }
+        Ok(Self {
+            cores,
+            per_core_memory,
+            correlated: CorrelatedNormals::new(correlation)?,
+            whetstone_mean,
+            whetstone_variance,
+            dhrystone_mean,
+            dhrystone_variance,
+            disk_mean,
+            disk_variance,
+        })
+    }
+
+    /// The model with the paper's published constants (Table X and the
+    /// Section V-F correlation matrix).
+    pub fn paper() -> Self {
+        let cores = DiscreteRatioModel::new(
+            CORE_TIERS.to_vec(),
+            vec![
+                RatioLaw::new(3.369, -0.5004),
+                RatioLaw::new(17.49, -0.3217),
+                RatioLaw::new(12.8, -0.2377),
+            ],
+        )
+        .expect("paper core tiers are valid");
+        let pcm = DiscreteRatioModel::new(
+            PCM_TIERS_MB.to_vec(),
+            vec![
+                RatioLaw::new(0.5829, -0.2517),
+                RatioLaw::new(4.89, -0.1292),
+                RatioLaw::new(0.3821, -0.1709),
+                RatioLaw::new(3.98, -0.1367),
+                RatioLaw::new(1.51, -0.0925),
+                RatioLaw::new(4.951, -0.1008),
+            ],
+        )
+        .expect("paper memory tiers are valid");
+        let r = Matrix::from_rows(&[
+            &[1.0, 0.250, 0.306],
+            &[0.250, 1.0, 0.639],
+            &[0.306, 0.639, 1.0],
+        ])
+        .expect("paper correlation matrix is well-formed");
+        Self::new(
+            cores,
+            pcm,
+            &r,
+            MomentLaw::new(1179.0, 0.1157),
+            MomentLaw::new(3.237e5, 0.1057),
+            MomentLaw::new(2064.0, 0.1709),
+            MomentLaw::new(1.379e6, 0.3313),
+            MomentLaw::new(31.59, 0.2691),
+            MomentLaw::new(2890.0, 0.5224),
+        )
+        .expect("paper constants are valid")
+    }
+
+    /// The core-count tier model.
+    pub fn cores(&self) -> &DiscreteRatioModel {
+        &self.cores
+    }
+
+    /// The per-core-memory tier model.
+    pub fn per_core_memory(&self) -> &DiscreteRatioModel {
+        &self.per_core_memory
+    }
+
+    /// The Cholesky-based correlated-normal sampler (order: per-core
+    /// memory, Whetstone, Dhrystone).
+    pub fn correlated_normals(&self) -> &CorrelatedNormals {
+        &self.correlated
+    }
+
+    /// Predicted Whetstone (mean, variance) at `date`.
+    pub fn whetstone_moments(&self, date: SimDate) -> (f64, f64) {
+        (self.whetstone_mean.at(date), self.whetstone_variance.at(date))
+    }
+
+    /// Predicted Dhrystone (mean, variance) at `date`.
+    pub fn dhrystone_moments(&self, date: SimDate) -> (f64, f64) {
+        (self.dhrystone_mean.at(date), self.dhrystone_variance.at(date))
+    }
+
+    /// Predicted available-disk (mean, variance) at `date`.
+    pub fn disk_moments(&self, date: SimDate) -> (f64, f64) {
+        (self.disk_mean.at(date), self.disk_variance.at(date))
+    }
+
+    /// The log-normal disk distribution at `date`.
+    ///
+    /// # Errors
+    ///
+    /// Fails only if the moment laws produce non-positive values (never
+    /// with the paper's constants).
+    pub fn disk_distribution(&self, date: SimDate) -> crate::Result<LogNormal> {
+        let (m, v) = self.disk_moments(date);
+        LogNormal::from_mean_variance(m, v)
+    }
+
+    /// Replace the core model with one extended by a larger tier — the
+    /// paper's 8:16 prediction extension.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tier-ordering validation.
+    pub fn with_extended_cores(&self, value: f64, law: RatioLaw) -> crate::Result<Self> {
+        let mut m = self.clone();
+        m.cores = self.cores.extended(value, law)?;
+        Ok(m)
+    }
+
+    /// Condensed parameter table — the rows of the paper's Table X.
+    pub fn summary(&self) -> Vec<ModelSummaryRow> {
+        let mut rows = Vec::new();
+        let core_vals = self.cores.values();
+        for (i, law) in self.cores.laws().iter().enumerate() {
+            rows.push(ModelSummaryRow {
+                resource: "Cores",
+                value: format!("{}:{} Core", core_vals[i], core_vals[i + 1]),
+                method: "Relative Ratio",
+                a: law.a,
+                b: law.b,
+            });
+        }
+        let pcm_vals = self.per_core_memory.values();
+        for (i, law) in self.per_core_memory.laws().iter().enumerate() {
+            rows.push(ModelSummaryRow {
+                resource: "Mem/Core",
+                value: format!("{}MB:{}MB", pcm_vals[i], pcm_vals[i + 1]),
+                method: "Relative Ratio",
+                a: law.a,
+                b: law.b,
+            });
+        }
+        rows.push(ModelSummaryRow {
+            resource: "Dhrystone",
+            value: "Mean (MIPS)".into(),
+            method: "Normal Dist.",
+            a: self.dhrystone_mean.a,
+            b: self.dhrystone_mean.b,
+        });
+        rows.push(ModelSummaryRow {
+            resource: "Dhrystone",
+            value: "Variance".into(),
+            method: "Normal Dist.",
+            a: self.dhrystone_variance.a,
+            b: self.dhrystone_variance.b,
+        });
+        rows.push(ModelSummaryRow {
+            resource: "Whetstone",
+            value: "Mean (MIPS)".into(),
+            method: "Normal Dist.",
+            a: self.whetstone_mean.a,
+            b: self.whetstone_mean.b,
+        });
+        rows.push(ModelSummaryRow {
+            resource: "Whetstone",
+            value: "Variance".into(),
+            method: "Normal Dist.",
+            a: self.whetstone_variance.a,
+            b: self.whetstone_variance.b,
+        });
+        rows.push(ModelSummaryRow {
+            resource: "Disk Space",
+            value: "Mean (GB)".into(),
+            method: "Lognorm Dist.",
+            a: self.disk_mean.a,
+            b: self.disk_mean.b,
+        });
+        rows.push(ModelSummaryRow {
+            resource: "Disk Space",
+            value: "Variance".into(),
+            method: "Lognorm Dist.",
+            a: self.disk_variance.a,
+            b: self.disk_variance.b,
+        });
+        rows
+    }
+}
+
+impl HostGenerator for HostModel {
+    fn label(&self) -> &'static str {
+        "correlated"
+    }
+
+    /// The Fig 11 generation flowchart.
+    fn generate_host(&self, date: SimDate, rng: &mut dyn Rng) -> GeneratedHost {
+        // 1. Core count from the ratio-law discrete distribution.
+        let cores = self
+            .cores
+            .sample_with_uniform(date, resmodel_stats::sampling::standard_uniform(rng))
+            as u32;
+
+        // 2. Correlated standard normals (mem/core, whet, dhry).
+        let v = self.correlated.sample(rng);
+
+        // 3. First component → uniform → per-core-memory tier.
+        let pcm_uniform = norm_cdf(v[0]).clamp(0.0, 1.0 - 1e-12);
+        let pcm = self.per_core_memory.sample_with_uniform(date, pcm_uniform);
+
+        // 4. Renormalise the benchmark components to the predicted
+        //    moments; floor at 1% of the mean (the correlated normal
+        //    tail can otherwise dip below zero).
+        let (wm, wv) = self.whetstone_moments(date);
+        let (dm, dv) = self.dhrystone_moments(date);
+        let whetstone = (wm + v[1] * wv.sqrt()).max(0.01 * wm);
+        let dhrystone = (dm + v[2] * dv.sqrt()).max(0.01 * dm);
+
+        // 5. Independent log-normal disk.
+        let disk = self
+            .disk_distribution(date)
+            .expect("moment laws stay positive")
+            .sample(rng);
+
+        GeneratedHost {
+            cores,
+            memory_mb: pcm * cores as f64,
+            whetstone_mips: whetstone,
+            dhrystone_mips: dhrystone,
+            avail_disk_gb: disk,
+        }
+    }
+}
+
+/// One row of the condensed parameter table (the paper's Table X).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelSummaryRow {
+    /// Resource group, e.g. `"Cores"`.
+    pub resource: &'static str,
+    /// Which value/ratio the law governs.
+    pub value: String,
+    /// The paper's "Method" column.
+    pub method: &'static str,
+    /// Law multiplier.
+    pub a: f64,
+    /// Law exponential rate.
+    pub b: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use resmodel_stats::correlation::pearson;
+    use resmodel_stats::rng::seeded;
+
+    #[test]
+    fn paper_model_constructs() {
+        let m = HostModel::paper();
+        assert_eq!(m.cores().values(), &[1.0, 2.0, 4.0, 8.0]);
+        assert_eq!(m.per_core_memory().values().len(), 7);
+    }
+
+    #[test]
+    fn moment_laws_match_paper_2006() {
+        let m = HostModel::paper();
+        let d = SimDate::from_year(2006.0);
+        let (wm, _) = m.whetstone_moments(d);
+        let (dm, _) = m.dhrystone_moments(d);
+        let (km, _) = m.disk_moments(d);
+        assert!((wm - 1179.0).abs() < 1e-9);
+        assert!((dm - 2064.0).abs() < 1e-9);
+        assert!((km - 31.59).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sep_2010_predicted_moments_match_paper_generated_stats() {
+        // Fig 12 reports μ_gen for September 2010: whet 2033, dhry 4644,
+        // disk 111 GB. Evaluate the laws at 2010.67.
+        let m = HostModel::paper();
+        let d = SimDate::from_year(2010.0 + 8.0 / 12.0);
+        assert!((m.whetstone_moments(d).0 - 2033.0).abs() / 2033.0 < 0.02);
+        assert!((m.dhrystone_moments(d).0 - 4644.0).abs() / 4644.0 < 0.03);
+        assert!((m.disk_moments(d).0 - 111.0).abs() / 111.0 < 0.02);
+    }
+
+    #[test]
+    fn generated_hosts_are_valid() {
+        let m = HostModel::paper();
+        let mut rng = seeded(3);
+        for &year in &[2006.0, 2008.5, 2010.67] {
+            for _ in 0..200 {
+                let h = m.generate_host(SimDate::from_year(year), &mut rng);
+                assert!(h.cores.is_power_of_two() && h.cores <= 8);
+                assert!(PCM_TIERS_MB.contains(&h.memory_per_core_mb()));
+                assert!(h.whetstone_mips > 0.0);
+                assert!(h.dhrystone_mips > 0.0);
+                assert!(h.avail_disk_gb > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn generated_population_reproducible() {
+        let m = HostModel::paper();
+        let d = SimDate::from_year(2010.67);
+        let a = m.generate_population(d, 50, 99);
+        let b = m.generate_population(d, 50, 99);
+        assert_eq!(a, b);
+        let c = m.generate_population(d, 50, 100);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn generated_correlations_match_table_viii_shape() {
+        // Table VIII: generated cores↔memory r ≈ 0.7, whet↔dhry ≈ 0.5,
+        // mem/core↔whet ≈ 0.31, disk uncorrelated.
+        let m = HostModel::paper();
+        let pop = m.generate_population(SimDate::from_year(2010.67), 20_000, 7);
+        let cores: Vec<f64> = pop.iter().map(|h| h.cores as f64).collect();
+        let mem: Vec<f64> = pop.iter().map(|h| h.memory_mb).collect();
+        let pcm: Vec<f64> = pop.iter().map(|h| h.memory_per_core_mb()).collect();
+        let whet: Vec<f64> = pop.iter().map(|h| h.whetstone_mips).collect();
+        let dhry: Vec<f64> = pop.iter().map(|h| h.dhrystone_mips).collect();
+        let disk: Vec<f64> = pop.iter().map(|h| h.avail_disk_gb).collect();
+
+        let r_cm = pearson(&cores, &mem).unwrap();
+        assert!(r_cm > 0.55 && r_cm < 0.85, "cores-mem r {r_cm}");
+        let r_wd = pearson(&whet, &dhry).unwrap();
+        assert!(r_wd > 0.4 && r_wd < 0.7, "whet-dhry r {r_wd}");
+        let r_pw = pearson(&pcm, &whet).unwrap();
+        assert!(r_pw > 0.15 && r_pw < 0.45, "pcm-whet r {r_pw}");
+        assert!(pearson(&disk, &cores).unwrap().abs() < 0.05);
+        assert!(pearson(&disk, &whet).unwrap().abs() < 0.05);
+    }
+
+    #[test]
+    fn mean_memory_grows_over_time() {
+        let m = HostModel::paper();
+        let mean_at = |y: f64| {
+            let pop = m.generate_population(SimDate::from_year(y), 5_000, 11);
+            pop.iter().map(|h| h.memory_mb).sum::<f64>() / pop.len() as f64
+        };
+        let m2006 = mean_at(2006.0);
+        let m2010 = mean_at(2010.0);
+        // Paper Fig 2: 846 MB → 2376 MB (181% increase). The ratio-law
+        // model (with its 4 GB tier) should show a similar strong rise.
+        assert!(m2010 / m2006 > 2.0, "2006 {m2006} → 2010 {m2010}");
+    }
+
+    #[test]
+    fn extension_for_prediction() {
+        let m = HostModel::paper()
+            .with_extended_cores(16.0, RatioLaw::new(12.0, -0.2))
+            .unwrap();
+        let mean = m.cores().mean_value(SimDate::from_year(2014.0));
+        assert!((mean - 4.6).abs() < 0.2);
+    }
+
+    #[test]
+    fn summary_matches_table_x() {
+        let rows = HostModel::paper().summary();
+        // 3 core + 6 pcm + 6 moment rows.
+        assert_eq!(rows.len(), 15);
+        let first = &rows[0];
+        assert_eq!(first.resource, "Cores");
+        assert!((first.a - 3.369).abs() < 1e-12);
+        assert!((first.b + 0.5004).abs() < 1e-12);
+        let disk_var = rows.last().unwrap();
+        assert_eq!(disk_var.resource, "Disk Space");
+        assert!((disk_var.a - 2890.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_wrong_correlation_shape() {
+        let m = HostModel::paper();
+        let bad = Matrix::identity(4);
+        let r = HostModel::new(
+            m.cores().clone(),
+            m.per_core_memory().clone(),
+            &bad,
+            MomentLaw::new(1.0, 0.0),
+            MomentLaw::new(1.0, 0.0),
+            MomentLaw::new(1.0, 0.0),
+            MomentLaw::new(1.0, 0.0),
+            MomentLaw::new(1.0, 0.0),
+            MomentLaw::new(1.0, 0.0),
+        );
+        assert!(r.is_err());
+    }
+}

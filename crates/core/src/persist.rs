@@ -1,0 +1,120 @@
+//! JSON persistence of fitted models — the "tool for automated model
+//! generation" the paper publishes needs its models to be shareable
+//! artifacts.
+
+use crate::model::HostModel;
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Errors from model persistence.
+#[derive(Debug)]
+pub enum PersistError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// JSON (de)serialisation failure.
+    Json(serde_json::Error),
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io(e) => write!(f, "i/o error: {e}"),
+            PersistError::Json(e) => write!(f, "json error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PersistError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PersistError::Io(e) => Some(e),
+            PersistError::Json(e) => Some(e),
+        }
+    }
+}
+
+impl From<std::io::Error> for PersistError {
+    fn from(e: std::io::Error) -> Self {
+        PersistError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PersistError {
+    fn from(e: serde_json::Error) -> Self {
+        PersistError::Json(e)
+    }
+}
+
+/// Serialise a model as pretty JSON.
+///
+/// # Errors
+///
+/// Propagates writer and serialisation failures.
+pub fn save_model<W: Write>(model: &HostModel, mut w: W) -> Result<(), PersistError> {
+    let json = serde_json::to_string_pretty(model)?;
+    w.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Deserialise a model from JSON.
+///
+/// # Errors
+///
+/// Propagates reader and parse failures.
+pub fn load_model<R: Read>(mut r: R) -> Result<HostModel, PersistError> {
+    let mut buf = String::new();
+    r.read_to_string(&mut buf)?;
+    Ok(serde_json::from_str(&buf)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::HostGenerator;
+    use resmodel_trace::SimDate;
+
+    #[test]
+    fn roundtrip_preserves_generation() {
+        let model = HostModel::paper();
+        let mut buf = Vec::new();
+        save_model(&model, &mut buf).unwrap();
+        let back = load_model(buf.as_slice()).unwrap();
+        // Identical models generate identical populations.
+        let d = SimDate::from_year(2010.0);
+        assert_eq!(
+            model.generate_population(d, 200, 9),
+            back.generate_population(d, 200, 9)
+        );
+        // And identical summaries.
+        let a = model.summary();
+        let b = back.summary();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+        }
+    }
+
+    #[test]
+    fn json_is_humanly_inspectable() {
+        let mut buf = Vec::new();
+        save_model(&HostModel::paper(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("3.369")); // Table X's 1:2 core ratio
+        assert!(text.contains("2064")); // dhrystone mean
+    }
+
+    #[test]
+    fn load_rejects_garbage() {
+        assert!(matches!(
+            load_model("not json".as_bytes()),
+            Err(PersistError::Json(_))
+        ));
+    }
+
+    #[test]
+    fn error_display() {
+        let e = PersistError::Io(std::io::Error::other("boom"));
+        assert!(e.to_string().contains("boom"));
+    }
+}

@@ -1,0 +1,292 @@
+//! Exponential ratio laws and the discrete tier distributions they
+//! induce (paper Sections V-D and V-E).
+//!
+//! The paper models discrete resources (core count, per-core memory) by
+//! tracking the *ratio* of adjacent tiers over time: e.g. the number of
+//! 1-core hosts per 2-core host follows `3.369·e^{−0.5004·(year−2006)}`.
+//! Chaining the ratios from the largest tier down yields a full discrete
+//! probability distribution at any date.
+
+use resmodel_stats::regression::ExpLawFit;
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// One exponential ratio law `ratio(t) = a·e^{b·t}`, `t` in years since
+/// 2006, describing the relative abundance of a *smaller* tier versus
+/// the *next larger* tier.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RatioLaw {
+    /// Ratio at the start of 2006.
+    pub a: f64,
+    /// Exponential rate per year (negative: the smaller tier loses
+    /// share over time).
+    pub b: f64,
+}
+
+impl RatioLaw {
+    /// Create a law with the given constants.
+    pub fn new(a: f64, b: f64) -> Self {
+        Self { a, b }
+    }
+
+    /// Evaluate the ratio at `date`.
+    pub fn ratio_at(&self, date: SimDate) -> f64 {
+        self.a * (self.b * date.years_since_2006()).exp()
+    }
+}
+
+impl From<ExpLawFit> for RatioLaw {
+    fn from(fit: ExpLawFit) -> Self {
+        Self { a: fit.a, b: fit.b }
+    }
+}
+
+/// A discrete distribution over ordered tiers (core counts or per-core
+/// memory sizes) whose shape at any date is determined by a chain of
+/// [`RatioLaw`]s between adjacent tiers.
+///
+/// `laws[i]` is the ratio `count(values[i]) : count(values[i+1])`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_core::{DiscreteRatioModel, RatioLaw};
+/// use resmodel_trace::SimDate;
+///
+/// // The paper's Table IV core model.
+/// let cores = DiscreteRatioModel::new(
+///     vec![1.0, 2.0, 4.0, 8.0],
+///     vec![
+///         RatioLaw::new(3.369, -0.5004),
+///         RatioLaw::new(17.49, -0.3217),
+///         RatioLaw::new(12.8, -0.2377),
+///     ],
+/// ).unwrap();
+/// let p2006 = cores.probabilities(SimDate::from_year(2006.0));
+/// assert!(p2006[0] > 0.7); // single-core dominates in 2006
+/// let p2010 = cores.probabilities(SimDate::from_year(2010.0));
+/// assert!(p2010[1] > p2010[0]); // 2-core overtakes by 2010
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscreteRatioModel {
+    values: Vec<f64>,
+    laws: Vec<RatioLaw>,
+}
+
+impl DiscreteRatioModel {
+    /// Build a model from tier values (strictly increasing) and the
+    /// `values.len() − 1` adjacent ratio laws.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`resmodel_stats::StatsError::DimensionMismatch`] when
+    /// the law count is not `values.len() − 1`, and
+    /// [`resmodel_stats::StatsError::InvalidData`] when values are not
+    /// strictly increasing or fewer than two tiers are given.
+    pub fn new(values: Vec<f64>, laws: Vec<RatioLaw>) -> crate::Result<Self> {
+        if values.len() < 2 {
+            return Err(resmodel_stats::StatsError::InvalidData {
+                constraint: "discrete ratio model needs at least two tiers",
+            });
+        }
+        if laws.len() != values.len() - 1 {
+            return Err(resmodel_stats::StatsError::DimensionMismatch {
+                expected: format!("{} ratio laws for {} tiers", values.len() - 1, values.len()),
+            });
+        }
+        if values.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(resmodel_stats::StatsError::InvalidData {
+                constraint: "tier values must be strictly increasing",
+            });
+        }
+        Ok(Self { values, laws })
+    }
+
+    /// The tier values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The adjacent-tier ratio laws.
+    pub fn laws(&self) -> &[RatioLaw] {
+        &self.laws
+    }
+
+    /// Append a larger tier with the ratio law `previous_largest : new`.
+    ///
+    /// Used by the paper's prediction section, which extends the core
+    /// model with an 8:16 law (`a = 12`, `b = −0.2`) before forecasting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`resmodel_stats::StatsError::InvalidData`] when `value`
+    /// does not exceed the current largest tier.
+    pub fn extended(&self, value: f64, law: RatioLaw) -> crate::Result<Self> {
+        let mut values = self.values.clone();
+        let mut laws = self.laws.clone();
+        values.push(value);
+        laws.push(law);
+        Self::new(values, laws)
+    }
+
+    /// Tier probabilities at `date`.
+    ///
+    /// Computed by anchoring the largest tier at weight 1, walking the
+    /// ratio chain downward, and normalising.
+    pub fn probabilities(&self, date: SimDate) -> Vec<f64> {
+        let n = self.values.len();
+        let mut weights = vec![0.0; n];
+        weights[n - 1] = 1.0;
+        for i in (0..n - 1).rev() {
+            weights[i] = weights[i + 1] * self.laws[i].ratio_at(date).max(0.0);
+        }
+        let total: f64 = weights.iter().sum();
+        if total > 0.0 {
+            for w in &mut weights {
+                *w /= total;
+            }
+        }
+        weights
+    }
+
+    /// Expected tier value at `date`.
+    pub fn mean_value(&self, date: SimDate) -> f64 {
+        self.probabilities(date)
+            .iter()
+            .zip(&self.values)
+            .map(|(p, v)| p * v)
+            .sum()
+    }
+
+    /// Sample a tier value at `date` from a uniform draw `u ∈ [0, 1)`.
+    pub fn sample_with_uniform(&self, date: SimDate, u: f64) -> f64 {
+        let probs = self.probabilities(date);
+        let mut acc = 0.0;
+        for (p, &v) in probs.iter().zip(&self.values) {
+            acc += p;
+            if u < acc {
+                return v;
+            }
+        }
+        *self.values.last().expect("at least two tiers")
+    }
+
+    /// Fraction of probability mass at tiers `>= threshold` at `date`.
+    pub fn fraction_at_least(&self, date: SimDate, threshold: f64) -> f64 {
+        self.probabilities(date)
+            .iter()
+            .zip(&self.values)
+            .filter(|(_, &v)| v >= threshold)
+            .map(|(p, _)| p)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_cores() -> DiscreteRatioModel {
+        DiscreteRatioModel::new(
+            vec![1.0, 2.0, 4.0, 8.0],
+            vec![
+                RatioLaw::new(3.369, -0.5004),
+                RatioLaw::new(17.49, -0.3217),
+                RatioLaw::new(12.8, -0.2377),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn ratio_law_evaluation() {
+        let law = RatioLaw::new(3.369, -0.5004);
+        assert!((law.ratio_at(SimDate::from_year(2006.0)) - 3.369).abs() < 1e-12);
+        // By 2010 the 1:2 ratio should be inverted (paper: 1 to 2.5).
+        let r2010 = law.ratio_at(SimDate::from_year(2010.0));
+        assert!((r2010 - 3.369 * (-0.5004f64 * 4.0).exp()).abs() < 1e-12);
+        assert!(r2010 < 0.5);
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(DiscreteRatioModel::new(vec![1.0], vec![]).is_err());
+        assert!(DiscreteRatioModel::new(vec![1.0, 2.0], vec![]).is_err());
+        assert!(DiscreteRatioModel::new(
+            vec![2.0, 1.0],
+            vec![RatioLaw::new(1.0, 0.0)]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let m = paper_cores();
+        for &y in &[2006.0, 2008.0, 2010.67, 2014.0] {
+            let p = m.probabilities(SimDate::from_year(y));
+            assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12, "year {y}");
+            assert!(p.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn paper_2006_composition() {
+        // Fig 4: in 2006 ~72-76% single core, ~22% dual core.
+        let p = paper_cores().probabilities(SimDate::from_year(2006.0));
+        assert!(p[0] > 0.70 && p[0] < 0.80, "P(1 core) = {}", p[0]);
+        assert!(p[1] > 0.18 && p[1] < 0.27, "P(2 core) = {}", p[1]);
+    }
+
+    #[test]
+    fn paper_2010_inversion() {
+        // Paper: by 2010 the 1:2 ratio inverted to 1 to 2.5.
+        let p = paper_cores().probabilities(SimDate::from_year(2010.0));
+        let ratio = p[0] / p[1];
+        assert!((ratio - 1.0 / 2.5).abs() < 0.1, "1:2 ratio {ratio}");
+    }
+
+    #[test]
+    fn mean_cores_2014_matches_paper_prediction() {
+        // Paper Section VI-C: average 4.6 cores per host in 2014 with
+        // the 8:16 extension (a = 12, b = −0.2).
+        let m = paper_cores()
+            .extended(16.0, RatioLaw::new(12.0, -0.2))
+            .unwrap();
+        let mean = m.mean_value(SimDate::from_year(2014.0));
+        assert!((mean - 4.6).abs() < 0.2, "mean cores {mean}");
+    }
+
+    #[test]
+    fn extension_validates_ordering() {
+        assert!(paper_cores().extended(4.0, RatioLaw::new(1.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn sampling_tracks_probabilities() {
+        let m = paper_cores();
+        let d = SimDate::from_year(2006.0);
+        let p = m.probabilities(d);
+        assert_eq!(m.sample_with_uniform(d, 0.0), 1.0);
+        assert_eq!(m.sample_with_uniform(d, p[0] + 0.01), 2.0);
+        assert_eq!(m.sample_with_uniform(d, 0.9999999), 8.0);
+    }
+
+    #[test]
+    fn fraction_at_least() {
+        let m = paper_cores();
+        let d = SimDate::from_year(2010.0);
+        let p = m.probabilities(d);
+        let f4 = m.fraction_at_least(d, 4.0);
+        assert!((f4 - (p[2] + p[3])).abs() < 1e-12);
+        assert!((m.fraction_at_least(d, 1.0) - 1.0).abs() < 1e-12);
+        assert_eq!(m.fraction_at_least(d, 100.0), 0.0);
+    }
+
+    #[test]
+    fn single_core_vanishes_by_2014() {
+        // Paper Fig 13: single-core fraction becomes negligible.
+        let m = paper_cores();
+        let p = m.probabilities(SimDate::from_year(2014.0));
+        assert!(p[0] < 0.05, "P(1 core in 2014) = {}", p[0]);
+    }
+}

@@ -1,0 +1,267 @@
+//! Validation of generated host populations against actual data
+//! (paper Section VI-B: Fig 12 and Table VIII).
+
+use crate::generator::GeneratedHost;
+use resmodel_stats::describe::{ecdf, Summary};
+use resmodel_stats::{Matrix, StatsError};
+use serde::{Deserialize, Serialize};
+
+/// The five resources compared in Fig 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CompareResource {
+    /// Number of cores.
+    Cores,
+    /// Total memory (MB).
+    Memory,
+    /// Whetstone MIPS.
+    Whetstone,
+    /// Dhrystone MIPS.
+    Dhrystone,
+    /// log₁₀(available disk GB) — the paper plots disk on a log axis.
+    Log10Disk,
+}
+
+impl CompareResource {
+    /// All five, in Fig 12 panel order.
+    pub const ALL: [CompareResource; 5] = [
+        CompareResource::Cores,
+        CompareResource::Memory,
+        CompareResource::Whetstone,
+        CompareResource::Dhrystone,
+        CompareResource::Log10Disk,
+    ];
+
+    /// Panel label.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CompareResource::Cores => "Number Cores",
+            CompareResource::Memory => "Memory (MB)",
+            CompareResource::Whetstone => "Whetstone MIPS",
+            CompareResource::Dhrystone => "Dhrystone MIPS",
+            CompareResource::Log10Disk => "Log10(Avail Disk) (GB)",
+        }
+    }
+
+    /// Extract this resource from a host.
+    pub fn extract(&self, h: &GeneratedHost) -> f64 {
+        match self {
+            CompareResource::Cores => h.cores as f64,
+            CompareResource::Memory => h.memory_mb,
+            CompareResource::Whetstone => h.whetstone_mips,
+            CompareResource::Dhrystone => h.dhrystone_mips,
+            CompareResource::Log10Disk => h.avail_disk_gb.max(1e-6).log10(),
+        }
+    }
+}
+
+/// One panel of the Fig 12 comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ResourceComparison {
+    /// Which resource.
+    pub resource: CompareResource,
+    /// Mean of the generated population.
+    pub mean_generated: f64,
+    /// Mean of the actual population.
+    pub mean_actual: f64,
+    /// Std-dev of the generated population.
+    pub std_generated: f64,
+    /// Std-dev of the actual population.
+    pub std_actual: f64,
+    /// `|μ_gen − μ_act| / |μ_act|`.
+    pub mean_diff_fraction: f64,
+    /// `|σ_gen − σ_act| / σ_act`.
+    pub std_diff_fraction: f64,
+    /// Kolmogorov–Smirnov distance between the two empirical CDFs.
+    pub ks_distance: f64,
+}
+
+/// Compare a generated population against actual hosts, resource by
+/// resource (the quantitative content of Fig 12).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when either population is empty.
+pub fn compare_populations(
+    generated: &[GeneratedHost],
+    actual: &[GeneratedHost],
+) -> Result<Vec<ResourceComparison>, StatsError> {
+    if generated.is_empty() || actual.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "compare_populations",
+            needed: 1,
+            got: generated.len().min(actual.len()),
+        });
+    }
+    CompareResource::ALL
+        .iter()
+        .map(|&resource| {
+            let g: Vec<f64> = generated.iter().map(|h| resource.extract(h)).collect();
+            let a: Vec<f64> = actual.iter().map(|h| resource.extract(h)).collect();
+            let sg = Summary::of(&g)?;
+            let sa = Summary::of(&a)?;
+            Ok(ResourceComparison {
+                resource,
+                mean_generated: sg.mean,
+                mean_actual: sa.mean,
+                std_generated: sg.std_dev,
+                std_actual: sa.std_dev,
+                mean_diff_fraction: (sg.mean - sa.mean).abs()
+                    / sa.mean.abs().max(f64::MIN_POSITIVE),
+                std_diff_fraction: (sg.std_dev - sa.std_dev).abs()
+                    / sa.std_dev.max(f64::MIN_POSITIVE),
+                ks_distance: two_sample_ks(&g, &a),
+            })
+        })
+        .collect()
+}
+
+/// Two-sample Kolmogorov–Smirnov distance between empirical CDFs.
+fn two_sample_ks(a: &[f64], b: &[f64]) -> f64 {
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    sb.sort_by(|x, y| x.partial_cmp(y).unwrap_or(std::cmp::Ordering::Equal));
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sa.len() && j < sb.len() {
+        let x = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] <= x {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Empirical CDF of one resource over a population — the plottable
+/// series of a Fig 12 panel.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty population.
+pub fn resource_cdf(
+    hosts: &[GeneratedHost],
+    resource: CompareResource,
+) -> Result<Vec<(f64, f64)>, StatsError> {
+    let data: Vec<f64> = hosts.iter().map(|h| resource.extract(h)).collect();
+    ecdf(&data)
+}
+
+/// The 6×6 correlation matrix of a generated population, computed
+/// exactly like the paper's Table VIII (column order: cores, memory,
+/// mem/core, whet, dhry, disk).
+///
+/// # Errors
+///
+/// Fails on degenerate populations (constant columns or fewer than 2
+/// hosts).
+pub fn generated_correlation_matrix(hosts: &[GeneratedHost]) -> Result<Matrix, StatsError> {
+    let cols: Vec<Vec<f64>> = [
+        hosts.iter().map(|h| h.cores as f64).collect::<Vec<f64>>(),
+        hosts.iter().map(|h| h.memory_mb).collect(),
+        hosts.iter().map(|h| h.memory_per_core_mb()).collect(),
+        hosts.iter().map(|h| h.whetstone_mips).collect(),
+        hosts.iter().map(|h| h.dhrystone_mips).collect(),
+        hosts.iter().map(|h| h.avail_disk_gb).collect(),
+    ]
+    .into_iter()
+    .collect();
+    let refs: Vec<&[f64]> = cols.iter().map(|c| c.as_slice()).collect();
+    resmodel_stats::correlation::correlation_matrix(&refs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::HostGenerator;
+    use crate::model::HostModel;
+    use resmodel_trace::SimDate;
+
+    fn pop(seed: u64, n: usize) -> Vec<GeneratedHost> {
+        HostModel::paper().generate_population(SimDate::from_year(2010.67), n, seed)
+    }
+
+    #[test]
+    fn identical_populations_compare_perfectly() {
+        let p = pop(1, 2000);
+        let cmp = compare_populations(&p, &p).unwrap();
+        assert_eq!(cmp.len(), 5);
+        for c in cmp {
+            assert!(c.mean_diff_fraction < 1e-12);
+            assert!(c.std_diff_fraction < 1e-12);
+            assert!(c.ks_distance < 1e-12);
+        }
+    }
+
+    #[test]
+    fn same_model_different_seeds_compare_closely() {
+        let a = pop(1, 8000);
+        let b = pop(2, 8000);
+        let cmp = compare_populations(&a, &b).unwrap();
+        for c in &cmp {
+            assert!(c.mean_diff_fraction < 0.1, "{:?}: {}", c.resource, c.mean_diff_fraction);
+            assert!(c.ks_distance < 0.05, "{:?}: {}", c.resource, c.ks_distance);
+        }
+    }
+
+    #[test]
+    fn different_dates_differ_visibly() {
+        let early = HostModel::paper().generate_population(SimDate::from_year(2006.0), 4000, 3);
+        let late = pop(3, 4000);
+        let cmp = compare_populations(&late, &early).unwrap();
+        let dhry = cmp
+            .iter()
+            .find(|c| c.resource == CompareResource::Dhrystone)
+            .unwrap();
+        assert!(dhry.mean_diff_fraction > 0.5, "dhry diff {}", dhry.mean_diff_fraction);
+    }
+
+    #[test]
+    fn empty_population_errors() {
+        let p = pop(1, 10);
+        assert!(compare_populations(&p, &[]).is_err());
+        assert!(compare_populations(&[], &p).is_err());
+    }
+
+    #[test]
+    fn two_sample_ks_properties() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(two_sample_ks(&a, &a), 0.0);
+        let b = [100.0, 101.0, 102.0];
+        assert!((two_sample_ks(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_is_monotone() {
+        let p = pop(5, 500);
+        let cdf = resource_cdf(&p, CompareResource::Memory).unwrap();
+        for w in cdf.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn table_viii_structure() {
+        let p = pop(6, 20_000);
+        let m = generated_correlation_matrix(&p).unwrap();
+        assert_eq!(m.rows(), 6);
+        // cores-memory strongly correlated, disk uncorrelated with all.
+        assert!(m.get(0, 1) > 0.5, "cores-mem {}", m.get(0, 1));
+        for j in 0..5 {
+            assert!(m.get(5, j).abs() < 0.05, "disk col {j}: {}", m.get(5, j));
+        }
+        // whet-dhry around 0.5 as in Table VIII.
+        assert!(m.get(3, 4) > 0.4 && m.get(3, 4) < 0.7);
+    }
+
+    #[test]
+    fn resource_names() {
+        assert_eq!(CompareResource::Log10Disk.name(), "Log10(Avail Disk) (GB)");
+        assert_eq!(CompareResource::ALL.len(), 5);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of the model layer: ratio-law distributions,
+//! generation validity across arbitrary dates and law parameters.
+
+use proptest::prelude::*;
+use resmodel_core::model::{MomentLaw, CORE_TIERS, PCM_TIERS_MB};
+use resmodel_core::{DiscreteRatioModel, HostGenerator, HostModel, RatioLaw};
+use resmodel_stats::rng::seeded;
+use resmodel_trace::SimDate;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn ratio_model_probabilities_always_normalised(
+        a1 in 0.01..50.0f64, b1 in -1.0..1.0f64,
+        a2 in 0.01..50.0f64, b2 in -1.0..1.0f64,
+        a3 in 0.01..50.0f64, b3 in -1.0..1.0f64,
+        year in 2000.0..2020.0f64,
+    ) {
+        let m = DiscreteRatioModel::new(
+            CORE_TIERS.to_vec(),
+            vec![RatioLaw::new(a1, b1), RatioLaw::new(a2, b2), RatioLaw::new(a3, b3)],
+        ).unwrap();
+        let p = m.probabilities(SimDate::from_year(year));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        // Mean is within the tier range.
+        let mean = m.mean_value(SimDate::from_year(year));
+        prop_assert!((1.0..=8.0).contains(&mean));
+    }
+
+    #[test]
+    fn ratio_model_sampling_matches_support(
+        u in 0.0..1.0f64,
+        year in 2004.0..2016.0f64,
+    ) {
+        let m = HostModel::paper();
+        let v = m.cores().sample_with_uniform(SimDate::from_year(year), u);
+        prop_assert!(CORE_TIERS.contains(&v));
+        let pcm = m.per_core_memory().sample_with_uniform(SimDate::from_year(year), u);
+        prop_assert!(PCM_TIERS_MB.contains(&pcm));
+    }
+
+    #[test]
+    fn fraction_at_least_is_monotone_in_threshold(year in 2004.0..2016.0f64) {
+        let m = HostModel::paper();
+        let d = SimDate::from_year(year);
+        let mut prev = 1.0;
+        for &t in &[1.0, 2.0, 4.0, 8.0] {
+            let f = m.cores().fraction_at_least(d, t);
+            prop_assert!(f <= prev + 1e-12);
+            prev = f;
+        }
+    }
+
+    #[test]
+    fn generated_hosts_valid_for_any_date_and_seed(
+        year in 2005.0..2015.0f64,
+        seed in 0u64..10_000,
+    ) {
+        let model = HostModel::paper();
+        let mut rng = seeded(seed);
+        let h = model.generate_host(SimDate::from_year(year), &mut rng);
+        prop_assert!(h.cores.is_power_of_two() && h.cores <= 8);
+        prop_assert!(PCM_TIERS_MB.contains(&h.memory_per_core_mb()));
+        prop_assert!(h.whetstone_mips > 0.0);
+        prop_assert!(h.dhrystone_mips > 0.0);
+        prop_assert!(h.avail_disk_gb > 0.0 && h.avail_disk_gb.is_finite());
+    }
+
+    #[test]
+    fn moment_laws_positive_for_any_date(year in 1995.0..2030.0f64) {
+        let m = HostModel::paper();
+        let d = SimDate::from_year(year);
+        let (wm, wv) = m.whetstone_moments(d);
+        let (dm, dv) = m.dhrystone_moments(d);
+        let (km, kv) = m.disk_moments(d);
+        for v in [wm, wv, dm, dv, km, kv] {
+            prop_assert!(v > 0.0 && v.is_finite());
+        }
+        // The disk log-normal must always be constructible.
+        prop_assert!(m.disk_distribution(d).is_ok());
+    }
+
+    #[test]
+    fn moment_law_is_exponential(a in 0.1..1e4f64, b in -0.5..0.5f64,
+                                 t1 in -5.0..5.0f64, dt in 0.0..5.0f64) {
+        let law = MomentLaw::new(a, b);
+        let d1 = SimDate::from_year(2006.0 + t1);
+        let d2 = SimDate::from_year(2006.0 + t1 + dt);
+        // law(t+dt)/law(t) = e^{b·dt}, independent of t.
+        let ratio = law.at(d2) / law.at(d1);
+        prop_assert!((ratio - (b * dt).exp()).abs() < 1e-6 * ratio.max(1.0));
+    }
+
+    #[test]
+    fn population_means_track_law_means(seed in 0u64..50) {
+        let model = HostModel::paper();
+        let d = SimDate::from_year(2009.0);
+        let pop = model.generate_population(d, 4000, seed);
+        let mean_dhry = pop.iter().map(|h| h.dhrystone_mips).sum::<f64>() / pop.len() as f64;
+        let (law_mean, law_var) = model.dhrystone_moments(d);
+        // Within 5 standard errors (floored benchmark tail shifts it slightly).
+        let se = (law_var / pop.len() as f64).sqrt();
+        prop_assert!((mean_dhry - law_mean).abs() < 5.0 * se + 0.01 * law_mean,
+            "mean {mean_dhry} vs law {law_mean}");
+    }
+}

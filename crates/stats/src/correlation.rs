@@ -1,0 +1,199 @@
+//! Pearson and Spearman correlation, and correlation matrices over named
+//! resource columns — the machinery behind the paper's Table III.
+
+use crate::error::StatsError;
+use crate::linalg::Matrix;
+
+/// Pearson (normalised) correlation coefficient between two samples.
+///
+/// This is the `r` the paper reports throughout (Tables III–VIII).
+///
+/// # Errors
+///
+/// * [`StatsError::EmptyData`] when fewer than 2 points.
+/// * [`StatsError::DimensionMismatch`] when lengths differ.
+/// * [`StatsError::InvalidData`] when either sample is constant.
+///
+/// # Examples
+///
+/// ```
+/// let x = [1.0, 2.0, 3.0, 4.0];
+/// let y = [2.0, 4.0, 6.0, 8.0];
+/// let r = resmodel_stats::correlation::pearson(&x, &y)?;
+/// assert!((r - 1.0).abs() < 1e-12);
+/// # Ok::<(), resmodel_stats::StatsError>(())
+/// ```
+pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: format!("equal-length samples ({} vs {})", x.len(), y.len()),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyData {
+            what: "pearson",
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteData { what: "pearson" });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxy = 0.0;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        return Err(StatsError::InvalidData {
+            constraint: "correlation requires non-constant samples",
+        });
+    }
+    Ok(sxy / (sxx * syy).sqrt())
+}
+
+/// Spearman rank correlation: Pearson correlation of the rank-transformed
+/// samples (average ranks for ties).
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: format!("equal-length samples ({} vs {})", x.len(), y.len()),
+        });
+    }
+    pearson(&ranks(x), &ranks(y))
+}
+
+/// Average ranks (1-based) of a sample, assigning tied values the mean of
+/// the ranks they span.
+pub fn ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    let mut out = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && data[idx[j + 1]] == data[idx[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg_rank;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pairwise Pearson correlation matrix of the given columns.
+///
+/// Entry `(i, j)` is `pearson(columns[i], columns[j])`; the diagonal is
+/// exactly 1. This is how the paper builds Table III (and Table VIII for
+/// generated hosts).
+///
+/// # Errors
+///
+/// Propagates [`pearson`] errors; also fails when `columns` is empty.
+pub fn correlation_matrix(columns: &[&[f64]]) -> Result<Matrix, StatsError> {
+    if columns.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "correlation_matrix",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let d = columns.len();
+    let mut m = Matrix::new(d, d);
+    for i in 0..d {
+        m.set(i, i, 1.0);
+        for j in (i + 1)..d {
+            let r = pearson(columns[i], columns[j])?;
+            m.set(i, j, r);
+            m.set(j, i, r);
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_and_negative() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| 3.0 * v + 1.0).collect();
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        let z: Vec<f64> = x.iter().map(|v| -2.0 * v).collect();
+        assert!((pearson(&x, &z).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uncorrelated_orthogonal() {
+        let x = [1.0, -1.0, 1.0, -1.0];
+        let y = [1.0, 1.0, -1.0, -1.0];
+        assert!(pearson(&x, &y).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn reference_value() {
+        // Hand-computed: x = [1,2,3], y = [1,2,4] → r = 0.9819805060619659
+        let r = pearson(&[1.0, 2.0, 3.0], &[1.0, 2.0, 4.0]).unwrap();
+        assert!((r - 0.9819805060619659).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(pearson(&[1.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 2.0], &[1.0]).is_err());
+        assert!(pearson(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(pearson(&[1.0, f64::NAN], &[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn ranks_with_ties() {
+        let r = ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn spearman_monotone_nonlinear() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v: &f64| v.exp()).collect();
+        // Nonlinear but perfectly monotone → Spearman exactly 1.
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [2.0, 1.0, 4.0, 3.0, 6.0, 5.0];
+        let c = [6.0, 5.0, 4.0, 3.0, 2.0, 1.0];
+        let m = correlation_matrix(&[&a, &b, &c]).unwrap();
+        assert_eq!(m.rows(), 3);
+        for i in 0..3 {
+            assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+            for j in 0..3 {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+                assert!(m.get(i, j).abs() <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn matrix_rejects_empty() {
+        assert!(correlation_matrix(&[]).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Descriptive statistics, histograms, empirical CDFs and QQ data —
+//! everything needed to print the paper's figures as text/CSV series.
+
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Summary statistics of a sample.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::describe::Summary;
+///
+/// let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0])?;
+/// assert_eq!(s.mean, 3.0);
+/// assert_eq!(s.median, 3.0);
+/// assert_eq!(s.min, 1.0);
+/// # Ok::<(), resmodel_stats::StatsError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of data points.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance.
+    pub variance: f64,
+    /// Square root of [`Summary::variance`].
+    pub std_dev: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// Median (50th percentile, midpoint interpolation).
+    pub median: f64,
+}
+
+impl Summary {
+    /// Compute summary statistics of `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::EmptyData`] for empty input and
+    /// [`StatsError::NonFiniteData`] when NaN/inf is present.
+    pub fn of(data: &[f64]) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyData {
+                what: "Summary::of",
+                needed: 1,
+                got: 0,
+            });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFiniteData { what: "Summary::of" });
+        }
+        let n = data.len();
+        let mean = data.iter().sum::<f64>() / n as f64;
+        let variance = if n > 1 {
+            data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+        } else {
+            0.0
+        };
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite data"));
+        Ok(Self {
+            n,
+            mean,
+            variance,
+            std_dev: variance.sqrt(),
+            min: sorted[0],
+            max: sorted[n - 1],
+            median: quantile_sorted(&sorted, 0.5),
+        })
+    }
+}
+
+/// Quantile of already-sorted data with linear interpolation.
+///
+/// # Panics
+///
+/// Panics when `sorted` is empty or `p` is outside `[0, 1]`.
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&p), "p must be in [0,1]");
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let pos = p * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+}
+
+/// Quantile of unsorted data (sorts a copy).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input.
+pub fn quantile(data: &[f64], p: f64) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "quantile",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(quantile_sorted(&sorted, p))
+}
+
+/// A fixed-width histogram over `[min, max]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    min: f64,
+    max: f64,
+    counts: Vec<u64>,
+    total: u64,
+    below: u64,
+    above: u64,
+}
+
+impl Histogram {
+    /// Build a histogram of `data` with `bins` equal-width bins spanning
+    /// `[min, max]`. Values outside the range are tallied separately
+    /// (see [`Histogram::outside`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `bins == 0` or
+    /// `min >= max`.
+    pub fn with_range(data: &[f64], min: f64, max: f64, bins: usize) -> Result<Self, StatsError> {
+        if bins == 0 {
+            return Err(StatsError::InvalidParameter {
+                name: "bins",
+                value: 0.0,
+                constraint: "must be > 0",
+            });
+        }
+        if !(min < max) {
+            return Err(StatsError::InvalidParameter {
+                name: "min",
+                value: min,
+                constraint: "must be < max",
+            });
+        }
+        let mut h = Self {
+            min,
+            max,
+            counts: vec![0; bins],
+            total: 0,
+            below: 0,
+            above: 0,
+        };
+        for &x in data {
+            h.add(x);
+        }
+        Ok(h)
+    }
+
+    /// Build a histogram spanning the data's own min/max.
+    ///
+    /// # Errors
+    ///
+    /// Fails on empty or constant data, or `bins == 0`.
+    pub fn of(data: &[f64], bins: usize) -> Result<Self, StatsError> {
+        if data.is_empty() {
+            return Err(StatsError::EmptyData {
+                what: "Histogram::of",
+                needed: 1,
+                got: 0,
+            });
+        }
+        let min = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = data.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        // Widen the top edge slightly so the maximum lands in-range.
+        let span = (max - min).max(f64::MIN_POSITIVE);
+        Self::with_range(data, min, max + span * 1e-9, bins)
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, x: f64) {
+        if x < self.min {
+            self.below += 1;
+        } else if x >= self.max {
+            self.above += 1;
+        } else {
+            let w = (self.max - self.min) / self.counts.len() as f64;
+            let idx = ((x - self.min) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1);
+            self.counts[idx] += 1;
+            self.total += 1;
+        }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Count of in-range observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// `(below_range, above_range)` counts.
+    pub fn outside(&self) -> (u64, u64) {
+        (self.below, self.above)
+    }
+
+    /// Midpoint of bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_center(&self, i: usize) -> f64 {
+        assert!(i < self.counts.len(), "bin index out of range");
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        self.min + w * (i as f64 + 0.5)
+    }
+
+    /// Probability-density series `(bin_center, density)`; densities
+    /// integrate to ~1 over the histogram range.
+    pub fn pdf_series(&self) -> Vec<(f64, f64)> {
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        let denom = (self.total.max(1)) as f64 * w;
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i] as f64 / denom))
+            .collect()
+    }
+
+    /// Fraction-of-total series `(bin_center, fraction)`, the paper's
+    /// "% of total" histogram format (Figs 6 and 10).
+    pub fn fraction_series(&self) -> Vec<(f64, f64)> {
+        let denom = self.total.max(1) as f64;
+        (0..self.counts.len())
+            .map(|i| (self.bin_center(i), self.counts[i] as f64 / denom))
+            .collect()
+    }
+
+    /// Cumulative-fraction series `(bin_right_edge, cum_fraction)`.
+    pub fn cdf_series(&self) -> Vec<(f64, f64)> {
+        let w = (self.max - self.min) / self.counts.len() as f64;
+        let denom = self.total.max(1) as f64;
+        let mut acc = 0u64;
+        (0..self.counts.len())
+            .map(|i| {
+                acc += self.counts[i];
+                (self.min + w * (i as f64 + 1.0), acc as f64 / denom)
+            })
+            .collect()
+    }
+}
+
+/// Empirical CDF: returns the sorted sample and, for each point, the
+/// fraction of data ≤ that point.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input.
+pub fn ecdf(data: &[f64]) -> Result<Vec<(f64, f64)>, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "ecdf",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    Ok(sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect())
+}
+
+/// QQ-plot data: pairs `(theoretical_quantile, sample_quantile)` at the
+/// plotting positions `(i + 0.5)/n`. Used for the paper's (unshown but
+/// described) QQ validation of generated hosts.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for empty input.
+pub fn qq_points(data: &[f64], dist: &dyn Distribution) -> Result<Vec<(f64, f64)>, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "qq_points",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len();
+    Ok(sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, x)| (dist.quantile((i as f64 + 0.5) / n as f64), x))
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::Normal;
+
+    #[test]
+    fn summary_basic() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        assert!((s.variance - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert!((s.median - 4.5).abs() < 1e-12);
+        assert_eq!(s.n, 8);
+    }
+
+    #[test]
+    fn summary_single_point() {
+        let s = Summary::of(&[3.0]).unwrap();
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn summary_rejects_bad_input() {
+        assert!(Summary::of(&[]).is_err());
+        assert!(Summary::of(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn quantiles() {
+        let data = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&data, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&data, 1.0).unwrap(), 4.0);
+        assert!((quantile(&data, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_err());
+    }
+
+    #[test]
+    fn histogram_counts() {
+        let h = Histogram::with_range(&[0.5, 1.5, 1.6, 2.5, 3.5], 0.0, 4.0, 4).unwrap();
+        assert_eq!(h.counts(), &[1, 2, 1, 1]);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.outside(), (0, 0));
+    }
+
+    #[test]
+    fn histogram_out_of_range() {
+        let h = Histogram::with_range(&[-1.0, 0.5, 10.0], 0.0, 1.0, 2).unwrap();
+        assert_eq!(h.outside(), (1, 1));
+        assert_eq!(h.total(), 1);
+    }
+
+    #[test]
+    fn histogram_max_value_included_by_of() {
+        let h = Histogram::of(&[1.0, 2.0, 3.0], 3).unwrap();
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn histogram_pdf_integrates_to_one() {
+        let data: Vec<f64> = (0..1000).map(|i| i as f64 / 100.0).collect();
+        let h = Histogram::of(&data, 20).unwrap();
+        let w = (10.0 - 0.0) / 20.0;
+        let integral: f64 = h.pdf_series().iter().map(|(_, d)| d * w).sum();
+        assert!((integral - 1.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn histogram_fraction_sums_to_one() {
+        let data: Vec<f64> = (0..500).map(|i| (i % 17) as f64).collect();
+        let h = Histogram::of(&data, 17).unwrap();
+        let sum: f64 = h.fraction_series().iter().map(|(_, f)| f).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_cdf_ends_at_one() {
+        let data = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let h = Histogram::of(&data, 5).unwrap();
+        let cdf = h.cdf_series();
+        assert!((cdf.last().unwrap().1 - 1.0).abs() < 1e-12);
+        // CDF must be nondecreasing.
+        for w in cdf.windows(2) {
+            assert!(w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn histogram_rejects_bad_params() {
+        assert!(Histogram::with_range(&[1.0], 0.0, 1.0, 0).is_err());
+        assert!(Histogram::with_range(&[1.0], 1.0, 1.0, 3).is_err());
+        assert!(Histogram::of(&[], 3).is_err());
+    }
+
+    #[test]
+    fn ecdf_monotone() {
+        let e = ecdf(&[3.0, 1.0, 2.0]).unwrap();
+        assert_eq!(e[0].0, 1.0);
+        assert!((e[2].1 - 1.0).abs() < 1e-12);
+        for w in e.windows(2) {
+            assert!(w[1].0 >= w[0].0 && w[1].1 >= w[0].1);
+        }
+    }
+
+    #[test]
+    fn qq_points_straight_line_for_matching_dist() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let data: Vec<f64> = (0..99).map(|i| n.quantile((i as f64 + 0.5) / 99.0)).collect();
+        let qq = qq_points(&data, &n).unwrap();
+        for (theo, samp) in qq {
+            assert!((theo - samp).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn qq_points_rejects_empty() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!(qq_points(&[], &n).is_err());
+    }
+}

@@ -1,0 +1,223 @@
+//! The [`Distribution`] trait and the [`DistributionFamily`] enum used for
+//! goodness-of-fit model selection.
+
+use crate::distributions::{Exponential, Gamma, LogGamma, LogNormal, Normal, Pareto, Weibull};
+use crate::error::StatsError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A univariate continuous probability distribution.
+///
+/// The trait is object safe (sampling takes `&mut dyn Rng`) so fitted
+/// distributions of different families can be handled uniformly during
+/// model selection.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::Normal};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let n = Normal::new(10.0, 2.0)?;
+/// assert!((n.cdf(10.0) - 0.5).abs() < 1e-12);
+/// assert!((n.quantile(n.cdf(12.3)) - 12.3).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+pub trait Distribution: fmt::Debug {
+    /// Probability density at `x`.
+    fn pdf(&self, x: f64) -> f64;
+
+    /// Natural log of the density at `x` (`-inf` where the density is 0).
+    fn ln_pdf(&self, x: f64) -> f64 {
+        self.pdf(x).ln()
+    }
+
+    /// Cumulative distribution function `P(X ≤ x)`.
+    fn cdf(&self, x: f64) -> f64;
+
+    /// Quantile (inverse CDF) at probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `p` is outside `[0, 1]`.
+    fn quantile(&self, p: f64) -> f64;
+
+    /// Distribution mean (may be `inf` for heavy-tailed families).
+    fn mean(&self) -> f64;
+
+    /// Distribution variance (may be `inf` for heavy-tailed families).
+    fn variance(&self) -> f64;
+
+    /// Standard deviation, `variance().sqrt()`.
+    fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Draw one sample.
+    fn sample(&self, rng: &mut dyn Rng) -> f64;
+
+    /// Draw `n` samples into a fresh vector.
+    fn sample_n(&self, rng: &mut dyn Rng, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// Log-likelihood of `data` under this distribution.
+    fn ln_likelihood(&self, data: &[f64]) -> f64 {
+        data.iter().map(|&x| self.ln_pdf(x)).sum()
+    }
+
+    /// Short human-readable name of the family, e.g. `"normal"`.
+    fn family_name(&self) -> &'static str;
+}
+
+/// The seven candidate distribution families the paper tests with the
+/// Kolmogorov–Smirnov procedure (Section V-F): normal, log-normal,
+/// exponential, Weibull, Pareto, gamma and log-gamma.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::DistributionFamily;
+///
+/// let data: Vec<f64> = (1..200).map(|i| i as f64 * 0.37 + 50.0).collect();
+/// let fitted = DistributionFamily::Normal.fit(&data).unwrap();
+/// assert_eq!(fitted.family_name(), "normal");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DistributionFamily {
+    /// Gaussian `N(μ, σ²)`.
+    Normal,
+    /// `ln X ~ N(μ, σ²)`; support `x > 0`.
+    LogNormal,
+    /// Rate-parameterised exponential; support `x ≥ 0`.
+    Exponential,
+    /// Shape/scale Weibull; support `x ≥ 0`.
+    Weibull,
+    /// Scale/shape Pareto (type I); support `x ≥ x_m`.
+    Pareto,
+    /// Shape/scale gamma; support `x > 0`.
+    Gamma,
+    /// `ln X ~ Gamma(k, θ)`; support `x > 1`.
+    LogGamma,
+}
+
+impl DistributionFamily {
+    /// All seven families, in the order the paper lists them.
+    pub const ALL: [DistributionFamily; 7] = [
+        DistributionFamily::Normal,
+        DistributionFamily::LogNormal,
+        DistributionFamily::Exponential,
+        DistributionFamily::Weibull,
+        DistributionFamily::Pareto,
+        DistributionFamily::Gamma,
+        DistributionFamily::LogGamma,
+    ];
+
+    /// Short lowercase name, e.g. `"log-normal"`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistributionFamily::Normal => "normal",
+            DistributionFamily::LogNormal => "log-normal",
+            DistributionFamily::Exponential => "exponential",
+            DistributionFamily::Weibull => "weibull",
+            DistributionFamily::Pareto => "pareto",
+            DistributionFamily::Gamma => "gamma",
+            DistributionFamily::LogGamma => "log-gamma",
+        }
+    }
+
+    /// Fit this family to `data` by maximum likelihood.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when the data is empty, violates the family's
+    /// support (e.g. non-positive values for log-normal), or the MLE
+    /// iteration fails to converge.
+    pub fn fit(&self, data: &[f64]) -> Result<Box<dyn Distribution>, StatsError> {
+        Ok(match self {
+            DistributionFamily::Normal => Box::new(Normal::fit_mle(data)?),
+            DistributionFamily::LogNormal => Box::new(LogNormal::fit_mle(data)?),
+            DistributionFamily::Exponential => Box::new(Exponential::fit_mle(data)?),
+            DistributionFamily::Weibull => Box::new(Weibull::fit_mle(data)?),
+            DistributionFamily::Pareto => Box::new(Pareto::fit_mle(data)?),
+            DistributionFamily::Gamma => Box::new(Gamma::fit_mle(data)?),
+            DistributionFamily::LogGamma => Box::new(LogGamma::fit_mle(data)?),
+        })
+    }
+}
+
+impl fmt::Display for DistributionFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_has_seven_families() {
+        assert_eq!(DistributionFamily::ALL.len(), 7);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            DistributionFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn display_matches_name() {
+        for f in DistributionFamily::ALL {
+            assert_eq!(f.to_string(), f.name());
+        }
+    }
+
+    #[test]
+    fn fit_dispatches_to_right_family() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = Normal::new(5.0, 1.0).unwrap();
+        let data = n.sample_n(&mut rng, 500);
+        for fam in DistributionFamily::ALL {
+            if let Ok(d) = fam.fit(&data) {
+                assert_eq!(d.family_name(), fam.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fit_rejects_empty() {
+        for fam in DistributionFamily::ALL {
+            assert!(fam.fit(&[]).is_err(), "{fam} accepted empty data");
+        }
+    }
+
+    #[test]
+    fn boxed_distribution_usable() {
+        let d: Box<dyn Distribution> = DistributionFamily::Normal
+            .fit(&[1.0, 2.0, 3.0, 4.0, 5.0])
+            .unwrap();
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let x = d.sample(&mut rng);
+        assert!(x.is_finite());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let f = DistributionFamily::LogGamma;
+        let s = serde_json_like(&f);
+        assert!(s.contains("LogGamma"));
+    }
+
+    fn serde_json_like(f: &DistributionFamily) -> String {
+        // serde_json is not a dependency of this crate; use Debug as a
+        // proxy for serialisability of the derive.
+        format!("{f:?}")
+    }
+}

@@ -1,0 +1,197 @@
+//! The exponential distribution (rate parameterisation).
+
+use super::{assert_probability, check_data, check_positive};
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Exponential distribution with rate `λ`; density `λ·e^{−λx}` for
+/// `x ≥ 0`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::Exponential};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let e = Exponential::new(0.5)?; // mean 2
+/// assert!((e.mean() - 2.0).abs() < 1e-12);
+/// assert!((e.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Create an exponential distribution with rate `λ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless `rate` is finite
+    /// and strictly positive.
+    pub fn new(rate: f64) -> Result<Self, StatsError> {
+        check_positive(rate, "rate")?;
+        Ok(Self { rate })
+    }
+
+    /// Create from the mean (`rate = 1/mean`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive mean.
+    pub fn from_mean(mean: f64) -> Result<Self, StatsError> {
+        check_positive(mean, "mean")?;
+        Self::new(1.0 / mean)
+    }
+
+    /// Maximum-likelihood fit: `λ = 1 / mean(data)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires at least one finite, non-negative data point with a
+    /// positive mean.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "Exponential::fit_mle", 1)?;
+        if data.iter().any(|&x| x < 0.0) {
+            return Err(StatsError::InvalidData {
+                constraint: "exponential requires non-negative data",
+            });
+        }
+        let mean = data.iter().sum::<f64>() / data.len() as f64;
+        if mean <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "exponential MLE requires positive mean",
+            });
+        }
+        Self::new(1.0 / mean)
+    }
+
+    /// The rate parameter `λ`.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl Distribution for Exponential {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            f64::NEG_INFINITY
+        } else {
+            self.rate.ln() - self.rate * x
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        // 1-u ∈ (0, 1]; ln is safe.
+        -(1.0 - u).ln() / self.rate
+    }
+
+    fn family_name(&self) -> &'static str {
+        "exponential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(Exponential::new(0.0).is_err());
+        assert!(Exponential::new(-1.0).is_err());
+        assert!(Exponential::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn reference_values() {
+        let e = Exponential::new(2.0).unwrap();
+        assert!((e.cdf(1.0) - 0.8646647167633873).abs() < 1e-12);
+        assert!((e.pdf(0.0) - 2.0).abs() < 1e-12);
+        assert_eq!(e.mean(), 0.5);
+        assert_eq!(e.variance(), 0.25);
+    }
+
+    #[test]
+    fn support_nonnegative() {
+        let e = Exponential::new(1.0).unwrap();
+        assert_eq!(e.pdf(-0.1), 0.0);
+        assert_eq!(e.cdf(-0.1), 0.0);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let e = Exponential::from_mean(192.4).unwrap(); // paper's mean lifetime
+        for &p in &[0.1, 0.5, 0.9, 0.99] {
+            assert!((e.cdf(e.quantile(p)) - p).abs() < 1e-12);
+        }
+        assert_eq!(e.quantile(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn median_is_ln2_over_rate() {
+        let e = Exponential::new(0.25).unwrap();
+        assert!((e.quantile(0.5) - 2f64.ln() / 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mle_recovers_rate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let truth = Exponential::new(0.02).unwrap();
+        let data = truth.sample_n(&mut rng, 30_000);
+        let fit = Exponential::fit_mle(&data).unwrap();
+        assert!((fit.rate() - 0.02).abs() / 0.02 < 0.03);
+    }
+
+    #[test]
+    fn mle_rejects_negative_data() {
+        assert!(Exponential::fit_mle(&[1.0, -0.5]).is_err());
+        assert!(Exponential::fit_mle(&[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn samples_nonnegative() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(6);
+        let e = Exponential::new(3.0).unwrap();
+        for _ in 0..500 {
+            assert!(e.sample(&mut rng) >= 0.0);
+        }
+    }
+}

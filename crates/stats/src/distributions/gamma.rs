@@ -1,0 +1,241 @@
+//! The gamma distribution (shape/scale parameterisation).
+
+use super::{assert_probability, check_data, check_positive};
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use crate::sampling::standard_gamma;
+use crate::special::{digamma, gamma_p, inv_gamma_p, ln_gamma};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Gamma distribution with shape `k` and scale `θ`; support `x > 0`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::Gamma};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let g = Gamma::new(2.0, 2.0)?;
+/// assert!((g.mean() - 4.0).abs() < 1e-12);
+/// assert!((g.cdf(2.0) - 0.26424111765711533).abs() < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gamma {
+    shape: f64,
+    scale: f64,
+}
+
+impl Gamma {
+    /// Maximum Newton iterations for the shape MLE.
+    const MAX_ITER: usize = 200;
+
+    /// Create a gamma distribution with shape `k` and scale `θ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both are finite
+    /// and strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        check_positive(shape, "shape")?;
+        check_positive(scale, "scale")?;
+        Ok(Self { shape, scale })
+    }
+
+    /// Maximum-likelihood fit via Newton iteration on
+    /// `ln k − ψ(k) = ln(mean) − mean(ln x)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires at least 2 strictly positive points; fails with
+    /// [`StatsError::NoConvergence`] if the iteration stalls.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "Gamma::fit_mle", 2)?;
+        if data.iter().any(|&x| x <= 0.0) {
+            return Err(StatsError::InvalidData {
+                constraint: "gamma requires strictly positive data",
+            });
+        }
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let mean_ln = data.iter().map(|x| x.ln()).sum::<f64>() / n;
+        let s = mean.ln() - mean_ln;
+        if s <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "gamma MLE requires non-degenerate data",
+            });
+        }
+        // Minka's closed-form starting point.
+        let mut k = (3.0 - s + ((s - 3.0).powi(2) + 24.0 * s).sqrt()) / (12.0 * s);
+        k = k.clamp(1e-3, 1e6);
+        for iter in 0..Self::MAX_ITER {
+            let g = k.ln() - digamma(k) - s;
+            // ψ'(k) ≈ numeric derivative of digamma (accurate enough here).
+            let h = 1e-6 * k.max(1e-6);
+            let dpsi = (digamma(k + h) - digamma(k - h)) / (2.0 * h);
+            let dg = 1.0 / k - dpsi;
+            let next = (k - g / dg).clamp(k / 3.0, k * 3.0);
+            if (next - k).abs() < 1e-10 * k {
+                k = next;
+                break;
+            }
+            k = next;
+            if iter + 1 == Self::MAX_ITER {
+                return Err(StatsError::NoConvergence {
+                    what: "Gamma::fit_mle",
+                    iterations: Self::MAX_ITER,
+                });
+            }
+        }
+        Self::new(k, mean / k)
+    }
+
+    /// Shape parameter `k`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// Scale parameter `θ`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+}
+
+impl Distribution for Gamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return if x == 0.0 && self.shape < 1.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            };
+        }
+        self.ln_pdf(x).exp()
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        (self.shape - 1.0) * x.ln() - x / self.scale
+            - ln_gamma(self.shape)
+            - self.shape * self.scale.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            gamma_p(self.shape, x / self.scale)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        self.scale * inv_gamma_p(self.shape, p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.shape * self.scale
+    }
+
+    fn variance(&self) -> f64 {
+        self.shape * self.scale * self.scale
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.scale * standard_gamma(rng, self.shape)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "gamma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Gamma::new(0.0, 1.0).is_err());
+        assert!(Gamma::new(1.0, 0.0).is_err());
+        assert!(Gamma::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn shape_one_is_exponential() {
+        let g = Gamma::new(1.0, 2.0).unwrap();
+        assert!((g.cdf(2.0) - (1.0 - (-1.0f64).exp())).abs() < 1e-10);
+        assert!((g.pdf(0.5) - 0.5 * (-0.25f64).exp()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reference_cdf() {
+        // Gamma(2, 2): cdf(2) = 1 - e^{-1}(1 + 1)
+        let g = Gamma::new(2.0, 2.0).unwrap();
+        assert!((g.cdf(2.0) - (1.0 - 2.0 * (-1.0f64).exp())).abs() < 1e-10);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let g = Gamma::new(3.7, 12.0).unwrap();
+        for &p in &[0.01, 0.3, 0.5, 0.8, 0.99] {
+            assert!((g.cdf(g.quantile(p)) - p).abs() < 1e-7, "p={p}");
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let g = Gamma::new(5.0, 3.0).unwrap();
+        assert_eq!(g.mean(), 15.0);
+        assert_eq!(g.variance(), 45.0);
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(41);
+        let truth = Gamma::new(2.5, 4.0).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = Gamma::fit_mle(&data).unwrap();
+        assert!((fit.shape() - 2.5).abs() < 0.1, "shape {}", fit.shape());
+        assert!((fit.scale() - 4.0).abs() < 0.2, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn mle_small_shape() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let truth = Gamma::new(0.5, 10.0).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = Gamma::fit_mle(&data).unwrap();
+        assert!((fit.shape() - 0.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn mle_rejects_bad_data() {
+        assert!(Gamma::fit_mle(&[1.0]).is_err());
+        assert!(Gamma::fit_mle(&[-1.0, 1.0]).is_err());
+        assert!(Gamma::fit_mle(&[3.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn support_is_positive() {
+        let g = Gamma::new(2.0, 1.0).unwrap();
+        assert_eq!(g.pdf(-1.0), 0.0);
+        assert_eq!(g.cdf(0.0), 0.0);
+        let small = Gamma::new(0.5, 1.0).unwrap();
+        assert_eq!(small.pdf(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(43);
+        let g = Gamma::new(4.0, 2.0).unwrap();
+        let xs = g.sample_n(&mut rng, 30_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 8.0).abs() < 0.15);
+    }
+}

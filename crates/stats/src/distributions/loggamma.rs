@@ -1,0 +1,222 @@
+//! The log-gamma distribution: `X` such that `ln X ~ Gamma(k, θ)`.
+//!
+//! Support is `x > 1`. This is the seventh candidate family the paper
+//! feeds to its Kolmogorov–Smirnov selection procedure.
+
+use super::{assert_probability, check_data};
+use crate::distribution::Distribution;
+use crate::distributions::Gamma;
+use crate::error::StatsError;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Log-gamma distribution: if `G ~ Gamma(shape, scale)` then
+/// `X = e^G ~ LogGamma(shape, scale)`, with support `x > 1`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::LogGamma};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let lg = LogGamma::new(2.0, 0.25)?;
+/// assert_eq!(lg.cdf(1.0), 0.0); // support starts above 1
+/// assert!(lg.cdf(10.0) > 0.9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogGamma {
+    inner: Gamma,
+}
+
+impl LogGamma {
+    /// Create a log-gamma distribution whose logarithm is
+    /// `Gamma(shape, scale)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both parameters
+    /// are finite and strictly positive.
+    pub fn new(shape: f64, scale: f64) -> Result<Self, StatsError> {
+        Ok(Self {
+            inner: Gamma::new(shape, scale)?,
+        })
+    }
+
+    /// Maximum-likelihood fit: fit a gamma to `ln(data)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires at least 2 data points strictly greater than 1 (so their
+    /// logarithms are positive).
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "LogGamma::fit_mle", 2)?;
+        if data.iter().any(|&x| x <= 1.0) {
+            return Err(StatsError::InvalidData {
+                constraint: "log-gamma requires data strictly greater than 1",
+            });
+        }
+        let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+        Ok(Self {
+            inner: Gamma::fit_mle(&logs)?,
+        })
+    }
+
+    /// Shape parameter `k` of the underlying gamma.
+    pub fn shape(&self) -> f64 {
+        self.inner.shape()
+    }
+
+    /// Scale parameter `θ` of the underlying gamma.
+    pub fn scale(&self) -> f64 {
+        self.inner.scale()
+    }
+}
+
+impl Distribution for LogGamma {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 1.0 {
+            return 0.0;
+        }
+        self.inner.pdf(x.ln()) / x
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 1.0 {
+            return f64::NEG_INFINITY;
+        }
+        self.inner.ln_pdf(x.ln()) - x.ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 1.0 {
+            0.0
+        } else {
+            self.inner.cdf(x.ln())
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        self.inner.quantile(p).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        // E[e^G] = (1 − θ)^{−k} for θ < 1 (gamma MGF at t = 1).
+        let (k, th) = (self.inner.shape(), self.inner.scale());
+        if th >= 1.0 {
+            f64::INFINITY
+        } else {
+            (1.0 - th).powf(-k)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        // E[e^{2G}] = (1 − 2θ)^{−k} for θ < 1/2.
+        let (k, th) = (self.inner.shape(), self.inner.scale());
+        if th >= 0.5 {
+            f64::INFINITY
+        } else {
+            (1.0 - 2.0 * th).powf(-k) - (1.0 - th).powf(-2.0 * k)
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.inner.sample(rng).exp()
+    }
+
+    fn family_name(&self) -> &'static str {
+        "log-gamma"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogGamma::new(0.0, 1.0).is_err());
+        assert!(LogGamma::new(1.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn support_above_one() {
+        let lg = LogGamma::new(2.0, 0.3).unwrap();
+        assert_eq!(lg.pdf(0.5), 0.0);
+        assert_eq!(lg.pdf(1.0), 0.0);
+        assert_eq!(lg.cdf(1.0), 0.0);
+        assert!(lg.pdf(1.5) > 0.0);
+    }
+
+    #[test]
+    fn cdf_consistent_with_gamma_of_log() {
+        let lg = LogGamma::new(3.0, 0.2).unwrap();
+        let g = Gamma::new(3.0, 0.2).unwrap();
+        for &x in &[1.1, 2.0, 5.0, 20.0] {
+            assert!((lg.cdf(x) - g.cdf(x.ln())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let lg = LogGamma::new(2.0, 0.25).unwrap();
+        for &p in &[0.05, 0.5, 0.95] {
+            assert!((lg.cdf(lg.quantile(p)) - p).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn mean_formula() {
+        let lg = LogGamma::new(2.0, 0.25).unwrap();
+        // (1 - 0.25)^{-2} = 16/9
+        assert!((lg.mean() - 16.0 / 9.0).abs() < 1e-12);
+        let heavy = LogGamma::new(1.0, 1.5).unwrap();
+        assert_eq!(heavy.mean(), f64::INFINITY);
+    }
+
+    #[test]
+    fn variance_formula() {
+        let lg = LogGamma::new(2.0, 0.25).unwrap();
+        let expected = (0.5f64).powf(-2.0) - (0.75f64).powf(-4.0);
+        assert!((lg.variance() - expected).abs() < 1e-12);
+        let heavy = LogGamma::new(1.0, 0.7).unwrap();
+        assert_eq!(heavy.variance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(51);
+        let truth = LogGamma::new(4.0, 0.5).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = LogGamma::fit_mle(&data).unwrap();
+        assert!((fit.shape() - 4.0).abs() < 0.2, "shape {}", fit.shape());
+        assert!((fit.scale() - 0.5).abs() < 0.03, "scale {}", fit.scale());
+    }
+
+    #[test]
+    fn mle_rejects_data_at_or_below_one() {
+        assert!(LogGamma::fit_mle(&[0.5, 2.0]).is_err());
+        assert!(LogGamma::fit_mle(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn samples_above_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(52);
+        let lg = LogGamma::new(2.0, 0.4).unwrap();
+        for _ in 0..500 {
+            assert!(lg.sample(&mut rng) > 1.0);
+        }
+    }
+
+    #[test]
+    fn monte_carlo_mean_matches_formula() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(53);
+        let lg = LogGamma::new(3.0, 0.2).unwrap();
+        let xs = lg.sample_n(&mut rng, 50_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - lg.mean()).abs() / lg.mean() < 0.05);
+    }
+}

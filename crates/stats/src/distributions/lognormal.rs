@@ -1,0 +1,264 @@
+//! The log-normal distribution — the paper's model for available disk
+//! space (Section V-G).
+
+use super::{assert_probability, check_data};
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use crate::sampling::standard_normal;
+use crate::special::{inv_norm_cdf, norm_cdf};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Log-normal distribution: `ln X ~ N(μ, σ²)`, support `x > 0`.
+///
+/// The underlying-normal parameters are `mu`/`sigma`; helper constructors
+/// convert to and from the *arithmetic* mean/variance of `X`, which is
+/// how the paper states its disk-space law (Table VI gives the mean and
+/// variance in GB of the log-normal itself).
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::LogNormal};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// // The paper's 2006 disk law: mean 31.59 GB (Table VI).
+/// let disk = LogNormal::from_mean_variance(31.59, 2890.0)?;
+/// assert!((disk.mean() - 31.59).abs() < 1e-9);
+/// assert!((disk.variance() - 2890.0).abs() < 1e-6);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// Create from the parameters of the underlying normal.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `sigma` is not
+    /// finite and positive or `mu` is not finite.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, StatsError> {
+        if !mu.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mu",
+                value: mu,
+                constraint: "must be finite",
+            });
+        }
+        if !sigma.is_finite() || sigma <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "sigma",
+                value: sigma,
+                constraint: "must be finite and > 0",
+            });
+        }
+        Ok(Self { mu, sigma })
+    }
+
+    /// Create a log-normal whose *arithmetic* mean and variance equal the
+    /// given values.
+    ///
+    /// Inverts `E[X] = exp(μ + σ²/2)` and
+    /// `Var[X] = (exp(σ²) − 1)·exp(2μ + σ²)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive mean or
+    /// variance.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() || mean <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite and > 0",
+            });
+        }
+        if !variance.is_finite() || variance <= 0.0 {
+            return Err(StatsError::InvalidParameter {
+                name: "variance",
+                value: variance,
+                constraint: "must be finite and > 0",
+            });
+        }
+        let sigma2 = (1.0 + variance / (mean * mean)).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Self::new(mu, sigma2.sqrt())
+    }
+
+    /// Maximum-likelihood fit: fit a normal to `ln(data)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires at least 2 strictly positive, finite data points.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "LogNormal::fit_mle", 2)?;
+        if data.iter().any(|&x| x <= 0.0) {
+            return Err(StatsError::InvalidData {
+                constraint: "log-normal requires strictly positive data",
+            });
+        }
+        let logs: Vec<f64> = data.iter().map(|x| x.ln()).collect();
+        let n = logs.len() as f64;
+        let mu = logs.iter().sum::<f64>() / n;
+        let var = logs.iter().map(|x| (x - mu).powi(2)).sum::<f64>() / n;
+        if var <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "log-normal MLE requires non-degenerate data",
+            });
+        }
+        Self::new(mu, var.sqrt())
+    }
+
+    /// Location parameter `μ` of the underlying normal.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter `σ` of the underlying normal.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Median of the distribution, `exp(μ)`.
+    pub fn median(&self) -> f64 {
+        self.mu.exp()
+    }
+}
+
+impl Distribution for LogNormal {
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        (-0.5 * z * z).exp() / (x * self.sigma * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        let z = (x.ln() - self.mu) / self.sigma;
+        -0.5 * z * z - x.ln() - self.sigma.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            return 0.0;
+        }
+        norm_cdf((x.ln() - self.mu) / self.sigma)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        if p == 0.0 {
+            return 0.0;
+        }
+        (self.mu + self.sigma * inv_norm_cdf(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        (s2.exp() - 1.0) * (2.0 * self.mu + s2).exp()
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+
+    fn family_name(&self) -> &'static str {
+        "log-normal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LogNormal::new(0.0, 0.0).is_err());
+        assert!(LogNormal::new(f64::INFINITY, 1.0).is_err());
+        assert!(LogNormal::from_mean_variance(-1.0, 4.0).is_err());
+        assert!(LogNormal::from_mean_variance(2.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn standard_lognormal_values() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert!((d.cdf(1.0) - 0.5).abs() < 1e-12);
+        assert!((d.mean() - 0.5f64.exp()).abs() < 1e-12);
+        assert!((d.median() - 1.0).abs() < 1e-12);
+        // pdf(1) = 1/√(2π)
+        assert!((d.pdf(1.0) - 0.3989422804014327).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_is_positive_reals() {
+        let d = LogNormal::new(0.0, 1.0).unwrap();
+        assert_eq!(d.pdf(-1.0), 0.0);
+        assert_eq!(d.cdf(0.0), 0.0);
+        assert_eq!(d.ln_pdf(-5.0), f64::NEG_INFINITY);
+        assert_eq!(d.quantile(0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_variance_roundtrip() {
+        // The paper's Table VI disk law at year 2010: mean = 31.59·e^{0.2691·4}.
+        let mean = 31.59 * (0.2691f64 * 4.0).exp();
+        let var = 2890.0 * (0.5224f64 * 4.0).exp();
+        let d = LogNormal::from_mean_variance(mean, var).unwrap();
+        assert!((d.mean() - mean).abs() / mean < 1e-10);
+        assert!((d.variance() - var).abs() / var < 1e-10);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let d = LogNormal::from_mean_variance(98.0, 157.8f64.powi(2)).unwrap();
+        for &p in &[0.05, 0.3, 0.5, 0.75, 0.99] {
+            let x = d.quantile(p);
+            assert!((d.cdf(x) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(21);
+        let truth = LogNormal::new(3.0, 0.8).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = LogNormal::fit_mle(&data).unwrap();
+        assert!((fit.mu() - 3.0).abs() < 0.03);
+        assert!((fit.sigma() - 0.8).abs() < 0.03);
+    }
+
+    #[test]
+    fn mle_rejects_nonpositive_data() {
+        assert!(LogNormal::fit_mle(&[1.0, -2.0, 3.0]).is_err());
+        assert!(LogNormal::fit_mle(&[1.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn samples_positive() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(22);
+        let d = LogNormal::new(1.0, 2.0).unwrap();
+        for _ in 0..500 {
+            assert!(d.sample(&mut rng) > 0.0);
+        }
+    }
+
+    #[test]
+    fn skewed_right_median_below_mean() {
+        let d = LogNormal::new(2.0, 1.0).unwrap();
+        assert!(d.median() < d.mean());
+    }
+}

@@ -1,0 +1,96 @@
+//! The seven continuous distribution families tested by the paper.
+//!
+//! Each family provides construction with validated parameters, density /
+//! CDF / quantile evaluation, sampling, moments and maximum-likelihood
+//! fitting (`fit_mle`). All types implement the crate-wide
+//! [`Distribution`](crate::Distribution) trait.
+
+mod exponential;
+mod gamma;
+mod loggamma;
+mod lognormal;
+mod normal;
+mod pareto;
+mod weibull;
+
+pub use exponential::Exponential;
+pub use gamma::Gamma;
+pub use loggamma::LogGamma;
+pub use lognormal::LogNormal;
+pub use normal::Normal;
+pub use pareto::Pareto;
+pub use weibull::Weibull;
+
+use crate::error::StatsError;
+
+/// Validate that `data` has at least `needed` finite entries.
+pub(crate) fn check_data(data: &[f64], what: &'static str, needed: usize) -> Result<(), StatsError> {
+    if data.len() < needed {
+        return Err(StatsError::EmptyData {
+            what,
+            needed,
+            got: data.len(),
+        });
+    }
+    if data.iter().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData { what });
+    }
+    Ok(())
+}
+
+/// Validate that a scalar parameter is finite and strictly positive.
+pub(crate) fn check_positive(
+    value: f64,
+    name: &'static str,
+) -> Result<(), StatsError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(StatsError::InvalidParameter {
+            name,
+            value,
+            constraint: "must be finite and > 0",
+        });
+    }
+    Ok(())
+}
+
+/// Validate that a probability lies in `[0, 1]`, panicking otherwise.
+///
+/// Quantile functions use panics (not `Result`) for out-of-range
+/// probabilities, mirroring the standard library's indexing contract.
+pub(crate) fn assert_probability(p: f64) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "probability must be in [0, 1], got {p}"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn check_data_rejects_short_input() {
+        assert!(check_data(&[1.0], "t", 2).is_err());
+        assert!(check_data(&[1.0, 2.0], "t", 2).is_ok());
+    }
+
+    #[test]
+    fn check_data_rejects_nan_and_inf() {
+        assert!(check_data(&[1.0, f64::NAN], "t", 1).is_err());
+        assert!(check_data(&[1.0, f64::INFINITY], "t", 1).is_err());
+    }
+
+    #[test]
+    fn check_positive_rejects_bad_values() {
+        assert!(check_positive(0.0, "x").is_err());
+        assert!(check_positive(-1.0, "x").is_err());
+        assert!(check_positive(f64::NAN, "x").is_err());
+        assert!(check_positive(1e-9, "x").is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn assert_probability_panics_out_of_range() {
+        assert_probability(1.5);
+    }
+}

@@ -1,0 +1,214 @@
+//! The normal (Gaussian) distribution — the paper's model for Dhrystone
+//! and Whetstone benchmark speeds (Section V-F).
+
+use super::{assert_probability, check_data, check_positive};
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use crate::sampling::standard_normal;
+use crate::special::{inv_norm_cdf, norm_cdf};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Normal distribution `N(μ, σ²)` parameterised by mean and standard
+/// deviation.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::Normal};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// // The paper's 2006 Whetstone fit: mean 1136 MIPS, σ 472.
+/// let whet = Normal::new(1136.0, 472.0)?;
+/// assert!((whet.mean() - 1136.0).abs() < 1e-12);
+/// assert!(whet.cdf(1136.0) - 0.5 < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// Create a normal distribution with the given mean and standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] when `std_dev` is not
+    /// finite and strictly positive, or `mean` is not finite.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, StatsError> {
+        if !mean.is_finite() {
+            return Err(StatsError::InvalidParameter {
+                name: "mean",
+                value: mean,
+                constraint: "must be finite",
+            });
+        }
+        check_positive(std_dev, "std_dev")?;
+        Ok(Self { mean, std_dev })
+    }
+
+    /// Create from mean and variance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] for non-positive variance.
+    pub fn from_mean_variance(mean: f64, variance: f64) -> Result<Self, StatsError> {
+        check_positive(variance, "variance")?;
+        Self::new(mean, variance.sqrt())
+    }
+
+    /// Maximum-likelihood fit: sample mean and (biased, `1/n`) standard
+    /// deviation.
+    ///
+    /// # Errors
+    ///
+    /// Needs at least 2 finite data points with non-zero spread.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "Normal::fit_mle", 2)?;
+        let n = data.len() as f64;
+        let mean = data.iter().sum::<f64>() / n;
+        let var = data.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        if var <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "normal MLE requires non-degenerate data",
+            });
+        }
+        Self::new(mean, var.sqrt())
+    }
+
+    /// The standard deviation `σ`.
+    pub fn sigma(&self) -> f64 {
+        self.std_dev
+    }
+
+    /// The mean `μ`.
+    pub fn mu(&self) -> f64 {
+        self.mean
+    }
+}
+
+impl Distribution for Normal {
+    fn pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        (-0.5 * z * z).exp() / (self.std_dev * (2.0 * std::f64::consts::PI).sqrt())
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        let z = (x - self.mean) / self.std_dev;
+        -0.5 * z * z - self.std_dev.ln() - 0.5 * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf((x - self.mean) / self.std_dev)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        self.mean + self.std_dev * inv_norm_cdf(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "normal"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(Normal::new(0.0, 0.0).is_err());
+        assert!(Normal::new(0.0, -2.0).is_err());
+        assert!(Normal::from_mean_variance(0.0, -1.0).is_err());
+    }
+
+    #[test]
+    fn standard_normal_reference_values() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!((n.pdf(0.0) - 0.3989422804014327).abs() < 1e-12);
+        assert!((n.cdf(1.0) - 0.8413447460685429).abs() < 1e-7);
+        assert!((n.cdf(-1.96) - 0.024997895148220435).abs() < 1e-7);
+    }
+
+    #[test]
+    fn shifted_scaled_cdf() {
+        let n = Normal::new(100.0, 15.0).unwrap();
+        assert!((n.cdf(100.0) - 0.5).abs() < 1e-12);
+        assert!((n.cdf(115.0) - 0.8413447460685429).abs() < 1e-7);
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let n = Normal::new(2064.0, 1174.0).unwrap();
+        for &p in &[0.01, 0.2, 0.5, 0.9, 0.999] {
+            let x = n.quantile(p);
+            assert!((n.cdf(x) - p).abs() < 1e-9, "p={p}");
+        }
+    }
+
+    #[test]
+    fn ln_pdf_consistent_with_pdf() {
+        let n = Normal::new(-3.0, 2.5).unwrap();
+        for &x in &[-10.0, -3.0, 0.0, 4.0] {
+            assert!((n.ln_pdf(x) - n.pdf(x).ln()).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+        let truth = Normal::new(1771.0, 669.5).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = Normal::fit_mle(&data).unwrap();
+        assert!((fit.mu() - 1771.0).abs() / 1771.0 < 0.02);
+        assert!((fit.sigma() - 669.5).abs() / 669.5 < 0.03);
+    }
+
+    #[test]
+    fn mle_rejects_degenerate_data() {
+        assert!(Normal::fit_mle(&[5.0, 5.0, 5.0]).is_err());
+        assert!(Normal::fit_mle(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn moments() {
+        let n = Normal::new(3.0, 4.0).unwrap();
+        assert_eq!(n.mean(), 3.0);
+        assert_eq!(n.variance(), 16.0);
+        assert_eq!(n.std_dev(), 4.0);
+    }
+
+    #[test]
+    fn sample_moments_match() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(10);
+        let n = Normal::new(10.0, 3.0).unwrap();
+        let xs = n.sample_n(&mut rng, 40_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn quantile_rejects_bad_probability() {
+        Normal::new(0.0, 1.0).unwrap().quantile(2.0);
+    }
+}

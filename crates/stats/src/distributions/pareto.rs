@@ -1,0 +1,210 @@
+//! The Pareto (type I) distribution.
+
+use super::{assert_probability, check_data, check_positive};
+use crate::distribution::Distribution;
+use crate::error::StatsError;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Pareto distribution with scale `x_m` (minimum) and shape `α`;
+/// support `x ≥ x_m`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Distribution, distributions::Pareto};
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let p = Pareto::new(1.0, 2.0)?;
+/// assert!((p.cdf(2.0) - 0.75).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Create a Pareto distribution with minimum `scale` and tail index
+    /// `shape`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless both are finite
+    /// and strictly positive.
+    pub fn new(scale: f64, shape: f64) -> Result<Self, StatsError> {
+        check_positive(scale, "scale")?;
+        check_positive(shape, "shape")?;
+        Ok(Self { scale, shape })
+    }
+
+    /// Maximum-likelihood fit: `x_m = min(data)`,
+    /// `α = n / Σ ln(x_i / x_m)`.
+    ///
+    /// # Errors
+    ///
+    /// Requires at least 2 strictly positive points that are not all
+    /// identical.
+    pub fn fit_mle(data: &[f64]) -> Result<Self, StatsError> {
+        check_data(data, "Pareto::fit_mle", 2)?;
+        if data.iter().any(|&x| x <= 0.0) {
+            return Err(StatsError::InvalidData {
+                constraint: "pareto requires strictly positive data",
+            });
+        }
+        let xm = data.iter().cloned().fold(f64::INFINITY, f64::min);
+        let s: f64 = data.iter().map(|&x| (x / xm).ln()).sum();
+        if s <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "pareto MLE requires non-degenerate data",
+            });
+        }
+        Self::new(xm, data.len() as f64 / s)
+    }
+
+    /// Minimum (scale) parameter `x_m`.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Tail-index (shape) parameter `α`.
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+}
+
+impl Distribution for Pareto {
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            0.0
+        } else {
+            self.shape * self.scale.powf(self.shape) / x.powf(self.shape + 1.0)
+        }
+    }
+
+    fn ln_pdf(&self, x: f64) -> f64 {
+        if x < self.scale {
+            f64::NEG_INFINITY
+        } else {
+            self.shape.ln() + self.shape * self.scale.ln() - (self.shape + 1.0) * x.ln()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / x).powf(self.shape)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert_probability(p);
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.scale / (1.0 - p).powf(1.0 / self.shape)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.shape * self.scale / (self.shape - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.shape <= 2.0 {
+            f64::INFINITY
+        } else {
+            let a = self.shape;
+            self.scale * self.scale * a / ((a - 1.0) * (a - 1.0) * (a - 2.0))
+        }
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        let u: f64 = rng.random::<f64>();
+        self.scale / (1.0 - u).powf(1.0 / self.shape)
+    }
+
+    fn family_name(&self) -> &'static str {
+        "pareto"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(Pareto::new(0.0, 1.0).is_err());
+        assert!(Pareto::new(1.0, 0.0).is_err());
+        assert!(Pareto::new(f64::INFINITY, 1.0).is_err());
+    }
+
+    #[test]
+    fn reference_values() {
+        let p = Pareto::new(1.0, 2.0).unwrap();
+        assert!((p.cdf(2.0) - 0.75).abs() < 1e-12);
+        assert!((p.pdf(1.0) - 2.0).abs() < 1e-12);
+        assert!((p.mean() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_above_scale() {
+        let p = Pareto::new(5.0, 3.0).unwrap();
+        assert_eq!(p.pdf(4.9), 0.0);
+        assert_eq!(p.cdf(5.0), 0.0);
+        assert_eq!(p.ln_pdf(1.0), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn heavy_tail_infinite_moments() {
+        let p1 = Pareto::new(1.0, 0.9).unwrap();
+        assert_eq!(p1.mean(), f64::INFINITY);
+        let p2 = Pareto::new(1.0, 1.5).unwrap();
+        assert!(p2.mean().is_finite());
+        assert_eq!(p2.variance(), f64::INFINITY);
+        let p3 = Pareto::new(1.0, 3.0).unwrap();
+        assert!(p3.variance().is_finite());
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let p = Pareto::new(2.0, 1.16).unwrap();
+        for &q in &[0.1, 0.5, 0.9, 0.999] {
+            assert!((p.cdf(p.quantile(q)) - q).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn mle_recovers_parameters() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        let truth = Pareto::new(3.0, 2.5).unwrap();
+        let data = truth.sample_n(&mut rng, 20_000);
+        let fit = Pareto::fit_mle(&data).unwrap();
+        assert!((fit.scale() - 3.0).abs() < 0.01, "scale {}", fit.scale());
+        assert!((fit.shape() - 2.5).abs() < 0.1, "shape {}", fit.shape());
+    }
+
+    #[test]
+    fn mle_rejects_bad_data() {
+        assert!(Pareto::fit_mle(&[1.0]).is_err());
+        assert!(Pareto::fit_mle(&[0.0, 1.0]).is_err());
+        assert!(Pareto::fit_mle(&[2.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn samples_at_or_above_scale() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(32);
+        let p = Pareto::new(7.0, 1.1).unwrap();
+        for _ in 0..500 {
+            assert!(p.sample(&mut rng) >= 7.0);
+        }
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type shared by all statistical routines.
+
+use std::fmt;
+
+/// Errors produced by the statistical routines in this crate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatsError {
+    /// An operation required at least one (or more) data points.
+    EmptyData {
+        /// Name of the operation that failed.
+        what: &'static str,
+        /// Minimum number of points required.
+        needed: usize,
+        /// Number of points provided.
+        got: usize,
+    },
+    /// A distribution parameter was outside its valid domain.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+        /// Human-readable constraint, e.g. `"must be finite and > 0"`.
+        constraint: &'static str,
+    },
+    /// Data violated a support constraint (e.g. log-normal needs x > 0).
+    InvalidData {
+        /// Description of the violated constraint.
+        constraint: &'static str,
+    },
+    /// An iterative algorithm failed to converge.
+    NoConvergence {
+        /// Name of the algorithm.
+        what: &'static str,
+        /// Number of iterations attempted.
+        iterations: usize,
+    },
+    /// A matrix operation required a square matrix.
+    NotSquare {
+        /// Row count of the offending matrix.
+        rows: usize,
+        /// Column count of the offending matrix.
+        cols: usize,
+    },
+    /// Cholesky decomposition failed: the matrix is not positive definite.
+    NotPositiveDefinite,
+    /// Matrix dimensions were incompatible for the requested operation.
+    DimensionMismatch {
+        /// Description of the expectation that was violated.
+        expected: String,
+    },
+    /// Input contained NaN or infinite values where finite ones are required.
+    NonFiniteData {
+        /// Name of the operation that rejected the data.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::EmptyData { what, needed, got } => write!(
+                f,
+                "{what} requires at least {needed} data point(s), got {got}"
+            ),
+            StatsError::InvalidParameter {
+                name,
+                value,
+                constraint,
+            } => write!(f, "parameter `{name}` = {value} is invalid: {constraint}"),
+            StatsError::InvalidData { constraint } => {
+                write!(f, "data violates constraint: {constraint}")
+            }
+            StatsError::NoConvergence { what, iterations } => {
+                write!(f, "{what} failed to converge after {iterations} iterations")
+            }
+            StatsError::NotSquare { rows, cols } => {
+                write!(f, "matrix is {rows}x{cols}, expected square")
+            }
+            StatsError::NotPositiveDefinite => {
+                write!(f, "matrix is not positive definite")
+            }
+            StatsError::DimensionMismatch { expected } => {
+                write!(f, "dimension mismatch: {expected}")
+            }
+            StatsError::NonFiniteData { what } => {
+                write!(f, "{what} requires finite data (no NaN/inf)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StatsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_empty_data() {
+        let e = StatsError::EmptyData {
+            what: "mean",
+            needed: 1,
+            got: 0,
+        };
+        assert_eq!(e.to_string(), "mean requires at least 1 data point(s), got 0");
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = StatsError::InvalidParameter {
+            name: "sigma",
+            value: -1.0,
+            constraint: "must be finite and > 0",
+        };
+        assert!(e.to_string().contains("sigma"));
+        assert!(e.to_string().contains("must be finite and > 0"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StatsError>();
+    }
+
+    #[test]
+    fn display_matrix_errors() {
+        assert!(StatsError::NotPositiveDefinite.to_string().contains("positive definite"));
+        let e = StatsError::NotSquare { rows: 2, cols: 3 };
+        assert!(e.to_string().contains("2x3"));
+    }
+}

@@ -1,0 +1,369 @@
+//! One-sample Kolmogorov–Smirnov goodness-of-fit testing, including the
+//! paper's subsampled averaged p-value procedure (Section V-F) and
+//! distribution-family selection across the seven candidates.
+
+use crate::distribution::{Distribution, DistributionFamily};
+use crate::error::StatsError;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Result of a single Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KsTest {
+    /// The KS statistic `D = sup |F_n(x) − F(x)|`.
+    pub statistic: f64,
+    /// Asymptotic p-value of observing a statistic at least this large
+    /// under the null hypothesis.
+    pub p_value: f64,
+    /// Sample size the statistic was computed from.
+    pub n: usize,
+}
+
+/// Compute the one-sample KS statistic of `data` against `dist`.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when `data` is empty.
+pub fn ks_statistic(data: &[f64], dist: &dyn Distribution) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "ks_statistic",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = sorted.len() as f64;
+    let mut d = 0.0_f64;
+    for (i, &x) in sorted.iter().enumerate() {
+        let f = dist.cdf(x);
+        let lo = i as f64 / n;
+        let hi = (i + 1) as f64 / n;
+        d = d.max((f - lo).abs()).max((hi - f).abs());
+    }
+    Ok(d)
+}
+
+/// The Kolmogorov distribution survival function
+/// `Q_KS(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`.
+///
+/// Values outside `[0, 1]` caused by series truncation are clamped.
+pub fn kolmogorov_survival(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for j in 1..=100 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// One-sample KS test of `data` against a fully specified `dist`.
+///
+/// Uses the asymptotic p-value with the small-sample correction
+/// `λ = (√n + 0.12 + 0.11/√n)·D` (Numerical Recipes §14.3).
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{distributions::Normal, ks::ks_test, Distribution};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let n = Normal::new(0.0, 1.0)?;
+/// let data = n.sample_n(&mut rng, 200);
+/// let t = ks_test(&data, &n)?;
+/// assert!(t.p_value > 0.01); // data drawn from the null
+/// # Ok(())
+/// # }
+/// ```
+pub fn ks_test(data: &[f64], dist: &dyn Distribution) -> Result<KsTest, StatsError> {
+    let d = ks_statistic(data, dist)?;
+    let n = data.len();
+    let sqrt_n = (n as f64).sqrt();
+    let lambda = (sqrt_n + 0.12 + 0.11 / sqrt_n) * d;
+    Ok(KsTest {
+        statistic: d,
+        p_value: kolmogorov_survival(lambda),
+        n,
+    })
+}
+
+/// Configuration of the paper's subsampled KS procedure.
+///
+/// The KS test "is sensitive to slight discrepancies in large data sets,
+/// so to calculate p-values we took the average p-value of 100 KS tests
+/// each using a randomly selected subset of 50 values" (Section V-F).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SubsampleConfig {
+    /// Number of independent subsample tests (paper: 100).
+    pub repetitions: usize,
+    /// Size of each subsample (paper: 50).
+    pub subsample_size: usize,
+}
+
+impl Default for SubsampleConfig {
+    fn default() -> Self {
+        Self {
+            repetitions: 100,
+            subsample_size: 50,
+        }
+    }
+}
+
+/// Average p-value of repeated KS tests on random subsamples, the
+/// paper's robust goodness-of-fit score for large data sets.
+///
+/// The distribution is fitted once (by the caller, on the full data);
+/// only the test is subsampled.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when `data` is empty.
+pub fn subsampled_ks_pvalue(
+    data: &[f64],
+    dist: &dyn Distribution,
+    config: SubsampleConfig,
+    rng: &mut dyn Rng,
+) -> Result<f64, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "subsampled_ks_pvalue",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let m = config.subsample_size.min(data.len());
+    let mut total = 0.0;
+    let mut subsample = Vec::with_capacity(m);
+    for _ in 0..config.repetitions.max(1) {
+        subsample.clear();
+        for _ in 0..m {
+            let idx = rng.random_range(0..data.len());
+            subsample.push(data[idx]);
+        }
+        total += ks_test(&subsample, dist)?.p_value;
+    }
+    Ok(total / config.repetitions.max(1) as f64)
+}
+
+/// Goodness-of-fit score of one candidate family.
+#[derive(Debug)]
+pub struct FamilyScore {
+    /// The candidate family.
+    pub family: DistributionFamily,
+    /// The distribution fitted to the full data set (absent when the fit
+    /// failed, e.g. support violation).
+    pub fitted: Option<Box<dyn Distribution>>,
+    /// Averaged subsampled KS p-value (0 when the fit failed).
+    pub p_value: f64,
+}
+
+/// Fit every family in `candidates` to `data` and rank them by the
+/// paper's subsampled average KS p-value, best first.
+///
+/// Families whose MLE fails (e.g. Pareto on data containing zeros,
+/// log-gamma on data ≤ 1) participate with a p-value of 0, mirroring how
+/// the paper's procedure simply discards families that cannot describe
+/// the data.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when `data` is empty.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{DistributionFamily, distributions::Normal, Distribution};
+/// use resmodel_stats::ks::{select_family, SubsampleConfig};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+/// let data = Normal::new(2000.0, 500.0)?.sample_n(&mut rng, 2_000);
+/// let ranked = select_family(
+///     &data,
+///     &DistributionFamily::ALL,
+///     SubsampleConfig::default(),
+///     &mut rng,
+/// )?;
+/// assert_eq!(ranked[0].family, DistributionFamily::Normal);
+/// # Ok(())
+/// # }
+/// ```
+pub fn select_family(
+    data: &[f64],
+    candidates: &[DistributionFamily],
+    config: SubsampleConfig,
+    rng: &mut dyn Rng,
+) -> Result<Vec<FamilyScore>, StatsError> {
+    if data.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "select_family",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut scores = Vec::with_capacity(candidates.len());
+    for &family in candidates {
+        match family.fit(data) {
+            Ok(fitted) => {
+                let p = subsampled_ks_pvalue(data, fitted.as_ref(), config, rng)?;
+                scores.push(FamilyScore {
+                    family,
+                    fitted: Some(fitted),
+                    p_value: p,
+                });
+            }
+            Err(_) => scores.push(FamilyScore {
+                family,
+                fitted: None,
+                p_value: 0.0,
+            }),
+        }
+    }
+    scores.sort_by(|a, b| b.p_value.partial_cmp(&a.p_value).unwrap_or(std::cmp::Ordering::Equal));
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distributions::{LogNormal, Normal, Weibull};
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(77)
+    }
+
+    #[test]
+    fn statistic_zero_for_perfect_grid() {
+        // Data at exact quantile midpoints minimises D.
+        let n = Normal::new(0.0, 1.0).unwrap();
+        let data: Vec<f64> = (0..100)
+            .map(|i| n.quantile((i as f64 + 0.5) / 100.0))
+            .collect();
+        let d = ks_statistic(&data, &n).unwrap();
+        assert!(d <= 0.5 / 100.0 + 1e-12, "D = {d}");
+    }
+
+    #[test]
+    fn statistic_large_for_wrong_location() {
+        let n0 = Normal::new(0.0, 1.0).unwrap();
+        let n5 = Normal::new(5.0, 1.0).unwrap();
+        let mut r = rng();
+        let data = n0.sample_n(&mut r, 500);
+        let d = ks_statistic(&data, &n5).unwrap();
+        assert!(d > 0.9);
+    }
+
+    #[test]
+    fn kolmogorov_survival_limits() {
+        assert_eq!(kolmogorov_survival(0.0), 1.0);
+        assert!(kolmogorov_survival(0.1) > 0.999);
+        assert!(kolmogorov_survival(3.0) < 1e-6);
+        // Reference: Q(1.0) ≈ 0.26999967
+        assert!((kolmogorov_survival(1.0) - 0.26999967).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ks_test_accepts_null() {
+        let mut r = rng();
+        let n = Normal::new(10.0, 2.0).unwrap();
+        let data = n.sample_n(&mut r, 300);
+        let t = ks_test(&data, &n).unwrap();
+        assert!(t.p_value > 0.01, "p = {}", t.p_value);
+        assert_eq!(t.n, 300);
+    }
+
+    #[test]
+    fn ks_test_rejects_wrong_model() {
+        let mut r = rng();
+        let w = Weibull::new(0.58, 135.0).unwrap();
+        let data = w.sample_n(&mut r, 1000);
+        let n = Normal::fit_mle(&data).unwrap();
+        let t = ks_test(&data, &n).unwrap();
+        assert!(t.p_value < 1e-4, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn subsampling_rescues_large_sample_sensitivity() {
+        // With n = 50k even tiny model error gives p ≈ 0, but the
+        // paper's subsampled procedure stays permissive for a model that
+        // is only slightly wrong.
+        let mut r = rng();
+        let true_dist = Normal::new(0.0, 1.0).unwrap();
+        let mut data = true_dist.sample_n(&mut r, 50_000);
+        // Perturb 20% of points by two standard deviations: a mixture
+        // the refitted normal cannot fully absorb.
+        for x in data.iter_mut().step_by(5) {
+            *x += 2.0;
+        }
+        let fitted = Normal::fit_mle(&data).unwrap();
+        let full = ks_test(&data, &fitted).unwrap();
+        let sub = subsampled_ks_pvalue(&data, &fitted, SubsampleConfig::default(), &mut r).unwrap();
+        assert!(full.p_value < 0.05, "full-sample p {}", full.p_value);
+        assert!(sub > 0.1, "subsampled p {sub}");
+    }
+
+    #[test]
+    fn select_family_normal_data() {
+        let mut r = rng();
+        let data = Normal::new(2056.0, 1046.0).unwrap().sample_n(&mut r, 3_000);
+        let ranked =
+            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
+                .unwrap();
+        assert_eq!(ranked[0].family, DistributionFamily::Normal);
+        assert!(ranked[0].p_value > 0.2);
+    }
+
+    #[test]
+    fn select_family_lognormal_data() {
+        // Disk-space-like data (paper Fig 9): log-normal should win.
+        let mut r = rng();
+        let d = LogNormal::from_mean_variance(32.89, 60.25f64.powi(2)).unwrap();
+        let data = d.sample_n(&mut r, 3_000);
+        let ranked =
+            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
+                .unwrap();
+        assert_eq!(ranked[0].family, DistributionFamily::LogNormal);
+    }
+
+    #[test]
+    fn select_family_handles_unfittable_families() {
+        // Data with negatives: only the normal family can be fitted.
+        let data = vec![-3.0, -1.0, 0.5, 1.2, 2.0, -0.7, 0.1, 1.5, -2.2, 0.9];
+        let mut r = rng();
+        let ranked =
+            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
+                .unwrap();
+        let normal = ranked.iter().find(|s| s.family == DistributionFamily::Normal).unwrap();
+        assert!(normal.fitted.is_some());
+        let pareto = ranked.iter().find(|s| s.family == DistributionFamily::Pareto).unwrap();
+        assert!(pareto.fitted.is_none());
+        assert_eq!(pareto.p_value, 0.0);
+    }
+
+    #[test]
+    fn empty_data_errors() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!(ks_statistic(&[], &n).is_err());
+        let mut r = rng();
+        assert!(subsampled_ks_pvalue(&[], &n, SubsampleConfig::default(), &mut r).is_err());
+        assert!(select_family(&[], &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
+            .is_err());
+    }
+}

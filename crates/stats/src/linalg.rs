@@ -1,0 +1,375 @@
+//! A small dense-matrix type with the Cholesky decomposition required by
+//! the paper's correlated host generation (Section V-F).
+
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A dense, row-major `f64` matrix.
+///
+/// Only the handful of operations the modelling pipeline needs are
+/// provided: construction, element access, transpose, matrix and vector
+/// products, and Cholesky factorisation.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::Matrix;
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// let r = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]])?;
+/// let l = r.cholesky()?;
+/// let back = l.mul(&l.transpose())?;
+/// assert!((back.get(0, 1) - 2.0).abs() < 1e-12);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Create a zero matrix of the given dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be non-zero");
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Create the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::new(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build a matrix from row slices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when the rows have
+    /// differing lengths or the input is empty.
+    pub fn from_rows(rows: &[&[f64]]) -> Result<Self, StatsError> {
+        if rows.is_empty() || rows[0].is_empty() {
+            return Err(StatsError::DimensionMismatch {
+                expected: "at least one non-empty row".into(),
+            });
+        }
+        let cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != cols) {
+            return Err(StatsError::DimensionMismatch {
+                expected: format!("all rows of length {cols}"),
+            });
+        }
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for r in rows {
+            data.extend_from_slice(r);
+        }
+        Ok(Self {
+            rows: rows.len(),
+            cols,
+            data,
+        })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Whether the matrix is square.
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col]
+    }
+
+    /// Set the element at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds indices.
+    pub fn set(&mut self, row: usize, col: usize, value: f64) {
+        assert!(row < self.rows && col < self.cols, "matrix index out of bounds");
+        self.data[row * self.cols + col] = value;
+    }
+
+    /// The transpose of this matrix.
+    pub fn transpose(&self) -> Matrix {
+        let mut t = Matrix::new(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self · other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when inner dimensions
+    /// disagree.
+    pub fn mul(&self, other: &Matrix) -> Result<Matrix, StatsError> {
+        if self.cols != other.rows {
+            return Err(StatsError::DimensionMismatch {
+                expected: format!(
+                    "inner dimensions to match ({}x{} · {}x{})",
+                    self.rows, self.cols, other.rows, other.cols
+                ),
+            });
+        }
+        let mut out = Matrix::new(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.get(i, k);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    let v = out.get(i, j) + a * other.get(k, j);
+                    out.set(i, j, v);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Matrix–vector product `self · v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] when `v.len() != cols`.
+    pub fn mul_vec(&self, v: &[f64]) -> Result<Vec<f64>, StatsError> {
+        if v.len() != self.cols {
+            return Err(StatsError::DimensionMismatch {
+                expected: format!("vector of length {}", self.cols),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| (0..self.cols).map(|j| self.get(i, j) * v[j]).sum())
+            .collect())
+    }
+
+    /// Cholesky decomposition: returns the lower-triangular `L` with
+    /// `L · Lᵀ = self`.
+    ///
+    /// The paper (Section V-F) works with the upper factor `U = Lᵀ` and
+    /// row vectors (`V_C = V·U`); both conventions produce identically
+    /// correlated samples.
+    ///
+    /// # Errors
+    ///
+    /// * [`StatsError::NotSquare`] if the matrix is not square.
+    /// * [`StatsError::NotPositiveDefinite`] if a pivot is non-positive
+    ///   (the input is not symmetric positive definite).
+    pub fn cholesky(&self) -> Result<Matrix, StatsError> {
+        if !self.is_square() {
+            return Err(StatsError::NotSquare {
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let n = self.rows;
+        let mut l = Matrix::new(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = self.get(i, j);
+                for k in 0..j {
+                    sum -= l.get(i, k) * l.get(j, k);
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(StatsError::NotPositiveDefinite);
+                    }
+                    l.set(i, j, sum.sqrt());
+                } else {
+                    l.set(i, j, sum / l.get(j, j));
+                }
+            }
+        }
+        Ok(l)
+    }
+
+    /// Maximum absolute element-wise difference from `other`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::DimensionMismatch`] for differing shapes.
+    pub fn max_abs_diff(&self, other: &Matrix) -> Result<f64, StatsError> {
+        if self.rows != other.rows || self.cols != other.cols {
+            return Err(StatsError::DimensionMismatch {
+                expected: format!("{}x{} matrix", self.rows, self.cols),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max))
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, "  ")?;
+                }
+                write!(f, "{:>10.4}", self.get(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = Matrix::new(2, 3);
+        m.set(1, 2, 5.0);
+        assert_eq!(m.get(1, 2), 5.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m.cols(), 3);
+        assert!(!m.is_square());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_get_panics() {
+        Matrix::new(2, 2).get(2, 0);
+    }
+
+    #[test]
+    fn from_rows_validates_shape() {
+        assert!(Matrix::from_rows(&[]).is_err());
+        assert!(Matrix::from_rows(&[&[1.0], &[1.0, 2.0]]).is_err());
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn identity_multiplication() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let i = Matrix::identity(2);
+        assert_eq!(m.mul(&i).unwrap(), m);
+        assert_eq!(i.mul(&m).unwrap(), m);
+    }
+
+    #[test]
+    fn multiplication_reference() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]).unwrap();
+        let c = a.mul(&b).unwrap();
+        assert_eq!(c.get(0, 0), 19.0);
+        assert_eq!(c.get(0, 1), 22.0);
+        assert_eq!(c.get(1, 0), 43.0);
+        assert_eq!(c.get(1, 1), 50.0);
+    }
+
+    #[test]
+    fn mul_dimension_mismatch() {
+        let a = Matrix::new(2, 3);
+        let b = Matrix::new(2, 3);
+        assert!(a.mul(&b).is_err());
+        assert!(a.mul_vec(&[1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]).unwrap();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().get(2, 1), 6.0);
+    }
+
+    #[test]
+    fn mul_vec_reference() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]).unwrap();
+        assert_eq!(m.mul_vec(&[1.0, 1.0]).unwrap(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn cholesky_reconstructs() {
+        let a = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+        .unwrap();
+        let l = a.cholesky().unwrap();
+        // Classic reference factorisation.
+        assert_eq!(l.get(0, 0), 2.0);
+        assert_eq!(l.get(1, 0), 6.0);
+        assert_eq!(l.get(1, 1), 1.0);
+        assert_eq!(l.get(2, 0), -8.0);
+        assert_eq!(l.get(2, 1), 5.0);
+        assert_eq!(l.get(2, 2), 3.0);
+        let back = l.mul(&l.transpose()).unwrap();
+        assert!(back.max_abs_diff(&a).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_paper_correlation_matrix() {
+        // Section V-F of the paper: R and its printed factor U = Lᵀ.
+        let r = Matrix::from_rows(&[
+            &[1.0, 0.250, 0.306],
+            &[0.250, 1.0, 0.639],
+            &[0.306, 0.639, 1.0],
+        ])
+        .unwrap();
+        let l = r.cholesky().unwrap();
+        assert!((l.get(1, 1) - 0.9683).abs() < 1e-3);
+        assert!((l.get(2, 1) - 0.581).abs() < 1e-2);
+        assert!((l.get(2, 2) - 0.754).abs() < 1e-3);
+    }
+
+    #[test]
+    fn cholesky_rejects_non_square() {
+        assert!(Matrix::new(2, 3).cholesky().is_err());
+    }
+
+    #[test]
+    fn cholesky_rejects_non_positive_definite() {
+        let bad = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]).unwrap();
+        assert_eq!(bad.cholesky().unwrap_err(), StatsError::NotPositiveDefinite);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let m = Matrix::identity(2);
+        assert!(!format!("{m}").is_empty());
+    }
+}

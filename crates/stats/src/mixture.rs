@@ -1,0 +1,335 @@
+//! Two-component Gaussian mixture fitting via EM.
+//!
+//! The paper notes a "spike around the middle" of the benchmark
+//! histograms that keeps the plain normal fit from being perfect
+//! (Section V-F). A two-component mixture — a broad body plus a narrow
+//! commodity-part spike — captures exactly that structure; this module
+//! fits it by expectation–maximisation.
+
+use crate::distribution::Distribution;
+use crate::distributions::Normal;
+use crate::error::StatsError;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// A two-component Gaussian mixture
+/// `w·N(μ₁, σ₁²) + (1−w)·N(μ₂, σ₂²)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GaussianMixture2 {
+    weight: f64,
+    first: Normal,
+    second: Normal,
+}
+
+impl GaussianMixture2 {
+    /// Maximum EM iterations.
+    const MAX_ITER: usize = 500;
+
+    /// Create a mixture with component weight `weight` on `first`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::InvalidParameter`] unless
+    /// `weight ∈ (0, 1)`.
+    pub fn new(weight: f64, first: Normal, second: Normal) -> Result<Self, StatsError> {
+        if !(weight > 0.0 && weight < 1.0) {
+            return Err(StatsError::InvalidParameter {
+                name: "weight",
+                value: weight,
+                constraint: "must be strictly between 0 and 1",
+            });
+        }
+        Ok(Self {
+            weight,
+            first,
+            second,
+        })
+    }
+
+    /// Component weight of the first component.
+    pub fn weight(&self) -> f64 {
+        self.weight
+    }
+
+    /// The first component.
+    pub fn first(&self) -> &Normal {
+        &self.first
+    }
+
+    /// The second component.
+    pub fn second(&self) -> &Normal {
+        &self.second
+    }
+
+    /// The component with the smaller standard deviation — the "spike"
+    /// in the paper's benchmark histograms.
+    pub fn spike(&self) -> (&Normal, f64) {
+        if self.first.sigma() <= self.second.sigma() {
+            (&self.first, self.weight)
+        } else {
+            (&self.second, 1.0 - self.weight)
+        }
+    }
+
+    /// Fit by EM with a quantile-based start (component means seeded at
+    /// the 25th/75th percentiles).
+    ///
+    /// # Errors
+    ///
+    /// Requires at least 10 finite points with positive spread; fails
+    /// with [`StatsError::NoConvergence`] when EM collapses a component
+    /// repeatedly.
+    pub fn fit_em(data: &[f64]) -> Result<Self, StatsError> {
+        if data.len() < 10 {
+            return Err(StatsError::EmptyData {
+                what: "GaussianMixture2::fit_em",
+                needed: 10,
+                got: data.len(),
+            });
+        }
+        if data.iter().any(|x| !x.is_finite()) {
+            return Err(StatsError::NonFiniteData {
+                what: "GaussianMixture2::fit_em",
+            });
+        }
+        let mut sorted = data.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let n = sorted.len();
+        let q = |p: f64| sorted[((n - 1) as f64 * p) as usize];
+        let spread = sorted[n - 1] - sorted[0];
+        if spread <= 0.0 {
+            return Err(StatsError::InvalidData {
+                constraint: "mixture EM requires non-degenerate data",
+            });
+        }
+
+        let mut w = 0.5;
+        let mut mu = [q(0.25), q(0.75)];
+        let mut sigma = [spread / 4.0, spread / 4.0];
+        let floor = 1e-6 * spread;
+
+        let mut prev_ll = f64::NEG_INFINITY;
+        for _ in 0..Self::MAX_ITER {
+            // E step: responsibilities of component 0.
+            let c0 = Normal::new(mu[0], sigma[0].max(floor))?;
+            let c1 = Normal::new(mu[1], sigma[1].max(floor))?;
+            let mut r0_sum = 0.0;
+            let mut m0 = 0.0;
+            let mut m1 = 0.0;
+            let mut s0 = 0.0;
+            let mut s1 = 0.0;
+            let mut ll = 0.0;
+            let resp: Vec<f64> = data
+                .iter()
+                .map(|&x| {
+                    let p0 = w * c0.pdf(x);
+                    let p1 = (1.0 - w) * c1.pdf(x);
+                    let total = (p0 + p1).max(1e-300);
+                    ll += total.ln();
+                    p0 / total
+                })
+                .collect();
+            for (&x, &r) in data.iter().zip(&resp) {
+                r0_sum += r;
+                m0 += r * x;
+                m1 += (1.0 - r) * x;
+            }
+            let r1_sum = n as f64 - r0_sum;
+            if r0_sum < 1e-6 || r1_sum < 1e-6 {
+                return Err(StatsError::NoConvergence {
+                    what: "GaussianMixture2::fit_em (component collapsed)",
+                    iterations: Self::MAX_ITER,
+                });
+            }
+            mu[0] = m0 / r0_sum;
+            mu[1] = m1 / r1_sum;
+            for (&x, &r) in data.iter().zip(&resp) {
+                s0 += r * (x - mu[0]).powi(2);
+                s1 += (1.0 - r) * (x - mu[1]).powi(2);
+            }
+            sigma[0] = (s0 / r0_sum).sqrt().max(floor);
+            sigma[1] = (s1 / r1_sum).sqrt().max(floor);
+            w = (r0_sum / n as f64).clamp(1e-6, 1.0 - 1e-6);
+
+            if (ll - prev_ll).abs() < 1e-9 * ll.abs().max(1.0) {
+                break;
+            }
+            prev_ll = ll;
+        }
+        Self::new(w, Normal::new(mu[0], sigma[0])?, Normal::new(mu[1], sigma[1])?)
+    }
+}
+
+impl Distribution for GaussianMixture2 {
+    fn pdf(&self, x: f64) -> f64 {
+        self.weight * self.first.pdf(x) + (1.0 - self.weight) * self.second.pdf(x)
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        self.weight * self.first.cdf(x) + (1.0 - self.weight) * self.second.cdf(x)
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        if p == 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        // Bisection between the component quantiles (mixture CDF is
+        // monotone).
+        let mut lo = self.first.quantile(p).min(self.second.quantile(p));
+        let mut hi = self.first.quantile(p).max(self.second.quantile(p));
+        if (hi - lo).abs() < 1e-15 {
+            return lo;
+        }
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.cdf(mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+            if hi - lo < 1e-12 * (1.0 + hi.abs()) {
+                break;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    fn mean(&self) -> f64 {
+        self.weight * self.first.mean() + (1.0 - self.weight) * self.second.mean()
+    }
+
+    fn variance(&self) -> f64 {
+        let m = self.mean();
+        let e2 = self.weight * (self.first.variance() + self.first.mean().powi(2))
+            + (1.0 - self.weight) * (self.second.variance() + self.second.mean().powi(2));
+        e2 - m * m
+    }
+
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        if rng.random::<f64>() < self.weight {
+            self.first.sample(rng)
+        } else {
+            self.second.sample(rng)
+        }
+    }
+
+    fn family_name(&self) -> &'static str {
+        "gaussian-mixture-2"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded;
+
+    fn spiked_benchmark_data(n: usize, seed: u64) -> Vec<f64> {
+        // Body N(2000, 900) with a 20% spike at N(1900, 60) — the
+        // paper's benchmark histogram shape.
+        let body = Normal::new(2000.0, 900.0).unwrap();
+        let spike = Normal::new(1900.0, 60.0).unwrap();
+        let mix = GaussianMixture2::new(0.8, body, spike).unwrap();
+        let mut rng = seeded(seed);
+        (0..n).map(|_| mix.sample(&mut rng)).collect()
+    }
+
+    #[test]
+    fn construction_validates_weight() {
+        let n = Normal::new(0.0, 1.0).unwrap();
+        assert!(GaussianMixture2::new(0.0, n, n).is_err());
+        assert!(GaussianMixture2::new(1.0, n, n).is_err());
+        assert!(GaussianMixture2::new(0.5, n, n).is_ok());
+    }
+
+    #[test]
+    fn pdf_cdf_are_convex_combinations() {
+        let a = Normal::new(-2.0, 1.0).unwrap();
+        let b = Normal::new(3.0, 0.5).unwrap();
+        let m = GaussianMixture2::new(0.3, a, b).unwrap();
+        for &x in &[-4.0, 0.0, 2.5, 3.0, 5.0] {
+            assert!((m.pdf(x) - (0.3 * a.pdf(x) + 0.7 * b.pdf(x))).abs() < 1e-12);
+            assert!((m.cdf(x) - (0.3 * a.cdf(x) + 0.7 * b.cdf(x))).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn quantile_inverts_cdf() {
+        let m = GaussianMixture2::new(
+            0.6,
+            Normal::new(0.0, 1.0).unwrap(),
+            Normal::new(5.0, 0.3).unwrap(),
+        )
+        .unwrap();
+        for &p in &[0.01, 0.3, 0.59, 0.61, 0.9, 0.99] {
+            let x = m.quantile(p);
+            assert!((m.cdf(x) - p).abs() < 1e-8, "p = {p}");
+        }
+    }
+
+    #[test]
+    fn moments() {
+        let m = GaussianMixture2::new(
+            0.5,
+            Normal::new(0.0, 1.0).unwrap(),
+            Normal::new(4.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        assert!((m.mean() - 2.0).abs() < 1e-12);
+        // Var = E[σ²] + Var of means = 1 + 4.
+        assert!((m.variance() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn em_recovers_spiked_benchmarks() {
+        let data = spiked_benchmark_data(20_000, 31);
+        let fit = GaussianMixture2::fit_em(&data).unwrap();
+        let (spike, spike_weight) = fit.spike();
+        assert!(
+            (spike.mu() - 1900.0).abs() < 40.0,
+            "spike mean {}",
+            spike.mu()
+        );
+        assert!(spike.sigma() < 150.0, "spike sigma {}", spike.sigma());
+        assert!(
+            (spike_weight - 0.2).abs() < 0.06,
+            "spike weight {spike_weight}"
+        );
+    }
+
+    #[test]
+    fn em_beats_single_normal_likelihood() {
+        let data = spiked_benchmark_data(5_000, 32);
+        let single = Normal::fit_mle(&data).unwrap();
+        let mix = GaussianMixture2::fit_em(&data).unwrap();
+        assert!(
+            mix.ln_likelihood(&data) > single.ln_likelihood(&data) + 10.0,
+            "mixture must dominate the single normal"
+        );
+    }
+
+    #[test]
+    fn em_rejects_bad_data() {
+        assert!(GaussianMixture2::fit_em(&[1.0; 5]).is_err());
+        assert!(GaussianMixture2::fit_em(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+            .is_err());
+        assert!(GaussianMixture2::fit_em(&[2.0; 50]).is_err());
+    }
+
+    #[test]
+    fn sampling_matches_mixture_mean() {
+        let m = GaussianMixture2::new(
+            0.7,
+            Normal::new(10.0, 2.0).unwrap(),
+            Normal::new(20.0, 1.0).unwrap(),
+        )
+        .unwrap();
+        let mut rng = seeded(33);
+        let xs = m.sample_n(&mut rng, 30_000);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - m.mean()).abs() < 0.1);
+    }
+}

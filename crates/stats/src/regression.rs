@@ -1,0 +1,207 @@
+//! Least-squares regression and the paper's exponential-law fits.
+//!
+//! Every time-evolution law in the paper has the form
+//! `y(t) = a·e^{b·(year − 2006)}` (Tables IV, V, VI and X). Fitting is
+//! done by ordinary least squares on `ln y` against `t`, and the reported
+//! `r` is the Pearson correlation between `t` and `ln y` — which is why
+//! decaying ratios (Table IV/V) carry negative `r` and growing moments
+//! (Table VI) positive `r`.
+
+use crate::correlation::pearson;
+use crate::error::StatsError;
+use serde::{Deserialize, Serialize};
+
+/// Result of a simple linear regression `y ≈ slope·x + intercept`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Pearson correlation coefficient between `x` and `y`.
+    pub r: f64,
+}
+
+/// Ordinary least-squares fit of `y` on `x`.
+///
+/// # Errors
+///
+/// * [`StatsError::DimensionMismatch`] for unequal lengths.
+/// * [`StatsError::EmptyData`] for fewer than 2 points.
+/// * [`StatsError::InvalidData`] when `x` is constant.
+///
+/// # Examples
+///
+/// ```
+/// let x = [0.0, 1.0, 2.0, 3.0];
+/// let y = [1.0, 3.0, 5.0, 7.0];
+/// let fit = resmodel_stats::regression::linear_fit(&x, &y)?;
+/// assert!((fit.slope - 2.0).abs() < 1e-12);
+/// assert!((fit.intercept - 1.0).abs() < 1e-12);
+/// # Ok::<(), resmodel_stats::StatsError>(())
+/// ```
+pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
+    if x.len() != y.len() {
+        return Err(StatsError::DimensionMismatch {
+            expected: format!("equal-length samples ({} vs {})", x.len(), y.len()),
+        });
+    }
+    if x.len() < 2 {
+        return Err(StatsError::EmptyData {
+            what: "linear_fit",
+            needed: 2,
+            got: x.len(),
+        });
+    }
+    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+        return Err(StatsError::NonFiniteData { what: "linear_fit" });
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        sxx += (a - mx) * (a - mx);
+        sxy += (a - mx) * (b - my);
+    }
+    if sxx <= 0.0 {
+        return Err(StatsError::InvalidData {
+            constraint: "linear regression requires non-constant x",
+        });
+    }
+    let slope = sxy / sxx;
+    let intercept = my - slope * mx;
+    // r is undefined when y is constant; report 0 correlation in that
+    // degenerate (perfectly flat) case.
+    let r = pearson(x, y).unwrap_or(0.0);
+    Ok(LinearFit { slope, intercept, r })
+}
+
+/// An exponential law `y(t) = a·e^{b·t}`, the paper's universal
+/// time-evolution model (`t` in years since 2006).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExpLawFit {
+    /// Multiplier `a` (the value at `t = 0`).
+    pub a: f64,
+    /// Exponential rate `b` per unit of `t`.
+    pub b: f64,
+    /// Pearson correlation between `t` and `ln y` — the `r` the paper's
+    /// tables report.
+    pub r: f64,
+}
+
+impl ExpLawFit {
+    /// Evaluate the law at `t`.
+    pub fn eval(&self, t: f64) -> f64 {
+        self.a * (self.b * t).exp()
+    }
+}
+
+/// Fit `y(t) = a·e^{b·t}` by least squares on `ln y`.
+///
+/// # Errors
+///
+/// * Propagates [`linear_fit`] errors.
+/// * [`StatsError::InvalidData`] when any `y` is non-positive (the law
+///   only models positive quantities — ratios, means, variances).
+///
+/// # Examples
+///
+/// ```
+/// // Table IV, 1:2 core ratio: a = 3.369, b = -0.5004.
+/// let t = [0.0, 1.0, 2.0, 3.0, 4.0];
+/// let y: Vec<f64> = t.iter().map(|&t| 3.369 * (-0.5004f64 * t).exp()).collect();
+/// let fit = resmodel_stats::regression::exp_law_fit(&t, &y)?;
+/// assert!((fit.a - 3.369).abs() < 1e-6);
+/// assert!((fit.b + 0.5004).abs() < 1e-6);
+/// assert!(fit.r < -0.999); // decaying law → negative r
+/// # Ok::<(), resmodel_stats::StatsError>(())
+/// ```
+pub fn exp_law_fit(t: &[f64], y: &[f64]) -> Result<ExpLawFit, StatsError> {
+    if y.iter().any(|&v| v <= 0.0) {
+        return Err(StatsError::InvalidData {
+            constraint: "exponential law requires strictly positive y",
+        });
+    }
+    let ln_y: Vec<f64> = y.iter().map(|v| v.ln()).collect();
+    let lf = linear_fit(t, &ln_y)?;
+    Ok(ExpLawFit {
+        a: lf.intercept.exp(),
+        b: lf.slope,
+        r: lf.r,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_fit_exact() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [2.0, 4.0, 6.0];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 2.0).abs() < 1e-12);
+        assert!(f.intercept.abs() < 1e-12);
+        assert!((f.r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_noisy() {
+        let x = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let y = [0.1, 0.9, 2.1, 2.9, 4.1];
+        let f = linear_fit(&x, &y).unwrap();
+        assert!((f.slope - 1.0).abs() < 0.05);
+        assert!(f.r > 0.99);
+    }
+
+    #[test]
+    fn linear_fit_rejects_bad_input() {
+        assert!(linear_fit(&[1.0], &[1.0]).is_err());
+        assert!(linear_fit(&[1.0, 1.0], &[1.0, 2.0]).is_err());
+        assert!(linear_fit(&[1.0, 2.0], &[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn linear_fit_constant_y() {
+        // Slope 0, r reported as 0 for the degenerate case.
+        let f = linear_fit(&[1.0, 2.0, 3.0], &[5.0, 5.0, 5.0]).unwrap();
+        assert_eq!(f.slope, 0.0);
+        assert_eq!(f.intercept, 5.0);
+        assert_eq!(f.r, 0.0);
+    }
+
+    #[test]
+    fn exp_law_recovers_paper_constants() {
+        // Table VI, Dhrystone mean: a = 2064, b = 0.1709.
+        let t: Vec<f64> = (0..=4).map(|i| i as f64).collect();
+        let y: Vec<f64> = t.iter().map(|&t| 2064.0 * (0.1709f64 * t).exp()).collect();
+        let f = exp_law_fit(&t, &y).unwrap();
+        assert!((f.a - 2064.0).abs() < 1e-6);
+        assert!((f.b - 0.1709).abs() < 1e-9);
+        assert!(f.r > 0.999);
+    }
+
+    #[test]
+    fn exp_law_eval() {
+        let law = ExpLawFit { a: 2.0, b: 0.5, r: 1.0 };
+        assert!((law.eval(0.0) - 2.0).abs() < 1e-12);
+        assert!((law.eval(2.0) - 2.0 * 1f64.exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_law_rejects_nonpositive_y() {
+        assert!(exp_law_fit(&[0.0, 1.0], &[1.0, 0.0]).is_err());
+        assert!(exp_law_fit(&[0.0, 1.0], &[-1.0, 1.0]).is_err());
+    }
+
+    #[test]
+    fn exp_law_decay_negative_r() {
+        let t = [0.0, 1.0, 2.0, 3.0];
+        let y: Vec<f64> = t.iter().map(|&t| 17.49 * (-0.3217f64 * t).exp()).collect();
+        let f = exp_law_fit(&t, &y).unwrap();
+        assert!(f.b < 0.0);
+        assert!(f.r < -0.999);
+    }
+}

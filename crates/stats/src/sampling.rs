@@ -1,0 +1,244 @@
+//! Low-level samplers: standard normal, standard gamma and correlated
+//! multivariate normals via a Cholesky factor.
+
+use crate::error::StatsError;
+use crate::linalg::Matrix;
+use rand::{Rng, RngExt};
+use serde::{Deserialize, Serialize};
+
+/// Draw a standard normal variate `N(0, 1)` using the Marsaglia polar
+/// method.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+/// let z = resmodel_stats::sampling::standard_normal(&mut rng);
+/// assert!(z.is_finite());
+/// ```
+pub fn standard_normal(rng: &mut dyn Rng) -> f64 {
+    loop {
+        let u = 2.0 * rng.random::<f64>() - 1.0;
+        let v = 2.0 * rng.random::<f64>() - 1.0;
+        let s = u * u + v * v;
+        if s > 0.0 && s < 1.0 {
+            return u * (-2.0 * s.ln() / s).sqrt();
+        }
+    }
+}
+
+/// Draw a standard uniform variate in `[0, 1)`.
+pub fn standard_uniform(rng: &mut dyn Rng) -> f64 {
+    rng.random::<f64>()
+}
+
+/// Draw a `Gamma(shape, 1)` variate using the Marsaglia–Tsang method.
+///
+/// Valid for any `shape > 0`; shapes below one use the boosting identity
+/// `Gamma(k) = Gamma(k+1) · U^{1/k}`.
+///
+/// # Panics
+///
+/// Panics if `shape <= 0` or is not finite.
+pub fn standard_gamma(rng: &mut dyn Rng, shape: f64) -> f64 {
+    assert!(
+        shape.is_finite() && shape > 0.0,
+        "standard_gamma: shape must be finite and positive"
+    );
+    if shape < 1.0 {
+        let boost = standard_gamma(rng, shape + 1.0);
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        return boost * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (3.0 * d.sqrt());
+    loop {
+        let x = standard_normal(rng);
+        let t = 1.0 + c * x;
+        if t <= 0.0 {
+            continue;
+        }
+        let v = t * t * t;
+        let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        if u.ln() < 0.5 * x * x + d - d * v + d * v.ln() {
+            return d * v;
+        }
+    }
+}
+
+/// Sampler for a vector of standard normal variates with a prescribed
+/// correlation structure.
+///
+/// This is the paper's Section V-F construction: take the correlation
+/// matrix `R` of (per-core-memory, Whetstone, Dhrystone), factor it as
+/// `R = L·Lᵀ` (Cholesky), then transform i.i.d. standard normals `V` into
+/// `L·V`, whose pairwise correlations equal the entries of `R`.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_stats::{Matrix, sampling::CorrelatedNormals};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), resmodel_stats::StatsError> {
+/// // The paper's R for (mem/core, whetstone, dhrystone).
+/// let r = Matrix::from_rows(&[
+///     &[1.0, 0.250, 0.306],
+///     &[0.250, 1.0, 0.639],
+///     &[0.306, 0.639, 1.0],
+/// ])?;
+/// let sampler = CorrelatedNormals::new(&r)?;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+/// let v = sampler.sample(&mut rng);
+/// assert_eq!(v.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CorrelatedNormals {
+    /// Lower-triangular Cholesky factor of the correlation matrix.
+    chol: Matrix,
+}
+
+impl CorrelatedNormals {
+    /// Build a sampler from a correlation (or covariance) matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StatsError::NotSquare`] for non-square input and
+    /// [`StatsError::NotPositiveDefinite`] when the Cholesky
+    /// factorisation fails.
+    pub fn new(correlation: &Matrix) -> Result<Self, StatsError> {
+        Ok(Self {
+            chol: correlation.cholesky()?,
+        })
+    }
+
+    /// Dimension of the sampled vectors.
+    pub fn dim(&self) -> usize {
+        self.chol.rows()
+    }
+
+    /// The lower-triangular Cholesky factor `L`.
+    pub fn cholesky_factor(&self) -> &Matrix {
+        &self.chol
+    }
+
+    /// Draw one correlated standard-normal vector.
+    pub fn sample(&self, rng: &mut dyn Rng) -> Vec<f64> {
+        let d = self.dim();
+        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        self.chol.mul_vec(&z).expect("dimension verified at construction")
+    }
+
+    /// Draw `n` correlated vectors.
+    pub fn sample_n(&self, rng: &mut dyn Rng, n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::correlation::pearson;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut r = rng();
+        let n = 60_000;
+        let xs: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var {var}");
+    }
+
+    #[test]
+    fn standard_gamma_moments() {
+        let mut r = rng();
+        for &shape in &[0.5, 1.0, 2.5, 9.0] {
+            let n = 40_000;
+            let xs: Vec<f64> = (0..n).map(|_| standard_gamma(&mut r, shape)).collect();
+            let mean = xs.iter().sum::<f64>() / n as f64;
+            let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape} mean {mean}");
+            assert!((var - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} var {var}");
+        }
+    }
+
+    #[test]
+    fn standard_gamma_positive() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(standard_gamma(&mut r, 0.3) > 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn standard_gamma_rejects_zero_shape() {
+        let mut r = rng();
+        standard_gamma(&mut r, 0.0);
+    }
+
+    #[test]
+    fn correlated_normals_reproduce_paper_matrix() {
+        // The paper's R for (mem/core, whetstone, dhrystone), Section V-F.
+        let r = Matrix::from_rows(&[
+            &[1.0, 0.250, 0.306],
+            &[0.250, 1.0, 0.639],
+            &[0.306, 0.639, 1.0],
+        ])
+        .unwrap();
+        let sampler = CorrelatedNormals::new(&r).unwrap();
+        let mut g = rng();
+        let n = 30_000;
+        let samples = sampler.sample_n(&mut g, n);
+        let col = |j: usize| samples.iter().map(|v| v[j]).collect::<Vec<f64>>();
+        let (c0, c1, c2) = (col(0), col(1), col(2));
+        assert!((pearson(&c0, &c1).unwrap() - 0.250).abs() < 0.03);
+        assert!((pearson(&c0, &c2).unwrap() - 0.306).abs() < 0.03);
+        assert!((pearson(&c1, &c2).unwrap() - 0.639).abs() < 0.03);
+    }
+
+    #[test]
+    fn correlated_normals_cholesky_matches_paper() {
+        // Section V-F prints U = Lᵀ; check our L against the transposed values.
+        let r = Matrix::from_rows(&[
+            &[1.0, 0.250, 0.306],
+            &[0.250, 1.0, 0.639],
+            &[0.306, 0.639, 1.0],
+        ])
+        .unwrap();
+        let s = CorrelatedNormals::new(&r).unwrap();
+        let l = s.cholesky_factor();
+        assert!((l.get(0, 0) - 1.0).abs() < 1e-9);
+        assert!((l.get(1, 0) - 0.250).abs() < 1e-3);
+        assert!((l.get(1, 1) - 0.968).abs() < 1e-3);
+        assert!((l.get(2, 0) - 0.306).abs() < 1e-3);
+        assert!((l.get(2, 1) - 0.581).abs() < 1e-3);
+        assert!((l.get(2, 2) - 0.754).abs() < 1e-3);
+    }
+
+    #[test]
+    fn correlated_normals_rejects_non_square() {
+        let m = Matrix::new(2, 3);
+        assert!(CorrelatedNormals::new(&m).is_err());
+    }
+
+    #[test]
+    fn identity_correlation_gives_independent_samples() {
+        let eye = Matrix::identity(4);
+        let s = CorrelatedNormals::new(&eye).unwrap();
+        let mut g = rng();
+        let v = s.sample(&mut g);
+        assert_eq!(v.len(), 4);
+        assert_eq!(s.dim(), 4);
+    }
+}

@@ -1,0 +1,502 @@
+//! Special mathematical functions used by the distribution families.
+//!
+//! All routines are classical, dependency-free implementations:
+//! Lanczos log-gamma, Numerical-Recipes-style regularised incomplete
+//! gamma, Abramowitz–Stegun / rational-approximation error functions, an
+//! Acklam-style inverse normal CDF and an asymptotic digamma.
+
+/// Lanczos coefficients (g = 7, n = 9) for [`ln_gamma`].
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_93,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_13,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// Natural logarithm of the gamma function, `ln Γ(x)`, for `x > 0`.
+///
+/// Uses the Lanczos approximation with reflection for `x < 0.5`;
+/// absolute accuracy is better than `1e-12` over the useful range.
+///
+/// # Examples
+///
+/// ```
+/// let v = resmodel_stats::special::ln_gamma(5.0);
+/// assert!((v - 24f64.ln()).abs() < 1e-12);
+/// ```
+pub fn ln_gamma(x: f64) -> f64 {
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        pi.ln() - (pi * x).sin().abs().ln() - ln_gamma(1.0 - x)
+    } else {
+        let x = x - 1.0;
+        let mut a = LANCZOS_COEF[0];
+        let t = x + LANCZOS_G + 0.5;
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+    }
+}
+
+/// The gamma function `Γ(x)`.
+///
+/// Computed as `exp(ln_gamma(x))` for positive arguments and via the
+/// reflection formula otherwise. Overflows to infinity around `x ≳ 171`.
+pub fn gamma(x: f64) -> f64 {
+    if x > 0.0 {
+        ln_gamma(x).exp()
+    } else {
+        let pi = std::f64::consts::PI;
+        pi / ((pi * x).sin() * ln_gamma(1.0 - x).exp())
+    }
+}
+
+const GAMMA_EPS: f64 = 1e-14;
+const GAMMA_MAX_ITER: usize = 500;
+
+/// Regularised lower incomplete gamma function `P(a, x) = γ(a,x)/Γ(a)`.
+///
+/// `P(a, x)` is the CDF of a Gamma(shape `a`, scale 1) variate at `x`.
+/// Returns 0 for `x ≤ 0`. Uses the series expansion for `x < a + 1` and
+/// the continued fraction for larger `x` (Numerical Recipes §6.2).
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or if either argument is NaN.
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && !a.is_nan() && !x.is_nan(), "gamma_p: invalid arguments");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_series(a, x)
+    } else {
+        1.0 - gamma_cont_fraction(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma function `Q(a, x) = 1 − P(a, x)`.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or if either argument is NaN.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && !a.is_nan() && !x.is_nan(), "gamma_q: invalid arguments");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_series(a, x)
+    } else {
+        gamma_cont_fraction(a, x)
+    }
+}
+
+/// Series representation of `P(a, x)`, valid and fast for `x < a + 1`.
+fn gamma_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..GAMMA_MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * GAMMA_EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// Continued-fraction representation of `Q(a, x)`, valid for `x ≥ a + 1`.
+fn gamma_cont_fraction(a: f64, x: f64) -> f64 {
+    const FPMIN: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=GAMMA_MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < GAMMA_EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Inverse of the regularised lower incomplete gamma: finds `x` such that
+/// `P(a, x) = p`.
+///
+/// Uses a Wilson–Hilferty starting point refined by Newton iterations
+/// (with bisection safeguarding). Accuracy ~1e-10.
+///
+/// # Panics
+///
+/// Panics if `a <= 0` or `p` is outside `[0, 1]`.
+pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
+    assert!(a > 0.0, "inv_gamma_p: shape must be positive");
+    assert!((0.0..=1.0).contains(&p), "inv_gamma_p: p must be in [0,1]");
+    if p == 0.0 {
+        return 0.0;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+    // Wilson–Hilferty approximation for the starting point.
+    let z = inv_norm_cdf(p);
+    let t = 1.0 - 1.0 / (9.0 * a) + z / (3.0 * a.sqrt());
+    let mut x = (a * t * t * t).max(1e-10);
+
+    let mut lo = 0.0_f64;
+    let mut hi = f64::INFINITY;
+    for _ in 0..100 {
+        let f = gamma_p(a, x) - p;
+        if f > 0.0 {
+            hi = x;
+        } else {
+            lo = x;
+        }
+        // Derivative of P(a, x) w.r.t. x is the Gamma(a, 1) density.
+        let dens = ((a - 1.0) * x.ln() - x - ln_gamma(a)).exp();
+        let mut next = if dens > 1e-300 { x - f / dens } else { x };
+        if !(next > lo && (hi.is_infinite() || next < hi)) || !next.is_finite() {
+            // Newton stepped out of the bracket — bisect instead.
+            next = if hi.is_infinite() { x * 2.0 } else { 0.5 * (lo + hi) };
+        }
+        if (next - x).abs() <= 1e-12 * x.max(1e-12) {
+            return next;
+        }
+        x = next;
+    }
+    x
+}
+
+/// Error function `erf(x)`, accurate to ~1.2e-7 everywhere (sufficient
+/// for all uses in this crate, which go through [`norm_cdf`] for
+/// high-accuracy paths).
+///
+/// Implementation: Numerical Recipes' `erfc` Chebyshev fit.
+pub fn erf(x: f64) -> f64 {
+    1.0 - erfc(x)
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)`.
+pub fn erfc(x: f64) -> f64 {
+    let z = x.abs();
+    let t = 2.0 / (2.0 + z);
+    let ty = 4.0 * t - 2.0;
+    // Chebyshev coefficients from Numerical Recipes (3rd ed.), §6.2.2.
+    const COF: [f64; 28] = [
+        -1.3026537197817094,
+        6.4196979235649026e-1,
+        1.9476473204185836e-2,
+        -9.561514786808631e-3,
+        -9.46595344482036e-4,
+        3.66839497852761e-4,
+        4.2523324806907e-5,
+        -2.0278578112534e-5,
+        -1.624290004647e-6,
+        1.303655835580e-6,
+        1.5626441722e-8,
+        -8.5238095915e-8,
+        6.529054439e-9,
+        5.059343495e-9,
+        -9.91364156e-10,
+        -2.27365122e-10,
+        9.6467911e-11,
+        2.394038e-12,
+        -6.886027e-12,
+        8.94487e-13,
+        3.13092e-13,
+        -1.12708e-13,
+        3.81e-16,
+        7.106e-15,
+        -1.523e-15,
+        -9.4e-17,
+        1.21e-16,
+        -2.8e-17,
+    ];
+    let mut d = 0.0;
+    let mut dd = 0.0;
+    for &c in COF.iter().rev().take(COF.len() - 1) {
+        let tmp = d;
+        d = ty * d - dd + c;
+        dd = tmp;
+    }
+    let ans = t * (-z * z + 0.5 * (COF[0] + ty * d) - dd).exp();
+    if x >= 0.0 {
+        ans
+    } else {
+        2.0 - ans
+    }
+}
+
+/// Standard normal cumulative distribution function `Φ(x)`.
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal density `φ(x)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse of the standard normal CDF (the probit function), `Φ⁻¹(p)`.
+///
+/// Peter Acklam's rational approximation refined with one Halley step
+/// against [`norm_cdf`]; relative error below `1e-13`.
+///
+/// # Panics
+///
+/// Panics if `p` is outside the open interval `(0, 1)` (returns ±∞ for
+/// exactly 0 or 1).
+pub fn inv_norm_cdf(p: f64) -> f64 {
+    if p <= 0.0 {
+        assert!(p == 0.0, "inv_norm_cdf: p must be in [0,1]");
+        return f64::NEG_INFINITY;
+    }
+    if p >= 1.0 {
+        assert!(p == 1.0, "inv_norm_cdf: p must be in [0,1]");
+        return f64::INFINITY;
+    }
+    const A: [f64; 6] = [
+        -3.969683028665376e+01,
+        2.209460984245205e+02,
+        -2.759285104469687e+02,
+        1.383577518672690e+02,
+        -3.066479806614716e+01,
+        2.506628277459239e+00,
+    ];
+    const B: [f64; 5] = [
+        -5.447609879822406e+01,
+        1.615858368580409e+02,
+        -1.556989798598866e+02,
+        6.680131188771972e+01,
+        -1.328068155288572e+01,
+    ];
+    const C: [f64; 6] = [
+        -7.784894002430293e-03,
+        -3.223964580411365e-01,
+        -2.400758277161838e+00,
+        -2.549732539343734e+00,
+        4.374664141464968e+00,
+        2.938163982698783e+00,
+    ];
+    const D: [f64; 4] = [
+        7.784695709041462e-03,
+        3.224671290700398e-01,
+        2.445134137142996e+00,
+        3.754408661907416e+00,
+    ];
+    const P_LOW: f64 = 0.02425;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley refinement step.
+    let e = norm_cdf(x) - p;
+    let u = e * (2.0 * std::f64::consts::PI).sqrt() * (x * x / 2.0).exp();
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// Inverse error function `erf⁻¹(x)` for `x ∈ (−1, 1)`.
+pub fn inv_erf(x: f64) -> f64 {
+    inv_norm_cdf((x + 1.0) / 2.0) / std::f64::consts::SQRT_2
+}
+
+/// Digamma function `ψ(x) = d/dx ln Γ(x)` for `x > 0`.
+///
+/// Recurrence to push the argument above 6, then the standard asymptotic
+/// expansion; accuracy ~1e-12.
+///
+/// # Panics
+///
+/// Panics if `x <= 0`.
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0, "digamma: argument must be positive");
+    let mut x = x;
+    let mut result = 0.0;
+    while x < 6.0 {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    result + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) {
+        assert!(
+            (a - b).abs() <= tol,
+            "expected {b}, got {a} (diff {})",
+            (a - b).abs()
+        );
+    }
+
+    #[test]
+    fn ln_gamma_integers() {
+        // Γ(n) = (n-1)!
+        close(ln_gamma(1.0), 0.0, 1e-12);
+        close(ln_gamma(2.0), 0.0, 1e-12);
+        close(ln_gamma(5.0), 24f64.ln(), 1e-12);
+        close(ln_gamma(10.0), 362880f64.ln(), 1e-10);
+    }
+
+    #[test]
+    fn ln_gamma_half() {
+        // Γ(1/2) = √π
+        close(ln_gamma(0.5), 0.5723649429247001, 1e-12);
+        // Γ(3/2) = √π/2
+        close(ln_gamma(1.5), -0.12078223763524522, 1e-12);
+    }
+
+    #[test]
+    fn gamma_function_values() {
+        close(gamma(4.0), 6.0, 1e-10);
+        close(gamma(0.5), std::f64::consts::PI.sqrt(), 1e-10);
+    }
+
+    #[test]
+    fn gamma_p_known_values() {
+        // P(1, x) = 1 - e^{-x} (exponential CDF)
+        close(gamma_p(1.0, 1.0), 1.0 - (-1.0f64).exp(), 1e-12);
+        close(gamma_p(1.0, 2.5), 1.0 - (-2.5f64).exp(), 1e-12);
+        // P(2, 2) = 1 - e^{-2}(1 + 2)
+        close(gamma_p(2.0, 2.0), 1.0 - (-2.0f64).exp() * 3.0, 1e-12);
+    }
+
+    #[test]
+    fn gamma_p_q_complement() {
+        for &a in &[0.3, 1.0, 2.5, 10.0, 50.0] {
+            for &x in &[0.1, 1.0, 5.0, 20.0, 80.0] {
+                close(gamma_p(a, x) + gamma_q(a, x), 1.0, 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_p_monotone_in_x() {
+        let mut prev = 0.0;
+        for i in 1..200 {
+            let x = i as f64 * 0.1;
+            let v = gamma_p(3.0, x);
+            assert!(v >= prev, "gamma_p must be nondecreasing");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn inv_gamma_p_roundtrip() {
+        for &a in &[0.5, 1.0, 2.0, 7.5, 30.0] {
+            for &p in &[0.01, 0.1, 0.5, 0.9, 0.99] {
+                let x = inv_gamma_p(a, p);
+                close(gamma_p(a, x), p, 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn erf_reference_values() {
+        close(erf(0.0), 0.0, 1e-12);
+        close(erf(1.0), 0.8427007929497149, 2e-7);
+        close(erf(-1.0), -0.8427007929497149, 2e-7);
+        close(erf(2.0), 0.9953222650189527, 2e-7);
+    }
+
+    #[test]
+    fn norm_cdf_reference_values() {
+        close(norm_cdf(0.0), 0.5, 1e-12);
+        close(norm_cdf(1.0), 0.8413447460685429, 1e-7);
+        close(norm_cdf(-1.96), 0.024997895148220435, 1e-7);
+        close(norm_cdf(3.0), 0.9986501019683699, 1e-7);
+    }
+
+    #[test]
+    fn inv_norm_cdf_roundtrip() {
+        for &p in &[1e-6, 0.001, 0.025, 0.2, 0.5, 0.8, 0.975, 0.999, 1.0 - 1e-6] {
+            let x = inv_norm_cdf(p);
+            close(norm_cdf(x), p, 1e-9);
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_symmetry() {
+        for &p in &[0.01, 0.1, 0.3] {
+            close(inv_norm_cdf(p), -inv_norm_cdf(1.0 - p), 1e-9);
+        }
+    }
+
+    #[test]
+    fn inv_norm_cdf_extremes() {
+        assert_eq!(inv_norm_cdf(0.0), f64::NEG_INFINITY);
+        assert_eq!(inv_norm_cdf(1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn inv_erf_roundtrip() {
+        for &x in &[-0.9, -0.5, 0.0, 0.3, 0.77] {
+            close(erf(inv_erf(x)), x, 1e-6);
+        }
+    }
+
+    #[test]
+    fn digamma_reference_values() {
+        // ψ(1) = -γ (Euler–Mascheroni)
+        close(digamma(1.0), -0.5772156649015329, 1e-10);
+        // ψ(1/2) = -γ - 2 ln 2
+        close(digamma(0.5), -1.9635100260214235, 1e-10);
+        // ψ(n+1) = ψ(n) + 1/n
+        close(digamma(2.0), -0.5772156649015329 + 1.0, 1e-10);
+        close(digamma(10.0), 2.2517525890667214, 1e-10);
+    }
+
+    #[test]
+    #[should_panic]
+    fn digamma_rejects_nonpositive() {
+        digamma(0.0);
+    }
+
+    #[test]
+    fn norm_pdf_peak() {
+        close(norm_pdf(0.0), 0.3989422804014327, 1e-12);
+    }
+}

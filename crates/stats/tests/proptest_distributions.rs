@@ -1,0 +1,125 @@
+//! Property-based tests of the distribution families: support, CDF
+//! monotonicity, quantile inversion and MLE recovery under randomly
+//! drawn parameters.
+
+use proptest::prelude::*;
+use resmodel_stats::distributions::{
+    Exponential, Gamma, LogGamma, LogNormal, Normal, Pareto, Weibull,
+};
+use resmodel_stats::rng::seeded;
+use resmodel_stats::Distribution;
+
+/// Check the universal distribution contract on a fixed probe grid.
+fn check_contract(d: &dyn Distribution, probes: &[f64], seed: u64) {
+    // CDF is monotone in [0, 1].
+    let mut prev = 0.0;
+    for &x in probes {
+        let c = d.cdf(x);
+        assert!((0.0..=1.0).contains(&c), "cdf({x}) = {c} out of range");
+        assert!(c >= prev - 1e-12, "cdf must be nondecreasing at {x}");
+        prev = c;
+        assert!(d.pdf(x) >= 0.0, "pdf({x}) negative");
+    }
+    // Quantile inverts the CDF.
+    for &p in &[0.05, 0.25, 0.5, 0.75, 0.95] {
+        let q = d.quantile(p);
+        assert!(
+            (d.cdf(q) - p).abs() < 1e-6,
+            "quantile/cdf mismatch at p = {p}: q = {q}, cdf(q) = {}",
+            d.cdf(q)
+        );
+    }
+    // Samples stay in the support (cdf of a sample is in (0,1]).
+    let mut rng = seeded(seed);
+    for _ in 0..50 {
+        let x = d.sample(&mut rng);
+        assert!(x.is_finite());
+        let c = d.cdf(x);
+        assert!((0.0..=1.0).contains(&c));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn normal_contract(mean in -1e4..1e4f64, sd in 0.01..1e3f64, seed in 0u64..1000) {
+        let d = Normal::new(mean, sd).unwrap();
+        let probes: Vec<f64> = (-4..=4).map(|k| mean + k as f64 * sd).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn lognormal_contract(mu in -3.0..6.0f64, sigma in 0.05..2.0f64, seed in 0u64..1000) {
+        let d = LogNormal::new(mu, sigma).unwrap();
+        let probes: Vec<f64> = (0..8).map(|k| (mu + (k as f64 - 3.0) * sigma).exp()).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn exponential_contract(rate in 1e-3..1e2f64, seed in 0u64..1000) {
+        let d = Exponential::new(rate).unwrap();
+        let probes: Vec<f64> = (0..8).map(|k| k as f64 / (2.0 * rate)).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn weibull_contract(shape in 0.2..8.0f64, scale in 0.1..1e3f64, seed in 0u64..1000) {
+        let d = Weibull::new(shape, scale).unwrap();
+        let probes: Vec<f64> = (0..8).map(|k| k as f64 * scale / 2.0).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn pareto_contract(scale in 0.1..1e3f64, shape in 0.3..6.0f64, seed in 0u64..1000) {
+        let d = Pareto::new(scale, shape).unwrap();
+        let probes: Vec<f64> = (0..8).map(|k| scale * (1.0 + k as f64)).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn gamma_contract(shape in 0.2..20.0f64, scale in 0.05..100.0f64, seed in 0u64..1000) {
+        let d = Gamma::new(shape, scale).unwrap();
+        let mean = shape * scale;
+        let probes: Vec<f64> = (0..8).map(|k| k as f64 * mean / 3.0).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn loggamma_contract(shape in 0.5..6.0f64, scale in 0.05..0.6f64, seed in 0u64..1000) {
+        let d = LogGamma::new(shape, scale).unwrap();
+        let probes: Vec<f64> = (0..8).map(|k| 1.0 + k as f64).collect();
+        check_contract(&d, &probes, seed);
+    }
+
+    #[test]
+    fn normal_mle_recovers(mean in -100.0..100.0f64, sd in 0.5..50.0f64, seed in 0u64..100) {
+        let truth = Normal::new(mean, sd).unwrap();
+        let mut rng = seeded(seed);
+        let data = truth.sample_n(&mut rng, 4000);
+        let fit = Normal::fit_mle(&data).unwrap();
+        prop_assert!((fit.mu() - mean).abs() < 5.0 * sd / (4000f64).sqrt() + 1e-9);
+        prop_assert!((fit.sigma() - sd).abs() / sd < 0.1);
+    }
+
+    #[test]
+    fn weibull_mle_recovers(shape in 0.4..4.0f64, scale in 1.0..500.0f64, seed in 0u64..50) {
+        let truth = Weibull::new(shape, scale).unwrap();
+        let mut rng = seeded(seed);
+        let data = truth.sample_n(&mut rng, 4000);
+        let fit = Weibull::fit_mle(&data).unwrap();
+        prop_assert!((fit.shape() - shape).abs() / shape < 0.12,
+            "shape {} vs {}", fit.shape(), shape);
+        prop_assert!((fit.scale() - scale).abs() / scale < 0.15,
+            "scale {} vs {}", fit.scale(), scale);
+    }
+
+    #[test]
+    fn exponential_mle_recovers(rate in 0.01..50.0f64, seed in 0u64..100) {
+        let truth = Exponential::new(rate).unwrap();
+        let mut rng = seeded(seed);
+        let data = truth.sample_n(&mut rng, 4000);
+        let fit = Exponential::fit_mle(&data).unwrap();
+        prop_assert!((fit.rate() - rate).abs() / rate < 0.1);
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the linear algebra, correlation and
+//! regression layers.
+
+use proptest::prelude::*;
+use resmodel_stats::correlation::{correlation_matrix, pearson, ranks, spearman};
+use resmodel_stats::regression::{exp_law_fit, linear_fit};
+use resmodel_stats::Matrix;
+
+/// Build a random symmetric positive-definite matrix as `B·Bᵀ + εI`.
+fn spd_from(values: &[f64], n: usize) -> Matrix {
+    let mut b = Matrix::new(n, n);
+    for i in 0..n {
+        for j in 0..n {
+            b.set(i, j, values[i * n + j]);
+        }
+    }
+    let mut a = b.mul(&b.transpose()).expect("square product");
+    for i in 0..n {
+        a.set(i, i, a.get(i, i) + 0.5);
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cholesky_reconstructs_spd(values in prop::collection::vec(-3.0..3.0f64, 9)) {
+        let a = spd_from(&values, 3);
+        let l = a.cholesky().unwrap();
+        let back = l.mul(&l.transpose()).unwrap();
+        prop_assert!(a.max_abs_diff(&back).unwrap() < 1e-9);
+        // L is lower triangular with positive diagonal.
+        for i in 0..3 {
+            prop_assert!(l.get(i, i) > 0.0);
+            for j in (i + 1)..3 {
+                prop_assert_eq!(l.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution(values in prop::collection::vec(-10.0..10.0f64, 12)) {
+        let mut m = Matrix::new(3, 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                m.set(i, j, values[i * 4 + j]);
+            }
+        }
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matrix_vector_linear(values in prop::collection::vec(-5.0..5.0f64, 9),
+                            v in prop::collection::vec(-5.0..5.0f64, 3),
+                            k in -3.0..3.0f64) {
+        let mut m = Matrix::new(3, 3);
+        for i in 0..3 {
+            for j in 0..3 {
+                m.set(i, j, values[i * 3 + j]);
+            }
+        }
+        let mv = m.mul_vec(&v).unwrap();
+        let kv: Vec<f64> = v.iter().map(|x| k * x).collect();
+        let mkv = m.mul_vec(&kv).unwrap();
+        for (a, b) in mv.iter().zip(&mkv) {
+            prop_assert!((k * a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pearson_bounded_and_symmetric(
+        x in prop::collection::vec(-100.0..100.0f64, 5..40),
+        noise in prop::collection::vec(-1.0..1.0f64, 40),
+    ) {
+        let y: Vec<f64> = x.iter().zip(&noise).map(|(a, n)| a * 0.5 + n).collect();
+        if let (Ok(rxy), Ok(ryx)) = (pearson(&x, &y), pearson(&y, &x)) {
+            prop_assert!(rxy.abs() <= 1.0 + 1e-12);
+            prop_assert!((rxy - ryx).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pearson_invariant_to_affine(
+        x in prop::collection::vec(-10.0..10.0f64, 10..30),
+        a in 0.1..5.0f64,
+        b in -20.0..20.0f64,
+    ) {
+        let y: Vec<f64> = x.iter().map(|v| v * v + v).collect();
+        let x2: Vec<f64> = x.iter().map(|v| a * v + b).collect();
+        if let (Ok(r1), Ok(r2)) = (pearson(&x, &y), pearson(&x2, &y)) {
+            prop_assert!((r1 - r2).abs() < 1e-9, "affine invariance: {r1} vs {r2}");
+        }
+    }
+
+    #[test]
+    fn ranks_are_permutation_sums(data in prop::collection::vec(-50.0..50.0f64, 1..30)) {
+        let r = ranks(&data);
+        let total: f64 = r.iter().sum();
+        let n = data.len() as f64;
+        prop_assert!((total - n * (n + 1.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spearman_equals_pearson_of_ranks(data in prop::collection::vec(-50.0..50.0f64, 5..25)) {
+        let y: Vec<f64> = data.iter().map(|v| v * 2.0 + 1.0).collect();
+        if let Ok(s) = spearman(&data, &y) {
+            // y is a strictly increasing function of data → Spearman 1.
+            prop_assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn correlation_matrix_is_valid(
+        a in prop::collection::vec(-10.0..10.0f64, 20),
+        b in prop::collection::vec(-10.0..10.0f64, 20),
+    ) {
+        let c: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        if let Ok(m) = correlation_matrix(&[&a, &b, &c]) {
+            for i in 0..3 {
+                prop_assert!((m.get(i, i) - 1.0).abs() < 1e-12);
+                for j in 0..3 {
+                    prop_assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-12);
+                    prop_assert!(m.get(i, j).abs() <= 1.0 + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn linear_fit_exact_on_lines(slope in -10.0..10.0f64, intercept in -10.0..10.0f64,
+                                 xs in prop::collection::vec(-100.0..100.0f64, 3..20)) {
+        // Need non-constant x.
+        let mut xs = xs;
+        xs.push(xs[0] + 1.0);
+        let ys: Vec<f64> = xs.iter().map(|x| slope * x + intercept).collect();
+        let f = linear_fit(&xs, &ys).unwrap();
+        prop_assert!((f.slope - slope).abs() < 1e-6);
+        prop_assert!((f.intercept - intercept).abs() < 1e-5);
+    }
+
+    #[test]
+    fn exp_law_fit_exact(a in 0.01..100.0f64, b in -1.0..1.0f64) {
+        let ts: Vec<f64> = (0..6).map(|i| i as f64).collect();
+        let ys: Vec<f64> = ts.iter().map(|&t| a * (b * t).exp()).collect();
+        let f = exp_law_fit(&ts, &ys).unwrap();
+        prop_assert!((f.a - a).abs() / a < 1e-9);
+        prop_assert!((f.b - b).abs() < 1e-9);
+    }
+}

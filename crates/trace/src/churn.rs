@@ -1,0 +1,236 @@
+//! Population churn analytics: arrivals, departures, retention — the
+//! dynamics behind the paper's Fig 1/Fig 3 observations, packaged as
+//! reusable queries.
+
+use crate::store::Trace;
+use crate::time::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// Churn statistics over one window `[from, to)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChurnWindow {
+    /// Window start.
+    pub from: SimDate,
+    /// Window end.
+    pub to: SimDate,
+    /// Hosts whose first contact falls in the window.
+    pub arrivals: usize,
+    /// Hosts whose last contact falls in the window (they were seen
+    /// before `to` and never again).
+    pub departures: usize,
+    /// Active hosts at the window start.
+    pub active_at_start: usize,
+    /// Monthly turnover rate: departures / active at start, scaled to
+    /// a 30-day month.
+    pub monthly_turnover: f64,
+}
+
+/// Compute churn for consecutive windows of `window_days` between
+/// `from` and `to`.
+pub fn churn_series(trace: &Trace, from: SimDate, to: SimDate, window_days: f64) -> Vec<ChurnWindow> {
+    assert!(window_days > 0.0, "window must be positive");
+    let mut out = Vec::new();
+    let mut start = from;
+    while start < to {
+        let end = (start + window_days).min(to);
+        let arrivals = trace
+            .hosts()
+            .iter()
+            .filter(|h| matches!(h.first_contact(), Some(f) if f >= start && f < end))
+            .count();
+        let departures = trace
+            .hosts()
+            .iter()
+            .filter(|h| matches!(h.last_contact(), Some(l) if l >= start && l < end))
+            .count();
+        let active_at_start = trace.active_count(start);
+        let days = end - start;
+        let monthly_turnover = if active_at_start > 0 && days > 0.0 {
+            departures as f64 / active_at_start as f64 * (30.0 / days)
+        } else {
+            0.0
+        };
+        out.push(ChurnWindow {
+            from: start,
+            to: end,
+            arrivals,
+            departures,
+            active_at_start,
+            monthly_turnover,
+        });
+        start = end;
+    }
+    out
+}
+
+/// Retention curve: of the hosts whose first contact falls in
+/// `[cohort_from, cohort_to)`, the fraction still active `offsets`
+/// days after their first contact.
+pub fn retention_curve(
+    trace: &Trace,
+    cohort_from: SimDate,
+    cohort_to: SimDate,
+    offsets_days: &[f64],
+) -> Vec<(f64, f64)> {
+    let cohort: Vec<_> = trace
+        .hosts()
+        .iter()
+        .filter(|h| {
+            matches!(h.first_contact(), Some(f) if f >= cohort_from && f < cohort_to)
+        })
+        .collect();
+    offsets_days
+        .iter()
+        .map(|&off| {
+            if cohort.is_empty() {
+                return (off, 0.0);
+            }
+            let alive = cohort
+                .iter()
+                .filter(|h| {
+                    let first = h.first_contact().expect("cohort members have contacts");
+                    matches!(h.last_contact(), Some(l) if l - first >= off)
+                })
+                .count();
+            (off, alive as f64 / cohort.len() as f64)
+        })
+        .collect()
+}
+
+/// Population half-life of a cohort: the lifetime offset by which half
+/// the cohort has departed (linear interpolation between probe points).
+pub fn cohort_half_life_days(
+    trace: &Trace,
+    cohort_from: SimDate,
+    cohort_to: SimDate,
+    max_days: f64,
+) -> Option<f64> {
+    let probes: Vec<f64> = (0..=200).map(|i| i as f64 * max_days / 200.0).collect();
+    let curve = retention_curve(trace, cohort_from, cohort_to, &probes);
+    // An empty cohort reports 0 retention everywhere; a real cohort is
+    // fully retained at offset 0.
+    if curve.first().map(|&(_, f)| f) != Some(1.0) {
+        return None;
+    }
+    let mut prev = (0.0, 1.0);
+    for &(off, frac) in &curve {
+        if frac <= 0.5 {
+            let (o0, f0) = prev;
+            if (f0 - frac).abs() < 1e-12 {
+                return Some(off);
+            }
+            let t = (f0 - 0.5) / (f0 - frac);
+            return Some(o0 + t * (off - o0));
+        }
+        prev = (off, frac);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::{HostRecord, ResourceSnapshot};
+
+    fn host(id: u64, from_year: f64, to_year: f64) -> HostRecord {
+        let mut h = HostRecord::new(id.into(), SimDate::from_year(from_year));
+        for &y in &[from_year, to_year] {
+            h.record(ResourceSnapshot {
+                t: SimDate::from_year(y),
+                cores: 1,
+                memory_mb: 512.0,
+                whetstone_mips: 1000.0,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 30.0,
+                total_disk_gb: 60.0,
+            });
+        }
+        h
+    }
+
+    fn toy() -> Trace {
+        vec![
+            host(1, 2006.0, 2006.4), // arrives and departs in H1 2006
+            host(2, 2006.1, 2008.0),
+            host(3, 2006.6, 2007.2),
+            host(4, 2007.0, 2009.0),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn churn_windows_count_arrivals_and_departures() {
+        let trace = toy();
+        let series = churn_series(
+            &trace,
+            SimDate::from_year(2006.0),
+            SimDate::from_year(2007.0),
+            365.25 / 2.0,
+        );
+        assert_eq!(series.len(), 2);
+        // H1 2006: hosts 1 and 2 arrive; host 1 departs.
+        assert_eq!(series[0].arrivals, 2);
+        assert_eq!(series[0].departures, 1);
+        // H2 2006: host 3 arrives, nobody departs.
+        assert_eq!(series[1].arrivals, 1);
+        assert_eq!(series[1].departures, 0);
+    }
+
+    #[test]
+    fn retention_curve_declines() {
+        let trace = toy();
+        let curve = retention_curve(
+            &trace,
+            SimDate::from_year(2006.0),
+            SimDate::from_year(2007.0),
+            &[0.0, 100.0, 300.0, 1000.0],
+        );
+        assert_eq!(curve[0].1, 1.0);
+        for w in curve.windows(2) {
+            assert!(w[1].1 <= w[0].1, "retention must be non-increasing");
+        }
+        // Host 2 lives ~694 days; hosts 1 and 3 under 220 days.
+        assert!((curve[2].1 - 1.0 / 3.0).abs() < 1e-9, "at 300d: {}", curve[2].1);
+    }
+
+    #[test]
+    fn half_life_between_short_and_long_livers() {
+        let trace = toy();
+        let hl = cohort_half_life_days(
+            &trace,
+            SimDate::from_year(2006.0),
+            SimDate::from_year(2007.0),
+            1500.0,
+        )
+        .expect("cohort departs within probe range");
+        // Lifetimes ≈ 146, 219 and 694 days → half-life between the
+        // first and last departure.
+        assert!(hl > 100.0 && hl < 700.0, "half-life {hl}");
+    }
+
+    #[test]
+    fn empty_cohort_is_handled() {
+        let trace = toy();
+        let curve = retention_curve(
+            &trace,
+            SimDate::from_year(2015.0),
+            SimDate::from_year(2016.0),
+            &[0.0, 10.0],
+        );
+        assert!(curve.iter().all(|&(_, f)| f == 0.0));
+        assert!(cohort_half_life_days(
+            &trace,
+            SimDate::from_year(2015.0),
+            SimDate::from_year(2016.0),
+            100.0
+        )
+        .is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "window must be positive")]
+    fn churn_rejects_bad_window() {
+        churn_series(&toy(), SimDate::from_year(2006.0), SimDate::from_year(2007.0), 0.0);
+    }
+}

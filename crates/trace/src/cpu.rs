@@ -1,0 +1,173 @@
+//! Processor families and their market-share evolution
+//! (paper Table I).
+
+use crate::market::{interp_series, normalize, pick_index};
+use serde::{Deserialize, Serialize};
+
+/// Processor family, at the granularity of the paper's Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum CpuFamily {
+    /// PowerPC G3/G4/G5 (pre-Intel Macs).
+    PowerPc,
+    /// AMD Athlon XP.
+    AthlonXp,
+    /// AMD Athlon 64.
+    Athlon64,
+    /// Other AMD processors.
+    OtherAmd,
+    /// Intel Pentium 4 — dominant in 2006, declining steeply.
+    #[default]
+    Pentium4,
+    /// Intel Pentium M.
+    PentiumM,
+    /// Intel Pentium D.
+    PentiumD,
+    /// Other Pentium-branded processors.
+    OtherPentium,
+    /// Intel Core 2 — rising from ~0 to a third of hosts by 2010.
+    IntelCore2,
+    /// Intel Celeron.
+    IntelCeleron,
+    /// Intel Xeon.
+    IntelXeon,
+    /// Other x86 processors.
+    OtherX86,
+    /// Anything else.
+    Other,
+}
+
+/// Sample years of the share table below (January 1 snapshots).
+const TABLE_YEARS: [f64; 5] = [2006.0, 2007.0, 2008.0, 2009.0, 2010.0];
+
+/// The paper's Table I, % of active hosts by year.
+const CPU_SHARES: [(CpuFamily, [f64; 5]); 13] = [
+    (CpuFamily::PowerPc, [5.1, 6.5, 4.7, 3.5, 2.7]),
+    (CpuFamily::AthlonXp, [12.3, 9.0, 6.2, 4.0, 2.5]),
+    (CpuFamily::Athlon64, [6.5, 9.5, 11.4, 11.6, 10.2]),
+    (CpuFamily::OtherAmd, [8.3, 8.2, 7.8, 7.9, 9.5]),
+    (CpuFamily::Pentium4, [36.8, 33.0, 27.2, 20.7, 15.5]),
+    (CpuFamily::PentiumM, [5.4, 5.5, 4.3, 3.1, 2.1]),
+    (CpuFamily::PentiumD, [0.7, 3.0, 4.2, 3.9, 3.1]),
+    (CpuFamily::OtherPentium, [4.1, 2.6, 2.1, 3.3, 5.2]),
+    (CpuFamily::IntelCore2, [0.9, 3.3, 13.2, 24.8, 32.0]),
+    (CpuFamily::IntelCeleron, [5.6, 6.4, 6.3, 5.9, 4.9]),
+    (CpuFamily::IntelXeon, [2.1, 2.8, 3.3, 3.9, 4.3]),
+    (CpuFamily::OtherX86, [9.9, 7.7, 7.6, 6.1, 5.1]),
+    (CpuFamily::Other, [2.3, 2.6, 1.6, 1.3, 2.9]),
+];
+
+impl CpuFamily {
+    /// All families, in Table I order.
+    pub const ALL: [CpuFamily; 13] = [
+        CpuFamily::PowerPc,
+        CpuFamily::AthlonXp,
+        CpuFamily::Athlon64,
+        CpuFamily::OtherAmd,
+        CpuFamily::Pentium4,
+        CpuFamily::PentiumM,
+        CpuFamily::PentiumD,
+        CpuFamily::OtherPentium,
+        CpuFamily::IntelCore2,
+        CpuFamily::IntelCeleron,
+        CpuFamily::IntelXeon,
+        CpuFamily::OtherX86,
+        CpuFamily::Other,
+    ];
+
+    /// Human-readable name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CpuFamily::PowerPc => "PowerPC G3/G4/G5",
+            CpuFamily::AthlonXp => "Athlon XP",
+            CpuFamily::Athlon64 => "Athlon 64",
+            CpuFamily::OtherAmd => "Other AMD",
+            CpuFamily::Pentium4 => "Pentium 4",
+            CpuFamily::PentiumM => "Pentium M",
+            CpuFamily::PentiumD => "Pentium D",
+            CpuFamily::OtherPentium => "Other Pentium",
+            CpuFamily::IntelCore2 => "Intel Core 2",
+            CpuFamily::IntelCeleron => "Intel Celeron",
+            CpuFamily::IntelXeon => "Intel Xeon",
+            CpuFamily::OtherX86 => "Other x86",
+            CpuFamily::Other => "Other",
+        }
+    }
+
+    /// Normalised market shares at a fractional `year`, interpolating
+    /// the paper's yearly columns and clamping outside 2006–2010.
+    pub fn shares_at(year: f64) -> Vec<(CpuFamily, f64)> {
+        let mut weights: Vec<f64> = CPU_SHARES
+            .iter()
+            .map(|(_, s)| interp_series(&TABLE_YEARS, s, year))
+            .collect();
+        normalize(&mut weights);
+        CPU_SHARES
+            .iter()
+            .zip(weights)
+            .map(|((fam, _), w)| (*fam, w))
+            .collect()
+    }
+
+    /// Sample a family from the shares at `year` using a uniform draw
+    /// `u ∈ [0, 1)`.
+    pub fn sample_at(year: f64, u: f64) -> CpuFamily {
+        let shares = Self::shares_at(year);
+        let weights: Vec<f64> = shares.iter().map(|(_, w)| *w).collect();
+        shares[pick_index(&weights, u)].0
+    }
+}
+
+impl std::fmt::Display for CpuFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn share(year: f64, fam: CpuFamily) -> f64 {
+        CpuFamily::shares_at(year)
+            .into_iter()
+            .find(|(f, _)| *f == fam)
+            .unwrap()
+            .1
+    }
+
+    #[test]
+    fn shares_normalised() {
+        for &y in &[2004.0, 2006.0, 2007.7, 2010.0, 2013.0] {
+            let total: f64 = CpuFamily::shares_at(y).iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "year {y}: total {total}");
+        }
+    }
+
+    #[test]
+    fn pentium4_falls_core2_rises() {
+        assert!(share(2006.0, CpuFamily::Pentium4) > 0.3);
+        assert!(share(2010.0, CpuFamily::Pentium4) < 0.17);
+        assert!(share(2006.0, CpuFamily::IntelCore2) < 0.02);
+        assert!(share(2010.0, CpuFamily::IntelCore2) > 0.3);
+    }
+
+    #[test]
+    fn interpolation_between_years() {
+        let s = share(2008.5, CpuFamily::IntelCore2);
+        // Between 13.2% (2008) and 24.8% (2009) — about 19%.
+        assert!(s > 0.15 && s < 0.23, "share {s}");
+    }
+
+    #[test]
+    fn sampling_deterministic_for_small_u() {
+        // PowerPC is listed first with 5.1% in 2006.
+        assert_eq!(CpuFamily::sample_at(2006.0, 0.01), CpuFamily::PowerPc);
+    }
+
+    #[test]
+    fn names_unique() {
+        let names: std::collections::HashSet<_> =
+            CpuFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), CpuFamily::ALL.len());
+    }
+}

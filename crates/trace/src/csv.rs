@@ -1,0 +1,349 @@
+//! Hand-rolled CSV import/export of traces.
+//!
+//! The format mirrors the paper's published trace files: one `H` row of
+//! static host attributes followed by `S` rows of time-stamped resource
+//! measurements.
+//!
+//! ```text
+//! H,<id>,<created_days>,<os>,<cpu>,<gpu_class|->,<gpu_mem|0>
+//! S,<id>,<t_days>,<cores>,<memory_mb>,<whet>,<dhry>,<avail_gb>,<total_gb>
+//! ```
+
+use crate::cpu::CpuFamily;
+use crate::gpu::{GpuClass, GpuInfo};
+use crate::host::{HostRecord, ResourceSnapshot};
+use crate::os::OsFamily;
+use crate::store::Trace;
+use crate::time::SimDate;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Errors produced when parsing a trace CSV.
+#[derive(Debug)]
+pub enum CsvError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed row, with its 1-based line number.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A snapshot row referenced an unknown host id.
+    UnknownHost {
+        /// 1-based line number.
+        line: usize,
+    },
+}
+
+impl fmt::Display for CsvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CsvError::Io(e) => write!(f, "i/o error: {e}"),
+            CsvError::Malformed { line, reason } => {
+                write!(f, "malformed row at line {line}: {reason}")
+            }
+            CsvError::UnknownHost { line } => {
+                write!(f, "snapshot references unknown host at line {line}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CsvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for CsvError {
+    fn from(e: io::Error) -> Self {
+        CsvError::Io(e)
+    }
+}
+
+fn os_tag(os: OsFamily) -> &'static str {
+    match os {
+        OsFamily::WindowsXp => "winxp",
+        OsFamily::WindowsVista => "vista",
+        OsFamily::Windows7 => "win7",
+        OsFamily::Windows2000 => "win2000",
+        OsFamily::OtherWindows => "otherwin",
+        OsFamily::MacOsX => "macosx",
+        OsFamily::Linux => "linux",
+        OsFamily::Other => "other",
+    }
+}
+
+fn parse_os(tag: &str) -> Option<OsFamily> {
+    OsFamily::ALL.into_iter().find(|&o| os_tag(o) == tag)
+}
+
+fn cpu_tag(cpu: CpuFamily) -> &'static str {
+    match cpu {
+        CpuFamily::PowerPc => "ppc",
+        CpuFamily::AthlonXp => "athlonxp",
+        CpuFamily::Athlon64 => "athlon64",
+        CpuFamily::OtherAmd => "otheramd",
+        CpuFamily::Pentium4 => "p4",
+        CpuFamily::PentiumM => "pm",
+        CpuFamily::PentiumD => "pd",
+        CpuFamily::OtherPentium => "otherpentium",
+        CpuFamily::IntelCore2 => "core2",
+        CpuFamily::IntelCeleron => "celeron",
+        CpuFamily::IntelXeon => "xeon",
+        CpuFamily::OtherX86 => "otherx86",
+        CpuFamily::Other => "other",
+    }
+}
+
+fn parse_cpu(tag: &str) -> Option<CpuFamily> {
+    CpuFamily::ALL.into_iter().find(|&c| cpu_tag(c) == tag)
+}
+
+fn gpu_tag(class: GpuClass) -> &'static str {
+    match class {
+        GpuClass::GeForce => "geforce",
+        GpuClass::Radeon => "radeon",
+        GpuClass::Quadro => "quadro",
+        GpuClass::Other => "other",
+    }
+}
+
+fn parse_gpu(tag: &str) -> Option<GpuClass> {
+    GpuClass::ALL.into_iter().find(|&g| gpu_tag(g) == tag)
+}
+
+/// Write `trace` in the CSV format described at module level.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> Result<(), CsvError> {
+    for h in trace.hosts() {
+        let (gc, gm, gs) = match h.gpu {
+            Some(g) => (gpu_tag(g.class), g.memory_mb, g.since.days()),
+            None => ("-", 0.0, 0.0),
+        };
+        writeln!(
+            w,
+            "H,{},{},{},{},{},{},{}",
+            h.id.value(),
+            h.created.days(),
+            os_tag(h.os),
+            cpu_tag(h.cpu),
+            gc,
+            gm,
+            gs
+        )?;
+        for s in h.snapshots() {
+            writeln!(
+                w,
+                "S,{},{},{},{},{},{},{},{}",
+                h.id.value(),
+                s.t.days(),
+                s.cores,
+                s.memory_mb,
+                s.whetstone_mips,
+                s.dhrystone_mips,
+                s.avail_disk_gb,
+                s.total_disk_gb
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Read a trace from the CSV format produced by [`write_trace`].
+///
+/// # Errors
+///
+/// Returns [`CsvError::Malformed`] on syntax errors and
+/// [`CsvError::UnknownHost`] when a snapshot precedes its host row.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
+    let mut trace = Trace::new();
+    // Map from raw id to index in insertion order; snapshots must follow
+    // their host row, so we only ever append to the most recent hosts.
+    let mut hosts: Vec<HostRecord> = Vec::new();
+    let mut index: std::collections::HashMap<u64, usize> = std::collections::HashMap::new();
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let fields: Vec<&str> = line.split(',').collect();
+        let malformed = |reason: &str| CsvError::Malformed {
+            line: lineno,
+            reason: reason.to_string(),
+        };
+        match fields[0] {
+            "H" => {
+                if fields.len() != 8 {
+                    return Err(malformed("H row needs 8 fields"));
+                }
+                let id: u64 = fields[1].parse().map_err(|_| malformed("bad id"))?;
+                let days: f64 = fields[2].parse().map_err(|_| malformed("bad created"))?;
+                let mut h = HostRecord::new(id.into(), SimDate::from_days(days));
+                h.os = parse_os(fields[3]).ok_or_else(|| malformed("bad os"))?;
+                h.cpu = parse_cpu(fields[4]).ok_or_else(|| malformed("bad cpu"))?;
+                if fields[5] != "-" {
+                    let class = parse_gpu(fields[5]).ok_or_else(|| malformed("bad gpu"))?;
+                    let memory_mb: f64 =
+                        fields[6].parse().map_err(|_| malformed("bad gpu mem"))?;
+                    let since: f64 =
+                        fields[7].parse().map_err(|_| malformed("bad gpu since"))?;
+                    h.gpu = Some(GpuInfo {
+                        class,
+                        memory_mb,
+                        since: SimDate::from_days(since),
+                    });
+                }
+                index.insert(id, hosts.len());
+                hosts.push(h);
+            }
+            "S" => {
+                if fields.len() != 9 {
+                    return Err(malformed("S row needs 9 fields"));
+                }
+                let id: u64 = fields[1].parse().map_err(|_| malformed("bad id"))?;
+                let &i = index
+                    .get(&id)
+                    .ok_or(CsvError::UnknownHost { line: lineno })?;
+                let num = |k: usize, what: &str| -> Result<f64, CsvError> {
+                    fields[k].parse().map_err(|_| CsvError::Malformed {
+                        line: lineno,
+                        reason: format!("bad {what}"),
+                    })
+                };
+                hosts[i].record(ResourceSnapshot {
+                    t: SimDate::from_days(num(2, "t")?),
+                    cores: num(3, "cores")? as u32,
+                    memory_mb: num(4, "memory")?,
+                    whetstone_mips: num(5, "whet")?,
+                    dhrystone_mips: num(6, "dhry")?,
+                    avail_disk_gb: num(7, "avail")?,
+                    total_disk_gb: num(8, "total")?,
+                });
+            }
+            other => {
+                return Err(malformed(&format!("unknown row tag `{other}`")));
+            }
+        }
+    }
+    trace.extend(hosts);
+    Ok(trace)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> Trace {
+        let mut h = HostRecord::new(3.into(), SimDate::from_year(2006.2));
+        h.os = OsFamily::Linux;
+        h.cpu = CpuFamily::IntelCore2;
+        h.gpu = Some(GpuInfo {
+            class: GpuClass::Radeon,
+            memory_mb: 512.0,
+            since: SimDate::from_year(2009.7),
+        });
+        h.record(ResourceSnapshot {
+            t: SimDate::from_year(2006.3),
+            cores: 2,
+            memory_mb: 2048.0,
+            whetstone_mips: 1500.5,
+            dhrystone_mips: 2500.25,
+            avail_disk_gb: 40.125,
+            total_disk_gb: 80.0,
+        });
+        let mut h2 = HostRecord::new(4.into(), SimDate::from_year(2007.0));
+        h2.os = OsFamily::WindowsXp;
+        h2.cpu = CpuFamily::Pentium4;
+        h2.record(ResourceSnapshot {
+            t: SimDate::from_year(2007.1),
+            cores: 1,
+            memory_mb: 512.0,
+            whetstone_mips: 900.0,
+            dhrystone_mips: 1800.0,
+            avail_disk_gb: 10.0,
+            total_disk_gb: 60.0,
+        });
+        vec![h, h2].into_iter().collect()
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.len(), 2);
+        let h = back.host(3.into()).unwrap();
+        assert_eq!(h.os, OsFamily::Linux);
+        assert_eq!(h.cpu, CpuFamily::IntelCore2);
+        assert_eq!(h.gpu.unwrap().class, GpuClass::Radeon);
+        assert_eq!(h.snapshots().len(), 1);
+        assert_eq!(h.snapshots()[0].whetstone_mips, 1500.5);
+        let h2 = back.host(4.into()).unwrap();
+        assert!(h2.gpu.is_none());
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# comment\n\nH,1,365.25,linux,core2,-,0,0\nS,1,400,2,2048,1000,2000,50,100\n";
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.host(1.into()).unwrap().snapshots().len(), 1);
+    }
+
+    #[test]
+    fn rejects_malformed_rows() {
+        assert!(matches!(
+            read_trace("H,1,oops,linux,core2,-,0\n".as_bytes()),
+            Err(CsvError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_trace("X,1\n".as_bytes()),
+            Err(CsvError::Malformed { .. })
+        ));
+        assert!(matches!(
+            read_trace("H,1,1.0,linux,core2,-\n".as_bytes()),
+            Err(CsvError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_snapshot_before_host() {
+        let text = "S,9,400,2,2048,1000,2000,50,100\n";
+        assert!(matches!(
+            read_trace(text.as_bytes()),
+            Err(CsvError::UnknownHost { line: 1 })
+        ));
+    }
+
+    #[test]
+    fn all_enum_tags_roundtrip() {
+        for os in OsFamily::ALL {
+            assert_eq!(parse_os(os_tag(os)), Some(os));
+        }
+        for cpu in CpuFamily::ALL {
+            assert_eq!(parse_cpu(cpu_tag(cpu)), Some(cpu));
+        }
+        for gpu in GpuClass::ALL {
+            assert_eq!(parse_gpu(gpu_tag(gpu)), Some(gpu));
+        }
+    }
+
+    #[test]
+    fn error_display() {
+        let e = CsvError::UnknownHost { line: 5 };
+        assert!(e.to_string().contains("line 5"));
+    }
+}

@@ -1,0 +1,214 @@
+//! GPU coprocessor attributes (paper Section V-H, Table VII, Fig 10).
+//!
+//! BOINC only began recording GPU statistics in September 2009; the
+//! tables here cover Sep 2009 → Sep 2010 and are clamped outside that
+//! window.
+
+use crate::market::{interp_series, normalize, pick_index};
+use serde::{Deserialize, Serialize};
+
+/// GPU vendor/class, at the granularity of the paper's Table VII.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum GpuClass {
+    /// NVIDIA GeForce.
+    #[default]
+    GeForce,
+    /// AMD/ATI Radeon.
+    Radeon,
+    /// NVIDIA Quadro.
+    Quadro,
+    /// Anything else.
+    Other,
+}
+
+/// Fractional years at which the GPU tables are sampled
+/// (Sep 2009 and Sep 2010).
+const GPU_YEARS: [f64; 2] = [2009.67, 2010.67];
+
+/// The paper's Table VII, % among GPU-equipped hosts.
+const GPU_SHARES: [(GpuClass, [f64; 2]); 4] = [
+    (GpuClass::GeForce, [82.5, 63.6]),
+    (GpuClass::Radeon, [12.2, 31.5]),
+    (GpuClass::Quadro, [4.7, 4.0]),
+    (GpuClass::Other, [0.6, 0.8]),
+];
+
+/// Discrete GPU memory sizes (MB) used to model Fig 10's histogram.
+pub const GPU_MEMORY_VALUES_MB: [f64; 7] = [128.0, 256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0];
+
+/// GPU memory weights at Sep 2009 and Sep 2010, calibrated so that the
+/// mean (≈593 → ≈640 MB), median (512 MB) and the ≥1 GB fraction
+/// (19% → 31%) match Fig 10's reported statistics, while >1 GB stays
+/// below 2% as the paper notes.
+const GPU_MEMORY_WEIGHTS: [[f64; 2]; 7] = [
+    [0.04, 0.04],   // 128 MB
+    [0.24, 0.22],   // 256 MB
+    [0.33, 0.31],   // 512 MB
+    [0.20, 0.12],   // 768 MB
+    [0.175, 0.295], // 1024 MB
+    [0.01, 0.01],   // 1536 MB
+    [0.005, 0.005], // 2048 MB
+];
+
+/// Fraction of active hosts reporting a GPU: 12.7% at Sep 2009 rising
+/// to 23.8% at Sep 2010 (clamped outside; 0 before recording started).
+pub fn gpu_presence_fraction(year: f64) -> f64 {
+    if year < GPU_YEARS[0] {
+        return 0.0;
+    }
+    interp_series(&GPU_YEARS, &[12.7, 23.8], year) / 100.0
+}
+
+impl GpuClass {
+    /// All classes in Table VII order.
+    pub const ALL: [GpuClass; 4] = [
+        GpuClass::GeForce,
+        GpuClass::Radeon,
+        GpuClass::Quadro,
+        GpuClass::Other,
+    ];
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            GpuClass::GeForce => "GeForce",
+            GpuClass::Radeon => "Radeon",
+            GpuClass::Quadro => "Quadro",
+            GpuClass::Other => "Other",
+        }
+    }
+
+    /// Normalised class shares among GPU-equipped hosts at `year`.
+    pub fn shares_at(year: f64) -> Vec<(GpuClass, f64)> {
+        let mut weights: Vec<f64> = GPU_SHARES
+            .iter()
+            .map(|(_, s)| interp_series(&GPU_YEARS, s, year))
+            .collect();
+        normalize(&mut weights);
+        GPU_SHARES
+            .iter()
+            .zip(weights)
+            .map(|((c, _), w)| (*c, w))
+            .collect()
+    }
+
+    /// Sample a class at `year` from a uniform draw `u ∈ [0, 1)`.
+    pub fn sample_at(year: f64, u: f64) -> GpuClass {
+        let shares = Self::shares_at(year);
+        let weights: Vec<f64> = shares.iter().map(|(_, w)| *w).collect();
+        shares[pick_index(&weights, u)].0
+    }
+}
+
+impl std::fmt::Display for GpuClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Normalised GPU memory-size weights at `year`.
+pub fn gpu_memory_weights(year: f64) -> Vec<(f64, f64)> {
+    let mut weights: Vec<f64> = GPU_MEMORY_WEIGHTS
+        .iter()
+        .map(|w| interp_series(&GPU_YEARS, w, year))
+        .collect();
+    normalize(&mut weights);
+    GPU_MEMORY_VALUES_MB
+        .iter()
+        .zip(weights)
+        .map(|(&v, w)| (v, w))
+        .collect()
+}
+
+/// Sample a GPU memory size (MB) at `year` from a uniform draw.
+pub fn sample_gpu_memory(year: f64, u: f64) -> f64 {
+    let table = gpu_memory_weights(year);
+    let weights: Vec<f64> = table.iter().map(|(_, w)| *w).collect();
+    table[pick_index(&weights, u)].0
+}
+
+/// A host's GPU as reported to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuInfo {
+    /// Vendor/class.
+    pub class: GpuClass,
+    /// On-board memory, MB.
+    pub memory_mb: f64,
+    /// When the server first recorded the GPU (BOINC started asking in
+    /// September 2009); queries before this date do not see the GPU.
+    pub since: crate::time::SimDate,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presence_before_recording_is_zero() {
+        assert_eq!(gpu_presence_fraction(2008.0), 0.0);
+        assert_eq!(gpu_presence_fraction(2009.5), 0.0);
+    }
+
+    #[test]
+    fn presence_matches_endpoints() {
+        assert!((gpu_presence_fraction(2009.67) - 0.127).abs() < 1e-9);
+        assert!((gpu_presence_fraction(2010.67) - 0.238).abs() < 1e-9);
+        assert!((gpu_presence_fraction(2012.0) - 0.238).abs() < 1e-9);
+    }
+
+    #[test]
+    fn class_shares_normalised_and_shift() {
+        for &y in &[2009.67, 2010.2, 2010.67] {
+            let total: f64 = GpuClass::shares_at(y).iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+        let geforce_09 = GpuClass::shares_at(2009.67)[0].1;
+        let geforce_10 = GpuClass::shares_at(2010.67)[0].1;
+        assert!(geforce_09 > 0.8 && geforce_10 < 0.65);
+    }
+
+    #[test]
+    fn memory_weights_match_fig10_statistics() {
+        for &(y, target_mean, ge1gb) in &[(2009.67, 593.0, 0.19), (2010.67, 640.0, 0.31)] {
+            let table = gpu_memory_weights(y);
+            let mean: f64 = table.iter().map(|(v, w)| v * w).sum();
+            assert!((mean - target_mean).abs() < 15.0, "year {y} mean {mean}");
+            let frac: f64 = table.iter().filter(|(v, _)| *v >= 1024.0).map(|(_, w)| w).sum();
+            assert!((frac - ge1gb).abs() < 0.01, "year {y} ≥1GB {frac}");
+            let over_1gb: f64 = table.iter().filter(|(v, _)| *v > 1024.0).map(|(_, w)| w).sum();
+            assert!(over_1gb < 0.02, "year {y} >1GB {over_1gb}");
+        }
+    }
+
+    #[test]
+    fn memory_median_is_512() {
+        for &y in &[2009.67, 2010.67] {
+            let table = gpu_memory_weights(y);
+            let mut acc = 0.0;
+            let mut median = 0.0;
+            for (v, w) in table {
+                acc += w;
+                if acc >= 0.5 {
+                    median = v;
+                    break;
+                }
+            }
+            assert_eq!(median, 512.0, "year {y}");
+        }
+    }
+
+    #[test]
+    fn sampling_covers_values() {
+        let m = sample_gpu_memory(2010.0, 0.0);
+        assert_eq!(m, 128.0);
+        let hi = sample_gpu_memory(2010.0, 0.9999);
+        assert_eq!(hi, 2048.0);
+    }
+
+    #[test]
+    fn class_sampling() {
+        assert_eq!(GpuClass::sample_at(2009.67, 0.5), GpuClass::GeForce);
+        assert_eq!(GpuClass::sample_at(2010.67, 0.98), GpuClass::Quadro);
+        assert_eq!(GpuClass::sample_at(2010.67, 0.999), GpuClass::Other);
+    }
+}

@@ -1,0 +1,289 @@
+//! Host records and resource snapshots — the unit of data collected by
+//! the BOINC-style measurement loop.
+
+use crate::cpu::CpuFamily;
+use crate::gpu::GpuInfo;
+use crate::os::OsFamily;
+use crate::time::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// Opaque identifier of a host within a trace.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct HostId(u64);
+
+impl HostId {
+    /// The raw numeric id.
+    pub fn value(&self) -> u64 {
+        self.0
+    }
+}
+
+impl From<u64> for HostId {
+    fn from(v: u64) -> Self {
+        HostId(v)
+    }
+}
+
+impl std::fmt::Display for HostId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "host-{}", self.0)
+    }
+}
+
+/// One hardware measurement, taken when a host contacted the server.
+///
+/// Fields mirror the five resources of the paper's host model
+/// (Section V-A) plus total disk, which the measurement function also
+/// reports (the paper models *available* disk; total is kept for the
+/// uniform-available-fraction analysis).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceSnapshot {
+    /// When the measurement was recorded.
+    pub t: SimDate,
+    /// Number of primary processing cores (GPU cores excluded).
+    pub cores: u32,
+    /// Volatile memory in MB.
+    pub memory_mb: f64,
+    /// Whetstone (floating-point) speed per core, MIPS.
+    pub whetstone_mips: f64,
+    /// Dhrystone (integer) speed per core, MIPS.
+    pub dhrystone_mips: f64,
+    /// Available (free) non-volatile storage, GB.
+    pub avail_disk_gb: f64,
+    /// Total non-volatile storage visible to the client, GB.
+    pub total_disk_gb: f64,
+}
+
+impl ResourceSnapshot {
+    /// Memory per core in MB — the quantity the paper actually models
+    /// (Section V-E).
+    pub fn memory_per_core_mb(&self) -> f64 {
+        self.memory_mb / self.cores.max(1) as f64
+    }
+}
+
+/// A complete host record: static attributes plus the measurement
+/// time series.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostRecord {
+    /// Identifier, unique within a trace.
+    pub id: HostId,
+    /// When the host was created (installed the client).
+    pub created: SimDate,
+    /// Operating system family.
+    pub os: OsFamily,
+    /// Processor family.
+    pub cpu: CpuFamily,
+    /// GPU, when one was reported (recording started Sep 2009 in the
+    /// paper's data).
+    pub gpu: Option<GpuInfo>,
+    snapshots: Vec<ResourceSnapshot>,
+}
+
+impl HostRecord {
+    /// Create a record with no measurements yet.
+    pub fn new(id: HostId, created: SimDate) -> Self {
+        Self {
+            id,
+            created,
+            os: OsFamily::default(),
+            cpu: CpuFamily::default(),
+            gpu: None,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Append a measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot timestamp precedes the previous snapshot —
+    /// server logs are append-only and time-ordered.
+    pub fn record(&mut self, snapshot: ResourceSnapshot) {
+        if let Some(last) = self.snapshots.last() {
+            assert!(
+                snapshot.t >= last.t,
+                "snapshots must be recorded in time order"
+            );
+        }
+        self.snapshots.push(snapshot);
+    }
+
+    /// All measurements, time-ordered.
+    pub fn snapshots(&self) -> &[ResourceSnapshot] {
+        &self.snapshots
+    }
+
+    /// First server contact, if any measurement exists.
+    pub fn first_contact(&self) -> Option<SimDate> {
+        self.snapshots.first().map(|s| s.t)
+    }
+
+    /// Most recent server contact, if any measurement exists.
+    pub fn last_contact(&self) -> Option<SimDate> {
+        self.snapshots.last().map(|s| s.t)
+    }
+
+    /// Lifetime in days: time between first and last server contact
+    /// (the paper's Fig 1 definition). `None` when fewer than one
+    /// measurement exists.
+    pub fn lifetime_days(&self) -> Option<f64> {
+        match (self.first_contact(), self.last_contact()) {
+            (Some(a), Some(b)) => Some(b - a),
+            _ => None,
+        }
+    }
+
+    /// The paper's activity rule: first contact before `t` *and* last
+    /// contact after `t`.
+    pub fn is_active_at(&self, t: SimDate) -> bool {
+        matches!(
+            (self.first_contact(), self.last_contact()),
+            (Some(first), Some(last)) if first <= t && t <= last
+        )
+    }
+
+    /// Latest measurement at or before `t`, i.e. what the server
+    /// believed about this host at time `t`.
+    pub fn snapshot_at(&self, t: SimDate) -> Option<&ResourceSnapshot> {
+        self.snapshots.iter().rev().find(|s| s.t <= t)
+    }
+}
+
+/// A host's resource state at one instant — the row format consumed by
+/// the fitting pipeline and the allocation simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HostView {
+    /// Host identifier.
+    pub id: HostId,
+    /// Number of cores.
+    pub cores: u32,
+    /// Total memory, MB.
+    pub memory_mb: f64,
+    /// Whetstone speed per core, MIPS.
+    pub whetstone_mips: f64,
+    /// Dhrystone speed per core, MIPS.
+    pub dhrystone_mips: f64,
+    /// Available disk, GB.
+    pub avail_disk_gb: f64,
+    /// Total disk, GB.
+    pub total_disk_gb: f64,
+    /// OS family.
+    pub os: OsFamily,
+    /// CPU family.
+    pub cpu: CpuFamily,
+    /// GPU, when present.
+    pub gpu: Option<GpuInfo>,
+}
+
+impl HostView {
+    /// Memory per core in MB.
+    pub fn memory_per_core_mb(&self) -> f64 {
+        self.memory_mb / self.cores.max(1) as f64
+    }
+
+    /// Build a view of `host` as of time `t`; `None` when the host has
+    /// no measurement at or before `t`. The GPU is only visible from
+    /// its recording date onwards.
+    pub fn of(host: &HostRecord, t: SimDate) -> Option<Self> {
+        host.snapshot_at(t).map(|s| Self {
+            id: host.id,
+            cores: s.cores,
+            memory_mb: s.memory_mb,
+            whetstone_mips: s.whetstone_mips,
+            dhrystone_mips: s.dhrystone_mips,
+            avail_disk_gb: s.avail_disk_gb,
+            total_disk_gb: s.total_disk_gb,
+            os: host.os,
+            cpu: host.cpu,
+            gpu: host.gpu.filter(|g| g.since <= t),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(t: f64, cores: u32, mem: f64) -> ResourceSnapshot {
+        ResourceSnapshot {
+            t: SimDate::from_year(t),
+            cores,
+            memory_mb: mem,
+            whetstone_mips: 1000.0,
+            dhrystone_mips: 2000.0,
+            avail_disk_gb: 50.0,
+            total_disk_gb: 100.0,
+        }
+    }
+
+    #[test]
+    fn host_id_display_and_value() {
+        let id: HostId = 42.into();
+        assert_eq!(id.value(), 42);
+        assert_eq!(id.to_string(), "host-42");
+    }
+
+    #[test]
+    fn snapshot_memory_per_core() {
+        assert_eq!(snap(2006.0, 4, 4096.0).memory_per_core_mb(), 1024.0);
+        // Degenerate zero-core snapshot must not divide by zero.
+        let z = ResourceSnapshot { cores: 0, ..snap(2006.0, 1, 512.0) };
+        assert_eq!(z.memory_per_core_mb(), 512.0);
+    }
+
+    #[test]
+    fn record_and_contacts() {
+        let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+        assert!(h.first_contact().is_none());
+        assert!(h.lifetime_days().is_none());
+        h.record(snap(2006.1, 1, 512.0));
+        h.record(snap(2007.3, 1, 512.0));
+        assert!((h.lifetime_days().unwrap() - 1.2 * 365.25).abs() < 0.5);
+        assert_eq!(h.snapshots().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn record_rejects_out_of_order() {
+        let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+        h.record(snap(2007.0, 1, 512.0));
+        h.record(snap(2006.0, 1, 512.0));
+    }
+
+    #[test]
+    fn activity_rule() {
+        let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+        h.record(snap(2006.5, 1, 512.0));
+        h.record(snap(2008.5, 1, 512.0));
+        assert!(h.is_active_at(SimDate::from_year(2007.0)));
+        assert!(h.is_active_at(SimDate::from_year(2006.5)));
+        assert!(!h.is_active_at(SimDate::from_year(2006.0)));
+        assert!(!h.is_active_at(SimDate::from_year(2009.0)));
+    }
+
+    #[test]
+    fn snapshot_at_returns_latest_before() {
+        let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+        h.record(snap(2006.5, 1, 512.0));
+        h.record(snap(2007.5, 2, 2048.0));
+        let s = h.snapshot_at(SimDate::from_year(2007.0)).unwrap();
+        assert_eq!(s.cores, 1);
+        let s2 = h.snapshot_at(SimDate::from_year(2008.0)).unwrap();
+        assert_eq!(s2.cores, 2);
+        assert!(h.snapshot_at(SimDate::from_year(2006.0)).is_none());
+    }
+
+    #[test]
+    fn view_reflects_snapshot() {
+        let mut h = HostRecord::new(9.into(), SimDate::from_year(2006.0));
+        h.record(snap(2006.5, 4, 4096.0));
+        let v = HostView::of(&h, SimDate::from_year(2007.0)).unwrap();
+        assert_eq!(v.cores, 4);
+        assert_eq!(v.memory_per_core_mb(), 1024.0);
+        assert_eq!(v.id, 9.into());
+        assert!(HostView::of(&h, SimDate::from_year(2005.0)).is_none());
+    }
+}

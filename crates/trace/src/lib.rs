@@ -1,0 +1,69 @@
+//! # resmodel-trace
+//!
+//! Host records, trace storage and time-indexed queries for the
+//! `resmodel` workspace — the data layer that plays the role of the
+//! SETI@home/BOINC measurement files in *"Correlated Resource Models of
+//! Internet End Hosts"* (Heien, Kondo & Anderson, ICDCS 2011).
+//!
+//! A [`Trace`] is a collection of [`HostRecord`]s, each carrying the
+//! host's static attributes (creation date, OS, CPU family, optional
+//! GPU) and a time series of [`ResourceSnapshot`]s recorded whenever the
+//! host contacted the project server. The paper's analysis primitives
+//! are provided as queries:
+//!
+//! * **Activity rule** — a host is *active* at time `T` iff its first
+//!   server contact precedes `T` and its last contact follows `T`
+//!   (Section IV).
+//! * **Population snapshots** — the latest measurement of every active
+//!   host at `T` ([`Trace::population_at`]).
+//! * **Lifetimes** — last minus first contact, with the paper's
+//!   censoring rule that ignores hosts created after a cutoff
+//!   ([`Trace::lifetimes`]).
+//! * **Sanitization** — the paper's outlier-discard rules
+//!   ([`sanitize::SanitizeRules`]).
+//!
+//! ```
+//! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+//!
+//! let mut trace = Trace::new();
+//! let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2006.1),
+//!     cores: 2,
+//!     memory_mb: 1024.0,
+//!     whetstone_mips: 1200.0,
+//!     dhrystone_mips: 2100.0,
+//!     avail_disk_gb: 40.0,
+//!     total_disk_gb: 80.0,
+//! });
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2007.5),
+//!     cores: 2,
+//!     memory_mb: 2048.0,
+//!     whetstone_mips: 1200.0,
+//!     dhrystone_mips: 2100.0,
+//!     avail_disk_gb: 35.0,
+//!     total_disk_gb: 80.0,
+//! });
+//! trace.push(h);
+//! assert_eq!(trace.active_count(SimDate::from_year(2007.0)), 1);
+//! assert_eq!(trace.active_count(SimDate::from_year(2008.0)), 0);
+//! ```
+
+pub mod churn;
+pub mod cpu;
+pub mod csv;
+pub mod gpu;
+pub mod host;
+pub(crate) mod market;
+pub mod os;
+pub mod sanitize;
+pub mod store;
+pub mod time;
+
+pub use cpu::CpuFamily;
+pub use gpu::{GpuClass, GpuInfo};
+pub use host::{HostId, HostRecord, HostView, ResourceSnapshot};
+pub use os::OsFamily;
+pub use store::Trace;
+pub use time::SimDate;

@@ -1,0 +1,94 @@
+//! Shared machinery for yearly market-share tables (paper Tables I, II
+//! and VII): interpolation between yearly columns and categorical
+//! sampling.
+
+/// Linearly interpolate a share series sampled at `years` to `year`,
+/// clamping outside the covered range.
+///
+/// # Panics
+///
+/// Panics when `years` and `shares` have different lengths or are empty.
+pub(crate) fn interp_series(years: &[f64], shares: &[f64], year: f64) -> f64 {
+    assert_eq!(years.len(), shares.len(), "years/shares length mismatch");
+    assert!(!years.is_empty(), "empty share series");
+    if year <= years[0] {
+        return shares[0];
+    }
+    if year >= years[years.len() - 1] {
+        return shares[shares.len() - 1];
+    }
+    for w in 0..years.len() - 1 {
+        if year >= years[w] && year <= years[w + 1] {
+            let f = (year - years[w]) / (years[w + 1] - years[w]);
+            return shares[w] * (1.0 - f) + shares[w + 1] * f;
+        }
+    }
+    shares[shares.len() - 1]
+}
+
+/// Normalise a weight vector to sum to 1 (no-op for all-zero weights).
+pub(crate) fn normalize(weights: &mut [f64]) {
+    let total: f64 = weights.iter().sum();
+    if total > 0.0 {
+        for w in weights.iter_mut() {
+            *w /= total;
+        }
+    }
+}
+
+/// Pick an index from normalised `weights` using a uniform draw
+/// `u ∈ [0, 1)`.
+///
+/// # Panics
+///
+/// Panics when `weights` is empty.
+pub(crate) fn pick_index(weights: &[f64], u: f64) -> usize {
+    assert!(!weights.is_empty(), "cannot pick from empty weights");
+    let mut acc = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        acc += w;
+        if u < acc {
+            return i;
+        }
+    }
+    weights.len() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interp_endpoints_and_midpoint() {
+        let years = [2006.0, 2007.0, 2008.0];
+        let shares = [10.0, 20.0, 40.0];
+        assert_eq!(interp_series(&years, &shares, 2005.0), 10.0);
+        assert_eq!(interp_series(&years, &shares, 2009.0), 40.0);
+        assert!((interp_series(&years, &shares, 2006.5) - 15.0).abs() < 1e-12);
+        assert!((interp_series(&years, &shares, 2007.5) - 30.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_sums_to_one() {
+        let mut w = [2.0, 3.0, 5.0];
+        normalize(&mut w);
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!((w[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_zero_weights_noop() {
+        let mut w = [0.0, 0.0];
+        normalize(&mut w);
+        assert_eq!(w, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn pick_index_boundaries() {
+        let w = [0.25, 0.25, 0.5];
+        assert_eq!(pick_index(&w, 0.0), 0);
+        assert_eq!(pick_index(&w, 0.26), 1);
+        assert_eq!(pick_index(&w, 0.75), 2);
+        assert_eq!(pick_index(&w, 0.999999), 2);
+    }
+}

@@ -1,0 +1,169 @@
+//! Operating-system families and their market-share evolution
+//! (paper Table II).
+
+use crate::market::{interp_series, normalize, pick_index};
+use serde::{Deserialize, Serialize};
+
+/// Operating-system family, at the granularity of the paper's Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum OsFamily {
+    /// Windows XP — dominant through the whole measurement period.
+    #[default]
+    WindowsXp,
+    /// Windows Vista (appears 2007/2008).
+    WindowsVista,
+    /// Windows 7 (appears 2009/2010).
+    Windows7,
+    /// Windows 2000 (declining).
+    Windows2000,
+    /// Any other Windows release.
+    OtherWindows,
+    /// Mac OS X.
+    MacOsX,
+    /// Linux.
+    Linux,
+    /// Anything else.
+    Other,
+}
+
+/// Sample years of the share table below (January 1 snapshots).
+const TABLE_YEARS: [f64; 5] = [2006.0, 2007.0, 2008.0, 2009.0, 2010.0];
+
+/// The paper's Table II, % of active hosts by year.
+const OS_SHARES: [(OsFamily, [f64; 5]); 8] = [
+    (OsFamily::WindowsXp, [69.8, 71.5, 68.6, 62.5, 52.9]),
+    (OsFamily::WindowsVista, [0.0, 0.0, 6.7, 14.0, 15.9]),
+    (OsFamily::Windows7, [0.0, 0.0, 0.0, 0.0, 9.2]),
+    (OsFamily::Windows2000, [12.9, 8.5, 5.5, 3.4, 2.0]),
+    (OsFamily::OtherWindows, [6.3, 6.1, 4.8, 4.8, 3.4]),
+    (OsFamily::MacOsX, [5.4, 7.8, 7.9, 8.5, 9.0]),
+    (OsFamily::Linux, [5.1, 5.7, 6.0, 6.4, 7.3]),
+    (OsFamily::Other, [0.4, 0.4, 0.4, 0.3, 0.3]),
+];
+
+impl OsFamily {
+    /// All families, in Table II order.
+    pub const ALL: [OsFamily; 8] = [
+        OsFamily::WindowsXp,
+        OsFamily::WindowsVista,
+        OsFamily::Windows7,
+        OsFamily::Windows2000,
+        OsFamily::OtherWindows,
+        OsFamily::MacOsX,
+        OsFamily::Linux,
+        OsFamily::Other,
+    ];
+
+    /// Human-readable name as printed in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OsFamily::WindowsXp => "Windows XP",
+            OsFamily::WindowsVista => "Windows Vista",
+            OsFamily::Windows7 => "Windows 7",
+            OsFamily::Windows2000 => "Windows 2000",
+            OsFamily::OtherWindows => "Other Windows",
+            OsFamily::MacOsX => "Mac OS X",
+            OsFamily::Linux => "Linux",
+            OsFamily::Other => "Other",
+        }
+    }
+
+    /// Whether this is any Windows variant.
+    pub fn is_windows(&self) -> bool {
+        matches!(
+            self,
+            OsFamily::WindowsXp
+                | OsFamily::WindowsVista
+                | OsFamily::Windows7
+                | OsFamily::Windows2000
+                | OsFamily::OtherWindows
+        )
+    }
+
+    /// Normalised market shares at a fractional `year`, interpolating
+    /// the paper's yearly columns and clamping outside 2006–2010.
+    pub fn shares_at(year: f64) -> Vec<(OsFamily, f64)> {
+        let mut weights: Vec<f64> = OS_SHARES
+            .iter()
+            .map(|(_, s)| interp_series(&TABLE_YEARS, s, year))
+            .collect();
+        normalize(&mut weights);
+        OS_SHARES
+            .iter()
+            .zip(weights)
+            .map(|((fam, _), w)| (*fam, w))
+            .collect()
+    }
+
+    /// Sample a family from the shares at `year` using a uniform draw
+    /// `u ∈ [0, 1)`.
+    pub fn sample_at(year: f64, u: f64) -> OsFamily {
+        let shares = Self::shares_at(year);
+        let weights: Vec<f64> = shares.iter().map(|(_, w)| *w).collect();
+        shares[pick_index(&weights, u)].0
+    }
+}
+
+impl std::fmt::Display for OsFamily {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_normalised() {
+        for &y in &[2005.0, 2006.0, 2008.5, 2010.0, 2012.0] {
+            let total: f64 = OsFamily::shares_at(y).iter().map(|(_, w)| w).sum();
+            assert!((total - 1.0).abs() < 1e-9, "year {y}: total {total}");
+        }
+    }
+
+    #[test]
+    fn xp_declines_windows7_rises() {
+        let get = |y: f64, fam: OsFamily| {
+            OsFamily::shares_at(y)
+                .into_iter()
+                .find(|(f, _)| *f == fam)
+                .unwrap()
+                .1
+        };
+        assert!(get(2006.0, OsFamily::WindowsXp) > get(2010.0, OsFamily::WindowsXp));
+        assert_eq!(get(2008.0, OsFamily::Windows7), 0.0);
+        assert!(get(2010.0, OsFamily::Windows7) > 0.08);
+    }
+
+    #[test]
+    fn table_matches_paper_at_2006() {
+        let shares = OsFamily::shares_at(2006.0);
+        let xp = shares.iter().find(|(f, _)| *f == OsFamily::WindowsXp).unwrap().1;
+        // Column sums to 99.9 → normalised XP share ≈ 0.6987.
+        assert!((xp - 0.698).abs() < 0.005, "xp {xp}");
+    }
+
+    #[test]
+    fn sampling_respects_dominant_family() {
+        // With u below the XP share, XP must be picked (XP is listed first).
+        assert_eq!(OsFamily::sample_at(2006.0, 0.1), OsFamily::WindowsXp);
+        assert_eq!(OsFamily::sample_at(2006.0, 0.69), OsFamily::WindowsXp);
+    }
+
+    #[test]
+    fn names_unique_and_display() {
+        let names: std::collections::HashSet<_> =
+            OsFamily::ALL.iter().map(|f| f.name()).collect();
+        assert_eq!(names.len(), OsFamily::ALL.len());
+        assert_eq!(OsFamily::MacOsX.to_string(), "Mac OS X");
+    }
+
+    #[test]
+    fn windows_classification() {
+        assert!(OsFamily::WindowsXp.is_windows());
+        assert!(OsFamily::Windows7.is_windows());
+        assert!(!OsFamily::Linux.is_windows());
+        assert!(!OsFamily::MacOsX.is_windows());
+    }
+}

@@ -1,0 +1,176 @@
+//! The paper's data-sanitization rules (Section V-B).
+//!
+//! "We discard hosts which report more than 128 cores, 10⁵ Whetstone
+//! MIPs, 10⁵ Dhrystone MIPs, 10² GB memory or 10⁴ GB available disk
+//! space. Based on these criteria we discard 3361 hosts (0.12% of
+//! total)."
+
+use crate::host::HostRecord;
+use crate::store::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Upper bounds beyond which a host report is considered corrupt.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SanitizeRules {
+    /// Maximum believable core count.
+    pub max_cores: u32,
+    /// Maximum believable Whetstone MIPS.
+    pub max_whetstone_mips: f64,
+    /// Maximum believable Dhrystone MIPS.
+    pub max_dhrystone_mips: f64,
+    /// Maximum believable memory, MB.
+    pub max_memory_mb: f64,
+    /// Maximum believable available disk, GB.
+    pub max_avail_disk_gb: f64,
+}
+
+impl Default for SanitizeRules {
+    /// The paper's thresholds.
+    fn default() -> Self {
+        Self {
+            max_cores: 128,
+            max_whetstone_mips: 1e5,
+            max_dhrystone_mips: 1e5,
+            max_memory_mb: 100.0 * 1024.0, // 10² GB
+            max_avail_disk_gb: 1e4,
+        }
+    }
+}
+
+impl SanitizeRules {
+    /// Whether a single host ever breached any threshold (or reported a
+    /// non-finite/negative value).
+    pub fn is_corrupt(&self, host: &HostRecord) -> bool {
+        host.snapshots().iter().any(|s| {
+            s.cores > self.max_cores
+                || s.whetstone_mips > self.max_whetstone_mips
+                || s.dhrystone_mips > self.max_dhrystone_mips
+                || s.memory_mb > self.max_memory_mb
+                || s.avail_disk_gb > self.max_avail_disk_gb
+                || !s.whetstone_mips.is_finite()
+                || !s.dhrystone_mips.is_finite()
+                || !s.memory_mb.is_finite()
+                || !s.avail_disk_gb.is_finite()
+                || s.whetstone_mips < 0.0
+                || s.dhrystone_mips < 0.0
+                || s.memory_mb < 0.0
+                || s.avail_disk_gb < 0.0
+        })
+    }
+}
+
+/// Outcome of sanitizing a trace.
+#[derive(Debug, Clone)]
+pub struct SanitizeReport {
+    /// The cleaned trace.
+    pub trace: Trace,
+    /// Number of hosts discarded.
+    pub discarded: usize,
+    /// Fraction of hosts discarded (0 for an empty input).
+    pub discarded_fraction: f64,
+}
+
+/// Remove corrupt hosts from `trace` under `rules`, whole-host discard
+/// exactly as the paper does.
+pub fn sanitize(trace: &Trace, rules: SanitizeRules) -> SanitizeReport {
+    let total = trace.len();
+    let kept: Trace = trace
+        .hosts()
+        .iter()
+        .filter(|h| !rules.is_corrupt(h))
+        .cloned()
+        .collect();
+    let discarded = total - kept.len();
+    SanitizeReport {
+        trace: kept,
+        discarded,
+        discarded_fraction: if total == 0 {
+            0.0
+        } else {
+            discarded as f64 / total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::ResourceSnapshot;
+    use crate::time::SimDate;
+
+    fn host(id: u64, cores: u32, whet: f64, dhry: f64, mem: f64, disk: f64) -> HostRecord {
+        let mut h = HostRecord::new(id.into(), SimDate::from_year(2006.0));
+        h.record(ResourceSnapshot {
+            t: SimDate::from_year(2006.5),
+            cores,
+            memory_mb: mem,
+            whetstone_mips: whet,
+            dhrystone_mips: dhry,
+            avail_disk_gb: disk,
+            total_disk_gb: disk * 2.0,
+        });
+        h
+    }
+
+    #[test]
+    fn default_rules_match_paper() {
+        let r = SanitizeRules::default();
+        assert_eq!(r.max_cores, 128);
+        assert_eq!(r.max_whetstone_mips, 1e5);
+        assert_eq!(r.max_dhrystone_mips, 1e5);
+        assert_eq!(r.max_memory_mb, 102400.0);
+        assert_eq!(r.max_avail_disk_gb, 1e4);
+    }
+
+    #[test]
+    fn normal_host_passes() {
+        let h = host(1, 4, 2000.0, 4000.0, 4096.0, 100.0);
+        assert!(!SanitizeRules::default().is_corrupt(&h));
+    }
+
+    #[test]
+    fn each_threshold_triggers() {
+        let rules = SanitizeRules::default();
+        assert!(rules.is_corrupt(&host(1, 256, 2e3, 4e3, 4096.0, 100.0)));
+        assert!(rules.is_corrupt(&host(2, 4, 2e6, 4e3, 4096.0, 100.0)));
+        assert!(rules.is_corrupt(&host(3, 4, 2e3, 2e6, 4096.0, 100.0)));
+        assert!(rules.is_corrupt(&host(4, 4, 2e3, 4e3, 2e6, 100.0)));
+        assert!(rules.is_corrupt(&host(5, 4, 2e3, 4e3, 4096.0, 2e4)));
+    }
+
+    #[test]
+    fn boundary_values_pass() {
+        let rules = SanitizeRules::default();
+        assert!(!rules.is_corrupt(&host(1, 128, 1e5, 1e5, 102400.0, 1e4)));
+    }
+
+    #[test]
+    fn nonfinite_and_negative_rejected() {
+        let rules = SanitizeRules::default();
+        assert!(rules.is_corrupt(&host(1, 4, f64::NAN, 4e3, 4096.0, 100.0)));
+        assert!(rules.is_corrupt(&host(2, 4, 2e3, 4e3, -5.0, 100.0)));
+    }
+
+    #[test]
+    fn sanitize_discards_only_corrupt() {
+        let trace: Trace = vec![
+            host(1, 4, 2e3, 4e3, 4096.0, 100.0),
+            host(2, 999, 2e3, 4e3, 4096.0, 100.0),
+            host(3, 2, 1e3, 2e3, 2048.0, 50.0),
+        ]
+        .into_iter()
+        .collect();
+        let report = sanitize(&trace, SanitizeRules::default());
+        assert_eq!(report.discarded, 1);
+        assert_eq!(report.trace.len(), 2);
+        assert!((report.discarded_fraction - 1.0 / 3.0).abs() < 1e-12);
+        assert!(report.trace.host(2.into()).is_none());
+    }
+
+    #[test]
+    fn sanitize_empty_trace() {
+        let report = sanitize(&Trace::new(), SanitizeRules::default());
+        assert_eq!(report.discarded, 0);
+        assert_eq!(report.discarded_fraction, 0.0);
+    }
+}

@@ -1,0 +1,298 @@
+//! The [`Trace`] store: a collection of host records with the paper's
+//! time-indexed analysis queries.
+
+use crate::host::{HostId, HostRecord, HostView};
+use crate::time::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// A measurement trace: every host the server has ever seen, with its
+/// full measurement history.
+///
+/// This is the in-memory equivalent of the "publicly available files"
+/// the SETI@home server periodically wrote (paper Section IV).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Trace {
+    hosts: Vec<HostRecord>,
+}
+
+impl Trace {
+    /// Create an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a host record.
+    pub fn push(&mut self, host: HostRecord) {
+        self.hosts.push(host);
+    }
+
+    /// All host records.
+    pub fn hosts(&self) -> &[HostRecord] {
+        &self.hosts
+    }
+
+    /// Number of host records (active or not).
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the trace holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// Look up a host by id (linear scan; traces are mostly iterated).
+    pub fn host(&self, id: HostId) -> Option<&HostRecord> {
+        self.hosts.iter().find(|h| h.id == id)
+    }
+
+    /// Hosts active at `t` under the paper's rule (first contact ≤ t ≤
+    /// last contact).
+    pub fn active_at(&self, t: SimDate) -> impl Iterator<Item = &HostRecord> {
+        self.hosts.iter().filter(move |h| h.is_active_at(t))
+    }
+
+    /// Number of active hosts at `t`.
+    pub fn active_count(&self, t: SimDate) -> usize {
+        self.active_at(t).count()
+    }
+
+    /// Resource views of every active host at `t` — the paper's
+    /// population snapshot used for all per-date statistics.
+    pub fn population_at(&self, t: SimDate) -> Vec<HostView> {
+        self.active_at(t)
+            .filter_map(|h| HostView::of(h, t))
+            .collect()
+    }
+
+    /// Host lifetimes in days (last − first contact), excluding hosts
+    /// whose *first contact* is after `created_cutoff` — the paper's
+    /// censoring rule ("this does not include hosts which connected
+    /// after July 1, 2010") that avoids biasing towards short lifetimes.
+    pub fn lifetimes(&self, created_cutoff: SimDate) -> Vec<f64> {
+        self.hosts
+            .iter()
+            .filter(|h| matches!(h.first_contact(), Some(f) if f <= created_cutoff))
+            .filter_map(|h| h.lifetime_days())
+            .collect()
+    }
+
+    /// `(creation year, lifetime days)` pairs for the paper's Fig 3
+    /// (creation date vs. average lifetime).
+    pub fn creation_vs_lifetime(&self, created_cutoff: SimDate) -> Vec<(f64, f64)> {
+        self.hosts
+            .iter()
+            .filter(|h| matches!(h.first_contact(), Some(f) if f <= created_cutoff))
+            .filter_map(|h| h.lifetime_days().map(|l| (h.created.year(), l)))
+            .collect()
+    }
+
+    /// Earliest first contact across all hosts.
+    pub fn start(&self) -> Option<SimDate> {
+        self.hosts
+            .iter()
+            .filter_map(|h| h.first_contact())
+            .reduce(SimDate::min)
+    }
+
+    /// Latest last contact across all hosts.
+    pub fn end(&self) -> Option<SimDate> {
+        self.hosts
+            .iter()
+            .filter_map(|h| h.last_contact())
+            .reduce(SimDate::max)
+    }
+
+    /// Extract one resource column from a population snapshot at `t`.
+    ///
+    /// Convenience for the fitting pipeline; see [`ResourceColumn`].
+    pub fn column_at(&self, t: SimDate, column: ResourceColumn) -> Vec<f64> {
+        self.population_at(t)
+            .iter()
+            .map(|v| column.extract(v))
+            .collect()
+    }
+}
+
+impl FromIterator<HostRecord> for Trace {
+    fn from_iter<I: IntoIterator<Item = HostRecord>>(iter: I) -> Self {
+        Self {
+            hosts: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<HostRecord> for Trace {
+    fn extend<I: IntoIterator<Item = HostRecord>>(&mut self, iter: I) {
+        self.hosts.extend(iter);
+    }
+}
+
+/// The six resource columns of the paper's Table III correlation
+/// analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceColumn {
+    /// Number of cores.
+    Cores,
+    /// Total memory (MB).
+    Memory,
+    /// Memory per core (MB).
+    MemPerCore,
+    /// Whetstone MIPS.
+    Whetstone,
+    /// Dhrystone MIPS.
+    Dhrystone,
+    /// Available disk (GB).
+    Disk,
+}
+
+impl ResourceColumn {
+    /// The paper's Table III column order.
+    pub const ALL: [ResourceColumn; 6] = [
+        ResourceColumn::Cores,
+        ResourceColumn::Memory,
+        ResourceColumn::MemPerCore,
+        ResourceColumn::Whetstone,
+        ResourceColumn::Dhrystone,
+        ResourceColumn::Disk,
+    ];
+
+    /// Short header used when printing correlation tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ResourceColumn::Cores => "Cores",
+            ResourceColumn::Memory => "Memory",
+            ResourceColumn::MemPerCore => "Mem/Core",
+            ResourceColumn::Whetstone => "Whet",
+            ResourceColumn::Dhrystone => "Dhry",
+            ResourceColumn::Disk => "Disk",
+        }
+    }
+
+    /// Extract this column's value from a host view.
+    pub fn extract(&self, v: &HostView) -> f64 {
+        match self {
+            ResourceColumn::Cores => v.cores as f64,
+            ResourceColumn::Memory => v.memory_mb,
+            ResourceColumn::MemPerCore => v.memory_per_core_mb(),
+            ResourceColumn::Whetstone => v.whetstone_mips,
+            ResourceColumn::Dhrystone => v.dhrystone_mips,
+            ResourceColumn::Disk => v.avail_disk_gb,
+        }
+    }
+}
+
+impl std::fmt::Display for ResourceColumn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::host::ResourceSnapshot;
+
+    fn host_with_span(id: u64, from: f64, to: f64, cores: u32) -> HostRecord {
+        let mut h = HostRecord::new(id.into(), SimDate::from_year(from));
+        for (i, &year) in [from, to].iter().enumerate() {
+            h.record(ResourceSnapshot {
+                t: SimDate::from_year(year),
+                cores,
+                memory_mb: 1024.0 * cores as f64,
+                whetstone_mips: 1000.0 + i as f64,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 50.0,
+                total_disk_gb: 100.0,
+            });
+        }
+        h
+    }
+
+    #[test]
+    fn active_counts() {
+        let trace: Trace = vec![
+            host_with_span(1, 2006.0, 2008.0, 1),
+            host_with_span(2, 2007.0, 2009.0, 2),
+            host_with_span(3, 2008.5, 2010.0, 4),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(trace.active_count(SimDate::from_year(2006.5)), 1);
+        assert_eq!(trace.active_count(SimDate::from_year(2007.5)), 2);
+        assert_eq!(trace.active_count(SimDate::from_year(2008.7)), 2);
+        assert_eq!(trace.active_count(SimDate::from_year(2011.0)), 0);
+        assert_eq!(trace.len(), 3);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn population_uses_latest_snapshot() {
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 2)].into_iter().collect();
+        let pop = trace.population_at(SimDate::from_year(2007.0));
+        assert_eq!(pop.len(), 1);
+        // First snapshot (whetstone 1000.0) is the latest at 2007.
+        assert_eq!(pop[0].whetstone_mips, 1000.0);
+        let pop2 = trace.population_at(SimDate::from_year(2008.0));
+        assert_eq!(pop2[0].whetstone_mips, 1001.0);
+    }
+
+    #[test]
+    fn lifetimes_respect_cutoff() {
+        let trace: Trace = vec![
+            host_with_span(1, 2006.0, 2008.0, 1),
+            host_with_span(2, 2009.9, 2010.0, 1),
+        ]
+        .into_iter()
+        .collect();
+        let all = trace.lifetimes(SimDate::from_year(2010.5));
+        assert_eq!(all.len(), 2);
+        let censored = trace.lifetimes(SimDate::from_year(2009.0));
+        assert_eq!(censored.len(), 1);
+        assert!((censored[0] - 2.0 * 365.25).abs() < 0.5);
+    }
+
+    #[test]
+    fn creation_vs_lifetime_pairs() {
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 1)].into_iter().collect();
+        let pairs = trace.creation_vs_lifetime(SimDate::from_year(2010.0));
+        assert_eq!(pairs.len(), 1);
+        assert!((pairs[0].0 - 2006.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn start_end_span() {
+        let trace: Trace = vec![
+            host_with_span(1, 2006.0, 2008.0, 1),
+            host_with_span(2, 2005.5, 2009.5, 1),
+        ]
+        .into_iter()
+        .collect();
+        assert!((trace.start().unwrap().year() - 2005.5).abs() < 1e-9);
+        assert!((trace.end().unwrap().year() - 2009.5).abs() < 1e-9);
+        assert!(Trace::new().start().is_none());
+    }
+
+    #[test]
+    fn column_extraction() {
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 4)].into_iter().collect();
+        let t = SimDate::from_year(2007.0);
+        assert_eq!(trace.column_at(t, ResourceColumn::Cores), vec![4.0]);
+        assert_eq!(trace.column_at(t, ResourceColumn::Memory), vec![4096.0]);
+        assert_eq!(trace.column_at(t, ResourceColumn::MemPerCore), vec![1024.0]);
+        assert_eq!(trace.column_at(t, ResourceColumn::Disk), vec![50.0]);
+    }
+
+    #[test]
+    fn host_lookup() {
+        let trace: Trace = vec![host_with_span(7, 2006.0, 2008.0, 1)].into_iter().collect();
+        assert!(trace.host(7.into()).is_some());
+        assert!(trace.host(8.into()).is_none());
+    }
+
+    #[test]
+    fn column_names_match_paper_order() {
+        let names: Vec<_> = ResourceColumn::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names, vec!["Cores", "Memory", "Mem/Core", "Whet", "Dhry", "Disk"]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Simulation time: fractional days anchored at 2005-01-01.
+//!
+//! The paper's laws are all functions of `(year − 2006)`; [`SimDate`]
+//! converts between day counts (the simulator's unit) and fractional
+//! calendar years (the model's unit).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, Sub};
+
+/// Days per (average) year used for date conversions.
+pub const DAYS_PER_YEAR: f64 = 365.25;
+
+/// Calendar year of day 0.
+pub const EPOCH_YEAR: f64 = 2005.0;
+
+/// A point in simulated time, stored as fractional days since
+/// 2005-01-01.
+///
+/// # Examples
+///
+/// ```
+/// use resmodel_trace::SimDate;
+///
+/// let d = SimDate::from_year(2006.0);
+/// assert!((d.year() - 2006.0).abs() < 1e-12);
+/// assert!((d.days() - 365.25).abs() < 1e-9);
+/// let later = d + 365.25;
+/// assert!((later.year() - 2007.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct SimDate {
+    days: f64,
+}
+
+impl SimDate {
+    /// The epoch itself (2005-01-01).
+    pub const EPOCH: SimDate = SimDate { days: 0.0 };
+
+    /// Create from a day count since the epoch.
+    pub fn from_days(days: f64) -> Self {
+        Self { days }
+    }
+
+    /// Create from a fractional calendar year (e.g. `2006.5`).
+    pub fn from_year(year: f64) -> Self {
+        Self {
+            days: (year - EPOCH_YEAR) * DAYS_PER_YEAR,
+        }
+    }
+
+    /// Days since the epoch.
+    pub fn days(&self) -> f64 {
+        self.days
+    }
+
+    /// Fractional calendar year.
+    pub fn year(&self) -> f64 {
+        EPOCH_YEAR + self.days / DAYS_PER_YEAR
+    }
+
+    /// Years since 2006 — the `t` in every `a·e^{b·t}` law of the paper.
+    pub fn years_since_2006(&self) -> f64 {
+        self.year() - 2006.0
+    }
+
+    /// The earlier of two dates.
+    pub fn min(self, other: SimDate) -> SimDate {
+        if self.days <= other.days {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The later of two dates.
+    pub fn max(self, other: SimDate) -> SimDate {
+        if self.days >= other.days {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<f64> for SimDate {
+    type Output = SimDate;
+
+    /// Advance by a number of days.
+    fn add(self, days: f64) -> SimDate {
+        SimDate {
+            days: self.days + days,
+        }
+    }
+}
+
+impl Sub<SimDate> for SimDate {
+    type Output = f64;
+
+    /// Difference in days.
+    fn sub(self, other: SimDate) -> f64 {
+        self.days - other.days
+    }
+}
+
+impl fmt::Display for SimDate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let year = self.year();
+        let whole = year.floor();
+        let month = (1.0 + (year - whole) * 12.0).floor().clamp(1.0, 12.0);
+        write!(f, "{:.0}/{:02.0}", whole, month)
+    }
+}
+
+/// Generate evenly spaced sample dates from `start` to `end` inclusive,
+/// stepping by `step_days`.
+///
+/// # Panics
+///
+/// Panics when `step_days <= 0`.
+pub fn date_range(start: SimDate, end: SimDate, step_days: f64) -> Vec<SimDate> {
+    assert!(step_days > 0.0, "step_days must be positive");
+    let mut out = Vec::new();
+    let mut t = start;
+    while t.days() <= end.days() + 1e-9 {
+        out.push(t);
+        t = t + step_days;
+    }
+    out
+}
+
+/// Yearly sample dates at January 1 of each year in `[from_year, to_year]`.
+pub fn yearly_dates(from_year: i32, to_year: i32) -> Vec<SimDate> {
+    (from_year..=to_year)
+        .map(|y| SimDate::from_year(y as f64))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn year_roundtrip() {
+        for &y in &[2005.0, 2006.0, 2008.37, 2010.67, 2014.0] {
+            let d = SimDate::from_year(y);
+            assert!((d.year() - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn years_since_2006() {
+        assert!((SimDate::from_year(2010.0).years_since_2006() - 4.0).abs() < 1e-10);
+        assert!((SimDate::from_year(2005.5).years_since_2006() + 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDate::from_days(100.0);
+        let b = a + 50.0;
+        assert_eq!(b.days(), 150.0);
+        assert_eq!(b - a, 50.0);
+    }
+
+    #[test]
+    fn ordering_helpers() {
+        let a = SimDate::from_days(1.0);
+        let b = SimDate::from_days(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn display_format() {
+        let d = SimDate::from_year(2006.0);
+        assert_eq!(d.to_string(), "2006/01");
+        let mid = SimDate::from_year(2008.5);
+        assert_eq!(mid.to_string(), "2008/07");
+    }
+
+    #[test]
+    fn date_range_inclusive() {
+        let r = date_range(SimDate::from_days(0.0), SimDate::from_days(10.0), 5.0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r[2].days(), 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "step_days")]
+    fn date_range_rejects_bad_step() {
+        date_range(SimDate::EPOCH, SimDate::from_days(1.0), 0.0);
+    }
+
+    #[test]
+    fn yearly_dates_span() {
+        let ys = yearly_dates(2006, 2010);
+        assert_eq!(ys.len(), 5);
+        assert!((ys[0].year() - 2006.0).abs() < 1e-10);
+        assert!((ys[4].year() - 2010.0).abs() < 1e-10);
+    }
+}

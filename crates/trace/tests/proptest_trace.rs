@@ -1,0 +1,152 @@
+//! Property-based tests of trace-store invariants: activity rules,
+//! snapshot lookups, lifetimes and sanitization.
+
+use proptest::prelude::*;
+use resmodel_trace::sanitize::{sanitize, SanitizeRules};
+use resmodel_trace::{HostRecord, HostView, ResourceSnapshot, SimDate, Trace};
+
+/// Strategy: a host with snapshots at sorted offsets from its creation.
+fn host_strategy(id: u64) -> impl Strategy<Value = HostRecord> {
+    (
+        2005.0..2010.0f64,
+        prop::collection::vec(0.0..2000.0f64, 1..6),
+        1u32..9,
+        128.0..8192.0f64,
+    )
+        .prop_map(move |(year, mut offsets, cores, mem)| {
+            offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let created = SimDate::from_year(year);
+            let mut h = HostRecord::new(id.into(), created);
+            for (i, off) in offsets.iter().enumerate() {
+                h.record(ResourceSnapshot {
+                    t: created + *off,
+                    cores,
+                    memory_mb: mem + i as f64,
+                    whetstone_mips: 1000.0 + i as f64,
+                    dhrystone_mips: 2000.0,
+                    avail_disk_gb: 40.0,
+                    total_disk_gb: 100.0,
+                });
+            }
+            h
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn activity_iff_between_contacts(h in host_strategy(1), probe_year in 2004.0..2012.0f64) {
+        let t = SimDate::from_year(probe_year);
+        let first = h.first_contact().unwrap();
+        let last = h.last_contact().unwrap();
+        prop_assert_eq!(h.is_active_at(t), first <= t && t <= last);
+    }
+
+    #[test]
+    fn snapshot_at_is_latest_not_after(h in host_strategy(2), probe_year in 2004.0..2013.0f64) {
+        let t = SimDate::from_year(probe_year);
+        match h.snapshot_at(t) {
+            Some(s) => {
+                prop_assert!(s.t <= t);
+                // No later snapshot that is still ≤ t.
+                for other in h.snapshots() {
+                    if other.t <= t {
+                        prop_assert!(other.t <= s.t);
+                    }
+                }
+            }
+            None => {
+                for other in h.snapshots() {
+                    prop_assert!(other.t > t);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lifetime_is_nonnegative_span(h in host_strategy(3)) {
+        let l = h.lifetime_days().unwrap();
+        prop_assert!(l >= 0.0);
+        prop_assert!((l - (h.last_contact().unwrap() - h.first_contact().unwrap())).abs() < 1e-9);
+    }
+
+    #[test]
+    fn view_consistent_with_snapshot(h in host_strategy(4), probe_year in 2005.0..2012.0f64) {
+        let t = SimDate::from_year(probe_year);
+        match (HostView::of(&h, t), h.snapshot_at(t)) {
+            (Some(v), Some(s)) => {
+                prop_assert_eq!(v.cores, s.cores);
+                prop_assert_eq!(v.memory_mb, s.memory_mb);
+                prop_assert!((v.memory_per_core_mb() - s.memory_per_core_mb()).abs() < 1e-12);
+            }
+            (None, None) => {}
+            _ => prop_assert!(false, "view and snapshot disagree on existence"),
+        }
+    }
+
+    #[test]
+    fn population_only_contains_active_hosts(
+        hosts in prop::collection::vec(host_strategy(0), 1..20),
+        probe_year in 2005.0..2012.0f64,
+    ) {
+        let trace: Trace = hosts.into_iter().enumerate().map(|(i, mut h)| {
+            h.id = (i as u64).into();
+            h
+        }).collect();
+        let t = SimDate::from_year(probe_year);
+        let pop = trace.population_at(t);
+        prop_assert_eq!(pop.len(), trace.active_count(t));
+        for v in &pop {
+            let h = trace.host(v.id).unwrap();
+            prop_assert!(h.is_active_at(t));
+        }
+    }
+
+    #[test]
+    fn lifetimes_respect_cutoff_monotonically(
+        hosts in prop::collection::vec(host_strategy(0), 1..20),
+        c1 in 2005.0..2011.0f64,
+        c2 in 2005.0..2011.0f64,
+    ) {
+        let trace: Trace = hosts.into_iter().enumerate().map(|(i, mut h)| {
+            h.id = (i as u64).into();
+            h
+        }).collect();
+        let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+        let early = trace.lifetimes(SimDate::from_year(lo));
+        let late = trace.lifetimes(SimDate::from_year(hi));
+        // A later cutoff admits at least as many hosts.
+        prop_assert!(late.len() >= early.len());
+    }
+
+    #[test]
+    fn sanitize_idempotent(hosts in prop::collection::vec(host_strategy(0), 0..15)) {
+        let trace: Trace = hosts.into_iter().enumerate().map(|(i, mut h)| {
+            h.id = (i as u64).into();
+            h
+        }).collect();
+        let rules = SanitizeRules::default();
+        let once = sanitize(&trace, rules);
+        let twice = sanitize(&once.trace, rules);
+        prop_assert_eq!(twice.discarded, 0);
+        prop_assert_eq!(once.trace.len(), twice.trace.len());
+    }
+
+    #[test]
+    fn csv_roundtrip_any_host(h in host_strategy(9)) {
+        let trace: Trace = std::iter::once(h).collect();
+        let mut buf = Vec::new();
+        resmodel_trace::csv::write_trace(&trace, &mut buf).unwrap();
+        let back = resmodel_trace::csv::read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), 1);
+        let a = &trace.hosts()[0];
+        let b = &back.hosts()[0];
+        prop_assert_eq!(a.id, b.id);
+        prop_assert_eq!(a.snapshots().len(), b.snapshots().len());
+        for (x, y) in a.snapshots().iter().zip(b.snapshots()) {
+            prop_assert!((x.t - y.t).abs() < 1e-9);
+            prop_assert_eq!(x.cores, y.cores);
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Capacity planning for a volunteer-computing project.
+//!
+//! Scenario (the paper's Section VI-C put to work): you run a
+//! BOINC-style project today and must decide whether next year's
+//! application — which needs 4 cores and 4 GB of memory per host — will
+//! find enough capable volunteers. We simulate the measured past,
+//! refit the model from the trace, and forecast the host mix to 2014.
+//!
+//! Run with: `cargo run --release --example capacity_planning`
+
+use resmodel::core::predict::{memory_prediction, moment_prediction, multicore_prediction};
+use resmodel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. "Measure" the world: run the synthetic SETI@home substrate.
+    println!("simulating measurement substrate (this takes a few seconds)...");
+    let params = WorldParams::with_scale(0.002, 7);
+    let trace = resmodel::boinc::sim::simulate_sanitized(&params);
+    println!(
+        "trace: {} hosts, {} active at Jan 2010",
+        trace.len(),
+        trace.active_count(SimDate::from_year(2010.0))
+    );
+
+    // 2. Refit the model from the measured trace.
+    let report = fit_host_model(&trace, &FitConfig::default())?;
+    println!("\nfitted core ratio laws (paper Table IV analogue):");
+    for row in &report.core_laws {
+        println!(
+            "  {:<18} a = {:7.3}  b = {:7.4}  r = {:7.4}",
+            row.label, row.fit.a, row.fit.b, row.fit.r
+        );
+    }
+
+    // 3. Forecast the 2011-2014 host mix.
+    let dates: Vec<SimDate> = (2011..=2014).map(|y| SimDate::from_year(y as f64)).collect();
+    let cores = multicore_prediction(&report.model, &dates)?;
+    let memory = memory_prediction(&report.model, &dates)?;
+
+    println!("\nforecast host mix:");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>11} {:>12}",
+        "year", "1 core", "≥4 cores", "≥8 cores", "mean cores", "mean mem GB"
+    );
+    for (c, m) in cores.iter().zip(&memory) {
+        println!(
+            "{:>6.0} {:>8.1}% {:>8.1}% {:>8.1}% {:>11.2} {:>12.2}",
+            c.date.year(),
+            c.one_core * 100.0,
+            c.at_least_4 * 100.0,
+            c.at_least_8 * 100.0,
+            c.mean_cores,
+            m.mean_memory_mb / 1024.0
+        );
+    }
+
+    // 4. The planning decision: what fraction of 2014 hosts can run a
+    //    4-core / 4 GB application?
+    let p2014 = &cores[cores.len() - 1];
+    let m2014 = &memory[memory.len() - 1];
+    let capable = p2014.at_least_4.min(1.0 - m2014.le_4gb);
+    println!(
+        "\n>= 4 cores in 2014: {:.0}%   > 4 GB memory in 2014: {:.0}%",
+        p2014.at_least_4 * 100.0,
+        (1.0 - m2014.le_4gb) * 100.0
+    );
+    println!(
+        "conservative capable-host estimate: {:.0}% of the volunteer pool",
+        capable * 100.0
+    );
+
+    let speeds = moment_prediction(&report.model, SimDate::from_year(2014.0));
+    println!(
+        "expected 2014 speeds: dhrystone {:.0}±{:.0} MIPS, whetstone {:.0}±{:.0} MIPS",
+        speeds.dhrystone.0, speeds.dhrystone.1, speeds.whetstone.0, speeds.whetstone.1
+    );
+
+    Ok(())
+}

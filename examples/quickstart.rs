@@ -1,0 +1,54 @@
+//! Quickstart: generate realistic Internet end hosts for any date with
+//! the paper's published model, inspect their statistics, and print the
+//! condensed parameter table (the paper's Table X).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use resmodel::prelude::*;
+use resmodel::stats::describe::Summary;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's model, exactly as published (Table X constants).
+    let model = HostModel::paper();
+
+    println!("== resmodel quickstart ==\n");
+    println!("Model parameter summary (paper Table X):");
+    println!("{:<11} {:<16} {:<15} {:>10} {:>9}", "Resource", "Value", "Method", "a", "b");
+    for row in model.summary() {
+        println!(
+            "{:<11} {:<16} {:<15} {:>10.4} {:>9.4}",
+            row.resource, row.value, row.method, row.a, row.b
+        );
+    }
+
+    // Generate host populations for three dates and compare.
+    for &year in &[2006.0, 2010.67, 2014.0] {
+        let date = SimDate::from_year(year);
+        let hosts = model.generate_population(date, 20_000, 42);
+
+        let col = |f: fn(&GeneratedHost) -> f64| -> Result<Summary, StatsError> {
+            let data: Vec<f64> = hosts.iter().map(f).collect();
+            Summary::of(&data)
+        };
+        let cores = col(|h| h.cores as f64)?;
+        let mem = col(|h| h.memory_mb)?;
+        let whet = col(|h| h.whetstone_mips)?;
+        let dhry = col(|h| h.dhrystone_mips)?;
+        let disk = col(|h| h.avail_disk_gb)?;
+
+        println!("\nGenerated population @ {year:.2} (n = {}):", hosts.len());
+        println!("  cores:     mean {:6.2}  σ {:6.2}", cores.mean, cores.std_dev);
+        println!("  memory:    mean {:6.0} MB  σ {:6.0} MB", mem.mean, mem.std_dev);
+        println!("  whetstone: mean {:6.0} MIPS  σ {:6.0}", whet.mean, whet.std_dev);
+        println!("  dhrystone: mean {:6.0} MIPS  σ {:6.0}", dhry.mean, dhry.std_dev);
+        println!("  disk:      mean {:6.1} GB  median {:6.1} GB", disk.mean, disk.median);
+    }
+
+    // The generated hosts preserve the paper's resource correlations.
+    let hosts = model.generate_population(SimDate::from_year(2010.67), 20_000, 42);
+    let corr = resmodel::core::validate::generated_correlation_matrix(&hosts)?;
+    println!("\nGenerated correlation matrix (Table VIII analogue):");
+    print!("{corr}");
+
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! Evaluating host models for scheduler research (the paper's
+//! Section VII in miniature).
+//!
+//! Scenario: you are designing a scheduling algorithm for
+//! Internet-distributed applications and need synthetic host sets that
+//! behave like the real volunteer pool. Which generative model should
+//! you trust? We simulate the "real" world, fit all three candidate
+//! models from its 2006-2010 trace, and score each by how closely the
+//! Cobb-Douglas utility its hosts deliver matches the actual hosts
+//! during 2010.
+//!
+//! Run with: `cargo run --release --example scheduler_eval`
+
+use resmodel::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("simulating measurement substrate (this takes a few seconds)...");
+    let params = WorldParams::with_scale(0.002, 11);
+    let trace = resmodel::boinc::sim::simulate_sanitized(&params);
+
+    // Fit every model from the same historical window.
+    let fit_cfg = FitConfig::default();
+    let correlated = fit_host_model(&trace, &fit_cfg)?.model;
+    let normal = NormalModel::fit(&trace, &fit_cfg.sample_dates)?;
+    let grid = GridModel::fit(&trace, &fit_cfg.sample_dates)?;
+
+    let generators: Vec<&dyn HostGenerator> = vec![&correlated, &normal, &grid];
+
+    // Score on January-September 2010, like Fig 15.
+    let config = UtilityExperimentConfig::default();
+    let results = run_utility_experiment(&trace, &generators, &config)?;
+
+    println!("\nmean % utility difference vs actual hosts (lower is better):");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "application", "correlated", "normal", "grid"
+    );
+    for (a, app) in config.apps.iter().enumerate() {
+        print!("{:<22}", app.name);
+        for series in &results {
+            print!(" {:>11.1}%", series.mean_of(a));
+        }
+        println!();
+    }
+
+    // A scheduler-facing summary: which model wins per application?
+    println!("\nbest model per application:");
+    for (a, app) in config.apps.iter().enumerate() {
+        let best = results
+            .iter()
+            .min_by(|x, y| {
+                x.mean_of(a)
+                    .partial_cmp(&y.mean_of(a))
+                    .expect("finite means")
+            })
+            .expect("non-empty model list");
+        println!("  {:<22} -> {}", app.name, best.model);
+    }
+
+    Ok(())
+}

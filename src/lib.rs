@@ -1,0 +1,51 @@
+//! # resmodel
+//!
+//! A complete Rust reproduction of *"Correlated Resource Models of
+//! Internet End Hosts"* (Eric M. Heien, Derrick Kondo, David P.
+//! Anderson — ICDCS 2011, arXiv:1011.5568).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | Crate | Contents |
+//! |---|---|
+//! | [`stats`] | distributions, MLE fitting, KS tests, correlation, Cholesky, regression |
+//! | [`trace`] | host records, trace store, activity queries, sanitization, market tables |
+//! | [`boinc`] | synthetic volunteer-computing world + BOINC measurement loop |
+//! | [`core`] | the paper's correlated generative host model, fitting, prediction, validation |
+//! | [`baselines`] | uncorrelated-normal and Kee Grid comparator models |
+//! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resmodel::prelude::*;
+//!
+//! // Generate 1000 realistic Internet end hosts for September 2010.
+//! let model = HostModel::paper();
+//! let hosts = model.generate_population(SimDate::from_year(2010.67), 1000, 42);
+//! let mean_cores =
+//!     hosts.iter().map(|h| h.cores as f64).sum::<f64>() / hosts.len() as f64;
+//! assert!(mean_cores > 2.0 && mean_cores < 3.0);
+//! ```
+
+pub use resmodel_allocsim as allocsim;
+pub use resmodel_avail as avail;
+pub use resmodel_baselines as baselines;
+pub use resmodel_boinc as boinc;
+pub use resmodel_core as core;
+pub use resmodel_stats as stats;
+pub use resmodel_trace as trace;
+
+/// The most commonly used items, for `use resmodel::prelude::*`.
+pub mod prelude {
+    pub use resmodel_allocsim::{
+        allocate_round_robin, run_utility_experiment, AppProfile, UtilityExperimentConfig,
+    };
+    pub use resmodel_avail::{AvailabilityModel, HostClass, Schedule};
+    pub use resmodel_baselines::{GridModel, NormalModel};
+    pub use resmodel_boinc::{simulate, WorldParams};
+    pub use resmodel_core::fit::{fit_host_model, FitConfig};
+    pub use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
+    pub use resmodel_stats::{Distribution, DistributionFamily, Matrix, StatsError};
+    pub use resmodel_trace::{HostRecord, HostView, ResourceSnapshot, SimDate, Trace};
+}

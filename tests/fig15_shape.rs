@@ -1,0 +1,93 @@
+//! Integration test of the paper's Fig 15 claim: the correlated model
+//! tracks the actual host population's utility better than the
+//! uncorrelated normal model (especially for multicore-sensitive
+//! applications) and better than the Grid model for disk-bound P2P.
+
+use resmodel::prelude::*;
+use resmodel::trace::sanitize::{sanitize, SanitizeRules};
+
+#[test]
+fn fig15_model_ordering_holds() {
+    let raw = simulate(&WorldParams::with_scale(0.002, 555));
+    let trace = sanitize(&raw, SanitizeRules::default()).trace;
+
+    let fit_cfg = FitConfig::default();
+    let correlated = fit_host_model(&trace, &fit_cfg).expect("correlated fit").model;
+    let normal = NormalModel::fit(&trace, &fit_cfg.sample_dates).expect("normal fit");
+    let grid = GridModel::fit(&trace, &fit_cfg.sample_dates).expect("grid fit");
+    let generators: Vec<&dyn HostGenerator> = vec![&correlated, &normal, &grid];
+
+    // Three months of 2010 keep the test quick; Fig 15 uses nine.
+    let config = UtilityExperimentConfig {
+        dates: vec![
+            SimDate::from_year(2010.0),
+            SimDate::from_year(2010.25),
+            SimDate::from_year(2010.5),
+        ],
+        apps: AppProfile::ALL.to_vec(),
+        seed: 9,
+    };
+    let results = run_utility_experiment(&trace, &generators, &config).expect("experiment runs");
+    let series = |label: &str| {
+        results
+            .iter()
+            .find(|s| s.model == label)
+            .unwrap_or_else(|| panic!("missing series {label}"))
+    };
+    let (corr, norm, grid) = (series("correlated"), series("normal"), series("grid"));
+
+    // Application indices in AppProfile::ALL order.
+    const SETI: usize = 0;
+    const FOLDING: usize = 1;
+    const CLIMATE: usize = 2;
+    const P2P: usize = 3;
+
+    // Headline numbers: the correlated model stays within ~15% of the
+    // actual utility everywhere (paper: 0-10%).
+    for app in [SETI, FOLDING, CLIMATE, P2P] {
+        assert!(
+            corr.mean_of(app) < 15.0,
+            "correlated model app {app}: {:.1}%",
+            corr.mean_of(app)
+        );
+    }
+
+    // Fig 15 orderings. The starkest normal-model failure in our
+    // substrate is SETI@home (whetstone-tail sensitive); Folding@home
+    // and Climate Prediction must at least not be lost to the normal
+    // model beyond sampling noise (the paper's gap there is larger
+    // because its real population is further from normal marginals —
+    // see EXPERIMENTS.md).
+    assert!(
+        corr.mean_of(SETI) < norm.mean_of(SETI),
+        "correlated {:.1}% should beat normal {:.1}% on SETI@home",
+        corr.mean_of(SETI),
+        norm.mean_of(SETI)
+    );
+    assert!(
+        corr.mean_of(FOLDING) < norm.mean_of(FOLDING) + 1.5,
+        "correlated {:.1}% should not lose to normal {:.1}% on Folding@home",
+        corr.mean_of(FOLDING),
+        norm.mean_of(FOLDING)
+    );
+    assert!(
+        corr.mean_of(CLIMATE) < norm.mean_of(CLIMATE) + 1.5,
+        "correlated {:.1}% should not lose to normal {:.1}% on Climate",
+        corr.mean_of(CLIMATE),
+        norm.mean_of(CLIMATE)
+    );
+
+    // The Grid model's exponential *total*-disk law overshoots P2P
+    // utility dramatically (paper: 46-57% difference).
+    assert!(
+        grid.mean_of(P2P) > 25.0,
+        "grid model should badly overestimate P2P, got {:.1}%",
+        grid.mean_of(P2P)
+    );
+    assert!(
+        grid.mean_of(P2P) > 2.0 * corr.mean_of(P2P).max(1.0),
+        "grid P2P error {:.1}% should dwarf correlated {:.1}%",
+        grid.mean_of(P2P),
+        corr.mean_of(P2P)
+    );
+}

@@ -1,0 +1,117 @@
+//! End-to-end integration test: simulate the measured world, sanitize,
+//! fit the correlated model, validate what it generates, and check the
+//! paper's headline claims hold on the refitted model.
+
+use resmodel::core::predict::{multicore_prediction, paper_16_core_extension};
+use resmodel::core::validate::{compare_populations, generated_correlation_matrix};
+use resmodel::prelude::*;
+use resmodel::trace::sanitize::{sanitize, SanitizeRules};
+
+fn world_trace() -> Trace {
+    let raw = simulate(&WorldParams::with_scale(0.002, 2024));
+    sanitize(&raw, SanitizeRules::default()).trace
+}
+
+#[test]
+fn full_pipeline_world_to_validated_model() {
+    let trace = world_trace();
+    assert!(trace.len() > 4000, "world too small: {}", trace.len());
+
+    // --- Fit (Sections V-C..V-G) ---
+    let report = fit_host_model(&trace, &FitConfig::default()).expect("fit succeeds");
+
+    // Core ratio laws decay (Table IV: all b < 0) and fit well.
+    for row in &report.core_laws {
+        assert!(row.fit.b < 0.0, "{}: b = {}", row.label, row.fit.b);
+        assert!(row.fit.r < -0.7, "{}: r = {}", row.label, row.fit.r);
+    }
+
+    // Benchmark and disk moment laws grow (Table VI: all b > 0).
+    for row in &report.moment_laws {
+        assert!(row.fit.b > 0.0, "{}: b = {}", row.label, row.fit.b);
+        assert!(row.fit.r > 0.7, "{}: r = {}", row.label, row.fit.r);
+    }
+
+    // Table III structure: cores-memory strongly correlated, benchmarks
+    // strongly correlated, disk uncorrelated.
+    let c = &report.correlation;
+    assert!(c.get(0, 1) > 0.4, "cores-mem r = {}", c.get(0, 1));
+    assert!(c.get(3, 4) > 0.45, "whet-dhry r = {}", c.get(3, 4));
+    for j in 0..5 {
+        assert!(c.get(5, j).abs() < 0.25, "disk col {j}: {}", c.get(5, j));
+    }
+
+    // --- Generate and validate (Section VI: Fig 12 + Table VIII) ---
+    let date = SimDate::from_year(2010.5);
+    let actual: Vec<GeneratedHost> = trace
+        .population_at(date)
+        .iter()
+        .map(GeneratedHost::from)
+        .collect();
+    let generated = report.model.generate_population(date, actual.len(), 77);
+    let cmp = compare_populations(&generated, &actual).expect("populations non-empty");
+    for panel in &cmp {
+        // The paper reports mean differences of 0.5%-13%; allow up to
+        // 30% on the small simulated world.
+        assert!(
+            panel.mean_diff_fraction < 0.30,
+            "{:?}: mean diff {:.3}",
+            panel.resource,
+            panel.mean_diff_fraction
+        );
+    }
+
+    let corr = generated_correlation_matrix(&generated).expect("correlations defined");
+    assert!(corr.get(0, 1) > 0.5, "generated cores-mem {}", corr.get(0, 1));
+    assert!(corr.get(3, 4) > 0.35, "generated whet-dhry {}", corr.get(3, 4));
+    for j in 0..5 {
+        assert!(corr.get(5, j).abs() < 0.1, "generated disk col {j}");
+    }
+
+    // --- Predict (Section VI-C) ---
+    let preds = multicore_prediction(&report.model, &[SimDate::from_year(2014.0)])
+        .expect("prediction succeeds");
+    let p2014 = preds[0];
+    assert!(p2014.one_core < 0.12, "1-core 2014: {}", p2014.one_core);
+    assert!(
+        p2014.mean_cores > 3.0 && p2014.mean_cores < 6.5,
+        "mean cores 2014: {}",
+        p2014.mean_cores
+    );
+}
+
+#[test]
+fn sanitization_removes_all_corruption_and_little_else() {
+    let raw = simulate(&WorldParams::with_scale(0.002, 99));
+    let report = sanitize(&raw, SanitizeRules::default());
+    assert!(
+        report.discarded_fraction < 0.005,
+        "too much discarded: {}",
+        report.discarded_fraction
+    );
+    // After sanitization every remaining snapshot respects the bounds.
+    let rules = SanitizeRules::default();
+    for h in report.trace.hosts() {
+        assert!(!rules.is_corrupt(h));
+    }
+}
+
+#[test]
+fn lifetime_analysis_matches_ground_truth() {
+    let trace = world_trace();
+    let w = resmodel::core::fit::lifetime_weibull(&trace, SimDate::from_year(2010.4))
+        .expect("enough lifetimes");
+    // Ground truth k = 0.58; right-censoring at the window end biases a
+    // little.
+    assert!(w.shape() > 0.45 && w.shape() < 0.75, "k = {}", w.shape());
+    // Decreasing dropout rate — the paper's qualitative claim.
+    assert!(w.shape() < 1.0);
+}
+
+#[test]
+fn extension_point_for_prediction_is_stable() {
+    let (tier, law) = paper_16_core_extension();
+    let model = HostModel::paper().with_extended_cores(tier, law).expect("valid extension");
+    let mean = model.cores().mean_value(SimDate::from_year(2014.0));
+    assert!((mean - 4.6).abs() < 0.2, "paper predicts 4.6 cores, got {mean}");
+}
