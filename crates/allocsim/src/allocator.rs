@@ -49,7 +49,9 @@ pub fn allocate_round_robin(apps: &[AppProfile], hosts: &[GeneratedHost]) -> All
             let mut order: Vec<usize> = (0..hosts.len()).collect();
             let us: Vec<f64> = hosts.iter().map(|h| utility(app, h)).collect();
             order.sort_by(|&x, &y| {
-                us[y].partial_cmp(&us[x]).unwrap_or(std::cmp::Ordering::Equal)
+                us[y]
+                    .partial_cmp(&us[x])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             order.into_iter()
         })
@@ -99,7 +101,15 @@ mod tests {
     #[test]
     fn every_host_assigned_once() {
         let hosts: Vec<GeneratedHost> = (0..103)
-            .map(|i| host(1 + (i % 8) as u32, 1024.0 + i as f64, 2000.0, 1000.0, 10.0 + i as f64))
+            .map(|i| {
+                host(
+                    1 + (i % 8) as u32,
+                    1024.0 + i as f64,
+                    2000.0,
+                    1000.0,
+                    10.0 + i as f64,
+                )
+            })
             .collect();
         let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
         assert_eq!(alloc.assigned_count(), hosts.len());
@@ -115,8 +125,9 @@ mod tests {
 
     #[test]
     fn round_robin_is_fair_in_count() {
-        let hosts: Vec<GeneratedHost> =
-            (0..100).map(|i| host(2, 2048.0, 3000.0, 1500.0, 50.0 + i as f64)).collect();
+        let hosts: Vec<GeneratedHost> = (0..100)
+            .map(|i| host(2, 2048.0, 3000.0, 1500.0, 50.0 + i as f64))
+            .collect();
         let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
         for a in &alloc.assigned {
             assert_eq!(a.len(), 25);
@@ -146,8 +157,9 @@ mod tests {
 
     #[test]
     fn utility_totals_are_consistent() {
-        let hosts: Vec<GeneratedHost> =
-            (0..40).map(|i| host(2, 2048.0, 3000.0, 1500.0, 20.0 + i as f64)).collect();
+        let hosts: Vec<GeneratedHost> = (0..40)
+            .map(|i| host(2, 2048.0, 3000.0, 1500.0, 20.0 + i as f64))
+            .collect();
         let alloc = allocate_round_robin(&AppProfile::ALL, &hosts);
         for (i, app) in AppProfile::ALL.iter().enumerate() {
             let expect: f64 = alloc.assigned[i]

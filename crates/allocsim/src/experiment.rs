@@ -66,7 +66,10 @@ impl ModelSeries {
     pub fn range_of(&self, app_index: usize) -> (f64, f64) {
         let series = &self.diffs[app_index];
         assert!(!series.is_empty(), "empty series");
-        let min = series.iter().map(|d| d.pct_diff).fold(f64::INFINITY, f64::min);
+        let min = series
+            .iter()
+            .map(|d| d.pct_diff)
+            .fold(f64::INFINITY, f64::min);
         let max = series.iter().map(|d| d.pct_diff).fold(0.0, f64::max);
         (min, max)
     }
@@ -186,9 +189,16 @@ mod tests {
     fn perfect_model_has_small_error() {
         let trace = toy_trace();
         let date = SimDate::from_year(2010.0);
-        let hosts: Vec<GeneratedHost> =
-            trace.population_at(date).iter().map(GeneratedHost::from).collect();
-        let perfect = Replay { hosts: hosts.clone(), disk_scale: 1.0, label: "perfect" };
+        let hosts: Vec<GeneratedHost> = trace
+            .population_at(date)
+            .iter()
+            .map(GeneratedHost::from)
+            .collect();
+        let perfect = Replay {
+            hosts: hosts.clone(),
+            disk_scale: 1.0,
+            label: "perfect",
+        };
         let config = UtilityExperimentConfig {
             dates: vec![date],
             apps: AppProfile::ALL.to_vec(),
@@ -204,9 +214,16 @@ mod tests {
     fn disk_inflation_hurts_p2p_most() {
         let trace = toy_trace();
         let date = SimDate::from_year(2010.0);
-        let hosts: Vec<GeneratedHost> =
-            trace.population_at(date).iter().map(GeneratedHost::from).collect();
-        let inflated = Replay { hosts, disk_scale: 2.0, label: "inflated" };
+        let hosts: Vec<GeneratedHost> = trace
+            .population_at(date)
+            .iter()
+            .map(GeneratedHost::from)
+            .collect();
+        let inflated = Replay {
+            hosts,
+            disk_scale: 2.0,
+            label: "inflated",
+        };
         let config = UtilityExperimentConfig {
             dates: vec![date],
             apps: AppProfile::ALL.to_vec(),

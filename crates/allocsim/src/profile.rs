@@ -113,7 +113,13 @@ mod tests {
         assert_eq!(AppProfile::ALL.len(), 4);
         let seti = AppProfile::SETI_AT_HOME;
         assert_eq!(
-            (seti.cores, seti.memory, seti.dhrystone, seti.whetstone, seti.disk),
+            (
+                seti.cores,
+                seti.memory,
+                seti.dhrystone,
+                seti.whetstone,
+                seti.disk
+            ),
             (0.05, 0.1, 0.2, 0.4, 0.05)
         );
         let p2p = AppProfile::P2P;
@@ -138,9 +144,7 @@ mod tests {
         let big_disk = host(1, 1024.0, 2000.0, 1000.0, 1000.0);
         let fast_cpu = host(1, 1024.0, 8000.0, 4000.0, 10.0);
         // P2P prefers the disk box, SETI prefers the fast box.
-        assert!(
-            utility(&AppProfile::P2P, &big_disk) > utility(&AppProfile::P2P, &fast_cpu)
-        );
+        assert!(utility(&AppProfile::P2P, &big_disk) > utility(&AppProfile::P2P, &fast_cpu));
         assert!(
             utility(&AppProfile::SETI_AT_HOME, &fast_cpu)
                 > utility(&AppProfile::SETI_AT_HOME, &big_disk)

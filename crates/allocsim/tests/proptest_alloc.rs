@@ -6,15 +6,20 @@ use resmodel_allocsim::{allocate_round_robin, utility, AppProfile};
 use resmodel_core::GeneratedHost;
 
 fn host_strategy() -> impl Strategy<Value = GeneratedHost> {
-    (1u32..9, 128.0..16384.0f64, 100.0..5000.0f64, 200.0..10000.0f64, 0.1..2000.0f64).prop_map(
-        |(cores, mem, whet, dhry, disk)| GeneratedHost {
+    (
+        1u32..9,
+        128.0..16384.0f64,
+        100.0..5000.0f64,
+        200.0..10000.0f64,
+        0.1..2000.0f64,
+    )
+        .prop_map(|(cores, mem, whet, dhry, disk)| GeneratedHost {
             cores,
             memory_mb: mem,
             whetstone_mips: whet,
             dhrystone_mips: dhry,
             avail_disk_gb: disk,
-        },
-    )
+        })
 }
 
 proptest! {

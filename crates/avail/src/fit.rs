@@ -44,8 +44,7 @@ mod tests {
 
     #[test]
     fn durations_extraction() {
-        let s = crate::Schedule::new(vec![(0.0, 10.0), (20.0, 25.0), (40.0, 41.0)], 100.0)
-            .unwrap();
+        let s = crate::Schedule::new(vec![(0.0, 10.0), (20.0, 25.0), (40.0, 41.0)], 100.0).unwrap();
         assert_eq!(on_durations(&s), vec![10.0, 5.0, 1.0]);
         assert_eq!(off_durations(&s), vec![10.0, 15.0]);
     }
@@ -64,8 +63,7 @@ mod tests {
             let durs = on_durations(&s);
             ons.extend(durs.iter().take(durs.len().saturating_sub(1)));
         }
-        let ranked =
-            fit_interval_family(&ons, SubsampleConfig::default(), &mut rng).unwrap();
+        let ranked = fit_interval_family(&ons, SubsampleConfig::default(), &mut rng).unwrap();
         // Weibull with shape 1.6 — gamma is a close cousin, accept both
         // at the top, but weibull must rank in the top two.
         let top2: Vec<_> = ranked.iter().take(2).map(|s| s.family).collect();
@@ -85,8 +83,7 @@ mod tests {
             let s = m.schedule_for(&p, 24.0 * 200.0, &mut rng);
             offs.extend(off_durations(&s));
         }
-        let ranked =
-            fit_interval_family(&offs, SubsampleConfig::default(), &mut rng).unwrap();
+        let ranked = fit_interval_family(&offs, SubsampleConfig::default(), &mut rng).unwrap();
         assert_eq!(ranked[0].family, DistributionFamily::LogNormal);
     }
 

@@ -160,7 +160,10 @@ impl AvailabilityModel {
 
     /// Parameters of one class, if present.
     pub fn class(&self, class: HostClass) -> Option<&ClassParams> {
-        self.classes.iter().find(|(c, _)| *c == class).map(|(_, p)| p)
+        self.classes
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map(|(_, p)| p)
     }
 
     /// Pool-level steady-state availability (weight-averaged).
@@ -195,12 +198,7 @@ impl AvailabilityModel {
     }
 
     /// Sample a schedule from explicit class parameters.
-    pub fn schedule_for(
-        &self,
-        p: &ClassParams,
-        horizon_hours: f64,
-        rng: &mut dyn Rng,
-    ) -> Schedule {
+    pub fn schedule_for(&self, p: &ClassParams, horizon_hours: f64, rng: &mut dyn Rng) -> Schedule {
         let on = Weibull::new(p.on_shape, p.on_scale_hours).expect("validated");
         let off = LogNormal::new(p.off_mu, p.off_sigma).expect("validated");
         let mut intervals = Vec::new();
@@ -236,9 +234,18 @@ mod tests {
     #[test]
     fn class_availability_ordering() {
         let m = AvailabilityModel::default_volunteer_mix();
-        let a = m.class(HostClass::AlwaysOn).unwrap().steady_state_availability();
-        let d = m.class(HostClass::Daily).unwrap().steady_state_availability();
-        let s = m.class(HostClass::Sporadic).unwrap().steady_state_availability();
+        let a = m
+            .class(HostClass::AlwaysOn)
+            .unwrap()
+            .steady_state_availability();
+        let d = m
+            .class(HostClass::Daily)
+            .unwrap()
+            .steady_state_availability();
+        let s = m
+            .class(HostClass::Sporadic)
+            .unwrap()
+            .steady_state_availability();
         assert!(a > 0.9, "always-on {a}");
         assert!(d > 0.25 && d < 0.6, "daily {d}");
         assert!(s < 0.2, "sporadic {s}");
@@ -279,7 +286,10 @@ mod tests {
         }
         let mean = fracs.iter().sum::<f64>() / fracs.len() as f64;
         let expect = p.steady_state_availability();
-        assert!((mean - expect).abs() < 0.05, "mean {mean} vs steady {expect}");
+        assert!(
+            (mean - expect).abs() < 0.05,
+            "mean {mean} vs steady {expect}"
+        );
     }
 
     #[test]
@@ -310,8 +320,7 @@ mod tests {
 
     #[test]
     fn class_names_unique() {
-        let names: std::collections::HashSet<_> =
-            HostClass::ALL.iter().map(|c| c.name()).collect();
+        let names: std::collections::HashSet<_> = HostClass::ALL.iter().map(|c| c.name()).collect();
         assert_eq!(names.len(), 3);
         assert_eq!(HostClass::Daily.to_string(), "daily");
     }

@@ -68,6 +68,9 @@ mod tests {
         let s = m.schedule_for(&p, 24.0 * 30.0, &mut rng);
         let raw = utility(&AppProfile::CLIMATE_PREDICTION, &host());
         let eff = effective_utility(&AppProfile::CLIMATE_PREDICTION, &host(), &s, None);
-        assert!(eff > 0.85 * raw, "always-on host lost too much: {eff} vs {raw}");
+        assert!(
+            eff > 0.85 * raw,
+            "always-on host lost too much: {eff} vs {raw}"
+        );
     }
 }

@@ -84,9 +84,7 @@ impl ResourceMomentLaws {
     /// over 2006–2010).
     pub fn paper_like() -> Self {
         // Solve a·e^{4b} for the Fig 2 endpoints.
-        let law = |v2006: f64, v2010: f64| {
-            MomentLaw::new(v2006, (v2010 / v2006).ln() / 4.0)
-        };
+        let law = |v2006: f64, v2010: f64| MomentLaw::new(v2006, (v2010 / v2006).ln() / 4.0);
         Self {
             cores: MomentPair {
                 mean: law(1.28, 2.17),
@@ -163,7 +161,9 @@ mod tests {
                 id += 1;
             }
         }
-        let dates: Vec<SimDate> = (2006..=2010).map(|y| SimDate::from_year(y as f64)).collect();
+        let dates: Vec<SimDate> = (2006..=2010)
+            .map(|y| SimDate::from_year(y as f64))
+            .collect();
         let laws = ResourceMomentLaws::fit(&trace, &dates).unwrap();
         let (dm, _) = laws.dhrystone.at(SimDate::from_year(2006.0));
         assert!((dm - 2064.0).abs() / 2064.0 < 0.1, "dhry mean {dm}");

@@ -93,7 +93,10 @@ mod tests {
         assert!((mean_mem - 2376.0).abs() / 2376.0 < 0.05, "mem {mean_mem}");
         let mean_dhry = pop.iter().map(|h| h.dhrystone_mips).sum::<f64>() / pop.len() as f64;
         let expect = 2064.0 * (0.1709f64 * 4.0).exp();
-        assert!((mean_dhry - expect).abs() / expect < 0.05, "dhry {mean_dhry}");
+        assert!(
+            (mean_dhry - expect).abs() / expect < 0.05,
+            "dhry {mean_dhry}"
+        );
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Population-dynamics engine benchmarks: evolve ≥100k-host fleets
+//! through five simulated years under different scenarios, plus the
+//! trace-export bridge.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_popsim::{engine, fleet_to_trace, ArrivalLaw, Scenario};
+use std::hint::black_box;
+
+/// A scenario tuned to produce ≥ `hosts` arrivals, capped exactly
+/// there so every measurement simulates the same fleet size.
+fn sized(mut scenario: Scenario, hosts: usize) -> Scenario {
+    scenario.max_hosts = hosts;
+    scenario.arrivals = match scenario.arrivals {
+        ArrivalLaw::FlashCrowd {
+            burst_center,
+            burst_width_days,
+            burst_amplitude,
+            ..
+        } => ArrivalLaw::FlashCrowd {
+            base_per_day: 120.0,
+            growth_per_year: 0.18,
+            burst_center,
+            burst_width_days,
+            burst_amplitude,
+        },
+        _ => ArrivalLaw::Exponential {
+            base_per_day: 120.0,
+            growth_per_year: 0.18,
+        },
+    };
+    scenario
+}
+
+fn bench_popsim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("popsim");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(12));
+
+    {
+        let hosts = 100_000usize;
+        let steady = sized(Scenario::steady_state(7), hosts);
+        group.bench_function(format!("steady_state_{hosts}"), |b| {
+            b.iter(|| black_box(engine::run(&steady).expect("valid scenario")))
+        });
+
+        let crowd = sized(Scenario::flash_crowd(7), hosts);
+        group.bench_function(format!("flash_crowd_{hosts}"), |b| {
+            b.iter(|| black_box(engine::run(&crowd).expect("valid scenario")))
+        });
+
+        let wave = sized(Scenario::gpu_wave(7), hosts);
+        group.bench_function(format!("gpu_wave_{hosts}"), |b| {
+            b.iter(|| black_box(engine::run(&wave).expect("valid scenario")))
+        });
+    }
+    group.finish();
+
+    // The export bridge at fleet scale.
+    let report = engine::run(&sized(Scenario::steady_state(7), 100_000)).expect("valid");
+    c.bench_function("popsim_fleet_to_trace_100k", |b| {
+        b.iter(|| black_box(fleet_to_trace(&report.fleet, report.scenario.end)))
+    });
+
+    // O(1) host lookup on the sharded fleet.
+    c.bench_function("popsim_host_lookup_100k", |b| {
+        b.iter(|| {
+            let mut found = 0u64;
+            for id in (0..100_000u64).step_by(97) {
+                if report.fleet.host(black_box(id)).is_some() {
+                    found += 1;
+                }
+            }
+            black_box(found)
+        })
+    });
+}
+
+criterion_group!(benches, bench_popsim);
+criterion_main!(benches);

@@ -31,8 +31,13 @@ fn bench_stats(c: &mut Criterion) {
         b.iter(|| {
             let mut r = seeded(11);
             black_box(
-                select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
-                    .expect("selection"),
+                select_family(
+                    &data,
+                    &DistributionFamily::ALL,
+                    SubsampleConfig::default(),
+                    &mut r,
+                )
+                .expect("selection"),
             )
         })
     });
@@ -43,7 +48,9 @@ fn bench_stats(c: &mut Criterion) {
         &[0.306, 0.639, 1.0],
     ])
     .expect("well-formed");
-    c.bench_function("cholesky_3x3", |b| b.iter(|| black_box(r.cholesky().expect("spd"))));
+    c.bench_function("cholesky_3x3", |b| {
+        b.iter(|| black_box(r.cholesky().expect("spd")))
+    });
     let sampler = CorrelatedNormals::new(&r).expect("spd");
     c.bench_function("correlated_normal_sample", |b| {
         b.iter_batched_ref(
@@ -54,11 +61,15 @@ fn bench_stats(c: &mut Criterion) {
     });
 
     let mut rng2 = seeded(13);
-    let weib_data = Weibull::new(0.58, 135.0).expect("valid").sample_n(&mut rng2, 10_000);
+    let weib_data = Weibull::new(0.58, 135.0)
+        .expect("valid")
+        .sample_n(&mut rng2, 10_000);
     c.bench_function("weibull_mle_n10k", |b| {
         b.iter(|| black_box(Weibull::fit_mle(&weib_data).expect("fit")))
     });
-    let ln_data = LogNormal::new(3.0, 1.0).expect("valid").sample_n(&mut rng2, 10_000);
+    let ln_data = LogNormal::new(3.0, 1.0)
+        .expect("valid")
+        .sample_n(&mut rng2, 10_000);
     c.bench_function("lognormal_mle_n10k", |b| {
         b.iter(|| black_box(LogNormal::fit_mle(&ln_data).expect("fit")))
     });

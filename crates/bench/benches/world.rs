@@ -9,11 +9,10 @@ fn bench_world(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulate_world");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(12));
-    for &scale in &[0.0002] {
-        group.bench_function(format!("scale_{scale}"), |b| {
-            b.iter(|| black_box(simulate(&WorldParams::with_scale(scale, 5))))
-        });
-    }
+    let scale = 0.0002;
+    group.bench_function(format!("scale_{scale}"), |b| {
+        b.iter(|| black_box(simulate(&WorldParams::with_scale(scale, 5))))
+    });
     group.finish();
 }
 

@@ -49,7 +49,9 @@ fn parse_args() -> Options {
     };
     while i < args.len() {
         let need = |i: usize| -> &str {
-            args.get(i).map(|s| s.as_str()).unwrap_or_else(|| bail("missing argument value"))
+            args.get(i)
+                .map(|s| s.as_str())
+                .unwrap_or_else(|| bail("missing argument value"))
         };
         match args[i].as_str() {
             "--date" => {
@@ -151,7 +153,10 @@ fn main() {
                     v
                 })
                 .collect();
-            println!("{}", serde_json::to_string_pretty(&rows).expect("serializable"));
+            println!(
+                "{}",
+                serde_json::to_string_pretty(&rows).expect("serializable")
+            );
         }
         other => {
             eprintln!("hostgen: unknown format `{other}` (csv|json)");
@@ -171,10 +176,22 @@ fn paperlike_gpu_model() -> GpuModel {
     GpuModel {
         presence: RatioLaw::new(a, b),
         class_shares: vec![
-            (GpuClass::GeForce, RatioLaw::new(0.825 / (-0.26f64 * 3.67).exp(), -0.26)),
-            (GpuClass::Radeon, RatioLaw::new(0.122 / (0.95f64 * 3.67).exp(), 0.95)),
-            (GpuClass::Quadro, RatioLaw::new(0.047 / (-0.16f64 * 3.67).exp(), -0.16)),
-            (GpuClass::Other, RatioLaw::new(0.006 / (0.29f64 * 3.67).exp(), 0.29)),
+            (
+                GpuClass::GeForce,
+                RatioLaw::new(0.825 / (-0.26f64 * 3.67).exp(), -0.26),
+            ),
+            (
+                GpuClass::Radeon,
+                RatioLaw::new(0.122 / (0.95f64 * 3.67).exp(), 0.95),
+            ),
+            (
+                GpuClass::Quadro,
+                RatioLaw::new(0.047 / (-0.16f64 * 3.67).exp(), -0.16),
+            ),
+            (
+                GpuClass::Other,
+                RatioLaw::new(0.006 / (0.29f64 * 3.67).exp(), 0.29),
+            ),
         ],
         // Fig 10 tier weights at Sep 2009 with mild drift toward bigger
         // memories (ratios decay slowly).

@@ -289,7 +289,10 @@ fn table3(report: &FitReport) {
 /// Fig 4: multicore fractions over time.
 fn fig4(trace: &Trace) {
     section("Fig 4: host multicore distribution");
-    println!("{:>6} {:>9} {:>9} {:>9} {:>9}", "year", "1 core", "2-3", "4-7", "8-15");
+    println!(
+        "{:>6} {:>9} {:>9} {:>9} {:>9}",
+        "year", "1 core", "2-3", "4-7", "8-15"
+    );
     for y in 2006..=2010 {
         let f = core_fractions(trace, SimDate::from_year(y as f64));
         println!(
@@ -385,7 +388,9 @@ fn table6(report: &FitReport) {
             rowv.label, rowv.fit.a, rowv.fit.b, rowv.fit.r
         );
     }
-    println!("paper: dhry mean (2064, 0.1709); whet mean (1179, 0.1157); disk mean (31.59, 0.2691)");
+    println!(
+        "paper: dhry mean (2064, 0.1709); whet mean (1179, 0.1157); disk mean (31.59, 0.2691)"
+    );
 }
 
 /// Fig 9: disk distributions + KS selection.
@@ -429,8 +434,7 @@ fn table7(trace: &Trace) {
         let frac = gpus.len() as f64 / pop.len() as f64;
         print!("{y:.2}: {:.1}% of hosts report GPUs;", frac * 100.0);
         for class in resmodel_trace::GpuClass::ALL {
-            let share =
-                gpus.iter().filter(|g| g.class == class).count() as f64 / gpus.len() as f64;
+            let share = gpus.iter().filter(|g| g.class == class).count() as f64 / gpus.len() as f64;
             print!(" {} {:.1}%", class.name(), share * 100.0);
         }
         let mem: Vec<f64> = gpus.iter().map(|g| g.memory_mb).collect();
@@ -494,7 +498,9 @@ fn table8(model: &HostModel, seed: u64) {
 /// Fig 13: predicted multicore mix to 2014.
 fn fig13(model: &HostModel) {
     section("Fig 13: predicted future multicore distribution");
-    let dates: Vec<SimDate> = (2009..=2014).map(|y| SimDate::from_year(y as f64)).collect();
+    let dates: Vec<SimDate> = (2009..=2014)
+        .map(|y| SimDate::from_year(y as f64))
+        .collect();
     let preds = multicore_prediction(model, &dates).expect("prediction");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11}",
@@ -518,7 +524,9 @@ fn fig13(model: &HostModel) {
 /// Fig 14: predicted memory mix to 2014.
 fn fig14(model: &HostModel) {
     section("Fig 14: predicted future host memory distribution");
-    let dates: Vec<SimDate> = (2009..=2014).map(|y| SimDate::from_year(y as f64)).collect();
+    let dates: Vec<SimDate> = (2009..=2014)
+        .map(|y| SimDate::from_year(y as f64))
+        .collect();
     let preds = memory_prediction(model, &dates).expect("prediction");
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
@@ -583,7 +591,10 @@ fn fig15(trace: &Trace, report: &FitReport, seed: u64) {
 /// Table X: the model summary.
 fn table10(model: &HostModel) {
     section("Table X: summary of model parameters (fit from trace)");
-    println!("{:<11} {:<18} {:<15} {:>11} {:>9}", "resource", "value", "method", "a", "b");
+    println!(
+        "{:<11} {:<18} {:<15} {:>11} {:>9}",
+        "resource", "value", "method", "a", "b"
+    );
     for row in model.summary() {
         println!(
             "{:<11} {:<18} {:<15} {:>11.4} {:>9.4}",
@@ -608,8 +619,20 @@ fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
         full.per_core_memory().clone(),
         &Matrix::identity(3),
         resmodel_core::model::MomentLaw::new(
-            report.moment_laws.iter().find(|r| r.label == "Whetstone Mean").expect("row").fit.a,
-            report.moment_laws.iter().find(|r| r.label == "Whetstone Mean").expect("row").fit.b,
+            report
+                .moment_laws
+                .iter()
+                .find(|r| r.label == "Whetstone Mean")
+                .expect("row")
+                .fit
+                .a,
+            report
+                .moment_laws
+                .iter()
+                .find(|r| r.label == "Whetstone Mean")
+                .expect("row")
+                .fit
+                .b,
         ),
         law_of(report, "Whetstone Variance"),
         law_of(report, "Dhrystone Mean"),
@@ -654,7 +677,10 @@ fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
     section("Ablation B: per-core-memory tier ceiling (with vs without the 4 GB tier)");
     let truncated_pcm = DiscreteRatioModel::new(
         PCM_TIERS_MB[..6].to_vec(),
-        report.pcm_laws[..5].iter().map(|r| RatioLaw::from(r.fit)).collect(),
+        report.pcm_laws[..5]
+            .iter()
+            .map(|r| RatioLaw::from(r.fit))
+            .collect(),
     )
     .expect("truncated tiers are valid");
     let truncated = HostModel::new(
@@ -758,7 +784,11 @@ fn gpumodel(trace: &Trace) {
                 let d = SimDate::from_year(y);
                 let shares = model.class_shares_at(d);
                 let share = |c: resmodel_trace::GpuClass| {
-                    shares.iter().find(|(k, _)| *k == c).map(|(_, w)| *w).unwrap_or(0.0)
+                    shares
+                        .iter()
+                        .find(|(k, _)| *k == c)
+                        .map(|(_, w)| *w)
+                        .unwrap_or(0.0)
                 };
                 println!(
                     "{y:>8.2} {:>9.1}% {:>9.1}% {:>9.1}% {:>12.0}",

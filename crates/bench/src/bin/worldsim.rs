@@ -1,22 +1,29 @@
-//! `worldsim` — run the synthetic volunteer-computing world and write
-//! the recorded measurement trace as CSV (the format of
-//! `resmodel_trace::csv`).
+//! `worldsim` — run a synthetic host population and write the recorded
+//! measurement trace as CSV (the format of `resmodel_trace::csv`).
 //!
 //! ```text
 //! worldsim [--scale S] [--seed N] [--raw] [--out FILE]
+//! worldsim --engine SCENARIO [--hosts N] [--seed N] [--out FILE]
 //! ```
 //!
-//! Without `--out` the trace is written to stdout. `--raw` skips
-//! sanitization (keeps corrupt hosts).
+//! The default mode runs the BOINC measurement loop. `--engine` runs
+//! the population-dynamics engine instead with one of the built-in
+//! scenarios (`steady-state`, `flash-crowd`, `gpu-wave`,
+//! `market-shift`) and exports the fleet. Without `--out` the trace is
+//! written to stdout. `--raw` skips sanitization (BOINC mode only).
 
-use resmodel_bench::{build_raw_world, build_world};
+use resmodel_bench::{build_popsim_world, build_raw_world, build_world};
+use resmodel_popsim::Scenario;
 use std::io::Write;
 
 fn main() {
     let mut scale = resmodel_bench::DEFAULT_SCALE;
+    let mut scale_given = false;
     let mut seed = resmodel_bench::DEFAULT_SEED;
     let mut raw = false;
     let mut out: Option<String> = None;
+    let mut engine: Option<String> = None;
+    let mut hosts: Option<usize> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -24,6 +31,7 @@ fn main() {
         match args[i].as_str() {
             "--scale" => {
                 i += 1;
+                scale_given = true;
                 scale = args
                     .get(i)
                     .and_then(|s| s.parse().ok())
@@ -37,20 +45,68 @@ fn main() {
                     .unwrap_or_else(|| bail("--seed needs an integer"));
             }
             "--raw" => raw = true,
+            "--engine" => {
+                i += 1;
+                engine = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| bail("--engine needs a scenario")),
+                );
+            }
+            "--hosts" => {
+                i += 1;
+                hosts = Some(
+                    args.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .unwrap_or_else(|| bail("--hosts needs an integer")),
+                );
+            }
             "--out" => {
                 i += 1;
-                out = Some(args.get(i).cloned().unwrap_or_else(|| bail("--out needs a path")));
+                out = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| bail("--out needs a path")),
+                );
             }
             other => bail(&format!("unknown flag {other}")),
         }
         i += 1;
     }
 
-    eprintln!("simulating world (scale {scale}, seed {seed})...");
-    let trace = if raw {
-        build_raw_world(scale, seed)
-    } else {
-        build_world(scale, seed)
+    // Reject flags that belong to the other mode instead of silently
+    // ignoring them.
+    if engine.is_some() {
+        if scale_given {
+            bail("--scale applies to the BOINC mode, not --engine");
+        }
+        if raw {
+            bail("--raw applies to the BOINC mode, not --engine (engine traces are not sanitized)");
+        }
+    } else if hosts.is_some() {
+        bail("--hosts requires --engine (use --scale for the BOINC mode)");
+    }
+
+    let trace = match engine {
+        Some(name) => {
+            let scenario = Scenario::builtin(&name, seed).unwrap_or_else(|| {
+                bail(&format!(
+                    "unknown scenario `{name}` (try steady-state, flash-crowd, gpu-wave, market-shift)"
+                ))
+            });
+            let hosts = hosts.unwrap_or(0);
+            eprintln!("running population engine ({name}, seed {seed}, hosts {hosts})...");
+            build_popsim_world(scenario, hosts)
+                .unwrap_or_else(|e| bail(&format!("invalid scenario: {e}")))
+        }
+        None => {
+            eprintln!("simulating world (scale {scale}, seed {seed})...");
+            if raw {
+                build_raw_world(scale, seed)
+            } else {
+                build_world(scale, seed)
+            }
+        }
     };
     eprintln!("writing {} hosts...", trace.len());
 
@@ -77,5 +133,6 @@ fn main() {
 fn bail(msg: &str) -> ! {
     eprintln!("worldsim: {msg}");
     eprintln!("usage: worldsim [--scale S] [--seed N] [--raw] [--out FILE]");
+    eprintln!("       worldsim --engine SCENARIO [--hosts N] [--seed N] [--out FILE]");
     std::process::exit(2);
 }

@@ -3,6 +3,7 @@
 //! used when regenerating the paper's tables and figures.
 
 use resmodel_boinc::{simulate, WorldParams};
+use resmodel_popsim::{engine, Scenario};
 use resmodel_trace::sanitize::{sanitize, SanitizeRules};
 use resmodel_trace::{SimDate, Trace};
 
@@ -25,14 +26,37 @@ pub fn build_raw_world(scale: f64, seed: u64) -> Trace {
     simulate(&WorldParams::with_scale(scale, seed))
 }
 
+/// Build a world from a population-engine scenario instead of the
+/// BOINC measurement loop: run the scenario (optionally capped at
+/// `max_hosts`; 0 keeps the scenario's own cap) and export the fleet
+/// as a measurement trace.
+///
+/// # Errors
+///
+/// Returns the scenario's validation error, if any.
+pub fn build_popsim_world(mut scenario: Scenario, max_hosts: usize) -> Result<Trace, String> {
+    if max_hosts > 0 {
+        scenario.max_hosts = max_hosts;
+    }
+    let report = engine::run(&scenario)?;
+    Ok(resmodel_popsim::fleet_to_trace(
+        &report.fleet,
+        report.scenario.end,
+    ))
+}
+
 /// Yearly January sample dates 2006–2010 (the paper's fitting window).
 pub fn fit_dates() -> Vec<SimDate> {
-    (2006..=2010).map(|y| SimDate::from_year(y as f64)).collect()
+    (2006..=2010)
+        .map(|y| SimDate::from_year(y as f64))
+        .collect()
 }
 
 /// Monthly dates January–September 2010 (the Fig 15 window).
 pub fn fig15_dates() -> Vec<SimDate> {
-    (0..9).map(|m| SimDate::from_year(2010.0 + m as f64 / 12.0)).collect()
+    (0..9)
+        .map(|m| SimDate::from_year(2010.0 + m as f64 / 12.0))
+        .collect()
 }
 
 /// Render a row of fixed-width cells.
@@ -60,6 +84,16 @@ mod tests {
         assert!(t.len() > 50);
         let raw = build_raw_world(0.0003, 1);
         assert!(raw.len() >= t.len());
+    }
+
+    #[test]
+    fn popsim_world_builder_works() {
+        let t = build_popsim_world(Scenario::steady_state(1), 300).expect("valid scenario");
+        assert_eq!(t.len(), 300);
+        assert!(t.active_count(SimDate::from_year(2008.0)) > 0);
+        let mut bad = Scenario::steady_state(1);
+        bad.shard_count = 0;
+        assert!(build_popsim_world(bad, 10).is_err());
     }
 
     #[test]

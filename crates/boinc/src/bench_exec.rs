@@ -28,11 +28,7 @@ pub fn contention_factor(params: &WorldParams, cores: u32) -> f64 {
 }
 
 /// Execute the benchmark pair on `hw`, with contention and noise.
-pub fn run_benchmarks(
-    params: &WorldParams,
-    hw: &Hardware,
-    rng: &mut dyn Rng,
-) -> BenchmarkResult {
+pub fn run_benchmarks(params: &WorldParams, hw: &Hardware, rng: &mut dyn Rng) -> BenchmarkResult {
     let contention = contention_factor(params, hw.cores);
     let noise = |rng: &mut dyn Rng| 1.0 + params.benchmark_noise * standard_normal(rng);
     BenchmarkResult {

@@ -223,7 +223,10 @@ mod tests {
                 avail_disk_gb: hw.avail_disk_gb,
                 total_disk_gb: hw.total_disk_gb,
             });
-            assert!(rules.is_corrupt(&rec), "corrupt hardware {i} passed sanitizer");
+            assert!(
+                rules.is_corrupt(&rec),
+                "corrupt hardware {i} passed sanitizer"
+            );
         }
     }
 }

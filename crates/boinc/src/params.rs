@@ -114,8 +114,7 @@ impl WorldParams {
     /// Weibull scale (days) for a host created at `date`, before the
     /// quality penalty.
     pub fn lifetime_scale(&self, created: SimDate) -> f64 {
-        self.lifetime_scale_2006
-            * (self.lifetime_trend_per_year * created.years_since_2006()).exp()
+        self.lifetime_scale_2006 * (self.lifetime_trend_per_year * created.years_since_2006()).exp()
     }
 
     /// Validate parameter sanity.

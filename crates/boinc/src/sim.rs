@@ -5,8 +5,10 @@ use crate::bench_exec::run_benchmarks;
 use crate::hardware::{corrupt_hardware, sample_hardware, Hardware};
 use crate::params::WorldParams;
 use rand::{Rng, RngExt};
+use rayon::prelude::*;
 use resmodel_core::model::PCM_TIERS_MB;
 use resmodel_core::HostModel;
+use resmodel_popsim::timeline::PoissonArrivals;
 use resmodel_stats::distributions::Weibull;
 use resmodel_stats::rng::{seeded, seeded_substream};
 use resmodel_stats::sampling::standard_normal;
@@ -17,8 +19,11 @@ use resmodel_trace::{GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, T
 /// Run the full world simulation and return the recorded trace.
 ///
 /// Deterministic: the same `params` (including `seed`) always produce a
-/// bitwise-identical trace. Host `i` draws from its own RNG substream,
-/// so populations at different scales share a common prefix.
+/// bitwise-identical trace. The arrival timeline comes from the
+/// population engine's Poisson sampler (`resmodel_popsim::timeline`),
+/// and host `i` draws from its own RNG substream — so host lives
+/// simulate in parallel, results never depend on the thread count, and
+/// populations at different scales share a common prefix.
 ///
 /// # Panics
 ///
@@ -29,32 +34,32 @@ pub fn simulate(params: &WorldParams) -> Trace {
         panic!("invalid WorldParams: {msg}");
     }
     let truth = HostModel::paper();
-    let mut arrivals_rng = seeded_substream(params.seed, u64::MAX);
-    let mut trace = Trace::new();
 
-    let mut t = params.start;
-    let mut id: u64 = 0;
+    // Serial phase: the arrival schedule (one dedicated substream).
+    let mut arrivals = PoissonArrivals::new(params.seed, params.start);
+    let mut schedule: Vec<(u64, SimDate)> = Vec::new();
     loop {
-        let rate = params.arrival_rate(t).max(1e-9);
-        let u: f64 = arrivals_rng.random::<f64>();
-        t = t + (-(1.0 - u).ln() / rate);
+        let t = arrivals.next_arrival(|d| params.arrival_rate(d));
         if t > params.end {
             break;
         }
-        trace.push(simulate_host(params, &truth, id, t));
-        id += 1;
+        schedule.push((schedule.len() as u64, t));
     }
-    trace
+
+    // Parallel phase: each host's life is an independent substream;
+    // collection preserves arrival order, so the trace is identical at
+    // any thread count.
+    schedule
+        .par_iter()
+        .map(|&(id, created)| simulate_host(params, &truth, id, created))
+        .collect::<Vec<HostRecord>>()
+        .into_iter()
+        .collect()
 }
 
 /// Simulate one host's whole life: hardware, lifetime, contact schedule
 /// and every recorded measurement.
-fn simulate_host(
-    params: &WorldParams,
-    truth: &HostModel,
-    id: u64,
-    created: SimDate,
-) -> HostRecord {
+fn simulate_host(params: &WorldParams, truth: &HostModel, id: u64, created: SimDate) -> HostRecord {
     let mut rng = seeded_substream(params.seed, id);
     let corrupt = rng.random::<f64>() < params.corrupt_fraction;
     let mut hw: Hardware = if corrupt {
@@ -66,8 +71,7 @@ fn simulate_host(
     // Lifetime: Weibull with creation-date-dependent scale, shortened
     // further for high-quality hardware (Fig 3 and Section V-B).
     let quality = hw.quality_z.clamp(-3.0, 3.0);
-    let scale = params.lifetime_scale(created)
-        * (-params.lifetime_quality_penalty * quality).exp();
+    let scale = params.lifetime_scale(created) * (-params.lifetime_quality_penalty * quality).exp();
     let lifetime = Weibull::new(params.lifetime_shape, scale.max(1e-3))
         .expect("validated parameters")
         .sample(&mut rng);

@@ -104,7 +104,10 @@ pub fn core_tier_counts(population: &[HostView]) -> [usize; 4] {
     let mut counts = [0usize; 4];
     for v in population {
         if let Some(tier) = core_tier(v.cores) {
-            let idx = CORE_TIERS.iter().position(|&t| t == tier).expect("tier in table");
+            let idx = CORE_TIERS
+                .iter()
+                .position(|&t| t == tier)
+                .expect("tier in table");
             counts[idx] += 1;
         }
     }
@@ -116,7 +119,10 @@ pub fn pcm_tier_counts(population: &[HostView], tol: f64) -> [usize; 7] {
     let mut counts = [0usize; 7];
     for v in population {
         if let Some(tier) = pcm_tier(v.memory_per_core_mb(), tol) {
-            let idx = PCM_TIERS_MB.iter().position(|&t| t == tier).expect("tier in table");
+            let idx = PCM_TIERS_MB
+                .iter()
+                .position(|&t| t == tier)
+                .expect("tier in table");
             counts[idx] += 1;
         }
     }
@@ -474,10 +480,18 @@ mod tests {
         let rows = fit_moment_laws(&trace, &FitConfig::default().sample_dates).unwrap();
         assert_eq!(rows.len(), 6);
         let dmean = rows.iter().find(|r| r.label == "Dhrystone Mean").unwrap();
-        assert!((dmean.fit.a - 2064.0).abs() / 2064.0 < 0.05, "a {}", dmean.fit.a);
+        assert!(
+            (dmean.fit.a - 2064.0).abs() / 2064.0 < 0.05,
+            "a {}",
+            dmean.fit.a
+        );
         assert!((dmean.fit.b - 0.1709).abs() < 0.03, "b {}", dmean.fit.b);
         let kmean = rows.iter().find(|r| r.label == "Disk Space Mean").unwrap();
-        assert!((kmean.fit.a - 31.59).abs() / 31.59 < 0.1, "a {}", kmean.fit.a);
+        assert!(
+            (kmean.fit.a - 31.59).abs() / 31.59 < 0.1,
+            "a {}",
+            kmean.fit.a
+        );
         assert!((kmean.fit.b - 0.2691).abs() < 0.05, "b {}", kmean.fit.b);
     }
 
@@ -490,7 +504,9 @@ mod tests {
         assert_eq!(report.moment_laws.len(), 6);
         // The refitted model must generate valid hosts.
         let mut rng = resmodel_stats::rng::seeded(4);
-        let h = report.model.generate_host(SimDate::from_year(2010.0), &mut rng);
+        let h = report
+            .model
+            .generate_host(SimDate::from_year(2010.0), &mut rng);
         assert!(h.cores >= 1 && h.memory_mb > 0.0);
         // Correlations should echo the paper's structure.
         let c = &report.correlation;
@@ -551,7 +567,11 @@ mod tests {
         }
         let fit = lifetime_weibull(&trace, SimDate::from_year(2012.0)).unwrap();
         assert!((fit.shape() - 0.58).abs() < 0.05, "k {}", fit.shape());
-        assert!((fit.scale() - 135.0).abs() / 135.0 < 0.1, "λ {}", fit.scale());
+        assert!(
+            (fit.scale() - 135.0).abs() / 135.0 < 0.1,
+            "λ {}",
+            fit.scale()
+        );
     }
 
     #[test]

@@ -19,8 +19,7 @@ use resmodel_trace::{GpuClass, SimDate, Trace};
 use serde::{Deserialize, Serialize};
 
 /// GPU memory tiers (MB) observed in the paper's Fig 10.
-pub const GPU_MEMORY_TIERS_MB: [f64; 7] =
-    [128.0, 256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0];
+pub const GPU_MEMORY_TIERS_MB: [f64; 7] = [128.0, 256.0, 512.0, 768.0, 1024.0, 1536.0, 2048.0];
 
 /// A generated GPU: class and on-board memory.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -74,7 +73,10 @@ impl GpuModel {
             presence.push(gpus.len() as f64 / pop.len() as f64);
             let mut cc = [0.0; 4];
             for g in &gpus {
-                let idx = GpuClass::ALL.iter().position(|&c| c == g.class).expect("known class");
+                let idx = GpuClass::ALL
+                    .iter()
+                    .position(|&c| c == g.class)
+                    .expect("known class");
                 cc[idx] += 1.0;
             }
             class_counts.push(cc);
@@ -266,7 +268,9 @@ mod tests {
     }
 
     fn quarterly_dates() -> Vec<SimDate> {
-        (0..4).map(|q| SimDate::from_year(2009.75 + q as f64 * 0.3)).collect()
+        (0..4)
+            .map(|q| SimDate::from_year(2009.75 + q as f64 * 0.3))
+            .collect()
     }
 
     #[test]
@@ -276,7 +280,11 @@ mod tests {
         let p_end = model.presence_at(SimDate::from_year(2010.65));
         assert!((p_start - 0.10).abs() < 0.03, "start {p_start}");
         assert!((p_end - 0.31).abs() < 0.06, "end {p_end}");
-        assert!(model.presence_r > 0.9, "presence fit r {}", model.presence_r);
+        assert!(
+            model.presence_r > 0.9,
+            "presence fit r {}",
+            model.presence_r
+        );
     }
 
     #[test]
@@ -316,10 +324,15 @@ mod tests {
         let mut rng = seeded(7);
         let date = SimDate::from_year(2010.5);
         let n = 20_000;
-        let with_gpu = (0..n).filter(|_| model.sample(date, &mut rng).is_some()).count();
+        let with_gpu = (0..n)
+            .filter(|_| model.sample(date, &mut rng).is_some())
+            .count();
         let frac = with_gpu as f64 / n as f64;
         let expect = model.presence_at(date);
-        assert!((frac - expect).abs() < 0.02, "sampled {frac} vs law {expect}");
+        assert!(
+            (frac - expect).abs() < 0.02,
+            "sampled {frac} vs law {expect}"
+        );
     }
 
     #[test]

@@ -173,12 +173,18 @@ impl HostModel {
 
     /// Predicted Whetstone (mean, variance) at `date`.
     pub fn whetstone_moments(&self, date: SimDate) -> (f64, f64) {
-        (self.whetstone_mean.at(date), self.whetstone_variance.at(date))
+        (
+            self.whetstone_mean.at(date),
+            self.whetstone_variance.at(date),
+        )
     }
 
     /// Predicted Dhrystone (mean, variance) at `date`.
     pub fn dhrystone_moments(&self, date: SimDate) -> (f64, f64) {
-        (self.dhrystone_mean.at(date), self.dhrystone_variance.at(date))
+        (
+            self.dhrystone_mean.at(date),
+            self.dhrystone_variance.at(date),
+        )
     }
 
     /// Predicted available-disk (mean, variance) at `date`.

@@ -174,7 +174,10 @@ mod tests {
         // Paper: single-core negligible, 2-core ≈ 40%, mean 4.6.
         assert!(p.one_core < 0.05, "one core {}", p.one_core);
         let two_core_exact = p.at_least_2 - p.at_least_4;
-        assert!((two_core_exact - 0.4).abs() < 0.08, "2-core {two_core_exact}");
+        assert!(
+            (two_core_exact - 0.4).abs() < 0.08,
+            "2-core {two_core_exact}"
+        );
         assert!((p.mean_cores - 4.6).abs() < 0.2, "mean {}", p.mean_cores);
         // Cumulative fractions must be nested.
         assert!(p.at_least_2 >= p.at_least_4);
@@ -185,7 +188,9 @@ mod tests {
 
     #[test]
     fn multicore_series_monotone_trends() {
-        let dates: Vec<SimDate> = (2009..=2014).map(|y| SimDate::from_year(y as f64)).collect();
+        let dates: Vec<SimDate> = (2009..=2014)
+            .map(|y| SimDate::from_year(y as f64))
+            .collect();
         let preds = multicore_prediction(&HostModel::paper(), &dates).unwrap();
         for w in preds.windows(2) {
             assert!(w[1].one_core <= w[0].one_core + 1e-9, "1-core must decline");
@@ -212,12 +217,36 @@ mod tests {
     #[test]
     fn moments_2014_match_paper() {
         let p = moment_prediction(&HostModel::paper(), SimDate::from_year(2014.0));
-        assert!((p.dhrystone.0 - 8100.0).abs() / 8100.0 < 0.01, "dhry mean {}", p.dhrystone.0);
-        assert!((p.dhrystone.1 - 4419.0).abs() / 4419.0 < 0.01, "dhry std {}", p.dhrystone.1);
-        assert!((p.whetstone.0 - 2975.0).abs() / 2975.0 < 0.01, "whet mean {}", p.whetstone.0);
-        assert!((p.whetstone.1 - 868.0).abs() / 868.0 < 0.01, "whet std {}", p.whetstone.1);
-        assert!((p.disk_gb.0 - 272.0).abs() / 272.0 < 0.01, "disk mean {}", p.disk_gb.0);
-        assert!((p.disk_gb.1 - 434.5).abs() / 434.5 < 0.01, "disk std {}", p.disk_gb.1);
+        assert!(
+            (p.dhrystone.0 - 8100.0).abs() / 8100.0 < 0.01,
+            "dhry mean {}",
+            p.dhrystone.0
+        );
+        assert!(
+            (p.dhrystone.1 - 4419.0).abs() / 4419.0 < 0.01,
+            "dhry std {}",
+            p.dhrystone.1
+        );
+        assert!(
+            (p.whetstone.0 - 2975.0).abs() / 2975.0 < 0.01,
+            "whet mean {}",
+            p.whetstone.0
+        );
+        assert!(
+            (p.whetstone.1 - 868.0).abs() / 868.0 < 0.01,
+            "whet std {}",
+            p.whetstone.1
+        );
+        assert!(
+            (p.disk_gb.0 - 272.0).abs() / 272.0 < 0.01,
+            "disk mean {}",
+            p.disk_gb.0
+        );
+        assert!(
+            (p.disk_gb.1 - 434.5).abs() / 434.5 < 0.01,
+            "disk std {}",
+            p.disk_gb.1
+        );
     }
 
     #[test]

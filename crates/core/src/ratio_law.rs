@@ -212,11 +212,7 @@ mod tests {
     fn construction_validation() {
         assert!(DiscreteRatioModel::new(vec![1.0], vec![]).is_err());
         assert!(DiscreteRatioModel::new(vec![1.0, 2.0], vec![]).is_err());
-        assert!(DiscreteRatioModel::new(
-            vec![2.0, 1.0],
-            vec![RatioLaw::new(1.0, 0.0)]
-        )
-        .is_err());
+        assert!(DiscreteRatioModel::new(vec![2.0, 1.0], vec![RatioLaw::new(1.0, 0.0)]).is_err());
     }
 
     #[test]
@@ -258,7 +254,9 @@ mod tests {
 
     #[test]
     fn extension_validates_ordering() {
-        assert!(paper_cores().extended(4.0, RatioLaw::new(1.0, 0.0)).is_err());
+        assert!(paper_cores()
+            .extended(4.0, RatioLaw::new(1.0, 0.0))
+            .is_err());
     }
 
     #[test]

@@ -203,7 +203,12 @@ mod tests {
         let b = pop(2, 8000);
         let cmp = compare_populations(&a, &b).unwrap();
         for c in &cmp {
-            assert!(c.mean_diff_fraction < 0.1, "{:?}: {}", c.resource, c.mean_diff_fraction);
+            assert!(
+                c.mean_diff_fraction < 0.1,
+                "{:?}: {}",
+                c.resource,
+                c.mean_diff_fraction
+            );
             assert!(c.ks_distance < 0.05, "{:?}: {}", c.resource, c.ks_distance);
         }
     }
@@ -217,7 +222,11 @@ mod tests {
             .iter()
             .find(|c| c.resource == CompareResource::Dhrystone)
             .unwrap();
-        assert!(dhry.mean_diff_fraction > 0.5, "dhry diff {}", dhry.mean_diff_fraction);
+        assert!(
+            dhry.mean_diff_fraction > 0.5,
+            "dhry diff {}",
+            dhry.mean_diff_fraction
+        );
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! The population-dynamics engine: drives every shard's event queue
+//! through simulated time, in parallel, with bitwise-deterministic
+//! results at any thread count.
+//!
+//! ## Determinism contract
+//!
+//! * The arrival schedule is a serial function of `(seed)` drawn from a
+//!   dedicated substream ([`crate::timeline::ARRIVALS_STREAM`]).
+//! * Host `id` draws every random quantity from its own substream
+//!   `substream(seed, id)`, in a fixed order, so a host's life depends
+//!   only on `(seed, id, arrival time)`.
+//! * Hosts are assigned to shard `id % shard_count`; shards simulate
+//!   independently and their partial statistics merge in shard order.
+//!
+//! Consequences: the same scenario gives the same fleet and series on
+//! 1 thread or 64; and two scenarios differing only in `max_hosts`
+//! produce fleets where the smaller is an exact prefix of the larger.
+
+use crate::fleet::{Fleet, ResourceDraw, Shard, SimHost};
+use crate::scenario::{MarketShift, RefreshPolicy, Scenario};
+use crate::stats::{SnapshotStats, TimeSeries};
+use crate::timeline::{arrival_schedule, EventKind, EventQueue};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rayon::prelude::*;
+use resmodel_avail::Schedule;
+use resmodel_core::{HostGenerator, HostModel};
+use resmodel_stats::rng::{seeded_substream, substream};
+use resmodel_stats::Distribution;
+use resmodel_trace::{CpuFamily, OsFamily, SimDate};
+
+/// Substream salt for on-demand availability schedules, distinct from
+/// the host's main life stream.
+const AVAIL_SCHEDULE_SALT: u64 = 0x5EED_AB1E_0000_0001;
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineReport {
+    /// The scenario that was run.
+    pub scenario: Scenario,
+    /// Every host simulated, sharded.
+    pub fleet: Fleet,
+    /// Streaming statistics, one entry per snapshot date.
+    pub series: TimeSeries,
+}
+
+impl EngineReport {
+    /// Deterministic on-demand ON/OFF availability schedule for one
+    /// host over `horizon_hours`, when the scenario models
+    /// availability. Derived from a dedicated substream, so it is
+    /// stable across calls and independent of the engine run itself.
+    pub fn availability_schedule(&self, host_id: u64, horizon_hours: f64) -> Option<Schedule> {
+        let model = self.scenario.availability.as_ref()?;
+        let host = self.fleet.host(host_id)?;
+        let params = model.class(host.class?)?;
+        let mut rng = seeded_substream(substream(self.scenario.seed, host_id), AVAIL_SCHEDULE_SALT);
+        Some(model.schedule_for(params, horizon_hours, &mut rng))
+    }
+}
+
+/// Run a scenario to completion.
+///
+/// # Errors
+///
+/// Returns the scenario's validation error, if any; the simulation
+/// itself cannot fail.
+pub fn run(scenario: &Scenario) -> Result<EngineReport, String> {
+    scenario.validate()?;
+    let model = HostModel::paper();
+    run_with_model(scenario, &model)
+}
+
+/// Run a scenario against an explicit generative host model (e.g. a
+/// refitted one) instead of the paper constants.
+///
+/// # Errors
+///
+/// Returns the scenario's validation error, if any.
+pub fn run_with_model(scenario: &Scenario, model: &HostModel) -> Result<EngineReport, String> {
+    scenario.validate()?;
+    let arrivals = arrival_schedule(
+        scenario.seed,
+        scenario.start,
+        scenario.end,
+        scenario.max_hosts,
+        |t| scenario.arrivals.rate(t),
+    );
+
+    let shard_count = scenario.shard_count;
+    let mut shard_inputs: Vec<Vec<(u64, SimDate)>> = vec![Vec::new(); shard_count];
+    for (id, &created) in arrivals.iter().enumerate() {
+        shard_inputs[id % shard_count].push((id as u64, created));
+    }
+    let dates = scenario.snapshot_dates();
+
+    // Shards are independent: simulate them on however many threads
+    // rayon offers; outputs are collected in shard order either way.
+    let outcomes: Vec<ShardOutcome> = shard_inputs
+        .par_iter()
+        .map(|input| run_shard(scenario, model, &dates, input))
+        .collect();
+
+    // Deterministic merge: shard order, then snapshot order.
+    let mut series = TimeSeries::default();
+    for (k, &t) in dates.iter().enumerate() {
+        let mut merged = SnapshotStats::empty(t);
+        for outcome in &outcomes {
+            merged.merge(&outcome.partials[k]);
+        }
+        series.snapshots.push(merged);
+    }
+    let fleet = Fleet::from_shards(outcomes.into_iter().map(|o| o.shard).collect());
+
+    Ok(EngineReport {
+        scenario: scenario.clone(),
+        fleet,
+        series,
+    })
+}
+
+struct ShardOutcome {
+    shard: Shard,
+    partials: Vec<SnapshotStats>,
+}
+
+/// Drain one shard's event queue from scenario start to end.
+fn run_shard(
+    scenario: &Scenario,
+    model: &HostModel,
+    dates: &[SimDate],
+    input: &[(u64, SimDate)],
+) -> ShardOutcome {
+    let mut queue = EventQueue::new();
+    for (local, (_, created)) in input.iter().enumerate() {
+        queue.push(*created, EventKind::Arrive(local as u32));
+    }
+    for (k, &t) in dates.iter().enumerate() {
+        queue.push(t, EventKind::Snapshot(k as u32));
+    }
+
+    let mut hosts: Vec<SimHost> = Vec::with_capacity(input.len());
+    let mut rngs: Vec<StdRng> = Vec::with_capacity(input.len());
+    let mut partials: Vec<SnapshotStats> = dates.iter().map(|&t| SnapshotStats::empty(t)).collect();
+    let mut arrived: u64 = 0;
+    let mut departed: u64 = 0;
+
+    // Live-host partition: `alive` holds local indices of hosts whose
+    // Death event has not fired, `alive_pos[i]` their position in it
+    // (`u32::MAX` once dead). Snapshots scan only the live set, so a
+    // run costs O(snapshots × alive) rather than O(snapshots × ever
+    // arrived). Swap-removal makes the observation order a (fully
+    // deterministic) function of the event sequence, not of insertion.
+    const DEAD: u32 = u32::MAX;
+    let mut alive: Vec<u32> = Vec::new();
+    let mut alive_pos: Vec<u32> = Vec::with_capacity(input.len());
+
+    while let Some(event) = queue.pop() {
+        let now = SimDate::from_days(event.at_days);
+        match event.kind {
+            EventKind::Arrive(i) => {
+                let (id, created) = input[i as usize];
+                debug_assert_eq!(hosts.len(), i as usize);
+                let mut rng = seeded_substream(scenario.seed, id);
+                let host = spawn_host(scenario, model, id, created, &mut rng);
+                arrived += 1;
+                if host.death <= scenario.end {
+                    queue.push(host.death, EventKind::Death(i));
+                }
+                if let Some(at) = next_refresh(scenario, created, &host, &mut rng) {
+                    queue.push(at, EventKind::Refresh(i));
+                }
+                alive_pos.push(alive.len() as u32);
+                alive.push(i);
+                hosts.push(host);
+                rngs.push(rng);
+            }
+            EventKind::Refresh(i) => {
+                let host = &mut hosts[i as usize];
+                let rng = &mut rngs[i as usize];
+                refresh_host(scenario, model, host, now, rng);
+                if let Some(at) = next_refresh(scenario, now, host, rng) {
+                    queue.push(at, EventKind::Refresh(i));
+                }
+            }
+            EventKind::Snapshot(k) => {
+                let partial = &mut partials[k as usize];
+                partial.arrived = arrived;
+                partial.departed = departed;
+                for &i in &alive {
+                    let host = &hosts[i as usize];
+                    debug_assert!(host.alive_at(now));
+                    partial.observe(host);
+                }
+            }
+            EventKind::Death(i) => {
+                departed += 1;
+                let pos = alive_pos[i as usize] as usize;
+                alive.swap_remove(pos);
+                if let Some(&moved) = alive.get(pos) {
+                    alive_pos[moved as usize] = pos as u32;
+                }
+                alive_pos[i as usize] = DEAD;
+            }
+        }
+    }
+
+    ShardOutcome {
+        shard: Shard { hosts },
+        partials,
+    }
+}
+
+/// Materialise a host at its arrival instant. Draw order is fixed and
+/// documented; changing it is a determinism-breaking change.
+fn spawn_host(
+    scenario: &Scenario,
+    model: &HostModel,
+    id: u64,
+    created: SimDate,
+    rng: &mut StdRng,
+) -> SimHost {
+    // 1. Resources from the correlated generative model at the
+    //    arrival date.
+    let resources = model.generate_host(created, rng);
+
+    // 2. Market composition (optionally shifted).
+    let os = sample_os(scenario.market.as_ref(), created, rng.random::<f64>());
+    let cpu = sample_cpu(scenario.market.as_ref(), created, rng.random::<f64>());
+
+    // 3. GPU, when recording has started and the model says so.
+    let (gpu, gpu_since) = sample_gpu(scenario, created, rng);
+
+    // 4. Availability behaviour class.
+    let (class, availability) = match &scenario.availability {
+        Some(avail) => {
+            let class = avail.sample_class(rng);
+            let a = avail
+                .class(class)
+                .map(|p| p.steady_state_availability())
+                .unwrap_or(1.0);
+            (Some(class), a)
+        }
+        None => (None, 1.0),
+    };
+
+    // 5. Weibull lifetime with the creation-date trend.
+    let lifetime_days = resmodel_stats::distributions::Weibull::new(
+        scenario.lifetime.shape,
+        scenario.lifetime.scale_at(created),
+    )
+    .expect("validated lifetime law")
+    .sample(rng);
+    let death = created + lifetime_days;
+
+    SimHost {
+        id,
+        created,
+        death,
+        resources,
+        os,
+        cpu,
+        gpu,
+        gpu_since,
+        class,
+        availability,
+        history: vec![ResourceDraw {
+            at: created,
+            resources,
+        }],
+    }
+}
+
+/// Re-draw a live host's hardware at a refresh instant.
+fn refresh_host(
+    scenario: &Scenario,
+    model: &HostModel,
+    host: &mut SimHost,
+    now: SimDate,
+    rng: &mut StdRng,
+) {
+    host.resources = model.generate_host(now, rng);
+    host.history.push(ResourceDraw {
+        at: now,
+        resources: host.resources,
+    });
+    // A refresh after recording began may surface a GPU on a host that
+    // had none (new machines increasingly ship with one).
+    if host.gpu.is_none() {
+        let (gpu, since) = sample_gpu(scenario, now, rng);
+        if gpu.is_some() {
+            host.gpu = gpu;
+            host.gpu_since = since;
+        }
+    }
+}
+
+/// The next refresh date after `after`, or `None` when the host dies
+/// or the scenario ends first.
+fn next_refresh(
+    scenario: &Scenario,
+    after: SimDate,
+    host: &SimHost,
+    rng: &mut StdRng,
+) -> Option<SimDate> {
+    let RefreshPolicy::Periodic {
+        interval_days,
+        jitter_days,
+    } = scenario.refresh
+    else {
+        return None;
+    };
+    let jitter = if jitter_days > 0.0 {
+        rng.random_range(-jitter_days..jitter_days)
+    } else {
+        0.0
+    };
+    let at = after + (interval_days + jitter).max(1.0);
+    (at < host.death && at <= scenario.end).then_some(at)
+}
+
+/// Sample a GPU per the scenario's adoption model and recording rule.
+fn sample_gpu(
+    scenario: &Scenario,
+    at: SimDate,
+    rng: &mut StdRng,
+) -> (
+    Option<resmodel_core::gpu_model::GeneratedGpu>,
+    Option<SimDate>,
+) {
+    let Some(model) = &scenario.gpu.model else {
+        return (None, None);
+    };
+    if at.year() < scenario.gpu.recording_start_year {
+        return (None, None);
+    }
+    match model.sample(at, rng) {
+        Some(gpu) => (Some(gpu), Some(at)),
+        None => (None, None),
+    }
+}
+
+/// Pick from a normalised `(item, weight)` table with uniform draw
+/// `u`, reusing the trace crate's categorical sampler. Callers pass
+/// [`blend_shares`] output, which always sums to 1.
+fn pick_share<T: Copy>(shares: &[(T, f64)], u: f64) -> T {
+    let weights: Vec<f64> = shares.iter().map(|(_, w)| w.max(0.0)).collect();
+    shares[resmodel_trace::market::pick_index(&weights, u)].0
+}
+
+/// Blend the paper's historical share table with a shift target.
+fn blend_shares<T: Copy + PartialEq>(
+    table: Vec<(T, f64)>,
+    target: &[(T, f64)],
+    blend: f64,
+) -> Vec<(T, f64)> {
+    if target.is_empty() || blend <= 0.0 {
+        return table;
+    }
+    let table_total: f64 = table.iter().map(|(_, w)| w).sum();
+    let target_total: f64 = target.iter().map(|(_, w)| w).sum();
+    table
+        .into_iter()
+        .map(|(item, w)| {
+            let tw = target
+                .iter()
+                .find(|(t, _)| *t == item)
+                .map(|(_, w)| *w)
+                .unwrap_or(0.0);
+            let blended =
+                (1.0 - blend) * w / table_total.max(1e-12) + blend * tw / target_total.max(1e-12);
+            (item, blended)
+        })
+        .collect()
+}
+
+fn sample_os(shift: Option<&MarketShift>, at: SimDate, u: f64) -> OsFamily {
+    match shift {
+        Some(s) if !s.target_os.is_empty() => {
+            let table = OsFamily::shares_at(at.year());
+            pick_share(&blend_shares(table, &s.target_os, s.blend_at(at)), u)
+        }
+        _ => OsFamily::sample_at(at.year(), u),
+    }
+}
+
+fn sample_cpu(shift: Option<&MarketShift>, at: SimDate, u: f64) -> CpuFamily {
+    match shift {
+        Some(s) if !s.target_cpu.is_empty() => {
+            let table = CpuFamily::shares_at(at.year());
+            pick_share(&blend_shares(table, &s.target_cpu, s.blend_at(at)), u)
+        }
+        _ => CpuFamily::sample_at(at.year(), u),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ArrivalLaw;
+
+    fn tiny(seed: u64) -> Scenario {
+        Scenario {
+            max_hosts: 400,
+            shard_count: 8,
+            arrivals: ArrivalLaw::Exponential {
+                base_per_day: 5.0,
+                growth_per_year: 0.18,
+            },
+            ..Scenario::steady_state(seed)
+        }
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let s = tiny(11);
+        let a = run(&s).unwrap();
+        let b = run(&s).unwrap();
+        assert_eq!(a.fleet, b.fleet);
+        assert_eq!(a.series, b.series);
+        let c = run(&tiny(12)).unwrap();
+        assert_ne!(a.fleet, c.fleet);
+    }
+
+    #[test]
+    fn fleet_respects_cap_and_ids() {
+        let report = run(&tiny(1)).unwrap();
+        assert_eq!(report.fleet.len(), 400);
+        let hosts = report.fleet.hosts_in_id_order();
+        for (i, h) in hosts.iter().enumerate() {
+            assert_eq!(h.id, i as u64);
+            assert!(h.death > h.created);
+            assert!(h.resources.cores >= 1);
+            assert!(!h.history.is_empty());
+            assert_eq!(h.history[0].at, h.created);
+        }
+        // Arrival order == id order.
+        for w in hosts.windows(2) {
+            assert!(w[1].created >= w[0].created);
+        }
+    }
+
+    #[test]
+    fn snapshots_track_population() {
+        let report = run(&tiny(2)).unwrap();
+        assert!(!report.series.is_empty());
+        for s in &report.series.snapshots {
+            // Cross-check the streaming count against a direct scan.
+            assert_eq!(s.active, report.fleet.active_at(s.t) as u64);
+            assert_eq!(s.active as usize, s.cores_count(), "moment count mismatch");
+            assert!(s.arrived >= s.active + s.departed_before_active_overlap());
+        }
+        let last = report.series.snapshots.last().unwrap();
+        assert_eq!(last.arrived, 400);
+    }
+
+    #[test]
+    fn refreshes_redraw_hardware() {
+        let report = run(&tiny(3)).unwrap();
+        let refreshed: usize = report.fleet.iter().map(|h| h.refresh_count()).sum();
+        assert!(refreshed > 0, "some long-lived host should refresh");
+        for h in report.fleet.iter() {
+            for w in h.history.windows(2) {
+                assert!(w[1].at > w[0].at);
+                assert!(w[1].at < h.death && w[1].at <= report.scenario.end);
+            }
+            assert_eq!(h.resources, h.history.last().unwrap().resources);
+        }
+    }
+
+    #[test]
+    fn availability_classes_assigned() {
+        let report = run(&tiny(4)).unwrap();
+        assert!(report.fleet.iter().all(|h| h.class.is_some()));
+        assert!(report
+            .fleet
+            .iter()
+            .all(|h| h.availability > 0.0 && h.availability <= 1.0));
+        let schedule = report.availability_schedule(0, 24.0 * 30.0).unwrap();
+        assert!(schedule.availability_fraction() > 0.0);
+        // Deterministic across calls.
+        let again = report.availability_schedule(0, 24.0 * 30.0).unwrap();
+        assert_eq!(schedule.intervals(), again.intervals());
+    }
+
+    #[test]
+    fn market_shift_changes_mix() {
+        let mut shifted = tiny(5);
+        shifted.market = Scenario::market_shift(5).market;
+        shifted.end = SimDate::from_year(2011.0);
+        // Uncap and slow arrivals so hosts keep arriving through the
+        // whole ramp window.
+        shifted.max_hosts = 0;
+        shifted.arrivals = ArrivalLaw::Exponential {
+            base_per_day: 0.6,
+            growth_per_year: 0.18,
+        };
+        let report = run(&shifted).unwrap();
+        let late_hosts: Vec<_> = report
+            .fleet
+            .iter()
+            .filter(|h| h.created.year() > 2010.6)
+            .collect();
+        assert!(!late_hosts.is_empty());
+        let win7 = late_hosts
+            .iter()
+            .filter(|h| h.os == OsFamily::Windows7)
+            .count() as f64
+            / late_hosts.len() as f64;
+        // Historical table: ~9% in 2010; the shifted target is 55%.
+        assert!(win7 > 0.25, "Windows 7 share after shift: {win7}");
+    }
+
+    #[test]
+    fn gpu_wave_raises_adoption() {
+        let base = run(&tiny(6)).unwrap();
+        let mut wave_scenario = tiny(6);
+        wave_scenario.gpu = crate::scenario::GpuScenario::wave(3.0);
+        let wave = run(&wave_scenario).unwrap();
+        let last_base = base.series.snapshots.last().unwrap().gpu_fraction();
+        let last_wave = wave.series.snapshots.last().unwrap().gpu_fraction();
+        assert!(
+            last_wave >= last_base,
+            "wave {last_wave} vs base {last_base}"
+        );
+    }
+
+    #[test]
+    fn share_picker_is_proportional() {
+        let shares = vec![("a", 0.75), ("b", 0.25)];
+        assert_eq!(pick_share(&shares, 0.0), "a");
+        assert_eq!(pick_share(&shares, 0.74), "a");
+        assert_eq!(pick_share(&shares, 0.76), "b");
+        assert_eq!(pick_share(&shares, 0.999), "b");
+    }
+
+    impl SnapshotStats {
+        fn cores_count(&self) -> usize {
+            self.cores.count() as usize
+        }
+
+        fn departed_before_active_overlap(&self) -> u64 {
+            // arrived ≥ active always holds; departed hosts may die
+            // after the snapshot, so only this weak bound is universal.
+            0
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Export a simulated fleet as a measurement [`Trace`], bridging the
+//! population engine to the existing fitting/validation pipeline.
+
+use crate::fleet::{Fleet, SimHost};
+use resmodel_core::GeneratedHost;
+use resmodel_trace::{GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, Trace};
+
+/// Deterministic total-disk convention for exported snapshots: the
+/// engine models *available* disk (what the paper models); exports
+/// assume it is ~60% of the drive.
+const AVAIL_DISK_FRACTION: f64 = 0.6;
+
+fn snapshot(at: SimDate, r: &GeneratedHost) -> ResourceSnapshot {
+    ResourceSnapshot {
+        t: at,
+        cores: r.cores,
+        memory_mb: r.memory_mb,
+        whetstone_mips: r.whetstone_mips,
+        dhrystone_mips: r.dhrystone_mips,
+        avail_disk_gb: r.avail_disk_gb,
+        total_disk_gb: r.avail_disk_gb / AVAIL_DISK_FRACTION,
+    }
+}
+
+fn record_of(host: &SimHost, end: SimDate) -> HostRecord {
+    let mut record = HostRecord::new(host.id.into(), host.created);
+    record.os = host.os;
+    record.cpu = host.cpu;
+    if let (Some(gpu), Some(since)) = (host.gpu, host.gpu_since) {
+        record.gpu = Some(GpuInfo {
+            class: gpu.class,
+            memory_mb: gpu.memory_mb,
+            since,
+        });
+    }
+    for draw in &host.history {
+        record.record(snapshot(draw.at, &draw.resources));
+    }
+    // Final contact at death (or the export horizon), so the activity
+    // rule sees the host's whole life.
+    let last = host.death.min(end);
+    if record.last_contact().map(|t| t < last).unwrap_or(true) {
+        record.record(snapshot(last, &host.resources));
+    }
+    record
+}
+
+/// Convert the whole fleet into a [`Trace`] with one record per host:
+/// a measurement at every hardware draw plus a final contact at death
+/// (clamped to `end`).
+pub fn fleet_to_trace(fleet: &Fleet, end: SimDate) -> Trace {
+    fleet
+        .hosts_in_id_order()
+        .into_iter()
+        .map(|h| record_of(h, end))
+        .collect()
+}
+
+/// Convert only the hosts alive at `t` (a population snapshot).
+pub fn snapshot_to_trace(fleet: &Fleet, t: SimDate) -> Trace {
+    fleet
+        .hosts_in_id_order()
+        .into_iter()
+        .filter(|h| h.alive_at(t))
+        .map(|h| record_of(h, t))
+        .collect()
+}
+
+/// The fleet's GPU classes by host id (the engine and the trace layer
+/// share the `GpuClass` type), for validation against Table VII.
+pub fn gpu_classes(fleet: &Fleet) -> Vec<(u64, GpuClass)> {
+    fleet
+        .iter()
+        .filter_map(|h| h.gpu.map(|g| (h.id, g.class)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::run;
+    use crate::scenario::{ArrivalLaw, Scenario};
+
+    fn tiny() -> crate::engine::EngineReport {
+        let scenario = Scenario {
+            max_hosts: 300,
+            shard_count: 8,
+            arrivals: ArrivalLaw::Exponential {
+                base_per_day: 5.0,
+                growth_per_year: 0.18,
+            },
+            ..Scenario::steady_state(21)
+        };
+        run(&scenario).unwrap()
+    }
+
+    #[test]
+    fn trace_matches_fleet_population() {
+        let report = tiny();
+        let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+        assert_eq!(trace.len(), report.fleet.len());
+        // The trace's activity rule (contact-based) agrees with the
+        // fleet's (span-based) away from the window edges.
+        let t = SimDate::from_year(2008.0);
+        assert_eq!(trace.active_count(t), report.fleet.active_at(t));
+    }
+
+    #[test]
+    fn trace_lookup_is_by_engine_id() {
+        let report = tiny();
+        let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+        let host = trace.host(5.into()).expect("host 5 exists");
+        let sim = report.fleet.host(5).unwrap();
+        assert_eq!(host.created, sim.created);
+        assert_eq!(host.os, sim.os);
+        assert_eq!(host.snapshots().len(), sim.history.len() + 1);
+    }
+
+    #[test]
+    fn snapshot_export_filters_to_alive() {
+        let report = tiny();
+        let t = SimDate::from_year(2008.0);
+        let snap = snapshot_to_trace(&report.fleet, t);
+        assert_eq!(snap.len(), report.fleet.active_at(t));
+        for h in snap.hosts() {
+            assert!(h.is_active_at(t));
+        }
+    }
+
+    #[test]
+    fn exported_resources_round_trip() {
+        let report = tiny();
+        let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+        for sim in report.fleet.iter().take(50) {
+            let rec = trace.host(sim.id.into()).unwrap();
+            let first = &rec.snapshots()[0];
+            let draw = &sim.history[0];
+            assert_eq!(first.cores, draw.resources.cores);
+            assert_eq!(first.memory_mb, draw.resources.memory_mb);
+            assert_eq!(first.avail_disk_gb, draw.resources.avail_disk_gb);
+            assert!(first.total_disk_gb > first.avail_disk_gb);
+        }
+    }
+}

@@ -1,0 +1,234 @@
+//! The sharded fleet store: simulated hosts partitioned into
+//! independent shards so simulation parallelises without any
+//! cross-thread coordination.
+
+use resmodel_avail::HostClass;
+use resmodel_core::gpu_model::GeneratedGpu;
+use resmodel_core::GeneratedHost;
+use resmodel_trace::{CpuFamily, OsFamily, SimDate};
+use serde::{Deserialize, Serialize};
+
+/// One (re-)draw of a host's hardware: the resources in force from
+/// `at` until the next draw.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceDraw {
+    /// When the hardware was (re-)drawn.
+    pub at: SimDate,
+    /// The drawn resources.
+    pub resources: GeneratedHost,
+}
+
+/// A simulated host: identity, life span, hardware history and
+/// behavioural attributes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimHost {
+    /// Fleet-wide id; equals the host's arrival index.
+    pub id: u64,
+    /// Arrival date.
+    pub created: SimDate,
+    /// Departure date (may exceed the scenario end).
+    pub death: SimDate,
+    /// Current (latest-drawn) resources.
+    pub resources: GeneratedHost,
+    /// OS family at arrival.
+    pub os: OsFamily,
+    /// CPU family at arrival.
+    pub cpu: CpuFamily,
+    /// GPU, when the host reported one.
+    pub gpu: Option<GeneratedGpu>,
+    /// When the GPU became visible (recording-start rule).
+    pub gpu_since: Option<SimDate>,
+    /// Availability behaviour class, when the scenario models one.
+    pub class: Option<HostClass>,
+    /// Long-run availability in `[0, 1]` (1 when not modelled).
+    pub availability: f64,
+    /// Hardware draws, time-ordered: the arrival draw plus one per
+    /// refresh that happened before death/end.
+    pub history: Vec<ResourceDraw>,
+}
+
+impl SimHost {
+    /// The paper's activity rule: alive at `t` iff
+    /// `created ≤ t ≤ death`.
+    pub fn alive_at(&self, t: SimDate) -> bool {
+        self.created <= t && t <= self.death
+    }
+
+    /// Resources in force at `t`: the latest draw at or before `t`;
+    /// `None` before arrival.
+    pub fn resources_at(&self, t: SimDate) -> Option<&GeneratedHost> {
+        self.history
+            .iter()
+            .rev()
+            .find(|d| d.at <= t)
+            .map(|d| &d.resources)
+    }
+
+    /// Number of hardware refreshes the host went through.
+    pub fn refresh_count(&self) -> usize {
+        self.history.len().saturating_sub(1)
+    }
+}
+
+/// One shard: the subset of hosts with `id % shard_count == index`,
+/// stored in ascending id (= arrival) order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Shard {
+    /// Hosts, ascending by id.
+    pub hosts: Vec<SimHost>,
+}
+
+/// The whole simulated fleet, sharded for parallelism.
+///
+/// Host `id` lives in shard `id % shard_count` — a pure function of the
+/// scenario, never of the machine, so results are bitwise identical at
+/// any thread count and fleets at different `max_hosts` share a prefix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fleet {
+    shards: Vec<Shard>,
+    len: usize,
+}
+
+impl Fleet {
+    /// Assemble from shards (engine-internal).
+    pub(crate) fn from_shards(shards: Vec<Shard>) -> Self {
+        let len = shards.iter().map(|s| s.hosts.len()).sum();
+        Self { shards, len }
+    }
+
+    /// Total number of hosts ever simulated.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the fleet is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards themselves.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// O(log n) host lookup by id.
+    pub fn host(&self, id: u64) -> Option<&SimHost> {
+        // A shardless fleet holds no hosts; guard the modulus (such a
+        // value is only constructible by deserializing one).
+        if self.shards.is_empty() {
+            return None;
+        }
+        let shard = &self.shards[(id % self.shards.len() as u64) as usize];
+        shard
+            .hosts
+            .binary_search_by_key(&id, |h| h.id)
+            .ok()
+            .map(|i| &shard.hosts[i])
+    }
+
+    /// Iterate hosts in arbitrary (shard-major) order.
+    pub fn iter(&self) -> impl Iterator<Item = &SimHost> {
+        self.shards.iter().flat_map(|s| s.hosts.iter())
+    }
+
+    /// All hosts, sorted by id (= arrival order) — the canonical order
+    /// for prefix comparisons and trace export.
+    pub fn hosts_in_id_order(&self) -> Vec<&SimHost> {
+        let mut all: Vec<&SimHost> = self.iter().collect();
+        all.sort_by_key(|h| h.id);
+        all
+    }
+
+    /// Number of hosts alive at `t`.
+    pub fn active_at(&self, t: SimDate) -> usize {
+        self.iter().filter(|h| h.alive_at(t)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn host(id: u64, from: f64, to: f64) -> SimHost {
+        let resources = GeneratedHost {
+            cores: 2,
+            memory_mb: 2048.0,
+            whetstone_mips: 1000.0,
+            dhrystone_mips: 2000.0,
+            avail_disk_gb: 50.0,
+        };
+        SimHost {
+            id,
+            created: SimDate::from_year(from),
+            death: SimDate::from_year(to),
+            resources,
+            os: OsFamily::default(),
+            cpu: CpuFamily::default(),
+            gpu: None,
+            gpu_since: None,
+            class: None,
+            availability: 1.0,
+            history: vec![ResourceDraw {
+                at: SimDate::from_year(from),
+                resources,
+            }],
+        }
+    }
+
+    fn fleet_of(ids: &[u64], shard_count: usize) -> Fleet {
+        let mut shards = vec![Shard::default(); shard_count];
+        for &id in ids {
+            shards[(id % shard_count as u64) as usize]
+                .hosts
+                .push(host(id, 2006.0, 2008.0));
+        }
+        Fleet::from_shards(shards)
+    }
+
+    #[test]
+    fn lookup_finds_by_id() {
+        let fleet = fleet_of(&[0, 1, 2, 3, 4, 5, 6, 7, 8], 4);
+        assert_eq!(fleet.len(), 9);
+        for id in 0..9 {
+            assert_eq!(fleet.host(id).unwrap().id, id);
+        }
+        assert!(fleet.host(100).is_none());
+    }
+
+    #[test]
+    fn id_order_is_global() {
+        let fleet = fleet_of(&[0, 1, 2, 3, 4, 5, 6], 3);
+        let ids: Vec<u64> = fleet.hosts_in_id_order().iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn activity_rule_is_inclusive() {
+        let h = host(1, 2006.0, 2008.0);
+        assert!(h.alive_at(SimDate::from_year(2006.0)));
+        assert!(h.alive_at(SimDate::from_year(2008.0)));
+        assert!(!h.alive_at(SimDate::from_year(2008.01)));
+    }
+
+    #[test]
+    fn resources_at_follows_history() {
+        let mut h = host(1, 2006.0, 2010.0);
+        let upgraded = GeneratedHost {
+            cores: 8,
+            ..h.resources
+        };
+        h.history.push(ResourceDraw {
+            at: SimDate::from_year(2008.0),
+            resources: upgraded,
+        });
+        assert_eq!(h.resources_at(SimDate::from_year(2007.0)).unwrap().cores, 2);
+        assert_eq!(h.resources_at(SimDate::from_year(2009.0)).unwrap().cores, 8);
+        assert!(h.resources_at(SimDate::from_year(2005.0)).is_none());
+        assert_eq!(h.refresh_count(), 1);
+    }
+}

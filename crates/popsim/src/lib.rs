@@ -1,0 +1,59 @@
+//! # resmodel-popsim
+//!
+//! A deterministic, data-parallel **population dynamics engine** for
+//! the `resmodel` workspace: it evolves a fleet of correlated Internet
+//! end hosts through simulated time — arrivals from a time-varying
+//! Poisson process, Weibull lifetimes with the paper's creation-date
+//! trend, periodic hardware refreshes that re-draw resources from the
+//! ratio-law model at the refresh date — and streams typed per-snapshot
+//! statistics (population counts, resource moments, GPU adoption,
+//! availability, Cobb–Douglas utility) as it goes.
+//!
+//! ## Architecture
+//!
+//! * [`scenario`] — fully serde-serializable configuration with four
+//!   built-ins: `steady-state`, `flash-crowd`, `gpu-wave` and
+//!   `market-shift` ([`Scenario::all_builtin`]).
+//! * [`timeline`] — the nonhomogeneous-Poisson arrival sampler and the
+//!   per-shard event queue (arrive / refresh / snapshot / death).
+//! * [`fleet`] — the sharded host store; host `id` lives in shard
+//!   `id % shard_count`, a pure function of the scenario.
+//! * [`engine`] — drains every shard's queue on rayon threads; results
+//!   are **bitwise identical at any thread count**, and fleets capped
+//!   at different sizes share a common host prefix.
+//! * [`stats`] — streaming snapshot statistics with deterministic
+//!   shard-order merges.
+//! * [`export`] — fleet → [`resmodel_trace::Trace`] bridges back into
+//!   the fitting/validation pipeline.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resmodel_popsim::{engine, Scenario};
+//!
+//! let mut scenario = Scenario::flash_crowd(42);
+//! scenario.max_hosts = 2_000; // keep the doc test fast
+//! let report = engine::run(&scenario).unwrap();
+//! assert_eq!(report.fleet.len(), 2_000);
+//! let peak = report
+//!     .series
+//!     .snapshots
+//!     .iter()
+//!     .max_by_key(|s| s.active)
+//!     .unwrap();
+//! assert!(peak.active > 0);
+//! ```
+
+pub mod engine;
+pub mod export;
+pub mod fleet;
+pub mod scenario;
+pub mod stats;
+pub mod timeline;
+
+pub use engine::{run, EngineReport};
+pub use export::{fleet_to_trace, snapshot_to_trace};
+pub use fleet::{Fleet, Shard, SimHost};
+pub use scenario::{ArrivalLaw, LifetimeLaw, RefreshPolicy, Scenario};
+pub use stats::{Moments, SnapshotStats, TimeSeries};
+pub use timeline::PoissonArrivals;

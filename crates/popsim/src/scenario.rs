@@ -1,0 +1,529 @@
+//! Scenario configuration: every knob of a population-dynamics run,
+//! fully serde-(de)serializable so scenarios can live in files and
+//! round-trip through JSON.
+
+use resmodel_avail::AvailabilityModel;
+use resmodel_core::gpu_model::GpuModel;
+use resmodel_core::RatioLaw;
+use resmodel_trace::gpu::{gpu_memory_weights, gpu_presence_fraction};
+use resmodel_trace::{CpuFamily, GpuClass, OsFamily, SimDate};
+use serde::{Deserialize, Serialize};
+
+/// Time-varying host arrival process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalLaw {
+    /// Constant rate.
+    Constant {
+        /// Arrivals per day.
+        per_day: f64,
+    },
+    /// The paper's exponential growth `rate(t) = base·e^{g·(year−2006)}`.
+    Exponential {
+        /// Arrivals per day at the start of 2006.
+        base_per_day: f64,
+        /// Exponential growth per year.
+        growth_per_year: f64,
+    },
+    /// Exponential background plus a Gaussian burst — a flash crowd
+    /// (press coverage, a viral screensaver).
+    FlashCrowd {
+        /// Background arrivals per day at the start of 2006.
+        base_per_day: f64,
+        /// Background exponential growth per year.
+        growth_per_year: f64,
+        /// Burst peak date.
+        burst_center: SimDate,
+        /// Burst standard deviation, days.
+        burst_width_days: f64,
+        /// Peak multiplier on the background rate (0 = no burst).
+        burst_amplitude: f64,
+    },
+}
+
+impl ArrivalLaw {
+    /// Arrival rate (hosts/day) at `t`.
+    pub fn rate(&self, t: SimDate) -> f64 {
+        match self {
+            ArrivalLaw::Constant { per_day } => *per_day,
+            ArrivalLaw::Exponential {
+                base_per_day,
+                growth_per_year,
+            } => base_per_day * (growth_per_year * t.years_since_2006()).exp(),
+            ArrivalLaw::FlashCrowd {
+                base_per_day,
+                growth_per_year,
+                burst_center,
+                burst_width_days,
+                burst_amplitude,
+            } => {
+                let background = base_per_day * (growth_per_year * t.years_since_2006()).exp();
+                let z = (t.days() - burst_center.days()) / burst_width_days.max(1e-9);
+                background * (1.0 + burst_amplitude * (-0.5 * z * z).exp())
+            }
+        }
+    }
+}
+
+/// Weibull host-lifetime law with the paper's creation-date trend
+/// (Fig 1 / Fig 3: newer hosts stay for less time).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeLaw {
+    /// Weibull shape (paper: 0.58).
+    pub shape: f64,
+    /// Weibull scale in days for hosts created at the start of 2006.
+    pub scale_2006_days: f64,
+    /// Exponential trend of the scale per year (negative shrinks).
+    pub trend_per_year: f64,
+}
+
+impl LifetimeLaw {
+    /// The paper's published fit.
+    pub fn paper() -> Self {
+        Self {
+            shape: 0.58,
+            scale_2006_days: 185.0,
+            trend_per_year: -0.23,
+        }
+    }
+
+    /// Weibull scale for a host created at `created`.
+    pub fn scale_at(&self, created: SimDate) -> f64 {
+        (self.scale_2006_days * (self.trend_per_year * created.years_since_2006()).exp()).max(1e-3)
+    }
+}
+
+/// When a live host's hardware is replaced wholesale (the owner buys a
+/// new machine but keeps volunteering), re-drawing its resources from
+/// the ratio-law model at the refresh date.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum RefreshPolicy {
+    /// Hardware is fixed for the host's whole life.
+    Never,
+    /// Refresh every `interval_days` on average, with a per-host
+    /// uniform jitter of ±`jitter_days`.
+    Periodic {
+        /// Mean days between refreshes.
+        interval_days: f64,
+        /// Uniform jitter half-width, days.
+        jitter_days: f64,
+    },
+}
+
+/// GPU adoption configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuScenario {
+    /// The generative GPU model; `None` disables GPUs entirely.
+    pub model: Option<GpuModel>,
+    /// GPUs are only sampled for hosts arriving (or refreshing) after
+    /// this year (the paper's recording began September 2009).
+    pub recording_start_year: f64,
+}
+
+impl GpuScenario {
+    /// No GPUs.
+    pub fn disabled() -> Self {
+        Self {
+            model: None,
+            recording_start_year: 2009.67,
+        }
+    }
+
+    /// The paper's adoption trajectory (Table VII / Fig 10).
+    pub fn paper() -> Self {
+        Self {
+            model: Some(paper_gpu_model(1.0)),
+            recording_start_year: 2009.67,
+        }
+    }
+
+    /// An accelerated adoption wave: the presence law's growth rate is
+    /// multiplied by `boost` (e.g. 2.5 ⇒ most hosts GPU-equipped within
+    /// a couple of simulated years).
+    pub fn wave(boost: f64) -> Self {
+        Self {
+            model: Some(paper_gpu_model(boost)),
+            recording_start_year: 2009.67,
+        }
+    }
+}
+
+/// Build a [`GpuModel`] from the paper's published GPU tables (the
+/// trace crate's presence/share/memory curves), optionally steepening
+/// the presence growth by `presence_boost`.
+pub fn paper_gpu_model(presence_boost: f64) -> GpuModel {
+    let (y0, y1) = (2009.67, 2010.67);
+    let two_point = |v0: f64, v1: f64| -> RatioLaw {
+        let v0 = v0.max(1e-9);
+        let v1 = v1.max(1e-9);
+        let b = (v1 / v0).ln() / (y1 - y0);
+        let a = v0 * (-b * (y0 - 2006.0)).exp();
+        RatioLaw::new(a, b)
+    };
+
+    let p0 = gpu_presence_fraction(y0);
+    let p1 = gpu_presence_fraction(y1);
+    let mut presence = two_point(p0, p1);
+    presence.b *= presence_boost;
+    // Re-anchor so presence at y0 is unchanged by the boost.
+    presence.a = p0 * (-presence.b * (y0 - 2006.0)).exp();
+
+    let shares0 = GpuClass::shares_at(y0);
+    let shares1 = GpuClass::shares_at(y1);
+    let class_shares = shares0
+        .iter()
+        .zip(&shares1)
+        .map(|((c, s0), (_, s1))| (*c, two_point(*s0, *s1)))
+        .collect();
+
+    let mem0 = gpu_memory_weights(y0);
+    let mem1 = gpu_memory_weights(y1);
+    let memory_ratios = (0..mem0.len().saturating_sub(1))
+        .map(|i| {
+            let r0 = mem0[i].1.max(1e-9) / mem0[i + 1].1.max(1e-9);
+            let r1 = mem1[i].1.max(1e-9) / mem1[i + 1].1.max(1e-9);
+            two_point(r0, r1)
+        })
+        .collect();
+
+    GpuModel {
+        presence,
+        class_shares,
+        memory_ratios,
+        presence_r: -1.0,
+    }
+}
+
+/// A market-composition shift: OS/CPU mixes ramp linearly from the
+/// paper's historical tables towards explicit target shares.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MarketShift {
+    /// Target OS shares (relative weights) reached at `ramp_end`.
+    pub target_os: Vec<(OsFamily, f64)>,
+    /// Target CPU shares (relative weights) reached at `ramp_end`.
+    pub target_cpu: Vec<(CpuFamily, f64)>,
+    /// When the shift begins.
+    pub ramp_start: SimDate,
+    /// When the target mix is fully reached.
+    pub ramp_end: SimDate,
+}
+
+impl MarketShift {
+    /// Blend weight of the target mix at `t` (0 before the ramp,
+    /// 1 after it).
+    pub fn blend_at(&self, t: SimDate) -> f64 {
+        let span = self.ramp_end.days() - self.ramp_start.days();
+        if span <= 0.0 {
+            return if t >= self.ramp_end { 1.0 } else { 0.0 };
+        }
+        ((t.days() - self.ramp_start.days()) / span).clamp(0.0, 1.0)
+    }
+}
+
+/// Complete configuration of one population-dynamics run.
+///
+/// Everything here serializes, so a scenario is a shareable artifact;
+/// the engine output is fully determined by `(Scenario)` including its
+/// `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Scenario name (reports, bench labels).
+    pub name: String,
+    /// Master RNG seed; every host derives its own substream.
+    pub seed: u64,
+    /// First day hosts may arrive.
+    pub start: SimDate,
+    /// End of simulated time.
+    pub end: SimDate,
+    /// Hard cap on total arrivals (`0` = unlimited). Two runs differing
+    /// only in this cap share a common host prefix.
+    pub max_hosts: usize,
+    /// Number of fleet shards. Part of the deterministic result
+    /// identity: shards simulate independently, so any thread count
+    /// produces bitwise-identical output for a fixed shard count.
+    pub shard_count: usize,
+    /// Arrival process.
+    pub arrivals: ArrivalLaw,
+    /// Host lifetime law.
+    pub lifetime: LifetimeLaw,
+    /// Hardware refresh policy.
+    pub refresh: RefreshPolicy,
+    /// GPU adoption.
+    pub gpu: GpuScenario,
+    /// Optional OS/CPU market-share shift.
+    pub market: Option<MarketShift>,
+    /// Optional availability model; hosts get a behaviour class and a
+    /// steady-state availability used by the statistics layer.
+    pub availability: Option<AvailabilityModel>,
+    /// Days between streaming statistics snapshots.
+    pub snapshot_interval_days: f64,
+}
+
+impl Scenario {
+    /// Baseline knobs shared by the built-in scenarios.
+    fn base(name: &str, seed: u64) -> Self {
+        Self {
+            name: name.to_owned(),
+            seed,
+            start: SimDate::from_year(2006.0),
+            end: SimDate::from_year(2011.0),
+            max_hosts: 0,
+            shard_count: 64,
+            arrivals: ArrivalLaw::Exponential {
+                base_per_day: 40.0,
+                growth_per_year: 0.18,
+            },
+            lifetime: LifetimeLaw::paper(),
+            refresh: RefreshPolicy::Periodic {
+                interval_days: 540.0,
+                jitter_days: 120.0,
+            },
+            gpu: GpuScenario::paper(),
+            market: None,
+            availability: Some(AvailabilityModel::default_volunteer_mix()),
+            snapshot_interval_days: 91.3125, // quarterly
+        }
+    }
+
+    /// Built-in: steady exponential growth, the closest analogue of the
+    /// paper's measured SETI@home population.
+    pub fn steady_state(seed: u64) -> Self {
+        Self::base("steady-state", seed)
+    }
+
+    /// Built-in: a flash crowd — an 8× Gaussian arrival burst around
+    /// mid-2008 on top of the steady background.
+    pub fn flash_crowd(seed: u64) -> Self {
+        Self {
+            arrivals: ArrivalLaw::FlashCrowd {
+                base_per_day: 40.0,
+                growth_per_year: 0.18,
+                burst_center: SimDate::from_year(2008.5),
+                burst_width_days: 30.0,
+                burst_amplitude: 8.0,
+            },
+            ..Self::base("flash-crowd", seed)
+        }
+    }
+
+    /// Built-in: a GPU-adoption wave — the presence law's growth rate
+    /// is boosted 2.5× so the fleet's GPU fraction climbs steeply.
+    pub fn gpu_wave(seed: u64) -> Self {
+        Self {
+            gpu: GpuScenario::wave(2.5),
+            ..Self::base("gpu-wave", seed)
+        }
+    }
+
+    /// Built-in: a market-share shift — from 2008 the OS mix ramps
+    /// towards a Windows 7 + Linux dominated fleet and the CPU mix
+    /// towards Intel Core 2, regardless of the historical tables.
+    pub fn market_shift(seed: u64) -> Self {
+        Self {
+            market: Some(MarketShift {
+                target_os: vec![
+                    (OsFamily::Windows7, 55.0),
+                    (OsFamily::Linux, 25.0),
+                    (OsFamily::MacOsX, 15.0),
+                    (OsFamily::WindowsXp, 5.0),
+                ],
+                target_cpu: vec![
+                    (CpuFamily::IntelCore2, 70.0),
+                    (CpuFamily::OtherAmd, 20.0),
+                    (CpuFamily::Pentium4, 10.0),
+                ],
+                ramp_start: SimDate::from_year(2008.0),
+                ramp_end: SimDate::from_year(2010.5),
+            }),
+            ..Self::base("market-shift", seed)
+        }
+    }
+
+    /// All built-in scenarios, with the given seed.
+    pub fn all_builtin(seed: u64) -> Vec<Scenario> {
+        vec![
+            Self::steady_state(seed),
+            Self::flash_crowd(seed),
+            Self::gpu_wave(seed),
+            Self::market_shift(seed),
+        ]
+    }
+
+    /// Look up a built-in scenario by name.
+    pub fn builtin(name: &str, seed: u64) -> Option<Scenario> {
+        match name {
+            "steady-state" => Some(Self::steady_state(seed)),
+            "flash-crowd" => Some(Self::flash_crowd(seed)),
+            "gpu-wave" => Some(Self::gpu_wave(seed)),
+            "market-shift" => Some(Self::market_shift(seed)),
+            _ => None,
+        }
+    }
+
+    /// Statistics snapshot dates: `start + k·interval` for `k ≥ 1`, up
+    /// to and including `end`.
+    pub fn snapshot_dates(&self) -> Vec<SimDate> {
+        let mut dates = Vec::new();
+        let mut t = self.start.days() + self.snapshot_interval_days;
+        while t <= self.end.days() + 1e-9 {
+            dates.push(SimDate::from_days(t));
+            t += self.snapshot_interval_days;
+        }
+        dates
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.end <= self.start {
+            return Err("end must be after start".into());
+        }
+        if self.shard_count == 0 {
+            return Err("shard_count must be at least 1".into());
+        }
+        if !(self.snapshot_interval_days > 0.0) {
+            return Err("snapshot_interval_days must be > 0".into());
+        }
+        if !(self.lifetime.shape > 0.0) || !(self.lifetime.scale_2006_days > 0.0) {
+            return Err("lifetime shape and scale must be > 0".into());
+        }
+        match &self.arrivals {
+            ArrivalLaw::Constant { per_day } if !(*per_day > 0.0) => {
+                return Err("arrival rate must be > 0".into());
+            }
+            ArrivalLaw::Exponential { base_per_day, .. }
+            | ArrivalLaw::FlashCrowd { base_per_day, .. }
+                if !(*base_per_day > 0.0) =>
+            {
+                return Err("base arrival rate must be > 0".into());
+            }
+            _ => {}
+        }
+        if let RefreshPolicy::Periodic {
+            interval_days,
+            jitter_days,
+        } = self.refresh
+        {
+            if !(interval_days > 0.0) {
+                return Err("refresh interval must be > 0".into());
+            }
+            if jitter_days < 0.0 || jitter_days >= interval_days {
+                return Err("refresh jitter must be in [0, interval)".into());
+            }
+        }
+        if let Some(shift) = &self.market {
+            if shift.target_os.is_empty() && shift.target_cpu.is_empty() {
+                return Err("market shift needs at least one target mix".into());
+            }
+            let os_ok = shift.target_os.iter().all(|(_, w)| *w >= 0.0);
+            let cpu_ok = shift.target_cpu.iter().all(|(_, w)| *w >= 0.0);
+            if !os_ok || !cpu_ok {
+                return Err("market shares must be non-negative".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_validate() {
+        for s in Scenario::all_builtin(7) {
+            assert!(s.validate().is_ok(), "{} invalid", s.name);
+        }
+    }
+
+    #[test]
+    fn builtin_lookup_matches_names() {
+        for s in Scenario::all_builtin(1) {
+            let found = Scenario::builtin(&s.name, 1).expect("builtin resolves");
+            assert_eq!(found, s);
+        }
+        assert!(Scenario::builtin("no-such", 1).is_none());
+    }
+
+    #[test]
+    fn flash_crowd_peaks_at_center() {
+        let law = ArrivalLaw::FlashCrowd {
+            base_per_day: 10.0,
+            growth_per_year: 0.0,
+            burst_center: SimDate::from_year(2008.5),
+            burst_width_days: 30.0,
+            burst_amplitude: 8.0,
+        };
+        let peak = law.rate(SimDate::from_year(2008.5));
+        let off = law.rate(SimDate::from_year(2009.5));
+        assert!((peak - 90.0).abs() < 1e-9, "peak {peak}");
+        assert!(off < 11.0, "off-peak {off}");
+    }
+
+    #[test]
+    fn lifetime_scale_shrinks() {
+        let law = LifetimeLaw::paper();
+        assert!(
+            law.scale_at(SimDate::from_year(2006.0))
+                > law.scale_at(SimDate::from_year(2009.0)) * 1.5
+        );
+    }
+
+    #[test]
+    fn gpu_model_tracks_paper_points() {
+        let gpu = paper_gpu_model(1.0);
+        let p2009 = gpu.presence_at(SimDate::from_year(2009.67));
+        let p2010 = gpu.presence_at(SimDate::from_year(2010.67));
+        assert!((p2009 - 0.127).abs() < 0.01, "2009 presence {p2009}");
+        assert!((p2010 - 0.238).abs() < 0.01, "2010 presence {p2010}");
+    }
+
+    #[test]
+    fn gpu_wave_accelerates_presence() {
+        let base = paper_gpu_model(1.0);
+        let wave = paper_gpu_model(2.5);
+        let d = SimDate::from_year(2011.5);
+        assert!(wave.presence_at(d) > base.presence_at(d));
+        // Boost is anchored: identical at the recording start.
+        let d0 = SimDate::from_year(2009.67);
+        assert!((wave.presence_at(d0) - base.presence_at(d0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn market_blend_ramps() {
+        let shift = Scenario::market_shift(1).market.unwrap();
+        assert_eq!(shift.blend_at(SimDate::from_year(2007.0)), 0.0);
+        assert_eq!(shift.blend_at(SimDate::from_year(2011.0)), 1.0);
+        let mid = shift.blend_at(SimDate::from_year(2009.25));
+        assert!(mid > 0.3 && mid < 0.7, "mid {mid}");
+    }
+
+    #[test]
+    fn snapshot_dates_cover_window() {
+        let s = Scenario::steady_state(1);
+        let dates = s.snapshot_dates();
+        assert!(!dates.is_empty());
+        assert!(dates[0] > s.start);
+        assert!(*dates.last().unwrap() <= s.end);
+        assert_eq!(dates.len(), 20); // five years, quarterly
+    }
+
+    #[test]
+    fn invalid_scenarios_rejected() {
+        let mut s = Scenario::steady_state(1);
+        s.end = s.start;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::steady_state(1);
+        s.shard_count = 0;
+        assert!(s.validate().is_err());
+        let mut s = Scenario::steady_state(1);
+        s.refresh = RefreshPolicy::Periodic {
+            interval_days: 100.0,
+            jitter_days: 100.0,
+        };
+        assert!(s.validate().is_err());
+    }
+}

@@ -1,0 +1,265 @@
+//! Streaming per-snapshot statistics: each shard accumulates partial
+//! sums while it drains its event queue; partials merge in shard order
+//! so the result is independent of the thread count.
+
+use crate::fleet::SimHost;
+use resmodel_allocsim::{utility, AppProfile};
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// Running `(count, Σx, Σx²)` moments of one resource column.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Moments {
+    count: u64,
+    sum: f64,
+    sum_sq: f64,
+}
+
+impl Moments {
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        self.sum += x;
+        self.sum_sq += x * x;
+    }
+
+    /// Merge another accumulator (associative; the engine merges in
+    /// fixed shard order for bitwise determinism).
+    pub fn merge(&mut self, other: &Moments) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Population variance (0 when empty).
+    pub fn variance(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        (self.sum_sq / n - (self.sum / n).powi(2)).max(0.0)
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// The statistics of one snapshot instant, streamed out of the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotStats {
+    /// Snapshot time.
+    pub t: SimDate,
+    /// Hosts alive at `t`.
+    pub active: u64,
+    /// Cumulative arrivals up to `t`.
+    pub arrived: u64,
+    /// Cumulative departures up to `t`.
+    pub departed: u64,
+    /// Core-count moments over active hosts.
+    pub cores: Moments,
+    /// Memory (MB) moments.
+    pub memory_mb: Moments,
+    /// Whetstone (floating-point MIPS) moments.
+    pub whetstone_mips: Moments,
+    /// Dhrystone (integer MIPS) moments.
+    pub dhrystone_mips: Moments,
+    /// Available-disk (GB) moments.
+    pub disk_gb: Moments,
+    /// Active hosts reporting a GPU.
+    pub gpu_count: u64,
+    /// Σ availability over active hosts.
+    pub availability_sum: f64,
+    /// Σ Cobb–Douglas utility per application of
+    /// [`AppProfile::ALL`], availability-discounted.
+    pub utility_sum: [f64; 4],
+}
+
+impl SnapshotStats {
+    /// Empty accumulator for a snapshot at `t`.
+    pub fn empty(t: SimDate) -> Self {
+        Self {
+            t,
+            active: 0,
+            arrived: 0,
+            departed: 0,
+            cores: Moments::default(),
+            memory_mb: Moments::default(),
+            whetstone_mips: Moments::default(),
+            dhrystone_mips: Moments::default(),
+            disk_gb: Moments::default(),
+            gpu_count: 0,
+            availability_sum: 0.0,
+            utility_sum: [0.0; 4],
+        }
+    }
+
+    /// Account one active host (engine-internal).
+    pub(crate) fn observe(&mut self, host: &SimHost) {
+        self.active += 1;
+        let r = &host.resources;
+        self.cores.push(r.cores as f64);
+        self.memory_mb.push(r.memory_mb);
+        self.whetstone_mips.push(r.whetstone_mips);
+        self.dhrystone_mips.push(r.dhrystone_mips);
+        self.disk_gb.push(r.avail_disk_gb);
+        if host.gpu.is_some() {
+            self.gpu_count += 1;
+        }
+        self.availability_sum += host.availability;
+        for (i, app) in AppProfile::ALL.iter().enumerate() {
+            self.utility_sum[i] += host.availability * utility(app, r);
+        }
+    }
+
+    /// Merge a shard partial (engine-internal; call in shard order).
+    pub(crate) fn merge(&mut self, other: &SnapshotStats) {
+        debug_assert_eq!(self.t, other.t);
+        self.active += other.active;
+        self.arrived += other.arrived;
+        self.departed += other.departed;
+        self.cores.merge(&other.cores);
+        self.memory_mb.merge(&other.memory_mb);
+        self.whetstone_mips.merge(&other.whetstone_mips);
+        self.dhrystone_mips.merge(&other.dhrystone_mips);
+        self.disk_gb.merge(&other.disk_gb);
+        self.gpu_count += other.gpu_count;
+        self.availability_sum += other.availability_sum;
+        for i in 0..4 {
+            self.utility_sum[i] += other.utility_sum[i];
+        }
+    }
+
+    /// Fraction of active hosts with a GPU.
+    pub fn gpu_fraction(&self) -> f64 {
+        if self.active == 0 {
+            0.0
+        } else {
+            self.gpu_count as f64 / self.active as f64
+        }
+    }
+
+    /// Mean availability over active hosts.
+    pub fn mean_availability(&self) -> f64 {
+        if self.active == 0 {
+            0.0
+        } else {
+            self.availability_sum / self.active as f64
+        }
+    }
+
+    /// Mean per-host availability-discounted utility for application
+    /// `app_index` of [`AppProfile::ALL`].
+    pub fn mean_utility(&self, app_index: usize) -> f64 {
+        if self.active == 0 {
+            0.0
+        } else {
+            self.utility_sum[app_index] / self.active as f64
+        }
+    }
+
+    /// Estimated aggregate FLOPS of the active fleet, in
+    /// availability-discounted core-MIPS (cores × Whetstone × avail is
+    /// summed per host via the mean decomposition).
+    pub fn aggregate_whetstone_mips(&self) -> f64 {
+        // Means are over the same active set, so n·E[c]·E[w] is only an
+        // approximation of Σ c·w; good enough for a headline series.
+        self.active as f64
+            * self.cores.mean()
+            * self.whetstone_mips.mean()
+            * self.mean_availability()
+    }
+}
+
+/// The engine's typed output series, one entry per snapshot date.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Snapshots in time order.
+    pub snapshots: Vec<SnapshotStats>,
+}
+
+impl TimeSeries {
+    /// Number of snapshots.
+    pub fn len(&self) -> usize {
+        self.snapshots.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.snapshots.is_empty()
+    }
+
+    /// `(t, active)` pairs.
+    pub fn active_series(&self) -> Vec<(f64, u64)> {
+        self.snapshots
+            .iter()
+            .map(|s| (s.t.year(), s.active))
+            .collect()
+    }
+
+    /// The snapshot closest to `t`.
+    pub fn at(&self, t: SimDate) -> Option<&SnapshotStats> {
+        self.snapshots.iter().min_by(|a, b| {
+            (a.t.days() - t.days())
+                .abs()
+                .total_cmp(&(b.t.days() - t.days()).abs())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_match_closed_form() {
+        let mut m = Moments::default();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.push(x);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_concatenation() {
+        let mut a = Moments::default();
+        let mut b = Moments::default();
+        let mut whole = Moments::default();
+        for x in [1.0, 5.0, 9.0] {
+            a.push(x);
+            whole.push(x);
+        }
+        for x in [2.0, 4.0] {
+            b.push(x);
+            whole.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = SnapshotStats::empty(SimDate::from_year(2008.0));
+        assert_eq!(s.active, 0);
+        assert_eq!(s.gpu_fraction(), 0.0);
+        assert_eq!(s.mean_availability(), 0.0);
+        assert_eq!(s.mean_utility(0), 0.0);
+    }
+}

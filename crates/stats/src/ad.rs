@@ -77,11 +77,11 @@ fn adinf(z: f64) -> f64 {
         z.powf(-0.5)
             * (-1.2337141 / z).exp()
             * (2.00012
-                + (0.247105
-                    - (0.0649821 - (0.0347962 - (0.011672 - 0.00168691 * z) * z) * z) * z)
+                + (0.247105 - (0.0649821 - (0.0347962 - (0.011672 - 0.00168691 * z) * z) * z) * z)
                     * z)
     } else {
-        (-(1.0776 - (2.30695 - (0.43424 - (0.082433 - (0.008056 - 0.0003146 * z) * z) * z) * z) * z)
+        (-(1.0776
+            - (2.30695 - (0.43424 - (0.082433 - (0.008056 - 0.0003146 * z) * z) * z) * z) * z)
             .exp())
         .exp()
     }
@@ -118,7 +118,9 @@ mod tests {
         // For data at exact quantile plotting positions the statistic
         // is near its minimum (~0.2 for n = 100).
         let d = Normal::new(0.0, 1.0).unwrap();
-        let data: Vec<f64> = (0..100).map(|i| d.quantile((i as f64 + 0.5) / 100.0)).collect();
+        let data: Vec<f64> = (0..100)
+            .map(|i| d.quantile((i as f64 + 0.5) / 100.0))
+            .collect();
         let a2 = ad_statistic(&data, &d).unwrap();
         assert!(a2 < 0.4, "A² = {a2}");
     }

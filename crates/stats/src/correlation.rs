@@ -79,7 +79,11 @@ pub fn spearman(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
 /// the ranks they span.
 pub fn ranks(data: &[f64]) -> Vec<f64> {
     let mut idx: Vec<usize> = (0..data.len()).collect();
-    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        data[a]
+            .partial_cmp(&data[b])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     let mut out = vec![0.0; data.len()];
     let mut i = 0;
     while i < idx.len() {

@@ -52,7 +52,9 @@ impl Summary {
             });
         }
         if data.iter().any(|x| !x.is_finite()) {
-            return Err(StatsError::NonFiniteData { what: "Summary::of" });
+            return Err(StatsError::NonFiniteData {
+                what: "Summary::of",
+            });
         }
         let n = data.len();
         let mean = data.iter().sum::<f64>() / n as f64;
@@ -416,7 +418,9 @@ mod tests {
     #[test]
     fn qq_points_straight_line_for_matching_dist() {
         let n = Normal::new(0.0, 1.0).unwrap();
-        let data: Vec<f64> = (0..99).map(|i| n.quantile((i as f64 + 0.5) / 99.0)).collect();
+        let data: Vec<f64> = (0..99)
+            .map(|i| n.quantile((i as f64 + 0.5) / 99.0))
+            .collect();
         let qq = qq_points(&data, &n).unwrap();
         for (theo, samp) in qq {
             assert!((theo - samp).abs() < 1e-9);

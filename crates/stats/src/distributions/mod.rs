@@ -24,7 +24,11 @@ pub use weibull::Weibull;
 use crate::error::StatsError;
 
 /// Validate that `data` has at least `needed` finite entries.
-pub(crate) fn check_data(data: &[f64], what: &'static str, needed: usize) -> Result<(), StatsError> {
+pub(crate) fn check_data(
+    data: &[f64],
+    what: &'static str,
+    needed: usize,
+) -> Result<(), StatsError> {
     if data.len() < needed {
         return Err(StatsError::EmptyData {
             what,
@@ -39,10 +43,7 @@ pub(crate) fn check_data(data: &[f64], what: &'static str, needed: usize) -> Res
 }
 
 /// Validate that a scalar parameter is finite and strictly positive.
-pub(crate) fn check_positive(
-    value: f64,
-    name: &'static str,
-) -> Result<(), StatsError> {
+pub(crate) fn check_positive(value: f64, name: &'static str) -> Result<(), StatsError> {
     if !value.is_finite() || value <= 0.0 {
         return Err(StatsError::InvalidParameter {
             name,

@@ -248,7 +248,11 @@ mod tests {
         let data = truth.sample_n(&mut rng, 20_000);
         let fit = Weibull::fit_mle(&data).unwrap();
         assert!((fit.shape() - 0.58).abs() < 0.02, "shape {}", fit.shape());
-        assert!((fit.scale() - 135.0).abs() / 135.0 < 0.05, "scale {}", fit.scale());
+        assert!(
+            (fit.scale() - 135.0).abs() / 135.0 < 0.05,
+            "scale {}",
+            fit.scale()
+        );
     }
 
     #[test]

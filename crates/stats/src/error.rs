@@ -103,7 +103,10 @@ mod tests {
             needed: 1,
             got: 0,
         };
-        assert_eq!(e.to_string(), "mean requires at least 1 data point(s), got 0");
+        assert_eq!(
+            e.to_string(),
+            "mean requires at least 1 data point(s), got 0"
+        );
     }
 
     #[test]
@@ -125,7 +128,9 @@ mod tests {
 
     #[test]
     fn display_matrix_errors() {
-        assert!(StatsError::NotPositiveDefinite.to_string().contains("positive definite"));
+        assert!(StatsError::NotPositiveDefinite
+            .to_string()
+            .contains("positive definite"));
         let e = StatsError::NotSquare { rows: 2, cols: 3 };
         assert!(e.to_string().contains("2x3"));
     }

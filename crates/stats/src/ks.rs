@@ -235,7 +235,11 @@ pub fn select_family(
             }),
         }
     }
-    scores.sort_by(|a, b| b.p_value.partial_cmp(&a.p_value).unwrap_or(std::cmp::Ordering::Equal));
+    scores.sort_by(|a, b| {
+        b.p_value
+            .partial_cmp(&a.p_value)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     Ok(scores)
 }
 
@@ -323,9 +327,13 @@ mod tests {
     fn select_family_normal_data() {
         let mut r = rng();
         let data = Normal::new(2056.0, 1046.0).unwrap().sample_n(&mut r, 3_000);
-        let ranked =
-            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
-                .unwrap();
+        let ranked = select_family(
+            &data,
+            &DistributionFamily::ALL,
+            SubsampleConfig::default(),
+            &mut r,
+        )
+        .unwrap();
         assert_eq!(ranked[0].family, DistributionFamily::Normal);
         assert!(ranked[0].p_value > 0.2);
     }
@@ -336,9 +344,13 @@ mod tests {
         let mut r = rng();
         let d = LogNormal::from_mean_variance(32.89, 60.25f64.powi(2)).unwrap();
         let data = d.sample_n(&mut r, 3_000);
-        let ranked =
-            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
-                .unwrap();
+        let ranked = select_family(
+            &data,
+            &DistributionFamily::ALL,
+            SubsampleConfig::default(),
+            &mut r,
+        )
+        .unwrap();
         assert_eq!(ranked[0].family, DistributionFamily::LogNormal);
     }
 
@@ -347,12 +359,22 @@ mod tests {
         // Data with negatives: only the normal family can be fitted.
         let data = vec![-3.0, -1.0, 0.5, 1.2, 2.0, -0.7, 0.1, 1.5, -2.2, 0.9];
         let mut r = rng();
-        let ranked =
-            select_family(&data, &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
-                .unwrap();
-        let normal = ranked.iter().find(|s| s.family == DistributionFamily::Normal).unwrap();
+        let ranked = select_family(
+            &data,
+            &DistributionFamily::ALL,
+            SubsampleConfig::default(),
+            &mut r,
+        )
+        .unwrap();
+        let normal = ranked
+            .iter()
+            .find(|s| s.family == DistributionFamily::Normal)
+            .unwrap();
         assert!(normal.fitted.is_some());
-        let pareto = ranked.iter().find(|s| s.family == DistributionFamily::Pareto).unwrap();
+        let pareto = ranked
+            .iter()
+            .find(|s| s.family == DistributionFamily::Pareto)
+            .unwrap();
         assert!(pareto.fitted.is_none());
         assert_eq!(pareto.p_value, 0.0);
     }
@@ -363,7 +385,12 @@ mod tests {
         assert!(ks_statistic(&[], &n).is_err());
         let mut r = rng();
         assert!(subsampled_ks_pvalue(&[], &n, SubsampleConfig::default(), &mut r).is_err());
-        assert!(select_family(&[], &DistributionFamily::ALL, SubsampleConfig::default(), &mut r)
-            .is_err());
+        assert!(select_family(
+            &[],
+            &DistributionFamily::ALL,
+            SubsampleConfig::default(),
+            &mut r
+        )
+        .is_err());
     }
 }

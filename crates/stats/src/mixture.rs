@@ -156,7 +156,11 @@ impl GaussianMixture2 {
             }
             prev_ll = ll;
         }
-        Self::new(w, Normal::new(mu[0], sigma[0])?, Normal::new(mu[1], sigma[1])?)
+        Self::new(
+            w,
+            Normal::new(mu[0], sigma[0])?,
+            Normal::new(mu[1], sigma[1])?,
+        )
     }
 }
 
@@ -314,8 +318,10 @@ mod tests {
     #[test]
     fn em_rejects_bad_data() {
         assert!(GaussianMixture2::fit_em(&[1.0; 5]).is_err());
-        assert!(GaussianMixture2::fit_em(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
-            .is_err());
+        assert!(
+            GaussianMixture2::fit_em(&[1.0, f64::NAN, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0])
+                .is_err()
+        );
         assert!(GaussianMixture2::fit_em(&[2.0; 50]).is_err());
     }
 

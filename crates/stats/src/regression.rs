@@ -75,7 +75,11 @@ pub fn linear_fit(x: &[f64], y: &[f64]) -> Result<LinearFit, StatsError> {
     // r is undefined when y is constant; report 0 correlation in that
     // degenerate (perfectly flat) case.
     let r = pearson(x, y).unwrap_or(0.0);
-    Ok(LinearFit { slope, intercept, r })
+    Ok(LinearFit {
+        slope,
+        intercept,
+        r,
+    })
 }
 
 /// An exponential law `y(t) = a·e^{b·t}`, the paper's universal
@@ -185,7 +189,11 @@ mod tests {
 
     #[test]
     fn exp_law_eval() {
-        let law = ExpLawFit { a: 2.0, b: 0.5, r: 1.0 };
+        let law = ExpLawFit {
+            a: 2.0,
+            b: 0.5,
+            r: 1.0,
+        };
         assert!((law.eval(0.0) - 2.0).abs() < 1e-12);
         assert!((law.eval(2.0) - 2.0 * 1f64.exp()).abs() < 1e-12);
     }

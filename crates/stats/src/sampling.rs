@@ -129,7 +129,9 @@ impl CorrelatedNormals {
     pub fn sample(&self, rng: &mut dyn Rng) -> Vec<f64> {
         let d = self.dim();
         let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
-        self.chol.mul_vec(&z).expect("dimension verified at construction")
+        self.chol
+            .mul_vec(&z)
+            .expect("dimension verified at construction")
     }
 
     /// Draw `n` correlated vectors.
@@ -167,8 +169,14 @@ mod tests {
             let xs: Vec<f64> = (0..n).map(|_| standard_gamma(&mut r, shape)).collect();
             let mean = xs.iter().sum::<f64>() / n as f64;
             let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
-            assert!((mean - shape).abs() < 0.1 * shape.max(1.0), "shape {shape} mean {mean}");
-            assert!((var - shape).abs() < 0.15 * shape.max(1.0), "shape {shape} var {var}");
+            assert!(
+                (mean - shape).abs() < 0.1 * shape.max(1.0),
+                "shape {shape} mean {mean}"
+            );
+            assert!(
+                (var - shape).abs() < 0.15 * shape.max(1.0),
+                "shape {shape} var {var}"
+            );
         }
     }
 

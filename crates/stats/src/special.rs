@@ -8,10 +8,10 @@
 /// Lanczos coefficients (g = 7, n = 9) for [`ln_gamma`].
 const LANCZOS_G: f64 = 7.0;
 const LANCZOS_COEF: [f64; 9] = [
-    0.999_999_999_999_809_93,
+    0.999_999_999_999_809_9,
     676.520_368_121_885_1,
     -1_259.139_216_722_402_8,
-    771.323_428_777_653_13,
+    771.323_428_777_653_1,
     -176.615_029_162_140_6,
     12.507_343_278_686_905,
     -0.138_571_095_265_720_12,
@@ -72,7 +72,10 @@ const GAMMA_MAX_ITER: usize = 500;
 ///
 /// Panics if `a <= 0` or if either argument is NaN.
 pub fn gamma_p(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && !a.is_nan() && !x.is_nan(), "gamma_p: invalid arguments");
+    assert!(
+        a > 0.0 && !a.is_nan() && !x.is_nan(),
+        "gamma_p: invalid arguments"
+    );
     if x <= 0.0 {
         return 0.0;
     }
@@ -89,7 +92,10 @@ pub fn gamma_p(a: f64, x: f64) -> f64 {
 ///
 /// Panics if `a <= 0` or if either argument is NaN.
 pub fn gamma_q(a: f64, x: f64) -> f64 {
-    assert!(a > 0.0 && !a.is_nan() && !x.is_nan(), "gamma_q: invalid arguments");
+    assert!(
+        a > 0.0 && !a.is_nan() && !x.is_nan(),
+        "gamma_q: invalid arguments"
+    );
     if x <= 0.0 {
         return 1.0;
     }
@@ -181,7 +187,11 @@ pub fn inv_gamma_p(a: f64, p: f64) -> f64 {
         let mut next = if dens > 1e-300 { x - f / dens } else { x };
         if !(next > lo && (hi.is_infinite() || next < hi)) || !next.is_finite() {
             // Newton stepped out of the bracket — bisect instead.
-            next = if hi.is_infinite() { x * 2.0 } else { 0.5 * (lo + hi) };
+            next = if hi.is_infinite() {
+                x * 2.0
+            } else {
+                0.5 * (lo + hi)
+            };
         }
         if (next - x).abs() <= 1e-12 * x.max(1e-12) {
             return next;
@@ -208,9 +218,9 @@ pub fn erfc(x: f64) -> f64 {
     // Chebyshev coefficients from Numerical Recipes (3rd ed.), §6.2.2.
     const COF: [f64; 28] = [
         -1.3026537197817094,
-        6.4196979235649026e-1,
+        6.419_697_923_564_902e-1,
         1.9476473204185836e-2,
-        -9.561514786808631e-3,
+        -9.561_514_786_808_63e-3,
         -9.46595344482036e-4,
         3.66839497852761e-4,
         4.2523324806907e-5,
@@ -283,7 +293,7 @@ pub fn inv_norm_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -354,7 +364,8 @@ pub fn digamma(x: f64) -> f64 {
     }
     let inv = 1.0 / x;
     let inv2 = inv * inv;
-    result + x.ln() - 0.5 * inv
+    result + x.ln()
+        - 0.5 * inv
         - inv2
             * (1.0 / 12.0
                 - inv2 * (1.0 / 120.0 - inv2 * (1.0 / 252.0 - inv2 * (1.0 / 240.0 - inv2 / 132.0))))

@@ -27,7 +27,12 @@ pub struct ChurnWindow {
 
 /// Compute churn for consecutive windows of `window_days` between
 /// `from` and `to`.
-pub fn churn_series(trace: &Trace, from: SimDate, to: SimDate, window_days: f64) -> Vec<ChurnWindow> {
+pub fn churn_series(
+    trace: &Trace,
+    from: SimDate,
+    to: SimDate,
+    window_days: f64,
+) -> Vec<ChurnWindow> {
     assert!(window_days > 0.0, "window must be positive");
     let mut out = Vec::new();
     let mut start = from;
@@ -75,9 +80,7 @@ pub fn retention_curve(
     let cohort: Vec<_> = trace
         .hosts()
         .iter()
-        .filter(|h| {
-            matches!(h.first_contact(), Some(f) if f >= cohort_from && f < cohort_to)
-        })
+        .filter(|h| matches!(h.first_contact(), Some(f) if f >= cohort_from && f < cohort_to))
         .collect();
     offsets_days
         .iter()
@@ -191,7 +194,11 @@ mod tests {
             assert!(w[1].1 <= w[0].1, "retention must be non-increasing");
         }
         // Host 2 lives ~694 days; hosts 1 and 3 under 220 days.
-        assert!((curve[2].1 - 1.0 / 3.0).abs() < 1e-9, "at 300d: {}", curve[2].1);
+        assert!(
+            (curve[2].1 - 1.0 / 3.0).abs() < 1e-9,
+            "at 300d: {}",
+            curve[2].1
+        );
     }
 
     #[test]
@@ -231,6 +238,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "window must be positive")]
     fn churn_rejects_bad_window() {
-        churn_series(&toy(), SimDate::from_year(2006.0), SimDate::from_year(2007.0), 0.0);
+        churn_series(
+            &toy(),
+            SimDate::from_year(2006.0),
+            SimDate::from_year(2007.0),
+            0.0,
+        );
     }
 }

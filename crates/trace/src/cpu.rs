@@ -166,8 +166,7 @@ mod tests {
 
     #[test]
     fn names_unique() {
-        let names: std::collections::HashSet<_> =
-            CpuFamily::ALL.iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = CpuFamily::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), CpuFamily::ALL.len());
     }
 }

@@ -195,10 +195,8 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
                 h.cpu = parse_cpu(fields[4]).ok_or_else(|| malformed("bad cpu"))?;
                 if fields[5] != "-" {
                     let class = parse_gpu(fields[5]).ok_or_else(|| malformed("bad gpu"))?;
-                    let memory_mb: f64 =
-                        fields[6].parse().map_err(|_| malformed("bad gpu mem"))?;
-                    let since: f64 =
-                        fields[7].parse().map_err(|_| malformed("bad gpu since"))?;
+                    let memory_mb: f64 = fields[6].parse().map_err(|_| malformed("bad gpu mem"))?;
+                    let since: f64 = fields[7].parse().map_err(|_| malformed("bad gpu since"))?;
                     h.gpu = Some(GpuInfo {
                         class,
                         memory_mb,

@@ -173,9 +173,17 @@ mod tests {
             let table = gpu_memory_weights(y);
             let mean: f64 = table.iter().map(|(v, w)| v * w).sum();
             assert!((mean - target_mean).abs() < 15.0, "year {y} mean {mean}");
-            let frac: f64 = table.iter().filter(|(v, _)| *v >= 1024.0).map(|(_, w)| w).sum();
+            let frac: f64 = table
+                .iter()
+                .filter(|(v, _)| *v >= 1024.0)
+                .map(|(_, w)| w)
+                .sum();
             assert!((frac - ge1gb).abs() < 0.01, "year {y} ≥1GB {frac}");
-            let over_1gb: f64 = table.iter().filter(|(v, _)| *v > 1024.0).map(|(_, w)| w).sum();
+            let over_1gb: f64 = table
+                .iter()
+                .filter(|(v, _)| *v > 1024.0)
+                .map(|(_, w)| w)
+                .sum();
             assert!(over_1gb < 0.02, "year {y} >1GB {over_1gb}");
         }
     }

@@ -230,7 +230,10 @@ mod tests {
     fn snapshot_memory_per_core() {
         assert_eq!(snap(2006.0, 4, 4096.0).memory_per_core_mb(), 1024.0);
         // Degenerate zero-core snapshot must not divide by zero.
-        let z = ResourceSnapshot { cores: 0, ..snap(2006.0, 1, 512.0) };
+        let z = ResourceSnapshot {
+            cores: 0,
+            ..snap(2006.0, 1, 512.0)
+        };
         assert_eq!(z.memory_per_core_mb(), 512.0);
     }
 

@@ -55,7 +55,7 @@ pub mod cpu;
 pub mod csv;
 pub mod gpu;
 pub mod host;
-pub(crate) mod market;
+pub mod market;
 pub mod os;
 pub mod sanitize;
 pub mod store;

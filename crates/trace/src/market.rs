@@ -37,12 +37,13 @@ pub(crate) fn normalize(weights: &mut [f64]) {
 }
 
 /// Pick an index from normalised `weights` using a uniform draw
-/// `u ∈ [0, 1)`.
+/// `u ∈ [0, 1)` — the workspace's one categorical-share sampler
+/// (exported so downstream crates do not re-implement the walk).
 ///
 /// # Panics
 ///
 /// Panics when `weights` is empty.
-pub(crate) fn pick_index(weights: &[f64], u: f64) -> usize {
+pub fn pick_index(weights: &[f64], u: f64) -> usize {
     assert!(!weights.is_empty(), "cannot pick from empty weights");
     let mut acc = 0.0;
     for (i, &w) in weights.iter().enumerate() {

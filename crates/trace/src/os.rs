@@ -139,7 +139,11 @@ mod tests {
     #[test]
     fn table_matches_paper_at_2006() {
         let shares = OsFamily::shares_at(2006.0);
-        let xp = shares.iter().find(|(f, _)| *f == OsFamily::WindowsXp).unwrap().1;
+        let xp = shares
+            .iter()
+            .find(|(f, _)| *f == OsFamily::WindowsXp)
+            .unwrap()
+            .1;
         // Column sums to 99.9 → normalised XP share ≈ 0.6987.
         assert!((xp - 0.698).abs() < 0.005, "xp {xp}");
     }
@@ -153,8 +157,7 @@ mod tests {
 
     #[test]
     fn names_unique_and_display() {
-        let names: std::collections::HashSet<_> =
-            OsFamily::ALL.iter().map(|f| f.name()).collect();
+        let names: std::collections::HashSet<_> = OsFamily::ALL.iter().map(|f| f.name()).collect();
         assert_eq!(names.len(), OsFamily::ALL.len());
         assert_eq!(OsFamily::MacOsX.to_string(), "Mac OS X");
     }

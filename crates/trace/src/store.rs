@@ -3,16 +3,23 @@
 
 use crate::host::{HostId, HostRecord, HostView};
 use crate::time::SimDate;
-use serde::{Deserialize, Serialize};
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::collections::HashMap;
 
 /// A measurement trace: every host the server has ever seen, with its
 /// full measurement history.
 ///
 /// This is the in-memory equivalent of the "publicly available files"
 /// the SETI@home server periodically wrote (paper Section IV).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+///
+/// Id lookups go through a maintained `HashMap` index, so
+/// [`Trace::host`] is O(1) even at fleet scale. The index maps each id
+/// to its *first* record, matching the historical linear-scan
+/// behaviour when ids repeat.
+#[derive(Debug, Clone, Default)]
 pub struct Trace {
     hosts: Vec<HostRecord>,
+    index: HashMap<HostId, usize>,
 }
 
 impl Trace {
@@ -23,6 +30,7 @@ impl Trace {
 
     /// Add a host record.
     pub fn push(&mut self, host: HostRecord) {
+        self.index.entry(host.id).or_insert(self.hosts.len());
         self.hosts.push(host);
     }
 
@@ -41,9 +49,9 @@ impl Trace {
         self.hosts.is_empty()
     }
 
-    /// Look up a host by id (linear scan; traces are mostly iterated).
+    /// Look up a host by id — O(1) via the maintained index.
     pub fn host(&self, id: HostId) -> Option<&HostRecord> {
-        self.hosts.iter().find(|h| h.id == id)
+        self.index.get(&id).map(|&i| &self.hosts[i])
     }
 
     /// Hosts active at `t` under the paper's rule (first contact ≤ t ≤
@@ -116,15 +124,32 @@ impl Trace {
 
 impl FromIterator<HostRecord> for Trace {
     fn from_iter<I: IntoIterator<Item = HostRecord>>(iter: I) -> Self {
-        Self {
-            hosts: iter.into_iter().collect(),
-        }
+        let mut trace = Self::new();
+        trace.extend(iter);
+        trace
     }
 }
 
 impl Extend<HostRecord> for Trace {
     fn extend<I: IntoIterator<Item = HostRecord>>(&mut self, iter: I) {
-        self.hosts.extend(iter);
+        for host in iter {
+            self.push(host);
+        }
+    }
+}
+
+impl Serialize for Trace {
+    /// Only the records are serialized; the id index is derived state
+    /// and is rebuilt on deserialization.
+    fn to_value(&self) -> Value {
+        Value::Map(vec![(String::from("hosts"), self.hosts.to_value())])
+    }
+}
+
+impl Deserialize for Trace {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let hosts: Vec<HostRecord> = serde::field(v, "hosts")?;
+        Ok(hosts.into_iter().collect())
     }
 }
 
@@ -228,7 +253,9 @@ mod tests {
 
     #[test]
     fn population_uses_latest_snapshot() {
-        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 2)].into_iter().collect();
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 2)]
+            .into_iter()
+            .collect();
         let pop = trace.population_at(SimDate::from_year(2007.0));
         assert_eq!(pop.len(), 1);
         // First snapshot (whetstone 1000.0) is the latest at 2007.
@@ -254,7 +281,9 @@ mod tests {
 
     #[test]
     fn creation_vs_lifetime_pairs() {
-        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 1)].into_iter().collect();
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 1)]
+            .into_iter()
+            .collect();
         let pairs = trace.creation_vs_lifetime(SimDate::from_year(2010.0));
         assert_eq!(pairs.len(), 1);
         assert!((pairs[0].0 - 2006.0).abs() < 1e-9);
@@ -275,7 +304,9 @@ mod tests {
 
     #[test]
     fn column_extraction() {
-        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 4)].into_iter().collect();
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 4)]
+            .into_iter()
+            .collect();
         let t = SimDate::from_year(2007.0);
         assert_eq!(trace.column_at(t, ResourceColumn::Cores), vec![4.0]);
         assert_eq!(trace.column_at(t, ResourceColumn::Memory), vec![4096.0]);
@@ -285,14 +316,52 @@ mod tests {
 
     #[test]
     fn host_lookup() {
-        let trace: Trace = vec![host_with_span(7, 2006.0, 2008.0, 1)].into_iter().collect();
+        let trace: Trace = vec![host_with_span(7, 2006.0, 2008.0, 1)]
+            .into_iter()
+            .collect();
         assert!(trace.host(7.into()).is_some());
         assert!(trace.host(8.into()).is_none());
     }
 
     #[test]
+    fn host_index_matches_linear_scan() {
+        let trace: Trace = (0..500)
+            .map(|i| host_with_span(i, 2006.0, 2008.0, 1))
+            .collect();
+        for i in (0..500).step_by(37) {
+            let via_index = trace.host(i.into()).unwrap();
+            let via_scan = trace.hosts().iter().find(|h| h.id == i.into()).unwrap();
+            assert!(std::ptr::eq(via_index, via_scan));
+        }
+        assert!(trace.host(500.into()).is_none());
+    }
+
+    #[test]
+    fn duplicate_ids_resolve_to_first_record() {
+        let mut trace = Trace::new();
+        trace.push(host_with_span(7, 2006.0, 2007.0, 1));
+        trace.push(host_with_span(7, 2008.0, 2009.0, 2));
+        // Same answer the historical linear scan gave.
+        assert_eq!(trace.host(7.into()).unwrap().snapshots()[0].cores, 1);
+        assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn index_survives_extend_and_from_iter() {
+        let mut trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 1)]
+            .into_iter()
+            .collect();
+        trace.extend(vec![host_with_span(2, 2006.0, 2008.0, 2)]);
+        assert_eq!(trace.host(1.into()).unwrap().snapshots()[0].cores, 1);
+        assert_eq!(trace.host(2.into()).unwrap().snapshots()[0].cores, 2);
+    }
+
+    #[test]
     fn column_names_match_paper_order() {
         let names: Vec<_> = ResourceColumn::ALL.iter().map(|c| c.name()).collect();
-        assert_eq!(names, vec!["Cores", "Memory", "Mem/Core", "Whet", "Dhry", "Disk"]);
+        assert_eq!(
+            names,
+            vec!["Cores", "Memory", "Mem/Core", "Whet", "Dhry", "Disk"]
+        );
     }
 }

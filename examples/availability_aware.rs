@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // 1. Pool capacity: raw vs availability-weighted.
-    let raw_mips: f64 = hosts.iter().map(|h| h.whetstone_mips * h.cores as f64).sum();
+    let raw_mips: f64 = hosts
+        .iter()
+        .map(|h| h.whetstone_mips * h.cores as f64)
+        .sum();
     let eff_mips: f64 = hosts
         .iter()
         .zip(&schedules)
@@ -44,8 +47,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Work-unit completion: 6 hours of computation.
     let work = 6.0;
-    for (label, checkpointing) in [("with checkpointing", true), ("without checkpointing", false)]
-    {
+    for (label, checkpointing) in [
+        ("with checkpointing", true),
+        ("without checkpointing", false),
+    ] {
         let times: Vec<f64> = schedules
             .iter()
             .filter_map(|(_, s)| completion_time(s, work, checkpointing))
@@ -84,7 +89,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    discounting for a deadline-sensitive application that cannot
     //    checkpoint and needs ≥6 h sessions.
     let app = AppProfile::CLIMATE_PREDICTION;
-    let raw_u: f64 = hosts.iter().map(|h| resmodel::allocsim::utility(&app, h)).sum();
+    let raw_u: f64 = hosts
+        .iter()
+        .map(|h| resmodel::allocsim::utility(&app, h))
+        .sum();
     let eff_u: f64 = hosts
         .iter()
         .zip(&schedules)

@@ -33,7 +33,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Forecast the 2011-2014 host mix.
-    let dates: Vec<SimDate> = (2011..=2014).map(|y| SimDate::from_year(y as f64)).collect();
+    let dates: Vec<SimDate> = (2011..=2014)
+        .map(|y| SimDate::from_year(y as f64))
+        .collect();
     let cores = multicore_prediction(&report.model, &dates)?;
     let memory = memory_prediction(&report.model, &dates)?;
 

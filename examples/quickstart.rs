@@ -13,7 +13,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("== resmodel quickstart ==\n");
     println!("Model parameter summary (paper Table X):");
-    println!("{:<11} {:<16} {:<15} {:>10} {:>9}", "Resource", "Value", "Method", "a", "b");
+    println!(
+        "{:<11} {:<16} {:<15} {:>10} {:>9}",
+        "Resource", "Value", "Method", "a", "b"
+    );
     for row in model.summary() {
         println!(
             "{:<11} {:<16} {:<15} {:>10.4} {:>9.4}",
@@ -37,11 +40,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let disk = col(|h| h.avail_disk_gb)?;
 
         println!("\nGenerated population @ {year:.2} (n = {}):", hosts.len());
-        println!("  cores:     mean {:6.2}  σ {:6.2}", cores.mean, cores.std_dev);
-        println!("  memory:    mean {:6.0} MB  σ {:6.0} MB", mem.mean, mem.std_dev);
-        println!("  whetstone: mean {:6.0} MIPS  σ {:6.0}", whet.mean, whet.std_dev);
-        println!("  dhrystone: mean {:6.0} MIPS  σ {:6.0}", dhry.mean, dhry.std_dev);
-        println!("  disk:      mean {:6.1} GB  median {:6.1} GB", disk.mean, disk.median);
+        println!(
+            "  cores:     mean {:6.2}  σ {:6.2}",
+            cores.mean, cores.std_dev
+        );
+        println!(
+            "  memory:    mean {:6.0} MB  σ {:6.0} MB",
+            mem.mean, mem.std_dev
+        );
+        println!(
+            "  whetstone: mean {:6.0} MIPS  σ {:6.0}",
+            whet.mean, whet.std_dev
+        );
+        println!(
+            "  dhrystone: mean {:6.0} MIPS  σ {:6.0}",
+            dhry.mean, dhry.std_dev
+        );
+        println!(
+            "  disk:      mean {:6.1} GB  median {:6.1} GB",
+            disk.mean, disk.median
+        );
     }
 
     // The generated hosts preserve the paper's resource correlations.

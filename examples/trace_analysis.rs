@@ -48,8 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 3. Lifetime distribution (paper Fig 1).
-    let weibull =
-        resmodel::core::fit::lifetime_weibull(&trace, SimDate::from_year(2010.5))?;
+    let weibull = resmodel::core::fit::lifetime_weibull(&trace, SimDate::from_year(2010.5))?;
     println!(
         "\nlifetime Weibull fit: k = {:.3}, λ = {:.1} days (paper: k = 0.58, λ = 135)",
         weibull.shape(),
@@ -59,7 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 4. Round-trip the trace through the CSV format.
     let mut buf = Vec::new();
     resmodel::trace::csv::write_trace(&trace, &mut buf)?;
-    println!("\nCSV export: {} bytes for {} hosts", buf.len(), trace.len());
+    println!(
+        "\nCSV export: {} bytes for {} hosts",
+        buf.len(),
+        trace.len()
+    );
     let back = resmodel::trace::csv::read_trace(buf.as_slice())?;
     assert_eq!(back.len(), trace.len());
     println!("CSV round-trip OK ({} hosts preserved)", back.len());

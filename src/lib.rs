@@ -9,11 +9,13 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`stats`] | distributions, MLE fitting, KS tests, correlation, Cholesky, regression |
-//! | [`trace`] | host records, trace store, activity queries, sanitization, market tables |
-//! | [`boinc`] | synthetic volunteer-computing world + BOINC measurement loop |
+//! | [`trace`] | host records, trace store with O(1) id lookup, activity queries, sanitization, market tables |
+//! | [`boinc`] | synthetic volunteer-computing world + BOINC measurement loop (arrivals driven by the popsim timeline, host lives simulated in parallel) |
 //! | [`core`] | the paper's correlated generative host model, fitting, prediction, validation |
 //! | [`baselines`] | uncorrelated-normal and Kee Grid comparator models |
+//! | [`avail`] | ON/OFF availability schedules and availability-discounted utility |
 //! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
+//! | [`popsim`] | deterministic, data-parallel population dynamics engine: scenario-driven arrivals, lifetimes, hardware refreshes and streaming fleet statistics |
 //!
 //! ## Quick start
 //!
@@ -27,12 +29,26 @@
 //!     hosts.iter().map(|h| h.cores as f64).sum::<f64>() / hosts.len() as f64;
 //! assert!(mean_cores > 2.0 && mean_cores < 3.0);
 //! ```
+//!
+//! ## Population dynamics
+//!
+//! ```
+//! use resmodel::prelude::*;
+//!
+//! // Evolve a small fleet through 2006–2011 under a flash crowd.
+//! let mut scenario = Scenario::flash_crowd(42);
+//! scenario.max_hosts = 2_000;
+//! let report = resmodel::popsim::engine::run(&scenario).unwrap();
+//! assert_eq!(report.fleet.len(), 2_000);
+//! assert!(!report.series.is_empty());
+//! ```
 
 pub use resmodel_allocsim as allocsim;
 pub use resmodel_avail as avail;
 pub use resmodel_baselines as baselines;
 pub use resmodel_boinc as boinc;
 pub use resmodel_core as core;
+pub use resmodel_popsim as popsim;
 pub use resmodel_stats as stats;
 pub use resmodel_trace as trace;
 
@@ -46,6 +62,7 @@ pub mod prelude {
     pub use resmodel_boinc::{simulate, WorldParams};
     pub use resmodel_core::fit::{fit_host_model, FitConfig};
     pub use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
+    pub use resmodel_popsim::{EngineReport, Fleet, Scenario, SimHost, SnapshotStats, TimeSeries};
     pub use resmodel_stats::{Distribution, DistributionFamily, Matrix, StatsError};
     pub use resmodel_trace::{HostRecord, HostView, ResourceSnapshot, SimDate, Trace};
 }

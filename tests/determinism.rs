@@ -49,9 +49,15 @@ fn generation_is_deterministic_per_seed_and_date() {
 fn baselines_are_deterministic() {
     let d = SimDate::from_year(2010.0);
     let n = NormalModel::paper_like();
-    assert_eq!(n.generate_population(d, 50, 1), n.generate_population(d, 50, 1));
+    assert_eq!(
+        n.generate_population(d, 50, 1),
+        n.generate_population(d, 50, 1)
+    );
     let g = GridModel::paper_like();
-    assert_eq!(g.generate_population(d, 50, 1), g.generate_population(d, 50, 1));
+    assert_eq!(
+        g.generate_population(d, 50, 1),
+        g.generate_population(d, 50, 1)
+    );
 }
 
 #[test]
@@ -63,7 +69,11 @@ fn csv_roundtrip_preserves_all_queries() {
     assert_eq!(trace.len(), back.len());
     for &year in &[2007.0, 2009.0, 2010.5] {
         let d = SimDate::from_year(year);
-        assert_eq!(trace.active_count(d), back.active_count(d), "active at {year}");
+        assert_eq!(
+            trace.active_count(d),
+            back.active_count(d),
+            "active at {year}"
+        );
         let p1 = trace.population_at(d);
         let p2 = back.population_at(d);
         assert_eq!(p1.len(), p2.len());

@@ -12,7 +12,9 @@ fn fig15_model_ordering_holds() {
     let trace = sanitize(&raw, SanitizeRules::default()).trace;
 
     let fit_cfg = FitConfig::default();
-    let correlated = fit_host_model(&trace, &fit_cfg).expect("correlated fit").model;
+    let correlated = fit_host_model(&trace, &fit_cfg)
+        .expect("correlated fit")
+        .model;
     let normal = NormalModel::fit(&trace, &fit_cfg.sample_dates).expect("normal fit");
     let grid = GridModel::fit(&trace, &fit_cfg.sample_dates).expect("grid fit");
     let generators: Vec<&dyn HostGenerator> = vec![&correlated, &normal, &grid];

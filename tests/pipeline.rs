@@ -62,8 +62,16 @@ fn full_pipeline_world_to_validated_model() {
     }
 
     let corr = generated_correlation_matrix(&generated).expect("correlations defined");
-    assert!(corr.get(0, 1) > 0.5, "generated cores-mem {}", corr.get(0, 1));
-    assert!(corr.get(3, 4) > 0.35, "generated whet-dhry {}", corr.get(3, 4));
+    assert!(
+        corr.get(0, 1) > 0.5,
+        "generated cores-mem {}",
+        corr.get(0, 1)
+    );
+    assert!(
+        corr.get(3, 4) > 0.35,
+        "generated whet-dhry {}",
+        corr.get(3, 4)
+    );
     for j in 0..5 {
         assert!(corr.get(5, j).abs() < 0.1, "generated disk col {j}");
     }
@@ -111,7 +119,12 @@ fn lifetime_analysis_matches_ground_truth() {
 #[test]
 fn extension_point_for_prediction_is_stable() {
     let (tier, law) = paper_16_core_extension();
-    let model = HostModel::paper().with_extended_cores(tier, law).expect("valid extension");
+    let model = HostModel::paper()
+        .with_extended_cores(tier, law)
+        .expect("valid extension");
     let mean = model.cores().mean_value(SimDate::from_year(2014.0));
-    assert!((mean - 4.6).abs() < 0.2, "paper predicts 4.6 cores, got {mean}");
+    assert!(
+        (mean - 4.6).abs() < 0.2,
+        "paper predicts 4.6 cores, got {mean}"
+    );
 }

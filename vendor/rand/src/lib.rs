@@ -1,0 +1,231 @@
+//! Vendored, dependency-free stand-in for the parts of the `rand` crate
+//! this workspace uses. The build environment has no network access to
+//! crates.io, so the workspace pins this local implementation instead.
+//!
+//! Design notes:
+//!
+//! * [`Rng`] is the *object-safe* core trait (the workspace passes
+//!   `&mut dyn Rng` everywhere); the generic conveniences
+//!   (`random::<T>()`, `random_range`) live on the blanket-implemented
+//!   [`RngExt`] extension trait.
+//! * [`rngs::StdRng`] is xoshiro256** seeded through SplitMix64 — a
+//!   small, fast, statistically solid generator. It is **not** the same
+//!   stream as crates.io's `StdRng`; the workspace only relies on
+//!   determinism and statistical quality, never on golden values.
+
+pub mod rngs;
+pub mod seq;
+
+/// Object-safe random-number source.
+///
+/// All simulation code takes `&mut dyn Rng`, so this trait carries only
+/// non-generic methods; use [`RngExt`] for `random::<T>()` and friends.
+pub trait Rng {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits (upper half of [`Rng::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A generator constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Deterministically derive a full generator state from a `u64`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types samplable "from the standard distribution" via
+/// [`RngExt::random`]: uniform bits for integers, uniform `[0, 1)` for
+/// floats, a fair coin for `bool`.
+pub trait StandardSample: Sized {
+    /// Draw one value from `rng`.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl StandardSample for $t {
+            fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl StandardSample for u128 {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl StandardSample for bool {
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardSample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample_standard<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types usable as [`RngExt::random_range`] endpoints.
+pub trait SampleUniform: Sized {
+    /// Uniform draw from `[low, high)`; panics when the range is empty.
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high - low) as u64;
+                // Widening multiply keeps bias below 2^-64.
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                low + hi as $t
+            }
+        }
+    )*};
+}
+impl_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                assert!(low < high, "random_range: empty range");
+                let span = (high as i64).wrapping_sub(low as i64) as u64;
+                let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                ((low as i64).wrapping_add(hi as i64)) as $t
+            }
+        }
+    )*};
+}
+impl_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_range<R: Rng + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+        assert!(low < high, "random_range: empty range");
+        let u = f64::sample_standard(rng);
+        low + u * (high - low)
+    }
+}
+
+/// Generic conveniences over any [`Rng`] (including `dyn Rng`).
+pub trait RngExt: Rng {
+    /// One draw from the standard distribution of `T` (uniform bits for
+    /// integers, uniform `[0, 1)` for floats).
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Uniform draw from the half-open `range`.
+    fn random_range<T: SampleUniform>(&mut self, range: core::ops::Range<T>) -> T {
+        T::sample_range(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn range_draws_stay_inside() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.random_range(3..17u32);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&f));
+            let n = rng.random_range(0..10usize);
+            assert!(n < 10);
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn works_through_dyn() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let dyn_rng: &mut dyn Rng = &mut rng;
+        let x: f64 = dyn_rng.random();
+        assert!((0.0..1.0).contains(&x));
+        let k = dyn_rng.random_range(0..5u32);
+        assert!(k < 5);
+    }
+}

@@ -1,0 +1,326 @@
+//! Vendored, dependency-free stand-in for the parts of `rayon` this
+//! workspace uses, implemented over `std::thread::scope`.
+//!
+//! The API subset: `join`, slice/vec `par_iter` / `par_iter_mut` with
+//! `for_each` and `map(..).collect::<Vec<_>>()`, plus
+//! `ThreadPoolBuilder::num_threads(..)` whose `install` sets the
+//! parallelism level for the enclosed closure (used by determinism
+//! tests to compare 1-thread and N-thread runs).
+//!
+//! Work is split into contiguous chunks, one per thread, and results
+//! are reassembled in index order — so outputs never depend on the
+//! thread count, only the *schedule* does.
+
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations will use in this context.
+pub fn current_num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.with(Cell::get);
+    if forced > 0 {
+        return forced;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Run two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Builder for a scoped thread-count override.
+#[derive(Debug, Clone, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder using the default thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the number of worker threads (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool.
+    ///
+    /// # Errors
+    ///
+    /// Infallible here; the `Result` mirrors the real rayon signature.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// Error from [`ThreadPoolBuilder::build`] (never produced here).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A scoped thread-count context.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count as the ambient
+    /// parallelism level.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let previous = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let result = f();
+        THREAD_OVERRIDE.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// Split `len` items into at most `current_num_threads()` contiguous
+/// chunk ranges.
+fn chunk_ranges(len: usize) -> Vec<std::ops::Range<usize>> {
+    let workers = current_num_threads().clamp(1, len.max(1));
+    let base = len / workers;
+    let extra = len % workers;
+    let mut ranges = Vec::with_capacity(workers);
+    let mut start = 0;
+    for w in 0..workers {
+        let size = base + usize::from(w < extra);
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+pub mod iter {
+    //! Parallel iterator shims.
+
+    use super::chunk_ranges;
+
+    /// `.par_iter()` on shared slices.
+    pub trait IntoParallelRefIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+
+        /// Parallel shared iterator.
+        fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter(&'a self) -> ParIter<'a, T> {
+            ParIter { items: self }
+        }
+    }
+
+    /// `.par_iter_mut()` on exclusive slices.
+    pub trait IntoParallelRefMutIterator<'a> {
+        /// Element type.
+        type Item: 'a;
+
+        /// Parallel exclusive iterator.
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+        type Item = T;
+
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+        type Item = T;
+
+        fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+            ParIterMut { items: self }
+        }
+    }
+
+    /// Parallel shared-slice iterator.
+    pub struct ParIter<'a, T> {
+        items: &'a [T],
+    }
+
+    impl<'a, T: Sync> ParIter<'a, T> {
+        /// Apply `f` to every element.
+        pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+            let ranges = chunk_ranges(self.items.len());
+            if ranges.len() <= 1 {
+                self.items.iter().for_each(f);
+                return;
+            }
+            std::thread::scope(|scope| {
+                for range in ranges {
+                    let chunk = &self.items[range];
+                    let f = &f;
+                    scope.spawn(move || chunk.iter().for_each(f));
+                }
+            });
+        }
+
+        /// Map every element through `f`.
+        pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+    }
+
+    /// Parallel map stage; terminate with [`ParMap::collect`].
+    pub struct ParMap<'a, T, F> {
+        items: &'a [T],
+        f: F,
+    }
+
+    impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+        /// Collect mapped values, preserving input order regardless of
+        /// the thread count.
+        pub fn collect<C: FromIterator<U>>(self) -> C {
+            let ranges = chunk_ranges(self.items.len());
+            if ranges.len() <= 1 {
+                return self.items.iter().map(&self.f).collect();
+            }
+            let mut partials: Vec<Vec<U>> = Vec::new();
+            std::thread::scope(|scope| {
+                let mut handles = Vec::with_capacity(ranges.len());
+                for range in ranges {
+                    let chunk = &self.items[range];
+                    let f = &self.f;
+                    handles.push(scope.spawn(move || chunk.iter().map(f).collect::<Vec<U>>()));
+                }
+                for h in handles {
+                    partials.push(h.join().expect("rayon map worker panicked"));
+                }
+            });
+            partials.into_iter().flatten().collect()
+        }
+    }
+
+    /// Parallel exclusive-slice iterator.
+    pub struct ParIterMut<'a, T> {
+        items: &'a mut [T],
+    }
+
+    impl<'a, T: Send> ParIterMut<'a, T> {
+        /// Apply `f` to every element.
+        pub fn for_each<F: Fn(&mut T) + Sync>(self, f: F) {
+            let ranges = chunk_ranges(self.items.len());
+            if ranges.len() <= 1 {
+                self.items.iter_mut().for_each(&f);
+                return;
+            }
+            std::thread::scope(|scope| {
+                let mut rest = self.items;
+                let mut consumed = 0;
+                for range in ranges {
+                    let (chunk, tail) = rest.split_at_mut(range.end - consumed);
+                    consumed = range.end;
+                    rest = tail;
+                    let f = &f;
+                    scope.spawn(move || chunk.iter_mut().for_each(f));
+                }
+            });
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_touches_every_element() {
+        let mut v = vec![1u32; 257];
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert!(v.iter().all(|&x| x == 2));
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let inside = pool.install(current_num_threads);
+        assert_eq!(inside, 1);
+        let pool4 = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        assert_eq!(pool4.install(current_num_threads), 4);
+    }
+
+    #[test]
+    fn results_identical_across_thread_counts() {
+        let input: Vec<u64> = (0..501).collect();
+        let run = |threads: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| input.par_iter().map(|x| x * x).collect::<Vec<_>>())
+        };
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn chunk_ranges_cover_exactly() {
+        for len in [0usize, 1, 2, 17, 256] {
+            let ranges = chunk_ranges(len);
+            let total: usize = ranges.iter().map(|r| r.len()).sum();
+            assert_eq!(total, len);
+        }
+    }
+}

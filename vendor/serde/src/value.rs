@@ -1,0 +1,154 @@
+//! The self-describing value tree shared by `serde` and `serde_json`.
+
+/// A JSON-shaped dynamic value.
+///
+/// Integers keep their signedness ([`Value::Int`] / [`Value::UInt`]) so
+/// full-range `u64` seeds survive round-trips that an `f64`-only
+/// representation would corrupt.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative (or generic signed) integer.
+    Int(i64),
+    /// Non-negative integer.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Short type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) | Value::UInt(_) => "integer",
+            Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "array",
+            Value::Map(_) => "object",
+        }
+    }
+
+    /// Object member by key, `None` when absent or not an object.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` when numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` when a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` when a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool when boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice when an array.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Member access; absent keys (or non-objects) yield `null`,
+    /// matching `serde_json`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Auto-vivifying member access, matching `serde_json`: indexing a
+    /// `null` turns it into an object; a missing key is inserted as
+    /// `null`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is neither an object nor `null`.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        if let Value::Null = self {
+            *self = Value::Map(Vec::new());
+        }
+        match self {
+            Value::Map(entries) => {
+                if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[pos].1
+                } else {
+                    entries.push((key.to_owned(), Value::Null));
+                    &mut entries.last_mut().unwrap().1
+                }
+            }
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_missing_gives_null() {
+        let v = Value::Map(vec![("a".into(), Value::UInt(1))]);
+        assert_eq!(v["a"], Value::UInt(1));
+        assert_eq!(v["b"], Value::Null);
+        assert_eq!(Value::Null["x"], Value::Null);
+    }
+
+    #[test]
+    fn index_mut_auto_inserts() {
+        let mut v = Value::Map(Vec::new());
+        v["x"] = Value::Bool(true);
+        assert_eq!(v["x"], Value::Bool(true));
+        let mut n = Value::Null;
+        n["k"] = Value::UInt(2);
+        assert_eq!(n["k"], Value::UInt(2));
+    }
+}

@@ -1,0 +1,482 @@
+//! Vendored `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros
+//! for the minimal serde subset in `vendor/serde`.
+//!
+//! Implemented directly on `proc_macro` token trees (no `syn`/`quote`
+//! available offline). Supports exactly the shapes this workspace
+//! derives on:
+//!
+//! * structs with named fields,
+//! * tuple structs (single-field tuples use serde's newtype convention),
+//! * unit structs,
+//! * enums whose variants are unit, named-field or tuple-field.
+//!
+//! Generics and `#[serde(...)]` customisation attributes are not
+//! supported; deriving on such a type is a compile error rather than a
+//! silent misbehaviour.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derive `serde::Serialize` (value-tree flavour).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match generate(input, true) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derive `serde::Deserialize` (value-tree flavour).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match generate(input, false) {
+        Ok(code) => code.parse().expect("serde_derive generated invalid Rust"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+// ---------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------
+
+struct Cursor {
+    tokens: Vec<TokenTree>,
+    pos: usize,
+}
+
+impl Cursor {
+    fn new(stream: TokenStream) -> Self {
+        Self {
+            tokens: stream.into_iter().collect(),
+            pos: 0,
+        }
+    }
+
+    fn peek(&self) -> Option<&TokenTree> {
+        self.tokens.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<TokenTree> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Skip any number of outer attributes (`#[...]`), including the
+    /// `#[doc = "..."]` forms doc comments lower to.
+    fn skip_attributes(&mut self) {
+        loop {
+            match (self.peek(), self.tokens.get(self.pos + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    self.pos += 2;
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Skip `pub`, `pub(crate)`, `pub(in ...)` etc.
+    fn skip_visibility(&mut self) {
+        if let Some(TokenTree::Ident(id)) = self.peek() {
+            if id.to_string() == "pub" {
+                self.pos += 1;
+                if let Some(TokenTree::Group(g)) = self.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, String> {
+        match self.bump() {
+            Some(TokenTree::Ident(id)) => Ok(id.to_string()),
+            other => Err(format!("serde_derive: expected {what}, found {other:?}")),
+        }
+    }
+
+    /// Skip tokens until a top-level comma (tracking `<...>` depth for
+    /// generic types), consuming the comma. Returns whether a comma was
+    /// found (false at end of input).
+    fn skip_past_toplevel_comma(&mut self) -> bool {
+        let mut angle_depth: i32 = 0;
+        while let Some(tok) = self.bump() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => return true,
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+}
+
+fn parse_named_fields(group: TokenStream) -> Result<Vec<String>, String> {
+    let mut cur = Cursor::new(group);
+    let mut names = Vec::new();
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        names.push(cur.expect_ident("field name")?);
+        match cur.bump() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("serde_derive: expected `:`, found {other:?}")),
+        }
+        if !cur.skip_past_toplevel_comma() {
+            break;
+        }
+    }
+    Ok(names)
+}
+
+fn count_tuple_fields(group: TokenStream) -> usize {
+    let mut cur = Cursor::new(group);
+    let mut count = 0;
+    loop {
+        cur.skip_attributes();
+        if cur.at_end() {
+            break;
+        }
+        cur.skip_visibility();
+        if cur.at_end() {
+            break;
+        }
+        count += 1;
+        if !cur.skip_past_toplevel_comma() {
+            break;
+        }
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut cur = Cursor::new(input);
+    cur.skip_attributes();
+    cur.skip_visibility();
+    let keyword = cur.expect_ident("`struct` or `enum`")?;
+    let name = cur.expect_ident("type name")?;
+    if let Some(TokenTree::Punct(p)) = cur.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive: generic type `{name}` is not supported by the vendored derive"
+            ));
+        }
+    }
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match cur.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                other => return Err(format!("serde_derive: unexpected struct body {other:?}")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match cur.bump() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("serde_derive: unexpected enum body {other:?}")),
+            };
+            let mut vcur = Cursor::new(body);
+            let mut variants = Vec::new();
+            loop {
+                vcur.skip_attributes();
+                if vcur.at_end() {
+                    break;
+                }
+                let vname = vcur.expect_ident("variant name")?;
+                let fields = match vcur.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let f = Fields::Named(parse_named_fields(g.stream())?);
+                        vcur.pos += 1;
+                        f
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let f = Fields::Tuple(count_tuple_fields(g.stream()));
+                        vcur.pos += 1;
+                        f
+                    }
+                    _ => Fields::Unit,
+                };
+                variants.push(Variant {
+                    name: vname,
+                    fields,
+                });
+                // Skip an optional `= discriminant` and the trailing comma.
+                if !vcur.at_end() && !vcur.skip_past_toplevel_comma() {
+                    break;
+                }
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("serde_derive: cannot derive on `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------
+
+fn generate(input: TokenStream, serialize: bool) -> Result<String, String> {
+    let item = parse_item(input)?;
+    Ok(match (&item, serialize) {
+        (Item::Struct { name, fields }, true) => gen_struct_ser(name, fields),
+        (Item::Struct { name, fields }, false) => gen_struct_de(name, fields),
+        (Item::Enum { name, variants }, true) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, false) => gen_enum_de(name, variants),
+    })
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let pushes: String = names
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from({f:?}), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__m)"
+            )
+        }
+        Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Fields::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Fields::Unit => "::serde::Value::Null".to_string(),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Named(names) => {
+            let inits: Vec<String> = names
+                .iter()
+                .map(|f| format!("{f}: ::serde::field(__v, {f:?})?"))
+                .collect();
+            format!(
+                "::std::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Fields::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__v)?))")
+        }
+        Fields::Tuple(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "match __v {{ \
+                   ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                     ::std::result::Result::Ok({name}({inits})), \
+                   __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"expected {n}-element array for {name}, got {{}}\", \
+                                    __other.kind()))) \
+                 }}",
+                inits = inits.join(", ")
+            )
+        }
+        Fields::Unit => format!("::std::result::Result::Ok({name})"),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> \
+               ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => format!(
+                    "{name}::{vn} => ::serde::Value::Str(::std::string::String::from({vn:?})),"
+                ),
+                Fields::Named(fields) => {
+                    let binds = fields.join(", ");
+                    let pushes: String = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "__inner.push((::std::string::String::from({f:?}), \
+                                 ::serde::Serialize::to_value({f})));"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{vn} {{ {binds} }} => {{ \
+                           let mut __inner: ::std::vec::Vec<(::std::string::String, \
+                             ::serde::Value)> = ::std::vec::Vec::new(); {pushes} \
+                           ::serde::Value::Map(::std::vec![(\
+                             ::std::string::String::from({vn:?}), \
+                             ::serde::Value::Map(__inner))]) }},"
+                    )
+                }
+                Fields::Tuple(1) => format!(
+                    "{name}::{vn}(__x0) => ::serde::Value::Map(::std::vec![(\
+                       ::std::string::String::from({vn:?}), \
+                       ::serde::Serialize::to_value(__x0))]),"
+                ),
+                Fields::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("__x{i}")).collect();
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!(
+                        "{name}::{vn}({binds}) => ::serde::Value::Map(::std::vec![(\
+                           ::std::string::String::from({vn:?}), \
+                           ::serde::Value::Seq(::std::vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ \
+             match self {{ {arms} }} \
+           }} \
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+        })
+        .collect();
+    let payload_arms: String = variants
+        .iter()
+        .filter_map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => None,
+                Fields::Named(fields) => {
+                    let inits: Vec<String> = fields
+                        .iter()
+                        .map(|f| format!("{f}: ::serde::field(__inner, {f:?})?"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn} {{ {} }}),",
+                        inits.join(", ")
+                    ))
+                }
+                Fields::Tuple(1) => Some(format!(
+                    "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                       ::serde::Deserialize::from_value(__inner)?)),"
+                )),
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "{vn:?} => match __inner {{ \
+                           ::serde::Value::Seq(__items) if __items.len() == {n} => \
+                             ::std::result::Result::Ok({name}::{vn}({inits})), \
+                           __other => ::std::result::Result::Err(::serde::DeError::new(\
+                             ::std::format!(\"variant {name}::{vn}: expected {n}-element \
+                              array, got {{}}\", __other.kind()))) \
+                         }},",
+                        inits = inits.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> \
+               ::std::result::Result<Self, ::serde::DeError> {{ \
+             match __v {{ \
+               ::serde::Value::Str(__s) => match __s.as_str() {{ \
+                 {unit_arms} \
+                 __other => ::std::result::Result::Err(::serde::DeError::new(\
+                   ::std::format!(\"unknown {name} variant `{{__other}}`\"))), \
+               }}, \
+               ::serde::Value::Map(__entries) if __entries.len() == 1 => {{ \
+                 let (__k, __inner) = &__entries[0]; \
+                 match __k.as_str() {{ \
+                   {payload_arms} \
+                   __other => ::std::result::Result::Err(::serde::DeError::new(\
+                     ::std::format!(\"unknown {name} variant `{{__other}}`\"))), \
+                 }} \
+               }} \
+               __other => ::std::result::Result::Err(::serde::DeError::new(\
+                 ::std::format!(\"expected {name} variant, got {{}}\", __other.kind()))), \
+             }} \
+           }} \
+         }}"
+    )
+}
