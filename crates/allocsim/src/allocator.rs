@@ -85,6 +85,7 @@ pub fn allocate_round_robin(apps: &[AppProfile], hosts: &[GeneratedHost]) -> All
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

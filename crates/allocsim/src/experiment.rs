@@ -5,6 +5,7 @@
 use crate::allocator::allocate_round_robin;
 use crate::profile::AppProfile;
 use resmodel_core::{GeneratedHost, HostGenerator};
+use resmodel_error::ResmodelError;
 use resmodel_trace::{SimDate, Trace};
 use serde::{Deserialize, Serialize};
 
@@ -93,13 +94,13 @@ impl ModelSeries {
 ///
 /// # Errors
 ///
-/// Returns a descriptive message when a date has an empty actual
+/// Returns a [`ResmodelError::Config`] when a date has an empty actual
 /// population (the comparison would be undefined).
 pub fn run_utility_experiment(
     trace: &Trace,
     generators: &[&dyn HostGenerator],
     config: &UtilityExperimentConfig,
-) -> Result<Vec<ModelSeries>, String> {
+) -> Result<Vec<ModelSeries>, ResmodelError> {
     let mut out: Vec<ModelSeries> = generators
         .iter()
         .map(|g| ModelSeries {
@@ -115,7 +116,10 @@ pub fn run_utility_experiment(
             .map(GeneratedHost::from)
             .collect();
         if actual_hosts.is_empty() {
-            return Err(format!("no active hosts at {date}"));
+            return Err(ResmodelError::config(
+                "utility experiment",
+                format!("no active hosts at {date}"),
+            ));
         }
         let actual_alloc = allocate_round_robin(&config.apps, &actual_hosts);
 
@@ -138,6 +142,7 @@ pub fn run_utility_experiment(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::Rng;

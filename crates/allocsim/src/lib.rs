@@ -21,6 +21,8 @@
 //! assert!(u > 0.0);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod allocator;
 pub mod experiment;
 pub mod policy;

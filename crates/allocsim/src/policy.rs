@@ -92,6 +92,7 @@ pub fn allocate(policy: Policy, apps: &[AppProfile], hosts: &[GeneratedHost]) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_core::{HostGenerator, HostModel};

@@ -95,6 +95,7 @@ pub fn utility(app: &AppProfile, host: &GeneratedHost) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -37,6 +37,7 @@ pub fn off_durations(schedule: &crate::Schedule) -> Vec<f64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::{AvailabilityModel, HostClass};

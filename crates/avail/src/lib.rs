@@ -38,6 +38,8 @@
 //! let _ = matches!(class, HostClass::AlwaysOn | HostClass::Daily | HostClass::Sporadic);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod fit;
 pub mod model;
 pub mod schedule;

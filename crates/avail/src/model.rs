@@ -4,6 +4,7 @@
 
 use crate::schedule::Schedule;
 use rand::{Rng, RngExt};
+use resmodel_error::ResmodelError;
 use resmodel_stats::distributions::{LogNormal, Weibull};
 use resmodel_stats::Distribution;
 use serde::{Deserialize, Serialize};
@@ -94,20 +95,29 @@ impl AvailabilityModel {
     ///
     /// # Errors
     ///
-    /// Returns a message when the list is empty, a weight is
-    /// non-positive, or any interval parameter is invalid.
-    pub fn new(classes: Vec<(HostClass, ClassParams)>) -> Result<Self, String> {
+    /// Returns a [`ResmodelError::Config`] when the list is empty, a
+    /// weight is non-positive, or any interval parameter is invalid.
+    pub fn new(classes: Vec<(HostClass, ClassParams)>) -> Result<Self, ResmodelError> {
+        const CONTEXT: &str = "availability model";
         if classes.is_empty() {
-            return Err("availability model needs at least one class".into());
+            return Err(ResmodelError::config(
+                CONTEXT,
+                "needs at least one behaviour class",
+            ));
         }
         for (c, p) in &classes {
             if !(p.weight > 0.0) {
-                return Err(format!("class {c}: weight must be > 0"));
+                return Err(ResmodelError::config(
+                    CONTEXT,
+                    format!("class {c}: weight must be > 0"),
+                ));
             }
-            Weibull::new(p.on_shape, p.on_scale_hours)
-                .map_err(|e| format!("class {c}: bad ON law: {e}"))?;
-            LogNormal::new(p.off_mu, p.off_sigma)
-                .map_err(|e| format!("class {c}: bad OFF law: {e}"))?;
+            Weibull::new(p.on_shape, p.on_scale_hours).map_err(|e| {
+                ResmodelError::config(CONTEXT, format!("class {c}: bad ON law: {e}"))
+            })?;
+            LogNormal::new(p.off_mu, p.off_sigma).map_err(|e| {
+                ResmodelError::config(CONTEXT, format!("class {c}: bad OFF law: {e}"))
+            })?;
         }
         Ok(Self { classes })
     }
@@ -219,6 +229,7 @@ impl AvailabilityModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::rng::seeded;

@@ -1,5 +1,6 @@
 //! ON/OFF schedules and workload-completion analysis.
 
+use resmodel_error::ResmodelError;
 use serde::{Deserialize, Serialize};
 
 /// A host's ON intervals over a finite horizon (hours), sorted and
@@ -15,22 +16,24 @@ impl Schedule {
     ///
     /// # Errors
     ///
-    /// Returns a message when intervals are out of order, overlapping,
-    /// inverted, or outside `[0, horizon]`.
-    pub fn new(intervals: Vec<(f64, f64)>, horizon_hours: f64) -> Result<Self, String> {
+    /// Returns a [`ResmodelError::Config`] when intervals are out of
+    /// order, overlapping, inverted, or outside `[0, horizon]`.
+    pub fn new(intervals: Vec<(f64, f64)>, horizon_hours: f64) -> Result<Self, ResmodelError> {
+        const CONTEXT: &str = "availability schedule";
+        let bad = |message: String| Err(ResmodelError::config(CONTEXT, message));
         if !(horizon_hours > 0.0) {
-            return Err("horizon must be positive".into());
+            return bad("horizon must be positive".into());
         }
         let mut prev_end = 0.0;
         for &(a, b) in &intervals {
             if a < prev_end - 1e-12 {
-                return Err(format!("interval ({a}, {b}) overlaps or is out of order"));
+                return bad(format!("interval ({a}, {b}) overlaps or is out of order"));
             }
             if b < a {
-                return Err(format!("interval ({a}, {b}) is inverted"));
+                return bad(format!("interval ({a}, {b}) is inverted"));
             }
             if a < 0.0 || b > horizon_hours + 1e-9 {
-                return Err(format!("interval ({a}, {b}) outside [0, {horizon_hours}]"));
+                return bad(format!("interval ({a}, {b}) outside [0, {horizon_hours}]"));
             }
             prev_end = b;
         }
@@ -114,6 +117,7 @@ pub fn completion_time(schedule: &Schedule, work_hours: f64, checkpointing: bool
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -28,6 +28,7 @@ pub fn effective_utility(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::model::AvailabilityModel;

@@ -131,6 +131,7 @@ impl HostGenerator for GridModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

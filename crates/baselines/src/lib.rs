@@ -27,6 +27,8 @@
 //! assert_eq!(hosts.len(), 100);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod grid;
 pub mod moments;
 pub mod normal;

@@ -112,6 +112,7 @@ impl ResourceMomentLaws {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

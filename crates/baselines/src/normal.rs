@@ -80,6 +80,7 @@ impl HostGenerator for NormalModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::correlation::pearson;

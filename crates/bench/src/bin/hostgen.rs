@@ -1,11 +1,6 @@
 //! `hostgen` — the paper's public tool: automatically generate
 //! realistic Internet end hosts for a chosen date.
 //!
-//! ```text
-//! hostgen [--date YEAR] [--n COUNT] [--seed N] [--model paper|normal|grid]
-//!         [--format csv|json] [--gpus]
-//! ```
-//!
 //! Examples:
 //!
 //! ```text
@@ -13,11 +8,54 @@
 //! hostgen --date 2014 --n 100 --format json --gpus
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 use resmodel_baselines::{GridModel, NormalModel};
+use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
 use resmodel_core::gpu_model::GpuModel;
 use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
+use resmodel_error::{ArgError, ResmodelError};
 use resmodel_stats::rng::seeded_substream;
 use resmodel_trace::SimDate;
+
+const USAGE: Usage = Usage {
+    bin: "hostgen",
+    summary: "generate realistic Internet end hosts for a chosen date",
+    usage: &[
+        "hostgen [--date YEAR] [--n COUNT] [--seed N] [--model paper|normal|grid]",
+        "        [--format csv|json] [--gpus]",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--date YEAR",
+            help: "generation date as a fractional year (default 2010.67)",
+        },
+        FlagHelp {
+            flag: "--n COUNT",
+            help: "number of hosts (default 100)",
+        },
+        FlagHelp {
+            flag: "--seed N",
+            help: "generation seed (default 42)",
+        },
+        FlagHelp {
+            flag: "--model M",
+            help: "generative model: paper|normal|grid (default paper)",
+        },
+        FlagHelp {
+            flag: "--format F",
+            help: "output format: csv|json (default csv)",
+        },
+        FlagHelp {
+            flag: "--gpus",
+            help: "also sample GPUs from the paper's Section V-H model",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
 
 struct Options {
     date: f64,
@@ -28,7 +66,11 @@ struct Options {
     gpus: bool,
 }
 
-fn parse_args() -> Options {
+fn main() {
+    cli::run_main(&USAGE, real_main);
+}
+
+fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
     let mut opt = Options {
         date: 2010.67,
         n: 100,
@@ -37,54 +79,23 @@ fn parse_args() -> Options {
         format: "csv".into(),
         gpus: false,
     };
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    let bail = |msg: &str| -> ! {
-        eprintln!("hostgen: {msg}");
-        eprintln!(
-            "usage: hostgen [--date YEAR] [--n COUNT] [--seed N] \
-             [--model paper|normal|grid] [--format csv|json] [--gpus]"
-        );
-        std::process::exit(2);
-    };
-    while i < args.len() {
-        let need = |i: usize| -> &str {
-            args.get(i)
-                .map(|s| s.as_str())
-                .unwrap_or_else(|| bail("missing argument value"))
-        };
-        match args[i].as_str() {
-            "--date" => {
-                i += 1;
-                opt.date = need(i).parse().unwrap_or_else(|_| bail("bad --date"));
-            }
-            "--n" => {
-                i += 1;
-                opt.n = need(i).parse().unwrap_or_else(|_| bail("bad --n"));
-            }
-            "--seed" => {
-                i += 1;
-                opt.seed = need(i).parse().unwrap_or_else(|_| bail("bad --seed"));
-            }
-            "--model" => {
-                i += 1;
-                opt.model = need(i).to_string();
-            }
-            "--format" => {
-                i += 1;
-                opt.format = need(i).to_string();
-            }
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
+            "--date" => opt.date = args.parse("--date", "a fractional year")?,
+            "--n" => opt.n = args.parse("--n", "an integer")?,
+            "--seed" => opt.seed = args.parse("--seed", "an integer")?,
+            "--model" => opt.model = args.value("--model")?,
+            "--format" => opt.format = args.value("--format")?,
             "--gpus" => opt.gpus = true,
-            "--help" | "-h" => bail("help"),
-            other => bail(&format!("unknown flag {other}")),
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other => return cli::unknown_flag(other),
         }
-        i += 1;
     }
-    opt
+    Ok(opt)
 }
 
-fn main() {
-    let opt = parse_args();
+fn real_main(args: Args) -> Result<(), ResmodelError> {
+    let opt = parse_args(args)?;
     let date = SimDate::from_year(opt.date);
 
     let hosts: Vec<GeneratedHost> = match opt.model.as_str() {
@@ -92,8 +103,12 @@ fn main() {
         "normal" => NormalModel::paper_like().generate_population(date, opt.n, opt.seed),
         "grid" => GridModel::paper_like().generate_population(date, opt.n, opt.seed),
         other => {
-            eprintln!("hostgen: unknown model `{other}` (paper|normal|grid)");
-            std::process::exit(2);
+            return Err(ArgError::InvalidValue {
+                flag: "--model".into(),
+                value: other.into(),
+                expected: "paper, normal or grid",
+            }
+            .into());
         }
     };
 
@@ -153,16 +168,20 @@ fn main() {
                     v
                 })
                 .collect();
-            println!(
-                "{}",
-                serde_json::to_string_pretty(&rows).expect("serializable")
-            );
+            let json = serde_json::to_string_pretty(&rows)
+                .map_err(|e| ResmodelError::json("host list", e))?;
+            println!("{json}");
         }
         other => {
-            eprintln!("hostgen: unknown format `{other}` (csv|json)");
-            std::process::exit(2);
+            return Err(ArgError::InvalidValue {
+                flag: "--format".into(),
+                value: other.into(),
+                expected: "csv or json",
+            }
+            .into());
         }
     }
+    Ok(())
 }
 
 /// A GPU model parameterised directly from the paper's Section V-H

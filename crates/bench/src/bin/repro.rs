@@ -1,190 +1,260 @@
 //! `repro` — regenerate every table and figure of the paper from the
 //! synthetic measurement substrate.
 //!
-//! Usage:
-//!
-//! ```text
-//! repro [--scale S] [--seed N] <experiment>...
-//! repro all
-//! ```
-//!
-//! Experiments: `fig1 fig2 fig3 table1 table2 table3 fig4 table4 fig6
-//! table5 fig8 table6 fig9 table7 fig12 table8 fig13 fig14 fig15
-//! table10 sanity ablation churn gpumodel`.
+//! A thin front-end over [`resmodel::pipeline::Pipeline`]: one pipeline
+//! run (measure → sanitize → fit → validate → predict) produces the
+//! trace, the fitted model and the typed report; everything below is
+//! table rendering. `--report-json` dumps the full serializable
+//! [`PipelineReport`].
 
+#![warn(clippy::unwrap_used)]
+
+use resmodel::pipeline::{Pipeline, PipelineOutput, PipelineReport};
 use resmodel_allocsim::{run_utility_experiment, AppProfile, UtilityExperimentConfig};
 use resmodel_baselines::{GridModel, NormalModel};
-use resmodel_bench::{build_raw_world, build_world, fig15_dates, fit_dates, section};
+use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::{fig15_dates, fit_dates, section};
 use resmodel_core::fit::{
-    core_fractions, fit_host_model, lifetime_weibull, pcm_fractions, select_resource_family,
-    FitConfig, FitReport,
+    core_fractions, lifetime_weibull, pcm_fractions, select_resource_family, FitReport,
 };
-use resmodel_core::predict::{memory_prediction, moment_prediction, multicore_prediction};
-use resmodel_core::validate::{compare_populations, generated_correlation_matrix};
-use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
+use resmodel_core::validate::generated_correlation_matrix;
+use resmodel_core::{HostGenerator, HostModel};
+use resmodel_error::ResmodelError;
 use resmodel_stats::describe::{Histogram, Summary};
 use resmodel_stats::ks::SubsampleConfig;
 use resmodel_stats::rng::seeded;
 use resmodel_trace::store::ResourceColumn;
 use resmodel_trace::{CpuFamily, OsFamily, SimDate, Trace};
 
+/// Every experiment `repro` knows how to render.
+const EXPERIMENTS: &[&str] = &[
+    "sanity", "fig1", "fig2", "fig3", "table1", "table2", "table3", "fig4", "table4", "fig6",
+    "table5", "fig8", "table6", "fig9", "table7", "fig12", "table8", "fig13", "fig14", "fig15",
+    "table10", "ablation", "churn", "gpumodel",
+];
+
+const USAGE: Usage = Usage {
+    bin: "repro",
+    summary: "regenerate the paper's tables and figures from one pipeline run",
+    usage: &[
+        "repro [--scale S] [--seed N] [--report-json FILE] <experiment>...",
+        "repro all",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--scale S",
+            help: "world scale (default 0.004; paper scale is 1.0)",
+        },
+        FlagHelp {
+            flag: "--seed N",
+            help: "world seed (default 20110620)",
+        },
+        FlagHelp {
+            flag: "--report-json FILE",
+            help: "write the full pipeline report as JSON (`-` for stdout)",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    cli::run_main(&USAGE, real_main);
+}
+
+fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut scale = resmodel_bench::DEFAULT_SCALE;
     let mut seed = resmodel_bench::DEFAULT_SEED;
+    let mut report_json: Option<String> = None;
     let mut wanted: Vec<String> = Vec::new();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--scale" => {
-                i += 1;
-                scale = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--scale needs a number");
-                    std::process::exit(2);
-                });
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
+            "--scale" => scale = args.parse("--scale", "a number")?,
+            "--seed" => seed = args.parse("--seed", "an integer")?,
+            "--report-json" => report_json = Some(args.value("--report-json")?),
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other if other.starts_with('-') => return cli::unknown_flag(other),
+            other if other == "all" || EXPERIMENTS.contains(&other) => {
+                wanted.push(other.to_string());
             }
-            "--seed" => {
-                i += 1;
-                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
-                    eprintln!("--seed needs an integer");
-                    std::process::exit(2);
-                });
+            other => {
+                return cli::usage_error(format!(
+                    "unknown experiment `{other}` (try `all` or one of: {})",
+                    EXPERIMENTS.join(" ")
+                ));
             }
-            other => wanted.push(other.to_string()),
         }
-        i += 1;
     }
     if wanted.is_empty() {
         wanted.push("all".into());
     }
 
-    eprintln!("building world (scale {scale}, seed {seed})...");
-    let raw = build_raw_world(scale, seed);
-    let trace = build_world(scale, seed);
-    eprintln!(
-        "world ready: {} hosts ({} pre-sanitization)",
-        trace.len(),
-        raw.len()
-    );
-    eprintln!("fitting model...");
-    let report = fit_host_model(&trace, &FitConfig::default()).expect("model fit");
-
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
 
+    // One pipeline run supplies everything below: the sanitized trace,
+    // the fitted model and laws, and — only when an experiment (or the
+    // JSON report) consumes them — the Fig 12 validation tables and
+    // the Fig 13/14 forecasts.
+    eprintln!("running pipeline (scale {scale}, seed {seed})...");
+    let mut pipeline = Pipeline::from_boinc(scale, seed)
+        .sanitize_default()
+        .fit_default();
+    if want("fig12") || want("table8") || report_json.is_some() {
+        pipeline =
+            pipeline.validate_seeded(vec![SimDate::from_year(2010.0 + 8.0 / 12.0)], seed ^ 0xf12);
+    }
+    if want("fig13") || want("fig14") || report_json.is_some() {
+        pipeline = pipeline.predict(
+            (2009..=2014)
+                .map(|y| SimDate::from_year(y as f64))
+                .collect(),
+        );
+    }
+    let out: PipelineOutput = pipeline.run_detailed()?;
+    let trace = &out.trace;
+    let report = out
+        .fit_report()
+        .ok_or_else(|| ResmodelError::config("pipeline", "fit stage missing"))?;
+    eprintln!(
+        "world ready: {} hosts ({} pre-sanitization); fit in {:.0} ms",
+        out.report.world.hosts, out.report.world.raw_hosts, out.report.timing.fit_ms
+    );
+
+    if let Some(path) = report_json {
+        write_report(&out.report, &path)?;
+    }
+
     if want("sanity") {
-        sanity(&raw, &trace);
+        sanity(&out.report);
     }
     if want("fig1") {
-        fig1(&trace);
+        fig1(trace)?;
     }
     if want("fig2") {
-        fig2(&trace);
+        fig2(trace)?;
     }
     if want("fig3") {
-        fig3(&trace);
+        fig3(trace);
     }
     if want("table1") {
-        table1(&trace);
+        table1(trace);
     }
     if want("table2") {
-        table2(&trace);
+        table2(trace);
     }
     if want("table3") {
-        table3(&report);
+        table3(report);
     }
     if want("fig4") {
-        fig4(&trace);
+        fig4(trace);
     }
     if want("table4") {
-        table4(&report);
+        table4(report);
     }
     if want("fig6") {
-        fig6(&trace);
+        fig6(trace);
     }
     if want("table5") {
-        table5(&report);
+        table5(report);
     }
     if want("fig8") {
-        fig8(&trace, seed);
+        fig8(trace, seed)?;
     }
     if want("table6") {
-        table6(&report);
+        table6(report);
     }
     if want("fig9") {
-        fig9(&trace, seed);
+        fig9(trace, seed)?;
     }
     if want("table7") {
-        table7(&trace);
+        table7(trace)?;
     }
     if want("fig12") {
-        fig12(&trace, &report.model, seed);
+        fig12(&out.report);
     }
     if want("table8") {
-        table8(&report.model, seed);
+        table8(&out.report);
     }
     if want("fig13") {
-        fig13(&report.model);
+        fig13(&out.report);
     }
     if want("fig14") {
-        fig14(&report.model);
+        fig14(&out.report);
     }
     if want("fig15") {
-        fig15(&trace, &report, seed);
+        fig15(trace, report, seed)?;
     }
     if want("table10") {
         table10(&report.model);
     }
     if want("ablation") {
-        ablation(&trace, &report, seed);
+        ablation(trace, report, seed)?;
     }
     if want("churn") {
-        churn(&trace);
+        churn(trace);
     }
     if want("gpumodel") {
-        gpumodel(&trace);
+        gpumodel(trace);
     }
+    Ok(())
 }
 
-/// Section V-B numbers: sanitization and population overview.
-fn sanity(raw: &Trace, trace: &Trace) {
+/// Write the pipeline report as JSON to `path` (`-` for stdout).
+fn write_report(report: &PipelineReport, path: &str) -> Result<(), ResmodelError> {
+    let json = report.to_json_pretty()?;
+    if path == "-" {
+        println!("{json}");
+    } else {
+        std::fs::write(path, json).map_err(|e| ResmodelError::io(path, e))?;
+        eprintln!("pipeline report written to {path}");
+    }
+    Ok(())
+}
+
+/// Section V-B numbers: sanitization and population overview, straight
+/// from the pipeline's world summary.
+fn sanity(report: &PipelineReport) {
     section("Sanity: sanitization (paper Section V-B)");
-    let discarded = raw.len() - trace.len();
+    let w = &report.world;
     println!(
         "discarded {} of {} hosts ({:.3}%; paper: 3361 hosts, 0.12%)",
-        discarded,
-        raw.len(),
-        discarded as f64 / raw.len() as f64 * 100.0
+        w.discarded,
+        w.raw_hosts,
+        w.discarded_fraction * 100.0
     );
 }
 
 /// Fig 1: host lifetime PDF/CDF and Weibull fit.
-fn fig1(trace: &Trace) {
+fn fig1(trace: &Trace) -> Result<(), ResmodelError> {
     section("Fig 1: host lifetimes");
     let cutoff = SimDate::from_year(2010.5);
     let lifetimes = trace.lifetimes(cutoff);
-    let s = Summary::of(&lifetimes).expect("non-empty lifetimes");
+    let s = Summary::of(&lifetimes)?;
     println!(
         "n = {}, mean = {:.1} days (paper 192.4), median = {:.2} days (paper 71.14)",
         s.n, s.mean, s.median
     );
-    let w = lifetime_weibull(trace, cutoff).expect("weibull fit");
+    let w = lifetime_weibull(trace, cutoff)?;
     println!(
         "Weibull fit: k = {:.3} (paper 0.58), lambda = {:.1} (paper 135)",
         w.shape(),
         w.scale()
     );
-    let hist = Histogram::with_range(&lifetimes, 0.0, 1400.0, 14).expect("hist");
+    let hist = Histogram::with_range(&lifetimes, 0.0, 1400.0, 14)?;
     println!("{:>12} {:>10} {:>8}", "days", "pdf", "cdf");
     let pdf = hist.pdf_series();
     let cdf = hist.cdf_series();
     for (p, c) in pdf.iter().zip(&cdf) {
         println!("{:>12.0} {:>10.5} {:>8.3}", p.0, p.1, c.1);
     }
+    Ok(())
 }
 
 /// Fig 2: active hosts and resource means/std-devs over time.
-fn fig2(trace: &Trace) {
+fn fig2(trace: &Trace) -> Result<(), ResmodelError> {
     section("Fig 2: host resource overview (yearly)");
     println!(
         "{:>6} {:>8} {:>12} {:>14} {:>15} {:>15} {:>13}",
@@ -192,15 +262,12 @@ fn fig2(trace: &Trace) {
     );
     for year in 2006..=2010 {
         let d = SimDate::from_year(year as f64);
-        let stat = |col: ResourceColumn| {
-            let data = trace.column_at(d, col);
-            Summary::of(&data).expect("population non-empty")
-        };
-        let c = stat(ResourceColumn::Cores);
-        let m = stat(ResourceColumn::Memory);
-        let w = stat(ResourceColumn::Whetstone);
-        let dh = stat(ResourceColumn::Dhrystone);
-        let k = stat(ResourceColumn::Disk);
+        let stat = |col: ResourceColumn| Summary::of(&trace.column_at(d, col));
+        let c = stat(ResourceColumn::Cores)?;
+        let m = stat(ResourceColumn::Memory)?;
+        let w = stat(ResourceColumn::Whetstone)?;
+        let dh = stat(ResourceColumn::Dhrystone)?;
+        let k = stat(ResourceColumn::Disk)?;
         println!(
             "{year:>6} {:>8} {:>6.2}±{:<5.2} {:>8.0}±{:<5.0} {:>9.0}±{:<5.0} {:>9.0}±{:<5.0} {:>7.1}±{:<5.1}",
             trace.active_count(d),
@@ -208,6 +275,7 @@ fn fig2(trace: &Trace) {
         );
     }
     println!("paper 2006→2010: cores 1.28→2.17, memory 846→2376 MB, whet 1200→1861, dhry 2168→4120, disk 32.9→98.0 GB");
+    Ok(())
 }
 
 /// Fig 3: creation date vs average lifetime.
@@ -351,7 +419,7 @@ fn table5(report: &FitReport) {
 }
 
 /// Fig 8: benchmark histograms + KS family selection.
-fn fig8(trace: &Trace, seed: u64) {
+fn fig8(trace: &Trace, seed: u64) -> Result<(), ResmodelError> {
     section("Fig 8: Dhrystone/Whetstone histograms and KS family selection");
     let mut rng = seeded(seed ^ 0x5eed);
     for &y in &[2006.0, 2008.0, 2010.0] {
@@ -361,10 +429,9 @@ fn fig8(trace: &Trace, seed: u64) {
             (ResourceColumn::Whetstone, "whetstone"),
         ] {
             let data = trace.column_at(d, col);
-            let s = Summary::of(&data).expect("non-empty");
+            let s = Summary::of(&data)?;
             let ranked =
-                select_resource_family(trace, d, col, SubsampleConfig::default(), &mut rng)
-                    .expect("selection");
+                select_resource_family(trace, d, col, SubsampleConfig::default(), &mut rng)?;
             println!(
                 "{y:.0} {label:<10} mean {:>6.0} median {:>6.0} sd {:>6.0}  best fit: {:<11} (avg p = {:.3})",
                 s.mean,
@@ -376,6 +443,7 @@ fn fig8(trace: &Trace, seed: u64) {
         }
     }
     println!("(paper: normal wins for both benchmarks, avg p 0.19–0.43)");
+    Ok(())
 }
 
 /// Table VI: moment laws.
@@ -394,21 +462,20 @@ fn table6(report: &FitReport) {
 }
 
 /// Fig 9: disk distributions + KS selection.
-fn fig9(trace: &Trace, seed: u64) {
+fn fig9(trace: &Trace, seed: u64) -> Result<(), ResmodelError> {
     section("Fig 9: available disk space distributions");
     let mut rng = seeded(seed ^ 0xd15c);
     for &y in &[2006.0, 2008.0, 2010.0] {
         let d = SimDate::from_year(y);
         let data = trace.column_at(d, ResourceColumn::Disk);
-        let s = Summary::of(&data).expect("non-empty");
+        let s = Summary::of(&data)?;
         let ranked = select_resource_family(
             trace,
             d,
             ResourceColumn::Disk,
             SubsampleConfig::default(),
             &mut rng,
-        )
-        .expect("selection");
+        )?;
         println!(
             "{y:.0}: mean {:>6.1} GB median {:>6.1} GB sd {:>6.1}  best fit: {:<11} (avg p = {:.3})",
             s.mean,
@@ -419,10 +486,11 @@ fn fig9(trace: &Trace, seed: u64) {
         );
     }
     println!("(paper: 2006 mean 32.9/median 15.6; 2008 52.0/24.5; 2010 98.1/43.7; log-normal wins, p 0.43–0.51)");
+    Ok(())
 }
 
 /// Table VII + Fig 10: GPU composition and memory.
-fn table7(trace: &Trace) {
+fn table7(trace: &Trace) -> Result<(), ResmodelError> {
     section("Table VII + Fig 10: GPUs among GPU-equipped hosts");
     for &y in &[2009.67, 2010.6] {
         let pop = trace.population_at(SimDate::from_year(y));
@@ -438,28 +506,26 @@ fn table7(trace: &Trace) {
             print!(" {} {:.1}%", class.name(), share * 100.0);
         }
         let mem: Vec<f64> = gpus.iter().map(|g| g.memory_mb).collect();
-        let s = Summary::of(&mem).expect("non-empty");
+        let s = Summary::of(&mem)?;
         println!("; mem mean {:.0} MB median {:.0} MB", s.mean, s.median);
     }
     println!("(paper: 12.7%→23.8% presence; GeForce 82.5%→63.6%, Radeon 12.2%→31.5%; mem 592.7→659.4 MB)");
+    Ok(())
 }
 
-/// Fig 12: generated vs actual comparison for September 2010.
-fn fig12(trace: &Trace, model: &HostModel, seed: u64) {
+/// Fig 12: generated vs actual comparison, rendered from the
+/// pipeline's validation stage.
+fn fig12(pipeline: &PipelineReport) {
     section("Fig 12: generated vs actual resources (September 2010)");
-    let date = SimDate::from_year(2010.0 + 8.0 / 12.0);
-    let actual: Vec<GeneratedHost> = trace
-        .population_at(date)
-        .iter()
-        .map(GeneratedHost::from)
-        .collect();
-    let generated = model.generate_population(date, actual.len(), seed ^ 0xf12);
-    let cmp = compare_populations(&generated, &actual).expect("non-empty populations");
+    let Some(validation) = pipeline.validation.as_deref().and_then(|v| v.first()) else {
+        println!("(validation stage not run)");
+        return;
+    };
     println!(
         "{:<24} {:>10} {:>10} {:>9} {:>10} {:>10} {:>8}",
         "resource", "μ_gen", "μ_actual", "Δμ %", "σ_gen", "σ_actual", "Δσ %"
     );
-    for c in &cmp {
+    for c in &validation.comparisons {
         println!(
             "{:<24} {:>10.2} {:>10.2} {:>8.1}% {:>10.2} {:>10.2} {:>7.1}%",
             c.resource.name(),
@@ -474,11 +540,15 @@ fn fig12(trace: &Trace, model: &HostModel, seed: u64) {
     println!("(paper: mean diffs 0.5%–13%, σ diffs 3.5%–32.7%)");
 }
 
-/// Table VIII: correlations of the generated population.
-fn table8(model: &HostModel, seed: u64) {
+/// Table VIII: correlations of the generated population, from the
+/// pipeline's validation stage.
+fn table8(pipeline: &PipelineReport) {
     section("Table VIII: correlation coefficients between generated hosts");
-    let hosts = model.generate_population(SimDate::from_year(2010.67), 20_000, seed ^ 0x8);
-    let m = generated_correlation_matrix(&hosts).expect("correlations defined");
+    let Some(validation) = pipeline.validation.as_deref().and_then(|v| v.first()) else {
+        println!("(validation stage not run)");
+        return;
+    };
+    let m = &validation.generated_correlation;
     let names = ["Cores", "Memory", "Mem/Core", "Whet", "Dhry", "Disk"];
     print!("{:<10}", "");
     for n in names {
@@ -495,18 +565,19 @@ fn table8(model: &HostModel, seed: u64) {
     println!("paper: cores-mem 0.727, whet-dhry 0.505, mem/core-whet 0.307, disk ~0");
 }
 
-/// Fig 13: predicted multicore mix to 2014.
-fn fig13(model: &HostModel) {
+/// Fig 13: predicted multicore mix to 2014, from the pipeline's
+/// prediction stage.
+fn fig13(pipeline: &PipelineReport) {
     section("Fig 13: predicted future multicore distribution");
-    let dates: Vec<SimDate> = (2009..=2014)
-        .map(|y| SimDate::from_year(y as f64))
-        .collect();
-    let preds = multicore_prediction(model, &dates).expect("prediction");
+    let Some(preds) = pipeline.predictions.as_ref() else {
+        println!("(prediction stage not run)");
+        return;
+    };
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>11}",
         "year", "1 core", "≥2", "≥4", "≥8", "≥16", "mean cores"
     );
-    for p in preds {
+    for p in &preds.multicore {
         println!(
             "{:>6.0} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>11.2}",
             p.date.year(),
@@ -521,18 +592,19 @@ fn fig13(model: &HostModel) {
     println!("(paper: 1-core negligible by 2014; 2-core ~40% of total; mean 4.6)");
 }
 
-/// Fig 14: predicted memory mix to 2014.
-fn fig14(model: &HostModel) {
+/// Fig 14: predicted memory mix to 2014, from the pipeline's
+/// prediction stage.
+fn fig14(pipeline: &PipelineReport) {
     section("Fig 14: predicted future host memory distribution");
-    let dates: Vec<SimDate> = (2009..=2014)
-        .map(|y| SimDate::from_year(y as f64))
-        .collect();
-    let preds = memory_prediction(model, &dates).expect("prediction");
+    let Some(preds) = pipeline.predictions.as_ref() else {
+        println!("(prediction stage not run)");
+        return;
+    };
     println!(
         "{:>6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "year", "≤1GB", "≤2GB", "≤4GB", "≤8GB", ">8GB", "mean GB"
     );
-    for p in preds {
+    for p in &preds.memory {
         println!(
             "{:>6.0} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>10.2}",
             p.date.year(),
@@ -544,27 +616,34 @@ fn fig14(model: &HostModel) {
             p.mean_memory_mb / 1024.0
         );
     }
-    let m = moment_prediction(model, SimDate::from_year(2014.0));
-    println!(
-        "2014 moments: dhry ({:.0}, {:.0}) whet ({:.0}, {:.0}) disk ({:.1}, {:.1})",
-        m.dhrystone.0, m.dhrystone.1, m.whetstone.0, m.whetstone.1, m.disk_gb.0, m.disk_gb.1
-    );
+    if let Some(m) = preds.moments.last() {
+        println!(
+            "{:.0} moments: dhry ({:.0}, {:.0}) whet ({:.0}, {:.0}) disk ({:.1}, {:.1})",
+            m.date.year(),
+            m.dhrystone.0,
+            m.dhrystone.1,
+            m.whetstone.0,
+            m.whetstone.1,
+            m.disk_gb.0,
+            m.disk_gb.1
+        );
+    }
     println!("(paper 2014: memory mean 6.8 GB; dhry (8100, 4419); whet (2975, 868); disk (272.0, 434.5))");
 }
 
 /// Fig 15: utility simulation comparison.
-fn fig15(trace: &Trace, report: &FitReport, seed: u64) {
+fn fig15(trace: &Trace, report: &FitReport, seed: u64) -> Result<(), ResmodelError> {
     section("Fig 15: utility simulation difference vs actual data (%)");
     let dates = fit_dates();
-    let normal = NormalModel::fit(trace, &dates).expect("normal fit");
-    let grid = GridModel::fit(trace, &dates).expect("grid fit");
+    let normal = NormalModel::fit(trace, &dates)?;
+    let grid = GridModel::fit(trace, &dates)?;
     let generators: Vec<&dyn HostGenerator> = vec![&report.model, &normal, &grid];
     let config = UtilityExperimentConfig {
         dates: fig15_dates(),
         apps: AppProfile::ALL.to_vec(),
         seed: seed ^ 0xf15,
     };
-    let results = run_utility_experiment(trace, &generators, &config).expect("experiment");
+    let results = run_utility_experiment(trace, &generators, &config)?;
     println!(
         "{:<22} {:>24} {:>24} {:>24}",
         "application", "correlated (min–max)", "normal (min–max)", "grid (min–max)"
@@ -586,6 +665,7 @@ fn fig15(trace: &Trace, report: &FitReport, seed: u64) {
         println!();
     }
     println!("(paper: correlated 0–10%; normal 9–31%; grid 3–15% except P2P 46–57%)");
+    Ok(())
 }
 
 /// Table X: the model summary.
@@ -606,9 +686,10 @@ fn table10(model: &HostModel) {
 /// Ablations of the model's two signature design choices:
 /// (a) the Cholesky correlation coupling, (b) the 4 GB per-core-memory
 /// tier.
-fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
+fn ablation(trace: &Trace, report: &FitReport, seed: u64) -> Result<(), ResmodelError> {
     use resmodel_core::fit::model_correlation;
     use resmodel_core::model::PCM_TIERS_MB;
+    use resmodel_core::predict::memory_prediction;
     use resmodel_core::{DiscreteRatioModel, RatioLaw};
     use resmodel_stats::Matrix;
 
@@ -618,34 +699,18 @@ fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
         full.cores().clone(),
         full.per_core_memory().clone(),
         &Matrix::identity(3),
-        resmodel_core::model::MomentLaw::new(
-            report
-                .moment_laws
-                .iter()
-                .find(|r| r.label == "Whetstone Mean")
-                .expect("row")
-                .fit
-                .a,
-            report
-                .moment_laws
-                .iter()
-                .find(|r| r.label == "Whetstone Mean")
-                .expect("row")
-                .fit
-                .b,
-        ),
-        law_of(report, "Whetstone Variance"),
-        law_of(report, "Dhrystone Mean"),
-        law_of(report, "Dhrystone Variance"),
-        law_of(report, "Disk Space Mean"),
-        law_of(report, "Disk Space Variance"),
-    )
-    .expect("identity correlation is positive definite");
+        law_of(report, "Whetstone Mean")?,
+        law_of(report, "Whetstone Variance")?,
+        law_of(report, "Dhrystone Mean")?,
+        law_of(report, "Dhrystone Variance")?,
+        law_of(report, "Disk Space Mean")?,
+        law_of(report, "Disk Space Variance")?,
+    )?;
 
     let date = SimDate::from_year(2010.5);
     for (label, model) in [("full", full), ("identity-R", &uncorrelated)] {
         let pop = model.generate_population(date, 20_000, seed ^ 0xab1);
-        let m = generated_correlation_matrix(&pop).expect("defined");
+        let m = generated_correlation_matrix(&pop)?;
         println!(
             "{label:<12} mem/core-whet r = {:+.3}   whet-dhry r = {:+.3}   cores-mem r = {:+.3}",
             m.get(2, 3),
@@ -663,7 +728,7 @@ fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
         seed: seed ^ 0xab2,
     };
     let gens: Vec<&dyn HostGenerator> = vec![full, &uncorrelated];
-    let results = run_utility_experiment(trace, &gens, &config).expect("experiment");
+    let results = run_utility_experiment(trace, &gens, &config)?;
     println!("\nmean % utility difference vs actual (full vs identity-R):");
     for (a, app) in config.apps.iter().enumerate() {
         println!(
@@ -681,37 +746,41 @@ fn ablation(trace: &Trace, report: &FitReport, seed: u64) {
             .iter()
             .map(|r| RatioLaw::from(r.fit))
             .collect(),
-    )
-    .expect("truncated tiers are valid");
+    )?;
     let truncated = HostModel::new(
         full.cores().clone(),
         truncated_pcm,
         &model_correlation(&report.correlation),
-        law_of(report, "Whetstone Mean"),
-        law_of(report, "Whetstone Variance"),
-        law_of(report, "Dhrystone Mean"),
-        law_of(report, "Dhrystone Variance"),
-        law_of(report, "Disk Space Mean"),
-        law_of(report, "Disk Space Variance"),
-    )
-    .expect("fitted correlation is positive definite");
+        law_of(report, "Whetstone Mean")?,
+        law_of(report, "Whetstone Variance")?,
+        law_of(report, "Dhrystone Mean")?,
+        law_of(report, "Dhrystone Variance")?,
+        law_of(report, "Disk Space Mean")?,
+        law_of(report, "Disk Space Variance")?,
+    )?;
     for (label, model) in [("with 4GB tier", full), ("capped at 2GB", &truncated)] {
-        let preds = memory_prediction(model, &[SimDate::from_year(2014.0)]).expect("prediction");
+        let preds = memory_prediction(model, &[SimDate::from_year(2014.0)])?;
         println!(
             "{label:<15} predicted 2014 mean memory: {:>5.2} GB (paper's own figure: 6.8 GB)",
             preds[0].mean_memory_mb / 1024.0
         );
     }
+    Ok(())
 }
 
 /// Look up a fitted moment law by label.
-fn law_of(report: &FitReport, label: &str) -> resmodel_core::model::MomentLaw {
+fn law_of(
+    report: &FitReport,
+    label: &str,
+) -> Result<resmodel_core::model::MomentLaw, ResmodelError> {
     let row = report
         .moment_laws
         .iter()
         .find(|r| r.label == label)
-        .expect("all moment rows fitted");
-    resmodel_core::model::MomentLaw::new(row.fit.a, row.fit.b)
+        .ok_or_else(|| {
+            ResmodelError::config("fit report", format!("missing moment law `{label}`"))
+        })?;
+    Ok(resmodel_core::model::MomentLaw::new(row.fit.a, row.fit.b))
 }
 
 /// Population churn analytics (the dynamics behind Figs 1 and 3).

@@ -1,22 +1,63 @@
 //! `worldsim` — run a synthetic host population and write the recorded
 //! measurement trace as CSV (the format of `resmodel_trace::csv`).
 //!
-//! ```text
-//! worldsim [--scale S] [--seed N] [--raw] [--out FILE]
-//! worldsim --engine SCENARIO [--hosts N] [--seed N] [--out FILE]
-//! ```
-//!
 //! The default mode runs the BOINC measurement loop. `--engine` runs
 //! the population-dynamics engine instead with one of the built-in
-//! scenarios (`steady-state`, `flash-crowd`, `gpu-wave`,
-//! `market-shift`) and exports the fleet. Without `--out` the trace is
+//! scenarios and exports the fleet. Without `--out` the trace is
 //! written to stdout. `--raw` skips sanitization (BOINC mode only).
 
+#![warn(clippy::unwrap_used)]
+
+use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
 use resmodel_bench::{build_popsim_world, build_raw_world, build_world};
+use resmodel_error::{ArgError, ResmodelError};
 use resmodel_popsim::Scenario;
 use std::io::Write;
 
+const USAGE: Usage = Usage {
+    bin: "worldsim",
+    summary: "simulate a host population and write its measurement trace as CSV",
+    usage: &[
+        "worldsim [--scale S] [--seed N] [--raw] [--out FILE]",
+        "worldsim --engine SCENARIO [--hosts N] [--seed N] [--out FILE]",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--scale S",
+            help: "BOINC-mode world scale (default 0.004)",
+        },
+        FlagHelp {
+            flag: "--seed N",
+            help: "world seed (default 20110620)",
+        },
+        FlagHelp {
+            flag: "--raw",
+            help: "skip sanitization (BOINC mode only)",
+        },
+        FlagHelp {
+            flag: "--engine SCENARIO",
+            help: "run a popsim scenario: steady-state|flash-crowd|gpu-wave|market-shift",
+        },
+        FlagHelp {
+            flag: "--hosts N",
+            help: "cap the scenario's arrivals (engine mode only; 0 = scenario default)",
+        },
+        FlagHelp {
+            flag: "--out FILE",
+            help: "output path (default stdout)",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
+
 fn main() {
+    cli::run_main(&USAGE, real_main);
+}
+
+fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut scale = resmodel_bench::DEFAULT_SCALE;
     let mut scale_given = false;
     let mut seed = resmodel_bench::DEFAULT_SEED;
@@ -25,79 +66,47 @@ fn main() {
     let mut engine: Option<String> = None;
     let mut hosts: Option<usize> = None;
 
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
             "--scale" => {
-                i += 1;
                 scale_given = true;
-                scale = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| bail("--scale needs a number"));
+                scale = args.parse("--scale", "a number")?;
             }
-            "--seed" => {
-                i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| bail("--seed needs an integer"));
-            }
+            "--seed" => seed = args.parse("--seed", "an integer")?,
             "--raw" => raw = true,
-            "--engine" => {
-                i += 1;
-                engine = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| bail("--engine needs a scenario")),
-                );
-            }
-            "--hosts" => {
-                i += 1;
-                hosts = Some(
-                    args.get(i)
-                        .and_then(|s| s.parse().ok())
-                        .unwrap_or_else(|| bail("--hosts needs an integer")),
-                );
-            }
-            "--out" => {
-                i += 1;
-                out = Some(
-                    args.get(i)
-                        .cloned()
-                        .unwrap_or_else(|| bail("--out needs a path")),
-                );
-            }
-            other => bail(&format!("unknown flag {other}")),
+            "--engine" => engine = Some(args.value("--engine")?),
+            "--hosts" => hosts = Some(args.parse("--hosts", "an integer")?),
+            "--out" => out = Some(args.value("--out")?),
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other => return cli::unknown_flag(other),
         }
-        i += 1;
     }
 
     // Reject flags that belong to the other mode instead of silently
     // ignoring them.
     if engine.is_some() {
         if scale_given {
-            bail("--scale applies to the BOINC mode, not --engine");
+            return cli::usage_error("--scale applies to the BOINC mode, not --engine");
         }
         if raw {
-            bail("--raw applies to the BOINC mode, not --engine (engine traces are not sanitized)");
+            return cli::usage_error(
+                "--raw applies to the BOINC mode, not --engine (engine traces are not sanitized)",
+            );
         }
     } else if hosts.is_some() {
-        bail("--hosts requires --engine (use --scale for the BOINC mode)");
+        return cli::usage_error("--hosts requires --engine (use --scale for the BOINC mode)");
     }
 
     let trace = match engine {
         Some(name) => {
-            let scenario = Scenario::builtin(&name, seed).unwrap_or_else(|| {
-                bail(&format!(
-                    "unknown scenario `{name}` (try steady-state, flash-crowd, gpu-wave, market-shift)"
-                ))
-            });
+            let scenario = Scenario::builtin(&name, seed).ok_or(ArgError::InvalidValue {
+                flag: "--engine".into(),
+                value: name.clone(),
+                expected: "steady-state, flash-crowd, gpu-wave or market-shift",
+            })?;
             let hosts = hosts.unwrap_or(0);
             eprintln!("running population engine ({name}, seed {seed}, hosts {hosts})...");
-            build_popsim_world(scenario, hosts)
-                .unwrap_or_else(|e| bail(&format!("invalid scenario: {e}")))
+            build_popsim_world(scenario, hosts)?
         }
         None => {
             eprintln!("simulating world (scale {scale}, seed {seed})...");
@@ -110,29 +119,22 @@ fn main() {
     };
     eprintln!("writing {} hosts...", trace.len());
 
-    let result = match out {
+    match out {
         Some(path) => {
-            let file = std::fs::File::create(&path)
-                .unwrap_or_else(|e| bail(&format!("cannot create {path}: {e}")));
-            resmodel_trace::csv::write_trace(&trace, std::io::BufWriter::new(file))
+            let file = std::fs::File::create(&path).map_err(|e| ResmodelError::io(&path, e))?;
+            let mut writer = std::io::BufWriter::new(file);
+            resmodel_trace::csv::write_trace(&trace, &mut writer)?;
+            // Flush explicitly: BufWriter's Drop swallows I/O errors,
+            // which would turn a truncated file into a silent success.
+            writer.flush().map_err(|e| ResmodelError::io(&path, e))?;
         }
         None => {
             let stdout = std::io::stdout();
             let mut lock = stdout.lock();
-            let r = resmodel_trace::csv::write_trace(&trace, &mut lock);
-            let _ = lock.flush();
-            r
+            resmodel_trace::csv::write_trace(&trace, &mut lock)?;
+            lock.flush().map_err(|e| ResmodelError::io("stdout", e))?;
         }
-    };
-    if let Err(e) = result {
-        bail(&format!("write failed: {e}"));
     }
     eprintln!("done.");
-}
-
-fn bail(msg: &str) -> ! {
-    eprintln!("worldsim: {msg}");
-    eprintln!("usage: worldsim [--scale S] [--seed N] [--raw] [--out FILE]");
-    eprintln!("       worldsim --engine SCENARIO [--hosts N] [--seed N] [--out FILE]");
-    std::process::exit(2);
+    Ok(())
 }

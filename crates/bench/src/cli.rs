@@ -1,0 +1,216 @@
+//! Shared command-line plumbing for the workspace binaries (`repro`,
+//! `worldsim`, `hostgen`): a typed argument cursor built on
+//! [`ArgError`], consistent `--help` rendering, and a common
+//! error-reporting exit path with distinct exit codes (2 for usage
+//! problems, 1 for runtime failures).
+
+use resmodel_error::{ArgError, ResmodelError};
+use std::str::FromStr;
+
+/// One flag's help entry.
+#[derive(Debug, Clone, Copy)]
+pub struct FlagHelp {
+    /// The flag with its value placeholder, e.g. `"--scale S"`.
+    pub flag: &'static str,
+    /// One-line description.
+    pub help: &'static str,
+}
+
+/// A binary's usage description, rendered identically across all
+/// workspace binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct Usage {
+    /// Binary name.
+    pub bin: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Usage lines (without the leading `usage:` prefix).
+    pub usage: &'static [&'static str],
+    /// Flag descriptions.
+    pub flags: &'static [FlagHelp],
+}
+
+impl Usage {
+    /// Render the full help text.
+    pub fn render(&self) -> String {
+        let mut out = format!("{} — {}\n\n", self.bin, self.summary);
+        out.push_str(&self.reminder());
+        if !self.flags.is_empty() {
+            out.push_str("\nflags:\n");
+            let width = self.flags.iter().map(|f| f.flag.len()).max().unwrap_or(0);
+            for f in self.flags {
+                out.push_str(&format!("  {:<width$}  {}\n", f.flag, f.help));
+            }
+        }
+        out
+    }
+
+    /// The one-line usage reminder printed after an argument error.
+    pub fn reminder(&self) -> String {
+        let mut out = String::new();
+        for (i, line) in self.usage.iter().enumerate() {
+            let prefix = if i == 0 { "usage: " } else { "       " };
+            out.push_str(prefix);
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A cursor over command-line tokens with typed error reporting.
+#[derive(Debug)]
+pub struct Args {
+    tokens: Vec<String>,
+    i: usize,
+}
+
+impl Args {
+    /// Capture the process arguments (after the binary name).
+    pub fn from_env() -> Self {
+        Self::new(std::env::args().skip(1).collect())
+    }
+
+    /// Build from explicit tokens (tests).
+    pub fn new(tokens: Vec<String>) -> Self {
+        Self { tokens, i: 0 }
+    }
+
+    /// The next token, advancing the cursor.
+    pub fn next_token(&mut self) -> Option<String> {
+        let t = self.tokens.get(self.i).cloned();
+        if t.is_some() {
+            self.i += 1;
+        }
+        t
+    }
+
+    /// The value following `flag`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingValue`] when the token stream ends.
+    pub fn value(&mut self, flag: &str) -> Result<String, ArgError> {
+        self.next_token().ok_or_else(|| ArgError::MissingValue {
+            flag: flag.to_owned(),
+        })
+    }
+
+    /// The value following `flag`, parsed as `T`.
+    ///
+    /// # Errors
+    ///
+    /// [`ArgError::MissingValue`] when the stream ends,
+    /// [`ArgError::InvalidValue`] when parsing fails.
+    pub fn parse<T: FromStr>(&mut self, flag: &str, expected: &'static str) -> Result<T, ArgError> {
+        let raw = self.value(flag)?;
+        raw.parse().map_err(|_| ArgError::InvalidValue {
+            flag: flag.to_owned(),
+            value: raw,
+            expected,
+        })
+    }
+}
+
+/// Shorthand for an [`ArgError::Usage`] result.
+pub fn usage_error<T>(message: impl Into<String>) -> Result<T, ResmodelError> {
+    Err(ArgError::Usage {
+        message: message.into(),
+    }
+    .into())
+}
+
+/// Shorthand for an [`ArgError::UnknownFlag`] result.
+pub fn unknown_flag<T>(flag: impl Into<String>) -> Result<T, ResmodelError> {
+    Err(ArgError::UnknownFlag { flag: flag.into() }.into())
+}
+
+/// Print the rendered usage and exit 0. Call from a flag-position
+/// match arm so a token that is another flag's *value* (e.g. a file
+/// named `-h`) is never mistaken for a help request.
+pub fn help_exit(usage: &Usage) -> ! {
+    print!("{}", usage.render());
+    std::process::exit(0)
+}
+
+/// Run a binary body with uniform error reporting: an `Err` prints
+/// `bin: error` (plus the usage reminder for argument errors) and
+/// exits with [`ResmodelError::exit_code`].
+pub fn run_main(usage: &Usage, body: impl FnOnce(Args) -> Result<(), ResmodelError>) {
+    if let Err(e) = body(Args::from_env()) {
+        eprintln!("{}: {e}", usage.bin);
+        if matches!(e, ResmodelError::Arg(_)) {
+            eprint!("{}", usage.reminder());
+        }
+        std::process::exit(e.exit_code());
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    const USAGE: Usage = Usage {
+        bin: "demo",
+        summary: "a demo",
+        usage: &["demo [--n N]", "demo all"],
+        flags: &[
+            FlagHelp {
+                flag: "--n N",
+                help: "how many",
+            },
+            FlagHelp {
+                flag: "--verbose",
+                help: "say more",
+            },
+        ],
+    };
+
+    #[test]
+    fn cursor_walks_tokens() {
+        let mut a = Args::new(vec!["--n".into(), "5".into(), "rest".into()]);
+        assert_eq!(a.next_token().as_deref(), Some("--n"));
+        let n: usize = a.parse("--n", "an integer").unwrap();
+        assert_eq!(n, 5);
+        assert_eq!(a.next_token().as_deref(), Some("rest"));
+        assert_eq!(a.next_token(), None);
+    }
+
+    #[test]
+    fn missing_and_invalid_values() {
+        let mut a = Args::new(vec![]);
+        assert_eq!(
+            a.parse::<u64>("--seed", "an integer").unwrap_err(),
+            ArgError::MissingValue {
+                flag: "--seed".into()
+            }
+        );
+        let mut a = Args::new(vec!["abc".into()]);
+        assert!(matches!(
+            a.parse::<f64>("--scale", "a number").unwrap_err(),
+            ArgError::InvalidValue { .. }
+        ));
+    }
+
+    #[test]
+    fn usage_renders_consistently() {
+        let text = USAGE.render();
+        assert!(text.starts_with("demo — a demo"));
+        assert!(text.contains("usage: demo [--n N]"));
+        assert!(text.contains("       demo all"));
+        assert!(text.contains("--n N"));
+        assert!(text.contains("how many"));
+        let reminder = USAGE.reminder();
+        assert!(reminder.contains("usage: demo [--n N]"));
+        assert!(!reminder.contains("how many"));
+    }
+
+    #[test]
+    fn typed_error_helpers() {
+        let e = usage_error::<()>("bad combo").unwrap_err();
+        assert_eq!(e.exit_code(), 2);
+        let e = unknown_flag::<()>("--bogus").unwrap_err();
+        assert!(e.to_string().contains("--bogus"));
+    }
+}

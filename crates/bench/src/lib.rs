@@ -2,7 +2,12 @@
 //! benchmarks: world construction, table formatting and small utilities
 //! used when regenerating the paper's tables and figures.
 
+#![warn(clippy::unwrap_used)]
+
+pub mod cli;
+
 use resmodel_boinc::{simulate, WorldParams};
+use resmodel_error::ResmodelError;
 use resmodel_popsim::{engine, Scenario};
 use resmodel_trace::sanitize::{sanitize, SanitizeRules};
 use resmodel_trace::{SimDate, Trace};
@@ -34,7 +39,10 @@ pub fn build_raw_world(scale: f64, seed: u64) -> Trace {
 /// # Errors
 ///
 /// Returns the scenario's validation error, if any.
-pub fn build_popsim_world(mut scenario: Scenario, max_hosts: usize) -> Result<Trace, String> {
+pub fn build_popsim_world(
+    mut scenario: Scenario,
+    max_hosts: usize,
+) -> Result<Trace, ResmodelError> {
     if max_hosts > 0 {
         scenario.max_hosts = max_hosts;
     }
@@ -75,6 +83,7 @@ pub fn section(title: &str) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

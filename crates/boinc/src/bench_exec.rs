@@ -38,6 +38,7 @@ pub fn run_benchmarks(params: &WorldParams, hw: &Hardware, rng: &mut dyn Rng) ->
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::rng::seeded;

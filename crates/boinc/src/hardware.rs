@@ -137,6 +137,7 @@ pub fn corrupt_hardware(rng: &mut dyn Rng) -> Hardware {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::rng::seeded;

@@ -39,6 +39,8 @@
 //! assert!(trace.active_count(t) > 10);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod bench_exec;
 pub mod hardware;
 pub mod params;

@@ -1,5 +1,6 @@
 //! Parameters of the synthetic volunteer-computing world.
 
+use resmodel_error::ResmodelError;
 use resmodel_trace::SimDate;
 use serde::{Deserialize, Serialize};
 
@@ -121,20 +122,27 @@ impl WorldParams {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
+    /// Returns a [`ResmodelError::Config`] describing the first violated
     /// constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ResmodelError> {
+        const CONTEXT: &str = "world parameters";
+        let bad = |message: String| {
+            Err(ResmodelError::Config {
+                context: CONTEXT,
+                message,
+            })
+        };
         if !(self.scale > 0.0) {
-            return Err(format!("scale must be > 0, got {}", self.scale));
+            return bad(format!("scale must be > 0, got {}", self.scale));
         }
         if self.end <= self.start {
-            return Err("end must be after start".into());
+            return bad("end must be after start".into());
         }
         if !(self.lifetime_shape > 0.0) {
-            return Err("lifetime_shape must be > 0".into());
+            return bad("lifetime_shape must be > 0".into());
         }
         if !(self.contact_interval_days > 0.0) {
-            return Err("contact_interval_days must be > 0".into());
+            return bad("contact_interval_days must be > 0".into());
         }
         for (name, v) in [
             ("benchmark_spike_fraction", self.benchmark_spike_fraction),
@@ -144,7 +152,7 @@ impl WorldParams {
             ("memory_upgrade_prob", self.memory_upgrade_prob),
         ] {
             if !(0.0..=1.0).contains(&v) {
-                return Err(format!("{name} must be a probability, got {v}"));
+                return bad(format!("{name} must be a probability, got {v}"));
             }
         }
         Ok(())
@@ -160,6 +168,7 @@ impl Default for WorldParams {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

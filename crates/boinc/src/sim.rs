@@ -30,8 +30,8 @@ use resmodel_trace::{GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, T
 /// Panics when `params.validate()` fails; parameters are caller
 /// configuration, not runtime data.
 pub fn simulate(params: &WorldParams) -> Trace {
-    if let Err(msg) = params.validate() {
-        panic!("invalid WorldParams: {msg}");
+    if let Err(e) = params.validate() {
+        panic!("invalid WorldParams: {e}");
     }
     let truth = HostModel::paper();
 
@@ -194,6 +194,7 @@ pub fn host_rng(params: &WorldParams, host_id: u64) -> impl Rng {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::correlation::pearson;

@@ -29,7 +29,7 @@ use resmodel_trace::{HostView, SimDate, Trace};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the fitting pipeline.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FitConfig {
     /// Dates at which population snapshots are taken (paper: January 1
     /// of 2006–2010).
@@ -42,8 +42,19 @@ pub struct FitConfig {
 
 impl Default for FitConfig {
     fn default() -> Self {
+        Self::yearly(2006, 2010)
+    }
+}
+
+impl FitConfig {
+    /// Yearly January sample dates `first..=last` with the default
+    /// per-core-memory tolerance. The paper's window is 2006–2010
+    /// ([`FitConfig::default`]); traces whose population only ramps up
+    /// later (e.g. scenario runs starting in 2006) should start at the
+    /// first year with an established population.
+    pub fn yearly(first: i32, last: i32) -> Self {
         Self {
-            sample_dates: (2006..=2010)
+            sample_dates: (first..=last)
                 .map(|y| SimDate::from_year(y as f64))
                 .collect(),
             pcm_tolerance: 0.15,
@@ -53,7 +64,7 @@ impl Default for FitConfig {
 
 /// One fitted law with its printable label — a row of Tables IV, V
 /// or VI.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LawRow {
     /// Row label, e.g. `"1:2 Core Ratio"`.
     pub label: String,
@@ -63,7 +74,7 @@ pub struct LawRow {
 
 /// Everything the pipeline produced: the model plus the printable
 /// diagnostic tables.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FitReport {
     /// The assembled generative model.
     pub model: HostModel,
@@ -403,6 +414,7 @@ pub fn select_resource_family(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::generator::HostGenerator;

@@ -214,6 +214,7 @@ impl GpuModel {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::rng::seeded;

@@ -33,6 +33,8 @@
 //! assert!(host.memory_mb > 0.0 && host.avail_disk_gb > 0.0);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod fit;
 pub mod generator;
 pub mod gpu_model;

@@ -344,6 +344,7 @@ pub struct ModelSummaryRow {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use resmodel_stats::correlation::pearson;

@@ -68,6 +68,7 @@ pub fn load_model<R: Read>(mut r: R) -> Result<HostModel, PersistError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::generator::HostGenerator;

@@ -163,6 +163,7 @@ pub fn moment_prediction(model: &HostModel, date: SimDate) -> MomentPrediction {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

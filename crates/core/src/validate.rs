@@ -55,7 +55,7 @@ impl CompareResource {
 }
 
 /// One panel of the Fig 12 comparison.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ResourceComparison {
     /// Which resource.
     pub resource: CompareResource,
@@ -175,6 +175,7 @@ pub fn generated_correlation_matrix(hosts: &[GeneratedHost]) -> Result<Matrix, S
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::generator::HostGenerator;

@@ -1,0 +1,284 @@
+//! # resmodel-error
+//!
+//! The workspace-wide error type. Every fallible library API in the
+//! `resmodel` crates returns [`ResmodelError`] (or a type that converts
+//! into it via `?`), so errors compose across crate boundaries without
+//! stringly-typed plumbing:
+//!
+//! * statistical failures ([`resmodel_stats::StatsError`]) convert via
+//!   `From`,
+//! * configuration problems (invalid scenarios, world parameters,
+//!   model construction) carry a context plus a message,
+//! * I/O and JSON (de)serialization failures wrap the underlying error,
+//! * command-line problems are a typed [`ArgError`] so binaries can map
+//!   them to a distinct exit code.
+//!
+//! ```
+//! use resmodel_error::ResmodelError;
+//! use resmodel_stats::StatsError;
+//!
+//! fn fit() -> Result<(), StatsError> {
+//!     Err(StatsError::EmptyData { what: "fit", needed: 1, got: 0 })
+//! }
+//!
+//! fn pipeline() -> Result<(), ResmodelError> {
+//!     fit()?; // StatsError converts automatically
+//!     Ok(())
+//! }
+//!
+//! assert!(matches!(pipeline(), Err(ResmodelError::Stats(_))));
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+use resmodel_stats::StatsError;
+use std::fmt;
+
+/// A command-line argument problem, kept separate from [`ResmodelError`]
+/// so binaries can report usage errors with a dedicated exit code (2,
+/// the Unix convention for bad invocations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A flag that requires a value was given none.
+    MissingValue {
+        /// The flag, e.g. `"--scale"`.
+        flag: String,
+    },
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// The flag, e.g. `"--seed"`.
+        flag: String,
+        /// The rejected raw value.
+        value: String,
+        /// What was expected, e.g. `"an integer"`.
+        expected: &'static str,
+    },
+    /// An unrecognised flag.
+    UnknownFlag {
+        /// The offending token.
+        flag: String,
+    },
+    /// Flags were combined in an unsupported way (or a required one is
+    /// missing).
+    Usage {
+        /// Human-readable description of the conflict.
+        message: String,
+    },
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingValue { flag } => write!(f, "{flag} needs a value"),
+            ArgError::InvalidValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "{flag} expects {expected}, got `{value}`"),
+            ArgError::UnknownFlag { flag } => write!(f, "unknown flag `{flag}`"),
+            ArgError::Usage { message } => f.write_str(message),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// The workspace-wide error enum.
+#[derive(Debug)]
+pub enum ResmodelError {
+    /// A statistical routine failed (empty data, invalid parameters,
+    /// non-convergence, degenerate matrices, …).
+    Stats(StatsError),
+    /// An I/O operation failed.
+    Io {
+        /// What was being accessed, e.g. a file path.
+        context: String,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// A configuration was rejected: an invalid scenario, world
+    /// parameters, model construction input or stage precondition.
+    Config {
+        /// What was being validated, e.g. `"scenario"`.
+        context: &'static str,
+        /// The first violated constraint.
+        message: String,
+    },
+    /// JSON (de)serialization failed.
+    Json {
+        /// What was being (de)serialized.
+        context: &'static str,
+        /// The underlying error message.
+        message: String,
+    },
+    /// A command-line invocation problem.
+    Arg(ArgError),
+}
+
+impl ResmodelError {
+    /// Shorthand for a [`ResmodelError::Config`].
+    pub fn config(context: &'static str, message: impl Into<String>) -> Self {
+        ResmodelError::Config {
+            context,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for a [`ResmodelError::Io`] with context.
+    pub fn io(context: impl Into<String>, source: std::io::Error) -> Self {
+        ResmodelError::Io {
+            context: context.into(),
+            source,
+        }
+    }
+
+    /// Shorthand for a [`ResmodelError::Json`].
+    pub fn json(context: &'static str, message: impl fmt::Display) -> Self {
+        ResmodelError::Json {
+            context,
+            message: message.to_string(),
+        }
+    }
+
+    /// The conventional process exit code for this error: `2` for
+    /// command-line usage problems, `1` for everything else.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ResmodelError::Arg(_) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for ResmodelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResmodelError::Stats(e) => write!(f, "statistics: {e}"),
+            ResmodelError::Io { context, source } => write!(f, "i/o ({context}): {source}"),
+            ResmodelError::Config { context, message } => {
+                write!(f, "invalid {context}: {message}")
+            }
+            ResmodelError::Json { context, message } => write!(f, "json ({context}): {message}"),
+            ResmodelError::Arg(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ResmodelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ResmodelError::Stats(e) => Some(e),
+            ResmodelError::Io { source, .. } => Some(source),
+            ResmodelError::Arg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StatsError> for ResmodelError {
+    fn from(e: StatsError) -> Self {
+        ResmodelError::Stats(e)
+    }
+}
+
+impl From<ArgError> for ResmodelError {
+    fn from(e: ArgError) -> Self {
+        ResmodelError::Arg(e)
+    }
+}
+
+impl From<std::io::Error> for ResmodelError {
+    fn from(e: std::io::Error) -> Self {
+        ResmodelError::Io {
+            context: "i/o".into(),
+            source: e,
+        }
+    }
+}
+
+/// Convenience alias used across the workspace.
+pub type Result<T> = std::result::Result<T, ResmodelError>;
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = ResmodelError::config("scenario", "end must be after start");
+        assert_eq!(e.to_string(), "invalid scenario: end must be after start");
+        let e = ResmodelError::Stats(StatsError::NotPositiveDefinite);
+        assert!(e.to_string().starts_with("statistics:"));
+        let e: ResmodelError = ArgError::UnknownFlag {
+            flag: "--bogus".into(),
+        }
+        .into();
+        assert_eq!(e.to_string(), "unknown flag `--bogus`");
+    }
+
+    #[test]
+    fn exit_codes() {
+        assert_eq!(
+            ResmodelError::from(ArgError::MissingValue {
+                flag: "--seed".into()
+            })
+            .exit_code(),
+            2
+        );
+        assert_eq!(ResmodelError::config("scenario", "bad").exit_code(), 1);
+        assert_eq!(
+            ResmodelError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"))
+                .exit_code(),
+            1
+        );
+    }
+
+    #[test]
+    fn stats_error_converts_via_question_mark() {
+        fn inner() -> std::result::Result<(), StatsError> {
+            Err(StatsError::NotPositiveDefinite)
+        }
+        fn outer() -> crate::Result<()> {
+            inner()?;
+            Ok(())
+        }
+        assert!(matches!(
+            outer(),
+            Err(ResmodelError::Stats(StatsError::NotPositiveDefinite))
+        ));
+    }
+
+    #[test]
+    fn error_sources_chain() {
+        use std::error::Error;
+        let e = ResmodelError::io(
+            "hosts.csv",
+            std::io::Error::new(std::io::ErrorKind::NotFound, "gone"),
+        );
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("hosts.csv"));
+        assert!(ResmodelError::config("x", "y").source().is_none());
+    }
+
+    #[test]
+    fn arg_error_displays() {
+        let e = ArgError::InvalidValue {
+            flag: "--scale".into(),
+            value: "abc".into(),
+            expected: "a number",
+        };
+        assert_eq!(e.to_string(), "--scale expects a number, got `abc`");
+        let e = ArgError::MissingValue {
+            flag: "--out".into(),
+        };
+        assert_eq!(e.to_string(), "--out needs a value");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ResmodelError>();
+        assert_send_sync::<ArgError>();
+    }
+}

@@ -25,6 +25,7 @@ use rand::RngExt;
 use rayon::prelude::*;
 use resmodel_avail::Schedule;
 use resmodel_core::{HostGenerator, HostModel};
+use resmodel_error::ResmodelError;
 use resmodel_stats::rng::{seeded_substream, substream};
 use resmodel_stats::Distribution;
 use resmodel_trace::{CpuFamily, OsFamily, SimDate};
@@ -64,7 +65,7 @@ impl EngineReport {
 ///
 /// Returns the scenario's validation error, if any; the simulation
 /// itself cannot fail.
-pub fn run(scenario: &Scenario) -> Result<EngineReport, String> {
+pub fn run(scenario: &Scenario) -> Result<EngineReport, ResmodelError> {
     scenario.validate()?;
     let model = HostModel::paper();
     run_with_model(scenario, &model)
@@ -76,7 +77,10 @@ pub fn run(scenario: &Scenario) -> Result<EngineReport, String> {
 /// # Errors
 ///
 /// Returns the scenario's validation error, if any.
-pub fn run_with_model(scenario: &Scenario, model: &HostModel) -> Result<EngineReport, String> {
+pub fn run_with_model(
+    scenario: &Scenario,
+    model: &HostModel,
+) -> Result<EngineReport, ResmodelError> {
     scenario.validate()?;
     let arrivals = arrival_schedule(
         scenario.seed,
@@ -394,6 +398,7 @@ fn sample_cpu(shift: Option<&MarketShift>, at: SimDate, u: f64) -> CpuFamily {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::scenario::ArrivalLaw;

@@ -76,6 +76,7 @@ pub fn gpu_classes(fleet: &Fleet) -> Vec<(u64, GpuClass)> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::engine::run;

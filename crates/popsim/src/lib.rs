@@ -44,6 +44,8 @@
 //! assert!(peak.active > 0);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod engine;
 pub mod export;
 pub mod fleet;

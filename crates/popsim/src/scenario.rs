@@ -5,6 +5,7 @@
 use resmodel_avail::AvailabilityModel;
 use resmodel_core::gpu_model::GpuModel;
 use resmodel_core::RatioLaw;
+use resmodel_error::ResmodelError;
 use resmodel_trace::gpu::{gpu_memory_weights, gpu_presence_fraction};
 use resmodel_trace::{CpuFamily, GpuClass, OsFamily, SimDate};
 use serde::{Deserialize, Serialize};
@@ -375,30 +376,31 @@ impl Scenario {
     ///
     /// # Errors
     ///
-    /// Returns a human-readable description of the first violated
+    /// Returns a [`ResmodelError::Config`] describing the first violated
     /// constraint.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ResmodelError> {
+        let bad = |message: &str| Err(ResmodelError::config("scenario", message));
         if self.end <= self.start {
-            return Err("end must be after start".into());
+            return bad("end must be after start");
         }
         if self.shard_count == 0 {
-            return Err("shard_count must be at least 1".into());
+            return bad("shard_count must be at least 1");
         }
         if !(self.snapshot_interval_days > 0.0) {
-            return Err("snapshot_interval_days must be > 0".into());
+            return bad("snapshot_interval_days must be > 0");
         }
         if !(self.lifetime.shape > 0.0) || !(self.lifetime.scale_2006_days > 0.0) {
-            return Err("lifetime shape and scale must be > 0".into());
+            return bad("lifetime shape and scale must be > 0");
         }
         match &self.arrivals {
             ArrivalLaw::Constant { per_day } if !(*per_day > 0.0) => {
-                return Err("arrival rate must be > 0".into());
+                return bad("arrival rate must be > 0");
             }
             ArrivalLaw::Exponential { base_per_day, .. }
             | ArrivalLaw::FlashCrowd { base_per_day, .. }
                 if !(*base_per_day > 0.0) =>
             {
-                return Err("base arrival rate must be > 0".into());
+                return bad("base arrival rate must be > 0");
             }
             _ => {}
         }
@@ -408,20 +410,20 @@ impl Scenario {
         } = self.refresh
         {
             if !(interval_days > 0.0) {
-                return Err("refresh interval must be > 0".into());
+                return bad("refresh interval must be > 0");
             }
             if jitter_days < 0.0 || jitter_days >= interval_days {
-                return Err("refresh jitter must be in [0, interval)".into());
+                return bad("refresh jitter must be in [0, interval)");
             }
         }
         if let Some(shift) = &self.market {
             if shift.target_os.is_empty() && shift.target_cpu.is_empty() {
-                return Err("market shift needs at least one target mix".into());
+                return bad("market shift needs at least one target mix");
             }
             let os_ok = shift.target_os.iter().all(|(_, w)| *w >= 0.0);
             let cpu_ok = shift.target_cpu.iter().all(|(_, w)| *w >= 0.0);
             if !os_ok || !cpu_ok {
-                return Err("market shares must be non-negative".into());
+                return bad("market shares must be non-negative");
             }
         }
         Ok(())
@@ -429,6 +431,7 @@ impl Scenario {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -223,6 +223,7 @@ impl TimeSeries {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

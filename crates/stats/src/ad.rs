@@ -88,6 +88,7 @@ fn adinf(z: f64) -> f64 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::distributions::{LogNormal, Normal};

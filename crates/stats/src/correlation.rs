@@ -131,6 +131,7 @@ pub fn correlation_matrix(columns: &[&[f64]]) -> Result<Matrix, StatsError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

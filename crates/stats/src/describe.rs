@@ -311,6 +311,7 @@ pub fn qq_points(data: &[f64], dist: &dyn Distribution) -> Result<Vec<(f64, f64)
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::distributions::Normal;

@@ -155,6 +155,7 @@ impl fmt::Display for DistributionFamily {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -129,6 +129,7 @@ impl Distribution for Exponential {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

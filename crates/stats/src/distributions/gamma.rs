@@ -156,6 +156,7 @@ impl Distribution for Gamma {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

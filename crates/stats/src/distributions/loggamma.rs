@@ -132,6 +132,7 @@ impl Distribution for LogGamma {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -181,6 +181,7 @@ impl Distribution for LogNormal {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

@@ -66,6 +66,7 @@ pub(crate) fn assert_probability(p: f64) {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

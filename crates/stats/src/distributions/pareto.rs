@@ -136,6 +136,7 @@ impl Distribution for Pareto {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

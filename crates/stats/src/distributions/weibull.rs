@@ -188,6 +188,7 @@ impl Distribution for Weibull {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::SeedableRng;

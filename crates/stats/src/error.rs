@@ -93,6 +93,7 @@ impl fmt::Display for StatsError {
 impl std::error::Error for StatsError {}
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

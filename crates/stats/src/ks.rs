@@ -244,6 +244,7 @@ pub fn select_family(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::distributions::{LogNormal, Normal, Weibull};

@@ -43,6 +43,8 @@
 //! # }
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod ad;
 pub mod correlation;
 pub mod describe;

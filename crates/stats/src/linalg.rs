@@ -259,6 +259,7 @@ impl fmt::Display for Matrix {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -227,6 +227,7 @@ impl Distribution for GaussianMixture2 {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::rng::seeded;

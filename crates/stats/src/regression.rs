@@ -138,6 +138,7 @@ pub fn exp_law_fit(t: &[f64], y: &[f64]) -> Result<ExpLawFit, StatsError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -39,6 +39,7 @@ pub fn seeded_substream(seed: u64, stream: u64) -> StdRng {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use rand::RngExt;

@@ -141,6 +141,7 @@ impl CorrelatedNormals {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::correlation::pearson;

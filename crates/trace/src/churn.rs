@@ -131,6 +131,7 @@ pub fn cohort_half_life_days(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::host::{HostRecord, ResourceSnapshot};

@@ -124,6 +124,7 @@ impl std::fmt::Display for CpuFamily {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -66,6 +66,15 @@ impl From<io::Error> for CsvError {
     }
 }
 
+impl From<CsvError> for resmodel_error::ResmodelError {
+    fn from(e: CsvError) -> Self {
+        match e {
+            CsvError::Io(source) => resmodel_error::ResmodelError::io("trace csv", source),
+            other => resmodel_error::ResmodelError::config("trace csv", other.to_string()),
+        }
+    }
+}
+
 fn os_tag(os: OsFamily) -> &'static str {
     match os {
         OsFamily::WindowsXp => "winxp",
@@ -240,6 +249,7 @@ pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, CsvError> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

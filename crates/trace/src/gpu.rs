@@ -140,6 +140,7 @@ pub struct GpuInfo {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

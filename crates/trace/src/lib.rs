@@ -50,6 +50,8 @@
 //! assert_eq!(trace.active_count(SimDate::from_year(2008.0)), 0);
 //! ```
 
+#![warn(clippy::unwrap_used)]
+
 pub mod churn;
 pub mod cpu;
 pub mod csv;

@@ -56,6 +56,7 @@ pub fn pick_index(weights: &[f64], u: f64) -> usize {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -111,6 +111,7 @@ impl std::fmt::Display for OsFamily {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -93,6 +93,7 @@ pub fn sanitize(trace: &Trace, rules: SanitizeRules) -> SanitizeReport {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::host::ResourceSnapshot;

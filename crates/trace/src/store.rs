@@ -214,6 +214,7 @@ impl std::fmt::Display for ResourceColumn {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::host::ResourceSnapshot;

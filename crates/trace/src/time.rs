@@ -137,6 +137,7 @@ pub fn yearly_dates(from_year: i32, to_year: i32) -> Vec<SimDate> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

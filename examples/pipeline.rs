@@ -1,0 +1,91 @@
+//! The end-to-end pipeline: run a population scenario, sanitize the
+//! exported trace, fit the correlated ratio-law model, validate it
+//! against a held-out date, predict forward — one builder chain, one
+//! typed JSON report.
+//!
+//! Run with: `cargo run --release --example pipeline`
+
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::{Pipeline, PipelineSpec};
+use resmodel::prelude::*;
+
+fn main() -> Result<(), ResmodelError> {
+    println!("== resmodel pipeline: scenario → sanitize → fit → validate → predict ==\n");
+
+    let pipeline = Pipeline::from_scenario(Scenario::steady_state(20110620))
+        .max_hosts(30_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate(vec![SimDate::from_year(2010.5)])
+        .predict(
+            (2011..=2014)
+                .map(|y| SimDate::from_year(y as f64))
+                .collect(),
+        );
+
+    // The spec is data: it serializes, round-trips, and can be stored
+    // next to the results it produced.
+    let spec_json = pipeline.spec().to_json_pretty()?;
+    assert_eq!(PipelineSpec::from_json(&spec_json)?, *pipeline.spec());
+    println!(
+        "spec is a shareable artifact ({} bytes of JSON)\n",
+        spec_json.len()
+    );
+
+    let report = pipeline.run()?;
+
+    let w = &report.world;
+    println!(
+        "world: {} hosts ({} raw, {:.2}% discarded), {:.0}ms build + {:.0}ms fit",
+        w.hosts,
+        w.raw_hosts,
+        w.discarded_fraction * 100.0,
+        report.timing.build_ms,
+        report.timing.fit_ms
+    );
+
+    let fit = report.fit.as_ref().expect("fit stage ran");
+    println!("\nfitted core ratio laws (Table IV):");
+    for row in &fit.report.core_laws {
+        println!(
+            "  {:<20} a = {:>7.3}  b = {:>8.4}  r = {:>7.4}",
+            row.label, row.fit.a, row.fit.b, row.fit.r
+        );
+    }
+    if let Some(l) = fit.lifetime {
+        println!(
+            "lifetime Weibull: k = {:.3}, lambda = {:.1} days (paper: 0.58, 135)",
+            l.shape, l.scale_days
+        );
+    }
+
+    for v in report.validation.as_deref().unwrap_or_default() {
+        println!(
+            "\nvalidation at {:.2} ({} hosts): worst mean diff {:.1}%",
+            v.date.year(),
+            v.hosts,
+            v.comparisons
+                .iter()
+                .map(|c| c.mean_diff_fraction * 100.0)
+                .fold(0.0f64, f64::max)
+        );
+    }
+
+    if let Some(p) = &report.predictions {
+        println!("\nforecast (Fig 13/14):");
+        for (mc, mem) in p.multicore.iter().zip(&p.memory) {
+            println!(
+                "  {:.0}: mean cores {:.2}, mean memory {:.1} GB, ≥4-core share {:.0}%",
+                mc.date.year(),
+                mc.mean_cores,
+                mem.mean_memory_mb / 1024.0,
+                mc.at_least_4 * 100.0
+            );
+        }
+    }
+
+    // The whole report serializes for downstream tooling.
+    let json = report.to_json_pretty()?;
+    println!("\nfull report: {} bytes of JSON", json.len());
+    Ok(())
+}

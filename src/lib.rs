@@ -16,8 +16,41 @@
 //! | [`avail`] | ON/OFF availability schedules and availability-discounted utility |
 //! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
 //! | [`popsim`] | deterministic, data-parallel population dynamics engine: scenario-driven arrivals, lifetimes, hardware refreshes and streaming fleet statistics |
+//! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict as one serializable [`Pipeline`](pipeline::Pipeline) |
 //!
-//! ## Quick start
+//! Every fallible API returns [`ResmodelError`], so stages compose
+//! with `?` across crate boundaries.
+//!
+//! ## Quick start: the end-to-end pipeline
+//!
+//! The paper's whole method — measure, sanitize, fit, validate,
+//! predict — is one builder chain producing a serializable report:
+//!
+//! ```
+//! use resmodel::prelude::*;
+//!
+//! let report = Pipeline::from_scenario(Scenario::steady_state(42))
+//!     .max_hosts(12_000)          // keep the doc test fast
+//!     .sanitize_default()         // the paper's Section V-B thresholds
+//!     .fit(FitConfig::yearly(2007, 2010)) // the scenario ramps up from 2006
+//!     .validate(vec![SimDate::from_year(2010.5)])
+//!     .predict(vec![SimDate::from_year(2014.0)])
+//!     .run()?;
+//!
+//! // Fitted ratio laws (Table IV), validation tables (Fig 12),
+//! // forecasts (Figs 13/14) — all typed, all serializable.
+//! let fit = report.fit.as_ref().unwrap();
+//! assert_eq!(fit.report.core_laws.len(), 3);
+//! assert!(report.to_json_pretty()?.contains("core_laws"));
+//!
+//! // The spec alone is also an artifact: it round-trips through JSON.
+//! let spec_json = report.spec.to_json_pretty()?;
+//! let respec = resmodel::pipeline::PipelineSpec::from_json(&spec_json)?;
+//! assert_eq!(report.spec, respec);
+//! # Ok::<(), resmodel::ResmodelError>(())
+//! ```
+//!
+//! ## Generating hosts directly
 //!
 //! ```
 //! use resmodel::prelude::*;
@@ -38,22 +71,31 @@
 //! // Evolve a small fleet through 2006–2011 under a flash crowd.
 //! let mut scenario = Scenario::flash_crowd(42);
 //! scenario.max_hosts = 2_000;
-//! let report = resmodel::popsim::engine::run(&scenario).unwrap();
+//! let report = resmodel::popsim::engine::run(&scenario)?;
 //! assert_eq!(report.fleet.len(), 2_000);
 //! assert!(!report.series.is_empty());
+//! # Ok::<(), resmodel::ResmodelError>(())
 //! ```
+
+#![warn(clippy::unwrap_used)]
 
 pub use resmodel_allocsim as allocsim;
 pub use resmodel_avail as avail;
 pub use resmodel_baselines as baselines;
 pub use resmodel_boinc as boinc;
 pub use resmodel_core as core;
+pub use resmodel_error as error;
 pub use resmodel_popsim as popsim;
 pub use resmodel_stats as stats;
 pub use resmodel_trace as trace;
 
+pub mod pipeline;
+
+pub use resmodel_error::{ArgError, ResmodelError};
+
 /// The most commonly used items, for `use resmodel::prelude::*`.
 pub mod prelude {
+    pub use crate::pipeline::{Pipeline, PipelineReport, PipelineSpec};
     pub use resmodel_allocsim::{
         allocate_round_robin, run_utility_experiment, AppProfile, UtilityExperimentConfig,
     };
@@ -62,6 +104,7 @@ pub mod prelude {
     pub use resmodel_boinc::{simulate, WorldParams};
     pub use resmodel_core::fit::{fit_host_model, FitConfig};
     pub use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
+    pub use resmodel_error::ResmodelError;
     pub use resmodel_popsim::{EngineReport, Fleet, Scenario, SimHost, SnapshotStats, TimeSeries};
     pub use resmodel_stats::{Distribution, DistributionFamily, Matrix, StatsError};
     pub use resmodel_trace::{HostRecord, HostView, ResourceSnapshot, SimDate, Trace};

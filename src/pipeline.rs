@@ -1,0 +1,638 @@
+//! The typed end-to-end pipeline: the paper's whole method — measure a
+//! host trace, sanitize it, fit the correlated ratio-law model,
+//! validate against held-out populations, predict forward — as one
+//! composable, serializable API.
+//!
+//! A [`Pipeline`] is built from a source (a BOINC measurement run, a
+//! population-dynamics [`Scenario`], or an in-memory [`Trace`]) and a
+//! chain of optional stages. The stage configuration is plain data: a
+//! [`PipelineSpec`] serde-round-trips through JSON, so a full
+//! reproduction is a shareable artifact. Running the pipeline yields a
+//! typed, serializable [`PipelineReport`].
+//!
+//! ```no_run
+//! use resmodel::pipeline::Pipeline;
+//! use resmodel::popsim::Scenario;
+//! use resmodel::trace::SimDate;
+//!
+//! let report = Pipeline::from_scenario(Scenario::steady_state(7))
+//!     .max_hosts(20_000)
+//!     .sanitize_default()
+//!     .fit_default()
+//!     .validate(vec![SimDate::from_year(2010.5)])
+//!     .predict(vec![SimDate::from_year(2014.0)])
+//!     .run()?;
+//! println!("{}", report.to_json_pretty()?);
+//! # Ok::<(), resmodel::ResmodelError>(())
+//! ```
+
+use resmodel_boinc::{simulate, WorldParams};
+use resmodel_core::fit::{fit_host_model, lifetime_weibull, FitConfig, FitReport};
+use resmodel_core::predict::{
+    memory_prediction, moment_prediction, multicore_prediction, MemoryPrediction, MomentPrediction,
+    MulticorePrediction,
+};
+use resmodel_core::validate::{
+    compare_populations, generated_correlation_matrix, ResourceComparison,
+};
+use resmodel_core::{GeneratedHost, HostGenerator};
+use resmodel_error::ResmodelError;
+use resmodel_popsim::{engine, fleet_to_trace, Scenario};
+use resmodel_stats::Matrix;
+use resmodel_trace::sanitize::{sanitize, SanitizeRules};
+use resmodel_trace::{SimDate, Trace};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Where the measurement trace comes from.
+// A handful of specs exist per process; the Scenario variant's size is
+// irrelevant and boxing it would hurt the builder/serde ergonomics.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SourceSpec {
+    /// The BOINC-style measurement loop ([`resmodel_boinc::simulate`])
+    /// at a population scale and seed.
+    Boinc {
+        /// Population scale (1.0 ≈ the paper's 3M hosts).
+        scale: f64,
+        /// World seed; same seed → bitwise-identical trace.
+        seed: u64,
+    },
+    /// The population-dynamics engine running a [`Scenario`], with the
+    /// fleet exported as a measurement trace.
+    Scenario {
+        /// The scenario to run (carries its own seed).
+        scenario: Scenario,
+        /// Optional cap on total arrivals (`0` keeps the scenario's own
+        /// cap).
+        max_hosts: usize,
+    },
+    /// A trace supplied in memory via [`Pipeline::from_trace`] /
+    /// [`Pipeline::with_trace`] (e.g. parsed from CSV). The trace
+    /// itself is not part of the serialized spec.
+    External,
+}
+
+/// Configuration of the validation stage: at each date, generate a
+/// population the same size as the actual one and compare them
+/// (Fig 12 / Table VIII).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidateSpec {
+    /// Held-out comparison dates.
+    pub dates: Vec<SimDate>,
+    /// Base seed for the generated populations (the date index is
+    /// XOR-ed in so every date draws a distinct population).
+    pub seed: u64,
+}
+
+/// Configuration of the prediction stage (Figs 13/14 forward
+/// forecasts).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PredictSpec {
+    /// Forecast dates.
+    pub dates: Vec<SimDate>,
+}
+
+/// The full pipeline configuration — stages as data. Everything here
+/// serde-round-trips, so a reproduction is a shareable JSON artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineSpec {
+    /// Trace source.
+    pub source: SourceSpec,
+    /// Sanitization rules; `None` skips the stage.
+    pub sanitize: Option<SanitizeRules>,
+    /// Model-fitting configuration; `None` skips fitting (and the
+    /// stages that need a fitted model).
+    pub fit: Option<FitConfig>,
+    /// Validation stage; requires `fit`.
+    pub validate: Option<ValidateSpec>,
+    /// Prediction stage; requires `fit`.
+    pub predict: Option<PredictSpec>,
+}
+
+impl PipelineSpec {
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("pipeline spec", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// spec.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("pipeline spec", e))
+    }
+}
+
+/// Builder for an end-to-end run. Construct with one of the `from_*`
+/// methods, chain stage configurators, then [`Pipeline::run`].
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    spec: PipelineSpec,
+    external: Option<Trace>,
+}
+
+impl Pipeline {
+    fn from_source(source: SourceSpec) -> Self {
+        Self {
+            spec: PipelineSpec {
+                source,
+                sanitize: None,
+                fit: None,
+                validate: None,
+                predict: None,
+            },
+            external: None,
+        }
+    }
+
+    /// Start from a population-dynamics scenario.
+    pub fn from_scenario(scenario: Scenario) -> Self {
+        Self::from_source(SourceSpec::Scenario {
+            scenario,
+            max_hosts: 0,
+        })
+    }
+
+    /// Start from the BOINC measurement loop at `scale`/`seed`.
+    pub fn from_boinc(scale: f64, seed: u64) -> Self {
+        Self::from_source(SourceSpec::Boinc { scale, seed })
+    }
+
+    /// Start from an in-memory trace (e.g. parsed from CSV). The
+    /// resulting spec records an [`SourceSpec::External`] source.
+    pub fn from_trace(trace: Trace) -> Self {
+        let mut p = Self::from_source(SourceSpec::External);
+        p.external = Some(trace);
+        p
+    }
+
+    /// Rebuild a pipeline from a (possibly deserialized) spec.
+    pub fn from_spec(spec: PipelineSpec) -> Self {
+        Self {
+            spec,
+            external: None,
+        }
+    }
+
+    /// Attach the trace an [`SourceSpec::External`] spec refers to.
+    pub fn with_trace(mut self, trace: Trace) -> Self {
+        self.external = Some(trace);
+        self
+    }
+
+    /// Cap the scenario's total arrivals (scenario sources only; `0`
+    /// keeps the scenario's own cap).
+    pub fn max_hosts(mut self, n: usize) -> Self {
+        if let SourceSpec::Scenario { max_hosts, .. } = &mut self.spec.source {
+            *max_hosts = n;
+        }
+        self
+    }
+
+    /// Enable sanitization with explicit rules.
+    pub fn sanitize(mut self, rules: SanitizeRules) -> Self {
+        self.spec.sanitize = Some(rules);
+        self
+    }
+
+    /// Enable sanitization with the paper's thresholds.
+    pub fn sanitize_default(self) -> Self {
+        self.sanitize(SanitizeRules::default())
+    }
+
+    /// Enable model fitting with an explicit configuration.
+    pub fn fit(mut self, config: FitConfig) -> Self {
+        self.spec.fit = Some(config);
+        self
+    }
+
+    /// Enable model fitting with the paper's sample dates.
+    pub fn fit_default(self) -> Self {
+        self.fit(FitConfig::default())
+    }
+
+    /// Enable validation at `dates` (seed 0; see
+    /// [`Pipeline::validate_seeded`]).
+    pub fn validate(self, dates: Vec<SimDate>) -> Self {
+        self.validate_seeded(dates, 0)
+    }
+
+    /// Enable validation at `dates` with an explicit generation seed.
+    pub fn validate_seeded(mut self, dates: Vec<SimDate>, seed: u64) -> Self {
+        self.spec.validate = Some(ValidateSpec { dates, seed });
+        self
+    }
+
+    /// Enable forward prediction at `dates`.
+    pub fn predict(mut self, dates: Vec<SimDate>) -> Self {
+        self.spec.predict = Some(PredictSpec { dates });
+        self
+    }
+
+    /// The assembled spec (serializable).
+    pub fn spec(&self) -> &PipelineSpec {
+        &self.spec
+    }
+
+    /// Run every configured stage and return the serializable report.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage failures ([`ResmodelError::Stats`] from
+    /// degenerate fits, [`ResmodelError::Config`] from invalid
+    /// scenarios or unsatisfied stage preconditions).
+    pub fn run(self) -> Result<PipelineReport, ResmodelError> {
+        self.run_detailed().map(|o| o.report)
+    }
+
+    /// Like [`Pipeline::run`], but also hands back the (possibly
+    /// sanitized) trace and the full [`FitReport`] for callers that
+    /// render figures or tables from them.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::run`].
+    pub fn run_detailed(self) -> Result<PipelineOutput, ResmodelError> {
+        let spec = self.spec;
+        let mut timing = StageTimings::default();
+
+        // --- Source ---
+        let t0 = Instant::now();
+        let raw = match &spec.source {
+            SourceSpec::Boinc { scale, seed } => {
+                let params = WorldParams::with_scale(*scale, *seed);
+                params.validate()?;
+                simulate(&params)
+            }
+            SourceSpec::Scenario {
+                scenario,
+                max_hosts,
+            } => {
+                let mut scenario = scenario.clone();
+                if *max_hosts > 0 {
+                    scenario.max_hosts = *max_hosts;
+                }
+                let report = engine::run(&scenario)?;
+                fleet_to_trace(&report.fleet, report.scenario.end)
+            }
+            SourceSpec::External => self.external.ok_or_else(|| {
+                ResmodelError::config(
+                    "pipeline",
+                    "source is External but no trace was attached (use with_trace)",
+                )
+            })?,
+        };
+        timing.build_ms = ms_since(t0);
+        let raw_hosts = raw.len();
+
+        // --- Sanitize ---
+        let t0 = Instant::now();
+        let (trace, discarded) = match spec.sanitize {
+            Some(rules) => {
+                let report = sanitize(&raw, rules);
+                (report.trace, report.discarded)
+            }
+            None => (raw, 0),
+        };
+        if spec.sanitize.is_some() {
+            timing.sanitize_ms = ms_since(t0);
+        }
+
+        let world = WorldSummary {
+            hosts: trace.len(),
+            raw_hosts,
+            discarded,
+            discarded_fraction: if raw_hosts == 0 {
+                0.0
+            } else {
+                discarded as f64 / raw_hosts as f64
+            },
+            start: trace.start(),
+            end: trace.end(),
+        };
+
+        // --- Fit ---
+        let t0 = Instant::now();
+        let fit = match &spec.fit {
+            Some(config) => {
+                let report = fit_host_model(&trace, config)?;
+                let lifetime = config
+                    .sample_dates
+                    .last()
+                    .and_then(|&cutoff| lifetime_weibull(&trace, cutoff).ok())
+                    .map(|w| LifetimeFit {
+                        shape: w.shape(),
+                        scale_days: w.scale(),
+                    });
+                timing.fit_ms = ms_since(t0);
+                Some(FitStage { report, lifetime })
+            }
+            None => None,
+        };
+
+        // --- Validate ---
+        let t0 = Instant::now();
+        let validation = match &spec.validate {
+            Some(v) => {
+                let model = &require_fit(&fit, "validate")?.report.model;
+                let mut out = Vec::with_capacity(v.dates.len());
+                for (i, &date) in v.dates.iter().enumerate() {
+                    let actual: Vec<GeneratedHost> = trace
+                        .population_at(date)
+                        .iter()
+                        .map(GeneratedHost::from)
+                        .collect();
+                    let generated =
+                        model.generate_population(date, actual.len(), v.seed ^ i as u64);
+                    let comparisons = compare_populations(&generated, &actual)?;
+                    let generated_correlation = generated_correlation_matrix(&generated)?;
+                    out.push(ValidationAt {
+                        date,
+                        hosts: actual.len(),
+                        comparisons,
+                        generated_correlation,
+                    });
+                }
+                timing.validate_ms = ms_since(t0);
+                Some(out)
+            }
+            None => None,
+        };
+
+        // --- Predict ---
+        let t0 = Instant::now();
+        let predictions = match &spec.predict {
+            Some(p) => {
+                let model = &require_fit(&fit, "predict")?.report.model;
+                let stage = PredictionStage {
+                    multicore: multicore_prediction(model, &p.dates)?,
+                    memory: memory_prediction(model, &p.dates)?,
+                    moments: p
+                        .dates
+                        .iter()
+                        .map(|&d| moment_prediction(model, d))
+                        .collect(),
+                };
+                timing.predict_ms = ms_since(t0);
+                Some(stage)
+            }
+            None => None,
+        };
+
+        let report = PipelineReport {
+            spec,
+            world,
+            fit,
+            validation,
+            predictions,
+            timing,
+        };
+        Ok(PipelineOutput { report, trace })
+    }
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+fn require_fit<'a>(fit: &'a Option<FitStage>, stage: &str) -> Result<&'a FitStage, ResmodelError> {
+    fit.as_ref().ok_or_else(|| {
+        ResmodelError::config(
+            "pipeline",
+            format!("the {stage} stage requires a fit stage before it"),
+        )
+    })
+}
+
+/// Population overview of the (possibly sanitized) trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorldSummary {
+    /// Hosts after sanitization.
+    pub hosts: usize,
+    /// Hosts before sanitization.
+    pub raw_hosts: usize,
+    /// Hosts discarded by the sanitize stage (0 when skipped).
+    pub discarded: usize,
+    /// `discarded / raw_hosts` (0 for an empty input).
+    pub discarded_fraction: f64,
+    /// Earliest contact in the trace.
+    pub start: Option<SimDate>,
+    /// Latest contact in the trace.
+    pub end: Option<SimDate>,
+}
+
+/// The fitted Weibull host-lifetime law (Fig 1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LifetimeFit {
+    /// Weibull shape `k` (paper: 0.58).
+    pub shape: f64,
+    /// Weibull scale λ, days (paper: 135).
+    pub scale_days: f64,
+}
+
+/// Output of the fit stage: the full [`FitReport`] (model + law
+/// tables) plus the lifetime fit.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FitStage {
+    /// The fitted model and the paper's Tables III–VI.
+    pub report: FitReport,
+    /// The Weibull lifetime fit at the last sample date; `None` when
+    /// the censored lifetime sample was too small or degenerate.
+    pub lifetime: Option<LifetimeFit>,
+}
+
+/// Validation results at one held-out date (Fig 12 / Table VIII).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ValidationAt {
+    /// Comparison date.
+    pub date: SimDate,
+    /// Size of the actual (and generated) population.
+    pub hosts: usize,
+    /// Per-resource mean/σ/KS comparison (Fig 12).
+    pub comparisons: Vec<ResourceComparison>,
+    /// 6×6 correlation matrix of the generated population
+    /// (Table VIII).
+    pub generated_correlation: Matrix,
+}
+
+/// Output of the prediction stage (Figs 13/14 and the 2014 moments).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PredictionStage {
+    /// Multicore mix forecasts (Fig 13).
+    pub multicore: Vec<MulticorePrediction>,
+    /// Total-memory mix forecasts (Fig 14).
+    pub memory: Vec<MemoryPrediction>,
+    /// Benchmark/disk moment forecasts.
+    pub moments: Vec<MomentPrediction>,
+}
+
+/// Wall-clock stage timings, milliseconds (0 for skipped stages).
+/// Excluded from golden-file comparisons by zeroing via
+/// [`StageTimings::default`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct StageTimings {
+    /// Trace construction (simulation or engine run + export).
+    pub build_ms: f64,
+    /// Sanitization.
+    pub sanitize_ms: f64,
+    /// Model fitting.
+    pub fit_ms: f64,
+    /// Validation.
+    pub validate_ms: f64,
+    /// Prediction.
+    pub predict_ms: f64,
+}
+
+/// Everything a pipeline run produced, serializable to JSON.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// The spec that produced this report (round-trippable).
+    pub spec: PipelineSpec,
+    /// Population overview.
+    pub world: WorldSummary,
+    /// Fit stage output, when configured.
+    pub fit: Option<FitStage>,
+    /// Validation stage output, when configured.
+    pub validation: Option<Vec<ValidationAt>>,
+    /// Prediction stage output, when configured.
+    pub predictions: Option<PredictionStage>,
+    /// Wall-clock stage timings.
+    pub timing: StageTimings,
+}
+
+impl PipelineReport {
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("pipeline report", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// report.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("pipeline report", e))
+    }
+}
+
+/// A report plus the artifacts figure/table renderers need.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// The serializable report.
+    pub report: PipelineReport,
+    /// The (possibly sanitized) measurement trace.
+    pub trace: Trace,
+}
+
+impl PipelineOutput {
+    /// The full fit report, when the fit stage ran.
+    pub fn fit_report(&self) -> Option<&FitReport> {
+        self.report.fit.as_ref().map(|f| &f.report)
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn small_scenario_pipeline() -> Pipeline {
+        Pipeline::from_scenario(Scenario::steady_state(11))
+            .max_hosts(12_000)
+            .sanitize_default()
+            .fit(FitConfig::yearly(2007, 2010))
+            .validate(vec![SimDate::from_year(2010.5)])
+            .predict(vec![SimDate::from_year(2014.0)])
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let p = small_scenario_pipeline();
+        let json = p.spec().to_json_pretty().unwrap();
+        let back = PipelineSpec::from_json(&json).unwrap();
+        assert_eq!(*p.spec(), back);
+    }
+
+    #[test]
+    fn full_run_produces_all_stages() {
+        let out = small_scenario_pipeline().run_detailed().unwrap();
+        let r = &out.report;
+        assert_eq!(r.world.hosts, out.trace.len());
+        assert_eq!(r.world.raw_hosts, 12_000);
+        let fit = r.fit.as_ref().expect("fit ran");
+        assert_eq!(fit.report.core_laws.len(), 3);
+        assert_eq!(fit.report.moment_laws.len(), 6);
+        let lifetime = fit.lifetime.expect("lifetime fitted");
+        assert!(lifetime.shape > 0.3 && lifetime.shape < 1.0);
+        let v = r.validation.as_ref().expect("validation ran");
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].comparisons.len(), 5);
+        let p = r.predictions.as_ref().expect("prediction ran");
+        assert_eq!(p.multicore.len(), 1);
+        assert!(p.multicore[0].mean_cores > 2.0);
+        assert!(r.timing.build_ms > 0.0 && r.timing.fit_ms > 0.0);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = small_scenario_pipeline().run().unwrap();
+        let json = report.to_json_pretty().unwrap();
+        let back = PipelineReport::from_json(&json).unwrap();
+        // No PartialEq on HostModel: compare re-serializations.
+        assert_eq!(json, back.to_json_pretty().unwrap());
+    }
+
+    #[test]
+    fn external_source_without_trace_errors() {
+        let spec = small_scenario_pipeline().spec().clone();
+        let spec = PipelineSpec {
+            source: SourceSpec::External,
+            ..spec
+        };
+        let err = Pipeline::from_spec(spec).run().unwrap_err();
+        assert!(matches!(err, ResmodelError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn validate_without_fit_errors() {
+        let err = Pipeline::from_scenario(Scenario::steady_state(1))
+            .max_hosts(500)
+            .validate(vec![SimDate::from_year(2010.0)])
+            .run()
+            .unwrap_err();
+        assert!(err.to_string().contains("requires a fit stage"), "{err}");
+    }
+
+    #[test]
+    fn invalid_scenario_propagates() {
+        let mut s = Scenario::steady_state(1);
+        s.shard_count = 0;
+        let err = Pipeline::from_scenario(s).run().unwrap_err();
+        assert!(matches!(err, ResmodelError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn from_trace_runs_without_source_simulation() {
+        let trace = small_scenario_pipeline().run_detailed().unwrap().trace;
+        let report = Pipeline::from_trace(trace)
+            .fit(FitConfig::yearly(2007, 2010))
+            .run()
+            .unwrap();
+        assert!(report.fit.is_some());
+        assert_eq!(report.spec.source, SourceSpec::External);
+    }
+}

@@ -1,0 +1,59 @@
+//! Golden-file test: a `steady-state` scenario pipeline at a fixed
+//! seed produces a byte-stable JSON report.
+//!
+//! The engine's determinism contract (bitwise-identical fleets at any
+//! thread count) plus deterministic JSON rendering make the whole
+//! report reproducible; only wall-clock timings vary, so they are
+//! zeroed before comparison.
+//!
+//! To bless a new golden file after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_pipeline
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::{Pipeline, PipelineReport, StageTimings};
+use resmodel::popsim::Scenario;
+use resmodel::trace::SimDate;
+
+const GOLDEN_PATH: &str = "tests/golden/steady_state_report.json";
+
+fn golden_report() -> PipelineReport {
+    let mut report = Pipeline::from_scenario(Scenario::steady_state(20110620))
+        .max_hosts(12_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate_seeded(vec![SimDate::from_year(2010.5)], 7)
+        .predict(vec![SimDate::from_year(2012.0), SimDate::from_year(2014.0)])
+        .run()
+        .expect("golden pipeline runs");
+    // Wall-clock timings are the only nondeterministic content.
+    report.timing = StageTimings::default();
+    report
+}
+
+#[test]
+fn steady_state_report_is_byte_stable() {
+    let json = golden_report().to_json_pretty().unwrap();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (run with UPDATE_GOLDEN=1 to create it)");
+    assert_eq!(
+        json, golden,
+        "pipeline report drifted from {GOLDEN_PATH}; if the change is \
+         intentional, re-bless with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn same_spec_same_bytes_within_process() {
+    let a = golden_report().to_json_pretty().unwrap();
+    let b = golden_report().to_json_pretty().unwrap();
+    assert_eq!(a, b);
+}

@@ -1,0 +1,157 @@
+//! Property-based guarantees of the pipeline API:
+//!
+//! 1. **Spec round-trip** — every pipeline spec survives JSON
+//!    serialization unchanged, whatever combination of source and
+//!    stages it carries.
+//! 2. **Report round-trip** — a hand-assembled report with arbitrary
+//!    numeric content re-serializes to the identical JSON after a
+//!    parse (the report's own round-trip invariant; no PartialEq on
+//!    the embedded model, so byte equality is the contract).
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::{
+    PipelineReport, PipelineSpec, PredictSpec, SourceSpec, StageTimings, ValidateSpec, WorldSummary,
+};
+use resmodel::popsim::Scenario;
+use resmodel::trace::sanitize::SanitizeRules;
+use resmodel::trace::SimDate;
+
+fn source_strategy() -> impl Strategy<Value = SourceSpec> {
+    prop_oneof![
+        (1e-4..1.0f64, 0u64..u64::MAX).prop_map(|(scale, seed)| SourceSpec::Boinc { scale, seed }),
+        (0u64..1_000_000, 0usize..4, 0usize..50_000).prop_map(|(seed, which, max_hosts)| {
+            let scenario = match which {
+                0 => Scenario::steady_state(seed),
+                1 => Scenario::flash_crowd(seed),
+                2 => Scenario::gpu_wave(seed),
+                _ => Scenario::market_shift(seed),
+            };
+            SourceSpec::Scenario {
+                scenario,
+                max_hosts,
+            }
+        }),
+        Just(SourceSpec::External),
+    ]
+}
+
+fn sanitize_strategy() -> impl Strategy<Value = Option<SanitizeRules>> {
+    proptest::option::of((2u32..512, 1e4..1e6f64, 1e4..1e6f64).prop_map(
+        |(max_cores, max_whet, max_mem)| SanitizeRules {
+            max_cores,
+            max_whetstone_mips: max_whet,
+            max_dhrystone_mips: max_whet * 2.0,
+            max_memory_mb: max_mem,
+            max_avail_disk_gb: 1e4,
+        },
+    ))
+}
+
+fn dates_strategy() -> impl Strategy<Value = Vec<SimDate>> {
+    proptest::collection::vec((2006.0..2020.0f64).prop_map(SimDate::from_year), 1..6)
+}
+
+fn fit_strategy() -> impl Strategy<Value = Option<FitConfig>> {
+    proptest::option::of((dates_strategy(), 0.05..0.3f64).prop_map(
+        |(sample_dates, pcm_tolerance)| FitConfig {
+            sample_dates,
+            pcm_tolerance,
+        },
+    ))
+}
+
+fn spec_strategy() -> impl Strategy<Value = PipelineSpec> {
+    (
+        source_strategy(),
+        sanitize_strategy(),
+        fit_strategy(),
+        proptest::option::of(
+            (dates_strategy(), 0u64..u64::MAX)
+                .prop_map(|(dates, seed)| ValidateSpec { dates, seed }),
+        ),
+        proptest::option::of(dates_strategy().prop_map(|dates| PredictSpec { dates })),
+    )
+        .prop_map(|(source, sanitize, fit, validate, predict)| PipelineSpec {
+            source,
+            sanitize,
+            fit,
+            validate,
+            predict,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_round_trips_through_json(spec in spec_strategy()) {
+        let json = spec.to_json_pretty().unwrap();
+        let back = PipelineSpec::from_json(&json).unwrap();
+        prop_assert_eq!(&spec, &back);
+        // And the round-trip is a fixed point at the byte level too.
+        prop_assert_eq!(json, back.to_json_pretty().unwrap());
+    }
+
+    #[test]
+    fn report_round_trips_through_json(
+        spec in spec_strategy(),
+        hosts in 0usize..1_000_000,
+        discarded in 0usize..1_000,
+        timings in proptest::collection::vec(0.0..1e5f64, 5),
+    ) {
+        let report = PipelineReport {
+            spec,
+            world: WorldSummary {
+                hosts,
+                raw_hosts: hosts + discarded,
+                discarded,
+                discarded_fraction: if hosts + discarded == 0 {
+                    0.0
+                } else {
+                    discarded as f64 / (hosts + discarded) as f64
+                },
+                start: Some(SimDate::from_year(2005.5)),
+                end: None,
+            },
+            // A full fit stage is exercised by the golden-file test;
+            // here the focus is arbitrary numeric content elsewhere.
+            fit: None,
+            validation: None,
+            predictions: None,
+            timing: StageTimings {
+                build_ms: timings[0],
+                sanitize_ms: timings[1],
+                fit_ms: timings[2],
+                validate_ms: timings[3],
+                predict_ms: timings[4],
+            },
+        };
+        let json = report.to_json_pretty().unwrap();
+        let back = PipelineReport::from_json(&json).unwrap();
+        prop_assert_eq!(json, back.to_json_pretty().unwrap());
+    }
+}
+
+/// A full run's report (fit + validation + predictions populated)
+/// round-trips byte-identically — the non-proptest complement covering
+/// the model-bearing branches.
+#[test]
+fn full_report_round_trips() {
+    let report = resmodel::pipeline::Pipeline::from_scenario(Scenario::steady_state(3))
+        .max_hosts(12_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate(vec![SimDate::from_year(2010.5)])
+        .predict(vec![SimDate::from_year(2013.0), SimDate::from_year(2014.0)])
+        .run()
+        .unwrap();
+    let json = report.to_json_pretty().unwrap();
+    let back = PipelineReport::from_json(&json).unwrap();
+    assert_eq!(json, back.to_json_pretty().unwrap());
+    assert!(back.fit.is_some());
+    assert_eq!(back.validation.unwrap().len(), 1);
+    assert_eq!(back.predictions.unwrap().multicore.len(), 2);
+}

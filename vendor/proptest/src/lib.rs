@@ -186,16 +186,72 @@ pub mod collection {
     }
 }
 
+/// Union of same-valued strategies; each draw picks one uniformly
+/// (the vendored analogue of `prop_oneof!`'s unweighted form).
+pub struct OneOf<T> {
+    /// The alternatives.
+    pub variants: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.variants.len());
+        self.variants[i].generate(rng)
+    }
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($variant:expr),+ $(,)?) => {{
+        let mut variants: Vec<Box<dyn $crate::Strategy<Value = _>>> = Vec::new();
+        $(variants.push(Box::new($variant));)+
+        $crate::OneOf { variants }
+    }};
+}
+
+/// `Option` strategies (`proptest::option::of`).
+pub mod option {
+    use super::{StdRng, Strategy};
+    use rand::RngExt;
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Some` from `inner` three draws out of four, `None` otherwise
+    /// (matching real proptest's default Some-bias).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            if rng.random_range(0u32..4) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
+    }
+}
+
 /// Everything a property-test module needs.
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Just, ProptestConfig,
-        Strategy,
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest, Just,
+        OneOf, ProptestConfig, Strategy,
     };
 
     /// Namespace alias matching `proptest::prelude::prop`.
     pub mod prop {
         pub use crate::collection;
+        pub use crate::option;
     }
 }
 
