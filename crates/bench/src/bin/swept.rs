@@ -1,0 +1,281 @@
+//! `swept` — the batch benchrunner: execute a scenario-sweep grid on
+//! the rayon worker pool, print the cross-scenario comparison table and
+//! emit the machine-readable `BENCH_sweep.json` perf artifact
+//! (hosts/sec per job, per-stage timings, peak job latency).
+//!
+//! Sweeps come from a named preset (`--preset smoke`) or a JSON
+//! [`SweepSpec`] file (`--spec FILE`); `--report FILE` additionally
+//! dumps the full typed [`SweepReport`].
+
+#![warn(clippy::unwrap_used)]
+
+use resmodel::sweep::{SweepReport, SweepSpec};
+use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::{row, section};
+use resmodel_error::{ArgError, ResmodelError};
+
+const USAGE: Usage = Usage {
+    bin: "swept",
+    summary: "run a parallel scenario sweep and emit the BENCH_sweep.json perf artifact",
+    usage: &[
+        "swept --preset NAME [--seed N] [--hosts N] [--threads N] [--out FILE] [--report FILE]",
+        "swept --spec FILE [--seed N] [--hosts N] [--threads N] [--out FILE] [--report FILE]",
+        "swept --check FILE",
+        "swept --list",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--preset NAME",
+            help: "built-in sweep: smoke|families|scaling|replicates",
+        },
+        FlagHelp {
+            flag: "--spec FILE",
+            help: "load a SweepSpec JSON file instead of a preset",
+        },
+        FlagHelp {
+            flag: "--seed N",
+            help: "override the sweep master seed",
+        },
+        FlagHelp {
+            flag: "--hosts N",
+            help: "override every fleet size with N",
+        },
+        FlagHelp {
+            flag: "--threads N",
+            help: "fix the rayon worker count (default: all cores)",
+        },
+        FlagHelp {
+            flag: "--out FILE",
+            help: "write the BENCH_sweep.json artifact (default BENCH_sweep.json)",
+        },
+        FlagHelp {
+            flag: "--report FILE",
+            help: "also write the full SweepReport JSON",
+        },
+        FlagHelp {
+            flag: "--check FILE",
+            help: "validate an emitted BENCH_sweep.json (schema + serde round-trip) and exit",
+        },
+        FlagHelp {
+            flag: "--list",
+            help: "list the built-in presets and exit",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
+
+fn main() {
+    cli::run_main(&USAGE, real_main);
+}
+
+fn real_main(mut args: Args) -> Result<(), ResmodelError> {
+    let mut preset: Option<String> = None;
+    let mut spec_path: Option<String> = None;
+    let mut seed: Option<u64> = None;
+    let mut hosts: Option<usize> = None;
+    let mut threads: Option<usize> = None;
+    let mut out = String::from("BENCH_sweep.json");
+    let mut report_path: Option<String> = None;
+
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
+            "--preset" => preset = Some(args.value("--preset")?),
+            "--spec" => spec_path = Some(args.value("--spec")?),
+            "--seed" => seed = Some(args.parse("--seed", "an integer")?),
+            "--hosts" => hosts = Some(args.parse("--hosts", "a positive integer")?),
+            "--threads" => threads = Some(args.parse("--threads", "a positive integer")?),
+            "--out" => out = args.value("--out")?,
+            "--report" => report_path = Some(args.value("--report")?),
+            "--check" => {
+                let path = args.value("--check")?;
+                return check_artifact(&path);
+            }
+            "--list" => {
+                for name in SweepSpec::PRESETS {
+                    let spec = SweepSpec::preset(name).ok_or_else(|| {
+                        ResmodelError::config("sweep", "preset table out of sync")
+                    })?;
+                    println!("{name:<12} {} jobs", spec.job_count());
+                }
+                return Ok(());
+            }
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other => return cli::unknown_flag(other),
+        }
+    }
+
+    let mut spec = match (preset, spec_path) {
+        (Some(_), Some(_)) => {
+            return cli::usage_error("--preset and --spec are mutually exclusive")
+        }
+        (Some(name), None) => SweepSpec::preset(&name).ok_or(ArgError::InvalidValue {
+            flag: "--preset".into(),
+            value: name,
+            expected: "smoke, families, scaling or replicates",
+        })?,
+        (None, Some(path)) => {
+            let text = std::fs::read_to_string(&path).map_err(|e| ResmodelError::io(&path, e))?;
+            SweepSpec::from_json(&text)?
+        }
+        (None, None) => return cli::usage_error("one of --preset or --spec is required"),
+    };
+    if let Some(seed) = seed {
+        spec.seed = seed;
+    }
+    if let Some(hosts) = hosts {
+        spec.fleet_sizes = vec![hosts];
+    }
+
+    eprintln!(
+        "sweep `{}`: {} jobs on {} threads...",
+        spec.name,
+        spec.job_count(),
+        threads.unwrap_or_else(rayon::current_num_threads),
+    );
+    let report = match threads {
+        Some(n) => rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build()
+            .map_err(|e| ResmodelError::config("sweep", e.to_string()))?
+            .install(|| spec.run())?,
+        None => spec.run()?,
+    };
+
+    print_summary(&report);
+
+    let artifact = report.bench_artifact().to_json_pretty()?;
+    std::fs::write(&out, artifact).map_err(|e| ResmodelError::io(&out, e))?;
+    eprintln!("wrote {out}");
+    if let Some(path) = report_path {
+        std::fs::write(&path, report.to_json_pretty()?).map_err(|e| ResmodelError::io(&path, e))?;
+        eprintln!("wrote {path}");
+    }
+    Ok(())
+}
+
+/// Validate an emitted artifact file: it must parse as a
+/// [`resmodel::sweep::BenchArtifact`], carry the current schema id,
+/// survive a serde round-trip byte-for-byte, and report at least one
+/// job with hosts and a throughput figure.
+fn check_artifact(path: &str) -> Result<(), ResmodelError> {
+    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA};
+
+    let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
+    let artifact = BenchArtifact::from_json(&text)?;
+    let invalid = |message: String| ResmodelError::config("bench artifact", message);
+    if artifact.schema != BENCH_SCHEMA {
+        return Err(invalid(format!(
+            "schema is `{}`, expected `{BENCH_SCHEMA}`",
+            artifact.schema
+        )));
+    }
+    if artifact.jobs.is_empty() {
+        return Err(invalid("artifact has no job rows".into()));
+    }
+    for job in &artifact.jobs {
+        if job.hosts == 0 {
+            return Err(invalid(format!("job `{}` reports zero hosts", job.label)));
+        }
+        if !(job.hosts_per_sec > 0.0) {
+            return Err(invalid(format!(
+                "job `{}` reports no hosts/sec figure",
+                job.label
+            )));
+        }
+    }
+    let reserialized = artifact.to_json_pretty()?;
+    if BenchArtifact::from_json(&reserialized)? != artifact {
+        return Err(invalid("artifact does not round-trip through serde".into()));
+    }
+    println!(
+        "{path}: ok ({} `{}` jobs, {:.0} hosts/sec total)",
+        artifact.jobs.len(),
+        artifact.sweep,
+        artifact.totals.hosts_per_sec
+    );
+    Ok(())
+}
+
+fn print_summary(report: &SweepReport) {
+    section("per-job throughput");
+    let widths = [28, 8, 10, 12, 8];
+    println!(
+        "{}",
+        row(
+            &[
+                "job".into(),
+                "hosts".into(),
+                "wall ms".into(),
+                "hosts/sec".into(),
+                "ks".into(),
+            ],
+            &widths,
+        )
+    );
+    for j in &report.jobs {
+        println!(
+            "{}",
+            row(
+                &[
+                    j.label.clone(),
+                    j.world.raw_hosts.to_string(),
+                    format!("{:.1}", j.wall_ms),
+                    format!("{:.0}", j.hosts_per_sec),
+                    j.mean_ks.map_or_else(|| "-".into(), |k| format!("{k:.3}")),
+                ],
+                &widths,
+            )
+        );
+    }
+
+    section("scenario comparison");
+    let widths = [14, 6, 10, 12, 12, 10];
+    println!(
+        "{}",
+        row(
+            &[
+                "scenario".into(),
+                "jobs".into(),
+                "hosts".into(),
+                "hosts/sec".into(),
+                "peak ms".into(),
+                "mean ks".into(),
+            ],
+            &widths,
+        )
+    );
+    for c in &report.comparisons {
+        println!(
+            "{}",
+            row(
+                &[
+                    c.scenario.clone(),
+                    c.jobs.to_string(),
+                    c.total_hosts.to_string(),
+                    format!("{:.0}", c.mean_hosts_per_sec),
+                    format!("{:.1}", c.peak_wall_ms),
+                    c.mean_ks.map_or_else(|| "-".into(), |k| format!("{k:.3}")),
+                ],
+                &widths,
+            )
+        );
+    }
+
+    let t = &report.totals;
+    section("totals");
+    println!(
+        "{} jobs, {} hosts in {:.1} ms on {} threads -> {:.0} hosts/sec (peak job {:.1} ms)",
+        t.jobs, t.total_hosts, t.wall_ms, t.threads, t.hosts_per_sec, t.peak_job_wall_ms,
+    );
+    println!(
+        "stage totals: build {:.1} ms, sanitize {:.1} ms, fit {:.1} ms, validate {:.1} ms, predict {:.1} ms",
+        t.stage_ms.build_ms,
+        t.stage_ms.sanitize_ms,
+        t.stage_ms.fit_ms,
+        t.stage_ms.validate_ms,
+        t.stage_ms.predict_ms,
+    );
+}

@@ -143,34 +143,52 @@ impl GpuModel {
 
     /// Normalised class shares at `date`.
     pub fn class_shares_at(&self, date: SimDate) -> Vec<(GpuClass, f64)> {
-        let raw: Vec<f64> = self
-            .class_shares
-            .iter()
-            .map(|(_, law)| law.ratio_at(date).max(0.0))
-            .collect();
-        let total: f64 = raw.iter().sum();
+        let mut weights = vec![0.0; self.class_shares.len()];
+        self.class_weights_into(date, &mut weights);
         self.class_shares
             .iter()
-            .zip(raw)
-            .map(|((c, _), w)| (*c, if total > 0.0 { w / total } else { 0.0 }))
+            .zip(weights)
+            .map(|((c, _), w)| (*c, w))
             .collect()
+    }
+
+    /// Normalised class weights in `class_shares` order, written into
+    /// `out` — the allocation-free core of
+    /// [`GpuModel::class_shares_at`], shared with the sampling hot
+    /// path.
+    fn class_weights_into(&self, date: SimDate, out: &mut [f64]) {
+        for (w, (_, law)) in out.iter_mut().zip(&self.class_shares) {
+            *w = law.ratio_at(date).max(0.0);
+        }
+        let total: f64 = out.iter().sum();
+        for w in out.iter_mut() {
+            *w = if total > 0.0 { *w / total } else { 0.0 };
+        }
     }
 
     /// GPU-memory tier probabilities at `date`.
     pub fn memory_probabilities(&self, date: SimDate) -> Vec<f64> {
-        let n = GPU_MEMORY_TIERS_MB.len();
-        let mut w = vec![0.0; n];
-        w[n - 1] = 1.0;
+        let mut w = vec![0.0; GPU_MEMORY_TIERS_MB.len()];
+        self.memory_probabilities_into(date, &mut w);
+        w
+    }
+
+    /// Tier probabilities written into `out` (length
+    /// `GPU_MEMORY_TIERS_MB.len()`) — the allocation-free core of
+    /// [`GpuModel::memory_probabilities`], shared with the sampling
+    /// hot path.
+    fn memory_probabilities_into(&self, date: SimDate, out: &mut [f64]) {
+        let n = out.len();
+        out[n - 1] = 1.0;
         for i in (0..n - 1).rev() {
-            w[i] = w[i + 1] * self.memory_ratios[i].ratio_at(date).max(0.0);
+            out[i] = out[i + 1] * self.memory_ratios[i].ratio_at(date).max(0.0);
         }
-        let total: f64 = w.iter().sum();
+        let total: f64 = out.iter().sum();
         if total > 0.0 {
-            for x in &mut w {
+            for x in out.iter_mut() {
                 *x /= total;
             }
         }
-        w
     }
 
     /// Expected GPU memory at `date`, MB.
@@ -187,19 +205,37 @@ impl GpuModel {
         if rng.random::<f64>() >= self.presence_at(date) {
             return None;
         }
-        // Class.
-        let shares = self.class_shares_at(date);
+        // Class and memory-tier weights are computed in stack buffers
+        // by the same `_into` helpers that back the public accessors —
+        // this path runs for every GPU-equipped host the engine
+        // materialises. A model with more classes than the stack
+        // buffer (never the paper's) falls back to a scratch `Vec`.
+        let nc = self.class_shares.len();
+        let mut class_stack = [0.0; 16];
+        let mut class_heap;
+        let shares: &mut [f64] = if nc <= class_stack.len() {
+            &mut class_stack[..nc]
+        } else {
+            class_heap = vec![0.0; nc];
+            &mut class_heap
+        };
+        self.class_weights_into(date, shares);
         let mut u = rng.random::<f64>();
-        let mut class = shares.last().map(|(c, _)| *c).unwrap_or(GpuClass::GeForce);
-        for (c, w) in &shares {
-            if u < *w {
+        let mut class = self
+            .class_shares
+            .last()
+            .map(|(c, _)| *c)
+            .unwrap_or(GpuClass::GeForce);
+        for (&share, (c, _)) in shares.iter().zip(&self.class_shares) {
+            if u < share {
                 class = *c;
                 break;
             }
-            u -= w;
+            u -= share;
         }
         // Memory tier.
-        let probs = self.memory_probabilities(date);
+        let mut probs = [0.0; GPU_MEMORY_TIERS_MB.len()];
+        self.memory_probabilities_into(date, &mut probs);
         let mut v = rng.random::<f64>();
         let mut memory_mb = *GPU_MEMORY_TIERS_MB.last().expect("non-empty tier table");
         for (p, &tier) in probs.iter().zip(&GPU_MEMORY_TIERS_MB) {

@@ -297,8 +297,10 @@ impl HostGenerator for HostModel {
             .sample_with_uniform(date, resmodel_stats::sampling::standard_uniform(rng))
             as u32;
 
-        // 2. Correlated standard normals (mem/core, whet, dhry).
-        let v = self.correlated.sample(rng);
+        // 2. Correlated standard normals (mem/core, whet, dhry), drawn
+        //    into a stack buffer — this runs once per simulated host.
+        let mut v = [0.0; 3];
+        self.correlated.sample_into(rng, &mut v);
 
         // 3. First component → uniform → per-core-memory tier.
         let pcm_uniform = norm_cdf(v[0]).clamp(0.0, 1.0 - 1e-12);
@@ -325,6 +327,44 @@ impl HostGenerator for HostModel {
             dhrystone_mips: dhrystone,
             avail_disk_gb: disk,
         }
+    }
+
+    /// Fixed-date batch generation with the date-dependent parameters
+    /// hoisted out of the per-host loop: the tier probability chains,
+    /// benchmark moments and disk log-normal are evaluated once instead
+    /// of `n` times. The per-host draw order and arithmetic are exactly
+    /// those of [`HostModel::generate_host`], so the population is
+    /// bitwise identical to the trait's default loop.
+    fn generate_population(&self, date: SimDate, n: usize, seed: u64) -> Vec<GeneratedHost> {
+        let mut rng = resmodel_stats::rng::seeded_substream(seed, date.days().to_bits());
+        let core_probs = self.cores.probabilities(date);
+        let pcm_probs = self.per_core_memory.probabilities(date);
+        let (wm, wv) = self.whetstone_moments(date);
+        let (dm, dv) = self.dhrystone_moments(date);
+        let (wsd, dsd) = (wv.sqrt(), dv.sqrt());
+        let disk = self
+            .disk_distribution(date)
+            .expect("moment laws stay positive");
+
+        let mut out = Vec::with_capacity(n);
+        let mut v = [0.0; 3];
+        for _ in 0..n {
+            let u = resmodel_stats::sampling::standard_uniform(&mut rng);
+            let cores = self.cores.pick(&core_probs, u) as u32;
+            self.correlated.sample_into(&mut rng, &mut v);
+            let pcm_uniform = norm_cdf(v[0]).clamp(0.0, 1.0 - 1e-12);
+            let pcm = self.per_core_memory.pick(&pcm_probs, pcm_uniform);
+            let whetstone = (wm + v[1] * wsd).max(0.01 * wm);
+            let dhrystone = (dm + v[2] * dsd).max(0.01 * dm);
+            out.push(GeneratedHost {
+                cores,
+                memory_mb: pcm * cores as f64,
+                whetstone_mips: whetstone,
+                dhrystone_mips: dhrystone,
+                avail_disk_gb: disk.sample(&mut rng),
+            });
+        }
+        out
     }
 }
 

@@ -41,6 +41,10 @@ impl From<ExpLawFit> for RatioLaw {
     }
 }
 
+/// Largest tier count sampled without heap allocation (the paper's
+/// models use 4 core tiers and 7 memory tiers).
+pub const MAX_STACK_TIERS: usize = 16;
+
 /// A discrete distribution over ordered tiers (core counts or per-core
 /// memory sizes) whose shape at any date is determined by a chain of
 /// [`RatioLaw`]s between adjacent tiers.
@@ -134,19 +138,32 @@ impl DiscreteRatioModel {
     /// Computed by anchoring the largest tier at weight 1, walking the
     /// ratio chain downward, and normalising.
     pub fn probabilities(&self, date: SimDate) -> Vec<f64> {
+        let mut weights = vec![0.0; self.values.len()];
+        self.probabilities_into(date, &mut weights);
+        weights
+    }
+
+    /// Write the tier probabilities at `date` into `out` (length must
+    /// equal the tier count). The allocation-free core of
+    /// [`DiscreteRatioModel::probabilities`] — hot loops (host
+    /// generation, engine redraws) call this with a reused buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.values().len()`.
+    pub fn probabilities_into(&self, date: SimDate, out: &mut [f64]) {
         let n = self.values.len();
-        let mut weights = vec![0.0; n];
-        weights[n - 1] = 1.0;
+        assert_eq!(out.len(), n, "probability buffer has the tier count");
+        out[n - 1] = 1.0;
         for i in (0..n - 1).rev() {
-            weights[i] = weights[i + 1] * self.laws[i].ratio_at(date).max(0.0);
+            out[i] = out[i + 1] * self.laws[i].ratio_at(date).max(0.0);
         }
-        let total: f64 = weights.iter().sum();
+        let total: f64 = out.iter().sum();
         if total > 0.0 {
-            for w in &mut weights {
+            for w in out.iter_mut() {
                 *w /= total;
             }
         }
-        weights
     }
 
     /// Expected tier value at `date`.
@@ -159,8 +176,23 @@ impl DiscreteRatioModel {
     }
 
     /// Sample a tier value at `date` from a uniform draw `u ∈ [0, 1)`.
+    ///
+    /// Allocation-free for up to [`MAX_STACK_TIERS`] tiers (every model
+    /// in the paper has ≤ 7): the probability chain is computed in a
+    /// stack buffer with the exact operation order of
+    /// [`DiscreteRatioModel::probabilities`], so the draw is bitwise
+    /// identical to the allocating path.
     pub fn sample_with_uniform(&self, date: SimDate, u: f64) -> f64 {
-        let probs = self.probabilities(date);
+        let n = self.values.len();
+        if n <= MAX_STACK_TIERS {
+            let mut buf = [0.0; MAX_STACK_TIERS];
+            self.probabilities_into(date, &mut buf[..n]);
+            return self.pick(&buf[..n], u);
+        }
+        self.pick(&self.probabilities(date), u)
+    }
+
+    pub(crate) fn pick(&self, probs: &[f64], u: f64) -> f64 {
         let mut acc = 0.0;
         for (p, &v) in probs.iter().zip(&self.values) {
             acc += p;

@@ -113,6 +113,14 @@ pub enum ResmodelError {
     },
     /// A command-line invocation problem.
     Arg(ArgError),
+    /// One job of a scenario sweep failed; wraps the underlying error
+    /// with the job's label so a batch failure names its grid point.
+    Sweep {
+        /// The failing job's label, e.g. `"flash-crowd/8000/r1"`.
+        job: String,
+        /// The job's underlying error.
+        source: Box<ResmodelError>,
+    },
 }
 
 impl ResmodelError {
@@ -140,11 +148,22 @@ impl ResmodelError {
         }
     }
 
+    /// Shorthand for a [`ResmodelError::Sweep`] wrapping `source` with
+    /// the failing job's label.
+    pub fn sweep(job: impl Into<String>, source: ResmodelError) -> Self {
+        ResmodelError::Sweep {
+            job: job.into(),
+            source: Box::new(source),
+        }
+    }
+
     /// The conventional process exit code for this error: `2` for
-    /// command-line usage problems, `1` for everything else.
+    /// command-line usage problems, `1` for everything else. A sweep
+    /// failure reports its underlying job error's code.
     pub fn exit_code(&self) -> i32 {
         match self {
             ResmodelError::Arg(_) => 2,
+            ResmodelError::Sweep { source, .. } => source.exit_code(),
             _ => 1,
         }
     }
@@ -160,6 +179,7 @@ impl fmt::Display for ResmodelError {
             }
             ResmodelError::Json { context, message } => write!(f, "json ({context}): {message}"),
             ResmodelError::Arg(e) => write!(f, "{e}"),
+            ResmodelError::Sweep { job, source } => write!(f, "sweep job `{job}`: {source}"),
         }
     }
 }
@@ -170,6 +190,7 @@ impl std::error::Error for ResmodelError {
             ResmodelError::Stats(e) => Some(e),
             ResmodelError::Io { source, .. } => Some(source),
             ResmodelError::Arg(e) => Some(e),
+            ResmodelError::Sweep { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -273,6 +294,24 @@ mod tests {
             flag: "--out".into(),
         };
         assert_eq!(e.to_string(), "--out needs a value");
+    }
+
+    #[test]
+    fn sweep_errors_name_the_job_and_chain() {
+        use std::error::Error;
+        let e = ResmodelError::sweep(
+            "flash-crowd/8000/r1",
+            ResmodelError::config("scenario", "end must be after start"),
+        );
+        assert_eq!(
+            e.to_string(),
+            "sweep job `flash-crowd/8000/r1`: invalid scenario: end must be after start"
+        );
+        assert!(e.source().is_some());
+        assert_eq!(e.exit_code(), 1);
+        // Usage errors keep their distinct exit code through the wrap.
+        let e = ResmodelError::sweep("j", ArgError::UnknownFlag { flag: "--x".into() }.into());
+        assert_eq!(e.exit_code(), 2);
     }
 
     #[test]

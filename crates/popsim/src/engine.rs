@@ -134,7 +134,10 @@ fn run_shard(
     dates: &[SimDate],
     input: &[(u64, SimDate)],
 ) -> ShardOutcome {
-    let mut queue = EventQueue::new();
+    // Every host contributes at most an Arrive, a Death and one
+    // pending Refresh; sizing for all three up front keeps the heap
+    // from reallocating mid-run.
+    let mut queue = EventQueue::with_capacity(3 * input.len() + dates.len());
     for (local, (_, created)) in input.iter().enumerate() {
         queue.push(*created, EventKind::Arrive(local as u32));
     }
@@ -155,8 +158,16 @@ fn run_shard(
     // arrived). Swap-removal makes the observation order a (fully
     // deterministic) function of the event sequence, not of insertion.
     const DEAD: u32 = u32::MAX;
-    let mut alive: Vec<u32> = Vec::new();
+    let mut alive: Vec<u32> = Vec::with_capacity(input.len());
     let mut alive_pos: Vec<u32> = Vec::with_capacity(input.len());
+
+    // Lifetime draws share one validated law: only the scale varies
+    // with the creation date, so hoist the shape (and its validation)
+    // out of the per-arrival path. Weibull sampling multiplies the
+    // scale into a unit-scale variate, so scaling the unit draw is
+    // bitwise identical to constructing the scaled distribution.
+    let unit_lifetime = resmodel_stats::distributions::Weibull::new(scenario.lifetime.shape, 1.0)
+        .expect("validated lifetime law");
 
     while let Some(event) = queue.pop() {
         let now = SimDate::from_days(event.at_days);
@@ -165,7 +176,7 @@ fn run_shard(
                 let (id, created) = input[i as usize];
                 debug_assert_eq!(hosts.len(), i as usize);
                 let mut rng = seeded_substream(scenario.seed, id);
-                let host = spawn_host(scenario, model, id, created, &mut rng);
+                let host = spawn_host(scenario, model, &unit_lifetime, id, created, &mut rng);
                 arrived += 1;
                 if host.death <= scenario.end {
                     queue.push(host.death, EventKind::Death(i));
@@ -219,6 +230,7 @@ fn run_shard(
 fn spawn_host(
     scenario: &Scenario,
     model: &HostModel,
+    unit_lifetime: &resmodel_stats::distributions::Weibull,
     id: u64,
     created: SimDate,
     rng: &mut StdRng,
@@ -247,13 +259,10 @@ fn spawn_host(
         None => (None, 1.0),
     };
 
-    // 5. Weibull lifetime with the creation-date trend.
-    let lifetime_days = resmodel_stats::distributions::Weibull::new(
-        scenario.lifetime.shape,
-        scenario.lifetime.scale_at(created),
-    )
-    .expect("validated lifetime law")
-    .sample(rng);
+    // 5. Weibull lifetime with the creation-date trend. The unit-scale
+    //    draw times the date-dependent scale equals the scaled
+    //    distribution's draw bit for bit (`scale · x^{1/k}` either way).
+    let lifetime_days = scenario.lifetime.scale_at(created) * unit_lifetime.sample(rng);
     let death = created + lifetime_days;
 
     SimHost {
@@ -344,11 +353,20 @@ fn sample_gpu(
 }
 
 /// Pick from a normalised `(item, weight)` table with uniform draw
-/// `u`, reusing the trace crate's categorical sampler. Callers pass
+/// `u`, with the trace crate's categorical-walk semantics (accumulate
+/// clamped weights, fall back to the last entry) but no weight-vector
+/// allocation — this runs once per host draw. Callers pass
 /// [`blend_shares`] output, which always sums to 1.
 fn pick_share<T: Copy>(shares: &[(T, f64)], u: f64) -> T {
-    let weights: Vec<f64> = shares.iter().map(|(_, w)| w.max(0.0)).collect();
-    shares[resmodel_trace::market::pick_index(&weights, u)].0
+    assert!(!shares.is_empty(), "cannot pick from empty shares");
+    let mut acc = 0.0;
+    for &(item, w) in shares {
+        acc += w.max(0.0);
+        if u < acc {
+            return item;
+        }
+    }
+    shares[shares.len() - 1].0
 }
 
 /// Blend the paper's historical share table with a shift target.

@@ -157,6 +157,14 @@ impl EventQueue {
         Self::default()
     }
 
+    /// Empty queue with room for `capacity` events, so a shard's
+    /// initial arrival + snapshot schedule pushes without reallocating.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+        }
+    }
+
     /// Schedule an event.
     pub fn push(&mut self, at: SimDate, kind: EventKind) {
         self.heap.push(std::cmp::Reverse(Event {

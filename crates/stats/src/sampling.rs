@@ -127,11 +127,38 @@ impl CorrelatedNormals {
 
     /// Draw one correlated standard-normal vector.
     pub fn sample(&self, rng: &mut dyn Rng) -> Vec<f64> {
+        let mut out = vec![0.0; self.dim()];
+        self.sample_into(rng, &mut out);
+        out
+    }
+
+    /// Draw one correlated vector into `out` without heap allocation
+    /// (for dimensions up to 8; larger samplers fall back to a scratch
+    /// `Vec`). Identical draw order and arithmetic to
+    /// [`CorrelatedNormals::sample`], so results are bitwise equal.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `out.len() != self.dim()`.
+    pub fn sample_into(&self, rng: &mut dyn Rng, out: &mut [f64]) {
         let d = self.dim();
-        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
-        self.chol
-            .mul_vec(&z)
-            .expect("dimension verified at construction")
+        assert_eq!(out.len(), d, "output buffer has the sampler dimension");
+        let mut stack = [0.0; 8];
+        let mut heap;
+        let z: &mut [f64] = if d <= stack.len() {
+            &mut stack[..d]
+        } else {
+            heap = vec![0.0; d];
+            &mut heap
+        };
+        for zi in z.iter_mut() {
+            *zi = standard_normal(rng);
+        }
+        // L·z with mul_vec's exact accumulation order (row-major dot
+        // products), just without the output allocation.
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = (0..d).map(|j| self.chol.get(i, j) * z[j]).sum();
+        }
     }
 
     /// Draw `n` correlated vectors.

@@ -109,11 +109,15 @@ impl CpuFamily {
     }
 
     /// Sample a family from the shares at `year` using a uniform draw
-    /// `u ∈ [0, 1)`.
+    /// `u ∈ [0, 1)`. Allocation-free (the share table is interpolated
+    /// into a stack buffer): this runs once per simulated host.
     pub fn sample_at(year: f64, u: f64) -> CpuFamily {
-        let shares = Self::shares_at(year);
-        let weights: Vec<f64> = shares.iter().map(|(_, w)| *w).collect();
-        shares[pick_index(&weights, u)].0
+        let mut weights = [0.0; CPU_SHARES.len()];
+        for (w, (_, s)) in weights.iter_mut().zip(&CPU_SHARES) {
+            *w = interp_series(&TABLE_YEARS, s, year);
+        }
+        normalize(&mut weights);
+        CPU_SHARES[pick_index(&weights, u)].0
     }
 }
 

@@ -1,0 +1,61 @@
+//! A four-scenario comparison sweep: run every built-in population
+//! family — steady-state, flash-crowd, gpu-wave, market-shift —
+//! through the full pipeline as one parallel batch, then read the
+//! cross-scenario comparison table off the typed report.
+//!
+//! Run with: `cargo run --release --example sweep`
+
+use resmodel::prelude::*;
+
+fn main() -> Result<(), ResmodelError> {
+    println!("== resmodel sweep: 4 scenario families as one batch ==\n");
+
+    // The "families" preset is the paper-style comparison grid; shrink
+    // the fleets so the example finishes in a couple of seconds.
+    let mut spec = SweepSpec::preset("families").expect("families is a built-in preset");
+    spec.fleet_sizes = vec![10_000];
+
+    // Like a pipeline spec, a sweep spec is data: the whole batch
+    // experiment round-trips through JSON.
+    let json = spec.to_json_pretty()?;
+    assert_eq!(SweepSpec::from_json(&json)?, spec);
+    println!(
+        "grid: {} jobs ({} bytes of spec JSON)\n",
+        spec.job_count(),
+        json.len()
+    );
+
+    let report = spec.run()?;
+
+    println!(
+        "{:<14} {:>7} {:>10} {:>9} {:>9}",
+        "scenario", "hosts", "hosts/sec", "mean KS", "w-shape"
+    );
+    for c in &report.comparisons {
+        println!(
+            "{:<14} {:>7} {:>10.0} {:>9} {:>9}",
+            c.scenario,
+            c.total_hosts,
+            c.mean_hosts_per_sec,
+            c.mean_ks.map_or_else(|| "-".into(), |k| format!("{k:.3}")),
+            c.mean_lifetime_shape
+                .map_or_else(|| "-".into(), |s| format!("{s:.2}")),
+        );
+    }
+
+    let t = &report.totals;
+    println!(
+        "\ntotals: {} hosts in {:.0} ms on {} threads -> {:.0} hosts/sec (peak job {:.0} ms)",
+        t.total_hosts, t.wall_ms, t.threads, t.hosts_per_sec, t.peak_job_wall_ms
+    );
+
+    // The CI perf artifact is a projection of the same report.
+    let artifact = report.bench_artifact();
+    println!(
+        "bench artifact `{}`: {} job rows, schema {}",
+        artifact.sweep,
+        artifact.jobs.len(),
+        artifact.schema
+    );
+    Ok(())
+}

@@ -17,6 +17,7 @@
 //! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
 //! | [`popsim`] | deterministic, data-parallel population dynamics engine: scenario-driven arrivals, lifetimes, hardware refreshes and streaming fleet statistics |
 //! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict as one serializable [`Pipeline`](pipeline::Pipeline) |
+//! | [`sweep`] | the batch layer: a [`SweepSpec`](sweep::SweepSpec) grid of pipelines (scenarios × fleet sizes × fits × seeds) run in parallel into a typed [`SweepReport`](sweep::SweepReport) and the CI-tracked `BENCH_sweep.json` artifact |
 //!
 //! Every fallible API returns [`ResmodelError`], so stages compose
 //! with `?` across crate boundaries.
@@ -90,12 +91,14 @@ pub use resmodel_stats as stats;
 pub use resmodel_trace as trace;
 
 pub mod pipeline;
+pub mod sweep;
 
 pub use resmodel_error::{ArgError, ResmodelError};
 
 /// The most commonly used items, for `use resmodel::prelude::*`.
 pub mod prelude {
     pub use crate::pipeline::{Pipeline, PipelineReport, PipelineSpec};
+    pub use crate::sweep::{BenchArtifact, SweepReport, SweepSpec};
     pub use resmodel_allocsim::{
         allocate_round_robin, run_utility_experiment, AppProfile, UtilityExperimentConfig,
     };

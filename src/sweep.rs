@@ -1,0 +1,798 @@
+//! The parallel scenario-sweep subsystem: run a *grid* of pipelines —
+//! scenarios × fleet sizes × fit configurations × seeds — as one batch
+//! job on a rayon worker pool, with deterministic per-job RNG
+//! substreams and a typed, serializable cross-job report.
+//!
+//! A [`SweepSpec`] is plain data (it serde-round-trips through JSON, so
+//! a whole batch experiment is a shareable artifact) and expands into a
+//! deterministic job list; [`SweepSpec::run`] executes the jobs in
+//! parallel and streams their [`crate::pipeline::PipelineReport`]s into a
+//! [`SweepReport`]: per-job summaries, per-scenario comparison rows and
+//! batch throughput totals. [`BenchArtifact`] projects a report onto
+//! the machine-readable `BENCH_sweep.json` schema CI tracks.
+//!
+//! ```no_run
+//! use resmodel::sweep::SweepSpec;
+//!
+//! let spec = SweepSpec::preset("families").expect("built-in preset");
+//! let report = spec.run()?;
+//! for row in &report.comparisons {
+//!     println!("{:<14} {:>9.0} hosts/s", row.scenario, row.mean_hosts_per_sec);
+//! }
+//! # Ok::<(), resmodel::ResmodelError>(())
+//! ```
+//!
+//! ## Determinism contract
+//!
+//! Job `j` runs its scenario with seed
+//! `substream(spec.seed ^ replicate, j)`, a pure function of the spec —
+//! never of the machine — so no two jobs share an RNG stream and the
+//! whole report (wall-clock fields aside, see
+//! [`SweepReport::zero_timings`]) is byte-identical at any rayon thread
+//! count.
+
+use crate::pipeline::{
+    LifetimeFit, Pipeline, PipelineSpec, PredictSpec, SourceSpec, StageTimings, ValidateSpec,
+    WorldSummary,
+};
+use rayon::prelude::*;
+use resmodel_core::fit::FitConfig;
+use resmodel_error::ResmodelError;
+use resmodel_popsim::Scenario;
+use resmodel_stats::rng::substream;
+use resmodel_trace::sanitize::SanitizeRules;
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Schema identifier written into every [`BenchArtifact`].
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/1";
+
+/// The full grid configuration of one sweep — stages as data, like
+/// [`PipelineSpec`], so a batch experiment round-trips through JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Sweep name (reports, bench labels).
+    pub name: String,
+    /// Master seed; every job derives its own RNG substream from it.
+    pub seed: u64,
+    /// Scenario templates (one grid axis). Each template's own `seed`
+    /// is overridden by the job's derived substream.
+    pub scenarios: Vec<Scenario>,
+    /// Fleet-size axis: each entry caps a scenario's total arrivals.
+    pub fleet_sizes: Vec<usize>,
+    /// Fit-configuration axis; an empty list means no fitting stage
+    /// (and therefore no validation/prediction).
+    pub fits: Vec<FitConfig>,
+    /// Replicate-seed axis; each entry shifts every job's derived
+    /// substream, giving independent repetitions of the whole grid.
+    pub replicates: Vec<u64>,
+    /// Sanitization rules applied in every job; `None` skips the stage.
+    pub sanitize: Option<SanitizeRules>,
+    /// Held-out validation dates (needs a non-empty fit axis).
+    pub validate_dates: Vec<SimDate>,
+    /// Forward-prediction dates (needs a non-empty fit axis).
+    pub predict_dates: Vec<SimDate>,
+}
+
+impl SweepSpec {
+    /// Names accepted by [`SweepSpec::preset`].
+    pub const PRESETS: [&'static str; 4] = ["smoke", "families", "scaling", "replicates"];
+
+    /// A named built-in sweep:
+    ///
+    /// * `"smoke"` — all four scenario families at 8k hosts with a
+    ///   yearly fit, validation and prediction; small enough for CI.
+    /// * `"families"` — the four families at 20k hosts; the paper-style
+    ///   cross-scenario comparison.
+    /// * `"scaling"` — steady-state at 5k/20k/80k hosts, engine only;
+    ///   the throughput trajectory.
+    /// * `"replicates"` — the four families × three replicate seeds,
+    ///   engine only; cross-seed variance.
+    pub fn preset(name: &str) -> Option<Self> {
+        let base = |name: &str, hosts: &[usize]| Self {
+            name: name.to_owned(),
+            seed: 20110620,
+            scenarios: Scenario::all_builtin(0),
+            fleet_sizes: hosts.to_vec(),
+            fits: vec![FitConfig::yearly(2007, 2010)],
+            replicates: vec![1],
+            sanitize: Some(SanitizeRules::default()),
+            validate_dates: vec![SimDate::from_year(2010.5)],
+            predict_dates: vec![SimDate::from_year(2014.0)],
+        };
+        match name {
+            "smoke" => Some(base("smoke", &[8_000])),
+            "families" => Some(base("families", &[20_000])),
+            "scaling" => Some(Self {
+                scenarios: vec![Scenario::steady_state(0)],
+                fits: Vec::new(),
+                validate_dates: Vec::new(),
+                predict_dates: Vec::new(),
+                ..base("scaling", &[5_000, 20_000, 80_000])
+            }),
+            "replicates" => Some(Self {
+                fits: Vec::new(),
+                validate_dates: Vec::new(),
+                predict_dates: Vec::new(),
+                replicates: vec![1, 2, 3],
+                ..base("replicates", &[8_000])
+            }),
+            _ => None,
+        }
+    }
+
+    /// Number of jobs the grid expands into.
+    pub fn job_count(&self) -> usize {
+        self.scenarios.len()
+            * self.fleet_sizes.len()
+            * self.fits.len().max(1)
+            * self.replicates.len()
+    }
+
+    /// Validate grid sanity (non-empty axes, valid scenarios).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ResmodelError::Config`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ResmodelError> {
+        let bad = |message: &str| Err(ResmodelError::config("sweep", message));
+        if self.scenarios.is_empty() {
+            return bad("at least one scenario is required");
+        }
+        if self.fleet_sizes.is_empty() {
+            return bad("at least one fleet size is required");
+        }
+        if self.fleet_sizes.contains(&0) {
+            return bad("fleet sizes must be positive (0 would mean uncapped)");
+        }
+        if self.replicates.is_empty() {
+            return bad("at least one replicate seed is required");
+        }
+        if self.fits.is_empty()
+            && !(self.validate_dates.is_empty() && self.predict_dates.is_empty())
+        {
+            return bad("validation/prediction dates need a non-empty fit axis");
+        }
+        // Duplicate axis entries would expand into jobs with identical
+        // labels, making a Sweep error or a bench row ambiguous.
+        if has_duplicates(self.fleet_sizes.iter()) {
+            return bad("fleet sizes must be distinct");
+        }
+        if has_duplicates(self.replicates.iter()) {
+            return bad("replicate seeds must be distinct");
+        }
+        if has_duplicates(self.scenarios.iter().map(|s| &s.name)) {
+            return bad("scenario names must be distinct");
+        }
+        for s in &self.scenarios {
+            s.validate()?;
+        }
+        Ok(())
+    }
+
+    /// Expand the grid into its deterministic job list (scenario-major,
+    /// then fleet size, fit, replicate).
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let fit_axis: Vec<Option<&FitConfig>> = if self.fits.is_empty() {
+            vec![None]
+        } else {
+            self.fits.iter().map(Some).collect()
+        };
+        let mut jobs = Vec::with_capacity(self.job_count());
+        for scenario in &self.scenarios {
+            for &fleet_size in &self.fleet_sizes {
+                for (fit_index, fit) in fit_axis.iter().enumerate() {
+                    for &replicate in &self.replicates {
+                        let index = jobs.len();
+                        let seed = substream(self.seed ^ replicate, index as u64);
+                        let mut scenario = scenario.clone();
+                        scenario.seed = seed;
+                        scenario.max_hosts = fleet_size;
+                        let label = if fit_axis.len() > 1 {
+                            format!("{}/{fleet_size}/fit{fit_index}/r{replicate}", scenario.name)
+                        } else {
+                            format!("{}/{fleet_size}/r{replicate}", scenario.name)
+                        };
+                        let spec = PipelineSpec {
+                            source: SourceSpec::Scenario {
+                                scenario: scenario.clone(),
+                                max_hosts: 0,
+                            },
+                            sanitize: self.sanitize,
+                            fit: fit.map(|f| (*f).clone()),
+                            validate: (fit.is_some() && !self.validate_dates.is_empty()).then(
+                                || ValidateSpec {
+                                    dates: self.validate_dates.clone(),
+                                    seed,
+                                },
+                            ),
+                            predict: (fit.is_some() && !self.predict_dates.is_empty()).then(|| {
+                                PredictSpec {
+                                    dates: self.predict_dates.clone(),
+                                }
+                            }),
+                        };
+                        jobs.push(SweepJob {
+                            index,
+                            label,
+                            scenario: scenario.name.clone(),
+                            fleet_size,
+                            replicate,
+                            seed,
+                            spec,
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Execute every job of the grid on the rayon worker pool and
+    /// assemble the typed report. Job order in the report equals grid
+    /// order regardless of scheduling.
+    ///
+    /// # Errors
+    ///
+    /// Returns the spec's validation error, or the first failing job's
+    /// error wrapped in [`ResmodelError::Sweep`] with the job's label.
+    pub fn run(&self) -> Result<SweepReport, ResmodelError> {
+        self.validate()?;
+        let jobs = self.expand();
+        let t0 = Instant::now();
+        let outcomes: Vec<Result<JobReport, ResmodelError>> =
+            jobs.par_iter().map(run_job).collect();
+        let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut reports = Vec::with_capacity(outcomes.len());
+        for (job, outcome) in jobs.iter().zip(outcomes) {
+            reports.push(outcome.map_err(|e| ResmodelError::sweep(job.label.clone(), e))?);
+        }
+
+        let comparisons = compare_scenarios(&reports);
+        let totals = SweepTotals::from_jobs(&reports, wall_ms);
+        Ok(SweepReport {
+            spec: self.clone(),
+            jobs: reports,
+            comparisons,
+            totals,
+        })
+    }
+
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("sweep spec", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// spec.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("sweep spec", e))
+    }
+}
+
+/// O(n²) but axes are tiny; avoids ordering or hashing requirements.
+fn has_duplicates<T: PartialEq>(items: impl Iterator<Item = T>) -> bool {
+    let items: Vec<T> = items.collect();
+    (1..items.len()).any(|i| items[..i].contains(&items[i]))
+}
+
+/// One expanded grid point: a fully-specified pipeline plus its grid
+/// coordinates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepJob {
+    /// Position in the expanded grid (also the substream label).
+    pub index: usize,
+    /// Human-readable grid coordinates, e.g. `"flash-crowd/8000/r1"`.
+    pub label: String,
+    /// Scenario family name.
+    pub scenario: String,
+    /// Arrival cap for this job.
+    pub fleet_size: usize,
+    /// The replicate-axis seed this job belongs to.
+    pub replicate: u64,
+    /// The derived scenario seed (`substream(spec.seed ^ replicate,
+    /// index)`).
+    pub seed: u64,
+    /// The complete pipeline configuration the job runs.
+    pub spec: PipelineSpec,
+}
+
+/// Run one job, timing the whole pipeline.
+fn run_job(job: &SweepJob) -> Result<JobReport, ResmodelError> {
+    let t0 = Instant::now();
+    let report = Pipeline::from_spec(job.spec.clone()).run()?;
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let mean_ks = report.validation.as_ref().map(|dates| {
+        let (mut sum, mut n) = (0.0, 0u32);
+        for at in dates {
+            for c in &at.comparisons {
+                sum += c.ks_distance;
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / f64::from(n)
+        }
+    });
+    let mean_cores_forecast = report
+        .predictions
+        .as_ref()
+        .and_then(|p| p.multicore.first())
+        .map(|m| m.mean_cores);
+
+    Ok(JobReport {
+        index: job.index,
+        label: job.label.clone(),
+        scenario: job.scenario.clone(),
+        fleet_size: job.fleet_size,
+        replicate: job.replicate,
+        seed: job.seed,
+        world: report.world.clone(),
+        lifetime: report.fit.as_ref().and_then(|f| f.lifetime),
+        mean_ks,
+        mean_cores_forecast,
+        timing: report.timing,
+        wall_ms,
+        hosts_per_sec: rate(report.world.raw_hosts, wall_ms),
+    })
+}
+
+fn rate(hosts: usize, wall_ms: f64) -> f64 {
+    if wall_ms > 0.0 {
+        hosts as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    }
+}
+
+/// One job's summarised outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// Grid position.
+    pub index: usize,
+    /// Grid coordinates, e.g. `"gpu-wave/8000/r1"`.
+    pub label: String,
+    /// Scenario family.
+    pub scenario: String,
+    /// Arrival cap.
+    pub fleet_size: usize,
+    /// Replicate-axis seed.
+    pub replicate: u64,
+    /// Derived scenario seed.
+    pub seed: u64,
+    /// Population overview (raw/sanitized counts, time span).
+    pub world: WorldSummary,
+    /// Fitted Weibull lifetime, when the job fitted a model.
+    pub lifetime: Option<LifetimeFit>,
+    /// Mean KS distance over every validation comparison, when the job
+    /// validated (lower = generated populations closer to actual).
+    pub mean_ks: Option<f64>,
+    /// Forecast mean cores at the first prediction date, when the job
+    /// predicted.
+    pub mean_cores_forecast: Option<f64>,
+    /// Per-stage wall-clock timings.
+    pub timing: StageTimings,
+    /// Whole-job wall time, ms.
+    pub wall_ms: f64,
+    /// Simulated hosts per second of job wall time.
+    pub hosts_per_sec: f64,
+}
+
+/// Cross-job comparison row: one scenario family aggregated over its
+/// fleet sizes, fits and replicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioComparison {
+    /// Scenario family.
+    pub scenario: String,
+    /// Jobs aggregated.
+    pub jobs: usize,
+    /// Total raw hosts simulated across those jobs.
+    pub total_hosts: usize,
+    /// Mean per-job throughput, hosts/sec.
+    pub mean_hosts_per_sec: f64,
+    /// Slowest job, ms.
+    pub peak_wall_ms: f64,
+    /// Mean sanitization discard fraction.
+    pub mean_discard_fraction: f64,
+    /// Mean of the jobs' mean KS distances (validated jobs only).
+    pub mean_ks: Option<f64>,
+    /// Mean fitted Weibull lifetime shape (fitted jobs only).
+    pub mean_lifetime_shape: Option<f64>,
+}
+
+/// Aggregate jobs per scenario family, in first-appearance order.
+fn compare_scenarios(jobs: &[JobReport]) -> Vec<ScenarioComparison> {
+    fn mean_of(values: impl Iterator<Item = f64>) -> Option<f64> {
+        let (mut sum, mut n) = (0.0, 0usize);
+        for v in values {
+            sum += v;
+            n += 1;
+        }
+        (n > 0).then(|| sum / n as f64)
+    }
+
+    let mut families: Vec<&str> = Vec::new();
+    for j in jobs {
+        if !families.contains(&j.scenario.as_str()) {
+            families.push(&j.scenario);
+        }
+    }
+    families
+        .into_iter()
+        .map(|family| {
+            let group: Vec<&JobReport> = jobs.iter().filter(|j| j.scenario == family).collect();
+            ScenarioComparison {
+                scenario: family.to_owned(),
+                jobs: group.len(),
+                total_hosts: group.iter().map(|j| j.world.raw_hosts).sum(),
+                mean_hosts_per_sec: mean_of(group.iter().map(|j| j.hosts_per_sec)).unwrap_or(0.0),
+                peak_wall_ms: group.iter().map(|j| j.wall_ms).fold(0.0, f64::max),
+                mean_discard_fraction: mean_of(group.iter().map(|j| j.world.discarded_fraction))
+                    .unwrap_or(0.0),
+                mean_ks: mean_of(group.iter().filter_map(|j| j.mean_ks)),
+                mean_lifetime_shape: mean_of(
+                    group.iter().filter_map(|j| j.lifetime.map(|l| l.shape)),
+                ),
+            }
+        })
+        .collect()
+}
+
+/// Whole-batch wall-time and throughput statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepTotals {
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Total raw hosts simulated.
+    pub total_hosts: usize,
+    /// Whole-batch wall time, ms (jobs overlap, so this is less than
+    /// the per-job sum on a multicore pool).
+    pub wall_ms: f64,
+    /// Batch throughput: `total_hosts / wall_ms` in hosts/sec.
+    pub hosts_per_sec: f64,
+    /// Peak (slowest) single-job latency, ms.
+    pub peak_job_wall_ms: f64,
+    /// Rayon worker threads available to the batch.
+    pub threads: usize,
+    /// Per-stage timings summed across jobs.
+    pub stage_ms: StageTimings,
+}
+
+impl SweepTotals {
+    fn from_jobs(jobs: &[JobReport], wall_ms: f64) -> Self {
+        let total_hosts = jobs.iter().map(|j| j.world.raw_hosts).sum();
+        let mut stage_ms = StageTimings::default();
+        let mut peak: f64 = 0.0;
+        for j in jobs {
+            stage_ms.build_ms += j.timing.build_ms;
+            stage_ms.sanitize_ms += j.timing.sanitize_ms;
+            stage_ms.fit_ms += j.timing.fit_ms;
+            stage_ms.validate_ms += j.timing.validate_ms;
+            stage_ms.predict_ms += j.timing.predict_ms;
+            peak = peak.max(j.wall_ms);
+        }
+        Self {
+            jobs: jobs.len(),
+            total_hosts,
+            wall_ms,
+            hosts_per_sec: rate(total_hosts, wall_ms),
+            peak_job_wall_ms: peak,
+            threads: rayon::current_num_threads(),
+            stage_ms,
+        }
+    }
+}
+
+/// Everything a sweep produced, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// The spec that produced this report (round-trippable).
+    pub spec: SweepSpec,
+    /// Per-job summaries, in grid order.
+    pub jobs: Vec<JobReport>,
+    /// Per-scenario-family comparison rows.
+    pub comparisons: Vec<ScenarioComparison>,
+    /// Batch totals.
+    pub totals: SweepTotals,
+}
+
+impl SweepReport {
+    /// Zero every wall-clock field (job timings, throughputs, batch
+    /// totals, thread count), leaving only the deterministic content —
+    /// the form compared by the byte-stability tests, mirroring the
+    /// golden pipeline report's zeroed [`StageTimings`].
+    pub fn zero_timings(&mut self) {
+        for j in &mut self.jobs {
+            j.timing = StageTimings::default();
+            j.wall_ms = 0.0;
+            j.hosts_per_sec = 0.0;
+        }
+        for c in &mut self.comparisons {
+            c.mean_hosts_per_sec = 0.0;
+            c.peak_wall_ms = 0.0;
+        }
+        self.totals.wall_ms = 0.0;
+        self.totals.hosts_per_sec = 0.0;
+        self.totals.peak_job_wall_ms = 0.0;
+        self.totals.threads = 0;
+        self.totals.stage_ms = StageTimings::default();
+    }
+
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("sweep report", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// report.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("sweep report", e))
+    }
+
+    /// Project onto the CI-tracked `BENCH_sweep.json` schema.
+    pub fn bench_artifact(&self) -> BenchArtifact {
+        BenchArtifact {
+            schema: BENCH_SCHEMA.to_owned(),
+            sweep: self.spec.name.clone(),
+            seed: self.spec.seed,
+            threads: self.totals.threads,
+            totals: self.totals.clone(),
+            jobs: self
+                .jobs
+                .iter()
+                .map(|j| BenchJobRow {
+                    label: j.label.clone(),
+                    scenario: j.scenario.clone(),
+                    fleet_size: j.fleet_size,
+                    seed: j.seed,
+                    hosts: j.world.raw_hosts,
+                    wall_ms: j.wall_ms,
+                    hosts_per_sec: j.hosts_per_sec,
+                    timing: j.timing,
+                })
+                .collect(),
+        }
+    }
+}
+
+/// The machine-readable benchmark artifact (`BENCH_sweep.json`): the
+/// perf-trajectory record CI stores for every run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchArtifact {
+    /// Schema identifier ([`BENCH_SCHEMA`]).
+    pub schema: String,
+    /// Sweep name.
+    pub sweep: String,
+    /// Master seed.
+    pub seed: u64,
+    /// Worker threads the batch ran on.
+    pub threads: usize,
+    /// Batch totals (throughput, peak job latency, per-stage sums).
+    pub totals: SweepTotals,
+    /// Per-job throughput rows.
+    pub jobs: Vec<BenchJobRow>,
+}
+
+/// One job's row in the benchmark artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BenchJobRow {
+    /// Grid coordinates.
+    pub label: String,
+    /// Scenario family.
+    pub scenario: String,
+    /// Arrival cap.
+    pub fleet_size: usize,
+    /// Derived scenario seed.
+    pub seed: u64,
+    /// Raw hosts simulated.
+    pub hosts: usize,
+    /// Job wall time, ms.
+    pub wall_ms: f64,
+    /// Hosts per second of job wall time.
+    pub hosts_per_sec: f64,
+    /// Per-stage timings.
+    pub timing: StageTimings,
+}
+
+impl BenchArtifact {
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("bench artifact", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// artifact.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("bench artifact", e))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    /// A grid small enough for unit tests: two families, no fitting.
+    fn tiny_spec() -> SweepSpec {
+        let mut spec = SweepSpec::preset("replicates").unwrap();
+        spec.scenarios.truncate(2);
+        spec.fleet_sizes = vec![400];
+        spec.replicates = vec![1, 2];
+        spec
+    }
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in SweepSpec::PRESETS {
+            let spec = SweepSpec::preset(name).expect(name);
+            assert_eq!(spec.name, name);
+            spec.validate().unwrap();
+            assert!(spec.job_count() >= 3, "{name} has a trivial grid");
+        }
+        assert!(SweepSpec::preset("no-such").is_none());
+        // The smoke and families presets cover all four scenario
+        // families — the acceptance bar for the CI artifact.
+        for name in ["smoke", "families"] {
+            let spec = SweepSpec::preset(name).unwrap();
+            let families: Vec<&str> = spec.scenarios.iter().map(|s| s.name.as_str()).collect();
+            assert_eq!(
+                families,
+                ["steady-state", "flash-crowd", "gpu-wave", "market-shift"]
+            );
+        }
+    }
+
+    #[test]
+    fn expansion_is_deterministic_and_substreamed() {
+        let spec = tiny_spec();
+        let a = spec.expand();
+        let b = spec.expand();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), spec.job_count());
+        // Every job gets a distinct derived seed and a distinct label.
+        let mut seeds: Vec<u64> = a.iter().map(|j| j.seed).collect();
+        seeds.sort_unstable();
+        seeds.dedup();
+        assert_eq!(seeds.len(), a.len());
+        let mut labels: Vec<&str> = a.iter().map(|j| j.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), a.len());
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        for name in SweepSpec::PRESETS {
+            let spec = SweepSpec::preset(name).unwrap();
+            let back = SweepSpec::from_json(&spec.to_json_pretty().unwrap()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn invalid_grids_are_rejected() {
+        let mut spec = tiny_spec();
+        spec.scenarios.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = tiny_spec();
+        spec.fleet_sizes = vec![0];
+        assert!(spec.validate().is_err());
+        let mut spec = tiny_spec();
+        spec.replicates.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = tiny_spec();
+        spec.validate_dates = vec![SimDate::from_year(2010.0)];
+        assert!(spec.validate().is_err(), "validate without fit axis");
+        let mut spec = tiny_spec();
+        spec.scenarios[0].shard_count = 0;
+        assert!(spec.validate().is_err());
+        // Duplicate axis entries would produce ambiguous job labels.
+        let mut spec = tiny_spec();
+        spec.replicates = vec![1, 1];
+        assert!(spec.validate().is_err(), "duplicate replicates");
+        let mut spec = tiny_spec();
+        spec.fleet_sizes = vec![400, 400];
+        assert!(spec.validate().is_err(), "duplicate fleet sizes");
+        let mut spec = tiny_spec();
+        let first_name = spec.scenarios[0].name.clone();
+        spec.scenarios[1].name = first_name;
+        assert!(spec.validate().is_err(), "duplicate scenario names");
+    }
+
+    #[test]
+    fn tiny_sweep_runs_and_reports() {
+        let spec = tiny_spec();
+        let report = spec.run().unwrap();
+        assert_eq!(report.jobs.len(), spec.job_count());
+        assert_eq!(report.totals.jobs, report.jobs.len());
+        assert_eq!(report.totals.total_hosts, 4 * 400);
+        assert!(report.totals.wall_ms > 0.0);
+        assert!(report.totals.hosts_per_sec > 0.0);
+        assert!(report.totals.peak_job_wall_ms > 0.0);
+        for j in &report.jobs {
+            assert_eq!(j.world.raw_hosts, 400);
+            assert!(j.hosts_per_sec > 0.0);
+            assert!(j.lifetime.is_none(), "no fit axis, no lifetime");
+        }
+        // Comparison rows: one per family, aggregating both replicates.
+        assert_eq!(report.comparisons.len(), 2);
+        for c in &report.comparisons {
+            assert_eq!(c.jobs, 2);
+            assert_eq!(c.total_hosts, 800);
+        }
+    }
+
+    #[test]
+    fn failing_job_is_named() {
+        let mut spec = tiny_spec();
+        spec.scenarios[1].snapshot_interval_days = -1.0;
+        // Invalid scenario caught by validate()...
+        assert!(spec.validate().is_err());
+        // ...and a job-level failure (degenerate fit input) is wrapped
+        // with the job label: force it via an impossible fit window.
+        let mut spec = tiny_spec();
+        spec.fits = vec![FitConfig::yearly(1990, 1994)];
+        let err = spec.run().unwrap_err();
+        match err {
+            ResmodelError::Sweep { job, .. } => {
+                assert!(job.contains("steady-state"), "first failing job: {job}")
+            }
+            other => panic!("expected a sweep error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_and_zeroes_timing() {
+        let report = tiny_spec().run().unwrap();
+        let mut a = report.clone();
+        let mut b = report;
+        a.zero_timings();
+        b.zero_timings();
+        let json = a.to_json_pretty().unwrap();
+        assert_eq!(json, b.to_json_pretty().unwrap());
+        assert_eq!(a.totals.threads, 0, "zeroed reports hide the machine");
+        let back = SweepReport::from_json(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn bench_artifact_round_trips() {
+        let report = tiny_spec().run().unwrap();
+        let artifact = report.bench_artifact();
+        assert_eq!(artifact.schema, BENCH_SCHEMA);
+        assert_eq!(artifact.jobs.len(), report.jobs.len());
+        assert!(artifact.jobs.iter().all(|j| j.hosts_per_sec > 0.0));
+        let back = BenchArtifact::from_json(&artifact.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(artifact, back);
+    }
+}

@@ -44,11 +44,26 @@ fn steady_state_report_is_byte_stable() {
     }
     let golden = std::fs::read_to_string(GOLDEN_PATH)
         .expect("golden file exists (run with UPDATE_GOLDEN=1 to create it)");
-    assert_eq!(
-        json, golden,
-        "pipeline report drifted from {GOLDEN_PATH}; if the change is \
-         intentional, re-bless with UPDATE_GOLDEN=1"
-    );
+    if json != golden {
+        // A plain assert_eq! would dump both multi-hundred-KB JSON
+        // bodies, scrolling the re-bless instructions out of sight;
+        // report just the first differing line and keep the hint at
+        // the end where it is read.
+        let diff_line = json
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| json.lines().count().min(golden.lines().count()));
+        let actual = json.lines().nth(diff_line).unwrap_or("<end of report>");
+        let expected = golden.lines().nth(diff_line).unwrap_or("<end of golden>");
+        panic!(
+            "pipeline report drifted from {GOLDEN_PATH} at line {}:\n  \
+             report: {actual}\n  golden: {expected}\n\
+             If the change is intentional, re-bless the golden file with:\n  \
+             UPDATE_GOLDEN=1 cargo test --test golden_pipeline",
+            diff_line + 1,
+        );
+    }
 }
 
 #[test]

@@ -1,0 +1,78 @@
+//! The sweep determinism contract, mirroring the popsim
+//! thread-invariance proptest one layer up: the same [`SweepSpec`]
+//! produces a byte-identical [`SweepReport`] JSON (wall-clock fields
+//! zeroed, like the golden pipeline report's timings) regardless of the
+//! rayon thread count.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use resmodel::sweep::{SweepReport, SweepSpec};
+
+/// Run a spec under a fixed-size rayon pool and return the
+/// deterministic (timing-zeroed) report JSON.
+fn run_on_threads(spec: &SweepSpec, threads: usize) -> String {
+    let mut report: SweepReport = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| spec.run().unwrap());
+    report.zero_timings();
+    report.to_json_pretty().unwrap()
+}
+
+/// Engine-only grids: random family subsets, fleet sizes and
+/// replicates, small enough that each case stays fast.
+fn spec_strategy() -> impl Strategy<Value = SweepSpec> {
+    (
+        0u64..1_000_000, // master seed
+        1usize..5,       // how many scenario families
+        150usize..400,   // fleet size
+        1usize..3,       // replicate count
+    )
+        .prop_map(|(seed, families, size, reps)| {
+            let mut spec = SweepSpec::preset("replicates").expect("built-in preset");
+            spec.seed = seed;
+            spec.scenarios.truncate(families);
+            spec.fleet_sizes = vec![size];
+            spec.replicates = (1..=reps as u64).collect();
+            spec
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn one_thread_equals_many_threads(spec in spec_strategy()) {
+        prop_assert_eq!(run_on_threads(&spec, 1), run_on_threads(&spec, 8));
+    }
+}
+
+#[test]
+fn full_smoke_grid_is_thread_count_invariant() {
+    // The CI smoke configuration itself — all four families with
+    // sanitize + fit + validate + predict — byte-stable at any pool
+    // size, so the uploaded artifacts are machine-independent modulo
+    // wall clocks.
+    let mut spec = SweepSpec::preset("smoke").expect("built-in preset");
+    spec.fleet_sizes = vec![8_000];
+    let single = run_on_threads(&spec, 1);
+    let many = run_on_threads(&spec, 8);
+    assert_eq!(single, many);
+    // And re-running the same spec reproduces the same bytes.
+    assert_eq!(single, run_on_threads(&spec, 1));
+}
+
+#[test]
+fn derived_seeds_differ_across_replicates() {
+    let mut spec = SweepSpec::preset("replicates").expect("built-in preset");
+    spec.fleet_sizes = vec![200];
+    let jobs = spec.expand();
+    for window in jobs.windows(2) {
+        assert_ne!(window[0].seed, window[1].seed);
+    }
+    // The derived seed is a pure function of (spec.seed, replicate,
+    // index): re-expansion reproduces it exactly.
+    assert_eq!(jobs, spec.expand());
+}
