@@ -1,0 +1,71 @@
+//! Row vs columnar extraction benchmarks at 100k hosts: the data-path
+//! comparison behind the `trace::columnar` refactor.
+//!
+//! `row_*` benchmarks scan the row-oriented [`Trace`] (re-filtering
+//! every host record per query); `columnar_*` benchmarks resolve the
+//! active set once and gather from dense column arrays. Outputs are
+//! bitwise identical (asserted at setup), so the timings compare pure
+//! layout cost.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, Scenario};
+use resmodel_trace::store::ResourceColumn;
+use resmodel_trace::{ColumnarTrace, SimDate, Trace};
+use std::hint::black_box;
+
+fn hundred_k() -> (Trace, ColumnarTrace) {
+    let mut scenario = Scenario::steady_state(17);
+    scenario.max_hosts = 100_000;
+    let report = engine::run(&scenario).expect("scenario runs");
+    let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+    let columnar = fleet_to_columnar(&report.fleet, report.scenario.end);
+    (trace, columnar)
+}
+
+fn bench_columnar(c: &mut Criterion) {
+    let (trace, columnar) = hundred_k();
+    let date = SimDate::from_year(2009.0);
+
+    // Sanity: the two layouts agree before we time them.
+    let set = columnar.active_at(date);
+    assert_eq!(set.len(), trace.active_count(date));
+    assert_eq!(
+        columnar.column_values(&set, ResourceColumn::Dhrystone),
+        trace.column_at(date, ResourceColumn::Dhrystone)
+    );
+
+    // Resolve the active population of one date.
+    c.bench_function("row_resolve_population_100k", |b| {
+        b.iter(|| black_box(trace.population_at(date).len()))
+    });
+    c.bench_function("columnar_resolve_active_100k", |b| {
+        b.iter(|| black_box(columnar.active_at(date).len()))
+    });
+
+    // Extract all six Table-III columns at one date — the fit
+    // pipeline's per-date workload. The row path re-filters all hosts
+    // per column; the columnar path resolves once and gathers.
+    c.bench_function("row_extract_6_columns_100k", |b| {
+        b.iter(|| {
+            for column in ResourceColumn::ALL {
+                black_box(trace.column_at(date, column));
+            }
+        })
+    });
+    c.bench_function("columnar_extract_6_columns_100k", |b| {
+        b.iter(|| {
+            let set = columnar.active_at(date);
+            for column in ResourceColumn::ALL {
+                black_box(columnar.column_values(&set, column));
+            }
+        })
+    });
+
+    // One-off conversion cost the columnar path amortises.
+    c.bench_function("columnar_convert_100k", |b| {
+        b.iter(|| black_box(ColumnarTrace::from(&trace).len()))
+    });
+}
+
+criterion_group!(benches, bench_columnar);
+criterion_main!(benches);

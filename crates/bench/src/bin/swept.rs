@@ -5,10 +5,12 @@
 //!
 //! Sweeps come from a named preset (`--preset smoke`) or a JSON
 //! [`SweepSpec`] file (`--spec FILE`); `--report FILE` additionally
-//! dumps the full typed [`SweepReport`].
+//! dumps the full typed [`SweepReport`]; `--verify-columnar` runs the
+//! grid on both data paths and asserts the reports are byte-identical.
 
 #![warn(clippy::unwrap_used)]
 
+use resmodel::pipeline::DataPath;
 use resmodel::sweep::{SweepReport, SweepSpec};
 use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
 use resmodel_bench::{row, section};
@@ -57,6 +59,11 @@ const USAGE: Usage = Usage {
             help: "validate an emitted BENCH_sweep.json (schema + serde round-trip) and exit",
         },
         FlagHelp {
+            flag: "--verify-columnar",
+            help: "run the grid on both the row and columnar data paths and assert the \
+                   timing-zeroed reports are byte-identical",
+        },
+        FlagHelp {
             flag: "--list",
             help: "list the built-in presets and exit",
         },
@@ -79,11 +86,13 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut threads: Option<usize> = None;
     let mut out = String::from("BENCH_sweep.json");
     let mut report_path: Option<String> = None;
+    let mut verify_columnar = false;
 
     while let Some(token) = args.next_token() {
         match token.as_str() {
             "--preset" => preset = Some(args.value("--preset")?),
             "--spec" => spec_path = Some(args.value("--spec")?),
+            "--verify-columnar" => verify_columnar = true,
             "--seed" => seed = Some(args.parse("--seed", "an integer")?),
             "--hosts" => hosts = Some(args.parse("--hosts", "a positive integer")?),
             "--threads" => threads = Some(args.parse("--threads", "a positive integer")?),
@@ -129,6 +138,17 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         spec.fleet_sizes = vec![hosts];
     }
 
+    if verify_columnar {
+        return match threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| ResmodelError::config("sweep", e.to_string()))?
+                .install(|| verify_columnar_identity(&spec)),
+            None => verify_columnar_identity(&spec),
+        };
+    }
+
     eprintln!(
         "sweep `{}`: {} jobs on {} threads...",
         spec.name,
@@ -156,20 +176,65 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     Ok(())
 }
 
+/// Run the grid on both data paths and assert the timing-zeroed
+/// reports are byte-identical — the columnar refactor's correctness
+/// contract, exercised by CI on the `families` preset.
+fn verify_columnar_identity(spec: &SweepSpec) -> Result<(), ResmodelError> {
+    eprintln!(
+        "verifying row/columnar identity for `{}` ({} jobs, both paths)...",
+        spec.name,
+        spec.job_count(),
+    );
+    let zeroed = |path: DataPath| -> Result<String, ResmodelError> {
+        let mut report = spec.run_with_path(path)?;
+        report.zero_timings();
+        report.to_json_pretty()
+    };
+    let row = zeroed(DataPath::Row)?;
+    let columnar = zeroed(DataPath::Columnar)?;
+    if row != columnar {
+        let line = row
+            .lines()
+            .zip(columnar.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or(0);
+        return Err(ResmodelError::config(
+            "sweep",
+            format!(
+                "row and columnar reports differ at line {}: row `{}` vs columnar `{}`",
+                line + 1,
+                row.lines().nth(line).unwrap_or("<end>"),
+                columnar.lines().nth(line).unwrap_or("<end>"),
+            ),
+        ));
+    }
+    println!(
+        "{}: ok — row and columnar reports are byte-identical ({} bytes)",
+        spec.name,
+        columnar.len(),
+    );
+    Ok(())
+}
+
 /// Validate an emitted artifact file: it must parse as a
-/// [`resmodel::sweep::BenchArtifact`], carry the current schema id,
+/// [`resmodel::sweep::BenchArtifact`], carry a known schema id,
 /// survive a serde round-trip byte-for-byte, and report at least one
 /// job with hosts and a throughput figure.
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
-    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA};
+    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1};
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
     let artifact = BenchArtifact::from_json(&text)?;
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
-    if artifact.schema != BENCH_SCHEMA {
+    if artifact.schema != BENCH_SCHEMA && artifact.schema != BENCH_SCHEMA_V1 {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}`",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V1}`)",
             artifact.schema
+        )));
+    }
+    if artifact.schema == BENCH_SCHEMA && artifact.jobs.iter().any(|j| j.extract_ms.is_none()) {
+        return Err(invalid(format!(
+            "schema `{BENCH_SCHEMA}` requires extract_ms on every job row"
         )));
     }
     if artifact.jobs.is_empty() {
@@ -201,7 +266,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
 
 fn print_summary(report: &SweepReport) {
     section("per-job throughput");
-    let widths = [28, 8, 10, 12, 8];
+    let widths = [28, 8, 10, 12, 11, 8];
     println!(
         "{}",
         row(
@@ -210,6 +275,7 @@ fn print_summary(report: &SweepReport) {
                 "hosts".into(),
                 "wall ms".into(),
                 "hosts/sec".into(),
+                "extract ms".into(),
                 "ks".into(),
             ],
             &widths,
@@ -224,6 +290,7 @@ fn print_summary(report: &SweepReport) {
                     j.world.raw_hosts.to_string(),
                     format!("{:.1}", j.wall_ms),
                     format!("{:.0}", j.hosts_per_sec),
+                    format!("{:.2}", j.extract_ms),
                     j.mean_ks.map_or_else(|| "-".into(), |k| format!("{k:.3}")),
                 ],
                 &widths,

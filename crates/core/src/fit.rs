@@ -15,15 +15,32 @@
 //!   (the Section V-F methodology),
 //!
 //! and assembles them into a ready-to-generate [`HostModel`].
+//!
+//! ## Data layout
+//!
+//! Every fit has two implementations with bitwise-identical output:
+//!
+//! * **Columnar** (`*_columnar`, the production path): the active
+//!   population of each sample date is resolved **once** into an
+//!   [`ActiveSet`] and every per-resource extraction reuses it as a
+//!   zero-copy column view. [`fit_host_model`] converts once and runs
+//!   this path.
+//! * **Row** (the [`Trace`]-taking functions and
+//!   [`fit_host_model_rows`]): genuine row scans over host records,
+//!   kept as the reference implementation the columnar path is
+//!   verified against (the golden pipeline report, the round-trip
+//!   proptests and the `swept --verify-columnar` CI check).
 
 use crate::model::{HostModel, MomentLaw, CORE_TIERS, PCM_TIERS_MB};
 use crate::ratio_law::{DiscreteRatioModel, RatioLaw};
 use rand::Rng;
-use resmodel_stats::describe::Summary;
+use resmodel_stats::correlation::correlation_matrix_iter;
+use resmodel_stats::describe::{mean_variance, Summary};
 use resmodel_stats::distributions::Weibull;
 use resmodel_stats::ks::{select_family, FamilyScore, SubsampleConfig};
 use resmodel_stats::regression::{exp_law_fit, ExpLawFit};
 use resmodel_stats::{DistributionFamily, Matrix, StatsError};
+use resmodel_trace::columnar::{ActiveSet, ColumnarTrace};
 use resmodel_trace::store::ResourceColumn;
 use resmodel_trace::{HostView, SimDate, Trace};
 use serde::{Deserialize, Serialize};
@@ -112,9 +129,20 @@ pub fn pcm_tier(pcm_mb: f64, tol: f64) -> Option<f64> {
 
 /// Count hosts per core tier in a population snapshot.
 pub fn core_tier_counts(population: &[HostView]) -> [usize; 4] {
+    core_tier_counts_of(population.iter().map(|v| v.cores))
+}
+
+/// Count hosts per core tier over an active set's cores column,
+/// without materialising host views.
+pub fn core_tier_counts_columnar(store: &ColumnarTrace, active: &ActiveSet) -> [usize; 4] {
+    let cores = store.snap_cores();
+    core_tier_counts_of(active.snaps().iter().map(|&k| cores[k]))
+}
+
+fn core_tier_counts_of(cores: impl Iterator<Item = u32>) -> [usize; 4] {
     let mut counts = [0usize; 4];
-    for v in population {
-        if let Some(tier) = core_tier(v.cores) {
+    for c in cores {
+        if let Some(tier) = core_tier(c) {
             let idx = CORE_TIERS
                 .iter()
                 .position(|&t| t == tier)
@@ -127,9 +155,19 @@ pub fn core_tier_counts(population: &[HostView]) -> [usize; 4] {
 
 /// Count hosts per per-core-memory tier in a population snapshot.
 pub fn pcm_tier_counts(population: &[HostView], tol: f64) -> [usize; 7] {
+    pcm_tier_counts_of(population.iter().map(|v| v.memory_per_core_mb()), tol)
+}
+
+/// Count hosts per per-core-memory tier over an active set's columns,
+/// without materialising host views.
+pub fn pcm_tier_counts_columnar(store: &ColumnarTrace, active: &ActiveSet, tol: f64) -> [usize; 7] {
+    pcm_tier_counts_of(store.column(active, ResourceColumn::MemPerCore).iter(), tol)
+}
+
+fn pcm_tier_counts_of(pcm_values: impl Iterator<Item = f64>, tol: f64) -> [usize; 7] {
     let mut counts = [0usize; 7];
-    for v in population {
-        if let Some(tier) = pcm_tier(v.memory_per_core_mb(), tol) {
+    for pcm in pcm_values {
+        if let Some(tier) = pcm_tier(pcm, tol) {
             let idx = PCM_TIERS_MB
                 .iter()
                 .position(|&t| t == tier)
@@ -198,12 +236,40 @@ fn fit_ratio_chain<const N: usize>(
     Ok(rows)
 }
 
-/// Fit the paper's Table IV core-ratio laws from a trace.
+/// Resolve the active population of every sample date once — the
+/// shared index sets all per-resource extractions below reuse.
+pub fn resolve_active_sets(store: &ColumnarTrace, dates: &[SimDate]) -> Vec<ActiveSet> {
+    dates.iter().map(|&d| store.active_at(d)).collect()
+}
+
+/// Fit the paper's Table IV core-ratio laws from pre-resolved active
+/// sets over a columnar store.
 ///
 /// # Errors
 ///
 /// Fails when fewer than two sample dates have both tiers of some pair
 /// populated.
+pub fn fit_core_laws_columnar(
+    store: &ColumnarTrace,
+    actives: &[ActiveSet],
+) -> crate::Result<Vec<LawRow>> {
+    let dates: Vec<SimDate> = actives.iter().map(|a| a.date()).collect();
+    let counts: Vec<[usize; 4]> = actives
+        .iter()
+        .map(|a| core_tier_counts_columnar(store, a))
+        .collect();
+    fit_ratio_chain(&counts, &dates, |i| {
+        format!("{}:{} Core Ratio", CORE_TIERS[i], CORE_TIERS[i + 1])
+    })
+}
+
+/// Fit the paper's Table IV core-ratio laws from a row trace — the
+/// genuine row-scan implementation, kept as the reference the columnar
+/// path is verified against (bitwise-identical results).
+///
+/// # Errors
+///
+/// Same conditions as [`fit_core_laws_columnar`].
 pub fn fit_core_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawRow>> {
     let counts: Vec<[usize; 4]> = dates
         .iter()
@@ -214,7 +280,33 @@ pub fn fit_core_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawR
     })
 }
 
-/// Fit the paper's Table V per-core-memory ratio laws from a trace.
+/// Fit the paper's Table V per-core-memory ratio laws from pre-resolved
+/// active sets over a columnar store.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_core_laws_columnar`].
+pub fn fit_pcm_laws_columnar(
+    store: &ColumnarTrace,
+    actives: &[ActiveSet],
+    tol: f64,
+) -> crate::Result<Vec<LawRow>> {
+    let dates: Vec<SimDate> = actives.iter().map(|a| a.date()).collect();
+    let counts: Vec<[usize; 7]> = actives
+        .iter()
+        .map(|a| pcm_tier_counts_columnar(store, a, tol))
+        .collect();
+    fit_ratio_chain(&counts, &dates, |i| {
+        format!(
+            "{}MB:{}MB Ratio",
+            PCM_TIERS_MB[i] as u32,
+            PCM_TIERS_MB[i + 1] as u32
+        )
+    })
+}
+
+/// Fit the paper's Table V per-core-memory ratio laws from a row trace
+/// — the genuine row-scan reference implementation.
 ///
 /// # Errors
 ///
@@ -234,11 +326,58 @@ pub fn fit_pcm_laws(trace: &Trace, dates: &[SimDate], tol: f64) -> crate::Result
 }
 
 /// Fit the paper's Table VI moment laws (Whetstone/Dhrystone/disk mean
-/// and variance) from a trace.
+/// and variance) from pre-resolved active sets over a columnar store.
+/// The means and variances are accumulated straight off the column
+/// views — no per-(date, resource) `Vec<f64>` is materialised.
 ///
 /// # Errors
 ///
 /// Fails when any sample date has an empty population.
+pub fn fit_moment_laws_columnar(
+    store: &ColumnarTrace,
+    actives: &[ActiveSet],
+) -> crate::Result<Vec<LawRow>> {
+    let columns = [
+        (ResourceColumn::Dhrystone, "Dhrystone"),
+        (ResourceColumn::Whetstone, "Whetstone"),
+        (ResourceColumn::Disk, "Disk Space"),
+    ];
+    let mut rows = Vec::with_capacity(6);
+    for (col, name) in columns {
+        let mut ts = Vec::new();
+        let mut means = Vec::new();
+        let mut vars = Vec::new();
+        for active in actives {
+            if active.is_empty() {
+                return Err(StatsError::EmptyData {
+                    what: "moment-law fit (empty population at a sample date)",
+                    needed: 1,
+                    got: 0,
+                });
+            }
+            let mv = mean_variance(store.column(active, col).iter())?;
+            ts.push(active.date().years_since_2006());
+            means.push(mv.mean);
+            vars.push(mv.variance);
+        }
+        rows.push(LawRow {
+            label: format!("{name} Mean"),
+            fit: exp_law_fit(&ts, &means)?,
+        });
+        rows.push(LawRow {
+            label: format!("{name} Variance"),
+            fit: exp_law_fit(&ts, &vars)?,
+        });
+    }
+    Ok(rows)
+}
+
+/// Fit the paper's Table VI moment laws from a row trace — the genuine
+/// row-scan reference implementation.
+///
+/// # Errors
+///
+/// Same conditions as [`fit_moment_laws_columnar`].
 pub fn fit_moment_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawRow>> {
     let columns = [
         (ResourceColumn::Dhrystone, "Dhrystone"),
@@ -276,12 +415,28 @@ pub fn fit_moment_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<La
     Ok(rows)
 }
 
-/// The 6×6 resource correlation matrix at one date (Table III, column
-/// order [`ResourceColumn::ALL`]).
+/// The 6×6 resource correlation matrix over one active set (Table III,
+/// column order [`ResourceColumn::ALL`]): six zero-copy column views
+/// feed the pairwise Pearson accumulations directly, with no
+/// intermediate `Vec<f64>` per column.
 ///
 /// # Errors
 ///
 /// Fails when the population is too small or a column is constant.
+pub fn correlation_at_columnar(store: &ColumnarTrace, active: &ActiveSet) -> crate::Result<Matrix> {
+    let views: Vec<_> = ResourceColumn::ALL
+        .iter()
+        .map(|&c| store.column(active, c).iter())
+        .collect();
+    correlation_matrix_iter(&views)
+}
+
+/// The 6×6 resource correlation matrix at one date of a row trace —
+/// the genuine row-scan reference implementation.
+///
+/// # Errors
+///
+/// Same conditions as [`correlation_at_columnar`].
 pub fn correlation_at(trace: &Trace, date: SimDate) -> crate::Result<Matrix> {
     let pop = trace.population_at(date);
     let cols: Vec<Vec<f64>> = ResourceColumn::ALL
@@ -292,13 +447,42 @@ pub fn correlation_at(trace: &Trace, date: SimDate) -> crate::Result<Matrix> {
     resmodel_stats::correlation::correlation_matrix(&refs)
 }
 
-/// Average of the per-date correlation matrices over `dates` — the
-/// pipeline's Table III estimate (avoids trend-induced inflation that
-/// pooling across years would introduce).
+/// Average of the per-date correlation matrices — the pipeline's
+/// Table III estimate (avoids trend-induced inflation that pooling
+/// across years would introduce).
 ///
 /// # Errors
 ///
-/// Propagates [`correlation_at`] failures.
+/// Propagates [`correlation_at_columnar`] failures.
+pub fn average_correlation_columnar(
+    store: &ColumnarTrace,
+    actives: &[ActiveSet],
+) -> crate::Result<Matrix> {
+    if actives.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "average_correlation",
+            needed: 1,
+            got: 0,
+        });
+    }
+    let mut acc = Matrix::new(6, 6);
+    for active in actives {
+        let m = correlation_at_columnar(store, active)?;
+        for i in 0..6 {
+            for j in 0..6 {
+                acc.set(i, j, acc.get(i, j) + m.get(i, j) / actives.len() as f64);
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// Average per-date correlation matrix of a row trace — the genuine
+/// row-scan reference implementation.
+///
+/// # Errors
+///
+/// Same conditions as [`average_correlation_columnar`].
 pub fn average_correlation(trace: &Trace, dates: &[SimDate]) -> crate::Result<Matrix> {
     if dates.is_empty() {
         return Err(StatsError::EmptyData {
@@ -334,20 +518,51 @@ pub fn model_correlation(full: &Matrix) -> Matrix {
     m
 }
 
-/// Run the complete pipeline: fit every law and assemble a
-/// [`HostModel`].
+/// Run the complete pipeline against a columnar store: resolve every
+/// sample date's active population **once**, fit every law off the
+/// shared column views, and assemble a [`HostModel`].
 ///
 /// # Errors
 ///
 /// Propagates any individual fit failure (empty populations, degenerate
 /// ratio series, non-positive-definite correlations).
-pub fn fit_host_model(trace: &Trace, config: &FitConfig) -> crate::Result<FitReport> {
+pub fn fit_host_model_columnar(
+    store: &ColumnarTrace,
+    config: &FitConfig,
+) -> crate::Result<FitReport> {
+    let actives = resolve_active_sets(store, &config.sample_dates);
+    let core_laws = fit_core_laws_columnar(store, &actives)?;
+    let pcm_laws = fit_pcm_laws_columnar(store, &actives, config.pcm_tolerance)?;
+    let moment_laws = fit_moment_laws_columnar(store, &actives)?;
+    let correlation = average_correlation_columnar(store, &actives)?;
+    assemble_fit_report(core_laws, pcm_laws, moment_laws, correlation)
+}
+
+/// Run the complete pipeline with genuine row scans — the reference
+/// implementation [`crate::fit::fit_host_model_columnar`] is verified
+/// against (the pipeline's `DataPath::Row` runs this; reports must be
+/// byte-identical).
+///
+/// # Errors
+///
+/// Same conditions as [`fit_host_model_columnar`].
+pub fn fit_host_model_rows(trace: &Trace, config: &FitConfig) -> crate::Result<FitReport> {
     let dates = &config.sample_dates;
     let core_laws = fit_core_laws(trace, dates)?;
     let pcm_laws = fit_pcm_laws(trace, dates, config.pcm_tolerance)?;
     let moment_laws = fit_moment_laws(trace, dates)?;
     let correlation = average_correlation(trace, dates)?;
+    assemble_fit_report(core_laws, pcm_laws, moment_laws, correlation)
+}
 
+/// Assemble the generative [`HostModel`] from the four fitted pieces —
+/// shared by the row and columnar entry points.
+fn assemble_fit_report(
+    core_laws: Vec<LawRow>,
+    pcm_laws: Vec<LawRow>,
+    moment_laws: Vec<LawRow>,
+    correlation: Matrix,
+) -> crate::Result<FitReport> {
     let cores = DiscreteRatioModel::new(
         CORE_TIERS.to_vec(),
         core_laws.iter().map(|r| RatioLaw::from(r.fit)).collect(),
@@ -386,6 +601,16 @@ pub fn fit_host_model(trace: &Trace, config: &FitConfig) -> crate::Result<FitRep
     })
 }
 
+/// Run the complete pipeline from a row trace: one columnar conversion
+/// followed by [`fit_host_model_columnar`].
+///
+/// # Errors
+///
+/// Same conditions as [`fit_host_model_columnar`].
+pub fn fit_host_model(trace: &Trace, config: &FitConfig) -> crate::Result<FitReport> {
+    fit_host_model_columnar(&ColumnarTrace::from(trace), config)
+}
+
 /// Fit the host-lifetime Weibull (Fig 1), applying the paper's
 /// censoring rule at `created_cutoff`.
 ///
@@ -394,6 +619,18 @@ pub fn fit_host_model(trace: &Trace, config: &FitConfig) -> crate::Result<FitRep
 /// Fails when the censored lifetime sample is too small or degenerate.
 pub fn lifetime_weibull(trace: &Trace, created_cutoff: SimDate) -> crate::Result<Weibull> {
     Weibull::fit_mle(&trace.lifetimes(created_cutoff))
+}
+
+/// [`lifetime_weibull`] off a columnar store's cached contact columns.
+///
+/// # Errors
+///
+/// Same conditions as [`lifetime_weibull`].
+pub fn lifetime_weibull_columnar(
+    store: &ColumnarTrace,
+    created_cutoff: SimDate,
+) -> crate::Result<Weibull> {
+    Weibull::fit_mle(&store.lifetimes(created_cutoff))
 }
 
 /// Rank the seven candidate distribution families for one resource
@@ -410,6 +647,24 @@ pub fn select_resource_family(
     rng: &mut dyn Rng,
 ) -> crate::Result<Vec<FamilyScore>> {
     let data = trace.column_at(date, column);
+    select_family(&data, &DistributionFamily::ALL, config, rng)
+}
+
+/// [`select_resource_family`] over a pre-resolved active set. The KS
+/// subsampler needs random indexing, so this is the one extraction
+/// that still gathers the column into a `Vec`.
+///
+/// # Errors
+///
+/// Fails when the active set is empty.
+pub fn select_resource_family_columnar(
+    store: &ColumnarTrace,
+    active: &ActiveSet,
+    column: ResourceColumn,
+    config: SubsampleConfig,
+    rng: &mut dyn Rng,
+) -> crate::Result<Vec<FamilyScore>> {
+    let data = store.column_values(active, column);
     select_family(&data, &DistributionFamily::ALL, config, rng)
 }
 
@@ -545,6 +800,22 @@ mod tests {
         let empty = Trace::new();
         assert!(fit_core_laws(&empty, &FitConfig::default().sample_dates).is_err());
         assert!(fit_host_model(&empty, &FitConfig::default()).is_err());
+        assert!(fit_host_model_rows(&empty, &FitConfig::default()).is_err());
+    }
+
+    #[test]
+    fn row_and_columnar_fits_are_identical() {
+        let trace = model_trace(800);
+        let config = FitConfig::default();
+        let rows = fit_host_model_rows(&trace, &config).unwrap();
+        let columnar = fit_host_model(&trace, &config).unwrap();
+        // Full-report equality through the serialized form (HostModel
+        // has no PartialEq): the reference row scans and the columnar
+        // gathers must agree bitwise.
+        assert_eq!(
+            serde_json::to_string_pretty(&rows).unwrap(),
+            serde_json::to_string_pretty(&columnar).unwrap()
+        );
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::generator::GeneratedHost;
 use resmodel_stats::describe::{ecdf, Summary};
 use resmodel_stats::{Matrix, StatsError};
+use resmodel_trace::columnar::{ActiveSet, ColumnarTrace};
 use serde::{Deserialize, Serialize};
 
 /// The five resources compared in Fig 12.
@@ -52,6 +53,19 @@ impl CompareResource {
             CompareResource::Log10Disk => h.avail_disk_gb.max(1e-6).log10(),
         }
     }
+
+    /// Extract this resource from flattened snapshot `k` of a columnar
+    /// store — the same arithmetic as [`CompareResource::extract`] over
+    /// a host built from that snapshot.
+    pub fn extract_columnar(&self, store: &ColumnarTrace, k: usize) -> f64 {
+        match self {
+            CompareResource::Cores => store.snap_cores()[k] as f64,
+            CompareResource::Memory => store.snap_memory_mb()[k],
+            CompareResource::Whetstone => store.snap_whetstone_mips()[k],
+            CompareResource::Dhrystone => store.snap_dhrystone_mips()[k],
+            CompareResource::Log10Disk => store.snap_avail_disk_gb()[k].max(1e-6).log10(),
+        }
+    }
 }
 
 /// One panel of the Fig 12 comparison.
@@ -97,22 +111,65 @@ pub fn compare_populations(
         .map(|&resource| {
             let g: Vec<f64> = generated.iter().map(|h| resource.extract(h)).collect();
             let a: Vec<f64> = actual.iter().map(|h| resource.extract(h)).collect();
-            let sg = Summary::of(&g)?;
-            let sa = Summary::of(&a)?;
-            Ok(ResourceComparison {
-                resource,
-                mean_generated: sg.mean,
-                mean_actual: sa.mean,
-                std_generated: sg.std_dev,
-                std_actual: sa.std_dev,
-                mean_diff_fraction: (sg.mean - sa.mean).abs()
-                    / sa.mean.abs().max(f64::MIN_POSITIVE),
-                std_diff_fraction: (sg.std_dev - sa.std_dev).abs()
-                    / sa.std_dev.max(f64::MIN_POSITIVE),
-                ks_distance: two_sample_ks(&g, &a),
-            })
+            comparison_of(resource, &g, &a)
         })
         .collect()
+}
+
+/// Compare a generated population against the *actual* population of a
+/// columnar active set — [`compare_populations`] without materialising
+/// the actual hosts as records: each actual column is gathered straight
+/// off the snapshot columns. Bitwise identical to the row path for the
+/// same population.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] when either population is empty.
+pub fn compare_populations_columnar(
+    generated: &[GeneratedHost],
+    store: &ColumnarTrace,
+    actual: &ActiveSet,
+) -> Result<Vec<ResourceComparison>, StatsError> {
+    if generated.is_empty() || actual.is_empty() {
+        return Err(StatsError::EmptyData {
+            what: "compare_populations",
+            needed: 1,
+            got: generated.len().min(actual.len()),
+        });
+    }
+    CompareResource::ALL
+        .iter()
+        .map(|&resource| {
+            let g: Vec<f64> = generated.iter().map(|h| resource.extract(h)).collect();
+            let a: Vec<f64> = actual
+                .snaps()
+                .iter()
+                .map(|&k| resource.extract_columnar(store, k))
+                .collect();
+            comparison_of(resource, &g, &a)
+        })
+        .collect()
+}
+
+/// The shared per-resource comparison math of the two entry points
+/// above (`g` generated, `a` actual).
+fn comparison_of(
+    resource: CompareResource,
+    g: &[f64],
+    a: &[f64],
+) -> Result<ResourceComparison, StatsError> {
+    let sg = Summary::of(g)?;
+    let sa = Summary::of(a)?;
+    Ok(ResourceComparison {
+        resource,
+        mean_generated: sg.mean,
+        mean_actual: sa.mean,
+        std_generated: sg.std_dev,
+        std_actual: sa.std_dev,
+        mean_diff_fraction: (sg.mean - sa.mean).abs() / sa.mean.abs().max(f64::MIN_POSITIVE),
+        std_diff_fraction: (sg.std_dev - sa.std_dev).abs() / sa.std_dev.max(f64::MIN_POSITIVE),
+        ks_distance: two_sample_ks(g, a),
+    })
 }
 
 /// Two-sample Kolmogorov–Smirnov distance between empirical CDFs.
@@ -235,6 +292,62 @@ mod tests {
         let p = pop(1, 10);
         assert!(compare_populations(&p, &[]).is_err());
         assert!(compare_populations(&[], &p).is_err());
+    }
+
+    #[test]
+    fn columnar_comparison_is_bitwise_identical_to_rows() {
+        use resmodel_trace::{HostRecord, ResourceSnapshot, Trace};
+
+        // Build a trace whose population at `t` is a generated sample.
+        let sample = pop(11, 400);
+        let t = SimDate::from_year(2010.0);
+        let trace: Trace = sample
+            .iter()
+            .enumerate()
+            .map(|(i, h)| {
+                let mut rec = HostRecord::new((i as u64).into(), t + -40.0);
+                for dt in [-20.0, 15.0] {
+                    rec.record(ResourceSnapshot {
+                        t: t + dt,
+                        cores: h.cores,
+                        memory_mb: h.memory_mb,
+                        whetstone_mips: h.whetstone_mips,
+                        dhrystone_mips: h.dhrystone_mips,
+                        avail_disk_gb: h.avail_disk_gb,
+                        total_disk_gb: h.avail_disk_gb * 2.0,
+                    });
+                }
+                rec
+            })
+            .collect();
+        let generated = pop(12, 400);
+
+        let actual_rows: Vec<GeneratedHost> = trace
+            .population_at(t)
+            .iter()
+            .map(GeneratedHost::from)
+            .collect();
+        let row = compare_populations(&generated, &actual_rows).unwrap();
+
+        let store = ColumnarTrace::from(&trace);
+        let active = store.active_at(t);
+        let col = compare_populations_columnar(&generated, &store, &active).unwrap();
+
+        assert_eq!(row.len(), col.len());
+        for (r, c) in row.iter().zip(&col) {
+            assert_eq!(r.resource, c.resource);
+            assert_eq!(r.mean_actual.to_bits(), c.mean_actual.to_bits());
+            assert_eq!(r.std_actual.to_bits(), c.std_actual.to_bits());
+            assert_eq!(r.ks_distance.to_bits(), c.ks_distance.to_bits());
+            assert_eq!(
+                r.mean_diff_fraction.to_bits(),
+                c.mean_diff_fraction.to_bits()
+            );
+        }
+        // Empty-side errors behave like the row entry point.
+        assert!(compare_populations_columnar(&[], &store, &active).is_err());
+        let nobody = store.active_at(SimDate::from_year(1999.0));
+        assert!(compare_populations_columnar(&generated, &store, &nobody).is_err());
     }
 
     #[test]

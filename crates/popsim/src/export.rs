@@ -3,7 +3,9 @@
 
 use crate::fleet::{Fleet, SimHost};
 use resmodel_core::GeneratedHost;
-use resmodel_trace::{GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, Trace};
+use resmodel_trace::{
+    ColumnarTrace, GpuClass, GpuInfo, HostRecord, ResourceSnapshot, SimDate, Trace,
+};
 
 /// Deterministic total-disk convention for exported snapshots: the
 /// engine models *available* disk (what the paper models); exports
@@ -22,25 +24,42 @@ fn snapshot(at: SimDate, r: &GeneratedHost) -> ResourceSnapshot {
     }
 }
 
+/// The exported GPU attributes of a host — visible only when both the
+/// GPU and its recording date are present. Shared by the row and
+/// columnar exports so the convention cannot diverge.
+fn gpu_info_of(host: &SimHost) -> Option<GpuInfo> {
+    match (host.gpu, host.gpu_since) {
+        (Some(gpu), Some(since)) => Some(GpuInfo {
+            class: gpu.class,
+            memory_mb: gpu.memory_mb,
+            since,
+        }),
+        _ => None,
+    }
+}
+
+/// The final contact at death (or the export horizon `end`), so the
+/// activity rule sees the host's whole life; `None` when the last
+/// hardware draw already reaches it. Shared by both exports.
+fn final_contact_of(host: &SimHost, end: SimDate) -> Option<ResourceSnapshot> {
+    let last = host.death.min(end);
+    host.history
+        .last()
+        .map(|d| d.at < last)
+        .unwrap_or(true)
+        .then(|| snapshot(last, &host.resources))
+}
+
 fn record_of(host: &SimHost, end: SimDate) -> HostRecord {
     let mut record = HostRecord::new(host.id.into(), host.created);
     record.os = host.os;
     record.cpu = host.cpu;
-    if let (Some(gpu), Some(since)) = (host.gpu, host.gpu_since) {
-        record.gpu = Some(GpuInfo {
-            class: gpu.class,
-            memory_mb: gpu.memory_mb,
-            since,
-        });
-    }
+    record.gpu = gpu_info_of(host);
     for draw in &host.history {
         record.record(snapshot(draw.at, &draw.resources));
     }
-    // Final contact at death (or the export horizon), so the activity
-    // rule sees the host's whole life.
-    let last = host.death.min(end);
-    if record.last_contact().map(|t| t < last).unwrap_or(true) {
-        record.record(snapshot(last, &host.resources));
+    if let Some(final_contact) = final_contact_of(host, end) {
+        record.record(final_contact);
     }
     record
 }
@@ -54,6 +73,36 @@ pub fn fleet_to_trace(fleet: &Fleet, end: SimDate) -> Trace {
         .into_iter()
         .map(|h| record_of(h, end))
         .collect()
+}
+
+/// Convert the whole fleet straight into a [`ColumnarTrace`], emitting
+/// columns directly from the shards — no per-host [`HostRecord`] (and
+/// no row-trace detour) is materialised.
+///
+/// Hosts appear in id order and snapshots follow exactly the
+/// [`fleet_to_trace`] convention (every hardware draw plus a final
+/// contact at death clamped to `end`), so the result equals
+/// `ColumnarTrace::from(&fleet_to_trace(fleet, end))` — a property the
+/// columnar identity tests enforce.
+pub fn fleet_to_columnar(fleet: &Fleet, end: SimDate) -> ColumnarTrace {
+    let hosts = fleet.hosts_in_id_order();
+    let snapshots: usize = hosts.iter().map(|h| h.history.len() + 1).sum();
+    let mut store = ColumnarTrace::with_capacity(hosts.len(), 0);
+    store.reserve_snapshots(snapshots);
+    for host in hosts {
+        store.push_host(
+            host.id.into(),
+            host.created,
+            host.os,
+            host.cpu,
+            gpu_info_of(host),
+            host.history
+                .iter()
+                .map(|draw| snapshot(draw.at, &draw.resources))
+                .chain(final_contact_of(host, end)),
+        );
+    }
+    store
 }
 
 /// Convert only the hosts alive at `t` (a population snapshot).
@@ -126,6 +175,20 @@ mod tests {
         for h in snap.hosts() {
             assert!(h.is_active_at(t));
         }
+    }
+
+    #[test]
+    fn columnar_export_matches_row_detour() {
+        let report = tiny();
+        let end = report.scenario.end;
+        let direct = fleet_to_columnar(&report.fleet, end);
+        let via_rows = ColumnarTrace::from(&fleet_to_trace(&report.fleet, end));
+        assert_eq!(direct, via_rows);
+        // And it round-trips back to the exact row trace.
+        assert_eq!(
+            direct.to_trace().hosts(),
+            fleet_to_trace(&report.fleet, end).hosts()
+        );
     }
 
     #[test]

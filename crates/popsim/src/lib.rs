@@ -54,7 +54,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use engine::{run, EngineReport};
-pub use export::{fleet_to_trace, snapshot_to_trace};
+pub use export::{fleet_to_columnar, fleet_to_trace, snapshot_to_trace};
 pub use fleet::{Fleet, Shard, SimHost};
 pub use scenario::{ArrivalLaw, LifetimeLaw, RefreshPolicy, Scenario};
 pub use stats::{Moments, SnapshotStats, TimeSeries};

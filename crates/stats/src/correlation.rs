@@ -24,6 +24,25 @@ use crate::linalg::Matrix;
 /// # Ok::<(), resmodel_stats::StatsError>(())
 /// ```
 pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
+    pearson_iter(x.iter().copied(), y.iter().copied())
+}
+
+/// [`pearson`] over re-iterable value streams — the slice-free entry
+/// point for columnar stores whose columns are lazy views rather than
+/// materialised `Vec`s.
+///
+/// The accumulation order is *exactly* that of [`pearson`] (which
+/// delegates here), so for the same value sequences the result is
+/// bitwise identical; no intermediate buffer is allocated.
+///
+/// # Errors
+///
+/// Same conditions as [`pearson`].
+pub fn pearson_iter<X, Y>(x: X, y: Y) -> Result<f64, StatsError>
+where
+    X: ExactSizeIterator<Item = f64> + Clone,
+    Y: ExactSizeIterator<Item = f64> + Clone,
+{
     if x.len() != y.len() {
         return Err(StatsError::DimensionMismatch {
             expected: format!("equal-length samples ({} vs {})", x.len(), y.len()),
@@ -36,16 +55,16 @@ pub fn pearson(x: &[f64], y: &[f64]) -> Result<f64, StatsError> {
             got: x.len(),
         });
     }
-    if x.iter().chain(y.iter()).any(|v| !v.is_finite()) {
+    if x.clone().chain(y.clone()).any(|v| !v.is_finite()) {
         return Err(StatsError::NonFiniteData { what: "pearson" });
     }
     let n = x.len() as f64;
-    let mx = x.iter().sum::<f64>() / n;
-    let my = y.iter().sum::<f64>() / n;
+    let mx = x.clone().sum::<f64>() / n;
+    let my = y.clone().sum::<f64>() / n;
     let mut sxy = 0.0;
     let mut sxx = 0.0;
     let mut syy = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
+    for (a, b) in x.zip(y) {
         let dx = a - mx;
         let dy = b - my;
         sxy += dx * dy;
@@ -110,6 +129,23 @@ pub fn ranks(data: &[f64]) -> Vec<f64> {
 ///
 /// Propagates [`pearson`] errors; also fails when `columns` is empty.
 pub fn correlation_matrix(columns: &[&[f64]]) -> Result<Matrix, StatsError> {
+    let iters: Vec<_> = columns.iter().map(|c| c.iter().copied()).collect();
+    correlation_matrix_iter(&iters)
+}
+
+/// [`correlation_matrix`] over re-iterable column views: each pairwise
+/// entry is computed with [`pearson_iter`], so a columnar store can
+/// build the full matrix without materialising a single intermediate
+/// `Vec<f64>`. Bitwise identical to the slice version for the same
+/// value sequences.
+///
+/// # Errors
+///
+/// Same conditions as [`correlation_matrix`].
+pub fn correlation_matrix_iter<I>(columns: &[I]) -> Result<Matrix, StatsError>
+where
+    I: ExactSizeIterator<Item = f64> + Clone,
+{
     if columns.is_empty() {
         return Err(StatsError::EmptyData {
             what: "correlation_matrix",
@@ -122,7 +158,7 @@ pub fn correlation_matrix(columns: &[&[f64]]) -> Result<Matrix, StatsError> {
     for i in 0..d {
         m.set(i, i, 1.0);
         for j in (i + 1)..d {
-            let r = pearson(columns[i], columns[j])?;
+            let r = pearson_iter(columns[i].clone(), columns[j].clone())?;
             m.set(i, j, r);
             m.set(j, i, r);
         }
@@ -200,5 +236,36 @@ mod tests {
     #[test]
     fn matrix_rejects_empty() {
         assert!(correlation_matrix(&[]).is_err());
+        assert!(correlation_matrix_iter::<std::iter::Copied<std::slice::Iter<f64>>>(&[]).is_err());
+    }
+
+    #[test]
+    fn iter_entry_points_are_bitwise_identical_to_slices() {
+        let x = [1.0, 2.5, 3.0, 4.25, 5.0, 6.5];
+        let y = [2.0, 1.0, 4.5, 3.0, 6.25, 5.0];
+        let z = [6.0, 5.0, 4.0, 3.5, 2.0, 1.0];
+        let via_slice = pearson(&x, &y).unwrap();
+        let via_iter = pearson_iter(x.iter().copied(), y.iter().copied()).unwrap();
+        assert_eq!(via_slice.to_bits(), via_iter.to_bits());
+
+        let m_slice = correlation_matrix(&[&x, &y, &z]).unwrap();
+        let m_iter =
+            correlation_matrix_iter(&[x.iter().copied(), y.iter().copied(), z.iter().copied()])
+                .unwrap();
+        for i in 0..3 {
+            for j in 0..3 {
+                assert_eq!(m_slice.get(i, j).to_bits(), m_iter.get(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn iter_entry_point_rejects_bad_input() {
+        let short = [1.0f64];
+        assert!(pearson_iter(short.iter().copied(), short.iter().copied()).is_err());
+        let a = [1.0, 2.0];
+        let b = [1.0, f64::NAN];
+        assert!(pearson_iter(a.iter().copied(), b.iter().copied()).is_err());
+        assert!(pearson_iter(a.iter().copied(), short.iter().copied()).is_err());
     }
 }

@@ -77,6 +77,56 @@ impl Summary {
     }
 }
 
+/// First two moments of a sample, computed without materialising it.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanVariance {
+    /// Number of data points.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Unbiased (n−1) sample variance.
+    pub variance: f64,
+}
+
+/// Mean and unbiased variance over a re-iterable value stream — the
+/// slice-free entry point for columnar column views.
+///
+/// Uses the exact two-pass accumulation of [`Summary::of`] (left-to-
+/// right sum for the mean, then left-to-right sum of squared
+/// deviations), so for the same value sequence the results are bitwise
+/// identical to `Summary::of(&collected).mean/.variance` — without the
+/// intermediate `Vec<f64>` or the sort the full summary needs.
+///
+/// # Errors
+///
+/// Returns [`StatsError::EmptyData`] for an empty stream and
+/// [`StatsError::NonFiniteData`] when NaN/inf is present.
+pub fn mean_variance<I>(data: I) -> Result<MeanVariance, StatsError>
+where
+    I: ExactSizeIterator<Item = f64> + Clone,
+{
+    let n = data.len();
+    if n == 0 {
+        return Err(StatsError::EmptyData {
+            what: "mean_variance",
+            needed: 1,
+            got: 0,
+        });
+    }
+    if data.clone().any(|x| !x.is_finite()) {
+        return Err(StatsError::NonFiniteData {
+            what: "mean_variance",
+        });
+    }
+    let mean = data.clone().sum::<f64>() / n as f64;
+    let variance = if n > 1 {
+        data.map(|x| (x - mean).powi(2)).sum::<f64>() / (n as f64 - 1.0)
+    } else {
+        0.0
+    };
+    Ok(MeanVariance { n, mean, variance })
+}
+
 /// Quantile of already-sorted data with linear interpolation.
 ///
 /// # Panics
@@ -338,6 +388,26 @@ mod tests {
     fn summary_rejects_bad_input() {
         assert!(Summary::of(&[]).is_err());
         assert!(Summary::of(&[1.0, f64::NAN]).is_err());
+    }
+
+    #[test]
+    fn mean_variance_matches_summary_bitwise() {
+        let data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let s = Summary::of(&data).unwrap();
+        let mv = mean_variance(data.iter().copied()).unwrap();
+        assert_eq!(mv.n, s.n);
+        assert_eq!(mv.mean.to_bits(), s.mean.to_bits());
+        assert_eq!(mv.variance.to_bits(), s.variance.to_bits());
+    }
+
+    #[test]
+    fn mean_variance_single_point_and_errors() {
+        let mv = mean_variance([3.0].iter().copied()).unwrap();
+        assert_eq!(mv.variance, 0.0);
+        assert_eq!(mv.n, 1);
+        let empty: Vec<f64> = Vec::new();
+        assert!(mean_variance(empty.iter().copied()).is_err());
+        assert!(mean_variance([1.0, f64::NAN].iter().copied()).is_err());
     }
 
     #[test]

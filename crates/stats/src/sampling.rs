@@ -33,6 +33,25 @@ pub fn standard_uniform(rng: &mut dyn Rng) -> f64 {
     rng.random::<f64>()
 }
 
+/// Fill a slice with i.i.d. standard normal variates — the slice-based
+/// entry point batch samplers use instead of collecting per-draw
+/// `Vec`s. Draw order is left to right, so filling a buffer consumes
+/// exactly the same RNG stream as calling [`standard_normal`] in a
+/// loop.
+pub fn fill_standard_normal(rng: &mut dyn Rng, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o = standard_normal(rng);
+    }
+}
+
+/// Fill a slice with i.i.d. standard uniform variates in `[0, 1)`;
+/// same draw-order contract as [`fill_standard_normal`].
+pub fn fill_standard_uniform(rng: &mut dyn Rng, out: &mut [f64]) {
+    for o in out.iter_mut() {
+        *o = standard_uniform(rng);
+    }
+}
+
 /// Draw a `Gamma(shape, 1)` variate using the Marsaglia–Tsang method.
 ///
 /// Valid for any `shape > 0`; shapes below one use the boosting identity
@@ -151,9 +170,7 @@ impl CorrelatedNormals {
             heap = vec![0.0; d];
             &mut heap
         };
-        for zi in z.iter_mut() {
-            *zi = standard_normal(rng);
-        }
+        fill_standard_normal(rng, z);
         // L·z with mul_vec's exact accumulation order (row-major dot
         // products), just without the output allocation.
         for (i, o) in out.iter_mut().enumerate() {
@@ -205,6 +222,23 @@ mod tests {
                 (var - shape).abs() < 0.15 * shape.max(1.0),
                 "shape {shape} var {var}"
             );
+        }
+    }
+
+    #[test]
+    fn fill_consumes_same_stream_as_loop() {
+        let mut a = rng();
+        let mut b = rng();
+        let mut filled = [0.0f64; 16];
+        fill_standard_normal(&mut a, &mut filled);
+        for &v in &filled {
+            assert_eq!(v.to_bits(), standard_normal(&mut b).to_bits());
+        }
+        let mut fu = [0.0f64; 8];
+        fill_standard_uniform(&mut a, &mut fu);
+        for &v in &fu {
+            assert_eq!(v.to_bits(), standard_uniform(&mut b).to_bits());
+            assert!((0.0..1.0).contains(&v));
         }
     }
 

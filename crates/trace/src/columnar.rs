@@ -1,0 +1,770 @@
+//! Columnar (structure-of-arrays) trace storage: the zero-copy data
+//! layout behind the fitting pipeline's repeated column extractions.
+//!
+//! The paper's whole method is *repeated column extraction over a large
+//! host trace*: for every sample date and every resource law, pull one
+//! attribute across all active hosts, then fit or validate against it.
+//! The row-oriented [`Trace`] answers each of those queries by
+//! re-scanning every [`HostRecord`] and re-walking its snapshot history,
+//! allocating a fresh `Vec<f64>` per `(date, resource)` pair.
+//!
+//! [`ColumnarTrace`] stores the same information as dense columns:
+//!
+//! * one entry per host for the static attributes (id, creation date,
+//!   OS, CPU, GPU presence) and the cached first/last contact dates, and
+//! * one entry per *snapshot* for every measured resource, flattened
+//!   across hosts and indexed by a per-host offset table.
+//!
+//! Activity resolution then happens **once per date**:
+//! [`ColumnarTrace::active_at`] materialises an [`ActiveSet`] — the row
+//! indices of the active hosts plus, for each, the snapshot index in
+//! force at that date — and every subsequent per-resource extraction is
+//! a cheap gather through a [`ColumnSlice`] view that borrows the
+//! column arrays instead of re-filtering rows.
+//!
+//! The conversion is lossless in both directions
+//! ([`ColumnarTrace::from`] / [`ColumnarTrace::to_trace`]) and every
+//! query iterates hosts in exactly the row store's order, so results
+//! are bitwise identical to the row path — the property the golden
+//! pipeline report and the round-trip proptests enforce.
+//!
+//! ```
+//! use resmodel_trace::columnar::ColumnarTrace;
+//! use resmodel_trace::store::ResourceColumn;
+//! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+//!
+//! let mut trace = Trace::new();
+//! let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2006.1),
+//!     cores: 2,
+//!     memory_mb: 1024.0,
+//!     whetstone_mips: 1200.0,
+//!     dhrystone_mips: 2100.0,
+//!     avail_disk_gb: 40.0,
+//!     total_disk_gb: 80.0,
+//! });
+//! trace.push(h);
+//!
+//! let columnar = ColumnarTrace::from(&trace);
+//! let active = columnar.active_at(SimDate::from_year(2006.1));
+//! assert_eq!(active.len(), 1);
+//! let mem = columnar.column(&active, ResourceColumn::Memory);
+//! assert_eq!(mem.to_vec(), vec![1024.0]);
+//! assert_eq!(columnar.to_trace().hosts(), trace.hosts());
+//! ```
+
+use crate::cpu::CpuFamily;
+use crate::gpu::GpuInfo;
+use crate::host::{HostId, HostRecord, ResourceSnapshot};
+use crate::os::OsFamily;
+use crate::store::{ResourceColumn, Trace};
+use crate::time::SimDate;
+use std::ops::Range;
+
+/// Structure-of-arrays trace store: dense per-host columns plus
+/// flattened, offset-indexed per-snapshot columns.
+///
+/// Build one with [`ColumnarTrace::from`] (lossless conversion from a
+/// row [`Trace`]) or incrementally with [`ColumnarTrace::push_host`]
+/// (how the population engine exports fleets without a row-trace
+/// detour).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnarTrace {
+    // --- per-host columns (length = number of hosts) ---
+    ids: Vec<HostId>,
+    created: Vec<SimDate>,
+    os: Vec<OsFamily>,
+    cpu: Vec<CpuFamily>,
+    gpu: Vec<Option<GpuInfo>>,
+    /// Cached first contact; meaningful only when the host has at least
+    /// one snapshot (placeholder [`SimDate::EPOCH`] otherwise).
+    first_contact: Vec<SimDate>,
+    /// Cached last contact; same presence rule as `first_contact`.
+    last_contact: Vec<SimDate>,
+    /// Snapshot offsets: host `i`'s snapshots occupy the flattened
+    /// range `snap_start[i]..snap_start[i + 1]`.
+    snap_start: Vec<usize>,
+    // --- per-snapshot columns (length = total snapshots) ---
+    snap_t: Vec<SimDate>,
+    snap_cores: Vec<u32>,
+    snap_memory_mb: Vec<f64>,
+    snap_whetstone: Vec<f64>,
+    snap_dhrystone: Vec<f64>,
+    snap_avail_disk: Vec<f64>,
+    snap_total_disk: Vec<f64>,
+}
+
+impl Default for ColumnarTrace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnarTrace {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::with_capacity(0, 0)
+    }
+
+    /// Create an empty store with room for `hosts` hosts of about
+    /// `snapshots_per_host` snapshots each.
+    pub fn with_capacity(hosts: usize, snapshots_per_host: usize) -> Self {
+        let snaps = hosts.saturating_mul(snapshots_per_host);
+        let mut snap_start = Vec::with_capacity(hosts + 1);
+        snap_start.push(0);
+        Self {
+            ids: Vec::with_capacity(hosts),
+            created: Vec::with_capacity(hosts),
+            os: Vec::with_capacity(hosts),
+            cpu: Vec::with_capacity(hosts),
+            gpu: Vec::with_capacity(hosts),
+            first_contact: Vec::with_capacity(hosts),
+            last_contact: Vec::with_capacity(hosts),
+            snap_start,
+            snap_t: Vec::with_capacity(snaps),
+            snap_cores: Vec::with_capacity(snaps),
+            snap_memory_mb: Vec::with_capacity(snaps),
+            snap_whetstone: Vec::with_capacity(snaps),
+            snap_dhrystone: Vec::with_capacity(snaps),
+            snap_avail_disk: Vec::with_capacity(snaps),
+            snap_total_disk: Vec::with_capacity(snaps),
+        }
+    }
+
+    /// Reserve room for `additional` more snapshots across the
+    /// flattened columns.
+    pub fn reserve_snapshots(&mut self, additional: usize) {
+        self.snap_t.reserve(additional);
+        self.snap_cores.reserve(additional);
+        self.snap_memory_mb.reserve(additional);
+        self.snap_whetstone.reserve(additional);
+        self.snap_dhrystone.reserve(additional);
+        self.snap_avail_disk.reserve(additional);
+        self.snap_total_disk.reserve(additional);
+    }
+
+    /// Number of hosts.
+    pub fn len(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the store holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of snapshots across all hosts.
+    pub fn snapshot_count(&self) -> usize {
+        self.snap_t.len()
+    }
+
+    /// Append one host's static attributes and its time-ordered
+    /// snapshots directly to the columns — no intermediate
+    /// [`HostRecord`] required.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshots are not in time order (same contract
+    /// as [`HostRecord::record`]).
+    pub fn push_host(
+        &mut self,
+        id: HostId,
+        created: SimDate,
+        os: OsFamily,
+        cpu: CpuFamily,
+        gpu: Option<GpuInfo>,
+        snapshots: impl IntoIterator<Item = ResourceSnapshot>,
+    ) {
+        self.ids.push(id);
+        self.created.push(created);
+        self.os.push(os);
+        self.cpu.push(cpu);
+        self.gpu.push(gpu);
+        let start = self.snap_t.len();
+        for s in snapshots {
+            if self.snap_t.len() > start {
+                let last = self.snap_t[self.snap_t.len() - 1];
+                assert!(s.t >= last, "snapshots must be recorded in time order");
+            }
+            self.snap_t.push(s.t);
+            self.snap_cores.push(s.cores);
+            self.snap_memory_mb.push(s.memory_mb);
+            self.snap_whetstone.push(s.whetstone_mips);
+            self.snap_dhrystone.push(s.dhrystone_mips);
+            self.snap_avail_disk.push(s.avail_disk_gb);
+            self.snap_total_disk.push(s.total_disk_gb);
+        }
+        let end = self.snap_t.len();
+        self.snap_start.push(end);
+        let (first, last) = if end > start {
+            (self.snap_t[start], self.snap_t[end - 1])
+        } else {
+            (SimDate::EPOCH, SimDate::EPOCH)
+        };
+        self.first_contact.push(first);
+        self.last_contact.push(last);
+    }
+
+    /// Append a row-store record (used by the [`Trace`] conversion).
+    pub fn push_record(&mut self, record: &HostRecord) {
+        self.push_host(
+            record.id,
+            record.created,
+            record.os,
+            record.cpu,
+            record.gpu,
+            record.snapshots().iter().copied(),
+        );
+    }
+
+    /// Rebuild the equivalent row-oriented [`Trace`]. Together with
+    /// [`ColumnarTrace::from`], this is a lossless round trip:
+    /// `ColumnarTrace::from(&t).to_trace()` reproduces `t` exactly
+    /// (same hosts, same order, same snapshots).
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..self.len() {
+            let mut record = HostRecord::new(self.ids[i], self.created[i]);
+            record.os = self.os[i];
+            record.cpu = self.cpu[i];
+            record.gpu = self.gpu[i];
+            for k in self.snapshot_range(i) {
+                record.record(self.snapshot(k));
+            }
+            trace.push(record);
+        }
+        trace
+    }
+
+    /// Reassemble the `k`-th flattened snapshot.
+    pub fn snapshot(&self, k: usize) -> ResourceSnapshot {
+        ResourceSnapshot {
+            t: self.snap_t[k],
+            cores: self.snap_cores[k],
+            memory_mb: self.snap_memory_mb[k],
+            whetstone_mips: self.snap_whetstone[k],
+            dhrystone_mips: self.snap_dhrystone[k],
+            avail_disk_gb: self.snap_avail_disk[k],
+            total_disk_gb: self.snap_total_disk[k],
+        }
+    }
+
+    /// Host ids, in insertion order.
+    pub fn ids(&self) -> &[HostId] {
+        &self.ids
+    }
+
+    /// Host creation dates.
+    pub fn created(&self) -> &[SimDate] {
+        &self.created
+    }
+
+    /// Host OS families.
+    pub fn os(&self) -> &[OsFamily] {
+        &self.os
+    }
+
+    /// Host CPU families.
+    pub fn cpu(&self) -> &[CpuFamily] {
+        &self.cpu
+    }
+
+    /// Host GPU attributes (presence column).
+    pub fn gpu(&self) -> &[Option<GpuInfo>] {
+        &self.gpu
+    }
+
+    /// The flattened snapshot range of host `row`.
+    pub fn snapshot_range(&self, row: usize) -> Range<usize> {
+        self.snap_start[row]..self.snap_start[row + 1]
+    }
+
+    /// First server contact of host `row`, if it has any snapshot.
+    pub fn first_contact(&self, row: usize) -> Option<SimDate> {
+        (!self.snapshot_range(row).is_empty()).then(|| self.first_contact[row])
+    }
+
+    /// Last server contact of host `row`, if it has any snapshot.
+    pub fn last_contact(&self, row: usize) -> Option<SimDate> {
+        (!self.snapshot_range(row).is_empty()).then(|| self.last_contact[row])
+    }
+
+    /// Snapshot timestamps (flattened column).
+    pub fn snap_times(&self) -> &[SimDate] {
+        &self.snap_t
+    }
+
+    /// Core counts (flattened column).
+    pub fn snap_cores(&self) -> &[u32] {
+        &self.snap_cores
+    }
+
+    /// Memory in MB (flattened column).
+    pub fn snap_memory_mb(&self) -> &[f64] {
+        &self.snap_memory_mb
+    }
+
+    /// Whetstone MIPS (flattened column).
+    pub fn snap_whetstone_mips(&self) -> &[f64] {
+        &self.snap_whetstone
+    }
+
+    /// Dhrystone MIPS (flattened column).
+    pub fn snap_dhrystone_mips(&self) -> &[f64] {
+        &self.snap_dhrystone
+    }
+
+    /// Available disk in GB (flattened column).
+    pub fn snap_avail_disk_gb(&self) -> &[f64] {
+        &self.snap_avail_disk
+    }
+
+    /// Total disk in GB (flattened column).
+    pub fn snap_total_disk_gb(&self) -> &[f64] {
+        &self.snap_total_disk
+    }
+
+    /// The paper's activity rule for host `row`: first contact ≤ `t` ≤
+    /// last contact. Identical to [`HostRecord::is_active_at`].
+    pub fn is_active_at(&self, row: usize, t: SimDate) -> bool {
+        !self.snapshot_range(row).is_empty()
+            && self.first_contact[row] <= t
+            && t <= self.last_contact[row]
+    }
+
+    /// Resolve the active population at `t` **once**: the row index of
+    /// every active host (in insertion order — the row store's
+    /// iteration order) paired with the snapshot index in force at `t`.
+    /// Every per-resource extraction at this date then reuses the set
+    /// instead of re-filtering rows.
+    pub fn active_at(&self, t: SimDate) -> ActiveSet {
+        let mut rows = Vec::new();
+        let mut snaps = Vec::new();
+        for i in 0..self.len() {
+            if !self.is_active_at(i, t) {
+                continue;
+            }
+            // Latest snapshot at or before `t` — the same reverse scan
+            // as `HostRecord::snapshot_at` (activity guarantees a hit).
+            if let Some(k) = self.snapshot_range(i).rev().find(|&k| self.snap_t[k] <= t) {
+                rows.push(i);
+                snaps.push(k);
+            }
+        }
+        ActiveSet {
+            date: t,
+            rows,
+            snaps,
+        }
+    }
+
+    /// Number of active hosts at `t`, without materialising the set.
+    pub fn active_count(&self, t: SimDate) -> usize {
+        (0..self.len()).filter(|&i| self.is_active_at(i, t)).count()
+    }
+
+    /// A zero-copy view of one resource column restricted to an active
+    /// set: no values are materialised until iterated or collected.
+    pub fn column<'a>(&'a self, set: &'a ActiveSet, column: ResourceColumn) -> ColumnSlice<'a> {
+        ColumnSlice {
+            store: self,
+            set,
+            column,
+        }
+    }
+
+    /// Gather one resource column into a `Vec` — same values, same
+    /// order as [`Trace::column_at`].
+    pub fn column_values(&self, set: &ActiveSet, column: ResourceColumn) -> Vec<f64> {
+        self.column(set, column).iter().collect()
+    }
+
+    /// Host lifetimes in days under the paper's censoring rule —
+    /// identical semantics and order to [`Trace::lifetimes`].
+    pub fn lifetimes(&self, created_cutoff: SimDate) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
+                continue;
+            }
+            out.push(self.last_contact[i] - self.first_contact[i]);
+        }
+        out
+    }
+
+    /// `(creation year, lifetime days)` pairs — identical to
+    /// [`Trace::creation_vs_lifetime`].
+    pub fn creation_vs_lifetime(&self, created_cutoff: SimDate) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.len() {
+            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
+                continue;
+            }
+            out.push((
+                self.created[i].year(),
+                self.last_contact[i] - self.first_contact[i],
+            ));
+        }
+        out
+    }
+
+    /// Earliest first contact across all hosts.
+    pub fn start(&self) -> Option<SimDate> {
+        (0..self.len())
+            .filter_map(|i| self.first_contact(i))
+            .reduce(SimDate::min)
+    }
+
+    /// Latest last contact across all hosts.
+    pub fn end(&self) -> Option<SimDate> {
+        (0..self.len())
+            .filter_map(|i| self.last_contact(i))
+            .reduce(SimDate::max)
+    }
+}
+
+impl From<&Trace> for ColumnarTrace {
+    /// Lossless row → column conversion, preserving host order.
+    fn from(trace: &Trace) -> Self {
+        let hosts = trace.hosts();
+        let snaps = hosts.iter().map(|h| h.snapshots().len()).sum::<usize>();
+        let mut store = Self::with_capacity(hosts.len(), 0);
+        store.reserve_snapshots(snaps);
+        for h in hosts {
+            store.push_record(h);
+        }
+        store
+    }
+}
+
+/// The active population at one date, resolved once: parallel arrays of
+/// host row indices and the snapshot index in force for each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveSet {
+    date: SimDate,
+    rows: Vec<usize>,
+    snaps: Vec<usize>,
+}
+
+impl ActiveSet {
+    /// The date this set was resolved at.
+    pub fn date(&self) -> SimDate {
+        self.date
+    }
+
+    /// Number of active hosts.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no host was active.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row (host) indices, in insertion order.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Flattened snapshot index in force at the date, parallel to
+    /// [`ActiveSet::rows`].
+    pub fn snaps(&self) -> &[usize] {
+        &self.snaps
+    }
+}
+
+/// A zero-copy view of one resource column over an active set: borrows
+/// the store's column arrays and the set's index arrays, materialising
+/// nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    store: &'a ColumnarTrace,
+    set: &'a ActiveSet,
+    column: ResourceColumn,
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// Number of values in the view.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Which resource this view extracts.
+    pub fn column(&self) -> ResourceColumn {
+        self.column
+    }
+
+    /// The `i`-th value (position within the active set).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.value_at(self.set.snaps[i])
+    }
+
+    /// Iterate the values — bitwise the same sequence as
+    /// [`Trace::column_at`] produces for this date and resource.
+    pub fn iter(&self) -> ColumnSliceIter<'a> {
+        ColumnSliceIter {
+            slice: *self,
+            snaps: self.set.snaps.iter(),
+        }
+    }
+
+    /// Collect into a `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+
+    /// Extract the value at flattened snapshot index `k`, with exactly
+    /// the row path's arithmetic ([`ResourceColumn::extract`] over a
+    /// [`crate::host::HostView`]).
+    fn value_at(&self, k: usize) -> f64 {
+        let s = self.store;
+        match self.column {
+            ResourceColumn::Cores => s.snap_cores[k] as f64,
+            ResourceColumn::Memory => s.snap_memory_mb[k],
+            ResourceColumn::MemPerCore => s.snap_memory_mb[k] / s.snap_cores[k].max(1) as f64,
+            ResourceColumn::Whetstone => s.snap_whetstone[k],
+            ResourceColumn::Dhrystone => s.snap_dhrystone[k],
+            ResourceColumn::Disk => s.snap_avail_disk[k],
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ColumnSlice<'a> {
+    type Item = f64;
+    type IntoIter = ColumnSliceIter<'a>;
+
+    fn into_iter(self) -> ColumnSliceIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`ColumnSlice`]'s values.
+#[derive(Debug, Clone)]
+pub struct ColumnSliceIter<'a> {
+    slice: ColumnSlice<'a>,
+    snaps: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for ColumnSliceIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.snaps.next().map(|&k| self.slice.value_at(k))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.snaps.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ColumnSliceIter<'_> {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn host_with_span(id: u64, from: f64, to: f64, cores: u32) -> HostRecord {
+        let mut h = HostRecord::new(id.into(), SimDate::from_year(from));
+        for (i, &year) in [from, to].iter().enumerate() {
+            h.record(ResourceSnapshot {
+                t: SimDate::from_year(year),
+                cores,
+                memory_mb: 1024.0 * cores as f64,
+                whetstone_mips: 1000.0 + i as f64,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 50.0,
+                total_disk_gb: 100.0,
+            });
+        }
+        h
+    }
+
+    fn sample_trace() -> Trace {
+        vec![
+            host_with_span(1, 2006.0, 2008.0, 1),
+            host_with_span(2, 2007.0, 2009.0, 2),
+            host_with_span(3, 2008.5, 2010.0, 4),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let trace = sample_trace();
+        let columnar = ColumnarTrace::from(&trace);
+        assert_eq!(columnar.len(), 3);
+        assert_eq!(columnar.snapshot_count(), 6);
+        assert_eq!(columnar.to_trace().hosts(), trace.hosts());
+    }
+
+    #[test]
+    fn active_set_matches_row_activity() {
+        let trace = sample_trace();
+        let columnar = ColumnarTrace::from(&trace);
+        for year in [2005.0, 2006.0, 2006.5, 2007.5, 2008.7, 2010.0, 2011.0] {
+            let t = SimDate::from_year(year);
+            let set = columnar.active_at(t);
+            assert_eq!(set.len(), trace.active_count(t), "year {year}");
+            assert_eq!(set.len(), columnar.active_count(t), "year {year}");
+            assert_eq!(set.date(), t);
+        }
+    }
+
+    #[test]
+    fn columns_match_row_extraction() {
+        let trace = sample_trace();
+        let columnar = ColumnarTrace::from(&trace);
+        let t = SimDate::from_year(2007.5);
+        let set = columnar.active_at(t);
+        for column in ResourceColumn::ALL {
+            let row = trace.column_at(t, column);
+            let slice = columnar.column(&set, column);
+            assert_eq!(slice.len(), row.len());
+            assert_eq!(slice.to_vec(), row, "{column}");
+            assert_eq!(columnar.column_values(&set, column), row, "{column}");
+        }
+    }
+
+    #[test]
+    fn column_slice_random_access() {
+        let trace = sample_trace();
+        let columnar = ColumnarTrace::from(&trace);
+        let t = SimDate::from_year(2007.5);
+        let set = columnar.active_at(t);
+        let slice = columnar.column(&set, ResourceColumn::Cores);
+        assert!(!slice.is_empty());
+        assert_eq!(slice.column(), ResourceColumn::Cores);
+        for (i, v) in slice.iter().enumerate() {
+            assert_eq!(slice.get(i), v);
+        }
+        let it = slice.iter();
+        assert_eq!(it.len(), slice.len());
+        assert_eq!((&slice).into_iter().count(), slice.len());
+    }
+
+    #[test]
+    fn snapshot_resolution_uses_latest_before() {
+        let trace: Trace = vec![host_with_span(1, 2006.0, 2008.0, 2)]
+            .into_iter()
+            .collect();
+        let columnar = ColumnarTrace::from(&trace);
+        let early = columnar.active_at(SimDate::from_year(2007.0));
+        let whet = columnar.column(&early, ResourceColumn::Whetstone);
+        assert_eq!(whet.to_vec(), vec![1000.0]);
+        let late = columnar.active_at(SimDate::from_year(2008.0));
+        let whet = columnar.column(&late, ResourceColumn::Whetstone);
+        assert_eq!(whet.to_vec(), vec![1001.0]);
+    }
+
+    #[test]
+    fn activity_boundaries_match_row_path() {
+        // t exactly at first/last contact, for both paths (the paper's
+        // rule is inclusive on both ends).
+        let trace: Trace = vec![host_with_span(1, 2006.25, 2008.75, 1)]
+            .into_iter()
+            .collect();
+        let columnar = ColumnarTrace::from(&trace);
+        let first = trace.hosts()[0].first_contact().unwrap();
+        let last = trace.hosts()[0].last_contact().unwrap();
+        for (t, expect) in [(first, 1), (last, 1), (first + -1e-9, 0), (last + 1e-9, 0)] {
+            assert_eq!(trace.active_count(t), expect, "row path at {t}");
+            assert_eq!(columnar.active_count(t), expect, "columnar path at {t}");
+            assert_eq!(columnar.active_at(t).len(), expect, "active set at {t}");
+        }
+    }
+
+    #[test]
+    fn lifetimes_and_span_match_row_path() {
+        let trace = sample_trace();
+        let columnar = ColumnarTrace::from(&trace);
+        for cutoff in [2006.5, 2008.0, 2011.0] {
+            let c = SimDate::from_year(cutoff);
+            assert_eq!(columnar.lifetimes(c), trace.lifetimes(c));
+            assert_eq!(
+                columnar.creation_vs_lifetime(c),
+                trace.creation_vs_lifetime(c)
+            );
+        }
+        assert_eq!(columnar.start(), trace.start());
+        assert_eq!(columnar.end(), trace.end());
+    }
+
+    #[test]
+    fn snapshotless_host_is_never_active() {
+        let mut trace = Trace::new();
+        trace.push(HostRecord::new(9.into(), SimDate::from_year(2006.0)));
+        let columnar = ColumnarTrace::from(&trace);
+        assert_eq!(columnar.len(), 1);
+        assert_eq!(columnar.first_contact(0), None);
+        assert_eq!(columnar.last_contact(0), None);
+        assert!(columnar.active_at(SimDate::from_year(2006.0)).is_empty());
+        assert_eq!(columnar.start(), None);
+        assert_eq!(
+            columnar.lifetimes(SimDate::from_year(2010.0)),
+            Vec::<f64>::new()
+        );
+        assert_eq!(columnar.to_trace().hosts(), trace.hosts());
+    }
+
+    #[test]
+    fn push_host_matches_record_conversion() {
+        let record = host_with_span(4, 2006.0, 2007.0, 2);
+        let mut direct = ColumnarTrace::new();
+        direct.push_host(
+            record.id,
+            record.created,
+            record.os,
+            record.cpu,
+            record.gpu,
+            record.snapshots().iter().copied(),
+        );
+        let trace: Trace = std::iter::once(record).collect();
+        assert_eq!(direct, ColumnarTrace::from(&trace));
+    }
+
+    #[test]
+    fn default_store_accepts_pushes() {
+        assert_eq!(ColumnarTrace::default(), ColumnarTrace::new());
+        assert_eq!(ColumnarTrace::from(&Trace::new()), ColumnarTrace::default());
+        let mut store = ColumnarTrace::default();
+        store.push_record(&host_with_span(1, 2006.0, 2007.0, 1));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.snapshot_range(0), 0..2);
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn push_host_rejects_out_of_order_snapshots() {
+        let mut store = ColumnarTrace::new();
+        let snap = |year: f64| ResourceSnapshot {
+            t: SimDate::from_year(year),
+            cores: 1,
+            memory_mb: 512.0,
+            whetstone_mips: 1000.0,
+            dhrystone_mips: 2000.0,
+            avail_disk_gb: 10.0,
+            total_disk_gb: 20.0,
+        };
+        store.push_host(
+            1.into(),
+            SimDate::from_year(2006.0),
+            OsFamily::default(),
+            CpuFamily::default(),
+            None,
+            [snap(2007.0), snap(2006.0)],
+        );
+    }
+}

@@ -22,6 +22,14 @@
 //! * **Sanitization** — the paper's outlier-discard rules
 //!   ([`sanitize::SanitizeRules`]).
 //!
+//! Two storage layouts share these semantics: the row-oriented
+//! [`Trace`] (one [`HostRecord`] per host — the ingestion and
+//! serialization format) and the columnar
+//! [`ColumnarTrace`] (structure-of-arrays
+//! column store — the analysis format the fitting pipeline extracts
+//! from). Conversion is lossless in both directions and every query
+//! yields bitwise-identical results across the two layouts.
+//!
 //! ```
 //! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
 //!
@@ -53,6 +61,7 @@
 #![warn(clippy::unwrap_used)]
 
 pub mod churn;
+pub mod columnar;
 pub mod cpu;
 pub mod csv;
 pub mod gpu;
@@ -63,6 +72,7 @@ pub mod sanitize;
 pub mod store;
 pub mod time;
 
+pub use columnar::{ActiveSet, ColumnSlice, ColumnarTrace};
 pub use cpu::CpuFamily;
 pub use gpu::{GpuClass, GpuInfo};
 pub use host::{HostId, HostRecord, HostView, ResourceSnapshot};

@@ -29,6 +29,12 @@ impl Trace {
     }
 
     /// Add a host record.
+    ///
+    /// Duplicate ids are accepted (real measurement dumps contain
+    /// them); the id index keeps pointing at the *first* record for
+    /// that id, so [`Trace::host`] resolves the first and later
+    /// records remain reachable via [`Trace::records_for`] and
+    /// [`Trace::hosts`].
     pub fn push(&mut self, host: HostRecord) {
         self.index.entry(host.id).or_insert(self.hosts.len());
         self.hosts.push(host);
@@ -50,8 +56,24 @@ impl Trace {
     }
 
     /// Look up a host by id — O(1) via the maintained index.
+    ///
+    /// When a trace holds several records with the same id (legal:
+    /// [`Trace::push`] never rejects duplicates), this returns the
+    /// *first* record pushed — the same answer the historical linear
+    /// scan gave. Use [`Trace::records_for`] to see every record.
     pub fn host(&self, id: HostId) -> Option<&HostRecord> {
         self.index.get(&id).map(|&i| &self.hosts[i])
+    }
+
+    /// All records carrying `id`, in push order.
+    ///
+    /// [`Trace::host`] resolves only the first record of a duplicated
+    /// id (the `HashMap` index keeps the first insertion); this
+    /// iterator surfaces the shadowed later records too. It scans the
+    /// whole store — O(n) — so it is meant for id-collision forensics,
+    /// not hot-path lookups.
+    pub fn records_for(&self, id: HostId) -> impl Iterator<Item = &HostRecord> {
+        self.hosts.iter().filter(move |h| h.id == id)
     }
 
     /// Hosts active at `t` under the paper's rule (first contact ≤ t ≤
@@ -345,6 +367,33 @@ mod tests {
         // Same answer the historical linear scan gave.
         assert_eq!(trace.host(7.into()).unwrap().snapshots()[0].cores, 1);
         assert_eq!(trace.len(), 2);
+    }
+
+    #[test]
+    fn records_for_surfaces_shadowed_duplicates() {
+        let mut trace = Trace::new();
+        trace.push(host_with_span(7, 2006.0, 2007.0, 1));
+        trace.push(host_with_span(8, 2006.0, 2007.0, 8));
+        trace.push(host_with_span(7, 2008.0, 2009.0, 2));
+        trace.push(host_with_span(7, 2009.0, 2010.0, 4));
+
+        // `host` keeps resolving the first record...
+        let first = trace.host(7.into()).unwrap();
+        assert_eq!(first.snapshots()[0].cores, 1);
+        // ...while `records_for` yields all three, in push order.
+        let cores: Vec<u32> = trace
+            .records_for(7.into())
+            .map(|h| h.snapshots()[0].cores)
+            .collect();
+        assert_eq!(cores, vec![1, 2, 4]);
+        // The first yielded record is the one `host` resolves.
+        assert!(std::ptr::eq(
+            trace.records_for(7.into()).next().unwrap(),
+            first
+        ));
+        // Non-duplicated and absent ids behave as expected.
+        assert_eq!(trace.records_for(8.into()).count(), 1);
+        assert_eq!(trace.records_for(9.into()).count(), 0);
     }
 
     #[test]

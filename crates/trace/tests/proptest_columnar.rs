@@ -1,0 +1,103 @@
+//! Property-based tests of the columnar store against the row store:
+//! lossless round trip, bitwise-equal extraction, and agreement at
+//! activity boundaries, for arbitrary generated traces.
+
+use proptest::prelude::*;
+use resmodel_trace::columnar::ColumnarTrace;
+use resmodel_trace::store::ResourceColumn;
+use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+
+/// Strategy: a host with snapshots at sorted offsets from its creation.
+fn host_strategy(id: u64) -> impl Strategy<Value = HostRecord> {
+    (
+        2005.0..2010.0f64,
+        prop::collection::vec(0.0..2000.0f64, 0..6),
+        1u32..9,
+        128.0..8192.0f64,
+    )
+        .prop_map(move |(year, mut offsets, cores, mem)| {
+            offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let created = SimDate::from_year(year);
+            let mut h = HostRecord::new(id.into(), created);
+            for (i, off) in offsets.iter().enumerate() {
+                h.record(ResourceSnapshot {
+                    t: created + *off,
+                    cores,
+                    memory_mb: mem + i as f64,
+                    whetstone_mips: 1000.0 + i as f64,
+                    dhrystone_mips: 2000.0 + (i % 3) as f64,
+                    avail_disk_gb: 40.0 + i as f64,
+                    total_disk_gb: 100.0,
+                });
+            }
+            h
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(host_strategy(0), 0..24).prop_map(|hosts| {
+        hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut h)| {
+                h.id = (i as u64).into();
+                h
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_identity(trace in trace_strategy()) {
+        let columnar = ColumnarTrace::from(&trace);
+        prop_assert_eq!(columnar.len(), trace.len());
+        prop_assert_eq!(columnar.to_trace().hosts(), trace.hosts());
+    }
+
+    #[test]
+    fn extraction_equals_row_path(trace in trace_strategy(), probe_year in 2004.0..2013.0f64) {
+        let columnar = ColumnarTrace::from(&trace);
+        let t = SimDate::from_year(probe_year);
+        let active = columnar.active_at(t);
+        prop_assert_eq!(active.len(), trace.active_count(t));
+        for column in ResourceColumn::ALL {
+            let row = trace.column_at(t, column);
+            let col = columnar.column_values(&active, column);
+            // Bitwise equality, not approximate: the columnar path must
+            // reproduce the row extraction exactly.
+            prop_assert_eq!(col.len(), row.len());
+            for (a, b) in col.iter().zip(&row) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn boundary_activity_agrees(trace in trace_strategy()) {
+        let columnar = ColumnarTrace::from(&trace);
+        // Probe exactly at every host's first and last contact: the
+        // activity rule is inclusive on both ends in both layouts.
+        for h in trace.hosts() {
+            for t in [h.first_contact(), h.last_contact()].into_iter().flatten() {
+                prop_assert_eq!(trace.active_count(t), columnar.active_count(t));
+                prop_assert_eq!(trace.active_count(t), columnar.active_at(t).len());
+            }
+        }
+    }
+
+    #[test]
+    fn whole_trace_queries_agree(trace in trace_strategy(), cutoff_year in 2005.0..2012.0f64) {
+        let columnar = ColumnarTrace::from(&trace);
+        let cutoff = SimDate::from_year(cutoff_year);
+        prop_assert_eq!(columnar.lifetimes(cutoff), trace.lifetimes(cutoff));
+        prop_assert_eq!(
+            columnar.creation_vs_lifetime(cutoff),
+            trace.creation_vs_lifetime(cutoff)
+        );
+        prop_assert_eq!(columnar.start(), trace.start());
+        prop_assert_eq!(columnar.end(), trace.end());
+    }
+}

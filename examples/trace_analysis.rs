@@ -1,13 +1,16 @@
-//! Trace analysis end to end: sanitize a raw measurement trace, test
-//! which distribution family fits each resource (the paper's
-//! Section V-F Kolmogorov-Smirnov methodology), export to CSV, and
-//! read it back.
+//! Trace analysis end to end: sanitize a raw measurement trace,
+//! convert it to the columnar layout once, test which distribution
+//! family fits each resource (the paper's Section V-F
+//! Kolmogorov-Smirnov methodology) off shared column views, export to
+//! CSV, and read it back.
 //!
 //! Run with: `cargo run --release --example trace_analysis`
 
-use resmodel::core::fit::select_resource_family;
+use resmodel::core::fit::select_resource_family_columnar;
 use resmodel::prelude::*;
+use resmodel::stats::describe::mean_variance;
 use resmodel::stats::ks::SubsampleConfig;
+use resmodel::trace::columnar::ColumnarTrace;
 use resmodel::trace::sanitize::{sanitize, SanitizeRules};
 use resmodel::trace::store::ResourceColumn;
 
@@ -25,8 +28,36 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let trace = report.trace;
 
-    // 2. Distribution-family selection per resource at Jan 2008.
+    // 2. Columnarize once: every per-date analysis below shares the
+    //    same dense column arrays instead of re-scanning host rows.
+    let columnar = ColumnarTrace::from(&trace);
+    println!(
+        "\ncolumnar store: {} hosts, {} snapshots across 7 flattened columns",
+        columnar.len(),
+        columnar.snapshot_count()
+    );
+
+    // 3. Resolve the Jan 2008 active population ONCE; reuse it for
+    //    every resource extraction at that date.
     let date = SimDate::from_year(2008.0);
+    let active = columnar.active_at(date);
+    println!("active hosts at {date}: {}", active.len());
+
+    // Zero-copy column views feed the moment accumulators directly —
+    // no intermediate Vec<f64> per (date, resource) pair.
+    for column in [ResourceColumn::Memory, ResourceColumn::Dhrystone] {
+        let mv = mean_variance(columnar.column(&active, column).iter())?;
+        println!(
+            "  {:<10} mean {:>9.1}, std-dev {:>8.1}  (n = {})",
+            column.name(),
+            mv.mean,
+            mv.variance.sqrt(),
+            mv.n
+        );
+    }
+
+    // 4. Distribution-family selection per resource, reusing the same
+    //    active set for all three columns.
     let mut rng = resmodel::stats::rng::seeded(5);
     println!("\nKS family selection at {date} (avg p-value of 100 × n=50 subsamples):");
     for column in [
@@ -34,8 +65,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ResourceColumn::Dhrystone,
         ResourceColumn::Disk,
     ] {
-        let ranked =
-            select_resource_family(&trace, date, column, SubsampleConfig::default(), &mut rng)?;
+        let ranked = select_resource_family_columnar(
+            &columnar,
+            &active,
+            column,
+            SubsampleConfig::default(),
+            &mut rng,
+        )?;
         let best = &ranked[0];
         println!(
             "  {:<10} best: {:<11} (p = {:.3}); runner-up: {} (p = {:.3})",
@@ -47,15 +83,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Lifetime distribution (paper Fig 1).
-    let weibull = resmodel::core::fit::lifetime_weibull(&trace, SimDate::from_year(2010.5))?;
+    // 5. Lifetime distribution (paper Fig 1), off the columnar store's
+    //    cached first/last-contact columns.
+    let weibull =
+        resmodel::core::fit::lifetime_weibull_columnar(&columnar, SimDate::from_year(2010.5))?;
     println!(
         "\nlifetime Weibull fit: k = {:.3}, λ = {:.1} days (paper: k = 0.58, λ = 135)",
         weibull.shape(),
         weibull.scale()
     );
 
-    // 4. Round-trip the trace through the CSV format.
+    // 6. Round-trip the trace through the CSV format.
     let mut buf = Vec::new();
     resmodel::trace::csv::write_trace(&trace, &mut buf)?;
     println!(

@@ -9,7 +9,7 @@
 //! | Crate | Contents |
 //! |---|---|
 //! | [`stats`] | distributions, MLE fitting, KS tests, correlation, Cholesky, regression |
-//! | [`trace`] | host records, trace store with O(1) id lookup, activity queries, sanitization, market tables |
+//! | [`trace`] | host records, row + columnar trace stores (lossless conversion, zero-copy column views), activity queries, sanitization, market tables |
 //! | [`boinc`] | synthetic volunteer-computing world + BOINC measurement loop (arrivals driven by the popsim timeline, host lives simulated in parallel) |
 //! | [`core`] | the paper's correlated generative host model, fitting, prediction, validation |
 //! | [`baselines`] | uncorrelated-normal and Kee Grid comparator models |
@@ -110,5 +110,7 @@ pub mod prelude {
     pub use resmodel_error::ResmodelError;
     pub use resmodel_popsim::{EngineReport, Fleet, Scenario, SimHost, SnapshotStats, TimeSeries};
     pub use resmodel_stats::{Distribution, DistributionFamily, Matrix, StatsError};
-    pub use resmodel_trace::{HostRecord, HostView, ResourceSnapshot, SimDate, Trace};
+    pub use resmodel_trace::{
+        ColumnarTrace, HostRecord, HostView, ResourceSnapshot, SimDate, Trace,
+    };
 }

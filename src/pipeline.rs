@@ -27,20 +27,24 @@
 //! ```
 
 use resmodel_boinc::{simulate, WorldParams};
-use resmodel_core::fit::{fit_host_model, lifetime_weibull, FitConfig, FitReport};
+use resmodel_core::fit::{
+    fit_host_model_columnar, fit_host_model_rows, lifetime_weibull, lifetime_weibull_columnar,
+    FitConfig, FitReport,
+};
 use resmodel_core::predict::{
     memory_prediction, moment_prediction, multicore_prediction, MemoryPrediction, MomentPrediction,
     MulticorePrediction,
 };
 use resmodel_core::validate::{
-    compare_populations, generated_correlation_matrix, ResourceComparison,
+    compare_populations, compare_populations_columnar, generated_correlation_matrix,
+    ResourceComparison,
 };
 use resmodel_core::{GeneratedHost, HostGenerator};
 use resmodel_error::ResmodelError;
-use resmodel_popsim::{engine, fleet_to_trace, Scenario};
+use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, Scenario};
 use resmodel_stats::Matrix;
 use resmodel_trace::sanitize::{sanitize, SanitizeRules};
-use resmodel_trace::{SimDate, Trace};
+use resmodel_trace::{ColumnarTrace, SimDate, Trace};
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
@@ -131,12 +135,39 @@ impl PipelineSpec {
     }
 }
 
+/// Which storage layout the analysis stages extract their columns
+/// from. Not part of the serialized [`PipelineSpec`] — both layouts
+/// produce byte-identical reports (the CI identity check and the
+/// golden tests enforce it), so the choice is an execution detail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DataPath {
+    /// Row-oriented scans over the [`Trace`]: every `(date, resource)`
+    /// extraction re-filters all host records. Kept as the reference
+    /// implementation for identity verification.
+    Row,
+    /// Columnar extraction via [`ColumnarTrace`]: the active population
+    /// of each date is resolved once and every per-resource extraction
+    /// reuses it as a zero-copy column view. The default.
+    #[default]
+    Columnar,
+}
+
+/// Non-serialized instrumentation of one run, alongside the report.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunMetrics {
+    /// Time spent producing the columnar store, ms: the row→column
+    /// conversion, or the direct fleet export when the source is a
+    /// scenario with no sanitize stage. `0` on [`DataPath::Row`].
+    pub extract_ms: f64,
+}
+
 /// Builder for an end-to-end run. Construct with one of the `from_*`
 /// methods, chain stage configurators, then [`Pipeline::run`].
 #[derive(Debug, Clone)]
 pub struct Pipeline {
     spec: PipelineSpec,
     external: Option<Trace>,
+    path: DataPath,
 }
 
 impl Pipeline {
@@ -150,6 +181,7 @@ impl Pipeline {
                 predict: None,
             },
             external: None,
+            path: DataPath::default(),
         }
     }
 
@@ -179,7 +211,17 @@ impl Pipeline {
         Self {
             spec,
             external: None,
+            path: DataPath::default(),
         }
+    }
+
+    /// Select the storage layout the analysis stages run on
+    /// ([`DataPath::Columnar`] by default). Reports are byte-identical
+    /// either way; [`DataPath::Row`] exists for verification and
+    /// benchmarking.
+    pub fn data_path(mut self, path: DataPath) -> Self {
+        self.path = path;
+        self
     }
 
     /// Attach the trace an [`SourceSpec::External`] spec refers to.
@@ -250,7 +292,19 @@ impl Pipeline {
     /// degenerate fits, [`ResmodelError::Config`] from invalid
     /// scenarios or unsatisfied stage preconditions).
     pub fn run(self) -> Result<PipelineReport, ResmodelError> {
-        self.run_detailed().map(|o| o.report)
+        self.run_inner(false).map(|(report, _, _)| report)
+    }
+
+    /// Like [`Pipeline::run`], but also hands back the run's
+    /// [`RunMetrics`] (columnar extraction timing) — what the sweep
+    /// layer records per job.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::run`].
+    pub fn run_metered(self) -> Result<(PipelineReport, RunMetrics), ResmodelError> {
+        self.run_inner(false)
+            .map(|(report, _, metrics)| (report, metrics))
     }
 
     /// Like [`Pipeline::run`], but also hands back the (possibly
@@ -261,12 +315,29 @@ impl Pipeline {
     ///
     /// Same conditions as [`Pipeline::run`].
     pub fn run_detailed(self) -> Result<PipelineOutput, ResmodelError> {
-        let spec = self.spec;
-        let mut timing = StageTimings::default();
+        self.run_inner(true).map(|(report, trace, _)| {
+            let trace = trace.unwrap_or_default();
+            PipelineOutput { report, trace }
+        })
+    }
 
-        // --- Source ---
-        let t0 = Instant::now();
-        let raw = match &spec.source {
+    fn run_inner(
+        self,
+        want_trace: bool,
+    ) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
+        match self.path {
+            DataPath::Row => self.run_rows(),
+            DataPath::Columnar => self.run_columnar(want_trace),
+        }
+    }
+
+    /// Build the raw row trace from the configured source (all sources
+    /// except the scenario fast path below).
+    fn build_row_source(
+        source: &SourceSpec,
+        external: Option<Trace>,
+    ) -> Result<Trace, ResmodelError> {
+        Ok(match source {
             SourceSpec::Boinc { scale, seed } => {
                 let params = WorldParams::with_scale(*scale, *seed);
                 params.validate()?;
@@ -283,13 +354,25 @@ impl Pipeline {
                 let report = engine::run(&scenario)?;
                 fleet_to_trace(&report.fleet, report.scenario.end)
             }
-            SourceSpec::External => self.external.ok_or_else(|| {
+            SourceSpec::External => external.ok_or_else(|| {
                 ResmodelError::config(
                     "pipeline",
                     "source is External but no trace was attached (use with_trace)",
                 )
             })?,
-        };
+        })
+    }
+
+    /// The reference row-oriented implementation: every stage scans the
+    /// [`Trace`] directly. Byte-identical to [`Pipeline::run_columnar`]
+    /// — kept for verification and benchmarking.
+    fn run_rows(self) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
+        let spec = self.spec;
+        let mut timing = StageTimings::default();
+
+        // --- Source ---
+        let t0 = Instant::now();
+        let raw = Self::build_row_source(&spec.source, self.external)?;
         timing.build_ms = ms_since(t0);
         let raw_hosts = raw.len();
 
@@ -306,32 +389,24 @@ impl Pipeline {
             timing.sanitize_ms = ms_since(t0);
         }
 
-        let world = WorldSummary {
-            hosts: trace.len(),
+        let world = world_summary(
+            trace.len(),
             raw_hosts,
             discarded,
-            discarded_fraction: if raw_hosts == 0 {
-                0.0
-            } else {
-                discarded as f64 / raw_hosts as f64
-            },
-            start: trace.start(),
-            end: trace.end(),
-        };
+            trace.start(),
+            trace.end(),
+        );
 
         // --- Fit ---
         let t0 = Instant::now();
         let fit = match &spec.fit {
             Some(config) => {
-                let report = fit_host_model(&trace, config)?;
+                let report = fit_host_model_rows(&trace, config)?;
                 let lifetime = config
                     .sample_dates
                     .last()
                     .and_then(|&cutoff| lifetime_weibull(&trace, cutoff).ok())
-                    .map(|w| LifetimeFit {
-                        shape: w.shape(),
-                        scale_days: w.scale(),
-                    });
+                    .map(LifetimeFit::from);
                 timing.fit_ms = ms_since(t0);
                 Some(FitStage { report, lifetime })
             }
@@ -369,23 +444,10 @@ impl Pipeline {
 
         // --- Predict ---
         let t0 = Instant::now();
-        let predictions = match &spec.predict {
-            Some(p) => {
-                let model = &require_fit(&fit, "predict")?.report.model;
-                let stage = PredictionStage {
-                    multicore: multicore_prediction(model, &p.dates)?,
-                    memory: memory_prediction(model, &p.dates)?,
-                    moments: p
-                        .dates
-                        .iter()
-                        .map(|&d| moment_prediction(model, d))
-                        .collect(),
-                };
-                timing.predict_ms = ms_since(t0);
-                Some(stage)
-            }
-            None => None,
-        };
+        let predictions = predict_stage(&spec.predict, &fit)?;
+        if predictions.is_some() {
+            timing.predict_ms = ms_since(t0);
+        }
 
         let report = PipelineReport {
             spec,
@@ -395,7 +457,179 @@ impl Pipeline {
             predictions,
             timing,
         };
-        Ok(PipelineOutput { report, trace })
+        Ok((report, Some(trace), RunMetrics::default()))
+    }
+
+    /// The columnar implementation: the trace is columnarised once
+    /// (straight from the fleet shards when the source is a scenario
+    /// with no sanitize stage) and every analysis stage extracts from
+    /// shared zero-copy column views.
+    fn run_columnar(
+        self,
+        want_trace: bool,
+    ) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
+        let spec = self.spec;
+        let mut timing = StageTimings::default();
+        let mut metrics = RunMetrics::default();
+
+        // --- Source + columnarization ---
+        // A scenario source with no sanitize stage skips the row-trace
+        // detour entirely: columns are emitted directly from the fleet.
+        let direct = spec.sanitize.is_none() && matches!(spec.source, SourceSpec::Scenario { .. });
+        let mut row_trace: Option<Trace> = None;
+        let (columnar, raw_hosts, discarded) = if direct {
+            let SourceSpec::Scenario {
+                scenario,
+                max_hosts,
+            } = &spec.source
+            else {
+                unreachable!("`direct` implies a scenario source");
+            };
+            let t0 = Instant::now();
+            let mut scenario = scenario.clone();
+            if *max_hosts > 0 {
+                scenario.max_hosts = *max_hosts;
+            }
+            let report = engine::run(&scenario)?;
+            timing.build_ms = ms_since(t0);
+            let t0 = Instant::now();
+            let columnar = fleet_to_columnar(&report.fleet, report.scenario.end);
+            metrics.extract_ms = ms_since(t0);
+            let raw_hosts = columnar.len();
+            (columnar, raw_hosts, 0)
+        } else {
+            let t0 = Instant::now();
+            let raw = Self::build_row_source(&spec.source, self.external)?;
+            timing.build_ms = ms_since(t0);
+            let raw_hosts = raw.len();
+
+            let t0 = Instant::now();
+            let (trace, discarded) = match spec.sanitize {
+                Some(rules) => {
+                    let report = sanitize(&raw, rules);
+                    (report.trace, report.discarded)
+                }
+                None => (raw, 0),
+            };
+            if spec.sanitize.is_some() {
+                timing.sanitize_ms = ms_since(t0);
+            }
+
+            let t0 = Instant::now();
+            let columnar = ColumnarTrace::from(&trace);
+            metrics.extract_ms = ms_since(t0);
+            row_trace = Some(trace);
+            (columnar, raw_hosts, discarded)
+        };
+
+        let world = world_summary(
+            columnar.len(),
+            raw_hosts,
+            discarded,
+            columnar.start(),
+            columnar.end(),
+        );
+
+        // --- Fit ---
+        let t0 = Instant::now();
+        let fit = match &spec.fit {
+            Some(config) => {
+                let report = fit_host_model_columnar(&columnar, config)?;
+                let lifetime = config
+                    .sample_dates
+                    .last()
+                    .and_then(|&cutoff| lifetime_weibull_columnar(&columnar, cutoff).ok())
+                    .map(LifetimeFit::from);
+                timing.fit_ms = ms_since(t0);
+                Some(FitStage { report, lifetime })
+            }
+            None => None,
+        };
+
+        // --- Validate ---
+        let t0 = Instant::now();
+        let validation = match &spec.validate {
+            Some(v) => {
+                let model = &require_fit(&fit, "validate")?.report.model;
+                let mut out = Vec::with_capacity(v.dates.len());
+                for (i, &date) in v.dates.iter().enumerate() {
+                    let actual = columnar.active_at(date);
+                    let generated =
+                        model.generate_population(date, actual.len(), v.seed ^ i as u64);
+                    let comparisons = compare_populations_columnar(&generated, &columnar, &actual)?;
+                    let generated_correlation = generated_correlation_matrix(&generated)?;
+                    out.push(ValidationAt {
+                        date,
+                        hosts: actual.len(),
+                        comparisons,
+                        generated_correlation,
+                    });
+                }
+                timing.validate_ms = ms_since(t0);
+                Some(out)
+            }
+            None => None,
+        };
+
+        // --- Predict ---
+        let t0 = Instant::now();
+        let predictions = predict_stage(&spec.predict, &fit)?;
+        if predictions.is_some() {
+            timing.predict_ms = ms_since(t0);
+        }
+
+        let report = PipelineReport {
+            spec,
+            world,
+            fit,
+            validation,
+            predictions,
+            timing,
+        };
+        let trace = want_trace.then(|| row_trace.unwrap_or_else(|| columnar.to_trace()));
+        Ok((report, trace, metrics))
+    }
+}
+
+fn world_summary(
+    hosts: usize,
+    raw_hosts: usize,
+    discarded: usize,
+    start: Option<SimDate>,
+    end: Option<SimDate>,
+) -> WorldSummary {
+    WorldSummary {
+        hosts,
+        raw_hosts,
+        discarded,
+        discarded_fraction: if raw_hosts == 0 {
+            0.0
+        } else {
+            discarded as f64 / raw_hosts as f64
+        },
+        start,
+        end,
+    }
+}
+
+fn predict_stage(
+    predict: &Option<PredictSpec>,
+    fit: &Option<FitStage>,
+) -> Result<Option<PredictionStage>, ResmodelError> {
+    match predict {
+        Some(p) => {
+            let model = &require_fit(fit, "predict")?.report.model;
+            Ok(Some(PredictionStage {
+                multicore: multicore_prediction(model, &p.dates)?,
+                memory: memory_prediction(model, &p.dates)?,
+                moments: p
+                    .dates
+                    .iter()
+                    .map(|&d| moment_prediction(model, d))
+                    .collect(),
+            }))
+        }
+        None => Ok(None),
     }
 }
 
@@ -436,6 +670,15 @@ pub struct LifetimeFit {
     pub shape: f64,
     /// Weibull scale λ, days (paper: 135).
     pub scale_days: f64,
+}
+
+impl From<resmodel_stats::distributions::Weibull> for LifetimeFit {
+    fn from(w: resmodel_stats::distributions::Weibull) -> Self {
+        Self {
+            shape: w.shape(),
+            scale_days: w.scale(),
+        }
+    }
 }
 
 /// Output of the fit stage: the full [`FitReport`] (model + law

@@ -32,8 +32,8 @@
 //! count.
 
 use crate::pipeline::{
-    LifetimeFit, Pipeline, PipelineSpec, PredictSpec, SourceSpec, StageTimings, ValidateSpec,
-    WorldSummary,
+    DataPath, LifetimeFit, Pipeline, PipelineSpec, PredictSpec, SourceSpec, StageTimings,
+    ValidateSpec, WorldSummary,
 };
 use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
@@ -45,8 +45,14 @@ use resmodel_trace::SimDate;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`].
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/1";
+/// Schema identifier written into every [`BenchArtifact`]: `/2` adds
+/// the per-job columnar-extraction timing (`extract_ms`).
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/2";
+
+/// The previous artifact schema (no `extract_ms` row field). Still
+/// accepted by `swept --check` so stored `/1` artifacts keep
+/// validating.
+pub const BENCH_SCHEMA_V1: &str = "resmodel.bench_sweep/1";
 
 /// The full grid configuration of one sweep — stages as data, like
 /// [`PipelineSpec`], so a batch experiment round-trips through JSON.
@@ -232,18 +238,31 @@ impl SweepSpec {
 
     /// Execute every job of the grid on the rayon worker pool and
     /// assemble the typed report. Job order in the report equals grid
-    /// order regardless of scheduling.
+    /// order regardless of scheduling. Jobs run on the columnar data
+    /// path; see [`SweepSpec::run_with_path`] to force the row path.
     ///
     /// # Errors
     ///
     /// Returns the spec's validation error, or the first failing job's
     /// error wrapped in [`ResmodelError::Sweep`] with the job's label.
     pub fn run(&self) -> Result<SweepReport, ResmodelError> {
+        self.run_with_path(DataPath::Columnar)
+    }
+
+    /// [`SweepSpec::run`] on an explicit [`DataPath`]. After
+    /// [`SweepReport::zero_timings`], the two paths' reports are
+    /// byte-identical — the identity contract `swept
+    /// --verify-columnar` and CI assert.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSpec::run`].
+    pub fn run_with_path(&self, path: DataPath) -> Result<SweepReport, ResmodelError> {
         self.validate()?;
         let jobs = self.expand();
         let t0 = Instant::now();
         let outcomes: Vec<Result<JobReport, ResmodelError>> =
-            jobs.par_iter().map(run_job).collect();
+            jobs.par_iter().map(|job| run_job(job, path)).collect();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let mut reports = Vec::with_capacity(outcomes.len());
@@ -309,9 +328,11 @@ pub struct SweepJob {
 }
 
 /// Run one job, timing the whole pipeline.
-fn run_job(job: &SweepJob) -> Result<JobReport, ResmodelError> {
+fn run_job(job: &SweepJob, path: DataPath) -> Result<JobReport, ResmodelError> {
     let t0 = Instant::now();
-    let report = Pipeline::from_spec(job.spec.clone()).run()?;
+    let (report, metrics) = Pipeline::from_spec(job.spec.clone())
+        .data_path(path)
+        .run_metered()?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let mean_ks = report.validation.as_ref().map(|dates| {
@@ -346,6 +367,7 @@ fn run_job(job: &SweepJob) -> Result<JobReport, ResmodelError> {
         mean_ks,
         mean_cores_forecast,
         timing: report.timing,
+        extract_ms: metrics.extract_ms,
         wall_ms,
         hosts_per_sec: rate(report.world.raw_hosts, wall_ms),
     })
@@ -386,6 +408,9 @@ pub struct JobReport {
     pub mean_cores_forecast: Option<f64>,
     /// Per-stage wall-clock timings.
     pub timing: StageTimings,
+    /// Time spent producing the columnar store (conversion or direct
+    /// fleet export), ms; `0` on the row path.
+    pub extract_ms: f64,
     /// Whole-job wall time, ms.
     pub wall_ms: f64,
     /// Simulated hosts per second of job wall time.
@@ -518,6 +543,7 @@ impl SweepReport {
     pub fn zero_timings(&mut self) {
         for j in &mut self.jobs {
             j.timing = StageTimings::default();
+            j.extract_ms = 0.0;
             j.wall_ms = 0.0;
             j.hosts_per_sec = 0.0;
         }
@@ -570,6 +596,7 @@ impl SweepReport {
                     hosts: j.world.raw_hosts,
                     wall_ms: j.wall_ms,
                     hosts_per_sec: j.hosts_per_sec,
+                    extract_ms: Some(j.extract_ms),
                     timing: j.timing,
                 })
                 .collect(),
@@ -612,6 +639,9 @@ pub struct BenchJobRow {
     pub wall_ms: f64,
     /// Hosts per second of job wall time.
     pub hosts_per_sec: f64,
+    /// Per-job columnar extraction time, ms (schema `/2`; `None` when
+    /// parsed from a `/1` artifact).
+    pub extract_ms: Option<f64>,
     /// Per-stage timings.
     pub timing: StageTimings,
 }

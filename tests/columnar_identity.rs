@@ -1,0 +1,150 @@
+//! The columnar refactor's correctness contract, end to end:
+//!
+//! * `Trace → ColumnarTrace → Trace` is the identity, and per-date
+//!   column extraction matches the row path, for proptest-generated
+//!   traces across all four scenario families;
+//! * the direct fleet→columnar export equals the row-trace detour;
+//! * `Pipeline` and `SweepSpec` produce byte-identical JSON on the row
+//!   and columnar data paths (wall-clock fields zeroed) — including the
+//!   scenario-source fast path that never materialises a row trace.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::{DataPath, Pipeline, StageTimings};
+use resmodel::popsim::{engine, fleet_to_columnar, fleet_to_trace, Scenario};
+use resmodel::sweep::SweepSpec;
+use resmodel::trace::columnar::ColumnarTrace;
+use resmodel::trace::store::ResourceColumn;
+use resmodel::trace::{SimDate, Trace};
+
+/// Build one of the four scenario families at a small fleet size.
+fn family_trace(family: usize, seed: u64, hosts: usize) -> (Trace, ColumnarTrace) {
+    let mut scenario = Scenario::all_builtin(seed).remove(family % 4);
+    scenario.max_hosts = hosts;
+    let report = engine::run(&scenario).unwrap();
+    let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+    let direct = fleet_to_columnar(&report.fleet, report.scenario.end);
+    (trace, direct)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Round trip + column equality for every family, random seeds,
+    /// sizes and probe dates.
+    #[test]
+    fn columnar_round_trip_and_extraction_match_rows(
+        family in 0usize..4,
+        seed in 1u64..100_000,
+        hosts in 150usize..400,
+        probe_year in 2006.5..2011.0f64,
+    ) {
+        let (trace, direct) = family_trace(family, seed, hosts);
+
+        // Direct fleet export ≡ row detour conversion.
+        let converted = ColumnarTrace::from(&trace);
+        prop_assert_eq!(&direct, &converted);
+
+        // Trace → ColumnarTrace → Trace is the identity.
+        prop_assert_eq!(direct.to_trace().hosts(), trace.hosts());
+
+        // Whole-trace queries agree.
+        prop_assert_eq!(direct.start(), trace.start());
+        prop_assert_eq!(direct.end(), trace.end());
+        let cutoff = SimDate::from_year(2010.0);
+        prop_assert_eq!(direct.lifetimes(cutoff), trace.lifetimes(cutoff));
+
+        // Per-date extraction: same active population, same values in
+        // the same order, for every resource column.
+        let t = SimDate::from_year(probe_year);
+        let active = direct.active_at(t);
+        prop_assert_eq!(active.len(), trace.active_count(t));
+        for column in ResourceColumn::ALL {
+            let row_values = trace.column_at(t, column);
+            prop_assert_eq!(direct.column_values(&active, column), row_values);
+        }
+    }
+}
+
+/// Activity at exact first/last-contact boundaries agrees between the
+/// row and columnar paths (the paper's rule is inclusive on both ends).
+#[test]
+fn active_at_boundaries_agree_across_paths() {
+    let (trace, columnar) = family_trace(0, 7, 200);
+    let host = &trace.hosts()[3];
+    let first = host.first_contact().unwrap();
+    let last = host.last_contact().unwrap();
+    for t in [first, last] {
+        assert_eq!(
+            trace.active_count(t),
+            columnar.active_count(t),
+            "boundary {t}"
+        );
+        assert_eq!(
+            trace.active_count(t),
+            columnar.active_at(t).len(),
+            "boundary set {t}"
+        );
+        assert!(host.is_active_at(t), "inclusive boundary {t}");
+    }
+}
+
+fn zeroed_report_json(pipeline: Pipeline, path: DataPath) -> String {
+    let mut report = pipeline.data_path(path).run().unwrap();
+    report.timing = StageTimings::default();
+    report.to_json_pretty().unwrap()
+}
+
+#[test]
+fn pipeline_reports_are_byte_identical_across_paths() {
+    let build = || {
+        Pipeline::from_scenario(Scenario::flash_crowd(23))
+            .max_hosts(6_000)
+            .sanitize_default()
+            .fit(FitConfig::yearly(2007, 2010))
+            .validate(vec![SimDate::from_year(2010.5)])
+            .predict(vec![SimDate::from_year(2014.0)])
+    };
+    assert_eq!(
+        zeroed_report_json(build(), DataPath::Row),
+        zeroed_report_json(build(), DataPath::Columnar)
+    );
+}
+
+#[test]
+fn scenario_fast_path_matches_row_path_without_sanitize() {
+    // No sanitize stage → the columnar path skips the row-trace detour
+    // entirely; the report must still be byte-identical.
+    let build = || {
+        Pipeline::from_scenario(Scenario::steady_state(31))
+            .max_hosts(6_000)
+            .fit(FitConfig::yearly(2007, 2010))
+            .validate(vec![SimDate::from_year(2010.5)])
+    };
+    assert_eq!(
+        zeroed_report_json(build(), DataPath::Row),
+        zeroed_report_json(build(), DataPath::Columnar)
+    );
+    // run_detailed on the fast path reconstructs the exact row trace.
+    let row = build().data_path(DataPath::Row).run_detailed().unwrap();
+    let col = build()
+        .data_path(DataPath::Columnar)
+        .run_detailed()
+        .unwrap();
+    assert_eq!(row.trace.hosts(), col.trace.hosts());
+}
+
+#[test]
+fn sweep_reports_are_byte_identical_across_paths() {
+    let mut spec = SweepSpec::preset("smoke").unwrap();
+    spec.scenarios.truncate(2);
+    spec.fleet_sizes = vec![3_000];
+    let zeroed = |path: DataPath| {
+        let mut report = spec.run_with_path(path).unwrap();
+        report.zero_timings();
+        report.to_json_pretty().unwrap()
+    };
+    assert_eq!(zeroed(DataPath::Row), zeroed(DataPath::Columnar));
+}
