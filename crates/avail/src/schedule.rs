@@ -76,6 +76,31 @@ impl Schedule {
         self.intervals.iter().any(|&(a, b)| a <= t && t < b)
     }
 
+    /// The ON intervals intersected with the window `[t0, t1)`, clipped
+    /// to it, in order. Zero-length clips are skipped: an interval
+    /// ending exactly at `t0` or starting exactly at `t1` does not
+    /// appear. This is the dispatcher's hot path, so intervals wholly
+    /// before the window are skipped by binary search rather than
+    /// scanned.
+    pub fn on_intervals_between(&self, t0: f64, t1: f64) -> impl Iterator<Item = (f64, f64)> + '_ {
+        // First interval that ends strictly after t0; everything before
+        // it clips to nothing.
+        let start = self.intervals.partition_point(|&(_, b)| b <= t0);
+        self.intervals[start..]
+            .iter()
+            .take_while(move |&&(a, _)| a < t1)
+            .filter_map(move |&(a, b)| {
+                let lo = a.max(t0);
+                let hi = b.min(t1);
+                (lo < hi).then_some((lo, hi))
+            })
+    }
+
+    /// Total ON time within `[t0, t1)`, hours.
+    pub fn on_hours_between(&self, t0: f64, t1: f64) -> f64 {
+        self.on_intervals_between(t0, t1).map(|(a, b)| b - a).sum()
+    }
+
     /// Number of ON sessions.
     pub fn session_count(&self) -> usize {
         self.intervals.len()
@@ -150,6 +175,44 @@ mod tests {
         assert!(s.available_at(10.0));
         assert!(s.available_at(19.999));
         assert!(!s.available_at(20.0));
+    }
+
+    #[test]
+    fn window_clipping_basics() {
+        let s = sched(&[(0.0, 10.0), (20.0, 25.0), (50.0, 80.0)]);
+        // Whole horizon reproduces the intervals unchanged.
+        let all: Vec<_> = s.on_intervals_between(0.0, 100.0).collect();
+        assert_eq!(all, s.intervals().to_vec());
+        // A window inside one interval clips both ends.
+        let clipped: Vec<_> = s.on_intervals_between(55.0, 60.0).collect();
+        assert_eq!(clipped, vec![(55.0, 60.0)]);
+        // A window spanning a gap keeps both fragments.
+        let spanning: Vec<_> = s.on_intervals_between(5.0, 22.0).collect();
+        assert_eq!(spanning, vec![(5.0, 10.0), (20.0, 22.0)]);
+        assert_eq!(s.on_hours_between(5.0, 22.0), 7.0);
+        // An entirely-OFF window yields nothing.
+        assert_eq!(s.on_intervals_between(11.0, 19.0).count(), 0);
+        assert_eq!(s.on_hours_between(11.0, 19.0), 0.0);
+    }
+
+    #[test]
+    fn window_boundaries_at_interval_endpoints() {
+        let s = sched(&[(10.0, 20.0), (30.0, 40.0)]);
+        // Window starting exactly at an interval end excludes it...
+        let v: Vec<_> = s.on_intervals_between(20.0, 35.0).collect();
+        assert_eq!(v, vec![(30.0, 35.0)]);
+        // ...and a window ending exactly at an interval start excludes
+        // that interval (half-open [t0, t1) semantics, matching
+        // `available_at`'s `a <= t < b`).
+        let v: Vec<_> = s.on_intervals_between(5.0, 30.0).collect();
+        assert_eq!(v, vec![(10.0, 20.0)]);
+        // Window edges exactly on interval edges reproduce the interval.
+        let v: Vec<_> = s.on_intervals_between(10.0, 20.0).collect();
+        assert_eq!(v, vec![(10.0, 20.0)]);
+        // A degenerate (empty) window yields nothing, even at an edge.
+        assert_eq!(s.on_intervals_between(10.0, 10.0).count(), 0);
+        // Total ON mass over the horizon matches the direct sum.
+        assert_eq!(s.on_hours_between(0.0, 100.0), s.total_on_hours());
     }
 
     #[test]

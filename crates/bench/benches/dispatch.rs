@@ -1,0 +1,60 @@
+//! Workload-dispatch benchmarks: push a million-job workload through a
+//! 100k-host fleet under every placement policy, reporting jobs/sec.
+//!
+//! The fleet is built once (outside the timed region); each sample
+//! measures generation + sharded dispatch end to end.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use resmodel::popsim::{engine, ArrivalLaw, EngineReport, Scenario};
+use resmodel::sched::{dispatch, DispatchPolicy, WorkloadSpec};
+use std::hint::black_box;
+
+fn sized_fleet(hosts: usize) -> EngineReport {
+    let mut scenario = Scenario::steady_state(7);
+    scenario.max_hosts = hosts;
+    scenario.arrivals = ArrivalLaw::Exponential {
+        base_per_day: 120.0,
+        growth_per_year: 0.18,
+    };
+    engine::run(&scenario).expect("valid scenario")
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+
+    let hosts = 100_000usize;
+    let jobs = 1_000_000usize;
+    let fleet = sized_fleet(hosts);
+    // Open the window where the capped fleet's live population peaks.
+    let mut workload = WorkloadSpec::preset("mixed")
+        .expect("built-in preset")
+        .with_job_budget(jobs);
+    workload.start = resmodel::trace::SimDate::from_year(2007.0);
+
+    for policy in DispatchPolicy::ALL {
+        group.bench_function(format!("{}_{hosts}x{jobs}", policy.label()), |b| {
+            b.iter(|| {
+                let report = dispatch(&fleet, &workload, policy).expect("valid workload");
+                black_box(report.totals.completed)
+            })
+        });
+    }
+
+    // Report the throughput figure the BENCH artifact tracks.
+    let report =
+        dispatch(&fleet, &workload, DispatchPolicy::EarliestFinish).expect("valid workload");
+    println!(
+        "dispatch: earliest-finish {hosts} hosts x {} jobs -> {:.0} jobs/sec \
+         ({} completed, {:.1}% utilization, makespan {:.0} h)",
+        report.totals.jobs,
+        report.jobs_per_sec,
+        report.totals.completed,
+        100.0 * report.totals.host_utilization,
+        report.totals.makespan_hours,
+    );
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

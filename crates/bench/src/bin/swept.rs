@@ -28,7 +28,7 @@ const USAGE: Usage = Usage {
     flags: &[
         FlagHelp {
             flag: "--preset NAME",
-            help: "built-in sweep: smoke|families|scaling|replicates",
+            help: "built-in sweep: smoke|families|scaling|replicates|dispatch",
         },
         FlagHelp {
             flag: "--spec FILE",
@@ -123,7 +123,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         (Some(name), None) => SweepSpec::preset(&name).ok_or(ArgError::InvalidValue {
             flag: "--preset".into(),
             value: name,
-            expected: "smoke, families, scaling or replicates",
+            expected: "smoke, families, scaling, replicates or dispatch",
         })?,
         (None, Some(path)) => {
             let text = std::fs::read_to_string(&path).map_err(|e| ResmodelError::io(&path, e))?;
@@ -221,21 +221,34 @@ fn verify_columnar_identity(spec: &SweepSpec) -> Result<(), ResmodelError> {
 /// survive a serde round-trip byte-for-byte, and report at least one
 /// job with hosts and a throughput figure.
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
-    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1};
+    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2};
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
     let artifact = BenchArtifact::from_json(&text)?;
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
-    if artifact.schema != BENCH_SCHEMA && artifact.schema != BENCH_SCHEMA_V1 {
+    if ![BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1].contains(&artifact.schema.as_str()) {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V2}` / \
+             `{BENCH_SCHEMA_V1}`)",
             artifact.schema
         )));
     }
-    if artifact.schema == BENCH_SCHEMA && artifact.jobs.iter().any(|j| j.extract_ms.is_none()) {
+    if artifact.schema != BENCH_SCHEMA_V1 && artifact.jobs.iter().any(|j| j.extract_ms.is_none()) {
         return Err(invalid(format!(
-            "schema `{BENCH_SCHEMA}` requires extract_ms on every job row"
+            "schema `{}` requires extract_ms on every job row",
+            artifact.schema
         )));
+    }
+    // Dispatch rows (schema /3) must carry both dispatch fields or
+    // neither — a half-populated row means the emitter drifted.
+    if artifact
+        .jobs
+        .iter()
+        .any(|j| j.dispatch_ms.is_some() != j.jobs_per_sec.is_some())
+    {
+        return Err(invalid(
+            "job rows must carry dispatch_ms and jobs_per_sec together".into(),
+        ));
     }
     if artifact.jobs.is_empty() {
         return Err(invalid("artifact has no job rows".into()));
@@ -298,6 +311,50 @@ fn print_summary(report: &SweepReport) {
         );
     }
 
+    let dispatched: Vec<_> = report
+        .jobs
+        .iter()
+        .filter_map(|j| j.dispatch.as_ref().map(|d| (j, d)))
+        .collect();
+    if !dispatched.is_empty() {
+        section("dispatch comparison");
+        let widths = [12, 16, 8, 10, 8, 8, 8, 11];
+        println!(
+            "{}",
+            row(
+                &[
+                    "workload".into(),
+                    "policy".into(),
+                    "jobs".into(),
+                    "completed".into(),
+                    "miss".into(),
+                    "util".into(),
+                    "u-ratio".into(),
+                    "jobs/sec".into(),
+                ],
+                &widths,
+            )
+        );
+        for (_, d) in &dispatched {
+            println!(
+                "{}",
+                row(
+                    &[
+                        d.workload.clone(),
+                        d.policy.clone(),
+                        d.jobs.to_string(),
+                        d.completed.to_string(),
+                        format!("{:.3}", d.deadline_miss_rate),
+                        format!("{:.3}", d.host_utilization),
+                        format!("{:.3}", d.utility_ratio),
+                        format!("{:.0}", d.jobs_per_sec),
+                    ],
+                    &widths,
+                )
+            );
+        }
+    }
+
     section("scenario comparison");
     let widths = [14, 6, 10, 12, 12, 10];
     println!(
@@ -338,11 +395,98 @@ fn print_summary(report: &SweepReport) {
         t.jobs, t.total_hosts, t.wall_ms, t.threads, t.hosts_per_sec, t.peak_job_wall_ms,
     );
     println!(
-        "stage totals: build {:.1} ms, sanitize {:.1} ms, fit {:.1} ms, validate {:.1} ms, predict {:.1} ms",
+        "stage totals: build {:.1} ms, sanitize {:.1} ms, fit {:.1} ms, validate {:.1} ms, \
+         predict {:.1} ms, dispatch {:.1} ms",
         t.stage_ms.build_ms,
         t.stage_ms.sanitize_ms,
         t.stage_ms.fit_ms,
         t.stage_ms.validate_ms,
         t.stage_ms.predict_ms,
+        t.stage_ms.dispatch_ms,
     );
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::check_artifact;
+
+    /// A synthesized artifact in the exact shape the given schema
+    /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
+    /// blocks lack `dispatch_ms`, `/3` rows carry the dispatch pair.
+    fn artifact_json(schema: &str) -> String {
+        let timing = if schema.ends_with("/3") {
+            r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
+                "validate_ms": 0.3, "predict_ms": 0.0, "dispatch_ms": 2.0}"#
+        } else {
+            r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
+                "validate_ms": 0.3, "predict_ms": 0.0}"#
+        };
+        let extra = match schema {
+            s if s.ends_with("/1") => String::new(),
+            s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
+            _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
+        };
+        format!(
+            r#"{{
+              "schema": "{schema}",
+              "sweep": "smoke",
+              "seed": 20110620,
+              "threads": 4,
+              "totals": {{
+                "jobs": 1, "total_hosts": 8000, "wall_ms": 27.7,
+                "hosts_per_sec": 288613.0, "peak_job_wall_ms": 27.7,
+                "threads": 4, "stage_ms": {timing}
+              }},
+              "jobs": [{{
+                "label": "steady-state/8000/r1",
+                "scenario": "steady-state",
+                "fleet_size": 8000,
+                "seed": 17384152857138616771,
+                "hosts": 8000,
+                "wall_ms": 27.7,
+                "hosts_per_sec": 288613.0,
+                {extra}
+                "timing": {timing}
+              }}]
+            }}"#
+        )
+    }
+
+    fn check_str(name: &str, json: &str) -> Result<(), resmodel_error::ResmodelError> {
+        let path = std::env::temp_dir().join(format!("swept_check_{name}.json"));
+        std::fs::write(&path, json).unwrap();
+        let outcome = check_artifact(path.to_str().unwrap());
+        let _ = std::fs::remove_file(&path);
+        outcome
+    }
+
+    #[test]
+    fn stored_legacy_artifacts_keep_validating() {
+        // The compatibility contract: artifacts emitted by older
+        // binaries (no extract_ms on /1; no dispatch fields and no
+        // timing.dispatch_ms before /3) still pass --check.
+        for schema in [
+            "resmodel.bench_sweep/1",
+            "resmodel.bench_sweep/2",
+            "resmodel.bench_sweep/3",
+        ] {
+            let json = artifact_json(schema);
+            check_str("ok", &json).unwrap_or_else(|e| panic!("{schema}: {e}"));
+        }
+    }
+
+    #[test]
+    fn malformed_artifacts_are_rejected() {
+        // Unknown schema.
+        let json = artifact_json("resmodel.bench_sweep/99");
+        assert!(check_str("schema", &json).is_err());
+        // A /2 artifact missing extract_ms.
+        let json = artifact_json("resmodel.bench_sweep/2").replace(r#""extract_ms": 0.9,"#, "");
+        assert!(check_str("extract", &json).is_err());
+        // A /3 row carrying dispatch_ms without jobs_per_sec.
+        let json =
+            artifact_json("resmodel.bench_sweep/3").replace(r#""jobs_per_sec": 100000.0,"#, "");
+        assert!(check_str("pair", &json).is_err());
+    }
 }

@@ -121,6 +121,16 @@ pub enum ResmodelError {
         /// The job's underlying error.
         source: Box<ResmodelError>,
     },
+    /// A workload-dispatch run failed; wraps the underlying error with
+    /// the `policy/workload` (or `policy/job-family`) grid point so a
+    /// batch failure names where it happened — the dispatch analogue of
+    /// [`ResmodelError::Sweep`].
+    Dispatch {
+        /// The failing grid point, e.g. `"earliest-finish/mixed"`.
+        point: String,
+        /// The underlying error.
+        source: Box<ResmodelError>,
+    },
 }
 
 impl ResmodelError {
@@ -157,13 +167,24 @@ impl ResmodelError {
         }
     }
 
+    /// Shorthand for a [`ResmodelError::Dispatch`] wrapping `source`
+    /// with the failing `policy/workload` grid point.
+    pub fn dispatch(point: impl Into<String>, source: ResmodelError) -> Self {
+        ResmodelError::Dispatch {
+            point: point.into(),
+            source: Box::new(source),
+        }
+    }
+
     /// The conventional process exit code for this error: `2` for
     /// command-line usage problems, `1` for everything else. A sweep
-    /// failure reports its underlying job error's code.
+    /// or dispatch failure reports its underlying error's code.
     pub fn exit_code(&self) -> i32 {
         match self {
             ResmodelError::Arg(_) => 2,
-            ResmodelError::Sweep { source, .. } => source.exit_code(),
+            ResmodelError::Sweep { source, .. } | ResmodelError::Dispatch { source, .. } => {
+                source.exit_code()
+            }
             _ => 1,
         }
     }
@@ -180,6 +201,9 @@ impl fmt::Display for ResmodelError {
             ResmodelError::Json { context, message } => write!(f, "json ({context}): {message}"),
             ResmodelError::Arg(e) => write!(f, "{e}"),
             ResmodelError::Sweep { job, source } => write!(f, "sweep job `{job}`: {source}"),
+            ResmodelError::Dispatch { point, source } => {
+                write!(f, "dispatch `{point}`: {source}")
+            }
         }
     }
 }
@@ -190,7 +214,9 @@ impl std::error::Error for ResmodelError {
             ResmodelError::Stats(e) => Some(e),
             ResmodelError::Io { source, .. } => Some(source),
             ResmodelError::Arg(e) => Some(e),
-            ResmodelError::Sweep { source, .. } => Some(source),
+            ResmodelError::Sweep { source, .. } | ResmodelError::Dispatch { source, .. } => {
+                Some(source)
+            }
             _ => None,
         }
     }
@@ -312,6 +338,26 @@ mod tests {
         // Usage errors keep their distinct exit code through the wrap.
         let e = ResmodelError::sweep("j", ArgError::UnknownFlag { flag: "--x".into() }.into());
         assert_eq!(e.exit_code(), 2);
+    }
+
+    #[test]
+    fn dispatch_errors_name_the_grid_point_and_chain() {
+        use std::error::Error;
+        let e = ResmodelError::dispatch(
+            "earliest-finish/mixed",
+            ResmodelError::config("workload", "at least one job family is required"),
+        );
+        assert_eq!(
+            e.to_string(),
+            "dispatch `earliest-finish/mixed`: invalid workload: at least one job family is required"
+        );
+        assert!(e.source().is_some());
+        assert_eq!(e.exit_code(), 1);
+        // A dispatch failure inside a sweep job chains both labels.
+        let e = ResmodelError::sweep("steady-state/8000/r1", e);
+        assert!(e.to_string().contains("sweep job"));
+        assert!(e.to_string().contains("dispatch `earliest-finish/mixed`"));
+        assert_eq!(e.exit_code(), 1);
     }
 
     #[test]

@@ -1,0 +1,857 @@
+//! The sharded, event-driven dispatch engine.
+//!
+//! ## Determinism contract
+//!
+//! Mirroring the popsim engine one layer up:
+//!
+//! * Job generation is a serial function of `(spec.seed, family index)`
+//!   — each family draws its arrival stream and sizes from a dedicated
+//!   substream, and the merged job list is sorted by arrival time with
+//!   a stable family-order tie-break.
+//! * Job `j` routes to dispatch shard
+//!   `substream(seed ^ ROUTE, j) % shard_count` and host `h` to shard
+//!   `h.id % shard_count` — pure functions of the spec, never of the
+//!   machine.
+//! * Shards simulate independently on the rayon pool and their partial
+//!   statistics merge in shard order, so a [`DispatchReport`] is
+//!   byte-identical (after [`DispatchReport::zero_timings`]) at any
+//!   thread count.
+
+use crate::policy::DispatchPolicy;
+use crate::report::{DispatchReport, DispatchTotals, FamilyDispatchStats};
+use crate::workload::WorkloadSpec;
+use rand::RngExt;
+use rayon::prelude::*;
+use resmodel_allocsim::utility;
+use resmodel_error::ResmodelError;
+use resmodel_popsim::EngineReport;
+use resmodel_stats::distributions::LogNormal;
+use resmodel_stats::rng::{seeded_substream, substream};
+use resmodel_stats::Distribution;
+use std::time::Instant;
+
+/// Substream salt for per-family job generation (xor-ed with the
+/// family index).
+const FAMILY_SALT: u64 = 0xD15A_7C40_0000_0001;
+/// Substream salt for job → shard routing.
+const ROUTE_SALT: u64 = 0xD15A_7C40_0000_0002;
+/// Substream salt for per-job candidate sampling.
+const EXEC_SALT: u64 = 0xD15A_7C40_0000_0003;
+
+/// One generated job. Its global index in arrival order is its id.
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    /// Arrival, hours from window start.
+    arrival: f64,
+    /// Size, GFLOP-equivalents.
+    size: f64,
+    /// Family index in the spec.
+    family: u32,
+}
+
+/// Dispatch `spec`'s workload onto the fleet of `engine` under
+/// `policy`.
+///
+/// Hosts live and die on the popsim timeline; when the scenario models
+/// availability, progress only accrues during ON sessions of the
+/// host's deterministic [`resmodel_avail::Schedule`] (checkpoint/resume
+/// across OFF gaps, or restart, per `spec.checkpointing`).
+///
+/// # Errors
+///
+/// Returns a [`ResmodelError::Dispatch`] naming the `policy/workload`
+/// grid point, wrapping the spec's validation error.
+pub fn dispatch(
+    engine: &EngineReport,
+    spec: &WorkloadSpec,
+    policy: DispatchPolicy,
+) -> Result<DispatchReport, ResmodelError> {
+    let point = || format!("{}/{}", policy.label(), spec.name);
+    spec.validate()
+        .map_err(|e| ResmodelError::dispatch(point(), e))?;
+
+    let t_run = Instant::now();
+    let t0 = Instant::now();
+    let jobs = generate_jobs(spec);
+    if jobs.len() > u32::MAX as usize {
+        return Err(ResmodelError::dispatch(
+            point(),
+            ResmodelError::config("workload", "more than u32::MAX jobs generated"),
+        ));
+    }
+    let generate_ms = ms_since(t0);
+
+    let t0 = Instant::now();
+    let shard_count = spec.shard_count;
+
+    // Route jobs and hosts onto the dispatch shards.
+    let mut shards: Vec<(Vec<u32>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); shard_count];
+    for id in 0..jobs.len() {
+        let s = (substream(spec.seed ^ ROUTE_SALT, id as u64) % shard_count as u64) as usize;
+        shards[s].0.push(id as u32);
+    }
+    for host in engine.fleet.iter() {
+        shards[(host.id % shard_count as u64) as usize]
+            .1
+            .push(host.id);
+    }
+    for (_, hosts) in &mut shards {
+        hosts.sort_unstable();
+    }
+
+    // Shards are independent: simulate on however many threads rayon
+    // offers; outcomes are collected (and merged) in shard order.
+    let outcomes: Vec<ShardOutcome> = shards
+        .par_iter()
+        .map(|(job_ids, host_ids)| run_shard(engine, spec, policy, &jobs, job_ids, host_ids))
+        .collect();
+    let dispatch_ms = ms_since(t0);
+
+    // Deterministic merge in shard order.
+    let n_fam = spec.families.len();
+    let mut m = ShardOutcome::empty(n_fam);
+    for o in &outcomes {
+        m.hosts += o.hosts;
+        m.total_on_hours += o.total_on_hours;
+        m.busy_on_hours += o.busy_on_hours;
+        m.replicas += o.replicas;
+        m.completed += o.completed;
+        m.failed += o.failed;
+        m.unassigned += o.unassigned;
+        m.deadline_jobs += o.deadline_jobs;
+        m.deadline_missed += o.deadline_missed;
+        m.latency_sum += o.latency_sum;
+        m.makespan = m.makespan.max(o.makespan);
+        m.predicted_utility += o.predicted_utility;
+        m.realized_utility += o.realized_utility;
+        for (a, b) in m.families.iter_mut().zip(&o.families) {
+            a.jobs += b.jobs;
+            a.completed += b.completed;
+            a.failed += b.failed;
+            a.unassigned += b.unassigned;
+            a.deadline_missed += b.deadline_missed;
+            a.latency_sum += b.latency_sum;
+            a.size_sum += b.size_sum;
+        }
+    }
+
+    let mean = |sum: f64, n: usize| if n == 0 { 0.0 } else { sum / n as f64 };
+    let families = spec
+        .families
+        .iter()
+        .zip(&m.families)
+        .map(|(f, a)| FamilyDispatchStats {
+            name: f.name.clone(),
+            jobs: a.jobs,
+            completed: a.completed,
+            failed: a.failed,
+            unassigned: a.unassigned,
+            deadline_missed: a.deadline_missed,
+            mean_latency_hours: mean(a.latency_sum, a.completed),
+            mean_size_gflop: mean(a.size_sum, a.jobs),
+        })
+        .collect();
+
+    let totals = DispatchTotals {
+        hosts: m.hosts,
+        jobs: jobs.len(),
+        replicas: m.replicas,
+        completed: m.completed,
+        failed: m.failed,
+        unassigned: m.unassigned,
+        deadline_missed: m.deadline_missed,
+        deadline_miss_rate: mean(m.deadline_missed as f64, m.deadline_jobs),
+        makespan_hours: m.makespan,
+        mean_latency_hours: mean(m.latency_sum, m.completed),
+        jobs_per_sim_hour: m.completed as f64 / spec.horizon_hours,
+        host_utilization: if m.total_on_hours > 0.0 {
+            m.busy_on_hours / m.total_on_hours
+        } else {
+            0.0
+        },
+        predicted_utility: m.predicted_utility,
+        realized_utility: m.realized_utility,
+        utility_ratio: if m.predicted_utility > 0.0 {
+            m.realized_utility / m.predicted_utility
+        } else {
+            0.0
+        },
+    };
+
+    let wall_ms = ms_since(t_run);
+    Ok(DispatchReport {
+        workload: spec.clone(),
+        policy,
+        totals,
+        families,
+        generate_ms,
+        dispatch_ms,
+        wall_ms,
+        jobs_per_sec: if wall_ms > 0.0 {
+            jobs.len() as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        },
+    })
+}
+
+fn ms_since(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
+/// Generate the window's job list: per-family thinned Poisson arrival
+/// streams with log-normal sizes, merged into global arrival order
+/// (stable sort, so equal-time jobs keep family-major order).
+fn generate_jobs(spec: &WorkloadSpec) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for (fi, fam) in spec.families.iter().enumerate() {
+        let mut rng = seeded_substream(spec.seed ^ FAMILY_SALT, fi as u64);
+        // Median-anchored log-normal sizes: ln-median = ln(size_gflop).
+        let sizes = (fam.size_sigma > 0.0)
+            .then(|| LogNormal::new(fam.size_gflop.ln(), fam.size_sigma))
+            .transpose()
+            .ok()
+            .flatten();
+        let mut t = 0.0;
+        let mut count = 0usize;
+        loop {
+            // First-order thinning: exponential gap at the current
+            // rate — exact for Poisson, the popsim arrival scheme for
+            // time-varying shapes.
+            let rate = fam.arrivals.rate(t).max(1e-9);
+            let u: f64 = rng.random::<f64>();
+            t += -(1.0 - u).ln() / rate;
+            if t > spec.horizon_hours {
+                break;
+            }
+            if fam.max_jobs > 0 && count >= fam.max_jobs {
+                break;
+            }
+            let size = match &sizes {
+                Some(d) => d.sample(&mut rng),
+                None => fam.size_gflop,
+            };
+            jobs.push(Job {
+                arrival: t,
+                size,
+                family: fi as u32,
+            });
+            count += 1;
+        }
+    }
+    jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+    jobs
+}
+
+/// One host's dispatch lane: its eligible window, ON sessions, service
+/// rate, per-family valuations and committed work.
+struct Lane {
+    /// Eligibility start (alive ∩ window), hours.
+    a0: f64,
+    /// ON intervals clipped to the eligible window.
+    on: Vec<(f64, f64)>,
+    /// `prefix[i]` = ON-hours before interval `i`; `prefix[m]` = total.
+    prefix: Vec<f64>,
+    /// Service rate, GFLOP-equivalents per ON-hour.
+    speed: f64,
+    /// Whether the host reported a GPU.
+    gpu: bool,
+    /// Cobb–Douglas utility per job family.
+    util: Vec<f64>,
+    /// Committed ON-hours (the FIFO queue tail).
+    cursor_on: f64,
+    /// ON-hours actually consumed (work + failed-attempt churn).
+    busy_on: f64,
+}
+
+impl Lane {
+    fn total_on(&self) -> f64 {
+        *self.prefix.last().unwrap_or(&0.0)
+    }
+
+    /// ON-hours elapsed before wall time `t`.
+    fn on_elapsed(&self, t: f64) -> f64 {
+        let i = self.on.partition_point(|&(_, b)| b <= t);
+        if i == self.on.len() {
+            self.prefix[i]
+        } else {
+            self.prefix[i] + (t - self.on[i].0).max(0.0)
+        }
+    }
+
+    /// Wall time at which cumulative ON-hours reach `w` (`w` must be in
+    /// `[0, total_on]`).
+    fn wall_at_on(&self, w: f64) -> f64 {
+        let i = self
+            .prefix
+            .partition_point(|&p| p < w)
+            .clamp(1, self.on.len())
+            - 1;
+        self.on[i].0 + (w - self.prefix[i])
+    }
+
+    /// Current backlog ahead of a job arriving at `t`, ON-hours.
+    fn backlog_at(&self, t: f64) -> f64 {
+        (self.cursor_on - self.on_elapsed(t)).max(0.0)
+    }
+
+    /// Estimated completion wall time of `work` ON-hours queued at `t`;
+    /// infeasible work is pushed past the window end, staying ordered
+    /// so earliest-finish still ranks overloads sensibly.
+    fn estimate_finish(&self, t: f64, work: f64, horizon: f64) -> f64 {
+        let w0 = self.cursor_on.max(self.on_elapsed(t));
+        let w1 = w0 + work;
+        let total = self.total_on();
+        if w1 <= total {
+            self.wall_at_on(w1)
+        } else {
+            2.0 * horizon + (w1 - total)
+        }
+    }
+
+    /// Commit `work` ON-hours arriving at wall time `t`; returns the
+    /// completion wall time, or `None` when the host churns away (or
+    /// the window ends) first. Failed work still consumes the lane's
+    /// remaining capacity — the host ground away at it.
+    fn commit(&mut self, t: f64, work: f64, checkpointing: bool) -> Option<f64> {
+        let w0 = self.cursor_on.max(self.on_elapsed(t));
+        let total = self.total_on();
+        if checkpointing {
+            let w1 = w0 + work;
+            if w1 <= total {
+                self.cursor_on = w1;
+                self.busy_on += w1 - w0;
+                Some(self.wall_at_on(w1))
+            } else {
+                self.busy_on += (total - w0).max(0.0);
+                self.cursor_on = total;
+                None
+            }
+        } else {
+            // Restart-on-interruption: the work unit needs one ON
+            // session with `work` contiguous hours, starting where the
+            // queue drains; every too-short session is burned retrying.
+            if w0 >= total {
+                return None;
+            }
+            let t0 = self.wall_at_on(w0);
+            let mut i = self.on.partition_point(|&(_, b)| b <= t0);
+            while i < self.on.len() {
+                let start = self.on[i].0.max(t0);
+                if self.on[i].1 - start >= work {
+                    let done = start + work;
+                    let w_done = self.on_elapsed(done).max(w0);
+                    self.busy_on += w_done - w0;
+                    self.cursor_on = w_done;
+                    return Some(done);
+                }
+                i += 1;
+            }
+            self.busy_on += (total - w0).max(0.0);
+            self.cursor_on = total;
+            None
+        }
+    }
+}
+
+/// Per-family accumulator inside one shard.
+#[derive(Debug, Clone, Default)]
+struct FamAccum {
+    jobs: usize,
+    completed: usize,
+    failed: usize,
+    unassigned: usize,
+    deadline_missed: usize,
+    latency_sum: f64,
+    size_sum: f64,
+}
+
+/// One shard's merged outcome.
+struct ShardOutcome {
+    hosts: usize,
+    total_on_hours: f64,
+    busy_on_hours: f64,
+    replicas: usize,
+    completed: usize,
+    failed: usize,
+    unassigned: usize,
+    deadline_jobs: usize,
+    deadline_missed: usize,
+    latency_sum: f64,
+    makespan: f64,
+    predicted_utility: f64,
+    realized_utility: f64,
+    families: Vec<FamAccum>,
+}
+
+impl ShardOutcome {
+    fn empty(n_fam: usize) -> Self {
+        Self {
+            hosts: 0,
+            total_on_hours: 0.0,
+            busy_on_hours: 0.0,
+            replicas: 0,
+            completed: 0,
+            failed: 0,
+            unassigned: 0,
+            deadline_jobs: 0,
+            deadline_missed: 0,
+            latency_sum: 0.0,
+            makespan: 0.0,
+            predicted_utility: 0.0,
+            realized_utility: 0.0,
+            families: vec![FamAccum::default(); n_fam],
+        }
+    }
+}
+
+/// Build this shard's lanes and run its jobs in arrival order.
+fn run_shard(
+    engine: &EngineReport,
+    spec: &WorkloadSpec,
+    policy: DispatchPolicy,
+    jobs: &[Job],
+    job_ids: &[u32],
+    host_ids: &[u64],
+) -> ShardOutcome {
+    let start_days = spec.start.days();
+    let horizon = spec.horizon_hours;
+    let profiles: Vec<_> = spec.families.iter().map(|f| f.app.profile()).collect();
+
+    // --- Lanes ---
+    let mut lanes: Vec<Lane> = Vec::new();
+    for &id in host_ids {
+        let Some(host) = engine.fleet.host(id) else {
+            continue;
+        };
+        let c_h = (host.created.days() - start_days) * 24.0;
+        let d_h = (host.death.days() - start_days) * 24.0;
+        let a0 = c_h.max(0.0);
+        let a1 = d_h.min(horizon);
+        if a1 <= a0 {
+            continue;
+        }
+        let on: Vec<(f64, f64)> = match engine.availability_schedule(id, horizon) {
+            Some(schedule) => schedule.on_intervals_between(a0, a1).collect(),
+            // No availability model: the host is ON for its whole
+            // eligible window.
+            None => vec![(a0, a1)],
+        };
+        if on.is_empty() {
+            continue;
+        }
+        let mut prefix = Vec::with_capacity(on.len() + 1);
+        let mut acc = 0.0;
+        prefix.push(0.0);
+        for &(a, b) in &on {
+            acc += b - a;
+            prefix.push(acc);
+        }
+        // Resources in force when the host enters the window (hardware
+        // refreshes inside the window keep the entry-rate — dispatch
+        // models capacity, not mid-run re-benchmarks).
+        let at = if c_h > 0.0 { host.created } else { spec.start };
+        let res = *host.resources_at(at).unwrap_or(&host.resources);
+        // Whetstone MIPS ≈ Mflops: cores · MIPS · 3600 s/h / 1000 →
+        // GFLOP-equivalents per ON-hour.
+        let speed = (f64::from(res.cores.max(1)) * res.whetstone_mips * 3.6).max(1e-6);
+        lanes.push(Lane {
+            a0,
+            on,
+            prefix,
+            speed,
+            gpu: host.gpu.is_some(),
+            util: profiles.iter().map(|p| utility(p, &res)).collect(),
+            cursor_on: 0.0,
+            busy_on: 0.0,
+        });
+    }
+
+    let mut out = ShardOutcome::empty(spec.families.len());
+    out.hosts = lanes.len();
+    out.total_on_hours = lanes.iter().map(Lane::total_on).sum();
+
+    // --- Eligibility sweep ---
+    // `activation[k]` / `removal[k]` order lanes by window entry/exit;
+    // the eligible set uses swap-removal (like the popsim engine's
+    // alive partition), so membership order is a pure function of the
+    // job sequence.
+    let mut activation: Vec<u32> = (0..lanes.len() as u32).collect();
+    activation.sort_by(|&x, &y| lanes[x as usize].a0.total_cmp(&lanes[y as usize].a0));
+    let mut removal: Vec<u32> = (0..lanes.len() as u32).collect();
+    removal.sort_by(|&x, &y| {
+        let ex = lanes[x as usize].on.last().map_or(0.0, |&(_, b)| b);
+        let ey = lanes[y as usize].on.last().map_or(0.0, |&(_, b)| b);
+        ex.total_cmp(&ey)
+    });
+    let exit_of = |lane: &Lane| lane.on.last().map_or(0.0, |&(_, b)| b);
+    let (mut next_act, mut next_rem) = (0usize, 0usize);
+    const GONE: u32 = u32::MAX;
+    let mut eligible: Vec<u32> = Vec::with_capacity(lanes.len());
+    let mut pos: Vec<u32> = vec![GONE; lanes.len()];
+
+    let mut candidates: Vec<u32> = Vec::with_capacity(spec.candidates);
+    let mut chosen: Vec<u32> = Vec::with_capacity(4);
+
+    for &job_id in job_ids {
+        let job = jobs[job_id as usize];
+        let t = job.arrival;
+
+        // Advance the sweep: admit lanes whose window has opened,
+        // retire lanes whose last ON session has ended.
+        while next_act < activation.len() && lanes[activation[next_act] as usize].a0 <= t {
+            let li = activation[next_act];
+            pos[li as usize] = eligible.len() as u32;
+            eligible.push(li);
+            next_act += 1;
+        }
+        while next_rem < removal.len() && exit_of(&lanes[removal[next_rem] as usize]) <= t {
+            let li = removal[next_rem];
+            next_rem += 1;
+            let p = pos[li as usize];
+            if p == GONE {
+                continue; // exited before it ever activated
+            }
+            eligible.swap_remove(p as usize);
+            if let Some(&moved) = eligible.get(p as usize) {
+                pos[moved as usize] = p;
+            }
+            pos[li as usize] = GONE;
+        }
+
+        let fam_idx = job.family as usize;
+        let fam = &spec.families[fam_idx];
+        let facc = &mut out.families[fam_idx];
+        facc.jobs += 1;
+        facc.size_sum += job.size;
+        let deadline = fam.deadline_hours;
+        if deadline.is_some() {
+            out.deadline_jobs += 1;
+        }
+
+        // --- Place every replica ---
+        let mut rng = seeded_substream(spec.seed ^ EXEC_SALT, u64::from(job_id));
+        let mut completion: Option<f64> = None;
+        let mut assigned_any = false;
+        chosen.clear();
+        for _ in 0..fam.replication {
+            // Power-of-d-choices: sample distinct candidates from the
+            // eligible set (also distinct from this job's earlier
+            // replicas); a bounded retry keeps the draw count finite on
+            // tiny shards.
+            candidates.clear();
+            if !eligible.is_empty() {
+                let want = spec
+                    .candidates
+                    .min(eligible.len().saturating_sub(chosen.len()));
+                for _ in 0..4 * spec.candidates {
+                    if candidates.len() >= want {
+                        break;
+                    }
+                    let li = eligible[rng.random_range(0..eligible.len())];
+                    if !candidates.contains(&li) && !chosen.contains(&li) {
+                        candidates.push(li);
+                    }
+                }
+            }
+            let Some(&best) = pick(policy, &candidates, &lanes, &job, fam.wants_gpu, horizon)
+            else {
+                continue;
+            };
+            chosen.push(best);
+            assigned_any = true;
+            out.replicas += 1;
+            let lane = &mut lanes[best as usize];
+            out.predicted_utility += lane.util[fam_idx];
+            let work = job.size / lane.speed;
+            if let Some(done) = lane.commit(t, work, spec.checkpointing) {
+                out.realized_utility += lane.util[fam_idx];
+                completion = Some(completion.map_or(done, |c: f64| c.min(done)));
+            }
+        }
+
+        // --- Score the job ---
+        match completion {
+            Some(done) => {
+                out.completed += 1;
+                facc.completed += 1;
+                out.latency_sum += done - t;
+                facc.latency_sum += done - t;
+                out.makespan = out.makespan.max(done);
+                if let Some(d) = deadline {
+                    if done - t > d {
+                        out.deadline_missed += 1;
+                        facc.deadline_missed += 1;
+                    }
+                }
+            }
+            None => {
+                if assigned_any {
+                    out.failed += 1;
+                    facc.failed += 1;
+                } else {
+                    out.unassigned += 1;
+                    facc.unassigned += 1;
+                }
+                if deadline.is_some() {
+                    out.deadline_missed += 1;
+                    facc.deadline_missed += 1;
+                }
+            }
+        }
+    }
+
+    out.busy_on_hours = lanes.iter().map(|l| l.busy_on).sum();
+    out
+}
+
+/// Pick the best candidate under `policy`. Ties resolve to the earliest
+/// candidate in sample order, which is itself deterministic.
+fn pick<'a>(
+    policy: DispatchPolicy,
+    candidates: &'a [u32],
+    lanes: &[Lane],
+    job: &Job,
+    wants_gpu: bool,
+    horizon: f64,
+) -> Option<&'a u32> {
+    if candidates.len() <= 1 {
+        return candidates.first();
+    }
+    let fam = job.family as usize;
+    let t = job.arrival;
+    // Higher score wins for every policy (earliest-finish negates).
+    let score = |li: &u32| -> f64 {
+        let lane = &lanes[*li as usize];
+        match policy {
+            DispatchPolicy::Random => 0.0,
+            DispatchPolicy::GreedyUtility => lane.util[fam] / (1.0 + lane.backlog_at(t)),
+            DispatchPolicy::EarliestFinish => {
+                -lane.estimate_finish(t, job.size / lane.speed, horizon)
+            }
+            DispatchPolicy::TierAffinity => {
+                let tier_match = lane.gpu == wants_gpu;
+                let base = lane.speed / (1.0 + lane.backlog_at(t));
+                if tier_match {
+                    1e12 + base
+                } else {
+                    base
+                }
+            }
+        }
+    };
+    if policy == DispatchPolicy::Random {
+        return candidates.first();
+    }
+    candidates.iter().reduce(|a, b| {
+        // Strictly-greater keeps the first of equals.
+        if score(b) > score(a) {
+            b
+        } else {
+            a
+        }
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use resmodel_popsim::{engine, ArrivalLaw, Scenario};
+
+    fn tiny_fleet(seed: u64) -> EngineReport {
+        let mut scenario = Scenario::steady_state(seed);
+        scenario.max_hosts = 600;
+        scenario.shard_count = 8;
+        scenario.arrivals = ArrivalLaw::Exponential {
+            base_per_day: 6.0,
+            growth_per_year: 0.18,
+        };
+        engine::run(&scenario).unwrap()
+    }
+
+    fn tiny_workload() -> WorkloadSpec {
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.shard_count = 8;
+        spec.horizon_hours = 240.0;
+        spec = spec.with_job_budget(800);
+        spec
+    }
+
+    #[test]
+    fn job_generation_is_deterministic_and_sorted() {
+        let spec = tiny_workload();
+        let a = generate_jobs(&spec);
+        let b = generate_jobs(&spec);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.arrival, y.arrival);
+            assert_eq!(x.size, y.size);
+            assert_eq!(x.family, y.family);
+        }
+        for w in a.windows(2) {
+            assert!(w[0].arrival <= w[1].arrival);
+        }
+        // Poisson totals land near the budget.
+        assert!(
+            (a.len() as f64 - 800.0).abs() < 160.0,
+            "generated {} jobs",
+            a.len()
+        );
+        // All four families are represented.
+        let fams: std::collections::HashSet<u32> = a.iter().map(|j| j.family).collect();
+        assert_eq!(fams.len(), spec.families.len());
+    }
+
+    #[test]
+    fn dispatch_produces_consistent_counts() {
+        let fleet = tiny_fleet(3);
+        let spec = tiny_workload();
+        for policy in DispatchPolicy::ALL {
+            let report = dispatch(&fleet, &spec, policy).unwrap();
+            let t = &report.totals;
+            assert_eq!(t.jobs, t.completed + t.failed + t.unassigned, "{policy}");
+            assert!(t.hosts > 0, "{policy}: no eligible hosts");
+            assert!(t.completed > 0, "{policy}: nothing completed");
+            assert!(t.replicas >= t.jobs - t.unassigned, "{policy}");
+            assert!(t.makespan_hours <= spec.horizon_hours, "{policy}");
+            assert!(
+                t.host_utilization >= 0.0 && t.host_utilization <= 1.0 + 1e-9,
+                "{policy}: utilization {}",
+                t.host_utilization
+            );
+            assert!(t.realized_utility <= t.predicted_utility + 1e-9, "{policy}");
+            assert!(
+                t.utility_ratio > 0.0 && t.utility_ratio <= 1.0 + 1e-9,
+                "{policy}"
+            );
+            let fam_jobs: usize = report.families.iter().map(|f| f.jobs).sum();
+            assert_eq!(fam_jobs, t.jobs, "{policy}");
+            let fam_missed: usize = report.families.iter().map(|f| f.deadline_missed).sum();
+            assert_eq!(fam_missed, t.deadline_missed, "{policy}");
+        }
+    }
+
+    #[test]
+    fn greedy_utility_beats_random_on_realized_utility_per_replica() {
+        let fleet = tiny_fleet(5);
+        let spec = tiny_workload();
+        let random = dispatch(&fleet, &spec, DispatchPolicy::Random).unwrap();
+        let greedy = dispatch(&fleet, &spec, DispatchPolicy::GreedyUtility).unwrap();
+        let per_replica =
+            |r: &DispatchReport| r.totals.predicted_utility / r.totals.replicas as f64;
+        assert!(
+            per_replica(&greedy) > per_replica(&random),
+            "greedy {} vs random {}",
+            per_replica(&greedy),
+            per_replica(&random)
+        );
+    }
+
+    #[test]
+    fn earliest_finish_cuts_deadline_misses() {
+        let fleet = tiny_fleet(7);
+        let mut spec = WorkloadSpec::preset("deadline").unwrap();
+        spec.shard_count = 8;
+        spec.horizon_hours = 240.0;
+        spec = spec.with_job_budget(900);
+        let random = dispatch(&fleet, &spec, DispatchPolicy::Random).unwrap();
+        let ef = dispatch(&fleet, &spec, DispatchPolicy::EarliestFinish).unwrap();
+        assert!(
+            ef.totals.deadline_miss_rate <= random.totals.deadline_miss_rate,
+            "earliest-finish {} vs random {}",
+            ef.totals.deadline_miss_rate,
+            random.totals.deadline_miss_rate
+        );
+    }
+
+    #[test]
+    fn invalid_workload_names_the_grid_point() {
+        let fleet = tiny_fleet(1);
+        let mut spec = tiny_workload();
+        spec.families.clear();
+        let err = dispatch(&fleet, &spec, DispatchPolicy::Random).unwrap_err();
+        match err {
+            ResmodelError::Dispatch { point, .. } => {
+                assert_eq!(point, "random/mixed");
+            }
+            other => panic!("expected a dispatch error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn reports_round_trip_and_zero_timings() {
+        let fleet = tiny_fleet(2);
+        let spec = tiny_workload();
+        let report = dispatch(&fleet, &spec, DispatchPolicy::TierAffinity).unwrap();
+        let mut a = report.clone();
+        let mut b = report;
+        a.zero_timings();
+        b.zero_timings();
+        let json = a.to_json_pretty().unwrap();
+        assert_eq!(json, b.to_json_pretty().unwrap());
+        let back = DispatchReport::from_json(&json).unwrap();
+        assert_eq!(a, back);
+    }
+
+    #[test]
+    fn lane_time_conversions_are_inverse() {
+        let lane = Lane {
+            a0: 0.0,
+            on: vec![(1.0, 3.0), (5.0, 6.0), (8.0, 12.0)],
+            prefix: vec![0.0, 2.0, 3.0, 7.0],
+            speed: 1.0,
+            gpu: false,
+            util: vec![],
+            cursor_on: 0.0,
+            busy_on: 0.0,
+        };
+        assert_eq!(lane.total_on(), 7.0);
+        assert_eq!(lane.on_elapsed(0.5), 0.0);
+        assert_eq!(lane.on_elapsed(2.0), 1.0);
+        assert_eq!(lane.on_elapsed(4.0), 2.0);
+        assert_eq!(lane.on_elapsed(100.0), 7.0);
+        assert_eq!(lane.wall_at_on(1.0), 2.0);
+        assert_eq!(lane.wall_at_on(2.0), 3.0);
+        assert_eq!(lane.wall_at_on(2.5), 5.5);
+        assert_eq!(lane.wall_at_on(7.0), 12.0);
+        for w in [0.5, 1.0, 2.0, 2.5, 3.0, 6.9] {
+            assert!(
+                (lane.on_elapsed(lane.wall_at_on(w)) - w).abs() < 1e-12,
+                "w={w}"
+            );
+        }
+    }
+
+    #[test]
+    fn checkpointing_commit_spans_gaps_and_restart_needs_one_session() {
+        let mk = || Lane {
+            a0: 0.0,
+            on: vec![(0.0, 2.0), (10.0, 13.0)],
+            prefix: vec![0.0, 2.0, 5.0],
+            speed: 1.0,
+            gpu: false,
+            util: vec![],
+            cursor_on: 0.0,
+            busy_on: 0.0,
+        };
+        // 3h of work with checkpointing: 2h in session 1, 1h into
+        // session 2 → completes at 11.
+        let mut lane = mk();
+        assert_eq!(lane.commit(0.0, 3.0, true), Some(11.0));
+        assert_eq!(lane.busy_on, 3.0);
+        // A second job queues behind it (FIFO): 1h more → 12.
+        assert_eq!(lane.commit(0.0, 1.0, true), Some(12.0));
+        // Overcommit fails and consumes the tail.
+        assert_eq!(lane.commit(0.0, 5.0, true), None);
+        assert_eq!(lane.cursor_on, 5.0);
+        // Without checkpointing the same 3h job must wait for the 3h
+        // session: restarts burn session 1 entirely.
+        let mut lane = mk();
+        assert_eq!(lane.commit(0.0, 3.0, false), Some(13.0));
+        assert_eq!(lane.busy_on, 5.0, "burned session + work");
+        // A 4h job can never fit any session.
+        let mut lane = mk();
+        assert_eq!(lane.commit(0.0, 4.0, false), None);
+    }
+}

@@ -1,0 +1,69 @@
+//! # resmodel-sched
+//!
+//! An event-driven **workload dispatch engine** over the modeled
+//! volunteer fleet — the subsystem that makes the paper's Section VII
+//! question operational. The paper argues that a good generative host
+//! model lets you predict what an Internet-distributed application can
+//! extract from a volunteer pool; `allocsim` reproduces that static
+//! Cobb–Douglas valuation (Fig 15), `avail` supplies per-host ON/OFF
+//! session structure, and `popsim` evolves the fleet itself through
+//! arrivals, lifetimes and hardware refreshes. This crate composes all
+//! three: it pushes millions of jobs through the churning,
+//! intermittently-available fleet and reports what the placements
+//! *actually* delivered next to what the static valuation *predicted*.
+//!
+//! ## Architecture
+//!
+//! * [`workload`] — a serde-round-trippable [`WorkloadSpec`]: job
+//!   families with Poisson or bursty arrival processes, log-normal
+//!   sizes in GFLOP-equivalents, optional deadlines, Table IX
+//!   application shapes ([`AppKind`] →
+//!   [`resmodel_allocsim::AppProfile`]) and replication factors.
+//! * [`policy`] — pluggable placement policies ([`DispatchPolicy`]):
+//!   random, greedy-utility (reusing [`resmodel_allocsim::utility`]),
+//!   deadline-aware earliest-finish, and GPU tier-affinity.
+//! * [`dispatch`](mod@dispatch) — the sharded simulator: hosts live and
+//!   die on the [`resmodel_popsim`] timeline, progress only accrues
+//!   during ON sessions of each host's deterministic
+//!   [`resmodel_avail::Schedule`] (clipped to the dispatch window via
+//!   [`resmodel_avail::Schedule::on_intervals_between`]), and replicas
+//!   checkpoint/resume — or restart — across churn.
+//! * [`report`] — the typed, serializable [`DispatchReport`]:
+//!   throughput, makespan, deadline-miss rate, host utilization and
+//!   realized-vs-predicted utility, byte-identical at any rayon thread
+//!   count after [`DispatchReport::zero_timings`].
+//!
+//! ## Quick start
+//!
+//! ```
+//! use resmodel_popsim::{engine, ArrivalLaw, Scenario};
+//! use resmodel_sched::{dispatch, DispatchPolicy, WorkloadSpec};
+//!
+//! let mut scenario = Scenario::steady_state(42);
+//! scenario.max_hosts = 400; // keep the doc test fast
+//! scenario.arrivals = ArrivalLaw::Exponential {
+//!     base_per_day: 6.0,
+//!     growth_per_year: 0.18,
+//! };
+//! let fleet = engine::run(&scenario)?;
+//!
+//! let workload = WorkloadSpec::preset("mixed")
+//!     .expect("built-in preset")
+//!     .with_job_budget(300);
+//! let report = dispatch(&fleet, &workload, DispatchPolicy::EarliestFinish)?;
+//! assert!(report.totals.completed > 0);
+//! assert!(report.totals.realized_utility <= report.totals.predicted_utility);
+//! # Ok::<(), resmodel_error::ResmodelError>(())
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+pub mod dispatch;
+pub mod policy;
+pub mod report;
+pub mod workload;
+
+pub use dispatch::dispatch;
+pub use policy::DispatchPolicy;
+pub use report::{DispatchReport, DispatchTotals, FamilyDispatchStats};
+pub use workload::{AppKind, ArrivalProcess, JobFamily, WorkloadSpec};

@@ -1,0 +1,77 @@
+//! Dispatch policies: how a replica picks among its candidate hosts.
+
+use serde::{Deserialize, Serialize};
+
+/// A dispatch policy. Every policy sees the same candidate set (a
+/// power-of-d-choices sample of hosts alive at the job's arrival) and
+/// differs only in how it scores them, so policy comparisons isolate
+/// the placement decision itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// The first candidate — the no-information baseline.
+    Random,
+    /// Highest Cobb–Douglas utility of the job's application shape on
+    /// the host (the paper's Section VII valuation, via
+    /// [`resmodel_allocsim::utility`]), discounted by the host's
+    /// current backlog so work spreads instead of piling onto one
+    /// utility monster.
+    GreedyUtility,
+    /// Earliest estimated completion given each candidate's backlog and
+    /// ON/OFF schedule — the deadline-aware choice.
+    EarliestFinish,
+    /// Tier routing: families that want a GPU prefer GPU-equipped
+    /// candidates (and others avoid them, keeping accelerator capacity
+    /// free), then fastest-per-backlog.
+    TierAffinity,
+}
+
+impl DispatchPolicy {
+    /// All policies, comparison order.
+    pub const ALL: [DispatchPolicy; 4] = [
+        DispatchPolicy::Random,
+        DispatchPolicy::GreedyUtility,
+        DispatchPolicy::EarliestFinish,
+        DispatchPolicy::TierAffinity,
+    ];
+
+    /// Short label for reports and grid-point names.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DispatchPolicy::Random => "random",
+            DispatchPolicy::GreedyUtility => "greedy-utility",
+            DispatchPolicy::EarliestFinish => "earliest-finish",
+            DispatchPolicy::TierAffinity => "tier-affinity",
+        }
+    }
+}
+
+impl std::fmt::Display for DispatchPolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> =
+            DispatchPolicy::ALL.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), DispatchPolicy::ALL.len());
+        assert_eq!(
+            DispatchPolicy::EarliestFinish.to_string(),
+            "earliest-finish"
+        );
+    }
+
+    #[test]
+    fn policies_round_trip_through_json() {
+        for p in DispatchPolicy::ALL {
+            let json = serde_json::to_string(&p).expect("serializes");
+            let back: DispatchPolicy = serde_json::from_str(&json).expect("parses");
+            assert_eq!(p, back);
+        }
+    }
+}

@@ -1,0 +1,121 @@
+//! The typed, serializable outcome of one dispatch run.
+
+use crate::policy::DispatchPolicy;
+use crate::workload::WorkloadSpec;
+use resmodel_error::ResmodelError;
+use serde::{Deserialize, Serialize};
+
+/// Whole-run counters and rates. All fields except the wall-clock ones
+/// are deterministic functions of `(EngineReport, WorkloadSpec,
+/// DispatchPolicy)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchTotals {
+    /// Hosts with any eligible (alive ∩ ON ∩ window) capacity.
+    pub hosts: usize,
+    /// Jobs generated over the window.
+    pub jobs: usize,
+    /// Replicas dispatched (≥ jobs when families replicate).
+    pub replicas: usize,
+    /// Jobs whose first replica finished inside the window.
+    pub completed: usize,
+    /// Jobs assigned but never finished (churn or window end).
+    pub failed: usize,
+    /// Jobs with no eligible host at arrival (empty shard or dead
+    /// fleet).
+    pub unassigned: usize,
+    /// Deadline-bearing jobs that finished late or not at all.
+    pub deadline_missed: usize,
+    /// `deadline_missed / deadline-bearing jobs` (0 when none).
+    pub deadline_miss_rate: f64,
+    /// Last completion, hours from window start (0 when nothing
+    /// finished).
+    pub makespan_hours: f64,
+    /// Mean completed-job latency (arrival → completion), hours.
+    pub mean_latency_hours: f64,
+    /// Completed jobs per simulated hour of window.
+    pub jobs_per_sim_hour: f64,
+    /// Consumed ON-hours / total eligible ON-hours across the fleet.
+    pub host_utilization: f64,
+    /// Sum of static Cobb–Douglas utilities over every dispatched
+    /// replica — what a Section VII-style availability-blind allocator
+    /// predicts the placements are worth.
+    pub predicted_utility: f64,
+    /// The same sum restricted to replicas that actually finished —
+    /// what the churning fleet really delivered.
+    pub realized_utility: f64,
+    /// `realized / predicted` (1 when churn costs nothing; 0/0 → 0).
+    pub utility_ratio: f64,
+}
+
+/// Per-family outcome row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FamilyDispatchStats {
+    /// Family name.
+    pub name: String,
+    /// Jobs generated.
+    pub jobs: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Jobs assigned but never finished.
+    pub failed: usize,
+    /// Jobs with no eligible host at arrival.
+    pub unassigned: usize,
+    /// Deadline misses (0 for best-effort families).
+    pub deadline_missed: usize,
+    /// Mean completed-job latency, hours.
+    pub mean_latency_hours: f64,
+    /// Mean generated job size, GFLOP-equivalents.
+    pub mean_size_gflop: f64,
+}
+
+/// Everything a dispatch run produced, serializable to JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchReport {
+    /// The workload that was dispatched (round-trippable).
+    pub workload: WorkloadSpec,
+    /// The policy that placed the replicas.
+    pub policy: DispatchPolicy,
+    /// Whole-run counters and rates.
+    pub totals: DispatchTotals,
+    /// Per-family rows, spec order.
+    pub families: Vec<FamilyDispatchStats>,
+    /// Job-generation wall time, ms.
+    pub generate_ms: f64,
+    /// Dispatch (sharded simulation) wall time, ms.
+    pub dispatch_ms: f64,
+    /// Whole-run wall time, ms.
+    pub wall_ms: f64,
+    /// Generated jobs per second of run wall time.
+    pub jobs_per_sec: f64,
+}
+
+impl DispatchReport {
+    /// Zero every wall-clock field, leaving only the deterministic
+    /// content — the form compared by the byte-stability tests,
+    /// mirroring the sweep layer's `SweepReport::zero_timings`.
+    pub fn zero_timings(&mut self) {
+        self.generate_ms = 0.0;
+        self.dispatch_ms = 0.0;
+        self.wall_ms = 0.0;
+        self.jobs_per_sec = 0.0;
+    }
+
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("dispatch report", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// report.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("dispatch report", e))
+    }
+}

@@ -1,0 +1,495 @@
+//! Workload configuration: job families with stochastic arrival
+//! processes, sizes in FLOP-equivalents, optional deadlines,
+//! application resource shapes and replication factors — fully
+//! serde-(de)serializable so a workload is a shareable JSON artifact.
+
+use resmodel_allocsim::AppProfile;
+use resmodel_error::ResmodelError;
+use resmodel_trace::SimDate;
+use serde::{Deserialize, Serialize};
+
+/// A serializable reference to one of the paper's Table IX application
+/// resource shapes ([`AppProfile`] itself holds `&'static str` names,
+/// so specs reference profiles by kind instead of embedding them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AppKind {
+    /// Radio-signal analysis: floating-point heavy, tiny memory/disk.
+    SetiAtHome,
+    /// Parallel molecular dynamics: multicore, medium memory.
+    FoldingAtHome,
+    /// Climate prediction: a balanced mix, floating-point emphasis.
+    ClimatePrediction,
+    /// Distributed file sharing: disk-dominated.
+    P2p,
+}
+
+impl AppKind {
+    /// All kinds, in Table IX order.
+    pub const ALL: [AppKind; 4] = [
+        AppKind::SetiAtHome,
+        AppKind::FoldingAtHome,
+        AppKind::ClimatePrediction,
+        AppKind::P2p,
+    ];
+
+    /// The Cobb–Douglas resource shape this kind references.
+    pub fn profile(&self) -> AppProfile {
+        match self {
+            AppKind::SetiAtHome => AppProfile::SETI_AT_HOME,
+            AppKind::FoldingAtHome => AppProfile::FOLDING_AT_HOME,
+            AppKind::ClimatePrediction => AppProfile::CLIMATE_PREDICTION,
+            AppKind::P2p => AppProfile::P2P,
+        }
+    }
+
+    /// Short label for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AppKind::SetiAtHome => "seti",
+            AppKind::FoldingAtHome => "folding",
+            AppKind::ClimatePrediction => "climate",
+            AppKind::P2p => "p2p",
+        }
+    }
+}
+
+/// Stochastic job arrival process over the dispatch window (hours from
+/// window start).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson arrivals.
+    Poisson {
+        /// Mean arrivals per hour.
+        per_hour: f64,
+    },
+    /// Poisson background plus a Gaussian burst — the flash-crowd
+    /// analogue for jobs (a result release, a backlog flush).
+    Burst {
+        /// Background arrivals per hour.
+        base_per_hour: f64,
+        /// Burst peak, hours from window start.
+        center_hour: f64,
+        /// Burst standard deviation, hours.
+        width_hours: f64,
+        /// Peak multiplier on the background rate (0 = no burst).
+        amplitude: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous arrival rate (jobs/hour) at `t` hours.
+    pub fn rate(&self, t: f64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { per_hour } => *per_hour,
+            ArrivalProcess::Burst {
+                base_per_hour,
+                center_hour,
+                width_hours,
+                amplitude,
+            } => {
+                let z = (t - center_hour) / width_hours.max(1e-9);
+                base_per_hour * (1.0 + amplitude * (-0.5 * z * z).exp())
+            }
+        }
+    }
+
+    /// Expected number of arrivals over `[0, horizon]` (trapezoid
+    /// integral at 1-hour resolution — exact for Poisson, close enough
+    /// for burst shapes to scale workloads by job budget).
+    pub fn expected_jobs(&self, horizon_hours: f64) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { per_hour } => per_hour * horizon_hours,
+            ArrivalProcess::Burst { .. } => {
+                let steps = (horizon_hours.ceil() as usize).max(1);
+                let dt = horizon_hours / steps as f64;
+                let mut total = 0.0;
+                for k in 0..steps {
+                    let a = self.rate(k as f64 * dt);
+                    let b = self.rate((k + 1) as f64 * dt);
+                    total += 0.5 * (a + b) * dt;
+                }
+                total
+            }
+        }
+    }
+
+    fn scale(&mut self, factor: f64) {
+        match self {
+            ArrivalProcess::Poisson { per_hour } => *per_hour *= factor,
+            ArrivalProcess::Burst { base_per_hour, .. } => *base_per_hour *= factor,
+        }
+    }
+}
+
+/// One family of jobs sharing an application shape, size law, arrival
+/// process and scheduling requirements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobFamily {
+    /// Family name (reports, error labels).
+    pub name: String,
+    /// Application resource shape (drives per-host utility and the
+    /// policies that use it).
+    pub app: AppKind,
+    /// Arrival process over the dispatch window.
+    pub arrivals: ArrivalProcess,
+    /// Median job size, GFLOP-equivalents (a 10⁴ GFLOP job takes ~1 h
+    /// on a 3-core 1500-MIPS-Whetstone host).
+    pub size_gflop: f64,
+    /// Log-normal σ of job sizes (`0` = every job exactly the median).
+    pub size_sigma: f64,
+    /// Completion deadline, hours after arrival; `None` = best-effort.
+    pub deadline_hours: Option<f64>,
+    /// Replicas dispatched per job (volunteer-computing redundancy);
+    /// the job completes when the first replica finishes.
+    pub replication: u32,
+    /// Prefer GPU-equipped hosts (the tier-affinity policy routes on
+    /// this).
+    pub wants_gpu: bool,
+    /// Hard cap on this family's arrivals (`0` = window-bounded only).
+    pub max_jobs: usize,
+}
+
+/// The complete configuration of one dispatch run: when, for how long,
+/// how the work arrives, and how execution is organised.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Workload name (reports, bench labels).
+    pub name: String,
+    /// Master seed; job generation, shard routing and candidate
+    /// sampling all derive substreams from it.
+    pub seed: u64,
+    /// Dispatch window start (simulated calendar date; availability
+    /// schedules and host lives are evaluated from here).
+    pub start: SimDate,
+    /// Dispatch window length, hours.
+    pub horizon_hours: f64,
+    /// Dispatch shards: hosts partition by `id % shard_count` and every
+    /// job routes to a shard by a seed substream — both pure functions
+    /// of the spec, never of the machine, so reports are byte-identical
+    /// at any thread count.
+    pub shard_count: usize,
+    /// Whether replicas checkpoint across OFF gaps (progress resumes)
+    /// or restart their work unit at every interruption.
+    pub checkpointing: bool,
+    /// Candidate hosts sampled per replica (power-of-d-choices); the
+    /// policy picks among these.
+    pub candidates: usize,
+    /// The job families.
+    pub families: Vec<JobFamily>,
+}
+
+impl WorkloadSpec {
+    /// Names accepted by [`WorkloadSpec::preset`].
+    pub const PRESETS: [&'static str; 3] = ["mixed", "deadline", "burst"];
+
+    /// A named built-in workload:
+    ///
+    /// * `"mixed"` — the four Table IX application shapes side by side:
+    ///   a high-rate stream of small SETI work units, medium replicated
+    ///   Folding runs, long deadline-bound climate ensembles, and a
+    ///   GPU-preferring render family.
+    /// * `"deadline"` — two families with tight deadlines; stresses the
+    ///   earliest-finish policy.
+    /// * `"burst"` — a Gaussian job burst over a small background;
+    ///   stresses queueing behaviour.
+    ///
+    /// All presets open a 30-day window at mid-2006 (where capped
+    /// engine fleets have their largest live population) and total a
+    /// few thousand jobs; scale with [`WorkloadSpec::with_job_budget`].
+    pub fn preset(name: &str) -> Option<Self> {
+        let base = |name: &str, families: Vec<JobFamily>| Self {
+            name: name.to_owned(),
+            seed: 20110620,
+            start: SimDate::from_year(2006.5),
+            horizon_hours: 720.0,
+            shard_count: 64,
+            checkpointing: true,
+            candidates: 4,
+            families,
+        };
+        let family = |name: &str, app: AppKind, per_hour: f64, size: f64| JobFamily {
+            name: name.to_owned(),
+            app,
+            arrivals: ArrivalProcess::Poisson { per_hour },
+            size_gflop: size,
+            size_sigma: 0.5,
+            deadline_hours: None,
+            replication: 1,
+            wants_gpu: false,
+            max_jobs: 0,
+        };
+        match name {
+            "mixed" => Some(base(
+                "mixed",
+                vec![
+                    family("seti-units", AppKind::SetiAtHome, 4.0, 2_000.0),
+                    JobFamily {
+                        replication: 2,
+                        ..family("folding-md", AppKind::FoldingAtHome, 1.5, 20_000.0)
+                    },
+                    JobFamily {
+                        deadline_hours: Some(96.0),
+                        ..family(
+                            "climate-ensemble",
+                            AppKind::ClimatePrediction,
+                            0.5,
+                            80_000.0,
+                        )
+                    },
+                    JobFamily {
+                        wants_gpu: true,
+                        ..family("gpu-render", AppKind::FoldingAtHome, 1.0, 10_000.0)
+                    },
+                ],
+            )),
+            "deadline" => Some(base(
+                "deadline",
+                vec![
+                    JobFamily {
+                        deadline_hours: Some(12.0),
+                        ..family("urgent-units", AppKind::SetiAtHome, 3.0, 4_000.0)
+                    },
+                    JobFamily {
+                        deadline_hours: Some(48.0),
+                        replication: 2,
+                        ..family("batch-md", AppKind::FoldingAtHome, 1.0, 30_000.0)
+                    },
+                ],
+            )),
+            "burst" => Some(base(
+                "burst",
+                vec![
+                    JobFamily {
+                        arrivals: ArrivalProcess::Burst {
+                            base_per_hour: 0.8,
+                            center_hour: 240.0,
+                            width_hours: 24.0,
+                            amplitude: 12.0,
+                        },
+                        ..family("crowd-units", AppKind::SetiAtHome, 0.0, 5_000.0)
+                    },
+                    family("background-md", AppKind::FoldingAtHome, 0.8, 15_000.0),
+                ],
+            )),
+            _ => None,
+        }
+    }
+
+    /// Proportionally rescale every family's arrival rate so the whole
+    /// workload expects `total` jobs over the window — how the bench
+    /// turns a preset into a million-job run without touching its mix.
+    pub fn with_job_budget(mut self, total: usize) -> Self {
+        let expected: f64 = self
+            .families
+            .iter()
+            .map(|f| f.arrivals.expected_jobs(self.horizon_hours))
+            .sum();
+        if expected > 0.0 {
+            let factor = total as f64 / expected;
+            for f in &mut self.families {
+                f.arrivals.scale(factor);
+            }
+        }
+        self
+    }
+
+    /// Expected total jobs over the window (sum over families; arrival
+    /// counts are Poisson around this).
+    pub fn expected_jobs(&self) -> f64 {
+        self.families
+            .iter()
+            .map(|f| f.arrivals.expected_jobs(self.horizon_hours))
+            .sum()
+    }
+
+    /// Validate parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ResmodelError::Config`] naming the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<(), ResmodelError> {
+        let bad = |message: String| Err(ResmodelError::config("workload", message));
+        if !(self.horizon_hours > 0.0) {
+            return bad("horizon_hours must be > 0".into());
+        }
+        if self.shard_count == 0 {
+            return bad("shard_count must be at least 1".into());
+        }
+        if self.candidates == 0 {
+            return bad("candidates must be at least 1".into());
+        }
+        if self.families.is_empty() {
+            return bad("at least one job family is required".into());
+        }
+        for f in &self.families {
+            let ctx = &f.name;
+            if !(f.size_gflop > 0.0) {
+                return bad(format!("family `{ctx}`: size_gflop must be > 0"));
+            }
+            if !(f.size_sigma >= 0.0) {
+                return bad(format!("family `{ctx}`: size_sigma must be >= 0"));
+            }
+            if f.replication == 0 {
+                return bad(format!("family `{ctx}`: replication must be at least 1"));
+            }
+            if let Some(d) = f.deadline_hours {
+                if !(d > 0.0) {
+                    return bad(format!("family `{ctx}`: deadline_hours must be > 0"));
+                }
+            }
+            match f.arrivals {
+                ArrivalProcess::Poisson { per_hour } => {
+                    if !(per_hour > 0.0) {
+                        return bad(format!("family `{ctx}`: arrival rate must be > 0"));
+                    }
+                }
+                ArrivalProcess::Burst {
+                    base_per_hour,
+                    width_hours,
+                    amplitude,
+                    ..
+                } => {
+                    if !(base_per_hour > 0.0) {
+                        return bad(format!("family `{ctx}`: base arrival rate must be > 0"));
+                    }
+                    if !(width_hours > 0.0) {
+                        return bad(format!("family `{ctx}`: burst width must be > 0"));
+                    }
+                    if !(amplitude >= 0.0) {
+                        return bad(format!("family `{ctx}`: burst amplitude must be >= 0"));
+                    }
+                }
+            }
+        }
+        // Duplicate family names would make per-family rows and
+        // Dispatch error points ambiguous.
+        let names: Vec<&str> = self.families.iter().map(|f| f.name.as_str()).collect();
+        if (1..names.len()).any(|i| names[..i].contains(&names[i])) {
+            return bad("family names must be distinct".into());
+        }
+        Ok(())
+    }
+
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn to_json_pretty(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string_pretty(self).map_err(|e| ResmodelError::json("workload spec", e))
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when the text is not a valid
+    /// spec.
+    pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
+        serde_json::from_str(text).map_err(|e| ResmodelError::json("workload spec", e))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_resolve_and_validate() {
+        for name in WorkloadSpec::PRESETS {
+            let spec = WorkloadSpec::preset(name).expect(name);
+            assert_eq!(spec.name, name);
+            spec.validate().unwrap();
+            assert!(spec.expected_jobs() > 100.0, "{name} is trivial");
+        }
+        assert!(WorkloadSpec::preset("no-such").is_none());
+    }
+
+    #[test]
+    fn specs_round_trip_through_json() {
+        for name in WorkloadSpec::PRESETS {
+            let spec = WorkloadSpec::preset(name).unwrap();
+            let back = WorkloadSpec::from_json(&spec.to_json_pretty().unwrap()).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+
+    #[test]
+    fn job_budget_rescales_rates() {
+        let spec = WorkloadSpec::preset("mixed")
+            .unwrap()
+            .with_job_budget(50_000);
+        let expected = spec.expected_jobs();
+        assert!(
+            (expected - 50_000.0).abs() < 1.0,
+            "budgeted workload expects {expected}"
+        );
+        // The family mix is preserved: rates scale by a common factor.
+        let base = WorkloadSpec::preset("mixed").unwrap();
+        let ratio = |s: &WorkloadSpec, i: usize| {
+            s.families[i].arrivals.expected_jobs(s.horizon_hours) / s.expected_jobs()
+        };
+        for i in 0..base.families.len() {
+            assert!((ratio(&base, i) - ratio(&spec, i)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn burst_rate_peaks_at_center() {
+        let p = ArrivalProcess::Burst {
+            base_per_hour: 2.0,
+            center_hour: 100.0,
+            width_hours: 10.0,
+            amplitude: 5.0,
+        };
+        assert!((p.rate(100.0) - 12.0).abs() < 1e-12);
+        assert!(p.rate(200.0) < 2.1);
+        // Integral exceeds the background mass by roughly the burst's
+        // Gaussian mass (amplitude · width · √2π · base).
+        let expected = p.expected_jobs(720.0);
+        assert!(
+            expected > 2.0 * 720.0 + 200.0,
+            "burst mass missing: {expected}"
+        );
+    }
+
+    #[test]
+    fn invalid_workloads_are_rejected() {
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.families.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.horizon_hours = 0.0;
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.shard_count = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.candidates = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.families[0].size_gflop = 0.0;
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.families[0].replication = 0;
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        spec.families[0].deadline_hours = Some(0.0);
+        assert!(spec.validate().is_err());
+        let mut spec = WorkloadSpec::preset("mixed").unwrap();
+        let name = spec.families[0].name.clone();
+        spec.families[1].name = name;
+        assert!(spec.validate().is_err(), "duplicate family names");
+    }
+
+    #[test]
+    fn app_kinds_map_to_table_ix_profiles() {
+        assert_eq!(AppKind::ALL.len(), 4);
+        assert_eq!(AppKind::SetiAtHome.profile().name, "SETI@home");
+        assert_eq!(AppKind::P2p.profile().disk, 0.7);
+        let labels: std::collections::HashSet<_> = AppKind::ALL.iter().map(|k| k.label()).collect();
+        assert_eq!(labels.len(), 4);
+    }
+}

@@ -1,0 +1,98 @@
+//! Comparing dispatch policies across the four scenario families.
+//!
+//! Scenario: you operate an Internet-scale volunteer application and
+//! must choose a placement policy before the fleet's future is known.
+//! We evolve each built-in population scenario (steady growth, flash
+//! crowd, GPU wave, market shift) uncapped through 2006-2011, open the
+//! dispatch window where each scenario is distinctive (right after the
+//! flash crowd's burst; deep into the GPU wave's adoption ramp), and
+//! push the same mixed workload through each fleet under all four
+//! policies.
+//!
+//! Run with: `cargo run --release --example dispatch`
+
+use resmodel::popsim::{engine, ArrivalLaw, Scenario};
+use resmodel::sched::{dispatch, DispatchPolicy, WorkloadSpec};
+use resmodel::trace::SimDate;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let base_workload = WorkloadSpec::preset("mixed")
+        .expect("built-in preset")
+        .with_job_budget(4_000);
+
+    println!(
+        "dispatching ~{:.0} jobs ({} families) into each fleet over {} days\n",
+        base_workload.expected_jobs(),
+        base_workload.families.len(),
+        base_workload.horizon_hours / 24.0,
+    );
+    println!(
+        "{:<14} {:<16} {:>6} {:>9} {:>7} {:>7} {:>8} {:>9} {:>9}",
+        "scenario", "policy", "hosts", "completed", "failed", "miss%", "util%", "u-ratio", "lat h"
+    );
+
+    for mut scenario in Scenario::all_builtin(42) {
+        // Uncapped, slower arrivals: hosts keep arriving through the
+        // whole 2006-2011 span, so the families actually diverge
+        // (capped fleets would share their early-2006 prefix).
+        scenario.max_hosts = 0;
+        scenario.arrivals = match scenario.arrivals {
+            ArrivalLaw::FlashCrowd {
+                burst_center,
+                burst_width_days,
+                burst_amplitude,
+                ..
+            } => ArrivalLaw::FlashCrowd {
+                base_per_day: 2.0,
+                growth_per_year: 0.18,
+                burst_center,
+                burst_width_days,
+                burst_amplitude,
+            },
+            _ => ArrivalLaw::Exponential {
+                base_per_day: 2.0,
+                growth_per_year: 0.18,
+            },
+        };
+        let fleet = engine::run(&scenario)?;
+
+        // Open the window where this scenario is at its most
+        // distinctive: the burst aftermath for the flash crowd, the
+        // adoption ramp for the GPU wave.
+        let mut workload = base_workload.clone();
+        workload.start = match scenario.name.as_str() {
+            "flash-crowd" => SimDate::from_year(2008.55),
+            _ => SimDate::from_year(2010.5),
+        };
+
+        for policy in DispatchPolicy::ALL {
+            let r = dispatch(&fleet, &workload, policy)?;
+            let t = &r.totals;
+            println!(
+                "{:<14} {:<16} {:>6} {:>9} {:>7} {:>6.1}% {:>7.1}% {:>9.3} {:>9.1}",
+                scenario.name,
+                policy.label(),
+                t.hosts,
+                t.completed,
+                t.failed + t.unassigned,
+                100.0 * t.deadline_miss_rate,
+                100.0 * t.host_utilization,
+                t.utility_ratio,
+                t.mean_latency_hours,
+            );
+        }
+        println!();
+    }
+
+    println!("reading the table:");
+    println!("  - earliest-finish posts the lowest deadline-miss rate; greedy-");
+    println!("    utility realizes the largest share of the predicted Cobb-");
+    println!("    Douglas utility (u-ratio);");
+    println!("  - the flash crowd's burst cohort makes its window host-rich,");
+    println!("    and the gpu-wave fleet rewards tier-affinity routing;");
+    println!("  - market-shift is the control: it only relabels OS/CPU mixes,");
+    println!("    so hardware-driven dispatch matches steady-state exactly;");
+    println!("  - the gap between u-ratio and 1.0 is what churn and OFF time");
+    println!("    cost an availability-blind Section VII valuation.");
+    Ok(())
+}

@@ -16,7 +16,8 @@
 //! | [`avail`] | ON/OFF availability schedules and availability-discounted utility |
 //! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
 //! | [`popsim`] | deterministic, data-parallel population dynamics engine: scenario-driven arrivals, lifetimes, hardware refreshes and streaming fleet statistics |
-//! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict as one serializable [`Pipeline`](pipeline::Pipeline) |
+//! | [`sched`] | event-driven workload dispatch over the modeled fleet: job families with arrival processes, deadlines and replication, placed by pluggable policies with progress only while hosts are ON |
+//! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict → dispatch as one serializable [`Pipeline`](pipeline::Pipeline) |
 //! | [`sweep`] | the batch layer: a [`SweepSpec`](sweep::SweepSpec) grid of pipelines (scenarios × fleet sizes × fits × seeds) run in parallel into a typed [`SweepReport`](sweep::SweepReport) and the CI-tracked `BENCH_sweep.json` artifact |
 //!
 //! Every fallible API returns [`ResmodelError`], so stages compose
@@ -87,6 +88,7 @@ pub use resmodel_boinc as boinc;
 pub use resmodel_core as core;
 pub use resmodel_error as error;
 pub use resmodel_popsim as popsim;
+pub use resmodel_sched as sched;
 pub use resmodel_stats as stats;
 pub use resmodel_trace as trace;
 
@@ -109,6 +111,9 @@ pub mod prelude {
     pub use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
     pub use resmodel_error::ResmodelError;
     pub use resmodel_popsim::{EngineReport, Fleet, Scenario, SimHost, SnapshotStats, TimeSeries};
+    pub use resmodel_sched::{
+        dispatch, AppKind, DispatchPolicy, DispatchReport, JobFamily, WorkloadSpec,
+    };
     pub use resmodel_stats::{Distribution, DistributionFamily, Matrix, StatsError};
     pub use resmodel_trace::{
         ColumnarTrace, HostRecord, HostView, ResourceSnapshot, SimDate, Trace,

@@ -41,7 +41,8 @@ use resmodel_core::validate::{
 };
 use resmodel_core::{GeneratedHost, HostGenerator};
 use resmodel_error::ResmodelError;
-use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, Scenario};
+use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, EngineReport, Scenario};
+use resmodel_sched::{DispatchPolicy, DispatchReport, WorkloadSpec};
 use resmodel_stats::Matrix;
 use resmodel_trace::sanitize::{sanitize, SanitizeRules};
 use resmodel_trace::{ColumnarTrace, SimDate, Trace};
@@ -97,6 +98,19 @@ pub struct PredictSpec {
     pub dates: Vec<SimDate>,
 }
 
+/// Configuration of the workload-dispatch stage: push a job stream
+/// through the simulated fleet under one placement policy
+/// ([`resmodel_sched::dispatch()`]). Requires a scenario source — the
+/// dispatcher needs the fleet timeline and availability schedules, not
+/// just the exported trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSpec {
+    /// The workload to dispatch.
+    pub workload: WorkloadSpec,
+    /// The placement policy.
+    pub policy: DispatchPolicy,
+}
+
 /// The full pipeline configuration — stages as data. Everything here
 /// serde-round-trips, so a reproduction is a shareable JSON artifact.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -112,6 +126,8 @@ pub struct PipelineSpec {
     pub validate: Option<ValidateSpec>,
     /// Prediction stage; requires `fit`.
     pub predict: Option<PredictSpec>,
+    /// Workload-dispatch stage; requires a scenario source.
+    pub dispatch: Option<DispatchSpec>,
 }
 
 impl PipelineSpec {
@@ -179,6 +195,7 @@ impl Pipeline {
                 fit: None,
                 validate: None,
                 predict: None,
+                dispatch: None,
             },
             external: None,
             path: DataPath::default(),
@@ -279,6 +296,13 @@ impl Pipeline {
         self
     }
 
+    /// Enable workload dispatch: push `workload`'s job stream through
+    /// the simulated fleet under `policy` (scenario sources only).
+    pub fn dispatch(mut self, workload: WorkloadSpec, policy: DispatchPolicy) -> Self {
+        self.spec.dispatch = Some(DispatchSpec { workload, policy });
+        self
+    }
+
     /// The assembled spec (serializable).
     pub fn spec(&self) -> &PipelineSpec {
         &self.spec
@@ -325,6 +349,16 @@ impl Pipeline {
         self,
         want_trace: bool,
     ) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
+        // The dispatch/source incompatibility is knowable from the spec
+        // alone — reject it before any (potentially expensive) earlier
+        // stage runs.
+        if self.spec.dispatch.is_some() && !matches!(self.spec.source, SourceSpec::Scenario { .. })
+        {
+            return Err(ResmodelError::config(
+                "pipeline",
+                "the dispatch stage requires a scenario source",
+            ));
+        }
         match self.path {
             DataPath::Row => self.run_rows(),
             DataPath::Columnar => self.run_columnar(want_trace),
@@ -332,16 +366,20 @@ impl Pipeline {
     }
 
     /// Build the raw row trace from the configured source (all sources
-    /// except the scenario fast path below).
+    /// except the scenario fast path below). When `want_engine` is set
+    /// and the source is a scenario, the engine report (fleet timeline
+    /// and availability) is kept for the dispatch stage instead of
+    /// being dropped after trace export.
     fn build_row_source(
         source: &SourceSpec,
         external: Option<Trace>,
-    ) -> Result<Trace, ResmodelError> {
+        want_engine: bool,
+    ) -> Result<(Trace, Option<EngineReport>), ResmodelError> {
         Ok(match source {
             SourceSpec::Boinc { scale, seed } => {
                 let params = WorldParams::with_scale(*scale, *seed);
                 params.validate()?;
-                simulate(&params)
+                (simulate(&params), None)
             }
             SourceSpec::Scenario {
                 scenario,
@@ -352,15 +390,44 @@ impl Pipeline {
                     scenario.max_hosts = *max_hosts;
                 }
                 let report = engine::run(&scenario)?;
-                fleet_to_trace(&report.fleet, report.scenario.end)
+                let trace = fleet_to_trace(&report.fleet, report.scenario.end);
+                (trace, want_engine.then_some(report))
             }
-            SourceSpec::External => external.ok_or_else(|| {
-                ResmodelError::config(
-                    "pipeline",
-                    "source is External but no trace was attached (use with_trace)",
-                )
-            })?,
+            SourceSpec::External => (
+                external.ok_or_else(|| {
+                    ResmodelError::config(
+                        "pipeline",
+                        "source is External but no trace was attached (use with_trace)",
+                    )
+                })?,
+                None,
+            ),
         })
+    }
+
+    /// Run the dispatch stage, when configured. The stage needs the
+    /// engine report a scenario source produced; any other source is a
+    /// configuration error.
+    fn dispatch_stage(
+        spec: &Option<DispatchSpec>,
+        engine_report: Option<&EngineReport>,
+        timing: &mut StageTimings,
+    ) -> Result<Option<DispatchReport>, ResmodelError> {
+        match spec {
+            Some(d) => {
+                let engine_report = engine_report.ok_or_else(|| {
+                    ResmodelError::config(
+                        "pipeline",
+                        "the dispatch stage requires a scenario source",
+                    )
+                })?;
+                let t0 = Instant::now();
+                let report = resmodel_sched::dispatch(engine_report, &d.workload, d.policy)?;
+                timing.dispatch_ms = ms_since(t0);
+                Ok(Some(report))
+            }
+            None => Ok(None),
+        }
     }
 
     /// The reference row-oriented implementation: every stage scans the
@@ -372,7 +439,8 @@ impl Pipeline {
 
         // --- Source ---
         let t0 = Instant::now();
-        let raw = Self::build_row_source(&spec.source, self.external)?;
+        let (raw, engine_report) =
+            Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some())?;
         timing.build_ms = ms_since(t0);
         let raw_hosts = raw.len();
 
@@ -449,12 +517,16 @@ impl Pipeline {
             timing.predict_ms = ms_since(t0);
         }
 
+        // --- Dispatch ---
+        let dispatch = Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing)?;
+
         let report = PipelineReport {
             spec,
             world,
             fit,
             validation,
             predictions,
+            dispatch,
             timing,
         };
         Ok((report, Some(trace), RunMetrics::default()))
@@ -477,6 +549,7 @@ impl Pipeline {
         // detour entirely: columns are emitted directly from the fleet.
         let direct = spec.sanitize.is_none() && matches!(spec.source, SourceSpec::Scenario { .. });
         let mut row_trace: Option<Trace> = None;
+        let mut engine_report: Option<EngineReport> = None;
         let (columnar, raw_hosts, discarded) = if direct {
             let SourceSpec::Scenario {
                 scenario,
@@ -496,10 +569,15 @@ impl Pipeline {
             let columnar = fleet_to_columnar(&report.fleet, report.scenario.end);
             metrics.extract_ms = ms_since(t0);
             let raw_hosts = columnar.len();
+            if spec.dispatch.is_some() {
+                engine_report = Some(report);
+            }
             (columnar, raw_hosts, 0)
         } else {
             let t0 = Instant::now();
-            let raw = Self::build_row_source(&spec.source, self.external)?;
+            let (raw, engine) =
+                Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some())?;
+            engine_report = engine;
             timing.build_ms = ms_since(t0);
             let raw_hosts = raw.len();
 
@@ -578,12 +656,16 @@ impl Pipeline {
             timing.predict_ms = ms_since(t0);
         }
 
+        // --- Dispatch ---
+        let dispatch = Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing)?;
+
         let report = PipelineReport {
             spec,
             world,
             fit,
             validation,
             predictions,
+            dispatch,
             timing,
         };
         let trace = want_trace.then(|| row_trace.unwrap_or_else(|| columnar.to_trace()));
@@ -720,7 +802,7 @@ pub struct PredictionStage {
 /// Wall-clock stage timings, milliseconds (0 for skipped stages).
 /// Excluded from golden-file comparisons by zeroing via
 /// [`StageTimings::default`].
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct StageTimings {
     /// Trace construction (simulation or engine run + export).
     pub build_ms: f64,
@@ -732,6 +814,41 @@ pub struct StageTimings {
     pub validate_ms: f64,
     /// Prediction.
     pub predict_ms: f64,
+    /// Workload dispatch.
+    pub dispatch_ms: f64,
+}
+
+// Hand-written (de)serialization: identical bytes to the derive, but a
+// missing `dispatch_ms` defaults to 0 so pre-`/3` artifacts and
+// reports (whose timing blocks predate the dispatch stage) keep
+// parsing.
+impl serde::Serialize for StageTimings {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("build_ms".to_owned(), self.build_ms.to_value()),
+            ("sanitize_ms".to_owned(), self.sanitize_ms.to_value()),
+            ("fit_ms".to_owned(), self.fit_ms.to_value()),
+            ("validate_ms".to_owned(), self.validate_ms.to_value()),
+            ("predict_ms".to_owned(), self.predict_ms.to_value()),
+            ("dispatch_ms".to_owned(), self.dispatch_ms.to_value()),
+        ])
+    }
+}
+
+impl serde::Deserialize for StageTimings {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        Ok(Self {
+            build_ms: serde::field(v, "build_ms")?,
+            sanitize_ms: serde::field(v, "sanitize_ms")?,
+            fit_ms: serde::field(v, "fit_ms")?,
+            validate_ms: serde::field(v, "validate_ms")?,
+            predict_ms: serde::field(v, "predict_ms")?,
+            dispatch_ms: match v.get("dispatch_ms") {
+                Some(_) => serde::field(v, "dispatch_ms")?,
+                None => 0.0,
+            },
+        })
+    }
 }
 
 /// Everything a pipeline run produced, serializable to JSON.
@@ -747,6 +864,11 @@ pub struct PipelineReport {
     pub validation: Option<Vec<ValidationAt>>,
     /// Prediction stage output, when configured.
     pub predictions: Option<PredictionStage>,
+    /// Dispatch stage output, when configured. Carries its own
+    /// wall-clock fields — zero them via
+    /// [`resmodel_sched::DispatchReport::zero_timings`] alongside
+    /// [`PipelineReport::timing`] for byte-stable comparisons.
+    pub dispatch: Option<DispatchReport>,
     /// Wall-clock stage timings.
     pub timing: StageTimings,
 }
@@ -866,6 +988,54 @@ mod tests {
         s.shard_count = 0;
         let err = Pipeline::from_scenario(s).run().unwrap_err();
         assert!(matches!(err, ResmodelError::Config { .. }), "{err}");
+    }
+
+    #[test]
+    fn dispatch_stage_runs_on_scenario_sources() {
+        let workload = WorkloadSpec::preset("mixed")
+            .expect("built-in preset")
+            .with_job_budget(300);
+        let report = Pipeline::from_scenario(Scenario::steady_state(9))
+            .max_hosts(600)
+            .dispatch(workload.clone(), DispatchPolicy::GreedyUtility)
+            .run()
+            .unwrap();
+        let d = report.dispatch.as_ref().expect("dispatch ran");
+        assert!(d.totals.completed > 0);
+        assert_eq!(d.policy, DispatchPolicy::GreedyUtility);
+        assert!(report.timing.dispatch_ms > 0.0);
+        // The row path produces the identical deterministic content.
+        let mut columnar = report;
+        let mut row = Pipeline::from_scenario(Scenario::steady_state(9))
+            .max_hosts(600)
+            .dispatch(workload, DispatchPolicy::GreedyUtility)
+            .data_path(DataPath::Row)
+            .run()
+            .unwrap();
+        columnar.timing = StageTimings::default();
+        row.timing = StageTimings::default();
+        if let (Some(c), Some(r)) = (&mut columnar.dispatch, &mut row.dispatch) {
+            c.zero_timings();
+            r.zero_timings();
+        }
+        assert_eq!(
+            columnar.to_json_pretty().unwrap(),
+            row.to_json_pretty().unwrap()
+        );
+    }
+
+    #[test]
+    fn dispatch_without_scenario_source_errors() {
+        let trace = small_scenario_pipeline().run_detailed().unwrap().trace;
+        let workload = WorkloadSpec::preset("mixed").expect("built-in preset");
+        let err = Pipeline::from_trace(trace)
+            .dispatch(workload, DispatchPolicy::Random)
+            .run()
+            .unwrap_err();
+        assert!(
+            err.to_string().contains("requires a scenario source"),
+            "{err}"
+        );
     }
 
     #[test]

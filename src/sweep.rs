@@ -24,32 +24,42 @@
 //!
 //! ## Determinism contract
 //!
-//! Job `j` runs its scenario with seed
-//! `substream(spec.seed ^ replicate, j)`, a pure function of the spec —
-//! never of the machine — so no two jobs share an RNG stream and the
-//! whole report (wall-clock fields aside, see
-//! [`SweepReport::zero_timings`]) is byte-identical at any rayon thread
-//! count.
+//! Each scenario × fleet × fit × replicate grid cell runs with seed
+//! `substream(spec.seed ^ replicate, cell)`, a pure function of the
+//! spec — never of the machine — so no two cells share an RNG stream
+//! and the whole report (wall-clock fields aside, see
+//! [`SweepReport::zero_timings`]) is byte-identical at any rayon
+//! thread count. The optional dispatch axis deliberately *shares* its
+//! cell's seed: every `(workload, policy)` pair dispatches the same
+//! job stream onto the same fleet, so policy rows differ only in
+//! placement.
 
 use crate::pipeline::{
-    DataPath, LifetimeFit, Pipeline, PipelineSpec, PredictSpec, SourceSpec, StageTimings,
-    ValidateSpec, WorldSummary,
+    DataPath, DispatchSpec, LifetimeFit, Pipeline, PipelineSpec, PredictSpec, SourceSpec,
+    StageTimings, ValidateSpec, WorldSummary,
 };
 use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
 use resmodel_error::ResmodelError;
 use resmodel_popsim::Scenario;
+use resmodel_sched::{DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
 use resmodel_trace::sanitize::SanitizeRules;
 use resmodel_trace::SimDate;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/2` adds
-/// the per-job columnar-extraction timing (`extract_ms`).
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/2";
+/// Schema identifier written into every [`BenchArtifact`]: `/3` adds
+/// the per-job dispatch timing and throughput (`dispatch_ms`,
+/// `jobs_per_sec`, populated on dispatch-stage jobs).
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/3";
 
-/// The previous artifact schema (no `extract_ms` row field). Still
+/// The `/2` artifact schema (per-job `extract_ms`, no dispatch
+/// fields). Still accepted by `swept --check` so stored artifacts keep
+/// validating.
+pub const BENCH_SCHEMA_V2: &str = "resmodel.bench_sweep/2";
+
+/// The original artifact schema (no `extract_ms` row field). Still
 /// accepted by `swept --check` so stored `/1` artifacts keep
 /// validating.
 pub const BENCH_SCHEMA_V1: &str = "resmodel.bench_sweep/1";
@@ -79,11 +89,27 @@ pub struct SweepSpec {
     pub validate_dates: Vec<SimDate>,
     /// Forward-prediction dates (needs a non-empty fit axis).
     pub predict_dates: Vec<SimDate>,
+    /// Optional workload-dispatch axis: each grid point additionally
+    /// expands over `workloads × policies`, running the dispatch stage
+    /// on every combination.
+    pub dispatch: Option<DispatchSweep>,
+}
+
+/// The dispatch axis of a sweep: every `(workload, policy)` pair
+/// multiplies the grid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSweep {
+    /// Workload templates. Each template's own `seed` is overridden by
+    /// the job's derived substream, like scenario seeds.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Placement policies to compare.
+    pub policies: Vec<DispatchPolicy>,
 }
 
 impl SweepSpec {
     /// Names accepted by [`SweepSpec::preset`].
-    pub const PRESETS: [&'static str; 4] = ["smoke", "families", "scaling", "replicates"];
+    pub const PRESETS: [&'static str; 5] =
+        ["smoke", "families", "scaling", "replicates", "dispatch"];
 
     /// A named built-in sweep:
     ///
@@ -95,6 +121,9 @@ impl SweepSpec {
     ///   the throughput trajectory.
     /// * `"replicates"` — the four families × three replicate seeds,
     ///   engine only; cross-seed variance.
+    /// * `"dispatch"` — steady-state at 8k hosts × two workload presets
+    ///   × all four placement policies; the workload-dispatch
+    ///   comparison grid.
     pub fn preset(name: &str) -> Option<Self> {
         let base = |name: &str, hosts: &[usize]| Self {
             name: name.to_owned(),
@@ -106,6 +135,7 @@ impl SweepSpec {
             sanitize: Some(SanitizeRules::default()),
             validate_dates: vec![SimDate::from_year(2010.5)],
             predict_dates: vec![SimDate::from_year(2014.0)],
+            dispatch: None,
         };
         match name {
             "smoke" => Some(base("smoke", &[8_000])),
@@ -124,16 +154,36 @@ impl SweepSpec {
                 replicates: vec![1, 2, 3],
                 ..base("replicates", &[8_000])
             }),
+            "dispatch" => Some(Self {
+                scenarios: vec![Scenario::steady_state(0)],
+                fits: Vec::new(),
+                sanitize: None,
+                validate_dates: Vec::new(),
+                predict_dates: Vec::new(),
+                dispatch: Some(DispatchSweep {
+                    workloads: ["mixed", "deadline"]
+                        .iter()
+                        .filter_map(|w| WorkloadSpec::preset(w))
+                        .collect(),
+                    policies: DispatchPolicy::ALL.to_vec(),
+                }),
+                ..base("dispatch", &[8_000])
+            }),
             _ => None,
         }
     }
 
     /// Number of jobs the grid expands into.
     pub fn job_count(&self) -> usize {
+        let dispatch_axis = self
+            .dispatch
+            .as_ref()
+            .map_or(1, |d| d.workloads.len() * d.policies.len());
         self.scenarios.len()
             * self.fleet_sizes.len()
             * self.fits.len().max(1)
             * self.replicates.len()
+            * dispatch_axis
     }
 
     /// Validate grid sanity (non-empty axes, valid scenarios).
@@ -175,60 +225,108 @@ impl SweepSpec {
         for s in &self.scenarios {
             s.validate()?;
         }
+        if let Some(d) = &self.dispatch {
+            if d.workloads.is_empty() {
+                return bad("dispatch axis needs at least one workload");
+            }
+            if d.policies.is_empty() {
+                return bad("dispatch axis needs at least one policy");
+            }
+            if has_duplicates(d.workloads.iter().map(|w| &w.name)) {
+                return bad("workload names must be distinct");
+            }
+            if has_duplicates(d.policies.iter()) {
+                return bad("dispatch policies must be distinct");
+            }
+            for w in &d.workloads {
+                w.validate()?;
+            }
+        }
         Ok(())
     }
 
     /// Expand the grid into its deterministic job list (scenario-major,
-    /// then fleet size, fit, replicate).
+    /// then fleet size, fit, replicate, workload, policy).
     pub fn expand(&self) -> Vec<SweepJob> {
         let fit_axis: Vec<Option<&FitConfig>> = if self.fits.is_empty() {
             vec![None]
         } else {
             self.fits.iter().map(Some).collect()
         };
+        // The dispatch axis expands to `(workload, policy)` pairs, or a
+        // single no-dispatch point when absent.
+        let dispatch_axis: Vec<Option<(&WorkloadSpec, DispatchPolicy)>> = match &self.dispatch {
+            Some(d) => d
+                .workloads
+                .iter()
+                .flat_map(|w| d.policies.iter().map(move |&p| Some((w, p))))
+                .collect(),
+            None => vec![None],
+        };
         let mut jobs = Vec::with_capacity(self.job_count());
+        // Seeds derive from the dispatch-free grid cell, not the job
+        // index: every (workload, policy) pair of one
+        // scenario/fleet/fit/replicate cell shares a seed, so the
+        // dispatch comparison holds the fleet and the job stream
+        // constant and isolates the placement decision itself.
+        let mut cell: u64 = 0;
         for scenario in &self.scenarios {
             for &fleet_size in &self.fleet_sizes {
                 for (fit_index, fit) in fit_axis.iter().enumerate() {
                     for &replicate in &self.replicates {
-                        let index = jobs.len();
-                        let seed = substream(self.seed ^ replicate, index as u64);
-                        let mut scenario = scenario.clone();
-                        scenario.seed = seed;
-                        scenario.max_hosts = fleet_size;
-                        let label = if fit_axis.len() > 1 {
-                            format!("{}/{fleet_size}/fit{fit_index}/r{replicate}", scenario.name)
-                        } else {
-                            format!("{}/{fleet_size}/r{replicate}", scenario.name)
-                        };
-                        let spec = PipelineSpec {
-                            source: SourceSpec::Scenario {
-                                scenario: scenario.clone(),
-                                max_hosts: 0,
-                            },
-                            sanitize: self.sanitize,
-                            fit: fit.map(|f| (*f).clone()),
-                            validate: (fit.is_some() && !self.validate_dates.is_empty()).then(
-                                || ValidateSpec {
-                                    dates: self.validate_dates.clone(),
-                                    seed,
-                                },
-                            ),
-                            predict: (fit.is_some() && !self.predict_dates.is_empty()).then(|| {
-                                PredictSpec {
-                                    dates: self.predict_dates.clone(),
-                                }
-                            }),
-                        };
-                        jobs.push(SweepJob {
-                            index,
-                            label,
-                            scenario: scenario.name.clone(),
-                            fleet_size,
-                            replicate,
-                            seed,
-                            spec,
-                        });
+                        let seed = substream(self.seed ^ replicate, cell);
+                        cell += 1;
+                        for dispatch in &dispatch_axis {
+                            let index = jobs.len();
+                            let mut scenario = scenario.clone();
+                            scenario.seed = seed;
+                            scenario.max_hosts = fleet_size;
+                            let mut label = if fit_axis.len() > 1 {
+                                format!(
+                                    "{}/{fleet_size}/fit{fit_index}/r{replicate}",
+                                    scenario.name
+                                )
+                            } else {
+                                format!("{}/{fleet_size}/r{replicate}", scenario.name)
+                            };
+                            if let Some((workload, policy)) = dispatch {
+                                label = format!("{label}/{}/{}", workload.name, policy.label());
+                            }
+                            let spec =
+                                PipelineSpec {
+                                    source: SourceSpec::Scenario {
+                                        scenario: scenario.clone(),
+                                        max_hosts: 0,
+                                    },
+                                    sanitize: self.sanitize,
+                                    fit: fit.map(|f| (*f).clone()),
+                                    validate: (fit.is_some() && !self.validate_dates.is_empty())
+                                        .then(|| ValidateSpec {
+                                            dates: self.validate_dates.clone(),
+                                            seed,
+                                        }),
+                                    predict: (fit.is_some() && !self.predict_dates.is_empty())
+                                        .then(|| PredictSpec {
+                                            dates: self.predict_dates.clone(),
+                                        }),
+                                    dispatch: dispatch.map(|(workload, policy)| {
+                                        let mut workload = workload.clone();
+                                        // Like scenario seeds: the derived
+                                        // substream overrides the template's.
+                                        workload.seed = seed;
+                                        DispatchSpec { workload, policy }
+                                    }),
+                                };
+                            jobs.push(SweepJob {
+                                index,
+                                label,
+                                scenario: scenario.name.clone(),
+                                fleet_size,
+                                replicate,
+                                seed,
+                                spec,
+                            });
+                        }
                     }
                 }
             }
@@ -321,7 +419,7 @@ pub struct SweepJob {
     /// The replicate-axis seed this job belongs to.
     pub replicate: u64,
     /// The derived scenario seed (`substream(spec.seed ^ replicate,
-    /// index)`).
+    /// cell)`, shared by every dispatch-axis job of one grid cell).
     pub seed: u64,
     /// The complete pipeline configuration the job runs.
     pub spec: PipelineSpec,
@@ -354,6 +452,18 @@ fn run_job(job: &SweepJob, path: DataPath) -> Result<JobReport, ResmodelError> {
         .as_ref()
         .and_then(|p| p.multicore.first())
         .map(|m| m.mean_cores);
+    let dispatch = report.dispatch.as_ref().map(|d| DispatchSummary {
+        workload: d.workload.name.clone(),
+        policy: d.policy.label().to_owned(),
+        jobs: d.totals.jobs,
+        completed: d.totals.completed,
+        deadline_miss_rate: d.totals.deadline_miss_rate,
+        jobs_per_sim_hour: d.totals.jobs_per_sim_hour,
+        host_utilization: d.totals.host_utilization,
+        utility_ratio: d.totals.utility_ratio,
+        dispatch_ms: report.timing.dispatch_ms,
+        jobs_per_sec: d.jobs_per_sec,
+    });
 
     Ok(JobReport {
         index: job.index,
@@ -368,6 +478,7 @@ fn run_job(job: &SweepJob, path: DataPath) -> Result<JobReport, ResmodelError> {
         mean_cores_forecast,
         timing: report.timing,
         extract_ms: metrics.extract_ms,
+        dispatch,
         wall_ms,
         hosts_per_sec: rate(report.world.raw_hosts, wall_ms),
     })
@@ -411,10 +522,38 @@ pub struct JobReport {
     /// Time spent producing the columnar store (conversion or direct
     /// fleet export), ms; `0` on the row path.
     pub extract_ms: f64,
+    /// Dispatch-stage outcome, when the job ran one.
+    pub dispatch: Option<DispatchSummary>,
     /// Whole-job wall time, ms.
     pub wall_ms: f64,
     /// Simulated hosts per second of job wall time.
     pub hosts_per_sec: f64,
+}
+
+/// The dispatch-stage slice of one sweep job, summarised for the
+/// report and the BENCH artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchSummary {
+    /// Workload name.
+    pub workload: String,
+    /// Policy label.
+    pub policy: String,
+    /// Jobs generated over the dispatch window.
+    pub jobs: usize,
+    /// Jobs completed.
+    pub completed: usize,
+    /// Deadline-miss rate over deadline-bearing jobs.
+    pub deadline_miss_rate: f64,
+    /// Completed jobs per simulated hour (deterministic throughput).
+    pub jobs_per_sim_hour: f64,
+    /// Consumed / available ON-hours across the fleet.
+    pub host_utilization: f64,
+    /// Realized / predicted Cobb–Douglas utility.
+    pub utility_ratio: f64,
+    /// Dispatch-stage wall time, ms.
+    pub dispatch_ms: f64,
+    /// Generated jobs per second of dispatch wall time.
+    pub jobs_per_sec: f64,
 }
 
 /// Cross-job comparison row: one scenario family aggregated over its
@@ -508,6 +647,7 @@ impl SweepTotals {
             stage_ms.fit_ms += j.timing.fit_ms;
             stage_ms.validate_ms += j.timing.validate_ms;
             stage_ms.predict_ms += j.timing.predict_ms;
+            stage_ms.dispatch_ms += j.timing.dispatch_ms;
             peak = peak.max(j.wall_ms);
         }
         Self {
@@ -546,6 +686,10 @@ impl SweepReport {
             j.extract_ms = 0.0;
             j.wall_ms = 0.0;
             j.hosts_per_sec = 0.0;
+            if let Some(d) = &mut j.dispatch {
+                d.dispatch_ms = 0.0;
+                d.jobs_per_sec = 0.0;
+            }
         }
         for c in &mut self.comparisons {
             c.mean_hosts_per_sec = 0.0;
@@ -597,6 +741,8 @@ impl SweepReport {
                     wall_ms: j.wall_ms,
                     hosts_per_sec: j.hosts_per_sec,
                     extract_ms: Some(j.extract_ms),
+                    dispatch_ms: j.dispatch.as_ref().map(|d| d.dispatch_ms),
+                    jobs_per_sec: j.dispatch.as_ref().map(|d| d.jobs_per_sec),
                     timing: j.timing,
                 })
                 .collect(),
@@ -639,9 +785,15 @@ pub struct BenchJobRow {
     pub wall_ms: f64,
     /// Hosts per second of job wall time.
     pub hosts_per_sec: f64,
-    /// Per-job columnar extraction time, ms (schema `/2`; `None` when
+    /// Per-job columnar extraction time, ms (schema `/2`+; `None` when
     /// parsed from a `/1` artifact).
     pub extract_ms: Option<f64>,
+    /// Dispatch-stage wall time, ms (schema `/3`; `None` on jobs
+    /// without a dispatch stage or parsed from older artifacts).
+    pub dispatch_ms: Option<f64>,
+    /// Dispatched jobs per second of dispatch wall time (schema `/3`;
+    /// `None` like `dispatch_ms`).
+    pub jobs_per_sec: Option<f64>,
     /// Per-stage timings.
     pub timing: StageTimings,
 }
@@ -824,5 +976,117 @@ mod tests {
         assert!(artifact.jobs.iter().all(|j| j.hosts_per_sec > 0.0));
         let back = BenchArtifact::from_json(&artifact.to_json_pretty().unwrap()).unwrap();
         assert_eq!(artifact, back);
+    }
+
+    /// A dispatch grid small enough for unit tests: one scenario, one
+    /// workload, two policies.
+    fn tiny_dispatch_spec() -> SweepSpec {
+        let mut spec = SweepSpec::preset("dispatch").unwrap();
+        spec.fleet_sizes = vec![500];
+        let d = spec.dispatch.as_mut().unwrap();
+        d.workloads.truncate(1);
+        d.workloads[0] = d.workloads[0].clone().with_job_budget(400);
+        d.workloads[0].shard_count = 8;
+        d.policies = vec![DispatchPolicy::Random, DispatchPolicy::EarliestFinish];
+        spec
+    }
+
+    #[test]
+    fn dispatch_axis_multiplies_the_grid_and_labels_points() {
+        let spec = tiny_dispatch_spec();
+        spec.validate().unwrap();
+        assert_eq!(spec.job_count(), 2);
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 2);
+        assert!(
+            jobs[0].label.ends_with("/mixed/random"),
+            "{}",
+            jobs[0].label
+        );
+        assert!(
+            jobs[1].label.ends_with("/mixed/earliest-finish"),
+            "{}",
+            jobs[1].label
+        );
+        // The workload seed is the job's derived substream, like the
+        // scenario seed.
+        for j in &jobs {
+            let d = j.spec.dispatch.as_ref().unwrap();
+            assert_eq!(d.workload.seed, j.seed);
+        }
+        // Policy rows of one grid cell share fleet and job stream —
+        // the comparison isolates the placement decision.
+        assert_eq!(jobs[0].seed, jobs[1].seed);
+        assert_eq!(jobs[0].spec.source, jobs[1].spec.source);
+        assert_eq!(
+            jobs[0].spec.dispatch.as_ref().unwrap().workload,
+            jobs[1].spec.dispatch.as_ref().unwrap().workload
+        );
+    }
+
+    #[test]
+    fn dispatch_cells_share_seeds_but_cells_differ() {
+        // Two replicates × two policies: seeds repeat within a cell,
+        // differ across cells.
+        let mut spec = tiny_dispatch_spec();
+        spec.replicates = vec![1, 2];
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), 4);
+        assert_eq!(jobs[0].seed, jobs[1].seed, "cell 1 shares its seed");
+        assert_eq!(jobs[2].seed, jobs[3].seed, "cell 2 shares its seed");
+        assert_ne!(jobs[0].seed, jobs[2].seed, "cells differ");
+    }
+
+    #[test]
+    fn dispatch_sweep_runs_and_reports_summaries() {
+        let report = tiny_dispatch_spec().run().unwrap();
+        assert_eq!(report.jobs.len(), 2);
+        for j in &report.jobs {
+            let d = j.dispatch.as_ref().expect("dispatch summary");
+            assert!(d.jobs > 0);
+            assert!(d.completed > 0);
+            assert!(d.jobs_per_sec > 0.0);
+            assert_eq!(d.workload, "mixed");
+        }
+        // The artifact carries the /3 dispatch fields on those rows.
+        let artifact = report.bench_artifact();
+        assert!(artifact
+            .jobs
+            .iter()
+            .all(|j| j.dispatch_ms.is_some() && j.jobs_per_sec.is_some()));
+        // And zeroing hides the wall-clock dispatch figures.
+        let mut zeroed = report;
+        zeroed.zero_timings();
+        for j in &zeroed.jobs {
+            let d = j.dispatch.as_ref().unwrap();
+            assert_eq!(d.dispatch_ms, 0.0);
+            assert_eq!(d.jobs_per_sec, 0.0);
+            assert!(d.jobs_per_sim_hour > 0.0, "deterministic rate survives");
+        }
+    }
+
+    #[test]
+    fn invalid_dispatch_axes_are_rejected() {
+        let mut spec = tiny_dispatch_spec();
+        spec.dispatch.as_mut().unwrap().policies.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = tiny_dispatch_spec();
+        spec.dispatch.as_mut().unwrap().workloads.clear();
+        assert!(spec.validate().is_err());
+        let mut spec = tiny_dispatch_spec();
+        spec.dispatch.as_mut().unwrap().policies = vec![DispatchPolicy::Random; 2];
+        assert!(spec.validate().is_err(), "duplicate policies");
+        let mut spec = tiny_dispatch_spec();
+        spec.dispatch.as_mut().unwrap().workloads[0]
+            .families
+            .clear();
+        assert!(spec.validate().is_err(), "invalid workload");
+        // Specs without the axis still parse (missing field → None).
+        let json = SweepSpec::preset("smoke")
+            .unwrap()
+            .to_json_pretty()
+            .unwrap();
+        let back = SweepSpec::from_json(&json).unwrap();
+        assert!(back.dispatch.is_none());
     }
 }

@@ -1,0 +1,149 @@
+//! The dispatch determinism contract, mirroring the sweep
+//! thread-invariance proptest: the same `(fleet, workload, policy)`
+//! triple produces a byte-identical [`DispatchReport`] JSON
+//! (wall-clock fields zeroed) regardless of the rayon thread count.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::prelude::*;
+use resmodel::popsim::{engine, ArrivalLaw, EngineReport, Scenario};
+use resmodel::sched::{dispatch, DispatchPolicy, WorkloadSpec};
+
+fn small_fleet(seed: u64, hosts: usize) -> EngineReport {
+    let mut scenario = Scenario::steady_state(seed);
+    scenario.max_hosts = hosts;
+    scenario.shard_count = 16;
+    scenario.arrivals = ArrivalLaw::Exponential {
+        base_per_day: 6.0,
+        growth_per_year: 0.18,
+    };
+    engine::run(&scenario).unwrap()
+}
+
+/// Run a dispatch under a fixed-size rayon pool and return the
+/// deterministic (timing-zeroed) report JSON.
+fn run_on_threads(
+    fleet: &EngineReport,
+    workload: &WorkloadSpec,
+    policy: DispatchPolicy,
+    threads: usize,
+) -> String {
+    let mut report = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| dispatch(fleet, workload, policy).unwrap());
+    report.zero_timings();
+    report.to_json_pretty().unwrap()
+}
+
+/// Random small workloads over every preset shape and policy.
+fn case_strategy() -> impl Strategy<Value = (u64, usize, WorkloadSpec, DispatchPolicy)> {
+    (
+        0u64..1_000_000, // fleet seed
+        200usize..500,   // fleet size
+        0usize..WorkloadSpec::PRESETS.len(),
+        0u64..1_000_000, // workload seed
+        100usize..600,   // job budget
+        0usize..DispatchPolicy::ALL.len(),
+        0u8..2, // checkpointing
+    )
+        .prop_map(
+            |(fseed, hosts, preset, wseed, jobs, policy, checkpointing)| {
+                let mut workload = WorkloadSpec::preset(WorkloadSpec::PRESETS[preset])
+                    .expect("built-in preset")
+                    .with_job_budget(jobs);
+                workload.seed = wseed;
+                workload.shard_count = 16;
+                workload.checkpointing = checkpointing == 1;
+                (fseed, hosts, workload, DispatchPolicy::ALL[policy])
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn one_thread_equals_many_threads(case in case_strategy()) {
+        let (fseed, hosts, workload, policy) = case;
+        let fleet = small_fleet(fseed, hosts);
+        prop_assert_eq!(
+            run_on_threads(&fleet, &workload, policy, 1),
+            run_on_threads(&fleet, &workload, policy, 8)
+        );
+    }
+}
+
+#[test]
+fn dispatch_preset_grid_is_thread_count_invariant() {
+    // The CI dispatch configuration itself — the sweep grid of
+    // workloads × policies — byte-stable at any pool size, so the
+    // uploaded artifacts are machine-independent modulo wall clocks.
+    let mut spec = resmodel::sweep::SweepSpec::preset("dispatch").expect("built-in preset");
+    spec.fleet_sizes = vec![1_000];
+    let run = |threads: usize| {
+        let mut report = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| spec.run().unwrap());
+        report.zero_timings();
+        report.to_json_pretty().unwrap()
+    };
+    let single = run(1);
+    assert_eq!(single, run(8));
+    // And re-running the same spec reproduces the same bytes.
+    assert_eq!(single, run(1));
+}
+
+/// The acceptance-scale contract: a 100k-host, 1M-job dispatch run
+/// completes on the rayon pool with a byte-identical report at 1, 2
+/// and max threads. Too heavy for the default CI loop — run it with
+///
+/// ```text
+/// cargo test --release --test dispatch_determinism -- --ignored
+/// ```
+#[test]
+#[ignore = "~10 s full-scale run in release mode; exercised manually and per release"]
+fn full_scale_report_is_byte_identical_at_1_2_and_max_threads() {
+    let mut scenario = Scenario::steady_state(7);
+    scenario.max_hosts = 100_000;
+    scenario.arrivals = ArrivalLaw::Exponential {
+        base_per_day: 120.0,
+        growth_per_year: 0.18,
+    };
+    let fleet = engine::run(&scenario).unwrap();
+    let mut workload = WorkloadSpec::preset("mixed")
+        .expect("built-in preset")
+        .with_job_budget(1_000_000);
+    workload.start = resmodel::trace::SimDate::from_year(2007.0);
+
+    let single = run_on_threads(&fleet, &workload, DispatchPolicy::EarliestFinish, 1);
+    let dual = run_on_threads(&fleet, &workload, DispatchPolicy::EarliestFinish, 2);
+    let max = rayon::current_num_threads().max(2);
+    let many = run_on_threads(&fleet, &workload, DispatchPolicy::EarliestFinish, max);
+    assert_eq!(single, dual, "1 vs 2 threads");
+    assert_eq!(single, many, "1 vs {max} threads");
+}
+
+#[test]
+fn replication_places_replicas_on_distinct_hosts_deterministically() {
+    let fleet = small_fleet(11, 400);
+    let workload = WorkloadSpec::preset("mixed")
+        .expect("built-in preset")
+        .with_job_budget(400);
+    for policy in DispatchPolicy::ALL {
+        let a = dispatch(&fleet, &workload, policy).unwrap();
+        let b = dispatch(&fleet, &workload, policy).unwrap();
+        let (mut za, mut zb) = (a.clone(), b);
+        za.zero_timings();
+        zb.zero_timings();
+        assert_eq!(za, zb, "{policy}: re-run differs");
+        // The replicated family dispatches more replicas than jobs.
+        assert!(
+            a.totals.replicas > a.totals.jobs - a.totals.unassigned,
+            "{policy}: replication did not fan out"
+        );
+    }
+}

@@ -1,0 +1,75 @@
+//! Golden-file test: a `steady-state` fleet dispatching the `mixed`
+//! workload under the deadline-aware policy at a fixed seed produces a
+//! byte-stable JSON report.
+//!
+//! The dispatch determinism contract (byte-identical reports at any
+//! thread count) plus deterministic JSON rendering make the whole
+//! report reproducible; only wall-clock timings vary, so they are
+//! zeroed before comparison.
+//!
+//! To bless a new golden file after an intentional change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_dispatch
+//! ```
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::popsim::{engine, ArrivalLaw, Scenario};
+use resmodel::sched::{dispatch, DispatchPolicy, DispatchReport, WorkloadSpec};
+
+const GOLDEN_PATH: &str = "tests/golden/dispatch_report.json";
+
+fn golden_report() -> DispatchReport {
+    let mut scenario = Scenario::steady_state(20110620);
+    scenario.max_hosts = 4_000;
+    scenario.arrivals = ArrivalLaw::Exponential {
+        base_per_day: 20.0,
+        growth_per_year: 0.18,
+    };
+    let fleet = engine::run(&scenario).expect("golden fleet runs");
+    let workload = WorkloadSpec::preset("mixed")
+        .expect("built-in preset")
+        .with_job_budget(3_000);
+    let mut report =
+        dispatch(&fleet, &workload, DispatchPolicy::EarliestFinish).expect("golden dispatch runs");
+    // Wall-clock timings are the only nondeterministic content.
+    report.zero_timings();
+    report
+}
+
+#[test]
+fn dispatch_report_is_byte_stable() {
+    let json = golden_report().to_json_pretty().unwrap();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(GOLDEN_PATH, &json).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (run with UPDATE_GOLDEN=1 to create it)");
+    if json != golden {
+        // Report just the first differing line and keep the re-bless
+        // hint at the end where it is read (mirroring golden_pipeline).
+        let diff_line = json
+            .lines()
+            .zip(golden.lines())
+            .position(|(a, b)| a != b)
+            .unwrap_or_else(|| json.lines().count().min(golden.lines().count()));
+        let actual = json.lines().nth(diff_line).unwrap_or("<end of report>");
+        let expected = golden.lines().nth(diff_line).unwrap_or("<end of golden>");
+        panic!(
+            "dispatch report drifted from {GOLDEN_PATH} at line {}:\n  \
+             report: {actual}\n  golden: {expected}\n\
+             If the change is intentional, re-bless the golden file with:\n  \
+             UPDATE_GOLDEN=1 cargo test --test golden_dispatch",
+            diff_line + 1,
+        );
+    }
+}
+
+#[test]
+fn same_inputs_same_bytes_within_process() {
+    let a = golden_report().to_json_pretty().unwrap();
+    let b = golden_report().to_json_pretty().unwrap();
+    assert_eq!(a, b);
+}

@@ -13,9 +13,11 @@
 use proptest::prelude::*;
 use resmodel::core::fit::FitConfig;
 use resmodel::pipeline::{
-    PipelineReport, PipelineSpec, PredictSpec, SourceSpec, StageTimings, ValidateSpec, WorldSummary,
+    DispatchSpec, PipelineReport, PipelineSpec, PredictSpec, SourceSpec, StageTimings,
+    ValidateSpec, WorldSummary,
 };
 use resmodel::popsim::Scenario;
+use resmodel::sched::{DispatchPolicy, WorkloadSpec};
 use resmodel::trace::sanitize::SanitizeRules;
 use resmodel::trace::SimDate;
 
@@ -63,6 +65,23 @@ fn fit_strategy() -> impl Strategy<Value = Option<FitConfig>> {
     ))
 }
 
+fn dispatch_strategy() -> impl Strategy<Value = Option<DispatchSpec>> {
+    proptest::option::of(
+        (0usize..3, 0usize..4, 0u64..u64::MAX, 24.0..2000.0f64).prop_map(
+            |(preset, policy, seed, horizon)| {
+                let mut workload =
+                    WorkloadSpec::preset(WorkloadSpec::PRESETS[preset]).expect("built-in preset");
+                workload.seed = seed;
+                workload.horizon_hours = horizon;
+                DispatchSpec {
+                    workload,
+                    policy: DispatchPolicy::ALL[policy],
+                }
+            },
+        ),
+    )
+}
+
 fn spec_strategy() -> impl Strategy<Value = PipelineSpec> {
     (
         source_strategy(),
@@ -73,14 +92,18 @@ fn spec_strategy() -> impl Strategy<Value = PipelineSpec> {
                 .prop_map(|(dates, seed)| ValidateSpec { dates, seed }),
         ),
         proptest::option::of(dates_strategy().prop_map(|dates| PredictSpec { dates })),
+        dispatch_strategy(),
     )
-        .prop_map(|(source, sanitize, fit, validate, predict)| PipelineSpec {
-            source,
-            sanitize,
-            fit,
-            validate,
-            predict,
-        })
+        .prop_map(
+            |(source, sanitize, fit, validate, predict, dispatch)| PipelineSpec {
+                source,
+                sanitize,
+                fit,
+                validate,
+                predict,
+                dispatch,
+            },
+        )
 }
 
 proptest! {
@@ -100,7 +123,7 @@ proptest! {
         spec in spec_strategy(),
         hosts in 0usize..1_000_000,
         discarded in 0usize..1_000,
-        timings in proptest::collection::vec(0.0..1e5f64, 5),
+        timings in proptest::collection::vec(0.0..1e5f64, 6),
     ) {
         let report = PipelineReport {
             spec,
@@ -121,12 +144,14 @@ proptest! {
             fit: None,
             validation: None,
             predictions: None,
+            dispatch: None,
             timing: StageTimings {
                 build_ms: timings[0],
                 sanitize_ms: timings[1],
                 fit_ms: timings[2],
                 validate_ms: timings[3],
                 predict_ms: timings[4],
+                dispatch_ms: timings[5],
             },
         };
         let json = report.to_json_pretty().unwrap();

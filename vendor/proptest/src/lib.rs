@@ -120,6 +120,7 @@ tuple_strategy! {
     (A: 0, B: 1, C: 2, D: 3);
     (A: 0, B: 1, C: 2, D: 3, E: 4);
     (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
 }
 
 /// Collection strategies (`prop::collection::vec`).
