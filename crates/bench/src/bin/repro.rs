@@ -12,7 +12,7 @@
 use resmodel::pipeline::{Pipeline, PipelineOutput, PipelineReport};
 use resmodel_allocsim::{run_utility_experiment, AppProfile, UtilityExperimentConfig};
 use resmodel_baselines::{GridModel, NormalModel};
-use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
 use resmodel_bench::{fig15_dates, fit_dates, section};
 use resmodel_core::fit::{
     core_fractions, lifetime_weibull, pcm_fractions, select_resource_family, FitReport,
@@ -54,6 +54,14 @@ const USAGE: Usage = Usage {
             help: "write the full pipeline report as JSON (`-` for stdout)",
         },
         FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail",
+        },
+        FlagHelp {
             flag: "--help",
             help: "show this help",
         },
@@ -68,12 +76,15 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut scale = resmodel_bench::DEFAULT_SCALE;
     let mut seed = resmodel_bench::DEFAULT_SEED;
     let mut report_json: Option<String> = None;
+    let mut verbosity = Verbosity::default();
     let mut wanted: Vec<String> = Vec::new();
     while let Some(token) = args.next_token() {
         match token.as_str() {
             "--scale" => scale = args.parse("--scale", "a number")?,
             "--seed" => seed = args.parse("--seed", "an integer")?,
             "--report-json" => report_json = Some(args.value("--report-json")?),
+            "--quiet" => verbosity = Verbosity::Quiet,
+            "--verbose" => verbosity = Verbosity::Verbose,
             "--help" | "-h" => cli::help_exit(&USAGE),
             other if other.starts_with('-') => return cli::unknown_flag(other),
             other if other == "all" || EXPERIMENTS.contains(&other) => {
@@ -90,6 +101,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     if wanted.is_empty() {
         wanted.push("all".into());
     }
+    let log = Logger::new(verbosity);
 
     let all = wanted.iter().any(|w| w == "all");
     let want = |name: &str| all || wanted.iter().any(|w| w == name);
@@ -98,10 +110,18 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     // the fitted model and laws, and — only when an experiment (or the
     // JSON report) consumes them — the Fig 12 validation tables and
     // the Fig 13/14 forecasts.
-    eprintln!("running pipeline (scale {scale}, seed {seed})...");
+    log.info(format!("running pipeline (scale {scale}, seed {seed})..."));
+    // Observe the run only when the detail is wanted: the report is
+    // byte-identical either way.
+    let obs = if log.debug_enabled() {
+        resmodel::obs::Collector::new()
+    } else {
+        resmodel::obs::Collector::disabled()
+    };
     let mut pipeline = Pipeline::from_boinc(scale, seed)
         .sanitize_default()
-        .fit_default();
+        .fit_default()
+        .observe(&obs);
     if want("fig12") || want("table8") || report_json.is_some() {
         pipeline =
             pipeline.validate_seeded(vec![SimDate::from_year(2010.0 + 8.0 / 12.0)], seed ^ 0xf12);
@@ -118,13 +138,22 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let report = out
         .fit_report()
         .ok_or_else(|| ResmodelError::config("pipeline", "fit stage missing"))?;
-    eprintln!(
+    log.info(format!(
         "world ready: {} hosts ({} pre-sanitization); fit in {:.0} ms",
         out.report.world.hosts, out.report.world.raw_hosts, out.report.timing.fit_ms
-    );
+    ));
+    if log.debug_enabled() {
+        let m = obs.snapshot();
+        for s in &m.spans {
+            log.debug(format!(
+                "span {}: {} call(s), {:.1} ms",
+                s.path, s.calls, s.total_ms
+            ));
+        }
+    }
 
     if let Some(path) = report_json {
-        write_report(&out.report, &path)?;
+        write_report(&out.report, &path, &log)?;
     }
 
     if want("sanity") {
@@ -203,13 +232,13 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
 }
 
 /// Write the pipeline report as JSON to `path` (`-` for stdout).
-fn write_report(report: &PipelineReport, path: &str) -> Result<(), ResmodelError> {
+fn write_report(report: &PipelineReport, path: &str, log: &Logger) -> Result<(), ResmodelError> {
     let json = report.to_json_pretty()?;
     if path == "-" {
         println!("{json}");
     } else {
         std::fs::write(path, json).map_err(|e| ResmodelError::io(path, e))?;
-        eprintln!("pipeline report written to {path}");
+        log.info(format!("pipeline report written to {path}"));
     }
     Ok(())
 }

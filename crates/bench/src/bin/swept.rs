@@ -7,12 +7,20 @@
 //! [`SweepSpec`] file (`--spec FILE`); `--report FILE` additionally
 //! dumps the full typed [`SweepReport`]; `--verify-columnar` runs the
 //! grid on both data paths and asserts the reports are byte-identical.
+//!
+//! Every run records observability metrics out-of-band (the report
+//! bytes are identical with or without them): the emitted `/4`
+//! artifact carries the [`resmodel::obs::MetricsReport`] block and the process
+//! peak-RSS, `--events-out FILE` streams span open/close records as
+//! JSONL, and `--require-rss` turns a missing RSS or throughput figure
+//! into a hard error (for CI on Linux runners).
 
 #![warn(clippy::unwrap_used)]
 
+use resmodel::obs::Collector;
 use resmodel::pipeline::DataPath;
 use resmodel::sweep::{SweepReport, SweepSpec};
-use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
 use resmodel_bench::{row, section};
 use resmodel_error::{ArgError, ResmodelError};
 
@@ -22,7 +30,8 @@ const USAGE: Usage = Usage {
     usage: &[
         "swept --preset NAME [--seed N] [--hosts N] [--threads N] [--out FILE] [--report FILE]",
         "swept --spec FILE [--seed N] [--hosts N] [--threads N] [--out FILE] [--report FILE]",
-        "swept --check FILE",
+        "swept [--events-out FILE] [--require-rss] [--quiet | --verbose] ...",
+        "swept --check FILE [FILE...]",
         "swept --list",
     ],
     flags: &[
@@ -55,8 +64,24 @@ const USAGE: Usage = Usage {
             help: "also write the full SweepReport JSON",
         },
         FlagHelp {
-            flag: "--check FILE",
-            help: "validate an emitted BENCH_sweep.json (schema + serde round-trip) and exit",
+            flag: "--events-out FILE",
+            help: "stream span open/close records to FILE as JSONL",
+        },
+        FlagHelp {
+            flag: "--require-rss",
+            help: "fail unless the artifact carries non-zero peak-RSS and hosts/sec (CI, Linux)",
+        },
+        FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail (per-job metrics totals)",
+        },
+        FlagHelp {
+            flag: "--check FILE...",
+            help: "validate emitted BENCH_sweep.json files (schema + serde round-trip) and exit",
         },
         FlagHelp {
             flag: "--verify-columnar",
@@ -87,8 +112,21 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut out = String::from("BENCH_sweep.json");
     let mut report_path: Option<String> = None;
     let mut verify_columnar = false;
+    let mut events_out: Option<String> = None;
+    let mut require_rss = false;
+    let mut verbosity = Verbosity::default();
+    let mut check = false;
+    let mut check_paths: Vec<String> = Vec::new();
 
     while let Some(token) = args.next_token() {
+        if check {
+            // After `--check`, every further token (bar repeated
+            // `--check` separators) is an artifact path.
+            if token != "--check" {
+                check_paths.push(token);
+            }
+            continue;
+        }
         match token.as_str() {
             "--preset" => preset = Some(args.value("--preset")?),
             "--spec" => spec_path = Some(args.value("--spec")?),
@@ -98,10 +136,14 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             "--threads" => threads = Some(args.parse("--threads", "a positive integer")?),
             "--out" => out = args.value("--out")?,
             "--report" => report_path = Some(args.value("--report")?),
-            "--check" => {
-                let path = args.value("--check")?;
-                return check_artifact(&path);
-            }
+            "--events-out" => events_out = Some(args.value("--events-out")?),
+            "--require-rss" => require_rss = true,
+            "--quiet" => verbosity = Verbosity::Quiet,
+            "--verbose" => verbosity = Verbosity::Verbose,
+            // `--check` may repeat, so one invocation can validate a
+            // fresh artifact alongside the committed legacy fixtures;
+            // every file must pass.
+            "--check" => check = true,
             "--list" => {
                 for name in SweepSpec::PRESETS {
                     let spec = SweepSpec::preset(name).ok_or_else(|| {
@@ -114,6 +156,19 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             "--help" | "-h" => cli::help_exit(&USAGE),
             other => return cli::unknown_flag(other),
         }
+    }
+
+    if check {
+        if check_paths.is_empty() {
+            return Err(ArgError::MissingValue {
+                flag: "--check".into(),
+            }
+            .into());
+        }
+        for path in &check_paths {
+            check_artifact(path)?;
+        }
+        return Ok(());
     }
 
     let mut spec = match (preset, spec_path) {
@@ -137,6 +192,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     if let Some(hosts) = hosts {
         spec.fleet_sizes = vec![hosts];
     }
+    let log = Logger::new(verbosity);
 
     if verify_columnar {
         return match threads {
@@ -144,34 +200,77 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
                 .num_threads(n)
                 .build()
                 .map_err(|e| ResmodelError::config("sweep", e.to_string()))?
-                .install(|| verify_columnar_identity(&spec)),
-            None => verify_columnar_identity(&spec),
+                .install(|| verify_columnar_identity(&spec, &log)),
+            None => verify_columnar_identity(&spec, &log),
         };
     }
 
-    eprintln!(
+    // Observe every run: the report bytes are identical either way,
+    // and the /4 artifact carries the metrics block and peak-RSS.
+    let obs = Collector::new();
+    if let Some(path) = &events_out {
+        let file = std::fs::File::create(path).map_err(|e| ResmodelError::io(path, e))?;
+        obs.set_events_sink(Box::new(std::io::BufWriter::new(file)));
+    }
+
+    log.info(format!(
         "sweep `{}`: {} jobs on {} threads...",
         spec.name,
         spec.job_count(),
         threads.unwrap_or_else(rayon::current_num_threads),
-    );
+    ));
     let report = match threads {
         Some(n) => rayon::ThreadPoolBuilder::new()
             .num_threads(n)
             .build()
             .map_err(|e| ResmodelError::config("sweep", e.to_string()))?
-            .install(|| spec.run())?,
-        None => spec.run()?,
+            .install(|| spec.run_collected(DataPath::Columnar, &obs))?,
+        None => spec.run_collected(DataPath::Columnar, &obs)?,
     };
+    let metrics = obs.snapshot();
+    if log.debug_enabled() {
+        log.debug(format!(
+            "metrics: {} counters, {} histograms, {} spans, peak RSS {}",
+            metrics.counters.len(),
+            metrics.histograms.len(),
+            metrics.spans.len(),
+            metrics
+                .peak_rss_bytes
+                .map_or_else(|| "n/a".to_owned(), |b| format!("{b} bytes")),
+        ));
+    }
 
     print_summary(&report);
 
-    let artifact = report.bench_artifact().to_json_pretty()?;
-    std::fs::write(&out, artifact).map_err(|e| ResmodelError::io(&out, e))?;
-    eprintln!("wrote {out}");
+    let artifact = report.bench_artifact_with_metrics(&metrics);
+    if require_rss {
+        if artifact.peak_rss_bytes.is_none_or(|b| b == 0) {
+            return Err(ResmodelError::config(
+                "bench artifact",
+                "--require-rss: no peak-RSS figure (probe unavailable on this platform?)",
+            ));
+        }
+        if !(artifact.totals.hosts_per_sec > 0.0) {
+            return Err(ResmodelError::config(
+                "bench artifact",
+                "--require-rss: batch hosts/sec figure is missing or zero",
+            ));
+        }
+    }
+    std::fs::write(&out, artifact.to_json_pretty()?).map_err(|e| ResmodelError::io(&out, e))?;
+    log.info(format!("wrote {out}"));
     if let Some(path) = report_path {
         std::fs::write(&path, report.to_json_pretty()?).map_err(|e| ResmodelError::io(&path, e))?;
-        eprintln!("wrote {path}");
+        log.info(format!("wrote {path}"));
+    }
+    if let Some(path) = events_out {
+        // Flush explicitly: the sink's Drop would swallow I/O errors,
+        // turning a truncated events log into a silent success.
+        if let Some(mut sink) = obs.take_events_sink() {
+            use std::io::Write;
+            sink.flush().map_err(|e| ResmodelError::io(&path, e))?;
+        }
+        log.info(format!("wrote {path}"));
     }
     Ok(())
 }
@@ -179,12 +278,12 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
 /// Run the grid on both data paths and assert the timing-zeroed
 /// reports are byte-identical — the columnar refactor's correctness
 /// contract, exercised by CI on the `families` preset.
-fn verify_columnar_identity(spec: &SweepSpec) -> Result<(), ResmodelError> {
-    eprintln!(
+fn verify_columnar_identity(spec: &SweepSpec, log: &Logger) -> Result<(), ResmodelError> {
+    log.info(format!(
         "verifying row/columnar identity for `{}` ({} jobs, both paths)...",
         spec.name,
         spec.job_count(),
-    );
+    ));
     let zeroed = |path: DataPath| -> Result<String, ResmodelError> {
         let mut report = spec.run_with_path(path)?;
         report.zero_timings();
@@ -221,15 +320,35 @@ fn verify_columnar_identity(spec: &SweepSpec) -> Result<(), ResmodelError> {
 /// survive a serde round-trip byte-for-byte, and report at least one
 /// job with hosts and a throughput figure.
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
-    use resmodel::sweep::{BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2};
+    use resmodel::sweep::{
+        BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2, BENCH_SCHEMA_V3,
+    };
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
     let artifact = BenchArtifact::from_json(&text)?;
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
-    if ![BENCH_SCHEMA, BENCH_SCHEMA_V2, BENCH_SCHEMA_V1].contains(&artifact.schema.as_str()) {
+    if ![
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V3,
+        BENCH_SCHEMA_V2,
+        BENCH_SCHEMA_V1,
+    ]
+    .contains(&artifact.schema.as_str())
+    {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V2}` / \
-             `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V3}` / \
+             `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
+            artifact.schema
+        )));
+    }
+    // The observability block arrived with /4; older artifacts must
+    // not carry one (a /3 file with metrics means the emitter lied
+    // about its schema).
+    if artifact.schema != BENCH_SCHEMA
+        && (artifact.metrics.is_some() || artifact.peak_rss_bytes.is_some())
+    {
+        return Err(invalid(format!(
+            "schema `{}` must not carry the /4 observability block",
             artifact.schema
         )));
     }
@@ -413,19 +532,36 @@ mod tests {
 
     /// A synthesized artifact in the exact shape the given schema
     /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
-    /// blocks lack `dispatch_ms`, `/3` rows carry the dispatch pair.
+    /// blocks lack `dispatch_ms`, `/3`+ rows carry the dispatch pair,
+    /// and `/4` adds the top-level observability block.
     fn artifact_json(schema: &str) -> String {
-        let timing = if schema.ends_with("/3") {
-            r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
-                "validate_ms": 0.3, "predict_ms": 0.0, "dispatch_ms": 2.0}"#
-        } else {
+        let timing = if schema.ends_with("/1") || schema.ends_with("/2") {
             r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
                 "validate_ms": 0.3, "predict_ms": 0.0}"#
+        } else {
+            r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
+                "validate_ms": 0.3, "predict_ms": 0.0, "dispatch_ms": 2.0}"#
         };
         let extra = match schema {
             s if s.ends_with("/1") => String::new(),
             s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
             _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
+        };
+        let obs_block = if schema.ends_with("/4") {
+            r#""peak_rss_bytes": 104857600,
+               "metrics": {
+                 "counters": [["popsim.events", 123], ["sweep.runs", 1]],
+                 "gauges": [["sweep.hosts_per_sec", 288613.0]],
+                 "histograms": [{
+                   "name": "popsim.queue_depth_peak", "count": 8,
+                   "min": 3.0, "max": 9.0, "p50": 4.0, "p90": 8.0, "p99": 8.0,
+                   "buckets": [[134, 5], [138, 3]]
+                 }],
+                 "spans": [{"path": "sweep", "calls": 1, "total_ms": 27.7, "max_ms": 27.7}],
+                 "peak_rss_bytes": 104857600
+               },"#
+        } else {
+            ""
         };
         format!(
             r#"{{
@@ -438,6 +574,7 @@ mod tests {
                 "hosts_per_sec": 288613.0, "peak_job_wall_ms": 27.7,
                 "threads": 4, "stage_ms": {timing}
               }},
+              {obs_block}
               "jobs": [{{
                 "label": "steady-state/8000/r1",
                 "scenario": "steady-state",
@@ -477,6 +614,52 @@ mod tests {
     }
 
     #[test]
+    fn committed_legacy_fixtures_keep_validating() {
+        // The repo-level fixtures CI feeds to `swept --check`: if a
+        // schema rule change would orphan artifacts written by older
+        // binaries, this fails before the workflow does.
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/legacy");
+        let mut checked = 0;
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.extension().is_some_and(|e| e == "json") {
+                check_artifact(path.to_str().unwrap())
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+                checked += 1;
+            }
+        }
+        assert!(checked >= 3, "expected the /1–/3 fixtures, saw {checked}");
+    }
+
+    #[test]
+    fn v4_artifact_with_observability_block_validates() {
+        let json = artifact_json("resmodel.bench_sweep/4");
+        check_str("v4", &json).unwrap_or_else(|e| panic!("/4: {e}"));
+    }
+
+    #[test]
+    fn check_accepts_multiple_files_and_fails_on_any_bad_one() {
+        use resmodel_bench::cli::Args;
+
+        let dir = std::env::temp_dir();
+        let good = dir.join("swept_multi_good.json");
+        let bad = dir.join("swept_multi_bad.json");
+        std::fs::write(&good, artifact_json("resmodel.bench_sweep/3")).unwrap();
+        std::fs::write(&bad, artifact_json("resmodel.bench_sweep/99")).unwrap();
+        let good = good.to_str().unwrap().to_owned();
+        let bad = bad.to_str().unwrap().to_owned();
+
+        let run = |tokens: Vec<String>| super::real_main(Args::new(tokens));
+        assert!(run(vec!["--check".into(), good.clone(), good.clone()]).is_ok());
+        assert!(run(vec!["--check".into(), good.clone(), bad.clone()]).is_err());
+        // Bare `--check` with no file is a usage error, not a no-op.
+        assert!(run(vec!["--check".into()]).is_err());
+
+        let _ = std::fs::remove_file(&good);
+        let _ = std::fs::remove_file(&bad);
+    }
+
+    #[test]
     fn malformed_artifacts_are_rejected() {
         // Unknown schema.
         let json = artifact_json("resmodel.bench_sweep/99");
@@ -488,5 +671,17 @@ mod tests {
         let json =
             artifact_json("resmodel.bench_sweep/3").replace(r#""jobs_per_sec": 100000.0,"#, "");
         assert!(check_str("pair", &json).is_err());
+        // A /3 artifact smuggling the /4 observability block.
+        let json = artifact_json("resmodel.bench_sweep/3").replace(
+            r#""threads": 4,
+              "totals""#,
+            r#""threads": 4, "peak_rss_bytes": 1,
+              "totals""#,
+        );
+        assert!(
+            json.contains("peak_rss_bytes"),
+            "replacement must have matched"
+        );
+        assert!(check_str("smuggled", &json).is_err());
     }
 }

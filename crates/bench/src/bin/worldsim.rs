@@ -8,7 +8,7 @@
 
 #![warn(clippy::unwrap_used)]
 
-use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
 use resmodel_bench::{build_popsim_world, build_raw_world, build_world};
 use resmodel_error::{ArgError, ResmodelError};
 use resmodel_popsim::Scenario;
@@ -47,6 +47,14 @@ const USAGE: Usage = Usage {
             help: "output path (default stdout)",
         },
         FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail",
+        },
+        FlagHelp {
             flag: "--help",
             help: "show this help",
         },
@@ -65,6 +73,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut out: Option<String> = None;
     let mut engine: Option<String> = None;
     let mut hosts: Option<usize> = None;
+    let mut verbosity = Verbosity::default();
 
     while let Some(token) = args.next_token() {
         match token.as_str() {
@@ -77,6 +86,8 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             "--engine" => engine = Some(args.value("--engine")?),
             "--hosts" => hosts = Some(args.parse("--hosts", "an integer")?),
             "--out" => out = Some(args.value("--out")?),
+            "--quiet" => verbosity = Verbosity::Quiet,
+            "--verbose" => verbosity = Verbosity::Verbose,
             "--help" | "-h" => cli::help_exit(&USAGE),
             other => return cli::unknown_flag(other),
         }
@@ -97,6 +108,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         return cli::usage_error("--hosts requires --engine (use --scale for the BOINC mode)");
     }
 
+    let log = Logger::new(verbosity);
     let trace = match engine {
         Some(name) => {
             let scenario = Scenario::builtin(&name, seed).ok_or(ArgError::InvalidValue {
@@ -105,11 +117,13 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
                 expected: "steady-state, flash-crowd, gpu-wave or market-shift",
             })?;
             let hosts = hosts.unwrap_or(0);
-            eprintln!("running population engine ({name}, seed {seed}, hosts {hosts})...");
+            log.info(format!(
+                "running population engine ({name}, seed {seed}, hosts {hosts})..."
+            ));
             build_popsim_world(scenario, hosts)?
         }
         None => {
-            eprintln!("simulating world (scale {scale}, seed {seed})...");
+            log.info(format!("simulating world (scale {scale}, seed {seed})..."));
             if raw {
                 build_raw_world(scale, seed)
             } else {
@@ -117,7 +131,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             }
         }
     };
-    eprintln!("writing {} hosts...", trace.len());
+    log.info(format!("writing {} hosts...", trace.len()));
 
     match out {
         Some(path) => {
@@ -135,6 +149,6 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             lock.flush().map_err(|e| ResmodelError::io("stdout", e))?;
         }
     }
-    eprintln!("done.");
+    log.info("done.");
     Ok(())
 }

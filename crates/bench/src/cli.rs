@@ -58,6 +58,70 @@ impl Usage {
     }
 }
 
+/// Stderr verbosity of a workspace binary, set by the shared
+/// `--quiet` / `--verbose` flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Verbosity {
+    /// `--quiet`: warnings only.
+    Quiet,
+    /// The default: progress lines plus warnings.
+    #[default]
+    Normal,
+    /// `--verbose`: progress plus debug detail.
+    Verbose,
+}
+
+/// Leveled stderr logger shared by the workspace binaries. Progress
+/// chatter goes through [`Logger::info`] (suppressed by `--quiet`),
+/// extra detail through [`Logger::debug`] (shown only with
+/// `--verbose`), and problems through [`Logger::warn`] (always shown).
+/// Results belong on stdout, never here.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Logger {
+    level: Verbosity,
+}
+
+impl Logger {
+    /// A logger at `level`.
+    pub fn new(level: Verbosity) -> Self {
+        Self { level }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> Verbosity {
+        self.level
+    }
+
+    /// Whether [`Logger::info`] lines are emitted.
+    pub fn info_enabled(&self) -> bool {
+        self.level >= Verbosity::Normal
+    }
+
+    /// Whether [`Logger::debug`] lines are emitted.
+    pub fn debug_enabled(&self) -> bool {
+        self.level >= Verbosity::Verbose
+    }
+
+    /// Progress line: stderr at [`Verbosity::Normal`] and above.
+    pub fn info(&self, message: impl AsRef<str>) {
+        if self.info_enabled() {
+            eprintln!("{}", message.as_ref());
+        }
+    }
+
+    /// Debug detail: stderr at [`Verbosity::Verbose`] only.
+    pub fn debug(&self, message: impl AsRef<str>) {
+        if self.debug_enabled() {
+            eprintln!("{}", message.as_ref());
+        }
+    }
+
+    /// Warning: stderr at every level, `warning:`-prefixed.
+    pub fn warn(&self, message: impl AsRef<str>) {
+        eprintln!("warning: {}", message.as_ref());
+    }
+}
+
 /// A cursor over command-line tokens with typed error reporting.
 #[derive(Debug)]
 pub struct Args {
@@ -204,6 +268,18 @@ mod tests {
         let reminder = USAGE.reminder();
         assert!(reminder.contains("usage: demo [--n N]"));
         assert!(!reminder.contains("how many"));
+    }
+
+    #[test]
+    fn logger_levels_gate_output() {
+        let quiet = Logger::new(Verbosity::Quiet);
+        assert!(!quiet.info_enabled() && !quiet.debug_enabled());
+        let normal = Logger::default();
+        assert_eq!(normal.level(), Verbosity::Normal);
+        assert!(normal.info_enabled() && !normal.debug_enabled());
+        let verbose = Logger::new(Verbosity::Verbose);
+        assert!(verbose.info_enabled() && verbose.debug_enabled());
+        assert!(Verbosity::Quiet < Verbosity::Normal && Verbosity::Normal < Verbosity::Verbose);
     }
 
     #[test]

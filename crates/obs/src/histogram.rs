@@ -1,0 +1,307 @@
+//! Log-scale histogram with *fixed* bucket boundaries.
+//!
+//! Buckets are derived directly from the IEEE-754 bit pattern of the
+//! recorded value — four logarithmically spaced sub-buckets per octave
+//! (a resolution of 2^(1/4) ≈ 19%) spanning 2⁻³² up to 2³², plus an
+//! underflow and an overflow bucket at the ends. Because the bucket of
+//! a value is a pure integer function of its bits, and the state is
+//! nothing but `u64` bucket counts plus an order-invariant
+//! `count`/`min`/`max` triple, merging histograms is associative *and*
+//! commutative down to the last bit: per-thread or per-shard partials
+//! combined in any order produce the identical result. There is
+//! deliberately no running `f64` sum — float addition is
+//! non-associative and would leak merge order into the report.
+
+use serde::{Deserialize, Serialize};
+
+/// Total number of buckets, including the underflow bucket 0 and the
+/// overflow bucket `BUCKET_COUNT - 1`.
+pub const BUCKET_COUNT: usize = 256;
+
+/// Bucket index holding the value `1.0` (the first sub-bucket of the
+/// `[1, 2)` octave); 128 octave-quarters of range on either side.
+const CENTER: i64 = 128;
+
+/// `bits >> RAW_SHIFT` keeps the biased exponent plus the top two
+/// mantissa bits: exactly four log-spaced sub-buckets per octave.
+const RAW_SHIFT: u32 = 50;
+
+/// The shifted bit pattern of `1.0` (biased exponent 1023, mantissa 0).
+const ONE_RAW: i64 = 1023 << 2;
+
+/// Map a value to its bucket. Non-finite values have no bucket;
+/// zeros, negatives, and anything below 2⁻³² land in the underflow
+/// bucket 0, anything at or above ~2³² in the overflow bucket.
+#[must_use]
+pub fn bucket_index(v: f64) -> Option<usize> {
+    if !v.is_finite() {
+        return None;
+    }
+    if v <= 0.0 {
+        return Some(0);
+    }
+    let raw = (v.to_bits() >> RAW_SHIFT) as i64;
+    let idx = raw - ONE_RAW + CENTER;
+    Some(idx.clamp(0, BUCKET_COUNT as i64 - 1) as usize)
+}
+
+/// Inclusive lower bound of a bucket: 0.0 for the underflow bucket,
+/// otherwise the smallest positive value that maps to it.
+#[must_use]
+pub fn bucket_lower_bound(index: usize) -> f64 {
+    if index == 0 {
+        return 0.0;
+    }
+    let raw = (index as i64 - CENTER + ONE_RAW) as u64;
+    f64::from_bits(raw << RAW_SHIFT)
+}
+
+/// A mergeable log-scale histogram (see the module docs for the
+/// bit-exact merge contract).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    count: u64,
+    min: f64,
+    max: f64,
+    buckets: [u64; BUCKET_COUNT],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            buckets: [0; BUCKET_COUNT],
+        }
+    }
+
+    /// Record one observation. Non-finite values are ignored — the
+    /// histogram only ever holds finite statistics.
+    pub fn record(&mut self, v: f64) {
+        let Some(idx) = bucket_index(v) else { return };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Record an integer observation (queue depths, candidate counts).
+    pub fn record_u64(&mut self, v: u64) {
+        // u64 → f64 rounds above 2^53, far past the overflow bucket;
+        // the bucket, min, and max remain exact for realistic counts.
+        #[allow(clippy::cast_precision_loss)]
+        self.record(v as f64);
+    }
+
+    /// Fold another histogram into this one. Bitwise order-invariant:
+    /// `a.merge(b)` and `b.merge(a)` yield equal state.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (dst, src) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *dst += *src;
+        }
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of recorded observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (`None` when empty).
+    #[must_use]
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest recorded value (`None` when empty).
+    #[must_use]
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Raw bucket counts.
+    #[must_use]
+    pub fn buckets(&self) -> &[u64; BUCKET_COUNT] {
+        &self.buckets
+    }
+
+    /// Quantile estimate: the lower bound of the bucket containing the
+    /// `q`-th observation, clamped into `[min, max]`. `None` when
+    /// empty. Resolution is one sub-bucket (≈19%), which is the point:
+    /// the answer depends only on bucket counts, never on insertion or
+    /// merge order.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return Some(bucket_lower_bound(idx).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Condense into the serializable summary carried by
+    /// [`MetricsReport`](crate::MetricsReport). `None` when empty —
+    /// empty histograms have no finite min/max and are skipped.
+    #[must_use]
+    pub fn summary(&self, name: &str) -> Option<HistogramSummary> {
+        if self.count == 0 {
+            return None;
+        }
+        let buckets = self
+            .buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i as u32, n))
+            .collect();
+        Some(HistogramSummary {
+            name: name.to_owned(),
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            p50: self.quantile(0.50).unwrap_or(self.min),
+            p90: self.quantile(0.90).unwrap_or(self.max),
+            p99: self.quantile(0.99).unwrap_or(self.max),
+            buckets,
+        })
+    }
+}
+
+/// Serialized form of one named histogram: quantiles plus the sparse
+/// bucket vector (`[bucket index, count]` pairs for non-empty buckets;
+/// boundaries are fixed, see [`bucket_lower_bound`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSummary {
+    /// Metric name, e.g. `sched.placement_latency_hours.earliest-finish`.
+    pub name: String,
+    /// Observations recorded.
+    pub count: u64,
+    /// Smallest recorded value.
+    pub min: f64,
+    /// Largest recorded value.
+    pub max: f64,
+    /// Median estimate (bucket lower bound).
+    pub p50: f64,
+    /// 90th-percentile estimate.
+    pub p90: f64,
+    /// 99th-percentile estimate.
+    pub p99: f64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn bucket_of_one_is_center() {
+        assert_eq!(bucket_index(1.0), Some(CENTER as usize));
+        assert_eq!(bucket_lower_bound(CENTER as usize), 1.0);
+    }
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        // Every bucket's lower bound maps back into that bucket, and
+        // boundaries are strictly increasing.
+        for i in 1..BUCKET_COUNT - 1 {
+            let lo = bucket_lower_bound(i);
+            assert_eq!(bucket_index(lo), Some(i), "bucket {i} lower bound {lo}");
+            assert!(bucket_lower_bound(i + 1) > lo);
+        }
+        // Values just below a boundary fall in the previous bucket.
+        let b = bucket_lower_bound(130);
+        assert_eq!(bucket_index(b * (1.0 - 1e-12)), Some(129));
+    }
+
+    #[test]
+    fn underflow_and_overflow_are_clamped() {
+        assert_eq!(bucket_index(0.0), Some(0));
+        assert_eq!(bucket_index(-3.5), Some(0));
+        assert_eq!(bucket_index(1e-300), Some(0));
+        assert_eq!(bucket_index(1e300), Some(BUCKET_COUNT - 1));
+        assert_eq!(bucket_index(f64::NAN), None);
+        assert_eq!(bucket_index(f64::INFINITY), None);
+    }
+
+    #[test]
+    fn quantiles_track_bucket_bounds() {
+        let mut h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record_u64(i);
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        // Sub-bucket resolution is 2^(1/4): estimates sit within one
+        // bucket of the true quantile.
+        assert!((420.0..=500.0).contains(&p50), "p50 = {p50}");
+        assert!((840.0..=990.0).contains(&p99), "p99 = {p99}");
+        assert_eq!(h.min(), Some(1.0));
+        assert_eq!(h.max(), Some(1000.0));
+        assert_eq!(h.count(), 1000);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let mut all = Histogram::new();
+        let mut parts = vec![Histogram::new(), Histogram::new(), Histogram::new()];
+        for i in 0..300u64 {
+            let v = (i as f64).mul_add(0.37, 0.001);
+            all.record(v);
+            parts[(i % 3) as usize].record(v);
+        }
+        let mut merged = Histogram::new();
+        for p in &parts {
+            merged.merge(p);
+        }
+        assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn non_finite_records_are_ignored() {
+        let mut h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(f64::INFINITY);
+        assert!(h.is_empty());
+        assert!(h.summary("x").is_none());
+    }
+
+    #[test]
+    fn summary_round_trips_through_json() {
+        let mut h = Histogram::new();
+        for v in [0.0, 0.5, 2.0, 65.0, 4096.0] {
+            h.record(v);
+        }
+        let s = h.summary("demo").unwrap();
+        let json = serde_json::to_string_pretty(&s).unwrap();
+        let back: HistogramSummary = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,519 @@
+//! Zero-dependency observability for the resmodel workspace: spans,
+//! counters, gauges, log-scale histograms, and a peak-RSS probe.
+//!
+//! # Design: determinism first
+//!
+//! The workspace's core contract is byte-identical reports at any
+//! rayon thread count. Metrics therefore aggregate *out-of-band* — a
+//! [`Collector`] is passed alongside the data flow, never embedded in
+//! report types — and the deterministic sections obey strict rules:
+//!
+//! - **Counters** count domain events (events simulated, hosts
+//!   generated, jobs placed). They are exact sums and thread-count
+//!   invariant.
+//! - **Histograms** record *simulated* quantities only — placement
+//!   latency in sim-hours, event-queue depths — never wall-clock
+//!   durations. Bucket boundaries are fixed (see [`histogram`]), so
+//!   per-shard partials merge bitwise order-invariantly.
+//! - **Spans** and **gauges** are where wall-clock time lives
+//!   (`total_ms`, `events_per_sec`). They are honest about being
+//!   machine facts and are excluded from determinism comparisons,
+//!   exactly like the `*_ms` fields that `zero_timings()` strips from
+//!   reports.
+//!
+//! Accumulation is sharded per thread: each thread owns a slot chosen
+//! on first use, so hot-path increments contend only rarely (two
+//! threads share a slot only when more than [`SHARD_COUNT`] threads
+//! record concurrently).
+//!
+//! # Usage
+//!
+//! ```
+//! use resmodel_obs::Collector;
+//!
+//! let obs = Collector::new();
+//! {
+//!     let _outer = obs.span("pipeline");
+//!     let _inner = obs.span("fit"); // nests: "pipeline/fit"
+//!     obs.add("pipeline.hosts", 120);
+//!     obs.record("sched.placement_latency_hours", 0.5);
+//! }
+//! let report = obs.snapshot();
+//! assert_eq!(report.counter("pipeline.hosts"), Some(120));
+//! assert_eq!(report.spans[1].path, "pipeline/fit");
+//! ```
+//!
+//! A disabled collector ([`Collector::disabled`]) makes every call a
+//! cheap no-op, so instrumented code paths need no `if` guards.
+
+#![warn(missing_docs)]
+#![warn(clippy::unwrap_used)]
+
+pub mod histogram;
+mod report;
+mod rss;
+
+pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSummary, BUCKET_COUNT};
+pub use report::{
+    find_nonzero_wall_clock, is_wall_clock_key, zero_wall_clock, MetricsReport, SpanReport,
+};
+pub use rss::peak_rss_bytes;
+
+use serde::Value;
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Instant;
+
+/// Number of accumulation shards. Threads map onto slots round-robin;
+/// contention appears only beyond this many concurrent recorders.
+pub const SHARD_COUNT: usize = 16;
+
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's shard slot; `usize::MAX` until first use.
+    static SHARD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
+    /// The slash-joined path of currently open spans on this thread.
+    static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+}
+
+fn thread_shard() -> usize {
+    SHARD_SLOT.with(|slot| {
+        let cur = slot.get();
+        if cur != usize::MAX {
+            return cur;
+        }
+        let assigned = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % SHARD_COUNT;
+        slot.set(assigned);
+        assigned
+    })
+}
+
+/// Lock a mutex, recovering the data on poison: metrics must never
+/// propagate a panic from an unrelated thread.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    match mutex.lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    }
+}
+
+#[derive(Default)]
+struct Shard {
+    counters: BTreeMap<String, u64>,
+    histograms: BTreeMap<String, Histogram>,
+    spans: BTreeMap<String, SpanStats>,
+}
+
+#[derive(Default, Clone, Copy)]
+struct SpanStats {
+    calls: u64,
+    total_ms: f64,
+    max_ms: f64,
+}
+
+struct Inner {
+    epoch: Instant,
+    shards: Vec<Mutex<Shard>>,
+    gauges: Mutex<BTreeMap<String, f64>>,
+    sink: Mutex<Option<Box<dyn Write + Send>>>,
+}
+
+/// Handle to a shared metrics accumulator. Cloning is cheap (an `Arc`
+/// bump); all clones feed the same snapshot.
+///
+/// The default handle is **disabled**: every method is a no-op and
+/// [`Collector::snapshot`] returns an empty [`MetricsReport`], so
+/// plumbing a collector through a subsystem costs nothing until a
+/// caller opts in with [`Collector::new`].
+#[derive(Clone, Default)]
+pub struct Collector {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Collector {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Collector")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+impl Collector {
+    /// An enabled collector with empty state.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                shards: (0..SHARD_COUNT)
+                    .map(|_| Mutex::new(Shard::default()))
+                    .collect(),
+                gauges: Mutex::new(BTreeMap::new()),
+                sink: Mutex::new(None),
+            })),
+        }
+    }
+
+    /// The no-op collector.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Increment a monotonic counter.
+    pub fn add(&self, name: &str, n: u64) {
+        let Some(inner) = &self.inner else { return };
+        let mut shard = lock(&inner.shards[thread_shard()]);
+        *shard.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Record one observation into a named histogram.
+    ///
+    /// By convention the value is a *simulated* quantity (sim-hours,
+    /// queue depth) — wall-clock durations belong in spans so the
+    /// histogram section stays thread-count invariant.
+    pub fn record(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        let mut shard = lock(&inner.shards[thread_shard()]);
+        shard
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .record(v);
+    }
+
+    /// Record an integer observation (queue depths, shard sizes) into
+    /// a named histogram.
+    pub fn record_u64(&self, name: &str, v: u64) {
+        // Exact for any count below 2^53 — far past the histogram's
+        // overflow bucket anyway.
+        #[allow(clippy::cast_precision_loss)]
+        self.record(name, v as f64);
+    }
+
+    /// Fold a locally accumulated histogram into the named one.
+    /// Hot loops build a [`Histogram`] on the stack and merge once at
+    /// the end, paying for one lock instead of one per observation.
+    pub fn merge_histogram(&self, name: &str, partial: &Histogram) {
+        if partial.is_empty() {
+            return;
+        }
+        let Some(inner) = &self.inner else { return };
+        let mut shard = lock(&inner.shards[thread_shard()]);
+        shard
+            .histograms
+            .entry(name.to_owned())
+            .or_default()
+            .merge(partial);
+    }
+
+    /// Set a point-in-time gauge (last write wins). Gauges are the
+    /// home for wall-clock rates like `popsim.events_per_sec`.
+    pub fn set_gauge(&self, name: &str, v: f64) {
+        let Some(inner) = &self.inner else { return };
+        if v.is_finite() {
+            lock(&inner.gauges).insert(name.to_owned(), v);
+        }
+    }
+
+    /// Open a hierarchical RAII span. The span's path is the
+    /// slash-join of the spans currently open *on this thread*, so
+    /// nested guards produce `pipeline/build/engine`-style paths;
+    /// timing is accumulated (and the close event emitted) when the
+    /// guard drops.
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard { active: None };
+        };
+        let (path, prev_len) = SPAN_PATH.with(|p| {
+            let mut p = p.borrow_mut();
+            let prev_len = p.len();
+            if !p.is_empty() {
+                p.push('/');
+            }
+            p.push_str(name);
+            (p.clone(), prev_len)
+        });
+        emit_event(inner, "open", &path, None);
+        SpanGuard {
+            active: Some(SpanActive {
+                inner: Arc::clone(inner),
+                path,
+                prev_len,
+                start: Instant::now(),
+            }),
+        }
+    }
+
+    /// Attach a JSONL sink receiving one record per span open/close:
+    ///
+    /// ```json
+    /// {"ev":"open","path":"pipeline/fit","t_us":1234}
+    /// {"ev":"close","path":"pipeline/fit","t_us":1301,"dur_us":67}
+    /// ```
+    ///
+    /// `t_us` is microseconds since the collector was created. Write
+    /// errors are swallowed — telemetry must never fail the run.
+    pub fn set_events_sink(&self, sink: Box<dyn Write + Send>) {
+        let Some(inner) = &self.inner else { return };
+        *lock(&inner.sink) = Some(sink);
+    }
+
+    /// Detach and return the events sink, if one is attached. Callers
+    /// that buffer (e.g. a `BufWriter` over a file) use this to flush
+    /// explicitly and surface write errors a `Drop` would swallow.
+    pub fn take_events_sink(&self) -> Option<Box<dyn Write + Send>> {
+        let inner = self.inner.as_ref()?;
+        lock(&inner.sink).take()
+    }
+
+    /// Merge every shard (in slot order) into a sorted, serializable
+    /// [`MetricsReport`], attaching the current peak-RSS probe.
+    /// Counters and histograms merge order-invariantly, so the
+    /// deterministic sections are identical at any thread count.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsReport {
+        let Some(inner) = &self.inner else {
+            return MetricsReport::default();
+        };
+        let mut counters: BTreeMap<String, u64> = BTreeMap::new();
+        let mut histograms: BTreeMap<String, Histogram> = BTreeMap::new();
+        let mut spans: BTreeMap<String, SpanStats> = BTreeMap::new();
+        for shard in &inner.shards {
+            let shard = lock(shard);
+            for (name, n) in &shard.counters {
+                *counters.entry(name.clone()).or_insert(0) += n;
+            }
+            for (name, h) in &shard.histograms {
+                histograms.entry(name.clone()).or_default().merge(h);
+            }
+            for (path, s) in &shard.spans {
+                let agg = spans.entry(path.clone()).or_default();
+                agg.calls += s.calls;
+                agg.total_ms += s.total_ms;
+                agg.max_ms = agg.max_ms.max(s.max_ms);
+            }
+        }
+        MetricsReport {
+            counters: counters.into_iter().collect(),
+            gauges: lock(&inner.gauges)
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            histograms: histograms
+                .iter()
+                .filter_map(|(name, h)| h.summary(name))
+                .collect(),
+            spans: spans
+                .into_iter()
+                .map(|(path, s)| SpanReport {
+                    path,
+                    calls: s.calls,
+                    total_ms: s.total_ms,
+                    max_ms: s.max_ms,
+                })
+                .collect(),
+            peak_rss_bytes: peak_rss_bytes(),
+        }
+    }
+}
+
+/// Write one span event line to the sink, if any is attached.
+fn emit_event(inner: &Inner, ev: &str, path: &str, dur_us: Option<u128>) {
+    let mut sink = lock(&inner.sink);
+    let Some(out) = sink.as_mut() else { return };
+    let mut fields = vec![
+        ("ev".to_owned(), Value::Str(ev.to_owned())),
+        ("path".to_owned(), Value::Str(path.to_owned())),
+        (
+            "t_us".to_owned(),
+            Value::UInt(u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)),
+        ),
+    ];
+    if let Some(d) = dur_us {
+        fields.push((
+            "dur_us".to_owned(),
+            Value::UInt(u64::try_from(d).unwrap_or(u64::MAX)),
+        ));
+    }
+    if let Ok(line) = serde_json::to_string(&Value::Map(fields)) {
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+struct SpanActive {
+    inner: Arc<Inner>,
+    path: String,
+    prev_len: usize,
+    start: Instant,
+}
+
+/// RAII guard returned by [`Collector::span`]; records elapsed time
+/// on drop. Guards must drop in reverse creation order (the natural
+/// lexical-scope order) for nested paths to unwind correctly.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing"]
+pub struct SpanGuard {
+    active: Option<SpanActive>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let elapsed = active.start.elapsed();
+        let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+        SPAN_PATH.with(|p| p.borrow_mut().truncate(active.prev_len));
+        {
+            let mut shard = lock(&active.inner.shards[thread_shard()]);
+            let stats = shard.spans.entry(active.path.clone()).or_default();
+            stats.calls += 1;
+            stats.total_ms += elapsed_ms;
+            stats.max_ms = stats.max_ms.max(elapsed_ms);
+        }
+        emit_event(
+            &active.inner,
+            "close",
+            &active.path,
+            Some(elapsed.as_micros()),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+
+    use super::*;
+
+    #[test]
+    fn disabled_collector_is_inert() {
+        let obs = Collector::disabled();
+        obs.add("x", 1);
+        obs.record("h", 2.0);
+        obs.set_gauge("g", 3.0);
+        let _span = obs.span("s");
+        let report = obs.snapshot();
+        assert_eq!(report, MetricsReport::default());
+        assert!(!obs.is_enabled());
+        assert!(Collector::default().snapshot().counters.is_empty());
+    }
+
+    #[test]
+    fn counters_sum_across_clones_and_threads() {
+        let obs = Collector::new();
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let obs = obs.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        obs.add("events", 2);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(obs.snapshot().counter("events"), Some(800));
+    }
+
+    #[test]
+    fn spans_nest_on_one_thread() {
+        let obs = Collector::new();
+        {
+            let _a = obs.span("outer");
+            {
+                let _b = obs.span("inner");
+            }
+            {
+                let _c = obs.span("inner");
+            }
+        }
+        let report = obs.snapshot();
+        let paths: Vec<_> = report.spans.iter().map(|s| s.path.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        assert_eq!(report.spans[1].calls, 2);
+        assert!(report.spans[0].total_ms >= report.spans[0].max_ms);
+        // The thread-local path fully unwound.
+        SPAN_PATH.with(|p| assert!(p.borrow().is_empty()));
+    }
+
+    #[test]
+    fn histograms_and_gauges_appear_in_snapshot() {
+        let obs = Collector::new();
+        obs.record("lat", 1.0);
+        obs.record("lat", 4.0);
+        let mut partial = Histogram::new();
+        partial.record(16.0);
+        obs.merge_histogram("lat", &partial);
+        obs.merge_histogram("empty", &Histogram::new());
+        obs.set_gauge("rate", 5.5);
+        obs.set_gauge("bad", f64::NAN);
+        let report = obs.snapshot();
+        let h = report.histogram("lat").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.min, 1.0);
+        assert_eq!(h.max, 16.0);
+        assert!(report.histogram("empty").is_none());
+        assert_eq!(report.gauge("rate"), Some(5.5));
+        assert_eq!(report.gauge("bad"), None);
+    }
+
+    #[test]
+    fn events_sink_receives_open_close_jsonl() {
+        // A Write impl backed by shared memory so the test can read
+        // back what the collector wrote.
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                lock(&self.0).extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+
+        let buf = Buf::default();
+        let obs = Collector::new();
+        obs.set_events_sink(Box::new(buf.clone()));
+        {
+            let _s = obs.span("work");
+        }
+        let text = String::from_utf8(lock(&buf.0).clone()).unwrap();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "open + close: {text}");
+        let open = serde_json::parse_value(lines[0]).unwrap();
+        let close = serde_json::parse_value(lines[1]).unwrap();
+        assert_eq!(open["ev"].as_str(), Some("open"));
+        assert_eq!(open["path"].as_str(), Some("work"));
+        assert_eq!(close["ev"].as_str(), Some("close"));
+        assert!(close["dur_us"].as_u64().is_some());
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_name() {
+        let obs = Collector::new();
+        obs.add("zeta", 1);
+        obs.add("alpha", 1);
+        obs.record("mid", 1.0);
+        obs.record("aaa", 1.0);
+        let report = obs.snapshot();
+        assert_eq!(report.counters[0].0, "alpha");
+        assert_eq!(report.counters[1].0, "zeta");
+        assert_eq!(report.histograms[0].name, "aaa");
+        assert_eq!(report.histograms[1].name, "mid");
+    }
+}

@@ -1,0 +1,246 @@
+//! The serializable metrics snapshot, and the uniform wall-clock
+//! zeroing helper the deterministic report types share.
+
+use crate::histogram::HistogramSummary;
+use serde::{Deserialize, Serialize, Value};
+
+/// Aggregated span statistics for one path.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanReport {
+    /// Slash-joined span path, e.g. `pipeline/build/engine`.
+    pub path: String,
+    /// Number of completed spans at this path.
+    pub calls: u64,
+    /// Total wall-clock time across calls.
+    pub total_ms: f64,
+    /// Longest single call.
+    pub max_ms: f64,
+}
+
+/// A point-in-time snapshot of everything a
+/// [`Collector`](crate::Collector) has accumulated.
+///
+/// Deliberately a *sibling* of the deterministic reports
+/// (`PipelineReport`, `SweepReport`, `DispatchReport`), never embedded
+/// in them: counters and histograms here are thread-count invariant,
+/// but spans and gauges carry wall-clock time, and mixing the two
+/// would break the byte-identical golden-report contract.
+///
+/// All sections are sorted by name, so two snapshots of collectors
+/// that accumulated the same deterministic metrics serialize
+/// identically (after [`zero_wall_clock`] strips the wall-clock
+/// fields).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct MetricsReport {
+    /// Monotonic event counts (deterministic), sorted by name.
+    pub counters: Vec<(String, u64)>,
+    /// Last-written point values (wall-clock rates live here), sorted
+    /// by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram summaries (deterministic domain quantities only),
+    /// sorted by name.
+    pub histograms: Vec<HistogramSummary>,
+    /// Wall-clock span timings, sorted by path.
+    pub spans: Vec<SpanReport>,
+    /// Peak resident set size via `/proc/self/status` `VmHWM`;
+    /// `None` off Linux.
+    pub peak_rss_bytes: Option<u64>,
+}
+
+impl MetricsReport {
+    /// Look up a counter by name.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Look up a gauge by name.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Look up a histogram summary by name.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSummary> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// The deterministic subset — counters and histograms only — used
+    /// by thread-invariance tests. Spans, gauges, and RSS are
+    /// wall-clock/machine facts and excluded by construction.
+    #[must_use]
+    pub fn deterministic_fingerprint(&self) -> (Vec<(String, u64)>, Vec<HistogramSummary>) {
+        (self.counters.clone(), self.histograms.clone())
+    }
+
+    /// Serialize as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the serializer's error when the snapshot cannot be
+    /// rendered (never for values produced by a collector).
+    pub fn to_json_pretty(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parse from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns the deserializer's error when the text is not a valid
+    /// snapshot.
+    pub fn from_json(text: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(text)
+    }
+}
+
+/// True for map keys that carry wall-clock (or machine-dependent)
+/// measurements: `*_ms`, `*_per_sec`, and the thread-pool width
+/// `threads`. Deterministic rates use other units on purpose (e.g.
+/// `jobs_per_sim_hour`).
+#[must_use]
+pub fn is_wall_clock_key(key: &str) -> bool {
+    key.ends_with("_ms") || key.ends_with("_per_sec") || key == "threads"
+}
+
+/// Recursively zero every wall-clock field in a serialized report
+/// tree. This is the *single* definition of "strip the
+/// nondeterminism" used by `zero_timings()` on every report type:
+/// adding a new `*_ms` / `*_per_sec` field to any report is
+/// automatically covered, with no per-struct list to maintain.
+///
+/// Numeric kinds are preserved (`Float` → `0.0`, integers → `0`) so
+/// zeroed reports still deserialize into their original types; `null`
+/// (an absent `Option`) stays `null`.
+pub fn zero_wall_clock(value: &mut Value) {
+    match value {
+        Value::Seq(items) => items.iter_mut().for_each(zero_wall_clock),
+        Value::Map(entries) => {
+            for (key, inner) in entries.iter_mut() {
+                if is_wall_clock_key(key) {
+                    zero_leaf(inner);
+                } else {
+                    zero_wall_clock(inner);
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Zero a wall-clock leaf; containers under a wall-clock key (e.g.
+/// the `stage_ms` timing block) are recursed so their members zero.
+fn zero_leaf(value: &mut Value) {
+    match value {
+        Value::Float(f) => *f = 0.0,
+        Value::Int(i) => *i = 0,
+        Value::UInt(u) => *u = 0,
+        Value::Seq(_) | Value::Map(_) => zero_wall_clock(value),
+        Value::Null | Value::Bool(_) | Value::Str(_) => {}
+    }
+}
+
+/// Walk a serialized tree and return the path of the first wall-clock
+/// key holding a non-zero value, if any — the enforcement half of the
+/// [`zero_wall_clock`] contract, used by tests to prove a zeroed
+/// report really has no live timing fields left.
+#[must_use]
+pub fn find_nonzero_wall_clock(value: &Value) -> Option<String> {
+    find_nonzero(value, "", false)
+}
+
+fn find_nonzero(value: &Value, path: &str, under_wall_key: bool) -> Option<String> {
+    match value {
+        Value::Seq(items) => items
+            .iter()
+            .enumerate()
+            .find_map(|(i, v)| find_nonzero(v, &format!("{path}[{i}]"), under_wall_key)),
+        Value::Map(entries) => entries.iter().find_map(|(k, v)| {
+            let child = if path.is_empty() {
+                k.clone()
+            } else {
+                format!("{path}.{k}")
+            };
+            find_nonzero(v, &child, under_wall_key || is_wall_clock_key(k))
+        }),
+        Value::Float(f) if under_wall_key && *f != 0.0 => Some(path.to_owned()),
+        Value::Int(i) if under_wall_key && *i != 0 => Some(path.to_owned()),
+        Value::UInt(u) if under_wall_key && *u != 0 => Some(path.to_owned()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn wall_clock_keys_match_suffixes_only() {
+        assert!(is_wall_clock_key("wall_ms"));
+        assert!(is_wall_clock_key("hosts_per_sec"));
+        assert!(is_wall_clock_key("threads"));
+        assert!(!is_wall_clock_key("jobs_per_sim_hour"));
+        assert!(!is_wall_clock_key("milliseconds"));
+        assert!(!is_wall_clock_key("thread_count"));
+    }
+
+    #[test]
+    fn zeroing_is_recursive_and_kind_preserving() {
+        // The vendored json! macro takes one literal level at a time,
+        // so nested objects are built with nested invocations.
+        let job = json!({"hosts_per_sec": 99.0, "seed": 7u64});
+        let mut v = json!({
+            "wall_ms": 12.5,
+            "threads": 8u32,
+            "nested": json!({"stage_ms": json!({"fit_ms": 3.0}), "hosts": 10u32}),
+            "jobs": json!([job]),
+            "extract_ms": Value::Null,
+        });
+        zero_wall_clock(&mut v);
+        assert_eq!(v["wall_ms"], Value::Float(0.0));
+        assert_eq!(v["threads"], Value::UInt(0));
+        assert_eq!(v["nested"]["stage_ms"]["fit_ms"], Value::Float(0.0));
+        assert_eq!(v["nested"]["hosts"], Value::UInt(10));
+        let jobs = v["jobs"].as_seq().unwrap();
+        assert_eq!(jobs[0]["hosts_per_sec"], Value::Float(0.0));
+        assert_eq!(jobs[0]["seed"], Value::UInt(7));
+        assert_eq!(v["extract_ms"], Value::Null);
+        assert_eq!(find_nonzero_wall_clock(&v), None);
+    }
+
+    #[test]
+    fn finder_reports_the_leaking_path() {
+        let clean = json!({"wall_ms": 0.0});
+        let dirty = json!({"wall_ms": 4.0});
+        let v = json!({ "a": json!({ "jobs": json!([clean, dirty]) }) });
+        assert_eq!(
+            find_nonzero_wall_clock(&v).as_deref(),
+            Some("a.jobs[1].wall_ms")
+        );
+    }
+
+    #[test]
+    fn report_round_trips() {
+        let report = MetricsReport {
+            counters: vec![("popsim.events".into(), 42)],
+            gauges: vec![("popsim.events_per_sec".into(), 1.5e6)],
+            histograms: vec![],
+            spans: vec![SpanReport {
+                path: "pipeline/build".into(),
+                calls: 2,
+                total_ms: 8.25,
+                max_ms: 5.0,
+            }],
+            peak_rss_bytes: Some(123 << 20),
+        };
+        let json = serde_json::to_string_pretty(&report).unwrap();
+        let back: MetricsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+    }
+}

@@ -1,0 +1,53 @@
+//! Peak resident-set-size probe.
+
+/// Peak RSS of the current process in bytes.
+///
+/// Reads the `VmHWM` (high-water mark) line of `/proc/self/status` on
+/// Linux. On other platforms — or if the file is missing or malformed
+/// — returns `None` rather than guessing; BENCH consumers treat the
+/// field as optional.
+#[must_use]
+pub fn peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        let status = std::fs::read_to_string("/proc/self/status").ok()?;
+        parse_vm_hwm(&status)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Extract `VmHWM` from `/proc/self/status` text. The kernel always
+/// reports the value in kB.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find_map(|l| l.strip_prefix("VmHWM:"))?;
+    let kb: u64 = line.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_kernel_format() {
+        let status = "Name:\tswept\nVmPeak:\t  123 kB\nVmHWM:\t  204856 kB\nThreads:\t8\n";
+        assert_eq!(parse_vm_hwm(status), Some(204_856 * 1024));
+    }
+
+    #[test]
+    fn missing_or_malformed_yields_none() {
+        assert_eq!(parse_vm_hwm("Name:\tswept\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tnot-a-number kB\n"), None);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_probe_reports_nonzero() {
+        let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+        assert!(rss > 0);
+    }
+}

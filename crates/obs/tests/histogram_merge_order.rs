@@ -1,0 +1,94 @@
+//! The histogram merge contract, property-tested: folding any
+//! partition of observations together **in any order** yields
+//! bitwise-identical bucket vectors, min/max, and quantiles. This is
+//! what lets per-thread and per-shard partials aggregate out-of-band
+//! without leaking rayon scheduling into the `MetricsReport`.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use resmodel_obs::Histogram;
+
+/// Deterministic in-place Fisher–Yates driven by a splitmix-style
+/// step, so the shuffled merge order is a pure function of `seed`.
+fn shuffle(order: &mut [usize], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+fn merge_in_order(parts: &[Histogram], order: &[usize]) -> Histogram {
+    let mut acc = Histogram::new();
+    for &i in order {
+        acc.merge(&parts[i]);
+    }
+    acc
+}
+
+/// Bitwise fingerprint of everything a histogram reports.
+fn fingerprint(h: &Histogram) -> (u64, Vec<u64>, [u64; 5]) {
+    let quantile_bits = |q: f64| h.quantile(q).unwrap_or(f64::NAN).to_bits();
+    (
+        h.count(),
+        h.buckets().to_vec(),
+        [
+            h.min().unwrap_or(f64::NAN).to_bits(),
+            h.max().unwrap_or(f64::NAN).to_bits(),
+            quantile_bits(0.50),
+            quantile_bits(0.90),
+            quantile_bits(0.99),
+        ],
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn shard_merge_is_bitwise_order_invariant(
+        shards in vec(vec(-1e-3f64..1e7, 0..40), 1..9),
+        seed in 0u64..u64::MAX,
+    ) {
+        let parts: Vec<Histogram> = shards
+            .iter()
+            .map(|values| {
+                let mut h = Histogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        let mut shuffled = forward.clone();
+        shuffle(&mut shuffled, seed);
+        let mut reversed = forward.clone();
+        reversed.reverse();
+
+        let a = merge_in_order(&parts, &forward);
+        let b = merge_in_order(&parts, &shuffled);
+        let c = merge_in_order(&parts, &reversed);
+        prop_assert_eq!(fingerprint(&a), fingerprint(&b));
+        prop_assert_eq!(fingerprint(&a), fingerprint(&c));
+
+        // And merging partials equals recording the flattened stream
+        // one value at a time.
+        let mut flat = Histogram::new();
+        for values in &shards {
+            for &v in values {
+                flat.record(v);
+            }
+        }
+        prop_assert_eq!(fingerprint(&a), fingerprint(&flat));
+    }
+}

@@ -26,6 +26,7 @@ use rayon::prelude::*;
 use resmodel_avail::Schedule;
 use resmodel_core::{HostGenerator, HostModel};
 use resmodel_error::ResmodelError;
+use resmodel_obs::Collector;
 use resmodel_stats::rng::{seeded_substream, substream};
 use resmodel_stats::Distribution;
 use resmodel_trace::{CpuFamily, OsFamily, SimDate};
@@ -66,9 +67,21 @@ impl EngineReport {
 /// Returns the scenario's validation error, if any; the simulation
 /// itself cannot fail.
 pub fn run(scenario: &Scenario) -> Result<EngineReport, ResmodelError> {
+    run_observed(scenario, &Collector::disabled())
+}
+
+/// [`run`] with metrics: event counts, per-shard queue depths, and an
+/// events/sec gauge flow into `obs` out-of-band. The returned report
+/// is byte-identical to [`run`]'s — instrumentation never touches the
+/// simulation state.
+///
+/// # Errors
+///
+/// Returns the scenario's validation error, if any.
+pub fn run_observed(scenario: &Scenario, obs: &Collector) -> Result<EngineReport, ResmodelError> {
     scenario.validate()?;
     let model = HostModel::paper();
-    run_with_model(scenario, &model)
+    run_with_model_observed(scenario, &model, obs)
 }
 
 /// Run a scenario against an explicit generative host model (e.g. a
@@ -81,7 +94,22 @@ pub fn run_with_model(
     scenario: &Scenario,
     model: &HostModel,
 ) -> Result<EngineReport, ResmodelError> {
+    run_with_model_observed(scenario, model, &Collector::disabled())
+}
+
+/// [`run_with_model`] with metrics (see [`run_observed`]).
+///
+/// # Errors
+///
+/// Returns the scenario's validation error, if any.
+pub fn run_with_model_observed(
+    scenario: &Scenario,
+    model: &HostModel,
+    obs: &Collector,
+) -> Result<EngineReport, ResmodelError> {
     scenario.validate()?;
+    let _span = obs.span("engine");
+    let t0 = std::time::Instant::now();
     let arrivals = arrival_schedule(
         scenario.seed,
         scenario.start,
@@ -113,6 +141,9 @@ pub fn run_with_model(
         }
         series.snapshots.push(merged);
     }
+    if obs.is_enabled() {
+        record_engine_metrics(obs, &outcomes, t0.elapsed());
+    }
     let fleet = Fleet::from_shards(outcomes.into_iter().map(|o| o.shard).collect());
 
     Ok(EngineReport {
@@ -122,9 +153,60 @@ pub fn run_with_model(
     })
 }
 
+/// Fold per-shard tallies into the collector, in shard order. Every
+/// quantity except the events/sec gauge is a pure function of the
+/// scenario, so the deterministic metric sections stay identical at
+/// any thread count.
+fn record_engine_metrics(obs: &Collector, outcomes: &[ShardOutcome], wall: std::time::Duration) {
+    let mut events: u64 = 0;
+    for outcome in outcomes {
+        let tally = &outcome.tally;
+        events += tally.events;
+        obs.record_u64("popsim.queue_depth_peak", tally.peak_queue_depth);
+        obs.record_u64("popsim.shard_hosts", outcome.shard.hosts.len() as u64);
+    }
+    obs.add("popsim.runs", 1);
+    obs.add("popsim.events", events);
+    obs.add(
+        "popsim.hosts_arrived",
+        outcomes.iter().map(|o| o.tally.arrivals).sum(),
+    );
+    obs.add(
+        "popsim.hosts_departed",
+        outcomes.iter().map(|o| o.tally.deaths).sum(),
+    );
+    obs.add(
+        "popsim.refreshes",
+        outcomes.iter().map(|o| o.tally.refreshes).sum(),
+    );
+    obs.add(
+        "popsim.snapshot_observations",
+        outcomes.iter().map(|o| o.tally.snapshot_observations).sum(),
+    );
+    let secs = wall.as_secs_f64();
+    if secs > 0.0 {
+        #[allow(clippy::cast_precision_loss)]
+        obs.set_gauge("popsim.events_per_sec", events as f64 / secs);
+    }
+}
+
+/// Deterministic per-shard event tallies, accumulated inline in the
+/// hot loop (a handful of integer increments per event) and merged
+/// into the [`Collector`] afterwards.
+#[derive(Default)]
+struct ShardTally {
+    events: u64,
+    arrivals: u64,
+    refreshes: u64,
+    deaths: u64,
+    snapshot_observations: u64,
+    peak_queue_depth: u64,
+}
+
 struct ShardOutcome {
     shard: Shard,
     partials: Vec<SnapshotStats>,
+    tally: ShardTally,
 }
 
 /// Drain one shard's event queue from scenario start to end.
@@ -169,7 +251,14 @@ fn run_shard(
     let unit_lifetime = resmodel_stats::distributions::Weibull::new(scenario.lifetime.shape, 1.0)
         .expect("validated lifetime law");
 
+    let mut tally = ShardTally {
+        peak_queue_depth: queue.len() as u64,
+        ..ShardTally::default()
+    };
+
     while let Some(event) = queue.pop() {
+        tally.events += 1;
+        tally.peak_queue_depth = tally.peak_queue_depth.max(queue.len() as u64 + 1);
         let now = SimDate::from_days(event.at_days);
         match event.kind {
             EventKind::Arrive(i) => {
@@ -178,6 +267,7 @@ fn run_shard(
                 let mut rng = seeded_substream(scenario.seed, id);
                 let host = spawn_host(scenario, model, &unit_lifetime, id, created, &mut rng);
                 arrived += 1;
+                tally.arrivals += 1;
                 if host.death <= scenario.end {
                     queue.push(host.death, EventKind::Death(i));
                 }
@@ -190,6 +280,7 @@ fn run_shard(
                 rngs.push(rng);
             }
             EventKind::Refresh(i) => {
+                tally.refreshes += 1;
                 let host = &mut hosts[i as usize];
                 let rng = &mut rngs[i as usize];
                 refresh_host(scenario, model, host, now, rng);
@@ -201,6 +292,7 @@ fn run_shard(
                 let partial = &mut partials[k as usize];
                 partial.arrived = arrived;
                 partial.departed = departed;
+                tally.snapshot_observations += alive.len() as u64;
                 for &i in &alive {
                     let host = &hosts[i as usize];
                     debug_assert!(host.alive_at(now));
@@ -209,6 +301,7 @@ fn run_shard(
             }
             EventKind::Death(i) => {
                 departed += 1;
+                tally.deaths += 1;
                 let pos = alive_pos[i as usize] as usize;
                 alive.swap_remove(pos);
                 if let Some(&moved) = alive.get(pos) {
@@ -222,6 +315,7 @@ fn run_shard(
     ShardOutcome {
         shard: Shard { hosts },
         partials,
+        tally,
     }
 }
 
@@ -442,6 +536,26 @@ mod tests {
         assert_eq!(a.series, b.series);
         let c = run(&tiny(12)).unwrap();
         assert_ne!(a.fleet, c.fleet);
+    }
+
+    #[test]
+    fn observed_run_is_identical_and_counts_events() {
+        let s = tiny(11);
+        let plain = run(&s).unwrap();
+        let obs = Collector::new();
+        let observed = run_observed(&s, &obs).unwrap();
+        // Instrumentation must not perturb the simulation.
+        assert_eq!(plain.fleet, observed.fleet);
+        assert_eq!(plain.series, observed.series);
+        let m = obs.snapshot();
+        assert_eq!(m.counter("popsim.runs"), Some(1));
+        assert_eq!(m.counter("popsim.hosts_arrived"), Some(400));
+        assert!(m.counter("popsim.events").unwrap() >= 400 + 8);
+        assert!(m.counter("popsim.snapshot_observations").unwrap() > 0);
+        // One queue-depth sample and one size sample per shard.
+        assert_eq!(m.histogram("popsim.queue_depth_peak").unwrap().count, 8);
+        assert_eq!(m.histogram("popsim.shard_hosts").unwrap().count, 8);
+        assert_eq!(m.spans[0].path, "engine");
     }
 
     #[test]

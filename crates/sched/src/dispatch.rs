@@ -24,6 +24,7 @@ use rand::RngExt;
 use rayon::prelude::*;
 use resmodel_allocsim::utility;
 use resmodel_error::ResmodelError;
+use resmodel_obs::{Collector, Histogram};
 use resmodel_popsim::EngineReport;
 use resmodel_stats::distributions::LogNormal;
 use resmodel_stats::rng::{seeded_substream, substream};
@@ -66,6 +67,24 @@ pub fn dispatch(
     spec: &WorkloadSpec,
     policy: DispatchPolicy,
 ) -> Result<DispatchReport, ResmodelError> {
+    dispatch_observed(engine, spec, policy, &Collector::disabled())
+}
+
+/// [`dispatch`] with metrics: job/replica counters, candidate-sampling
+/// counts, and a per-policy placement-latency histogram (sim-hours, so
+/// it is thread-count invariant) flow into `obs` out-of-band. The
+/// returned report is byte-identical to [`dispatch`]'s.
+///
+/// # Errors
+///
+/// Same conditions as [`dispatch`].
+pub fn dispatch_observed(
+    engine: &EngineReport,
+    spec: &WorkloadSpec,
+    policy: DispatchPolicy,
+    obs: &Collector,
+) -> Result<DispatchReport, ResmodelError> {
+    let _span = obs.span("dispatch");
     let point = || format!("{}/{}", policy.label(), spec.name);
     spec.validate()
         .map_err(|e| ResmodelError::dispatch(point(), e))?;
@@ -124,6 +143,9 @@ pub fn dispatch(
         m.makespan = m.makespan.max(o.makespan);
         m.predicted_utility += o.predicted_utility;
         m.realized_utility += o.realized_utility;
+        m.latency_hist.merge(&o.latency_hist);
+        m.candidate_draws += o.candidate_draws;
+        m.candidates_scored += o.candidates_scored;
         for (a, b) in m.families.iter_mut().zip(&o.families) {
             a.jobs += b.jobs;
             a.completed += b.completed;
@@ -179,6 +201,24 @@ pub fn dispatch(
     };
 
     let wall_ms = ms_since(t_run);
+    if obs.is_enabled() {
+        obs.add("sched.dispatches", 1);
+        obs.add("sched.jobs", jobs.len() as u64);
+        obs.add("sched.replicas", m.replicas as u64);
+        obs.add("sched.jobs_completed", m.completed as u64);
+        obs.add("sched.jobs_failed", m.failed as u64);
+        obs.add("sched.jobs_unassigned", m.unassigned as u64);
+        obs.add("sched.candidate_draws", m.candidate_draws);
+        obs.add("sched.candidates_scored", m.candidates_scored);
+        obs.merge_histogram(
+            &format!("sched.placement_latency_hours.{}", policy.label()),
+            &m.latency_hist,
+        );
+        if wall_ms > 0.0 {
+            #[allow(clippy::cast_precision_loss)]
+            obs.set_gauge("sched.jobs_per_sec", jobs.len() as f64 / (wall_ms / 1e3));
+        }
+    }
     Ok(DispatchReport {
         workload: spec.clone(),
         policy,
@@ -382,6 +422,14 @@ struct ShardOutcome {
     predicted_utility: f64,
     realized_utility: f64,
     families: Vec<FamAccum>,
+    /// Completed-job latency (sim-hours) — deterministic telemetry,
+    /// merged order-invariantly into the collector after the shard
+    /// merge.
+    latency_hist: Histogram,
+    /// Uniform draws spent sampling placement candidates.
+    candidate_draws: u64,
+    /// Distinct candidates actually scored.
+    candidates_scored: u64,
 }
 
 impl ShardOutcome {
@@ -401,6 +449,9 @@ impl ShardOutcome {
             predicted_utility: 0.0,
             realized_utility: 0.0,
             families: vec![FamAccum::default(); n_fam],
+            latency_hist: Histogram::new(),
+            candidate_draws: 0,
+            candidates_scored: 0,
         }
     }
 }
@@ -548,12 +599,14 @@ fn run_shard(
                     if candidates.len() >= want {
                         break;
                     }
+                    out.candidate_draws += 1;
                     let li = eligible[rng.random_range(0..eligible.len())];
                     if !candidates.contains(&li) && !chosen.contains(&li) {
                         candidates.push(li);
                     }
                 }
             }
+            out.candidates_scored += candidates.len() as u64;
             let Some(&best) = pick(policy, &candidates, &lanes, &job, fam.wants_gpu, horizon)
             else {
                 continue;
@@ -575,6 +628,7 @@ fn run_shard(
             Some(done) => {
                 out.completed += 1;
                 facc.completed += 1;
+                out.latency_hist.record(done - t);
                 out.latency_sum += done - t;
                 facc.latency_sum += done - t;
                 out.makespan = out.makespan.max(done);
@@ -730,6 +784,39 @@ mod tests {
             let fam_missed: usize = report.families.iter().map(|f| f.deadline_missed).sum();
             assert_eq!(fam_missed, t.deadline_missed, "{policy}");
         }
+    }
+
+    #[test]
+    fn observed_dispatch_is_identical_and_records_latency_histogram() {
+        let fleet = tiny_fleet(3);
+        let spec = tiny_workload();
+        let policy = DispatchPolicy::EarliestFinish;
+        let mut plain = dispatch(&fleet, &spec, policy).unwrap();
+        let obs = Collector::new();
+        let mut observed = dispatch_observed(&fleet, &spec, policy, &obs).unwrap();
+        // Instrumentation must not perturb placement.
+        plain.zero_timings();
+        observed.zero_timings();
+        assert_eq!(
+            plain.to_json_pretty().unwrap(),
+            observed.to_json_pretty().unwrap()
+        );
+        let m = obs.snapshot();
+        assert_eq!(m.counter("sched.jobs"), Some(plain.totals.jobs as u64));
+        assert_eq!(
+            m.counter("sched.jobs_completed"),
+            Some(plain.totals.completed as u64)
+        );
+        assert!(m.counter("sched.candidate_draws").unwrap() > 0);
+        let hist = m
+            .histogram("sched.placement_latency_hours.earliest-finish")
+            .unwrap();
+        assert_eq!(hist.count, plain.totals.completed as u64);
+        // Latency histogram records sim-hours, bounded by 2× horizon +
+        // overload overflow never being *completed*; all completions
+        // land inside the window.
+        assert!(hist.max <= spec.horizon_hours);
+        assert_eq!(m.spans[0].path, "dispatch");
     }
 
     #[test]

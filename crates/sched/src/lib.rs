@@ -63,7 +63,7 @@ pub mod policy;
 pub mod report;
 pub mod workload;
 
-pub use dispatch::dispatch;
+pub use dispatch::{dispatch, dispatch_observed};
 pub use policy::DispatchPolicy;
 pub use report::{DispatchReport, DispatchTotals, FamilyDispatchStats};
 pub use workload::{AppKind, ArrivalProcess, JobFamily, WorkloadSpec};

@@ -93,11 +93,15 @@ impl DispatchReport {
     /// Zero every wall-clock field, leaving only the deterministic
     /// content — the form compared by the byte-stability tests,
     /// mirroring the sweep layer's `SweepReport::zero_timings`.
+    ///
+    /// Implemented via [`resmodel_obs::zero_wall_clock`]'s key-suffix
+    /// walk over the serialized tree, so a future `*_ms` / `*_per_sec`
+    /// field is stripped without touching this method.
     pub fn zero_timings(&mut self) {
-        self.generate_ms = 0.0;
-        self.dispatch_ms = 0.0;
-        self.wall_ms = 0.0;
-        self.jobs_per_sec = 0.0;
+        let mut tree = serde_json::to_value(self);
+        resmodel_obs::zero_wall_clock(&mut tree);
+        *self = serde_json::from_value(&tree)
+            .expect("zeroing preserves numeric kinds, so the report round-trips");
     }
 
     /// Serialize as pretty JSON.

@@ -159,6 +159,26 @@ impl ColumnarTrace {
         self.snap_t.len()
     }
 
+    /// Report this store's shape to a metrics collector: extraction
+    /// and host/snapshot counters plus a snapshots-per-host histogram.
+    /// Everything recorded is a pure function of the columns, so the
+    /// metrics stay thread-count invariant; extraction call sites
+    /// invoke this once per materialised store.
+    pub fn observe_extraction(&self, obs: &resmodel_obs::Collector) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("trace.columnar.extractions", 1);
+        obs.add("trace.columnar.hosts", self.len() as u64);
+        obs.add("trace.columnar.snapshots", self.snapshot_count() as u64);
+        let mut per_host = resmodel_obs::Histogram::new();
+        for row in 0..self.len() {
+            let range = self.snapshot_range(row);
+            per_host.record_u64(range.len() as u64);
+        }
+        obs.merge_histogram("trace.columnar.snapshots_per_host", &per_host);
+    }
+
     /// Append one host's static attributes and its time-ordered
     /// snapshots directly to the columns — no intermediate
     /// [`HostRecord`] required.
@@ -608,6 +628,24 @@ mod tests {
         assert_eq!(columnar.len(), 3);
         assert_eq!(columnar.snapshot_count(), 6);
         assert_eq!(columnar.to_trace().hosts(), trace.hosts());
+    }
+
+    #[test]
+    fn observe_extraction_reports_shape() {
+        let columnar = ColumnarTrace::from(&sample_trace());
+        let obs = resmodel_obs::Collector::new();
+        columnar.observe_extraction(&obs);
+        columnar.observe_extraction(&obs);
+        let m = obs.snapshot();
+        assert_eq!(m.counter("trace.columnar.extractions"), Some(2));
+        assert_eq!(m.counter("trace.columnar.hosts"), Some(6));
+        assert_eq!(m.counter("trace.columnar.snapshots"), Some(12));
+        let h = m.histogram("trace.columnar.snapshots_per_host").unwrap();
+        assert_eq!(h.count, 6);
+        assert_eq!(h.min, 2.0);
+        assert_eq!(h.max, 2.0);
+        // Disabled collectors cost nothing and record nothing.
+        columnar.observe_extraction(&resmodel_obs::Collector::disabled());
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! | [`allocsim`] | Cobb–Douglas utility allocation simulation (Fig 15) |
 //! | [`popsim`] | deterministic, data-parallel population dynamics engine: scenario-driven arrivals, lifetimes, hardware refreshes and streaming fleet statistics |
 //! | [`sched`] | event-driven workload dispatch over the modeled fleet: job families with arrival processes, deadlines and replication, placed by pluggable policies with progress only while hosts are ON |
+//! | [`obs`] | zero-dependency observability: hierarchical spans, counters, gauges, order-invariant log-scale histograms, peak-RSS, JSONL event logs |
 //! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict → dispatch as one serializable [`Pipeline`](pipeline::Pipeline) |
 //! | [`sweep`] | the batch layer: a [`SweepSpec`](sweep::SweepSpec) grid of pipelines (scenarios × fleet sizes × fits × seeds) run in parallel into a typed [`SweepReport`](sweep::SweepReport) and the CI-tracked `BENCH_sweep.json` artifact |
 //!
@@ -87,6 +88,7 @@ pub use resmodel_baselines as baselines;
 pub use resmodel_boinc as boinc;
 pub use resmodel_core as core;
 pub use resmodel_error as error;
+pub use resmodel_obs as obs;
 pub use resmodel_popsim as popsim;
 pub use resmodel_sched as sched;
 pub use resmodel_stats as stats;
@@ -110,6 +112,7 @@ pub mod prelude {
     pub use resmodel_core::fit::{fit_host_model, FitConfig};
     pub use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
     pub use resmodel_error::ResmodelError;
+    pub use resmodel_obs::{Collector, MetricsReport};
     pub use resmodel_popsim::{EngineReport, Fleet, Scenario, SimHost, SnapshotStats, TimeSeries};
     pub use resmodel_sched::{
         dispatch, AppKind, DispatchPolicy, DispatchReport, JobFamily, WorkloadSpec,

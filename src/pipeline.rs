@@ -41,6 +41,7 @@ use resmodel_core::validate::{
 };
 use resmodel_core::{GeneratedHost, HostGenerator};
 use resmodel_error::ResmodelError;
+use resmodel_obs::Collector;
 use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, EngineReport, Scenario};
 use resmodel_sched::{DispatchPolicy, DispatchReport, WorkloadSpec};
 use resmodel_stats::Matrix;
@@ -184,6 +185,7 @@ pub struct Pipeline {
     spec: PipelineSpec,
     external: Option<Trace>,
     path: DataPath,
+    collector: Collector,
 }
 
 impl Pipeline {
@@ -199,6 +201,7 @@ impl Pipeline {
             },
             external: None,
             path: DataPath::default(),
+            collector: Collector::disabled(),
         }
     }
 
@@ -229,7 +232,19 @@ impl Pipeline {
             spec,
             external: None,
             path: DataPath::default(),
+            collector: Collector::disabled(),
         }
+    }
+
+    /// Attach an observability [`Collector`]: every stage then records
+    /// a span (nested under `pipeline`), the engine/dispatch/columnar
+    /// layers record their own counters and histograms, and the run's
+    /// population totals land in `pipeline.*` counters. A disabled
+    /// collector (the default) makes every probe a no-op; the report
+    /// bytes are identical either way.
+    pub fn observe(mut self, obs: &Collector) -> Self {
+        self.collector = obs.clone();
+        self
     }
 
     /// Select the storage layout the analysis stages run on
@@ -359,6 +374,7 @@ impl Pipeline {
                 "the dispatch stage requires a scenario source",
             ));
         }
+        let _span = self.collector.span("pipeline");
         match self.path {
             DataPath::Row => self.run_rows(),
             DataPath::Columnar => self.run_columnar(want_trace),
@@ -374,6 +390,7 @@ impl Pipeline {
         source: &SourceSpec,
         external: Option<Trace>,
         want_engine: bool,
+        obs: &Collector,
     ) -> Result<(Trace, Option<EngineReport>), ResmodelError> {
         Ok(match source {
             SourceSpec::Boinc { scale, seed } => {
@@ -389,7 +406,7 @@ impl Pipeline {
                 if *max_hosts > 0 {
                     scenario.max_hosts = *max_hosts;
                 }
-                let report = engine::run(&scenario)?;
+                let report = engine::run_observed(&scenario, obs)?;
                 let trace = fleet_to_trace(&report.fleet, report.scenario.end);
                 (trace, want_engine.then_some(report))
             }
@@ -412,6 +429,7 @@ impl Pipeline {
         spec: &Option<DispatchSpec>,
         engine_report: Option<&EngineReport>,
         timing: &mut StageTimings,
+        obs: &Collector,
     ) -> Result<Option<DispatchReport>, ResmodelError> {
         match spec {
             Some(d) => {
@@ -422,7 +440,8 @@ impl Pipeline {
                     )
                 })?;
                 let t0 = Instant::now();
-                let report = resmodel_sched::dispatch(engine_report, &d.workload, d.policy)?;
+                let report =
+                    resmodel_sched::dispatch_observed(engine_report, &d.workload, d.policy, obs)?;
                 timing.dispatch_ms = ms_since(t0);
                 Ok(Some(report))
             }
@@ -435,16 +454,20 @@ impl Pipeline {
     /// — kept for verification and benchmarking.
     fn run_rows(self) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
         let spec = self.spec;
+        let obs = self.collector;
         let mut timing = StageTimings::default();
 
         // --- Source ---
+        let span = obs.span("build");
         let t0 = Instant::now();
         let (raw, engine_report) =
-            Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some())?;
+            Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some(), &obs)?;
         timing.build_ms = ms_since(t0);
+        drop(span);
         let raw_hosts = raw.len();
 
         // --- Sanitize ---
+        let span = spec.sanitize.is_some().then(|| obs.span("sanitize"));
         let t0 = Instant::now();
         let (trace, discarded) = match spec.sanitize {
             Some(rules) => {
@@ -456,6 +479,7 @@ impl Pipeline {
         if spec.sanitize.is_some() {
             timing.sanitize_ms = ms_since(t0);
         }
+        drop(span);
 
         let world = world_summary(
             trace.len(),
@@ -469,6 +493,7 @@ impl Pipeline {
         let t0 = Instant::now();
         let fit = match &spec.fit {
             Some(config) => {
+                let _span = obs.span("fit");
                 let report = fit_host_model_rows(&trace, config)?;
                 let lifetime = config
                     .sample_dates
@@ -485,6 +510,7 @@ impl Pipeline {
         let t0 = Instant::now();
         let validation = match &spec.validate {
             Some(v) => {
+                let _span = obs.span("validate");
                 let model = &require_fit(&fit, "validate")?.report.model;
                 let mut out = Vec::with_capacity(v.dates.len());
                 for (i, &date) in v.dates.iter().enumerate() {
@@ -511,15 +537,19 @@ impl Pipeline {
         };
 
         // --- Predict ---
+        let span = spec.predict.as_ref().map(|_| obs.span("predict"));
         let t0 = Instant::now();
         let predictions = predict_stage(&spec.predict, &fit)?;
         if predictions.is_some() {
             timing.predict_ms = ms_since(t0);
         }
+        drop(span);
 
         // --- Dispatch ---
-        let dispatch = Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing)?;
+        let dispatch =
+            Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing, &obs)?;
 
+        record_pipeline_metrics(&obs, &world);
         let report = PipelineReport {
             spec,
             world,
@@ -541,6 +571,7 @@ impl Pipeline {
         want_trace: bool,
     ) -> Result<(PipelineReport, Option<Trace>, RunMetrics), ResmodelError> {
         let spec = self.spec;
+        let obs = self.collector;
         let mut timing = StageTimings::default();
         let mut metrics = RunMetrics::default();
 
@@ -558,29 +589,36 @@ impl Pipeline {
             else {
                 unreachable!("`direct` implies a scenario source");
             };
+            let span = obs.span("build");
             let t0 = Instant::now();
             let mut scenario = scenario.clone();
             if *max_hosts > 0 {
                 scenario.max_hosts = *max_hosts;
             }
-            let report = engine::run(&scenario)?;
+            let report = engine::run_observed(&scenario, &obs)?;
             timing.build_ms = ms_since(t0);
+            drop(span);
+            let span = obs.span("extract");
             let t0 = Instant::now();
             let columnar = fleet_to_columnar(&report.fleet, report.scenario.end);
             metrics.extract_ms = ms_since(t0);
+            drop(span);
             let raw_hosts = columnar.len();
             if spec.dispatch.is_some() {
                 engine_report = Some(report);
             }
             (columnar, raw_hosts, 0)
         } else {
+            let span = obs.span("build");
             let t0 = Instant::now();
             let (raw, engine) =
-                Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some())?;
+                Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some(), &obs)?;
             engine_report = engine;
             timing.build_ms = ms_since(t0);
+            drop(span);
             let raw_hosts = raw.len();
 
+            let span = spec.sanitize.is_some().then(|| obs.span("sanitize"));
             let t0 = Instant::now();
             let (trace, discarded) = match spec.sanitize {
                 Some(rules) => {
@@ -592,13 +630,17 @@ impl Pipeline {
             if spec.sanitize.is_some() {
                 timing.sanitize_ms = ms_since(t0);
             }
+            drop(span);
 
+            let span = obs.span("extract");
             let t0 = Instant::now();
             let columnar = ColumnarTrace::from(&trace);
             metrics.extract_ms = ms_since(t0);
+            drop(span);
             row_trace = Some(trace);
             (columnar, raw_hosts, discarded)
         };
+        columnar.observe_extraction(&obs);
 
         let world = world_summary(
             columnar.len(),
@@ -612,6 +654,7 @@ impl Pipeline {
         let t0 = Instant::now();
         let fit = match &spec.fit {
             Some(config) => {
+                let _span = obs.span("fit");
                 let report = fit_host_model_columnar(&columnar, config)?;
                 let lifetime = config
                     .sample_dates
@@ -628,6 +671,7 @@ impl Pipeline {
         let t0 = Instant::now();
         let validation = match &spec.validate {
             Some(v) => {
+                let _span = obs.span("validate");
                 let model = &require_fit(&fit, "validate")?.report.model;
                 let mut out = Vec::with_capacity(v.dates.len());
                 for (i, &date) in v.dates.iter().enumerate() {
@@ -650,15 +694,19 @@ impl Pipeline {
         };
 
         // --- Predict ---
+        let span = spec.predict.as_ref().map(|_| obs.span("predict"));
         let t0 = Instant::now();
         let predictions = predict_stage(&spec.predict, &fit)?;
         if predictions.is_some() {
             timing.predict_ms = ms_since(t0);
         }
+        drop(span);
 
         // --- Dispatch ---
-        let dispatch = Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing)?;
+        let dispatch =
+            Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing, &obs)?;
 
+        record_pipeline_metrics(&obs, &world);
         let report = PipelineReport {
             spec,
             world,
@@ -671,6 +719,17 @@ impl Pipeline {
         let trace = want_trace.then(|| row_trace.unwrap_or_else(|| columnar.to_trace()));
         Ok((report, trace, metrics))
     }
+}
+
+/// Whole-run population counters, recorded once per pipeline run.
+fn record_pipeline_metrics(obs: &Collector, world: &WorldSummary) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.add("pipeline.runs", 1);
+    obs.add("pipeline.hosts", world.hosts as u64);
+    obs.add("pipeline.raw_hosts", world.raw_hosts as u64);
+    obs.add("pipeline.discarded", world.discarded as u64);
 }
 
 fn world_summary(
@@ -865,15 +924,31 @@ pub struct PipelineReport {
     /// Prediction stage output, when configured.
     pub predictions: Option<PredictionStage>,
     /// Dispatch stage output, when configured. Carries its own
-    /// wall-clock fields — zero them via
-    /// [`resmodel_sched::DispatchReport::zero_timings`] alongside
-    /// [`PipelineReport::timing`] for byte-stable comparisons.
+    /// wall-clock fields — [`PipelineReport::zero_timings`] strips
+    /// them alongside [`PipelineReport::timing`] for byte-stable
+    /// comparisons.
     pub dispatch: Option<DispatchReport>,
     /// Wall-clock stage timings.
     pub timing: StageTimings,
 }
 
 impl PipelineReport {
+    /// Zero every wall-clock field — the stage timings plus the
+    /// dispatch report's own wall-clock block — leaving only the
+    /// deterministic content, the form compared by byte-stability
+    /// tests.
+    ///
+    /// Implemented via [`resmodel_obs::zero_wall_clock`]'s key-suffix
+    /// walk over the serialized tree, so a future `*_ms` /
+    /// `*_per_sec` field anywhere in the report is stripped without
+    /// touching this method.
+    pub fn zero_timings(&mut self) {
+        let mut tree = serde_json::to_value(self);
+        resmodel_obs::zero_wall_clock(&mut tree);
+        *self = serde_json::from_value(&tree)
+            .expect("zeroing preserves numeric kinds, so the report round-trips");
+    }
+
     /// Serialize as pretty JSON.
     ///
     /// # Errors
@@ -1036,6 +1111,63 @@ mod tests {
             err.to_string().contains("requires a scenario source"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn observed_run_is_identical_and_records_stage_spans() {
+        let plain = small_scenario_pipeline().run().unwrap();
+        let obs = Collector::new();
+        let observed = small_scenario_pipeline().observe(&obs).run().unwrap();
+
+        // Observation never perturbs the report: zeroed forms are
+        // byte-identical.
+        let mut plain = plain;
+        let mut observed_report = observed;
+        plain.zero_timings();
+        observed_report.zero_timings();
+        assert_eq!(
+            plain.to_json_pretty().unwrap(),
+            observed_report.to_json_pretty().unwrap()
+        );
+
+        let m = obs.snapshot();
+        assert_eq!(m.counter("pipeline.runs"), Some(1));
+        assert_eq!(m.counter("pipeline.raw_hosts"), Some(12_000));
+        assert_eq!(m.counter("popsim.runs"), Some(1));
+        assert_eq!(m.counter("trace.columnar.extractions"), Some(1));
+        let paths: Vec<&str> = m.spans.iter().map(|s| s.path.as_str()).collect();
+        for want in [
+            "pipeline",
+            "pipeline/build",
+            "pipeline/build/engine",
+            "pipeline/sanitize",
+            "pipeline/extract",
+            "pipeline/fit",
+            "pipeline/validate",
+            "pipeline/predict",
+        ] {
+            assert!(paths.contains(&want), "missing span {want}: {paths:?}");
+        }
+    }
+
+    #[test]
+    fn zero_timings_strips_every_wall_clock_field() {
+        let workload = WorkloadSpec::preset("mixed")
+            .expect("built-in preset")
+            .with_job_budget(200);
+        let mut report = Pipeline::from_scenario(Scenario::steady_state(3))
+            .max_hosts(500)
+            .dispatch(workload, DispatchPolicy::Random)
+            .run()
+            .unwrap();
+        assert!(report.timing.build_ms > 0.0);
+        report.zero_timings();
+        assert_eq!(report.timing, StageTimings::default());
+        let tree = serde_json::to_value(&report);
+        assert_eq!(resmodel_obs::find_nonzero_wall_clock(&tree), None);
+        // Deterministic rates survive: only wall-clock keys are hit.
+        let d = report.dispatch.as_ref().expect("dispatch ran");
+        assert!(d.totals.jobs_per_sim_hour > 0.0);
     }
 
     #[test]

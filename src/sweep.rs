@@ -41,6 +41,7 @@ use crate::pipeline::{
 use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
 use resmodel_error::ResmodelError;
+use resmodel_obs::{Collector, MetricsReport};
 use resmodel_popsim::Scenario;
 use resmodel_sched::{DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
@@ -49,10 +50,17 @@ use resmodel_trace::SimDate;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/3` adds
-/// the per-job dispatch timing and throughput (`dispatch_ms`,
-/// `jobs_per_sec`, populated on dispatch-stage jobs).
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/3";
+/// Schema identifier written into every [`BenchArtifact`]: `/4` adds
+/// the observability block — batch `peak_rss_bytes` and the full
+/// [`MetricsReport`] (counters, gauges, histogram summaries with
+/// p50/p90/p99 + sparse bucket vectors, span totals) — plus the
+/// explicit per-job `jobs_per_sec`.
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/4";
+
+/// The `/3` artifact schema (per-job dispatch timing and throughput,
+/// no observability block). Still accepted by `swept --check` so
+/// stored artifacts keep validating.
+pub const BENCH_SCHEMA_V3: &str = "resmodel.bench_sweep/3";
 
 /// The `/2` artifact schema (per-job `extract_ms`, no dispatch
 /// fields). Still accepted by `swept --check` so stored artifacts keep
@@ -356,11 +364,43 @@ impl SweepSpec {
     ///
     /// Same conditions as [`SweepSpec::run`].
     pub fn run_with_path(&self, path: DataPath) -> Result<SweepReport, ResmodelError> {
+        self.run_collected(path, &Collector::disabled())
+    }
+
+    /// [`SweepSpec::run`] with observability on: runs the batch against
+    /// a fresh [`Collector`] and hands back its [`MetricsReport`]
+    /// snapshot alongside the (unchanged) report. The metrics live
+    /// *beside* the report, never inside it — the report bytes equal an
+    /// unobserved run's.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSpec::run`].
+    pub fn run_observed(&self) -> Result<(SweepReport, MetricsReport), ResmodelError> {
+        let obs = Collector::new();
+        let report = self.run_collected(DataPath::Columnar, &obs)?;
+        Ok((report, obs.snapshot()))
+    }
+
+    /// The fully-general run: an explicit [`DataPath`] and an explicit
+    /// [`Collector`] (pass [`Collector::disabled`] for a plain run, or
+    /// a caller-owned collector to attach an events sink before the
+    /// batch starts).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SweepSpec::run`].
+    pub fn run_collected(
+        &self,
+        path: DataPath,
+        obs: &Collector,
+    ) -> Result<SweepReport, ResmodelError> {
         self.validate()?;
+        let _span = obs.span("sweep");
         let jobs = self.expand();
         let t0 = Instant::now();
         let outcomes: Vec<Result<JobReport, ResmodelError>> =
-            jobs.par_iter().map(|job| run_job(job, path)).collect();
+            jobs.par_iter().map(|job| run_job(job, path, obs)).collect();
         let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
         let mut reports = Vec::with_capacity(outcomes.len());
@@ -370,6 +410,12 @@ impl SweepSpec {
 
         let comparisons = compare_scenarios(&reports);
         let totals = SweepTotals::from_jobs(&reports, wall_ms);
+        if obs.is_enabled() {
+            obs.add("sweep.runs", 1);
+            obs.add("sweep.jobs", totals.jobs as u64);
+            obs.add("sweep.hosts", totals.total_hosts as u64);
+            obs.set_gauge("sweep.hosts_per_sec", totals.hosts_per_sec);
+        }
         Ok(SweepReport {
             spec: self.clone(),
             jobs: reports,
@@ -426,10 +472,11 @@ pub struct SweepJob {
 }
 
 /// Run one job, timing the whole pipeline.
-fn run_job(job: &SweepJob, path: DataPath) -> Result<JobReport, ResmodelError> {
+fn run_job(job: &SweepJob, path: DataPath, obs: &Collector) -> Result<JobReport, ResmodelError> {
     let t0 = Instant::now();
     let (report, metrics) = Pipeline::from_spec(job.spec.clone())
         .data_path(path)
+        .observe(obs)
         .run_metered()?;
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
 
@@ -478,6 +525,7 @@ fn run_job(job: &SweepJob, path: DataPath) -> Result<JobReport, ResmodelError> {
         mean_cores_forecast,
         timing: report.timing,
         extract_ms: metrics.extract_ms,
+        jobs_per_sec: dispatch.as_ref().map(|d| d.jobs_per_sec),
         dispatch,
         wall_ms,
         hosts_per_sec: rate(report.world.raw_hosts, wall_ms),
@@ -522,6 +570,12 @@ pub struct JobReport {
     /// Time spent producing the columnar store (conversion or direct
     /// fleet export), ms; `0` on the row path.
     pub extract_ms: f64,
+    /// Dispatched jobs per second of dispatch wall time, when the job
+    /// ran a dispatch stage — the explicit job-level copy of
+    /// [`DispatchSummary::jobs_per_sec`], so BENCH consumers read
+    /// throughput directly instead of re-deriving it from counts and
+    /// milliseconds.
+    pub jobs_per_sec: Option<f64>,
     /// Dispatch-stage outcome, when the job ran one.
     pub dispatch: Option<DispatchSummary>,
     /// Whole-job wall time, ms.
@@ -680,26 +734,16 @@ impl SweepReport {
     /// totals, thread count), leaving only the deterministic content —
     /// the form compared by the byte-stability tests, mirroring the
     /// golden pipeline report's zeroed [`StageTimings`].
+    ///
+    /// Implemented via [`resmodel_obs::zero_wall_clock`]'s key-suffix
+    /// walk (`*_ms`, `*_per_sec`, `threads`) over the serialized tree,
+    /// so a future wall-clock field anywhere in the report is stripped
+    /// without touching this method.
     pub fn zero_timings(&mut self) {
-        for j in &mut self.jobs {
-            j.timing = StageTimings::default();
-            j.extract_ms = 0.0;
-            j.wall_ms = 0.0;
-            j.hosts_per_sec = 0.0;
-            if let Some(d) = &mut j.dispatch {
-                d.dispatch_ms = 0.0;
-                d.jobs_per_sec = 0.0;
-            }
-        }
-        for c in &mut self.comparisons {
-            c.mean_hosts_per_sec = 0.0;
-            c.peak_wall_ms = 0.0;
-        }
-        self.totals.wall_ms = 0.0;
-        self.totals.hosts_per_sec = 0.0;
-        self.totals.peak_job_wall_ms = 0.0;
-        self.totals.threads = 0;
-        self.totals.stage_ms = StageTimings::default();
+        let mut tree = serde_json::to_value(self);
+        resmodel_obs::zero_wall_clock(&mut tree);
+        *self = serde_json::from_value(&tree)
+            .expect("zeroing preserves numeric kinds, so the report round-trips");
     }
 
     /// Serialize as pretty JSON.
@@ -721,7 +765,9 @@ impl SweepReport {
         serde_json::from_str(text).map_err(|e| ResmodelError::json("sweep report", e))
     }
 
-    /// Project onto the CI-tracked `BENCH_sweep.json` schema.
+    /// Project onto the CI-tracked `BENCH_sweep.json` schema. The
+    /// observability block is empty; see
+    /// [`SweepReport::bench_artifact_with_metrics`] to attach one.
     pub fn bench_artifact(&self) -> BenchArtifact {
         BenchArtifact {
             schema: BENCH_SCHEMA.to_owned(),
@@ -729,6 +775,8 @@ impl SweepReport {
             seed: self.spec.seed,
             threads: self.totals.threads,
             totals: self.totals.clone(),
+            peak_rss_bytes: None,
+            metrics: None,
             jobs: self
                 .jobs
                 .iter()
@@ -742,11 +790,22 @@ impl SweepReport {
                     hosts_per_sec: j.hosts_per_sec,
                     extract_ms: Some(j.extract_ms),
                     dispatch_ms: j.dispatch.as_ref().map(|d| d.dispatch_ms),
-                    jobs_per_sec: j.dispatch.as_ref().map(|d| d.jobs_per_sec),
+                    jobs_per_sec: j.jobs_per_sec,
                     timing: j.timing,
                 })
                 .collect(),
         }
+    }
+
+    /// [`SweepReport::bench_artifact`] with the run's observability
+    /// block attached: the [`MetricsReport`] (typically from
+    /// [`SweepSpec::run_observed`]) rides in `metrics`, and its
+    /// peak-RSS probe is lifted to the artifact's `peak_rss_bytes`.
+    pub fn bench_artifact_with_metrics(&self, metrics: &MetricsReport) -> BenchArtifact {
+        let mut artifact = self.bench_artifact();
+        artifact.peak_rss_bytes = metrics.peak_rss_bytes;
+        artifact.metrics = Some(metrics.clone());
+        artifact
     }
 }
 
@@ -764,6 +823,14 @@ pub struct BenchArtifact {
     pub threads: usize,
     /// Batch totals (throughput, peak job latency, per-stage sums).
     pub totals: SweepTotals,
+    /// Peak resident-set size of the producing process, bytes (schema
+    /// `/4`; Linux `VmHWM`, `None` on other platforms or when parsed
+    /// from older artifacts).
+    pub peak_rss_bytes: Option<u64>,
+    /// The observability block: counters, gauges, histogram summaries
+    /// (p50/p90/p99 + sparse bucket vector) and span totals of the
+    /// producing run (schema `/4`; `None` when parsed from /1–/3).
+    pub metrics: Option<MetricsReport>,
     /// Per-job throughput rows.
     pub jobs: Vec<BenchJobRow>,
 }
@@ -974,6 +1041,39 @@ mod tests {
         assert_eq!(artifact.schema, BENCH_SCHEMA);
         assert_eq!(artifact.jobs.len(), report.jobs.len());
         assert!(artifact.jobs.iter().all(|j| j.hosts_per_sec > 0.0));
+        // Plain projection: no observability block.
+        assert!(artifact.peak_rss_bytes.is_none());
+        assert!(artifact.metrics.is_none());
+        let back = BenchArtifact::from_json(&artifact.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(artifact, back);
+    }
+
+    #[test]
+    fn observed_sweep_is_identical_and_snapshots_metrics() {
+        let spec = tiny_spec();
+        let mut plain = spec.run().unwrap();
+        let (mut observed, metrics) = spec.run_observed().unwrap();
+        plain.zero_timings();
+        observed.zero_timings();
+        assert_eq!(
+            plain.to_json_pretty().unwrap(),
+            observed.to_json_pretty().unwrap(),
+            "observation never perturbs the report"
+        );
+        assert_eq!(metrics.counter("sweep.runs"), Some(1));
+        assert_eq!(metrics.counter("sweep.jobs"), Some(4));
+        assert_eq!(metrics.counter("pipeline.runs"), Some(4));
+        assert!(metrics.counter("popsim.events").unwrap_or(0) > 0);
+        assert!(metrics.gauge("sweep.hosts_per_sec").unwrap_or(0.0) > 0.0);
+        // The /4 artifact carries the observability block.
+        let artifact = observed.bench_artifact_with_metrics(&metrics);
+        assert_eq!(artifact.schema, BENCH_SCHEMA);
+        let m = artifact.metrics.as_ref().expect("metrics attached");
+        assert!(m.histogram("popsim.queue_depth_peak").is_some());
+        assert_eq!(artifact.peak_rss_bytes, metrics.peak_rss_bytes);
+        if cfg!(target_os = "linux") {
+            assert!(artifact.peak_rss_bytes.expect("RSS probe on Linux") > 0);
+        }
         let back = BenchArtifact::from_json(&artifact.to_json_pretty().unwrap()).unwrap();
         assert_eq!(artifact, back);
     }
@@ -1047,6 +1147,8 @@ mod tests {
             assert!(d.completed > 0);
             assert!(d.jobs_per_sec > 0.0);
             assert_eq!(d.workload, "mixed");
+            // The explicit job-level copy matches the summary's.
+            assert_eq!(j.jobs_per_sec, Some(d.jobs_per_sec));
         }
         // The artifact carries the /3 dispatch fields on those rows.
         let artifact = report.bench_artifact();

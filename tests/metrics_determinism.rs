@@ -1,0 +1,77 @@
+//! The observability determinism contract, one layer above
+//! `sweep_determinism`: collecting metrics must not perturb the sweep
+//! (byte-identical zeroed report), and the deterministic slice of the
+//! [`MetricsReport`] — counters and histogram summaries, which record
+//! only simulated quantities — must be bitwise identical at any rayon
+//! thread count. Wall-clock readings live only in spans and gauges,
+//! which are excluded from the fingerprint.
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::obs::{Collector, MetricsReport};
+use resmodel::pipeline::DataPath;
+use resmodel::sweep::{SweepReport, SweepSpec};
+
+/// Run a spec under a fixed-size rayon pool with a live collector,
+/// returning the timing-zeroed report JSON and the metrics snapshot.
+fn run_on_threads(spec: &SweepSpec, threads: usize) -> (String, MetricsReport) {
+    let obs = Collector::new();
+    let mut report: SweepReport = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| spec.run_collected(DataPath::Columnar, &obs).unwrap());
+    report.zero_timings();
+    (report.to_json_pretty().unwrap(), obs.snapshot())
+}
+
+fn small_spec() -> SweepSpec {
+    let mut spec = SweepSpec::preset("replicates").expect("built-in preset");
+    spec.fleet_sizes = vec![250];
+    spec.replicates = vec![1, 2];
+    spec
+}
+
+#[test]
+fn metrics_fingerprint_is_thread_count_invariant() {
+    let spec = small_spec();
+    let (report_1, metrics_1) = run_on_threads(&spec, 1);
+    let (report_8, metrics_8) = run_on_threads(&spec, 8);
+
+    // The report itself is untouched by observation at any pool size.
+    assert_eq!(report_1, report_8);
+
+    // Counters and histograms are bitwise identical: sharded
+    // accumulation plus order-invariant histogram merges erase the
+    // scheduling order.
+    assert_eq!(
+        metrics_1.deterministic_fingerprint(),
+        metrics_8.deterministic_fingerprint()
+    );
+
+    // The fingerprint is non-trivial: real counters and at least one
+    // histogram made it through.
+    let (counters, histograms) = metrics_1.deterministic_fingerprint();
+    assert!(counters.iter().any(|(k, v)| k == "sweep.jobs" && *v > 0));
+    assert!(counters.iter().any(|(k, v)| k == "pipeline.runs" && *v > 0));
+    assert!(!histograms.is_empty());
+}
+
+#[test]
+fn observation_does_not_perturb_the_report() {
+    // The same spec run bare (the sweep_determinism path) and observed
+    // produces byte-identical zeroed JSON.
+    let spec = small_spec();
+    let mut bare = spec.run().unwrap();
+    bare.zero_timings();
+    let (observed, metrics) = run_on_threads(&spec, 4);
+    assert_eq!(bare.to_json_pretty().unwrap(), observed);
+
+    // And the snapshot round-trips through its own JSON.
+    let json = metrics.to_json_pretty().unwrap();
+    let back = MetricsReport::from_json(&json).unwrap();
+    assert_eq!(
+        back.deterministic_fingerprint(),
+        metrics.deterministic_fingerprint()
+    );
+}
