@@ -11,7 +11,7 @@
 #![warn(clippy::unwrap_used)]
 
 use resmodel_baselines::{GridModel, NormalModel};
-use resmodel_bench::cli::{self, Args, FlagHelp, Usage};
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
 use resmodel_core::gpu_model::GpuModel;
 use resmodel_core::{GeneratedHost, HostGenerator, HostModel};
 use resmodel_error::{ArgError, ResmodelError};
@@ -23,7 +23,7 @@ const USAGE: Usage = Usage {
     summary: "generate realistic Internet end hosts for a chosen date",
     usage: &[
         "hostgen [--date YEAR] [--n COUNT] [--seed N] [--model paper|normal|grid]",
-        "        [--format csv|json] [--gpus]",
+        "        [--format csv|json] [--gpus] [--quiet | --verbose]",
     ],
     flags: &[
         FlagHelp {
@@ -51,6 +51,14 @@ const USAGE: Usage = Usage {
             help: "also sample GPUs from the paper's Section V-H model",
         },
         FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail (per-model parameters, GPU tally)",
+        },
+        FlagHelp {
             flag: "--help",
             help: "show this help",
         },
@@ -64,6 +72,7 @@ struct Options {
     model: String,
     format: String,
     gpus: bool,
+    verbosity: Verbosity,
 }
 
 fn main() {
@@ -78,6 +87,7 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
         model: "paper".into(),
         format: "csv".into(),
         gpus: false,
+        verbosity: Verbosity::default(),
     };
     while let Some(token) = args.next_token() {
         match token.as_str() {
@@ -87,6 +97,8 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
             "--model" => opt.model = args.value("--model")?,
             "--format" => opt.format = args.value("--format")?,
             "--gpus" => opt.gpus = true,
+            "--quiet" => opt.verbosity = Verbosity::Quiet,
+            "--verbose" => opt.verbosity = Verbosity::Verbose,
             "--help" | "-h" => cli::help_exit(&USAGE),
             other => return cli::unknown_flag(other),
         }
@@ -97,6 +109,11 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
 fn real_main(args: Args) -> Result<(), ResmodelError> {
     let opt = parse_args(args)?;
     let date = SimDate::from_year(opt.date);
+    let log = Logger::new(opt.verbosity);
+    log.info(format!(
+        "generating {} hosts at {:.2} (model {}, seed {})...",
+        opt.n, opt.date, opt.model, opt.seed,
+    ));
 
     let hosts: Vec<GeneratedHost> = match opt.model.as_str() {
         "paper" => HostModel::paper().generate_population(date, opt.n, opt.seed),
@@ -128,6 +145,13 @@ fn real_main(args: Args) -> Result<(), ResmodelError> {
     } else {
         vec![None; hosts.len()]
     };
+    if opt.gpus && log.debug_enabled() {
+        let with_gpu = gpus.iter().filter(|g| g.is_some()).count();
+        log.debug(format!(
+            "GPU model sampled {with_gpu}/{} hosts with a GPU",
+            hosts.len(),
+        ));
+    }
 
     match opt.format.as_str() {
         "csv" => {

@@ -1,0 +1,331 @@
+//! `resmodeld` — the model query daemon: serve `resmodel.svc/1` over
+//! TCP or a Unix-domain socket, answering pipeline/sweep/dispatch/
+//! predict queries from a content-addressed model cache (N concurrent
+//! identical requests trigger exactly one fit; repeat queries replay
+//! the cached report byte-exactly).
+//!
+//! The same binary doubles as the one-shot client:
+//!
+//! ```text
+//! resmodeld --uds /tmp/resmodel.sock --cache 32 &
+//! resmodeld --query run_pipeline --uds /tmp/resmodel.sock --spec spec.json
+//! resmodeld --query stats --uds /tmp/resmodel.sock
+//! resmodeld --query shutdown --uds /tmp/resmodel.sock
+//! ```
+//!
+//! In query mode the response body is printed to stdout (or `--out`)
+//! while cache metadata (hit/miss, spec hash) goes to stderr, so the
+//! output pipes and diffs cleanly — CI compares two identical queries
+//! byte-for-byte and greps `stats` for the cache hit.
+
+#![warn(clippy::unwrap_used)]
+
+use resmodel::obs::Collector;
+use resmodel::ResmodelError;
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
+use resmodel_error::ArgError;
+use resmodel_svc::{serve_tcp, Client, Endpoint, Reply, ServerConfig};
+
+const USAGE: Usage = Usage {
+    bin: "resmodeld",
+    summary: "serve (or query) the resmodel.svc/1 content-addressed model cache",
+    usage: &[
+        "resmodeld (--tcp ADDR | --uds PATH) [--cache N] [--threads N] [--quiet | --verbose]",
+        "resmodeld --query ENDPOINT (--tcp ADDR | --uds PATH) [--spec FILE] [--dates Y1,Y2,...]",
+        "resmodeld --query ENDPOINT ... [--out FILE] [--quiet | --verbose]",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--tcp ADDR",
+            help: "serve on (or connect to) a TCP address, e.g. 127.0.0.1:7171",
+        },
+        FlagHelp {
+            flag: "--uds PATH",
+            help: "serve on (or connect to) a Unix-domain socket path",
+        },
+        FlagHelp {
+            flag: "--cache N",
+            help: "serve: model cache capacity in entries (default 64)",
+        },
+        FlagHelp {
+            flag: "--threads N",
+            help: "serve: data-parallel threads per request (default: all cores)",
+        },
+        FlagHelp {
+            flag: "--query ENDPOINT",
+            help: "one-shot client: run_pipeline|run_sweep|dispatch|predict|stats|shutdown",
+        },
+        FlagHelp {
+            flag: "--spec FILE",
+            help: "query: the PipelineSpec/SweepSpec JSON document to send",
+        },
+        FlagHelp {
+            flag: "--dates LIST",
+            help: "query predict: comma-separated fractional years, e.g. 2012.0,2014.0",
+        },
+        FlagHelp {
+            flag: "--out FILE",
+            help: "query: write the response body to FILE instead of stdout",
+        },
+        FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
+
+fn main() {
+    cli::run_main(&USAGE, real_main);
+}
+
+struct Options {
+    tcp: Option<String>,
+    uds: Option<String>,
+    cache: usize,
+    threads: Option<usize>,
+    query: Option<String>,
+    spec: Option<String>,
+    dates: Option<String>,
+    out: Option<String>,
+    verbosity: Verbosity,
+}
+
+fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
+    let mut opt = Options {
+        tcp: None,
+        uds: None,
+        cache: 64,
+        threads: None,
+        query: None,
+        spec: None,
+        dates: None,
+        out: None,
+        verbosity: Verbosity::default(),
+    };
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
+            "--tcp" => opt.tcp = Some(args.value("--tcp")?),
+            "--uds" => opt.uds = Some(args.value("--uds")?),
+            "--cache" => opt.cache = args.parse("--cache", "a positive integer")?,
+            "--threads" => opt.threads = Some(args.parse("--threads", "a positive integer")?),
+            "--query" => opt.query = Some(args.value("--query")?),
+            "--spec" => opt.spec = Some(args.value("--spec")?),
+            "--dates" => opt.dates = Some(args.value("--dates")?),
+            "--out" => opt.out = Some(args.value("--out")?),
+            "--quiet" => opt.verbosity = Verbosity::Quiet,
+            "--verbose" => opt.verbosity = Verbosity::Verbose,
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other => return cli::unknown_flag(other),
+        }
+    }
+    Ok(opt)
+}
+
+fn real_main(args: Args) -> Result<(), ResmodelError> {
+    let opt = parse_args(args)?;
+    if opt.tcp.is_some() && opt.uds.is_some() {
+        return cli::usage_error("--tcp and --uds are mutually exclusive");
+    }
+    if opt.tcp.is_none() && opt.uds.is_none() {
+        return cli::usage_error("one of --tcp or --uds is required");
+    }
+    let log = Logger::new(opt.verbosity);
+    match &opt.query {
+        Some(endpoint) => run_query(&opt, endpoint, &log),
+        None => run_server(&opt, &log),
+    }
+}
+
+fn run_server(opt: &Options, log: &Logger) -> Result<(), ResmodelError> {
+    if opt.cache == 0 {
+        return cli::usage_error("--cache must be at least 1");
+    }
+    let config = ServerConfig {
+        capacity: opt.cache,
+        threads: opt.threads,
+    };
+    let obs = Collector::new();
+    let handle = match (&opt.tcp, &opt.uds) {
+        (Some(addr), None) => serve_tcp(addr, config, &obs)?,
+        #[cfg(unix)]
+        (None, Some(path)) => resmodel_svc::serve_uds(path, config, &obs)?,
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            return Err(ResmodelError::config(
+                "resmodeld",
+                "--uds requires a Unix platform",
+            ))
+        }
+        _ => unreachable!("transport exclusivity is checked in real_main"),
+    };
+    log.info(format!(
+        "resmodeld listening on {} (cache {} entries, {} request threads)",
+        handle.addr(),
+        opt.cache,
+        opt.threads
+            .map_or_else(|| "all".to_owned(), |n| n.to_string()),
+    ));
+    log.debug("send a `shutdown` query to stop");
+    handle.wait();
+    log.info("resmodeld stopped");
+    Ok(())
+}
+
+fn run_query(opt: &Options, endpoint: &str, log: &Logger) -> Result<(), ResmodelError> {
+    let endpoint = Endpoint::parse(endpoint).ok_or(ArgError::InvalidValue {
+        flag: "--query".into(),
+        value: endpoint.into(),
+        expected: "run_pipeline, run_sweep, dispatch, predict, stats or shutdown",
+    })?;
+    let client = match (&opt.tcp, &opt.uds) {
+        (Some(addr), None) => Client::tcp(addr.clone()),
+        #[cfg(unix)]
+        (None, Some(path)) => Client::uds(path.clone()),
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            return Err(ResmodelError::config(
+                "resmodeld",
+                "--uds requires a Unix platform",
+            ))
+        }
+        _ => unreachable!("transport exclusivity is checked in real_main"),
+    };
+
+    let spec_text = opt
+        .spec
+        .as_ref()
+        .map(|path| std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e)))
+        .transpose()?;
+    let needs_spec = matches!(
+        endpoint,
+        Endpoint::RunPipeline | Endpoint::RunSweep | Endpoint::Dispatch | Endpoint::Predict
+    );
+    if needs_spec && spec_text.is_none() {
+        return cli::usage_error("this endpoint requires --spec FILE");
+    }
+
+    let reply = match endpoint {
+        Endpoint::RunPipeline | Endpoint::Dispatch => {
+            let spec = pipeline_spec(spec_text.as_deref())?;
+            match endpoint {
+                Endpoint::RunPipeline => client.run_pipeline(&spec)?,
+                _ => client.dispatch(&spec)?,
+            }
+        }
+        Endpoint::Predict => {
+            let spec = pipeline_spec(spec_text.as_deref())?;
+            let dates = parse_dates(opt.dates.as_deref())?;
+            client.predict(&spec, &dates)?
+        }
+        Endpoint::RunSweep => {
+            let text = spec_text.as_deref().unwrap_or_default();
+            let spec = resmodel::sweep::SweepSpec::from_json(text)?;
+            client.run_sweep(&spec)?
+        }
+        Endpoint::Stats => client.stats()?,
+        Endpoint::Shutdown => client.shutdown()?,
+    };
+    describe(&reply, log);
+    let body = reply.body_pretty();
+    match &opt.out {
+        Some(path) => {
+            std::fs::write(path, body.as_bytes()).map_err(|e| ResmodelError::io(path, e))?;
+            log.info(format!("wrote {path}"));
+        }
+        None => println!("{body}"),
+    }
+    Ok(())
+}
+
+fn pipeline_spec(text: Option<&str>) -> Result<resmodel::pipeline::PipelineSpec, ResmodelError> {
+    resmodel::pipeline::PipelineSpec::from_json(text.unwrap_or_default())
+}
+
+/// `--dates 2012.0,2014.0` → fractional years for the predict
+/// endpoint.
+fn parse_dates(raw: Option<&str>) -> Result<Vec<f64>, ResmodelError> {
+    let raw = raw.ok_or_else(|| ArgError::MissingValue {
+        flag: "--dates".into(),
+    })?;
+    raw.split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<f64>().map_err(|_| {
+                ArgError::InvalidValue {
+                    flag: "--dates".into(),
+                    value: s.into(),
+                    expected: "comma-separated fractional years",
+                }
+                .into()
+            })
+        })
+        .collect()
+}
+
+/// Cache metadata on stderr — only for endpoints that cache (`stats`
+/// and `shutdown` have no spec hash).
+fn describe(reply: &Reply, log: &Logger) {
+    if let Some(hash) = &reply.spec_hash {
+        log.info(format!(
+            "{} (spec {hash})",
+            if reply.cached {
+                "cache hit"
+            } else {
+                "cache miss"
+            },
+        ));
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::{parse_args, parse_dates};
+    use resmodel_bench::cli::Args;
+
+    #[test]
+    fn dates_parse_and_reject_garbage() {
+        assert_eq!(
+            parse_dates(Some("2012.0, 2014.5")).unwrap(),
+            vec![2012.0, 2014.5]
+        );
+        assert!(parse_dates(Some("2012.0,soon")).is_err());
+        assert!(parse_dates(None).is_err());
+    }
+
+    #[test]
+    fn serve_and_query_flags_parse() {
+        let opt = parse_args(Args::new(vec![
+            "--uds".into(),
+            "/tmp/r.sock".into(),
+            "--cache".into(),
+            "8".into(),
+            "--quiet".into(),
+        ]))
+        .unwrap();
+        assert_eq!(opt.uds.as_deref(), Some("/tmp/r.sock"));
+        assert_eq!(opt.cache, 8);
+        assert!(opt.query.is_none());
+
+        let opt = parse_args(Args::new(vec![
+            "--query".into(),
+            "predict".into(),
+            "--tcp".into(),
+            "127.0.0.1:7171".into(),
+            "--dates".into(),
+            "2012.0".into(),
+        ]))
+        .unwrap();
+        assert_eq!(opt.query.as_deref(), Some("predict"));
+        assert_eq!(opt.dates.as_deref(), Some("2012.0"));
+    }
+}

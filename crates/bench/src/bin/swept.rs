@@ -9,11 +9,14 @@
 //! grid on both data paths and asserts the reports are byte-identical.
 //!
 //! Every run records observability metrics out-of-band (the report
-//! bytes are identical with or without them): the emitted `/4`
-//! artifact carries the [`resmodel::obs::MetricsReport`] block and the process
-//! peak-RSS, `--events-out FILE` streams span open/close records as
-//! JSONL, and `--require-rss` turns a missing RSS or throughput figure
-//! into a hard error (for CI on Linux runners).
+//! bytes are identical with or without them): the emitted `/5`
+//! artifact carries the [`resmodel::obs::MetricsReport`] block, the process
+//! peak-RSS, and the query-service block (the sweep's cheapest job is
+//! replayed twice through a [`resmodel_svc::ModelCache`] so cache
+//! hit/miss figures and request latency ride along per commit);
+//! `--events-out FILE` streams span open/close records as JSONL, and
+//! `--require-rss` turns a missing RSS or throughput figure into a
+//! hard error (for CI on Linux runners).
 
 #![warn(clippy::unwrap_used)]
 
@@ -206,7 +209,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     }
 
     // Observe every run: the report bytes are identical either way,
-    // and the /4 artifact carries the metrics block and peak-RSS.
+    // and the /5 artifact carries the metrics block and peak-RSS.
     let obs = Collector::new();
     if let Some(path) = &events_out {
         let file = std::fs::File::create(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -227,6 +230,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             .install(|| spec.run_collected(DataPath::Columnar, &obs))?,
         None => spec.run_collected(DataPath::Columnar, &obs)?,
     };
+    probe_svc_cache(&spec, &obs, &log)?;
     let metrics = obs.snapshot();
     if log.debug_enabled() {
         log.debug(format!(
@@ -272,6 +276,29 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         }
         log.info(format!("wrote {path}"));
     }
+    Ok(())
+}
+
+/// Feed the `/5` query-service block: replay the sweep's cheapest job
+/// twice through a fresh [`resmodel_svc::ModelCache`] sharing the
+/// run's collector — one cache miss, one byte-exact hit — so the
+/// artifact carries real `svc.cache.*` counters and a
+/// `svc.run_pipeline.request_ms` latency histogram.
+fn probe_svc_cache(spec: &SweepSpec, obs: &Collector, log: &Logger) -> Result<(), ResmodelError> {
+    let jobs = spec.expand();
+    let Some(job) = jobs.iter().min_by_key(|j| (j.fleet_size, j.index)) else {
+        return Ok(());
+    };
+    let cache = resmodel_svc::ModelCache::new(4, obs);
+    let cold = cache.run_pipeline(&job.spec)?;
+    let warm = cache.run_pipeline(&job.spec)?;
+    log.debug(format!(
+        "svc probe `{}`: {} then {} (spec {})",
+        job.label,
+        if cold.hit { "hit" } else { "miss" },
+        if warm.hit { "hit" } else { "miss" },
+        warm.spec_hash,
+    ));
     Ok(())
 }
 
@@ -322,6 +349,7 @@ fn verify_columnar_identity(spec: &SweepSpec, log: &Logger) -> Result<(), Resmod
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     use resmodel::sweep::{
         BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2, BENCH_SCHEMA_V3,
+        BENCH_SCHEMA_V4,
     };
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -329,6 +357,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
         BENCH_SCHEMA_V1,
@@ -336,19 +365,47 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     .contains(&artifact.schema.as_str())
     {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V3}` / \
-             `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V4}` / \
+             `{BENCH_SCHEMA_V3}` / `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
             artifact.schema
         )));
     }
     // The observability block arrived with /4; older artifacts must
     // not carry one (a /3 file with metrics means the emitter lied
     // about its schema).
-    if artifact.schema != BENCH_SCHEMA
-        && (artifact.metrics.is_some() || artifact.peak_rss_bytes.is_some())
-    {
+    let carries_obs = artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V4;
+    if !carries_obs && (artifact.metrics.is_some() || artifact.peak_rss_bytes.is_some()) {
         return Err(invalid(format!(
             "schema `{}` must not carry the /4 observability block",
+            artifact.schema
+        )));
+    }
+    // The query-service block arrived with /5: required there (the
+    // emitter always runs the cache probe) and forbidden earlier.
+    if artifact.schema == BENCH_SCHEMA {
+        let Some(svc) = &artifact.svc else {
+            return Err(invalid(format!(
+                "schema `{BENCH_SCHEMA}` requires the svc query-service block"
+            )));
+        };
+        if svc.requests == 0 {
+            return Err(invalid("svc block reports zero cache requests".into()));
+        }
+        if svc.hits + svc.misses != svc.requests {
+            return Err(invalid(format!(
+                "svc block is inconsistent: {} hits + {} misses != {} requests",
+                svc.hits, svc.misses, svc.requests
+            )));
+        }
+        if !(0.0..=1.0).contains(&svc.hit_rate) {
+            return Err(invalid(format!(
+                "svc block hit_rate {} is outside [0, 1]",
+                svc.hit_rate
+            )));
+        }
+    } else if artifact.svc.is_some() {
+        return Err(invalid(format!(
+            "schema `{}` must not carry the /5 svc block",
             artifact.schema
         )));
     }
@@ -533,7 +590,8 @@ mod tests {
     /// A synthesized artifact in the exact shape the given schema
     /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
     /// blocks lack `dispatch_ms`, `/3`+ rows carry the dispatch pair,
-    /// and `/4` adds the top-level observability block.
+    /// `/4` adds the top-level observability block, and `/5` adds the
+    /// query-service block.
     fn artifact_json(schema: &str) -> String {
         let timing = if schema.ends_with("/1") || schema.ends_with("/2") {
             r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
@@ -547,7 +605,19 @@ mod tests {
             s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
             _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
         };
-        let obs_block = if schema.ends_with("/4") {
+        let svc_block = if schema.ends_with("/5") {
+            r#""svc": {
+                 "requests": 2, "hits": 1, "misses": 1, "hit_rate": 0.5,
+                 "latency": [{
+                   "name": "svc.run_pipeline.request_ms", "count": 2,
+                   "min": 0.4, "max": 11.9, "p50": 0.4, "p90": 11.9, "p99": 11.9,
+                   "buckets": [[96, 1], [112, 1]]
+                 }]
+               },"#
+        } else {
+            ""
+        };
+        let obs_block = if schema.ends_with("/4") || schema.ends_with("/5") {
             r#""peak_rss_bytes": 104857600,
                "metrics": {
                  "counters": [["popsim.events", 123], ["sweep.runs", 1]],
@@ -575,6 +645,7 @@ mod tests {
                 "threads": 4, "stage_ms": {timing}
               }},
               {obs_block}
+              {svc_block}
               "jobs": [{{
                 "label": "steady-state/8000/r1",
                 "scenario": "steady-state",
@@ -607,6 +678,7 @@ mod tests {
             "resmodel.bench_sweep/1",
             "resmodel.bench_sweep/2",
             "resmodel.bench_sweep/3",
+            "resmodel.bench_sweep/4",
         ] {
             let json = artifact_json(schema);
             check_str("ok", &json).unwrap_or_else(|e| panic!("{schema}: {e}"));
@@ -628,13 +700,36 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= 3, "expected the /1–/3 fixtures, saw {checked}");
+        assert!(checked >= 4, "expected the /1–/4 fixtures, saw {checked}");
     }
 
     #[test]
     fn v4_artifact_with_observability_block_validates() {
         let json = artifact_json("resmodel.bench_sweep/4");
         check_str("v4", &json).unwrap_or_else(|e| panic!("/4: {e}"));
+    }
+
+    #[test]
+    fn v5_artifact_with_svc_block_validates() {
+        let json = artifact_json("resmodel.bench_sweep/5");
+        check_str("v5", &json).unwrap_or_else(|e| panic!("/5: {e}"));
+    }
+
+    #[test]
+    fn svc_block_rules_are_enforced() {
+        // A /5 artifact must carry the query-service block (a /4 body
+        // relabeled as /5 lacks it)...
+        let missing = artifact_json("resmodel.bench_sweep/4")
+            .replace("resmodel.bench_sweep/4", "resmodel.bench_sweep/5");
+        assert!(check_str("svc_missing", &missing).is_err());
+        // ...with consistent counters...
+        let json = artifact_json("resmodel.bench_sweep/5").replace(r#""hits": 1"#, r#""hits": 9"#);
+        assert!(check_str("svc_sum", &json).is_err());
+        // ...and a /4 artifact must not smuggle one in.
+        let smuggled = artifact_json("resmodel.bench_sweep/5")
+            .replace("resmodel.bench_sweep/5", "resmodel.bench_sweep/4");
+        assert!(smuggled.contains(r#""svc""#), "relabel must have matched");
+        assert!(check_str("svc_smuggled", &smuggled).is_err());
     }
 
     #[test]

@@ -131,6 +131,19 @@ pub enum ResmodelError {
         /// The underlying error.
         source: Box<ResmodelError>,
     },
+    /// A query-service request failed — a protocol violation, a bind
+    /// failure, or a cache compute error — wrapping the underlying
+    /// error with the endpoint it happened on (and, when the request
+    /// reached hashing, the content address of the offending spec).
+    Svc {
+        /// The endpoint handling the request, e.g. `"run_pipeline"`,
+        /// or a server-side phase like `"bind"` / `"accept"`.
+        endpoint: String,
+        /// The canonical spec hash, when the request got that far.
+        spec_hash: Option<String>,
+        /// The underlying error.
+        source: Box<ResmodelError>,
+    },
 }
 
 impl ResmodelError {
@@ -176,12 +189,29 @@ impl ResmodelError {
         }
     }
 
+    /// Shorthand for a [`ResmodelError::Svc`] wrapping `source` with
+    /// the endpoint (and optional spec hash) it failed on.
+    pub fn svc(
+        endpoint: impl Into<String>,
+        spec_hash: Option<String>,
+        source: ResmodelError,
+    ) -> Self {
+        ResmodelError::Svc {
+            endpoint: endpoint.into(),
+            spec_hash,
+            source: Box::new(source),
+        }
+    }
+
     /// The conventional process exit code for this error: `2` for
-    /// command-line usage problems, `1` for everything else. A sweep
-    /// or dispatch failure reports its underlying error's code.
+    /// command-line usage problems, `3` for query-service failures
+    /// (so scripts can tell a dead/misbehaving daemon from a bad
+    /// invocation), `1` for everything else. A sweep or dispatch
+    /// failure reports its underlying error's code.
     pub fn exit_code(&self) -> i32 {
         match self {
             ResmodelError::Arg(_) => 2,
+            ResmodelError::Svc { .. } => 3,
             ResmodelError::Sweep { source, .. } | ResmodelError::Dispatch { source, .. } => {
                 source.exit_code()
             }
@@ -204,6 +234,14 @@ impl fmt::Display for ResmodelError {
             ResmodelError::Dispatch { point, source } => {
                 write!(f, "dispatch `{point}`: {source}")
             }
+            ResmodelError::Svc {
+                endpoint,
+                spec_hash,
+                source,
+            } => match spec_hash {
+                Some(hash) => write!(f, "svc `{endpoint}` [{hash}]: {source}"),
+                None => write!(f, "svc `{endpoint}`: {source}"),
+            },
         }
     }
 }
@@ -214,9 +252,9 @@ impl std::error::Error for ResmodelError {
             ResmodelError::Stats(e) => Some(e),
             ResmodelError::Io { source, .. } => Some(source),
             ResmodelError::Arg(e) => Some(e),
-            ResmodelError::Sweep { source, .. } | ResmodelError::Dispatch { source, .. } => {
-                Some(source)
-            }
+            ResmodelError::Sweep { source, .. }
+            | ResmodelError::Dispatch { source, .. }
+            | ResmodelError::Svc { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -358,6 +396,37 @@ mod tests {
         assert!(e.to_string().contains("sweep job"));
         assert!(e.to_string().contains("dispatch `earliest-finish/mixed`"));
         assert_eq!(e.exit_code(), 1);
+    }
+
+    #[test]
+    fn svc_errors_name_the_endpoint_and_chain() {
+        use std::error::Error;
+        let e = ResmodelError::svc(
+            "run_pipeline",
+            Some("9c41".into()),
+            ResmodelError::config("pipeline spec", "source is required"),
+        );
+        assert_eq!(
+            e.to_string(),
+            "svc `run_pipeline` [9c41]: invalid pipeline spec: source is required"
+        );
+        assert!(e.source().is_some());
+        assert_eq!(e.exit_code(), 3);
+        // Before the request is hashed (bind/accept/frame errors) there
+        // is no content address to report.
+        let e = ResmodelError::svc(
+            "bind",
+            None,
+            ResmodelError::io(
+                "/tmp/resmodel.sock",
+                std::io::Error::new(std::io::ErrorKind::AddrInUse, "in use"),
+            ),
+        );
+        assert_eq!(
+            e.to_string(),
+            "svc `bind`: i/o (/tmp/resmodel.sock): in use"
+        );
+        assert_eq!(e.exit_code(), 3);
     }
 
     #[test]

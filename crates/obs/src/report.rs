@@ -69,12 +69,21 @@ impl MetricsReport {
         self.histograms.iter().find(|h| h.name == name)
     }
 
-    /// The deterministic subset — counters and histograms only — used
-    /// by thread-invariance tests. Spans, gauges, and RSS are
-    /// wall-clock/machine facts and excluded by construction.
+    /// The deterministic subset — counters plus domain-quantity
+    /// histograms — used by thread-invariance tests. Spans, gauges,
+    /// and RSS are wall-clock/machine facts and excluded by
+    /// construction, as is any histogram whose *name* is a wall-clock
+    /// key (e.g. the per-endpoint `svc.*.request_ms` latency series).
     #[must_use]
     pub fn deterministic_fingerprint(&self) -> (Vec<(String, u64)>, Vec<HistogramSummary>) {
-        (self.counters.clone(), self.histograms.clone())
+        (
+            self.counters.clone(),
+            self.histograms
+                .iter()
+                .filter(|h| !is_wall_clock_key(&h.name))
+                .cloned()
+                .collect(),
+        )
     }
 
     /// Serialize as pretty JSON.
@@ -223,6 +232,31 @@ mod tests {
             find_nonzero_wall_clock(&v).as_deref(),
             Some("a.jobs[1].wall_ms")
         );
+    }
+
+    #[test]
+    fn fingerprint_drops_wall_clock_histograms() {
+        let mk = |name: &str| HistogramSummary {
+            name: name.to_owned(),
+            count: 1,
+            min: 1.0,
+            max: 1.0,
+            p50: 1.0,
+            p90: 1.0,
+            p99: 1.0,
+            buckets: vec![(128, 1)],
+        };
+        let report = MetricsReport {
+            counters: vec![("svc.cache.hits".into(), 3)],
+            gauges: vec![],
+            histograms: vec![mk("sched.queue_depth"), mk("svc.run_pipeline.request_ms")],
+            spans: vec![],
+            peak_rss_bytes: None,
+        };
+        let (counters, histograms) = report.deterministic_fingerprint();
+        assert_eq!(counters, report.counters);
+        assert_eq!(histograms.len(), 1);
+        assert_eq!(histograms[0].name, "sched.queue_depth");
     }
 
     #[test]

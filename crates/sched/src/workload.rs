@@ -389,6 +389,16 @@ impl WorkloadSpec {
     pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
         serde_json::from_str(text).map_err(|e| ResmodelError::json("workload spec", e))
     }
+
+    /// The canonical (compact, deterministically ordered) JSON form
+    /// used for content addressing by the query-service cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn canonical_json(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string(self).map_err(|e| ResmodelError::json("workload spec", e))
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,516 @@
+//! The content-addressed model cache.
+//!
+//! A cache key is `endpoint/sha256(canonical spec JSON)`: two requests
+//! share an entry exactly when they are the same endpoint applied to
+//! the same spec *value*, regardless of how the incoming JSON was
+//! formatted. Each entry is a per-key once-cell — the first thread to
+//! claim a key computes it while every concurrent requester for the
+//! same key blocks on the entry's condvar, so N simultaneous identical
+//! requests trigger exactly one fit (stampede protection). Bodies are
+//! stored as wall-clock-zeroed [`Value`] trees, which makes replay
+//! byte-exact by construction: rendering a cached tree produces the
+//! identical bytes as `report.zero_timings()` + pretty-print on a cold
+//! run, at any thread count (the PR-6 determinism contract).
+//!
+//! Failures are *not* cached: the failing entry is removed so a later
+//! identical request retries, and every thread that was waiting on it
+//! gets the same error. Capacity is a simple LRU over ready entries —
+//! in-flight computations are never evicted.
+
+use crate::hash::sha256_hex;
+use crate::proto::Endpoint;
+use resmodel::pipeline::{Pipeline, PipelineSpec, PredictSpec};
+use resmodel::sweep::SweepSpec;
+use resmodel::ResmodelError;
+use resmodel_obs::{zero_wall_clock, Collector};
+use serde::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// What a cache lookup produced.
+#[derive(Debug, Clone)]
+pub struct CacheOutcome {
+    /// The wall-clock-zeroed result tree (shared, never mutated).
+    pub body: Arc<Value>,
+    /// `true` when the body was served without computing.
+    pub hit: bool,
+    /// The content address of the request's spec.
+    pub spec_hash: String,
+}
+
+/// Point-in-time cache statistics for the `stats` endpoint. Kept as
+/// plain atomics beside the obs counters so they work even when the
+/// server runs with a disabled [`Collector`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Ready entries currently held.
+    pub entries: usize,
+    /// The LRU capacity bound.
+    pub capacity: usize,
+    /// Lookups served from a ready entry (including waits on an
+    /// in-flight computation of the same key).
+    pub hits: u64,
+    /// Lookups that had to compute.
+    pub misses: u64,
+    /// Ready entries dropped by the LRU bound.
+    pub evictions: u64,
+}
+
+enum EntryState {
+    /// The claiming thread is computing; wait on the condvar.
+    Pending,
+    /// Computed; the body is shared as-is.
+    Ready(Arc<Value>),
+    /// The computation failed; the entry is already unlinked from the
+    /// map, this state only releases the threads that were waiting.
+    Failed(String),
+}
+
+struct Entry {
+    state: Mutex<EntryState>,
+    ready: Condvar,
+    /// LRU clock tick of the last lookup that touched this entry.
+    last_used: AtomicU64,
+}
+
+/// The concurrent content-addressed cache (see the module docs).
+pub struct ModelCache {
+    entries: Mutex<HashMap<String, Arc<Entry>>>,
+    capacity: usize,
+    obs: Collector,
+    clock: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ModelCache {
+    /// A cache bounded to `capacity` ready entries, instrumented
+    /// through `obs` (counters `svc.cache.{hits,misses,evictions}`,
+    /// gauge `svc.cache.entries`, histograms
+    /// `svc.<endpoint>.request_ms`).
+    #[must_use]
+    pub fn new(capacity: usize, obs: &Collector) -> Self {
+        ModelCache {
+            entries: Mutex::new(HashMap::new()),
+            capacity: capacity.max(1),
+            obs: obs.clone(),
+            clock: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Run (or replay) a full pipeline. The body is the zeroed
+    /// [`resmodel::pipeline::PipelineReport`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`] naming the endpoint and content address,
+    /// wrapping the pipeline's own error.
+    pub fn run_pipeline(&self, spec: &PipelineSpec) -> Result<CacheOutcome, ResmodelError> {
+        let hash = self.address(Endpoint::RunPipeline, &spec.canonical_json()?);
+        let spec = spec.clone();
+        let obs = self.obs.clone();
+        self.get_or_compute(Endpoint::RunPipeline, hash, move || {
+            let report = Pipeline::from_spec(spec).observe(&obs).run()?;
+            Ok(serde_json::to_value(&report))
+        })
+    }
+
+    /// Run (or replay) a sweep grid. The body is the zeroed
+    /// [`resmodel::sweep::SweepReport`] tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`] wrapping the sweep's own error.
+    pub fn run_sweep(&self, spec: &SweepSpec) -> Result<CacheOutcome, ResmodelError> {
+        let hash = self.address(Endpoint::RunSweep, &spec.canonical_json()?);
+        let spec = spec.clone();
+        let obs = self.obs.clone();
+        self.get_or_compute(Endpoint::RunSweep, hash, move || {
+            let report = spec.run_collected(resmodel::pipeline::DataPath::Columnar, &obs)?;
+            Ok(serde_json::to_value(&report))
+        })
+    }
+
+    /// Run a pipeline spec's dispatch stage. The body is the zeroed
+    /// `DispatchReport` subtree alone.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`]; a spec without a dispatch stage is
+    /// rejected before computing.
+    pub fn dispatch(&self, spec: &PipelineSpec) -> Result<CacheOutcome, ResmodelError> {
+        if spec.dispatch.is_none() {
+            return Err(ResmodelError::svc(
+                Endpoint::Dispatch.as_str(),
+                None,
+                ResmodelError::config("pipeline spec", "dispatch stage is required"),
+            ));
+        }
+        let hash = self.address(Endpoint::Dispatch, &spec.canonical_json()?);
+        let spec = spec.clone();
+        let obs = self.obs.clone();
+        self.get_or_compute(Endpoint::Dispatch, hash, move || {
+            let report = Pipeline::from_spec(spec).observe(&obs).run()?;
+            let mut tree = serde_json::to_value(&report);
+            match std::mem::take(&mut tree["dispatch"]) {
+                Value::Null => Err(ResmodelError::config(
+                    "pipeline report",
+                    "dispatch stage produced no report",
+                )),
+                subtree => Ok(subtree),
+            }
+        })
+    }
+
+    /// Fit the spec and predict the requested dates: the spec's own
+    /// validate/predict/dispatch stages are replaced, so any pipeline
+    /// with the same source+sanitize+fit shares one derived entry per
+    /// date list. The body is the zeroed prediction subtree alone.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`]; a spec without a fit stage fails inside
+    /// the pipeline (prediction requires a fitted model).
+    pub fn predict(
+        &self,
+        spec: &PipelineSpec,
+        dates: Vec<resmodel_trace::SimDate>,
+    ) -> Result<CacheOutcome, ResmodelError> {
+        let mut derived = spec.clone();
+        derived.validate = None;
+        derived.dispatch = None;
+        derived.predict = Some(PredictSpec { dates });
+        let hash = self.address(Endpoint::Predict, &derived.canonical_json()?);
+        let obs = self.obs.clone();
+        self.get_or_compute(Endpoint::Predict, hash, move || {
+            let report = Pipeline::from_spec(derived).observe(&obs).run()?;
+            let mut tree = serde_json::to_value(&report);
+            match std::mem::take(&mut tree["predictions"]) {
+                Value::Null => Err(ResmodelError::config(
+                    "pipeline report",
+                    "predict stage produced no report",
+                )),
+                subtree => Ok(subtree),
+            }
+        })
+    }
+
+    /// Current statistics.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            entries: self.len(),
+            capacity: self.capacity,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of entries currently held (ready or in flight).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The content address of a canonical spec: the endpoint is part
+    /// of the hashed text, so `run_pipeline` and `dispatch` of the
+    /// same spec never collide.
+    fn address(&self, endpoint: Endpoint, canonical: &str) -> String {
+        sha256_hex(format!("{endpoint}\n{canonical}").as_bytes())
+    }
+
+    /// The once-cell core: claim-or-wait on the entry for `hash`,
+    /// compute at most once, replay forever.
+    fn get_or_compute(
+        &self,
+        endpoint: Endpoint,
+        hash: String,
+        compute: impl FnOnce() -> Result<Value, ResmodelError>,
+    ) -> Result<CacheOutcome, ResmodelError> {
+        let started = Instant::now();
+        let key = format!("{endpoint}/{hash}");
+        let tick = self.clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let (entry, claimed) = {
+            let mut map = self
+                .entries
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match map.get(&key) {
+                Some(entry) => {
+                    entry.last_used.store(tick, Ordering::Relaxed);
+                    (Arc::clone(entry), false)
+                }
+                None => {
+                    let entry = Arc::new(Entry {
+                        state: Mutex::new(EntryState::Pending),
+                        ready: Condvar::new(),
+                        last_used: AtomicU64::new(tick),
+                    });
+                    map.insert(key.clone(), Arc::clone(&entry));
+                    (entry, true)
+                }
+            }
+        };
+
+        let result = if claimed {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("svc.cache.misses", 1);
+            match compute() {
+                Ok(mut body) => {
+                    zero_wall_clock(&mut body);
+                    let body = Arc::new(body);
+                    let mut state = entry
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *state = EntryState::Ready(Arc::clone(&body));
+                    drop(state);
+                    entry.ready.notify_all();
+                    self.enforce_capacity(&key);
+                    Ok(CacheOutcome {
+                        body,
+                        hit: false,
+                        spec_hash: hash.clone(),
+                    })
+                }
+                Err(e) => {
+                    // Unlink first so a retry can claim a fresh entry,
+                    // then release the waiters with the failure text.
+                    self.entries
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner)
+                        .remove(&key);
+                    let mut state = entry
+                        .state
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    *state = EntryState::Failed(e.to_string());
+                    drop(state);
+                    entry.ready.notify_all();
+                    Err(ResmodelError::svc(endpoint.as_str(), Some(hash.clone()), e))
+                }
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("svc.cache.hits", 1);
+            let mut state = entry
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            loop {
+                match &*state {
+                    EntryState::Pending => {
+                        state = entry
+                            .ready
+                            .wait(state)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    EntryState::Ready(body) => {
+                        break Ok(CacheOutcome {
+                            body: Arc::clone(body),
+                            hit: true,
+                            spec_hash: hash.clone(),
+                        })
+                    }
+                    EntryState::Failed(message) => {
+                        break Err(ResmodelError::svc(
+                            endpoint.as_str(),
+                            Some(hash.clone()),
+                            ResmodelError::config("svc cache", message.clone()),
+                        ))
+                    }
+                }
+            }
+        };
+
+        self.obs.record(
+            &format!("svc.{endpoint}.request_ms"),
+            started.elapsed().as_secs_f64() * 1e3,
+        );
+        #[allow(clippy::cast_precision_loss)]
+        let entries = self.len() as f64;
+        self.obs.set_gauge("svc.cache.entries", entries);
+        result
+    }
+
+    /// Drop least-recently-used *ready* entries until within capacity.
+    /// Called with the map unlocked; `keep` (the entry just inserted)
+    /// is never evicted.
+    fn enforce_capacity(&self, keep: &str) {
+        let mut map = self
+            .entries
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while map.len() > self.capacity {
+            let victim = map
+                .iter()
+                .filter(|(k, entry)| {
+                    k.as_str() != keep
+                        && matches!(
+                            *entry
+                                .state
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner),
+                            EntryState::Ready(_)
+                        )
+                })
+                .min_by_key(|(_, entry)| entry.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else { break };
+            map.remove(&victim);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("svc.cache.evictions", 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn cache(capacity: usize) -> ModelCache {
+        ModelCache::new(capacity, &Collector::new())
+    }
+
+    /// Drive the once-cell core directly with a counting compute.
+    fn probe(cache: &ModelCache, hash: &str, calls: &AtomicUsize) -> CacheOutcome {
+        cache
+            .get_or_compute(Endpoint::RunPipeline, hash.to_owned(), || {
+                calls.fetch_add(1, Ordering::Relaxed);
+                Ok(serde_json::json!({
+                    "hash": Value::Str(hash.to_owned()),
+                    "wall_ms": 7.5,
+                }))
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn second_lookup_is_a_hit_with_zeroed_body() {
+        let c = cache(4);
+        let calls = AtomicUsize::new(0);
+        let cold = probe(&c, "aaaa", &calls);
+        let warm = probe(&c, "aaaa", &calls);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+        assert!(!cold.hit);
+        assert!(warm.hit);
+        assert_eq!(cold.spec_hash, "aaaa");
+        // Bodies are the same zeroed tree, shared.
+        assert!(Arc::ptr_eq(&cold.body, &warm.body));
+        assert_eq!(warm.body["wall_ms"], Value::Float(0.0));
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn stampede_computes_once() {
+        let c = Arc::new(cache(4));
+        let calls = Arc::new(AtomicUsize::new(0));
+        let outcomes: Vec<CacheOutcome> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..16)
+                .map(|_| {
+                    let c = Arc::clone(&c);
+                    let calls = Arc::clone(&calls);
+                    s.spawn(move || {
+                        c.get_or_compute(Endpoint::RunPipeline, "same".to_owned(), || {
+                            calls.fetch_add(1, Ordering::Relaxed);
+                            // Widen the race window so waiters really wait.
+                            std::thread::sleep(std::time::Duration::from_millis(30));
+                            Ok(serde_json::json!({"n": 1u32}))
+                        })
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(calls.load(Ordering::Relaxed), 1, "exactly one compute");
+        assert_eq!(outcomes.iter().filter(|o| !o.hit).count(), 1);
+        let first = &outcomes[0].body;
+        assert!(outcomes.iter().all(|o| o.body == *first));
+        let stats = c.stats();
+        assert_eq!((stats.hits, stats.misses), (15, 1));
+    }
+
+    #[test]
+    fn failures_release_waiters_and_are_not_cached() {
+        let c = cache(4);
+        let err = c
+            .get_or_compute(Endpoint::RunPipeline, "bad".to_owned(), || {
+                Err(ResmodelError::config("pipeline spec", "boom"))
+            })
+            .unwrap_err();
+        assert!(matches!(err, ResmodelError::Svc { .. }));
+        assert_eq!(err.exit_code(), 3);
+        assert!(c.is_empty(), "failures are unlinked");
+        // The same key computes again — and can now succeed.
+        let calls = AtomicUsize::new(0);
+        let outcome = probe(&c, "bad", &calls);
+        assert!(!outcome.hit);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_ready_entry() {
+        let c = cache(2);
+        let calls = AtomicUsize::new(0);
+        probe(&c, "a", &calls);
+        probe(&c, "b", &calls);
+        probe(&c, "a", &calls); // refresh "a": now "b" is coldest
+        probe(&c, "c", &calls); // overflow → evict "b"
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
+        let before = calls.load(Ordering::Relaxed);
+        probe(&c, "a", &calls);
+        assert_eq!(calls.load(Ordering::Relaxed), before, "a survived");
+        probe(&c, "b", &calls);
+        assert_eq!(calls.load(Ordering::Relaxed), before + 1, "b was evicted");
+    }
+
+    #[test]
+    fn addresses_separate_endpoints_and_content() {
+        let c = cache(4);
+        let canonical = r#"{"source":{"External":null}}"#;
+        let a = c.address(Endpoint::RunPipeline, canonical);
+        let b = c.address(Endpoint::Dispatch, canonical);
+        let d = c.address(Endpoint::RunPipeline, r#"{"source":null}"#);
+        assert_ne!(a, b, "same spec, different endpoint");
+        assert_ne!(a, d, "same endpoint, different spec");
+        assert_eq!(a.len(), 64);
+        assert_eq!(a, c.address(Endpoint::RunPipeline, canonical));
+    }
+
+    #[test]
+    fn dispatch_requires_the_stage() {
+        let c = cache(4);
+        let spec = PipelineSpec {
+            source: resmodel::pipeline::SourceSpec::Scenario {
+                scenario: resmodel::prelude::Scenario::steady_state(1),
+                max_hosts: 50,
+            },
+            sanitize: None,
+            fit: None,
+            validate: None,
+            predict: None,
+            dispatch: None,
+        };
+        let err = c.dispatch(&spec).unwrap_err();
+        assert!(err.to_string().contains("dispatch stage is required"));
+        assert!(c.is_empty(), "rejected before claiming an entry");
+    }
+}

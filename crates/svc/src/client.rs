@@ -1,0 +1,223 @@
+//! The typed client: one connection per request, blocking I/O.
+//!
+//! Model work can take seconds on a cold cache, so the client simply
+//! blocks on the response frame; connections are not pooled (the
+//! protocol allows pipelining on one connection, the client just
+//! doesn't need it).
+
+use crate::proto::{self, Endpoint, Request, Response, PROTOCOL};
+use resmodel::pipeline::PipelineSpec;
+use resmodel::sweep::SweepSpec;
+use resmodel::ResmodelError;
+use serde::Value;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+#[cfg(unix)]
+use std::path::PathBuf;
+
+/// Where the server lives.
+#[derive(Debug, Clone)]
+enum Target {
+    Tcp(String),
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+/// A successful response, typed.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// Whether the body came from the server's content-addressed
+    /// cache.
+    pub cached: bool,
+    /// The spec's content address, when the endpoint has one.
+    pub spec_hash: Option<String>,
+    /// The result document.
+    pub body: Value,
+}
+
+impl Reply {
+    /// The body as pretty JSON — byte-identical to the corresponding
+    /// report type's `zero_timings()` + `to_json_pretty()` on a local
+    /// run (the cache stores wall-clock-zeroed trees).
+    #[must_use]
+    pub fn body_pretty(&self) -> String {
+        serde_json::to_string_pretty(&self.body).unwrap_or_else(|_| "null".to_owned())
+    }
+}
+
+/// A `resmodel.svc/1` client.
+#[derive(Debug, Clone)]
+pub struct Client {
+    target: Target,
+}
+
+impl Client {
+    /// A client for a TCP server, e.g. `127.0.0.1:7171`.
+    #[must_use]
+    pub fn tcp(addr: impl Into<String>) -> Self {
+        Client {
+            target: Target::Tcp(addr.into()),
+        }
+    }
+
+    /// A client for a Unix-domain-socket server.
+    #[cfg(unix)]
+    #[must_use]
+    pub fn uds(path: impl Into<PathBuf>) -> Self {
+        Client {
+            target: Target::Uds(path.into()),
+        }
+    }
+
+    /// Run (or replay) a full pipeline; the body is the zeroed
+    /// `PipelineReport` tree.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`] on transport failures or an error
+    /// response.
+    pub fn run_pipeline(&self, spec: &PipelineSpec) -> Result<Reply, ResmodelError> {
+        self.request(&Request::with_spec(
+            Endpoint::RunPipeline,
+            serde_json::to_value(spec),
+        ))
+    }
+
+    /// Run (or replay) a sweep grid; the body is the zeroed
+    /// `SweepReport` tree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::run_pipeline`].
+    pub fn run_sweep(&self, spec: &SweepSpec) -> Result<Reply, ResmodelError> {
+        self.request(&Request::with_spec(
+            Endpoint::RunSweep,
+            serde_json::to_value(spec),
+        ))
+    }
+
+    /// Run a pipeline spec's dispatch stage; the body is the
+    /// `DispatchReport` subtree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::run_pipeline`].
+    pub fn dispatch(&self, spec: &PipelineSpec) -> Result<Reply, ResmodelError> {
+        self.request(&Request::with_spec(
+            Endpoint::Dispatch,
+            serde_json::to_value(spec),
+        ))
+    }
+
+    /// Fit the spec and predict the given fractional-year dates; the
+    /// body is the prediction subtree.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::run_pipeline`].
+    pub fn predict(&self, spec: &PipelineSpec, dates: &[f64]) -> Result<Reply, ResmodelError> {
+        let mut request = Request::with_spec(Endpoint::Predict, serde_json::to_value(spec));
+        request.dates = Some(dates.to_vec());
+        self.request(&request)
+    }
+
+    /// Server and cache statistics.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::run_pipeline`].
+    pub fn stats(&self) -> Result<Reply, ResmodelError> {
+        self.request(&Request::bare(Endpoint::Stats))
+    }
+
+    /// Ask the server to stop accepting connections.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Client::run_pipeline`].
+    pub fn shutdown(&self) -> Result<Reply, ResmodelError> {
+        self.request(&Request::bare(Endpoint::Shutdown))
+    }
+
+    /// Send one raw request and wait for its response.
+    ///
+    /// # Errors
+    ///
+    /// [`ResmodelError::Svc`] on connect/frame failures, a closed
+    /// stream, or an `ok: false` response (carrying the server's error
+    /// text and, when present, the spec's content address).
+    pub fn request(&self, request: &Request) -> Result<Reply, ResmodelError> {
+        let endpoint = request.endpoint.clone();
+        let wrap_io = |e: std::io::Error, what: &str| {
+            ResmodelError::svc(endpoint.clone(), None, ResmodelError::io(what, e))
+        };
+        match &self.target {
+            Target::Tcp(addr) => {
+                let stream = TcpStream::connect(addr).map_err(|e| wrap_io(e, addr))?;
+                self.round_trip(stream, request)
+            }
+            #[cfg(unix)]
+            Target::Uds(path) => {
+                let stream = UnixStream::connect(path)
+                    .map_err(|e| wrap_io(e, &path.display().to_string()))?;
+                self.round_trip(stream, request)
+            }
+        }
+    }
+
+    fn round_trip(
+        &self,
+        mut stream: impl Read + Write,
+        request: &Request,
+    ) -> Result<Reply, ResmodelError> {
+        let endpoint = request.endpoint.as_str();
+        proto::send(&mut stream, request)
+            .map_err(|e| ResmodelError::svc(endpoint, None, e.into()))?;
+        let payload = proto::read_frame(&mut stream)
+            .map_err(|e| ResmodelError::svc(endpoint, None, e.into()))?
+            .ok_or_else(|| {
+                ResmodelError::svc(
+                    endpoint,
+                    None,
+                    ResmodelError::config("svc response", "server closed without responding"),
+                )
+            })?;
+        let text = std::str::from_utf8(&payload).map_err(|e| {
+            ResmodelError::svc(
+                endpoint,
+                None,
+                ResmodelError::json("svc response", format!("not UTF-8: {e}")),
+            )
+        })?;
+        let response: Response = serde_json::from_str(text).map_err(|e| {
+            ResmodelError::svc(endpoint, None, ResmodelError::json("svc response", e))
+        })?;
+        if response.proto != PROTOCOL {
+            return Err(ResmodelError::svc(
+                endpoint,
+                None,
+                ResmodelError::config(
+                    "svc response",
+                    format!("unsupported protocol `{}`", response.proto),
+                ),
+            ));
+        }
+        if !response.ok {
+            let message = response
+                .error
+                .unwrap_or_else(|| "unspecified server error".to_owned());
+            return Err(ResmodelError::svc(
+                endpoint,
+                response.spec_hash,
+                ResmodelError::config("svc response", message),
+            ));
+        }
+        Ok(Reply {
+            cached: response.cached.unwrap_or(false),
+            spec_hash: response.spec_hash,
+            body: response.body.unwrap_or(Value::Null),
+        })
+    }
+}

@@ -1,0 +1,84 @@
+//! # resmodel-svc
+//!
+//! `resmodeld`: a concurrent query service over content-addressed
+//! cached models — the serving layer on top of the `resmodel` batch
+//! pipeline.
+//!
+//! The paper fits models once from yearly snapshots precisely so that
+//! downstream consumers can query them cheaply and repeatedly; this
+//! crate turns that economics into a daemon. Expensive artifacts
+//! (fitted pipelines, sweep grids, dispatch and prediction reports)
+//! are computed once, addressed by the SHA-256 of their *canonical*
+//! spec JSON, and replayed byte-exactly forever after — the PR-6
+//! determinism contract (reports byte-identical at any thread count
+//! once wall-clock fields are zeroed) is what makes a cache hit
+//! indistinguishable from a cold run.
+//!
+//! Pieces, bottom-up:
+//!
+//! * [`hash`] — pure-`std` SHA-256 for content addressing.
+//! * [`cache`] — [`ModelCache`]: per-key once-cells (N concurrent
+//!   identical requests → exactly one fit), LRU capacity bounds,
+//!   wall-clock-zeroed bodies.
+//! * [`proto`] — the `resmodel.svc/1` wire protocol: 4-byte
+//!   big-endian length prefix + JSON payload, endpoints
+//!   `run_pipeline` / `run_sweep` / `dispatch` / `predict` / `stats`
+//!   / `shutdown`.
+//! * [`server`] — thread-per-connection acceptor over TCP or
+//!   Unix-domain sockets; model work installs the shared rayon pool
+//!   per request.
+//! * [`client`] — the typed [`Client`] used by `resmodeld --query`,
+//!   the integration tests, and `examples/serve.rs`.
+//!
+//! Everything is `std` + the vendored workspace dependencies — no
+//! tokio, no async: the request mix (few, heavy, cacheable) is served
+//! well by blocking threads, and the scope-based vendored `rayon`
+//! keeps fit/dispatch parallelism inside a request.
+//!
+//! ```
+//! use resmodel_svc::{serve_tcp, Client, ServerConfig};
+//! use resmodel::pipeline::{PipelineSpec, SourceSpec};
+//! use resmodel::prelude::Scenario;
+//! use resmodel_obs::Collector;
+//!
+//! let obs = Collector::new();
+//! let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs)?;
+//! let addr = server.tcp_addr().expect("tcp server has a tcp addr");
+//!
+//! let spec = PipelineSpec {
+//!     source: SourceSpec::Scenario {
+//!         scenario: Scenario::steady_state(7),
+//!         max_hosts: 300,
+//!     },
+//!     sanitize: None,
+//!     fit: None,
+//!     validate: None,
+//!     predict: None,
+//!     dispatch: None,
+//! };
+//! let client = Client::tcp(addr.to_string());
+//! let cold = client.run_pipeline(&spec)?;
+//! let warm = client.run_pipeline(&spec)?;
+//! assert!(!cold.cached && warm.cached);
+//! assert_eq!(cold.body_pretty(), warm.body_pretty());
+//!
+//! client.shutdown()?;
+//! server.join();
+//! # Ok::<(), resmodel::ResmodelError>(())
+//! ```
+
+#![warn(clippy::unwrap_used)]
+
+pub mod cache;
+pub mod client;
+pub mod hash;
+pub mod proto;
+pub mod server;
+
+pub use cache::{CacheOutcome, CacheStats, ModelCache};
+pub use client::{Client, Reply};
+pub use hash::{sha256, sha256_hex};
+pub use proto::{Endpoint, Request, Response, MAX_FRAME_LEN, PROTOCOL};
+#[cfg(unix)]
+pub use server::serve_uds;
+pub use server::{serve_tcp, ServerAddr, ServerConfig, ServerHandle};

@@ -1,0 +1,398 @@
+//! The `resmodel.svc/1` wire protocol: length-prefixed JSON frames.
+//!
+//! A frame is a 4-byte big-endian payload length followed by that many
+//! bytes of UTF-8 JSON. Requests and responses are single frames; a
+//! connection carries any number of request/response pairs in order.
+//! Frames above [`MAX_FRAME_LEN`] are rejected without reading the
+//! payload — and because the stream can no longer be resynchronized
+//! after an oversized announcement, the server answers with an error
+//! frame and closes the connection. A *malformed* payload (bytes that
+//! are not a valid request) is harmless by contrast: the frame
+//! boundary is still intact, so the server answers with an error frame
+//! and keeps the connection open.
+
+use resmodel_error::ResmodelError;
+use serde::{Deserialize, Serialize, Value};
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Protocol identifier carried in every request and response.
+pub const PROTOCOL: &str = "resmodel.svc/1";
+
+/// Hard ceiling on a frame's payload length. Generous (a 12k-host
+/// pipeline report is under 20 KiB) while still rejecting a garbage
+/// length prefix before it turns into a giant allocation.
+pub const MAX_FRAME_LEN: u32 = 32 * 1024 * 1024;
+
+/// The service's endpoints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Endpoint {
+    /// Run (or replay) a full [`resmodel::pipeline::PipelineSpec`].
+    RunPipeline,
+    /// Run (or replay) a [`resmodel::sweep::SweepSpec`] grid.
+    RunSweep,
+    /// Run a pipeline spec's dispatch stage; the body is the
+    /// `DispatchReport` subtree alone.
+    Dispatch,
+    /// Run a pipeline spec's fit and predict the requested dates; the
+    /// body is the prediction subtree alone.
+    Predict,
+    /// Server and cache statistics (never cached; carries wall-clock).
+    Stats,
+    /// Acknowledge, then stop accepting connections.
+    Shutdown,
+}
+
+impl Endpoint {
+    /// Every endpoint, in protocol order.
+    pub const ALL: [Endpoint; 6] = [
+        Endpoint::RunPipeline,
+        Endpoint::RunSweep,
+        Endpoint::Dispatch,
+        Endpoint::Predict,
+        Endpoint::Stats,
+        Endpoint::Shutdown,
+    ];
+
+    /// The wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Endpoint::RunPipeline => "run_pipeline",
+            Endpoint::RunSweep => "run_sweep",
+            Endpoint::Dispatch => "dispatch",
+            Endpoint::Predict => "predict",
+            Endpoint::Stats => "stats",
+            Endpoint::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parse a wire name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Self> {
+        Endpoint::ALL.into_iter().find(|e| e.as_str() == name)
+    }
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One request frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Request {
+    /// Must equal [`PROTOCOL`].
+    pub proto: String,
+    /// Wire name of the endpoint (see [`Endpoint::parse`]).
+    pub endpoint: String,
+    /// The spec document (pipeline/sweep), verbatim JSON; required by
+    /// every endpoint except `stats` and `shutdown`.
+    pub spec: Option<Value>,
+    /// Fractional-year prediction dates; `predict` only.
+    pub dates: Option<Vec<f64>>,
+}
+
+impl Request {
+    /// A request with no spec attached (`stats`, `shutdown`).
+    #[must_use]
+    pub fn bare(endpoint: Endpoint) -> Self {
+        Request {
+            proto: PROTOCOL.to_owned(),
+            endpoint: endpoint.as_str().to_owned(),
+            spec: None,
+            dates: None,
+        }
+    }
+
+    /// A request carrying a spec document.
+    #[must_use]
+    pub fn with_spec(endpoint: Endpoint, spec: Value) -> Self {
+        Request {
+            spec: Some(spec),
+            ..Request::bare(endpoint)
+        }
+    }
+}
+
+/// One response frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Response {
+    /// Always [`PROTOCOL`].
+    pub proto: String,
+    /// Echo of the request's endpoint (`"?"` when it never parsed).
+    pub endpoint: String,
+    /// Whether the request succeeded; `false` means `error` is set and
+    /// `body` is absent.
+    pub ok: bool,
+    /// Whether the body was served from the content-addressed cache;
+    /// absent on endpoints that never cache (`stats`, `shutdown`) and
+    /// on errors.
+    pub cached: Option<bool>,
+    /// Content address (SHA-256 of the canonical spec JSON); absent
+    /// when the request failed before hashing.
+    pub spec_hash: Option<String>,
+    /// The result document; absent on errors.
+    pub body: Option<Value>,
+    /// Human-readable failure; absent on success.
+    pub error: Option<String>,
+}
+
+impl Response {
+    /// A success response.
+    #[must_use]
+    pub fn success(
+        endpoint: &str,
+        cached: Option<bool>,
+        spec_hash: Option<String>,
+        body: Value,
+    ) -> Self {
+        Response {
+            proto: PROTOCOL.to_owned(),
+            endpoint: endpoint.to_owned(),
+            ok: true,
+            cached,
+            spec_hash,
+            body: Some(body),
+            error: None,
+        }
+    }
+
+    /// An error response.
+    #[must_use]
+    pub fn failure(endpoint: &str, spec_hash: Option<String>, error: impl Into<String>) -> Self {
+        Response {
+            proto: PROTOCOL.to_owned(),
+            endpoint: endpoint.to_owned(),
+            ok: false,
+            cached: None,
+            spec_hash,
+            body: None,
+            error: Some(error.into()),
+        }
+    }
+}
+
+/// Why a frame read failed.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The peer closed the stream mid-frame.
+    Truncated,
+    /// The length prefix exceeds [`MAX_FRAME_LEN`]; the payload was
+    /// not read and the stream cannot be resynchronized.
+    Oversized {
+        /// The announced payload length.
+        len: u32,
+        /// The ceiling it exceeded.
+        max: u32,
+    },
+    /// An underlying transport error.
+    Io(io::Error),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Truncated => f.write_str("stream closed mid-frame"),
+            FrameError::Oversized { len, max } => {
+                write!(f, "frame length {len} exceeds the {max}-byte limit")
+            }
+            FrameError::Io(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<FrameError> for ResmodelError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ResmodelError::io("svc frame", io),
+            other => ResmodelError::config("svc frame", other.to_string()),
+        }
+    }
+}
+
+/// Write one frame: length prefix, then the payload.
+///
+/// # Errors
+///
+/// Returns the transport's error; [`FrameError::Oversized`] when the
+/// payload itself exceeds the protocol limit.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> Result<(), FrameError> {
+    let len = u32::try_from(payload.len()).map_err(|_| FrameError::Oversized {
+        len: u32::MAX,
+        max: MAX_FRAME_LEN,
+    })?;
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    w.write_all(&len.to_be_bytes()).map_err(FrameError::Io)?;
+    w.write_all(payload).map_err(FrameError::Io)?;
+    w.flush().map_err(FrameError::Io)
+}
+
+/// Read one frame. `Ok(None)` on a clean end-of-stream (the peer
+/// closed between frames); [`FrameError::Truncated`] when it closed
+/// inside one.
+///
+/// # Errors
+///
+/// [`FrameError`] on truncation, an oversized length prefix, or a
+/// transport error.
+pub fn read_frame(r: &mut impl Read) -> Result<Option<Vec<u8>>, FrameError> {
+    let mut prefix = [0u8; 4];
+    match read_exact_or_eof(r, &mut prefix)? {
+        ReadOutcome::CleanEof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    read_frame_after_prefix(r, prefix).map(Some)
+}
+
+/// Read the rest of a frame whose 4-byte prefix is already in hand —
+/// the server's poll loop reads the first bytes itself so it can watch
+/// the shutdown flag while idle.
+///
+/// # Errors
+///
+/// [`FrameError`] on truncation, an oversized length prefix, or a
+/// transport error. An oversized prefix leaves the payload unread.
+pub fn read_frame_after_prefix(r: &mut impl Read, prefix: [u8; 4]) -> Result<Vec<u8>, FrameError> {
+    let len = u32::from_be_bytes(prefix);
+    if len > MAX_FRAME_LEN {
+        return Err(FrameError::Oversized {
+            len,
+            max: MAX_FRAME_LEN,
+        });
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    Ok(payload)
+}
+
+enum ReadOutcome {
+    CleanEof,
+    Filled,
+}
+
+/// `read_exact` that distinguishes EOF-before-any-bytes (a clean
+/// close) from EOF-mid-buffer (truncation).
+fn read_exact_or_eof(r: &mut impl Read, buf: &mut [u8]) -> Result<ReadOutcome, FrameError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::CleanEof),
+            Ok(0) => return Err(FrameError::Truncated),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(FrameError::Io(e)),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+/// Serialize and send one message.
+///
+/// # Errors
+///
+/// [`FrameError`] as for [`write_frame`].
+pub fn send<T: Serialize>(w: &mut impl Write, message: &T) -> Result<(), FrameError> {
+    let text = serde_json::to_string(message)
+        .map_err(|e| FrameError::Io(io::Error::new(io::ErrorKind::InvalidData, e.to_string())))?;
+    write_frame(w, text.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn endpoints_round_trip_their_wire_names() {
+        for e in Endpoint::ALL {
+            assert_eq!(Endpoint::parse(e.as_str()), Some(e));
+        }
+        assert_eq!(Endpoint::parse("no_such"), None);
+    }
+
+    #[test]
+    fn frames_round_trip() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        write_frame(&mut wire, b"").unwrap();
+        let mut r = wire.as_slice();
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_are_detected() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, b"hello").unwrap();
+        // Cut inside the payload.
+        let mut r = &wire[..6];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+        // Cut inside the length prefix.
+        let mut r = &wire[..2];
+        assert!(matches!(read_frame(&mut r), Err(FrameError::Truncated)));
+    }
+
+    #[test]
+    fn oversized_prefixes_are_rejected_without_reading() {
+        let mut wire = Vec::from(u32::MAX.to_be_bytes());
+        wire.extend_from_slice(b"junk");
+        let mut r = wire.as_slice();
+        match read_frame(&mut r) {
+            Err(FrameError::Oversized { len, max }) => {
+                assert_eq!(len, u32::MAX);
+                assert_eq!(max, MAX_FRAME_LEN);
+            }
+            other => panic!("expected oversized, got {other:?}"),
+        }
+        // The payload bytes were not consumed.
+        assert_eq!(r, b"junk");
+    }
+
+    #[test]
+    fn oversized_writes_are_rejected() {
+        // Claiming the length is enough — don't allocate 32 MiB in a
+        // unit test; write_frame checks the payload length first.
+        let payload = vec![0u8; MAX_FRAME_LEN as usize + 1];
+        let mut sink = Vec::new();
+        assert!(matches!(
+            write_frame(&mut sink, &payload),
+            Err(FrameError::Oversized { .. })
+        ));
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn messages_round_trip_as_frames() {
+        let req = Request::with_spec(Endpoint::RunPipeline, serde_json::json!({"k": 1u32}));
+        let mut wire = Vec::new();
+        send(&mut wire, &req).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        let back: Request = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.proto, PROTOCOL);
+
+        let resp = Response::failure("predict", None, "fit stage is required");
+        let mut wire = Vec::new();
+        send(&mut wire, &resp).unwrap();
+        let payload = read_frame(&mut wire.as_slice()).unwrap().unwrap();
+        let back: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        assert_eq!(back, resp);
+        assert!(!back.ok);
+    }
+}

@@ -1,0 +1,619 @@
+//! The thread-per-connection server.
+//!
+//! A nonblocking acceptor polls for connections (checking the shutdown
+//! flag between polls) and hands each accepted stream to its own
+//! handler thread. Handlers loop over request/response frames; the
+//! model work inside a request runs on the shared data-parallel pool —
+//! the vendored `rayon` is scope-based, so an optional `--threads`
+//! override is installed per request thread and concurrent requests
+//! never contend for pool ownership. One [`ModelCache`] is shared by
+//! every connection, which is what turns N concurrent identical
+//! requests into one fit (see [`crate::cache`]).
+//!
+//! Per-request instrumentation: counters `svc.requests` /
+//! `svc.requests.<endpoint>` / `svc.requests.errors`, gauge
+//! `svc.inflight`, and (for the endpoints the cache doesn't time
+//! itself) `svc.<endpoint>.request_ms` histograms.
+
+use crate::cache::ModelCache;
+use crate::proto::{self, Endpoint, FrameError, Request, Response, PROTOCOL};
+use rayon::ThreadPoolBuilder;
+use resmodel::pipeline::PipelineSpec;
+use resmodel::sweep::SweepSpec;
+use resmodel::ResmodelError;
+use resmodel_obs::Collector;
+use resmodel_trace::SimDate;
+use serde::Value;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+#[cfg(unix)]
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// How often idle loops (the acceptor, handlers waiting for a frame)
+/// re-check the shutdown flag.
+const POLL: Duration = Duration::from_millis(25);
+
+/// How long a frame may take to arrive *after* its first byte. A
+/// mid-frame stall past this closes the connection (the stream cannot
+/// be resynchronized anyway).
+const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// LRU capacity of the model cache, in entries.
+    pub capacity: usize,
+    /// Data-parallel threads installed for each request's model work;
+    /// `None` uses the machine's available parallelism.
+    pub threads: Option<usize>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            capacity: 64,
+            threads: None,
+        }
+    }
+}
+
+/// State shared by the acceptor and every handler thread.
+struct Shared {
+    cache: ModelCache,
+    obs: Collector,
+    threads: Option<usize>,
+    shutdown: AtomicBool,
+    inflight: AtomicI64,
+}
+
+/// Where a running server is listening.
+#[derive(Debug, Clone)]
+pub enum ServerAddr {
+    /// A TCP socket address (the *resolved* one — bind to port 0 and
+    /// read the ephemeral port back from here).
+    Tcp(SocketAddr),
+    /// A Unix-domain socket path.
+    #[cfg(unix)]
+    Uds(PathBuf),
+}
+
+impl std::fmt::Display for ServerAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServerAddr::Tcp(a) => write!(f, "tcp://{a}"),
+            #[cfg(unix)]
+            ServerAddr::Uds(p) => write!(f, "unix://{}", p.display()),
+        }
+    }
+}
+
+/// A running server: the acceptor thread plus its shared state.
+/// Dropping the handle signals shutdown but does not wait; call
+/// [`ServerHandle::join`] for an orderly stop.
+pub struct ServerHandle {
+    addr: ServerAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Where the server is listening.
+    #[must_use]
+    pub fn addr(&self) -> &ServerAddr {
+        &self.addr
+    }
+
+    /// The resolved TCP address, when serving TCP.
+    #[must_use]
+    pub fn tcp_addr(&self) -> Option<SocketAddr> {
+        match self.addr {
+            ServerAddr::Tcp(a) => Some(a),
+            #[cfg(unix)]
+            ServerAddr::Uds(_) => None,
+        }
+    }
+
+    /// Signal shutdown without waiting. The acceptor notices within
+    /// one poll interval; idle handlers within another.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Signal shutdown and wait for the acceptor (and through it,
+    /// every handler) to finish. Removes the socket file when serving
+    /// a Unix-domain socket.
+    pub fn join(self) {
+        self.shutdown();
+        self.wait();
+    }
+
+    /// Block until the server stops on its own — a `shutdown` request
+    /// over the wire, or [`ServerHandle::shutdown`] from another thread
+    /// — then clean up. This is what `resmodeld` serve mode parks on.
+    pub fn wait(mut self) {
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        #[cfg(unix)]
+        if let ServerAddr::Uds(path) = &self.addr {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serve `resmodel.svc/1` on a TCP address (e.g. `127.0.0.1:0` for an
+/// ephemeral test port). Returns once the socket is bound; the
+/// acceptor runs on its own thread.
+///
+/// # Errors
+///
+/// [`ResmodelError::Svc`] (`bind` endpoint) when the address cannot be
+/// bound.
+pub fn serve_tcp(
+    addr: &str,
+    config: ServerConfig,
+    obs: &Collector,
+) -> Result<ServerHandle, ResmodelError> {
+    let listener = TcpListener::bind(addr)
+        .and_then(|l| l.local_addr().map(|a| (l, a)))
+        .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(addr, e)))?;
+    let (listener, local) = listener;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(addr, e)))?;
+    let shared = shared_state(config, obs);
+    let acceptor = spawn_acceptor(Arc::clone(&shared), move |shared| loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break None;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => break Some(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    });
+    Ok(ServerHandle {
+        addr: ServerAddr::Tcp(local),
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Serve `resmodel.svc/1` on a Unix-domain socket path. The path must
+/// not already exist; [`ServerHandle::join`] removes it.
+///
+/// # Errors
+///
+/// [`ResmodelError::Svc`] (`bind` endpoint) when the socket cannot be
+/// bound.
+#[cfg(unix)]
+pub fn serve_uds(
+    path: impl AsRef<Path>,
+    config: ServerConfig,
+    obs: &Collector,
+) -> Result<ServerHandle, ResmodelError> {
+    let path = path.as_ref().to_path_buf();
+    let display = path.display().to_string();
+    let listener = UnixListener::bind(&path)
+        .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(display.clone(), e)))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(display, e)))?;
+    let shared = shared_state(config, obs);
+    let acceptor = spawn_acceptor(Arc::clone(&shared), move |shared| loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break None;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => break Some(stream),
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+            Err(_) => std::thread::sleep(POLL),
+        }
+    });
+    Ok(ServerHandle {
+        addr: ServerAddr::Uds(path),
+        shared,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn shared_state(config: ServerConfig, obs: &Collector) -> Arc<Shared> {
+    Arc::new(Shared {
+        cache: ModelCache::new(config.capacity, obs),
+        obs: obs.clone(),
+        threads: config.threads,
+        shutdown: AtomicBool::new(false),
+        inflight: AtomicI64::new(0),
+    })
+}
+
+/// Spawn the acceptor thread: `next` blocks (politely, polling the
+/// shutdown flag) until the next connection, returning `None` to stop.
+fn spawn_acceptor<S>(
+    shared: Arc<Shared>,
+    next: impl FnMut(&Shared) -> Option<S> + Send + 'static,
+) -> JoinHandle<()>
+where
+    S: Conn + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let mut next = next;
+        let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+        while let Some(stream) = next(&shared) {
+            let shared = Arc::clone(&shared);
+            handlers.push(std::thread::spawn(move || {
+                handle_connection(stream, &shared);
+            }));
+            handlers.retain(|h| !h.is_finished());
+        }
+        for handler in handlers {
+            let _ = handler.join();
+        }
+    })
+}
+
+/// The transport operations a handler needs beyond `Read + Write`.
+/// Implemented for TCP and Unix-domain streams.
+trait Conn: Read + Write {
+    /// Undo the non-blocking mode inherited from the acceptor's
+    /// listener.
+    fn set_blocking(&self) -> io::Result<()>;
+    /// Bound how long a single `read` may wait.
+    fn set_read_deadline(&self, d: Duration) -> io::Result<()>;
+}
+
+impl Conn for TcpStream {
+    fn set_blocking(&self) -> io::Result<()> {
+        self.set_nonblocking(false)
+    }
+    fn set_read_deadline(&self, d: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(d))
+    }
+}
+
+#[cfg(unix)]
+impl Conn for UnixStream {
+    fn set_blocking(&self) -> io::Result<()> {
+        self.set_nonblocking(false)
+    }
+    fn set_read_deadline(&self, d: Duration) -> io::Result<()> {
+        self.set_read_timeout(Some(d))
+    }
+}
+
+/// One connection's request/response loop.
+fn handle_connection<S: Conn>(mut stream: S, shared: &Shared) {
+    if stream.set_blocking().is_err() || stream.set_read_deadline(POLL).is_err() {
+        return;
+    }
+    loop {
+        // Wait for the next frame's first byte, watching the shutdown
+        // flag while idle. Zero data is consumed until a byte arrives,
+        // so polling cannot desynchronize the stream.
+        let first = match poll_first_byte(&mut stream, shared) {
+            Some(b) => b,
+            None => return,
+        };
+        // A frame has started: read the rest under the frame deadline.
+        if stream.set_read_deadline(FRAME_TIMEOUT).is_err() {
+            return;
+        }
+        let frame = read_started_frame(&mut stream, first);
+        let payload = match frame {
+            Ok(payload) => payload,
+            Err(FrameError::Oversized { len, max }) => {
+                // The announced length was never read, so the stream
+                // cannot be resynchronized: answer, then close.
+                let resp = Response::failure(
+                    "?",
+                    None,
+                    format!("frame length {len} exceeds the {max}-byte limit"),
+                );
+                shared.obs.add("svc.requests.errors", 1);
+                let _ = proto::send(&mut stream, &resp);
+                return;
+            }
+            Err(_) => return,
+        };
+        let (response, shutdown) = match parse_request(&payload) {
+            Ok(request) => handle_request(shared, &request),
+            Err(message) => {
+                // The frame boundary held, so the connection survives
+                // a malformed payload.
+                shared.obs.add("svc.requests.errors", 1);
+                (Response::failure("?", None, message), false)
+            }
+        };
+        if proto::send(&mut stream, &response).is_err() {
+            return;
+        }
+        if shutdown {
+            shared.shutdown.store(true, Ordering::Release);
+            return;
+        }
+        if stream.set_read_deadline(POLL).is_err() {
+            return;
+        }
+    }
+}
+
+/// Read one byte, looping on timeouts while the shutdown flag is
+/// clear. `None` on clean EOF, shutdown, or a transport error.
+fn poll_first_byte<S: Conn>(stream: &mut S, shared: &Shared) -> Option<u8> {
+    let mut byte = [0u8; 1];
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            return None;
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => return None,
+            Ok(_) => return Some(byte[0]),
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Read the remainder of a frame whose first prefix byte is in hand.
+fn read_started_frame<S: Conn>(stream: &mut S, first: u8) -> Result<Vec<u8>, FrameError> {
+    let mut prefix = [first, 0, 0, 0];
+    stream.read_exact(&mut prefix[1..]).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            FrameError::Truncated
+        } else {
+            FrameError::Io(e)
+        }
+    })?;
+    proto::read_frame_after_prefix(stream, prefix)
+}
+
+fn parse_request(payload: &[u8]) -> Result<Request, String> {
+    let text = std::str::from_utf8(payload).map_err(|e| format!("request is not UTF-8: {e}"))?;
+    serde_json::from_str(text).map_err(|e| format!("request does not parse: {e}"))
+}
+
+/// Route one request. The returned flag requests server shutdown
+/// *after* the response is written.
+fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
+    shared.obs.add("svc.requests", 1);
+    let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+    #[allow(clippy::cast_precision_loss)]
+    shared.obs.set_gauge("svc.inflight", inflight as f64);
+    let result = route(shared, request);
+    let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+    #[allow(clippy::cast_precision_loss)]
+    shared.obs.set_gauge("svc.inflight", inflight as f64);
+    if !result.0.ok {
+        shared.obs.add("svc.requests.errors", 1);
+    }
+    result
+}
+
+fn route(shared: &Shared, request: &Request) -> (Response, bool) {
+    let name = request.endpoint.as_str();
+    if request.proto != PROTOCOL {
+        return (
+            Response::failure(
+                name,
+                None,
+                format!(
+                    "unsupported protocol `{}`, this is {PROTOCOL}",
+                    request.proto
+                ),
+            ),
+            false,
+        );
+    }
+    let Some(endpoint) = Endpoint::parse(name) else {
+        return (
+            Response::failure(name, None, format!("unknown endpoint `{name}`")),
+            false,
+        );
+    };
+    shared.obs.add(&format!("svc.requests.{endpoint}"), 1);
+    match endpoint {
+        Endpoint::RunPipeline => (
+            cached_reply(shared, endpoint, request, |shared, spec| {
+                shared.cache.run_pipeline(&spec)
+            }),
+            false,
+        ),
+        Endpoint::Dispatch => (
+            cached_reply(shared, endpoint, request, |shared, spec| {
+                shared.cache.dispatch(&spec)
+            }),
+            false,
+        ),
+        Endpoint::Predict => {
+            let dates: Vec<SimDate> = request
+                .dates
+                .clone()
+                .unwrap_or_default()
+                .into_iter()
+                .map(SimDate::from_year)
+                .collect();
+            if dates.is_empty() {
+                return (
+                    Response::failure(
+                        endpoint.as_str(),
+                        None,
+                        "predict requires a non-empty `dates` list of fractional years",
+                    ),
+                    false,
+                );
+            }
+            (
+                cached_reply(shared, endpoint, request, move |shared, spec| {
+                    shared.cache.predict(&spec, dates)
+                }),
+                false,
+            )
+        }
+        Endpoint::RunSweep => {
+            let reply = match typed_spec::<SweepSpec>(endpoint, request) {
+                Ok(spec) => reply_from(
+                    endpoint,
+                    with_pool(shared, || shared.cache.run_sweep(&spec)),
+                ),
+                Err(resp) => resp,
+            };
+            (reply, false)
+        }
+        Endpoint::Stats => {
+            let started = Instant::now();
+            let body = stats_body(shared);
+            shared.obs.record(
+                "svc.stats.request_ms",
+                started.elapsed().as_secs_f64() * 1e3,
+            );
+            (
+                Response::success(endpoint.as_str(), None, None, body),
+                false,
+            )
+        }
+        Endpoint::Shutdown => (
+            Response::success(endpoint.as_str(), None, None, Value::Null),
+            true,
+        ),
+    }
+}
+
+/// Parse the request's spec as a pipeline spec and answer from the
+/// cache.
+fn cached_reply(
+    shared: &Shared,
+    endpoint: Endpoint,
+    request: &Request,
+    run: impl FnOnce(&Shared, PipelineSpec) -> Result<crate::cache::CacheOutcome, ResmodelError>,
+) -> Response {
+    match typed_spec::<PipelineSpec>(endpoint, request) {
+        Ok(spec) => reply_from(endpoint, with_pool(shared, || run(shared, spec))),
+        Err(resp) => resp,
+    }
+}
+
+/// Deserialize the request's `spec` document, or produce the error
+/// response explaining why not.
+///
+/// The `Err` variant is the full wire `Response` by design: it is
+/// written to the socket immediately, never propagated.
+#[allow(clippy::result_large_err)]
+fn typed_spec<T: serde::Deserialize>(endpoint: Endpoint, request: &Request) -> Result<T, Response> {
+    let Some(spec) = &request.spec else {
+        return Err(Response::failure(
+            endpoint.as_str(),
+            None,
+            format!("{endpoint} requires a `spec` document"),
+        ));
+    };
+    serde_json::from_value(spec).map_err(|e| {
+        Response::failure(
+            endpoint.as_str(),
+            None,
+            format!("{endpoint} spec does not parse: {e}"),
+        )
+    })
+}
+
+fn reply_from(
+    endpoint: Endpoint,
+    outcome: Result<crate::cache::CacheOutcome, ResmodelError>,
+) -> Response {
+    match outcome {
+        Ok(outcome) => Response::success(
+            endpoint.as_str(),
+            Some(outcome.hit),
+            Some(outcome.spec_hash),
+            (*outcome.body).clone(),
+        ),
+        Err(e) => {
+            let spec_hash = match &e {
+                ResmodelError::Svc { spec_hash, .. } => spec_hash.clone(),
+                _ => None,
+            };
+            Response::failure(endpoint.as_str(), spec_hash, e.to_string())
+        }
+    }
+}
+
+/// Install the configured thread override (scope-based in the vendored
+/// rayon: per calling thread, for the duration of `f`).
+fn with_pool<R>(shared: &Shared, f: impl FnOnce() -> R) -> R {
+    match shared
+        .threads
+        .and_then(|n| ThreadPoolBuilder::new().num_threads(n).build().ok())
+    {
+        Some(pool) => pool.install(f),
+        None => f(),
+    }
+}
+
+/// The `stats` endpoint body: cache figures, in-flight gauge, and the
+/// full metrics snapshot. Wall-clock by nature — never cached, never
+/// part of a deterministic report.
+fn stats_body(shared: &Shared) -> Value {
+    let cache = shared.cache.stats();
+    Value::Map(vec![
+        ("proto".to_owned(), Value::Str(PROTOCOL.to_owned())),
+        (
+            "cache".to_owned(),
+            Value::Map(vec![
+                ("entries".to_owned(), Value::UInt(cache.entries as u64)),
+                ("capacity".to_owned(), Value::UInt(cache.capacity as u64)),
+                ("hits".to_owned(), Value::UInt(cache.hits)),
+                ("misses".to_owned(), Value::UInt(cache.misses)),
+                ("evictions".to_owned(), Value::UInt(cache.evictions)),
+            ]),
+        ),
+        (
+            "inflight".to_owned(),
+            Value::Int(shared.inflight.load(Ordering::Relaxed)),
+        ),
+        (
+            "metrics".to_owned(),
+            serde_json::to_value(&shared.obs.snapshot()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    #[test]
+    fn config_defaults_are_sane() {
+        let c = ServerConfig::default();
+        assert!(c.capacity > 0);
+        assert!(c.threads.is_none());
+    }
+
+    #[test]
+    fn addr_displays_scheme() {
+        let a = ServerAddr::Tcp("127.0.0.1:8080".parse().unwrap());
+        assert_eq!(a.to_string(), "tcp://127.0.0.1:8080");
+        #[cfg(unix)]
+        {
+            let u = ServerAddr::Uds(PathBuf::from("/tmp/resmodel.sock"));
+            assert_eq!(u.to_string(), "unix:///tmp/resmodel.sock");
+        }
+    }
+}

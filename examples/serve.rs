@@ -1,0 +1,85 @@
+//! Serving: start an in-process `resmodel.svc/1` server, round-trip a
+//! pipeline query through the typed client, and watch the
+//! content-addressed cache turn the second query into a byte-exact
+//! replay.
+//!
+//! Run with: `cargo run --example serve`
+//!
+//! The same protocol is served out-of-process by the `resmodeld`
+//! binary (`resmodeld --uds /tmp/resmodel.sock`, then
+//! `resmodeld --query run_pipeline --uds /tmp/resmodel.sock --spec spec.json`).
+
+use resmodel::core::fit::FitConfig;
+use resmodel::obs::Collector;
+use resmodel::pipeline::Pipeline;
+use resmodel::popsim::Scenario;
+use resmodel::trace::SimDate;
+use resmodel_svc::{serve_tcp, Client, ServerConfig};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("== resmodel serving quickstart ==\n");
+
+    // An observed server on an ephemeral port: the collector picks up
+    // cache hit/miss counters and per-endpoint latency histograms.
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs)?;
+    println!("serving on {}", server.addr());
+
+    // A modeled fleet with a fitted model — the expensive part the
+    // cache exists to amortize.
+    let spec = Pipeline::from_scenario(Scenario::steady_state(20110620))
+        .max_hosts(4_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .predict(vec![SimDate::from_year(2012.0)])
+        .spec()
+        .clone();
+
+    let client = Client::tcp(server.tcp_addr().expect("tcp server").to_string());
+
+    let t0 = Instant::now();
+    let cold = client.run_pipeline(&spec)?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let t1 = Instant::now();
+    let warm = client.run_pipeline(&spec)?;
+    let warm_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+    println!(
+        "\ncold query: {:5.1} ms  (cached: {}, spec {})",
+        cold_ms,
+        cold.cached,
+        cold.spec_hash.as_deref().unwrap_or("-"),
+    );
+    println!(
+        "warm query: {:5.1} ms  (cached: {}, same address)",
+        warm_ms, warm.cached,
+    );
+    assert!(!cold.cached && warm.cached);
+
+    // The replay is byte-identical — the determinism contract over the
+    // wire.
+    let identical = cold.body_pretty() == warm.body_pretty();
+    println!(
+        "bodies byte-identical: {identical} ({} bytes)",
+        cold.body_pretty().len(),
+    );
+    assert!(identical);
+
+    // The stats endpoint exposes the cache and the metrics snapshot.
+    let stats = client.stats()?;
+    let cache = &stats.body["cache"];
+    let figure = |key: &str| cache[key].as_u64().unwrap_or(0);
+    println!(
+        "\ncache: {} hits, {} misses, {} of {} entries",
+        figure("hits"),
+        figure("misses"),
+        figure("entries"),
+        figure("capacity"),
+    );
+
+    client.shutdown()?;
+    server.wait();
+    println!("server stopped");
+    Ok(())
+}

@@ -21,6 +21,12 @@
 //! | [`pipeline`] | the typed end-to-end API: source → sanitize → fit → validate → predict → dispatch as one serializable [`Pipeline`](pipeline::Pipeline) |
 //! | [`sweep`] | the batch layer: a [`SweepSpec`](sweep::SweepSpec) grid of pipelines (scenarios × fleet sizes × fits × seeds) run in parallel into a typed [`SweepReport`](sweep::SweepReport) and the CI-tracked `BENCH_sweep.json` artifact |
 //!
+//! One workspace crate sits *above* this facade and is therefore not
+//! re-exported: `resmodel-svc` (the `resmodeld` query service) serves
+//! pipelines and sweeps from a content-addressed cache over a
+//! length-prefixed JSON protocol; depend on it directly to embed the
+//! server or its typed client.
+//!
 //! Every fallible API returns [`ResmodelError`], so stages compose
 //! with `?` across crate boundaries.
 //!

@@ -150,6 +150,18 @@ impl PipelineSpec {
     pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
         serde_json::from_str(text).map_err(|e| ResmodelError::json("pipeline spec", e))
     }
+
+    /// The canonical (compact, deterministically ordered) JSON form
+    /// used for content addressing: specs that deserialize to the same
+    /// value render the same bytes here regardless of how the incoming
+    /// JSON was formatted. The query-service cache hashes this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn canonical_json(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string(self).map_err(|e| ResmodelError::json("pipeline spec", e))
+    }
 }
 
 /// Which storage layout the analysis stages extract their columns

@@ -41,7 +41,7 @@ use crate::pipeline::{
 use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
 use resmodel_error::ResmodelError;
-use resmodel_obs::{Collector, MetricsReport};
+use resmodel_obs::{Collector, HistogramSummary, MetricsReport};
 use resmodel_popsim::Scenario;
 use resmodel_sched::{DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
@@ -50,12 +50,18 @@ use resmodel_trace::SimDate;
 use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/4` adds
-/// the observability block — batch `peak_rss_bytes` and the full
-/// [`MetricsReport`] (counters, gauges, histogram summaries with
-/// p50/p90/p99 + sparse bucket vectors, span totals) — plus the
-/// explicit per-job `jobs_per_sec`.
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/4";
+/// Schema identifier written into every [`BenchArtifact`]: `/5` adds
+/// the query-service block ([`SvcSummary`]) — cache hit/miss counters,
+/// hit rate, and per-endpoint request-latency histograms from a
+/// serving probe — so cache effectiveness is tracked per commit
+/// alongside the `/4` observability block.
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/5";
+
+/// The `/4` artifact schema (observability block — `peak_rss_bytes`
+/// plus the full [`MetricsReport`] — and per-job `jobs_per_sec`; no
+/// query-service block). Still accepted by `swept --check` so stored
+/// artifacts keep validating.
+pub const BENCH_SCHEMA_V4: &str = "resmodel.bench_sweep/4";
 
 /// The `/3` artifact schema (per-job dispatch timing and throughput,
 /// no observability block). Still accepted by `swept --check` so
@@ -442,6 +448,16 @@ impl SweepSpec {
     pub fn from_json(text: &str) -> Result<Self, ResmodelError> {
         serde_json::from_str(text).map_err(|e| ResmodelError::json("sweep spec", e))
     }
+
+    /// The canonical (compact, deterministically ordered) JSON form
+    /// used for content addressing by the query-service cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Json`] when serialization fails.
+    pub fn canonical_json(&self) -> Result<String, ResmodelError> {
+        serde_json::to_string(self).map_err(|e| ResmodelError::json("sweep spec", e))
+    }
 }
 
 /// O(n²) but axes are tiny; avoids ordering or hashing requirements.
@@ -777,6 +793,7 @@ impl SweepReport {
             totals: self.totals.clone(),
             peak_rss_bytes: None,
             metrics: None,
+            svc: None,
             jobs: self
                 .jobs
                 .iter()
@@ -799,13 +816,73 @@ impl SweepReport {
 
     /// [`SweepReport::bench_artifact`] with the run's observability
     /// block attached: the [`MetricsReport`] (typically from
-    /// [`SweepSpec::run_observed`]) rides in `metrics`, and its
-    /// peak-RSS probe is lifted to the artifact's `peak_rss_bytes`.
+    /// [`SweepSpec::run_observed`]) rides in `metrics`, its peak-RSS
+    /// probe is lifted to the artifact's `peak_rss_bytes`, and any
+    /// query-service cache metrics it carries are condensed into the
+    /// `/5` [`SvcSummary`] block.
     pub fn bench_artifact_with_metrics(&self, metrics: &MetricsReport) -> BenchArtifact {
         let mut artifact = self.bench_artifact();
         artifact.peak_rss_bytes = metrics.peak_rss_bytes;
         artifact.metrics = Some(metrics.clone());
+        artifact.svc = SvcSummary::from_metrics(metrics);
         artifact
+    }
+}
+
+/// The `/5` query-service block of a [`BenchArtifact`]: the cache
+/// effectiveness figures of a serving probe (cache hit/miss counters,
+/// hit rate, per-endpoint request-latency histograms), condensed from
+/// the run's [`MetricsReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvcSummary {
+    /// Cache lookups observed (`hits + misses`).
+    pub requests: u64,
+    /// Lookups answered from the content-addressed cache.
+    pub hits: u64,
+    /// Lookups that had to compute (exactly one per distinct spec,
+    /// thanks to stampede protection).
+    pub misses: u64,
+    /// `hits / requests`; `0` when nothing was looked up.
+    pub hit_rate: f64,
+    /// Per-endpoint request-latency histograms
+    /// (`svc.<endpoint>.request_ms`), wall-clock by nature — like the
+    /// span totals in the `/4` metrics block, they never enter the
+    /// deterministic fingerprint.
+    pub latency: Vec<HistogramSummary>,
+}
+
+impl SvcSummary {
+    /// Extract the query-service block from a metrics snapshot.
+    /// `None` when the run had no serving probe (no `svc.cache.*`
+    /// counters).
+    #[must_use]
+    pub fn from_metrics(metrics: &MetricsReport) -> Option<Self> {
+        let hits = metrics.counter("svc.cache.hits");
+        let misses = metrics.counter("svc.cache.misses");
+        if hits.is_none() && misses.is_none() {
+            return None;
+        }
+        let hits = hits.unwrap_or(0);
+        let misses = misses.unwrap_or(0);
+        let requests = hits + misses;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if requests == 0 {
+            0.0
+        } else {
+            hits as f64 / requests as f64
+        };
+        Some(SvcSummary {
+            requests,
+            hits,
+            misses,
+            hit_rate,
+            latency: metrics
+                .histograms
+                .iter()
+                .filter(|h| h.name.starts_with("svc.") && h.name.ends_with("request_ms"))
+                .cloned()
+                .collect(),
+        })
     }
 }
 
@@ -829,8 +906,12 @@ pub struct BenchArtifact {
     pub peak_rss_bytes: Option<u64>,
     /// The observability block: counters, gauges, histogram summaries
     /// (p50/p90/p99 + sparse bucket vector) and span totals of the
-    /// producing run (schema `/4`; `None` when parsed from /1–/3).
+    /// producing run (schema `/4`+; `None` when parsed from /1–/3).
     pub metrics: Option<MetricsReport>,
+    /// The query-service block: cache effectiveness of the serving
+    /// probe (schema `/5`; `None` when parsed from /1–/4 or when the
+    /// run had no probe).
+    pub svc: Option<SvcSummary>,
     /// Per-job throughput rows.
     pub jobs: Vec<BenchJobRow>,
 }
@@ -1076,6 +1157,30 @@ mod tests {
         }
         let back = BenchArtifact::from_json(&artifact.to_json_pretty().unwrap()).unwrap();
         assert_eq!(artifact, back);
+        // No serving probe ran, so the /5 svc block stays empty.
+        assert!(artifact.svc.is_none());
+    }
+
+    #[test]
+    fn svc_summary_condenses_cache_metrics() {
+        let obs = Collector::new();
+        obs.add("svc.cache.misses", 1);
+        obs.add("svc.cache.hits", 3);
+        obs.record("svc.run_pipeline.request_ms", 12.0);
+        obs.record("svc.run_pipeline.request_ms", 0.5);
+        obs.record("sched.queue_depth", 4.0);
+        let metrics = obs.snapshot();
+        let svc = SvcSummary::from_metrics(&metrics).expect("probe counters present");
+        assert_eq!(svc.requests, 4);
+        assert_eq!(svc.hits, 3);
+        assert_eq!(svc.misses, 1);
+        assert!((svc.hit_rate - 0.75).abs() < 1e-12);
+        // Only the per-endpoint latency series, not domain histograms.
+        assert_eq!(svc.latency.len(), 1);
+        assert_eq!(svc.latency[0].name, "svc.run_pipeline.request_ms");
+        assert_eq!(svc.latency[0].count, 2);
+        // A run with no probe yields no block.
+        assert!(SvcSummary::from_metrics(&Collector::new().snapshot()).is_none());
     }
 
     /// A dispatch grid small enough for unit tests: one scenario, one

@@ -1,0 +1,225 @@
+//! Integration tests for the `resmodeld` serving layer: the
+//! concurrent-stampede guarantee (N identical in-flight requests →
+//! exactly one fit, every body byte-identical to the committed golden
+//! report) and the wire protocol's failure modes (malformed payloads,
+//! oversized and truncated frames).
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::core::fit::FitConfig;
+use resmodel::obs::Collector;
+use resmodel::pipeline::{Pipeline, PipelineSpec, SourceSpec};
+use resmodel::popsim::Scenario;
+use resmodel::trace::SimDate;
+use resmodel_svc::proto::{self, FrameError};
+use resmodel_svc::{serve_tcp, Client, Endpoint, Request, Response, ServerConfig};
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// The exact spec behind `tests/golden/steady_state_report.json` (see
+/// `tests/golden_pipeline.rs`) — the service must replay that file
+/// byte-for-byte.
+fn golden_spec() -> PipelineSpec {
+    Pipeline::from_scenario(Scenario::steady_state(20110620))
+        .max_hosts(12_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate_seeded(vec![SimDate::from_year(2010.5)], 7)
+        .predict(vec![SimDate::from_year(2012.0), SimDate::from_year(2014.0)])
+        .spec()
+        .clone()
+}
+
+/// A cheap spec for protocol-level tests: no fit, 300 hosts.
+fn tiny_spec() -> PipelineSpec {
+    PipelineSpec {
+        source: SourceSpec::Scenario {
+            scenario: Scenario::steady_state(7),
+            max_hosts: 300,
+        },
+        sanitize: None,
+        fit: None,
+        validate: None,
+        predict: None,
+        dispatch: None,
+    }
+}
+
+#[test]
+fn concurrent_stampede_fits_once_and_replays_the_golden_bytes() {
+    const CLIENTS: usize = 8;
+
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs).unwrap();
+    let addr = server.tcp_addr().unwrap().to_string();
+    let spec = golden_spec();
+
+    let replies: Vec<_> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|_| {
+                let addr = addr.clone();
+                let spec = spec.clone();
+                scope.spawn(move || Client::tcp(addr).run_pipeline(&spec).unwrap())
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    // Exactly one request computed; every other rode the per-key
+    // once-cell. The obs counters are authoritative (the `cached` flag
+    // on the one computing reply is false, but scheduling decides
+    // which).
+    let metrics = obs.snapshot();
+    assert_eq!(
+        metrics.counter("svc.cache.misses"),
+        Some(1),
+        "exactly one miss"
+    );
+    assert_eq!(
+        metrics.counter("svc.cache.hits"),
+        Some((CLIENTS - 1) as u64),
+        "everyone else hits"
+    );
+    assert_eq!(
+        metrics.counter("pipeline.runs"),
+        Some(1),
+        "the expensive fit ran exactly once for {CLIENTS} concurrent requests"
+    );
+    assert_eq!(
+        replies.iter().filter(|r| !r.cached).count(),
+        1,
+        "exactly one reply reports the cold run"
+    );
+
+    // Byte-exact replay: every body equals the committed golden file.
+    let golden = std::fs::read_to_string("tests/golden/steady_state_report.json").unwrap();
+    let hash = replies[0].spec_hash.clone().unwrap();
+    for reply in &replies {
+        assert_eq!(reply.spec_hash.as_deref(), Some(hash.as_str()));
+        assert_eq!(
+            reply.body_pretty(),
+            golden,
+            "cache replay must be byte-identical to the golden report"
+        );
+    }
+
+    server.join();
+}
+
+#[test]
+fn malformed_payloads_answer_an_error_and_keep_the_connection() {
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Garbage bytes inside a well-formed frame: the frame boundary
+    // holds, so the server answers and the connection survives.
+    proto::write_frame(&mut stream, b"this is not json").unwrap();
+    let payload = proto::read_frame(&mut stream).unwrap().unwrap();
+    let response: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(!response.ok);
+    assert_eq!(response.endpoint, "?");
+    assert!(response.error.unwrap().contains("does not parse"));
+
+    // Same connection, now a valid request: still served.
+    proto::send(&mut stream, &Request::bare(Endpoint::Stats)).unwrap();
+    let payload = proto::read_frame(&mut stream).unwrap().unwrap();
+    let response: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(response.ok, "connection survives a malformed payload");
+
+    server.join();
+}
+
+#[test]
+fn oversized_length_prefixes_answer_an_error_and_close() {
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+
+    // Announce a 4 GiB frame. The payload is never read, so the stream
+    // cannot be resynchronized: expect one error frame, then EOF.
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.flush().unwrap();
+    let payload = proto::read_frame(&mut stream).unwrap().unwrap();
+    let response: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(!response.ok);
+    assert!(response.error.unwrap().contains("exceeds"));
+    assert!(
+        proto::read_frame(&mut stream).unwrap().is_none(),
+        "server closes after an oversized announcement"
+    );
+
+    // The server itself is unharmed: a fresh connection is served.
+    let client = Client::tcp(addr.to_string());
+    assert!(client.stats().is_ok());
+
+    server.join();
+}
+
+#[test]
+fn truncated_frames_close_without_a_response() {
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        // Claim 100 payload bytes, deliver 5, close the write half.
+        stream.write_all(&100u32.to_be_bytes()).unwrap();
+        stream.write_all(b"stub!").unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        match proto::read_frame(&mut stream) {
+            Ok(None) => {}
+            Err(FrameError::Truncated | FrameError::Io(_)) => {}
+            other => panic!("expected a silent close, got {other:?}"),
+        }
+    }
+
+    // Later connections are unaffected.
+    let client = Client::tcp(addr.to_string());
+    let reply = client.run_pipeline(&tiny_spec()).unwrap();
+    assert!(!reply.cached);
+
+    server.join();
+}
+
+#[cfg(unix)]
+#[test]
+fn uds_round_trip_hits_the_cache_on_the_second_query() {
+    let path = std::env::temp_dir().join(format!("resmodel_svc_test_{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    let obs = Collector::new();
+    let server = resmodel_svc::serve_uds(&path, ServerConfig::default(), &obs).unwrap();
+    let client = Client::uds(&path);
+
+    let cold = client.run_pipeline(&tiny_spec()).unwrap();
+    let warm = client.run_pipeline(&tiny_spec()).unwrap();
+    assert!(!cold.cached && warm.cached);
+    assert_eq!(cold.body_pretty(), warm.body_pretty());
+    assert_eq!(cold.spec_hash, warm.spec_hash);
+
+    // The stats body carries the cache figures the CI smoke greps for.
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.body["cache"]["hits"].as_u64(), Some(1));
+    assert_eq!(stats.body["cache"]["misses"].as_u64(), Some(1));
+
+    // An orderly wire shutdown removes the socket file.
+    client.shutdown().unwrap();
+    server.wait();
+    assert!(!path.exists(), "join removes the socket file");
+}
