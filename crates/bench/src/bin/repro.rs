@@ -38,6 +38,7 @@ const USAGE: Usage = Usage {
     summary: "regenerate the paper's tables and figures from one pipeline run",
     usage: &[
         "repro [--scale S] [--seed N] [--report-json FILE] <experiment>...",
+        "repro [--trace-out FILE] [--trace-in FILE] [--zero-timings] <experiment>...",
         "repro all",
     ],
     flags: &[
@@ -52,6 +53,18 @@ const USAGE: Usage = Usage {
         FlagHelp {
             flag: "--report-json FILE",
             help: "write the full pipeline report as JSON (`-` for stdout)",
+        },
+        FlagHelp {
+            flag: "--trace-out FILE",
+            help: "persist the sanitized measurement trace as a resmodel.trace/1 file",
+        },
+        FlagHelp {
+            flag: "--trace-in FILE",
+            help: "analyze a saved resmodel.trace/1 file (mapped) instead of simulating",
+        },
+        FlagHelp {
+            flag: "--zero-timings",
+            help: "zero wall-clock fields in --report-json output (byte-stable reports)",
         },
         FlagHelp {
             flag: "--quiet",
@@ -76,6 +89,9 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut scale = resmodel_bench::DEFAULT_SCALE;
     let mut seed = resmodel_bench::DEFAULT_SEED;
     let mut report_json: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut trace_in: Option<String> = None;
+    let mut zero_timings = false;
     let mut verbosity = Verbosity::default();
     let mut wanted: Vec<String> = Vec::new();
     while let Some(token) = args.next_token() {
@@ -83,6 +99,9 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             "--scale" => scale = args.parse("--scale", "a number")?,
             "--seed" => seed = args.parse("--seed", "an integer")?,
             "--report-json" => report_json = Some(args.value("--report-json")?),
+            "--trace-out" => trace_out = Some(args.value("--trace-out")?),
+            "--trace-in" => trace_in = Some(args.value("--trace-in")?),
+            "--zero-timings" => zero_timings = true,
             "--quiet" => verbosity = Verbosity::Quiet,
             "--verbose" => verbosity = Verbosity::Verbose,
             "--help" | "-h" => cli::help_exit(&USAGE),
@@ -118,10 +137,20 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     } else {
         resmodel::obs::Collector::disabled()
     };
-    let mut pipeline = Pipeline::from_boinc(scale, seed)
-        .sanitize_default()
-        .fit_default()
-        .observe(&obs);
+    // A saved trace is post-sanitization, so the reload path skips the
+    // sanitize stage; everything downstream of it is identical.
+    let mut pipeline = match &trace_in {
+        Some(path) => {
+            log.info(format!("mapping saved trace from {path}..."));
+            Pipeline::from_trace_file(path)?
+        }
+        None => Pipeline::from_boinc(scale, seed).sanitize_default(),
+    }
+    .fit_default()
+    .observe(&obs);
+    if let Some(path) = &trace_out {
+        pipeline = pipeline.save_trace(path);
+    }
     if want("fig12") || want("table8") || report_json.is_some() {
         pipeline =
             pipeline.validate_seeded(vec![SimDate::from_year(2010.0 + 8.0 / 12.0)], seed ^ 0xf12);
@@ -152,8 +181,18 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         }
     }
 
+    if let Some(path) = &trace_out {
+        log.info(format!("trace saved to {path}"));
+    }
+
     if let Some(path) = report_json {
-        write_report(&out.report, &path, &log)?;
+        if zero_timings {
+            let mut zeroed = out.report.clone();
+            zeroed.zero_timings();
+            write_report(&zeroed, &path, &log)?;
+        } else {
+            write_report(&out.report, &path, &log)?;
+        }
     }
 
     if want("sanity") {

@@ -52,6 +52,10 @@ const USAGE: Usage = Usage {
             help: "serve: data-parallel threads per request (default: all cores)",
         },
         FlagHelp {
+            flag: "--cache-dir DIR",
+            help: "serve: spill source traces to DIR as resmodel.trace/1 files",
+        },
+        FlagHelp {
             flag: "--query ENDPOINT",
             help: "one-shot client: run_pipeline|run_sweep|dispatch|predict|stats|shutdown",
         },
@@ -90,6 +94,7 @@ struct Options {
     tcp: Option<String>,
     uds: Option<String>,
     cache: usize,
+    cache_dir: Option<String>,
     threads: Option<usize>,
     query: Option<String>,
     spec: Option<String>,
@@ -103,6 +108,7 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
         tcp: None,
         uds: None,
         cache: 64,
+        cache_dir: None,
         threads: None,
         query: None,
         spec: None,
@@ -115,6 +121,7 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
             "--tcp" => opt.tcp = Some(args.value("--tcp")?),
             "--uds" => opt.uds = Some(args.value("--uds")?),
             "--cache" => opt.cache = args.parse("--cache", "a positive integer")?,
+            "--cache-dir" => opt.cache_dir = Some(args.value("--cache-dir")?),
             "--threads" => opt.threads = Some(args.parse("--threads", "a positive integer")?),
             "--query" => opt.query = Some(args.value("--query")?),
             "--spec" => opt.spec = Some(args.value("--spec")?),
@@ -151,6 +158,7 @@ fn run_server(opt: &Options, log: &Logger) -> Result<(), ResmodelError> {
     let config = ServerConfig {
         capacity: opt.cache,
         threads: opt.threads,
+        trace_dir: opt.cache_dir.clone().map(std::path::PathBuf::from),
     };
     let obs = Collector::new();
     let handle = match (&opt.tcp, &opt.uds) {

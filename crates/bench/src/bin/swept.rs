@@ -9,14 +9,18 @@
 //! grid on both data paths and asserts the reports are byte-identical.
 //!
 //! Every run records observability metrics out-of-band (the report
-//! bytes are identical with or without them): the emitted `/5`
+//! bytes are identical with or without them): the emitted `/6`
 //! artifact carries the [`resmodel::obs::MetricsReport`] block, the process
-//! peak-RSS, and the query-service block (the sweep's cheapest job is
+//! peak-RSS, the query-service block (the sweep's cheapest job is
 //! replayed twice through a [`resmodel_svc::ModelCache`] so cache
-//! hit/miss figures and request latency ride along per commit);
-//! `--events-out FILE` streams span open/close records as JSONL, and
-//! `--require-rss` turns a missing RSS or throughput figure into a
-//! hard error (for CI on Linux runners).
+//! hit/miss figures and request latency ride along per commit), and
+//! the trace-store block (the same job is persisted to the
+//! `resmodel.trace/1` format and reloaded through the mapped backend,
+//! recording write/load timings, file size and the
+//! reload-vs-regeneration comparison); `--events-out FILE` streams
+//! span open/close records as JSONL, and `--require-rss` turns a
+//! missing RSS or throughput figure into a hard error (for CI on
+//! Linux runners).
 
 #![warn(clippy::unwrap_used)]
 
@@ -209,7 +213,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     }
 
     // Observe every run: the report bytes are identical either way,
-    // and the /5 artifact carries the metrics block and peak-RSS.
+    // and the /6 artifact carries the metrics block and peak-RSS.
     let obs = Collector::new();
     if let Some(path) = &events_out {
         let file = std::fs::File::create(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -231,6 +235,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
         None => spec.run_collected(DataPath::Columnar, &obs)?,
     };
     probe_svc_cache(&spec, &obs, &log)?;
+    let store = probe_trace_store(&spec, &log)?;
     let metrics = obs.snapshot();
     if log.debug_enabled() {
         log.debug(format!(
@@ -246,7 +251,8 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
 
     print_summary(&report);
 
-    let artifact = report.bench_artifact_with_metrics(&metrics);
+    let mut artifact = report.bench_artifact_with_metrics(&metrics);
+    artifact.store = store;
     if require_rss {
         if artifact.peak_rss_bytes.is_none_or(|b| b == 0) {
             return Err(ResmodelError::config(
@@ -302,6 +308,37 @@ fn probe_svc_cache(spec: &SweepSpec, obs: &Collector, log: &Logger) -> Result<()
     Ok(())
 }
 
+/// Feed the `/6` trace-store block: persist the sweep's cheapest job
+/// to the `resmodel.trace/1` format, reload it through the mapped
+/// backend and rerun the analysis, recording write/load timings, file
+/// size and the reload-vs-regeneration comparison
+/// ([`resmodel::sweep::StoreSummary::probe`]).
+fn probe_trace_store(
+    spec: &SweepSpec,
+    log: &Logger,
+) -> Result<Option<resmodel::sweep::StoreSummary>, ResmodelError> {
+    let jobs = spec.expand();
+    let Some(job) = jobs.iter().min_by_key(|j| (j.fleet_size, j.index)) else {
+        return Ok(None);
+    };
+    let path = std::env::temp_dir().join(format!("swept-store-probe-{}.rmt", std::process::id()));
+    let outcome = resmodel::sweep::StoreSummary::probe(&job.spec, &path);
+    let _ = std::fs::remove_file(&path);
+    let store = outcome?;
+    log.debug(format!(
+        "store probe `{}`: {} hosts, {} bytes via {}; write {:.1} ms, load {:.1} ms vs \
+         regenerate {:.1} ms",
+        job.label,
+        store.hosts,
+        store.file_bytes,
+        store.backend,
+        store.write_ms,
+        store.load_ms,
+        store.regenerate_ms,
+    ));
+    Ok(Some(store))
+}
+
 /// Run the grid on both data paths and assert the timing-zeroed
 /// reports are byte-identical — the columnar refactor's correctness
 /// contract, exercised by CI on the `families` preset.
@@ -349,7 +386,7 @@ fn verify_columnar_identity(spec: &SweepSpec, log: &Logger) -> Result<(), Resmod
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     use resmodel::sweep::{
         BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2, BENCH_SCHEMA_V3,
-        BENCH_SCHEMA_V4,
+        BENCH_SCHEMA_V4, BENCH_SCHEMA_V5,
     };
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -357,6 +394,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
         BENCH_SCHEMA_V2,
@@ -365,27 +403,30 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     .contains(&artifact.schema.as_str())
     {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V4}` / \
-             `{BENCH_SCHEMA_V3}` / `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V5}` / \
+             `{BENCH_SCHEMA_V4}` / `{BENCH_SCHEMA_V3}` / `{BENCH_SCHEMA_V2}` / \
+             `{BENCH_SCHEMA_V1}`)",
             artifact.schema
         )));
     }
     // The observability block arrived with /4; older artifacts must
     // not carry one (a /3 file with metrics means the emitter lied
     // about its schema).
-    let carries_obs = artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V4;
+    let carries_obs =
+        [BENCH_SCHEMA, BENCH_SCHEMA_V5, BENCH_SCHEMA_V4].contains(&artifact.schema.as_str());
     if !carries_obs && (artifact.metrics.is_some() || artifact.peak_rss_bytes.is_some()) {
         return Err(invalid(format!(
             "schema `{}` must not carry the /4 observability block",
             artifact.schema
         )));
     }
-    // The query-service block arrived with /5: required there (the
-    // emitter always runs the cache probe) and forbidden earlier.
-    if artifact.schema == BENCH_SCHEMA {
+    // The query-service block arrived with /5: required from there on
+    // (the emitter always runs the cache probe) and forbidden earlier.
+    if artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V5 {
         let Some(svc) = &artifact.svc else {
             return Err(invalid(format!(
-                "schema `{BENCH_SCHEMA}` requires the svc query-service block"
+                "schema `{}` requires the svc query-service block",
+                artifact.schema
             )));
         };
         if svc.requests == 0 {
@@ -406,6 +447,33 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     } else if artifact.svc.is_some() {
         return Err(invalid(format!(
             "schema `{}` must not carry the /5 svc block",
+            artifact.schema
+        )));
+    }
+    // The trace-store block arrived with /6: required there (the
+    // emitter always runs the persistence probe) and forbidden
+    // earlier.
+    if artifact.schema == BENCH_SCHEMA {
+        let Some(store) = &artifact.store else {
+            return Err(invalid(format!(
+                "schema `{BENCH_SCHEMA}` requires the store persistence block"
+            )));
+        };
+        if store.hosts == 0 || store.snapshots == 0 {
+            return Err(invalid("store block reports an empty trace".into()));
+        }
+        if store.file_bytes == 0 {
+            return Err(invalid("store block reports a zero-byte trace file".into()));
+        }
+        if !matches!(store.backend.as_str(), "mmap" | "heap") {
+            return Err(invalid(format!(
+                "store block backend `{}` is neither mmap nor heap",
+                store.backend
+            )));
+        }
+    } else if artifact.store.is_some() {
+        return Err(invalid(format!(
+            "schema `{}` must not carry the /6 store block",
             artifact.schema
         )));
     }
@@ -590,8 +658,8 @@ mod tests {
     /// A synthesized artifact in the exact shape the given schema
     /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
     /// blocks lack `dispatch_ms`, `/3`+ rows carry the dispatch pair,
-    /// `/4` adds the top-level observability block, and `/5` adds the
-    /// query-service block.
+    /// `/4` adds the top-level observability block, `/5` adds the
+    /// query-service block, and `/6` adds the trace-store block.
     fn artifact_json(schema: &str) -> String {
         let timing = if schema.ends_with("/1") || schema.ends_with("/2") {
             r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
@@ -605,7 +673,16 @@ mod tests {
             s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
             _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
         };
-        let svc_block = if schema.ends_with("/5") {
+        let store_block = if schema.ends_with("/6") {
+            r#""store": {
+                 "hosts": 7435, "snapshots": 24112, "file_bytes": 1835072,
+                 "write_ms": 2.1, "regenerate_ms": 25.4, "load_ms": 6.3,
+                 "backend": "mmap"
+               },"#
+        } else {
+            ""
+        };
+        let svc_block = if schema.ends_with("/5") || schema.ends_with("/6") {
             r#""svc": {
                  "requests": 2, "hits": 1, "misses": 1, "hit_rate": 0.5,
                  "latency": [{
@@ -617,7 +694,7 @@ mod tests {
         } else {
             ""
         };
-        let obs_block = if schema.ends_with("/4") || schema.ends_with("/5") {
+        let obs_block = if ["/4", "/5", "/6"].iter().any(|v| schema.ends_with(v)) {
             r#""peak_rss_bytes": 104857600,
                "metrics": {
                  "counters": [["popsim.events", 123], ["sweep.runs", 1]],
@@ -646,6 +723,7 @@ mod tests {
               }},
               {obs_block}
               {svc_block}
+              {store_block}
               "jobs": [{{
                 "label": "steady-state/8000/r1",
                 "scenario": "steady-state",
@@ -679,6 +757,7 @@ mod tests {
             "resmodel.bench_sweep/2",
             "resmodel.bench_sweep/3",
             "resmodel.bench_sweep/4",
+            "resmodel.bench_sweep/5",
         ] {
             let json = artifact_json(schema);
             check_str("ok", &json).unwrap_or_else(|e| panic!("{schema}: {e}"));
@@ -700,7 +779,7 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= 4, "expected the /1–/4 fixtures, saw {checked}");
+        assert!(checked >= 5, "expected the /1–/5 fixtures, saw {checked}");
     }
 
     #[test]
@@ -713,6 +792,12 @@ mod tests {
     fn v5_artifact_with_svc_block_validates() {
         let json = artifact_json("resmodel.bench_sweep/5");
         check_str("v5", &json).unwrap_or_else(|e| panic!("/5: {e}"));
+    }
+
+    #[test]
+    fn v6_artifact_with_store_block_validates() {
+        let json = artifact_json("resmodel.bench_sweep/6");
+        check_str("v6", &json).unwrap_or_else(|e| panic!("/6: {e}"));
     }
 
     #[test]
@@ -730,6 +815,27 @@ mod tests {
             .replace("resmodel.bench_sweep/5", "resmodel.bench_sweep/4");
         assert!(smuggled.contains(r#""svc""#), "relabel must have matched");
         assert!(check_str("svc_smuggled", &smuggled).is_err());
+    }
+
+    #[test]
+    fn store_block_rules_are_enforced() {
+        // A /6 artifact must carry the trace-store block (a /5 body
+        // relabeled as /6 lacks it)...
+        let missing = artifact_json("resmodel.bench_sweep/5")
+            .replace("resmodel.bench_sweep/5", "resmodel.bench_sweep/6");
+        assert!(check_str("store_missing", &missing).is_err());
+        // ...with a non-empty trace behind a known backend...
+        let json = artifact_json("resmodel.bench_sweep/6")
+            .replace(r#""file_bytes": 1835072"#, r#""file_bytes": 0"#);
+        assert!(check_str("store_bytes", &json).is_err());
+        let json = artifact_json("resmodel.bench_sweep/6")
+            .replace(r#""backend": "mmap""#, r#""backend": "tape""#);
+        assert!(check_str("store_backend", &json).is_err());
+        // ...and a /5 artifact must not smuggle one in.
+        let smuggled = artifact_json("resmodel.bench_sweep/6")
+            .replace("resmodel.bench_sweep/6", "resmodel.bench_sweep/5");
+        assert!(smuggled.contains(r#""store""#), "relabel must have matched");
+        assert!(check_str("store_smuggled", &smuggled).is_err());
     }
 
     #[test]

@@ -41,6 +41,7 @@ use resmodel_stats::ks::{select_family, FamilyScore, SubsampleConfig};
 use resmodel_stats::regression::{exp_law_fit, ExpLawFit};
 use resmodel_stats::{DistributionFamily, Matrix, StatsError};
 use resmodel_trace::columnar::{ActiveSet, ColumnarTrace};
+use resmodel_trace::source::TraceSource;
 use resmodel_trace::store::ResourceColumn;
 use resmodel_trace::{HostView, SimDate, Trace};
 use serde::{Deserialize, Serialize};
@@ -134,8 +135,11 @@ pub fn core_tier_counts(population: &[HostView]) -> [usize; 4] {
 
 /// Count hosts per core tier over an active set's cores column,
 /// without materialising host views.
-pub fn core_tier_counts_columnar(store: &ColumnarTrace, active: &ActiveSet) -> [usize; 4] {
-    let cores = store.snap_cores();
+pub fn core_tier_counts_columnar<S: TraceSource + ?Sized>(
+    store: &S,
+    active: &ActiveSet,
+) -> [usize; 4] {
+    let cores = store.columns().snap_cores;
     core_tier_counts_of(active.snaps().iter().map(|&k| cores[k]))
 }
 
@@ -160,7 +164,11 @@ pub fn pcm_tier_counts(population: &[HostView], tol: f64) -> [usize; 7] {
 
 /// Count hosts per per-core-memory tier over an active set's columns,
 /// without materialising host views.
-pub fn pcm_tier_counts_columnar(store: &ColumnarTrace, active: &ActiveSet, tol: f64) -> [usize; 7] {
+pub fn pcm_tier_counts_columnar<S: TraceSource + ?Sized>(
+    store: &S,
+    active: &ActiveSet,
+    tol: f64,
+) -> [usize; 7] {
     pcm_tier_counts_of(store.column(active, ResourceColumn::MemPerCore).iter(), tol)
 }
 
@@ -238,7 +246,10 @@ fn fit_ratio_chain<const N: usize>(
 
 /// Resolve the active population of every sample date once — the
 /// shared index sets all per-resource extractions below reuse.
-pub fn resolve_active_sets(store: &ColumnarTrace, dates: &[SimDate]) -> Vec<ActiveSet> {
+pub fn resolve_active_sets<S: TraceSource + ?Sized>(
+    store: &S,
+    dates: &[SimDate],
+) -> Vec<ActiveSet> {
     dates.iter().map(|&d| store.active_at(d)).collect()
 }
 
@@ -249,8 +260,8 @@ pub fn resolve_active_sets(store: &ColumnarTrace, dates: &[SimDate]) -> Vec<Acti
 ///
 /// Fails when fewer than two sample dates have both tiers of some pair
 /// populated.
-pub fn fit_core_laws_columnar(
-    store: &ColumnarTrace,
+pub fn fit_core_laws_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     actives: &[ActiveSet],
 ) -> crate::Result<Vec<LawRow>> {
     let dates: Vec<SimDate> = actives.iter().map(|a| a.date()).collect();
@@ -286,8 +297,8 @@ pub fn fit_core_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<LawR
 /// # Errors
 ///
 /// Same conditions as [`fit_core_laws_columnar`].
-pub fn fit_pcm_laws_columnar(
-    store: &ColumnarTrace,
+pub fn fit_pcm_laws_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     actives: &[ActiveSet],
     tol: f64,
 ) -> crate::Result<Vec<LawRow>> {
@@ -333,8 +344,8 @@ pub fn fit_pcm_laws(trace: &Trace, dates: &[SimDate], tol: f64) -> crate::Result
 /// # Errors
 ///
 /// Fails when any sample date has an empty population.
-pub fn fit_moment_laws_columnar(
-    store: &ColumnarTrace,
+pub fn fit_moment_laws_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     actives: &[ActiveSet],
 ) -> crate::Result<Vec<LawRow>> {
     let columns = [
@@ -423,7 +434,10 @@ pub fn fit_moment_laws(trace: &Trace, dates: &[SimDate]) -> crate::Result<Vec<La
 /// # Errors
 ///
 /// Fails when the population is too small or a column is constant.
-pub fn correlation_at_columnar(store: &ColumnarTrace, active: &ActiveSet) -> crate::Result<Matrix> {
+pub fn correlation_at_columnar<S: TraceSource + ?Sized>(
+    store: &S,
+    active: &ActiveSet,
+) -> crate::Result<Matrix> {
     let views: Vec<_> = ResourceColumn::ALL
         .iter()
         .map(|&c| store.column(active, c).iter())
@@ -454,8 +468,8 @@ pub fn correlation_at(trace: &Trace, date: SimDate) -> crate::Result<Matrix> {
 /// # Errors
 ///
 /// Propagates [`correlation_at_columnar`] failures.
-pub fn average_correlation_columnar(
-    store: &ColumnarTrace,
+pub fn average_correlation_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     actives: &[ActiveSet],
 ) -> crate::Result<Matrix> {
     if actives.is_empty() {
@@ -518,16 +532,17 @@ pub fn model_correlation(full: &Matrix) -> Matrix {
     m
 }
 
-/// Run the complete pipeline against a columnar store: resolve every
-/// sample date's active population **once**, fit every law off the
-/// shared column views, and assemble a [`HostModel`].
+/// Run the complete pipeline against any [`TraceSource`] backend (heap
+/// columnar store or file-mapped trace): resolve every sample date's
+/// active population **once**, fit every law off the shared column
+/// views, and assemble a [`HostModel`].
 ///
 /// # Errors
 ///
 /// Propagates any individual fit failure (empty populations, degenerate
 /// ratio series, non-positive-definite correlations).
-pub fn fit_host_model_columnar(
-    store: &ColumnarTrace,
+pub fn fit_host_model_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     config: &FitConfig,
 ) -> crate::Result<FitReport> {
     let actives = resolve_active_sets(store, &config.sample_dates);
@@ -626,8 +641,8 @@ pub fn lifetime_weibull(trace: &Trace, created_cutoff: SimDate) -> crate::Result
 /// # Errors
 ///
 /// Same conditions as [`lifetime_weibull`].
-pub fn lifetime_weibull_columnar(
-    store: &ColumnarTrace,
+pub fn lifetime_weibull_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     created_cutoff: SimDate,
 ) -> crate::Result<Weibull> {
     Weibull::fit_mle(&store.lifetimes(created_cutoff))
@@ -657,8 +672,8 @@ pub fn select_resource_family(
 /// # Errors
 ///
 /// Fails when the active set is empty.
-pub fn select_resource_family_columnar(
-    store: &ColumnarTrace,
+pub fn select_resource_family_columnar<S: TraceSource + ?Sized>(
+    store: &S,
     active: &ActiveSet,
     column: ResourceColumn,
     config: SubsampleConfig,

@@ -4,7 +4,8 @@
 use crate::generator::GeneratedHost;
 use resmodel_stats::describe::{ecdf, Summary};
 use resmodel_stats::{Matrix, StatsError};
-use resmodel_trace::columnar::{ActiveSet, ColumnarTrace};
+use resmodel_trace::columnar::ActiveSet;
+use resmodel_trace::source::{ColumnsRef, TraceSource};
 use serde::{Deserialize, Serialize};
 
 /// The five resources compared in Fig 12.
@@ -57,13 +58,19 @@ impl CompareResource {
     /// Extract this resource from flattened snapshot `k` of a columnar
     /// store — the same arithmetic as [`CompareResource::extract`] over
     /// a host built from that snapshot.
-    pub fn extract_columnar(&self, store: &ColumnarTrace, k: usize) -> f64 {
+    pub fn extract_columnar<S: TraceSource + ?Sized>(&self, store: &S, k: usize) -> f64 {
+        self.extract_from(&store.columns(), k)
+    }
+
+    /// [`CompareResource::extract_columnar`] over an already-borrowed
+    /// column view (avoids re-borrowing per snapshot in hot loops).
+    pub fn extract_from(&self, cols: &ColumnsRef<'_>, k: usize) -> f64 {
         match self {
-            CompareResource::Cores => store.snap_cores()[k] as f64,
-            CompareResource::Memory => store.snap_memory_mb()[k],
-            CompareResource::Whetstone => store.snap_whetstone_mips()[k],
-            CompareResource::Dhrystone => store.snap_dhrystone_mips()[k],
-            CompareResource::Log10Disk => store.snap_avail_disk_gb()[k].max(1e-6).log10(),
+            CompareResource::Cores => cols.snap_cores[k] as f64,
+            CompareResource::Memory => cols.snap_memory_mb[k],
+            CompareResource::Whetstone => cols.snap_whetstone[k],
+            CompareResource::Dhrystone => cols.snap_dhrystone[k],
+            CompareResource::Log10Disk => cols.snap_avail_disk[k].max(1e-6).log10(),
         }
     }
 }
@@ -125,9 +132,9 @@ pub fn compare_populations(
 /// # Errors
 ///
 /// Returns [`StatsError::EmptyData`] when either population is empty.
-pub fn compare_populations_columnar(
+pub fn compare_populations_columnar<S: TraceSource + ?Sized>(
     generated: &[GeneratedHost],
-    store: &ColumnarTrace,
+    store: &S,
     actual: &ActiveSet,
 ) -> Result<Vec<ResourceComparison>, StatsError> {
     if generated.is_empty() || actual.is_empty() {
@@ -137,6 +144,7 @@ pub fn compare_populations_columnar(
             got: generated.len().min(actual.len()),
         });
     }
+    let cols = store.columns();
     CompareResource::ALL
         .iter()
         .map(|&resource| {
@@ -144,7 +152,7 @@ pub fn compare_populations_columnar(
             let a: Vec<f64> = actual
                 .snaps()
                 .iter()
-                .map(|&k| resource.extract_columnar(store, k))
+                .map(|&k| resource.extract_from(&cols, k))
                 .collect();
             comparison_of(resource, &g, &a)
         })
@@ -237,7 +245,7 @@ mod tests {
     use super::*;
     use crate::generator::HostGenerator;
     use crate::model::HostModel;
-    use resmodel_trace::SimDate;
+    use resmodel_trace::{ColumnarTrace, SimDate};
 
     fn pop(seed: u64, n: usize) -> Vec<GeneratedHost> {
         HostModel::paper().generate_population(SimDate::from_year(2010.67), n, seed)

@@ -131,6 +131,16 @@ pub enum ResmodelError {
         /// The underlying error.
         source: Box<ResmodelError>,
     },
+    /// A persisted trace file was rejected: truncated, wrong magic or
+    /// version, checksum mismatch, misaligned section, or inconsistent
+    /// contents. Carries the file path and what was wrong — corruption
+    /// is always a typed error, never a panic.
+    Store {
+        /// The offending file's path.
+        path: String,
+        /// What was wrong with it.
+        message: String,
+    },
     /// A query-service request failed — a protocol violation, a bind
     /// failure, or a cache compute error — wrapping the underlying
     /// error with the endpoint it happened on (and, when the request
@@ -189,6 +199,14 @@ impl ResmodelError {
         }
     }
 
+    /// Shorthand for a [`ResmodelError::Store`].
+    pub fn store(path: impl Into<String>, message: impl Into<String>) -> Self {
+        ResmodelError::Store {
+            path: path.into(),
+            message: message.into(),
+        }
+    }
+
     /// Shorthand for a [`ResmodelError::Svc`] wrapping `source` with
     /// the endpoint (and optional spec hash) it failed on.
     pub fn svc(
@@ -231,6 +249,9 @@ impl fmt::Display for ResmodelError {
             ResmodelError::Json { context, message } => write!(f, "json ({context}): {message}"),
             ResmodelError::Arg(e) => write!(f, "{e}"),
             ResmodelError::Sweep { job, source } => write!(f, "sweep job `{job}`: {source}"),
+            ResmodelError::Store { path, message } => {
+                write!(f, "trace store {path}: {message}")
+            }
             ResmodelError::Dispatch { point, source } => {
                 write!(f, "dispatch `{point}`: {source}")
             }
@@ -427,6 +448,15 @@ mod tests {
             "svc `bind`: i/o (/tmp/resmodel.sock): in use"
         );
         assert_eq!(e.exit_code(), 3);
+    }
+
+    #[test]
+    fn store_errors_carry_path_and_message() {
+        use std::error::Error;
+        let e = ResmodelError::store("/tmp/fleet.rmt", "bad magic");
+        assert_eq!(e.to_string(), "trace store /tmp/fleet.rmt: bad magic");
+        assert_eq!(e.exit_code(), 1);
+        assert!(e.source().is_none());
     }
 
     #[test]

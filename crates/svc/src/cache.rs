@@ -19,12 +19,14 @@
 
 use crate::hash::sha256_hex;
 use crate::proto::Endpoint;
-use resmodel::pipeline::{Pipeline, PipelineSpec, PredictSpec};
+use resmodel::pipeline::{Pipeline, PipelineReport, PipelineSpec, PredictSpec, SourceSpec};
 use resmodel::sweep::SweepSpec;
 use resmodel::ResmodelError;
 use resmodel_obs::{zero_wall_clock, Collector};
+use resmodel_trace::MappedTrace;
 use serde::Value;
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
@@ -75,6 +77,17 @@ struct Entry {
     last_used: AtomicU64,
 }
 
+/// Figures for the optional on-disk trace store (see
+/// [`ModelCache::with_trace_dir`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TraceStoreStats {
+    /// Traces persisted to the spill directory during a compute.
+    pub saves: u64,
+    /// Computes that mapped a persisted trace instead of regenerating
+    /// the source world.
+    pub reloads: u64,
+}
+
 /// The concurrent content-addressed cache (see the module docs).
 pub struct ModelCache {
     entries: Mutex<HashMap<String, Arc<Entry>>>,
@@ -84,6 +97,13 @@ pub struct ModelCache {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    /// When set, source traces spill to `<dir>/<source-hash>.rmt` in
+    /// the `resmodel.trace/1` format and later misses that share the
+    /// same source+sanitize stages mmap the file back instead of
+    /// regenerating the world.
+    trace_dir: Option<PathBuf>,
+    trace_saves: AtomicU64,
+    trace_reloads: AtomicU64,
 }
 
 impl ModelCache {
@@ -101,7 +121,30 @@ impl ModelCache {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            trace_dir: None,
+            trace_saves: AtomicU64::new(0),
+            trace_reloads: AtomicU64::new(0),
         }
+    }
+
+    /// Back derived endpoints (`predict`, `dispatch`) with an on-disk
+    /// trace store rooted at `dir`.
+    ///
+    /// The first compute for a given source+sanitize pair persists the
+    /// sanitized trace as `resmodel.trace/1`; every later miss that
+    /// shares the pair — any date list, any dispatch workload — maps
+    /// the file back instead of regenerating and re-sanitizing the
+    /// world. Reload is byte-safe for these endpoints because their
+    /// bodies are the prediction/dispatch subtrees, which depend only
+    /// on the trace content and seeds. (`run_pipeline` bodies also
+    /// carry the pre-sanitization world figures, which a saved trace
+    /// no longer has, so that endpoint always computes from source.)
+    /// The directory is created on first save; counters appear as
+    /// `svc.store.{saves,reloads}` and in [`TraceStoreStats`].
+    #[must_use]
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(dir.into());
+        self
     }
 
     /// Run (or replay) a full pipeline. The body is the zeroed
@@ -154,9 +197,10 @@ impl ModelCache {
         }
         let hash = self.address(Endpoint::Dispatch, &spec.canonical_json()?);
         let spec = spec.clone();
+        let store = self.trace_store(&spec)?;
         let obs = self.obs.clone();
         self.get_or_compute(Endpoint::Dispatch, hash, move || {
-            let report = Pipeline::from_spec(spec).observe(&obs).run()?;
+            let report = store.run(spec, &obs)?;
             let mut tree = serde_json::to_value(&report);
             match std::mem::take(&mut tree["dispatch"]) {
                 Value::Null => Err(ResmodelError::config(
@@ -187,9 +231,10 @@ impl ModelCache {
         derived.dispatch = None;
         derived.predict = Some(PredictSpec { dates });
         let hash = self.address(Endpoint::Predict, &derived.canonical_json()?);
+        let store = self.trace_store(&derived)?;
         let obs = self.obs.clone();
         self.get_or_compute(Endpoint::Predict, hash, move || {
-            let report = Pipeline::from_spec(derived).observe(&obs).run()?;
+            let report = store.run(derived, &obs)?;
             let mut tree = serde_json::to_value(&report);
             match std::mem::take(&mut tree["predictions"]) {
                 Value::Null => Err(ResmodelError::config(
@@ -199,6 +244,36 @@ impl ModelCache {
                 subtree => Ok(subtree),
             }
         })
+    }
+
+    /// Current trace-store figures (all zero when no spill directory
+    /// is configured).
+    #[must_use]
+    pub fn store_stats(&self) -> TraceStoreStats {
+        TraceStoreStats {
+            saves: self.trace_saves.load(Ordering::Relaxed),
+            reloads: self.trace_reloads.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The spill plan for one compute: the `.rmt` path addressed by
+    /// the spec's source+sanitize stages, or pass-through when no
+    /// directory is configured or the source is already external
+    /// (nothing to regenerate, nothing worth spilling).
+    fn trace_store(&self, spec: &PipelineSpec) -> Result<TraceStorePlan<'_>, ResmodelError> {
+        let path = match &self.trace_dir {
+            Some(dir) if !matches!(spec.source, SourceSpec::External) => {
+                let mut source_only = spec.clone();
+                source_only.fit = None;
+                source_only.validate = None;
+                source_only.predict = None;
+                source_only.dispatch = None;
+                let hash = sha256_hex(source_only.canonical_json()?.as_bytes());
+                Some(dir.join(format!("{hash}.rmt")))
+            }
+            _ => None,
+        };
+        Ok(TraceStorePlan { cache: self, path })
     }
 
     /// Current statistics.
@@ -346,6 +421,72 @@ impl ModelCache {
         result
     }
 
+    /// Spill-or-reload decision for one pipeline compute, resolved
+    /// *before* the once-cell closure runs so the hash work happens
+    /// outside the entry's critical path.
+    fn run_with_store(
+        &self,
+        plan: &TraceStorePlan<'_>,
+        spec: PipelineSpec,
+        obs: &Collector,
+    ) -> Result<PipelineReport, ResmodelError> {
+        let Some(path) = &plan.path else {
+            return Pipeline::from_spec(spec).observe(obs).run();
+        };
+        if path.is_file() {
+            let mapped = Arc::new(MappedTrace::open(path)?);
+            // The saved trace is post-sanitization, so the reload run
+            // maps it as an external source and skips the sanitize
+            // stage; everything downstream is byte-identical.
+            let mut reload = spec;
+            reload.source = SourceSpec::External;
+            reload.sanitize = None;
+            self.trace_reloads.fetch_add(1, Ordering::Relaxed);
+            self.obs.add("svc.store.reloads", 1);
+            return Pipeline::from_spec(reload)
+                .with_mapped(mapped)
+                .observe(obs)
+                .run();
+        }
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                ResmodelError::store(
+                    dir.display().to_string(),
+                    format!("create trace spill directory: {e}"),
+                )
+            })?;
+        }
+        // Write to a unique temp name and rename into place, so a
+        // concurrent compute for a sibling key that shares this source
+        // never maps a half-written file.
+        let tmp = path.with_extension(format!(
+            "rmt.tmp.{}.{}",
+            std::process::id(),
+            self.clock.fetch_add(1, Ordering::Relaxed)
+        ));
+        let report = Pipeline::from_spec(spec)
+            .save_trace(&tmp)
+            .observe(obs)
+            .run();
+        match report {
+            Ok(report) => {
+                std::fs::rename(&tmp, path).map_err(|e| {
+                    ResmodelError::store(
+                        path.display().to_string(),
+                        format!("publish spilled trace: {e}"),
+                    )
+                })?;
+                self.trace_saves.fetch_add(1, Ordering::Relaxed);
+                self.obs.add("svc.store.saves", 1);
+                Ok(report)
+            }
+            Err(e) => {
+                let _ = std::fs::remove_file(&tmp);
+                Err(e)
+            }
+        }
+    }
+
     /// Drop least-recently-used *ready* entries until within capacity.
     /// Called with the map unlocked; `keep` (the entry just inserted)
     /// is never evicted.
@@ -374,6 +515,20 @@ impl ModelCache {
             self.evictions.fetch_add(1, Ordering::Relaxed);
             self.obs.add("svc.cache.evictions", 1);
         }
+    }
+}
+
+/// One compute's resolved spill decision: the `.rmt` path the source
+/// hashes to, or pass-through. Resolved by [`ModelCache::trace_store`]
+/// before the once-cell closure is entered, executed inside it.
+struct TraceStorePlan<'a> {
+    cache: &'a ModelCache,
+    path: Option<PathBuf>,
+}
+
+impl TraceStorePlan<'_> {
+    fn run(&self, spec: PipelineSpec, obs: &Collector) -> Result<PipelineReport, ResmodelError> {
+        self.cache.run_with_store(self, spec, obs)
     }
 }
 
@@ -493,6 +648,65 @@ mod tests {
         assert_ne!(a, d, "same endpoint, different spec");
         assert_eq!(a.len(), 64);
         assert_eq!(a, c.address(Endpoint::RunPipeline, canonical));
+    }
+
+    #[test]
+    fn predict_spills_the_trace_and_reloads_it_byte_identically() {
+        let dir = std::env::temp_dir().join(format!("resmodel-svc-spill-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let obs = Collector::new();
+        let spec = PipelineSpec {
+            source: resmodel::pipeline::SourceSpec::Scenario {
+                scenario: resmodel::prelude::Scenario::steady_state(7),
+                max_hosts: 4000,
+            },
+            sanitize: None,
+            fit: Some(resmodel::prelude::FitConfig::yearly(2007, 2010)),
+            validate: None,
+            predict: None,
+            dispatch: None,
+        };
+        let dates = vec![resmodel_trace::SimDate::from_year(2011.0)];
+
+        // Reference body: no store configured.
+        let plain = ModelCache::new(4, &obs);
+        let want = plain.predict(&spec, dates.clone()).unwrap();
+        assert_eq!(plain.store_stats(), TraceStoreStats::default());
+
+        // First compute with a store: regenerates and spills.
+        let spilling = ModelCache::new(4, &obs).with_trace_dir(&dir);
+        let cold = spilling.predict(&spec, dates.clone()).unwrap();
+        assert!(!cold.hit);
+        assert_eq!(
+            spilling.store_stats(),
+            TraceStoreStats {
+                saves: 1,
+                reloads: 0
+            }
+        );
+        assert_eq!(*cold.body, *want.body, "spilling must not change the body");
+
+        // Fresh cache over the same directory: the memory entry is
+        // gone but the trace is not — the compute maps the file back.
+        let reloading = ModelCache::new(4, &obs).with_trace_dir(&dir);
+        let warm = reloading.predict(&spec, dates).unwrap();
+        assert!(!warm.hit, "only the trace was shared, not the entry");
+        assert_eq!(
+            reloading.store_stats(),
+            TraceStoreStats {
+                saves: 0,
+                reloads: 1
+            }
+        );
+        assert_eq!(*warm.body, *want.body, "reload must be byte-identical");
+
+        // A different date list shares the same spilled source.
+        let other = reloading
+            .predict(&spec, vec![resmodel_trace::SimDate::from_year(2012.0)])
+            .unwrap();
+        assert!(!other.hit);
+        assert_eq!(reloading.store_stats().reloads, 2);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

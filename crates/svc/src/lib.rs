@@ -19,7 +19,13 @@
 //! * [`hash`] — pure-`std` SHA-256 for content addressing.
 //! * [`cache`] — [`ModelCache`]: per-key once-cells (N concurrent
 //!   identical requests → exactly one fit), LRU capacity bounds,
-//!   wall-clock-zeroed bodies.
+//!   wall-clock-zeroed bodies. With
+//!   [`ModelCache::with_trace_dir`] the cache is additionally backed
+//!   by the `resmodel.trace/1` persistence layer: each source's
+//!   sanitized trace spills to disk once, and later `predict` /
+//!   `dispatch` misses that share the source map the file back
+//!   instead of regenerating the fleet (the `resmodeld --cache-dir`
+//!   flag).
 //! * [`proto`] — the `resmodel.svc/1` wire protocol: 4-byte
 //!   big-endian length prefix + JSON payload, endpoints
 //!   `run_pipeline` / `run_sweep` / `dispatch` / `predict` / `stats`
@@ -75,7 +81,7 @@ pub mod hash;
 pub mod proto;
 pub mod server;
 
-pub use cache::{CacheOutcome, CacheStats, ModelCache};
+pub use cache::{CacheOutcome, CacheStats, ModelCache, TraceStoreStats};
 pub use client::{Client, Reply};
 pub use hash::{sha256, sha256_hex};
 pub use proto::{Endpoint, Request, Response, MAX_FRAME_LEN, PROTOCOL};

@@ -45,13 +45,17 @@ const POLL: Duration = Duration::from_millis(25);
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// Server tuning knobs.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// LRU capacity of the model cache, in entries.
     pub capacity: usize,
     /// Data-parallel threads installed for each request's model work;
     /// `None` uses the machine's available parallelism.
     pub threads: Option<usize>,
+    /// Directory for the on-disk trace store backing the `predict`
+    /// and `dispatch` endpoints (see [`ModelCache::with_trace_dir`]);
+    /// `None` disables spilling.
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -59,6 +63,7 @@ impl Default for ServerConfig {
         ServerConfig {
             capacity: 64,
             threads: None,
+            trace_dir: None,
         }
     }
 }
@@ -230,8 +235,12 @@ pub fn serve_uds(
 }
 
 fn shared_state(config: ServerConfig, obs: &Collector) -> Arc<Shared> {
+    let mut cache = ModelCache::new(config.capacity, obs);
+    if let Some(dir) = config.trace_dir {
+        cache = cache.with_trace_dir(dir);
+    }
     Arc::new(Shared {
-        cache: ModelCache::new(config.capacity, obs),
+        cache,
         obs: obs.clone(),
         threads: config.threads,
         shutdown: AtomicBool::new(false),
@@ -571,6 +580,7 @@ fn with_pool<R>(shared: &Shared, f: impl FnOnce() -> R) -> R {
 /// part of a deterministic report.
 fn stats_body(shared: &Shared) -> Value {
     let cache = shared.cache.stats();
+    let store = shared.cache.store_stats();
     Value::Map(vec![
         ("proto".to_owned(), Value::Str(PROTOCOL.to_owned())),
         (
@@ -581,6 +591,13 @@ fn stats_body(shared: &Shared) -> Value {
                 ("hits".to_owned(), Value::UInt(cache.hits)),
                 ("misses".to_owned(), Value::UInt(cache.misses)),
                 ("evictions".to_owned(), Value::UInt(cache.evictions)),
+            ]),
+        ),
+        (
+            "store".to_owned(),
+            Value::Map(vec![
+                ("saves".to_owned(), Value::UInt(store.saves)),
+                ("reloads".to_owned(), Value::UInt(store.reloads)),
             ]),
         ),
         (

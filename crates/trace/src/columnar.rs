@@ -22,6 +22,12 @@
 //! a cheap gather through a [`ColumnSlice`] view that borrows the
 //! column arrays instead of re-filtering rows.
 //!
+//! All query semantics live on the borrowed [`ColumnsRef`] view in
+//! [`crate::source`]; `ColumnarTrace` is the *heap-owned* backend of
+//! the [`TraceSource`] trait (the file-mapped backend is
+//! [`crate::persist::MappedTrace`]) and its inherent methods delegate
+//! to that shared implementation.
+//!
 //! The conversion is lossless in both directions
 //! ([`ColumnarTrace::from`] / [`ColumnarTrace::to_trace`]) and every
 //! query iterates hosts in exactly the row store's order, so results
@@ -58,9 +64,12 @@ use crate::cpu::CpuFamily;
 use crate::gpu::GpuInfo;
 use crate::host::{HostId, HostRecord, ResourceSnapshot};
 use crate::os::OsFamily;
+use crate::source::{ColumnsRef, TraceSource};
 use crate::store::{ResourceColumn, Trace};
 use crate::time::SimDate;
 use std::ops::Range;
+
+pub use crate::source::{ActiveSet, ColumnSlice, ColumnSliceIter};
 
 /// Structure-of-arrays trace store: dense per-host columns plus
 /// flattened, offset-indexed per-snapshot columns.
@@ -132,6 +141,28 @@ impl ColumnarTrace {
         }
     }
 
+    /// Borrow every column as one [`ColumnsRef`] view — the layout all
+    /// query methods (and the persistence writer) operate on.
+    pub fn columns(&self) -> ColumnsRef<'_> {
+        ColumnsRef {
+            ids: &self.ids,
+            created: &self.created,
+            os: &self.os,
+            cpu: &self.cpu,
+            gpu: &self.gpu,
+            first_contact: &self.first_contact,
+            last_contact: &self.last_contact,
+            snap_start: &self.snap_start,
+            snap_t: &self.snap_t,
+            snap_cores: &self.snap_cores,
+            snap_memory_mb: &self.snap_memory_mb,
+            snap_whetstone: &self.snap_whetstone,
+            snap_dhrystone: &self.snap_dhrystone,
+            snap_avail_disk: &self.snap_avail_disk,
+            snap_total_disk: &self.snap_total_disk,
+        }
+    }
+
     /// Reserve room for `additional` more snapshots across the
     /// flattened columns.
     pub fn reserve_snapshots(&mut self, additional: usize) {
@@ -165,18 +196,7 @@ impl ColumnarTrace {
     /// metrics stay thread-count invariant; extraction call sites
     /// invoke this once per materialised store.
     pub fn observe_extraction(&self, obs: &resmodel_obs::Collector) {
-        if !obs.is_enabled() {
-            return;
-        }
-        obs.add("trace.columnar.extractions", 1);
-        obs.add("trace.columnar.hosts", self.len() as u64);
-        obs.add("trace.columnar.snapshots", self.snapshot_count() as u64);
-        let mut per_host = resmodel_obs::Histogram::new();
-        for row in 0..self.len() {
-            let range = self.snapshot_range(row);
-            per_host.record_u64(range.len() as u64);
-        }
-        obs.merge_histogram("trace.columnar.snapshots_per_host", &per_host);
+        self.columns().observe_extraction(obs);
     }
 
     /// Append one host's static attributes and its time-ordered
@@ -243,31 +263,12 @@ impl ColumnarTrace {
     /// `ColumnarTrace::from(&t).to_trace()` reproduces `t` exactly
     /// (same hosts, same order, same snapshots).
     pub fn to_trace(&self) -> Trace {
-        let mut trace = Trace::new();
-        for i in 0..self.len() {
-            let mut record = HostRecord::new(self.ids[i], self.created[i]);
-            record.os = self.os[i];
-            record.cpu = self.cpu[i];
-            record.gpu = self.gpu[i];
-            for k in self.snapshot_range(i) {
-                record.record(self.snapshot(k));
-            }
-            trace.push(record);
-        }
-        trace
+        self.columns().to_trace()
     }
 
     /// Reassemble the `k`-th flattened snapshot.
     pub fn snapshot(&self, k: usize) -> ResourceSnapshot {
-        ResourceSnapshot {
-            t: self.snap_t[k],
-            cores: self.snap_cores[k],
-            memory_mb: self.snap_memory_mb[k],
-            whetstone_mips: self.snap_whetstone[k],
-            dhrystone_mips: self.snap_dhrystone[k],
-            avail_disk_gb: self.snap_avail_disk[k],
-            total_disk_gb: self.snap_total_disk[k],
-        }
+        self.columns().snapshot(k)
     }
 
     /// Host ids, in insertion order.
@@ -302,12 +303,12 @@ impl ColumnarTrace {
 
     /// First server contact of host `row`, if it has any snapshot.
     pub fn first_contact(&self, row: usize) -> Option<SimDate> {
-        (!self.snapshot_range(row).is_empty()).then(|| self.first_contact[row])
+        self.columns().first_contact(row)
     }
 
     /// Last server contact of host `row`, if it has any snapshot.
     pub fn last_contact(&self, row: usize) -> Option<SimDate> {
-        (!self.snapshot_range(row).is_empty()).then(|| self.last_contact[row])
+        self.columns().last_contact(row)
     }
 
     /// Snapshot timestamps (flattened column).
@@ -348,9 +349,7 @@ impl ColumnarTrace {
     /// The paper's activity rule for host `row`: first contact ≤ `t` ≤
     /// last contact. Identical to [`HostRecord::is_active_at`].
     pub fn is_active_at(&self, row: usize, t: SimDate) -> bool {
-        !self.snapshot_range(row).is_empty()
-            && self.first_contact[row] <= t
-            && t <= self.last_contact[row]
+        self.columns().is_active_at(row, t)
     }
 
     /// Resolve the active population at `t` **once**: the row index of
@@ -359,88 +358,52 @@ impl ColumnarTrace {
     /// Every per-resource extraction at this date then reuses the set
     /// instead of re-filtering rows.
     pub fn active_at(&self, t: SimDate) -> ActiveSet {
-        let mut rows = Vec::new();
-        let mut snaps = Vec::new();
-        for i in 0..self.len() {
-            if !self.is_active_at(i, t) {
-                continue;
-            }
-            // Latest snapshot at or before `t` — the same reverse scan
-            // as `HostRecord::snapshot_at` (activity guarantees a hit).
-            if let Some(k) = self.snapshot_range(i).rev().find(|&k| self.snap_t[k] <= t) {
-                rows.push(i);
-                snaps.push(k);
-            }
-        }
-        ActiveSet {
-            date: t,
-            rows,
-            snaps,
-        }
+        self.columns().active_at(t)
     }
 
     /// Number of active hosts at `t`, without materialising the set.
     pub fn active_count(&self, t: SimDate) -> usize {
-        (0..self.len()).filter(|&i| self.is_active_at(i, t)).count()
+        self.columns().active_count(t)
     }
 
     /// A zero-copy view of one resource column restricted to an active
     /// set: no values are materialised until iterated or collected.
     pub fn column<'a>(&'a self, set: &'a ActiveSet, column: ResourceColumn) -> ColumnSlice<'a> {
-        ColumnSlice {
-            store: self,
-            set,
-            column,
-        }
+        self.columns().column(set, column)
     }
 
     /// Gather one resource column into a `Vec` — same values, same
     /// order as [`Trace::column_at`].
     pub fn column_values(&self, set: &ActiveSet, column: ResourceColumn) -> Vec<f64> {
-        self.column(set, column).iter().collect()
+        self.columns().column_values(set, column)
     }
 
     /// Host lifetimes in days under the paper's censoring rule —
     /// identical semantics and order to [`Trace::lifetimes`].
     pub fn lifetimes(&self, created_cutoff: SimDate) -> Vec<f64> {
-        let mut out = Vec::new();
-        for i in 0..self.len() {
-            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
-                continue;
-            }
-            out.push(self.last_contact[i] - self.first_contact[i]);
-        }
-        out
+        self.columns().lifetimes(created_cutoff)
     }
 
     /// `(creation year, lifetime days)` pairs — identical to
     /// [`Trace::creation_vs_lifetime`].
     pub fn creation_vs_lifetime(&self, created_cutoff: SimDate) -> Vec<(f64, f64)> {
-        let mut out = Vec::new();
-        for i in 0..self.len() {
-            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
-                continue;
-            }
-            out.push((
-                self.created[i].year(),
-                self.last_contact[i] - self.first_contact[i],
-            ));
-        }
-        out
+        self.columns().creation_vs_lifetime(created_cutoff)
     }
 
     /// Earliest first contact across all hosts.
     pub fn start(&self) -> Option<SimDate> {
-        (0..self.len())
-            .filter_map(|i| self.first_contact(i))
-            .reduce(SimDate::min)
+        self.columns().start()
     }
 
     /// Latest last contact across all hosts.
     pub fn end(&self) -> Option<SimDate> {
-        (0..self.len())
-            .filter_map(|i| self.last_contact(i))
-            .reduce(SimDate::max)
+        self.columns().end()
+    }
+}
+
+impl TraceSource for ColumnarTrace {
+    fn columns(&self) -> ColumnsRef<'_> {
+        ColumnarTrace::columns(self)
     }
 }
 
@@ -458,137 +421,32 @@ impl From<&Trace> for ColumnarTrace {
     }
 }
 
-/// The active population at one date, resolved once: parallel arrays of
-/// host row indices and the snapshot index in force for each.
-#[derive(Debug, Clone, PartialEq)]
-pub struct ActiveSet {
-    date: SimDate,
-    rows: Vec<usize>,
-    snaps: Vec<usize>,
-}
-
-impl ActiveSet {
-    /// The date this set was resolved at.
-    pub fn date(&self) -> SimDate {
-        self.date
-    }
-
-    /// Number of active hosts.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Whether no host was active.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Row (host) indices, in insertion order.
-    pub fn rows(&self) -> &[usize] {
-        &self.rows
-    }
-
-    /// Flattened snapshot index in force at the date, parallel to
-    /// [`ActiveSet::rows`].
-    pub fn snaps(&self) -> &[usize] {
-        &self.snaps
-    }
-}
-
-/// A zero-copy view of one resource column over an active set: borrows
-/// the store's column arrays and the set's index arrays, materialising
-/// nothing.
-#[derive(Debug, Clone, Copy)]
-pub struct ColumnSlice<'a> {
-    store: &'a ColumnarTrace,
-    set: &'a ActiveSet,
-    column: ResourceColumn,
-}
-
-impl<'a> ColumnSlice<'a> {
-    /// Number of values in the view.
-    pub fn len(&self) -> usize {
-        self.set.len()
-    }
-
-    /// Whether the view is empty.
-    pub fn is_empty(&self) -> bool {
-        self.set.is_empty()
-    }
-
-    /// Which resource this view extracts.
-    pub fn column(&self) -> ResourceColumn {
-        self.column
-    }
-
-    /// The `i`-th value (position within the active set).
-    ///
-    /// # Panics
-    ///
-    /// Panics when `i >= self.len()`.
-    pub fn get(&self, i: usize) -> f64 {
-        self.value_at(self.set.snaps[i])
-    }
-
-    /// Iterate the values — bitwise the same sequence as
-    /// [`Trace::column_at`] produces for this date and resource.
-    pub fn iter(&self) -> ColumnSliceIter<'a> {
-        ColumnSliceIter {
-            slice: *self,
-            snaps: self.set.snaps.iter(),
-        }
-    }
-
-    /// Collect into a `Vec`.
-    pub fn to_vec(&self) -> Vec<f64> {
-        self.iter().collect()
-    }
-
-    /// Extract the value at flattened snapshot index `k`, with exactly
-    /// the row path's arithmetic ([`ResourceColumn::extract`] over a
-    /// [`crate::host::HostView`]).
-    fn value_at(&self, k: usize) -> f64 {
-        let s = self.store;
-        match self.column {
-            ResourceColumn::Cores => s.snap_cores[k] as f64,
-            ResourceColumn::Memory => s.snap_memory_mb[k],
-            ResourceColumn::MemPerCore => s.snap_memory_mb[k] / s.snap_cores[k].max(1) as f64,
-            ResourceColumn::Whetstone => s.snap_whetstone[k],
-            ResourceColumn::Dhrystone => s.snap_dhrystone[k],
-            ResourceColumn::Disk => s.snap_avail_disk[k],
+impl From<ColumnsRef<'_>> for ColumnarTrace {
+    /// Copy a borrowed column view into an owned store, verbatim —
+    /// every column (including the [`SimDate::EPOCH`] placeholders for
+    /// snapshotless hosts) is cloned bit for bit, so the result
+    /// compares equal to the store the view was borrowed from. This is
+    /// how [`crate::persist::MappedTrace`] materialises a heap copy.
+    fn from(cols: ColumnsRef<'_>) -> Self {
+        Self {
+            ids: cols.ids.to_vec(),
+            created: cols.created.to_vec(),
+            os: cols.os.to_vec(),
+            cpu: cols.cpu.to_vec(),
+            gpu: cols.gpu.to_vec(),
+            first_contact: cols.first_contact.to_vec(),
+            last_contact: cols.last_contact.to_vec(),
+            snap_start: cols.snap_start.to_vec(),
+            snap_t: cols.snap_t.to_vec(),
+            snap_cores: cols.snap_cores.to_vec(),
+            snap_memory_mb: cols.snap_memory_mb.to_vec(),
+            snap_whetstone: cols.snap_whetstone.to_vec(),
+            snap_dhrystone: cols.snap_dhrystone.to_vec(),
+            snap_avail_disk: cols.snap_avail_disk.to_vec(),
+            snap_total_disk: cols.snap_total_disk.to_vec(),
         }
     }
 }
-
-impl<'a> IntoIterator for &ColumnSlice<'a> {
-    type Item = f64;
-    type IntoIter = ColumnSliceIter<'a>;
-
-    fn into_iter(self) -> ColumnSliceIter<'a> {
-        self.iter()
-    }
-}
-
-/// Iterator over a [`ColumnSlice`]'s values.
-#[derive(Debug, Clone)]
-pub struct ColumnSliceIter<'a> {
-    slice: ColumnSlice<'a>,
-    snaps: std::slice::Iter<'a, usize>,
-}
-
-impl Iterator for ColumnSliceIter<'_> {
-    type Item = f64;
-
-    fn next(&mut self) -> Option<f64> {
-        self.snaps.next().map(|&k| self.slice.value_at(k))
-    }
-
-    fn size_hint(&self) -> (usize, Option<usize>) {
-        self.snaps.size_hint()
-    }
-}
-
-impl ExactSizeIterator for ColumnSliceIter<'_> {}
 
 #[cfg(test)]
 #[allow(clippy::unwrap_used)]
@@ -781,6 +639,18 @@ mod tests {
         store.push_record(&host_with_span(1, 2006.0, 2007.0, 1));
         assert_eq!(store.len(), 1);
         assert_eq!(store.snapshot_range(0), 0..2);
+    }
+
+    #[test]
+    fn owned_copy_preserves_placeholders() {
+        // Snapshotless hosts carry EPOCH placeholders in the contact
+        // columns; the ColumnsRef round trip must keep them bit for bit
+        // so the copy compares equal.
+        let mut trace = Trace::new();
+        trace.push(HostRecord::new(9.into(), SimDate::from_year(2006.0)));
+        trace.push(host_with_span(1, 2006.0, 2007.0, 1));
+        let columnar = ColumnarTrace::from(&trace);
+        assert_eq!(ColumnarTrace::from(columnar.columns()), columnar);
     }
 
     #[test]

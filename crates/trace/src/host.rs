@@ -8,9 +8,14 @@ use crate::time::SimDate;
 use serde::{Deserialize, Serialize};
 
 /// Opaque identifier of a host within a trace.
+///
+/// `#[repr(transparent)]` over the inner `u64`, so the persistence
+/// layer can reinterpret an aligned little-endian `u64` column as a
+/// `&[HostId]` without copying.
 #[derive(
     Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
 )]
+#[repr(transparent)]
 pub struct HostId(u64);
 
 impl HostId {

@@ -22,13 +22,52 @@
 //! * **Sanitization** — the paper's outlier-discard rules
 //!   ([`sanitize::SanitizeRules`]).
 //!
-//! Two storage layouts share these semantics: the row-oriented
+//! Three storage backends share these semantics: the row-oriented
 //! [`Trace`] (one [`HostRecord`] per host — the ingestion and
-//! serialization format) and the columnar
-//! [`ColumnarTrace`] (structure-of-arrays
-//! column store — the analysis format the fitting pipeline extracts
-//! from). Conversion is lossless in both directions and every query
-//! yields bitwise-identical results across the two layouts.
+//! serialization format), the columnar [`ColumnarTrace`]
+//! (structure-of-arrays column store — the analysis format the fitting
+//! pipeline extracts from), and the file-mapped
+//! [`persist::MappedTrace`] (zero-copy columns over the on-disk
+//! `resmodel.trace/1` format — see `docs/FORMAT.md`). The latter two
+//! implement [`source::TraceSource`], the layout-independent read
+//! interface the analysis layers are generic over. Conversion is
+//! lossless in every direction and every query yields
+//! bitwise-identical results across the layouts.
+//!
+//! Persisting and mapping back a trace:
+//!
+//! ```
+//! use resmodel_trace::columnar::ColumnarTrace;
+//! use resmodel_trace::persist::{self, MappedTrace, Precision};
+//! use resmodel_trace::source::TraceSource;
+//! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+//!
+//! # fn main() -> Result<(), resmodel_error::ResmodelError> {
+//! let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2006.1),
+//!     cores: 2,
+//!     memory_mb: 1024.0,
+//!     whetstone_mips: 1200.0,
+//!     dhrystone_mips: 2100.0,
+//!     avail_disk_gb: 40.0,
+//!     total_disk_gb: 80.0,
+//! });
+//! let trace: Trace = std::iter::once(h).collect();
+//! let columnar = ColumnarTrace::from(&trace);
+//!
+//! let dir = std::env::temp_dir().join("resmodel-doctest-lib");
+//! std::fs::create_dir_all(&dir).map_err(|e| resmodel_error::ResmodelError::io("mkdir", e))?;
+//! let path = dir.join("fleet.rmt");
+//! persist::write_trace(&path, &columnar, Precision::Lossless)?;
+//!
+//! let mapped = MappedTrace::open(&path)?;
+//! assert_eq!(mapped.host_count(), 1);
+//! assert_eq!(mapped.to_trace().hosts(), trace.hosts());
+//! # std::fs::remove_file(&path).ok();
+//! # Ok(())
+//! # }
+//! ```
 //!
 //! ```
 //! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
@@ -68,14 +107,18 @@ pub mod gpu;
 pub mod host;
 pub mod market;
 pub mod os;
+pub mod persist;
 pub mod sanitize;
+pub mod source;
 pub mod store;
 pub mod time;
 
-pub use columnar::{ActiveSet, ColumnSlice, ColumnarTrace};
+pub use columnar::ColumnarTrace;
 pub use cpu::CpuFamily;
 pub use gpu::{GpuClass, GpuInfo};
 pub use host::{HostId, HostRecord, HostView, ResourceSnapshot};
 pub use os::OsFamily;
+pub use persist::{MappedTrace, Precision};
+pub use source::{ActiveSet, ColumnSlice, ColumnsRef, TraceSource};
 pub use store::Trace;
 pub use time::SimDate;

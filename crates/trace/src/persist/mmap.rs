@@ -1,0 +1,315 @@
+//! Minimal read-only file mapping, std-only.
+//!
+//! On Linux x86_64/aarch64 this issues the `mmap`/`munmap` syscalls
+//! directly (no libc dependency — the workspace vendors everything).
+//! Everywhere else, or when the syscall fails, or when
+//! `RESMODEL_NO_MMAP` is set, it falls back to reading the file into a
+//! 64-byte-aligned heap buffer through plain `std::fs` — functionally
+//! identical, just not zero-copy.
+//!
+//! Only whole-file, `PROT_READ`, `MAP_PRIVATE` mappings are supported:
+//! exactly what the trace reader needs, nothing more.
+
+use std::fs::File;
+use std::io::{Read, Seek, SeekFrom};
+
+/// Alignment of the fallback heap buffer — matches the format's
+/// section alignment so section slices stay castable either way.
+const BUFFER_ALIGN: usize = 64;
+
+/// A read-only view of an entire file: either a real memory mapping or
+/// an aligned heap copy. Dereferences to `&[u8]` either way.
+pub struct Mapping {
+    inner: Inner,
+}
+
+enum Inner {
+    #[cfg(all(
+        target_os = "linux",
+        any(target_arch = "x86_64", target_arch = "aarch64")
+    ))]
+    Mapped {
+        ptr: *const u8,
+        len: usize,
+    },
+    Heap(AlignedBuf),
+}
+
+// The mapping is immutable (PROT_READ, MAP_PRIVATE) for its whole
+// lifetime, so sharing raw pointers across threads is sound.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+impl Mapping {
+    /// Map (or read) the whole of `file`, whose size is `len` bytes.
+    /// `force_heap` skips the mmap attempt entirely, as does the
+    /// `RESMODEL_NO_MMAP` environment variable.
+    ///
+    /// `file` must stay unmodified for the mapping's lifetime; the
+    /// on-disk trace format is immutable-once-written, which the
+    /// checksum verification at open time enforces in practice.
+    pub fn of_file(file: &File, len: u64, force_heap: bool) -> std::io::Result<Self> {
+        let len_usize = usize::try_from(len).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
+        })?;
+        if len_usize > 0 && !force_heap && std::env::var_os("RESMODEL_NO_MMAP").is_none() {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            if let Some(ptr) = sys::mmap_readonly(file, len_usize) {
+                return Ok(Self {
+                    inner: Inner::Mapped {
+                        ptr,
+                        len: len_usize,
+                    },
+                });
+            }
+        }
+        Ok(Self {
+            inner: Inner::Heap(AlignedBuf::read_from(file, len_usize)?),
+        })
+    }
+
+    /// Which backend ended up serving the bytes: `"mmap"` or `"heap"`.
+    pub fn backend(&self) -> &'static str {
+        match self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Mapped { .. } => "mmap",
+            Inner::Heap(_) => "heap",
+        }
+    }
+
+    /// The mapped bytes.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.inner {
+            #[cfg(all(
+                target_os = "linux",
+                any(target_arch = "x86_64", target_arch = "aarch64")
+            ))]
+            Inner::Mapped { ptr, len } => {
+                // SAFETY: the pointer came from a successful
+                // whole-file mmap of exactly `len` bytes and stays
+                // valid until Drop unmaps it.
+                unsafe { std::slice::from_raw_parts(*ptr, *len) }
+            }
+            Inner::Heap(buf) => buf.bytes(),
+        }
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(all(
+            target_os = "linux",
+            any(target_arch = "x86_64", target_arch = "aarch64")
+        ))]
+        if let Inner::Mapped { ptr, len } = self.inner {
+            sys::munmap(ptr, len);
+        }
+    }
+}
+
+impl std::ops::Deref for Mapping {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.bytes()
+    }
+}
+
+impl std::fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Mapping")
+            .field("backend", &self.backend())
+            .field("len", &self.bytes().len())
+            .finish()
+    }
+}
+
+/// A 64-byte-aligned heap buffer filled by plain positional reads —
+/// the portable fallback when mapping is unavailable or refused.
+struct AlignedBuf {
+    ptr: *mut u8,
+    len: usize,
+    layout: std::alloc::Layout,
+}
+
+impl AlignedBuf {
+    fn read_from(file: &File, len: usize) -> std::io::Result<Self> {
+        let layout = std::alloc::Layout::from_size_align(len.max(1), BUFFER_ALIGN)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        // SAFETY: layout has non-zero size (len.max(1)).
+        let ptr = unsafe { std::alloc::alloc(layout) };
+        if ptr.is_null() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::OutOfMemory,
+                "failed to allocate trace buffer",
+            ));
+        }
+        let buf = Self { ptr, len, layout };
+        if len > 0 {
+            // SAFETY: `ptr` is valid for `len` writes; the slice is
+            // dropped before `buf` escapes.
+            let dst = unsafe { std::slice::from_raw_parts_mut(buf.ptr, len) };
+            let mut f = file;
+            f.seek(SeekFrom::Start(0))?;
+            f.read_exact(dst)?;
+        }
+        Ok(buf)
+    }
+
+    fn bytes(&self) -> &[u8] {
+        if self.len == 0 {
+            return &[];
+        }
+        // SAFETY: `ptr` is valid for `len` reads until Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for AlignedBuf {
+    fn drop(&mut self) {
+        // SAFETY: allocated in `read_from` with this exact layout.
+        unsafe { std::alloc::dealloc(self.ptr, self.layout) };
+    }
+}
+
+#[cfg(all(
+    target_os = "linux",
+    any(target_arch = "x86_64", target_arch = "aarch64")
+))]
+mod sys {
+    use std::arch::asm;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: usize = 1;
+    const MAP_PRIVATE: usize = 2;
+
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MMAP: usize = 9;
+    #[cfg(target_arch = "x86_64")]
+    const SYS_MUNMAP: usize = 11;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MMAP: usize = 222;
+    #[cfg(target_arch = "aarch64")]
+    const SYS_MUNMAP: usize = 215;
+
+    /// Raw six-argument syscall. Returns the kernel's raw result; on
+    /// error that is `-errno` in `-4095..0`.
+    unsafe fn syscall6(
+        nr: usize,
+        a: usize,
+        b: usize,
+        c: usize,
+        d: usize,
+        e: usize,
+        f: usize,
+    ) -> isize {
+        let ret: isize;
+        #[cfg(target_arch = "x86_64")]
+        unsafe {
+            asm!(
+                "syscall",
+                inlateout("rax") nr as isize => ret,
+                in("rdi") a,
+                in("rsi") b,
+                in("rdx") c,
+                in("r10") d,
+                in("r8") e,
+                in("r9") f,
+                lateout("rcx") _,
+                lateout("r11") _,
+                options(nostack)
+            );
+        }
+        #[cfg(target_arch = "aarch64")]
+        unsafe {
+            asm!(
+                "svc #0",
+                inlateout("x0") a as isize => ret,
+                in("x1") b,
+                in("x2") c,
+                in("x3") d,
+                in("x4") e,
+                in("x5") f,
+                in("x8") nr,
+                options(nostack)
+            );
+        }
+        ret
+    }
+
+    /// `mmap(NULL, len, PROT_READ, MAP_PRIVATE, fd, 0)`; `None` when
+    /// the kernel refuses (caller falls back to heap reads).
+    pub fn mmap_readonly(file: &File, len: usize) -> Option<*const u8> {
+        let fd = file.as_raw_fd();
+        // SAFETY: arguments follow the mmap(2) contract; a raw syscall
+        // has no library-level invariants to uphold.
+        let ret = unsafe { syscall6(SYS_MMAP, 0, len, PROT_READ, MAP_PRIVATE, fd as usize, 0) };
+        if (-4095..0).contains(&ret) {
+            None
+        } else {
+            Some(ret as *const u8)
+        }
+    }
+
+    /// `munmap(ptr, len)`. Failure is ignored: the mapping leaks, which
+    /// is safe (just wasteful) and cannot occur for a mapping this
+    /// module itself created.
+    pub fn munmap(ptr: *const u8, len: usize) {
+        // SAFETY: `ptr`/`len` come from a successful mmap_readonly.
+        unsafe { syscall6(SYS_MUNMAP, ptr as usize, len, 0, 0, 0, 0) };
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn temp_file(name: &str, contents: &[u8]) -> std::path::PathBuf {
+        let path = std::env::temp_dir().join(format!("resmodel-mmap-test-{name}"));
+        let mut f = File::create(&path).unwrap();
+        f.write_all(contents).unwrap();
+        f.sync_all().unwrap();
+        path
+    }
+
+    #[test]
+    fn maps_file_contents() {
+        let path = temp_file("basic", b"hello mapping");
+        let file = File::open(&path).unwrap();
+        let len = file.metadata().unwrap().len();
+        let map = Mapping::of_file(&file, len, false).unwrap();
+        assert_eq!(&*map, b"hello mapping");
+        assert!(matches!(map.backend(), "mmap" | "heap"));
+        assert!(format!("{map:?}").contains("len"));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_file_maps_to_empty_slice() {
+        let path = temp_file("empty", b"");
+        let file = File::open(&path).unwrap();
+        let map = Mapping::of_file(&file, 0, false).unwrap();
+        assert!(map.is_empty());
+        assert_eq!(map.backend(), "heap");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_is_aligned() {
+        let path = temp_file("aligned", &[7u8; 200]);
+        let file = File::open(&path).unwrap();
+        let buf = AlignedBuf::read_from(&file, 200).unwrap();
+        assert_eq!(buf.bytes(), &[7u8; 200][..]);
+        assert_eq!(buf.bytes().as_ptr() as usize % BUFFER_ALIGN, 0);
+        std::fs::remove_file(&path).ok();
+    }
+}

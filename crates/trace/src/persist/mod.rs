@@ -1,0 +1,1121 @@
+//! On-disk persistence for columnar traces: the `resmodel.trace/1`
+//! format and its zero-copy reader.
+//!
+//! The format is little-endian and mmap-friendly: a fixed 64-byte
+//! header, a section directory (offset, length, dtype, CRC-32 per
+//! column), then each column written verbatim from the
+//! structure-of-arrays layout at a 64-byte-aligned offset. Mapping the
+//! file back in therefore costs no decoding for the numeric columns —
+//! [`MappedTrace`] serves `active_at`, fit and validate straight off
+//! the mapped bytes via [`TraceSource`]. The full byte-level spec
+//! lives in `docs/FORMAT.md`; a CI grep keeps the spec's version
+//! constant and [`FORMAT_VERSION`] in lockstep.
+//!
+//! [`Precision::Compact`] stores the five measured resource columns
+//! (memory, Whetstone, Dhrystone, available and total disk) as `f32`,
+//! roughly halving the footprint. The paper reports those resources to
+//! 3–4 significant figures (e.g. Table III's MIPS means), well inside
+//! `f32`'s 7 decimal digits, so model fits are unaffected; timestamps
+//! and ids always stay 8-byte so the activity rule is bit-exact. Only
+//! [`Precision::Lossless`] guarantees bitwise round trips.
+//!
+//! ```
+//! use resmodel_trace::columnar::ColumnarTrace;
+//! use resmodel_trace::persist::{self, MappedTrace, Precision};
+//! use resmodel_trace::source::TraceSource;
+//! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+//!
+//! # fn main() -> Result<(), resmodel_error::ResmodelError> {
+//! let mut h = HostRecord::new(7.into(), SimDate::from_year(2006.0));
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2006.2),
+//!     cores: 4,
+//!     memory_mb: 4096.0,
+//!     whetstone_mips: 1500.0,
+//!     dhrystone_mips: 2500.0,
+//!     avail_disk_gb: 120.0,
+//!     total_disk_gb: 250.0,
+//! });
+//! let trace: Trace = std::iter::once(h).collect();
+//! let columnar = ColumnarTrace::from(&trace);
+//!
+//! let path = std::env::temp_dir().join("resmodel-doctest-persist.rmt");
+//! persist::write_trace(&path, &columnar, Precision::Lossless)?;
+//! let mapped = MappedTrace::open(&path)?;
+//! assert_eq!(mapped.to_columnar(), columnar); // bitwise round trip
+//! let active = mapped.active_at(SimDate::from_year(2006.2));
+//! assert_eq!(active.len(), 1);
+//! # std::fs::remove_file(&path).ok();
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod mmap;
+
+use crate::cpu::CpuFamily;
+use crate::gpu::{GpuClass, GpuInfo};
+use crate::host::HostId;
+use crate::os::OsFamily;
+use crate::source::{ColumnsRef, TraceSource};
+use crate::time::SimDate;
+use resmodel_error::ResmodelError;
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::ops::Range;
+use std::path::Path;
+
+#[cfg(target_endian = "big")]
+compile_error!("the resmodel.trace format is little-endian; big-endian targets are unsupported");
+
+/// Schema name of the format this module reads and writes.
+pub const FORMAT_NAME: &str = "resmodel.trace/1";
+
+/// On-disk format version, embedded in every file header. CI checks
+/// that `docs/FORMAT.md` documents exactly this constant.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// First eight bytes of every trace file.
+pub const MAGIC: [u8; 8] = *b"RMTRACE\0";
+
+/// Every section begins at a multiple of this (and the header/directory
+/// block is padded up to it), so mapped sections are castable to their
+/// element type regardless of the element's natural alignment.
+pub const SECTION_ALIGN: usize = 64;
+
+/// Fixed header length in bytes.
+const HEADER_LEN: usize = 64;
+
+/// Length of one directory entry in bytes.
+const DIR_ENTRY_LEN: usize = 32;
+
+/// Number of column sections in a version-1 file.
+const SECTION_COUNT: usize = 17;
+
+/// Offset of the first section: header + directory, padded to
+/// [`SECTION_ALIGN`].
+const FIRST_SECTION_OFFSET: usize =
+    (HEADER_LEN + SECTION_COUNT * DIR_ENTRY_LEN).div_ceil(SECTION_ALIGN) * SECTION_ALIGN;
+
+/// Element-type codes used in directory entries.
+const DT_U8: u32 = 1;
+const DT_U32: u32 = 2;
+const DT_U64: u32 = 3;
+const DT_F32: u32 = 4;
+const DT_F64: u32 = 5;
+
+/// Section names in id order — used in error messages and the spec.
+const SECTION_NAMES: [&str; SECTION_COUNT] = [
+    "ids",
+    "created",
+    "os",
+    "cpu",
+    "gpu_class",
+    "gpu_memory_mb",
+    "gpu_since",
+    "first_contact",
+    "last_contact",
+    "snap_start",
+    "snap_t",
+    "snap_cores",
+    "snap_memory_mb",
+    "snap_whetstone",
+    "snap_dhrystone",
+    "snap_avail_disk",
+    "snap_total_disk",
+];
+
+/// Sentinel in the `gpu_class` column for hosts without a GPU.
+const GPU_NONE: u8 = 255;
+
+/// Storage precision of the five measured resource columns.
+///
+/// See the module docs for the rationale; everything except those five
+/// columns is unaffected by this choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Precision {
+    /// All columns `f64` — bitwise round trips, the default.
+    #[default]
+    Lossless,
+    /// Resource columns stored as `f32` (values round-trip as
+    /// `(x as f32) as f64`), roughly halving the snapshot payload.
+    Compact,
+}
+
+impl Precision {
+    /// The header code for this precision.
+    fn code(self) -> u32 {
+        match self {
+            Precision::Lossless => 0,
+            Precision::Compact => 1,
+        }
+    }
+
+    fn from_code(code: u32) -> Option<Self> {
+        match code {
+            0 => Some(Precision::Lossless),
+            1 => Some(Precision::Compact),
+            _ => None,
+        }
+    }
+
+    /// Human-readable name, as reported in BENCH artifacts.
+    pub fn name(self) -> &'static str {
+        match self {
+            Precision::Lossless => "lossless",
+            Precision::Compact => "compact",
+        }
+    }
+}
+
+// --- CRC-32 (IEEE 802.3, polynomial 0xEDB88320) ---------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 as used in the directory entries and the header checksum.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+// --- raw byte casts -------------------------------------------------
+
+mod pod {
+    /// Marker for element types whose in-memory layout *is* their
+    /// little-endian on-disk layout on the (enforced little-endian)
+    /// targets this crate compiles for: no padding, no niches, any bit
+    /// pattern valid. `SimDate`/`HostId` qualify via
+    /// `#[repr(transparent)]` over `f64`/`u64`.
+    ///
+    /// # Safety
+    ///
+    /// Implementors must be plain-old-data in the above sense.
+    pub unsafe trait Pod: Copy {}
+    unsafe impl Pod for u8 {}
+    unsafe impl Pod for u32 {}
+    unsafe impl Pod for u64 {}
+    unsafe impl Pod for f32 {}
+    unsafe impl Pod for f64 {}
+    unsafe impl Pod for crate::time::SimDate {}
+    unsafe impl Pod for crate::host::HostId {}
+}
+use pod::Pod;
+
+/// View a slice of plain-old-data values as raw bytes.
+fn as_bytes<T: Pod>(values: &[T]) -> &[u8] {
+    // SAFETY: T is Pod (no padding), so every byte of the slice is
+    // initialised; lifetime and provenance are inherited.
+    unsafe {
+        std::slice::from_raw_parts(values.as_ptr().cast::<u8>(), std::mem::size_of_val(values))
+    }
+}
+
+/// Cast validated section bytes back to typed values.
+///
+/// # Safety
+///
+/// `bytes` must be aligned to `align_of::<T>()` and its length a
+/// multiple of `size_of::<T>()` — both guaranteed by the open-time
+/// validation (64-byte section alignment, exact section lengths).
+unsafe fn cast_slice<T: Pod>(bytes: &[u8]) -> &[T] {
+    debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+    debug_assert_eq!(bytes.len() % std::mem::size_of::<T>(), 0);
+    unsafe {
+        std::slice::from_raw_parts(
+            bytes.as_ptr().cast::<T>(),
+            bytes.len() / std::mem::size_of::<T>(),
+        )
+    }
+}
+
+fn store_err(path: &Path, message: impl Into<String>) -> ResmodelError {
+    ResmodelError::store(path.display().to_string(), message)
+}
+
+// --- enum <-> code mapping ------------------------------------------
+
+fn os_code(os: OsFamily) -> u8 {
+    OsFamily::ALL
+        .iter()
+        .position(|&x| x == os)
+        .map(|i| i as u8)
+        .expect("OsFamily::ALL covers every variant")
+}
+
+fn cpu_code(cpu: CpuFamily) -> u8 {
+    CpuFamily::ALL
+        .iter()
+        .position(|&x| x == cpu)
+        .map(|i| i as u8)
+        .expect("CpuFamily::ALL covers every variant")
+}
+
+fn gpu_class_code(class: GpuClass) -> u8 {
+    GpuClass::ALL
+        .iter()
+        .position(|&x| x == class)
+        .map(|i| i as u8)
+        .expect("GpuClass::ALL covers every variant")
+}
+
+// --- writer ---------------------------------------------------------
+
+fn dtype_size(dtype: u32) -> usize {
+    match dtype {
+        DT_U8 => 1,
+        DT_U32 => 4,
+        DT_U64 => 8,
+        DT_F32 => 4,
+        _ => 8,
+    }
+}
+
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+/// Serialize any [`TraceSource`] to `path` in the `resmodel.trace/1`
+/// format, returning the number of bytes written. The file is written
+/// through a buffered writer and is complete (header checksum and all
+/// section checksums valid) when this returns `Ok`.
+pub fn write_trace<S: TraceSource + ?Sized>(
+    path: impl AsRef<Path>,
+    src: &S,
+    precision: Precision,
+) -> Result<u64, ResmodelError> {
+    let path = path.as_ref();
+    let cols = src.columns();
+    let hosts = cols.host_count();
+    let snaps = cols.snapshot_count();
+
+    // Owned encodings for the columns that are not stored verbatim.
+    let os_codes: Vec<u8> = cols.os.iter().map(|&o| os_code(o)).collect();
+    let cpu_codes: Vec<u8> = cols.cpu.iter().map(|&c| cpu_code(c)).collect();
+    let gpu_class: Vec<u8> = cols
+        .gpu
+        .iter()
+        .map(|g| g.map_or(GPU_NONE, |g| gpu_class_code(g.class)))
+        .collect();
+    let gpu_memory: Vec<f64> = cols
+        .gpu
+        .iter()
+        .map(|g| g.map_or(0.0, |g| g.memory_mb))
+        .collect();
+    let gpu_since: Vec<f64> = cols
+        .gpu
+        .iter()
+        .map(|g| g.map_or(0.0, |g| g.since.days()))
+        .collect();
+    let snap_start: Vec<u64> = cols.snap_start.iter().map(|&s| s as u64).collect();
+    let compact = |xs: &[f64]| -> Vec<f32> { xs.iter().map(|&x| x as f32).collect() };
+
+    let mut sections: Vec<(u32, Cow<'_, [u8]>)> = Vec::with_capacity(SECTION_COUNT);
+    sections.push((DT_U64, Cow::Borrowed(as_bytes(cols.ids))));
+    sections.push((DT_F64, Cow::Borrowed(as_bytes(cols.created))));
+    sections.push((DT_U8, Cow::Owned(os_codes)));
+    sections.push((DT_U8, Cow::Owned(cpu_codes)));
+    sections.push((DT_U8, Cow::Owned(gpu_class)));
+    sections.push((DT_F64, Cow::Owned(as_bytes(&gpu_memory).to_vec())));
+    sections.push((DT_F64, Cow::Owned(as_bytes(&gpu_since).to_vec())));
+    sections.push((DT_F64, Cow::Borrowed(as_bytes(cols.first_contact))));
+    sections.push((DT_F64, Cow::Borrowed(as_bytes(cols.last_contact))));
+    sections.push((DT_U64, Cow::Owned(as_bytes(&snap_start).to_vec())));
+    sections.push((DT_F64, Cow::Borrowed(as_bytes(cols.snap_t))));
+    sections.push((DT_U32, Cow::Borrowed(as_bytes(cols.snap_cores))));
+    for column in [
+        cols.snap_memory_mb,
+        cols.snap_whetstone,
+        cols.snap_dhrystone,
+        cols.snap_avail_disk,
+        cols.snap_total_disk,
+    ] {
+        match precision {
+            Precision::Lossless => sections.push((DT_F64, Cow::Borrowed(as_bytes(column)))),
+            Precision::Compact => {
+                sections.push((DT_F32, Cow::Owned(as_bytes(&compact(column)).to_vec())))
+            }
+        }
+    }
+    debug_assert_eq!(sections.len(), SECTION_COUNT);
+
+    // Layout: assign each section its aligned offset.
+    let mut directory = Vec::with_capacity(SECTION_COUNT);
+    let mut offset = FIRST_SECTION_OFFSET;
+    for (id, (dtype, bytes)) in sections.iter().enumerate() {
+        directory.push((
+            id as u32,
+            *dtype,
+            offset as u64,
+            bytes.len() as u64,
+            crc32(bytes),
+        ));
+        offset = align_up(offset + bytes.len());
+    }
+    let file_len = offset as u64;
+
+    // Header.
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&FORMAT_VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&(SECTION_COUNT as u32).to_le_bytes());
+    header[16..24].copy_from_slice(&(hosts as u64).to_le_bytes());
+    header[24..32].copy_from_slice(&(snaps as u64).to_le_bytes());
+    header[32..36].copy_from_slice(&precision.code().to_le_bytes());
+    // bytes 36..40 reserved (zero)
+    header[40..48].copy_from_slice(&file_len.to_le_bytes());
+    let header_crc = crc32(&header[..48]);
+    header[48..52].copy_from_slice(&header_crc.to_le_bytes());
+    // bytes 52..64 reserved (zero)
+
+    let io = |e: std::io::Error| ResmodelError::io(path.display().to_string(), e);
+    let mut out = BufWriter::new(File::create(path).map_err(io)?);
+    out.write_all(&header).map_err(io)?;
+    for (id, dtype, off, len, crc) in &directory {
+        let mut entry = [0u8; DIR_ENTRY_LEN];
+        entry[0..4].copy_from_slice(&id.to_le_bytes());
+        entry[4..8].copy_from_slice(&dtype.to_le_bytes());
+        entry[8..16].copy_from_slice(&off.to_le_bytes());
+        entry[16..24].copy_from_slice(&len.to_le_bytes());
+        entry[24..28].copy_from_slice(&crc.to_le_bytes());
+        // bytes 28..32 reserved (zero)
+        out.write_all(&entry).map_err(io)?;
+    }
+    let mut written = HEADER_LEN + SECTION_COUNT * DIR_ENTRY_LEN;
+    const ZEROS: [u8; SECTION_ALIGN] = [0u8; SECTION_ALIGN];
+    for (_, bytes) in &sections {
+        let pad = align_up(written) - written;
+        out.write_all(&ZEROS[..pad]).map_err(io)?;
+        out.write_all(bytes).map_err(io)?;
+        written = align_up(written) + bytes.len();
+    }
+    let pad = align_up(written) - written;
+    out.write_all(&ZEROS[..pad]).map_err(io)?;
+    out.flush().map_err(io)?;
+    debug_assert_eq!(align_up(written) as u64, file_len);
+    Ok(file_len)
+}
+
+// --- reader ---------------------------------------------------------
+
+/// `f32`-stored resource columns widened back to `f64` at open time so
+/// [`ColumnsRef`] can serve `&[f64]` slices uniformly.
+#[derive(Debug)]
+struct Widened {
+    memory: Vec<f64>,
+    whetstone: Vec<f64>,
+    dhrystone: Vec<f64>,
+    avail_disk: Vec<f64>,
+    total_disk: Vec<f64>,
+}
+
+/// A trace backed by a persisted `resmodel.trace/1` file.
+///
+/// The numeric columns (ids, dates, contacts, snapshot times, cores,
+/// and — under [`Precision::Lossless`] — the five resource columns)
+/// are served zero-copy from the mapping; only the small categorical
+/// columns (OS/CPU/GPU codes) and the offset table are decoded into
+/// heap vectors at open time. Every structural problem with the file
+/// is reported as a typed [`ResmodelError::Store`] — opening never
+/// panics on corrupt input.
+#[derive(Debug)]
+pub struct MappedTrace {
+    map: mmap::Mapping,
+    path: String,
+    precision: Precision,
+    ranges: [Range<usize>; SECTION_COUNT],
+    os: Vec<OsFamily>,
+    cpu: Vec<CpuFamily>,
+    gpu: Vec<Option<GpuInfo>>,
+    snap_start: Vec<usize>,
+    widened: Option<Widened>,
+}
+
+impl MappedTrace {
+    /// Open and fully validate a trace file, mapping it read-only
+    /// (with a transparent aligned-heap-read fallback when mapping is
+    /// unavailable or `RESMODEL_NO_MMAP` is set).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, ResmodelError> {
+        Self::open_with(path.as_ref(), false)
+    }
+
+    /// Open via the heap-read fallback unconditionally — same
+    /// validation, same results, no `mmap` syscall.
+    pub fn open_in_heap(path: impl AsRef<Path>) -> Result<Self, ResmodelError> {
+        Self::open_with(path.as_ref(), true)
+    }
+
+    fn open_with(path: &Path, force_heap: bool) -> Result<Self, ResmodelError> {
+        let io = |e: std::io::Error| ResmodelError::io(path.display().to_string(), e);
+        let file = File::open(path).map_err(io)?;
+        let len = file.metadata().map_err(io)?.len();
+        if (len as usize) < HEADER_LEN {
+            return Err(store_err(
+                path,
+                format!("truncated header: {len} bytes, need {HEADER_LEN}"),
+            ));
+        }
+        let map = mmap::Mapping::of_file(&file, len, force_heap).map_err(io)?;
+        drop(file);
+        let b = map.bytes();
+
+        if b[0..8] != MAGIC {
+            return Err(store_err(path, "bad magic (not a resmodel.trace file)"));
+        }
+        let version = u32_at(b, 8);
+        if version != FORMAT_VERSION {
+            return Err(store_err(
+                path,
+                format!("unsupported version {version} (reader supports {FORMAT_VERSION})"),
+            ));
+        }
+        let header_crc = u32_at(b, 48);
+        if crc32(&b[..48]) != header_crc {
+            return Err(store_err(path, "header checksum mismatch"));
+        }
+        let section_count = u32_at(b, 12) as usize;
+        if section_count != SECTION_COUNT {
+            return Err(store_err(
+                path,
+                format!("section count {section_count}, expected {SECTION_COUNT}"),
+            ));
+        }
+        let hosts = usize::try_from(u64_at(b, 16))
+            .map_err(|_| store_err(path, "host count overflows this platform"))?;
+        let snaps = usize::try_from(u64_at(b, 24))
+            .map_err(|_| store_err(path, "snapshot count overflows this platform"))?;
+        let precision = Precision::from_code(u32_at(b, 32))
+            .ok_or_else(|| store_err(path, format!("unknown precision code {}", u32_at(b, 32))))?;
+        let file_len = u64_at(b, 40);
+        if file_len != len {
+            return Err(store_err(
+                path,
+                format!("file length mismatch: header says {file_len}, file is {len} bytes"),
+            ));
+        }
+        if (len as usize) < FIRST_SECTION_OFFSET {
+            return Err(store_err(path, "truncated directory"));
+        }
+
+        let mut ranges: [Range<usize>; SECTION_COUNT] = std::array::from_fn(|_| 0..0);
+        for id in 0..SECTION_COUNT {
+            let name = SECTION_NAMES[id];
+            let base = HEADER_LEN + id * DIR_ENTRY_LEN;
+            let entry_id = u32_at(b, base) as usize;
+            if entry_id != id {
+                return Err(store_err(
+                    path,
+                    format!("directory entry {id} has id {entry_id} (entries must be in order)"),
+                ));
+            }
+            let dtype = u32_at(b, base + 4);
+            let expected = expected_dtype(id, precision);
+            if dtype != expected {
+                return Err(store_err(
+                    path,
+                    format!("section {name}: dtype {dtype}, expected {expected}"),
+                ));
+            }
+            let offset = u64_at(b, base + 8);
+            let nbytes = u64_at(b, base + 16);
+            let crc = u32_at(b, base + 24);
+            if !offset.is_multiple_of(SECTION_ALIGN as u64) {
+                return Err(store_err(
+                    path,
+                    format!("section {name}: misaligned offset {offset}"),
+                ));
+            }
+            let end = offset
+                .checked_add(nbytes)
+                .filter(|&e| e <= file_len)
+                .ok_or_else(|| store_err(path, format!("section {name}: out of bounds")))?;
+            let count = if id == 9 {
+                hosts + 1
+            } else if id < 9 {
+                hosts
+            } else {
+                snaps
+            };
+            let want = (count * dtype_size(dtype)) as u64;
+            if nbytes != want {
+                return Err(store_err(
+                    path,
+                    format!("section {name}: {nbytes} bytes, expected {want}"),
+                ));
+            }
+            let range = offset as usize..end as usize;
+            if crc32(&b[range.clone()]) != crc {
+                return Err(store_err(
+                    path,
+                    format!("section {name}: checksum mismatch"),
+                ));
+            }
+            ranges[id] = range;
+        }
+
+        // Decode the categorical/offset columns, validating codes.
+        // SAFETY: ranges are 64-aligned and exactly sized (checked above).
+        let snap_start_raw: &[u64] = unsafe { cast_slice(&b[ranges[9].clone()]) };
+        let mut snap_start = Vec::with_capacity(hosts + 1);
+        let mut prev = 0u64;
+        for (i, &s) in snap_start_raw.iter().enumerate() {
+            if i == 0 && s != 0 {
+                return Err(store_err(path, "snap_start must begin at 0"));
+            }
+            if s < prev {
+                return Err(store_err(path, "snap_start must be non-decreasing"));
+            }
+            prev = s;
+            snap_start.push(
+                usize::try_from(s)
+                    .map_err(|_| store_err(path, "snap_start overflows this platform"))?,
+            );
+        }
+        if prev != snaps as u64 {
+            return Err(store_err(
+                path,
+                format!("snap_start ends at {prev}, expected snapshot count {snaps}"),
+            ));
+        }
+
+        let decode =
+            |codes: &[u8], what: &str, lookup: &dyn Fn(u8) -> bool| -> Result<(), ResmodelError> {
+                match codes.iter().find(|&&c| !lookup(c)) {
+                    Some(&c) => Err(store_err(path, format!("invalid {what} code {c}"))),
+                    None => Ok(()),
+                }
+            };
+        let os_codes = &b[ranges[2].clone()];
+        decode(os_codes, "os", &|c| (c as usize) < OsFamily::ALL.len())?;
+        let os: Vec<OsFamily> = os_codes
+            .iter()
+            .map(|&c| OsFamily::ALL[c as usize])
+            .collect();
+        let cpu_codes = &b[ranges[3].clone()];
+        decode(cpu_codes, "cpu", &|c| (c as usize) < CpuFamily::ALL.len())?;
+        let cpu: Vec<CpuFamily> = cpu_codes
+            .iter()
+            .map(|&c| CpuFamily::ALL[c as usize])
+            .collect();
+        let gpu_codes = &b[ranges[4].clone()];
+        decode(gpu_codes, "gpu_class", &|c| {
+            c == GPU_NONE || (c as usize) < GpuClass::ALL.len()
+        })?;
+        // SAFETY: as above.
+        let gpu_memory: &[f64] = unsafe { cast_slice(&b[ranges[5].clone()]) };
+        let gpu_since: &[f64] = unsafe { cast_slice(&b[ranges[6].clone()]) };
+        let gpu: Vec<Option<GpuInfo>> = gpu_codes
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| {
+                (c != GPU_NONE).then(|| GpuInfo {
+                    class: GpuClass::ALL[c as usize],
+                    memory_mb: gpu_memory[i],
+                    since: SimDate::from_days(gpu_since[i]),
+                })
+            })
+            .collect();
+
+        // Snapshot times must be non-decreasing within each host — the
+        // invariant `active_at`'s reverse scan relies on.
+        // SAFETY: as above.
+        let snap_t: &[SimDate] = unsafe { cast_slice(&b[ranges[10].clone()]) };
+        for i in 0..hosts {
+            let range = snap_start[i]..snap_start[i + 1];
+            if snap_t[range.clone()].windows(2).any(|w| w[1] < w[0]) {
+                return Err(store_err(
+                    path,
+                    format!("snapshots of host row {i} are not in time order"),
+                ));
+            }
+        }
+
+        let widened = match precision {
+            Precision::Lossless => None,
+            Precision::Compact => {
+                // SAFETY: as above; dtype f32 was enforced per entry.
+                let widen = |id: usize| -> Vec<f64> {
+                    let xs: &[f32] = unsafe { cast_slice(&b[ranges[id].clone()]) };
+                    xs.iter().map(|&x| x as f64).collect()
+                };
+                Some(Widened {
+                    memory: widen(12),
+                    whetstone: widen(13),
+                    dhrystone: widen(14),
+                    avail_disk: widen(15),
+                    total_disk: widen(16),
+                })
+            }
+        };
+
+        Ok(Self {
+            path: path.display().to_string(),
+            precision,
+            ranges,
+            os,
+            cpu,
+            gpu,
+            snap_start,
+            widened,
+            map,
+        })
+    }
+
+    /// The file this trace is backed by.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Which byte backend serves the columns: `"mmap"` or `"heap"`.
+    pub fn backend(&self) -> &'static str {
+        self.map.backend()
+    }
+
+    /// The precision the file was written with.
+    pub fn precision(&self) -> Precision {
+        self.precision
+    }
+
+    /// Total file size in bytes.
+    pub fn file_len(&self) -> u64 {
+        self.map.bytes().len() as u64
+    }
+
+    /// Materialise an owned heap copy — equal (bitwise, under
+    /// [`Precision::Lossless`]) to the store the file was written from.
+    pub fn to_columnar(&self) -> crate::columnar::ColumnarTrace {
+        crate::columnar::ColumnarTrace::from(self.columns())
+    }
+
+    fn section<T: Pod>(&self, id: usize) -> &[T] {
+        // SAFETY: open_with validated 64-byte alignment and exact
+        // length of every section, and the mapping is immutable.
+        unsafe { cast_slice(&self.map.bytes()[self.ranges[id].clone()]) }
+    }
+}
+
+impl TraceSource for MappedTrace {
+    fn columns(&self) -> ColumnsRef<'_> {
+        let (memory, whetstone, dhrystone, avail_disk, total_disk) = match &self.widened {
+            Some(w) => (
+                &w.memory[..],
+                &w.whetstone[..],
+                &w.dhrystone[..],
+                &w.avail_disk[..],
+                &w.total_disk[..],
+            ),
+            None => (
+                self.section::<f64>(12),
+                self.section::<f64>(13),
+                self.section::<f64>(14),
+                self.section::<f64>(15),
+                self.section::<f64>(16),
+            ),
+        };
+        ColumnsRef {
+            ids: self.section::<HostId>(0),
+            created: self.section::<SimDate>(1),
+            os: &self.os,
+            cpu: &self.cpu,
+            gpu: &self.gpu,
+            first_contact: self.section::<SimDate>(7),
+            last_contact: self.section::<SimDate>(8),
+            snap_start: &self.snap_start,
+            snap_t: self.section::<SimDate>(10),
+            snap_cores: self.section::<u32>(11),
+            snap_memory_mb: memory,
+            snap_whetstone: whetstone,
+            snap_dhrystone: dhrystone,
+            snap_avail_disk: avail_disk,
+            snap_total_disk: total_disk,
+        }
+    }
+}
+
+fn expected_dtype(id: usize, precision: Precision) -> u32 {
+    match id {
+        0 | 9 => DT_U64,
+        2..=4 => DT_U8,
+        11 => DT_U32,
+        12..=16 => match precision {
+            Precision::Lossless => DT_F64,
+            Precision::Compact => DT_F32,
+        },
+        _ => DT_F64,
+    }
+}
+
+fn u32_at(b: &[u8], at: usize) -> u32 {
+    let mut buf = [0u8; 4];
+    buf.copy_from_slice(&b[at..at + 4]);
+    u32::from_le_bytes(buf)
+}
+
+fn u64_at(b: &[u8], at: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf.copy_from_slice(&b[at..at + 8]);
+    u64::from_le_bytes(buf)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarTrace;
+    use crate::host::{HostRecord, ResourceSnapshot};
+    use crate::store::{ResourceColumn, Trace};
+
+    fn snap(year: f64, cores: u32) -> ResourceSnapshot {
+        ResourceSnapshot {
+            t: SimDate::from_year(year),
+            cores,
+            memory_mb: 1024.0 * cores as f64 + 0.125,
+            whetstone_mips: 1234.567,
+            dhrystone_mips: 2345.678,
+            avail_disk_gb: 55.25,
+            total_disk_gb: 111.5,
+        }
+    }
+
+    fn sample_columnar() -> ColumnarTrace {
+        let mut trace = Trace::new();
+        let mut a = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+        a.record(snap(2006.2, 1));
+        a.record(snap(2008.0, 2));
+        trace.push(a);
+        let mut b = HostRecord::new(2.into(), SimDate::from_year(2009.0));
+        b.os = OsFamily::ALL[5];
+        b.cpu = CpuFamily::ALL[8];
+        b.gpu = Some(GpuInfo {
+            class: GpuClass::Radeon,
+            memory_mb: 512.0,
+            since: SimDate::from_year(2009.7),
+        });
+        b.record(snap(2009.5, 4));
+        trace.push(b);
+        // Snapshotless host: exercises the EPOCH placeholder columns.
+        trace.push(HostRecord::new(3.into(), SimDate::from_year(2010.0)));
+        ColumnarTrace::from(&trace)
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("resmodel-persist-test-{name}.rmt"))
+    }
+
+    /// `docs/FORMAT.md` is normative — its constants must match the
+    /// code's. CI greps the same invariants; this test catches drift
+    /// locally before a push.
+    #[test]
+    fn spec_document_matches_the_code_constants() {
+        let spec = include_str!("../../../../docs/FORMAT.md");
+        assert!(
+            spec.contains(FORMAT_NAME),
+            "docs/FORMAT.md must name the schema {FORMAT_NAME}"
+        );
+        assert!(
+            spec.contains(&format!("`FORMAT_VERSION` = **{FORMAT_VERSION}**")),
+            "docs/FORMAT.md must document FORMAT_VERSION = {FORMAT_VERSION}"
+        );
+        assert!(
+            spec.contains(&format!("`SECTION_ALIGN` = **{SECTION_ALIGN}**")),
+            "docs/FORMAT.md must document SECTION_ALIGN = {SECTION_ALIGN}"
+        );
+        assert!(
+            spec.contains(&format!("section_count  | `{SECTION_COUNT}`")),
+            "docs/FORMAT.md must document the section count {SECTION_COUNT}"
+        );
+        for name in SECTION_NAMES {
+            assert!(
+                spec.contains(&format!("`{name}`")),
+                "docs/FORMAT.md must document section `{name}`"
+            );
+        }
+    }
+
+    #[test]
+    fn lossless_round_trip_is_bitwise() {
+        let columnar = sample_columnar();
+        let path = temp_path("lossless");
+        let written = write_trace(&path, &columnar, Precision::Lossless).unwrap();
+        assert_eq!(written % SECTION_ALIGN as u64, 0);
+        assert_eq!(
+            written,
+            std::fs::metadata(&path).unwrap().len(),
+            "write_trace returns the file length"
+        );
+        let mapped = MappedTrace::open(&path).unwrap();
+        assert_eq!(mapped.precision(), Precision::Lossless);
+        assert_eq!(mapped.file_len(), written);
+        assert!(mapped.path().contains("lossless"));
+        assert_eq!(mapped.to_columnar(), columnar);
+        assert_eq!(mapped.to_trace().hosts(), columnar.to_trace().hosts());
+        // Queries off the mapped columns match the heap store exactly.
+        let t = SimDate::from_year(2008.0);
+        assert_eq!(mapped.active_at(t), columnar.active_at(t));
+        let set = mapped.active_at(t);
+        for column in ResourceColumn::ALL {
+            assert_eq!(
+                mapped.column_values(&set, column),
+                columnar.column_values(&set, column),
+                "{column}"
+            );
+        }
+        assert_eq!(mapped.start(), columnar.start());
+        assert_eq!(mapped.end(), columnar.end());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn heap_fallback_is_identical() {
+        let columnar = sample_columnar();
+        let path = temp_path("heapback");
+        write_trace(&path, &columnar, Precision::Lossless).unwrap();
+        let heap = MappedTrace::open_in_heap(&path).unwrap();
+        assert_eq!(heap.backend(), "heap");
+        assert_eq!(heap.to_columnar(), columnar);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn compact_round_trip_narrows_resources_only() {
+        let columnar = sample_columnar();
+        let path = temp_path("compact");
+        write_trace(&path, &columnar, Precision::Compact).unwrap();
+        // Padding swallows the savings on a 3-snapshot sample, so size
+        // the comparison on a store large enough to dominate alignment.
+        {
+            let mut big = ColumnarTrace::new();
+            for id in 0..512u64 {
+                big.push_host(
+                    id.into(),
+                    SimDate::from_year(2006.0),
+                    OsFamily::default(),
+                    CpuFamily::default(),
+                    None,
+                    (0..4).map(|k| snap(2006.5 + k as f64 * 0.5, 2)),
+                );
+            }
+            let pc = temp_path("compact-big");
+            let pl = temp_path("lossless-big");
+            let compact_len = write_trace(&pc, &big, Precision::Compact).unwrap();
+            let lossless_len = write_trace(&pl, &big, Precision::Lossless).unwrap();
+            assert!(
+                compact_len < lossless_len,
+                "compact {compact_len} vs lossless {lossless_len}"
+            );
+            assert_eq!(
+                MappedTrace::open(&pc).unwrap().to_columnar().snap_times(),
+                big.snap_times()
+            );
+            std::fs::remove_file(&pc).ok();
+            std::fs::remove_file(&pl).ok();
+        }
+        let mapped = MappedTrace::open(&path).unwrap();
+        assert_eq!(mapped.precision(), Precision::Compact);
+        let copy = mapped.to_columnar();
+        // Identity columns are untouched…
+        assert_eq!(copy.ids(), columnar.ids());
+        assert_eq!(copy.snap_times(), columnar.snap_times());
+        assert_eq!(copy.snap_cores(), columnar.snap_cores());
+        assert_eq!(copy.gpu(), columnar.gpu());
+        // …resource columns round f32-ward.
+        for (got, want) in copy.snap_memory_mb().iter().zip(columnar.snap_memory_mb()) {
+            assert_eq!(*got, (*want as f32) as f64);
+        }
+        for (got, want) in copy
+            .snap_whetstone_mips()
+            .iter()
+            .zip(columnar.snap_whetstone_mips())
+        {
+            assert_eq!(*got, (*want as f32) as f64);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let columnar = ColumnarTrace::new();
+        let path = temp_path("empty");
+        write_trace(&path, &columnar, Precision::Lossless).unwrap();
+        let mapped = MappedTrace::open(&path).unwrap();
+        assert_eq!(mapped.host_count(), 0);
+        assert_eq!(mapped.snapshot_count(), 0);
+        assert_eq!(mapped.to_columnar(), columnar);
+        assert_eq!(mapped.start(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn precision_names() {
+        assert_eq!(Precision::Lossless.name(), "lossless");
+        assert_eq!(Precision::Compact.name(), "compact");
+        assert_eq!(Precision::default(), Precision::Lossless);
+        assert_eq!(Precision::from_code(2), None);
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    // --- corrupted-file matrix: every failure is a typed Store error ---
+
+    fn write_sample(name: &str) -> (std::path::PathBuf, Vec<u8>) {
+        let path = temp_path(name);
+        write_trace(&path, &sample_columnar(), Precision::Lossless).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        (path, bytes)
+    }
+
+    fn expect_store_err(path: &std::path::Path, needle: &str) {
+        match MappedTrace::open(path) {
+            Err(ResmodelError::Store { message, .. }) => {
+                assert!(
+                    message.contains(needle),
+                    "message `{message}` should contain `{needle}`"
+                );
+            }
+            other => panic!("expected Store error containing `{needle}`, got {other:?}"),
+        }
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_header() {
+        let (path, bytes) = write_sample("trunc-header");
+        std::fs::write(&path, &bytes[..10]).unwrap();
+        expect_store_err(&path, "truncated header");
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let (path, mut bytes) = write_sample("bad-magic");
+        bytes[0] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "bad magic");
+    }
+
+    #[test]
+    fn rejects_wrong_version() {
+        let (path, mut bytes) = write_sample("bad-version");
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        let crc = crc32(&bytes[..48]);
+        bytes[48..52].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "unsupported version 99");
+    }
+
+    #[test]
+    fn rejects_header_corruption() {
+        let (path, mut bytes) = write_sample("bad-header");
+        bytes[20] ^= 0xFF; // host count, covered by the header CRC
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "header checksum mismatch");
+    }
+
+    #[test]
+    fn rejects_section_corruption() {
+        let (path, mut bytes) = write_sample("bad-section");
+        let last = bytes.len() - 1;
+        // The final resource column's payload ends at or before EOF;
+        // flip a byte inside the first section instead (ids, offset 640).
+        bytes[FIRST_SECTION_OFFSET] ^= 0xFF;
+        let _ = last;
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "checksum mismatch");
+    }
+
+    #[test]
+    fn rejects_misaligned_section() {
+        let (path, mut bytes) = write_sample("misaligned");
+        // Patch section 0's offset to something unaligned.
+        let base = HEADER_LEN + 8;
+        let off = u64_at(&bytes, base) + 8;
+        bytes[base..base + 8].copy_from_slice(&off.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "misaligned");
+    }
+
+    #[test]
+    fn rejects_wrong_dtype() {
+        let (path, mut bytes) = write_sample("bad-dtype");
+        let base = HEADER_LEN + 4; // section 0's dtype field
+        bytes[base..base + 4].copy_from_slice(&DT_F32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "dtype");
+    }
+
+    #[test]
+    fn rejects_length_mismatch() {
+        let (path, mut bytes) = write_sample("too-long");
+        bytes.push(0);
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "length mismatch");
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let (path, bytes) = write_sample("trunc-body");
+        std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+        expect_store_err(&path, "length mismatch");
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_section() {
+        let (path, mut bytes) = write_sample("oob-section");
+        let base = HEADER_LEN + 8;
+        let huge = (bytes.len() as u64 + 64).div_ceil(64) * 64;
+        bytes[base..base + 8].copy_from_slice(&huge.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "out of bounds");
+    }
+
+    #[test]
+    fn rejects_invalid_enum_code() {
+        let (path, mut bytes) = write_sample("bad-os-code");
+        // Corrupt the os section's first byte AND fix up its CRC so the
+        // failure is the semantic code check, not the checksum.
+        let base = HEADER_LEN + 2 * DIR_ENTRY_LEN;
+        let off = u64_at(&bytes, base + 8) as usize;
+        let nbytes = u64_at(&bytes, base + 16) as usize;
+        bytes[off] = 200;
+        let crc = crc32(&bytes[off..off + nbytes]);
+        bytes[base + 24..base + 28].copy_from_slice(&crc.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        expect_store_err(&path, "invalid os code 200");
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let path = temp_path("does-not-exist");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(
+            MappedTrace::open(&path),
+            Err(ResmodelError::Io { .. })
+        ));
+    }
+}

@@ -1,0 +1,589 @@
+//! Layout-independent trace access: one borrowed column view shared by
+//! every storage backend.
+//!
+//! The analysis layers (fit, validate, the pipeline's world summary)
+//! only ever *read* columns; they never care whether those columns live
+//! in heap `Vec`s ([`crate::columnar::ColumnarTrace`]) or in a read-only file mapping
+//! ([`crate::persist::MappedTrace`]). [`ColumnsRef`] is that read-only
+//! view — a `Copy` bundle of borrowed slices — and [`TraceSource`] is
+//! the trait both backends implement by producing one.
+//!
+//! All query semantics (the paper's activity rule, snapshot
+//! resolution, lifetime censoring) live here, on [`ColumnsRef`], so the
+//! two backends cannot drift apart: they share a single implementation
+//! and therefore produce bitwise-identical results.
+//!
+//! ```
+//! use resmodel_trace::columnar::ColumnarTrace;
+//! use resmodel_trace::source::TraceSource;
+//! use resmodel_trace::store::ResourceColumn;
+//! use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace};
+//!
+//! let mut h = HostRecord::new(1.into(), SimDate::from_year(2006.0));
+//! h.record(ResourceSnapshot {
+//!     t: SimDate::from_year(2006.1),
+//!     cores: 2,
+//!     memory_mb: 1024.0,
+//!     whetstone_mips: 1200.0,
+//!     dhrystone_mips: 2100.0,
+//!     avail_disk_gb: 40.0,
+//!     total_disk_gb: 80.0,
+//! });
+//! let trace: Trace = std::iter::once(h).collect();
+//! let columnar = ColumnarTrace::from(&trace);
+//!
+//! // Generic code sees any backend through the same view.
+//! fn hosts_at(src: &impl TraceSource, t: SimDate) -> usize {
+//!     src.active_at(t).len()
+//! }
+//! assert_eq!(hosts_at(&columnar, SimDate::from_year(2006.1)), 1);
+//! let cols = columnar.columns();
+//! assert_eq!(cols.host_count(), 1);
+//! assert_eq!(cols.snapshot_count(), 1);
+//! ```
+
+use crate::cpu::CpuFamily;
+use crate::gpu::GpuInfo;
+use crate::host::{HostId, HostRecord, ResourceSnapshot};
+use crate::os::OsFamily;
+use crate::store::{ResourceColumn, Trace};
+use crate::time::SimDate;
+use std::ops::Range;
+
+/// A borrowed, read-only view of a trace's columns — the
+/// structure-of-arrays layout every backend exposes.
+///
+/// # Shape contract
+///
+/// Producers (the [`TraceSource`] implementations in this crate)
+/// guarantee:
+///
+/// * all per-host slices (`ids`, `created`, `os`, `cpu`, `gpu`,
+///   `first_contact`, `last_contact`) have the same length `H`,
+/// * `snap_start` has length `H + 1`, starts at 0, is non-decreasing
+///   and ends at the snapshot count `S`,
+/// * all per-snapshot slices (`snap_t` and the six measured columns)
+///   have length `S`, and `snap_t` is non-decreasing within each
+///   host's `snap_start[i]..snap_start[i + 1]` range.
+///
+/// `first_contact[i]` / `last_contact[i]` hold the placeholder
+/// [`SimDate::EPOCH`] when host `i` has no snapshots; use the
+/// presence-aware accessors ([`ColumnsRef::first_contact`]) instead of
+/// indexing the raw slices when that distinction matters.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnsRef<'a> {
+    /// Host ids, in insertion order.
+    pub ids: &'a [HostId],
+    /// Host creation dates.
+    pub created: &'a [SimDate],
+    /// Host OS families.
+    pub os: &'a [OsFamily],
+    /// Host CPU families.
+    pub cpu: &'a [CpuFamily],
+    /// Host GPU attributes (presence column).
+    pub gpu: &'a [Option<GpuInfo>],
+    /// Cached first contact per host (placeholder when snapshotless).
+    pub first_contact: &'a [SimDate],
+    /// Cached last contact per host (placeholder when snapshotless).
+    pub last_contact: &'a [SimDate],
+    /// Snapshot offsets: host `i`'s snapshots occupy the flattened
+    /// range `snap_start[i]..snap_start[i + 1]`.
+    pub snap_start: &'a [usize],
+    /// Snapshot timestamps (flattened column).
+    pub snap_t: &'a [SimDate],
+    /// Core counts (flattened column).
+    pub snap_cores: &'a [u32],
+    /// Memory in MB (flattened column).
+    pub snap_memory_mb: &'a [f64],
+    /// Whetstone MIPS (flattened column).
+    pub snap_whetstone: &'a [f64],
+    /// Dhrystone MIPS (flattened column).
+    pub snap_dhrystone: &'a [f64],
+    /// Available disk in GB (flattened column).
+    pub snap_avail_disk: &'a [f64],
+    /// Total disk in GB (flattened column).
+    pub snap_total_disk: &'a [f64],
+}
+
+impl<'a> ColumnsRef<'a> {
+    /// Number of hosts.
+    pub fn host_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Whether the view holds no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.ids.is_empty()
+    }
+
+    /// Total number of snapshots across all hosts.
+    pub fn snapshot_count(&self) -> usize {
+        self.snap_t.len()
+    }
+
+    /// Reassemble the `k`-th flattened snapshot.
+    pub fn snapshot(&self, k: usize) -> ResourceSnapshot {
+        ResourceSnapshot {
+            t: self.snap_t[k],
+            cores: self.snap_cores[k],
+            memory_mb: self.snap_memory_mb[k],
+            whetstone_mips: self.snap_whetstone[k],
+            dhrystone_mips: self.snap_dhrystone[k],
+            avail_disk_gb: self.snap_avail_disk[k],
+            total_disk_gb: self.snap_total_disk[k],
+        }
+    }
+
+    /// The flattened snapshot range of host `row`.
+    pub fn snapshot_range(&self, row: usize) -> Range<usize> {
+        self.snap_start[row]..self.snap_start[row + 1]
+    }
+
+    /// First server contact of host `row`, if it has any snapshot.
+    pub fn first_contact(&self, row: usize) -> Option<SimDate> {
+        (!self.snapshot_range(row).is_empty()).then(|| self.first_contact[row])
+    }
+
+    /// Last server contact of host `row`, if it has any snapshot.
+    pub fn last_contact(&self, row: usize) -> Option<SimDate> {
+        (!self.snapshot_range(row).is_empty()).then(|| self.last_contact[row])
+    }
+
+    /// The paper's activity rule for host `row`: first contact ≤ `t` ≤
+    /// last contact. Identical to [`HostRecord::is_active_at`].
+    pub fn is_active_at(&self, row: usize, t: SimDate) -> bool {
+        !self.snapshot_range(row).is_empty()
+            && self.first_contact[row] <= t
+            && t <= self.last_contact[row]
+    }
+
+    /// Resolve the active population at `t` **once**: the row index of
+    /// every active host (in insertion order — the row store's
+    /// iteration order) paired with the snapshot index in force at `t`.
+    /// Every per-resource extraction at this date then reuses the set
+    /// instead of re-filtering rows.
+    pub fn active_at(&self, t: SimDate) -> ActiveSet {
+        let mut rows = Vec::new();
+        let mut snaps = Vec::new();
+        for i in 0..self.host_count() {
+            if !self.is_active_at(i, t) {
+                continue;
+            }
+            // Latest snapshot at or before `t` — the same reverse scan
+            // as `HostRecord::snapshot_at` (activity guarantees a hit).
+            if let Some(k) = self.snapshot_range(i).rev().find(|&k| self.snap_t[k] <= t) {
+                rows.push(i);
+                snaps.push(k);
+            }
+        }
+        ActiveSet {
+            date: t,
+            rows,
+            snaps,
+        }
+    }
+
+    /// Number of active hosts at `t`, without materialising the set.
+    pub fn active_count(&self, t: SimDate) -> usize {
+        (0..self.host_count())
+            .filter(|&i| self.is_active_at(i, t))
+            .count()
+    }
+
+    /// A zero-copy view of one resource column restricted to an active
+    /// set: no values are materialised until iterated or collected.
+    pub fn column(self, set: &'a ActiveSet, column: ResourceColumn) -> ColumnSlice<'a> {
+        ColumnSlice {
+            snap_cores: self.snap_cores,
+            snap_memory_mb: self.snap_memory_mb,
+            snap_whetstone: self.snap_whetstone,
+            snap_dhrystone: self.snap_dhrystone,
+            snap_avail_disk: self.snap_avail_disk,
+            set,
+            column,
+        }
+    }
+
+    /// Gather one resource column into a `Vec` — same values, same
+    /// order as [`Trace::column_at`].
+    pub fn column_values(&self, set: &ActiveSet, column: ResourceColumn) -> Vec<f64> {
+        self.column(set, column).iter().collect()
+    }
+
+    /// Host lifetimes in days under the paper's censoring rule —
+    /// identical semantics and order to [`Trace::lifetimes`].
+    pub fn lifetimes(&self, created_cutoff: SimDate) -> Vec<f64> {
+        let mut out = Vec::new();
+        for i in 0..self.host_count() {
+            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
+                continue;
+            }
+            out.push(self.last_contact[i] - self.first_contact[i]);
+        }
+        out
+    }
+
+    /// `(creation year, lifetime days)` pairs — identical to
+    /// [`Trace::creation_vs_lifetime`].
+    pub fn creation_vs_lifetime(&self, created_cutoff: SimDate) -> Vec<(f64, f64)> {
+        let mut out = Vec::new();
+        for i in 0..self.host_count() {
+            if self.snapshot_range(i).is_empty() || self.first_contact[i] > created_cutoff {
+                continue;
+            }
+            out.push((
+                self.created[i].year(),
+                self.last_contact[i] - self.first_contact[i],
+            ));
+        }
+        out
+    }
+
+    /// Earliest first contact across all hosts.
+    pub fn start(&self) -> Option<SimDate> {
+        (0..self.host_count())
+            .filter_map(|i| self.first_contact(i))
+            .reduce(SimDate::min)
+    }
+
+    /// Latest last contact across all hosts.
+    pub fn end(&self) -> Option<SimDate> {
+        (0..self.host_count())
+            .filter_map(|i| self.last_contact(i))
+            .reduce(SimDate::max)
+    }
+
+    /// Rebuild the equivalent row-oriented [`Trace`] — same hosts, same
+    /// order, same snapshots as the view.
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = Trace::new();
+        for i in 0..self.host_count() {
+            let mut record = HostRecord::new(self.ids[i], self.created[i]);
+            record.os = self.os[i];
+            record.cpu = self.cpu[i];
+            record.gpu = self.gpu[i];
+            for k in self.snapshot_range(i) {
+                record.record(self.snapshot(k));
+            }
+            trace.push(record);
+        }
+        trace
+    }
+
+    /// Report this view's shape to a metrics collector: extraction and
+    /// host/snapshot counters plus a snapshots-per-host histogram.
+    /// Everything recorded is a pure function of the columns, so the
+    /// metrics stay thread-count invariant.
+    pub fn observe_extraction(&self, obs: &resmodel_obs::Collector) {
+        if !obs.is_enabled() {
+            return;
+        }
+        obs.add("trace.columnar.extractions", 1);
+        obs.add("trace.columnar.hosts", self.host_count() as u64);
+        obs.add("trace.columnar.snapshots", self.snapshot_count() as u64);
+        let mut per_host = resmodel_obs::Histogram::new();
+        for row in 0..self.host_count() {
+            let range = self.snapshot_range(row);
+            per_host.record_u64(range.len() as u64);
+        }
+        obs.merge_histogram("trace.columnar.snapshots_per_host", &per_host);
+    }
+}
+
+/// A readable trace store: anything that can expose its contents as a
+/// [`ColumnsRef`].
+///
+/// Two backends implement this: the heap-owned
+/// [`crate::columnar::ColumnarTrace`] and the file-mapped
+/// [`crate::persist::MappedTrace`]. The provided methods all delegate
+/// to the shared [`ColumnsRef`] query implementations, so every
+/// backend answers every query with bitwise-identical results — the
+/// property the golden pipeline reports and round-trip proptests
+/// enforce.
+pub trait TraceSource {
+    /// Borrow the columns.
+    fn columns(&self) -> ColumnsRef<'_>;
+
+    /// Number of hosts.
+    fn host_count(&self) -> usize {
+        self.columns().host_count()
+    }
+
+    /// Total number of snapshots across all hosts.
+    fn snapshot_count(&self) -> usize {
+        self.columns().snapshot_count()
+    }
+
+    /// The paper's activity rule ([`ColumnsRef::is_active_at`]).
+    fn is_active_at(&self, row: usize, t: SimDate) -> bool {
+        self.columns().is_active_at(row, t)
+    }
+
+    /// Resolve the active population at `t` ([`ColumnsRef::active_at`]).
+    fn active_at(&self, t: SimDate) -> ActiveSet {
+        self.columns().active_at(t)
+    }
+
+    /// Number of active hosts at `t`.
+    fn active_count(&self, t: SimDate) -> usize {
+        self.columns().active_count(t)
+    }
+
+    /// A zero-copy view of one resource column over an active set.
+    fn column<'a>(&'a self, set: &'a ActiveSet, column: ResourceColumn) -> ColumnSlice<'a> {
+        self.columns().column(set, column)
+    }
+
+    /// Gather one resource column into a `Vec`.
+    fn column_values(&self, set: &ActiveSet, column: ResourceColumn) -> Vec<f64> {
+        self.columns().column_values(set, column)
+    }
+
+    /// Host lifetimes under the paper's censoring rule.
+    fn lifetimes(&self, created_cutoff: SimDate) -> Vec<f64> {
+        self.columns().lifetimes(created_cutoff)
+    }
+
+    /// `(creation year, lifetime days)` pairs.
+    fn creation_vs_lifetime(&self, created_cutoff: SimDate) -> Vec<(f64, f64)> {
+        self.columns().creation_vs_lifetime(created_cutoff)
+    }
+
+    /// Earliest first contact across all hosts.
+    fn start(&self) -> Option<SimDate> {
+        self.columns().start()
+    }
+
+    /// Latest last contact across all hosts.
+    fn end(&self) -> Option<SimDate> {
+        self.columns().end()
+    }
+
+    /// Rebuild the equivalent row-oriented [`Trace`].
+    fn to_trace(&self) -> Trace {
+        self.columns().to_trace()
+    }
+
+    /// Report the store's shape to a metrics collector.
+    fn observe_extraction(&self, obs: &resmodel_obs::Collector) {
+        self.columns().observe_extraction(obs);
+    }
+}
+
+/// The active population at one date, resolved once: parallel arrays of
+/// host row indices and the snapshot index in force for each.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveSet {
+    pub(crate) date: SimDate,
+    pub(crate) rows: Vec<usize>,
+    pub(crate) snaps: Vec<usize>,
+}
+
+impl ActiveSet {
+    /// The date this set was resolved at.
+    pub fn date(&self) -> SimDate {
+        self.date
+    }
+
+    /// Number of active hosts.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether no host was active.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Row (host) indices, in insertion order.
+    pub fn rows(&self) -> &[usize] {
+        &self.rows
+    }
+
+    /// Flattened snapshot index in force at the date, parallel to
+    /// [`ActiveSet::rows`].
+    pub fn snaps(&self) -> &[usize] {
+        &self.snaps
+    }
+}
+
+/// A zero-copy view of one resource column over an active set: borrows
+/// the backing store's snapshot columns and the set's index arrays,
+/// materialising nothing.
+#[derive(Debug, Clone, Copy)]
+pub struct ColumnSlice<'a> {
+    snap_cores: &'a [u32],
+    snap_memory_mb: &'a [f64],
+    snap_whetstone: &'a [f64],
+    snap_dhrystone: &'a [f64],
+    snap_avail_disk: &'a [f64],
+    set: &'a ActiveSet,
+    column: ResourceColumn,
+}
+
+impl<'a> ColumnSlice<'a> {
+    /// Number of values in the view.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Which resource this view extracts.
+    pub fn column(&self) -> ResourceColumn {
+        self.column
+    }
+
+    /// The `i`-th value (position within the active set).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i >= self.len()`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.value_at(self.set.snaps[i])
+    }
+
+    /// Iterate the values — bitwise the same sequence as
+    /// [`Trace::column_at`] produces for this date and resource.
+    pub fn iter(&self) -> ColumnSliceIter<'a> {
+        ColumnSliceIter {
+            slice: *self,
+            snaps: self.set.snaps.iter(),
+        }
+    }
+
+    /// Collect into a `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.iter().collect()
+    }
+
+    /// Extract the value at flattened snapshot index `k`, with exactly
+    /// the row path's arithmetic ([`ResourceColumn::extract`] over a
+    /// [`crate::host::HostView`]).
+    fn value_at(&self, k: usize) -> f64 {
+        match self.column {
+            ResourceColumn::Cores => self.snap_cores[k] as f64,
+            ResourceColumn::Memory => self.snap_memory_mb[k],
+            ResourceColumn::MemPerCore => self.snap_memory_mb[k] / self.snap_cores[k].max(1) as f64,
+            ResourceColumn::Whetstone => self.snap_whetstone[k],
+            ResourceColumn::Dhrystone => self.snap_dhrystone[k],
+            ResourceColumn::Disk => self.snap_avail_disk[k],
+        }
+    }
+}
+
+impl<'a> IntoIterator for &ColumnSlice<'a> {
+    type Item = f64;
+    type IntoIter = ColumnSliceIter<'a>;
+
+    fn into_iter(self) -> ColumnSliceIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a [`ColumnSlice`]'s values.
+#[derive(Debug, Clone)]
+pub struct ColumnSliceIter<'a> {
+    slice: ColumnSlice<'a>,
+    snaps: std::slice::Iter<'a, usize>,
+}
+
+impl Iterator for ColumnSliceIter<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.snaps.next().map(|&k| self.slice.value_at(k))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.snaps.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ColumnSliceIter<'_> {}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use crate::columnar::ColumnarTrace;
+
+    fn sample_columnar() -> ColumnarTrace {
+        let mut store = ColumnarTrace::new();
+        for (id, from, to, cores) in [(1u64, 2006.0, 2008.0, 1u32), (2, 2007.0, 2009.0, 2)] {
+            let snap = |year: f64| ResourceSnapshot {
+                t: SimDate::from_year(year),
+                cores,
+                memory_mb: 1024.0 * cores as f64,
+                whetstone_mips: 1000.0,
+                dhrystone_mips: 2000.0,
+                avail_disk_gb: 50.0,
+                total_disk_gb: 100.0,
+            };
+            store.push_host(
+                id.into(),
+                SimDate::from_year(from),
+                OsFamily::default(),
+                CpuFamily::default(),
+                None,
+                [snap(from), snap(to)],
+            );
+        }
+        store
+    }
+
+    #[test]
+    fn view_matches_store_queries() {
+        let store = sample_columnar();
+        let cols = store.columns();
+        assert_eq!(cols.host_count(), store.len());
+        assert_eq!(cols.snapshot_count(), store.snapshot_count());
+        assert!(!cols.is_empty());
+        let t = SimDate::from_year(2007.5);
+        assert_eq!(cols.active_at(t), store.active_at(t));
+        assert_eq!(cols.active_count(t), store.active_count(t));
+        assert_eq!(cols.start(), store.start());
+        assert_eq!(cols.end(), store.end());
+        let cutoff = SimDate::from_year(2008.0);
+        assert_eq!(cols.lifetimes(cutoff), store.lifetimes(cutoff));
+        assert_eq!(
+            cols.creation_vs_lifetime(cutoff),
+            store.creation_vs_lifetime(cutoff)
+        );
+        assert_eq!(cols.to_trace().hosts(), store.to_trace().hosts());
+    }
+
+    #[test]
+    fn trait_object_queries_work() {
+        let store = sample_columnar();
+        let src: &dyn TraceSource = &store;
+        assert_eq!(src.host_count(), 2);
+        assert_eq!(src.snapshot_count(), 4);
+        let t = SimDate::from_year(2007.5);
+        let set = src.active_at(t);
+        assert_eq!(set.len(), 2);
+        assert!(src.is_active_at(0, t));
+        assert_eq!(src.active_count(t), 2);
+        let vals = src.column_values(&set, ResourceColumn::Memory);
+        assert_eq!(vals, vec![1024.0, 2048.0]);
+        assert_eq!(src.column(&set, ResourceColumn::Cores).to_vec(), [1.0, 2.0]);
+        assert_eq!(src.start(), store.start());
+        assert_eq!(src.end(), store.end());
+        assert_eq!(src.lifetimes(t), store.lifetimes(t));
+        assert_eq!(src.creation_vs_lifetime(t), store.creation_vs_lifetime(t));
+        assert_eq!(src.to_trace().len(), 2);
+        let obs = resmodel_obs::Collector::new();
+        src.observe_extraction(&obs);
+        assert_eq!(obs.snapshot().counter("trace.columnar.hosts"), Some(2));
+    }
+
+    #[test]
+    fn roundtrip_through_owned_copy() {
+        let store = sample_columnar();
+        let copy = ColumnarTrace::from(store.columns());
+        assert_eq!(copy, store);
+    }
+}

@@ -28,7 +28,11 @@ pub const EPOCH_YEAR: f64 = 2005.0;
 /// let later = d + 365.25;
 /// assert!((later.year() - 2007.0).abs() < 1e-9);
 /// ```
+/// The layout is `#[repr(transparent)]` over the inner `f64`, so the
+/// persistence layer can reinterpret an aligned little-endian `f64`
+/// column as a `&[SimDate]` without copying.
 #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+#[repr(transparent)]
 pub struct SimDate {
     days: f64,
 }

@@ -1,0 +1,161 @@
+//! Property-based tests of the `resmodel.trace/1` persistence layer:
+//! `write → map → to_trace` is bitwise identity for arbitrary traces
+//! (lossless precision, both the mmap and the heap backend), and the
+//! compact precision narrows exactly the five resource columns to
+//! `f32` and nothing else.
+
+use proptest::prelude::*;
+use resmodel_trace::columnar::ColumnarTrace;
+use resmodel_trace::persist::{write_trace, MappedTrace, Precision};
+use resmodel_trace::{HostRecord, ResourceSnapshot, SimDate, Trace, TraceSource};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A unique scratch path per proptest case (cases run concurrently).
+fn scratch() -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    std::env::temp_dir().join(format!(
+        "resmodel-proptest-persist-{}-{}.rmt",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Strategy: a host with snapshots at sorted offsets from its creation.
+fn host_strategy(id: u64) -> impl Strategy<Value = HostRecord> {
+    (
+        2005.0..2010.0f64,
+        prop::collection::vec(0.0..2000.0f64, 0..6),
+        1u32..9,
+        128.0..8192.0f64,
+    )
+        .prop_map(move |(year, mut offsets, cores, mem)| {
+            offsets.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let created = SimDate::from_year(year);
+            let mut h = HostRecord::new(id.into(), created);
+            for (i, off) in offsets.iter().enumerate() {
+                h.record(ResourceSnapshot {
+                    t: created + *off,
+                    cores,
+                    memory_mb: mem + i as f64,
+                    whetstone_mips: 1000.0 + i as f64,
+                    dhrystone_mips: 2000.0 + (i % 3) as f64,
+                    avail_disk_gb: 40.0 + i as f64,
+                    total_disk_gb: 100.0,
+                });
+            }
+            h
+        })
+}
+
+fn trace_strategy() -> impl Strategy<Value = Trace> {
+    prop::collection::vec(host_strategy(0), 0..24).prop_map(|hosts| {
+        hosts
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut h)| {
+                h.id = (i as u64).into();
+                h
+            })
+            .collect()
+    })
+}
+
+/// Bitwise equality of every column between two sources: `PartialEq`
+/// on floats would also pass for `-0.0 == 0.0`, so compare bits.
+fn assert_bitwise_equal(a: &(impl TraceSource + ?Sized), b: &(impl TraceSource + ?Sized)) {
+    let (a, b) = (a.columns(), b.columns());
+    assert_eq!(a.ids, b.ids);
+    assert_eq!(a.created, b.created);
+    assert_eq!(a.os, b.os);
+    assert_eq!(a.cpu, b.cpu);
+    assert_eq!(a.gpu, b.gpu);
+    assert_eq!(a.first_contact, b.first_contact);
+    assert_eq!(a.last_contact, b.last_contact);
+    assert_eq!(a.snap_start, b.snap_start);
+    assert_eq!(a.snap_t, b.snap_t);
+    assert_eq!(a.snap_cores, b.snap_cores);
+    for (x, y) in [
+        (a.snap_memory_mb, b.snap_memory_mb),
+        (a.snap_whetstone, b.snap_whetstone),
+        (a.snap_dhrystone, b.snap_dhrystone),
+        (a.snap_avail_disk, b.snap_avail_disk),
+        (a.snap_total_disk, b.snap_total_disk),
+    ] {
+        assert_eq!(x.len(), y.len());
+        for (v, w) in x.iter().zip(y) {
+            assert_eq!(v.to_bits(), w.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lossless_round_trip_is_bitwise_identity(trace in trace_strategy()) {
+        let columnar = ColumnarTrace::from(&trace);
+        let path = scratch();
+        write_trace(&path, &columnar, Precision::Lossless).expect("write");
+
+        let mapped = MappedTrace::open(&path).expect("map");
+        prop_assert_eq!(mapped.precision(), Precision::Lossless);
+        assert_bitwise_equal(&columnar, &mapped);
+        // The reconstructed row trace is the original, host for host.
+        prop_assert_eq!(mapped.to_trace().hosts(), trace.hosts());
+
+        // The heap backend reads the same bytes to the same columns.
+        let heap = MappedTrace::open_in_heap(&path).expect("heap read");
+        prop_assert_eq!(heap.backend(), "heap");
+        assert_bitwise_equal(&mapped, &heap);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compact_narrows_exactly_the_resource_columns(trace in trace_strategy()) {
+        let columnar = ColumnarTrace::from(&trace);
+        let path = scratch();
+        write_trace(&path, &columnar, Precision::Compact).expect("write");
+        let mapped = MappedTrace::open(&path).expect("map");
+        prop_assert_eq!(mapped.precision(), Precision::Compact);
+
+        let (a, b) = (columnar.columns(), mapped.columns());
+        // Structure and integer/date columns are untouched...
+        prop_assert_eq!(a.ids, b.ids);
+        prop_assert_eq!(a.created, b.created);
+        prop_assert_eq!(a.snap_start, b.snap_start);
+        prop_assert_eq!(a.snap_t, b.snap_t);
+        prop_assert_eq!(a.snap_cores, b.snap_cores);
+        // ...while each resource value went through exactly one
+        // f64 → f32 → f64 narrowing.
+        for (x, y) in [
+            (a.snap_memory_mb, b.snap_memory_mb),
+            (a.snap_whetstone, b.snap_whetstone),
+            (a.snap_dhrystone, b.snap_dhrystone),
+            (a.snap_avail_disk, b.snap_avail_disk),
+            (a.snap_total_disk, b.snap_total_disk),
+        ] {
+            prop_assert_eq!(x.len(), y.len());
+            for (v, w) in x.iter().zip(y) {
+                prop_assert_eq!(f64::from(*v as f32).to_bits(), w.to_bits());
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mapped_queries_match_the_heap_store(trace in trace_strategy(), probe_year in 2004.0..2013.0f64) {
+        let columnar = ColumnarTrace::from(&trace);
+        let path = scratch();
+        write_trace(&path, &columnar, Precision::Lossless).expect("write");
+        let mapped = MappedTrace::open(&path).expect("map");
+
+        let t = SimDate::from_year(probe_year);
+        prop_assert_eq!(mapped.active_at(t).len(), columnar.active_at(t).len());
+        prop_assert_eq!(mapped.start(), columnar.start());
+        prop_assert_eq!(mapped.end(), columnar.end());
+        let cutoff = SimDate::from_year(2011.0);
+        prop_assert_eq!(mapped.lifetimes(cutoff), columnar.lifetimes(cutoff));
+        let _ = std::fs::remove_file(&path);
+    }
+}

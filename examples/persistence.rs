@@ -1,0 +1,79 @@
+//! Out-of-core persistence: build a 100k-host fleet once, save its
+//! sanitized trace as a `resmodel.trace/1` file, then run the whole
+//! fit + validate analysis again straight off the mapped file — and
+//! time reload against regeneration.
+//!
+//! The saved file is mmap-friendly: every column is a 64-byte-aligned
+//! little-endian section, so reopening it costs one `mmap` and a
+//! checksum pass instead of re-simulating the fleet. The analysis is
+//! byte-identical either way (that is asserted below, not assumed).
+//!
+//! Run with: `cargo run --release --example persistence`
+
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::Pipeline;
+use resmodel::prelude::*;
+use resmodel::trace::MappedTrace;
+use std::time::Instant;
+
+fn main() -> Result<(), ResmodelError> {
+    println!("== resmodel persistence: save once, map forever ==\n");
+    let path = std::env::temp_dir().join("resmodel-example-persistence.rmt");
+
+    let stages = |p: Pipeline| {
+        p.fit(FitConfig::yearly(2007, 2010))
+            .validate_seeded(vec![SimDate::from_year(2010.5)], 7)
+    };
+
+    // --- Pass 1: simulate, sanitize, analyze, and persist. ---
+    let t0 = Instant::now();
+    let regenerated = stages(
+        Pipeline::from_scenario(Scenario::steady_state(20110620))
+            .max_hosts(100_000)
+            .sanitize_default(),
+    )
+    .save_trace(&path)
+    .run()?;
+    let regenerate_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let bytes = std::fs::metadata(&path).map_or(0, |m| m.len());
+    println!(
+        "pass 1 (simulate + analyze + save): {regenerate_ms:>7.0} ms  \
+         → {} hosts, {:.1} MB on disk",
+        regenerated.world.hosts,
+        bytes as f64 / 1e6
+    );
+
+    // --- Pass 2: map the file and run the same analysis. ---
+    let t0 = Instant::now();
+    let mapped = MappedTrace::open(&path)?;
+    println!(
+        "mapped {} ({} backend, {} precision)",
+        mapped.path(),
+        mapped.backend(),
+        mapped.precision().name()
+    );
+    let reloaded = stages(Pipeline::from_trace_file(&path)?).run()?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    println!("pass 2 (map + analyze):             {load_ms:>7.0} ms");
+
+    // Identity, not similarity: the mapped run reproduces the fit and
+    // validation blocks byte-for-byte.
+    assert_eq!(
+        serde_json::to_string_pretty(&reloaded.fit),
+        serde_json::to_string_pretty(&regenerated.fit),
+        "fit from the mapped file must match regeneration"
+    );
+    assert_eq!(
+        serde_json::to_string_pretty(&reloaded.validation),
+        serde_json::to_string_pretty(&regenerated.validation),
+        "validation from the mapped file must match regeneration"
+    );
+    println!(
+        "\nfit + validation byte-identical; reload is {:.1}x cheaper than regeneration",
+        regenerate_ms / load_ms.max(0.001)
+    );
+
+    let _ = std::fs::remove_file(&path);
+    Ok(())
+}

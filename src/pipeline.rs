@@ -45,9 +45,12 @@ use resmodel_obs::Collector;
 use resmodel_popsim::{engine, fleet_to_columnar, fleet_to_trace, EngineReport, Scenario};
 use resmodel_sched::{DispatchPolicy, DispatchReport, WorkloadSpec};
 use resmodel_stats::Matrix;
+use resmodel_trace::persist::{self, Precision};
 use resmodel_trace::sanitize::{sanitize, SanitizeRules};
-use resmodel_trace::{ColumnarTrace, SimDate, Trace};
+use resmodel_trace::{ColumnarTrace, MappedTrace, SimDate, Trace, TraceSource};
 use serde::{Deserialize, Serialize};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Where the measurement trace comes from.
@@ -186,8 +189,12 @@ pub enum DataPath {
 pub struct RunMetrics {
     /// Time spent producing the columnar store, ms: the row→column
     /// conversion, or the direct fleet export when the source is a
-    /// scenario with no sanitize stage. `0` on [`DataPath::Row`].
+    /// scenario with no sanitize stage. `0` on [`DataPath::Row`] and
+    /// when the analysis ran straight off a mapped trace file.
     pub extract_ms: f64,
+    /// Time spent persisting the trace to disk when
+    /// [`Pipeline::save_trace`] was requested, ms (`0` otherwise).
+    pub save_ms: f64,
 }
 
 /// Builder for an end-to-end run. Construct with one of the `from_*`
@@ -196,6 +203,8 @@ pub struct RunMetrics {
 pub struct Pipeline {
     spec: PipelineSpec,
     external: Option<Trace>,
+    mapped: Option<Arc<MappedTrace>>,
+    save: Option<(PathBuf, Precision)>,
     path: DataPath,
     collector: Collector,
 }
@@ -212,6 +221,8 @@ impl Pipeline {
                 dispatch: None,
             },
             external: None,
+            mapped: None,
+            save: None,
             path: DataPath::default(),
             collector: Collector::disabled(),
         }
@@ -238,11 +249,37 @@ impl Pipeline {
         p
     }
 
+    /// Start from an on-disk `resmodel.trace/1` file (see
+    /// `docs/FORMAT.md`). The file is mapped read-only and, on the
+    /// default [`DataPath::Columnar`] with no sanitize stage, the
+    /// analysis stages extract straight from the mapped columns —
+    /// no rows and no heap copy of the trace are materialized. The
+    /// resulting spec records an [`SourceSpec::External`] source.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResmodelError::Io`] when the file cannot be read and
+    /// [`ResmodelError::Store`] when it is not a valid trace file.
+    pub fn from_trace_file(path: impl AsRef<Path>) -> Result<Self, ResmodelError> {
+        Ok(Self::from_mapped(Arc::new(MappedTrace::open(path)?)))
+    }
+
+    /// Start from an already-mapped trace, shared via [`Arc`] (e.g.
+    /// held by a cache). Semantics are those of
+    /// [`Pipeline::from_trace_file`].
+    pub fn from_mapped(mapped: Arc<MappedTrace>) -> Self {
+        let mut p = Self::from_source(SourceSpec::External);
+        p.mapped = Some(mapped);
+        p
+    }
+
     /// Rebuild a pipeline from a (possibly deserialized) spec.
     pub fn from_spec(spec: PipelineSpec) -> Self {
         Self {
             spec,
             external: None,
+            mapped: None,
+            save: None,
             path: DataPath::default(),
             collector: Collector::disabled(),
         }
@@ -271,6 +308,30 @@ impl Pipeline {
     /// Attach the trace an [`SourceSpec::External`] spec refers to.
     pub fn with_trace(mut self, trace: Trace) -> Self {
         self.external = Some(trace);
+        self
+    }
+
+    /// Attach the mapped trace an [`SourceSpec::External`] spec refers
+    /// to — the rebuilt-from-spec counterpart of
+    /// [`Pipeline::from_mapped`]. An in-memory trace attached via
+    /// [`Pipeline::with_trace`] takes precedence.
+    pub fn with_mapped(mut self, mapped: Arc<MappedTrace>) -> Self {
+        self.mapped = Some(mapped);
+        self
+    }
+
+    /// Persist the analyzed (post-sanitize) trace to `path` in the
+    /// lossless `resmodel.trace/1` format during the run, so a later
+    /// run can [`Pipeline::from_trace_file`] it instead of rebuilding
+    /// the source. The write is timed into [`RunMetrics::save_ms`].
+    pub fn save_trace(self, path: impl Into<PathBuf>) -> Self {
+        self.save_trace_with(path, Precision::Lossless)
+    }
+
+    /// [`Pipeline::save_trace`] with an explicit [`Precision`]
+    /// (`Compact` stores the five resource columns as `f32`).
+    pub fn save_trace_with(mut self, path: impl Into<PathBuf>, precision: Precision) -> Self {
+        self.save = Some((path.into(), precision));
         self
     }
 
@@ -468,12 +529,14 @@ impl Pipeline {
         let spec = self.spec;
         let obs = self.collector;
         let mut timing = StageTimings::default();
+        let mut metrics = RunMetrics::default();
 
         // --- Source ---
         let span = obs.span("build");
         let t0 = Instant::now();
+        let external = resolve_external(self.external, self.mapped.as_deref());
         let (raw, engine_report) =
-            Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some(), &obs)?;
+            Self::build_row_source(&spec.source, external, spec.dispatch.is_some(), &obs)?;
         timing.build_ms = ms_since(t0);
         drop(span);
         let raw_hosts = raw.len();
@@ -492,6 +555,11 @@ impl Pipeline {
             timing.sanitize_ms = ms_since(t0);
         }
         drop(span);
+
+        // --- Save ---
+        if self.save.is_some() {
+            save_stage(&self.save, &ColumnarTrace::from(&trace), &mut metrics, &obs)?;
+        }
 
         let world = world_summary(
             trace.len(),
@@ -571,7 +639,7 @@ impl Pipeline {
             dispatch,
             timing,
         };
-        Ok((report, Some(trace), RunMetrics::default()))
+        Ok((report, Some(trace), metrics))
     }
 
     /// The columnar implementation: the trace is columnarised once
@@ -586,6 +654,26 @@ impl Pipeline {
         let obs = self.collector;
         let mut timing = StageTimings::default();
         let mut metrics = RunMetrics::default();
+
+        // --- Mapped fast path ---
+        // An External source backed by a mapped trace file, with no
+        // sanitize stage and no in-memory trace overriding it, analyzes
+        // the mapped columns in place: no row trace is rebuilt and no
+        // heap copy of the columns is made. Byte-identical reports to
+        // the heap path — the persistence identity tests enforce it.
+        if matches!(spec.source, SourceSpec::External)
+            && spec.sanitize.is_none()
+            && self.external.is_none()
+        {
+            if let Some(store) = &self.mapped {
+                let store: &MappedTrace = store;
+                save_stage(&self.save, store, &mut metrics, &obs)?;
+                let hosts = store.host_count();
+                let report = analyze_source(store, spec, &obs, hosts, 0, None, timing)?;
+                let trace = want_trace.then(|| store.to_trace());
+                return Ok((report, trace, metrics));
+            }
+        }
 
         // --- Source + columnarization ---
         // A scenario source with no sanitize stage skips the row-trace
@@ -623,8 +711,9 @@ impl Pipeline {
         } else {
             let span = obs.span("build");
             let t0 = Instant::now();
+            let external = resolve_external(self.external, self.mapped.as_deref());
             let (raw, engine) =
-                Self::build_row_source(&spec.source, self.external, spec.dispatch.is_some(), &obs)?;
+                Self::build_row_source(&spec.source, external, spec.dispatch.is_some(), &obs)?;
             engine_report = engine;
             timing.build_ms = ms_since(t0);
             drop(span);
@@ -652,85 +741,135 @@ impl Pipeline {
             row_trace = Some(trace);
             (columnar, raw_hosts, discarded)
         };
-        columnar.observe_extraction(&obs);
+        // --- Save ---
+        save_stage(&self.save, &columnar, &mut metrics, &obs)?;
 
-        let world = world_summary(
-            columnar.len(),
+        let report = analyze_source(
+            &columnar,
+            spec,
+            &obs,
             raw_hosts,
             discarded,
-            columnar.start(),
-            columnar.end(),
-        );
-
-        // --- Fit ---
-        let t0 = Instant::now();
-        let fit = match &spec.fit {
-            Some(config) => {
-                let _span = obs.span("fit");
-                let report = fit_host_model_columnar(&columnar, config)?;
-                let lifetime = config
-                    .sample_dates
-                    .last()
-                    .and_then(|&cutoff| lifetime_weibull_columnar(&columnar, cutoff).ok())
-                    .map(LifetimeFit::from);
-                timing.fit_ms = ms_since(t0);
-                Some(FitStage { report, lifetime })
-            }
-            None => None,
-        };
-
-        // --- Validate ---
-        let t0 = Instant::now();
-        let validation = match &spec.validate {
-            Some(v) => {
-                let _span = obs.span("validate");
-                let model = &require_fit(&fit, "validate")?.report.model;
-                let mut out = Vec::with_capacity(v.dates.len());
-                for (i, &date) in v.dates.iter().enumerate() {
-                    let actual = columnar.active_at(date);
-                    let generated =
-                        model.generate_population(date, actual.len(), v.seed ^ i as u64);
-                    let comparisons = compare_populations_columnar(&generated, &columnar, &actual)?;
-                    let generated_correlation = generated_correlation_matrix(&generated)?;
-                    out.push(ValidationAt {
-                        date,
-                        hosts: actual.len(),
-                        comparisons,
-                        generated_correlation,
-                    });
-                }
-                timing.validate_ms = ms_since(t0);
-                Some(out)
-            }
-            None => None,
-        };
-
-        // --- Predict ---
-        let span = spec.predict.as_ref().map(|_| obs.span("predict"));
-        let t0 = Instant::now();
-        let predictions = predict_stage(&spec.predict, &fit)?;
-        if predictions.is_some() {
-            timing.predict_ms = ms_since(t0);
-        }
-        drop(span);
-
-        // --- Dispatch ---
-        let dispatch =
-            Self::dispatch_stage(&spec.dispatch, engine_report.as_ref(), &mut timing, &obs)?;
-
-        record_pipeline_metrics(&obs, &world);
-        let report = PipelineReport {
-            spec,
-            world,
-            fit,
-            validation,
-            predictions,
-            dispatch,
+            engine_report.as_ref(),
             timing,
-        };
+        )?;
         let trace = want_trace.then(|| row_trace.unwrap_or_else(|| columnar.to_trace()));
         Ok((report, trace, metrics))
     }
+}
+
+/// Resolve the trace an [`SourceSpec::External`] source refers to: an
+/// explicitly attached in-memory trace wins, else the mapped trace
+/// file is materialized as rows (the sanitize stage and the row data
+/// path need owned records).
+fn resolve_external(external: Option<Trace>, mapped: Option<&MappedTrace>) -> Option<Trace> {
+    external.or_else(|| mapped.map(TraceSource::to_trace))
+}
+
+/// Persist `store` when a [`Pipeline::save_trace`] destination was
+/// configured, timing the write into [`RunMetrics::save_ms`].
+fn save_stage<S: TraceSource + ?Sized>(
+    save: &Option<(PathBuf, Precision)>,
+    store: &S,
+    metrics: &mut RunMetrics,
+    obs: &Collector,
+) -> Result<(), ResmodelError> {
+    if let Some((path, precision)) = save {
+        let _span = obs.span("save");
+        let t0 = Instant::now();
+        persist::write_trace(path, store, *precision)?;
+        metrics.save_ms = ms_since(t0);
+    }
+    Ok(())
+}
+
+/// The analysis stages — fit, validate, predict, dispatch — run over
+/// any [`TraceSource`] backend (heap columns or a mapped file), plus
+/// report assembly. Every columnar/mapped run funnels through here, so
+/// the backends cannot drift apart.
+fn analyze_source<S: TraceSource + ?Sized>(
+    store: &S,
+    spec: PipelineSpec,
+    obs: &Collector,
+    raw_hosts: usize,
+    discarded: usize,
+    engine_report: Option<&EngineReport>,
+    mut timing: StageTimings,
+) -> Result<PipelineReport, ResmodelError> {
+    store.observe_extraction(obs);
+
+    let world = world_summary(
+        store.host_count(),
+        raw_hosts,
+        discarded,
+        store.start(),
+        store.end(),
+    );
+
+    // --- Fit ---
+    let t0 = Instant::now();
+    let fit = match &spec.fit {
+        Some(config) => {
+            let _span = obs.span("fit");
+            let report = fit_host_model_columnar(store, config)?;
+            let lifetime = config
+                .sample_dates
+                .last()
+                .and_then(|&cutoff| lifetime_weibull_columnar(store, cutoff).ok())
+                .map(LifetimeFit::from);
+            timing.fit_ms = ms_since(t0);
+            Some(FitStage { report, lifetime })
+        }
+        None => None,
+    };
+
+    // --- Validate ---
+    let t0 = Instant::now();
+    let validation = match &spec.validate {
+        Some(v) => {
+            let _span = obs.span("validate");
+            let model = &require_fit(&fit, "validate")?.report.model;
+            let mut out = Vec::with_capacity(v.dates.len());
+            for (i, &date) in v.dates.iter().enumerate() {
+                let actual = store.active_at(date);
+                let generated = model.generate_population(date, actual.len(), v.seed ^ i as u64);
+                let comparisons = compare_populations_columnar(&generated, store, &actual)?;
+                let generated_correlation = generated_correlation_matrix(&generated)?;
+                out.push(ValidationAt {
+                    date,
+                    hosts: actual.len(),
+                    comparisons,
+                    generated_correlation,
+                });
+            }
+            timing.validate_ms = ms_since(t0);
+            Some(out)
+        }
+        None => None,
+    };
+
+    // --- Predict ---
+    let span = spec.predict.as_ref().map(|_| obs.span("predict"));
+    let t0 = Instant::now();
+    let predictions = predict_stage(&spec.predict, &fit)?;
+    if predictions.is_some() {
+        timing.predict_ms = ms_since(t0);
+    }
+    drop(span);
+
+    // --- Dispatch ---
+    let dispatch = Pipeline::dispatch_stage(&spec.dispatch, engine_report, &mut timing, obs)?;
+
+    record_pipeline_metrics(obs, &world);
+    Ok(PipelineReport {
+        spec,
+        world,
+        fit,
+        validation,
+        predictions,
+        dispatch,
+        timing,
+    })
 }
 
 /// Whole-run population counters, recorded once per pipeline run.

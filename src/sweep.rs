@@ -46,16 +46,23 @@ use resmodel_popsim::Scenario;
 use resmodel_sched::{DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
 use resmodel_trace::sanitize::SanitizeRules;
-use resmodel_trace::SimDate;
+use resmodel_trace::{MappedTrace, SimDate, TraceSource};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/5` adds
-/// the query-service block ([`SvcSummary`]) — cache hit/miss counters,
-/// hit rate, and per-endpoint request-latency histograms from a
-/// serving probe — so cache effectiveness is tracked per commit
-/// alongside the `/4` observability block.
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/5";
+/// Schema identifier written into every [`BenchArtifact`]: `/6` adds
+/// the trace-store block ([`StoreSummary`]) — file size, write/load
+/// timings and the mapped-reload-vs-regeneration comparison of an
+/// out-of-core persistence probe (see `docs/FORMAT.md`) — alongside
+/// the `/5` query-service and `/4` observability blocks.
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/6";
+
+/// The `/5` artifact schema (query-service block — cache hit/miss
+/// counters, hit rate, per-endpoint request-latency histograms — but
+/// no trace-store block). Still accepted by `swept --check` so stored
+/// artifacts keep validating.
+pub const BENCH_SCHEMA_V5: &str = "resmodel.bench_sweep/5";
 
 /// The `/4` artifact schema (observability block — `peak_rss_bytes`
 /// plus the full [`MetricsReport`] — and per-job `jobs_per_sec`; no
@@ -548,6 +555,10 @@ fn run_job(job: &SweepJob, path: DataPath, obs: &Collector) -> Result<JobReport,
     })
 }
 
+fn ms_between(t0: Instant) -> f64 {
+    t0.elapsed().as_secs_f64() * 1e3
+}
+
 fn rate(hosts: usize, wall_ms: f64) -> f64 {
     if wall_ms > 0.0 {
         hosts as f64 / (wall_ms / 1e3)
@@ -794,6 +805,7 @@ impl SweepReport {
             peak_rss_bytes: None,
             metrics: None,
             svc: None,
+            store: None,
             jobs: self
                 .jobs
                 .iter()
@@ -886,6 +898,104 @@ impl SvcSummary {
     }
 }
 
+/// The `/6` trace-store block of a [`BenchArtifact`]: one out-of-core
+/// persistence probe — a pipeline run is persisted to the
+/// `resmodel.trace/1` format, reloaded through the mapped backend, and
+/// re-analyzed, timing both sides so the artifact records whether
+/// reloading a saved trace beats regenerating it from the source.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StoreSummary {
+    /// Hosts in the persisted trace.
+    pub hosts: usize,
+    /// Flattened snapshots in the persisted trace.
+    pub snapshots: usize,
+    /// Size of the trace file, bytes.
+    pub file_bytes: u64,
+    /// Time to write the trace file, ms.
+    pub write_ms: f64,
+    /// Time to regenerate the trace from its source and run the
+    /// analysis stages, ms (the write above excluded).
+    pub regenerate_ms: f64,
+    /// Time to open the trace file and run the same analysis stages
+    /// from the mapped columns, ms.
+    pub load_ms: f64,
+    /// Byte source the reload was served from: `"mmap"`, or `"heap"`
+    /// when mapping was unavailable and the reader fell back to an
+    /// aligned read.
+    pub backend: String,
+}
+
+impl StoreSummary {
+    /// Run the persistence probe on one pipeline configuration: run
+    /// `spec` from its source while saving the analyzed trace to
+    /// `path`, then reload `path` through [`MappedTrace`] and rerun
+    /// the same analysis stages. The two runs' fit, validation and
+    /// prediction blocks must be byte-identical (timings zeroed) —
+    /// divergence is an error, not a figure.
+    ///
+    /// The dispatch stage is stripped (it needs the live fleet
+    /// timeline, which a trace file does not carry), as is
+    /// sanitization on the reload side (the saved trace is already
+    /// sanitized).
+    ///
+    /// # Errors
+    ///
+    /// Propagates pipeline and store failures, and reports divergence
+    /// between the regenerated and reloaded analyses as
+    /// [`ResmodelError::Config`].
+    pub fn probe(spec: &PipelineSpec, path: &Path) -> Result<Self, ResmodelError> {
+        let mut spec = spec.clone();
+        spec.dispatch = None;
+
+        // Side A: regenerate from the source, persisting on the way.
+        let t0 = Instant::now();
+        let (mut regenerated, metrics) = Pipeline::from_spec(spec.clone())
+            .save_trace(path)
+            .run_metered()?;
+        let regenerate_ms = ms_between(t0) - metrics.save_ms;
+
+        // Side B: reload the file mapped and rerun the analysis.
+        let t0 = Instant::now();
+        let mapped = std::sync::Arc::new(MappedTrace::open(path)?);
+        let snapshots = mapped.snapshot_count();
+        let file_bytes = mapped.file_len();
+        let backend = mapped.backend().to_owned();
+        let mut reload_spec = spec;
+        reload_spec.source = SourceSpec::External;
+        reload_spec.sanitize = None;
+        let mut reloaded = Pipeline::from_spec(reload_spec).with_mapped(mapped).run()?;
+        let load_ms = ms_between(t0);
+
+        let summary = Self {
+            hosts: reloaded.world.hosts,
+            snapshots,
+            file_bytes,
+            write_ms: metrics.save_ms,
+            regenerate_ms,
+            load_ms,
+            backend,
+        };
+
+        regenerated.zero_timings();
+        reloaded.zero_timings();
+        let stages = |r: &crate::pipeline::PipelineReport| -> Result<String, ResmodelError> {
+            let fit = serde_json::to_string(&r.fit).map_err(|e| ResmodelError::json("fit", e))?;
+            let val = serde_json::to_string(&r.validation)
+                .map_err(|e| ResmodelError::json("validation", e))?;
+            let pred = serde_json::to_string(&r.predictions)
+                .map_err(|e| ResmodelError::json("predictions", e))?;
+            Ok(format!("{fit}\n{val}\n{pred}"))
+        };
+        if stages(&regenerated)? != stages(&reloaded)? {
+            return Err(ResmodelError::config(
+                "store probe",
+                "mapped reload produced a different analysis than regeneration",
+            ));
+        }
+        Ok(summary)
+    }
+}
+
 /// The machine-readable benchmark artifact (`BENCH_sweep.json`): the
 /// perf-trajectory record CI stores for every run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -909,9 +1019,13 @@ pub struct BenchArtifact {
     /// producing run (schema `/4`+; `None` when parsed from /1–/3).
     pub metrics: Option<MetricsReport>,
     /// The query-service block: cache effectiveness of the serving
-    /// probe (schema `/5`; `None` when parsed from /1–/4 or when the
+    /// probe (schema `/5`+; `None` when parsed from /1–/4 or when the
     /// run had no probe).
     pub svc: Option<SvcSummary>,
+    /// The trace-store block: timings and file size of the out-of-core
+    /// persistence probe (schema `/6`; `None` when parsed from /1–/5
+    /// or when the run had no probe).
+    pub store: Option<StoreSummary>,
     /// Per-job throughput rows.
     pub jobs: Vec<BenchJobRow>,
 }

@@ -1,0 +1,145 @@
+//! Persistence identity against the committed golden report: the
+//! `resmodel.trace/1` round trip must not perturb a single byte of
+//! the analysis.
+//!
+//! Two claims, both pinned to `tests/golden/steady_state_report.json`
+//! without re-blessing it:
+//!
+//! 1. Adding a `save_trace` stage to the golden spec leaves the
+//!    report bytes untouched — persistence is a pure side effect.
+//! 2. Re-running the analysis from the saved file (mapped, and again
+//!    with the heap fallback) reproduces the golden fit, validation,
+//!    and prediction blocks byte-for-byte. The `spec`/`world` blocks
+//!    legitimately differ — a saved trace is post-sanitization, so
+//!    the reload run has an external source and no pre-sanitization
+//!    host figures — which is why the comparison is per stage block,
+//!    not whole-file.
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::core::fit::FitConfig;
+use resmodel::pipeline::{Pipeline, StageTimings};
+use resmodel::popsim::Scenario;
+use resmodel::trace::SimDate;
+use serde_json::Value;
+use std::path::PathBuf;
+
+const GOLDEN_PATH: &str = "tests/golden/steady_state_report.json";
+
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "resmodel-persist-{}-{name}.rmt",
+        std::process::id()
+    ))
+}
+
+/// The golden pipeline (see `tests/golden_pipeline.rs`), optionally
+/// persisting its sanitized trace to `save`.
+fn golden_pipeline(save: Option<&PathBuf>) -> Pipeline {
+    let mut p = Pipeline::from_scenario(Scenario::steady_state(20110620))
+        .max_hosts(12_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate_seeded(vec![SimDate::from_year(2010.5)], 7)
+        .predict(vec![SimDate::from_year(2012.0), SimDate::from_year(2014.0)]);
+    if let Some(path) = save {
+        p = p.save_trace(path);
+    }
+    p
+}
+
+/// The same analysis stages, sourced from a saved trace file.
+fn reload_pipeline(path: &PathBuf) -> Pipeline {
+    Pipeline::from_trace_file(path)
+        .expect("saved trace maps")
+        .fit(FitConfig::yearly(2007, 2010))
+        .validate_seeded(vec![SimDate::from_year(2010.5)], 7)
+        .predict(vec![SimDate::from_year(2012.0), SimDate::from_year(2014.0)])
+}
+
+/// A stage block of the golden file, pretty-printed on its own.
+fn stage(tree: &Value, key: &str) -> String {
+    serde_json::to_string_pretty(&tree[key]).unwrap()
+}
+
+#[test]
+fn save_stage_does_not_perturb_the_golden_bytes() {
+    let path = scratch("save");
+    let mut report = golden_pipeline(Some(&path)).run().unwrap();
+    report.timing = StageTimings::default();
+    let golden = std::fs::read_to_string(GOLDEN_PATH).expect("golden file exists");
+    assert_eq!(
+        report.to_json_pretty().unwrap(),
+        golden,
+        "saving the trace must be invisible in the report"
+    );
+    assert!(path.is_file(), "the trace was persisted");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mapped_reload_reproduces_the_golden_stage_blocks() {
+    let path = scratch("reload");
+    golden_pipeline(Some(&path)).run().unwrap();
+
+    let golden: Value =
+        serde_json::from_str(&std::fs::read_to_string(GOLDEN_PATH).unwrap()).unwrap();
+
+    // Mapped reload.
+    let mut report = reload_pipeline(&path).run().unwrap();
+    report.timing = StageTimings::default();
+    let reloaded: Value = serde_json::from_str(&report.to_json_pretty().unwrap()).unwrap();
+    for key in ["fit", "validation", "predictions"] {
+        assert_eq!(
+            stage(&reloaded, key),
+            stage(&golden, key),
+            "mapped `{key}` block drifted from the golden report"
+        );
+    }
+    assert_eq!(reloaded["world"]["hosts"], golden["world"]["hosts"]);
+
+    // Heap fallback reload: same file, no mmap syscall.
+    std::env::set_var("RESMODEL_NO_MMAP", "1");
+    let mut report = reload_pipeline(&path).run().unwrap();
+    std::env::remove_var("RESMODEL_NO_MMAP");
+    report.timing = StageTimings::default();
+    let heap: Value = serde_json::from_str(&report.to_json_pretty().unwrap()).unwrap();
+    for key in ["fit", "validation", "predictions"] {
+        assert_eq!(
+            stage(&heap, key),
+            stage(&golden, key),
+            "heap-fallback `{key}` block drifted from the golden report"
+        );
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+/// Out-of-core smoke at the paper's full-fleet order of magnitude:
+/// a million-host trace is saved once and analyzed entirely through
+/// the mapped file. Ignored by default (several hundred MB of scratch
+/// and minutes of CPU); run with `cargo test -- --ignored`.
+#[test]
+#[ignore = "1M-host out-of-core smoke; expensive"]
+fn million_host_trace_round_trips_out_of_core() {
+    let path = scratch("million");
+    let report = Pipeline::from_scenario(Scenario::steady_state(42))
+        .max_hosts(1_000_000)
+        .sanitize_default()
+        .fit(FitConfig::yearly(2007, 2010))
+        .save_trace(&path)
+        .run()
+        .unwrap();
+
+    let reloaded = Pipeline::from_trace_file(&path)
+        .unwrap()
+        .fit(FitConfig::yearly(2007, 2010))
+        .run()
+        .unwrap();
+    assert_eq!(reloaded.world.hosts, report.world.hosts);
+    assert_eq!(
+        serde_json::to_string_pretty(&reloaded.fit),
+        serde_json::to_string_pretty(&report.fit),
+        "fit from the mapped million-host file must match regeneration"
+    );
+    let _ = std::fs::remove_file(&path);
+}
