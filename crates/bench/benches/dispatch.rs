@@ -56,5 +56,32 @@ fn bench_dispatch(c: &mut Criterion) {
     );
 }
 
-criterion_group!(benches, bench_dispatch);
+/// The scaling companion to the BENCH `/7` `dispatch_scaling` probe:
+/// earliest-finish throughput at 100k and 1M jobs over the same
+/// 100k-host fleet. With the streaming engine both points should land
+/// at the same jobs/sec order of magnitude — generation stays
+/// per-segment, so the larger run does not pay a materialize-and-sort
+/// tax.
+fn bench_dispatch_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_scaling");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(20));
+
+    let fleet = sized_fleet(100_000);
+    for jobs in [100_000usize, 1_000_000] {
+        let mut workload = WorkloadSpec::preset("mixed")
+            .expect("built-in preset")
+            .with_job_budget(jobs);
+        workload.start = resmodel::trace::SimDate::from_year(2007.0);
+        group.bench_function(format!("earliest_finish_{jobs}_jobs"), |b| {
+            b.iter(|| {
+                let report = dispatch(&fleet, &workload, DispatchPolicy::EarliestFinish)
+                    .expect("valid workload");
+                black_box(report.totals.completed)
+            })
+        });
+    }
+}
+
+criterion_group!(benches, bench_dispatch, bench_dispatch_scaling);
 criterion_main!(benches);

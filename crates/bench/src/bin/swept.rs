@@ -9,18 +9,20 @@
 //! grid on both data paths and asserts the reports are byte-identical.
 //!
 //! Every run records observability metrics out-of-band (the report
-//! bytes are identical with or without them): the emitted `/6`
+//! bytes are identical with or without them): the emitted `/7`
 //! artifact carries the [`resmodel::obs::MetricsReport`] block, the process
 //! peak-RSS, the query-service block (the sweep's cheapest job is
 //! replayed twice through a [`resmodel_svc::ModelCache`] so cache
-//! hit/miss figures and request latency ride along per commit), and
-//! the trace-store block (the same job is persisted to the
+//! hit/miss figures and request latency ride along per commit), the
+//! trace-store block (the same job is persisted to the
 //! `resmodel.trace/1` format and reloaded through the mapped backend,
 //! recording write/load timings, file size and the
-//! reload-vs-regeneration comparison); `--events-out FILE` streams
-//! span open/close records as JSONL, and `--require-rss` turns a
-//! missing RSS or throughput figure into a hard error (for CI on
-//! Linux runners).
+//! reload-vs-regeneration comparison), and the dispatch-scaling block
+//! (the streaming dispatch engine driven at every `--dispatch-scale`
+//! job count, recording jobs/sec, peak RSS and work-stealing
+//! figures); `--events-out FILE` streams span open/close records as
+//! JSONL, and `--require-rss` turns a missing RSS or throughput
+//! figure into a hard error (for CI on Linux runners).
 
 #![warn(clippy::unwrap_used)]
 
@@ -75,6 +77,10 @@ const USAGE: Usage = Usage {
             help: "stream span open/close records to FILE as JSONL",
         },
         FlagHelp {
+            flag: "--dispatch-scale N[,N...]",
+            help: "job counts for the dispatch-scaling probe (default 50000)",
+        },
+        FlagHelp {
             flag: "--require-rss",
             help: "fail unless the artifact carries non-zero peak-RSS and hosts/sec (CI, Linux)",
         },
@@ -119,6 +125,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut out = String::from("BENCH_sweep.json");
     let mut report_path: Option<String> = None;
     let mut verify_columnar = false;
+    let mut dispatch_scale: Vec<usize> = vec![50_000];
     let mut events_out: Option<String> = None;
     let mut require_rss = false;
     let mut verbosity = Verbosity::default();
@@ -143,6 +150,21 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
             "--threads" => threads = Some(args.parse("--threads", "a positive integer")?),
             "--out" => out = args.value("--out")?,
             "--report" => report_path = Some(args.value("--report")?),
+            "--dispatch-scale" => {
+                let value = args.value("--dispatch-scale")?;
+                dispatch_scale = value
+                    .split(',')
+                    .map(|part| {
+                        part.trim().parse::<usize>().ok().filter(|&n| n > 0).ok_or(
+                            ArgError::InvalidValue {
+                                flag: "--dispatch-scale".into(),
+                                value: value.clone(),
+                                expected: "a comma-separated list of positive job counts",
+                            },
+                        )
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
             "--events-out" => events_out = Some(args.value("--events-out")?),
             "--require-rss" => require_rss = true,
             "--quiet" => verbosity = Verbosity::Quiet,
@@ -253,6 +275,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
 
     let mut artifact = report.bench_artifact_with_metrics(&metrics);
     artifact.store = store;
+    artifact.dispatch_scaling = Some(probe_dispatch_scaling(&dispatch_scale, threads, &log)?);
     if require_rss {
         if artifact.peak_rss_bytes.is_none_or(|b| b == 0) {
             return Err(ResmodelError::config(
@@ -339,6 +362,40 @@ fn probe_trace_store(
     Ok(Some(store))
 }
 
+/// Feed the `/7` dispatch-scaling block: drive the streaming dispatch
+/// engine at each requested job count
+/// ([`resmodel::sweep::DispatchScalingPoint::probe`]), printing the
+/// throughput line as each point lands.
+fn probe_dispatch_scaling(
+    job_counts: &[usize],
+    threads: Option<usize>,
+    log: &Logger,
+) -> Result<Vec<resmodel::sweep::DispatchScalingPoint>, ResmodelError> {
+    let mut points = Vec::with_capacity(job_counts.len());
+    for &jobs in job_counts {
+        let point = match threads {
+            Some(n) => rayon::ThreadPoolBuilder::new()
+                .num_threads(n)
+                .build()
+                .map_err(|e| ResmodelError::config("sweep", e.to_string()))?
+                .install(|| resmodel::sweep::DispatchScalingPoint::probe(jobs)),
+            None => resmodel::sweep::DispatchScalingPoint::probe(jobs),
+        }?;
+        log.info(format!(
+            "dispatch-scaling probe: {} jobs over {} hosts -> {:.0} jobs/sec \
+             ({} segments, {} steals, {:.1} ms)",
+            point.generated_jobs,
+            point.hosts,
+            point.jobs_per_sec,
+            point.segments,
+            point.steals,
+            point.wall_ms,
+        ));
+        points.push(point);
+    }
+    Ok(points)
+}
+
 /// Run the grid on both data paths and assert the timing-zeroed
 /// reports are byte-identical — the columnar refactor's correctness
 /// contract, exercised by CI on the `families` preset.
@@ -386,7 +443,7 @@ fn verify_columnar_identity(spec: &SweepSpec, log: &Logger) -> Result<(), Resmod
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     use resmodel::sweep::{
         BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2, BENCH_SCHEMA_V3,
-        BENCH_SCHEMA_V4, BENCH_SCHEMA_V5,
+        BENCH_SCHEMA_V4, BENCH_SCHEMA_V5, BENCH_SCHEMA_V6,
     };
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -394,6 +451,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V6,
         BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
         BENCH_SCHEMA_V3,
@@ -403,17 +461,22 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     .contains(&artifact.schema.as_str())
     {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V5}` / \
-             `{BENCH_SCHEMA_V4}` / `{BENCH_SCHEMA_V3}` / `{BENCH_SCHEMA_V2}` / \
-             `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V6}` / \
+             `{BENCH_SCHEMA_V5}` / `{BENCH_SCHEMA_V4}` / `{BENCH_SCHEMA_V3}` / \
+             `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
             artifact.schema
         )));
     }
     // The observability block arrived with /4; older artifacts must
     // not carry one (a /3 file with metrics means the emitter lied
     // about its schema).
-    let carries_obs =
-        [BENCH_SCHEMA, BENCH_SCHEMA_V5, BENCH_SCHEMA_V4].contains(&artifact.schema.as_str());
+    let carries_obs = [
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V6,
+        BENCH_SCHEMA_V5,
+        BENCH_SCHEMA_V4,
+    ]
+    .contains(&artifact.schema.as_str());
     if !carries_obs && (artifact.metrics.is_some() || artifact.peak_rss_bytes.is_some()) {
         return Err(invalid(format!(
             "schema `{}` must not carry the /4 observability block",
@@ -422,7 +485,10 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     }
     // The query-service block arrived with /5: required from there on
     // (the emitter always runs the cache probe) and forbidden earlier.
-    if artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V5 {
+    if artifact.schema == BENCH_SCHEMA
+        || artifact.schema == BENCH_SCHEMA_V6
+        || artifact.schema == BENCH_SCHEMA_V5
+    {
         let Some(svc) = &artifact.svc else {
             return Err(invalid(format!(
                 "schema `{}` requires the svc query-service block",
@@ -450,13 +516,14 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
             artifact.schema
         )));
     }
-    // The trace-store block arrived with /6: required there (the
-    // emitter always runs the persistence probe) and forbidden
+    // The trace-store block arrived with /6: required from there on
+    // (the emitter always runs the persistence probe) and forbidden
     // earlier.
-    if artifact.schema == BENCH_SCHEMA {
+    if artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V6 {
         let Some(store) = &artifact.store else {
             return Err(invalid(format!(
-                "schema `{BENCH_SCHEMA}` requires the store persistence block"
+                "schema `{}` requires the store persistence block",
+                artifact.schema
             )));
         };
         if store.hosts == 0 || store.snapshots == 0 {
@@ -474,6 +541,49 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     } else if artifact.store.is_some() {
         return Err(invalid(format!(
             "schema `{}` must not carry the /6 store block",
+            artifact.schema
+        )));
+    }
+    // The dispatch-scaling block arrived with /7: required there (the
+    // emitter always runs the scaling probe) and forbidden earlier.
+    if artifact.schema == BENCH_SCHEMA {
+        let Some(points) = &artifact.dispatch_scaling else {
+            return Err(invalid(format!(
+                "schema `{BENCH_SCHEMA}` requires the dispatch_scaling block"
+            )));
+        };
+        if points.is_empty() {
+            return Err(invalid("dispatch_scaling block has no points".into()));
+        }
+        for point in points {
+            if point.jobs == 0 || point.generated_jobs == 0 {
+                return Err(invalid(format!(
+                    "dispatch_scaling point at {} jobs reports no generated jobs",
+                    point.jobs
+                )));
+            }
+            if point.hosts == 0 {
+                return Err(invalid(format!(
+                    "dispatch_scaling point at {} jobs reports zero hosts",
+                    point.jobs
+                )));
+            }
+            if !(point.jobs_per_sec > 0.0) {
+                return Err(invalid(format!(
+                    "dispatch_scaling point at {} jobs reports no jobs/sec figure",
+                    point.jobs
+                )));
+            }
+            if point.segments == 0 {
+                return Err(invalid(format!(
+                    "dispatch_scaling point at {} jobs reports zero segments",
+                    point.jobs
+                )));
+            }
+        }
+    } else if artifact.dispatch_scaling.is_some() {
+        return Err(invalid(format!(
+            "schema `{}` must not carry the /7 dispatch_scaling block",
             artifact.schema
         )));
     }
@@ -659,7 +769,8 @@ mod tests {
     /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
     /// blocks lack `dispatch_ms`, `/3`+ rows carry the dispatch pair,
     /// `/4` adds the top-level observability block, `/5` adds the
-    /// query-service block, and `/6` adds the trace-store block.
+    /// query-service block, `/6` adds the trace-store block, and `/7`
+    /// adds the dispatch-scaling block.
     fn artifact_json(schema: &str) -> String {
         let timing = if schema.ends_with("/1") || schema.ends_with("/2") {
             r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
@@ -673,7 +784,17 @@ mod tests {
             s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
             _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
         };
-        let store_block = if schema.ends_with("/6") {
+        let scaling_block = if schema.ends_with("/7") {
+            r#""dispatch_scaling": [{
+                 "jobs": 1000000, "generated_jobs": 1000000, "hosts": 100000,
+                 "threads": 4, "wall_ms": 333.0, "generate_ms": 128.0,
+                 "dispatch_ms": 310.0, "jobs_per_sec": 3000000.0,
+                 "peak_rss_bytes": 53477376, "steals": 0, "segments": 8
+               }],"#
+        } else {
+            ""
+        };
+        let store_block = if schema.ends_with("/6") || schema.ends_with("/7") {
             r#""store": {
                  "hosts": 7435, "snapshots": 24112, "file_bytes": 1835072,
                  "write_ms": 2.1, "regenerate_ms": 25.4, "load_ms": 6.3,
@@ -682,7 +803,7 @@ mod tests {
         } else {
             ""
         };
-        let svc_block = if schema.ends_with("/5") || schema.ends_with("/6") {
+        let svc_block = if ["/5", "/6", "/7"].iter().any(|v| schema.ends_with(v)) {
             r#""svc": {
                  "requests": 2, "hits": 1, "misses": 1, "hit_rate": 0.5,
                  "latency": [{
@@ -694,7 +815,7 @@ mod tests {
         } else {
             ""
         };
-        let obs_block = if ["/4", "/5", "/6"].iter().any(|v| schema.ends_with(v)) {
+        let obs_block = if ["/4", "/5", "/6", "/7"].iter().any(|v| schema.ends_with(v)) {
             r#""peak_rss_bytes": 104857600,
                "metrics": {
                  "counters": [["popsim.events", 123], ["sweep.runs", 1]],
@@ -724,6 +845,7 @@ mod tests {
               {obs_block}
               {svc_block}
               {store_block}
+              {scaling_block}
               "jobs": [{{
                 "label": "steady-state/8000/r1",
                 "scenario": "steady-state",
@@ -758,6 +880,7 @@ mod tests {
             "resmodel.bench_sweep/3",
             "resmodel.bench_sweep/4",
             "resmodel.bench_sweep/5",
+            "resmodel.bench_sweep/6",
         ] {
             let json = artifact_json(schema);
             check_str("ok", &json).unwrap_or_else(|e| panic!("{schema}: {e}"));
@@ -779,7 +902,7 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= 5, "expected the /1–/5 fixtures, saw {checked}");
+        assert!(checked >= 6, "expected the /1–/6 fixtures, saw {checked}");
     }
 
     #[test]
@@ -798,6 +921,40 @@ mod tests {
     fn v6_artifact_with_store_block_validates() {
         let json = artifact_json("resmodel.bench_sweep/6");
         check_str("v6", &json).unwrap_or_else(|e| panic!("/6: {e}"));
+    }
+
+    #[test]
+    fn v7_artifact_with_dispatch_scaling_block_validates() {
+        let json = artifact_json("resmodel.bench_sweep/7");
+        check_str("v7", &json).unwrap_or_else(|e| panic!("/7: {e}"));
+    }
+
+    #[test]
+    fn dispatch_scaling_block_rules_are_enforced() {
+        // A /7 artifact must carry the dispatch-scaling block (a /6
+        // body relabeled as /7 lacks it)...
+        let missing = artifact_json("resmodel.bench_sweep/6")
+            .replace("resmodel.bench_sweep/6", "resmodel.bench_sweep/7");
+        assert!(check_str("scaling_missing", &missing).is_err());
+        // ...whose points generated real jobs...
+        let zero = artifact_json("resmodel.bench_sweep/7")
+            .replace(r#""jobs": 1000000, "#, r#""jobs": 0, "#);
+        assert!(check_str("scaling_zero_jobs", &zero).is_err());
+        // ...that reports real throughput over real segments...
+        let json = artifact_json("resmodel.bench_sweep/7")
+            .replace(r#""jobs_per_sec": 3000000.0"#, r#""jobs_per_sec": 0.0"#);
+        assert!(check_str("scaling_rate", &json).is_err());
+        let json =
+            artifact_json("resmodel.bench_sweep/7").replace(r#""segments": 8"#, r#""segments": 0"#);
+        assert!(check_str("scaling_segments", &json).is_err());
+        // ...and a /6 artifact must not smuggle one in.
+        let smuggled = artifact_json("resmodel.bench_sweep/7")
+            .replace("resmodel.bench_sweep/7", "resmodel.bench_sweep/6");
+        assert!(
+            smuggled.contains(r#""dispatch_scaling""#),
+            "relabel must have matched"
+        );
+        assert!(check_str("scaling_smuggled", &smuggled).is_err());
     }
 
     #[test]

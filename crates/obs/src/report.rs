@@ -72,12 +72,18 @@ impl MetricsReport {
     /// The deterministic subset — counters plus domain-quantity
     /// histograms — used by thread-invariance tests. Spans, gauges,
     /// and RSS are wall-clock/machine facts and excluded by
-    /// construction, as is any histogram whose *name* is a wall-clock
-    /// key (e.g. the per-endpoint `svc.*.request_ms` latency series).
+    /// construction, as is any counter or histogram whose *name* is a
+    /// wall-clock key (e.g. the per-endpoint `svc.*.request_ms`
+    /// latency series, or the dispatch claim queue's `sched.steals`
+    /// race counter).
     #[must_use]
     pub fn deterministic_fingerprint(&self) -> (Vec<(String, u64)>, Vec<HistogramSummary>) {
         (
-            self.counters.clone(),
+            self.counters
+                .iter()
+                .filter(|(n, _)| !is_wall_clock_key(n))
+                .cloned()
+                .collect(),
             self.histograms
                 .iter()
                 .filter(|h| !is_wall_clock_key(&h.name))
@@ -108,12 +114,19 @@ impl MetricsReport {
 }
 
 /// True for map keys that carry wall-clock (or machine-dependent)
-/// measurements: `*_ms`, `*_per_sec`, and the thread-pool width
-/// `threads`. Deterministic rates use other units on purpose (e.g.
+/// measurements: `*_ms`, `*_per_sec`, the thread-pool width
+/// `threads`, and work-stealing `steals` counts (how a claim queue
+/// was raced is a scheduling accident of the machine, not a model
+/// fact). Deterministic rates use other units on purpose (e.g.
 /// `jobs_per_sim_hour`).
 #[must_use]
 pub fn is_wall_clock_key(key: &str) -> bool {
-    key.ends_with("_ms") || key.ends_with("_per_sec") || key == "threads"
+    key.ends_with("_ms")
+        || key.ends_with("_per_sec")
+        || key == "threads"
+        || key == "steals"
+        || key.ends_with("_steals")
+        || key.ends_with(".steals")
 }
 
 /// Recursively zero every wall-clock field in a serialized report

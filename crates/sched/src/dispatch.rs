@@ -1,4 +1,4 @@
-//! The sharded, event-driven dispatch engine.
+//! The sharded, streaming dispatch engine.
 //!
 //! ## Determinism contract
 //!
@@ -6,21 +6,36 @@
 //!
 //! * Job generation is a serial function of `(spec.seed, family index)`
 //!   — each family draws its arrival stream and sizes from a dedicated
-//!   substream, and the merged job list is sorted by arrival time with
-//!   a stable family-order tie-break.
+//!   substream. Arrivals within a family are nondecreasing, so a k-way
+//!   merge that always takes the lowest-arrival head (ties → lowest
+//!   family index) reproduces, byte for byte, what materializing every
+//!   job and stable-sorting by arrival used to produce — without ever
+//!   holding more than one lookahead job per family in memory.
 //! * Job `j` routes to dispatch shard
 //!   `substream(seed ^ ROUTE, j) % shard_count` and host `h` to shard
 //!   `h.id % shard_count` — pure functions of the spec, never of the
 //!   machine.
-//! * Shards simulate independently on the rayon pool and their partial
-//!   statistics merge in shard order, so a [`DispatchReport`] is
-//!   byte-identical (after [`DispatchReport::zero_timings`]) at any
-//!   thread count.
+//! * Jobs flow through fixed-size segments ([`SEGMENT_JOBS`] arrivals
+//!   per segment, a pure function of the stream). Within a segment
+//!   each shard's batch is an independent unit of work: workers claim
+//!   batches from a shared queue (work stealing — an idle worker takes
+//!   a batch outside its round-robin share), but every shard's state
+//!   evolves only under its own lock, driven by its own jobs in
+//!   arrival order. Shard outcomes merge in shard order after the last
+//!   segment, so a [`DispatchReport`] is byte-identical (after
+//!   [`DispatchReport::zero_timings`]) at any thread count. Steal
+//!   counts are machine facts and live outside the deterministic
+//!   fingerprint, like wall clock.
+//!
+//! While one segment dispatches, the next is generated and routed
+//! concurrently (double buffering via `rayon::join`), so peak memory
+//! is O(segment), not O(total jobs).
 
 use crate::policy::DispatchPolicy;
 use crate::report::{DispatchReport, DispatchTotals, FamilyDispatchStats};
-use crate::workload::WorkloadSpec;
-use rand::RngExt;
+use crate::workload::{JobFamily, WorkloadSpec};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
 use rayon::prelude::*;
 use resmodel_allocsim::utility;
 use resmodel_error::ResmodelError;
@@ -29,6 +44,8 @@ use resmodel_popsim::EngineReport;
 use resmodel_stats::distributions::LogNormal;
 use resmodel_stats::rng::{seeded_substream, substream};
 use resmodel_stats::Distribution;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Substream salt for per-family job generation (xor-ed with the
@@ -39,6 +56,12 @@ const ROUTE_SALT: u64 = 0xD15A_7C40_0000_0002;
 /// Substream salt for per-job candidate sampling.
 const EXEC_SALT: u64 = 0xD15A_7C40_0000_0003;
 
+/// Arrivals per streaming segment — a fixed constant so segment
+/// boundaries (and everything derived from them) never depend on the
+/// machine. Two segments of routed jobs are in flight at once, so peak
+/// job memory is ~2 × this × `size_of::<JobRec>`.
+const SEGMENT_JOBS: usize = 1 << 17;
+
 /// One generated job. Its global index in arrival order is its id.
 #[derive(Debug, Clone, Copy)]
 struct Job {
@@ -46,6 +69,19 @@ struct Job {
     arrival: f64,
     /// Size, GFLOP-equivalents.
     size: f64,
+    /// Family index in the spec.
+    family: u32,
+}
+
+/// One routed job inside a segment's per-shard batch.
+#[derive(Debug, Clone, Copy)]
+struct JobRec {
+    /// Arrival, hours from window start.
+    arrival: f64,
+    /// Size, GFLOP-equivalents.
+    size: f64,
+    /// Global arrival-order id.
+    id: u32,
     /// Family index in the spec.
     family: u32,
 }
@@ -71,9 +107,10 @@ pub fn dispatch(
 }
 
 /// [`dispatch`] with metrics: job/replica counters, candidate-sampling
-/// counts, and a per-policy placement-latency histogram (sim-hours, so
-/// it is thread-count invariant) flow into `obs` out-of-band. The
-/// returned report is byte-identical to [`dispatch`]'s.
+/// counts, segment/steal telemetry, and a per-policy placement-latency
+/// histogram (sim-hours, so it is thread-count invariant) flow into
+/// `obs` out-of-band. The returned report is byte-identical to
+/// [`dispatch`]'s.
 ///
 /// # Errors
 ///
@@ -90,46 +127,87 @@ pub fn dispatch_observed(
         .map_err(|e| ResmodelError::dispatch(point(), e))?;
 
     let t_run = Instant::now();
-    let t0 = Instant::now();
-    let jobs = generate_jobs(spec);
-    if jobs.len() > u32::MAX as usize {
-        return Err(ResmodelError::dispatch(
-            point(),
-            ResmodelError::config("workload", "more than u32::MAX jobs generated"),
-        ));
-    }
-    let generate_ms = ms_since(t0);
-
-    let t0 = Instant::now();
     let shard_count = spec.shard_count;
+    let profiles: Vec<_> = spec.families.iter().map(|f| f.app.profile()).collect();
 
-    // Route jobs and hosts onto the dispatch shards.
-    let mut shards: Vec<(Vec<u32>, Vec<u64>)> = vec![(Vec::new(), Vec::new()); shard_count];
-    for id in 0..jobs.len() {
-        let s = (substream(spec.seed ^ ROUTE_SALT, id as u64) % shard_count as u64) as usize;
-        shards[s].0.push(id as u32);
-    }
+    // Route hosts onto the dispatch shards.
+    let mut host_shards: Vec<Vec<u64>> = vec![Vec::new(); shard_count];
     for host in engine.fleet.iter() {
-        shards[(host.id % shard_count as u64) as usize]
-            .1
-            .push(host.id);
+        host_shards[(host.id % shard_count as u64) as usize].push(host.id);
     }
-    for (_, hosts) in &mut shards {
+    for hosts in &mut host_shards {
         hosts.sort_unstable();
     }
 
-    // Shards are independent: simulate on however many threads rayon
-    // offers; outcomes are collected (and merged) in shard order.
-    let outcomes: Vec<ShardOutcome> = shards
+    // Persistent per-shard states (lanes + eligibility sweep), built in
+    // parallel — each is a pure function of its host list.
+    let states: Vec<Mutex<ShardState>> = host_shards
         .par_iter()
-        .map(|(job_ids, host_ids)| run_shard(engine, spec, policy, &jobs, job_ids, host_ids))
+        .map(|host_ids| Mutex::new(ShardState::build(engine, spec, &profiles, host_ids)))
         .collect();
+
+    let ctx = BatchCtx {
+        spec,
+        policy,
+        exec_seed: spec.seed ^ EXEC_SALT,
+        horizon: spec.horizon_hours,
+    };
+
+    // Stream jobs through double-buffered segments: while segment k
+    // dispatches, segment k+1 is generated and routed.
+    let t0 = Instant::now();
+    let route_seed = spec.seed ^ ROUTE_SALT;
+    let mut stream = JobStream::new(spec);
+    let mut next_id: u64 = 0;
+    let mut cur: Vec<Vec<JobRec>> = vec![Vec::new(); shard_count];
+    let mut nxt: Vec<Vec<JobRec>> = vec![Vec::new(); shard_count];
+    let mut generate_ms = 0.0;
+    let mut segments: u64 = 0;
+    let mut depth_hist = Histogram::new();
+    let steals = AtomicU64::new(0);
+
+    let t_gen = Instant::now();
+    let mut pending = fill_segment(&mut stream, route_seed, shard_count, &mut next_id, &mut cur)
+        .map_err(|e| ResmodelError::dispatch(point(), e))?;
+    generate_ms += ms_since(t_gen);
+
+    while pending > 0 {
+        segments += 1;
+        let nonempty: Vec<u32> = (0..shard_count as u32)
+            .filter(|&s| !cur[s as usize].is_empty())
+            .collect();
+        // Claim-queue depth: shard batches pending this segment — a
+        // pure function of the stream, unlike the steal counter.
+        depth_hist.record_u64(nonempty.len() as u64);
+        // The worker count is resolved here, on the pool's thread, so
+        // a `ThreadPoolBuilder::install` override is honored.
+        let workers = rayon::current_num_threads().min(nonempty.len()).max(1);
+        let (gen_next, ()) = rayon::join(
+            || {
+                let t = Instant::now();
+                let r = fill_segment(&mut stream, route_seed, shard_count, &mut next_id, &mut nxt);
+                (r, ms_since(t))
+            },
+            || process_segment(&states, &cur, &nonempty, &ctx, workers, &steals),
+        );
+        generate_ms += gen_next.1;
+        pending = gen_next
+            .0
+            .map_err(|e| ResmodelError::dispatch(point(), e))?;
+        std::mem::swap(&mut cur, &mut nxt);
+    }
+    let total_jobs = usize::try_from(next_id).unwrap_or(usize::MAX);
     let dispatch_ms = ms_since(t0);
 
     // Deterministic merge in shard order.
     let n_fam = spec.families.len();
     let mut m = ShardOutcome::empty(n_fam);
-    for o in &outcomes {
+    for state in states {
+        let mut st = state
+            .into_inner()
+            .unwrap_or_else(|_| unreachable!("shard workers do not panic"));
+        st.out.busy_on_hours = st.lanes.busy_on.iter().sum();
+        let o = &st.out;
         m.hosts += o.hosts;
         m.total_on_hours += o.total_on_hours;
         m.busy_on_hours += o.busy_on_hours;
@@ -176,7 +254,7 @@ pub fn dispatch_observed(
 
     let totals = DispatchTotals {
         hosts: m.hosts,
-        jobs: jobs.len(),
+        jobs: total_jobs,
         replicas: m.replicas,
         completed: m.completed,
         failed: m.failed,
@@ -203,20 +281,26 @@ pub fn dispatch_observed(
     let wall_ms = ms_since(t_run);
     if obs.is_enabled() {
         obs.add("sched.dispatches", 1);
-        obs.add("sched.jobs", jobs.len() as u64);
+        obs.add("sched.jobs", total_jobs as u64);
         obs.add("sched.replicas", m.replicas as u64);
         obs.add("sched.jobs_completed", m.completed as u64);
         obs.add("sched.jobs_failed", m.failed as u64);
         obs.add("sched.jobs_unassigned", m.unassigned as u64);
         obs.add("sched.candidate_draws", m.candidate_draws);
         obs.add("sched.candidates_scored", m.candidates_scored);
+        obs.add("sched.segments", segments);
+        // How the claim queue was raced is a machine fact: the steal
+        // counter is quarantined from the deterministic fingerprint by
+        // its key (see `resmodel_obs::is_wall_clock_key`).
+        obs.add("sched.steals", steals.load(Ordering::Relaxed));
+        obs.merge_histogram("sched.segment_queue_depth", &depth_hist);
         obs.merge_histogram(
             &format!("sched.placement_latency_hours.{}", policy.label()),
             &m.latency_hist,
         );
         if wall_ms > 0.0 {
             #[allow(clippy::cast_precision_loss)]
-            obs.set_gauge("sched.jobs_per_sec", jobs.len() as f64 / (wall_ms / 1e3));
+            obs.set_gauge("sched.jobs_per_sec", total_jobs as f64 / (wall_ms / 1e3));
         }
     }
     Ok(DispatchReport {
@@ -228,7 +312,7 @@ pub fn dispatch_observed(
         dispatch_ms,
         wall_ms,
         jobs_per_sec: if wall_ms > 0.0 {
-            jobs.len() as f64 / (wall_ms / 1e3)
+            total_jobs as f64 / (wall_ms / 1e3)
         } else {
             0.0
         },
@@ -239,132 +323,456 @@ fn ms_since(t0: Instant) -> f64 {
     t0.elapsed().as_secs_f64() * 1e3
 }
 
-/// Generate the window's job list: per-family thinned Poisson arrival
-/// streams with log-normal sizes, merged into global arrival order
-/// (stable sort, so equal-time jobs keep family-major order).
-fn generate_jobs(spec: &WorkloadSpec) -> Vec<Job> {
-    let mut jobs = Vec::new();
-    for (fi, fam) in spec.families.iter().enumerate() {
-        let mut rng = seeded_substream(spec.seed ^ FAMILY_SALT, fi as u64);
-        // Median-anchored log-normal sizes: ln-median = ln(size_gflop).
-        let sizes = (fam.size_sigma > 0.0)
-            .then(|| LogNormal::new(fam.size_gflop.ln(), fam.size_sigma))
-            .transpose()
-            .ok()
-            .flatten();
-        let mut t = 0.0;
-        let mut count = 0usize;
-        loop {
-            // First-order thinning: exponential gap at the current
-            // rate — exact for Poisson, the popsim arrival scheme for
-            // time-varying shapes.
-            let rate = fam.arrivals.rate(t).max(1e-9);
-            let u: f64 = rng.random::<f64>();
-            t += -(1.0 - u).ln() / rate;
-            if t > spec.horizon_hours {
-                break;
-            }
-            if fam.max_jobs > 0 && count >= fam.max_jobs {
-                break;
-            }
-            let size = match &sizes {
-                Some(d) => d.sample(&mut rng),
-                None => fam.size_gflop,
-            };
-            jobs.push(Job {
-                arrival: t,
-                size,
-                family: fi as u32,
-            });
-            count += 1;
+// ---------------------------------------------------------------------------
+// Streaming job generation
+// ---------------------------------------------------------------------------
+
+/// One family's lazily-drawn arrival stream with a one-job lookahead.
+/// Draw order (gap, then size) is identical to the old materializing
+/// generator, so the emitted bytes are too.
+struct FamilyStream {
+    rng: StdRng,
+    /// Median-anchored log-normal sizes; `None` → constant size.
+    sizes: Option<LogNormal>,
+    /// Current arrival-clock position, hours.
+    t: f64,
+    /// Jobs emitted so far (the `max_jobs` cap).
+    emitted: usize,
+    /// Next job `(arrival, size)`; `None` once the stream is done.
+    head: Option<(f64, f64)>,
+}
+
+impl FamilyStream {
+    /// Draw the next head, consuming the family RNG exactly as the
+    /// materializing generator did: gap first (horizon check, then cap
+    /// check), then size.
+    fn advance(&mut self, fam: &JobFamily, horizon: f64) {
+        // First-order thinning: exponential gap at the current rate —
+        // exact for Poisson, the popsim arrival scheme for
+        // time-varying shapes.
+        let rate = fam.arrivals.rate(self.t).max(1e-9);
+        let u: f64 = self.rng.random::<f64>();
+        self.t += -(1.0 - u).ln() / rate;
+        if self.t > horizon {
+            self.head = None;
+            return;
         }
+        if fam.max_jobs > 0 && self.emitted >= fam.max_jobs {
+            self.head = None;
+            return;
+        }
+        let size = match &self.sizes {
+            Some(d) => d.sample(&mut self.rng),
+            None => fam.size_gflop,
+        };
+        self.head = Some((self.t, size));
+        self.emitted += 1;
     }
-    jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+}
+
+/// The merged, arrival-ordered job stream: a k-way merge over the
+/// per-family streams. Each family's arrivals are nondecreasing
+/// (exponential gaps are ≥ 0), so always taking the lowest head —
+/// breaking ties toward the lowest family index — reproduces the
+/// stable family-major sort byte for byte.
+struct JobStream<'a> {
+    spec: &'a WorkloadSpec,
+    families: Vec<FamilyStream>,
+}
+
+impl<'a> JobStream<'a> {
+    fn new(spec: &'a WorkloadSpec) -> Self {
+        let families = spec
+            .families
+            .iter()
+            .enumerate()
+            .map(|(fi, fam)| {
+                let mut fs = FamilyStream {
+                    rng: seeded_substream(spec.seed ^ FAMILY_SALT, fi as u64),
+                    sizes: (fam.size_sigma > 0.0)
+                        .then(|| LogNormal::new(fam.size_gflop.ln(), fam.size_sigma))
+                        .transpose()
+                        .ok()
+                        .flatten(),
+                    t: 0.0,
+                    emitted: 0,
+                    head: None,
+                };
+                fs.advance(fam, spec.horizon_hours);
+                fs
+            })
+            .collect();
+        JobStream { spec, families }
+    }
+
+    /// The next job in global arrival order, or `None` when every
+    /// family stream is exhausted.
+    fn next_job(&mut self) -> Option<Job> {
+        let mut best: Option<(usize, f64)> = None;
+        for (fi, fs) in self.families.iter().enumerate() {
+            if let Some((t, _)) = fs.head {
+                // Strict `<`: on arrival ties the lowest family index
+                // wins, matching the stable sort's family-major order.
+                if best.is_none_or(|(_, bt)| t < bt) {
+                    best = Some((fi, t));
+                }
+            }
+        }
+        let (fi, _) = best?;
+        let fs = &mut self.families[fi];
+        let (arrival, size) = fs.head.take()?;
+        fs.advance(&self.spec.families[fi], self.spec.horizon_hours);
+        Some(Job {
+            arrival,
+            size,
+            family: fi as u32,
+        })
+    }
+}
+
+/// Materialize the whole job list (tests and small tools only — the
+/// hot path streams instead).
+#[cfg(test)]
+fn generate_jobs(spec: &WorkloadSpec) -> Vec<Job> {
+    let mut stream = JobStream::new(spec);
+    let mut jobs = Vec::new();
+    while let Some(job) = stream.next_job() {
+        jobs.push(job);
+    }
     jobs
 }
 
-/// One host's dispatch lane: its eligible window, ON sessions, service
-/// rate, per-family valuations and committed work.
-struct Lane {
-    /// Eligibility start (alive ∩ window), hours.
-    a0: f64,
-    /// ON intervals clipped to the eligible window.
-    on: Vec<(f64, f64)>,
-    /// `prefix[i]` = ON-hours before interval `i`; `prefix[m]` = total.
-    prefix: Vec<f64>,
-    /// Service rate, GFLOP-equivalents per ON-hour.
-    speed: f64,
-    /// Whether the host reported a GPU.
-    gpu: bool,
-    /// Cobb–Douglas utility per job family.
-    util: Vec<f64>,
-    /// Committed ON-hours (the FIFO queue tail).
-    cursor_on: f64,
-    /// ON-hours actually consumed (work + failed-attempt churn).
-    busy_on: f64,
+/// Pull up to [`SEGMENT_JOBS`] jobs from the stream and route them
+/// into per-shard batches (buffers are reused across segments).
+/// Returns the number of jobs routed; 0 means the stream is done.
+///
+/// # Errors
+///
+/// When the id counter would leave `u32` — the same bound the
+/// materializing generator enforced on `jobs.len()`.
+fn fill_segment(
+    stream: &mut JobStream<'_>,
+    route_seed: u64,
+    shard_count: usize,
+    next_id: &mut u64,
+    bufs: &mut [Vec<JobRec>],
+) -> Result<usize, ResmodelError> {
+    for buf in bufs.iter_mut() {
+        buf.clear();
+    }
+    let mut n = 0usize;
+    while n < SEGMENT_JOBS {
+        let Some(job) = stream.next_job() else { break };
+        if *next_id >= u64::from(u32::MAX) {
+            return Err(ResmodelError::config(
+                "workload",
+                "more than u32::MAX jobs generated",
+            ));
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        let id = *next_id as u32;
+        *next_id += 1;
+        let s = (substream(route_seed, u64::from(id)) % shard_count as u64) as usize;
+        bufs[s].push(JobRec {
+            arrival: job.arrival,
+            size: job.size,
+            id,
+            family: job.family,
+        });
+        n += 1;
+    }
+    Ok(n)
 }
 
-impl Lane {
-    fn total_on(&self) -> f64 {
-        *self.prefix.last().unwrap_or(&0.0)
-    }
+// ---------------------------------------------------------------------------
+// Lanes: SoA host state with an interval arena and monotone cursors
+// ---------------------------------------------------------------------------
 
-    /// ON-hours elapsed before wall time `t`.
-    fn on_elapsed(&self, t: f64) -> f64 {
-        let i = self.on.partition_point(|&(_, b)| b <= t);
-        if i == self.on.len() {
-            self.prefix[i]
-        } else {
-            self.prefix[i] + (t - self.on[i].0).max(0.0)
+/// Per-lane hot header: every scalar the sampling/scoring/commit hot
+/// path reads for a randomly-drawn candidate, packed into 48 bytes so
+/// one cache line covers them all — with d random candidates per
+/// replica there is no sequential locality to exploit across lanes,
+/// only within one lane's fields.
+#[derive(Debug, Clone, Copy)]
+struct LaneHot {
+    /// Committed ON-hours (the FIFO queue tail).
+    cursor_on: f64,
+    /// Lifetime ON-hours — the lane's prefix tail, duplicated here so
+    /// scoring never touches the far end of the arena.
+    total: f64,
+    /// Service rate, GFLOP-equivalents per ON-hour.
+    speed: f64,
+    /// Start of this lane's intervals in the shared arena.
+    b0: u32,
+    /// ON-session count.
+    n_on: u32,
+    /// Monotone search cursors — jobs sweep a shard in nondecreasing
+    /// arrival order, so these advance amortized-O(1) where the old
+    /// per-call binary searches paid O(log sessions) every time.
+    on_hint: u32,
+    wall_hint: u32,
+    sess_hint: u32,
+    /// Whether the host reported a GPU.
+    gpu: bool,
+}
+
+/// All of one shard's host lanes: packed [`LaneHot`] headers plus
+/// cold/aggregate columns, with every lane's ON intervals in one
+/// shared arena — `pick()` touches cache lines, not pointer-chased
+/// per-lane structs.
+///
+/// Lane `li` owns intervals `on_start/on_end[b0..b0 + n_on]` and
+/// prefix entries `prefix[b0 + li ..= b0 + n_on + li]` (each lane's
+/// prefix has one extra entry: `prefix[0] = 0`, last = total
+/// ON-hours).
+struct Lanes {
+    n_fam: usize,
+    hot: Vec<LaneHot>,
+    /// Eligibility start (alive ∩ window), hours — activation key.
+    a0: Vec<f64>,
+    /// End of the last ON session — removal key.
+    exit: Vec<f64>,
+    /// Cobb–Douglas utility per job family, lane-major with stride
+    /// `n_fam`.
+    util: Vec<f64>,
+    /// ON-hours actually consumed (work + failed-attempt churn).
+    busy_on: Vec<f64>,
+    on_start: Vec<f64>,
+    on_end: Vec<f64>,
+    prefix: Vec<f64>,
+}
+
+impl Lanes {
+    fn new(n_fam: usize) -> Self {
+        Lanes {
+            n_fam,
+            hot: Vec::new(),
+            a0: Vec::new(),
+            exit: Vec::new(),
+            util: Vec::new(),
+            busy_on: Vec::new(),
+            on_start: Vec::new(),
+            on_end: Vec::new(),
+            prefix: Vec::new(),
         }
     }
 
-    /// Wall time at which cumulative ON-hours reach `w` (`w` must be in
-    /// `[0, total_on]`).
-    fn wall_at_on(&self, w: f64) -> f64 {
-        let i = self
-            .prefix
-            .partition_point(|&p| p < w)
-            .clamp(1, self.on.len())
-            - 1;
-        self.on[i].0 + (w - self.prefix[i])
+    fn len(&self) -> usize {
+        self.hot.len()
+    }
+
+    /// Append a lane. `on` must be nonempty, in increasing order.
+    fn push_lane(
+        &mut self,
+        a0: f64,
+        speed: f64,
+        gpu: bool,
+        util: impl Iterator<Item = f64>,
+        on: &[(f64, f64)],
+    ) {
+        debug_assert!(!on.is_empty());
+        self.a0.push(a0);
+        self.exit.push(on.last().map_or(0.0, |&(_, b)| b));
+        self.util.extend(util);
+        self.busy_on.push(0.0);
+        #[allow(clippy::cast_possible_truncation)]
+        let b0 = self.on_start.len() as u32;
+        let mut acc = 0.0;
+        self.prefix.push(0.0);
+        for &(a, b) in on {
+            self.on_start.push(a);
+            self.on_end.push(b);
+            acc += b - a;
+            self.prefix.push(acc);
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        self.hot.push(LaneHot {
+            cursor_on: 0.0,
+            total: acc,
+            speed,
+            b0,
+            n_on: on.len() as u32,
+            on_hint: 0,
+            wall_hint: 0,
+            sess_hint: 0,
+            gpu,
+        });
+    }
+
+    /// Base of lane `li`'s prefix run (which has `n_on + 1` entries).
+    #[inline]
+    fn pbase(&self, li: usize) -> usize {
+        self.hot[li].b0 as usize + li
+    }
+
+    #[inline]
+    fn total_on(&self, li: usize) -> f64 {
+        self.hot[li].total
+    }
+
+    /// ON-hours elapsed before wall time `t`, advancing the lane's
+    /// sweep cursor; also returns the cursor's interval index. Only
+    /// call with the nondecreasing per-shard job arrival clock; use
+    /// [`Lanes::on_elapsed_cold`] for arbitrary lookahead times.
+    #[inline]
+    fn sweep(&mut self, li: usize, t: f64) -> (f64, usize) {
+        let h = self.hot[li];
+        let b0 = h.b0 as usize;
+        let n = h.n_on as usize;
+        let mut i = h.on_hint as usize;
+        while i < n && self.on_end[b0 + i] <= t {
+            i += 1;
+        }
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.hot[li].on_hint = i as u32;
+        }
+        let p = self.prefix[b0 + li + i];
+        if i == n {
+            (p, i)
+        } else {
+            (p + (t - self.on_start[b0 + i]).max(0.0), i)
+        }
+    }
+
+    #[inline]
+    fn on_elapsed_sweep(&mut self, li: usize, t: f64) -> f64 {
+        self.sweep(li, t).0
+    }
+
+    /// ON-hours elapsed before an arbitrary wall time `t` (binary
+    /// search; no cursor update).
+    fn on_elapsed_cold(&self, li: usize, t: f64) -> f64 {
+        let h = self.hot[li];
+        let b0 = h.b0 as usize;
+        let n = h.n_on as usize;
+        let i = self.on_end[b0..b0 + n].partition_point(|&b| b <= t);
+        let p = self.prefix[b0 + li + i];
+        if i == n {
+            p
+        } else {
+            p + (t - self.on_start[b0 + i]).max(0.0)
+        }
+    }
+
+    /// First prefix index `j ∈ [0, n+1)` … `n+1` sentinel … with
+    /// `prefix[j] >= w`, galloping from `lo`. Caller guarantees every
+    /// index `< lo` has `prefix < w` (the monotone-cursor invariant),
+    /// so the result equals a full `partition_point`.
+    #[inline]
+    fn prefix_first_ge(&self, li: usize, w: f64, lo: usize) -> usize {
+        let pb = self.pbase(li);
+        let n = self.hot[li].n_on as usize;
+        let mut lo_b = lo;
+        let mut probe = lo;
+        let mut step = 1usize;
+        loop {
+            if probe > n {
+                break;
+            }
+            if self.prefix[pb + probe] >= w {
+                break;
+            }
+            lo_b = probe + 1;
+            probe += step;
+            step <<= 1;
+        }
+        let mut hi_b = probe.min(n + 1);
+        while lo_b < hi_b {
+            let mid = lo_b + (hi_b - lo_b) / 2;
+            if self.prefix[pb + mid] < w {
+                lo_b = mid + 1;
+            } else {
+                hi_b = mid;
+            }
+        }
+        lo_b
+    }
+
+    /// Wall time at which cumulative ON-hours reach `w` (`w` must be
+    /// in `[0, total_on]`), galloping from prefix index `lo` (see
+    /// [`Lanes::prefix_first_ge`]). Also returns the interval index,
+    /// reusable as the next gallop start for nondecreasing `w`.
+    #[inline]
+    fn wall_at_on_from(&self, li: usize, w: f64, lo: usize) -> (f64, usize) {
+        let h = self.hot[li];
+        let n = h.n_on as usize;
+        let i = self.prefix_first_ge(li, w, lo).clamp(1, n) - 1;
+        (
+            self.on_start[h.b0 as usize + i] + (w - self.prefix[h.b0 as usize + li + i]),
+            i,
+        )
     }
 
     /// Current backlog ahead of a job arriving at `t`, ON-hours.
-    fn backlog_at(&self, t: f64) -> f64 {
-        (self.cursor_on - self.on_elapsed(t)).max(0.0)
+    #[inline]
+    fn backlog_at(&mut self, li: usize, t: f64) -> f64 {
+        (self.hot[li].cursor_on - self.on_elapsed_sweep(li, t)).max(0.0)
     }
 
     /// Estimated completion wall time of `work` ON-hours queued at `t`;
     /// infeasible work is pushed past the window end, staying ordered
     /// so earliest-finish still ranks overloads sensibly.
-    fn estimate_finish(&self, t: f64, work: f64, horizon: f64) -> f64 {
-        let w0 = self.cursor_on.max(self.on_elapsed(t));
+    #[inline]
+    fn estimate_finish(&mut self, li: usize, t: f64, work: f64, horizon: f64) -> f64 {
+        let (elapsed, i) = self.sweep(li, t);
+        let h = self.hot[li];
+        let w0 = h.cursor_on.max(elapsed);
         let w1 = w0 + work;
-        let total = self.total_on();
-        if w1 <= total {
-            self.wall_at_on(w1)
-        } else {
-            2.0 * horizon + (w1 - total)
+        if w1 > h.total {
+            return 2.0 * horizon + (w1 - h.total);
         }
+        // Fast path: the finish lands inside the sweep's interval, so
+        // the values the sweep just read (all L1-hot) pin it exactly —
+        // no gallop needed. `prefix[i] < w1` is required: at `w1 ==
+        // prefix[i]` the search resolves to the *previous* interval's
+        // end.
+        let pb = h.b0 as usize + li;
+        if i < (h.n_on as usize) && self.prefix[pb + i] < w1 && w1 <= self.prefix[pb + i + 1] {
+            return self.on_start[h.b0 as usize + i] + (w1 - self.prefix[pb + i]);
+        }
+        // Every prefix entry before the sweep cursor is < w1
+        // (prefix[i] ≤ elapsed ≤ w0 < w1), so gallop from there.
+        self.wall_at_on_from(li, w1, i).0
     }
 
     /// Commit `work` ON-hours arriving at wall time `t`; returns the
     /// completion wall time, or `None` when the host churns away (or
     /// the window ends) first. Failed work still consumes the lane's
     /// remaining capacity — the host ground away at it.
-    fn commit(&mut self, t: f64, work: f64, checkpointing: bool) -> Option<f64> {
-        let w0 = self.cursor_on.max(self.on_elapsed(t));
-        let total = self.total_on();
+    fn commit(&mut self, li: usize, t: f64, work: f64, checkpointing: bool) -> Option<f64> {
+        let (elapsed, si) = self.sweep(li, t);
+        let w0 = self.hot[li].cursor_on.max(elapsed);
+        let total = self.hot[li].total;
         if checkpointing {
             let w1 = w0 + work;
             if w1 <= total {
-                self.cursor_on = w1;
-                self.busy_on += w1 - w0;
-                Some(self.wall_at_on(w1))
+                self.hot[li].cursor_on = w1;
+                self.busy_on[li] += w1 - w0;
+                // Same sweep-interval fast path as `estimate_finish` —
+                // a search from any valid start resolves to the same
+                // interval, so the hint update stays consistent.
+                let h = self.hot[li];
+                let pb = h.b0 as usize + li;
+                let (done, i) = if si < (h.n_on as usize)
+                    && self.prefix[pb + si] < w1
+                    && w1 <= self.prefix[pb + si + 1]
+                {
+                    (
+                        self.on_start[h.b0 as usize + si] + (w1 - self.prefix[pb + si]),
+                        si,
+                    )
+                } else {
+                    self.wall_at_on_from(li, w1, h.wall_hint as usize)
+                };
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.hot[li].wall_hint = i as u32;
+                }
+                Some(done)
             } else {
-                self.busy_on += (total - w0).max(0.0);
-                self.cursor_on = total;
+                self.busy_on[li] += (total - w0).max(0.0);
+                self.hot[li].cursor_on = total;
                 None
             }
         } else {
@@ -374,25 +782,44 @@ impl Lane {
             if w0 >= total {
                 return None;
             }
-            let t0 = self.wall_at_on(w0);
-            let mut i = self.on.partition_point(|&(_, b)| b <= t0);
-            while i < self.on.len() {
-                let start = self.on[i].0.max(t0);
-                if self.on[i].1 - start >= work {
+            let (t0, i0) = self.wall_at_on_from(li, w0, self.hot[li].wall_hint as usize);
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.hot[li].wall_hint = i0 as u32;
+            }
+            // Resume the session search from the last commit's session
+            // — `t0` is nondecreasing across a lane's commits.
+            let b0 = self.hot[li].b0 as usize;
+            let n = self.hot[li].n_on as usize;
+            let mut i = self.hot[li].sess_hint as usize;
+            while i < n && self.on_end[b0 + i] <= t0 {
+                i += 1;
+            }
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                self.hot[li].sess_hint = i as u32;
+            }
+            while i < n {
+                let start = self.on_start[b0 + i].max(t0);
+                if self.on_end[b0 + i] - start >= work {
                     let done = start + work;
-                    let w_done = self.on_elapsed(done).max(w0);
-                    self.busy_on += w_done - w0;
-                    self.cursor_on = w_done;
+                    let w_done = self.on_elapsed_cold(li, done).max(w0);
+                    self.busy_on[li] += w_done - w0;
+                    self.hot[li].cursor_on = w_done;
                     return Some(done);
                 }
                 i += 1;
             }
-            self.busy_on += (total - w0).max(0.0);
-            self.cursor_on = total;
+            self.busy_on[li] += (total - w0).max(0.0);
+            self.hot[li].cursor_on = total;
             None
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Shard state and the per-batch hot loop
+// ---------------------------------------------------------------------------
 
 /// Per-family accumulator inside one shard.
 #[derive(Debug, Clone, Default)]
@@ -456,255 +883,410 @@ impl ShardOutcome {
     }
 }
 
-/// Build this shard's lanes and run its jobs in arrival order.
-fn run_shard(
-    engine: &EngineReport,
-    spec: &WorkloadSpec,
+/// Read-only dispatch context shared by every batch.
+struct BatchCtx<'a> {
+    spec: &'a WorkloadSpec,
     policy: DispatchPolicy,
-    jobs: &[Job],
-    job_ids: &[u32],
-    host_ids: &[u64],
-) -> ShardOutcome {
-    let start_days = spec.start.days();
-    let horizon = spec.horizon_hours;
-    let profiles: Vec<_> = spec.families.iter().map(|f| f.app.profile()).collect();
+    exec_seed: u64,
+    horizon: f64,
+}
 
-    // --- Lanes ---
-    let mut lanes: Vec<Lane> = Vec::new();
-    for &id in host_ids {
-        let Some(host) = engine.fleet.host(id) else {
-            continue;
-        };
-        let c_h = (host.created.days() - start_days) * 24.0;
-        let d_h = (host.death.days() - start_days) * 24.0;
-        let a0 = c_h.max(0.0);
-        let a1 = d_h.min(horizon);
-        if a1 <= a0 {
-            continue;
-        }
-        let on: Vec<(f64, f64)> = match engine.availability_schedule(id, horizon) {
-            Some(schedule) => schedule.on_intervals_between(a0, a1).collect(),
-            // No availability model: the host is ON for its whole
-            // eligible window.
-            None => vec![(a0, a1)],
-        };
-        if on.is_empty() {
-            continue;
-        }
-        let mut prefix = Vec::with_capacity(on.len() + 1);
-        let mut acc = 0.0;
-        prefix.push(0.0);
-        for &(a, b) in &on {
-            acc += b - a;
-            prefix.push(acc);
-        }
-        // Resources in force when the host enters the window (hardware
-        // refreshes inside the window keep the entry-rate — dispatch
-        // models capacity, not mid-run re-benchmarks).
-        let at = if c_h > 0.0 { host.created } else { spec.start };
-        let res = *host.resources_at(at).unwrap_or(&host.resources);
-        // Whetstone MIPS ≈ Mflops: cores · MIPS · 3600 s/h / 1000 →
-        // GFLOP-equivalents per ON-hour.
-        let speed = (f64::from(res.cores.max(1)) * res.whetstone_mips * 3.6).max(1e-6);
-        lanes.push(Lane {
-            a0,
-            on,
-            prefix,
-            speed,
-            gpu: host.gpu.is_some(),
-            util: profiles.iter().map(|p| utility(p, &res)).collect(),
-            cursor_on: 0.0,
-            busy_on: 0.0,
-        });
-    }
+/// One dispatch shard's persistent state: lanes, the eligibility
+/// sweep, epoch-stamped dedup marks and the reusable per-job RNG. A
+/// shard's state evolves only under its own lock, driven by its own
+/// jobs in arrival order, so the outcome is independent of which
+/// worker ran which batch.
+struct ShardState {
+    lanes: Lanes,
+    /// Lane indices ordered by window entry / exit.
+    activation: Vec<u32>,
+    removal: Vec<u32>,
+    next_act: usize,
+    next_rem: usize,
+    /// Swap-removal eligible set (like the popsim alive partition).
+    eligible: Vec<u32>,
+    pos: Vec<u32>,
+    /// Epoch stamps replacing the O(d²) `contains` dedup scans:
+    /// `cand_mark[li] == replica_epoch` ⇔ sampled for this replica,
+    /// `chosen_mark[li] == job_epoch` ⇔ chosen by an earlier replica
+    /// of this job.
+    cand_mark: Vec<u64>,
+    chosen_mark: Vec<u64>,
+    replica_epoch: u64,
+    job_epoch: u64,
+    candidates: Vec<u32>,
+    /// One RNG reseeded in place per job — the substream bytes are
+    /// identical to constructing `seeded_substream(seed, id)` fresh.
+    rng: StdRng,
+    out: ShardOutcome,
+}
 
-    let mut out = ShardOutcome::empty(spec.families.len());
-    out.hosts = lanes.len();
-    out.total_on_hours = lanes.iter().map(Lane::total_on).sum();
+const GONE: u32 = u32::MAX;
 
-    // --- Eligibility sweep ---
-    // `activation[k]` / `removal[k]` order lanes by window entry/exit;
-    // the eligible set uses swap-removal (like the popsim engine's
-    // alive partition), so membership order is a pure function of the
-    // job sequence.
-    let mut activation: Vec<u32> = (0..lanes.len() as u32).collect();
-    activation.sort_by(|&x, &y| lanes[x as usize].a0.total_cmp(&lanes[y as usize].a0));
-    let mut removal: Vec<u32> = (0..lanes.len() as u32).collect();
-    removal.sort_by(|&x, &y| {
-        let ex = lanes[x as usize].on.last().map_or(0.0, |&(_, b)| b);
-        let ey = lanes[y as usize].on.last().map_or(0.0, |&(_, b)| b);
-        ex.total_cmp(&ey)
-    });
-    let exit_of = |lane: &Lane| lane.on.last().map_or(0.0, |&(_, b)| b);
-    let (mut next_act, mut next_rem) = (0usize, 0usize);
-    const GONE: u32 = u32::MAX;
-    let mut eligible: Vec<u32> = Vec::with_capacity(lanes.len());
-    let mut pos: Vec<u32> = vec![GONE; lanes.len()];
-
-    let mut candidates: Vec<u32> = Vec::with_capacity(spec.candidates);
-    let mut chosen: Vec<u32> = Vec::with_capacity(4);
-
-    for &job_id in job_ids {
-        let job = jobs[job_id as usize];
-        let t = job.arrival;
-
-        // Advance the sweep: admit lanes whose window has opened,
-        // retire lanes whose last ON session has ended.
-        while next_act < activation.len() && lanes[activation[next_act] as usize].a0 <= t {
-            let li = activation[next_act];
-            pos[li as usize] = eligible.len() as u32;
-            eligible.push(li);
-            next_act += 1;
-        }
-        while next_rem < removal.len() && exit_of(&lanes[removal[next_rem] as usize]) <= t {
-            let li = removal[next_rem];
-            next_rem += 1;
-            let p = pos[li as usize];
-            if p == GONE {
-                continue; // exited before it ever activated
-            }
-            eligible.swap_remove(p as usize);
-            if let Some(&moved) = eligible.get(p as usize) {
-                pos[moved as usize] = p;
-            }
-            pos[li as usize] = GONE;
-        }
-
-        let fam_idx = job.family as usize;
-        let fam = &spec.families[fam_idx];
-        let facc = &mut out.families[fam_idx];
-        facc.jobs += 1;
-        facc.size_sum += job.size;
-        let deadline = fam.deadline_hours;
-        if deadline.is_some() {
-            out.deadline_jobs += 1;
-        }
-
-        // --- Place every replica ---
-        let mut rng = seeded_substream(spec.seed ^ EXEC_SALT, u64::from(job_id));
-        let mut completion: Option<f64> = None;
-        let mut assigned_any = false;
-        chosen.clear();
-        for _ in 0..fam.replication {
-            // Power-of-d-choices: sample distinct candidates from the
-            // eligible set (also distinct from this job's earlier
-            // replicas); a bounded retry keeps the draw count finite on
-            // tiny shards.
-            candidates.clear();
-            if !eligible.is_empty() {
-                let want = spec
-                    .candidates
-                    .min(eligible.len().saturating_sub(chosen.len()));
-                for _ in 0..4 * spec.candidates {
-                    if candidates.len() >= want {
-                        break;
-                    }
-                    out.candidate_draws += 1;
-                    let li = eligible[rng.random_range(0..eligible.len())];
-                    if !candidates.contains(&li) && !chosen.contains(&li) {
-                        candidates.push(li);
-                    }
-                }
-            }
-            out.candidates_scored += candidates.len() as u64;
-            let Some(&best) = pick(policy, &candidates, &lanes, &job, fam.wants_gpu, horizon)
-            else {
+impl ShardState {
+    fn build(
+        engine: &EngineReport,
+        spec: &WorkloadSpec,
+        profiles: &[resmodel_allocsim::AppProfile],
+        host_ids: &[u64],
+    ) -> Self {
+        let start_days = spec.start.days();
+        let horizon = spec.horizon_hours;
+        let mut lanes = Lanes::new(spec.families.len());
+        let mut on_buf: Vec<(f64, f64)> = Vec::new();
+        for &id in host_ids {
+            let Some(host) = engine.fleet.host(id) else {
                 continue;
             };
-            chosen.push(best);
-            assigned_any = true;
-            out.replicas += 1;
-            let lane = &mut lanes[best as usize];
-            out.predicted_utility += lane.util[fam_idx];
-            let work = job.size / lane.speed;
-            if let Some(done) = lane.commit(t, work, spec.checkpointing) {
-                out.realized_utility += lane.util[fam_idx];
-                completion = Some(completion.map_or(done, |c: f64| c.min(done)));
+            let c_h = (host.created.days() - start_days) * 24.0;
+            let d_h = (host.death.days() - start_days) * 24.0;
+            let a0 = c_h.max(0.0);
+            let a1 = d_h.min(horizon);
+            if a1 <= a0 {
+                continue;
             }
+            on_buf.clear();
+            match engine.availability_schedule(id, horizon) {
+                Some(schedule) => on_buf.extend(schedule.on_intervals_between(a0, a1)),
+                // No availability model: the host is ON for its whole
+                // eligible window.
+                None => on_buf.push((a0, a1)),
+            }
+            if on_buf.is_empty() {
+                continue;
+            }
+            // Resources in force when the host enters the window
+            // (hardware refreshes inside the window keep the
+            // entry-rate — dispatch models capacity, not mid-run
+            // re-benchmarks).
+            let at = if c_h > 0.0 { host.created } else { spec.start };
+            let res = *host.resources_at(at).unwrap_or(&host.resources);
+            // Whetstone MIPS ≈ Mflops: cores · MIPS · 3600 s/h / 1000
+            // → GFLOP-equivalents per ON-hour.
+            let speed = (f64::from(res.cores.max(1)) * res.whetstone_mips * 3.6).max(1e-6);
+            lanes.push_lane(
+                a0,
+                speed,
+                host.gpu.is_some(),
+                profiles.iter().map(|p| utility(p, &res)),
+                &on_buf,
+            );
         }
 
-        // --- Score the job ---
-        match completion {
-            Some(done) => {
-                out.completed += 1;
-                facc.completed += 1;
-                out.latency_hist.record(done - t);
-                out.latency_sum += done - t;
-                facc.latency_sum += done - t;
-                out.makespan = out.makespan.max(done);
-                if let Some(d) = deadline {
-                    if done - t > d {
-                        out.deadline_missed += 1;
+        let mut out = ShardOutcome::empty(spec.families.len());
+        out.hosts = lanes.len();
+        out.total_on_hours = (0..lanes.len()).map(|li| lanes.total_on(li)).sum();
+
+        // `activation[k]` / `removal[k]` order lanes by window
+        // entry/exit; the eligible set uses swap-removal, so
+        // membership order is a pure function of the job sequence.
+        #[allow(clippy::cast_possible_truncation)]
+        let mut activation: Vec<u32> = (0..lanes.len() as u32).collect();
+        activation.sort_by(|&x, &y| lanes.a0[x as usize].total_cmp(&lanes.a0[y as usize]));
+        #[allow(clippy::cast_possible_truncation)]
+        let mut removal: Vec<u32> = (0..lanes.len() as u32).collect();
+        removal.sort_by(|&x, &y| lanes.exit[x as usize].total_cmp(&lanes.exit[y as usize]));
+
+        let n = lanes.len();
+        ShardState {
+            lanes,
+            activation,
+            removal,
+            next_act: 0,
+            next_rem: 0,
+            eligible: Vec::with_capacity(n),
+            pos: vec![GONE; n],
+            cand_mark: vec![0; n],
+            chosen_mark: vec![0; n],
+            replica_epoch: 0,
+            job_epoch: 0,
+            candidates: Vec::with_capacity(spec.candidates),
+            rng: StdRng::seed_from_u64(0),
+            out,
+        }
+    }
+
+    /// Run one arrival-ordered batch of this shard's jobs.
+    fn run_batch(&mut self, ctx: &BatchCtx<'_>, batch: &[JobRec]) {
+        let n_fam = self.lanes.n_fam;
+        for job in batch {
+            let t = job.arrival;
+
+            // Advance the sweep: admit lanes whose window has opened,
+            // retire lanes whose last ON session has ended.
+            while self.next_act < self.activation.len()
+                && self.lanes.a0[self.activation[self.next_act] as usize] <= t
+            {
+                let li = self.activation[self.next_act];
+                #[allow(clippy::cast_possible_truncation)]
+                {
+                    self.pos[li as usize] = self.eligible.len() as u32;
+                }
+                self.eligible.push(li);
+                self.next_act += 1;
+            }
+            while self.next_rem < self.removal.len()
+                && self.lanes.exit[self.removal[self.next_rem] as usize] <= t
+            {
+                let li = self.removal[self.next_rem];
+                self.next_rem += 1;
+                let p = self.pos[li as usize];
+                if p == GONE {
+                    continue; // exited before it ever activated
+                }
+                self.eligible.swap_remove(p as usize);
+                if let Some(&moved) = self.eligible.get(p as usize) {
+                    self.pos[moved as usize] = p;
+                }
+                self.pos[li as usize] = GONE;
+            }
+
+            let fam_idx = job.family as usize;
+            let fam = &ctx.spec.families[fam_idx];
+            let facc = &mut self.out.families[fam_idx];
+            facc.jobs += 1;
+            facc.size_sum += job.size;
+            let deadline = fam.deadline_hours;
+            if deadline.is_some() {
+                self.out.deadline_jobs += 1;
+            }
+
+            // --- Place every replica ---
+            self.rng
+                .reseed_from_u64(substream(ctx.exec_seed, u64::from(job.id)));
+            let mut completion: Option<f64> = None;
+            self.job_epoch += 1;
+            let mut chosen_count = 0usize;
+            for _ in 0..fam.replication {
+                // Power-of-d-choices: sample distinct candidates from
+                // the eligible set (also distinct from this job's
+                // earlier replicas); a bounded retry keeps the draw
+                // count finite on tiny shards.
+                self.candidates.clear();
+                self.replica_epoch += 1;
+                if !self.eligible.is_empty() {
+                    let want = ctx
+                        .spec
+                        .candidates
+                        .min(self.eligible.len().saturating_sub(chosen_count));
+                    sample_candidates(
+                        &mut self.rng,
+                        &self.eligible,
+                        want,
+                        4 * ctx.spec.candidates,
+                        self.replica_epoch,
+                        &mut self.cand_mark,
+                        self.job_epoch,
+                        &self.chosen_mark,
+                        &mut self.candidates,
+                        &mut self.out.candidate_draws,
+                    );
+                }
+                self.out.candidates_scored += self.candidates.len() as u64;
+                let Some(best) = pick(
+                    &mut self.lanes,
+                    ctx.policy,
+                    &self.candidates,
+                    t,
+                    job.size,
+                    fam_idx,
+                    fam.wants_gpu,
+                    ctx.horizon,
+                ) else {
+                    continue;
+                };
+                let li = best as usize;
+                self.chosen_mark[li] = self.job_epoch;
+                chosen_count += 1;
+                self.out.replicas += 1;
+                self.out.predicted_utility += self.lanes.util[li * n_fam + fam_idx];
+                let work = job.size / self.lanes.hot[li].speed;
+                if let Some(done) = self.lanes.commit(li, t, work, ctx.spec.checkpointing) {
+                    self.out.realized_utility += self.lanes.util[li * n_fam + fam_idx];
+                    completion = Some(completion.map_or(done, |c: f64| c.min(done)));
+                }
+            }
+
+            // --- Score the job ---
+            match completion {
+                Some(done) => {
+                    self.out.completed += 1;
+                    facc.completed += 1;
+                    self.out.latency_hist.record(done - t);
+                    self.out.latency_sum += done - t;
+                    facc.latency_sum += done - t;
+                    self.out.makespan = self.out.makespan.max(done);
+                    if let Some(d) = deadline {
+                        if done - t > d {
+                            self.out.deadline_missed += 1;
+                            facc.deadline_missed += 1;
+                        }
+                    }
+                }
+                None => {
+                    if chosen_count > 0 {
+                        self.out.failed += 1;
+                        facc.failed += 1;
+                    } else {
+                        self.out.unassigned += 1;
+                        facc.unassigned += 1;
+                    }
+                    if deadline.is_some() {
+                        self.out.deadline_missed += 1;
                         facc.deadline_missed += 1;
                     }
                 }
             }
-            None => {
-                if assigned_any {
-                    out.failed += 1;
-                    facc.failed += 1;
-                } else {
-                    out.unassigned += 1;
-                    facc.unassigned += 1;
-                }
-                if deadline.is_some() {
-                    out.deadline_missed += 1;
-                    facc.deadline_missed += 1;
+        }
+    }
+}
+
+/// The bounded power-of-d retry loop. The accept/reject decisions —
+/// and therefore `draws` accounting — are identical to the old
+/// `Vec::contains` dedup: epoch stamps only change the membership
+/// test's cost, never its answer, and no RNG draw is skipped.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn sample_candidates(
+    rng: &mut StdRng,
+    eligible: &[u32],
+    want: usize,
+    max_draws: usize,
+    replica_epoch: u64,
+    cand_mark: &mut [u64],
+    job_epoch: u64,
+    chosen_mark: &[u64],
+    candidates: &mut Vec<u32>,
+    draws: &mut u64,
+) {
+    for _ in 0..max_draws {
+        if candidates.len() >= want {
+            break;
+        }
+        *draws += 1;
+        let li = eligible[rng.random_range(0..eligible.len())];
+        let slot = li as usize;
+        if cand_mark[slot] != replica_epoch && chosen_mark[slot] != job_epoch {
+            cand_mark[slot] = replica_epoch;
+            candidates.push(li);
+        }
+    }
+}
+
+/// Pick the best candidate under `policy`. Ties resolve to the
+/// earliest candidate in sample order, which is itself deterministic.
+/// (Scoring advances the lanes' monotone sweep cursors, hence `&mut`
+/// — the returned values are unchanged by the cursors.)
+#[allow(clippy::too_many_arguments)]
+fn pick(
+    lanes: &mut Lanes,
+    policy: DispatchPolicy,
+    candidates: &[u32],
+    t: f64,
+    size: f64,
+    fam: usize,
+    wants_gpu: bool,
+    horizon: f64,
+) -> Option<u32> {
+    if candidates.len() <= 1 || policy == DispatchPolicy::Random {
+        return candidates.first().copied();
+    }
+    // Strictly-greater comparison keeps the first of score ties, so the
+    // winner is the earliest candidate in (deterministic) sample order.
+    // The per-policy loops hoist the policy branch out of the scoring
+    // hot path.
+    let mut best = candidates[0];
+    match policy {
+        DispatchPolicy::Random => {}
+        DispatchPolicy::GreedyUtility => {
+            let mut best_score = f64::NEG_INFINITY;
+            for &c in candidates {
+                let li = c as usize;
+                let s = lanes.util[li * lanes.n_fam + fam] / (1.0 + lanes.backlog_at(li, t));
+                if s > best_score {
+                    best = c;
+                    best_score = s;
                 }
             }
         }
-    }
-
-    out.busy_on_hours = lanes.iter().map(|l| l.busy_on).sum();
-    out
-}
-
-/// Pick the best candidate under `policy`. Ties resolve to the earliest
-/// candidate in sample order, which is itself deterministic.
-fn pick<'a>(
-    policy: DispatchPolicy,
-    candidates: &'a [u32],
-    lanes: &[Lane],
-    job: &Job,
-    wants_gpu: bool,
-    horizon: f64,
-) -> Option<&'a u32> {
-    if candidates.len() <= 1 {
-        return candidates.first();
-    }
-    let fam = job.family as usize;
-    let t = job.arrival;
-    // Higher score wins for every policy (earliest-finish negates).
-    let score = |li: &u32| -> f64 {
-        let lane = &lanes[*li as usize];
-        match policy {
-            DispatchPolicy::Random => 0.0,
-            DispatchPolicy::GreedyUtility => lane.util[fam] / (1.0 + lane.backlog_at(t)),
-            DispatchPolicy::EarliestFinish => {
-                -lane.estimate_finish(t, job.size / lane.speed, horizon)
+        DispatchPolicy::EarliestFinish => {
+            let mut best_finish = f64::INFINITY;
+            for &c in candidates {
+                let li = c as usize;
+                let f = lanes.estimate_finish(li, t, size / lanes.hot[li].speed, horizon);
+                if f < best_finish {
+                    best = c;
+                    best_finish = f;
+                }
             }
-            DispatchPolicy::TierAffinity => {
-                let tier_match = lane.gpu == wants_gpu;
-                let base = lane.speed / (1.0 + lane.backlog_at(t));
-                if tier_match {
+        }
+        DispatchPolicy::TierAffinity => {
+            let mut best_score = f64::NEG_INFINITY;
+            for &c in candidates {
+                let li = c as usize;
+                let base = lanes.hot[li].speed / (1.0 + lanes.backlog_at(li, t));
+                let s = if lanes.hot[li].gpu == wants_gpu {
                     1e12 + base
                 } else {
                     base
+                };
+                if s > best_score {
+                    best = c;
+                    best_score = s;
                 }
             }
         }
-    };
-    if policy == DispatchPolicy::Random {
-        return candidates.first();
     }
-    candidates.iter().reduce(|a, b| {
-        // Strictly-greater keeps the first of equals.
-        if score(b) > score(a) {
-            b
-        } else {
-            a
+    Some(best)
+}
+
+// ---------------------------------------------------------------------------
+// Segment execution with work stealing
+// ---------------------------------------------------------------------------
+
+/// Dispatch one segment: `workers` claim shard batches from a shared
+/// queue. A claim outside the worker's round-robin share is a steal —
+/// an idle worker taking load off a busy one. Which worker runs a
+/// batch never matters: each shard's state advances under its own
+/// lock, in arrival order, exactly once per segment.
+fn process_segment(
+    states: &[Mutex<ShardState>],
+    bufs: &[Vec<JobRec>],
+    nonempty: &[u32],
+    ctx: &BatchCtx<'_>,
+    workers: usize,
+    steals: &AtomicU64,
+) {
+    let run = |si: usize| {
+        states[si]
+            .lock()
+            .unwrap_or_else(|_| unreachable!("shard workers do not panic"))
+            .run_batch(ctx, &bufs[si]);
+    };
+    if workers <= 1 {
+        for &si in nonempty {
+            run(si as usize);
         }
-    })
+        return;
+    }
+    let next = AtomicUsize::new(0);
+    let claim_loop = |w: usize| loop {
+        let i = next.fetch_add(1, Ordering::Relaxed);
+        if i >= nonempty.len() {
+            break;
+        }
+        if i % workers != w {
+            steals.fetch_add(1, Ordering::Relaxed);
+        }
+        run(nonempty[i] as usize);
+    };
+    std::thread::scope(|scope| {
+        for w in 1..workers {
+            let claim_loop = &claim_loop;
+            scope.spawn(move || claim_loop(w));
+        }
+        claim_loop(0);
+    });
 }
 
 #[cfg(test)]
@@ -755,6 +1337,153 @@ mod tests {
         // All four families are represented.
         let fams: std::collections::HashSet<u32> = a.iter().map(|j| j.family).collect();
         assert_eq!(fams.len(), spec.families.len());
+    }
+
+    /// The streaming merge must reproduce the old materialize-and-sort
+    /// generator byte for byte — the reference implementation below is
+    /// that old generator, verbatim.
+    #[test]
+    fn streaming_merge_matches_materialized_stable_sort() {
+        fn reference(spec: &WorkloadSpec) -> Vec<Job> {
+            let mut jobs = Vec::new();
+            for (fi, fam) in spec.families.iter().enumerate() {
+                let mut rng = seeded_substream(spec.seed ^ FAMILY_SALT, fi as u64);
+                let sizes = (fam.size_sigma > 0.0)
+                    .then(|| LogNormal::new(fam.size_gflop.ln(), fam.size_sigma))
+                    .transpose()
+                    .ok()
+                    .flatten();
+                let mut t = 0.0;
+                let mut count = 0usize;
+                loop {
+                    let rate = fam.arrivals.rate(t).max(1e-9);
+                    let u: f64 = rng.random::<f64>();
+                    t += -(1.0 - u).ln() / rate;
+                    if t > spec.horizon_hours {
+                        break;
+                    }
+                    if fam.max_jobs > 0 && count >= fam.max_jobs {
+                        break;
+                    }
+                    let size = match &sizes {
+                        Some(d) => d.sample(&mut rng),
+                        None => fam.size_gflop,
+                    };
+                    jobs.push(Job {
+                        arrival: t,
+                        size,
+                        family: fi as u32,
+                    });
+                    count += 1;
+                }
+            }
+            jobs.sort_by(|a, b| a.arrival.total_cmp(&b.arrival));
+            jobs
+        }
+        for preset in WorkloadSpec::PRESETS {
+            for (seed, budget) in [(20110620, 2_000), (7, 431), (999, 0)] {
+                let mut spec = WorkloadSpec::preset(preset).unwrap();
+                spec.seed = seed;
+                if budget > 0 {
+                    spec = spec.with_job_budget(budget);
+                }
+                let streamed = generate_jobs(&spec);
+                let sorted = reference(&spec);
+                assert_eq!(streamed.len(), sorted.len(), "{preset} seed {seed}");
+                for (i, (a, b)) in streamed.iter().zip(&sorted).enumerate() {
+                    assert!(
+                        a.arrival.to_bits() == b.arrival.to_bits()
+                            && a.size.to_bits() == b.size.to_bits()
+                            && a.family == b.family,
+                        "{preset} seed {seed}: job {i} differs"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Satellite contract: the epoch-mark dedup must draw exactly as
+    /// often as the old `Vec::contains` dedup — same candidates, same
+    /// `candidate_draws` — on a shared RNG stream (fixed seed).
+    #[test]
+    fn epoch_mark_dedup_matches_contains_dedup_draw_for_draw() {
+        #[allow(clippy::too_many_arguments)]
+        fn reference_sample(
+            rng: &mut StdRng,
+            eligible: &[u32],
+            want: usize,
+            max_draws: usize,
+            chosen: &[u32],
+            candidates: &mut Vec<u32>,
+            draws: &mut u64,
+        ) {
+            for _ in 0..max_draws {
+                if candidates.len() >= want {
+                    break;
+                }
+                *draws += 1;
+                let li = eligible[rng.random_range(0..eligible.len())];
+                if !candidates.contains(&li) && !chosen.contains(&li) {
+                    candidates.push(li);
+                }
+            }
+        }
+
+        let d = 4usize;
+        let lanes = 40usize;
+        let mut rng_new = StdRng::seed_from_u64(20110620);
+        let mut rng_ref = rng_new.clone();
+        let mut cand_mark = vec![0u64; lanes];
+        let mut chosen_mark = vec![0u64; lanes];
+        let (mut replica_epoch, mut job_epoch) = (0u64, 0u64);
+        let (mut draws_new, mut draws_ref) = (0u64, 0u64);
+        let mut seq = StdRng::seed_from_u64(42);
+        for job in 0..500u64 {
+            // Shrink the eligible set over time to force the bounded
+            // retry loop into its degenerate duplicate-heavy regime.
+            #[allow(clippy::cast_possible_truncation)]
+            let elig_len = (lanes as u64 - (job * lanes as u64) / 600).max(2) as usize;
+            let eligible: Vec<u32> = (0..elig_len as u32).collect();
+            job_epoch += 1;
+            let mut chosen: Vec<u32> = Vec::new();
+            let replication = 1 + (seq.random_range(0..3u64) as usize);
+            for _ in 0..replication {
+                let want = d.min(eligible.len().saturating_sub(chosen.len()));
+                let mut cands_new = Vec::new();
+                let mut cands_ref = Vec::new();
+                replica_epoch += 1;
+                sample_candidates(
+                    &mut rng_new,
+                    &eligible,
+                    want,
+                    4 * d,
+                    replica_epoch,
+                    &mut cand_mark,
+                    job_epoch,
+                    &chosen_mark,
+                    &mut cands_new,
+                    &mut draws_new,
+                );
+                reference_sample(
+                    &mut rng_ref,
+                    &eligible,
+                    want,
+                    4 * d,
+                    &chosen,
+                    &mut cands_ref,
+                    &mut draws_ref,
+                );
+                assert_eq!(cands_new, cands_ref, "job {job}");
+                assert_eq!(draws_new, draws_ref, "job {job}");
+                // Both sides "choose" the first candidate.
+                if let Some(&best) = cands_new.first() {
+                    chosen_mark[best as usize] = job_epoch;
+                    chosen.push(best);
+                }
+            }
+        }
+        assert!(draws_new > 0);
+        assert_eq!(draws_new, draws_ref);
     }
 
     #[test]
@@ -808,6 +1537,16 @@ mod tests {
             Some(plain.totals.completed as u64)
         );
         assert!(m.counter("sched.candidate_draws").unwrap() > 0);
+        assert!(m.counter("sched.segments").unwrap() > 0);
+        // Steal counts exist (possibly zero) and are quarantined from
+        // the deterministic fingerprint like wall clock.
+        assert!(m.counter("sched.steals").is_some());
+        assert!(resmodel_obs::is_wall_clock_key("sched.steals"));
+        let (counters, _) = m.deterministic_fingerprint();
+        assert!(!counters.iter().any(|(k, _)| k == "sched.steals"));
+        assert!(counters.iter().any(|(k, _)| k == "sched.segments"));
+        let depth = m.histogram("sched.segment_queue_depth").unwrap();
+        assert!(depth.count > 0);
         let hist = m
             .histogram("sched.placement_latency_hours.earliest-finish")
             .unwrap();
@@ -881,64 +1620,80 @@ mod tests {
         assert_eq!(a, back);
     }
 
+    /// Single test lane with the given ON intervals.
+    fn test_lanes(on: &[(f64, f64)]) -> Lanes {
+        let mut lanes = Lanes::new(0);
+        lanes.push_lane(0.0, 1.0, false, std::iter::empty(), on);
+        lanes
+    }
+
     #[test]
     fn lane_time_conversions_are_inverse() {
-        let lane = Lane {
-            a0: 0.0,
-            on: vec![(1.0, 3.0), (5.0, 6.0), (8.0, 12.0)],
-            prefix: vec![0.0, 2.0, 3.0, 7.0],
-            speed: 1.0,
-            gpu: false,
-            util: vec![],
-            cursor_on: 0.0,
-            busy_on: 0.0,
-        };
-        assert_eq!(lane.total_on(), 7.0);
-        assert_eq!(lane.on_elapsed(0.5), 0.0);
-        assert_eq!(lane.on_elapsed(2.0), 1.0);
-        assert_eq!(lane.on_elapsed(4.0), 2.0);
-        assert_eq!(lane.on_elapsed(100.0), 7.0);
-        assert_eq!(lane.wall_at_on(1.0), 2.0);
-        assert_eq!(lane.wall_at_on(2.0), 3.0);
-        assert_eq!(lane.wall_at_on(2.5), 5.5);
-        assert_eq!(lane.wall_at_on(7.0), 12.0);
+        let lanes = test_lanes(&[(1.0, 3.0), (5.0, 6.0), (8.0, 12.0)]);
+        assert_eq!(lanes.total_on(0), 7.0);
+        assert_eq!(lanes.on_elapsed_cold(0, 0.5), 0.0);
+        assert_eq!(lanes.on_elapsed_cold(0, 2.0), 1.0);
+        assert_eq!(lanes.on_elapsed_cold(0, 4.0), 2.0);
+        assert_eq!(lanes.on_elapsed_cold(0, 100.0), 7.0);
+        assert_eq!(lanes.wall_at_on_from(0, 1.0, 0).0, 2.0);
+        assert_eq!(lanes.wall_at_on_from(0, 2.0, 0).0, 3.0);
+        assert_eq!(lanes.wall_at_on_from(0, 2.5, 0).0, 5.5);
+        assert_eq!(lanes.wall_at_on_from(0, 7.0, 0).0, 12.0);
         for w in [0.5, 1.0, 2.0, 2.5, 3.0, 6.9] {
-            assert!(
-                (lane.on_elapsed(lane.wall_at_on(w)) - w).abs() < 1e-12,
-                "w={w}"
+            let t = lanes.wall_at_on_from(0, w, 0).0;
+            assert!((lanes.on_elapsed_cold(0, t) - w).abs() < 1e-12, "w={w}");
+        }
+    }
+
+    /// The monotone sweep cursor must agree with the cold binary
+    /// search at every step of a nondecreasing clock.
+    #[test]
+    fn sweep_cursor_matches_cold_search() {
+        let mut lanes = test_lanes(&[(1.0, 3.0), (5.0, 6.0), (8.0, 12.0), (20.0, 21.5)]);
+        for t in [
+            0.0, 0.5, 1.0, 2.9, 3.0, 4.2, 5.0, 5.0, 7.9, 11.0, 12.0, 19.0, 20.5, 30.0,
+        ] {
+            assert_eq!(
+                lanes.on_elapsed_sweep(0, t).to_bits(),
+                lanes.on_elapsed_cold(0, t).to_bits(),
+                "t={t}"
             );
+        }
+    }
+
+    /// Galloped prefix search must agree with `partition_point` for
+    /// every valid starting hint.
+    #[test]
+    fn galloped_prefix_search_matches_partition_point() {
+        let lanes = test_lanes(&[(1.0, 3.0), (5.0, 6.0), (8.0, 12.0), (20.0, 21.5)]);
+        let prefix = &lanes.prefix;
+        for w in [0.0, 0.5, 2.0, 3.0, 3.5, 6.99, 7.0, 8.4, 8.5, 9.0] {
+            let expect = prefix.partition_point(|&p| p < w);
+            for lo in 0..=expect {
+                assert_eq!(lanes.prefix_first_ge(0, w, lo), expect, "w={w} lo={lo}");
+            }
         }
     }
 
     #[test]
     fn checkpointing_commit_spans_gaps_and_restart_needs_one_session() {
-        let mk = || Lane {
-            a0: 0.0,
-            on: vec![(0.0, 2.0), (10.0, 13.0)],
-            prefix: vec![0.0, 2.0, 5.0],
-            speed: 1.0,
-            gpu: false,
-            util: vec![],
-            cursor_on: 0.0,
-            busy_on: 0.0,
-        };
         // 3h of work with checkpointing: 2h in session 1, 1h into
         // session 2 → completes at 11.
-        let mut lane = mk();
-        assert_eq!(lane.commit(0.0, 3.0, true), Some(11.0));
-        assert_eq!(lane.busy_on, 3.0);
+        let mut lanes = test_lanes(&[(0.0, 2.0), (10.0, 13.0)]);
+        assert_eq!(lanes.commit(0, 0.0, 3.0, true), Some(11.0));
+        assert_eq!(lanes.busy_on[0], 3.0);
         // A second job queues behind it (FIFO): 1h more → 12.
-        assert_eq!(lane.commit(0.0, 1.0, true), Some(12.0));
+        assert_eq!(lanes.commit(0, 0.0, 1.0, true), Some(12.0));
         // Overcommit fails and consumes the tail.
-        assert_eq!(lane.commit(0.0, 5.0, true), None);
-        assert_eq!(lane.cursor_on, 5.0);
+        assert_eq!(lanes.commit(0, 0.0, 5.0, true), None);
+        assert_eq!(lanes.hot[0].cursor_on, 5.0);
         // Without checkpointing the same 3h job must wait for the 3h
         // session: restarts burn session 1 entirely.
-        let mut lane = mk();
-        assert_eq!(lane.commit(0.0, 3.0, false), Some(13.0));
-        assert_eq!(lane.busy_on, 5.0, "burned session + work");
+        let mut lanes = test_lanes(&[(0.0, 2.0), (10.0, 13.0)]);
+        assert_eq!(lanes.commit(0, 0.0, 3.0, false), Some(13.0));
+        assert_eq!(lanes.busy_on[0], 5.0, "burned session + work");
         // A 4h job can never fit any session.
-        let mut lane = mk();
-        assert_eq!(lane.commit(0.0, 4.0, false), None);
+        let mut lanes = test_lanes(&[(0.0, 2.0), (10.0, 13.0)]);
+        assert_eq!(lanes.commit(0, 0.0, 4.0, false), None);
     }
 }

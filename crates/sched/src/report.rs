@@ -79,9 +79,13 @@ pub struct DispatchReport {
     pub totals: DispatchTotals,
     /// Per-family rows, spec order.
     pub families: Vec<FamilyDispatchStats>,
-    /// Job-generation wall time, ms.
+    /// Job-generation wall time, ms: the sum of per-segment stream
+    /// fills. Generation of segment *n+1* overlaps dispatch of segment
+    /// *n*, so this can exceed the slack between `dispatch_ms` and
+    /// `wall_ms`.
     pub generate_ms: f64,
-    /// Dispatch (sharded simulation) wall time, ms.
+    /// Dispatch wall time, ms: the whole streaming
+    /// generate-and-process loop, overlapped fills included.
     pub dispatch_ms: f64,
     /// Whole-run wall time, ms.
     pub wall_ms: f64,

@@ -102,11 +102,14 @@ pub struct PredictSpec {
     pub dates: Vec<SimDate>,
 }
 
-/// Configuration of the workload-dispatch stage: push a job stream
-/// through the simulated fleet under one placement policy
-/// ([`resmodel_sched::dispatch()`]). Requires a scenario source — the
-/// dispatcher needs the fleet timeline and availability schedules, not
-/// just the exported trace.
+/// Configuration of the workload-dispatch stage: stream a job
+/// workload through the simulated fleet under one placement policy
+/// ([`resmodel_sched::dispatch()`]). Jobs are generated and consumed
+/// segment by segment — peak memory tracks the segment size, not the
+/// job budget, so a pipeline can dispatch 10M+ jobs without a
+/// materialized workload. Requires a scenario source — the dispatcher
+/// needs the fleet timeline and availability schedules, not just the
+/// exported trace.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DispatchSpec {
     /// The workload to dispatch.

@@ -42,8 +42,8 @@ use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
 use resmodel_error::ResmodelError;
 use resmodel_obs::{Collector, HistogramSummary, MetricsReport};
-use resmodel_popsim::Scenario;
-use resmodel_sched::{DispatchPolicy, WorkloadSpec};
+use resmodel_popsim::{engine, ArrivalLaw, Scenario};
+use resmodel_sched::{dispatch_observed, DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
 use resmodel_trace::sanitize::SanitizeRules;
 use resmodel_trace::{MappedTrace, SimDate, TraceSource};
@@ -51,12 +51,19 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/6` adds
-/// the trace-store block ([`StoreSummary`]) — file size, write/load
+/// Schema identifier written into every [`BenchArtifact`]: `/7` adds
+/// the dispatch-scaling block ([`DispatchScalingPoint`]) — streaming
+/// dispatch throughput, peak RSS and work-stealing figures at one or
+/// more job counts — alongside the `/6` trace-store, `/5`
+/// query-service and `/4` observability blocks.
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/7";
+
+/// The `/6` artifact schema (trace-store block — file size, write/load
 /// timings and the mapped-reload-vs-regeneration comparison of an
-/// out-of-core persistence probe (see `docs/FORMAT.md`) — alongside
-/// the `/5` query-service and `/4` observability blocks.
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/6";
+/// out-of-core persistence probe — but no dispatch-scaling block).
+/// Still accepted by `swept --check` so stored artifacts keep
+/// validating.
+pub const BENCH_SCHEMA_V6: &str = "resmodel.bench_sweep/6";
 
 /// The `/5` artifact schema (query-service block — cache hit/miss
 /// counters, hit rate, per-endpoint request-latency histograms — but
@@ -806,6 +813,7 @@ impl SweepReport {
             metrics: None,
             svc: None,
             store: None,
+            dispatch_scaling: None,
             jobs: self
                 .jobs
                 .iter()
@@ -996,6 +1004,93 @@ impl StoreSummary {
     }
 }
 
+/// One point of the `/7` dispatch-scaling block of a
+/// [`BenchArtifact`]: the streaming dispatch engine driven at a fixed
+/// job budget over a proportionally sized fleet, recording throughput,
+/// peak memory and the claim queue's work-stealing figures.
+///
+/// Field names follow the wall-clock key convention
+/// ([`resmodel_obs::is_wall_clock_key`]): `*_ms`, `*_per_sec`,
+/// `threads` and `steals` are machine facts, automatically quarantined
+/// from any deterministic comparison of the artifact tree; `jobs`,
+/// `generated_jobs`, `hosts` and `segments` are model facts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchScalingPoint {
+    /// Requested job budget.
+    pub jobs: usize,
+    /// Jobs the Poisson family streams actually generated — the
+    /// budget scales arrival rates so the *expected* total is `jobs`;
+    /// the realization lands near it, not exactly on it.
+    pub generated_jobs: usize,
+    /// Hosts in the probe fleet (`jobs / 10`, clamped to 5k–100k).
+    pub hosts: usize,
+    /// Worker threads the streaming loop ran on (wall-clock key).
+    pub threads: usize,
+    /// Whole-run wall time, ms.
+    pub wall_ms: f64,
+    /// Accumulated segment-fill wall time, ms (fills overlap
+    /// dispatch; see `DispatchReport::generate_ms`).
+    pub generate_ms: f64,
+    /// Streaming generate-and-process loop wall time, ms.
+    pub dispatch_ms: f64,
+    /// Generated jobs per second of run wall time — the headline
+    /// scaling figure.
+    pub jobs_per_sec: f64,
+    /// Peak resident-set size after the run, bytes (Linux `VmHWM`,
+    /// `None` elsewhere). Flat across job counts by design: the
+    /// streaming engine holds one segment, not the whole workload.
+    pub peak_rss_bytes: Option<u64>,
+    /// Cross-shard segment claims by the work-stealing loop — a
+    /// scheduling accident of the machine (wall-clock key).
+    pub steals: u64,
+    /// Streaming segments the job count split into (deterministic).
+    pub segments: u64,
+}
+
+impl DispatchScalingPoint {
+    /// Run the dispatch-scaling probe at one job budget: a
+    /// steady-state fleet sized to `jobs / 10` hosts (clamped to
+    /// 5k–100k), the `mixed` workload preset capped at `jobs`, and the
+    /// earliest-finish policy — the same configuration as the
+    /// full-scale thread-invariance test, so the throughput figure
+    /// tracks a byte-stability-verified code path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates fleet-simulation and dispatch failures.
+    pub fn probe(jobs: usize) -> Result<Self, ResmodelError> {
+        let hosts = (jobs / 10).clamp(5_000, 100_000);
+        let mut scenario = Scenario::steady_state(7);
+        scenario.max_hosts = hosts;
+        scenario.arrivals = ArrivalLaw::Exponential {
+            base_per_day: 120.0,
+            growth_per_year: 0.18,
+        };
+        let fleet = engine::run(&scenario)?;
+        let mut workload = WorkloadSpec::preset("mixed")
+            .ok_or_else(|| ResmodelError::config("dispatch scaling", "missing `mixed` preset"))?
+            .with_job_budget(jobs);
+        workload.start = SimDate::from_year(2007.0);
+
+        let obs = Collector::new();
+        let report = dispatch_observed(&fleet, &workload, DispatchPolicy::EarliestFinish, &obs)?;
+        let metrics = obs.snapshot();
+        Ok(Self {
+            jobs,
+            generated_jobs: report.totals.jobs,
+            hosts,
+            threads: rayon::current_num_threads(),
+            wall_ms: report.wall_ms,
+            generate_ms: report.generate_ms,
+            dispatch_ms: report.dispatch_ms,
+            jobs_per_sec: report.jobs_per_sec,
+            peak_rss_bytes: metrics.peak_rss_bytes,
+            steals: metrics.counter("sched.steals").unwrap_or(0),
+            segments: metrics.counter("sched.segments").unwrap_or(0),
+        })
+    }
+}
+
 /// The machine-readable benchmark artifact (`BENCH_sweep.json`): the
 /// perf-trajectory record CI stores for every run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -1023,9 +1118,13 @@ pub struct BenchArtifact {
     /// run had no probe).
     pub svc: Option<SvcSummary>,
     /// The trace-store block: timings and file size of the out-of-core
-    /// persistence probe (schema `/6`; `None` when parsed from /1–/5
+    /// persistence probe (schema `/6`+; `None` when parsed from /1–/5
     /// or when the run had no probe).
     pub store: Option<StoreSummary>,
+    /// The dispatch-scaling block: streaming dispatch throughput,
+    /// peak RSS and work-stealing figures at one or more job counts
+    /// (schema `/7`; `None` when parsed from /1–/6).
+    pub dispatch_scaling: Option<Vec<DispatchScalingPoint>>,
     /// Per-job throughput rows.
     pub jobs: Vec<BenchJobRow>,
 }

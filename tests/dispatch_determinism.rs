@@ -97,16 +97,13 @@ fn dispatch_preset_grid_is_thread_count_invariant() {
     assert_eq!(single, run(1));
 }
 
-/// The acceptance-scale contract: a 100k-host, 1M-job dispatch run
-/// completes on the rayon pool with a byte-identical report at 1, 2
-/// and max threads. Too heavy for the default CI loop — run it with
-///
-/// ```text
-/// cargo test --release --test dispatch_determinism -- --ignored
-/// ```
-#[test]
-#[ignore = "~10 s full-scale run in release mode; exercised manually and per release"]
-fn full_scale_report_is_byte_identical_at_1_2_and_max_threads() {
+/// A 100k-host full-scale thread-invariance run: byte-identical
+/// report at 1, 2 and max threads. The job budget scales through
+/// `RESMODEL_SMOKE_JOBS` so the same test serves as the default CI
+/// smoke (200k jobs, a couple of seconds with the test profile) and
+/// the acceptance run (set it to `1000000`, as the CI bench-smoke
+/// job does in release mode).
+fn full_scale_case(jobs: usize) {
     let mut scenario = Scenario::steady_state(7);
     scenario.max_hosts = 100_000;
     scenario.arrivals = ArrivalLaw::Exponential {
@@ -116,7 +113,7 @@ fn full_scale_report_is_byte_identical_at_1_2_and_max_threads() {
     let fleet = engine::run(&scenario).unwrap();
     let mut workload = WorkloadSpec::preset("mixed")
         .expect("built-in preset")
-        .with_job_budget(1_000_000);
+        .with_job_budget(jobs);
     workload.start = resmodel::trace::SimDate::from_year(2007.0);
 
     let single = run_on_threads(&fleet, &workload, DispatchPolicy::EarliestFinish, 1);
@@ -125,6 +122,29 @@ fn full_scale_report_is_byte_identical_at_1_2_and_max_threads() {
     let many = run_on_threads(&fleet, &workload, DispatchPolicy::EarliestFinish, max);
     assert_eq!(single, dual, "1 vs 2 threads");
     assert_eq!(single, many, "1 vs {max} threads");
+}
+
+#[test]
+fn full_scale_report_is_byte_identical_at_1_2_and_max_threads() {
+    let jobs = std::env::var("RESMODEL_SMOKE_JOBS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    full_scale_case(jobs);
+}
+
+/// The production-traffic contract: 10M jobs stream through the
+/// engine with a byte-identical report at every thread count — and
+/// peak memory stays O(segment), not O(total jobs). Too heavy for the
+/// CI loop; run it with
+///
+/// ```text
+/// cargo test --release --test dispatch_determinism -- --ignored
+/// ```
+#[test]
+#[ignore = "~10 s full-scale run in release mode; exercised manually and per release"]
+fn ten_million_job_report_is_byte_identical_at_1_2_and_max_threads() {
+    full_scale_case(10_000_000);
 }
 
 #[test]

@@ -23,14 +23,26 @@ fn splitmix64(state: &mut u64) -> u64 {
 
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
+        let mut rng = StdRng { s: [0; 4] };
+        rng.reseed_from_u64(state);
+        rng
+    }
+}
+
+impl StdRng {
+    /// Reseed in place, producing exactly the state
+    /// [`SeedableRng::seed_from_u64`] would build — hot loops that
+    /// derive one substream per item can reuse a single generator
+    /// instead of constructing a fresh one each time.
+    #[inline]
+    pub fn reseed_from_u64(&mut self, state: u64) {
         let mut sm = state;
-        let s = [
+        self.s = [
             splitmix64(&mut sm),
             splitmix64(&mut sm),
             splitmix64(&mut sm),
             splitmix64(&mut sm),
         ];
-        StdRng { s }
     }
 }
 
@@ -58,6 +70,16 @@ mod tests {
     fn state_is_never_all_zero() {
         let rng = StdRng::seed_from_u64(0);
         assert_ne!(rng.s, [0; 4]);
+    }
+
+    #[test]
+    fn reseed_in_place_equals_fresh_construction() {
+        let mut rng = StdRng::seed_from_u64(0);
+        for seed in [0, 1, 42, u64::MAX, 0xD15A_7C40_0000_0001] {
+            rng.next_u64(); // perturb state so the reseed must overwrite it
+            rng.reseed_from_u64(seed);
+            assert_eq!(rng, StdRng::seed_from_u64(seed), "seed {seed}");
+        }
     }
 
     #[test]
