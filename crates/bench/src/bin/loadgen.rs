@@ -1,0 +1,403 @@
+//! `loadgen` — measure `resmodeld` under fire: drive a live daemon
+//! with a weighted endpoint mix over N concurrent connections and emit
+//! the `resmodel.bench_sweep/8` *pure load artifact* (`BENCH_svc.json`
+//! by default): served-queries/sec, per-endpoint latency quantiles
+//! (p50/p90/p99/p999), error counts, the daemon's cache hit rate and
+//! its SLO verdict.
+//!
+//! ```text
+//! resmodeld --uds /tmp/resmodel.sock --max-conns 64 &
+//! loadgen --uds /tmp/resmodel.sock --connections 8 --duration 2s
+//! loadgen --uds /tmp/resmodel.sock --connections 4 --requests 64 --seed 7
+//! ```
+//!
+//! `--requests N` runs the deterministic fixed schedule (the request
+//! multiset the daemon sees is a pure function of the seed —
+//! independent of `--connections` — so the daemon's deterministic
+//! fingerprint is load-invariant); `--duration` / `--rps` run the
+//! wall-clock-shaped smoke mode CI uses. `--inject-error` first sends
+//! one deliberately malformed frame so the daemon's flight recorder
+//! dumps that request's trace — the post-mortem path, exercised on
+//! purpose.
+
+#![warn(clippy::unwrap_used)]
+
+use resmodel::obs::MetricsReport;
+use resmodel::pipeline::StageTimings;
+use resmodel::sweep::{BenchArtifact, SvcSummary, SweepTotals, BENCH_SCHEMA};
+use resmodel::ResmodelError;
+use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
+use resmodel_error::ArgError;
+use resmodel_svc::{loadgen, proto, Client, LoadSpec};
+use std::time::Duration;
+
+const USAGE: Usage = Usage {
+    bin: "loadgen",
+    summary: "hammer a resmodeld daemon and emit the /8 svc_load bench artifact",
+    usage: &[
+        "loadgen (--tcp ADDR | --uds PATH) --duration 2s [--connections N] [--rps N] ...",
+        "loadgen (--tcp ADDR | --uds PATH) --requests N [--connections N] [--seed N] ...",
+        "loadgen ... [--mix LIST] [--out FILE] [--inject-error] [--quiet | --verbose]",
+    ],
+    flags: &[
+        FlagHelp {
+            flag: "--tcp ADDR",
+            help: "connect to a TCP daemon, e.g. 127.0.0.1:7171",
+        },
+        FlagHelp {
+            flag: "--uds PATH",
+            help: "connect to a Unix-domain-socket daemon",
+        },
+        FlagHelp {
+            flag: "--connections N",
+            help: "concurrent worker connections (default 4)",
+        },
+        FlagHelp {
+            flag: "--requests N",
+            help: "fixed mode: send exactly N requests from a deterministic schedule",
+        },
+        FlagHelp {
+            flag: "--duration D",
+            help: "duration mode: run for D (2s, 1500ms, or bare seconds)",
+        },
+        FlagHelp {
+            flag: "--rps N",
+            help: "duration mode: pace at N requests/sec aggregate (default: closed loop)",
+        },
+        FlagHelp {
+            flag: "--mix LIST",
+            help: "weighted endpoint mix, e.g. run_pipeline=3:predict:stats (default \
+                   run_pipeline:predict:stats)",
+        },
+        FlagHelp {
+            flag: "--seed N",
+            help: "schedule seed for fixed mode / worker substreams (default 42)",
+        },
+        FlagHelp {
+            flag: "--out FILE",
+            help: "write the /8 artifact to FILE (default BENCH_svc.json)",
+        },
+        FlagHelp {
+            flag: "--inject-error",
+            help: "send one malformed frame first, forcing a server-side flight-recorder dump",
+        },
+        FlagHelp {
+            flag: "--quiet",
+            help: "suppress progress output (warnings still print)",
+        },
+        FlagHelp {
+            flag: "--verbose",
+            help: "print extra debug detail",
+        },
+        FlagHelp {
+            flag: "--help",
+            help: "show this help",
+        },
+    ],
+};
+
+fn main() {
+    cli::run_main(&USAGE, real_main);
+}
+
+struct Options {
+    tcp: Option<String>,
+    uds: Option<String>,
+    connections: usize,
+    requests: Option<u64>,
+    duration: Option<Duration>,
+    rps: Option<f64>,
+    mix: String,
+    seed: u64,
+    out: String,
+    inject_error: bool,
+    verbosity: Verbosity,
+}
+
+fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
+    let mut opt = Options {
+        tcp: None,
+        uds: None,
+        connections: 4,
+        requests: None,
+        duration: None,
+        rps: None,
+        mix: "run_pipeline:predict:stats".to_owned(),
+        seed: 42,
+        out: "BENCH_svc.json".to_owned(),
+        inject_error: false,
+        verbosity: Verbosity::default(),
+    };
+    while let Some(token) = args.next_token() {
+        match token.as_str() {
+            "--tcp" => opt.tcp = Some(args.value("--tcp")?),
+            "--uds" => opt.uds = Some(args.value("--uds")?),
+            "--connections" => {
+                opt.connections = args.parse("--connections", "a positive integer")?;
+            }
+            "--requests" => opt.requests = Some(args.parse("--requests", "a positive integer")?),
+            "--duration" => {
+                let raw = args.value("--duration")?;
+                opt.duration = Some(parse_duration(&raw)?);
+            }
+            "--rps" => opt.rps = Some(args.parse("--rps", "a positive number")?),
+            "--mix" => opt.mix = args.value("--mix")?,
+            "--seed" => opt.seed = args.parse("--seed", "an integer")?,
+            "--out" => opt.out = args.value("--out")?,
+            "--inject-error" => opt.inject_error = true,
+            "--quiet" => opt.verbosity = Verbosity::Quiet,
+            "--verbose" => opt.verbosity = Verbosity::Verbose,
+            "--help" | "-h" => cli::help_exit(&USAGE),
+            other => return cli::unknown_flag(other),
+        }
+    }
+    Ok(opt)
+}
+
+/// `2s`, `1500ms`, or bare seconds (`2`, `0.5`).
+fn parse_duration(raw: &str) -> Result<Duration, ResmodelError> {
+    let invalid = || ArgError::InvalidValue {
+        flag: "--duration".into(),
+        value: raw.into(),
+        expected: "a duration like 2s, 1500ms, or bare seconds",
+    };
+    let (digits, scale) = if let Some(ms) = raw.strip_suffix("ms") {
+        (ms, 0.001)
+    } else if let Some(s) = raw.strip_suffix('s') {
+        (s, 1.0)
+    } else {
+        (raw, 1.0)
+    };
+    let value: f64 = digits.trim().parse().map_err(|_| invalid())?;
+    if !(value > 0.0) || !value.is_finite() {
+        return Err(invalid().into());
+    }
+    Ok(Duration::from_secs_f64(value * scale))
+}
+
+fn real_main(args: Args) -> Result<(), ResmodelError> {
+    let opt = parse_args(args)?;
+    if opt.tcp.is_some() && opt.uds.is_some() {
+        return cli::usage_error("--tcp and --uds are mutually exclusive");
+    }
+    if opt.tcp.is_none() && opt.uds.is_none() {
+        return cli::usage_error("one of --tcp or --uds is required");
+    }
+    if opt.requests.is_some() && opt.duration.is_some() {
+        return cli::usage_error("--requests and --duration are mutually exclusive");
+    }
+    if opt.requests.is_none() && opt.duration.is_none() {
+        return cli::usage_error("one of --requests or --duration is required");
+    }
+    let log = Logger::new(opt.verbosity);
+    let client = match (&opt.tcp, &opt.uds) {
+        (Some(addr), None) => Client::tcp(addr.clone()),
+        #[cfg(unix)]
+        (None, Some(path)) => Client::uds(path.clone()),
+        #[cfg(not(unix))]
+        (None, Some(_)) => {
+            return Err(ResmodelError::config(
+                "loadgen",
+                "--uds requires a Unix platform",
+            ))
+        }
+        _ => unreachable!("transport exclusivity is checked above"),
+    }
+    .with_request_prefix("load");
+
+    if opt.inject_error {
+        inject_malformed_frame(&opt, &log)?;
+    }
+
+    let load = LoadSpec {
+        connections: opt.connections,
+        total_requests: opt.requests,
+        duration: opt.duration,
+        rps: opt.rps,
+        mix: loadgen::parse_mix(&opt.mix)?,
+        seed: opt.seed,
+        specs: loadgen::default_spec_pool(),
+        predict_dates: vec![2011.0, 2012.5],
+    };
+    log.info(format!(
+        "loadgen: {} mode, {} connections, mix {}",
+        if load.total_requests.is_some() {
+            "fixed"
+        } else if load.rps.is_some() {
+            "rps"
+        } else {
+            "duration"
+        },
+        load.connections,
+        opt.mix,
+    ));
+    let report = loadgen::run_load(&client, &load)?;
+
+    // The daemon's own view: cache hit figures and the server-side
+    // latency histograms the SLO verdict is evaluated against.
+    let server_metrics = fetch_server_metrics(&client, &log);
+    let summary = report.svc_load_summary(server_metrics.as_ref());
+    log.info(format!(
+        "{} requests ({} errors) in {:.0} ms -> {:.0} served/sec; cache hit rate {:.2}; SLO {}",
+        summary.requests,
+        summary.errors,
+        summary.wall_ms,
+        summary.served_per_sec,
+        summary.hit_rate,
+        match &summary.slo {
+            Some(slo) if slo.met => "met",
+            Some(_) => "MISSED",
+            None => "unknown (stats fetch failed)",
+        },
+    ));
+    for row in &summary.endpoints {
+        log.info(format!(
+            "  {:<14} {:>7} requests {:>5} errors  p50 {:>8.2} ms  p90 {:>8.2} ms  \
+             p99 {:>8.2} ms  p999 {:>8.2} ms",
+            row.endpoint, row.requests, row.errors, row.p50_ms, row.p90_ms, row.p99_ms, row.p999_ms,
+        ));
+    }
+
+    let artifact = pure_load_artifact(&opt, &report, server_metrics.as_ref(), &summary)?;
+    std::fs::write(&opt.out, artifact.to_json_pretty()?)
+        .map_err(|e| ResmodelError::io(&opt.out, e))?;
+    log.info(format!("wrote {}", opt.out));
+    Ok(())
+}
+
+/// One deliberately malformed frame on a raw connection: the daemon
+/// answers with a typed error frame and dumps the flight recorder for
+/// that request — the failure path CI greps for.
+fn inject_malformed_frame(opt: &Options, log: &Logger) -> Result<(), ResmodelError> {
+    let wrap = |e: proto::FrameError| {
+        ResmodelError::config(
+            "loadgen inject",
+            format!("malformed-frame probe failed: {e}"),
+        )
+    };
+    let payload = b"this is not a resmodel.svc/1 request";
+    let response = match (&opt.tcp, &opt.uds) {
+        (Some(addr), None) => {
+            let mut stream =
+                std::net::TcpStream::connect(addr).map_err(|e| ResmodelError::io(addr, e))?;
+            proto::write_frame(&mut stream, payload).map_err(wrap)?;
+            proto::read_frame(&mut stream).map_err(wrap)?
+        }
+        #[cfg(unix)]
+        (None, Some(path)) => {
+            let mut stream = std::os::unix::net::UnixStream::connect(path)
+                .map_err(|e| ResmodelError::io(path, e))?;
+            proto::write_frame(&mut stream, payload).map_err(wrap)?;
+            proto::read_frame(&mut stream).map_err(wrap)?
+        }
+        _ => return Ok(()),
+    };
+    match response {
+        Some(frame) => log.info(format!(
+            "injected malformed frame; daemon answered {} bytes (flight dump forced server-side)",
+            frame.len(),
+        )),
+        None => log.warn("injected malformed frame; daemon closed without responding"),
+    }
+    Ok(())
+}
+
+/// Final `stats` round-trip, parsed back into the daemon's
+/// [`MetricsReport`]. Failure is logged, not fatal — the artifact then
+/// carries client-side figures only (and no SLO verdict).
+fn fetch_server_metrics(client: &Client, log: &Logger) -> Option<MetricsReport> {
+    match client.stats() {
+        Ok(reply) => {
+            let metrics = reply.body.get("metrics")?;
+            match serde_json::from_value::<MetricsReport>(metrics) {
+                Ok(metrics) => Some(metrics),
+                Err(e) => {
+                    log.warn(format!("stats metrics block did not parse: {e}"));
+                    None
+                }
+            }
+        }
+        Err(e) => {
+            log.warn(format!("final stats fetch failed: {e}"));
+            None
+        }
+    }
+}
+
+/// Assemble the `/8` pure load artifact: empty `jobs`, zeroed sweep
+/// totals, the daemon's metrics + condensed svc block when the stats
+/// fetch succeeded, and the `svc_load` block carrying the measured
+/// figures.
+fn pure_load_artifact(
+    opt: &Options,
+    report: &loadgen::LoadReport,
+    server_metrics: Option<&MetricsReport>,
+    summary: &resmodel::sweep::SvcLoadSummary,
+) -> Result<BenchArtifact, ResmodelError> {
+    Ok(BenchArtifact {
+        schema: BENCH_SCHEMA.to_owned(),
+        sweep: "svc_load".to_owned(),
+        seed: opt.seed,
+        threads: report.connections,
+        totals: SweepTotals {
+            jobs: 0,
+            total_hosts: 0,
+            wall_ms: report.wall_ms,
+            hosts_per_sec: 0.0,
+            peak_job_wall_ms: 0.0,
+            threads: report.connections,
+            stage_ms: StageTimings::default(),
+        },
+        peak_rss_bytes: server_metrics.and_then(|m| m.peak_rss_bytes),
+        metrics: server_metrics.cloned(),
+        svc: server_metrics.and_then(SvcSummary::from_metrics),
+        store: None,
+        dispatch_scaling: None,
+        svc_load: Some(summary.clone()),
+        jobs: Vec::new(),
+    })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used)]
+mod tests {
+    use super::{parse_args, parse_duration};
+    use resmodel_bench::cli::Args;
+    use std::time::Duration;
+
+    #[test]
+    fn durations_parse_in_all_spellings() {
+        assert_eq!(parse_duration("2s").unwrap(), Duration::from_secs(2));
+        assert_eq!(
+            parse_duration("1500ms").unwrap(),
+            Duration::from_millis(1500)
+        );
+        assert_eq!(parse_duration("2").unwrap(), Duration::from_secs(2));
+        assert_eq!(parse_duration("0.5s").unwrap(), Duration::from_millis(500));
+        assert!(parse_duration("soon").is_err());
+        assert!(parse_duration("-1s").is_err());
+        assert!(parse_duration("0").is_err());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let opt = parse_args(Args::new(vec![
+            "--uds".into(),
+            "/tmp/r.sock".into(),
+            "--connections".into(),
+            "8".into(),
+            "--duration".into(),
+            "2s".into(),
+            "--mix".into(),
+            "stats".into(),
+            "--inject-error".into(),
+        ]))
+        .unwrap();
+        assert_eq!(opt.uds.as_deref(), Some("/tmp/r.sock"));
+        assert_eq!(opt.connections, 8);
+        assert_eq!(opt.duration, Some(Duration::from_secs(2)));
+        assert_eq!(opt.mix, "stats");
+        assert!(opt.inject_error);
+        assert_eq!(opt.out, "BENCH_svc.json");
+    }
+}

@@ -25,6 +25,7 @@ use resmodel::ResmodelError;
 use resmodel_bench::cli::{self, Args, FlagHelp, Logger, Usage, Verbosity};
 use resmodel_error::ArgError;
 use resmodel_svc::{serve_tcp, Client, Endpoint, Reply, ServerConfig};
+use std::io::Write as _;
 
 const USAGE: Usage = Usage {
     bin: "resmodeld",
@@ -54,6 +55,27 @@ const USAGE: Usage = Usage {
         FlagHelp {
             flag: "--cache-dir DIR",
             help: "serve: spill source traces to DIR as resmodel.trace/1 files",
+        },
+        FlagHelp {
+            flag: "--max-conns N",
+            help: "serve: refuse connections beyond N concurrent with a typed `busy` frame",
+        },
+        FlagHelp {
+            flag: "--events-out FILE",
+            help: "serve: append span/mark trace events to FILE as JSONL (flushed on shutdown)",
+        },
+        FlagHelp {
+            flag: "--flight-out FILE",
+            help:
+                "serve: append flight-recorder dumps for failing requests to FILE (default stderr)",
+        },
+        FlagHelp {
+            flag: "--flight-events N",
+            help: "serve: flight-recorder ring capacity in events (default 4096, 0 disables)",
+        },
+        FlagHelp {
+            flag: "--slo FILE",
+            help: "serve: latency SLO targets as SloSpec JSON (default: built-in service SLOs)",
         },
         FlagHelp {
             flag: "--query ENDPOINT",
@@ -96,6 +118,11 @@ struct Options {
     cache: usize,
     cache_dir: Option<String>,
     threads: Option<usize>,
+    max_conns: Option<usize>,
+    events_out: Option<String>,
+    flight_out: Option<String>,
+    flight_events: usize,
+    slo: Option<String>,
     query: Option<String>,
     spec: Option<String>,
     dates: Option<String>,
@@ -110,6 +137,11 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
         cache: 64,
         cache_dir: None,
         threads: None,
+        max_conns: None,
+        events_out: None,
+        flight_out: None,
+        flight_events: resmodel_svc::server::DEFAULT_FLIGHT_EVENTS,
+        slo: None,
         query: None,
         spec: None,
         dates: None,
@@ -123,6 +155,15 @@ fn parse_args(mut args: Args) -> Result<Options, ResmodelError> {
             "--cache" => opt.cache = args.parse("--cache", "a positive integer")?,
             "--cache-dir" => opt.cache_dir = Some(args.value("--cache-dir")?),
             "--threads" => opt.threads = Some(args.parse("--threads", "a positive integer")?),
+            "--max-conns" => {
+                opt.max_conns = Some(args.parse("--max-conns", "a positive integer")?);
+            }
+            "--events-out" => opt.events_out = Some(args.value("--events-out")?),
+            "--flight-out" => opt.flight_out = Some(args.value("--flight-out")?),
+            "--flight-events" => {
+                opt.flight_events = args.parse("--flight-events", "an integer (0 disables)")?;
+            }
+            "--slo" => opt.slo = Some(args.value("--slo")?),
             "--query" => opt.query = Some(args.value("--query")?),
             "--spec" => opt.spec = Some(args.value("--spec")?),
             "--dates" => opt.dates = Some(args.value("--dates")?),
@@ -155,12 +196,35 @@ fn run_server(opt: &Options, log: &Logger) -> Result<(), ResmodelError> {
     if opt.cache == 0 {
         return cli::usage_error("--cache must be at least 1");
     }
+    if opt.max_conns == Some(0) {
+        return cli::usage_error("--max-conns must be at least 1");
+    }
+    let slo = match &opt.slo {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
+            serde_json::from_str(&text).map_err(|e| ResmodelError::json("--slo file", e))?
+        }
+        None => resmodel::obs::SloSpec::svc_default(),
+    };
     let config = ServerConfig {
         capacity: opt.cache,
         threads: opt.threads,
         trace_dir: opt.cache_dir.clone().map(std::path::PathBuf::from),
+        max_conns: opt.max_conns,
+        flight_events: opt.flight_events,
+        flight_out: opt.flight_out.clone().map(std::path::PathBuf::from),
+        slo,
     };
     let obs = Collector::new();
+    if let Some(path) = &opt.events_out {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| ResmodelError::io(path, e))?;
+        obs.set_events_sink(Box::new(std::io::BufWriter::new(file)));
+        log.debug(format!("trace events stream to {path}"));
+    }
     let handle = match (&opt.tcp, &opt.uds) {
         (Some(addr), None) => serve_tcp(addr, config, &obs)?,
         #[cfg(unix)]
@@ -175,14 +239,24 @@ fn run_server(opt: &Options, log: &Logger) -> Result<(), ResmodelError> {
         _ => unreachable!("transport exclusivity is checked in real_main"),
     };
     log.info(format!(
-        "resmodeld listening on {} (cache {} entries, {} request threads)",
+        "resmodeld listening on {} (cache {} entries, {} request threads{})",
         handle.addr(),
         opt.cache,
         opt.threads
             .map_or_else(|| "all".to_owned(), |n| n.to_string()),
+        opt.max_conns
+            .map_or_else(String::new, |n| format!(", max {n} connections")),
     ));
     log.debug("send a `shutdown` query to stop");
     handle.wait();
+    // Graceful shutdown must not lose buffered trace events: detach
+    // the sink (so no connection thread can race a late write into a
+    // dropped buffer) and flush what it holds.
+    if let Some(mut sink) = obs.take_events_sink() {
+        if let Err(e) = sink.flush() {
+            log.warn(format!("events sink flush failed: {e}"));
+        }
+    }
     log.info("resmodeld stopped");
     Ok(())
 }

@@ -276,6 +276,7 @@ fn real_main(mut args: Args) -> Result<(), ResmodelError> {
     let mut artifact = report.bench_artifact_with_metrics(&metrics);
     artifact.store = store;
     artifact.dispatch_scaling = Some(probe_dispatch_scaling(&dispatch_scale, threads, &log)?);
+    artifact.svc_load = Some(probe_svc_load(&log)?);
     if require_rss {
         if artifact.peak_rss_bytes.is_none_or(|b| b == 0) {
             return Err(ResmodelError::config(
@@ -396,6 +397,43 @@ fn probe_dispatch_scaling(
     Ok(points)
 }
 
+/// Feed the `/8` service-load block: serve a real `resmodel.svc/1`
+/// daemon on an ephemeral loopback socket — with its own collector, so
+/// the load's server-side metrics never pollute the sweep's metrics
+/// block — and drive a short deterministic fixed-schedule load through
+/// [`resmodel_svc::run_load`]. The request multiset is a pure function
+/// of the seed, so the daemon's deterministic fingerprint is identical
+/// run to run; only the wall-clock figures (latency quantiles,
+/// served/sec) vary, and those live behind quarantined `_ms` /
+/// `_per_sec` keys.
+fn probe_svc_load(log: &Logger) -> Result<resmodel::sweep::SvcLoadSummary, ResmodelError> {
+    use resmodel_svc::{serve_tcp, Client, LoadSpec, ServerConfig};
+
+    let obs = Collector::new();
+    let server = serve_tcp("127.0.0.1:0", ServerConfig::default(), &obs)?;
+    let addr = server
+        .tcp_addr()
+        .ok_or_else(|| ResmodelError::config("svc load probe", "tcp server lost its address"))?
+        .to_string();
+    let client = Client::tcp(addr).with_request_prefix("probe");
+    let load = LoadSpec::fixed(2, 24, resmodel_svc::default_spec_pool());
+    let report = resmodel_svc::run_load(&client, &load)?;
+    client.shutdown()?;
+    server.join();
+    let metrics = obs.snapshot();
+    let summary = report.svc_load_summary(Some(&metrics));
+    log.info(format!(
+        "svc load probe: {} requests over {} connections -> {:.0} served/sec, \
+         {} errors, hit rate {:.2}",
+        summary.requests,
+        summary.connections,
+        summary.served_per_sec,
+        summary.errors,
+        summary.hit_rate,
+    ));
+    Ok(summary)
+}
+
 /// Run the grid on both data paths and assert the timing-zeroed
 /// reports are byte-identical — the columnar refactor's correctness
 /// contract, exercised by CI on the `families` preset.
@@ -443,7 +481,7 @@ fn verify_columnar_identity(spec: &SweepSpec, log: &Logger) -> Result<(), Resmod
 fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     use resmodel::sweep::{
         BenchArtifact, BENCH_SCHEMA, BENCH_SCHEMA_V1, BENCH_SCHEMA_V2, BENCH_SCHEMA_V3,
-        BENCH_SCHEMA_V4, BENCH_SCHEMA_V5, BENCH_SCHEMA_V6,
+        BENCH_SCHEMA_V4, BENCH_SCHEMA_V5, BENCH_SCHEMA_V6, BENCH_SCHEMA_V7,
     };
 
     let text = std::fs::read_to_string(path).map_err(|e| ResmodelError::io(path, e))?;
@@ -451,6 +489,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     let invalid = |message: String| ResmodelError::config("bench artifact", message);
     if ![
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V7,
         BENCH_SCHEMA_V6,
         BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
@@ -461,17 +500,24 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     .contains(&artifact.schema.as_str())
     {
         return Err(invalid(format!(
-            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V6}` / \
-             `{BENCH_SCHEMA_V5}` / `{BENCH_SCHEMA_V4}` / `{BENCH_SCHEMA_V3}` / \
-             `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
+            "schema is `{}`, expected `{BENCH_SCHEMA}` (or legacy `{BENCH_SCHEMA_V7}` / \
+             `{BENCH_SCHEMA_V6}` / `{BENCH_SCHEMA_V5}` / `{BENCH_SCHEMA_V4}` / \
+             `{BENCH_SCHEMA_V3}` / `{BENCH_SCHEMA_V2}` / `{BENCH_SCHEMA_V1}`)",
             artifact.schema
         )));
     }
+    // An /8 artifact may be a *pure load artifact*: empty `jobs` is
+    // legal exactly when the svc_load block is present (the loadgen
+    // binary measures a live daemon, it runs no sweep). The sweep-side
+    // blocks (store, dispatch_scaling) describe sweep probes, so a
+    // pure load artifact must not carry them.
+    let pure_load = artifact.schema == BENCH_SCHEMA && artifact.jobs.is_empty();
     // The observability block arrived with /4; older artifacts must
     // not carry one (a /3 file with metrics means the emitter lied
     // about its schema).
     let carries_obs = [
         BENCH_SCHEMA,
+        BENCH_SCHEMA_V7,
         BENCH_SCHEMA_V6,
         BENCH_SCHEMA_V5,
         BENCH_SCHEMA_V4,
@@ -484,10 +530,15 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
         )));
     }
     // The query-service block arrived with /5: required from there on
-    // (the emitter always runs the cache probe) and forbidden earlier.
-    if artifact.schema == BENCH_SCHEMA
-        || artifact.schema == BENCH_SCHEMA_V6
-        || artifact.schema == BENCH_SCHEMA_V5
+    // (the emitter always runs the cache probe; the loadgen fills it
+    // from the daemon's own counters) and forbidden earlier.
+    if [
+        BENCH_SCHEMA,
+        BENCH_SCHEMA_V7,
+        BENCH_SCHEMA_V6,
+        BENCH_SCHEMA_V5,
+    ]
+    .contains(&artifact.schema.as_str())
     {
         let Some(svc) = &artifact.svc else {
             return Err(invalid(format!(
@@ -518,8 +569,17 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
     }
     // The trace-store block arrived with /6: required from there on
     // (the emitter always runs the persistence probe) and forbidden
-    // earlier.
-    if artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V6 {
+    // earlier — and on a pure load artifact, which runs no sweep.
+    if pure_load {
+        if artifact.store.is_some() {
+            return Err(invalid(
+                "a pure load artifact must not carry the /6 store block".into(),
+            ));
+        }
+    } else if artifact.schema == BENCH_SCHEMA
+        || artifact.schema == BENCH_SCHEMA_V7
+        || artifact.schema == BENCH_SCHEMA_V6
+    {
         let Some(store) = &artifact.store else {
             return Err(invalid(format!(
                 "schema `{}` requires the store persistence block",
@@ -544,12 +604,20 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
             artifact.schema
         )));
     }
-    // The dispatch-scaling block arrived with /7: required there (the
-    // emitter always runs the scaling probe) and forbidden earlier.
-    if artifact.schema == BENCH_SCHEMA {
+    // The dispatch-scaling block arrived with /7: required from there
+    // on (the emitter always runs the scaling probe) and forbidden
+    // earlier — and on a pure load artifact.
+    if pure_load {
+        if artifact.dispatch_scaling.is_some() {
+            return Err(invalid(
+                "a pure load artifact must not carry the /7 dispatch_scaling block".into(),
+            ));
+        }
+    } else if artifact.schema == BENCH_SCHEMA || artifact.schema == BENCH_SCHEMA_V7 {
         let Some(points) = &artifact.dispatch_scaling else {
             return Err(invalid(format!(
-                "schema `{BENCH_SCHEMA}` requires the dispatch_scaling block"
+                "schema `{}` requires the dispatch_scaling block",
+                artifact.schema
             )));
         };
         if points.is_empty() {
@@ -587,6 +655,75 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
             artifact.schema
         )));
     }
+    // The service-load block arrived with /8: required there (swept
+    // runs an in-process load probe; loadgen measures a live daemon)
+    // and forbidden earlier.
+    if artifact.schema == BENCH_SCHEMA {
+        let Some(load) = &artifact.svc_load else {
+            return Err(invalid(format!(
+                "schema `{BENCH_SCHEMA}` requires the svc_load block"
+            )));
+        };
+        if !matches!(load.mode.as_str(), "fixed" | "duration" | "rps") {
+            return Err(invalid(format!(
+                "svc_load mode `{}` is not fixed/duration/rps",
+                load.mode
+            )));
+        }
+        if load.connections == 0 {
+            return Err(invalid("svc_load block reports zero connections".into()));
+        }
+        if load.requests == 0 {
+            return Err(invalid("svc_load block reports zero requests".into()));
+        }
+        if load.errors > load.requests {
+            return Err(invalid(format!(
+                "svc_load block is inconsistent: {} errors > {} requests",
+                load.errors, load.requests
+            )));
+        }
+        if !(load.served_per_sec > 0.0) {
+            return Err(invalid(
+                "svc_load block reports no served-queries/sec figure".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&load.hit_rate) {
+            return Err(invalid(format!(
+                "svc_load hit_rate {} is outside [0, 1]",
+                load.hit_rate
+            )));
+        }
+        if load.slo.is_none() {
+            return Err(invalid("svc_load block carries no SLO verdict".into()));
+        }
+        if load.endpoints.is_empty() {
+            return Err(invalid("svc_load block has no endpoint rows".into()));
+        }
+        let (req_sum, err_sum) = load.endpoints.iter().fold((0u64, 0u64), |(r, e), row| {
+            (r + row.requests, e + row.errors)
+        });
+        if req_sum != load.requests || err_sum != load.errors {
+            return Err(invalid(format!(
+                "svc_load endpoint rows sum to {req_sum} requests / {err_sum} errors, \
+                 totals say {} / {}",
+                load.requests, load.errors
+            )));
+        }
+        for row in &load.endpoints {
+            if !(row.p50_ms <= row.p90_ms && row.p90_ms <= row.p99_ms && row.p99_ms <= row.p999_ms)
+            {
+                return Err(invalid(format!(
+                    "svc_load endpoint `{}` quantiles are not monotone",
+                    row.endpoint
+                )));
+            }
+        }
+    } else if artifact.svc_load.is_some() {
+        return Err(invalid(format!(
+            "schema `{}` must not carry the /8 svc_load block",
+            artifact.schema
+        )));
+    }
     if artifact.schema != BENCH_SCHEMA_V1 && artifact.jobs.iter().any(|j| j.extract_ms.is_none()) {
         return Err(invalid(format!(
             "schema `{}` requires extract_ms on every job row",
@@ -604,7 +741,7 @@ fn check_artifact(path: &str) -> Result<(), ResmodelError> {
             "job rows must carry dispatch_ms and jobs_per_sec together".into(),
         ));
     }
-    if artifact.jobs.is_empty() {
+    if artifact.jobs.is_empty() && !pure_load {
         return Err(invalid("artifact has no job rows".into()));
     }
     for job in &artifact.jobs {
@@ -769,8 +906,9 @@ mod tests {
     /// version emitted: `/1` rows lack `extract_ms`, pre-`/3` timing
     /// blocks lack `dispatch_ms`, `/3`+ rows carry the dispatch pair,
     /// `/4` adds the top-level observability block, `/5` adds the
-    /// query-service block, `/6` adds the trace-store block, and `/7`
-    /// adds the dispatch-scaling block.
+    /// query-service block, `/6` adds the trace-store block, `/7`
+    /// adds the dispatch-scaling block, and `/8` adds the service-load
+    /// block.
     fn artifact_json(schema: &str) -> String {
         let timing = if schema.ends_with("/1") || schema.ends_with("/2") {
             r#"{"build_ms": 19.5, "sanitize_ms": 1.4, "fit_ms": 3.6,
@@ -784,7 +922,34 @@ mod tests {
             s if s.ends_with("/2") => r#""extract_ms": 0.9,"#.to_owned(),
             _ => r#""extract_ms": 0.9, "dispatch_ms": 2.0, "jobs_per_sec": 100000.0,"#.to_owned(),
         };
-        let scaling_block = if schema.ends_with("/7") {
+        let load_block = if schema.ends_with("/8") {
+            r#""svc_load": {
+                 "mode": "fixed", "connections": 2, "requests": 24, "errors": 0,
+                 "wall_ms": 118.0, "served_per_sec": 203.4,
+                 "hits": 13, "misses": 3, "hit_rate": 0.8125,
+                 "slo": {
+                   "met": true,
+                   "results": [{
+                     "metric": "svc.run_pipeline.request_ms", "quantile": 0.99,
+                     "max_ms": 30000.0, "observed_ms": 11.9, "count": 8, "met": true
+                   }]
+                 },
+                 "endpoints": [
+                   {"endpoint": "run_pipeline", "requests": 9, "errors": 0,
+                    "p50_ms": 1.1, "p90_ms": 9.8, "p99_ms": 11.9, "p999_ms": 11.9,
+                    "latency": null},
+                   {"endpoint": "predict", "requests": 7, "errors": 0,
+                    "p50_ms": 0.9, "p90_ms": 2.2, "p99_ms": 3.0, "p999_ms": 3.0,
+                    "latency": null},
+                   {"endpoint": "stats", "requests": 8, "errors": 0,
+                    "p50_ms": 0.2, "p90_ms": 0.4, "p99_ms": 0.6, "p999_ms": 0.6,
+                    "latency": null}
+                 ]
+               },"#
+        } else {
+            ""
+        };
+        let scaling_block = if ["/7", "/8"].iter().any(|v| schema.ends_with(v)) {
             r#""dispatch_scaling": [{
                  "jobs": 1000000, "generated_jobs": 1000000, "hosts": 100000,
                  "threads": 4, "wall_ms": 333.0, "generate_ms": 128.0,
@@ -794,7 +959,7 @@ mod tests {
         } else {
             ""
         };
-        let store_block = if schema.ends_with("/6") || schema.ends_with("/7") {
+        let store_block = if ["/6", "/7", "/8"].iter().any(|v| schema.ends_with(v)) {
             r#""store": {
                  "hosts": 7435, "snapshots": 24112, "file_bytes": 1835072,
                  "write_ms": 2.1, "regenerate_ms": 25.4, "load_ms": 6.3,
@@ -803,7 +968,7 @@ mod tests {
         } else {
             ""
         };
-        let svc_block = if ["/5", "/6", "/7"].iter().any(|v| schema.ends_with(v)) {
+        let svc_block = if ["/5", "/6", "/7", "/8"].iter().any(|v| schema.ends_with(v)) {
             r#""svc": {
                  "requests": 2, "hits": 1, "misses": 1, "hit_rate": 0.5,
                  "latency": [{
@@ -815,7 +980,10 @@ mod tests {
         } else {
             ""
         };
-        let obs_block = if ["/4", "/5", "/6", "/7"].iter().any(|v| schema.ends_with(v)) {
+        let obs_block = if ["/4", "/5", "/6", "/7", "/8"]
+            .iter()
+            .any(|v| schema.ends_with(v))
+        {
             r#""peak_rss_bytes": 104857600,
                "metrics": {
                  "counters": [["popsim.events", 123], ["sweep.runs", 1]],
@@ -846,6 +1014,7 @@ mod tests {
               {svc_block}
               {store_block}
               {scaling_block}
+              {load_block}
               "jobs": [{{
                 "label": "steady-state/8000/r1",
                 "scenario": "steady-state",
@@ -881,6 +1050,7 @@ mod tests {
             "resmodel.bench_sweep/4",
             "resmodel.bench_sweep/5",
             "resmodel.bench_sweep/6",
+            "resmodel.bench_sweep/7",
         ] {
             let json = artifact_json(schema);
             check_str("ok", &json).unwrap_or_else(|e| panic!("{schema}: {e}"));
@@ -902,7 +1072,7 @@ mod tests {
                 checked += 1;
             }
         }
-        assert!(checked >= 6, "expected the /1–/6 fixtures, saw {checked}");
+        assert!(checked >= 7, "expected the /1–/7 fixtures, saw {checked}");
     }
 
     #[test]
@@ -927,6 +1097,110 @@ mod tests {
     fn v7_artifact_with_dispatch_scaling_block_validates() {
         let json = artifact_json("resmodel.bench_sweep/7");
         check_str("v7", &json).unwrap_or_else(|e| panic!("/7: {e}"));
+    }
+
+    #[test]
+    fn v8_artifact_with_svc_load_block_validates() {
+        let json = artifact_json("resmodel.bench_sweep/8");
+        check_str("v8", &json).unwrap_or_else(|e| panic!("/8: {e}"));
+    }
+
+    #[test]
+    fn svc_load_block_rules_are_enforced() {
+        // An /8 artifact must carry the service-load block (a /7 body
+        // relabeled as /8 lacks it)...
+        let missing = artifact_json("resmodel.bench_sweep/7")
+            .replace("resmodel.bench_sweep/7", "resmodel.bench_sweep/8");
+        assert!(check_str("load_missing", &missing).is_err());
+        // ...reporting real traffic...
+        let json = artifact_json("resmodel.bench_sweep/8")
+            .replace(r#""requests": 24,"#, r#""requests": 0,"#);
+        assert!(check_str("load_zero", &json).is_err());
+        // ...with endpoint rows that sum to the totals...
+        let json = artifact_json("resmodel.bench_sweep/8").replace(
+            r#"{"endpoint": "stats", "requests": 8,"#,
+            r#"{"endpoint": "stats", "requests": 9,"#,
+        );
+        assert!(check_str("load_sum", &json).is_err());
+        // ...monotone per-endpoint quantiles...
+        let json = artifact_json("resmodel.bench_sweep/8")
+            .replace(r#""p99_ms": 11.9,"#, r#""p99_ms": 0.01,"#);
+        assert!(check_str("load_quantiles", &json).is_err());
+        // ...an SLO verdict...
+        let json = artifact_json("resmodel.bench_sweep/8").replace(
+            r#""slo": {
+                   "met": true,
+                   "results": [{
+                     "metric": "svc.run_pipeline.request_ms", "quantile": 0.99,
+                     "max_ms": 30000.0, "observed_ms": 11.9, "count": 8, "met": true
+                   }]
+                 },"#,
+            "",
+        );
+        assert!(
+            json.contains(r#""svc_load""#),
+            "replace must keep the block"
+        );
+        assert!(check_str("load_no_slo", &json).is_err());
+        // ...and a /7 artifact must not smuggle one in.
+        let smuggled = artifact_json("resmodel.bench_sweep/8")
+            .replace("resmodel.bench_sweep/8", "resmodel.bench_sweep/7");
+        assert!(
+            smuggled.contains(r#""svc_load""#),
+            "relabel must have matched"
+        );
+        assert!(check_str("load_smuggled", &smuggled).is_err());
+    }
+
+    #[test]
+    fn pure_load_artifacts_need_svc_load_and_no_sweep_blocks() {
+        // An /8 artifact with no job rows is legal exactly when it
+        // carries the svc_load block and none of the sweep-side probe
+        // blocks — the shape the loadgen binary emits.
+        let strip_jobs = |json: &str| {
+            let json = json.replace(r#""jobs": 1, "total_hosts": 8000"#, "JOBS_TOTALS_KEEP");
+            let start = json.find(r#""jobs": [{"#).expect("jobs array present");
+            let end = json.rfind("}]").expect("jobs array closes") + 2;
+            let mut out = String::new();
+            out.push_str(&json[..start]);
+            out.push_str(r#""jobs": []"#);
+            out.push_str(&json[end..]);
+            out.replace("JOBS_TOTALS_KEEP", r#""jobs": 0, "total_hosts": 0"#)
+        };
+        let full = artifact_json("resmodel.bench_sweep/8");
+        let pure = strip_jobs(&full)
+            .replace(
+                r#""store": {
+                 "hosts": 7435, "snapshots": 24112, "file_bytes": 1835072,
+                 "write_ms": 2.1, "regenerate_ms": 25.4, "load_ms": 6.3,
+                 "backend": "mmap"
+               },"#,
+                "",
+            )
+            .replace(
+                r#""dispatch_scaling": [{
+                 "jobs": 1000000, "generated_jobs": 1000000, "hosts": 100000,
+                 "threads": 4, "wall_ms": 333.0, "generate_ms": 128.0,
+                 "dispatch_ms": 310.0, "jobs_per_sec": 3000000.0,
+                 "peak_rss_bytes": 53477376, "steals": 0, "segments": 8
+               }],"#,
+                "",
+            );
+        assert!(!pure.contains(r#""store""#), "store block stripped");
+        assert!(
+            !pure.contains(r#""dispatch_scaling""#),
+            "scaling block stripped"
+        );
+        check_str("pure_load_ok", &pure).unwrap_or_else(|e| panic!("pure load: {e}"));
+        // Empty jobs on /8 without svc_load is still an error...
+        let v7_shape = artifact_json("resmodel.bench_sweep/7")
+            .replace("resmodel.bench_sweep/7", "resmodel.bench_sweep/8");
+        assert!(check_str("pure_load_no_block", &strip_jobs(&v7_shape)).is_err());
+        // ...as are sweep-side probe blocks on a pure load artifact...
+        assert!(check_str("pure_load_store", &strip_jobs(&full)).is_err());
+        // ...and empty jobs on any pre-/8 schema.
+        let v7_empty = strip_jobs(&artifact_json("resmodel.bench_sweep/7"));
+        assert!(check_str("pure_load_v7", &v7_empty).is_err());
     }
 
     #[test]

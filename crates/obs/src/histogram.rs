@@ -188,6 +188,7 @@ impl Histogram {
             p50: self.quantile(0.50).unwrap_or(self.min),
             p90: self.quantile(0.90).unwrap_or(self.max),
             p99: self.quantile(0.99).unwrap_or(self.max),
+            p999: self.quantile(0.999),
             buckets,
         })
     }
@@ -212,8 +213,36 @@ pub struct HistogramSummary {
     pub p90: f64,
     /// 99th-percentile estimate.
     pub p99: f64,
+    /// 99.9th-percentile estimate. `None` in artifacts written before
+    /// schema `/8` — the field is optional so legacy fixtures keep
+    /// deserializing.
+    pub p999: Option<f64>,
     /// Sparse `(bucket index, count)` pairs, ascending by index.
     pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSummary {
+    /// Quantile estimate recomputed from the sparse bucket vector —
+    /// the same walk as [`Histogram::quantile`], so a summary parsed
+    /// back from an artifact answers arbitrary quantiles (e.g. an SLO
+    /// target the producing binary did not precompute). `None` when
+    /// the summary carries no observations.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        #[allow(clippy::cast_precision_loss, clippy::cast_sign_loss)]
+        let target = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for &(idx, n) in &self.buckets {
+            seen += n;
+            if seen >= target {
+                return Some(bucket_lower_bound(idx as usize).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
 }
 
 #[cfg(test)]
@@ -282,6 +311,74 @@ mod tests {
             merged.merge(p);
         }
         assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_none() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), None);
+        }
+        assert!(h.summary("empty").is_none());
+    }
+
+    #[test]
+    fn quantile_with_single_bucket_returns_that_bucket() {
+        let mut h = Histogram::new();
+        for _ in 0..7 {
+            h.record(3.0); // all observations share one bucket
+        }
+        // min == max == 3.0, so the clamp pins every estimate exactly.
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), Some(3.0), "q = {q}");
+        }
+        let s = h.summary("single").unwrap();
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.p999, Some(3.0));
+    }
+
+    #[test]
+    fn quantile_with_all_mass_in_overflow_bucket() {
+        let mut h = Histogram::new();
+        h.record(1e300);
+        h.record(5e300);
+        assert_eq!(bucket_index(1e300), Some(BUCKET_COUNT - 1));
+        // Every quantile clamps into [min, max] even though the
+        // overflow bucket's lower bound is far below both.
+        let p50 = h.quantile(0.5).unwrap();
+        let p999 = h.quantile(0.999).unwrap();
+        assert!((1e300..=5e300).contains(&p50), "p50 = {p50}");
+        assert!((1e300..=5e300).contains(&p999), "p999 = {p999}");
+        // Underflow mirror: everything at or below zero.
+        let mut u = Histogram::new();
+        u.record(0.0);
+        u.record(-2.0);
+        assert_eq!(u.quantile(0.99), Some(0.0));
+    }
+
+    #[test]
+    fn summary_quantile_matches_histogram_quantile() {
+        let mut h = Histogram::new();
+        for i in 1..=500u64 {
+            h.record_u64(i * 3);
+        }
+        let s = h.summary("x").unwrap();
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), h.quantile(q), "q = {q}");
+        }
+        assert_eq!(s.p999, h.quantile(0.999));
+        let empty = HistogramSummary {
+            name: "none".to_owned(),
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            p50: 0.0,
+            p90: 0.0,
+            p99: 0.0,
+            p999: None,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.quantile(0.5), None);
     }
 
     #[test]

@@ -52,18 +52,20 @@
 pub mod histogram;
 mod report;
 mod rss;
+pub mod slo;
 
 pub use histogram::{bucket_index, bucket_lower_bound, Histogram, HistogramSummary, BUCKET_COUNT};
 pub use report::{
     find_nonzero_wall_clock, is_wall_clock_key, zero_wall_clock, MetricsReport, SpanReport,
 };
 pub use rss::peak_rss_bytes;
+pub use slo::{SloReport, SloResult, SloSpec, SloTarget};
 
-use serde::Value;
+use serde::{Deserialize, Serialize, Value};
 use std::cell::{Cell, RefCell};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::io::Write;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::Instant;
 
@@ -78,6 +80,11 @@ thread_local! {
     static SHARD_SLOT: Cell<usize> = const { Cell::new(usize::MAX) };
     /// The slash-joined path of currently open spans on this thread.
     static SPAN_PATH: RefCell<String> = const { RefCell::new(String::new()) };
+    /// The request id tagging events emitted from this thread, set by
+    /// [`Collector::request_scope`]. Tags *events* only — span
+    /// aggregation stays keyed by path alone, so per-request ids never
+    /// grow the snapshot.
+    static REQUEST_ID: RefCell<Option<String>> = const { RefCell::new(None) };
 }
 
 fn thread_shard() -> usize {
@@ -120,6 +127,35 @@ struct Inner {
     shards: Vec<Mutex<Shard>>,
     gauges: Mutex<BTreeMap<String, f64>>,
     sink: Mutex<Option<Box<dyn Write + Send>>>,
+    /// Cheap flag mirroring `sink.is_some()`, so the span hot path
+    /// skips the sink mutex entirely when no sink is attached.
+    sink_on: AtomicBool,
+    /// Per-shard flight-recorder ring capacity; 0 = recorder off.
+    flight_cap: AtomicUsize,
+    /// Lock-sharded rings of recent events (same slot assignment as
+    /// the metric shards, so hot-path recording contends only rarely).
+    flight: Vec<Mutex<VecDeque<FlightEvent>>>,
+    /// Global event sequence — total order across shards for replay.
+    event_seq: AtomicU64,
+}
+
+/// One span/mark event captured by the flight recorder: what the
+/// collector was doing shortly before a failure, without always-on
+/// event logging.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FlightEvent {
+    /// Global sequence number — sort key for cross-shard replay.
+    pub seq: u64,
+    /// Microseconds since the collector was created.
+    pub t_us: u64,
+    /// Request id in scope on the emitting thread, if any.
+    pub req: Option<String>,
+    /// Event kind: `open`, `close`, or `mark`.
+    pub ev: String,
+    /// Slash-joined span path at the time of the event.
+    pub path: String,
+    /// Span duration, `close` events only.
+    pub dur_us: Option<u64>,
 }
 
 /// Handle to a shared metrics accumulator. Cloning is cheap (an `Arc`
@@ -154,6 +190,12 @@ impl Collector {
                     .collect(),
                 gauges: Mutex::new(BTreeMap::new()),
                 sink: Mutex::new(None),
+                sink_on: AtomicBool::new(false),
+                flight_cap: AtomicUsize::new(0),
+                flight: (0..SHARD_COUNT)
+                    .map(|_| Mutex::new(VecDeque::new()))
+                    .collect(),
+                event_seq: AtomicU64::new(0),
             })),
         }
     }
@@ -255,18 +297,87 @@ impl Collector {
         }
     }
 
-    /// Attach a JSONL sink receiving one record per span open/close:
+    /// Emit a point event (`"ev": "mark"`) at the current span path
+    /// without touching any aggregate: marks flow to the events sink
+    /// and the flight recorder only, so timing-dependent facts (cache
+    /// stampede waits, rejected connections) can be traced without
+    /// perturbing the deterministic counter section.
+    pub fn mark(&self, name: &str) {
+        let Some(inner) = &self.inner else { return };
+        let path = SPAN_PATH.with(|p| {
+            let p = p.borrow();
+            if p.is_empty() {
+                name.to_owned()
+            } else {
+                format!("{p}/{name}")
+            }
+        });
+        emit_event(inner, "mark", &path, None);
+    }
+
+    /// Tag every event emitted from this thread with `id` until the
+    /// returned guard drops (the previous id, if any, is restored —
+    /// scopes nest). Service code opens one scope per request so the
+    /// events sink and flight recorder can reassemble a single
+    /// request's trace; aggregation is unaffected.
+    pub fn request_scope(&self, id: &str) -> RequestIdGuard {
+        let prev = REQUEST_ID.with(|r| r.borrow_mut().replace(id.to_owned()));
+        RequestIdGuard { prev }
+    }
+
+    /// Turn on the flight recorder with room for roughly `capacity`
+    /// recent events (split across [`SHARD_COUNT`] rings; each ring
+    /// evicts its oldest entry when full). Zero disables recording.
+    pub fn enable_flight_recorder(&self, capacity: usize) {
+        let Some(inner) = &self.inner else { return };
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(SHARD_COUNT).max(1)
+        };
+        inner.flight_cap.store(per_shard, Ordering::Release);
+    }
+
+    /// Drain a copy of the flight recorder: recent events across all
+    /// shards, sorted into global emission order. With
+    /// `request_id = Some(id)` only events tagged with that id are
+    /// returned — the post-mortem view of one failed request.
+    #[must_use]
+    pub fn flight_events(&self, request_id: Option<&str>) -> Vec<FlightEvent> {
+        let Some(inner) = &self.inner else {
+            return Vec::new();
+        };
+        let mut events: Vec<FlightEvent> = Vec::new();
+        for ring in &inner.flight {
+            let ring = lock(ring);
+            events.extend(
+                ring.iter()
+                    .filter(|e| match request_id {
+                        Some(id) => e.req.as_deref() == Some(id),
+                        None => true,
+                    })
+                    .cloned(),
+            );
+        }
+        events.sort_by_key(|e| e.seq);
+        events
+    }
+
+    /// Attach a JSONL sink receiving one record per span open/close
+    /// and per [`Collector::mark`]:
     ///
     /// ```json
-    /// {"ev":"open","path":"pipeline/fit","t_us":1234}
-    /// {"ev":"close","path":"pipeline/fit","t_us":1301,"dur_us":67}
+    /// {"ev":"open","path":"svc/run_pipeline","t_us":1234,"req":"r1"}
+    /// {"ev":"close","path":"svc/run_pipeline","t_us":1301,"req":"r1","dur_us":67}
     /// ```
     ///
-    /// `t_us` is microseconds since the collector was created. Write
+    /// `t_us` is microseconds since the collector was created; `req`
+    /// appears only inside a [`Collector::request_scope`]. Write
     /// errors are swallowed — telemetry must never fail the run.
     pub fn set_events_sink(&self, sink: Box<dyn Write + Send>) {
         let Some(inner) = &self.inner else { return };
         *lock(&inner.sink) = Some(sink);
+        inner.sink_on.store(true, Ordering::Release);
     }
 
     /// Detach and return the events sink, if one is attached. Callers
@@ -274,7 +385,9 @@ impl Collector {
     /// explicitly and surface write errors a `Drop` would swallow.
     pub fn take_events_sink(&self) -> Option<Box<dyn Write + Send>> {
         let inner = self.inner.as_ref()?;
-        lock(&inner.sink).take()
+        let taken = lock(&inner.sink).take();
+        inner.sink_on.store(false, Ordering::Release);
+        taken
     }
 
     /// Merge every shard (in slot order) into a sorted, serializable
@@ -328,26 +441,65 @@ impl Collector {
     }
 }
 
-/// Write one span event line to the sink, if any is attached.
+/// Route one span/mark event to the JSONL sink (if attached) and the
+/// flight recorder (if enabled). Returns fast when neither is on —
+/// this sits on the span hot path.
 fn emit_event(inner: &Inner, ev: &str, path: &str, dur_us: Option<u128>) {
-    let mut sink = lock(&inner.sink);
-    let Some(out) = sink.as_mut() else { return };
-    let mut fields = vec![
-        ("ev".to_owned(), Value::Str(ev.to_owned())),
-        ("path".to_owned(), Value::Str(path.to_owned())),
-        (
-            "t_us".to_owned(),
-            Value::UInt(u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)),
-        ),
-    ];
-    if let Some(d) = dur_us {
-        fields.push((
-            "dur_us".to_owned(),
-            Value::UInt(u64::try_from(d).unwrap_or(u64::MAX)),
-        ));
+    let flight_cap = inner.flight_cap.load(Ordering::Acquire);
+    let sink_on = inner.sink_on.load(Ordering::Acquire);
+    if flight_cap == 0 && !sink_on {
+        return;
     }
-    if let Ok(line) = serde_json::to_string(&Value::Map(fields)) {
-        let _ = writeln!(out, "{line}");
+    let t_us = u64::try_from(inner.epoch.elapsed().as_micros()).unwrap_or(u64::MAX);
+    let req = REQUEST_ID.with(|r| r.borrow().clone());
+    let dur = dur_us.map(|d| u64::try_from(d).unwrap_or(u64::MAX));
+    if sink_on {
+        let mut fields = vec![
+            ("ev".to_owned(), Value::Str(ev.to_owned())),
+            ("path".to_owned(), Value::Str(path.to_owned())),
+            ("t_us".to_owned(), Value::UInt(t_us)),
+        ];
+        if let Some(id) = &req {
+            fields.push(("req".to_owned(), Value::Str(id.clone())));
+        }
+        if let Some(d) = dur {
+            fields.push(("dur_us".to_owned(), Value::UInt(d)));
+        }
+        if let Ok(line) = serde_json::to_string(&Value::Map(fields)) {
+            let mut sink = lock(&inner.sink);
+            if let Some(out) = sink.as_mut() {
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+    if flight_cap > 0 {
+        let seq = inner.event_seq.fetch_add(1, Ordering::Relaxed);
+        let mut ring = lock(&inner.flight[thread_shard()]);
+        if ring.len() >= flight_cap {
+            ring.pop_front();
+        }
+        ring.push_back(FlightEvent {
+            seq,
+            t_us,
+            req,
+            ev: ev.to_owned(),
+            path: path.to_owned(),
+            dur_us: dur,
+        });
+    }
+}
+
+/// RAII guard returned by [`Collector::request_scope`]; restores the
+/// thread's previous request id (usually none) on drop.
+#[must_use = "the request id is cleared the moment the guard drops"]
+pub struct RequestIdGuard {
+    prev: Option<String>,
+}
+
+impl Drop for RequestIdGuard {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        REQUEST_ID.with(|r| *r.borrow_mut() = prev);
     }
 }
 
@@ -501,6 +653,119 @@ mod tests {
         assert_eq!(open["path"].as_str(), Some("work"));
         assert_eq!(close["ev"].as_str(), Some("close"));
         assert!(close["dur_us"].as_u64().is_some());
+    }
+
+    #[test]
+    fn flight_recorder_captures_tagged_events_in_order() {
+        let obs = Collector::new();
+        obs.enable_flight_recorder(128);
+        {
+            let _scope = obs.request_scope("r1");
+            let _a = obs.span("svc");
+            let _b = obs.span("run_pipeline");
+            obs.mark("cache.miss");
+        }
+        {
+            let _scope = obs.request_scope("r2");
+            let _a = obs.span("svc");
+        }
+        obs.mark("untagged");
+
+        let all = obs.flight_events(None);
+        assert!(all.len() >= 7, "opens, closes, marks: {}", all.len());
+        assert!(all.windows(2).all(|w| w[0].seq < w[1].seq));
+
+        let r1 = obs.flight_events(Some("r1"));
+        let kinds: Vec<_> = r1
+            .iter()
+            .map(|e| (e.ev.as_str(), e.path.as_str()))
+            .collect();
+        assert_eq!(
+            kinds,
+            vec![
+                ("open", "svc"),
+                ("open", "svc/run_pipeline"),
+                ("mark", "svc/run_pipeline/cache.miss"),
+                ("close", "svc/run_pipeline"),
+                ("close", "svc"),
+            ]
+        );
+        assert!(r1.iter().all(|e| e.req.as_deref() == Some("r1")));
+        assert!(r1.last().unwrap().dur_us.is_some());
+
+        assert_eq!(obs.flight_events(Some("r2")).len(), 2);
+        let untagged = obs.flight_events(None);
+        assert!(untagged
+            .iter()
+            .any(|e| e.req.is_none() && e.path == "untagged"));
+        assert!(obs.flight_events(Some("nope")).is_empty());
+    }
+
+    #[test]
+    fn flight_recorder_rings_are_bounded() {
+        let obs = Collector::new();
+        obs.enable_flight_recorder(SHARD_COUNT * 4);
+        for _ in 0..1000 {
+            obs.mark("tick");
+        }
+        // Single thread -> single shard ring, capped at 4 entries
+        // holding the newest sequence numbers.
+        let events = obs.flight_events(None);
+        assert_eq!(events.len(), 4);
+        assert_eq!(events.last().unwrap().seq, 999);
+        // Disabling stops recording but leaves captured events alone.
+        obs.enable_flight_recorder(0);
+        obs.mark("after");
+        assert!(obs.flight_events(None).iter().all(|e| e.path != "after"));
+    }
+
+    #[test]
+    fn request_scopes_nest_and_tag_sink_lines() {
+        #[derive(Clone, Default)]
+        struct Buf(Arc<Mutex<Vec<u8>>>);
+        impl Write for Buf {
+            fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+                lock(&self.0).extend_from_slice(buf);
+                Ok(buf.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let buf = Buf::default();
+        let obs = Collector::new();
+        obs.set_events_sink(Box::new(buf.clone()));
+        {
+            let _outer = obs.request_scope("outer");
+            obs.mark("a");
+            {
+                let _inner = obs.request_scope("inner");
+                obs.mark("b");
+            }
+            obs.mark("c"); // outer id restored
+        }
+        obs.mark("d"); // no id
+        let text = String::from_utf8(lock(&buf.0).clone()).unwrap();
+        let reqs: Vec<_> = text
+            .lines()
+            .map(|l| {
+                let v = serde_json::parse_value(l).unwrap();
+                v["req"].as_str().map(str::to_owned)
+            })
+            .collect();
+        assert_eq!(
+            reqs,
+            vec![
+                Some("outer".to_owned()),
+                Some("inner".to_owned()),
+                Some("outer".to_owned()),
+                None
+            ]
+        );
+        // Marks never touch the deterministic aggregate sections.
+        let report = obs.snapshot();
+        assert!(report.counters.is_empty());
+        assert!(report.spans.is_empty());
     }
 
     #[test]

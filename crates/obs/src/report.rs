@@ -257,6 +257,7 @@ mod tests {
             p50: 1.0,
             p90: 1.0,
             p99: 1.0,
+            p999: Some(1.0),
             buckets: vec![(128, 1)],
         };
         let report = MetricsReport {

@@ -1,0 +1,195 @@
+//! Latency service-level objectives evaluated against histogram
+//! quantiles.
+//!
+//! An [`SloSpec`] is a list of targets — "`svc.predict.request_ms`
+//! p99 ≤ 50 ms" — checked against the summaries in a
+//! [`MetricsReport`]. Evaluation is pure: the
+//! observed quantile comes from [`HistogramSummary::quantile`], so the
+//! same report always yields the same verdict, and an artifact's SLO
+//! block can be re-derived offline from its `metrics` section.
+//!
+//! The report's numbers are wall-clock facts (`*_ms` suffixes), so an
+//! [`SloReport`] inherits the quarantine convention: it never feeds
+//! `deterministic_fingerprint()`.
+
+use crate::histogram::HistogramSummary;
+use crate::report::MetricsReport;
+use serde::{Deserialize, Serialize};
+
+/// One latency target: a named histogram, a quantile, and the bound
+/// the quantile must stay under.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Histogram name, e.g. `svc.run_pipeline.request_ms`.
+    pub metric: String,
+    /// Quantile to check, in `[0, 1]` (0.99 = p99).
+    pub quantile: f64,
+    /// Upper bound for the observed quantile, in the histogram's own
+    /// unit (milliseconds for `*_ms` metrics).
+    pub max_ms: f64,
+}
+
+/// A set of latency targets, evaluated together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloSpec {
+    /// The targets; evaluation order is preserved in the report.
+    pub targets: Vec<SloTarget>,
+}
+
+/// Verdict for one [`SloTarget`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloResult {
+    /// Histogram name the target addressed.
+    pub metric: String,
+    /// Quantile checked.
+    pub quantile: f64,
+    /// The bound.
+    pub max_ms: f64,
+    /// Observed quantile; `None` when the report carries no samples
+    /// for the metric (the target is then vacuously met).
+    pub observed_ms: Option<f64>,
+    /// Samples behind the observation.
+    pub count: u64,
+    /// `observed_ms <= max_ms` (or no samples).
+    pub met: bool,
+}
+
+/// Evaluation of a full [`SloSpec`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloReport {
+    /// Whether every target was met.
+    pub met: bool,
+    /// Per-target verdicts, in spec order.
+    pub results: Vec<SloResult>,
+}
+
+impl SloSpec {
+    /// The default service objectives `resmodeld` ships with: model
+    /// endpoints may compute (cold fits take seconds at fleet scale),
+    /// `stats` must answer fast.
+    #[must_use]
+    pub fn svc_default() -> Self {
+        let model_endpoints = [
+            "run_pipeline",
+            "run_sweep",
+            "dispatch",
+            "predict",
+            "validate",
+        ];
+        let mut targets: Vec<SloTarget> = model_endpoints
+            .iter()
+            .map(|ep| SloTarget {
+                metric: format!("svc.{ep}.request_ms"),
+                quantile: 0.99,
+                max_ms: 30_000.0,
+            })
+            .collect();
+        targets.push(SloTarget {
+            metric: "svc.stats.request_ms".to_owned(),
+            quantile: 0.99,
+            max_ms: 1_000.0,
+        });
+        Self { targets }
+    }
+
+    /// Evaluate against the histogram section of a snapshot.
+    #[must_use]
+    pub fn evaluate(&self, metrics: &MetricsReport) -> SloReport {
+        self.evaluate_histograms(&metrics.histograms)
+    }
+
+    /// Evaluate against a bare list of histogram summaries (an
+    /// artifact's `svc.latency` block, a loadgen's client-side
+    /// measurements).
+    #[must_use]
+    pub fn evaluate_histograms(&self, histograms: &[HistogramSummary]) -> SloReport {
+        let results: Vec<SloResult> = self
+            .targets
+            .iter()
+            .map(|t| {
+                let summary = histograms.iter().find(|h| h.name == t.metric);
+                let observed_ms = summary.and_then(|h| h.quantile(t.quantile));
+                let count = summary.map_or(0, |h| h.count);
+                let met = observed_ms.is_none_or(|v| v <= t.max_ms);
+                SloResult {
+                    metric: t.metric.clone(),
+                    quantile: t.quantile,
+                    max_ms: t.max_ms,
+                    observed_ms,
+                    count,
+                    met,
+                }
+            })
+            .collect();
+        SloReport {
+            met: results.iter().all(|r| r.met),
+            results,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+    use crate::histogram::Histogram;
+
+    fn summary_of(name: &str, values: &[f64]) -> HistogramSummary {
+        let mut h = Histogram::new();
+        for &v in values {
+            h.record(v);
+        }
+        h.summary(name).unwrap()
+    }
+
+    #[test]
+    fn targets_check_the_requested_quantile() {
+        let hist = summary_of("svc.stats.request_ms", &[1.0, 2.0, 3.0, 400.0]);
+        let spec = SloSpec {
+            targets: vec![
+                SloTarget {
+                    metric: "svc.stats.request_ms".to_owned(),
+                    quantile: 0.5,
+                    max_ms: 10.0,
+                },
+                SloTarget {
+                    metric: "svc.stats.request_ms".to_owned(),
+                    quantile: 0.99,
+                    max_ms: 10.0,
+                },
+            ],
+        };
+        let report = spec.evaluate_histograms(std::slice::from_ref(&hist));
+        assert!(report.results[0].met, "median is small");
+        assert!(!report.results[1].met, "p99 sees the 400ms tail");
+        assert!(!report.met);
+        assert_eq!(report.results[1].count, 4);
+        assert!(report.results[1].observed_ms.unwrap() > 10.0);
+    }
+
+    #[test]
+    fn absent_metrics_are_vacuously_met() {
+        let spec = SloSpec::svc_default();
+        let report = spec.evaluate(&MetricsReport::default());
+        assert!(report.met);
+        assert!(report
+            .results
+            .iter()
+            .all(|r| r.observed_ms.is_none() && r.count == 0 && r.met));
+        assert_eq!(report.results.len(), spec.targets.len());
+    }
+
+    #[test]
+    fn default_spec_round_trips_through_json() {
+        let spec = SloSpec::svc_default();
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        let back: SloSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        let report =
+            spec.evaluate_histograms(&[summary_of("svc.stats.request_ms", &[0.2, 0.4, 0.9])]);
+        let back: SloReport =
+            serde_json::from_str(&serde_json::to_string_pretty(&report).unwrap()).unwrap();
+        assert_eq!(back, report);
+        assert!(report.met);
+    }
+}

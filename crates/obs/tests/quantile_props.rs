@@ -1,0 +1,108 @@
+//! Property tests for `Histogram::quantile`: estimates are monotone
+//! non-decreasing in `q`, invariant under shard merge order, bounded
+//! by `[min, max]`, and agree with the sparse-bucket recomputation in
+//! `HistogramSummary::quantile`. Together with the bucket-merge
+//! property test this is what makes `p50`/`p90`/`p99`/`p999` safe to
+//! publish in deterministic artifacts.
+
+#![allow(clippy::unwrap_used)]
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use resmodel_obs::Histogram;
+
+/// Deterministic in-place Fisher–Yates driven by a splitmix-style
+/// step (same helper as the merge-order suite).
+fn shuffle(order: &mut [usize], mut seed: u64) {
+    let mut next = || {
+        seed = seed.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = seed;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..order.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        order.swap(i, j);
+    }
+}
+
+const QS: [f64; 9] = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn quantiles_are_monotone_in_q_and_bounded(
+        values in vec(-10.0f64..1e9, 1..200),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let min = h.min().unwrap();
+        let max = h.max().unwrap();
+        let mut prev = f64::NEG_INFINITY;
+        for q in QS {
+            let est = h.quantile(q).unwrap();
+            prop_assert!(est >= prev, "q={} fell from {} to {}", q, prev, est);
+            prop_assert!((min..=max).contains(&est), "q={} -> {} outside [{}, {}]", q, est, min, max);
+            prev = est;
+        }
+    }
+
+    #[test]
+    fn quantiles_are_merge_order_invariant(
+        shards in vec(vec(1e-4f64..1e7, 0..50), 2..8),
+        seed in 0u64..u64::MAX,
+    ) {
+        let parts: Vec<Histogram> = shards
+            .iter()
+            .map(|values| {
+                let mut h = Histogram::new();
+                for &v in values {
+                    h.record(v);
+                }
+                h
+            })
+            .collect();
+
+        let forward: Vec<usize> = (0..parts.len()).collect();
+        let mut shuffled = forward.clone();
+        shuffle(&mut shuffled, seed);
+
+        let merge = |order: &[usize]| {
+            let mut acc = Histogram::new();
+            for &i in order {
+                acc.merge(&parts[i]);
+            }
+            acc
+        };
+        let a = merge(&forward);
+        let b = merge(&shuffled);
+        for q in QS {
+            let qa = a.quantile(q).map(f64::to_bits);
+            let qb = b.quantile(q).map(f64::to_bits);
+            prop_assert_eq!(qa, qb, "q = {}", q);
+        }
+    }
+
+    #[test]
+    fn summary_quantiles_match_the_full_histogram(
+        values in vec(1e-3f64..1e8, 1..150),
+    ) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let s = h.summary("prop").unwrap();
+        for q in QS {
+            prop_assert_eq!(
+                s.quantile(q).map(f64::to_bits),
+                h.quantile(q).map(f64::to_bits),
+                "q = {}", q
+            );
+        }
+        prop_assert_eq!(s.p999, h.quantile(0.999));
+    }
+}

@@ -15,7 +15,7 @@
 //!   `substream(seed ^ ROUTE, j) % shard_count` and host `h` to shard
 //!   `h.id % shard_count` — pure functions of the spec, never of the
 //!   machine.
-//! * Jobs flow through fixed-size segments ([`SEGMENT_JOBS`] arrivals
+//! * Jobs flow through fixed-size segments (`SEGMENT_JOBS` arrivals
 //!   per segment, a pure function of the stream). Within a segment
 //!   each shard's batch is an independent unit of work: workers claim
 //!   batches from a shared queue (work stealing — an idle worker takes

@@ -343,6 +343,11 @@ impl ModelCache {
         let result = if claimed {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.obs.add("svc.cache.misses", 1);
+            // Mark events feed the trace (events sink + flight
+            // recorder) only — never the counter section, because
+            // whether a given request is the miss, a hit, or a
+            // stampede wait is a scheduling fact.
+            self.obs.mark("cache.miss");
             match compute() {
                 Ok(mut body) => {
                     zero_wall_clock(&mut body);
@@ -385,6 +390,14 @@ impl ModelCache {
                 .state
                 .lock()
                 .unwrap_or_else(std::sync::PoisonError::into_inner);
+            // A hit that finds the entry still Pending is a stampede
+            // wait: another request claimed the compute and this one
+            // parks on the condvar until it lands.
+            if matches!(&*state, EntryState::Pending) {
+                self.obs.mark("cache.stampede_wait");
+            } else {
+                self.obs.mark("cache.hit");
+            }
             loop {
                 match &*state {
                     EntryState::Pending => {

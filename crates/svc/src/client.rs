@@ -16,6 +16,8 @@ use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
 #[cfg(unix)]
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Where the server lives.
 #[derive(Debug, Clone)]
@@ -35,6 +37,9 @@ pub struct Reply {
     pub spec_hash: Option<String>,
     /// The result document.
     pub body: Value,
+    /// The id the server traced this request under (the one this
+    /// client sent, echoed back).
+    pub request_id: Option<String>,
 }
 
 impl Reply {
@@ -48,9 +53,16 @@ impl Reply {
 }
 
 /// A `resmodel.svc/1` client.
+///
+/// Every request is sent under a request id — `<prefix>-<n>` with a
+/// shared monotone counter (clones continue the same sequence), unless
+/// the caller set one on the [`Request`] already. The server echoes
+/// the id and keys its trace events and flight-recorder dumps by it.
 #[derive(Debug, Clone)]
 pub struct Client {
     target: Target,
+    id_prefix: String,
+    next_id: Arc<AtomicU64>,
 }
 
 impl Client {
@@ -59,6 +71,8 @@ impl Client {
     pub fn tcp(addr: impl Into<String>) -> Self {
         Client {
             target: Target::Tcp(addr.into()),
+            id_prefix: "c".to_owned(),
+            next_id: Arc::new(AtomicU64::new(0)),
         }
     }
 
@@ -68,7 +82,18 @@ impl Client {
     pub fn uds(path: impl Into<PathBuf>) -> Self {
         Client {
             target: Target::Uds(path.into()),
+            id_prefix: "c".to_owned(),
+            next_id: Arc::new(AtomicU64::new(0)),
         }
+    }
+
+    /// Change the request-id prefix (default `c`, yielding `c-1`,
+    /// `c-2`, …). A load generator names its workers this way so a
+    /// server-side dump attributes a failure to the exact sender.
+    #[must_use]
+    pub fn with_request_prefix(mut self, prefix: impl Into<String>) -> Self {
+        self.id_prefix = prefix.into();
+        self
     }
 
     /// Run (or replay) a full pipeline; the body is the zeroed
@@ -149,6 +174,11 @@ impl Client {
     /// stream, or an `ok: false` response (carrying the server's error
     /// text and, when present, the spec's content address).
     pub fn request(&self, request: &Request) -> Result<Reply, ResmodelError> {
+        let mut request = request.clone();
+        if request.request_id.is_none() {
+            let n = self.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+            request.request_id = Some(format!("{}-{n}", self.id_prefix));
+        }
         let endpoint = request.endpoint.clone();
         let wrap_io = |e: std::io::Error, what: &str| {
             ResmodelError::svc(endpoint.clone(), None, ResmodelError::io(what, e))
@@ -156,13 +186,13 @@ impl Client {
         match &self.target {
             Target::Tcp(addr) => {
                 let stream = TcpStream::connect(addr).map_err(|e| wrap_io(e, addr))?;
-                self.round_trip(stream, request)
+                self.round_trip(stream, &request)
             }
             #[cfg(unix)]
             Target::Uds(path) => {
                 let stream = UnixStream::connect(path)
                     .map_err(|e| wrap_io(e, &path.display().to_string()))?;
-                self.round_trip(stream, request)
+                self.round_trip(stream, &request)
             }
         }
     }
@@ -218,6 +248,7 @@ impl Client {
             cached: response.cached.unwrap_or(false),
             spec_hash: response.spec_hash,
             body: response.body.unwrap_or(Value::Null),
+            request_id: response.request_id,
         })
     }
 }

@@ -34,7 +34,11 @@
 //!   Unix-domain sockets; model work installs the shared rayon pool
 //!   per request.
 //! * [`client`] — the typed [`Client`] used by `resmodeld --query`,
-//!   the integration tests, and `examples/serve.rs`.
+//!   the integration tests, and `examples/serve.rs`. Every request
+//!   carries a request id the server traces under.
+//! * [`loadgen`] — [`run_load`]: the load generator behind the
+//!   `loadgen` binary; deterministic fixed schedules (the request
+//!   multiset is connection-count-invariant) or duration/rps pacing.
 //!
 //! Everything is `std` + the vendored workspace dependencies — no
 //! tokio, no async: the request mix (few, heavy, cacheable) is served
@@ -78,12 +82,14 @@
 pub mod cache;
 pub mod client;
 pub mod hash;
+pub mod loadgen;
 pub mod proto;
 pub mod server;
 
 pub use cache::{CacheOutcome, CacheStats, ModelCache, TraceStoreStats};
 pub use client::{Client, Reply};
 pub use hash::{sha256, sha256_hex};
+pub use loadgen::{default_spec_pool, parse_mix, run_load, EndpointLoad, LoadReport, LoadSpec};
 pub use proto::{Endpoint, Request, Response, MAX_FRAME_LEN, PROTOCOL};
 #[cfg(unix)]
 pub use server::serve_uds;

@@ -1,0 +1,600 @@
+//! The load generator: measure `resmodeld` under fire.
+//!
+//! [`run_load`] hammers a live daemon with a configurable endpoint mix
+//! over N concurrent worker connections and reports client-observed
+//! latencies, error counts and throughput — the numbers behind the
+//! `/8` `svc_load` bench block ([`SvcLoadSummary`]).
+//!
+//! Two pacing modes:
+//!
+//! * **Fixed** ([`LoadSpec::total_requests`]): the whole request
+//!   schedule — endpoint and spec choice for every request index — is
+//!   pre-generated from deterministic seed substreams
+//!   (`substream(seed, i)`), and workers *claim* indices from a shared
+//!   atomic counter. The request multiset the server sees is therefore
+//!   a pure function of `(seed, mix, specs, total_requests)` —
+//!   independent of connection count, thread count and scheduling — so
+//!   the server's `deterministic_fingerprint()` is load-invariant.
+//!   Request ids are `q-<index+1>`.
+//! * **Duration** ([`LoadSpec::duration`], optionally paced by
+//!   [`LoadSpec::rps`]): each worker draws from its own seed substream
+//!   until the deadline. Throughput-shaped, not multiset-deterministic
+//!   — the CI smoke mode.
+//!
+//! Client-side latency histograms are named
+//! `loadgen.<endpoint>.request_ms` — the `_ms` suffix quarantines them
+//! from fingerprints just like the server-side span totals.
+
+use crate::client::Client;
+use crate::proto::{Endpoint, Request};
+use resmodel::pipeline::PipelineSpec;
+use resmodel::stats::rng::substream;
+use resmodel::sweep::{SvcLoadEndpoint, SvcLoadSummary};
+use resmodel::ResmodelError;
+use resmodel_obs::{Histogram, MetricsReport, SloSpec};
+use serde_json;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// What to throw at the daemon.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent worker connections (≥ 1).
+    pub connections: usize,
+    /// Fixed mode: stop after exactly this many requests total.
+    /// Mutually exclusive with `duration`.
+    pub total_requests: Option<u64>,
+    /// Duration mode: stop at this deadline. Mutually exclusive with
+    /// `total_requests`.
+    pub duration: Option<Duration>,
+    /// Open-loop pacing for duration mode: aggregate target requests
+    /// per second, spread evenly over the workers. `None` = closed
+    /// loop (each worker sends as fast as responses come back).
+    pub rps: Option<f64>,
+    /// Weighted endpoint mix (see [`parse_mix`]). `shutdown` is not a
+    /// load endpoint and is rejected.
+    pub mix: Vec<(Endpoint, u32)>,
+    /// Master seed for the schedule / per-worker substreams.
+    pub seed: u64,
+    /// Spec pool for spec-carrying endpoints (`run_pipeline`,
+    /// `dispatch`, `predict`); the schedule picks one per request.
+    /// Specs sent to `predict` must carry a fit stage or the server
+    /// answers with an error frame (which counts as an error here).
+    pub specs: Vec<PipelineSpec>,
+    /// Fractional-year dates for `predict` requests.
+    pub predict_dates: Vec<f64>,
+}
+
+impl LoadSpec {
+    /// A fixed-schedule spec: `total` requests over `connections`
+    /// workers, default mix `run_pipeline:predict:stats`.
+    #[must_use]
+    pub fn fixed(connections: usize, total: u64, specs: Vec<PipelineSpec>) -> Self {
+        LoadSpec {
+            connections,
+            total_requests: Some(total),
+            duration: None,
+            rps: None,
+            mix: vec![
+                (Endpoint::RunPipeline, 1),
+                (Endpoint::Predict, 1),
+                (Endpoint::Stats, 1),
+            ],
+            seed: 42,
+            specs,
+            predict_dates: vec![2011.0, 2012.5],
+        }
+    }
+}
+
+/// One endpoint's aggregated client-side figures.
+#[derive(Debug, Clone)]
+pub struct EndpointLoad {
+    /// The endpoint.
+    pub endpoint: Endpoint,
+    /// Requests completed (ok or error).
+    pub requests: u64,
+    /// Requests that came back as error frames or failed in
+    /// transport.
+    pub errors: u64,
+    /// Client-observed request latency (connect + round-trip), ms.
+    pub latency: Histogram,
+}
+
+/// What [`run_load`] measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `"fixed"`, `"duration"` or `"rps"`.
+    pub mode: String,
+    /// Worker connections used.
+    pub connections: usize,
+    /// Total requests completed.
+    pub requests: u64,
+    /// Total errors.
+    pub errors: u64,
+    /// Wall time of the run, ms.
+    pub wall_ms: f64,
+    /// `requests / wall seconds`.
+    pub served_per_sec: f64,
+    /// Per-endpoint breakdown, in mix order (deduplicated).
+    pub endpoints: Vec<EndpointLoad>,
+}
+
+impl LoadReport {
+    /// Condense into the `/8` bench block, folding in the server's
+    /// own view (cache hits/misses and the SLO verdict over its
+    /// latency histograms) when a final `stats` snapshot is at hand.
+    #[must_use]
+    pub fn svc_load_summary(&self, server_metrics: Option<&MetricsReport>) -> SvcLoadSummary {
+        let hits = server_metrics
+            .and_then(|m| m.counter("svc.cache.hits"))
+            .unwrap_or(0);
+        let misses = server_metrics
+            .and_then(|m| m.counter("svc.cache.misses"))
+            .unwrap_or(0);
+        let lookups = hits + misses;
+        #[allow(clippy::cast_precision_loss)]
+        let hit_rate = if lookups == 0 {
+            0.0
+        } else {
+            hits as f64 / lookups as f64
+        };
+        let endpoints = self
+            .endpoints
+            .iter()
+            .map(|e| {
+                let name = format!("loadgen.{}.request_ms", e.endpoint.as_str());
+                let q = |q: f64| e.latency.quantile(q).unwrap_or(0.0);
+                SvcLoadEndpoint {
+                    endpoint: e.endpoint.as_str().to_owned(),
+                    requests: e.requests,
+                    errors: e.errors,
+                    p50_ms: q(0.5),
+                    p90_ms: q(0.9),
+                    p99_ms: q(0.99),
+                    p999_ms: q(0.999),
+                    latency: e.latency.summary(&name),
+                }
+            })
+            .collect();
+        SvcLoadSummary {
+            mode: self.mode.clone(),
+            connections: self.connections,
+            requests: self.requests,
+            errors: self.errors,
+            wall_ms: self.wall_ms,
+            served_per_sec: self.served_per_sec,
+            hits,
+            misses,
+            hit_rate,
+            slo: server_metrics.map(|m| SloSpec::svc_default().evaluate(m)),
+            endpoints,
+        }
+    }
+}
+
+/// The default spec pool: three small fit-bearing steady-state
+/// fleets. Distinct specs exercise distinct cache keys (so a load run
+/// sees both misses and hits), every spec carries a fit stage (so
+/// `predict` succeeds), and ~2k hosts keeps a cold miss cheap enough
+/// for CI smoke runs while giving the yearly ratio-law fit enough
+/// populated snapshots (the steady-state scenario ramps up from 2006,
+/// so tiny fleets leave early fit dates empty).
+#[must_use]
+pub fn default_spec_pool() -> Vec<PipelineSpec> {
+    use resmodel::pipeline::SourceSpec;
+    use resmodel::prelude::{FitConfig, Scenario};
+    (0..3u64)
+        .map(|i| PipelineSpec {
+            source: SourceSpec::Scenario {
+                scenario: Scenario::steady_state(11 + i),
+                max_hosts: 2_000,
+            },
+            sanitize: None,
+            fit: Some(FitConfig::yearly(2007, 2010)),
+            validate: None,
+            predict: None,
+            dispatch: None,
+        })
+        .collect()
+}
+
+/// Parse a mix string: colon-separated endpoint names, each optionally
+/// weighted with `=N` — `"run_pipeline:predict:stats"`,
+/// `"run_pipeline=3:stats=1"`.
+///
+/// # Errors
+///
+/// [`ResmodelError::Config`] on unknown endpoints, zero weights,
+/// `shutdown`, or an empty string.
+pub fn parse_mix(s: &str) -> Result<Vec<(Endpoint, u32)>, ResmodelError> {
+    let mut mix = Vec::new();
+    for part in s.split(':').filter(|p| !p.is_empty()) {
+        let (name, weight) = match part.split_once('=') {
+            Some((name, w)) => {
+                let weight: u32 = w.parse().map_err(|_| {
+                    ResmodelError::config("load mix", format!("bad weight in `{part}`"))
+                })?;
+                (name, weight)
+            }
+            None => (part, 1),
+        };
+        if weight == 0 {
+            return Err(ResmodelError::config(
+                "load mix",
+                format!("zero weight in `{part}`"),
+            ));
+        }
+        let endpoint = Endpoint::ALL
+            .into_iter()
+            .find(|e| e.as_str() == name)
+            .ok_or_else(|| {
+                ResmodelError::config("load mix", format!("unknown endpoint `{name}`"))
+            })?;
+        if endpoint == Endpoint::Shutdown {
+            return Err(ResmodelError::config(
+                "load mix",
+                "`shutdown` is not a load endpoint",
+            ));
+        }
+        mix.push((endpoint, weight));
+    }
+    if mix.is_empty() {
+        return Err(ResmodelError::config("load mix", "empty mix"));
+    }
+    Ok(mix)
+}
+
+/// The schedule function of fixed mode: which mix entry and which spec
+/// request `i` uses, as a pure function of the seed. Exposed so tests
+/// can assert the multiset is connection-count-invariant without a
+/// server.
+#[must_use]
+pub fn plan(seed: u64, i: u64, mix: &[(Endpoint, u32)], spec_count: usize) -> (usize, usize) {
+    plan_raw(substream(seed, i), mix, spec_count)
+}
+
+/// Build the request for one schedule slot.
+fn build_request(
+    endpoint: Endpoint,
+    spec: Option<&PipelineSpec>,
+    predict_dates: &[f64],
+) -> Request {
+    match endpoint {
+        Endpoint::Stats | Endpoint::Shutdown => Request::bare(endpoint),
+        Endpoint::Predict => {
+            let mut request = Request::with_spec(
+                endpoint,
+                spec.map_or(serde_json::Value::Null, serde_json::to_value),
+            );
+            request.dates = Some(predict_dates.to_vec());
+            request
+        }
+        _ => Request::with_spec(
+            endpoint,
+            spec.map_or(serde_json::Value::Null, serde_json::to_value),
+        ),
+    }
+}
+
+/// Per-worker accumulator, merged after the scope joins.
+struct WorkerStats {
+    /// Parallel to the (deduplicated) endpoint list.
+    requests: Vec<u64>,
+    errors: Vec<u64>,
+    latency: Vec<Histogram>,
+}
+
+impl WorkerStats {
+    fn new(endpoints: usize) -> Self {
+        WorkerStats {
+            requests: vec![0; endpoints],
+            errors: vec![0; endpoints],
+            latency: (0..endpoints).map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    fn record(&mut self, slot: usize, ok: bool, elapsed_ms: f64) {
+        self.requests[slot] += 1;
+        if !ok {
+            self.errors[slot] += 1;
+        }
+        self.latency[slot].record(elapsed_ms);
+    }
+}
+
+/// Run the load. Workers are plain scoped threads (one blocking
+/// connection each, like the daemon's thread-per-connection model);
+/// an error response counts toward `errors` and the run continues.
+///
+/// # Errors
+///
+/// [`ResmodelError::Config`] on an invalid spec: no workers, empty
+/// mix, neither or both of `total_requests` / `duration`, `rps`
+/// without `duration`, or a spec-carrying endpoint in the mix with an
+/// empty spec pool.
+#[allow(clippy::too_many_lines)]
+pub fn run_load(client: &Client, spec: &LoadSpec) -> Result<LoadReport, ResmodelError> {
+    if spec.connections == 0 {
+        return Err(ResmodelError::config(
+            "loadgen",
+            "need at least one connection",
+        ));
+    }
+    if spec.mix.is_empty() {
+        return Err(ResmodelError::config("loadgen", "empty endpoint mix"));
+    }
+    match (spec.total_requests, spec.duration) {
+        (Some(_), Some(_)) => {
+            return Err(ResmodelError::config(
+                "loadgen",
+                "set either total_requests or duration, not both",
+            ));
+        }
+        (None, None) => {
+            return Err(ResmodelError::config(
+                "loadgen",
+                "set total_requests (fixed mode) or duration",
+            ));
+        }
+        _ => {}
+    }
+    if spec.rps.is_some() && spec.duration.is_none() {
+        return Err(ResmodelError::config(
+            "loadgen",
+            "rps pacing needs duration mode",
+        ));
+    }
+    let needs_specs = spec
+        .mix
+        .iter()
+        .any(|&(e, _)| !matches!(e, Endpoint::Stats | Endpoint::Shutdown));
+    if needs_specs && spec.specs.is_empty() {
+        return Err(ResmodelError::config(
+            "loadgen",
+            "mix has spec-carrying endpoints but the spec pool is empty",
+        ));
+    }
+
+    // Deduplicated endpoint list, in first-appearance mix order; a
+    // map from mix index to its slot.
+    let mut endpoints: Vec<Endpoint> = Vec::new();
+    let mut slot_of_mix: Vec<usize> = Vec::with_capacity(spec.mix.len());
+    for &(e, _) in &spec.mix {
+        let slot = endpoints.iter().position(|&x| x == e).unwrap_or_else(|| {
+            endpoints.push(e);
+            endpoints.len() - 1
+        });
+        slot_of_mix.push(slot);
+    }
+
+    let mode = if spec.total_requests.is_some() {
+        "fixed"
+    } else if spec.rps.is_some() {
+        "rps"
+    } else {
+        "duration"
+    };
+    let next = AtomicU64::new(0);
+    let started = Instant::now();
+    #[allow(clippy::cast_precision_loss)]
+    let pace = spec
+        .rps
+        .map(|rps| Duration::from_secs_f64(spec.connections as f64 / rps.max(0.001)));
+
+    let worker_stats: Vec<WorkerStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.connections)
+            .map(|w| {
+                let next = &next;
+                let endpoints = &endpoints;
+                let slot_of_mix = &slot_of_mix;
+                scope.spawn(move || {
+                    let mut stats = WorkerStats::new(endpoints.len());
+                    let one = |stats: &mut WorkerStats, r: u64, id: Option<String>| {
+                        let (mix_idx, spec_idx) = plan_raw(r, &spec.mix, spec.specs.len());
+                        let endpoint = spec.mix[mix_idx].0;
+                        let mut request =
+                            build_request(endpoint, spec.specs.get(spec_idx), &spec.predict_dates);
+                        request.request_id = id;
+                        let t0 = Instant::now();
+                        let ok = client.request(&request).is_ok();
+                        #[allow(clippy::cast_precision_loss)]
+                        let elapsed_ms = t0.elapsed().as_secs_f64() * 1000.0;
+                        stats.record(slot_of_mix[mix_idx], ok, elapsed_ms);
+                    };
+                    if let Some(total) = spec.total_requests {
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= total {
+                                break;
+                            }
+                            one(
+                                &mut stats,
+                                substream(spec.seed, i),
+                                Some(format!("q-{}", i + 1)),
+                            );
+                        }
+                    } else if let Some(duration) = spec.duration {
+                        let deadline = started + duration;
+                        let worker_seed = substream(spec.seed, 0x4C4F_4144 + w as u64);
+                        let mut k = 0u64;
+                        while Instant::now() < deadline {
+                            one(&mut stats, substream(worker_seed, k), None);
+                            k += 1;
+                            if let Some(period) = pace {
+                                let target =
+                                    started + period * u32::try_from(k).unwrap_or(u32::MAX);
+                                let now = Instant::now();
+                                if target > now && target < deadline {
+                                    std::thread::sleep(target - now);
+                                }
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(stats) => stats,
+                Err(_) => WorkerStats::new(endpoints.len()),
+            })
+            .collect()
+    });
+    #[allow(clippy::cast_precision_loss)]
+    let wall_ms = started.elapsed().as_secs_f64() * 1000.0;
+
+    let mut merged: Vec<EndpointLoad> = endpoints
+        .iter()
+        .map(|&endpoint| EndpointLoad {
+            endpoint,
+            requests: 0,
+            errors: 0,
+            latency: Histogram::new(),
+        })
+        .collect();
+    for stats in &worker_stats {
+        for (slot, row) in merged.iter_mut().enumerate() {
+            row.requests += stats.requests[slot];
+            row.errors += stats.errors[slot];
+            row.latency.merge(&stats.latency[slot]);
+        }
+    }
+    let requests: u64 = merged.iter().map(|e| e.requests).sum();
+    let errors: u64 = merged.iter().map(|e| e.errors).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let served_per_sec = if wall_ms > 0.0 {
+        requests as f64 / (wall_ms / 1000.0)
+    } else {
+        0.0
+    };
+    Ok(LoadReport {
+        mode: mode.to_owned(),
+        connections: spec.connections,
+        requests,
+        errors,
+        wall_ms,
+        served_per_sec,
+        endpoints: merged,
+    })
+}
+
+/// [`plan`] on an already-drawn substream value.
+fn plan_raw(r: u64, mix: &[(Endpoint, u32)], spec_count: usize) -> (usize, usize) {
+    let weight_sum: u64 = mix.iter().map(|&(_, w)| u64::from(w)).sum::<u64>().max(1);
+    let mut pick = r % weight_sum;
+    let mut mix_idx = 0;
+    for (idx, &(_, w)) in mix.iter().enumerate() {
+        if pick < u64::from(w) {
+            mix_idx = idx;
+            break;
+        }
+        pick -= u64::from(w);
+    }
+    let spec_idx = if spec_count == 0 {
+        0
+    } else {
+        ((r >> 32) % spec_count as u64) as usize
+    };
+    (mix_idx, spec_idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_mix_accepts_names_and_weights() {
+        let mix = parse_mix("run_pipeline=3:predict:stats=2").expect("valid mix");
+        assert_eq!(
+            mix,
+            vec![
+                (Endpoint::RunPipeline, 3),
+                (Endpoint::Predict, 1),
+                (Endpoint::Stats, 2),
+            ]
+        );
+    }
+
+    #[test]
+    fn parse_mix_rejects_bad_input() {
+        assert!(parse_mix("").is_err(), "empty mix");
+        assert!(parse_mix("frobnicate").is_err(), "unknown endpoint");
+        assert!(parse_mix("stats=0").is_err(), "zero weight");
+        assert!(parse_mix("stats=x").is_err(), "non-numeric weight");
+        assert!(parse_mix("shutdown").is_err(), "shutdown is not load");
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_in_range() {
+        let mix = parse_mix("run_pipeline=2:predict:stats").expect("valid mix");
+        let mut seen_mix = [0u64; 3];
+        for i in 0..10_000u64 {
+            let (mix_idx, spec_idx) = plan(7, i, &mix, 3);
+            assert_eq!((mix_idx, spec_idx), plan(7, i, &mix, 3), "pure function");
+            assert!(mix_idx < mix.len());
+            assert!(spec_idx < 3);
+            seen_mix[mix_idx] += 1;
+        }
+        // Weighted draw: run_pipeline (weight 2) should land roughly
+        // twice as often as the weight-1 endpoints.
+        assert!(seen_mix.iter().all(|&n| n > 1_000), "{seen_mix:?}");
+        assert!(
+            seen_mix[0] > seen_mix[1] && seen_mix[0] > seen_mix[2],
+            "{seen_mix:?}"
+        );
+    }
+
+    #[test]
+    fn run_load_rejects_invalid_specs() {
+        let client = Client::tcp("127.0.0.1:1");
+        let specs = Vec::new();
+        let mut load = LoadSpec::fixed(0, 1, specs.clone());
+        assert!(run_load(&client, &load).is_err(), "zero connections");
+        load.connections = 1;
+        assert!(run_load(&client, &load).is_err(), "specs needed by mix");
+        load.mix = vec![(Endpoint::Stats, 1)];
+        load.total_requests = None;
+        assert!(run_load(&client, &load).is_err(), "no mode");
+        load.total_requests = Some(1);
+        load.duration = Some(Duration::from_millis(1));
+        assert!(run_load(&client, &load).is_err(), "both modes");
+        load.total_requests = None;
+        load.rps = Some(10.0);
+        load.duration = None;
+        assert!(run_load(&client, &load).is_err(), "rps without duration");
+    }
+
+    #[test]
+    fn svc_load_summary_without_server_metrics_has_no_slo() {
+        let mut latency = Histogram::new();
+        latency.record(1.0);
+        latency.record(2.0);
+        let report = LoadReport {
+            mode: "fixed".to_owned(),
+            connections: 2,
+            requests: 2,
+            errors: 1,
+            wall_ms: 10.0,
+            served_per_sec: 200.0,
+            endpoints: vec![EndpointLoad {
+                endpoint: Endpoint::Stats,
+                requests: 2,
+                errors: 1,
+                latency,
+            }],
+        };
+        let block = report.svc_load_summary(None);
+        assert!(block.slo.is_none());
+        assert_eq!(block.hits + block.misses, 0);
+        assert_eq!(block.endpoints.len(), 1);
+        let row = &block.endpoints[0];
+        assert_eq!(row.endpoint, "stats");
+        assert!(row.p50_ms > 0.0 && row.p99_ms >= row.p50_ms);
+        let summary = row.latency.as_ref().expect("non-empty histogram");
+        assert_eq!(summary.name, "loadgen.stats.request_ms");
+        assert_eq!(summary.count, 2);
+    }
+}

@@ -92,6 +92,10 @@ pub struct Request {
     pub spec: Option<Value>,
     /// Fractional-year prediction dates; `predict` only.
     pub dates: Option<Vec<f64>>,
+    /// Client-chosen request id, echoed in the response and used to
+    /// tag the server's trace events. The server assigns `r<seq>`
+    /// when absent, so every frame is traceable either way.
+    pub request_id: Option<String>,
 }
 
 impl Request {
@@ -103,6 +107,7 @@ impl Request {
             endpoint: endpoint.as_str().to_owned(),
             spec: None,
             dates: None,
+            request_id: None,
         }
     }
 
@@ -137,6 +142,15 @@ pub struct Response {
     pub body: Option<Value>,
     /// Human-readable failure; absent on success.
     pub error: Option<String>,
+    /// The id under which the server traced this request: the
+    /// client's `request_id` when it sent one, a server-assigned
+    /// `r<seq>` otherwise. Quote it when reporting a failure — the
+    /// flight-recorder dump is keyed by it.
+    pub request_id: Option<String>,
+    /// Machine-readable failure class for errors that clients handle
+    /// specially: `busy` (connection limit) or `panic` (handler
+    /// crashed). Absent on success and on ordinary request errors.
+    pub code: Option<String>,
 }
 
 impl Response {
@@ -156,6 +170,8 @@ impl Response {
             spec_hash,
             body: Some(body),
             error: None,
+            request_id: None,
+            code: None,
         }
     }
 
@@ -170,7 +186,23 @@ impl Response {
             spec_hash,
             body: None,
             error: Some(error.into()),
+            request_id: None,
+            code: None,
         }
+    }
+
+    /// The typed rejection an over-limit connection receives before
+    /// the server hangs up (`code: "busy"`). Retryable by definition:
+    /// the request was never read, let alone executed.
+    #[must_use]
+    pub fn busy(max_conns: usize) -> Self {
+        let mut response = Response::failure(
+            "?",
+            None,
+            format!("server is at its {max_conns}-connection limit; retry later"),
+        );
+        response.code = Some("busy".to_owned());
+        response
     }
 }
 
@@ -394,5 +426,26 @@ mod tests {
         let back: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
         assert_eq!(back, resp);
         assert!(!back.ok);
+    }
+
+    #[test]
+    fn request_ids_and_codes_round_trip_and_stay_optional() {
+        // Pre-tracing peers omit the new fields entirely; they must
+        // parse to None so old clients and fixtures keep working.
+        let legacy = r#"{"proto":"resmodel.svc/1","endpoint":"stats","spec":null,"dates":null}"#;
+        let req: Request = serde_json::from_str(legacy).unwrap();
+        assert_eq!(req.request_id, None);
+
+        let mut tagged = Request::bare(Endpoint::Stats);
+        tagged.request_id = Some("c7".to_owned());
+        let back: Request = serde_json::from_str(&serde_json::to_string(&tagged).unwrap()).unwrap();
+        assert_eq!(back.request_id.as_deref(), Some("c7"));
+
+        let busy = Response::busy(64);
+        assert!(!busy.ok);
+        assert_eq!(busy.endpoint, "?");
+        assert_eq!(busy.code.as_deref(), Some("busy"));
+        let back: Response = serde_json::from_str(&serde_json::to_string(&busy).unwrap()).unwrap();
+        assert_eq!(back, busy);
     }
 }

@@ -14,6 +14,15 @@
 //! `svc.requests.<endpoint>` / `svc.requests.errors`, gauge
 //! `svc.inflight`, and (for the endpoints the cache doesn't time
 //! itself) `svc.<endpoint>.request_ms` histograms.
+//!
+//! Per-request *tracing*: every frame is handled under a request id —
+//! the client's `request_id` when it sent one, a server-assigned
+//! `r<seq>` otherwise — installed as the collector's request scope, so
+//! the span tree a request produces (`svc/run_pipeline/pipeline/fit/…`)
+//! and the cache's hit/miss/stampede marks all carry that id in the
+//! JSONL events sink and the flight recorder. On any error response or
+//! a panicking handler, the request's recent flight events are dumped
+//! to `flight_out` (or stderr) for post-mortem debugging.
 
 use crate::cache::ModelCache;
 use crate::proto::{self, Endpoint, FrameError, Request, Response, PROTOCOL};
@@ -21,7 +30,7 @@ use rayon::ThreadPoolBuilder;
 use resmodel::pipeline::PipelineSpec;
 use resmodel::sweep::SweepSpec;
 use resmodel::ResmodelError;
-use resmodel_obs::Collector;
+use resmodel_obs::{Collector, SloSpec};
 use resmodel_trace::SimDate;
 use serde::Value;
 use std::io::{self, Read, Write};
@@ -29,9 +38,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::net::{UnixListener, UnixStream};
 #[cfg(unix)]
-use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::Arc;
+use std::path::Path;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -43,6 +53,10 @@ const POLL: Duration = Duration::from_millis(25);
 /// mid-frame stall past this closes the connection (the stream cannot
 /// be resynchronized anyway).
 const FRAME_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default flight-recorder capacity: roughly this many recent span
+/// events are retained for post-mortem dumps.
+pub const DEFAULT_FLIGHT_EVENTS: usize = 4096;
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -56,6 +70,17 @@ pub struct ServerConfig {
     /// and `dispatch` endpoints (see [`ModelCache::with_trace_dir`]);
     /// `None` disables spilling.
     pub trace_dir: Option<PathBuf>,
+    /// Hard cap on concurrently served connections; connections over
+    /// the limit receive a typed `busy` error frame and are closed.
+    /// `None` is unlimited.
+    pub max_conns: Option<usize>,
+    /// Flight-recorder capacity in events; 0 turns the recorder (and
+    /// failure dumps) off.
+    pub flight_events: usize,
+    /// Where failure dumps go; `None` writes them to stderr.
+    pub flight_out: Option<PathBuf>,
+    /// Latency objectives evaluated in every `stats` response.
+    pub slo: SloSpec,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +89,10 @@ impl Default for ServerConfig {
             capacity: 64,
             threads: None,
             trace_dir: None,
+            max_conns: None,
+            flight_events: DEFAULT_FLIGHT_EVENTS,
+            flight_out: None,
+            slo: SloSpec::svc_default(),
         }
     }
 }
@@ -75,6 +104,19 @@ struct Shared {
     threads: Option<usize>,
     shutdown: AtomicBool,
     inflight: AtomicI64,
+    /// Connections currently being served (gate for `max_conns`).
+    conns: AtomicUsize,
+    max_conns: Option<usize>,
+    /// Connections turned away at the gate. Kept out of the counter
+    /// section on purpose: rejections are scheduling accidents, and
+    /// counters must stay deterministic. Surfaced as a gauge and in
+    /// the `stats` body instead.
+    busy_rejects: AtomicU64,
+    /// Source of server-assigned request ids (`r1`, `r2`, …).
+    req_seq: AtomicU64,
+    slo: SloSpec,
+    /// Failure-dump sink; `None` means stderr.
+    flight_out: Option<Mutex<std::fs::File>>,
 }
 
 /// Where a running server is listening.
@@ -178,7 +220,7 @@ pub fn serve_tcp(
     listener
         .set_nonblocking(true)
         .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(addr, e)))?;
-    let shared = shared_state(config, obs);
+    let shared = shared_state(config, obs)?;
     let acceptor = spawn_acceptor(Arc::clone(&shared), move |shared| loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break None;
@@ -216,7 +258,7 @@ pub fn serve_uds(
     listener
         .set_nonblocking(true)
         .map_err(|e| ResmodelError::svc("bind", None, ResmodelError::io(display, e)))?;
-    let shared = shared_state(config, obs);
+    let shared = shared_state(config, obs)?;
     let acceptor = spawn_acceptor(Arc::clone(&shared), move |shared| loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break None;
@@ -234,18 +276,35 @@ pub fn serve_uds(
     })
 }
 
-fn shared_state(config: ServerConfig, obs: &Collector) -> Arc<Shared> {
+fn shared_state(config: ServerConfig, obs: &Collector) -> Result<Arc<Shared>, ResmodelError> {
     let mut cache = ModelCache::new(config.capacity, obs);
     if let Some(dir) = config.trace_dir {
         cache = cache.with_trace_dir(dir);
     }
-    Arc::new(Shared {
+    obs.enable_flight_recorder(config.flight_events);
+    let flight_out = match &config.flight_out {
+        Some(path) => Some(Mutex::new(std::fs::File::create(path).map_err(|e| {
+            ResmodelError::svc(
+                "bind",
+                None,
+                ResmodelError::io(path.display().to_string(), e),
+            )
+        })?)),
+        None => None,
+    };
+    Ok(Arc::new(Shared {
         cache,
         obs: obs.clone(),
         threads: config.threads,
         shutdown: AtomicBool::new(false),
         inflight: AtomicI64::new(0),
-    })
+        conns: AtomicUsize::new(0),
+        max_conns: config.max_conns,
+        busy_rejects: AtomicU64::new(0),
+        req_seq: AtomicU64::new(0),
+        slo: config.slo,
+        flight_out,
+    }))
 }
 
 /// Spawn the acceptor thread: `next` blocks (politely, polling the
@@ -261,9 +320,20 @@ where
         let mut next = next;
         let mut handlers: Vec<JoinHandle<()>> = Vec::new();
         while let Some(stream) = next(&shared) {
+            // The connection-limit gate: counted at accept, released
+            // when the handler thread finishes. Over-limit peers get
+            // a typed `busy` frame instead of a silent hangup.
+            if let Some(max) = shared.max_conns {
+                if shared.conns.load(Ordering::Acquire) >= max {
+                    refuse_busy(stream, &shared, max);
+                    continue;
+                }
+            }
+            shared.conns.fetch_add(1, Ordering::AcqRel);
             let shared = Arc::clone(&shared);
             handlers.push(std::thread::spawn(move || {
                 handle_connection(stream, &shared);
+                shared.conns.fetch_sub(1, Ordering::AcqRel);
             }));
             handlers.retain(|h| !h.is_finished());
         }
@@ -271,6 +341,22 @@ where
             let _ = handler.join();
         }
     })
+}
+
+/// Turn away an over-limit connection with a `busy` error frame. Runs
+/// inline on the acceptor thread — deliberately: spawning a thread to
+/// say "too many threads" would defeat the limit.
+fn refuse_busy<S: Conn>(mut stream: S, shared: &Shared, max: usize) {
+    let rejected = shared.busy_rejects.fetch_add(1, Ordering::Relaxed) + 1;
+    #[allow(clippy::cast_precision_loss)]
+    shared
+        .obs
+        .set_gauge("svc.conns.busy_rejects", rejected as f64);
+    shared.obs.mark("svc.busy");
+    if stream.set_blocking().is_err() {
+        return;
+    }
+    let _ = proto::send(&mut stream, &Response::busy(max));
 }
 
 /// The transport operations a handler needs beyond `Read + Write`.
@@ -320,29 +406,49 @@ fn handle_connection<S: Conn>(mut stream: S, shared: &Shared) {
             return;
         }
         let frame = read_started_frame(&mut stream, first);
+        // Every frame gets a request id before anything can fail, so
+        // even a frame that never parses is traceable in the dump.
+        let server_id = format!("r{}", shared.req_seq.fetch_add(1, Ordering::Relaxed) + 1);
         let payload = match frame {
             Ok(payload) => payload,
             Err(FrameError::Oversized { len, max }) => {
                 // The announced length was never read, so the stream
                 // cannot be resynchronized: answer, then close.
-                let resp = Response::failure(
+                let mut resp = Response::failure(
                     "?",
                     None,
                     format!("frame length {len} exceeds the {max}-byte limit"),
                 );
+                resp.request_id = Some(server_id.clone());
                 shared.obs.add("svc.requests.errors", 1);
+                dump_flight(shared, &server_id, "oversized frame");
                 let _ = proto::send(&mut stream, &resp);
                 return;
             }
             Err(_) => return,
         };
         let (response, shutdown) = match parse_request(&payload) {
-            Ok(request) => handle_request(shared, &request),
+            Ok(request) => {
+                let request_id = request.request_id.clone().unwrap_or(server_id);
+                let _scope = shared.obs.request_scope(&request_id);
+                let (mut response, shutdown) = handle_request_caught(shared, &request);
+                response.request_id = Some(request_id.clone());
+                if !response.ok {
+                    let reason = response.error.clone().unwrap_or_default();
+                    dump_flight(shared, &request_id, &reason);
+                }
+                (response, shutdown)
+            }
             Err(message) => {
                 // The frame boundary held, so the connection survives
                 // a malformed payload.
                 shared.obs.add("svc.requests.errors", 1);
-                (Response::failure("?", None, message), false)
+                let _scope = shared.obs.request_scope(&server_id);
+                shared.obs.mark("svc.malformed");
+                let mut resp = Response::failure("?", None, message);
+                resp.request_id = Some(server_id.clone());
+                dump_flight(shared, &server_id, "malformed payload");
+                (resp, false)
             }
         };
         if proto::send(&mut stream, &response).is_err() {
@@ -399,21 +505,111 @@ fn parse_request(payload: &[u8]) -> Result<Request, String> {
     serde_json::from_str(text).map_err(|e| format!("request does not parse: {e}"))
 }
 
+/// [`handle_request`] behind a panic boundary: a handler that unwinds
+/// (a bug in model code, not a protocol condition) answers with a
+/// typed `panic` error frame instead of silently dropping the
+/// connection — the flight recorder keeps the evidence.
+fn handle_request_caught(shared: &Shared, request: &Request) -> (Response, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        handle_request(shared, request)
+    })) {
+        Ok(result) => result,
+        Err(panic) => {
+            let message = panic_message(panic.as_ref());
+            shared.obs.add("svc.requests.errors", 1);
+            let mut response = Response::failure(
+                &request.endpoint,
+                None,
+                format!("request handler panicked: {message}"),
+            );
+            response.code = Some("panic".to_owned());
+            (response, false)
+        }
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_owned()
+    }
+}
+
+/// Write the flight recorder's view of one failed request to the
+/// configured sink (file or stderr): the request id, the reason, and
+/// every recent event tagged with that id, in emission order.
+fn dump_flight(shared: &Shared, request_id: &str, reason: &str) {
+    use std::fmt::Write as _;
+    let events = shared.obs.flight_events(Some(request_id));
+    if !shared.obs.is_enabled() {
+        return;
+    }
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "FLIGHT request={request_id} events={} reason: {reason}",
+        events.len()
+    );
+    for e in &events {
+        let dur = e.dur_us.map(|d| format!(" dur_us={d}")).unwrap_or_default();
+        let _ = writeln!(
+            text,
+            "FLIGHT request={request_id} seq={} t_us={} ev={} path={}{dur}",
+            e.seq, e.t_us, e.ev, e.path
+        );
+    }
+    match &shared.flight_out {
+        Some(file) => {
+            let mut file = match file.lock() {
+                Ok(guard) => guard,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            let _ = file.write_all(text.as_bytes());
+            let _ = file.flush();
+        }
+        None => {
+            let _ = io::stderr().write_all(text.as_bytes());
+        }
+    }
+}
+
 /// Route one request. The returned flag requests server shutdown
 /// *after* the response is written.
 fn handle_request(shared: &Shared, request: &Request) -> (Response, bool) {
     shared.obs.add("svc.requests", 1);
-    let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
-    #[allow(clippy::cast_precision_loss)]
-    shared.obs.set_gauge("svc.inflight", inflight as f64);
+    let _inflight = InflightGuard::enter(shared);
+    let _svc_span = shared.obs.span("svc");
     let result = route(shared, request);
-    let inflight = shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
-    #[allow(clippy::cast_precision_loss)]
-    shared.obs.set_gauge("svc.inflight", inflight as f64);
     if !result.0.ok {
         shared.obs.add("svc.requests.errors", 1);
     }
     result
+}
+
+/// RAII in-flight accounting — drop-based so a panicking handler
+/// cannot leak the gauge.
+struct InflightGuard<'a> {
+    shared: &'a Shared,
+}
+
+impl<'a> InflightGuard<'a> {
+    fn enter(shared: &'a Shared) -> Self {
+        let inflight = shared.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        #[allow(clippy::cast_precision_loss)]
+        shared.obs.set_gauge("svc.inflight", inflight as f64);
+        InflightGuard { shared }
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        let inflight = self.shared.inflight.fetch_sub(1, Ordering::Relaxed) - 1;
+        #[allow(clippy::cast_precision_loss)]
+        self.shared.obs.set_gauge("svc.inflight", inflight as f64);
+    }
 }
 
 fn route(shared: &Shared, request: &Request) -> (Response, bool) {
@@ -438,6 +634,11 @@ fn route(shared: &Shared, request: &Request) -> (Response, bool) {
         );
     };
     shared.obs.add(&format!("svc.requests.{endpoint}"), 1);
+    // The endpoint span nests under `svc` (opened per request on this
+    // handler thread); the pipeline's own spans nest under it in turn,
+    // because the vendored rayon's `install` runs model work on the
+    // calling thread — one request, one contiguous span subtree.
+    let _endpoint_span = shared.obs.span(endpoint.as_str());
     match endpoint {
         Endpoint::RunPipeline => (
             cached_reply(shared, endpoint, request, |shared, spec| {
@@ -575,12 +776,15 @@ fn with_pool<R>(shared: &Shared, f: impl FnOnce() -> R) -> R {
     }
 }
 
-/// The `stats` endpoint body: cache figures, in-flight gauge, and the
-/// full metrics snapshot. Wall-clock by nature — never cached, never
-/// part of a deterministic report.
+/// The `stats` endpoint body: cache figures, connection gate, SLO
+/// verdicts, in-flight gauge, and the full metrics snapshot.
+/// Wall-clock by nature — never cached, never part of a deterministic
+/// report.
 fn stats_body(shared: &Shared) -> Value {
     let cache = shared.cache.stats();
     let store = shared.cache.store_stats();
+    let metrics = shared.obs.snapshot();
+    let slo = shared.slo.evaluate(&metrics);
     Value::Map(vec![
         ("proto".to_owned(), Value::Str(PROTOCOL.to_owned())),
         (
@@ -601,13 +805,31 @@ fn stats_body(shared: &Shared) -> Value {
             ]),
         ),
         (
+            "conns".to_owned(),
+            Value::Map(vec![
+                (
+                    "active".to_owned(),
+                    Value::UInt(shared.conns.load(Ordering::Relaxed) as u64),
+                ),
+                (
+                    "max".to_owned(),
+                    match shared.max_conns {
+                        Some(max) => Value::UInt(max as u64),
+                        None => Value::Null,
+                    },
+                ),
+                (
+                    "busy_rejects".to_owned(),
+                    Value::UInt(shared.busy_rejects.load(Ordering::Relaxed)),
+                ),
+            ]),
+        ),
+        (
             "inflight".to_owned(),
             Value::Int(shared.inflight.load(Ordering::Relaxed)),
         ),
-        (
-            "metrics".to_owned(),
-            serde_json::to_value(&shared.obs.snapshot()),
-        ),
+        ("slo".to_owned(), serde_json::to_value(&slo)),
+        ("metrics".to_owned(), serde_json::to_value(&metrics)),
     ])
 }
 

@@ -41,7 +41,7 @@ use crate::pipeline::{
 use rayon::prelude::*;
 use resmodel_core::fit::FitConfig;
 use resmodel_error::ResmodelError;
-use resmodel_obs::{Collector, HistogramSummary, MetricsReport};
+use resmodel_obs::{Collector, HistogramSummary, MetricsReport, SloReport, SloSpec};
 use resmodel_popsim::{engine, ArrivalLaw, Scenario};
 use resmodel_sched::{dispatch_observed, DispatchPolicy, WorkloadSpec};
 use resmodel_stats::rng::substream;
@@ -51,12 +51,22 @@ use serde::{Deserialize, Serialize};
 use std::path::Path;
 use std::time::Instant;
 
-/// Schema identifier written into every [`BenchArtifact`]: `/7` adds
-/// the dispatch-scaling block ([`DispatchScalingPoint`]) — streaming
-/// dispatch throughput, peak RSS and work-stealing figures at one or
-/// more job counts — alongside the `/6` trace-store, `/5`
-/// query-service and `/4` observability blocks.
-pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/7";
+/// Schema identifier written into every [`BenchArtifact`]: `/8` adds
+/// the service-load block ([`SvcLoadSummary`]) — served-queries/sec,
+/// per-endpoint latency quantiles, error counts and the SLO verdict of
+/// a load-generator run against `resmodeld` — alongside the `/7`
+/// dispatch-scaling, `/6` trace-store, `/5` query-service and `/4`
+/// observability blocks. An `/8` artifact may be a *pure load
+/// artifact*: empty `jobs` is allowed when (and only when) `svc_load`
+/// is present.
+pub const BENCH_SCHEMA: &str = "resmodel.bench_sweep/8";
+
+/// The `/7` artifact schema (dispatch-scaling block —
+/// [`DispatchScalingPoint`] rows with streaming dispatch throughput,
+/// peak RSS and work-stealing figures — but no service-load block).
+/// Still accepted by `swept --check` so stored artifacts keep
+/// validating.
+pub const BENCH_SCHEMA_V7: &str = "resmodel.bench_sweep/7";
 
 /// The `/6` artifact schema (trace-store block — file size, write/load
 /// timings and the mapped-reload-vs-regeneration comparison of an
@@ -814,6 +824,7 @@ impl SweepReport {
             svc: None,
             store: None,
             dispatch_scaling: None,
+            svc_load: None,
             jobs: self
                 .jobs
                 .iter()
@@ -869,6 +880,10 @@ pub struct SvcSummary {
     /// span totals in the `/4` metrics block, they never enter the
     /// deterministic fingerprint.
     pub latency: Vec<HistogramSummary>,
+    /// The default service SLO ([`SloSpec::svc_default`]) evaluated
+    /// against those latency histograms (schema `/8`; `None` when
+    /// parsed from /5–/7 artifacts).
+    pub slo: Option<SloReport>,
 }
 
 impl SvcSummary {
@@ -891,19 +906,88 @@ impl SvcSummary {
         } else {
             hits as f64 / requests as f64
         };
+        let latency: Vec<HistogramSummary> = metrics
+            .histograms
+            .iter()
+            .filter(|h| h.name.starts_with("svc.") && h.name.ends_with("request_ms"))
+            .cloned()
+            .collect();
+        let slo = Some(SloSpec::svc_default().evaluate_histograms(&latency));
         Some(SvcSummary {
             requests,
             hits,
             misses,
             hit_rate,
-            latency: metrics
-                .histograms
-                .iter()
-                .filter(|h| h.name.starts_with("svc.") && h.name.ends_with("request_ms"))
-                .cloned()
-                .collect(),
+            latency,
+            slo,
         })
     }
+}
+
+/// The `/8` service-load block of a [`BenchArtifact`]: what a
+/// load-generator run observed while hammering a live `resmodeld` —
+/// served throughput, per-endpoint latency quantiles, error counts and
+/// the server-side SLO verdict. Every figure here is wall-clock by
+/// nature (the field names carry the `_ms` / `_per_sec` quarantine
+/// suffixes), so the block never enters the deterministic fingerprint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvcLoadSummary {
+    /// How the generator paced itself: `"fixed"` (a pre-generated
+    /// request schedule claimed by workers — the request multiset is
+    /// connection-count-invariant), `"duration"` (run until a
+    /// deadline) or `"rps"` (duration mode with open-loop pacing).
+    pub mode: String,
+    /// Concurrent client connections (workers).
+    pub connections: usize,
+    /// Requests completed across all endpoints.
+    pub requests: u64,
+    /// Requests that came back as error frames (or transport
+    /// failures).
+    pub errors: u64,
+    /// Wall time of the whole load run, ms.
+    pub wall_ms: f64,
+    /// `requests / wall seconds` — served queries per second.
+    pub served_per_sec: f64,
+    /// Server-side cache hits during the run (from the daemon's
+    /// `stats` endpoint; `0` when the daemon was unreachable).
+    pub hits: u64,
+    /// Server-side cache misses during the run.
+    pub misses: u64,
+    /// `hits / (hits + misses)`; `0` when nothing was looked up.
+    pub hit_rate: f64,
+    /// The default service SLO evaluated against the *server's*
+    /// latency histograms (`None` when the final `stats` fetch
+    /// failed).
+    pub slo: Option<SloReport>,
+    /// Per-endpoint client-side latency breakdown.
+    pub endpoints: Vec<SvcLoadEndpoint>,
+}
+
+/// One endpoint's row in the [`SvcLoadSummary`]: client-observed
+/// request latencies (connect + frame round-trip, so queueing at the
+/// server's connection gate is included — unlike the server-side
+/// `svc.<endpoint>.request_ms` histograms, which start at parse time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvcLoadEndpoint {
+    /// Endpoint wire name (`run_pipeline`, `predict`, `stats`, …).
+    pub endpoint: String,
+    /// Requests this endpoint completed.
+    pub requests: u64,
+    /// Requests that failed.
+    pub errors: u64,
+    /// Median client-observed latency, ms (`0` when no request
+    /// succeeded).
+    pub p50_ms: f64,
+    /// 90th-percentile latency, ms.
+    pub p90_ms: f64,
+    /// 99th-percentile latency, ms.
+    pub p99_ms: f64,
+    /// 99.9th-percentile latency, ms.
+    pub p999_ms: f64,
+    /// The full client-side histogram summary
+    /// (`loadgen.<endpoint>.request_ms`), for consumers that want more
+    /// than the headline quantiles.
+    pub latency: Option<HistogramSummary>,
 }
 
 /// The `/6` trace-store block of a [`BenchArtifact`]: one out-of-core
@@ -1123,8 +1207,14 @@ pub struct BenchArtifact {
     pub store: Option<StoreSummary>,
     /// The dispatch-scaling block: streaming dispatch throughput,
     /// peak RSS and work-stealing figures at one or more job counts
-    /// (schema `/7`; `None` when parsed from /1–/6).
+    /// (schema `/7`+; `None` when parsed from /1–/6).
     pub dispatch_scaling: Option<Vec<DispatchScalingPoint>>,
+    /// The service-load block: throughput, per-endpoint latency
+    /// quantiles and SLO verdict of a load-generator run against
+    /// `resmodeld` (schema `/8`; `None` when parsed from /1–/7 or when
+    /// the run had no load probe). An `/8` artifact with this block
+    /// present may carry an empty `jobs` list (a pure load artifact).
+    pub svc_load: Option<SvcLoadSummary>,
     /// Per-job throughput rows.
     pub jobs: Vec<BenchJobRow>,
 }

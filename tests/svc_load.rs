@@ -1,0 +1,91 @@
+//! Integration tests for the load generator and the service-side
+//! determinism contract under fire: a fixed load schedule produces the
+//! same request multiset at any connection count, and — because the
+//! cache's stampede protection makes misses a function of distinct
+//! spec keys, not of interleaving — the server's deterministic metrics
+//! fingerprint is bitwise identical across thread counts and load
+//! levels.
+
+#![allow(clippy::unwrap_used)]
+
+use resmodel::obs::{Collector, HistogramSummary};
+use resmodel::sweep::SvcLoadSummary;
+use resmodel_svc::{default_spec_pool, run_load, serve_tcp, Client, LoadSpec, ServerConfig};
+
+type Fingerprint = (Vec<(String, u64)>, Vec<HistogramSummary>);
+
+/// Drive one fixed 32-request schedule against a fresh server at the
+/// given client/server concurrency; return the server's deterministic
+/// fingerprint and the artifact-ready load summary.
+fn run_fixture(connections: usize, threads: usize) -> (Fingerprint, SvcLoadSummary) {
+    let obs = Collector::new();
+    let config = ServerConfig {
+        threads: Some(threads),
+        ..ServerConfig::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", config, &obs).unwrap();
+    let addr = server.tcp_addr().unwrap().to_string();
+    let client = Client::tcp(addr).with_request_prefix("load");
+
+    let spec = LoadSpec::fixed(connections, 32, default_spec_pool());
+    let report = run_load(&client, &spec).unwrap();
+    assert_eq!(report.requests, 32);
+    assert_eq!(report.errors, 0, "the fixture load must be clean");
+
+    client.shutdown().unwrap();
+    server.join();
+
+    let metrics = obs.snapshot();
+    let summary = report.svc_load_summary(Some(&metrics));
+    (metrics.deterministic_fingerprint(), summary)
+}
+
+/// The acceptance bar for `bench_sweep/8`: counters and value-domain
+/// histograms (wall-clock quarantined) must not depend on how many
+/// loadgen connections fired the schedule or how many data-parallel
+/// threads served it.
+#[test]
+fn deterministic_fingerprint_is_invariant_across_threads_and_load() {
+    let (light, _) = run_fixture(2, 1);
+    let (heavy, _) = run_fixture(8, 4);
+    assert_eq!(
+        light, heavy,
+        "server fingerprint must be bitwise identical across (connections, threads)"
+    );
+}
+
+#[test]
+fn svc_load_summary_accounts_for_every_request() {
+    let (_, summary) = run_fixture(2, 1);
+
+    assert_eq!(summary.mode, "fixed");
+    assert_eq!(summary.connections, 2);
+    assert_eq!(summary.requests, 32);
+    assert_eq!(summary.errors, 0);
+    assert!(summary.wall_ms > 0.0);
+    assert!(summary.served_per_sec > 0.0);
+    assert!((0.0..=1.0).contains(&summary.hit_rate));
+    assert!(
+        summary.slo.is_some(),
+        "a summary built from server metrics carries the SLO verdict"
+    );
+
+    // Per-endpoint rows partition the totals exactly.
+    assert!(!summary.endpoints.is_empty());
+    let req_sum: u64 = summary.endpoints.iter().map(|e| e.requests).sum();
+    let err_sum: u64 = summary.endpoints.iter().map(|e| e.errors).sum();
+    assert_eq!(req_sum, summary.requests);
+    assert_eq!(err_sum, summary.errors);
+    for ep in &summary.endpoints {
+        assert!(
+            ep.requests > 0,
+            "{}: empty endpoint rows are dropped",
+            ep.endpoint
+        );
+        assert!(
+            ep.p50_ms <= ep.p90_ms && ep.p90_ms <= ep.p99_ms && ep.p99_ms <= ep.p999_ms,
+            "{}: quantiles must be monotone",
+            ep.endpoint
+        );
+    }
+}

@@ -197,6 +197,102 @@ fn truncated_frames_close_without_a_response() {
     server.join();
 }
 
+#[test]
+fn over_limit_connections_get_a_typed_busy_frame() {
+    let obs = Collector::new();
+    let config = ServerConfig {
+        max_conns: Some(1),
+        ..ServerConfig::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", config, &obs).unwrap();
+    let addr = server.tcp_addr().unwrap();
+
+    // Occupy the single slot, completing a round-trip so the handler
+    // thread is provably alive before the second connection arrives.
+    let mut held = TcpStream::connect(addr).unwrap();
+    held.set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    proto::send(&mut held, &Request::bare(Endpoint::Stats)).unwrap();
+    let payload = proto::read_frame(&mut held).unwrap().unwrap();
+    let response: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(response.ok);
+
+    // The over-limit connection gets the typed frame, then the close —
+    // not a silent hangup.
+    let mut refused = TcpStream::connect(addr).unwrap();
+    refused
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    let payload = proto::read_frame(&mut refused).unwrap().unwrap();
+    let response: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(!response.ok);
+    assert_eq!(response.code.as_deref(), Some("busy"));
+    assert!(response.error.unwrap().contains("connection limit"));
+    assert!(
+        proto::read_frame(&mut refused).unwrap().is_none(),
+        "refused connection is closed after the busy frame"
+    );
+
+    // Releasing the slot readmits peers once the handler notices the
+    // EOF (within its poll interval).
+    drop(held);
+    let mut served = false;
+    for _ in 0..400 {
+        let mut retry = TcpStream::connect(addr).unwrap();
+        retry
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        proto::send(&mut retry, &Request::bare(Endpoint::Stats)).unwrap();
+        let payload = proto::read_frame(&mut retry).unwrap().unwrap();
+        let response: Response =
+            serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+        if response.ok {
+            served = true;
+            break;
+        }
+        assert_eq!(response.code.as_deref(), Some("busy"));
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    assert!(served, "slot is reusable after the held connection drops");
+
+    server.join();
+}
+
+#[test]
+fn failed_requests_dump_flight_events_with_the_span_path() {
+    let dump = std::env::temp_dir().join(format!("resmodel_svc_flight_{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&dump);
+
+    let obs = Collector::new();
+    let config = ServerConfig {
+        flight_out: Some(dump.clone()),
+        ..ServerConfig::default()
+    };
+    let server = serve_tcp("127.0.0.1:0", config, &obs).unwrap();
+    let addr = server.tcp_addr().unwrap().to_string();
+
+    // `tiny_spec` carries no fit stage, so `predict` fails inside the
+    // handler — an application error, not a protocol one. The dump is
+    // written before the error frame, so the reply orders the check.
+    let client = Client::tcp(addr).with_request_prefix("boom");
+    let err = client.predict(&tiny_spec(), &[2012.0]);
+    assert!(err.is_err(), "predict without a fit stage must fail");
+
+    client.shutdown().unwrap();
+    server.join();
+
+    let text = std::fs::read_to_string(&dump).unwrap();
+    assert!(
+        text.contains("FLIGHT request=boom-1"),
+        "dump names the client-assigned request id:\n{text}"
+    );
+    assert!(
+        text.contains("path=svc/predict"),
+        "dump carries the failing request's span path:\n{text}"
+    );
+    let _ = std::fs::remove_file(&dump);
+}
+
 #[cfg(unix)]
 #[test]
 fn uds_round_trip_hits_the_cache_on_the_second_query() {
